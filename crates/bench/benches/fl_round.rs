@@ -1,0 +1,63 @@
+//! Criterion benchmark: one full communication round per algorithm
+//! (the unit of Fig. 2's x-axis and Fig. 3's per-round timings).
+
+use appfl_core::algorithms::build_federation;
+use appfl_core::config::{AlgorithmConfig, FedConfig};
+use appfl_core::runner::serial::SerialRunner;
+use appfl_data::federated::{build_benchmark, Benchmark};
+use appfl_nn::models::{mlp_classifier, InputSpec};
+use appfl_privacy::PrivacyConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn make_runner(algorithm: AlgorithmConfig, privacy: PrivacyConfig) -> SerialRunner {
+    let data = build_benchmark(Benchmark::Mnist, 4, 256, 64, 17).unwrap();
+    let spec = InputSpec {
+        channels: 1,
+        height: 28,
+        width: 28,
+        classes: 10,
+    };
+    let config = FedConfig {
+        algorithm,
+        rounds: 1,
+        local_steps: 2,
+        batch_size: 64,
+        privacy,
+        seed: 17,
+    };
+    let test = data.test.clone();
+    let fed = build_federation(config, &data, move |rng| {
+        Box::new(mlp_classifier(spec, 32, rng))
+    });
+    SerialRunner::new(fed, test, "MNIST")
+}
+
+fn bench_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fl_round");
+    group.sample_size(10);
+    let algos = [
+        ("fedavg", AlgorithmConfig::FedAvg { lr: 0.05, momentum: 0.9 }),
+        ("iceadmm", AlgorithmConfig::IceAdmm { rho: 10.0, zeta: 10.0 }),
+        ("iiadmm", AlgorithmConfig::IiAdmm { rho: 10.0, zeta: 10.0 }),
+    ];
+    for (name, algo) in algos {
+        group.bench_with_input(BenchmarkId::new("no_dp", name), &algo, |b, &algo| {
+            b.iter_batched(
+                || make_runner(algo, PrivacyConfig::none()),
+                |mut r| r.run_round(1).unwrap(),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("dp_eps5", name), &algo, |b, &algo| {
+            b.iter_batched(
+                || make_runner(algo, PrivacyConfig::laplace(5.0, 1.0)),
+                |mut r| r.run_round(1).unwrap(),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_round);
+criterion_main!(benches);

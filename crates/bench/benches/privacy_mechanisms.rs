@@ -1,0 +1,36 @@
+//! Criterion benchmark: DP mechanism throughput (noise per parameter) and
+//! gradient clipping.
+
+use appfl_privacy::{clip_norm, GaussianMechanism, LaplaceMechanism, Mechanism};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_mechanisms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("privacy");
+    for &n in &[10_000usize, 100_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("laplace", n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut v = vec![0.5f32; n];
+            b.iter(|| LaplaceMechanism.perturb(&mut v, 0.1, &mut rng))
+        });
+        group.bench_with_input(BenchmarkId::new("gaussian", n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(2);
+            let mut v = vec![0.5f32; n];
+            b.iter(|| GaussianMechanism.perturb(&mut v, 0.1, &mut rng))
+        });
+        group.bench_with_input(BenchmarkId::new("clip_norm", n), &n, |b, &n| {
+            let v = vec![0.5f32; n];
+            b.iter_batched(
+                || v.clone(),
+                |mut v| clip_norm(&mut v, 1.0),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mechanisms);
+criterion_main!(benches);

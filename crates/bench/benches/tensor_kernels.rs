@@ -1,0 +1,52 @@
+//! Criterion micro-benchmarks for the tensor kernels that dominate local
+//! update time (matmul, conv2d forward/backward, maxpool).
+
+use appfl_tensor::ops::{conv2d, conv2d_backward, matmul, maxpool2d, Conv2dParams};
+use appfl_tensor::{init, Tensor};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for &n in &[32usize, 128, 256] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = init::uniform([n, n], -1.0, 1.0, &mut rng);
+        let b = init::uniform([n, n], -1.0, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| matmul(&a, &b).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    // The paper's CNN geometry on a 28x28 grayscale batch of 16.
+    let input = init::uniform([16, 1, 28, 28], -1.0, 1.0, &mut rng);
+    let weight = init::uniform([8, 1, 3, 3], -1.0, 1.0, &mut rng);
+    let bias = init::uniform([8], -1.0, 1.0, &mut rng);
+    let p = Conv2dParams {
+        stride: 1,
+        padding: 1,
+    };
+    c.bench_function("conv2d_forward_16x1x28x28", |b| {
+        b.iter(|| conv2d(&input, &weight, &bias, p).unwrap())
+    });
+    let out = conv2d(&input, &weight, &bias, p).unwrap();
+    let go = Tensor::ones(out.shape().clone());
+    c.bench_function("conv2d_backward_16x1x28x28", |b| {
+        b.iter(|| conv2d_backward(&input, &weight, &go, p).unwrap())
+    });
+}
+
+fn bench_pool(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let input = init::uniform([16, 8, 28, 28], -1.0, 1.0, &mut rng);
+    c.bench_function("maxpool2d_16x8x28x28", |b| {
+        b.iter(|| maxpool2d(&input, 2).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_matmul, bench_conv, bench_pool);
+criterion_main!(benches);

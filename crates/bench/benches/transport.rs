@@ -1,0 +1,38 @@
+//! Criterion benchmark: raw in-process transport vs gRPC-framed transport
+//! round-trips (the real-code analogue of the paper's MPI-vs-gRPC gap —
+//! framing adds protobuf prefixes and staging copies).
+
+use appfl_comm::transport::{Communicator, GrpcChannel, InProcNetwork};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transport_roundtrip");
+    for &size in &[4_096usize, 262_144, 2_400_000] {
+        let payload = vec![0xABu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+
+        group.bench_with_input(BenchmarkId::new("raw", size), &payload, |b, p| {
+            let mut eps = InProcNetwork::new(2);
+            let b1 = eps.pop().unwrap();
+            let a = eps.pop().unwrap();
+            b.iter(|| {
+                a.send(1, p.clone()).unwrap();
+                b1.recv(0).unwrap()
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("grpc_framed", size), &payload, |b, p| {
+            let mut eps = InProcNetwork::new(2);
+            let b1 = GrpcChannel::new(eps.pop().unwrap());
+            let a = GrpcChannel::new(eps.pop().unwrap());
+            b.iter(|| {
+                a.send(1, p.clone()).unwrap();
+                b1.recv(0).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_roundtrip);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion benchmark: protobuf wire-format encode/decode of a model-sized
+//! upload (the serialisation cost the paper charges against gRPC).
+
+use appfl_comm::wire::{LearningResults, TensorMsg};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn make_results(params: usize, with_dual: bool) -> LearningResults {
+    let data: Vec<f32> = (0..params).map(|i| (i as f32).sin()).collect();
+    LearningResults {
+        client_id: 7,
+        round: 12,
+        penalty: 1.0,
+        primal: vec![TensorMsg::flat("primal", data.clone())],
+        dual: if with_dual {
+            vec![TensorMsg::flat("dual", data)]
+        } else {
+            Vec::new()
+        },
+    }
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_codec");
+    for &params in &[10_000usize, 100_000, 600_000] {
+        let msg = make_results(params, false);
+        let bytes = (params * 4) as u64;
+        group.throughput(Throughput::Bytes(bytes));
+        group.bench_with_input(BenchmarkId::new("encode", params), &msg, |b, m| {
+            b.iter(|| m.encode())
+        });
+        let encoded = msg.encode();
+        group.bench_with_input(BenchmarkId::new("decode", params), &encoded, |b, e| {
+            b.iter(|| LearningResults::decode(e).unwrap())
+        });
+    }
+    // The IIADMM vs ICEADMM payload asymmetry, on the wire.
+    let ii = make_results(100_000, false);
+    let ice = make_results(100_000, true);
+    group.bench_function("encode_iiadmm_100k", |b| b.iter(|| ii.encode()));
+    group.bench_function("encode_iceadmm_100k", |b| b.iter(|| ice.encode()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

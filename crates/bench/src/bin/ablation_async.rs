@@ -1,0 +1,33 @@
+//! Ablation A3 — synchronous vs staleness-weighted asynchronous aggregation
+//! under the §IV-E A100/V100 heterogeneity (future-work item 1 of §V).
+
+use appfl_bench::experiments::ablations::sync_vs_async;
+use appfl_bench::report::render_table;
+
+fn main() {
+    let horizon = 70.0; // virtual seconds, ≈10 synchronous rounds
+    let (sync, asyn) = sync_vs_async(horizon).expect("async ablation");
+
+    println!("Ablation A3 — sync vs async aggregation, {horizon:.0}s virtual horizon");
+    println!("(two A100 clients at 4.24 s/update, two V100 clients at 6.96 s/update)\n");
+    let rows = vec![
+        vec![
+            "synchronous".to_string(),
+            sync.updates_applied.to_string(),
+            format!("{:.3}", sync.final_accuracy),
+        ],
+        vec![
+            "asynchronous".to_string(),
+            asyn.updates_applied.to_string(),
+            format!("{:.3}", asyn.final_accuracy),
+        ],
+    ];
+    print!(
+        "{}",
+        render_table(&["server", "updates applied", "final accuracy"], &rows)
+    );
+    println!(
+        "\n  async applied {:.2}x as many updates in the same wall time — the fast silo\n  never idles (paper §IV-E/§V: the motivation for asynchronous updates)",
+        asyn.updates_applied as f64 / sync.updates_applied.max(1) as f64
+    );
+}

@@ -1,0 +1,40 @@
+//! Ablation A4 — the gradient-inversion attack of §II-A.2 ("one can recover
+//! an original image with high accuracy using only gradients") mounted
+//! against a client's gradient, with and without the Laplace defence.
+
+use appfl_bench::experiments::ablations::gradient_leakage;
+use appfl_bench::report::render_table;
+
+fn main() {
+    let epsilons = [0.5, 1.0, 3.0, 10.0, 100.0, f64::INFINITY];
+    let rows = gradient_leakage(&epsilons, 10).expect("leakage ablation");
+
+    println!("Ablation A4 — gradient inversion vs output perturbation");
+    println!("(linear model, one private MNIST-like sample, 10 trials per ε̄)\n");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let eps = if r.epsilon.is_finite() {
+                format!("{}", r.epsilon)
+            } else {
+                "inf (no DP)".to_string()
+            };
+            let verdict = if r.error < 0.05 {
+                "sample fully recovered"
+            } else if r.error < 0.5 {
+                "partially recovered"
+            } else {
+                "reconstruction destroyed"
+            };
+            vec![eps, format!("{:.4}", r.error), verdict.to_string()]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(&["eps/round", "reconstruction error", "verdict"], &table)
+    );
+    println!("\n  Without DP the attacker recovers the private sample exactly from the");
+    println!("  gradient (error ~0); the paper's Laplace output perturbation destroys");
+    println!("  the reconstruction, more strongly for smaller ε̄ — the reason §II-A.2");
+    println!("  calls DP \"critical for a privacy-preserving FL\".");
+}

@@ -1,0 +1,43 @@
+//! Ablation A6 — communication cost as models grow (§V future-work item 4:
+//! "large-scale deep neural network models that require a large amount of
+//! data transfer between a server and clients").
+
+use appfl_bench::experiments::ablations::model_size_sweep;
+use appfl_bench::report::{fmt_bytes, fmt_pct, fmt_secs, render_table};
+
+fn main() {
+    // MLP (100k) → the paper's CNN (600k) → ResNet-50-scale (25M) →
+    // large-transformer-scale (350M).
+    let sizes = [100_000usize, 600_000, 5_000_000, 25_000_000, 350_000_000];
+    let rows = model_size_sweep(&sizes);
+
+    println!("Ablation A6 — per-round communication vs model size (203 clients)\n");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}", r.params),
+                fmt_bytes(r.bytes_per_client),
+                fmt_secs(r.mpi_secs),
+                fmt_secs(r.grpc_secs),
+                fmt_pct(r.mpi_comm_share),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &["params", "upload/client", "MPI gather", "gRPC round", "MPI comm share"],
+            &table
+        )
+    );
+    let crossover = rows.iter().find(|r| r.mpi_comm_share > 0.5);
+    match crossover {
+        Some(r) => println!(
+            "\n  communication overtakes compute (>50% of the round) at ~{} parameters —",
+            r.params
+        ),
+        None => println!("\n  compute still dominates at the largest size —"),
+    }
+    println!("  quantifying §V item 4's motivation for testing large models.");
+}

@@ -1,0 +1,35 @@
+//! Ablation A2 — adaptive penalty ρᵗ (residual balancing, §V item 2)
+//! versus a fixed, deliberately mis-set ρ.
+
+use appfl_bench::experiments::ablations::adaptive_rho;
+use appfl_bench::report::render_table;
+
+fn main() {
+    let rounds = 12;
+    let rho0 = 100.0; // deliberately over-penalised start
+    let (fixed, adaptive) = adaptive_rho(rounds, rho0).expect("rho ablation");
+
+    println!("Ablation A2 — IIADMM with fixed vs residual-balanced ρ (ρ0 = {rho0})\n");
+    let rows: Vec<Vec<String>> = (0..rounds)
+        .map(|t| {
+            vec![
+                (t + 1).to_string(),
+                format!("{:.1}", fixed.rho_trace[t]),
+                format!("{:.3}", fixed.train_loss[t]),
+                format!("{:.1}", adaptive.rho_trace[t]),
+                format!("{:.3}", adaptive.train_loss[t]),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &["round", "rho (fixed)", "loss (fixed)", "rho (adaptive)", "loss (adaptive)"],
+            &rows
+        )
+    );
+    println!(
+        "\n  final test accuracy: fixed {:.3} vs adaptive {:.3}",
+        fixed.final_accuracy, adaptive.final_accuracy
+    );
+}

@@ -1,0 +1,121 @@
+//! Regenerates Fig. 2 — test accuracy under ε̄ ∈ {3, 5, 10, ∞} for FedAvg,
+//! ICEADMM and IIADMM across the four benchmarks.
+//!
+//! Usage: `fig2 [--paper] [--json PATH]`
+//!
+//! Default is a minutes-scale run preserving the figure's shape; `--paper`
+//! uses the full §IV-A configuration (hours on CPU). `--json` additionally
+//! dumps all histories for plotting.
+
+use appfl_bench::experiments::fig2::{run_cell, Fig2Scale};
+use appfl_bench::report::render_table;
+use appfl_data::federated::Benchmark;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = if args.iter().any(|a| a == "--paper") {
+        Fig2Scale::paper()
+    } else {
+        Fig2Scale::quick()
+    };
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    // Optional dataset filter (`--dataset mnist`) so paper-scale runs can be
+    // split across invocations.
+    let dataset_filter = args
+        .iter()
+        .position(|a| a == "--dataset")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.to_lowercase());
+    let benchmarks: Vec<Benchmark> = Benchmark::all()
+        .into_iter()
+        .filter(|b| {
+            dataset_filter
+                .as_deref()
+                .is_none_or(|f| b.name().to_lowercase() == f)
+        })
+        .collect();
+    if benchmarks.is_empty() {
+        eprintln!("no dataset matches the filter; use mnist|cifar10|femnist|coronahack");
+        std::process::exit(1);
+    }
+
+    eprintln!(
+        "Fig. 2 grid: {} dataset(s) x 3 algorithms x {} privacy budgets, T={} rounds, L={}",
+        benchmarks.len(),
+        scale.epsilons.len(),
+        scale.rounds,
+        scale.local_steps
+    );
+    let mut grid = Vec::new();
+    for benchmark in &benchmarks {
+        for algorithm in scale.algorithms() {
+            for &epsilon in &scale.epsilons {
+                grid.push(run_cell(*benchmark, algorithm, epsilon, &scale).expect("fig2 cell"));
+            }
+        }
+    }
+
+    // Summary table: final accuracy per cell (the figure's right edge).
+    println!("\nFig. 2 — final test accuracy (T = {} rounds)\n", scale.rounds);
+    let eps_label = |e: f64| {
+        if e.is_infinite() {
+            "inf".to_string()
+        } else {
+            format!("{e:.0}")
+        }
+    };
+    let mut headers = vec!["dataset".to_string(), "algorithm".to_string()];
+    headers.extend(scale.epsilons.iter().map(|&e| format!("eps={}", eps_label(e))));
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+
+    let mut rows = Vec::new();
+    for chunk in grid.chunks(scale.epsilons.len()) {
+        let mut row = vec![chunk[0].dataset.clone(), chunk[0].algorithm.clone()];
+        row.extend(chunk.iter().map(|h| format!("{:.3}", h.final_accuracy())));
+        rows.push(row);
+    }
+    print!("{}", render_table(&headers_ref, &rows));
+
+    // Per-round series for one representative cell of each algorithm
+    // (MNIST), mirroring the curves in the figure's first column.
+    println!("\nPer-round accuracy on MNIST (one series per ε̄):");
+    for h in grid.iter().filter(|h| h.dataset == "MNIST") {
+        let series: Vec<String> = h
+            .rounds
+            .iter()
+            .map(|r| format!("{:.2}", r.accuracy))
+            .collect();
+        println!(
+            "  {:8} eps={:>4}: {}",
+            h.algorithm,
+            eps_label(h.epsilon),
+            series.join(" ")
+        );
+    }
+
+    println!("\nShape checks vs the paper:");
+    let mut monotone_cells = 0usize;
+    let mut total_cells = 0usize;
+    for chunk in grid.chunks(scale.epsilons.len()) {
+        // ε grows along the chunk; ∞ is last. Accuracy should not decrease
+        // as ε grows (weaker privacy ⇒ better accuracy), modulo noise.
+        total_cells += 1;
+        let accs: Vec<f32> = chunk.iter().map(|h| h.best_accuracy()).collect();
+        if accs.last().unwrap() >= accs.first().unwrap() {
+            monotone_cells += 1;
+        }
+    }
+    println!(
+        "  privacy-utility trade-off holds (acc(eps=inf) >= acc(eps=min)) in {monotone_cells}/{total_cells} dataset x algorithm cells"
+    );
+
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&grid).expect("serialize");
+        std::fs::write(&path, json).expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,81 @@
+//! Regenerates Fig. 3 — strong scaling of PPFL simulation (§IV-C).
+//!
+//! Usage: `fig3 [--measure]`
+//!
+//! Always prints the model-based reproduction (the paper's Summit
+//! environment); with `--measure` it additionally runs a real rayon
+//! thread-pool strong-scaling measurement of the local updates on this
+//! machine.
+
+use appfl_bench::experiments::fig3::{measured, model_based, BYTES_PER_CLIENT};
+use appfl_bench::report::{fmt_pct, fmt_secs, render_table};
+use appfl_comm::cluster::V100;
+
+fn main() {
+    let do_measure = std::env::args().any(|a| a == "--measure");
+
+    println!("Fig. 3a — strong scaling of local updates (203 FEMNIST clients, V100 model)");
+    println!("payload per client: {} bytes\n", BYTES_PER_CLIENT);
+    let rows = model_based(203, V100, 1.0);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.processes.to_string(),
+                fmt_secs(r.compute_secs),
+                fmt_secs(r.gather_secs),
+                format!("{:.1}x", r.speedup),
+                format!("{:.1}x", r.ideal),
+                fmt_pct(r.comm_share),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &["MPI procs", "compute", "MPI.gather()", "speedup", "ideal", "comm share (Fig 3b)"],
+            &table
+        )
+    );
+
+    let first = &rows[0];
+    let last = rows.last().unwrap();
+    println!("\nShape checks vs the paper (§IV-C):");
+    println!(
+        "  per-process data shrank {:.1}x (5 -> 203 procs); gather time improved {:.1}x (paper: ~40x vs ~8x)",
+        first.compute_secs / last.compute_secs,
+        first.gather_secs / last.gather_secs
+    );
+    println!(
+        "  comm share grew {} -> {} (Fig 3b's rising curve)",
+        fmt_pct(first.comm_share),
+        fmt_pct(last.comm_share)
+    );
+
+    if do_measure {
+        println!("\nMeasured strong scaling on this machine (real local updates):");
+        let cores = std::thread::available_parallelism().map_or(4, |n| n.get());
+        let mut pools = vec![1usize];
+        while *pools.last().unwrap() * 2 <= cores {
+            let next = pools.last().unwrap() * 2;
+            pools.push(next);
+        }
+        let res = measured(32, 40, &pools);
+        let t1 = res[0].1;
+        let table: Vec<Vec<String>> = res
+            .iter()
+            .map(|(threads, secs)| {
+                vec![
+                    threads.to_string(),
+                    fmt_secs(*secs),
+                    format!("{:.2}x", t1 / secs),
+                    format!("{threads}.00x"),
+                ]
+            })
+            .collect();
+        print!(
+            "{}",
+            render_table(&["threads", "wall time", "speedup", "ideal"], &table)
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Regenerates Fig. 4 — communication times of gRPC and MPI (§IV-D).
+
+use appfl_bench::experiments::fig4::{paper_simulation, run, ROUNDS};
+use appfl_bench::report::{fmt_secs, render_table};
+
+fn main() {
+    let sim = paper_simulation();
+    let result = run(&sim, ROUNDS, 42);
+
+    println!("Fig. 4a — cumulative communication time over {ROUNDS} rounds");
+    println!("(203 clients on 34 nodes, {} B per upload)\n", sim.bytes_per_client);
+    let marks = [0usize, 9, 19, 29, 39, ROUNDS - 1];
+    let table: Vec<Vec<String>> = marks
+        .iter()
+        .map(|&i| {
+            vec![
+                (i + 1).to_string(),
+                fmt_secs(result.cumulative_mpi[i]),
+                fmt_secs(result.cumulative_grpc[i]),
+                format!(
+                    "{:.1}x",
+                    result.cumulative_grpc[i] / result.cumulative_mpi[i]
+                ),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(&["round", "MPI (cum.)", "gRPC (cum.)", "gRPC/MPI"], &table)
+    );
+    println!(
+        "\n  paper: \"MPI shows up to 10 times faster communication time than does gRPC\"\n  measured here: {:.1}x at round {ROUNDS}",
+        result.cumulative_grpc.last().unwrap() / result.cumulative_mpi.last().unwrap()
+    );
+
+    println!("\nFig. 4b — per-round gRPC communication time, sampled clients (box plot)\n");
+    let table: Vec<Vec<String>> = result
+        .boxplots
+        .iter()
+        .map(|(c, f)| {
+            vec![
+                c.to_string(),
+                fmt_secs(f.min),
+                fmt_secs(f.q1),
+                fmt_secs(f.median),
+                fmt_secs(f.q3),
+                fmt_secs(f.max),
+                format!("{:.0}x", f.max / f.min),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &["client", "min", "q1", "median", "q3", "max", "max/min"],
+            &table
+        )
+    );
+    println!(
+        "\n  paper: \"a significant difference in communication time by a factor of 30 between rounds\"\n  measured here: overall spread {:.0}x",
+        result.max_spread
+    );
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table I (framework feature comparison).
+
+fn main() {
+    println!("Table I: Comparison of APPFL with existing open-source FL frameworks\n");
+    print!("{}", appfl_bench::experiments::table1::render());
+    println!("\n(appfl-rs row: this reproduction, which also implements the");
+    println!(" MQTT-style pub/sub layer the original paper lists as planned.)");
+}

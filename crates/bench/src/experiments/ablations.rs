@@ -1,0 +1,742 @@
+//! Design-choice ablations called out in DESIGN.md.
+//!
+//! * **A1 `comm_bytes`** — the headline IIADMM-vs-ICEADMM traffic saving,
+//!   measured on real protobuf-encoded uploads (not just counted floats).
+//! * **A2 `adaptive_rho`** — residual-balancing ρᵗ vs a fixed ρ (§V item 2).
+//! * **A3 `sync_vs_async`** — synchronous vs staleness-weighted
+//!   asynchronous aggregation under the §IV-E heterogeneity (§V item 1).
+
+use appfl_comm::cluster::{A100, V100};
+use appfl_comm::transport::GrpcFraming;
+use appfl_comm::wire::{LearningResults, TensorMsg};
+use appfl_core::adaptive::{dual_residual, AdaptiveRho};
+use appfl_core::algorithms::{build_federation, IiAdmmClient, IiAdmmServer};
+use appfl_core::api::{ClientAlgorithm, ClientUpload, ServerAlgorithm};
+use appfl_core::config::{AlgorithmConfig, FedConfig};
+use appfl_core::runner::r#async::{AsyncConfig, AsyncFedServer};
+use appfl_core::trainer::LocalTrainer;
+use appfl_core::validation::evaluate;
+use appfl_core::algorithms::FedAvgClient;
+use appfl_data::federated::{build_benchmark, Benchmark, FederatedDataset};
+use appfl_nn::models::{mlp_classifier, InputSpec};
+use appfl_nn::module::flatten_params;
+use appfl_privacy::PrivacyConfig;
+use appfl_tensor::Result;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn mnist_spec() -> InputSpec {
+    InputSpec {
+        channels: 1,
+        height: 28,
+        width: 28,
+        classes: 10,
+    }
+}
+
+fn mnist_fed(clients: usize, train: usize, test: usize, seed: u64) -> Result<FederatedDataset> {
+    build_benchmark(Benchmark::Mnist, clients, train, test, seed)
+}
+
+// ---------------------------------------------------------------------------
+// A1: communication bytes per round
+// ---------------------------------------------------------------------------
+
+/// Wire accounting for one algorithm.
+#[derive(Debug, Clone, Copy)]
+pub struct CommBytes {
+    /// Raw tensor payload per round (4 B/float).
+    pub raw_per_round: usize,
+    /// Protobuf-encoded bytes per round.
+    pub proto_per_round: usize,
+    /// gRPC-framed bytes per round (HTTP/2 + message prefix).
+    pub grpc_per_round: usize,
+}
+
+/// Measures per-round upload bytes for IIADMM vs ICEADMM on identical jobs.
+pub fn comm_bytes(rounds: usize) -> Result<(CommBytes, CommBytes)> {
+    let data = mnist_fed(4, 120, 40, 13)?;
+    let spec = mnist_spec();
+    let framing = GrpcFraming::default();
+    let measure = |algorithm: AlgorithmConfig| -> Result<CommBytes> {
+        let config = FedConfig {
+            algorithm,
+            rounds,
+            local_steps: 1,
+            batch_size: 32,
+            privacy: PrivacyConfig::none(),
+            seed: 5,
+        };
+        let mut fed = build_federation(config, &data, move |rng| {
+            Box::new(mlp_classifier(spec, 16, rng))
+        });
+        let (mut raw, mut proto, mut grpc) = (0usize, 0usize, 0usize);
+        for round in 1..=rounds {
+            let w = fed.server.global_model();
+            let uploads: Result<Vec<ClientUpload>> =
+                fed.clients.iter_mut().map(|c| c.update(&w)).collect();
+            let uploads = uploads?;
+            for u in &uploads {
+                raw += u.payload_bytes();
+                let msg = LearningResults {
+                    client_id: u.client_id as u32,
+                    round: round as u32,
+                    penalty: 0.0,
+                    primal: vec![TensorMsg::flat("primal", u.primal.clone())],
+                    dual: u
+                        .dual
+                        .as_ref()
+                        .map(|d| vec![TensorMsg::flat("dual", d.clone())])
+                        .unwrap_or_default(),
+                };
+                let encoded = msg.encode();
+                proto += encoded.len();
+                grpc += framing.wire_bytes(encoded.len());
+            }
+            fed.server.update(&uploads)?;
+        }
+        Ok(CommBytes {
+            raw_per_round: raw / rounds,
+            proto_per_round: proto / rounds,
+            grpc_per_round: grpc / rounds,
+        })
+    };
+    let ii = measure(AlgorithmConfig::IiAdmm { rho: 10.0, zeta: 10.0 })?;
+    let ice = measure(AlgorithmConfig::IceAdmm { rho: 10.0, zeta: 10.0 })?;
+    Ok((ii, ice))
+}
+
+// ---------------------------------------------------------------------------
+// A2: adaptive ρ
+// ---------------------------------------------------------------------------
+
+/// Result of one IIADMM run in the ρ ablation.
+#[derive(Debug, Clone)]
+pub struct RhoRun {
+    /// ρ value per round (constant for the fixed arm).
+    pub rho_trace: Vec<f32>,
+    /// Mean client training loss per round.
+    pub train_loss: Vec<f32>,
+    /// Final test accuracy.
+    pub final_accuracy: f32,
+}
+
+/// Runs IIADMM with fixed vs residual-balanced ρ from a deliberately poor
+/// initial ρ, returning `(fixed, adaptive)`.
+pub fn adaptive_rho(rounds: usize, rho0: f32) -> Result<(RhoRun, RhoRun)> {
+    let data = mnist_fed(4, 200, 80, 31)?;
+    let spec = mnist_spec();
+
+    let run = |adaptive: bool| -> Result<RhoRun> {
+        let mut model_rng = StdRng::seed_from_u64(3);
+        let template = mlp_classifier(spec, 16, &mut model_rng);
+        let initial = flatten_params(&template);
+        let mut server = IiAdmmServer::new(initial, data.num_clients(), rho0);
+        let mut clients: Vec<IiAdmmClient> = data
+            .clients
+            .iter()
+            .enumerate()
+            .map(|(id, shard)| {
+                let trainer = LocalTrainer::new(Box::new(template.clone()), shard.clone(), 32);
+                IiAdmmClient::new(
+                    id,
+                    trainer,
+                    rho0,
+                    rho0,
+                    2,
+                    PrivacyConfig::none(),
+                    StdRng::seed_from_u64(50 + id as u64),
+                )
+            })
+            .collect();
+        let mut controller = AdaptiveRho::new(rho0);
+        let mut prev_primal: Option<Vec<Vec<f32>>> = None;
+        let mut rho_trace = Vec::new();
+        let mut train_loss = Vec::new();
+        for _ in 0..rounds {
+            rho_trace.push(controller.rho);
+            let w = server.global_model();
+            let uploads: Result<Vec<ClientUpload>> =
+                clients.iter_mut().map(|c| c.update(&w)).collect();
+            let uploads = uploads?;
+            train_loss.push(
+                uploads.iter().map(|u| u.local_loss).sum::<f32>() / uploads.len() as f32,
+            );
+            server.update(&uploads)?;
+            let curr: Vec<Vec<f32>> = uploads.iter().map(|u| u.primal.clone()).collect();
+            if adaptive {
+                if let Some(prev) = &prev_primal {
+                    let s = dual_residual(controller.rho, prev, &curr);
+                    let r = server.primal_residual();
+                    let new_rho = controller.step(r, s);
+                    // ρ changes must be mirrored on both sides.
+                    server.set_rho(new_rho);
+                    for c in &mut clients {
+                        c.set_rho(new_rho);
+                    }
+                }
+            }
+            prev_primal = Some(curr);
+        }
+        let mut template = template;
+        let w = server.global_model();
+        let e = evaluate(&mut template, &w, &data.test, 64)?;
+        Ok(RhoRun {
+            rho_trace,
+            train_loss,
+            final_accuracy: e.accuracy,
+        })
+    };
+    Ok((run(false)?, run(true)?))
+}
+
+// ---------------------------------------------------------------------------
+// A4: gradient-inversion attack vs the DP defence
+// ---------------------------------------------------------------------------
+
+/// One row of the leakage study: privacy budget vs reconstruction quality.
+#[derive(Debug, Clone, Copy)]
+pub struct LeakageRow {
+    /// Per-round ε̄ (`f64::INFINITY` = no noise).
+    pub epsilon: f64,
+    /// Mean normalised reconstruction error over trials (0 = perfect
+    /// recovery of the private sample, ≥1 = destroyed).
+    pub error: f64,
+}
+
+/// Mounts the §II-A.2 gradient-inversion attack against a real linear-model
+/// gradient of one private sample, with and without output perturbation.
+pub fn gradient_leakage(epsilons: &[f64], trials: usize) -> Result<Vec<LeakageRow>> {
+    use appfl_data::Dataset;
+    use appfl_privacy::attack::{invert_linear_gradient, reconstruction_error};
+    use appfl_privacy::{LaplaceMechanism, Mechanism};
+
+    let data = mnist_fed(1, 8, 4, 61)?;
+    let spec = mnist_spec();
+    let dim = spec.channels * spec.height * spec.width;
+    // One private sample from client 0's shard.
+    let (batch, labels) = data.clients[0].batch(&[0])?;
+    let x: Vec<f32> = batch.as_slice().to_vec();
+    let y = labels[0];
+
+    // Exact single-sample gradient at W = 0 (uniform softmax), like an
+    // honest client's very first local step.
+    let classes = spec.classes;
+    let p = 1.0 / classes as f32;
+    let mut gw = vec![0.0f32; classes * dim];
+    let mut gb = vec![0.0f32; classes];
+    for c in 0..classes {
+        let coeff = p - if c == y { 1.0 } else { 0.0 };
+        gb[c] = coeff;
+        for d in 0..dim {
+            gw[c * dim + d] = coeff * x[d];
+        }
+    }
+
+    let mut rows = Vec::with_capacity(epsilons.len());
+    for &epsilon in epsilons {
+        let mut total = 0.0f64;
+        for trial in 0..trials {
+            let mut rng = StdRng::seed_from_u64(900 + trial as u64);
+            let mut gw_t = gw.clone();
+            let mut gb_t = gb.clone();
+            if epsilon.is_finite() {
+                let b = 1.0 / epsilon; // unit sensitivity for illustration
+                LaplaceMechanism.perturb(&mut gw_t, b, &mut rng);
+                LaplaceMechanism.perturb(&mut gb_t, b, &mut rng);
+            }
+            let err = match invert_linear_gradient(&gw_t, &gb_t, dim) {
+                Ok(xh) => reconstruction_error(&x, &xh).min(100.0),
+                Err(_) => 100.0,
+            };
+            total += err;
+        }
+        rows.push(LeakageRow {
+            epsilon,
+            error: total / trials as f64,
+        });
+    }
+    Ok(rows)
+}
+
+// ---------------------------------------------------------------------------
+// A7: update compression (bytes vs accuracy)
+// ---------------------------------------------------------------------------
+
+/// One compression arm's outcome.
+#[derive(Debug, Clone)]
+pub struct CompressArm {
+    /// Codec name.
+    pub name: &'static str,
+    /// Total upload bytes across the run.
+    pub upload_bytes: usize,
+    /// Final test accuracy.
+    pub final_accuracy: f32,
+}
+
+/// FedAvg with compressed client uploads: none / 8-bit quantisation of the
+/// model / top-10% sparsification of the model *delta*. Quantifies the
+/// bytes-vs-accuracy trade-off that frames the paper's communication-
+/// efficiency agenda.
+pub fn compression(rounds: usize) -> Result<Vec<CompressArm>> {
+    use appfl_comm::compress::{
+        densify, dequantize_u8, quantize_u8, sparsify_top_k,
+    };
+
+    let data = mnist_fed(4, 400, 120, 81)?;
+    let spec = mnist_spec();
+    let mut model_rng = StdRng::seed_from_u64(21);
+    let template = mlp_classifier(spec, 32, &mut model_rng);
+    let initial = flatten_params(&template);
+
+    #[derive(Clone, Copy)]
+    enum Codec {
+        None,
+        Quantize,
+        SparseDelta,
+    }
+
+    let run = |codec: Codec, name: &'static str| -> Result<CompressArm> {
+        let mut clients: Vec<FedAvgClient> = data
+            .clients
+            .iter()
+            .enumerate()
+            .map(|(id, shard)| {
+                let trainer = LocalTrainer::new(Box::new(template.clone()), shard.clone(), 32);
+                FedAvgClient::new(
+                    id,
+                    trainer,
+                    0.05,
+                    0.9,
+                    1,
+                    PrivacyConfig::none(),
+                    StdRng::seed_from_u64(400 + id as u64),
+                )
+            })
+            .collect();
+        let mut w = initial.clone();
+        let mut bytes = 0usize;
+        for _ in 0..rounds {
+            let uploads: Result<Vec<ClientUpload>> =
+                clients.iter_mut().map(|c| c.update(&w)).collect();
+            let uploads = uploads?;
+            let total: usize = uploads.iter().map(|u| u.num_samples).sum();
+            let mut next = vec![0.0f32; w.len()];
+            for u in &uploads {
+                // Encode → account bytes → decode, exactly what the wire
+                // would carry.
+                let recovered: Vec<f32> = match codec {
+                    Codec::None => {
+                        bytes += u.primal.len() * 4;
+                        u.primal.clone()
+                    }
+                    Codec::Quantize => {
+                        let q = quantize_u8(&u.primal);
+                        bytes += q.wire_bytes();
+                        dequantize_u8(&q)
+                    }
+                    Codec::SparseDelta => {
+                        let delta: Vec<f32> = u
+                            .primal
+                            .iter()
+                            .zip(w.iter())
+                            .map(|(z, w)| z - w)
+                            .collect();
+                        let k = delta.len() / 10;
+                        let s = sparsify_top_k(&delta, k.max(1));
+                        bytes += s.wire_bytes();
+                        let dense = densify(&s);
+                        w.iter().zip(dense.iter()).map(|(w, d)| w + d).collect()
+                    }
+                };
+                let weight = u.num_samples as f32 / total as f32;
+                for (n, &z) in next.iter_mut().zip(recovered.iter()) {
+                    *n += weight * z;
+                }
+            }
+            w = next;
+        }
+        let mut t = template.clone();
+        let e = evaluate(&mut t, &w, &data.test, 64)?;
+        Ok(CompressArm {
+            name,
+            upload_bytes: bytes,
+            final_accuracy: e.accuracy,
+        })
+    };
+
+    Ok(vec![
+        run(Codec::None, "none (f32)")?,
+        run(Codec::Quantize, "8-bit quantized")?,
+        run(Codec::SparseDelta, "top-10% delta")?,
+    ])
+}
+
+// ---------------------------------------------------------------------------
+// A6: model size vs communication bottleneck (§V future-work item 4)
+// ---------------------------------------------------------------------------
+
+/// One row of the model-size sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct ModelSizeRow {
+    /// Model parameters.
+    pub params: usize,
+    /// Upload bytes per client per round.
+    pub bytes_per_client: usize,
+    /// Modelled MPI gather time per round (s).
+    pub mpi_secs: f64,
+    /// Modelled gRPC collection time per round (s, jitter-free mean).
+    pub grpc_secs: f64,
+    /// Fraction of the round spent communicating under MPI, assuming the
+    /// §IV-C V100 compute time (communication bottleneck indicator).
+    pub mpi_comm_share: f64,
+}
+
+/// §V item 4: "we will test our framework with large-scale deep neural
+/// network models that require a large amount of data transfer". Sweeps the
+/// model size from MLP-scale to large-transformer-scale and reports where
+/// communication overtakes compute.
+pub fn model_size_sweep(param_counts: &[usize]) -> Vec<ModelSizeRow> {
+    use appfl_comm::cluster::{WorkerLayout, V100};
+    use appfl_comm::netsim::{GrpcLinkModel, MpiGatherModel};
+
+    let layout = WorkerLayout {
+        clients: 203,
+        processes: 203,
+    };
+    let compute = layout.round_compute_time(&V100, 1.0);
+    let mpi = MpiGatherModel::default();
+    let grpc = GrpcLinkModel {
+        jitter_sigma: 0.0, // deterministic sweep
+        ..GrpcLinkModel::default()
+    };
+    param_counts
+        .iter()
+        .map(|&params| {
+            let bytes = params * 4;
+            let mpi_secs = mpi.gather_time(layout.processes, bytes);
+            // 203 uploads over 4 concurrent streams, jitter-free.
+            let grpc_secs = grpc.base_message_time(bytes) * (203.0 / 4.0);
+            ModelSizeRow {
+                params,
+                bytes_per_client: bytes,
+                mpi_secs,
+                grpc_secs,
+                mpi_comm_share: mpi_secs / (mpi_secs + compute),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// A5: decentralized gossip vs centralized server
+// ---------------------------------------------------------------------------
+
+/// One arm of the decentralization ablation.
+#[derive(Debug, Clone, Copy)]
+pub struct GossipArm {
+    /// Mean final test accuracy over nodes (or the single global model).
+    pub final_accuracy: f32,
+    /// Final cross-node disagreement `max_d max_p |z_p[d] − z̄[d]|`
+    /// (0 for the centralized arm, which has one model by construction).
+    pub disagreement: f32,
+}
+
+/// Serverless neighbour-averaging FL (§V item 1: "decentralized
+/// privacy-preserving algorithms that allow the neighboring communication
+/// without the central server") on a ring, versus centralized FedAvg with
+/// the same data, model and round budget. Returns `(centralized, gossip)`.
+pub fn gossip_vs_centralized(rounds: usize) -> Result<(GossipArm, GossipArm)> {
+    use appfl_core::gossip::{gossip_average, Topology};
+
+    let clients = 6;
+    let data = mnist_fed(clients, 360, 90, 71)?;
+    let spec = mnist_spec();
+    let mut model_rng = StdRng::seed_from_u64(12);
+    let template = mlp_classifier(spec, 16, &mut model_rng);
+    let initial = flatten_params(&template);
+
+    let build_clients = || -> Vec<FedAvgClient> {
+        data.clients
+            .iter()
+            .enumerate()
+            .map(|(id, shard)| {
+                let trainer = LocalTrainer::new(Box::new(template.clone()), shard.clone(), 32);
+                FedAvgClient::new(
+                    id,
+                    trainer,
+                    0.05,
+                    0.9,
+                    1,
+                    PrivacyConfig::none(),
+                    StdRng::seed_from_u64(300 + id as u64),
+                )
+            })
+            .collect()
+    };
+
+    // Centralized arm: plain FedAvg.
+    let mut fl_clients = build_clients();
+    let mut w = initial.clone();
+    for _ in 0..rounds {
+        let uploads: Result<Vec<ClientUpload>> =
+            fl_clients.iter_mut().map(|c| c.update(&w)).collect();
+        let uploads = uploads?;
+        let total: usize = uploads.iter().map(|u| u.num_samples).sum();
+        let mut next = vec![0.0f32; w.len()];
+        for u in &uploads {
+            let weight = u.num_samples as f32 / total as f32;
+            for (n, &z) in next.iter_mut().zip(u.primal.iter()) {
+                *n += weight * z;
+            }
+        }
+        w = next;
+    }
+    let mut t = template.clone();
+    let central_eval = evaluate(&mut t, &w, &data.test, 64)?;
+    let centralized = GossipArm {
+        final_accuracy: central_eval.accuracy,
+        disagreement: 0.0,
+    };
+
+    // Gossip arm: every node keeps its own model; each round = local update
+    // from the node's own model, then Metropolis averaging on a ring.
+    let topology = Topology::ring(clients);
+    let mut fl_clients = build_clients();
+    let mut models: Vec<Vec<f32>> = vec![initial; clients];
+    for _ in 0..rounds {
+        let mut trained = Vec::with_capacity(clients);
+        for (client, model) in fl_clients.iter_mut().zip(models.iter()) {
+            trained.push(client.update(model)?.primal);
+        }
+        models = gossip_average(&topology, &trained)?;
+    }
+    // Consensus diagnostics + mean accuracy over node models.
+    let dim = models[0].len();
+    let mut mean = vec![0.0f32; dim];
+    for m in &models {
+        for (a, &b) in mean.iter_mut().zip(m.iter()) {
+            *a += b / clients as f32;
+        }
+    }
+    let disagreement = models
+        .iter()
+        .flat_map(|m| m.iter().zip(mean.iter()).map(|(a, b)| (a - b).abs()))
+        .fold(0.0f32, f32::max);
+    let mut acc_sum = 0.0f32;
+    for m in &models {
+        let mut t = template.clone();
+        acc_sum += evaluate(&mut t, m, &data.test, 64)?.accuracy;
+    }
+    let gossip = GossipArm {
+        final_accuracy: acc_sum / clients as f32,
+        disagreement,
+    };
+    Ok((centralized, gossip))
+}
+
+// ---------------------------------------------------------------------------
+// A3: sync vs async under heterogeneity
+// ---------------------------------------------------------------------------
+
+/// Result of one arm of the sync/async ablation.
+#[derive(Debug, Clone, Copy)]
+pub struct AsyncArm {
+    /// Model updates the server applied within the horizon.
+    pub updates_applied: usize,
+    /// Final test accuracy.
+    pub final_accuracy: f32,
+}
+
+/// Simulates a two-silo federation (A100 + V100 update times from §IV-E) on
+/// a virtual clock for `horizon_secs`, comparing synchronous FedAvg with the
+/// staleness-weighted asynchronous server. Training math is real; only the
+/// clock is virtual.
+pub fn sync_vs_async(horizon_secs: f64) -> Result<(AsyncArm, AsyncArm)> {
+    let data = mnist_fed(4, 240, 80, 41)?;
+    let spec = mnist_spec();
+    // Clients 0,1 run on the A100 silo; 2,3 on the V100 silo.
+    let durations = [
+        A100.secs_per_client_update,
+        A100.secs_per_client_update,
+        V100.secs_per_client_update,
+        V100.secs_per_client_update,
+    ];
+    let build_clients = |template: &appfl_nn::Sequential| -> Vec<FedAvgClient> {
+        data.clients
+            .iter()
+            .enumerate()
+            .map(|(id, shard)| {
+                let trainer = LocalTrainer::new(Box::new(template.clone()), shard.clone(), 32);
+                FedAvgClient::new(
+                    id,
+                    trainer,
+                    0.05,
+                    0.9,
+                    1,
+                    PrivacyConfig::none(),
+                    StdRng::seed_from_u64(70 + id as u64),
+                )
+            })
+            .collect()
+    };
+
+    let mut model_rng = StdRng::seed_from_u64(8);
+    let template = mlp_classifier(spec, 16, &mut model_rng);
+    let initial = flatten_params(&template);
+
+    // Synchronous arm: every round costs the slowest silo's time.
+    let round_cost = durations.iter().copied().fold(0.0f64, f64::max);
+    let sync_rounds = (horizon_secs / round_cost).floor() as usize;
+    let mut clients = build_clients(&template);
+    let mut w = initial.clone();
+    for _ in 0..sync_rounds {
+        let uploads: Result<Vec<ClientUpload>> =
+            clients.iter_mut().map(|c| c.update(&w)).collect();
+        let uploads = uploads?;
+        let total: usize = uploads.iter().map(|u| u.num_samples).sum();
+        let mut next = vec![0.0f32; w.len()];
+        for u in &uploads {
+            let wt = u.num_samples as f32 / total as f32;
+            for (n, &z) in next.iter_mut().zip(u.primal.iter()) {
+                *n += wt * z;
+            }
+        }
+        w = next;
+    }
+    let mut t = template.clone();
+    let sync_eval = evaluate(&mut t, &w, &data.test, 64)?;
+    let sync = AsyncArm {
+        updates_applied: sync_rounds * clients.len(),
+        final_accuracy: sync_eval.accuracy,
+    };
+
+    // Asynchronous arm: event-driven virtual clock.
+    let mut clients = build_clients(&template);
+    let mut server = AsyncFedServer::new(initial, AsyncConfig::default());
+    // (finish_time, client_id, base_version); clients all start at t=0.
+    let mut events: Vec<(f64, usize, u64)> = durations
+        .iter()
+        .enumerate()
+        .map(|(id, &d)| (d, id, 0u64))
+        .collect();
+    let mut applied = 0usize;
+    loop {
+        // Pop the earliest completion.
+        let (idx, &(finish, id, base)) = events
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1 .0.total_cmp(&b.1 .0))
+            .expect("events non-empty");
+        if finish > horizon_secs {
+            break;
+        }
+        let (w_now, _) = server.fetch();
+        let upload = clients[id].update(&w_now)?;
+        server.apply(&upload, base)?;
+        applied += 1;
+        let next_base = server.version();
+        events[idx] = (finish + durations[id], id, next_base);
+    }
+    let mut t = template.clone();
+    let async_eval = evaluate(&mut t, server.global_model(), &data.test, 64)?;
+    let r#async = AsyncArm {
+        updates_applied: applied,
+        final_accuracy: async_eval.accuracy,
+    };
+    Ok((sync, r#async))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iiadmm_halves_iceadmm_traffic_on_the_wire() {
+        let (ii, ice) = comm_bytes(2).unwrap();
+        let ratio = ice.proto_per_round as f64 / ii.proto_per_round as f64;
+        assert!(
+            (1.9..2.1).contains(&ratio),
+            "protobuf ratio {ratio}, expected ≈2"
+        );
+        assert!(ice.raw_per_round == 2 * ii.raw_per_round);
+        assert!(ii.grpc_per_round > ii.proto_per_round); // framing overhead
+    }
+
+    #[test]
+    fn adaptive_rho_changes_rho_and_stays_stable() {
+        // From a deliberately bad ρ0, the controller must actually adapt.
+        let (fixed, adaptive) = adaptive_rho(6, 100.0).unwrap();
+        assert!(fixed.rho_trace.iter().all(|&r| r == 100.0));
+        assert!(
+            adaptive.rho_trace.last().unwrap() != &100.0,
+            "ρ never adapted: {:?}",
+            adaptive.rho_trace
+        );
+        assert!(adaptive.final_accuracy.is_finite());
+        assert_eq!(adaptive.train_loss.len(), 6);
+    }
+
+    #[test]
+    fn async_applies_more_updates_than_sync() {
+        let (sync, asyn) = sync_vs_async(30.0).unwrap();
+        assert!(
+            asyn.updates_applied > sync.updates_applied,
+            "async {} vs sync {}",
+            asyn.updates_applied,
+            sync.updates_applied
+        );
+        assert!(sync.final_accuracy.is_finite() && asyn.final_accuracy.is_finite());
+    }
+
+    #[test]
+    fn compression_shrinks_bytes_and_keeps_learning() {
+        let arms = compression(4).unwrap();
+        let base = &arms[0];
+        for arm in &arms[1..] {
+            assert!(
+                arm.upload_bytes * 3 < base.upload_bytes,
+                "{} only reached {} vs {}",
+                arm.name,
+                arm.upload_bytes,
+                base.upload_bytes
+            );
+            assert!(
+                arm.final_accuracy > 0.2,
+                "{} accuracy {}",
+                arm.name,
+                arm.final_accuracy
+            );
+        }
+    }
+
+    #[test]
+    fn comm_share_grows_with_model_size() {
+        let rows = model_size_sweep(&[100_000, 25_000_000, 350_000_000]);
+        assert!(rows[0].mpi_comm_share < rows[1].mpi_comm_share);
+        assert!(rows[1].mpi_comm_share < rows[2].mpi_comm_share);
+        // Very large models become communication-bound even under MPI.
+        assert!(rows[2].mpi_comm_share > 0.3, "share {}", rows[2].mpi_comm_share);
+        // gRPC stays slower than MPI at every size.
+        assert!(rows.iter().all(|r| r.grpc_secs > r.mpi_secs));
+    }
+
+    #[test]
+    fn gossip_learns_and_approaches_consensus() {
+        let (central, gossip) = gossip_vs_centralized(6).unwrap();
+        assert!(central.final_accuracy > 0.3, "central {}", central.final_accuracy);
+        // Serverless arm learns well above 10-class chance…
+        assert!(gossip.final_accuracy > 0.25, "gossip {}", gossip.final_accuracy);
+        // …and the ring keeps node models reasonably close.
+        assert!(gossip.disagreement.is_finite());
+    }
+
+    #[test]
+    fn leakage_attack_succeeds_without_dp_and_fails_with_it() {
+        let rows = gradient_leakage(&[0.5, f64::INFINITY], 5).unwrap();
+        let strong = rows[0].error;
+        let none = rows[1].error;
+        assert!(none < 1e-4, "no-DP reconstruction error {none}");
+        assert!(strong > 0.5, "DP reconstruction error only {strong}");
+    }
+}

@@ -1,0 +1,237 @@
+//! Fig. 2 — test accuracy under ε̄ ∈ {3, 5, 10, ∞} for FedAvg, ICEADMM and
+//! IIADMM on the four benchmarks.
+//!
+//! The paper's settings (§IV-B): T = 50 rounds, L = 10 local steps, batch
+//! cap 64, four clients for MNIST/CIFAR10/CoronaHack and 203 writers for
+//! FEMNIST. The grid is 3 algorithms × 4 datasets × 4 budgets = 48 runs;
+//! [`Fig2Scale::quick`] shrinks corpus sizes and rounds so the whole grid
+//! finishes in minutes on a laptop while preserving the figure's shape
+//! (accuracy degrades monotonically as ε̄ decreases, for every algorithm).
+
+use appfl_core::algorithms::build_federation;
+use appfl_core::config::{AlgorithmConfig, FedConfig};
+use appfl_core::metrics::History;
+use appfl_core::runner::serial::SerialRunner;
+use appfl_data::federated::{build_benchmark, Benchmark};
+use appfl_data::DataSpec;
+use appfl_nn::models::{cnn_classifier, mlp_classifier, InputSpec};
+use appfl_nn::module::Module;
+use appfl_privacy::PrivacyConfig;
+
+/// Which model architecture the grid trains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelKind {
+    /// The paper's CNN (2×conv + pool + ReLU + 2×linear).
+    Cnn,
+    /// A small MLP (fast CI/smoke runs).
+    Mlp,
+}
+
+/// Grid scale knobs.
+#[derive(Debug, Clone)]
+pub struct Fig2Scale {
+    /// Training samples per benchmark corpus.
+    pub train_size: usize,
+    /// Test samples.
+    pub test_size: usize,
+    /// Clients for the IID benchmarks (paper: 4).
+    pub clients: usize,
+    /// Writers for FEMNIST (paper: 203).
+    pub femnist_writers: usize,
+    /// Communication rounds T (paper: 50).
+    pub rounds: usize,
+    /// Local steps L (paper: 10).
+    pub local_steps: usize,
+    /// Batch cap (paper: 64).
+    pub batch_size: usize,
+    /// Privacy budgets to sweep (paper: {3, 5, 10, ∞}).
+    pub epsilons: Vec<f64>,
+    /// Model architecture.
+    pub model: ModelKind,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Fig2Scale {
+    /// A minutes-scale grid preserving the figure's shape.
+    pub fn quick() -> Self {
+        Fig2Scale {
+            train_size: 400,
+            test_size: 160,
+            clients: 4,
+            femnist_writers: 12,
+            rounds: 10,
+            local_steps: 2,
+            batch_size: 32,
+            epsilons: vec![3.0, 5.0, 10.0, f64::INFINITY],
+            model: ModelKind::Mlp,
+            seed: 42,
+        }
+    }
+
+    /// The paper's configuration (§IV-A/B). Heavy: expect hours on CPU.
+    pub fn paper() -> Self {
+        Fig2Scale {
+            train_size: 36_699,
+            test_size: 4_176,
+            clients: 4,
+            femnist_writers: 203,
+            rounds: 50,
+            local_steps: 10,
+            batch_size: 64,
+            epsilons: vec![3.0, 5.0, 10.0, f64::INFINITY],
+            model: ModelKind::Cnn,
+            seed: 42,
+        }
+    }
+
+    /// The three algorithms with hyper-parameters that train stably at this
+    /// scale (the paper states its hyper-parameters were not fine-tuned).
+    pub fn algorithms(&self) -> Vec<AlgorithmConfig> {
+        vec![
+            AlgorithmConfig::FedAvg {
+                lr: 0.05,
+                momentum: 0.9,
+            },
+            AlgorithmConfig::IceAdmm {
+                rho: 10.0,
+                zeta: 10.0,
+            },
+            AlgorithmConfig::IiAdmm {
+                rho: 10.0,
+                zeta: 10.0,
+            },
+        ]
+    }
+
+    fn build_model(&self, spec: DataSpec, rng: &mut rand::rngs::StdRng) -> Box<dyn Module> {
+        let ispec = InputSpec {
+            channels: spec.channels,
+            height: spec.height,
+            width: spec.width,
+            classes: spec.classes,
+        };
+        match self.model {
+            ModelKind::Cnn => Box::new(cnn_classifier(ispec, 8, 16, 64, rng)),
+            ModelKind::Mlp => Box::new(mlp_classifier(ispec, 32, rng)),
+        }
+    }
+}
+
+/// Runs a single grid cell.
+pub fn run_cell(
+    benchmark: Benchmark,
+    algorithm: AlgorithmConfig,
+    epsilon: f64,
+    scale: &Fig2Scale,
+) -> appfl_tensor::Result<History> {
+    let clients = match benchmark {
+        Benchmark::Femnist => scale.femnist_writers,
+        _ => scale.clients,
+    };
+    let data = build_benchmark(
+        benchmark,
+        clients,
+        scale.train_size,
+        scale.test_size,
+        scale.seed,
+    )?;
+    let privacy = if epsilon.is_finite() {
+        PrivacyConfig::laplace(epsilon, 1.0)
+    } else {
+        PrivacyConfig::none()
+    };
+    let config = FedConfig {
+        algorithm,
+        rounds: scale.rounds,
+        local_steps: scale.local_steps,
+        batch_size: scale.batch_size,
+        privacy,
+        seed: scale.seed,
+    };
+    let spec = data.spec;
+    let test = data.test.clone();
+    let scale_ref = scale.clone();
+    let fed = build_federation(config, &data, move |rng| scale_ref.build_model(spec, rng));
+    let mut runner = SerialRunner::new(fed, test, benchmark.name());
+    runner.run()
+}
+
+/// Runs the full grid, returning one [`History`] per cell in
+/// (dataset-major, algorithm, ε̄) order.
+pub fn run_grid(scale: &Fig2Scale) -> appfl_tensor::Result<Vec<History>> {
+    let mut out = Vec::new();
+    for benchmark in Benchmark::all() {
+        for algorithm in scale.algorithms() {
+            for &epsilon in &scale.epsilons {
+                out.push(run_cell(benchmark, algorithm, epsilon, scale)?);
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_scale() -> Fig2Scale {
+        Fig2Scale {
+            train_size: 80,
+            test_size: 40,
+            clients: 2,
+            femnist_writers: 3,
+            rounds: 2,
+            local_steps: 1,
+            batch_size: 16,
+            epsilons: vec![5.0, f64::INFINITY],
+            model: ModelKind::Mlp,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn single_cell_produces_history() {
+        let scale = smoke_scale();
+        let h = run_cell(
+            Benchmark::Mnist,
+            AlgorithmConfig::FedAvg {
+                lr: 0.05,
+                momentum: 0.9,
+            },
+            f64::INFINITY,
+            &scale,
+        )
+        .unwrap();
+        assert_eq!(h.rounds.len(), 2);
+        assert_eq!(h.dataset, "MNIST");
+        assert_eq!(h.algorithm, "FedAvg");
+    }
+
+    #[test]
+    fn grid_covers_every_combination() {
+        let mut scale = smoke_scale();
+        scale.epsilons = vec![f64::INFINITY];
+        let grid = run_grid(&scale).unwrap();
+        // 4 datasets × 3 algorithms × 1 ε.
+        assert_eq!(grid.len(), 12);
+        let femnist: Vec<_> = grid.iter().filter(|h| h.dataset == "FEMNIST").collect();
+        assert_eq!(femnist.len(), 3);
+    }
+
+    #[test]
+    fn cnn_cell_runs() {
+        let mut scale = smoke_scale();
+        scale.model = ModelKind::Cnn;
+        scale.train_size = 24;
+        scale.test_size = 12;
+        let h = run_cell(
+            Benchmark::Mnist,
+            AlgorithmConfig::IiAdmm { rho: 10.0, zeta: 10.0 },
+            f64::INFINITY,
+            &scale,
+        )
+        .unwrap();
+        assert_eq!(h.rounds.len(), 2);
+    }
+}

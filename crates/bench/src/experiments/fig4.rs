@@ -1,0 +1,143 @@
+//! Fig. 4 — communication times of gRPC and MPI on FEMNIST (§IV-D).
+//!
+//! 203 clients on 34 nodes upload their local models each round. Fig. 4a
+//! plots cumulative communication time over 49 rounds for MPI (RDMA) and
+//! gRPC (no RDMA, protobuf + staging copies); the paper reports MPI up to
+//! ~10× faster. Fig. 4b box-plots the per-round gRPC communication time of
+//! clients {1, 5, 100, 150, 200}, spanning a ~30× range due to network
+//! traffic.
+
+use appfl_comm::netsim::{
+    five_number_summary, CommSimulation, FiveNumber, GrpcLinkModel, MpiGatherModel,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Paper round count (50 rounds minus the compile-time first round).
+pub const ROUNDS: usize = 49;
+
+/// Client ids sampled in Fig. 4b.
+pub const SAMPLED_CLIENTS: [usize; 5] = [1, 5, 100, 150, 200];
+
+/// Output of the Fig. 4 simulation.
+#[derive(Debug, Clone)]
+pub struct Fig4Result {
+    /// Cumulative MPI comm time after each round (s).
+    pub cumulative_mpi: Vec<f64>,
+    /// Cumulative gRPC comm time after each round (s).
+    pub cumulative_grpc: Vec<f64>,
+    /// Per-sampled-client five-number summaries over the 49 rounds.
+    pub boxplots: Vec<(usize, FiveNumber)>,
+    /// Max/min per-round time ratio across all clients and rounds.
+    pub max_spread: f64,
+}
+
+/// The paper's §IV-D configuration.
+pub fn paper_simulation() -> CommSimulation {
+    CommSimulation {
+        mpi: MpiGatherModel::default(),
+        grpc: GrpcLinkModel::default(),
+        clients: 203,
+        processes: 34, // 34 Summit nodes
+        concurrency: 4,
+        bytes_per_client: 2_400_000,
+    }
+}
+
+/// Runs the simulation with a fixed seed.
+pub fn run(sim: &CommSimulation, rounds: usize, seed: u64) -> Fig4Result {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Per-client per-round gRPC sample matrix drives both sub-figures so
+    // they are mutually consistent.
+    let per_client: Vec<Vec<f64>> = (0..rounds)
+        .map(|_| sim.grpc_client_times(&mut rng))
+        .collect();
+
+    let mut cumulative_mpi = Vec::with_capacity(rounds);
+    let mut cumulative_grpc = Vec::with_capacity(rounds);
+    let per_proc = sim.per_process_bytes();
+    let mut acc_mpi = 0.0f64;
+    let mut acc_grpc = 0.0f64;
+    for round_times in &per_client {
+        acc_mpi += sim.mpi.gather_time(sim.processes, per_proc);
+        // Greedy schedule this round's uploads on the concurrent streams.
+        let lanes = sim.concurrency.max(1);
+        let mut busy = vec![0.0f64; lanes];
+        for &t in round_times {
+            let idx = busy
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            busy[idx] += t;
+        }
+        acc_grpc += busy.iter().copied().fold(0.0, f64::max);
+        cumulative_mpi.push(acc_mpi);
+        cumulative_grpc.push(acc_grpc);
+    }
+
+    let boxplots = SAMPLED_CLIENTS
+        .iter()
+        .map(|&c| {
+            let series: Vec<f64> = per_client.iter().map(|r| r[c]).collect();
+            (c, five_number_summary(&series).expect("non-empty series"))
+        })
+        .collect();
+
+    let max_spread = per_client
+        .iter()
+        .flat_map(|r| r.iter().copied())
+        .fold((f64::INFINITY, 0.0f64), |(lo, hi), t| (lo.min(t), hi.max(t)));
+    let max_spread = max_spread.1 / max_spread.0;
+
+    Fig4Result {
+        cumulative_mpi,
+        cumulative_grpc,
+        boxplots,
+        max_spread,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cumulative_times_are_monotone() {
+        let r = run(&paper_simulation(), 10, 1);
+        for w in r.cumulative_mpi.windows(2).chain(r.cumulative_grpc.windows(2)) {
+            assert!(w[1] >= w[0]);
+        }
+        assert_eq!(r.cumulative_mpi.len(), 10);
+    }
+
+    #[test]
+    fn grpc_trails_mpi_by_roughly_an_order_of_magnitude() {
+        let r = run(&paper_simulation(), ROUNDS, 7);
+        let ratio = r.cumulative_grpc.last().unwrap() / r.cumulative_mpi.last().unwrap();
+        assert!(
+            (4.0..30.0).contains(&ratio),
+            "cumulative gRPC/MPI ratio {ratio} (paper: up to ~10×)"
+        );
+    }
+
+    #[test]
+    fn per_client_spread_matches_fig4b() {
+        let r = run(&paper_simulation(), ROUNDS, 3);
+        // The paper observes ~30× between a client's fastest and slowest
+        // rounds; across all clients the spread is at least that.
+        assert!(r.max_spread > 10.0, "spread {}", r.max_spread);
+        assert_eq!(r.boxplots.len(), SAMPLED_CLIENTS.len());
+        for (_, f) in &r.boxplots {
+            assert!(f.min <= f.q1 && f.q1 <= f.median && f.median <= f.q3 && f.q3 <= f.max);
+        }
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let a = run(&paper_simulation(), 5, 11);
+        let b = run(&paper_simulation(), 5, 11);
+        assert_eq!(a.cumulative_grpc, b.cumulative_grpc);
+    }
+}

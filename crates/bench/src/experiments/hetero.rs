@@ -1,0 +1,77 @@
+//! §IV-E — impact of heterogeneous architectures.
+//!
+//! "The local update on one A100 GPU is faster than that on one V100 GPU by
+//! a factor of 1.64 (6.96 seconds vs. 4.24 seconds)." This driver
+//! reproduces the comparison and quantifies the synchronous-aggregation
+//! idle time it implies — the motivation for the asynchronous extension.
+
+use appfl_comm::cluster::{GpuModel, HeterogeneousPair, A100, V100};
+
+/// One device's line in the report.
+#[derive(Debug, Clone, Copy)]
+pub struct DeviceRow {
+    /// Device model.
+    pub gpu: GpuModel,
+    /// Seconds for one client local update.
+    pub update_secs: f64,
+}
+
+/// Heterogeneity summary.
+#[derive(Debug, Clone)]
+pub struct HeteroResult {
+    /// Per-device update times.
+    pub devices: Vec<DeviceRow>,
+    /// A100-over-V100 speed ratio (paper: 1.64).
+    pub speed_ratio: f64,
+    /// Synchronous round time with one client per silo (s).
+    pub sync_round_secs: f64,
+    /// Idle seconds wasted on the fast silo per synchronous round.
+    pub idle_secs: f64,
+    /// Idle time as a share of the round.
+    pub idle_share: f64,
+}
+
+/// Runs the §IV-E comparison with `clients_each` clients per silo.
+pub fn run(clients_each: usize) -> HeteroResult {
+    let pair = HeterogeneousPair {
+        fast: A100,
+        slow: V100,
+    };
+    let (round, idle) = pair.sync_round(clients_each, 1.0);
+    HeteroResult {
+        devices: vec![
+            DeviceRow {
+                gpu: A100,
+                update_secs: A100.update_time(clients_each, 1.0),
+            },
+            DeviceRow {
+                gpu: V100,
+                update_secs: V100.update_time(clients_each, 1.0),
+            },
+        ],
+        speed_ratio: A100.speedup_over(&V100),
+        sync_round_secs: round,
+        idle_secs: idle,
+        idle_share: idle / round,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_the_164x_ratio() {
+        let r = run(1);
+        assert!((r.speed_ratio - 1.64).abs() < 0.01);
+        assert!((r.sync_round_secs - 6.96).abs() < 1e-9);
+        assert!((r.idle_secs - 2.72).abs() < 1e-9); // 6.96 − 4.24
+        assert!((r.idle_share - 2.72 / 6.96).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_scales_with_clients() {
+        let r = run(10);
+        assert!((r.idle_secs - 27.2).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,8 @@
+//! Experiment drivers, one module per paper artefact.
+
+pub mod ablations;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod hetero;
+pub mod table1;

@@ -1,0 +1,22 @@
+//! # appfl-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! APPFL paper. Each experiment lives in [`experiments`] as a library
+//! function (so tests can exercise it at reduced scale) with a thin binary
+//! wrapper in `src/bin/`:
+//!
+//! | target | reproduces |
+//! |---|---|
+//! | `table1` | Table I — framework feature comparison |
+//! | `fig2` | Fig. 2 — accuracy vs rounds, 3 algorithms × 4 datasets × ε̄ ∈ {3,5,10,∞} |
+//! | `fig3` | Fig. 3 — strong scaling + MPI.gather() share on FEMNIST |
+//! | `fig4` | Fig. 4 — cumulative MPI vs gRPC time, gRPC box plots |
+//! | `hetero` | §IV-E — A100 vs V100 load imbalance |
+//! | `ablation_comm` | IIADMM vs ICEADMM bytes/round (headline saving) |
+//! | `ablation_rho` | adaptive ρ vs fixed ρ (future-work item 2) |
+//! | `ablation_async` | sync vs async aggregation under heterogeneity (item 1) |
+//!
+//! Criterion micro-benchmarks for the kernels live in `benches/`.
+
+pub mod experiments;
+pub mod report;

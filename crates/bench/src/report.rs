@@ -1,0 +1,97 @@
+//! Plain-text table/series rendering for the figure binaries.
+//!
+//! The binaries print the same rows/series the paper plots, so a reader can
+//! compare shapes directly against the figures (EXPERIMENTS.md records one
+//! captured run).
+
+/// Renders a table: header row plus aligned data rows.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row.iter()) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths.iter())
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let headers: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&headers, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats seconds with adaptive precision.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2}s")
+    } else if s >= 1e-3 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{:.1}µs", s * 1e6)
+    }
+}
+
+/// Formats a fraction as a percentage.
+pub fn fmt_pct(f: f64) -> String {
+    format!("{:.1}%", f * 100.0)
+}
+
+/// Formats a byte count with binary units.
+pub fn fmt_bytes(b: usize) -> String {
+    const UNITS: [&str; 4] = ["B", "KiB", "MiB", "GiB"];
+    let mut v = b as f64;
+    let mut unit = 0;
+    while v >= 1024.0 && unit + 1 < UNITS.len() {
+        v /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{b}B")
+    } else {
+        format!("{v:.2}{}", UNITS[unit])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = render_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[3].contains("long-name"));
+    }
+
+    #[test]
+    fn unit_formatting() {
+        assert_eq!(fmt_secs(2.5), "2.50s");
+        assert_eq!(fmt_secs(0.0025), "2.50ms");
+        assert_eq!(fmt_secs(2.5e-5), "25.0µs");
+        assert_eq!(fmt_pct(0.125), "12.5%");
+        assert_eq!(fmt_bytes(512), "512B");
+        assert_eq!(fmt_bytes(2048), "2.00KiB");
+        assert_eq!(fmt_bytes(3 * 1024 * 1024), "3.00MiB");
+    }
+}

@@ -1,0 +1,166 @@
+//! Device and cluster layout models (§IV-C strong scaling, §IV-E
+//! heterogeneity).
+//!
+//! The paper's absolute numbers come from V100s (Summit) and A100s (Swing);
+//! this module encodes the *relative* throughput the paper reports — one
+//! FEMNIST local update takes 6.96 s on a V100 vs 4.24 s on an A100, a 1.64×
+//! gap — plus the worker layout used in the Summit study (203 clients packed
+//! onto `W` MPI processes, one GPU each).
+
+use serde::{Deserialize, Serialize};
+
+/// A GPU model with a calibrated local-update time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuModel {
+    /// Device name.
+    pub name: &'static str,
+    /// Seconds for one client's full local update (L epochs) on the
+    /// FEMNIST reference workload.
+    pub secs_per_client_update: f64,
+}
+
+/// NVIDIA V100 (Summit): 6.96 s per client local update (§IV-E).
+pub const V100: GpuModel = GpuModel {
+    name: "V100",
+    secs_per_client_update: 6.96,
+};
+
+/// NVIDIA A100 (Swing): 4.24 s per client local update — 1.64× faster.
+pub const A100: GpuModel = GpuModel {
+    name: "A100",
+    secs_per_client_update: 4.24,
+};
+
+impl GpuModel {
+    /// Time to run local updates for `clients` clients serially on this
+    /// device, scaled by relative workload `work` (1.0 = the reference
+    /// FEMNIST client).
+    pub fn update_time(&self, clients: usize, work: f64) -> f64 {
+        self.secs_per_client_update * clients as f64 * work
+    }
+
+    /// Speed ratio versus another device (>1 means `self` is faster).
+    pub fn speedup_over(&self, other: &GpuModel) -> f64 {
+        other.secs_per_client_update / self.secs_per_client_update
+    }
+}
+
+/// The Summit layout: `clients` FL clients divided over `processes` worker
+/// processes (one GPU each), plus one reserved server process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkerLayout {
+    /// Total FL clients (203 in the paper's FEMNIST study).
+    pub clients: usize,
+    /// Worker processes sharing them.
+    pub processes: usize,
+}
+
+impl WorkerLayout {
+    /// Clients handled by worker `rank` (near-equal split, like the paper's
+    /// "equally divided" assignment).
+    pub fn clients_of(&self, rank: usize) -> usize {
+        assert!(rank < self.processes, "rank out of range");
+        let base = self.clients / self.processes;
+        let extra = self.clients % self.processes;
+        base + usize::from(rank < extra)
+    }
+
+    /// The busiest worker's client count — the round's critical path, since
+    /// a worker runs its clients serially.
+    pub fn max_clients_per_process(&self) -> usize {
+        self.clients.div_ceil(self.processes)
+    }
+
+    /// Wall time for one round of local updates on `gpu` (workers run in
+    /// parallel; each runs its clients serially).
+    pub fn round_compute_time(&self, gpu: &GpuModel, work: f64) -> f64 {
+        gpu.update_time(self.max_clients_per_process(), work)
+    }
+}
+
+/// A heterogeneous two-silo federation (§IV-E): one institution on A100s,
+/// another on V100s. Computes the per-round load imbalance.
+#[derive(Debug, Clone, Copy)]
+pub struct HeterogeneousPair {
+    /// First silo's device.
+    pub fast: GpuModel,
+    /// Second silo's device.
+    pub slow: GpuModel,
+}
+
+impl HeterogeneousPair {
+    /// With synchronous aggregation the round takes the slower silo's time;
+    /// returns `(round_time, idle_time_on_fast_silo)`.
+    pub fn sync_round(&self, clients_each: usize, work: f64) -> (f64, f64) {
+        let tf = self.fast.update_time(clients_each, work);
+        let ts = self.slow.update_time(clients_each, work);
+        let round = tf.max(ts);
+        (round, round - tf.min(ts))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a100_v100_ratio_matches_paper() {
+        let r = A100.speedup_over(&V100);
+        assert!((r - 1.64).abs() < 0.01, "ratio {r}");
+        assert!((V100.secs_per_client_update - 6.96).abs() < 1e-9);
+        assert!((A100.secs_per_client_update - 4.24).abs() < 1e-9);
+    }
+
+    #[test]
+    fn layout_splits_near_equally() {
+        let l = WorkerLayout {
+            clients: 203,
+            processes: 5,
+        };
+        let total: usize = (0..5).map(|r| l.clients_of(r)).sum();
+        assert_eq!(total, 203);
+        assert_eq!(l.max_clients_per_process(), 41);
+        for r in 0..5 {
+            assert!(l.clients_of(r) == 40 || l.clients_of(r) == 41);
+        }
+    }
+
+    #[test]
+    fn compute_time_scales_with_processes() {
+        let work = 1.0;
+        let t5 = WorkerLayout {
+            clients: 203,
+            processes: 5,
+        }
+        .round_compute_time(&V100, work);
+        let t203 = WorkerLayout {
+            clients: 203,
+            processes: 203,
+        }
+        .round_compute_time(&V100, work);
+        // Perfect compute scaling: 41 clients vs 1 client per process.
+        assert!((t5 / t203 - 41.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heterogeneous_round_is_bound_by_slow_silo() {
+        let pair = HeterogeneousPair {
+            fast: A100,
+            slow: V100,
+        };
+        let (round, idle) = pair.sync_round(2, 1.0);
+        assert!((round - 13.92).abs() < 1e-9); // 2 × 6.96
+        assert!((idle - (13.92 - 8.48)).abs() < 1e-9);
+        assert!(idle > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rank_bounds_checked() {
+        WorkerLayout {
+            clients: 10,
+            processes: 2,
+        }
+        .clients_of(2);
+    }
+}

@@ -1,0 +1,36 @@
+//! # appfl-comm
+//!
+//! Communication substrates for appfl-rs, standing in for the two protocols
+//! the paper implements (§II-A.3): **MPI** for cluster simulation and
+//! **gRPC** for heterogeneous cross-silo deployments — plus the MQTT-style
+//! publish/subscribe layer the paper lists as planned work.
+//!
+//! Layers, bottom-up:
+//!
+//! * [`wire`] — a from-scratch Protocol Buffers **wire-format** codec
+//!   (varints, zigzag, length-delimited fields) and the message schema a
+//!   gRPC deployment of APPFL exchanges (tensors, jobs, learning results).
+//!   Built because the paper attributes gRPC's 10× slowdown partly to
+//!   protobuf serialisation; we need a real serialiser to measure.
+//! * [`transport`] — the [`transport::Communicator`] trait with collective
+//!   operations (`gather`, `broadcast`, `barrier`) in the image of
+//!   `MPI.gather()`; an in-process channel implementation runs real
+//!   multi-threaded federations, and a gRPC-style framing wrapper adds
+//!   protobuf encode/decode plus host-staging copies on every message.
+//! * [`netsim`] — a deterministic virtual-clock cost model for network
+//!   timing studies (Figs. 3 and 4): an RDMA/InfiniBand-like link model and
+//!   a gRPC/TCP-like model with serialisation cost, copy cost and
+//!   heavy-tailed round-to-round jitter.
+//! * [`cluster`] — device throughput models (A100 vs V100, §IV-E) and the
+//!   worker-process layout used for the Summit strong-scaling study.
+//! * [`pubsub`] — an in-process MQTT-like broker (future-work extension).
+
+pub mod cluster;
+pub mod compress;
+pub mod netsim;
+pub mod pubsub;
+pub mod rpc;
+pub mod transport;
+pub mod wire;
+
+pub use transport::{Communicator, InProcNetwork};

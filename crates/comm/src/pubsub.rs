@@ -1,0 +1,165 @@
+//! In-process MQTT-style publish/subscribe broker.
+//!
+//! §II-A.3: "we plan to support MQTT, a lightweight, publish-subscribe
+//! network protocol that transports messages between devices." This module
+//! implements that planned layer as an in-process broker: topics, QoS-0
+//! delivery (fire-and-forget fan-out), retained messages, and wildcard-free
+//! exact-topic matching — sufficient for cross-device FL experiments where
+//! many clients subscribe to a `global-model` topic and publish to
+//! `updates/<id>`.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A subscription handle yielding `(topic, payload)` pairs.
+pub struct Subscription {
+    rx: Receiver<TopicMessage>,
+}
+
+impl Subscription {
+    /// Blocks until the next message on any subscribed topic.
+    pub fn recv(&self) -> Option<(String, Vec<u8>)> {
+        self.rx.recv().ok()
+    }
+
+    /// Non-blocking poll.
+    pub fn try_recv(&self) -> Option<(String, Vec<u8>)> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// A published message: `(topic, payload)`.
+type TopicMessage = (String, Vec<u8>);
+
+#[derive(Default)]
+struct BrokerState {
+    subscribers: HashMap<String, Vec<Sender<TopicMessage>>>,
+    retained: HashMap<String, Vec<u8>>,
+}
+
+/// An MQTT-like broker: QoS-0 fan-out with optional retained messages.
+///
+/// ```
+/// use appfl_comm::pubsub::Broker;
+/// let broker = Broker::new();
+/// broker.publish_retained("fl/global", vec![1, 2, 3]);
+/// // A late subscriber still receives the retained model immediately.
+/// let device = broker.subscribe("fl/global");
+/// assert_eq!(device.recv().unwrap().1, vec![1, 2, 3]);
+/// ```
+#[derive(Clone, Default)]
+pub struct Broker {
+    state: Arc<Mutex<BrokerState>>,
+}
+
+impl Broker {
+    /// A fresh broker.
+    pub fn new() -> Self {
+        Broker::default()
+    }
+
+    /// Subscribes to an exact topic. If a retained message exists it is
+    /// delivered immediately (MQTT retained-message semantics).
+    pub fn subscribe(&self, topic: &str) -> Subscription {
+        let (tx, rx) = unbounded();
+        let mut state = self.state.lock();
+        if let Some(retained) = state.retained.get(topic) {
+            let _ = tx.send((topic.to_string(), retained.clone()));
+        }
+        state
+            .subscribers
+            .entry(topic.to_string())
+            .or_default()
+            .push(tx);
+        Subscription { rx }
+    }
+
+    /// Publishes to a topic, fanning out to current subscribers. Returns the
+    /// number of subscribers reached.
+    pub fn publish(&self, topic: &str, payload: Vec<u8>) -> usize {
+        self.publish_inner(topic, payload, false)
+    }
+
+    /// Publishes with the retain flag: late subscribers receive the last
+    /// retained payload on subscribe.
+    pub fn publish_retained(&self, topic: &str, payload: Vec<u8>) -> usize {
+        self.publish_inner(topic, payload, true)
+    }
+
+    fn publish_inner(&self, topic: &str, payload: Vec<u8>, retain: bool) -> usize {
+        let mut state = self.state.lock();
+        if retain {
+            state.retained.insert(topic.to_string(), payload.clone());
+        }
+        let mut delivered = 0;
+        if let Some(subs) = state.subscribers.get_mut(topic) {
+            // Drop senders whose subscription was dropped (QoS 0: no retry).
+            subs.retain(|tx| {
+                let ok = tx.send((topic.to_string(), payload.clone())).is_ok();
+                delivered += usize::from(ok);
+                ok
+            });
+        }
+        delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fan_out_to_multiple_subscribers() {
+        let broker = Broker::new();
+        let a = broker.subscribe("global-model");
+        let b = broker.subscribe("global-model");
+        let n = broker.publish("global-model", vec![1, 2]);
+        assert_eq!(n, 2);
+        assert_eq!(a.recv().unwrap().1, vec![1, 2]);
+        assert_eq!(b.recv().unwrap().1, vec![1, 2]);
+    }
+
+    #[test]
+    fn topics_are_isolated() {
+        let broker = Broker::new();
+        let a = broker.subscribe("updates/1");
+        broker.publish("updates/2", vec![9]);
+        assert!(a.try_recv().is_none());
+    }
+
+    #[test]
+    fn retained_message_reaches_late_subscriber() {
+        let broker = Broker::new();
+        broker.publish_retained("global-model", vec![7]);
+        let late = broker.subscribe("global-model");
+        assert_eq!(late.recv().unwrap().1, vec![7]);
+    }
+
+    #[test]
+    fn dropped_subscribers_are_pruned() {
+        let broker = Broker::new();
+        let a = broker.subscribe("t");
+        drop(a);
+        assert_eq!(broker.publish("t", vec![1]), 0);
+    }
+
+    #[test]
+    fn publish_without_subscribers_is_ok() {
+        let broker = Broker::new();
+        assert_eq!(broker.publish("nobody", vec![0]), 0);
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let broker = Broker::new();
+        let sub = broker.subscribe("work");
+        let b2 = broker.clone();
+        let h = std::thread::spawn(move || {
+            b2.publish("work", vec![42]);
+        });
+        assert_eq!(sub.recv().unwrap().1, vec![42]);
+        h.join().unwrap();
+    }
+}

@@ -1,0 +1,318 @@
+//! Request/response RPC layer — the analogue of APPFL's gRPC *service*.
+//!
+//! The reference framework exposes a gRPC servicer with unary methods the
+//! clients call: fetch the current global weights, upload learning results,
+//! signal completion. This module provides that call surface over any
+//! [`Communicator`]: requests and responses are protobuf messages prefixed
+//! with a one-byte method tag, and the server multiplexes clients with
+//! [`Communicator::recv_any`]. Unlike the collective-style runner (where
+//! the server *pushes* models), this is the pull-based flow of a real
+//! cross-silo deployment: clients poll whenever they are ready, which is
+//! also what makes asynchronous aggregation natural.
+
+use crate::transport::{CommError, Communicator};
+use crate::wire::messages::GlobalWeights;
+use crate::wire::{JobDone, LearningResults, WeightRequest};
+
+/// Method tags on the wire (one byte before the protobuf payload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Method {
+    /// `GetWeight(WeightRequest) -> GlobalWeights`.
+    GetWeight = 1,
+    /// `SendResults(LearningResults) -> Ack`.
+    SendResults = 2,
+    /// `Done(JobDone) -> Ack`.
+    Done = 3,
+}
+
+impl Method {
+    fn from_u8(v: u8) -> Option<Method> {
+        match v {
+            1 => Some(Method::GetWeight),
+            2 => Some(Method::SendResults),
+            3 => Some(Method::Done),
+            _ => None,
+        }
+    }
+}
+
+/// A decoded client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Fetch the global model.
+    GetWeight(WeightRequest),
+    /// Upload one round's results.
+    SendResults(Box<LearningResults>),
+    /// Client is finished.
+    Done(JobDone),
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The global model (reply to `GetWeight`).
+    Weights(Box<GlobalWeights>),
+    /// Acknowledgement (reply to `SendResults`/`Done`).
+    Ack {
+        /// Whether the server accepted the message.
+        ok: bool,
+    },
+}
+
+fn frame(tag: u8, body: Vec<u8>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(body.len() + 1);
+    out.push(tag);
+    out.extend_from_slice(&body);
+    out
+}
+
+impl Request {
+    /// Encodes with the method tag.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Request::GetWeight(m) => frame(Method::GetWeight as u8, m.encode()),
+            Request::SendResults(m) => frame(Method::SendResults as u8, m.encode()),
+            Request::Done(m) => frame(Method::Done as u8, m.encode()),
+        }
+    }
+
+    /// Decodes a tagged request.
+    pub fn decode(buf: &[u8]) -> Result<Request, CommError> {
+        let (&tag, body) = buf
+            .split_first()
+            .ok_or_else(|| CommError::Frame("empty RPC frame".into()))?;
+        let method =
+            Method::from_u8(tag).ok_or_else(|| CommError::Frame(format!("bad method tag {tag}")))?;
+        let err = |e: crate::wire::WireError| CommError::Frame(e.to_string());
+        Ok(match method {
+            Method::GetWeight => Request::GetWeight(WeightRequest::decode(body).map_err(err)?),
+            Method::SendResults => {
+                Request::SendResults(Box::new(LearningResults::decode(body).map_err(err)?))
+            }
+            Method::Done => Request::Done(JobDone::decode(body).map_err(err)?),
+        })
+    }
+}
+
+/// Response tags: 1 = weights, 2 = ack-ok, 3 = ack-fail.
+impl Response {
+    /// Encodes with a response tag.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Response::Weights(w) => frame(1, w.encode()),
+            Response::Ack { ok: true } => vec![2],
+            Response::Ack { ok: false } => vec![3],
+        }
+    }
+
+    /// Decodes a tagged response.
+    pub fn decode(buf: &[u8]) -> Result<Response, CommError> {
+        let (&tag, body) = buf
+            .split_first()
+            .ok_or_else(|| CommError::Frame("empty RPC frame".into()))?;
+        match tag {
+            1 => Ok(Response::Weights(Box::new(
+                GlobalWeights::decode(body).map_err(|e| CommError::Frame(e.to_string()))?,
+            ))),
+            2 => Ok(Response::Ack { ok: true }),
+            3 => Ok(Response::Ack { ok: false }),
+            other => Err(CommError::Frame(format!("bad response tag {other}"))),
+        }
+    }
+}
+
+/// The service a federated server implements (APPFL's servicer interface).
+pub trait FlService {
+    /// Returns the current global model for a requesting client.
+    fn get_weight(&mut self, request: &WeightRequest) -> GlobalWeights;
+
+    /// Ingests one round of learning results; `false` rejects the upload.
+    fn send_results(&mut self, results: LearningResults) -> bool;
+
+    /// Notes a finished client; `true` acknowledges.
+    fn done(&mut self, done: &JobDone) -> bool;
+}
+
+/// Serves requests over `comm` until `expected_done` clients have sent
+/// `Done`. Returns the number of requests handled.
+pub fn serve<C: Communicator>(
+    service: &mut dyn FlService,
+    comm: &C,
+    expected_done: usize,
+) -> Result<usize, CommError> {
+    let mut done = 0usize;
+    let mut handled = 0usize;
+    while done < expected_done {
+        let (from, payload) = comm.recv_any()?;
+        let request = Request::decode(&payload)?;
+        handled += 1;
+        let response = match request {
+            Request::GetWeight(req) => Response::Weights(Box::new(service.get_weight(&req))),
+            Request::SendResults(res) => Response::Ack {
+                ok: service.send_results(*res),
+            },
+            Request::Done(d) => {
+                done += 1;
+                Response::Ack {
+                    ok: service.done(&d),
+                }
+            }
+        };
+        comm.send(from, response.encode())?;
+    }
+    Ok(handled)
+}
+
+/// Client-side stub: one blocking unary call to the server at rank 0.
+pub fn call<C: Communicator>(comm: &C, request: &Request) -> Result<Response, CommError> {
+    comm.send(0, request.encode())?;
+    let payload = comm.recv(0)?;
+    Response::decode(&payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::InProcNetwork;
+    use crate::wire::TensorMsg;
+    use std::thread;
+
+    struct EchoService {
+        weights: Vec<f32>,
+        uploads: usize,
+    }
+
+    impl FlService for EchoService {
+        fn get_weight(&mut self, request: &WeightRequest) -> GlobalWeights {
+            GlobalWeights {
+                round: request.round,
+                finished: false,
+                tensors: vec![TensorMsg::flat("w", self.weights.clone())],
+            }
+        }
+
+        fn send_results(&mut self, results: LearningResults) -> bool {
+            self.uploads += 1;
+            !results.primal.is_empty()
+        }
+
+        fn done(&mut self, _done: &JobDone) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn request_response_roundtrip_encoding() {
+        let reqs = [
+            Request::GetWeight(WeightRequest {
+                client_id: 3,
+                round: 9,
+            }),
+            Request::SendResults(Box::new(LearningResults {
+                client_id: 3,
+                round: 9,
+                penalty: 1.0,
+                primal: vec![TensorMsg::flat("z", vec![1.0, 2.0])],
+                dual: vec![],
+            })),
+            Request::Done(JobDone { client_id: 3 }),
+        ];
+        for r in reqs {
+            assert_eq!(Request::decode(&r.encode()).unwrap(), r);
+        }
+        let resps = [
+            Response::Weights(Box::new(GlobalWeights {
+                round: 1,
+                finished: true,
+                tensors: vec![],
+            })),
+            Response::Ack { ok: true },
+            Response::Ack { ok: false },
+        ];
+        for r in resps {
+            assert_eq!(Response::decode(&r.encode()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn bad_frames_are_rejected() {
+        assert!(Request::decode(&[]).is_err());
+        assert!(Request::decode(&[99, 0, 0]).is_err());
+        assert!(Response::decode(&[9]).is_err());
+    }
+
+    #[test]
+    fn server_multiplexes_concurrent_clients() {
+        let mut eps = InProcNetwork::new(4);
+        let server_ep = eps.remove(0);
+        let mut handles = Vec::new();
+        for ep in eps {
+            handles.push(thread::spawn(move || {
+                let id = ep.rank() as u32;
+                // Fetch, upload, finish.
+                let w = match call(&ep, &Request::GetWeight(WeightRequest {
+                    client_id: id,
+                    round: 0,
+                }))
+                .unwrap()
+                {
+                    Response::Weights(w) => w,
+                    other => panic!("expected weights, got {other:?}"),
+                };
+                assert_eq!(w.tensors[0].data, vec![0.5, 0.5]);
+                let ok = matches!(
+                    call(&ep, &Request::SendResults(Box::new(LearningResults {
+                        client_id: id,
+                        round: 0,
+                        penalty: 0.0,
+                        primal: vec![TensorMsg::flat("z", vec![id as f32])],
+                        dual: vec![],
+                    })))
+                    .unwrap(),
+                    Response::Ack { ok: true }
+                );
+                assert!(ok);
+                call(&ep, &Request::Done(JobDone { client_id: id })).unwrap();
+            }));
+        }
+        let mut service = EchoService {
+            weights: vec![0.5, 0.5],
+            uploads: 0,
+        };
+        let handled = serve(&mut service, &server_ep, 3).unwrap();
+        assert_eq!(handled, 9); // 3 clients × 3 calls
+        assert_eq!(service.uploads, 3);
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn empty_upload_is_nacked() {
+        let mut eps = InProcNetwork::new(2);
+        let server_ep = eps.remove(0);
+        let client_ep = eps.remove(0);
+        let h = thread::spawn(move || {
+            let resp = call(
+                &client_ep,
+                &Request::SendResults(Box::new(LearningResults {
+                    client_id: 1,
+                    round: 0,
+                    penalty: 0.0,
+                    primal: vec![],
+                    dual: vec![],
+                })),
+            )
+            .unwrap();
+            assert_eq!(resp, Response::Ack { ok: false });
+            call(&client_ep, &Request::Done(JobDone { client_id: 1 })).unwrap();
+        });
+        let mut service = EchoService {
+            weights: vec![],
+            uploads: 0,
+        };
+        serve(&mut service, &server_ep, 1).unwrap();
+        h.join().unwrap();
+    }
+}

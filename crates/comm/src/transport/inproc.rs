@@ -1,0 +1,239 @@
+//! In-process transport over crossbeam channels.
+//!
+//! Functionally equivalent to an MPI communicator inside one machine: each
+//! participant runs on its own thread and exchanges owned byte buffers over
+//! unbounded channels. This is how the FL runners execute server + clients
+//! concurrently, and its `gather` is the analogue of the `MPI.gather()` the
+//! paper instruments in §IV-C.
+
+use super::{CommError, Communicator, TrafficSnapshot, TrafficStats};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::Arc;
+
+/// One participant's endpoint in an [`InProcNetwork`].
+pub struct InProcEndpoint {
+    rank: usize,
+    size: usize,
+    /// `senders[j]` delivers to rank `j`.
+    senders: Vec<Sender<Vec<u8>>>,
+    /// `receivers[j]` yields messages sent by rank `j`.
+    receivers: Vec<Receiver<Vec<u8>>>,
+    stats: Arc<TrafficStats>,
+}
+
+/// Builder for a fully-connected in-process network.
+pub struct InProcNetwork;
+
+#[allow(clippy::new_ret_no_self)] // builder: returns the endpoint set
+impl InProcNetwork {
+    /// Creates `size` endpoints, all pairwise connected (including a
+    /// loopback channel so collectives can treat every rank uniformly).
+    pub fn new(size: usize) -> Vec<InProcEndpoint> {
+        assert!(size > 0, "network needs at least one rank");
+        // matrix[i][j] = (sender into, receiver out of) the i→j channel.
+        let mut senders: Vec<Vec<Option<Sender<Vec<u8>>>>> =
+            (0..size).map(|_| (0..size).map(|_| None).collect()).collect();
+        let mut receivers: Vec<Vec<Option<Receiver<Vec<u8>>>>> =
+            (0..size).map(|_| (0..size).map(|_| None).collect()).collect();
+        for i in 0..size {
+            for j in 0..size {
+                let (tx, rx) = unbounded();
+                senders[i][j] = Some(tx); // i sends to j
+                receivers[j][i] = Some(rx); // j receives from i
+            }
+        }
+        senders
+            .into_iter()
+            .zip(receivers)
+            .enumerate()
+            .map(|(rank, (s_row, r_row))| InProcEndpoint {
+                rank,
+                size,
+                senders: s_row.into_iter().map(|s| s.expect("filled")).collect(),
+                receivers: r_row.into_iter().map(|r| r.expect("filled")).collect(),
+                stats: Arc::new(TrafficStats::default()),
+            })
+            .collect()
+    }
+}
+
+impl Communicator for InProcEndpoint {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn send(&self, to: usize, payload: Vec<u8>) -> Result<(), CommError> {
+        let sender = self.senders.get(to).ok_or(CommError::InvalidRank {
+            rank: to,
+            size: self.size,
+        })?;
+        self.stats.record_send(payload.len());
+        sender
+            .send(payload)
+            .map_err(|_| CommError::Disconnected { peer: to })
+    }
+
+    fn recv(&self, from: usize) -> Result<Vec<u8>, CommError> {
+        let receiver = self.receivers.get(from).ok_or(CommError::InvalidRank {
+            rank: from,
+            size: self.size,
+        })?;
+        let payload = receiver
+            .recv()
+            .map_err(|_| CommError::Disconnected { peer: from })?;
+        self.stats.record_recv(payload.len());
+        Ok(payload)
+    }
+
+    fn recv_any(&self) -> Result<(usize, Vec<u8>), CommError> {
+        // Multiplex over all live peers (skipping loopback, which only the
+        // collectives use) with crossbeam's Select. Peers whose endpoints
+        // were dropped are excluded and the select rebuilt, so one
+        // departing client cannot wedge the server.
+        let mut dead = vec![false; self.size];
+        loop {
+            let mut select = crossbeam::channel::Select::new();
+            let mut ranks = Vec::with_capacity(self.size.saturating_sub(1));
+            for (rank, rx) in self.receivers.iter().enumerate() {
+                if rank == self.rank || dead[rank] {
+                    continue;
+                }
+                select.recv(rx);
+                ranks.push(rank);
+            }
+            if ranks.is_empty() {
+                return Err(CommError::Disconnected { peer: self.rank });
+            }
+            let op = select.select();
+            let rank = ranks[op.index()];
+            match op.recv(&self.receivers[rank]) {
+                Ok(payload) => {
+                    self.stats.record_recv(payload.len());
+                    return Ok((rank, payload));
+                }
+                Err(_) => dead[rank] = true,
+            }
+        }
+    }
+
+    fn stats(&self) -> TrafficSnapshot {
+        self.stats.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn point_to_point_delivery() {
+        let mut eps = InProcNetwork::new(2);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        a.send(1, vec![1, 2, 3]).unwrap();
+        assert_eq!(b.recv(0).unwrap(), vec![1, 2, 3]);
+        let s = a.stats();
+        assert_eq!(s.msgs_sent, 1);
+        assert_eq!(s.bytes_sent, 3);
+        assert_eq!(b.stats().bytes_recv, 3);
+    }
+
+    #[test]
+    fn messages_from_same_peer_preserve_order() {
+        let mut eps = InProcNetwork::new(2);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        for i in 0..10u8 {
+            a.send(1, vec![i]).unwrap();
+        }
+        for i in 0..10u8 {
+            assert_eq!(b.recv(0).unwrap(), vec![i]);
+        }
+    }
+
+    #[test]
+    fn invalid_rank_is_rejected() {
+        let mut eps = InProcNetwork::new(1);
+        let a = eps.pop().unwrap();
+        assert!(matches!(
+            a.send(5, vec![]),
+            Err(CommError::InvalidRank { rank: 5, size: 1 })
+        ));
+        assert!(a.recv(3).is_err());
+    }
+
+    #[test]
+    fn disconnected_peer_is_reported() {
+        let mut eps = InProcNetwork::new(2);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        drop(b);
+        assert!(matches!(
+            a.send(1, vec![1]),
+            Err(CommError::Disconnected { peer: 1 })
+        ));
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let eps = InProcNetwork::new(4);
+        let mut handles = Vec::new();
+        for ep in eps {
+            handles.push(thread::spawn(move || {
+                let payload = vec![ep.rank() as u8; ep.rank() + 1];
+                ep.gather(0, payload)
+            }));
+        }
+        let mut root_result = None;
+        for h in handles {
+            if let Some(v) = h.join().unwrap().unwrap() {
+                root_result = Some(v);
+            }
+        }
+        let v = root_result.expect("root saw the gather");
+        assert_eq!(v.len(), 4);
+        for (r, payload) in v.iter().enumerate() {
+            assert_eq!(payload, &vec![r as u8; r + 1]);
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_all_ranks() {
+        let eps = InProcNetwork::new(3);
+        let mut handles = Vec::new();
+        for ep in eps {
+            handles.push(thread::spawn(move || {
+                let payload = if ep.rank() == 1 { vec![42] } else { Vec::new() };
+                ep.broadcast(1, payload)
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap().unwrap(), vec![42]);
+        }
+    }
+
+    #[test]
+    fn barrier_synchronises() {
+        let eps = InProcNetwork::new(5);
+        let mut handles = Vec::new();
+        for ep in eps {
+            handles.push(thread::spawn(move || ep.barrier()));
+        }
+        for h in handles {
+            h.join().unwrap().unwrap();
+        }
+    }
+
+    #[test]
+    fn gather_rejects_invalid_root() {
+        let mut eps = InProcNetwork::new(2);
+        let a = eps.remove(0);
+        assert!(a.gather(9, vec![]).is_err());
+        assert!(a.broadcast(9, vec![]).is_err());
+    }
+}

@@ -1,0 +1,180 @@
+//! Message transports with MPI-style collectives.
+
+pub mod grpc;
+pub mod inproc;
+
+pub use grpc::{GrpcChannel, GrpcFraming};
+pub use inproc::{InProcEndpoint, InProcNetwork};
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Transport errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// The peer's endpoint has been dropped.
+    Disconnected {
+        /// The peer rank involved.
+        peer: usize,
+    },
+    /// A rank argument is outside `0..size`.
+    InvalidRank {
+        /// The offending rank.
+        rank: usize,
+        /// Communicator size.
+        size: usize,
+    },
+    /// A framed message failed to decode.
+    Frame(String),
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::Disconnected { peer } => write!(f, "peer {peer} disconnected"),
+            CommError::InvalidRank { rank, size } => {
+                write!(f, "rank {rank} out of range for size {size}")
+            }
+            CommError::Frame(msg) => write!(f, "frame error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// Point-to-point and collective communication in the image of an MPI
+/// communicator (§II-A.3). One endpoint per participant; rank 0 is the
+/// server by convention in the FL runners.
+pub trait Communicator: Send {
+    /// This endpoint's rank.
+    fn rank(&self) -> usize;
+
+    /// Number of participants.
+    fn size(&self) -> usize;
+
+    /// Sends `payload` to `to` (non-blocking enqueue).
+    fn send(&self, to: usize, payload: Vec<u8>) -> Result<(), CommError>;
+
+    /// Blocks until a message from `from` arrives.
+    fn recv(&self, from: usize) -> Result<Vec<u8>, CommError>;
+
+    /// Blocks until a message from *any* peer arrives, returning
+    /// `(sender_rank, payload)`. Required by request/response services
+    /// (rank 0 serving many clients); transports that cannot multiplex may
+    /// return an error.
+    fn recv_any(&self) -> Result<(usize, Vec<u8>), CommError> {
+        Err(CommError::Frame(
+            "this transport does not support recv_any".into(),
+        ))
+    }
+
+    /// `MPI.gather()`: every rank contributes `payload`; the root receives
+    /// all contributions ordered by rank (`Some(vec)`), other ranks get
+    /// `None`.
+    fn gather(&self, root: usize, payload: Vec<u8>) -> Result<Option<Vec<Vec<u8>>>, CommError> {
+        let size = self.size();
+        if root >= size {
+            return Err(CommError::InvalidRank { rank: root, size });
+        }
+        if self.rank() == root {
+            let mut out = Vec::with_capacity(size);
+            for r in 0..size {
+                if r == root {
+                    out.push(payload.clone());
+                } else {
+                    out.push(self.recv(r)?);
+                }
+            }
+            Ok(Some(out))
+        } else {
+            self.send(root, payload)?;
+            Ok(None)
+        }
+    }
+
+    /// `MPI.bcast()`: the root's payload is delivered to every rank.
+    fn broadcast(&self, root: usize, payload: Vec<u8>) -> Result<Vec<u8>, CommError> {
+        let size = self.size();
+        if root >= size {
+            return Err(CommError::InvalidRank { rank: root, size });
+        }
+        if self.rank() == root {
+            for r in 0..size {
+                if r != root {
+                    self.send(r, payload.clone())?;
+                }
+            }
+            Ok(payload)
+        } else {
+            self.recv(root)
+        }
+    }
+
+    /// Synchronises all ranks (gather + broadcast of empty messages).
+    fn barrier(&self) -> Result<(), CommError> {
+        self.gather(0, Vec::new())?;
+        self.broadcast(0, Vec::new())?;
+        Ok(())
+    }
+
+    /// Cumulative traffic counters for this endpoint.
+    fn stats(&self) -> TrafficSnapshot;
+}
+
+/// Atomic traffic counters shared by transports.
+#[derive(Debug, Default)]
+pub struct TrafficStats {
+    msgs_sent: AtomicUsize,
+    bytes_sent: AtomicUsize,
+    msgs_recv: AtomicUsize,
+    bytes_recv: AtomicUsize,
+}
+
+impl TrafficStats {
+    /// Records an outgoing message.
+    pub fn record_send(&self, bytes: usize) {
+        self.msgs_sent.fetch_add(1, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records an incoming message.
+    pub fn record_recv(&self, bytes: usize) {
+        self.msgs_recv.fetch_add(1, Ordering::Relaxed);
+        self.bytes_recv.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Current values.
+    pub fn snapshot(&self) -> TrafficSnapshot {
+        TrafficSnapshot {
+            msgs_sent: self.msgs_sent.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            msgs_recv: self.msgs_recv.load(Ordering::Relaxed),
+            bytes_recv: self.bytes_recv.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of traffic counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TrafficSnapshot {
+    /// Messages sent.
+    pub msgs_sent: usize,
+    /// Payload bytes sent.
+    pub bytes_sent: usize,
+    /// Messages received.
+    pub msgs_recv: usize,
+    /// Payload bytes received.
+    pub bytes_recv: usize,
+}
+
+impl TrafficSnapshot {
+    /// Difference against an earlier snapshot (per-round accounting).
+    pub fn since(&self, earlier: &TrafficSnapshot) -> TrafficSnapshot {
+        TrafficSnapshot {
+            msgs_sent: self.msgs_sent - earlier.msgs_sent,
+            bytes_sent: self.bytes_sent - earlier.bytes_sent,
+            msgs_recv: self.msgs_recv - earlier.msgs_recv,
+            bytes_recv: self.bytes_recv - earlier.bytes_recv,
+        }
+    }
+}

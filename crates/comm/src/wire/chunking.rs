@@ -1,0 +1,227 @@
+//! Chunked streaming of large messages.
+//!
+//! gRPC deployments cap unary message sizes (4 MiB by default), so the
+//! reference framework streams model tensors as a sequence of chunks. This
+//! module provides the chunk framing and a strict reassembler: each chunk
+//! carries `(stream_id, seq, total, payload)`; the reassembler validates
+//! ordering, duplication, stream mixing and total-size consistency so a
+//! faulty peer cannot corrupt a model silently.
+
+use super::codec::{WireError, WireReader, WireWriter};
+
+/// One chunk of a larger message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chunk {
+    /// Identifies the logical message the chunk belongs to.
+    pub stream_id: u64,
+    /// Zero-based sequence number.
+    pub seq: u32,
+    /// Total chunks in the stream.
+    pub total: u32,
+    /// Payload slice.
+    pub payload: Vec<u8>,
+}
+
+impl Chunk {
+    /// Encodes to protobuf bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::with_capacity(self.payload.len() + 24);
+        w.uint(1, self.stream_id);
+        w.uint(2, u64::from(self.seq));
+        w.uint(3, u64::from(self.total));
+        w.bytes(4, &self.payload);
+        w.finish()
+    }
+
+    /// Decodes from protobuf bytes.
+    pub fn decode(buf: &[u8]) -> Result<Self, WireError> {
+        let (mut stream_id, mut seq, mut total) = (None, None, None);
+        let mut payload = Vec::new();
+        let mut r = WireReader::new(buf);
+        while let Some((f, v)) = r.next_field()? {
+            match f {
+                1 => stream_id = Some(v.as_uint(f)?),
+                2 => seq = Some(v.as_uint(f)? as u32),
+                3 => total = Some(v.as_uint(f)? as u32),
+                4 => payload = v.as_bytes(f)?.to_vec(),
+                _ => {}
+            }
+        }
+        Ok(Chunk {
+            stream_id: stream_id.ok_or(WireError::MissingField("stream_id"))?,
+            seq: seq.ok_or(WireError::MissingField("seq"))?,
+            total: total.ok_or(WireError::MissingField("total"))?,
+            payload,
+        })
+    }
+}
+
+/// Splits `message` into chunks of at most `chunk_size` payload bytes.
+/// Empty messages become a single empty chunk so the receiver still gets a
+/// completion signal.
+pub fn split_message(stream_id: u64, message: &[u8], chunk_size: usize) -> Vec<Chunk> {
+    assert!(chunk_size > 0, "chunk size must be positive");
+    if message.is_empty() {
+        return vec![Chunk {
+            stream_id,
+            seq: 0,
+            total: 1,
+            payload: Vec::new(),
+        }];
+    }
+    let total = message.len().div_ceil(chunk_size) as u32;
+    message
+        .chunks(chunk_size)
+        .enumerate()
+        .map(|(i, part)| Chunk {
+            stream_id,
+            seq: i as u32,
+            total,
+            payload: part.to_vec(),
+        })
+        .collect()
+}
+
+/// Strict in-order reassembler for one stream at a time.
+#[derive(Debug, Default)]
+pub struct Reassembler {
+    current: Option<(u64, u32)>, // (stream_id, total)
+    next_seq: u32,
+    buffer: Vec<u8>,
+}
+
+impl Reassembler {
+    /// A fresh reassembler.
+    pub fn new() -> Self {
+        Reassembler::default()
+    }
+
+    /// Feeds one chunk. Returns `Some(message)` when the stream completes.
+    pub fn push(&mut self, chunk: Chunk) -> Result<Option<Vec<u8>>, WireError> {
+        match self.current {
+            None => {
+                if chunk.seq != 0 {
+                    return Err(WireError::Invalid(format!(
+                        "stream {} began at seq {}",
+                        chunk.stream_id, chunk.seq
+                    )));
+                }
+                if chunk.total == 0 {
+                    return Err(WireError::Invalid("stream with zero chunks".into()));
+                }
+                self.current = Some((chunk.stream_id, chunk.total));
+                self.next_seq = 0;
+                self.buffer.clear();
+            }
+            Some((stream_id, total)) => {
+                if chunk.stream_id != stream_id {
+                    return Err(WireError::Invalid(format!(
+                        "chunk from stream {} interleaved into stream {stream_id}",
+                        chunk.stream_id
+                    )));
+                }
+                if chunk.total != total {
+                    return Err(WireError::Invalid("inconsistent chunk total".into()));
+                }
+            }
+        }
+        if chunk.seq != self.next_seq {
+            return Err(WireError::Invalid(format!(
+                "expected seq {}, got {}",
+                self.next_seq, chunk.seq
+            )));
+        }
+        self.buffer.extend_from_slice(&chunk.payload);
+        self.next_seq += 1;
+        let (_, total) = self.current.expect("set above");
+        if self.next_seq == total {
+            self.current = None;
+            self.next_seq = 0;
+            Ok(Some(std::mem::take(&mut self.buffer)))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_roundtrip() {
+        let c = Chunk {
+            stream_id: 7,
+            seq: 3,
+            total: 9,
+            payload: vec![1, 2, 3],
+        };
+        assert_eq!(Chunk::decode(&c.encode()).unwrap(), c);
+    }
+
+    #[test]
+    fn split_and_reassemble_large_message() {
+        let message: Vec<u8> = (0..100_000).map(|i| (i % 251) as u8).collect();
+        let chunks = split_message(42, &message, 4096);
+        assert_eq!(chunks.len(), 100_000usize.div_ceil(4096));
+        let mut r = Reassembler::new();
+        let mut out = None;
+        for c in chunks {
+            out = r.push(c).unwrap();
+        }
+        assert_eq!(out.unwrap(), message);
+    }
+
+    #[test]
+    fn empty_message_is_one_empty_chunk() {
+        let chunks = split_message(1, &[], 1024);
+        assert_eq!(chunks.len(), 1);
+        let mut r = Reassembler::new();
+        assert_eq!(r.push(chunks[0].clone()).unwrap(), Some(Vec::new()));
+    }
+
+    #[test]
+    fn out_of_order_chunks_are_rejected() {
+        let chunks = split_message(1, &[0u8; 10], 4);
+        let mut r = Reassembler::new();
+        r.push(chunks[0].clone()).unwrap();
+        assert!(r.push(chunks[2].clone()).is_err());
+    }
+
+    #[test]
+    fn interleaved_streams_are_rejected() {
+        let a = split_message(1, &[0u8; 10], 4);
+        let b = split_message(2, &[0u8; 10], 4);
+        let mut r = Reassembler::new();
+        r.push(a[0].clone()).unwrap();
+        assert!(r.push(b[1].clone()).is_err());
+    }
+
+    #[test]
+    fn duplicate_chunk_is_rejected() {
+        let chunks = split_message(1, &[0u8; 10], 4);
+        let mut r = Reassembler::new();
+        r.push(chunks[0].clone()).unwrap();
+        assert!(r.push(chunks[0].clone()).is_err());
+    }
+
+    #[test]
+    fn stream_must_start_at_zero() {
+        let chunks = split_message(1, &[0u8; 10], 4);
+        let mut r = Reassembler::new();
+        assert!(r.push(chunks[1].clone()).is_err());
+    }
+
+    #[test]
+    fn reassembler_is_reusable_across_streams() {
+        let mut r = Reassembler::new();
+        for stream in 0..3u64 {
+            let msg = vec![stream as u8; 9];
+            let mut out = None;
+            for c in split_message(stream, &msg, 4) {
+                out = r.push(c).unwrap();
+            }
+            assert_eq!(out.unwrap(), msg);
+        }
+    }
+}

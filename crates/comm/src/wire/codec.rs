@@ -1,0 +1,478 @@
+//! Field-level wire reader/writer (proto3 semantics).
+
+use super::varint::{decode_varint, encode_varint, zigzag_decode, zigzag_encode};
+use std::fmt;
+
+/// Protobuf wire types (proto3 subset; groups are long-deprecated).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireType {
+    /// Varint-encoded integers and booleans.
+    Varint = 0,
+    /// Little-endian 8-byte scalars (`double`, `fixed64`).
+    Fixed64 = 1,
+    /// Length-delimited payloads (strings, bytes, submessages, packed
+    /// repeated scalars).
+    LengthDelimited = 2,
+    /// Little-endian 4-byte scalars (`float`, `fixed32`).
+    Fixed32 = 5,
+}
+
+impl WireType {
+    fn from_u8(v: u8) -> Option<WireType> {
+        match v {
+            0 => Some(WireType::Varint),
+            1 => Some(WireType::Fixed64),
+            2 => Some(WireType::LengthDelimited),
+            5 => Some(WireType::Fixed32),
+            _ => None,
+        }
+    }
+}
+
+/// Decode errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Buffer ended inside a value.
+    Truncated,
+    /// Unknown or reserved wire type in a tag.
+    BadWireType(u8),
+    /// A length prefix exceeded the remaining buffer.
+    BadLength(u64),
+    /// A field had an unexpected wire type for the requested decode.
+    TypeMismatch {
+        /// Field number involved.
+        field: u32,
+        /// The wire type actually present.
+        found: WireType,
+    },
+    /// Field number zero is reserved.
+    ZeroField,
+    /// A required field was missing from a message.
+    MissingField(&'static str),
+    /// Semantic validation of a decoded message failed.
+    Invalid(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "buffer truncated"),
+            WireError::BadWireType(v) => write!(f, "unknown wire type {v}"),
+            WireError::BadLength(n) => write!(f, "length {n} exceeds buffer"),
+            WireError::TypeMismatch { field, found } => {
+                write!(f, "field {field} has unexpected wire type {found:?}")
+            }
+            WireError::ZeroField => write!(f, "field number 0 is reserved"),
+            WireError::MissingField(name) => write!(f, "missing required field `{name}`"),
+            WireError::Invalid(msg) => write!(f, "invalid message: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Serialises fields into a protobuf byte stream.
+#[derive(Debug, Default)]
+pub struct WireWriter {
+    buf: Vec<u8>,
+}
+
+impl WireWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        WireWriter::default()
+    }
+
+    /// A writer with preallocated capacity (use for tensor payloads).
+    pub fn with_capacity(cap: usize) -> Self {
+        WireWriter {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    fn tag(&mut self, field: u32, wt: WireType) {
+        debug_assert!(field != 0, "field number 0 is reserved");
+        encode_varint(u64::from(field) << 3 | wt as u64, &mut self.buf);
+    }
+
+    /// Writes a varint field (`uint32`/`uint64`/`bool`).
+    pub fn uint(&mut self, field: u32, value: u64) -> &mut Self {
+        self.tag(field, WireType::Varint);
+        encode_varint(value, &mut self.buf);
+        self
+    }
+
+    /// Writes a zigzag-encoded signed field (`sint64`).
+    pub fn sint(&mut self, field: u32, value: i64) -> &mut Self {
+        self.uint(field, zigzag_encode(value));
+        self
+    }
+
+    /// Writes a `double` field.
+    pub fn double(&mut self, field: u32, value: f64) -> &mut Self {
+        self.tag(field, WireType::Fixed64);
+        self.buf.extend_from_slice(&value.to_le_bytes());
+        self
+    }
+
+    /// Writes a `float` field.
+    pub fn float(&mut self, field: u32, value: f32) -> &mut Self {
+        self.tag(field, WireType::Fixed32);
+        self.buf.extend_from_slice(&value.to_le_bytes());
+        self
+    }
+
+    /// Writes a length-delimited `bytes`/`string` field.
+    pub fn bytes(&mut self, field: u32, value: &[u8]) -> &mut Self {
+        self.tag(field, WireType::LengthDelimited);
+        encode_varint(value.len() as u64, &mut self.buf);
+        self.buf.extend_from_slice(value);
+        self
+    }
+
+    /// Writes a UTF-8 string field.
+    pub fn string(&mut self, field: u32, value: &str) -> &mut Self {
+        self.bytes(field, value.as_bytes())
+    }
+
+    /// Writes a packed repeated `float` field (protobuf packs floats as a
+    /// length-delimited run of little-endian 4-byte values) — the encoding
+    /// of a model-parameter tensor on the wire.
+    pub fn packed_floats(&mut self, field: u32, values: &[f32]) -> &mut Self {
+        self.tag(field, WireType::LengthDelimited);
+        encode_varint(values.len() as u64 * 4, &mut self.buf);
+        self.buf.reserve(values.len() * 4);
+        for v in values {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+        self
+    }
+
+    /// Writes a packed repeated varint field (tensor shapes).
+    pub fn packed_uints(&mut self, field: u32, values: &[u64]) -> &mut Self {
+        let mut body = Vec::with_capacity(values.len());
+        for &v in values {
+            encode_varint(v, &mut body);
+        }
+        self.bytes(field, &body)
+    }
+
+    /// Writes an embedded message field from its encoded bytes.
+    pub fn message(&mut self, field: u32, encoded: &[u8]) -> &mut Self {
+        self.bytes(field, encoded)
+    }
+
+    /// Finishes, returning the encoded buffer.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// A decoded field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue<'a> {
+    /// Varint payload.
+    Varint(u64),
+    /// 8-byte scalar payload.
+    Fixed64(u64),
+    /// Length-delimited payload.
+    Bytes(&'a [u8]),
+    /// 4-byte scalar payload.
+    Fixed32(u32),
+}
+
+impl<'a> FieldValue<'a> {
+    /// Interprets as `u64`, failing on non-varint payloads.
+    pub fn as_uint(&self, field: u32) -> Result<u64, WireError> {
+        match self {
+            FieldValue::Varint(v) => Ok(*v),
+            FieldValue::Fixed64(_) => Err(WireError::TypeMismatch {
+                field,
+                found: WireType::Fixed64,
+            }),
+            FieldValue::Bytes(_) => Err(WireError::TypeMismatch {
+                field,
+                found: WireType::LengthDelimited,
+            }),
+            FieldValue::Fixed32(_) => Err(WireError::TypeMismatch {
+                field,
+                found: WireType::Fixed32,
+            }),
+        }
+    }
+
+    /// Interprets as zigzag `i64`.
+    pub fn as_sint(&self, field: u32) -> Result<i64, WireError> {
+        Ok(zigzag_decode(self.as_uint(field)?))
+    }
+
+    /// Interprets as `f64`.
+    pub fn as_double(&self, field: u32) -> Result<f64, WireError> {
+        match self {
+            FieldValue::Fixed64(v) => Ok(f64::from_bits(*v)),
+            other => Err(WireError::TypeMismatch {
+                field,
+                found: other.wire_type(),
+            }),
+        }
+    }
+
+    /// Interprets as `f32`.
+    pub fn as_float(&self, field: u32) -> Result<f32, WireError> {
+        match self {
+            FieldValue::Fixed32(v) => Ok(f32::from_bits(*v)),
+            other => Err(WireError::TypeMismatch {
+                field,
+                found: other.wire_type(),
+            }),
+        }
+    }
+
+    /// Interprets as raw bytes.
+    pub fn as_bytes(&self, field: u32) -> Result<&'a [u8], WireError> {
+        match self {
+            FieldValue::Bytes(b) => Ok(b),
+            other => Err(WireError::TypeMismatch {
+                field,
+                found: other.wire_type(),
+            }),
+        }
+    }
+
+    /// Interprets as a packed float run.
+    pub fn as_packed_floats(&self, field: u32) -> Result<Vec<f32>, WireError> {
+        let b = self.as_bytes(field)?;
+        if b.len() % 4 != 0 {
+            return Err(WireError::BadLength(b.len() as u64));
+        }
+        Ok(b.chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect())
+    }
+
+    /// Interprets as a packed varint run.
+    pub fn as_packed_uints(&self, field: u32) -> Result<Vec<u64>, WireError> {
+        let mut b = self.as_bytes(field)?;
+        let mut out = Vec::new();
+        while !b.is_empty() {
+            let (v, n) = decode_varint(b).ok_or(WireError::Truncated)?;
+            out.push(v);
+            b = &b[n..];
+        }
+        Ok(out)
+    }
+
+    fn wire_type(&self) -> WireType {
+        match self {
+            FieldValue::Varint(_) => WireType::Varint,
+            FieldValue::Fixed64(_) => WireType::Fixed64,
+            FieldValue::Bytes(_) => WireType::LengthDelimited,
+            FieldValue::Fixed32(_) => WireType::Fixed32,
+        }
+    }
+}
+
+/// Streaming field reader over an encoded buffer.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> WireReader<'a> {
+    /// Wraps an encoded buffer.
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf }
+    }
+
+    /// Whether the reader is exhausted.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Reads the next `(field_number, value)` pair.
+    pub fn next_field(&mut self) -> Result<Option<(u32, FieldValue<'a>)>, WireError> {
+        if self.buf.is_empty() {
+            return Ok(None);
+        }
+        let (tag, n) = decode_varint(self.buf).ok_or(WireError::Truncated)?;
+        self.buf = &self.buf[n..];
+        let field = (tag >> 3) as u32;
+        if field == 0 {
+            return Err(WireError::ZeroField);
+        }
+        let wt = WireType::from_u8((tag & 7) as u8).ok_or(WireError::BadWireType((tag & 7) as u8))?;
+        let value = match wt {
+            WireType::Varint => {
+                let (v, n) = decode_varint(self.buf).ok_or(WireError::Truncated)?;
+                self.buf = &self.buf[n..];
+                FieldValue::Varint(v)
+            }
+            WireType::Fixed64 => {
+                if self.buf.len() < 8 {
+                    return Err(WireError::Truncated);
+                }
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&self.buf[..8]);
+                self.buf = &self.buf[8..];
+                FieldValue::Fixed64(u64::from_le_bytes(b))
+            }
+            WireType::Fixed32 => {
+                if self.buf.len() < 4 {
+                    return Err(WireError::Truncated);
+                }
+                let mut b = [0u8; 4];
+                b.copy_from_slice(&self.buf[..4]);
+                self.buf = &self.buf[4..];
+                FieldValue::Fixed32(u32::from_le_bytes(b))
+            }
+            WireType::LengthDelimited => {
+                let (len, n) = decode_varint(self.buf).ok_or(WireError::Truncated)?;
+                self.buf = &self.buf[n..];
+                if len as usize > self.buf.len() {
+                    return Err(WireError::BadLength(len));
+                }
+                let (head, tail) = self.buf.split_at(len as usize);
+                self.buf = tail;
+                FieldValue::Bytes(head)
+            }
+        };
+        Ok(Some((field, value)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let mut w = WireWriter::new();
+        w.uint(1, 42)
+            .sint(2, -7)
+            .double(3, 2.5)
+            .float(4, -1.5)
+            .string(5, "hello");
+        let buf = w.finish();
+
+        let mut r = WireReader::new(&buf);
+        let (f, v) = r.next_field().unwrap().unwrap();
+        assert_eq!((f, v.as_uint(f).unwrap()), (1, 42));
+        let (f, v) = r.next_field().unwrap().unwrap();
+        assert_eq!((f, v.as_sint(f).unwrap()), (2, -7));
+        let (f, v) = r.next_field().unwrap().unwrap();
+        assert_eq!((f, v.as_double(f).unwrap()), (3, 2.5));
+        let (f, v) = r.next_field().unwrap().unwrap();
+        assert_eq!((f, v.as_float(f).unwrap()), (4, -1.5));
+        let (f, v) = r.next_field().unwrap().unwrap();
+        assert_eq!(v.as_bytes(f).unwrap(), b"hello");
+        assert!(r.next_field().unwrap().is_none());
+    }
+
+    #[test]
+    fn packed_floats_roundtrip() {
+        let vals: Vec<f32> = (0..100).map(|i| i as f32 * 0.5 - 10.0).collect();
+        let mut w = WireWriter::new();
+        w.packed_floats(7, &vals);
+        let buf = w.finish();
+        // 4 bytes/float + tag + length varint.
+        assert!(buf.len() >= 400 && buf.len() <= 405);
+        let mut r = WireReader::new(&buf);
+        let (f, v) = r.next_field().unwrap().unwrap();
+        assert_eq!(f, 7);
+        assert_eq!(v.as_packed_floats(f).unwrap(), vals);
+    }
+
+    #[test]
+    fn packed_uints_roundtrip() {
+        let vals = vec![0u64, 1, 127, 300, 1 << 40];
+        let mut w = WireWriter::new();
+        w.packed_uints(2, &vals);
+        let buf = w.finish();
+        let mut r = WireReader::new(&buf);
+        let (f, v) = r.next_field().unwrap().unwrap();
+        assert_eq!(v.as_packed_uints(f).unwrap(), vals);
+    }
+
+    #[test]
+    fn nested_message_roundtrip() {
+        let mut inner = WireWriter::new();
+        inner.uint(1, 9).string(2, "inner");
+        let inner_buf = inner.finish();
+        let mut outer = WireWriter::new();
+        outer.message(3, &inner_buf).uint(4, 1);
+        let buf = outer.finish();
+
+        let mut r = WireReader::new(&buf);
+        let (f, v) = r.next_field().unwrap().unwrap();
+        assert_eq!(f, 3);
+        let mut ir = WireReader::new(v.as_bytes(f).unwrap());
+        let (inf, inv) = ir.next_field().unwrap().unwrap();
+        assert_eq!((inf, inv.as_uint(inf).unwrap()), (1, 9));
+    }
+
+    #[test]
+    fn type_mismatch_is_detected() {
+        let mut w = WireWriter::new();
+        w.uint(1, 5);
+        let buf = w.finish();
+        let mut r = WireReader::new(&buf);
+        let (f, v) = r.next_field().unwrap().unwrap();
+        assert!(matches!(
+            v.as_bytes(f),
+            Err(WireError::TypeMismatch { field: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_payloads_error() {
+        let mut w = WireWriter::new();
+        w.packed_floats(1, &[1.0, 2.0]);
+        let mut buf = w.finish();
+        buf.truncate(buf.len() - 3);
+        let mut r = WireReader::new(&buf);
+        assert!(matches!(r.next_field(), Err(WireError::BadLength(_))));
+
+        let mut w = WireWriter::new();
+        w.double(1, 1.0);
+        let mut buf = w.finish();
+        buf.truncate(4);
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.next_field(), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn zero_field_rejected() {
+        // Tag with field 0, wire type 0 → varint 0.
+        let buf = vec![0x00, 0x01];
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.next_field(), Err(WireError::ZeroField));
+    }
+
+    #[test]
+    fn bad_wire_type_rejected() {
+        // Field 1, wire type 3 (deprecated group start).
+        let buf = vec![0x0B];
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.next_field(), Err(WireError::BadWireType(3)));
+    }
+
+    #[test]
+    fn misaligned_packed_floats_rejected() {
+        let mut w = WireWriter::new();
+        w.bytes(1, &[0, 1, 2]); // 3 bytes is not a multiple of 4
+        let buf = w.finish();
+        let mut r = WireReader::new(&buf);
+        let (f, v) = r.next_field().unwrap().unwrap();
+        assert!(v.as_packed_floats(f).is_err());
+    }
+}

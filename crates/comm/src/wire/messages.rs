@@ -1,0 +1,359 @@
+//! The gRPC message schema of an APPFL deployment.
+//!
+//! Mirrors the reference framework's protobuf service surface: clients
+//! request the current global weights, stream back `LearningResults`
+//! carrying their primal (and, for ICEADMM, dual) tensors, and signal job
+//! completion. The byte sizes these encoders produce are exactly what the
+//! communication experiments charge to the gRPC cost model — and they make
+//! the IIADMM-vs-ICEADMM traffic ablation concrete: ICEADMM's results carry
+//! a second tensor list.
+
+use super::codec::{WireError, WireReader, WireWriter};
+
+/// A named tensor on the wire: shape as packed varints, data as packed
+/// little-endian floats (proto3 `repeated float` packing).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TensorMsg {
+    /// Layer/parameter name (e.g. `"conv1.weight"`).
+    pub name: String,
+    /// Dimension extents.
+    pub shape: Vec<u64>,
+    /// Row-major values.
+    pub data: Vec<f32>,
+}
+
+impl TensorMsg {
+    /// A tensor message over a flat vector (rank 1).
+    pub fn flat(name: impl Into<String>, data: Vec<f32>) -> Self {
+        TensorMsg {
+            name: name.into(),
+            shape: vec![data.len() as u64],
+            data,
+        }
+    }
+
+    /// Encodes to protobuf bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::with_capacity(self.data.len() * 4 + self.name.len() + 16);
+        w.string(1, &self.name);
+        w.packed_uints(2, &self.shape);
+        w.packed_floats(3, &self.data);
+        w.finish()
+    }
+
+    /// Decodes from protobuf bytes, validating shape/data consistency.
+    pub fn decode(buf: &[u8]) -> Result<Self, WireError> {
+        let mut name = None;
+        let mut shape = Vec::new();
+        let mut data = Vec::new();
+        let mut r = WireReader::new(buf);
+        while let Some((f, v)) = r.next_field()? {
+            match f {
+                1 => {
+                    name = Some(
+                        String::from_utf8(v.as_bytes(f)?.to_vec())
+                            .map_err(|_| WireError::Invalid("tensor name not UTF-8".into()))?,
+                    )
+                }
+                2 => shape = v.as_packed_uints(f)?,
+                3 => data = v.as_packed_floats(f)?,
+                _ => {} // unknown fields are skipped, proto3 style
+            }
+        }
+        let name = name.ok_or(WireError::MissingField("name"))?;
+        let numel: u64 = shape.iter().product();
+        if numel != data.len() as u64 {
+            return Err(WireError::Invalid(format!(
+                "shape implies {numel} elements, payload has {}",
+                data.len()
+            )));
+        }
+        Ok(TensorMsg { name, shape, data })
+    }
+}
+
+/// Client → server request for the round-`round` global model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WeightRequest {
+    /// Requesting client id.
+    pub client_id: u32,
+    /// Communication round.
+    pub round: u32,
+}
+
+impl WeightRequest {
+    /// Encodes to protobuf bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.uint(1, u64::from(self.client_id));
+        w.uint(2, u64::from(self.round));
+        w.finish()
+    }
+
+    /// Decodes from protobuf bytes.
+    pub fn decode(buf: &[u8]) -> Result<Self, WireError> {
+        let (mut client_id, mut round) = (None, None);
+        let mut r = WireReader::new(buf);
+        while let Some((f, v)) = r.next_field()? {
+            match f {
+                1 => client_id = Some(v.as_uint(f)? as u32),
+                2 => round = Some(v.as_uint(f)? as u32),
+                _ => {}
+            }
+        }
+        Ok(WeightRequest {
+            client_id: client_id.ok_or(WireError::MissingField("client_id"))?,
+            round: round.ok_or(WireError::MissingField("round"))?,
+        })
+    }
+}
+
+/// Client → server upload of one round's local training output.
+///
+/// For IIADMM `dual` is empty (the server mirrors the dual update locally —
+/// the paper's headline communication saving); for ICEADMM it carries the
+/// client's λ_p tensors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LearningResults {
+    /// Reporting client id.
+    pub client_id: u32,
+    /// Communication round.
+    pub round: u32,
+    /// Penalty parameter ρ used this round (needed by adaptive servers).
+    pub penalty: f64,
+    /// Primal tensors `z_p`.
+    pub primal: Vec<TensorMsg>,
+    /// Dual tensors `λ_p` (ICEADMM only).
+    pub dual: Vec<TensorMsg>,
+}
+
+impl LearningResults {
+    /// Encodes to protobuf bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let payload: usize = self
+            .primal
+            .iter()
+            .chain(self.dual.iter())
+            .map(|t| t.data.len() * 4 + 32)
+            .sum();
+        let mut w = WireWriter::with_capacity(payload + 32);
+        w.uint(1, u64::from(self.client_id));
+        w.uint(2, u64::from(self.round));
+        w.double(3, self.penalty);
+        for t in &self.primal {
+            w.message(4, &t.encode());
+        }
+        for t in &self.dual {
+            w.message(5, &t.encode());
+        }
+        w.finish()
+    }
+
+    /// Decodes from protobuf bytes.
+    pub fn decode(buf: &[u8]) -> Result<Self, WireError> {
+        let (mut client_id, mut round, mut penalty) = (None, None, 0.0f64);
+        let mut primal = Vec::new();
+        let mut dual = Vec::new();
+        let mut r = WireReader::new(buf);
+        while let Some((f, v)) = r.next_field()? {
+            match f {
+                1 => client_id = Some(v.as_uint(f)? as u32),
+                2 => round = Some(v.as_uint(f)? as u32),
+                3 => penalty = v.as_double(f)?,
+                4 => primal.push(TensorMsg::decode(v.as_bytes(f)?)?),
+                5 => dual.push(TensorMsg::decode(v.as_bytes(f)?)?),
+                _ => {}
+            }
+        }
+        Ok(LearningResults {
+            client_id: client_id.ok_or(WireError::MissingField("client_id"))?,
+            round: round.ok_or(WireError::MissingField("round"))?,
+            penalty,
+            primal,
+            dual,
+        })
+    }
+
+    /// Total tensor payload in bytes (the number the comm ablation reports).
+    pub fn payload_bytes(&self) -> usize {
+        self.primal
+            .iter()
+            .chain(self.dual.iter())
+            .map(|t| t.data.len() * 4)
+            .sum()
+    }
+}
+
+/// Server → client reply carrying the current global model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalWeights {
+    /// Round the weights belong to.
+    pub round: u32,
+    /// Whether the job has finished (clients should stop polling).
+    pub finished: bool,
+    /// Model tensors.
+    pub tensors: Vec<TensorMsg>,
+}
+
+impl GlobalWeights {
+    /// Encodes to protobuf bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let payload: usize = self.tensors.iter().map(|t| t.data.len() * 4 + 32).sum();
+        let mut w = WireWriter::with_capacity(payload + 16);
+        w.uint(1, u64::from(self.round));
+        w.uint(2, u64::from(self.finished));
+        for t in &self.tensors {
+            w.message(3, &t.encode());
+        }
+        w.finish()
+    }
+
+    /// Decodes from protobuf bytes.
+    pub fn decode(buf: &[u8]) -> Result<Self, WireError> {
+        let mut round = None;
+        let mut finished = false;
+        let mut tensors = Vec::new();
+        let mut r = WireReader::new(buf);
+        while let Some((f, v)) = r.next_field()? {
+            match f {
+                1 => round = Some(v.as_uint(f)? as u32),
+                2 => finished = v.as_uint(f)? != 0,
+                3 => tensors.push(TensorMsg::decode(v.as_bytes(f)?)?),
+                _ => {}
+            }
+        }
+        Ok(GlobalWeights {
+            round: round.ok_or(WireError::MissingField("round"))?,
+            finished,
+            tensors,
+        })
+    }
+}
+
+/// Client → server end-of-job notification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobDone {
+    /// Finishing client id.
+    pub client_id: u32,
+}
+
+impl JobDone {
+    /// Encodes to protobuf bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.uint(1, u64::from(self.client_id));
+        w.finish()
+    }
+
+    /// Decodes from protobuf bytes.
+    pub fn decode(buf: &[u8]) -> Result<Self, WireError> {
+        let mut client_id = None;
+        let mut r = WireReader::new(buf);
+        while let Some((f, v)) = r.next_field()? {
+            if f == 1 {
+                client_id = Some(v.as_uint(f)? as u32);
+            }
+        }
+        Ok(JobDone {
+            client_id: client_id.ok_or(WireError::MissingField("client_id"))?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tensor(n: usize) -> TensorMsg {
+        TensorMsg::flat("layer.weight", (0..n).map(|i| i as f32).collect())
+    }
+
+    #[test]
+    fn tensor_roundtrip() {
+        let t = TensorMsg {
+            name: "conv1.weight".into(),
+            shape: vec![4, 3, 3, 3],
+            data: (0..108).map(|i| i as f32 * 0.1).collect(),
+        };
+        let decoded = TensorMsg::decode(&t.encode()).unwrap();
+        assert_eq!(decoded, t);
+    }
+
+    #[test]
+    fn tensor_rejects_shape_mismatch() {
+        let mut w = WireWriter::new();
+        w.string(1, "bad");
+        w.packed_uints(2, &[5]);
+        w.packed_floats(3, &[1.0, 2.0]);
+        assert!(matches!(
+            TensorMsg::decode(&w.finish()),
+            Err(WireError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn tensor_requires_name() {
+        let mut w = WireWriter::new();
+        w.packed_uints(2, &[0]);
+        assert_eq!(
+            TensorMsg::decode(&w.finish()),
+            Err(WireError::MissingField("name"))
+        );
+    }
+
+    #[test]
+    fn weight_request_roundtrip() {
+        let m = WeightRequest {
+            client_id: 150,
+            round: 49,
+        };
+        assert_eq!(WeightRequest::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn learning_results_roundtrip_and_payload() {
+        let m = LearningResults {
+            client_id: 3,
+            round: 12,
+            penalty: 0.5,
+            primal: vec![tensor(100)],
+            dual: vec![tensor(100)],
+        };
+        let decoded = LearningResults::decode(&m.encode()).unwrap();
+        assert_eq!(decoded, m);
+        assert_eq!(m.payload_bytes(), 800);
+    }
+
+    #[test]
+    fn iiadmm_results_are_half_the_bytes_of_iceadmm() {
+        // The paper's headline: IIADMM sends only primal; ICEADMM primal+dual.
+        let primal_only = LearningResults {
+            client_id: 0,
+            round: 0,
+            penalty: 1.0,
+            primal: vec![tensor(10_000)],
+            dual: vec![],
+        };
+        let with_dual = LearningResults {
+            dual: vec![tensor(10_000)],
+            ..primal_only.clone()
+        };
+        let a = primal_only.encode().len();
+        let b = with_dual.encode().len();
+        assert!(b as f64 / a as f64 > 1.95, "{b} vs {a}");
+    }
+
+    #[test]
+    fn job_done_roundtrip() {
+        let m = JobDone { client_id: 202 };
+        assert_eq!(JobDone::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn unknown_fields_are_ignored() {
+        let mut w = WireWriter::new();
+        w.uint(1, 7).uint(2, 3).uint(99, 1234);
+        let m = WeightRequest::decode(&w.finish()).unwrap();
+        assert_eq!(m.client_id, 7);
+    }
+}

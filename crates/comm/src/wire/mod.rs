@@ -1,0 +1,16 @@
+//! Protocol Buffers wire format, from scratch.
+//!
+//! Only the wire layer is implemented (no descriptor/IDL machinery): varint
+//! and zigzag integer encodings, the four wire types used by proto3, and a
+//! reader/writer pair that the [`messages`] schema builds on. This is enough
+//! to byte-serialise everything APPFL's gRPC service exchanges and therefore
+//! to charge realistic serialisation costs in the communication experiments.
+
+pub mod chunking;
+pub mod codec;
+pub mod messages;
+pub mod varint;
+
+pub use chunking::{split_message, Chunk, Reassembler};
+pub use codec::{WireError, WireReader, WireType, WireWriter};
+pub use messages::{GlobalWeights, JobDone, LearningResults, TensorMsg, WeightRequest};

@@ -1,0 +1,110 @@
+//! Base-128 varints and zigzag encoding (the protobuf integer formats).
+
+/// Maximum bytes a u64 varint can occupy.
+pub const MAX_VARINT_LEN: usize = 10;
+
+/// Appends a base-128 varint to `out`.
+pub fn encode_varint(mut value: u64, out: &mut Vec<u8>) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Decodes a varint from the front of `buf`, returning `(value, bytes_read)`.
+pub fn decode_varint(buf: &[u8]) -> Option<(u64, usize)> {
+    let mut value = 0u64;
+    for (i, &byte) in buf.iter().enumerate().take(MAX_VARINT_LEN) {
+        value |= u64::from(byte & 0x7F) << (7 * i);
+        if byte & 0x80 == 0 {
+            // Reject non-canonical 10th byte overflow.
+            if i == MAX_VARINT_LEN - 1 && byte > 1 {
+                return None;
+            }
+            return Some((value, i + 1));
+        }
+    }
+    None
+}
+
+/// Zigzag-encodes a signed integer so small magnitudes stay small.
+pub fn zigzag_encode(value: i64) -> u64 {
+    ((value << 1) ^ (value >> 63)) as u64
+}
+
+/// Inverse of [`zigzag_encode`].
+pub fn zigzag_decode(value: u64) -> i64 {
+    ((value >> 1) as i64) ^ -((value & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_byte_values() {
+        for v in [0u64, 1, 127] {
+            let mut out = Vec::new();
+            encode_varint(v, &mut out);
+            assert_eq!(out.len(), 1);
+            assert_eq!(decode_varint(&out), Some((v, 1)));
+        }
+    }
+
+    #[test]
+    fn multi_byte_roundtrip() {
+        for v in [128u64, 300, 16_384, u32::MAX as u64, u64::MAX] {
+            let mut out = Vec::new();
+            encode_varint(v, &mut out);
+            let (decoded, n) = decode_varint(&out).unwrap();
+            assert_eq!(decoded, v);
+            assert_eq!(n, out.len());
+        }
+    }
+
+    #[test]
+    fn known_encoding_of_300() {
+        // Protobuf documentation example: 300 = 0b1010_1100 0b0000_0010.
+        let mut out = Vec::new();
+        encode_varint(300, &mut out);
+        assert_eq!(out, vec![0xAC, 0x02]);
+    }
+
+    #[test]
+    fn truncated_input_fails() {
+        assert_eq!(decode_varint(&[0x80]), None);
+        assert_eq!(decode_varint(&[]), None);
+    }
+
+    #[test]
+    fn overlong_input_fails() {
+        // 11 continuation bytes can't be a valid u64 varint.
+        let bad = vec![0xFFu8; 11];
+        assert_eq!(decode_varint(&bad), None);
+    }
+
+    #[test]
+    fn zigzag_pairs() {
+        // Spec examples: 0→0, -1→1, 1→2, -2→3.
+        assert_eq!(zigzag_encode(0), 0);
+        assert_eq!(zigzag_encode(-1), 1);
+        assert_eq!(zigzag_encode(1), 2);
+        assert_eq!(zigzag_encode(-2), 3);
+        for v in [-1_000_000i64, -1, 0, 1, i64::MAX, i64::MIN] {
+            assert_eq!(zigzag_decode(zigzag_encode(v)), v);
+        }
+    }
+
+    #[test]
+    fn decode_reports_length_with_trailing_data() {
+        let mut out = Vec::new();
+        encode_varint(300, &mut out);
+        out.extend_from_slice(&[0xDE, 0xAD]);
+        assert_eq!(decode_varint(&out), Some((300, 2)));
+    }
+}

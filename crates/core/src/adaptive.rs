@@ -1,0 +1,119 @@
+//! Adaptive penalty ρᵗ — future-work item 2 of §V.
+//!
+//! "We will enhance the learning performance of IIADMM by adaptively
+//! updating algorithm parameters such as penalty ρᵗ and proximity ζᵗ."
+//! This module implements the classical **residual-balancing** rule of Xu
+//! et al. [23] (the paper's own citation for the idea): after each round,
+//! compare the primal residual `r = Σ_p ‖w − z_p‖` against the dual
+//! residual `s = ρ Σ_p ‖z_p^{t+1} − z_p^t‖`; whichever dominates by more
+//! than a factor μ has its penalty adjusted by τ to re-balance.
+//!
+//! ρ changes must be mirrored by every client (the IIADMM dual mirror
+//! depends on both sides using the same ρ), so the controller emits the new
+//! value and the runner distributes it with the next broadcast.
+
+use serde::{Deserialize, Serialize};
+
+/// Residual-balancing controller state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveRho {
+    /// Current penalty ρ.
+    pub rho: f32,
+    /// Dominance threshold μ (classically 10).
+    pub mu: f32,
+    /// Adjustment factor τ (classically 2).
+    pub tau: f32,
+    /// Lower clamp for ρ.
+    pub rho_min: f32,
+    /// Upper clamp for ρ.
+    pub rho_max: f32,
+}
+
+impl AdaptiveRho {
+    /// A controller with the classical (μ=10, τ=2) settings.
+    pub fn new(rho: f32) -> Self {
+        assert!(rho > 0.0, "ρ must be positive");
+        AdaptiveRho {
+            rho,
+            mu: 10.0,
+            tau: 2.0,
+            rho_min: 1e-3,
+            rho_max: 1e4,
+        }
+    }
+
+    /// Applies one residual-balancing step. Returns the (possibly changed)
+    /// new ρ.
+    pub fn step(&mut self, primal_residual: f64, dual_residual: f64) -> f32 {
+        let r = primal_residual as f32;
+        let s = dual_residual as f32;
+        if r > self.mu * s {
+            // Consensus lagging: increase the penalty.
+            self.rho = (self.rho * self.tau).min(self.rho_max);
+        } else if s > self.mu * r {
+            // Over-penalised: relax.
+            self.rho = (self.rho / self.tau).max(self.rho_min);
+        }
+        self.rho
+    }
+}
+
+/// Dual residual helper: `ρ · Σ_p ‖z_p^{t+1} − z_p^t‖`.
+pub fn dual_residual(rho: f32, prev: &[Vec<f32>], curr: &[Vec<f32>]) -> f64 {
+    assert_eq!(prev.len(), curr.len(), "client count mismatch");
+    rho as f64
+        * prev
+            .iter()
+            .zip(curr.iter())
+            .map(|(a, b)| appfl_tensor::vecops::sq_dist(a, b).sqrt())
+            .sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn large_primal_residual_raises_rho() {
+        let mut a = AdaptiveRho::new(1.0);
+        let new = a.step(100.0, 1.0);
+        assert_eq!(new, 2.0);
+    }
+
+    #[test]
+    fn large_dual_residual_lowers_rho() {
+        let mut a = AdaptiveRho::new(1.0);
+        let new = a.step(1.0, 100.0);
+        assert_eq!(new, 0.5);
+    }
+
+    #[test]
+    fn balanced_residuals_leave_rho_unchanged() {
+        let mut a = AdaptiveRho::new(1.0);
+        assert_eq!(a.step(5.0, 5.0), 1.0);
+        assert_eq!(a.step(9.0, 1.0), 1.0); // under the μ=10 threshold
+    }
+
+    #[test]
+    fn rho_is_clamped() {
+        let mut a = AdaptiveRho::new(1.0);
+        a.rho_max = 4.0;
+        for _ in 0..10 {
+            a.step(1e9, 1.0);
+        }
+        assert_eq!(a.rho, 4.0);
+        a.rho_min = 0.25;
+        for _ in 0..10 {
+            a.step(1.0, 1e9);
+        }
+        assert_eq!(a.rho, 0.25);
+    }
+
+    #[test]
+    fn dual_residual_formula() {
+        let prev = vec![vec![0.0f32, 0.0], vec![1.0, 1.0]];
+        let curr = vec![vec![3.0f32, 4.0], vec![1.0, 1.0]];
+        let s = dual_residual(2.0, &prev, &curr);
+        assert!((s - 10.0).abs() < 1e-9); // 2 × (5 + 0)
+    }
+}

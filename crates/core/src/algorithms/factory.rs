@@ -1,0 +1,174 @@
+//! Wires a [`FedConfig`], a dataset and a model builder into a runnable
+//! federation — the plug-and-play assembly the APPFL architecture diagram
+//! (Fig. 1) describes: algorithm × privacy × model × data.
+
+use crate::algorithms::{
+    FedAvgClient, FedAvgServer, FedProxClient, IceAdmmClient, IceAdmmServer, IiAdmmClient,
+    IiAdmmServer,
+};
+use crate::api::{ClientAlgorithm, ServerAlgorithm};
+use crate::config::{AlgorithmConfig, FedConfig};
+use crate::trainer::LocalTrainer;
+use appfl_data::FederatedDataset;
+use appfl_nn::module::{flatten_params, Module};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// An assembled federation ready to run.
+pub struct Federation {
+    /// The server-side algorithm.
+    pub server: Box<dyn ServerAlgorithm>,
+    /// One client per data shard.
+    pub clients: Vec<Box<dyn ClientAlgorithm>>,
+    /// A model replica used for server-side validation (§II-A.5).
+    pub template: Box<dyn Module>,
+    /// The run configuration.
+    pub config: FedConfig,
+}
+
+/// Builds a federation. `model_builder` is invoked once per replica with a
+/// seeded RNG; all replicas share the same initial weights (seeded from
+/// `config.seed`), matching the paper's shared initialisation.
+pub fn build_federation(
+    config: FedConfig,
+    data: &FederatedDataset,
+    model_builder: impl Fn(&mut StdRng) -> Box<dyn Module>,
+) -> Federation {
+    let mut model_rng = StdRng::seed_from_u64(config.seed);
+    let template = model_builder(&mut model_rng);
+    let initial = flatten_params(template.as_ref());
+    let num_clients = data.num_clients();
+
+    let server: Box<dyn ServerAlgorithm> = match config.algorithm {
+        AlgorithmConfig::FedAvg { .. } => Box::new(FedAvgServer::new(initial.clone())),
+        AlgorithmConfig::FedProx { .. } => {
+            Box::new(FedAvgServer::new(initial.clone()).with_name("FedProx"))
+        }
+        AlgorithmConfig::IceAdmm { rho, .. } => {
+            Box::new(IceAdmmServer::new(initial.clone(), num_clients, rho))
+        }
+        AlgorithmConfig::IiAdmm { rho, .. } => {
+            Box::new(IiAdmmServer::new(initial.clone(), num_clients, rho))
+        }
+    };
+
+    let clients: Vec<Box<dyn ClientAlgorithm>> = data
+        .clients
+        .iter()
+        .enumerate()
+        .map(|(id, shard)| {
+            let replica = template.clone_module();
+            let trainer = LocalTrainer::new(replica, shard.clone(), config.batch_size);
+            let rng = StdRng::seed_from_u64(config.seed.wrapping_add(1000 + id as u64));
+            match config.algorithm {
+                AlgorithmConfig::FedAvg { lr, momentum } => Box::new(FedAvgClient::new(
+                    id,
+                    trainer,
+                    lr,
+                    momentum,
+                    config.local_steps,
+                    config.privacy,
+                    rng,
+                )) as Box<dyn ClientAlgorithm>,
+                AlgorithmConfig::FedProx { lr, mu } => Box::new(FedProxClient::new(
+                    id,
+                    trainer,
+                    lr,
+                    mu,
+                    config.local_steps,
+                    config.privacy,
+                    rng,
+                )),
+                AlgorithmConfig::IceAdmm { rho, zeta } => Box::new(IceAdmmClient::new(
+                    id,
+                    trainer,
+                    rho,
+                    zeta,
+                    config.local_steps,
+                    config.privacy,
+                    rng,
+                )),
+                AlgorithmConfig::IiAdmm { rho, zeta } => Box::new(IiAdmmClient::new(
+                    id,
+                    trainer,
+                    rho,
+                    zeta,
+                    config.local_steps,
+                    config.privacy,
+                    rng,
+                )),
+            }
+        })
+        .collect();
+
+    Federation {
+        server,
+        clients,
+        template,
+        config,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use appfl_data::federated::{build_benchmark, Benchmark};
+    use appfl_nn::models::{mlp_classifier, InputSpec};
+    use appfl_privacy::PrivacyConfig;
+
+    fn tiny_fed() -> FederatedDataset {
+        build_benchmark(Benchmark::Mnist, 3, 48, 24, 5).unwrap()
+    }
+
+    fn build(algo: AlgorithmConfig) -> Federation {
+        let data = tiny_fed();
+        let spec = InputSpec {
+            channels: 1,
+            height: 28,
+            width: 28,
+            classes: 10,
+        };
+        let config = FedConfig {
+            algorithm: algo,
+            rounds: 2,
+            local_steps: 1,
+            batch_size: 16,
+            privacy: PrivacyConfig::none(),
+            seed: 3,
+        };
+        build_federation(config, &data, move |rng| {
+            Box::new(mlp_classifier(spec, 8, rng))
+        })
+    }
+
+    #[test]
+    fn builds_every_algorithm() {
+        for algo in [
+            AlgorithmConfig::FedAvg { lr: 0.01, momentum: 0.9 },
+            AlgorithmConfig::FedProx { lr: 0.01, mu: 0.1 },
+            AlgorithmConfig::IceAdmm { rho: 1.0, zeta: 1.0 },
+            AlgorithmConfig::IiAdmm { rho: 1.0, zeta: 1.0 },
+        ] {
+            let fed = build(algo);
+            assert_eq!(fed.clients.len(), 3);
+            assert_eq!(fed.server.name(), algo.name());
+            assert_eq!(fed.server.dim(), fed.template.num_params());
+        }
+    }
+
+    #[test]
+    fn initial_global_model_matches_template() {
+        let fed = build(AlgorithmConfig::FedAvg { lr: 0.01, momentum: 0.9 });
+        assert_eq!(
+            fed.server.global_model(),
+            flatten_params(fed.template.as_ref())
+        );
+    }
+
+    #[test]
+    fn same_seed_same_initialisation() {
+        let a = build(AlgorithmConfig::IiAdmm { rho: 1.0, zeta: 1.0 });
+        let b = build(AlgorithmConfig::IiAdmm { rho: 1.0, zeta: 1.0 });
+        assert_eq!(a.server.global_model(), b.server.global_model());
+    }
+}

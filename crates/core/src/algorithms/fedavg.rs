@@ -1,0 +1,210 @@
+//! Federated averaging (FedAvg) [10].
+//!
+//! Server: `w^{t+1} ← Σ_p (I_p/I) · z_p^t` — the sample-weighted average of
+//! client models (eq. (1)'s weighting). Client: `L` epochs of mini-batch
+//! SGD with momentum starting from the broadcast `w`, per §IV-B.
+//!
+//! With DP enabled, each per-batch gradient is clipped to `C` and the final
+//! `z_p` is Laplace-perturbed with scale `Δ̄/ε̄`, `Δ̄ = 2Cη` (the
+//! learning-rate-dependent sensitivity the paper notes in §IV-B).
+
+use crate::api::{ClientAlgorithm, ClientUpload, ServerAlgorithm};
+use crate::trainer::LocalTrainer;
+use appfl_privacy::{PrivacyConfig, SensitivityRule};
+use appfl_tensor::vecops::weighted_sum;
+use appfl_tensor::{Result, TensorError};
+use rand::rngs::StdRng;
+
+/// FedAvg server state: the current global model.
+///
+/// Also serves client algorithms that only need weighted averaging on the
+/// server side (FedProx); `with_name` relabels the run accordingly.
+pub struct FedAvgServer {
+    global: Vec<f32>,
+    name: &'static str,
+}
+
+impl FedAvgServer {
+    /// Starts from an initial global model (all clients share it).
+    pub fn new(initial: Vec<f32>) -> Self {
+        FedAvgServer {
+            global: initial,
+            name: "FedAvg",
+        }
+    }
+
+    /// Relabels the server (e.g. "FedProx" when paired with proximal
+    /// clients).
+    pub fn with_name(mut self, name: &'static str) -> Self {
+        self.name = name;
+        self
+    }
+}
+
+impl ServerAlgorithm for FedAvgServer {
+    fn global_model(&self) -> Vec<f32> {
+        self.global.clone()
+    }
+
+    fn update(&mut self, uploads: &[ClientUpload]) -> Result<()> {
+        if uploads.is_empty() {
+            return Err(TensorError::InvalidArgument(
+                "FedAvg update with no uploads".into(),
+            ));
+        }
+        let total: usize = uploads.iter().map(|u| u.num_samples).sum();
+        if total == 0 {
+            return Err(TensorError::InvalidArgument(
+                "FedAvg update with zero total samples".into(),
+            ));
+        }
+        let weights: Vec<f32> = uploads
+            .iter()
+            .map(|u| u.num_samples as f32 / total as f32)
+            .collect();
+        let vectors: Vec<&[f32]> = uploads.iter().map(|u| u.primal.as_slice()).collect();
+        self.global = weighted_sum(&vectors, &weights);
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn dim(&self) -> usize {
+        self.global.len()
+    }
+}
+
+/// FedAvg client: stateless between rounds except for its data and RNG.
+pub struct FedAvgClient {
+    id: usize,
+    trainer: LocalTrainer,
+    lr: f32,
+    momentum: f32,
+    local_steps: usize,
+    privacy: PrivacyConfig,
+    rng: StdRng,
+}
+
+impl FedAvgClient {
+    /// Builds a client over a model replica and data shard.
+    pub fn new(
+        id: usize,
+        trainer: LocalTrainer,
+        lr: f32,
+        momentum: f32,
+        local_steps: usize,
+        privacy: PrivacyConfig,
+        rng: StdRng,
+    ) -> Self {
+        FedAvgClient {
+            id,
+            trainer,
+            lr,
+            momentum,
+            local_steps,
+            privacy,
+            rng,
+        }
+    }
+}
+
+impl ClientAlgorithm for FedAvgClient {
+    fn update(&mut self, global: &[f32]) -> Result<ClientUpload> {
+        let clip = if self.privacy.is_private() {
+            self.privacy.clip
+        } else {
+            f64::INFINITY
+        };
+        let mut z = global.to_vec();
+        let mut velocity = vec![0.0f32; z.len()];
+        let mut loss_sum = 0.0f64;
+        let mut loss_count = 0usize;
+        for _ in 0..self.local_steps {
+            let batches = self.trainer.batches(&mut self.rng)?;
+            for batch in &batches {
+                let (g, loss) = self.trainer.grad_at(&z, batch, clip)?;
+                loss_sum += loss as f64;
+                loss_count += 1;
+                // Classical momentum: v ← μv + g; z ← z − ηv.
+                for ((v, &g), z) in velocity.iter_mut().zip(g.iter()).zip(z.iter_mut()) {
+                    *v = self.momentum * *v + g;
+                    *z -= self.lr * *v;
+                }
+            }
+        }
+        // Output perturbation (§III-B): noise on the transmitted model.
+        let rule = SensitivityRule::SgdOutput {
+            clip: self.privacy.clip,
+            lr: self.lr as f64,
+        };
+        let scale = self.privacy.noise_scale(&rule);
+        self.privacy
+            .build_mechanism()
+            .perturb(&mut z, scale, &mut self.rng);
+
+        Ok(ClientUpload {
+            client_id: self.id,
+            primal: z,
+            dual: None,
+            num_samples: self.trainer.num_samples(),
+            local_loss: if loss_count == 0 {
+                0.0
+            } else {
+                (loss_sum / loss_count as f64) as f32
+            },
+        })
+    }
+
+    fn id(&self) -> usize {
+        self.id
+    }
+
+    fn num_samples(&self) -> usize {
+        self.trainer.num_samples()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn upload(id: usize, value: f32, n: usize) -> ClientUpload {
+        ClientUpload {
+            client_id: id,
+            primal: vec![value; 3],
+            dual: None,
+            num_samples: n,
+            local_loss: 0.0,
+        }
+    }
+
+    #[test]
+    fn server_weights_by_sample_count() {
+        let mut s = FedAvgServer::new(vec![0.0; 3]);
+        s.update(&[upload(0, 1.0, 30), upload(1, 4.0, 10)]).unwrap();
+        // (30·1 + 10·4)/40 = 1.75
+        for &w in &s.global_model() {
+            assert!((w - 1.75).abs() < 1e-6);
+        }
+        assert_eq!(s.name(), "FedAvg");
+        assert_eq!(s.dim(), 3);
+    }
+
+    #[test]
+    fn server_rejects_degenerate_uploads() {
+        let mut s = FedAvgServer::new(vec![0.0; 3]);
+        assert!(s.update(&[]).is_err());
+        assert!(s.update(&[upload(0, 1.0, 0)]).is_err());
+    }
+
+    #[test]
+    fn equal_weights_reduce_to_plain_mean() {
+        let mut s = FedAvgServer::new(vec![0.0; 3]);
+        s.update(&[upload(0, 2.0, 5), upload(1, 6.0, 5)]).unwrap();
+        for &w in &s.global_model() {
+            assert!((w - 4.0).abs() < 1e-6);
+        }
+    }
+}

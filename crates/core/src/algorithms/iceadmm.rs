@@ -1,0 +1,298 @@
+//! ICEADMM — the inexact communication-efficient ADMM of Zhou & Li [8],
+//! as characterised in §III-A of the APPFL paper.
+//!
+//! Per the paper: "ICEADMM conducts multiple local primal and dual updates
+//! without using the batches of data, namely, iteratively solving (4) and
+//! (3c) for L times while B_p = 1", and consequently "communicating not
+//! only primal but also dual information from clients to the server for
+//! every communication round":
+//!
+//! ```text
+//! client (×L, full gradient):  z ← z − (g(z) − λ − ρ(w − z)) / (ρ + ζ)
+//!                              λ ← λ + ρ(w − z)
+//! upload:                      (z_p, λ_p)            ← 2m floats
+//! server:                      w ← (1/P) Σ_p (z_p − λ_p/ρ)
+//! ```
+//!
+//! Unlike IIADMM, the client's local iterate `z` persists across rounds
+//! (it is *not* re-anchored at `w^{t+1}`), which is what makes transmitting
+//! the dual necessary.
+
+use crate::api::{ClientAlgorithm, ClientUpload, ServerAlgorithm};
+use crate::trainer::LocalTrainer;
+use appfl_privacy::{PrivacyConfig, SensitivityRule};
+use appfl_tensor::{Result, TensorError};
+use rand::rngs::StdRng;
+
+/// ICEADMM server: reconstructs `w` from received primal+dual pairs.
+pub struct IceAdmmServer {
+    global: Vec<f32>,
+    num_clients: usize,
+    rho: f32,
+}
+
+impl IceAdmmServer {
+    /// Starts from an initial global model.
+    pub fn new(initial: Vec<f32>, num_clients: usize, rho: f32) -> Self {
+        assert!(rho > 0.0, "ICEADMM requires ρ > 0");
+        assert!(num_clients > 0, "ICEADMM requires at least one client");
+        IceAdmmServer {
+            global: initial,
+            num_clients,
+            rho,
+        }
+    }
+}
+
+impl ServerAlgorithm for IceAdmmServer {
+    fn global_model(&self) -> Vec<f32> {
+        self.global.clone()
+    }
+
+    fn update(&mut self, uploads: &[ClientUpload]) -> Result<()> {
+        if uploads.len() != self.num_clients {
+            return Err(TensorError::InvalidArgument(format!(
+                "ICEADMM expects {} uploads, got {}",
+                self.num_clients,
+                uploads.len()
+            )));
+        }
+        let mut w = vec![0.0f32; self.global.len()];
+        for u in uploads {
+            let dual = u.dual.as_ref().ok_or_else(|| {
+                TensorError::InvalidArgument(format!(
+                    "ICEADMM upload from client {} is missing the dual",
+                    u.client_id
+                ))
+            })?;
+            if u.primal.len() != w.len() || dual.len() != w.len() {
+                return Err(TensorError::InvalidArgument(format!(
+                    "bad ICEADMM upload from client {}",
+                    u.client_id
+                )));
+            }
+            for ((w, &z), &l) in w.iter_mut().zip(u.primal.iter()).zip(dual.iter()) {
+                *w += z - l / self.rho;
+            }
+        }
+        let inv = 1.0 / self.num_clients as f32;
+        for w in w.iter_mut() {
+            *w *= inv;
+        }
+        self.global = w;
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "ICEADMM"
+    }
+
+    fn dim(&self) -> usize {
+        self.global.len()
+    }
+}
+
+/// ICEADMM client: persistent primal and dual iterates.
+pub struct IceAdmmClient {
+    id: usize,
+    trainer: LocalTrainer,
+    rho: f32,
+    zeta: f32,
+    local_steps: usize,
+    privacy: PrivacyConfig,
+    primal: Vec<f32>,
+    dual: Vec<f32>,
+    rng: StdRng,
+    initialized: bool,
+}
+
+impl IceAdmmClient {
+    /// Builds a client; `z` is initialised to the first broadcast `w`,
+    /// `λ¹ = 0`.
+    pub fn new(
+        id: usize,
+        trainer: LocalTrainer,
+        rho: f32,
+        zeta: f32,
+        local_steps: usize,
+        privacy: PrivacyConfig,
+        rng: StdRng,
+    ) -> Self {
+        assert!(rho > 0.0 && zeta >= 0.0, "ICEADMM requires ρ > 0, ζ ≥ 0");
+        let dim = trainer.dim();
+        IceAdmmClient {
+            id,
+            trainer,
+            rho,
+            zeta,
+            local_steps,
+            privacy,
+            primal: vec![0.0; dim],
+            dual: vec![0.0; dim],
+            rng,
+            initialized: false,
+        }
+    }
+}
+
+impl ClientAlgorithm for IceAdmmClient {
+    fn update(&mut self, global: &[f32]) -> Result<ClientUpload> {
+        if !self.initialized {
+            self.primal = global.to_vec();
+            self.initialized = true;
+        }
+        let clip = if self.privacy.is_private() {
+            self.privacy.clip
+        } else {
+            f64::INFINITY
+        };
+        let denom = self.rho + self.zeta;
+        // Full-gradient mode: one batch containing the entire shard.
+        let full = self.trainer.full_batch()?;
+        let mut loss_sum = 0.0f64;
+        for _ in 0..self.local_steps {
+            let (g, loss) = self.trainer.grad_at(&self.primal, &full, clip)?;
+            loss_sum += loss as f64;
+            // Inexact primal step (4).
+            for (((z, &g), &l), &w) in self
+                .primal
+                .iter_mut()
+                .zip(g.iter())
+                .zip(self.dual.iter())
+                .zip(global.iter())
+            {
+                *z -= (g - l - self.rho * (w - *z)) / denom;
+            }
+            // Dual step (3c) inside the local loop — the defining ICEADMM
+            // behaviour that forces dual communication.
+            for ((l, &w), &z) in self.dual.iter_mut().zip(global.iter()).zip(self.primal.iter()) {
+                *l += self.rho * (w - z);
+            }
+        }
+        // Output perturbation on the transmitted primal (§III-B).
+        let mut z_out = self.primal.clone();
+        let rule = SensitivityRule::AdmmOutput {
+            clip: self.privacy.clip,
+            rho: self.rho as f64,
+            zeta: self.zeta as f64,
+        };
+        let scale = self.privacy.noise_scale(&rule);
+        self.privacy
+            .build_mechanism()
+            .perturb(&mut z_out, scale, &mut self.rng);
+
+        Ok(ClientUpload {
+            client_id: self.id,
+            primal: z_out,
+            dual: Some(self.dual.clone()),
+            num_samples: self.trainer.num_samples(),
+            local_loss: (loss_sum / self.local_steps.max(1) as f64) as f32,
+        })
+    }
+
+    fn id(&self) -> usize {
+        self.id
+    }
+
+    fn num_samples(&self) -> usize {
+        self.trainer.num_samples()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::tiny_trainer;
+    use rand::SeedableRng;
+
+    fn client(id: usize) -> IceAdmmClient {
+        IceAdmmClient::new(
+            id,
+            tiny_trainer(id as u64),
+            1.0,
+            0.5,
+            3,
+            PrivacyConfig::none(),
+            StdRng::seed_from_u64(7 + id as u64),
+        )
+    }
+
+    #[test]
+    fn uploads_carry_primal_and_dual() {
+        let mut c = client(0);
+        let dim = c.trainer.dim();
+        let u = c.update(&vec![0.0; dim]).unwrap();
+        assert!(u.dual.is_some());
+        assert_eq!(u.payload_bytes(), 8 * dim); // 2m floats
+    }
+
+    #[test]
+    fn server_requires_duals() {
+        let mut s = IceAdmmServer::new(vec![0.0; 2], 1, 1.0);
+        let missing = ClientUpload {
+            client_id: 0,
+            primal: vec![1.0, 1.0],
+            dual: None,
+            num_samples: 1,
+            local_loss: 0.0,
+        };
+        assert!(s.update(&[missing]).is_err());
+    }
+
+    #[test]
+    fn server_aggregation_formula() {
+        let mut s = IceAdmmServer::new(vec![0.0; 2], 2, 2.0);
+        let u = |z: f32, l: f32, id: usize| ClientUpload {
+            client_id: id,
+            primal: vec![z; 2],
+            dual: Some(vec![l; 2]),
+            num_samples: 1,
+            local_loss: 0.0,
+        };
+        s.update(&[u(4.0, 2.0, 0), u(2.0, -2.0, 1)]).unwrap();
+        // ((4 − 1) + (2 + 1)) / 2 = 3
+        assert!(s.global_model().iter().all(|&w| (w - 3.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn local_iterates_persist_across_rounds() {
+        let mut c = client(0);
+        let dim = c.trainer.dim();
+        let w = vec![0.0; dim];
+        c.update(&w).unwrap();
+        let z_after_round1 = c.primal.clone();
+        assert!(z_after_round1.iter().any(|&z| z != 0.0));
+        c.update(&w).unwrap();
+        // Second round continues from z, not from w.
+        assert_ne!(c.primal, z_after_round1);
+    }
+
+    #[test]
+    fn duals_become_nonzero_after_training() {
+        let mut c = client(1);
+        let dim = c.trainer.dim();
+        c.update(&vec![0.0; dim]).unwrap();
+        assert!(c.dual.iter().any(|&l| l != 0.0));
+    }
+
+    #[test]
+    fn federation_converges_on_shared_objective() {
+        let mut clients: Vec<IceAdmmClient> = (0..3).map(client).collect();
+        let dim = clients[0].trainer.dim();
+        let mut server = IceAdmmServer::new(vec![0.0; dim], 3, 1.0);
+        let mut losses = Vec::new();
+        for _ in 0..8 {
+            let w = server.global_model();
+            let uploads: Vec<ClientUpload> =
+                clients.iter_mut().map(|c| c.update(&w).unwrap()).collect();
+            losses.push(
+                uploads.iter().map(|u| u.local_loss).sum::<f32>() / uploads.len() as f32,
+            );
+            server.update(&uploads).unwrap();
+        }
+        assert!(
+            losses.last().unwrap() < losses.first().unwrap(),
+            "losses {losses:?}"
+        );
+    }
+}

@@ -1,0 +1,403 @@
+//! IIADMM — the paper's Algorithm 1.
+//!
+//! The improved inexact ADMM performs (i) *batched* multiple local primal
+//! updates and (ii) two independent-but-identical dual updates at the server
+//! and the client, eliminating dual communication entirely:
+//!
+//! ```text
+//! server, line 3 : w^{t+1} ← (1/P) Σ_p (z_p^t − λ_p^t/ρ)
+//! client, 11–20  : z^{1,1} ← w^{t+1};
+//!                  repeat L times over batches b:
+//!                      z ← z − (g − λ_p − ρ(w − z)) / (ρ + ζ)
+//! client, line 21: λ_p ← λ_p + ρ(w^{t+1} − z_p^{t+1})
+//! server, line 6 : identical λ update with the received z_p^{t+1}
+//! ```
+//!
+//! Because both sides start from the same `(z¹, λ¹)` (shared once at t=1)
+//! and apply the same recurrence to the same transmitted values, the
+//! mirrored duals remain bit-equal forever — asserted by
+//! `server_and_client_duals_stay_identical` below. Note that with DP the
+//! client's own dual update must use the *perturbed* `z` it actually
+//! transmitted, otherwise the mirrors diverge.
+
+use crate::api::{ClientAlgorithm, ClientUpload, ServerAlgorithm};
+use crate::trainer::LocalTrainer;
+use appfl_privacy::{PrivacyConfig, SensitivityRule};
+use appfl_tensor::{Result, TensorError};
+use rand::rngs::StdRng;
+
+/// IIADMM server: stores per-client primal copies and mirrored duals.
+pub struct IiAdmmServer {
+    /// Last received `z_p^t` per client (initialised to the shared `z¹`).
+    primal: Vec<Vec<f32>>,
+    /// Mirrored duals `λ_p^t` (initialised to the shared `λ¹ = 0`).
+    dual: Vec<Vec<f32>>,
+    /// Penalty ρ.
+    rho: f32,
+    /// Cached `w^{t+1}` recomputed on every `update`.
+    global: Vec<f32>,
+}
+
+impl IiAdmmServer {
+    /// Initialises with the shared starting point: `z_p^1 = w^1`,
+    /// `λ_p^1 = 0` for all clients.
+    pub fn new(initial: Vec<f32>, num_clients: usize, rho: f32) -> Self {
+        assert!(rho > 0.0, "IIADMM requires ρ > 0");
+        assert!(num_clients > 0, "IIADMM requires at least one client");
+        let dim = initial.len();
+        let mut s = IiAdmmServer {
+            primal: vec![initial.clone(); num_clients],
+            dual: vec![vec![0.0; dim]; num_clients],
+            rho,
+            global: Vec::new(),
+        };
+        s.global = s.compute_global();
+        s
+    }
+
+    /// Algorithm 1 line 3.
+    fn compute_global(&self) -> Vec<f32> {
+        let p = self.primal.len() as f32;
+        let dim = self.primal[0].len();
+        let mut w = vec![0.0f32; dim];
+        for (z, l) in self.primal.iter().zip(self.dual.iter()) {
+            for ((w, &z), &l) in w.iter_mut().zip(z.iter()).zip(l.iter()) {
+                *w += z - l / self.rho;
+            }
+        }
+        for w in w.iter_mut() {
+            *w /= p;
+        }
+        w
+    }
+
+    /// The mirrored dual of client `p` (exposed for the mirroring tests and
+    /// the adaptive-ρ extension).
+    pub fn dual_of(&self, p: usize) -> &[f32] {
+        &self.dual[p]
+    }
+
+    /// Current penalty ρ.
+    pub fn rho(&self) -> f32 {
+        self.rho
+    }
+
+    /// Replaces ρ (adaptive-penalty extension; must be mirrored by clients).
+    pub fn set_rho(&mut self, rho: f32) {
+        assert!(rho > 0.0, "IIADMM requires ρ > 0");
+        self.rho = rho;
+        self.global = self.compute_global();
+    }
+
+    /// Sum of per-client primal residuals `‖w − z_p‖` (adaptive ρ uses it).
+    pub fn primal_residual(&self) -> f64 {
+        self.primal
+            .iter()
+            .map(|z| appfl_tensor::vecops::sq_dist(&self.global, z).sqrt())
+            .sum()
+    }
+}
+
+impl ServerAlgorithm for IiAdmmServer {
+    fn global_model(&self) -> Vec<f32> {
+        self.global.clone()
+    }
+
+    fn update(&mut self, uploads: &[ClientUpload]) -> Result<()> {
+        if uploads.len() != self.primal.len() {
+            return Err(TensorError::InvalidArgument(format!(
+                "IIADMM expects {} uploads, got {}",
+                self.primal.len(),
+                uploads.len()
+            )));
+        }
+        for u in uploads {
+            if u.dual.is_some() {
+                return Err(TensorError::InvalidArgument(
+                    "IIADMM clients must not transmit duals".into(),
+                ));
+            }
+            let p = u.client_id;
+            if p >= self.primal.len() || u.primal.len() != self.global.len() {
+                return Err(TensorError::InvalidArgument(format!(
+                    "bad IIADMM upload from client {p}"
+                )));
+            }
+            // Line 6: λ_p ← λ_p + ρ(w^{t+1} − z_p^{t+1}), identical to the
+            // client-side line 21.
+            for ((l, &w), &z) in self.dual[p]
+                .iter_mut()
+                .zip(self.global.iter())
+                .zip(u.primal.iter())
+            {
+                *l += self.rho * (w - z);
+            }
+            self.primal[p] = u.primal.clone();
+        }
+        self.global = self.compute_global();
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "IIADMM"
+    }
+
+    fn dim(&self) -> usize {
+        self.global.len()
+    }
+}
+
+/// IIADMM client: keeps its dual `λ_p` across rounds (never transmitted).
+pub struct IiAdmmClient {
+    id: usize,
+    trainer: LocalTrainer,
+    rho: f32,
+    zeta: f32,
+    local_steps: usize,
+    privacy: PrivacyConfig,
+    dual: Vec<f32>,
+    rng: StdRng,
+}
+
+impl IiAdmmClient {
+    /// Builds a client with the shared initial dual `λ¹ = 0`.
+    pub fn new(
+        id: usize,
+        trainer: LocalTrainer,
+        rho: f32,
+        zeta: f32,
+        local_steps: usize,
+        privacy: PrivacyConfig,
+        rng: StdRng,
+    ) -> Self {
+        assert!(rho > 0.0 && zeta >= 0.0, "IIADMM requires ρ > 0, ζ ≥ 0");
+        let dim = trainer.dim();
+        IiAdmmClient {
+            id,
+            trainer,
+            rho,
+            zeta,
+            local_steps,
+            privacy,
+            dual: vec![0.0; dim],
+            rng,
+        }
+    }
+
+    /// The client's dual (for mirroring tests).
+    pub fn dual(&self) -> &[f32] {
+        &self.dual
+    }
+
+    /// Replaces ρ (adaptive-penalty extension, mirrored with the server).
+    pub fn set_rho(&mut self, rho: f32) {
+        assert!(rho > 0.0, "IIADMM requires ρ > 0");
+        self.rho = rho;
+    }
+}
+
+impl ClientAlgorithm for IiAdmmClient {
+    fn update(&mut self, global: &[f32]) -> Result<ClientUpload> {
+        let clip = if self.privacy.is_private() {
+            self.privacy.clip
+        } else {
+            f64::INFINITY
+        };
+        let denom = self.rho + self.zeta;
+        // Line 11: z^{1,1} ← w^{t+1}.
+        let mut z = global.to_vec();
+        let mut loss_sum = 0.0f64;
+        let mut loss_count = 0usize;
+        // Lines 13–19: L sweeps over the batches.
+        for _ in 0..self.local_steps {
+            let batches = self.trainer.batches(&mut self.rng)?;
+            for batch in &batches {
+                let (g, loss) = self.trainer.grad_at(&z, batch, clip)?;
+                loss_sum += loss as f64;
+                loss_count += 1;
+                // Line 16: z ← z − (g − λ − ρ(w − z)) / (ρ + ζ).
+                for (((z, &g), &l), &w) in z
+                    .iter_mut()
+                    .zip(g.iter())
+                    .zip(self.dual.iter())
+                    .zip(global.iter())
+                {
+                    *z -= (g - l - self.rho * (w - *z)) / denom;
+                }
+            }
+        }
+        // Line 20 + §III-B: perturb the transmitted primal.
+        let rule = SensitivityRule::AdmmOutput {
+            clip: self.privacy.clip,
+            rho: self.rho as f64,
+            zeta: self.zeta as f64,
+        };
+        let scale = self.privacy.noise_scale(&rule);
+        self.privacy
+            .build_mechanism()
+            .perturb(&mut z, scale, &mut self.rng);
+
+        // Line 21 on the *transmitted* value, so the server mirror stays
+        // identical even under DP.
+        for ((l, &w), &z) in self.dual.iter_mut().zip(global.iter()).zip(z.iter()) {
+            *l += self.rho * (w - z);
+        }
+
+        Ok(ClientUpload {
+            client_id: self.id,
+            primal: z,
+            dual: None,
+            num_samples: self.trainer.num_samples(),
+            local_loss: if loss_count == 0 {
+                0.0
+            } else {
+                (loss_sum / loss_count as f64) as f32
+            },
+        })
+    }
+
+    fn id(&self) -> usize {
+        self.id
+    }
+
+    fn num_samples(&self) -> usize {
+        self.trainer.num_samples()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{tiny_shard, tiny_trainer};
+    use appfl_privacy::PrivacyConfig;
+    use rand::SeedableRng;
+
+    fn client(id: usize, privacy: PrivacyConfig) -> IiAdmmClient {
+        IiAdmmClient::new(
+            id,
+            tiny_trainer(id as u64),
+            1.0,
+            0.5,
+            2,
+            privacy,
+            StdRng::seed_from_u64(100 + id as u64),
+        )
+    }
+
+    #[test]
+    fn server_global_is_average_of_z_minus_scaled_dual() {
+        let s = IiAdmmServer::new(vec![2.0; 4], 3, 2.0);
+        // Fresh state: duals zero, all primals = 2 → w = 2.
+        assert!(s.global_model().iter().all(|&w| (w - 2.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn server_rejects_duals_and_bad_arity() {
+        let mut s = IiAdmmServer::new(vec![0.0; 2], 2, 1.0);
+        let good = ClientUpload {
+            client_id: 0,
+            primal: vec![1.0, 1.0],
+            dual: None,
+            num_samples: 1,
+            local_loss: 0.0,
+        };
+        let with_dual = ClientUpload {
+            dual: Some(vec![0.0, 0.0]),
+            client_id: 1,
+            ..good.clone()
+        };
+        assert!(s.update(std::slice::from_ref(&good)).is_err()); // arity 1 != 2
+        assert!(s.update(&[good, with_dual]).is_err()); // dual present
+    }
+
+    #[test]
+    fn server_and_client_duals_stay_identical() {
+        // The paper's central claim for IIADMM: line 6 ≡ line 21, so
+        // mirrored duals never diverge — including under DP noise.
+        for privacy in [PrivacyConfig::none(), PrivacyConfig::laplace(5.0, 1.0)] {
+            let mut clients: Vec<IiAdmmClient> =
+                (0..3).map(|i| client(i, privacy)).collect();
+            let dim = clients[0].trainer.dim();
+            let mut server = IiAdmmServer::new(vec![0.0; dim], 3, 1.0);
+            for _round in 0..3 {
+                let w = server.global_model();
+                let uploads: Vec<ClientUpload> = clients
+                    .iter_mut()
+                    .map(|c| c.update(&w).unwrap())
+                    .collect();
+                server.update(&uploads).unwrap();
+                for (i, c) in clients.iter().enumerate() {
+                    let sd = server.dual_of(i);
+                    let cd = c.dual();
+                    let max_diff = sd
+                        .iter()
+                        .zip(cd.iter())
+                        .map(|(a, b)| (a - b).abs())
+                        .fold(0.0f32, f32::max);
+                    assert!(
+                        max_diff < 1e-5,
+                        "dual divergence {max_diff} at client {i} (privacy={})",
+                        privacy.is_private()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uploads_carry_primal_only() {
+        let mut c = client(0, PrivacyConfig::none());
+        let w = vec![0.0; c.trainer.dim()];
+        let u = c.update(&w).unwrap();
+        assert!(u.dual.is_none());
+        assert_eq!(u.primal.len(), w.len());
+        assert_eq!(u.payload_bytes(), 4 * w.len());
+    }
+
+    #[test]
+    fn consensus_contracts_over_rounds() {
+        // On a shared objective the per-client primals must approach the
+        // global model (the consensus constraint (2b) at work).
+        let mut clients: Vec<IiAdmmClient> =
+            (0..3).map(|i| client(i, PrivacyConfig::none())).collect();
+        let dim = clients[0].trainer.dim();
+        let mut server = IiAdmmServer::new(vec![0.0; dim], 3, 1.0);
+        let mut first_residual = None;
+        let mut last_residual = 0.0;
+        for round in 0..8 {
+            let w = server.global_model();
+            let uploads: Vec<ClientUpload> =
+                clients.iter_mut().map(|c| c.update(&w).unwrap()).collect();
+            server.update(&uploads).unwrap();
+            let r = server.primal_residual();
+            if round == 0 {
+                first_residual = Some(r);
+            }
+            last_residual = r;
+        }
+        assert!(
+            last_residual < first_residual.unwrap(),
+            "residual {first_residual:?} -> {last_residual}"
+        );
+    }
+
+    #[test]
+    fn dp_noise_perturbs_the_upload() {
+        let w = vec![0.0; client(0, PrivacyConfig::none()).trainer.dim()];
+        let clean = client(0, PrivacyConfig::none()).update(&w).unwrap();
+        let noisy = client(0, PrivacyConfig::laplace(1.0, 1.0)).update(&w).unwrap();
+        let diff: f32 = clean
+            .primal
+            .iter()
+            .zip(noisy.primal.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(diff > 1e-3, "noise had no effect");
+    }
+
+    #[test]
+    fn shard_sizes_are_reported() {
+        let c = client(0, PrivacyConfig::none());
+        assert_eq!(c.num_samples(), tiny_shard(0).0);
+    }
+}

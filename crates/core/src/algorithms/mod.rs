@@ -1,0 +1,13 @@
+//! FL algorithm implementations and the job factory.
+
+pub mod factory;
+pub mod fedavg;
+pub mod fedprox;
+pub mod iceadmm;
+pub mod iiadmm;
+
+pub use factory::{build_federation, Federation};
+pub use fedavg::{FedAvgClient, FedAvgServer};
+pub use fedprox::FedProxClient;
+pub use iceadmm::{IceAdmmClient, IceAdmmServer};
+pub use iiadmm::{IiAdmmClient, IiAdmmServer};

@@ -1,0 +1,88 @@
+//! The plug-and-play algorithm API.
+//!
+//! §II-A.1: "Additional user-defined FL algorithms can be implemented by
+//! inheriting our Python class `BaseServer` and implementing the virtual
+//! function `update()`. … This additional work can be customized as well by
+//! inheriting our `BaseClient` class and implementing the virtual function
+//! `update()`." These two traits are the Rust rendition of that contract;
+//! everything else in the framework (runners, transports, privacy, metrics)
+//! is generic over them.
+
+use appfl_tensor::Result;
+
+/// What a client transmits to the server each round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientUpload {
+    /// Client identifier `p ∈ [P]`.
+    pub client_id: usize,
+    /// Local primal parameters `z_p^{t+1}` (flat, m floats).
+    pub primal: Vec<f32>,
+    /// Local dual parameters `λ_p^{t+1}` — `Some` only for algorithms that
+    /// must communicate duals (ICEADMM). IIADMM's `None` here *is* the
+    /// paper's communication saving.
+    pub dual: Option<Vec<f32>>,
+    /// Number of local samples `I_p` (for weighted aggregation).
+    pub num_samples: usize,
+    /// Mean training loss over this round's local steps (diagnostics).
+    pub local_loss: f32,
+}
+
+impl ClientUpload {
+    /// Bytes this upload occupies as raw `f32` payload (4 bytes/value) —
+    /// the quantity the communication ablation accounts.
+    pub fn payload_bytes(&self) -> usize {
+        4 * (self.primal.len() + self.dual.as_ref().map_or(0, Vec::len))
+    }
+}
+
+/// Server-side half of an FL algorithm (the `BaseServer` analogue).
+pub trait ServerAlgorithm: Send {
+    /// The current global model `w^{t+1}`, computed from server state.
+    /// Called at the top of each round; the result is broadcast to clients.
+    fn global_model(&self) -> Vec<f32>;
+
+    /// Aggregates one round of client uploads into server state (the
+    /// virtual `update()` of `BaseServer`).
+    fn update(&mut self, uploads: &[ClientUpload]) -> Result<()>;
+
+    /// Algorithm name for logs and experiment records.
+    fn name(&self) -> &'static str;
+
+    /// Model dimension m.
+    fn dim(&self) -> usize;
+}
+
+/// Client-side half of an FL algorithm (the `BaseClient` analogue).
+pub trait ClientAlgorithm: Send {
+    /// Runs one round of local training from the broadcast global model and
+    /// returns the upload (the virtual `update()` of `BaseClient`).
+    fn update(&mut self, global: &[f32]) -> Result<ClientUpload>;
+
+    /// This client's id `p`.
+    fn id(&self) -> usize;
+
+    /// Number of local samples `I_p`.
+    fn num_samples(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upload_payload_accounting() {
+        let primal_only = ClientUpload {
+            client_id: 0,
+            primal: vec![0.0; 100],
+            dual: None,
+            num_samples: 10,
+            local_loss: 0.5,
+        };
+        assert_eq!(primal_only.payload_bytes(), 400);
+        let with_dual = ClientUpload {
+            dual: Some(vec![0.0; 100]),
+            ..primal_only
+        };
+        assert_eq!(with_dual.payload_bytes(), 800);
+    }
+}

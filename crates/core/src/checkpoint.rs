@@ -1,0 +1,115 @@
+//! Checkpointing: persist and restore the global model and run history.
+//!
+//! Long PPFL simulations (Fig. 2's 48-cell grid at paper scale) need to
+//! survive interruption; checkpoints also let a served model be exported
+//! for downstream evaluation.
+
+use crate::metrics::History;
+use appfl_tensor::{Result, TensorError};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// A serialisable snapshot of a federated run.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct Checkpoint {
+    /// Completed communication rounds.
+    pub round: usize,
+    /// The global model `w` after that round.
+    pub global: Vec<f32>,
+    /// Run history so far.
+    pub history: History,
+}
+
+impl Checkpoint {
+    /// Builds a snapshot.
+    pub fn new(round: usize, global: Vec<f32>, history: History) -> Self {
+        Checkpoint {
+            round,
+            global,
+            history,
+        }
+    }
+
+    /// Serialises to JSON.
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string(self)
+            .map_err(|e| TensorError::InvalidArgument(format!("checkpoint encode: {e}")))
+    }
+
+    /// Deserialises from JSON, validating basic invariants.
+    pub fn from_json(json: &str) -> Result<Self> {
+        let cp: Checkpoint = serde_json::from_str(json)
+            .map_err(|e| TensorError::InvalidArgument(format!("checkpoint decode: {e}")))?;
+        if cp.history.rounds.len() > cp.round {
+            return Err(TensorError::InvalidArgument(format!(
+                "checkpoint claims round {} but history has {} records",
+                cp.round,
+                cp.history.rounds.len()
+            )));
+        }
+        Ok(cp)
+    }
+
+    /// Writes to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        std::fs::write(path, self.to_json()?)
+            .map_err(|e| TensorError::InvalidArgument(format!("checkpoint write: {e}")))
+    }
+
+    /// Reads from a file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self> {
+        let json = std::fs::read_to_string(path)
+            .map_err(|e| TensorError::InvalidArgument(format!("checkpoint read: {e}")))?;
+        Self::from_json(&json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::RoundRecord;
+
+    fn sample() -> Checkpoint {
+        let mut history = History::new("IIADMM", "MNIST", 5.0);
+        history.rounds.push(RoundRecord {
+            round: 1,
+            accuracy: 0.8,
+            test_loss: 0.5,
+            train_loss: 0.6,
+            upload_bytes: 100,
+            compute_secs: 1.0,
+            comm_secs: 0.1,
+        });
+        Checkpoint::new(1, vec![0.25, -0.5, 1.0], history)
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let cp = sample();
+        let back = Checkpoint::from_json(&cp.to_json().unwrap()).unwrap();
+        assert_eq!(back, cp);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let cp = sample();
+        let path = std::env::temp_dir().join("appfl_test_checkpoint.json");
+        cp.save(&path).unwrap();
+        let back = Checkpoint::load(&path).unwrap();
+        assert_eq!(back.global, cp.global);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn inconsistent_round_count_is_rejected() {
+        let mut cp = sample();
+        cp.round = 0; // history has 1 record → inconsistent
+        let json = serde_json::to_string(&cp).unwrap();
+        assert!(Checkpoint::from_json(&json).is_err());
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        assert!(Checkpoint::load("/nonexistent/path/cp.json").is_err());
+    }
+}

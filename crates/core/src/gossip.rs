@@ -1,0 +1,186 @@
+//! Decentralized neighbour averaging — future-work item 1 of §V.
+//!
+//! "We will also develop decentralized privacy-preserving algorithms that
+//! allow the neighboring communication without the central server for
+//! learning." This module provides that prototype: clients sit on an
+//! undirected communication graph and each round (i) train locally, then
+//! (ii) replace their model with a Metropolis-weighted average of their
+//! neighbourhood — classic decentralized SGD / gossip averaging. Combined
+//! with the same output-perturbation DP as the centralised algorithms, it
+//! gives a serverless PPFL baseline.
+
+use appfl_tensor::{Result, TensorError};
+
+/// An undirected communication topology over `n` nodes.
+///
+/// ```
+/// use appfl_core::gossip::{gossip_average, Topology};
+/// let ring = Topology::ring(4);
+/// let models = vec![vec![4.0_f32], vec![0.0], vec![2.0], vec![2.0]];
+/// let next = gossip_average(&ring, &models).unwrap();
+/// // Metropolis weights conserve the network mean (here 2.0).
+/// let mean: f32 = next.iter().map(|m| m[0]).sum::<f32>() / 4.0;
+/// assert!((mean - 2.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Topology {
+    n: usize,
+    adj: Vec<Vec<usize>>,
+}
+
+impl Topology {
+    /// A ring: node `i` talks to `i±1 (mod n)`.
+    pub fn ring(n: usize) -> Self {
+        assert!(n >= 2, "ring needs at least two nodes");
+        let adj = (0..n)
+            .map(|i| {
+                let mut v = vec![(i + n - 1) % n, (i + 1) % n];
+                v.sort_unstable();
+                v.dedup(); // n = 2 has a single neighbour
+                v
+            })
+            .collect();
+        Topology { n, adj }
+    }
+
+    /// A complete graph (every pair connected).
+    pub fn complete(n: usize) -> Self {
+        assert!(n >= 2, "complete graph needs at least two nodes");
+        let adj = (0..n)
+            .map(|i| (0..n).filter(|&j| j != i).collect())
+            .collect();
+        Topology { n, adj }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the topology is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Neighbours of node `i`.
+    pub fn neighbors(&self, i: usize) -> &[usize] {
+        &self.adj[i]
+    }
+
+    /// Node degree.
+    pub fn degree(&self, i: usize) -> usize {
+        self.adj[i].len()
+    }
+}
+
+/// One Metropolis–Hastings gossip averaging step: every node mixes its
+/// vector with its neighbours' using weights
+/// `W_ij = 1 / (1 + max(deg_i, deg_j))`, which keeps the mixing matrix
+/// doubly stochastic (so the network average is conserved).
+pub fn gossip_average(topology: &Topology, models: &[Vec<f32>]) -> Result<Vec<Vec<f32>>> {
+    if models.len() != topology.len() {
+        return Err(TensorError::InvalidArgument(format!(
+            "{} models for {} nodes",
+            models.len(),
+            topology.len()
+        )));
+    }
+    let dim = models.first().map_or(0, Vec::len);
+    if models.iter().any(|m| m.len() != dim) {
+        return Err(TensorError::InvalidArgument(
+            "ragged model dimensions".into(),
+        ));
+    }
+    let mut out = Vec::with_capacity(models.len());
+    for i in 0..topology.len() {
+        let mut next = models[i].clone();
+        let mut self_weight = 1.0f32;
+        for &j in topology.neighbors(i) {
+            let w = 1.0 / (1.0 + topology.degree(i).max(topology.degree(j)) as f32);
+            self_weight -= w;
+            for (n, (&mj, &mi)) in next.iter_mut().zip(models[j].iter().zip(models[i].iter())) {
+                *n += w * (mj - mi);
+            }
+            debug_assert!(self_weight >= -1e-6);
+        }
+        out.push(next);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_topology_shape() {
+        let t = Topology::ring(5);
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.neighbors(0), &[1, 4]);
+        assert_eq!(t.degree(2), 2);
+        let t2 = Topology::ring(2);
+        assert_eq!(t2.degree(0), 1);
+    }
+
+    #[test]
+    fn complete_topology_shape() {
+        let t = Topology::complete(4);
+        assert_eq!(t.degree(0), 3);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn gossip_conserves_the_mean() {
+        let t = Topology::ring(4);
+        let models = vec![
+            vec![4.0f32, 0.0],
+            vec![0.0, 4.0],
+            vec![2.0, 2.0],
+            vec![-2.0, 6.0],
+        ];
+        let mean0: Vec<f32> = (0..2)
+            .map(|d| models.iter().map(|m| m[d]).sum::<f32>() / 4.0)
+            .collect();
+        let next = gossip_average(&t, &models).unwrap();
+        let mean1: Vec<f32> = (0..2)
+            .map(|d| next.iter().map(|m| m[d]).sum::<f32>() / 4.0)
+            .collect();
+        for (a, b) in mean0.iter().zip(mean1.iter()) {
+            assert!((a - b).abs() < 1e-5, "mean drifted {a} -> {b}");
+        }
+    }
+
+    #[test]
+    fn gossip_contracts_disagreement() {
+        let t = Topology::ring(6);
+        let mut models: Vec<Vec<f32>> = (0..6).map(|i| vec![i as f32]).collect();
+        let spread = |ms: &[Vec<f32>]| {
+            let max = ms.iter().map(|m| m[0]).fold(f32::MIN, f32::max);
+            let min = ms.iter().map(|m| m[0]).fold(f32::MAX, f32::min);
+            max - min
+        };
+        let s0 = spread(&models);
+        for _ in 0..30 {
+            models = gossip_average(&t, &models).unwrap();
+        }
+        let s1 = spread(&models);
+        assert!(s1 < s0 * 0.2, "spread {s0} -> {s1}");
+    }
+
+    #[test]
+    fn complete_graph_converges_in_one_step_towards_mean() {
+        let t = Topology::complete(3);
+        let models = vec![vec![3.0f32], vec![0.0], vec![0.0]];
+        let next = gossip_average(&t, &models).unwrap();
+        // All nodes move strictly toward the mean (1.0).
+        assert!(next[0][0] < 3.0);
+        assert!(next[1][0] > 0.0);
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let t = Topology::ring(3);
+        assert!(gossip_average(&t, &[vec![0.0], vec![0.0]]).is_err());
+        assert!(gossip_average(&t, &[vec![0.0], vec![0.0, 1.0], vec![0.0]]).is_err());
+    }
+}

@@ -1,0 +1,116 @@
+//! Per-round experiment records.
+
+use serde::{Deserialize, Serialize};
+
+/// One communication round's measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// Round index t (1-based, as in the paper's Algorithm 1).
+    pub round: usize,
+    /// Server-side test accuracy of `w^{t+1}` (Fig. 2's y-axis).
+    pub accuracy: f32,
+    /// Server-side test loss.
+    pub test_loss: f32,
+    /// Mean client-reported training loss.
+    pub train_loss: f32,
+    /// Upload payload this round (bytes, raw f32 accounting).
+    pub upload_bytes: usize,
+    /// Wall-clock seconds spent in client updates this round.
+    pub compute_secs: f64,
+    /// Wall-clock seconds spent gathering uploads this round (real transport
+    /// runs) or modelled comm time (simulated runs).
+    pub comm_secs: f64,
+}
+
+/// A full run's history plus identifying metadata.
+#[derive(Debug, Clone, Serialize, Deserialize, Default, PartialEq)]
+pub struct History {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Privacy budget ε̄ (`f64::INFINITY` encodes the non-private run; it
+    /// serialises as `null` in JSON).
+    pub epsilon: f64,
+    /// Per-round records.
+    pub rounds: Vec<RoundRecord>,
+}
+
+impl History {
+    /// Creates an empty history with metadata.
+    pub fn new(algorithm: impl Into<String>, dataset: impl Into<String>, epsilon: f64) -> Self {
+        History {
+            algorithm: algorithm.into(),
+            dataset: dataset.into(),
+            epsilon,
+            rounds: Vec::new(),
+        }
+    }
+
+    /// Final-round accuracy (0 if empty).
+    pub fn final_accuracy(&self) -> f32 {
+        self.rounds.last().map_or(0.0, |r| r.accuracy)
+    }
+
+    /// Best accuracy across rounds (0 if empty).
+    pub fn best_accuracy(&self) -> f32 {
+        self.rounds.iter().map(|r| r.accuracy).fold(0.0, f32::max)
+    }
+
+    /// Total uploaded bytes across rounds.
+    pub fn total_upload_bytes(&self) -> usize {
+        self.rounds.iter().map(|r| r.upload_bytes).sum()
+    }
+
+    /// Cumulative communication seconds.
+    pub fn total_comm_secs(&self) -> f64 {
+        self.rounds.iter().map(|r| r.comm_secs).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(round: usize, acc: f32, bytes: usize) -> RoundRecord {
+        RoundRecord {
+            round,
+            accuracy: acc,
+            test_loss: 1.0,
+            train_loss: 1.0,
+            upload_bytes: bytes,
+            compute_secs: 0.1,
+            comm_secs: 0.01,
+        }
+    }
+
+    #[test]
+    fn summaries() {
+        let mut h = History::new("IIADMM", "MNIST", 5.0);
+        h.rounds.push(rec(1, 0.5, 100));
+        h.rounds.push(rec(2, 0.8, 100));
+        h.rounds.push(rec(3, 0.7, 100));
+        assert_eq!(h.final_accuracy(), 0.7);
+        assert_eq!(h.best_accuracy(), 0.8);
+        assert_eq!(h.total_upload_bytes(), 300);
+        assert!((h.total_comm_secs() - 0.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_history_defaults() {
+        let h = History::new("FedAvg", "CIFAR10", f64::INFINITY);
+        assert_eq!(h.final_accuracy(), 0.0);
+        assert_eq!(h.best_accuracy(), 0.0);
+        assert_eq!(h.total_upload_bytes(), 0);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut h = History::new("FedAvg", "MNIST", 3.0);
+        h.rounds.push(rec(1, 0.9, 42));
+        let s = serde_json::to_string(&h).unwrap();
+        let back: History = serde_json::from_str(&s).unwrap();
+        assert_eq!(back.rounds.len(), 1);
+        assert_eq!(back.algorithm, "FedAvg");
+    }
+}

@@ -1,0 +1,157 @@
+//! Asynchronous server updates — future-work item 1 of §V.
+//!
+//! "We plan to implement the asynchronous updates of an FL model in our
+//! framework" — motivated by the load imbalance of §IV-E (an A100 silo
+//! finishing 1.64× faster than a V100 silo sits idle under synchronous
+//! aggregation). This module implements staleness-weighted asynchronous
+//! aggregation in the style of FedAsync: the server folds in each upload
+//! the moment it arrives,
+//!
+//! ```text
+//! w ← (1 − α_s) · w + α_s · z_p,   α_s = α / (1 + staleness)
+//! ```
+//!
+//! where `staleness` is how many server versions elapsed since the client
+//! fetched the model it trained on.
+
+use crate::api::ClientUpload;
+use appfl_tensor::{Result, TensorError};
+use serde::{Deserialize, Serialize};
+
+/// Mixing configuration for asynchronous aggregation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AsyncConfig {
+    /// Base mixing weight α ∈ (0, 1].
+    pub alpha: f32,
+}
+
+impl Default for AsyncConfig {
+    fn default() -> Self {
+        AsyncConfig { alpha: 0.6 }
+    }
+}
+
+/// A staleness-aware asynchronous server.
+pub struct AsyncFedServer {
+    global: Vec<f32>,
+    version: u64,
+    config: AsyncConfig,
+    applied: usize,
+}
+
+impl AsyncFedServer {
+    /// Starts from an initial model.
+    pub fn new(initial: Vec<f32>, config: AsyncConfig) -> Self {
+        assert!(
+            config.alpha > 0.0 && config.alpha <= 1.0,
+            "alpha must be in (0, 1]"
+        );
+        AsyncFedServer {
+            global: initial,
+            version: 0,
+            config,
+            applied: 0,
+        }
+    }
+
+    /// The current model and its version; clients record the version they
+    /// trained against so staleness is computable on arrival.
+    pub fn fetch(&self) -> (Vec<f32>, u64) {
+        (self.global.clone(), self.version)
+    }
+
+    /// Folds in one upload trained against server version `base_version`.
+    /// Returns the staleness that was applied.
+    pub fn apply(&mut self, upload: &ClientUpload, base_version: u64) -> Result<u64> {
+        if upload.primal.len() != self.global.len() {
+            return Err(TensorError::ShapeDataMismatch {
+                expected: self.global.len(),
+                actual: upload.primal.len(),
+            });
+        }
+        let staleness = self.version.saturating_sub(base_version);
+        let alpha_s = self.config.alpha / (1.0 + staleness as f32);
+        for (w, &z) in self.global.iter_mut().zip(upload.primal.iter()) {
+            *w = (1.0 - alpha_s) * *w + alpha_s * z;
+        }
+        self.version += 1;
+        self.applied += 1;
+        Ok(staleness)
+    }
+
+    /// Current global model.
+    pub fn global_model(&self) -> &[f32] {
+        &self.global
+    }
+
+    /// Server model version (increments on every applied upload).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Number of uploads applied.
+    pub fn applied(&self) -> usize {
+        self.applied
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn upload(value: f32, dim: usize) -> ClientUpload {
+        ClientUpload {
+            client_id: 0,
+            primal: vec![value; dim],
+            dual: None,
+            num_samples: 1,
+            local_loss: 0.0,
+        }
+    }
+
+    #[test]
+    fn fresh_update_mixes_with_alpha() {
+        let mut s = AsyncFedServer::new(vec![0.0; 2], AsyncConfig { alpha: 0.5 });
+        let st = s.apply(&upload(1.0, 2), 0).unwrap();
+        assert_eq!(st, 0);
+        assert!(s.global_model().iter().all(|&w| (w - 0.5).abs() < 1e-6));
+        assert_eq!(s.version(), 1);
+    }
+
+    #[test]
+    fn stale_updates_are_downweighted() {
+        let mut s = AsyncFedServer::new(vec![0.0; 2], AsyncConfig { alpha: 0.5 });
+        // Three fresh updates advance the version.
+        for _ in 0..3 {
+            s.apply(&upload(0.0, 2), s.version()).unwrap();
+        }
+        // A very stale upload (trained on version 0) moves w by α/4 only.
+        let st = s.apply(&upload(1.0, 2), 0).unwrap();
+        assert_eq!(st, 3);
+        let expected = 0.5 / 4.0;
+        assert!(s
+            .global_model()
+            .iter()
+            .all(|&w| (w - expected).abs() < 1e-6));
+    }
+
+    #[test]
+    fn staleness_zero_equals_plain_mixing_sequence() {
+        let mut s = AsyncFedServer::new(vec![0.0; 1], AsyncConfig { alpha: 1.0 });
+        s.apply(&upload(2.0, 1), 0).unwrap();
+        // α=1, fresh: w snaps to the upload.
+        assert_eq!(s.global_model(), &[2.0]);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let mut s = AsyncFedServer::new(vec![0.0; 3], AsyncConfig::default());
+        assert!(s.apply(&upload(1.0, 2), 0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn invalid_alpha_panics() {
+        AsyncFedServer::new(vec![0.0; 1], AsyncConfig { alpha: 0.0 });
+    }
+}

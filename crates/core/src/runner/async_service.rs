@@ -1,0 +1,269 @@
+//! Asynchronous federation over the RPC service layer — §V future-work
+//! item 1 executed on real threads (the virtual-clock counterpart lives in
+//! the bench crate's A3 ablation).
+//!
+//! Protocol: clients poll `GetWeight` (which returns the server's model
+//! *version* in the `round` field), train immediately, and upload results
+//! tagged with the version they fetched; the server folds each upload in as
+//! it arrives, staleness-weighted. There is no round barrier — a fast
+//! client can contribute many updates while a slow one computes, which is
+//! exactly the §IV-E load-imbalance remedy.
+
+use crate::api::ClientAlgorithm;
+use crate::api::ClientUpload;
+use crate::runner::r#async::{AsyncConfig, AsyncFedServer};
+use appfl_comm::rpc::{call, serve, FlService, Request, Response};
+use appfl_comm::transport::Communicator;
+use appfl_comm::wire::messages::GlobalWeights;
+use appfl_comm::wire::{JobDone, LearningResults, TensorMsg, WeightRequest};
+use appfl_tensor::TensorError;
+
+/// FL service that aggregates asynchronously.
+pub struct AsyncRpcService {
+    server: AsyncFedServer,
+    max_updates: usize,
+    rejected: usize,
+}
+
+impl AsyncRpcService {
+    /// Serves until `max_updates` uploads have been applied.
+    pub fn new(initial: Vec<f32>, config: AsyncConfig, max_updates: usize) -> Self {
+        AsyncRpcService {
+            server: AsyncFedServer::new(initial, config),
+            max_updates,
+            rejected: 0,
+        }
+    }
+
+    /// The aggregated model.
+    pub fn global_model(&self) -> Vec<f32> {
+        self.server.global_model().to_vec()
+    }
+
+    /// Applied update count.
+    pub fn applied(&self) -> usize {
+        self.server.applied()
+    }
+
+    /// Rejected upload count.
+    pub fn rejected(&self) -> usize {
+        self.rejected
+    }
+
+    fn finished(&self) -> bool {
+        self.server.applied() >= self.max_updates
+    }
+}
+
+impl FlService for AsyncRpcService {
+    fn get_weight(&mut self, _request: &WeightRequest) -> GlobalWeights {
+        let (w, version) = self.server.fetch();
+        GlobalWeights {
+            round: version as u32,
+            finished: self.finished(),
+            tensors: vec![TensorMsg::flat("global", w)],
+        }
+    }
+
+    fn send_results(&mut self, results: LearningResults) -> bool {
+        if self.finished() {
+            self.rejected += 1;
+            return false;
+        }
+        let Some(primal) = results.primal.into_iter().next() else {
+            self.rejected += 1;
+            return false;
+        };
+        let upload = ClientUpload {
+            client_id: results.client_id as usize,
+            primal: primal.data,
+            dual: None,
+            num_samples: 1,
+            local_loss: results.penalty as f32,
+        };
+        // `round` carries the model version the client trained against.
+        match self.server.apply(&upload, u64::from(results.round)) {
+            Ok(_) => true,
+            Err(_) => {
+                self.rejected += 1;
+                false
+            }
+        }
+    }
+
+    fn done(&mut self, _done: &JobDone) -> bool {
+        true
+    }
+}
+
+/// Drives one client against the asynchronous service until it reports
+/// `finished`. Returns the number of accepted uploads.
+pub fn run_async_client<C: Communicator>(
+    mut client: Box<dyn ClientAlgorithm>,
+    comm: &C,
+) -> Result<usize, TensorError> {
+    let id = client.id() as u32;
+    let mut accepted = 0usize;
+    loop {
+        let weights = match call(
+            comm,
+            &Request::GetWeight(WeightRequest {
+                client_id: id,
+                round: 0,
+            }),
+        )
+        .map_err(|e| TensorError::InvalidArgument(format!("rpc: {e}")))?
+        {
+            Response::Weights(w) => w,
+            other => {
+                return Err(TensorError::InvalidArgument(format!(
+                    "unexpected response {other:?}"
+                )))
+            }
+        };
+        if weights.finished {
+            break;
+        }
+        let upload = client.update(&weights.tensors[0].data)?;
+        let results = LearningResults {
+            client_id: id,
+            round: weights.round, // the version we trained against
+            penalty: f64::from(upload.local_loss),
+            primal: vec![TensorMsg::flat("primal", upload.primal)],
+            dual: vec![],
+        };
+        if matches!(
+            call(comm, &Request::SendResults(Box::new(results)))
+                .map_err(|e| TensorError::InvalidArgument(format!("rpc: {e}")))?,
+            Response::Ack { ok: true }
+        ) {
+            accepted += 1;
+        }
+    }
+    call(comm, &Request::Done(JobDone { client_id: id }))
+        .map_err(|e| TensorError::InvalidArgument(format!("rpc: {e}")))?;
+    Ok(accepted)
+}
+
+/// Runs an asynchronous federation; returns `(model, applied_updates)`.
+pub fn run_async_federation<C: Communicator + 'static>(
+    initial: Vec<f32>,
+    clients: Vec<Box<dyn ClientAlgorithm>>,
+    mut endpoints: Vec<C>,
+    config: AsyncConfig,
+    max_updates: usize,
+) -> Result<(Vec<f32>, usize), TensorError> {
+    assert_eq!(endpoints.len(), clients.len() + 1);
+    let num_clients = clients.len();
+    let server_ep = endpoints.remove(0);
+    let mut service = AsyncRpcService::new(initial, config, max_updates);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (client, ep) in clients.into_iter().zip(endpoints) {
+            handles.push(scope.spawn(move || run_async_client(client, &ep)));
+        }
+        serve(&mut service, &server_ep, num_clients)
+            .map_err(|e| TensorError::InvalidArgument(format!("serve: {e}")))?;
+        for h in handles {
+            h.join().expect("client thread panicked")?;
+        }
+        Ok((service.global_model(), service.applied()))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::build_federation;
+    use crate::config::{AlgorithmConfig, FedConfig};
+    use appfl_comm::transport::InProcNetwork;
+    use appfl_data::federated::{build_benchmark, Benchmark};
+    use appfl_nn::models::{mlp_classifier, InputSpec};
+    use appfl_nn::module::flatten_params;
+    use appfl_privacy::PrivacyConfig;
+
+    #[test]
+    fn async_federation_applies_the_requested_updates() {
+        let data = build_benchmark(Benchmark::Mnist, 3, 90, 30, 66).unwrap();
+        let spec = InputSpec {
+            channels: 1,
+            height: 28,
+            width: 28,
+            classes: 10,
+        };
+        let config = FedConfig {
+            algorithm: AlgorithmConfig::FedAvg {
+                lr: 0.05,
+                momentum: 0.9,
+            },
+            rounds: 1,
+            local_steps: 1,
+            batch_size: 16,
+            privacy: PrivacyConfig::none(),
+            seed: 66,
+        };
+        let fed = build_federation(config, &data, move |rng| {
+            Box::new(mlp_classifier(spec, 8, rng))
+        });
+        let initial = flatten_params(fed.template.as_ref());
+        let endpoints = InProcNetwork::new(4);
+        let (w, applied) = run_async_federation(
+            initial.clone(),
+            fed.clients,
+            endpoints,
+            AsyncConfig::default(),
+            9,
+        )
+        .unwrap();
+        assert!(applied >= 9, "applied {applied}");
+        assert_eq!(w.len(), initial.len());
+        assert!(w.iter().all(|x| x.is_finite()));
+        assert_ne!(w, initial, "model never moved");
+    }
+
+    #[test]
+    fn service_rejects_after_finish_and_empty_uploads() {
+        let mut service = AsyncRpcService::new(vec![0.0; 4], AsyncConfig::default(), 1);
+        let make = |round: u32| LearningResults {
+            client_id: 0,
+            round,
+            penalty: 0.0,
+            primal: vec![TensorMsg::flat("z", vec![1.0; 4])],
+            dual: vec![],
+        };
+        let empty = LearningResults {
+            client_id: 0,
+            round: 0,
+            penalty: 0.0,
+            primal: vec![],
+            dual: vec![],
+        };
+        assert!(!service.send_results(empty));
+        assert!(service.send_results(make(0)));
+        // max_updates = 1 reached: further uploads refused.
+        assert!(!service.send_results(make(1)));
+        assert_eq!(service.applied(), 1);
+        assert_eq!(service.rejected(), 2);
+    }
+
+    #[test]
+    fn stale_uploads_move_the_model_less() {
+        let mut service = AsyncRpcService::new(vec![0.0; 1], AsyncConfig { alpha: 0.5 }, 10);
+        let upload = |round: u32| LearningResults {
+            client_id: 0,
+            round,
+            penalty: 0.0,
+            primal: vec![TensorMsg::flat("z", vec![1.0])],
+            dual: vec![],
+        };
+        // Fresh upload: w = 0.5.
+        assert!(service.send_results(upload(0)));
+        let w1 = service.global_model()[0];
+        assert!((w1 - 0.5).abs() < 1e-6);
+        // Stale upload (trained on version 0, server now at 1): α/2 mixing.
+        assert!(service.send_results(upload(0)));
+        let w2 = service.global_model()[0];
+        let expected = w1 + 0.25 * (1.0 - w1);
+        assert!((w2 - expected).abs() < 1e-6, "w2 {w2} expected {expected}");
+    }
+}

@@ -1,0 +1,12 @@
+//! Federation runners: serial/rayon, transport-threaded, and asynchronous.
+
+pub mod async_service;
+pub mod comm;
+pub mod pubsub;
+pub mod rpc;
+pub mod r#async;
+pub mod serial;
+
+pub use comm::CommRunner;
+pub use r#async::{AsyncConfig, AsyncFedServer};
+pub use serial::SerialRunner;

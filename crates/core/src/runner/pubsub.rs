@@ -1,0 +1,192 @@
+//! MQTT-mode federation over the publish/subscribe broker — the
+//! cross-device protocol the paper plans in §II-A.3 ("we plan to support
+//! MQTT, a lightweight, publish-subscribe network protocol").
+//!
+//! Topic layout:
+//! * `fl/global` — server publishes the retained `(round, w)` broadcast;
+//!   retained delivery means late-joining devices immediately receive the
+//!   newest model.
+//! * `fl/updates` — clients publish their `LearningResults`.
+
+use crate::api::{ClientAlgorithm, ClientUpload, ServerAlgorithm};
+use appfl_comm::pubsub::Broker;
+use appfl_comm::wire::messages::GlobalWeights;
+use appfl_comm::wire::{LearningResults, TensorMsg};
+use appfl_tensor::TensorError;
+
+/// Global-model topic.
+pub const TOPIC_GLOBAL: &str = "fl/global";
+/// Client-update topic.
+pub const TOPIC_UPDATES: &str = "fl/updates";
+
+fn encode_global(round: usize, finished: bool, w: Vec<f32>) -> Vec<u8> {
+    GlobalWeights {
+        round: round as u32,
+        finished,
+        tensors: vec![TensorMsg::flat("global", w)],
+    }
+    .encode()
+}
+
+/// Runs a synchronous federation over a broker; returns the final global
+/// model. Clients run on their own threads, exactly as MQTT devices would.
+pub fn run_pubsub_federation(
+    mut server: Box<dyn ServerAlgorithm>,
+    clients: Vec<Box<dyn ClientAlgorithm>>,
+    broker: &Broker,
+    rounds: usize,
+) -> Result<Vec<f32>, TensorError> {
+    let num_clients = clients.len();
+    let sample_counts: Vec<usize> = clients.iter().map(|c| c.num_samples()).collect();
+    // Server subscribes to updates *before* clients start publishing.
+    let updates = broker.subscribe(TOPIC_UPDATES);
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for mut client in clients {
+            let broker = broker.clone();
+            handles.push(scope.spawn(move || -> Result<(), TensorError> {
+                let sub = broker.subscribe(TOPIC_GLOBAL);
+                let mut last_round = 0u32;
+                loop {
+                    let (_, payload) = sub
+                        .recv()
+                        .ok_or_else(|| TensorError::InvalidArgument("broker closed".into()))?;
+                    let msg = GlobalWeights::decode(&payload)
+                        .map_err(|e| TensorError::InvalidArgument(e.to_string()))?;
+                    if msg.finished {
+                        return Ok(());
+                    }
+                    if msg.round <= last_round {
+                        continue; // retained duplicate
+                    }
+                    last_round = msg.round;
+                    let upload = client.update(&msg.tensors[0].data)?;
+                    let results = LearningResults {
+                        client_id: client.id() as u32,
+                        round: msg.round,
+                        penalty: f64::from(upload.local_loss),
+                        primal: vec![TensorMsg::flat("primal", upload.primal)],
+                        dual: upload
+                            .dual
+                            .map(|d| vec![TensorMsg::flat("dual", d)])
+                            .unwrap_or_default(),
+                    };
+                    broker.publish(TOPIC_UPDATES, results.encode());
+                }
+            }));
+        }
+
+        for round in 1..=rounds {
+            let w = server.global_model();
+            broker.publish_retained(TOPIC_GLOBAL, encode_global(round, false, w));
+            let mut uploads: Vec<ClientUpload> = Vec::with_capacity(num_clients);
+            while uploads.len() < num_clients {
+                let (_, payload) = updates
+                    .recv()
+                    .ok_or_else(|| TensorError::InvalidArgument("broker closed".into()))?;
+                let msg = LearningResults::decode(&payload)
+                    .map_err(|e| TensorError::InvalidArgument(e.to_string()))?;
+                if msg.round as usize != round {
+                    continue;
+                }
+                let client_id = msg.client_id as usize;
+                let primal = msg
+                    .primal
+                    .into_iter()
+                    .next()
+                    .ok_or_else(|| TensorError::InvalidArgument("missing primal".into()))?;
+                uploads.push(ClientUpload {
+                    client_id,
+                    primal: primal.data,
+                    dual: msg.dual.into_iter().next().map(|t| t.data),
+                    num_samples: sample_counts[client_id],
+                    local_loss: msg.penalty as f32,
+                });
+            }
+            server.update(&uploads)?;
+        }
+        broker.publish_retained(
+            TOPIC_GLOBAL,
+            encode_global(rounds + 1, true, server.global_model()),
+        );
+        for h in handles {
+            h.join().expect("client thread panicked")?;
+        }
+        Ok(server.global_model())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::build_federation;
+    use crate::config::{AlgorithmConfig, FedConfig};
+    use appfl_data::federated::{build_benchmark, Benchmark};
+    use appfl_nn::models::{mlp_classifier, InputSpec};
+    use appfl_privacy::PrivacyConfig;
+
+    fn federation(rounds: usize) -> crate::algorithms::Federation {
+        let data = build_benchmark(Benchmark::Mnist, 3, 90, 30, 55).unwrap();
+        let spec = InputSpec {
+            channels: 1,
+            height: 28,
+            width: 28,
+            classes: 10,
+        };
+        let config = FedConfig {
+            algorithm: AlgorithmConfig::FedAvg {
+                lr: 0.05,
+                momentum: 0.9,
+            },
+            rounds,
+            local_steps: 1,
+            batch_size: 16,
+            privacy: PrivacyConfig::none(),
+            seed: 55,
+        };
+        build_federation(config, &data, move |rng| {
+            Box::new(mlp_classifier(spec, 8, rng))
+        })
+    }
+
+    #[test]
+    fn pubsub_federation_completes_and_matches_serial() {
+        let rounds = 2;
+        let fed = federation(rounds);
+        let broker = Broker::new();
+        let w_mqtt =
+            run_pubsub_federation(fed.server, fed.clients, &broker, rounds).unwrap();
+
+        let mut fed = federation(rounds);
+        for _ in 0..rounds {
+            let w = fed.server.global_model();
+            let uploads: Vec<_> = fed
+                .clients
+                .iter_mut()
+                .map(|c| c.update(&w).unwrap())
+                .collect();
+            fed.server.update(&uploads).unwrap();
+        }
+        let w_serial = fed.server.global_model();
+        let max_diff = w_mqtt
+            .iter()
+            .zip(w_serial.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(max_diff < 1e-6, "mqtt/serial divergence {max_diff}");
+    }
+
+    #[test]
+    fn retained_global_reaches_late_clients() {
+        // A client subscribing after the publish still gets the model —
+        // the property that makes MQTT suit flaky cross-device fleets.
+        let broker = Broker::new();
+        broker.publish_retained(TOPIC_GLOBAL, encode_global(1, false, vec![1.0, 2.0]));
+        let late = broker.subscribe(TOPIC_GLOBAL);
+        let (_, payload) = late.recv().unwrap();
+        let msg = GlobalWeights::decode(&payload).unwrap();
+        assert_eq!(msg.round, 1);
+        assert_eq!(msg.tensors[0].data, vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,380 @@
+//! Pull-based federation over the RPC service layer — the flow of a real
+//! APPFL gRPC deployment: the server is passive; clients call `GetWeight`,
+//! train, call `SendResults`, and poll until the round advances.
+
+use crate::api::{ClientAlgorithm, ClientUpload, ServerAlgorithm};
+use appfl_comm::rpc::{call, serve, FlService, Request, Response};
+use appfl_comm::transport::Communicator;
+use appfl_comm::wire::messages::GlobalWeights;
+use appfl_comm::wire::{JobDone, LearningResults, TensorMsg, WeightRequest};
+use appfl_tensor::TensorError;
+
+/// Synchronous-round FL service over any [`ServerAlgorithm`].
+///
+/// `GetWeight` returns `(round, w^{round})`; `SendResults` buffers uploads
+/// tagged with the current round and aggregates when all `num_clients` have
+/// reported, advancing the round; after `rounds` aggregations the service
+/// reports `finished` and clients stop.
+pub struct SyncRoundService {
+    server: Box<dyn ServerAlgorithm>,
+    num_clients: usize,
+    rounds: usize,
+    round: usize,
+    pending: Vec<ClientUpload>,
+    sample_counts: Vec<usize>,
+    rejected: usize,
+    quorum: usize,
+}
+
+impl SyncRoundService {
+    /// Wraps a server algorithm for `num_clients` clients and `rounds`
+    /// rounds. `sample_counts[p]` is client `p`'s `I_p`.
+    pub fn new(
+        server: Box<dyn ServerAlgorithm>,
+        num_clients: usize,
+        rounds: usize,
+        sample_counts: Vec<usize>,
+    ) -> Self {
+        assert_eq!(sample_counts.len(), num_clients);
+        SyncRoundService {
+            server,
+            num_clients,
+            rounds,
+            round: 1,
+            pending: Vec::new(),
+            sample_counts,
+            rejected: 0,
+            quorum: num_clients,
+        }
+    }
+
+    /// Straggler tolerance: aggregate as soon as `quorum ≤ num_clients`
+    /// uploads arrive instead of waiting for every client — the mitigation
+    /// §IV-E's load imbalance calls for when full asynchrony is not wanted.
+    /// Late uploads for a closed round are rejected (clients simply rejoin
+    /// at the next round). Only meaningful for FedAvg-style servers; the
+    /// ADMM servers require full participation and will reject partial
+    /// batches.
+    pub fn with_quorum(mut self, quorum: usize) -> Self {
+        assert!(
+            quorum >= 1 && quorum <= self.num_clients,
+            "quorum must be in 1..=num_clients"
+        );
+        self.quorum = quorum;
+        self
+    }
+
+    /// Completed aggregations so far.
+    pub fn completed_rounds(&self) -> usize {
+        self.round - 1
+    }
+
+    /// Uploads refused (stale round or malformed).
+    pub fn rejected(&self) -> usize {
+        self.rejected
+    }
+
+    /// The served algorithm (for final-model extraction).
+    pub fn into_server(self) -> Box<dyn ServerAlgorithm> {
+        self.server
+    }
+
+    fn finished(&self) -> bool {
+        self.round > self.rounds
+    }
+}
+
+impl FlService for SyncRoundService {
+    fn get_weight(&mut self, _request: &WeightRequest) -> GlobalWeights {
+        GlobalWeights {
+            round: self.round as u32,
+            finished: self.finished(),
+            tensors: vec![TensorMsg::flat("global", self.server.global_model())],
+        }
+    }
+
+    fn send_results(&mut self, results: LearningResults) -> bool {
+        if self.finished() || results.round as usize != self.round {
+            self.rejected += 1;
+            return false;
+        }
+        let Some(primal) = results.primal.into_iter().next() else {
+            self.rejected += 1;
+            return false;
+        };
+        let client_id = results.client_id as usize;
+        if client_id >= self.num_clients
+            || self.pending.iter().any(|u| u.client_id == client_id)
+        {
+            self.rejected += 1;
+            return false;
+        }
+        self.pending.push(ClientUpload {
+            client_id,
+            primal: primal.data,
+            dual: results.dual.into_iter().next().map(|t| t.data),
+            num_samples: self.sample_counts[client_id],
+            local_loss: results.penalty as f32,
+        });
+        if self.pending.len() >= self.quorum {
+            let uploads = std::mem::take(&mut self.pending);
+            if self.server.update(&uploads).is_err() {
+                self.rejected += uploads.len();
+                return false;
+            }
+            self.round += 1;
+        }
+        true
+    }
+
+    fn done(&mut self, _done: &JobDone) -> bool {
+        true
+    }
+}
+
+/// Drives one client against the service until it reports `finished`.
+/// Returns the number of rounds this client contributed to.
+pub fn run_rpc_client<C: Communicator>(
+    mut client: Box<dyn ClientAlgorithm>,
+    comm: &C,
+) -> Result<usize, TensorError> {
+    let id = client.id() as u32;
+    let mut contributed = 0usize;
+    let mut last_round_seen = 0u32;
+    loop {
+        let weights = match call(
+            comm,
+            &Request::GetWeight(WeightRequest {
+                client_id: id,
+                round: last_round_seen,
+            }),
+        )
+        .map_err(|e| TensorError::InvalidArgument(format!("rpc: {e}")))?
+        {
+            Response::Weights(w) => w,
+            other => {
+                return Err(TensorError::InvalidArgument(format!(
+                    "unexpected response {other:?}"
+                )))
+            }
+        };
+        if weights.finished {
+            break;
+        }
+        if weights.round == last_round_seen {
+            // Round not advanced yet (peers still training): poll again.
+            // In-process channels make this cheap; a real deployment would
+            // back off here.
+            std::thread::yield_now();
+            continue;
+        }
+        last_round_seen = weights.round;
+        let w = &weights.tensors[0].data;
+        let upload = client.update(w)?;
+        let results = LearningResults {
+            client_id: id,
+            round: weights.round,
+            penalty: f64::from(upload.local_loss),
+            primal: vec![TensorMsg::flat("primal", upload.primal)],
+            dual: upload
+                .dual
+                .map(|d| vec![TensorMsg::flat("dual", d)])
+                .unwrap_or_default(),
+        };
+        call(comm, &Request::SendResults(Box::new(results)))
+            .map_err(|e| TensorError::InvalidArgument(format!("rpc: {e}")))?;
+        contributed += 1;
+    }
+    call(comm, &Request::Done(JobDone { client_id: id }))
+        .map_err(|e| TensorError::InvalidArgument(format!("rpc: {e}")))?;
+    Ok(contributed)
+}
+
+/// Runs a whole federation in the pull-based mode; returns the final global
+/// model and the number of completed rounds.
+pub fn run_rpc_federation<C: Communicator + 'static>(
+    server: Box<dyn ServerAlgorithm>,
+    clients: Vec<Box<dyn ClientAlgorithm>>,
+    mut endpoints: Vec<C>,
+    rounds: usize,
+) -> Result<(Vec<f32>, usize), TensorError> {
+    assert_eq!(endpoints.len(), clients.len() + 1);
+    let sample_counts: Vec<usize> = clients.iter().map(|c| c.num_samples()).collect();
+    let num_clients = clients.len();
+    let server_ep = endpoints.remove(0);
+    let mut service = SyncRoundService::new(server, num_clients, rounds, sample_counts);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (client, ep) in clients.into_iter().zip(endpoints) {
+            handles.push(scope.spawn(move || run_rpc_client(client, &ep)));
+        }
+        serve(&mut service, &server_ep, num_clients)
+            .map_err(|e| TensorError::InvalidArgument(format!("serve: {e}")))?;
+        for h in handles {
+            h.join().expect("client thread panicked")?;
+        }
+        let completed = service.completed_rounds();
+        Ok((service.into_server().global_model(), completed))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::build_federation;
+    use crate::config::{AlgorithmConfig, FedConfig};
+    use appfl_comm::transport::InProcNetwork;
+    use appfl_data::federated::{build_benchmark, Benchmark};
+    use appfl_nn::models::{mlp_classifier, InputSpec};
+    use appfl_privacy::PrivacyConfig;
+
+    fn federation(algo: AlgorithmConfig, rounds: usize) -> crate::algorithms::Federation {
+        let data = build_benchmark(Benchmark::Mnist, 3, 90, 30, 44).unwrap();
+        let spec = InputSpec {
+            channels: 1,
+            height: 28,
+            width: 28,
+            classes: 10,
+        };
+        let config = FedConfig {
+            algorithm: algo,
+            rounds,
+            local_steps: 1,
+            batch_size: 16,
+            privacy: PrivacyConfig::none(),
+            seed: 44,
+        };
+        build_federation(config, &data, move |rng| {
+            Box::new(mlp_classifier(spec, 8, rng))
+        })
+    }
+
+    #[test]
+    fn pull_based_federation_completes_all_rounds() {
+        let fed = federation(
+            AlgorithmConfig::FedAvg {
+                lr: 0.05,
+                momentum: 0.9,
+            },
+            3,
+        );
+        let endpoints = InProcNetwork::new(4);
+        let (w, completed) =
+            run_rpc_federation(fed.server, fed.clients, endpoints, 3).unwrap();
+        assert_eq!(completed, 3);
+        assert!(w.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn pull_based_iiadmm_matches_push_based_result() {
+        let rounds = 2;
+        let algo = AlgorithmConfig::IiAdmm {
+            rho: 10.0,
+            zeta: 10.0,
+        };
+        // Pull-based.
+        let fed = federation(algo, rounds);
+        let endpoints = InProcNetwork::new(4);
+        let (w_pull, _) = run_rpc_federation(fed.server, fed.clients, endpoints, rounds).unwrap();
+        // Push-based serial reference.
+        let mut fed = federation(algo, rounds);
+        for _ in 0..rounds {
+            let w = fed.server.global_model();
+            let uploads: Vec<_> = fed
+                .clients
+                .iter_mut()
+                .map(|c| c.update(&w).unwrap())
+                .collect();
+            fed.server.update(&uploads).unwrap();
+        }
+        let w_push = fed.server.global_model();
+        let max_diff = w_pull
+            .iter()
+            .zip(w_push.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(max_diff < 1e-6, "pull/push divergence {max_diff}");
+    }
+
+    #[test]
+    fn quorum_service_tolerates_stragglers() {
+        use appfl_comm::rpc::serve;
+        let fed = federation(
+            AlgorithmConfig::FedAvg {
+                lr: 0.05,
+                momentum: 0.9,
+            },
+            3,
+        );
+        let counts: Vec<usize> = fed.clients.iter().map(|c| c.num_samples()).collect();
+        let num_clients = fed.clients.len();
+        let mut endpoints = appfl_comm::transport::InProcNetwork::new(num_clients + 1);
+        let server_ep = endpoints.remove(0);
+        // Aggregate on any 2 of 3 uploads.
+        let mut service = SyncRoundService::new(fed.server, num_clients, 3, counts).with_quorum(2);
+        let completed = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (client, ep) in fed.clients.into_iter().zip(endpoints) {
+                handles.push(scope.spawn(move || run_rpc_client(client, &ep)));
+            }
+            serve(&mut service, &server_ep, num_clients).unwrap();
+            for h in handles {
+                h.join().unwrap().unwrap();
+            }
+            service.completed_rounds()
+        });
+        assert_eq!(completed, 3);
+        // The third (straggling) upload of at least one round was rejected.
+        // (Timing-dependent: with 1 CPU the quorum usually closes before the
+        // last client reports; rejected may be 0 on a fast machine, so only
+        // sanity-check the counter is consistent.)
+        assert!(service.rejected() <= 3);
+    }
+
+    #[test]
+    fn stale_round_uploads_are_rejected() {
+        let fed = federation(
+            AlgorithmConfig::FedAvg {
+                lr: 0.05,
+                momentum: 0.9,
+            },
+            1,
+        );
+        let counts: Vec<usize> = fed.clients.iter().map(|c| c.num_samples()).collect();
+        let mut service = SyncRoundService::new(fed.server, 3, 1, counts);
+        let bad = LearningResults {
+            client_id: 0,
+            round: 99, // wrong round
+            penalty: 0.0,
+            primal: vec![TensorMsg::flat("z", vec![0.0; 4])],
+            dual: vec![],
+        };
+        assert!(!service.send_results(bad));
+        assert_eq!(service.rejected(), 1);
+    }
+
+    #[test]
+    fn duplicate_uploads_are_rejected() {
+        let fed = federation(
+            AlgorithmConfig::FedAvg {
+                lr: 0.05,
+                momentum: 0.9,
+            },
+            1,
+        );
+        let dim = fed.server.dim();
+        let counts: Vec<usize> = fed.clients.iter().map(|c| c.num_samples()).collect();
+        let mut service = SyncRoundService::new(fed.server, 3, 1, counts);
+        let make = |id: u32| LearningResults {
+            client_id: id,
+            round: 1,
+            penalty: 0.0,
+            primal: vec![TensorMsg::flat("z", vec![0.0; dim])],
+            dual: vec![],
+        };
+        assert!(service.send_results(make(0)));
+        assert!(!service.send_results(make(0))); // duplicate
+        assert!(!service.send_results(make(9))); // unknown client
+        assert_eq!(service.rejected(), 2);
+    }
+}

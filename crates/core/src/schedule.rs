@@ -1,0 +1,152 @@
+//! Round-indexed parameter schedules.
+//!
+//! The paper's ADMM steps (3a)–(3c) index the penalty as ρᵗ and proximity
+//! as ζᵗ — round-dependent by construction — and notes their choice "may be
+//! sensitive to the learning performance, similar to the learning rate of
+//! SGD". This module provides the standard schedules for any such scalar
+//! (ρᵗ, ζᵗ, or a FedAvg learning rate ηᵗ); the residual-balancing
+//! controller in [`crate::adaptive`] is the feedback-driven alternative.
+
+use serde::{Deserialize, Serialize};
+
+/// A deterministic scalar schedule over communication rounds (1-based, as
+/// in Algorithm 1).
+///
+/// ```
+/// use appfl_core::schedule::Schedule;
+/// let rho = Schedule::StepDecay { initial: 10.0, factor: 0.5, every: 20 };
+/// assert_eq!(rho.value_at(1), 10.0);
+/// assert_eq!(rho.value_at(21), 5.0);
+/// assert_eq!(rho.value_at(41), 2.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Schedule {
+    /// Fixed value for every round.
+    Constant(f32),
+    /// Multiply by `factor` every `every` rounds.
+    StepDecay {
+        /// Round-1 value.
+        initial: f32,
+        /// Multiplier applied at each step (e.g. 0.5).
+        factor: f32,
+        /// Rounds between steps.
+        every: usize,
+    },
+    /// Cosine interpolation from `initial` to `final_value` over
+    /// `total_rounds`.
+    Cosine {
+        /// Round-1 value.
+        initial: f32,
+        /// Value at and beyond `total_rounds`.
+        final_value: f32,
+        /// Horizon.
+        total_rounds: usize,
+    },
+    /// `initial / √t` — the classical diminishing step size that ADMM
+    /// convergence analyses assume for ζᵗ.
+    InverseSqrt {
+        /// Round-1 value.
+        initial: f32,
+    },
+}
+
+impl Schedule {
+    /// The scheduled value at round `t ≥ 1`.
+    pub fn value_at(&self, t: usize) -> f32 {
+        let t = t.max(1);
+        match *self {
+            Schedule::Constant(v) => v,
+            Schedule::StepDecay {
+                initial,
+                factor,
+                every,
+            } => {
+                let steps = (t - 1) / every.max(1);
+                initial * factor.powi(steps as i32)
+            }
+            Schedule::Cosine {
+                initial,
+                final_value,
+                total_rounds,
+            } => {
+                if t >= total_rounds {
+                    return final_value;
+                }
+                let progress = (t - 1) as f32 / (total_rounds.max(2) - 1) as f32;
+                let cos = (std::f32::consts::PI * progress).cos();
+                final_value + 0.5 * (initial - final_value) * (1.0 + cos)
+            }
+            Schedule::InverseSqrt { initial } => initial / (t as f32).sqrt(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_never_moves() {
+        let s = Schedule::Constant(0.3);
+        assert_eq!(s.value_at(1), 0.3);
+        assert_eq!(s.value_at(1000), 0.3);
+    }
+
+    #[test]
+    fn step_decay_halves_on_schedule() {
+        let s = Schedule::StepDecay {
+            initial: 1.0,
+            factor: 0.5,
+            every: 10,
+        };
+        assert_eq!(s.value_at(1), 1.0);
+        assert_eq!(s.value_at(10), 1.0);
+        assert_eq!(s.value_at(11), 0.5);
+        assert_eq!(s.value_at(21), 0.25);
+    }
+
+    #[test]
+    fn cosine_interpolates_endpoints() {
+        let s = Schedule::Cosine {
+            initial: 1.0,
+            final_value: 0.1,
+            total_rounds: 50,
+        };
+        assert!((s.value_at(1) - 1.0).abs() < 1e-6);
+        assert!((s.value_at(50) - 0.1).abs() < 1e-6);
+        assert!((s.value_at(100) - 0.1).abs() < 1e-6);
+        // Midpoint near the arithmetic mean.
+        let mid = s.value_at(25);
+        assert!((mid - 0.55).abs() < 0.05, "mid {mid}");
+        // Monotone decreasing.
+        for t in 1..50 {
+            assert!(s.value_at(t) >= s.value_at(t + 1) - 1e-6);
+        }
+    }
+
+    #[test]
+    fn inverse_sqrt_diminishes() {
+        let s = Schedule::InverseSqrt { initial: 2.0 };
+        assert_eq!(s.value_at(1), 2.0);
+        assert!((s.value_at(4) - 1.0).abs() < 1e-6);
+        assert!((s.value_at(100) - 0.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn round_zero_clamps_to_one() {
+        let s = Schedule::InverseSqrt { initial: 1.0 };
+        assert_eq!(s.value_at(0), s.value_at(1));
+    }
+
+    #[test]
+    fn serializes() {
+        let s = Schedule::Cosine {
+            initial: 1.0,
+            final_value: 0.0,
+            total_rounds: 10,
+        };
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Schedule = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

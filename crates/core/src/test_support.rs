@@ -1,0 +1,52 @@
+//! Shared fixtures for the crate's unit tests.
+
+use crate::trainer::LocalTrainer;
+use appfl_data::{DataSpec, InMemoryDataset};
+use appfl_nn::models::{linear_classifier, InputSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A deterministic 12-sample, 2-class, 1×2×2 shard. Returns `(len, shard)`.
+pub fn tiny_shard(seed: u64) -> (usize, InMemoryDataset) {
+    let spec = DataSpec {
+        channels: 1,
+        height: 2,
+        width: 2,
+        classes: 2,
+    };
+    let n = 12usize;
+    let mut data = Vec::with_capacity(n * 4);
+    let mut labels = Vec::with_capacity(n);
+    // Class 0 clusters near +1, class 1 near −1, with a seed-dependent tilt
+    // so different "clients" hold slightly different distributions.
+    let tilt = (seed as f32 * 0.13).sin() * 0.3;
+    for i in 0..n {
+        let label = i % 2;
+        let sign = if label == 0 { 1.0f32 } else { -1.0 };
+        let wobble = ((i as f32) * 0.7 + seed as f32).sin() * 0.2;
+        data.extend_from_slice(&[
+            sign + wobble + tilt,
+            sign - wobble,
+            sign * 0.5 + tilt,
+            -sign * 0.25 + wobble,
+        ]);
+        labels.push(label);
+    }
+    (n, InMemoryDataset::new(spec, data, labels).expect("valid fixture"))
+}
+
+/// A [`LocalTrainer`] over [`tiny_shard`] with a linear model (22 params).
+pub fn tiny_trainer(seed: u64) -> LocalTrainer {
+    let (_, shard) = tiny_shard(seed);
+    let mut rng = StdRng::seed_from_u64(999); // same model init for all
+    let model = linear_classifier(
+        InputSpec {
+            channels: 1,
+            height: 2,
+            width: 2,
+            classes: 2,
+        },
+        &mut rng,
+    );
+    LocalTrainer::new(Box::new(model), shard, 4)
+}

@@ -1,0 +1,163 @@
+//! Shared local-training machinery.
+//!
+//! Every client algorithm needs the same inner loop: load the global vector
+//! into a model, walk mini-batches, and obtain flat gradients (optionally
+//! clipped for DP). `LocalTrainer` packages that, so the algorithm files
+//! contain only their distinctive update rules.
+
+use appfl_data::{DataLoader, Dataset, InMemoryDataset};
+use appfl_nn::loss::{Loss, Targets};
+use appfl_nn::module::{flatten_grads, set_params, Module};
+use appfl_nn::CrossEntropyLoss;
+use appfl_tensor::vecops::clip_norm;
+use appfl_tensor::{Result, Tensor};
+use rand::rngs::StdRng;
+
+/// A client's local training context: its model replica, data shard and
+/// batch configuration.
+pub struct LocalTrainer {
+    model: Box<dyn Module>,
+    data: InMemoryDataset,
+    loss: CrossEntropyLoss,
+    batch_size: usize,
+}
+
+impl LocalTrainer {
+    /// Builds a trainer over a model replica and a data shard.
+    pub fn new(model: Box<dyn Module>, data: InMemoryDataset, batch_size: usize) -> Self {
+        LocalTrainer {
+            model,
+            data,
+            loss: CrossEntropyLoss,
+            batch_size: batch_size.max(1),
+        }
+    }
+
+    /// Model dimension m.
+    pub fn dim(&self) -> usize {
+        self.model.num_params()
+    }
+
+    /// Number of local samples `I_p`.
+    pub fn num_samples(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Number of batches per epoch `B_p`.
+    pub fn num_batches(&self) -> usize {
+        DataLoader::new(&self.data, self.batch_size, false).num_batches()
+    }
+
+    /// One epoch of shuffled batches.
+    pub fn batches(&self, rng: &mut StdRng) -> Result<Vec<(Tensor, Vec<usize>)>> {
+        DataLoader::new(&self.data, self.batch_size, true).epoch(rng)
+    }
+
+    /// The whole shard as a single batch (ICEADMM's full-gradient mode:
+    /// "all data points are used for calculating a gradient in ICEADMM").
+    pub fn full_batch(&self) -> Result<(Tensor, Vec<usize>)> {
+        self.data.full_batch()
+    }
+
+    /// Mean gradient of the loss at `params` over `batch`, flattened.
+    /// When `clip` is finite the gradient is clipped to `‖g‖ ≤ clip`,
+    /// establishing the DP sensitivity bound of §III-B. Returns
+    /// `(gradient, loss)`.
+    pub fn grad_at(
+        &mut self,
+        params: &[f32],
+        batch: &(Tensor, Vec<usize>),
+        clip: f64,
+    ) -> Result<(Vec<f32>, f32)> {
+        set_params(self.model.as_mut(), params)?;
+        self.model.zero_grad();
+        let output = self.model.forward(&batch.0)?;
+        let (loss, grad_out) = self
+            .loss
+            .forward(&output, &Targets::Classes(batch.1.clone()))?;
+        self.model.backward(&grad_out)?;
+        let mut grad = flatten_grads(self.model.as_ref());
+        if clip.is_finite() {
+            clip_norm(&mut grad, clip);
+        }
+        Ok((grad, loss))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use appfl_data::DataSpec;
+    use appfl_nn::models::{linear_classifier, InputSpec};
+    use appfl_tensor::vecops::l2_norm;
+    use rand::SeedableRng;
+
+    fn trainer(n: usize) -> LocalTrainer {
+        let spec = DataSpec {
+            channels: 1,
+            height: 2,
+            width: 2,
+            classes: 2,
+        };
+        let data: Vec<f32> = (0..n * 4).map(|i| (i % 7) as f32 - 3.0).collect();
+        let labels: Vec<usize> = (0..n).map(|i| i % 2).collect();
+        let ds = InMemoryDataset::new(spec, data, labels).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = linear_classifier(
+            InputSpec {
+                channels: 1,
+                height: 2,
+                width: 2,
+                classes: 2,
+            },
+            &mut rng,
+        );
+        LocalTrainer::new(Box::new(model), ds, 4)
+    }
+
+    #[test]
+    fn dimensions_and_counts() {
+        let t = trainer(10);
+        assert_eq!(t.dim(), 4 * 2 + 2);
+        assert_eq!(t.num_samples(), 10);
+        assert_eq!(t.num_batches(), 3); // ceil(10/4)
+    }
+
+    #[test]
+    fn gradient_is_clipped_when_requested() {
+        let mut t = trainer(8);
+        let params = vec![0.5; t.dim()];
+        let (batch, _) = (t.full_batch().unwrap(), ());
+        let (g_unclipped, _) = t.grad_at(&params, &batch, f64::INFINITY).unwrap();
+        let clip = l2_norm(&g_unclipped) / 2.0;
+        let (g_clipped, _) = t.grad_at(&params, &batch, clip).unwrap();
+        assert!(l2_norm(&g_clipped) <= clip * 1.0001);
+        // Direction is preserved (positive scalar multiple).
+        let ratio = g_unclipped[0] / g_clipped[0];
+        for (u, c) in g_unclipped.iter().zip(g_clipped.iter()) {
+            if c.abs() > 1e-7 {
+                assert!((u / c - ratio).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_descends_the_loss() {
+        let mut t = trainer(16);
+        let params = vec![0.1; t.dim()];
+        let batch = t.full_batch().unwrap();
+        let (g, loss0) = t.grad_at(&params, &batch, f64::INFINITY).unwrap();
+        let stepped: Vec<f32> = params.iter().zip(g.iter()).map(|(p, g)| p - 0.1 * g).collect();
+        let (_, loss1) = t.grad_at(&stepped, &batch, f64::INFINITY).unwrap();
+        assert!(loss1 < loss0, "{loss0} -> {loss1}");
+    }
+
+    #[test]
+    fn epoch_batches_cover_shard() {
+        let t = trainer(10);
+        let mut rng = StdRng::seed_from_u64(1);
+        let batches = t.batches(&mut rng).unwrap();
+        let total: usize = batches.iter().map(|(x, _)| x.dims()[0]).sum();
+        assert_eq!(total, 10);
+    }
+}

@@ -1,0 +1,250 @@
+//! Server-side validation (§II-A.5).
+//!
+//! "When testing data is available at a server, APPFL provides a validation
+//! routine that evaluates the accuracy of the current global model."
+
+use appfl_data::{DataLoader, Dataset};
+use appfl_nn::loss::{Loss, Targets};
+use appfl_nn::metrics::{accuracy, RunningMean};
+use appfl_nn::module::{set_params, Module};
+use appfl_nn::CrossEntropyLoss;
+use appfl_tensor::Result;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Evaluation result of a global model on the server's test set.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Evaluation {
+    /// Top-1 accuracy in `[0, 1]`.
+    pub accuracy: f32,
+    /// Mean cross-entropy loss.
+    pub loss: f32,
+}
+
+/// A `classes × classes` confusion matrix: `matrix[true][predicted]`.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ConfusionMatrix {
+    /// Row-major counts, `matrix[t * classes + p]`.
+    pub counts: Vec<usize>,
+    /// Number of classes.
+    pub classes: usize,
+}
+
+impl ConfusionMatrix {
+    /// Count of samples with true class `t` predicted as `p`.
+    pub fn at(&self, true_class: usize, predicted: usize) -> usize {
+        self.counts[true_class * self.classes + predicted]
+    }
+
+    /// Per-class recall (correct / total of that true class; `NaN`-free:
+    /// classes with no samples report 0).
+    pub fn per_class_recall(&self) -> Vec<f32> {
+        (0..self.classes)
+            .map(|t| {
+                let total: usize = (0..self.classes).map(|p| self.at(t, p)).sum();
+                if total == 0 {
+                    0.0
+                } else {
+                    self.at(t, t) as f32 / total as f32
+                }
+            })
+            .collect()
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f32 {
+        let correct: usize = (0..self.classes).map(|c| self.at(c, c)).sum();
+        let total: usize = self.counts.iter().sum();
+        if total == 0 {
+            0.0
+        } else {
+            correct as f32 / total as f32
+        }
+    }
+
+    /// Balanced accuracy (mean per-class recall) — the right headline for
+    /// imbalanced tasks like the CoronaHack benchmark.
+    pub fn balanced_accuracy(&self) -> f32 {
+        let recalls = self.per_class_recall();
+        let populated = (0..self.classes)
+            .filter(|&t| (0..self.classes).map(|p| self.at(t, p)).sum::<usize>() > 0)
+            .count();
+        if populated == 0 {
+            0.0
+        } else {
+            recalls.iter().sum::<f32>() / populated as f32
+        }
+    }
+}
+
+/// Evaluates a global model and also returns the confusion matrix (needed
+/// for imbalanced benchmarks where plain accuracy is misleading).
+pub fn evaluate_with_confusion(
+    template: &mut dyn Module,
+    global: &[f32],
+    test: &dyn Dataset,
+    batch_size: usize,
+) -> Result<(Evaluation, ConfusionMatrix)> {
+    set_params(template, global)?;
+    let classes = test.spec().classes;
+    let loader = DataLoader::new(test, batch_size.max(1), false);
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut acc = RunningMean::new();
+    let mut loss = RunningMean::new();
+    let mut counts = vec![0usize; classes * classes];
+    for (x, y) in loader.epoch(&mut rng)? {
+        let out = template.forward(&x)?;
+        let (l, _) = CrossEntropyLoss.forward(&out, &Targets::Classes(y.clone()))?;
+        let preds = appfl_tensor::ops::argmax_rows(&out)?;
+        for (&t, &p) in y.iter().zip(preds.iter()) {
+            counts[t * classes + p] += 1;
+        }
+        let a = accuracy(&out, &y)?;
+        acc.add(a, y.len());
+        loss.add(l, y.len());
+    }
+    Ok((
+        Evaluation {
+            accuracy: acc.mean(),
+            loss: loss.mean(),
+        },
+        ConfusionMatrix { counts, classes },
+    ))
+}
+
+/// Loads `global` into `template` and evaluates on `test`, batched to bound
+/// peak memory.
+pub fn evaluate(
+    template: &mut dyn Module,
+    global: &[f32],
+    test: &dyn Dataset,
+    batch_size: usize,
+) -> Result<Evaluation> {
+    set_params(template, global)?;
+    let loader = DataLoader::new(test, batch_size.max(1), false);
+    // Shuffle is off, so the RNG is inert; any seed works.
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut acc = RunningMean::new();
+    let mut loss = RunningMean::new();
+    for (x, y) in loader.epoch(&mut rng)? {
+        let out = template.forward(&x)?;
+        let (l, _) = CrossEntropyLoss.forward(&out, &Targets::Classes(y.clone()))?;
+        let a = accuracy(&out, &y)?;
+        let n = y.len();
+        acc.add(a, n);
+        loss.add(l, n);
+    }
+    Ok(Evaluation {
+        accuracy: acc.mean(),
+        loss: loss.mean(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::tiny_shard;
+    use appfl_nn::models::{linear_classifier, InputSpec};
+    use appfl_nn::module::flatten_params;
+
+    #[test]
+    fn evaluation_runs_on_untrained_model() {
+        let (_, test) = tiny_shard(0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut model = linear_classifier(
+            InputSpec {
+                channels: 1,
+                height: 2,
+                width: 2,
+                classes: 2,
+            },
+            &mut rng,
+        );
+        let w = flatten_params(&model);
+        let e = evaluate(&mut model, &w, &test, 5).unwrap();
+        assert!((0.0..=1.0).contains(&e.accuracy));
+        assert!(e.loss.is_finite());
+    }
+
+    #[test]
+    fn better_weights_score_better() {
+        let (_, test) = tiny_shard(0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut model = linear_classifier(
+            InputSpec {
+                channels: 1,
+                height: 2,
+                width: 2,
+                classes: 2,
+            },
+            &mut rng,
+        );
+        // Hand-crafted weights: class 0 fires on +features, class 1 on −.
+        // Layout: Linear [out=2, in=4] weights then bias.
+        let good = vec![1.0, 1.0, 1.0, 1.0, -1.0, -1.0, -1.0, -1.0, 0.0, 0.0];
+        let e_good = evaluate(&mut model, &good, &test, 4).unwrap();
+        let zero = vec![0.0; 10];
+        let e_zero = evaluate(&mut model, &zero, &test, 4).unwrap();
+        assert!(e_good.accuracy > 0.9, "accuracy {}", e_good.accuracy);
+        assert!(e_good.loss < e_zero.loss);
+    }
+
+    #[test]
+    fn confusion_matrix_diagonal_and_metrics() {
+        let (_, test) = tiny_shard(0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut model = linear_classifier(
+            InputSpec {
+                channels: 1,
+                height: 2,
+                width: 2,
+                classes: 2,
+            },
+            &mut rng,
+        );
+        let good = vec![1.0, 1.0, 1.0, 1.0, -1.0, -1.0, -1.0, -1.0, 0.0, 0.0];
+        let (eval, cm) = evaluate_with_confusion(&mut model, &good, &test, 4).unwrap();
+        assert_eq!(cm.counts.iter().sum::<usize>(), test.len());
+        assert!((cm.accuracy() - eval.accuracy).abs() < 1e-6);
+        // Perfect classifier: off-diagonal is empty.
+        assert_eq!(cm.at(0, 1) + cm.at(1, 0), 0);
+        assert!(cm.per_class_recall().iter().all(|&r| (r - 1.0).abs() < 1e-6));
+        assert!((cm.balanced_accuracy() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn balanced_accuracy_penalises_majority_guessing() {
+        // 9 of class 0, 1 of class 1, everything predicted 0.
+        let cm = ConfusionMatrix {
+            counts: vec![9, 0, 1, 0],
+            classes: 2,
+        };
+        assert!((cm.accuracy() - 0.9).abs() < 1e-6);
+        assert!((cm.balanced_accuracy() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_classes_do_not_poison_balanced_accuracy() {
+        let cm = ConfusionMatrix {
+            counts: vec![3, 0, 0, 0], // class 1 unpopulated
+            classes: 2,
+        };
+        assert!((cm.balanced_accuracy() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rejects_wrong_dimension() {
+        let (_, test) = tiny_shard(0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut model = linear_classifier(
+            InputSpec {
+                channels: 1,
+                height: 2,
+                width: 2,
+                classes: 2,
+            },
+            &mut rng,
+        );
+        assert!(evaluate(&mut model, &[0.0; 3], &test, 4).is_err());
+    }
+}

@@ -1,0 +1,258 @@
+//! Dataset abstraction and the in-memory implementation.
+
+use appfl_tensor::{Result, Shape, Tensor, TensorError};
+
+/// Geometry of a supervised image-classification dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct DataSpec {
+    /// Image channels.
+    pub channels: usize,
+    /// Image height.
+    pub height: usize,
+    /// Image width.
+    pub width: usize,
+    /// Number of classes.
+    pub classes: usize,
+}
+
+impl DataSpec {
+    /// Flattened feature dimension `c*h*w`.
+    pub fn feature_dim(&self) -> usize {
+        self.channels * self.height * self.width
+    }
+
+    /// Shape of one sample.
+    pub fn sample_shape(&self) -> Shape {
+        Shape::from([self.channels, self.height, self.width])
+    }
+}
+
+/// A supervised dataset of image tensors with integer class labels.
+///
+/// Mirrors `torch.utils.data.Dataset` as wrapped by APPFL's `Dataset` class:
+/// random access by index plus a length, from which loaders build shuffled
+/// mini-batches.
+pub trait Dataset: Send + Sync {
+    /// Number of samples.
+    fn len(&self) -> usize;
+
+    /// Whether the dataset is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Dataset geometry.
+    fn spec(&self) -> DataSpec;
+
+    /// Copies the sample at `index` into `out` (a `spec().feature_dim()`
+    /// slice in CHW order) and returns its label.
+    fn read_into(&self, index: usize, out: &mut [f32]) -> Result<usize>;
+
+    /// Materialises a batch `[b, c, h, w]` with its labels.
+    fn batch(&self, indices: &[usize]) -> Result<(Tensor, Vec<usize>)> {
+        let spec = self.spec();
+        let d = spec.feature_dim();
+        let mut data = vec![0.0f32; indices.len() * d];
+        let mut labels = Vec::with_capacity(indices.len());
+        for (row, &i) in indices.iter().enumerate() {
+            labels.push(self.read_into(i, &mut data[row * d..(row + 1) * d])?);
+        }
+        let batch = Tensor::from_vec(
+            [indices.len(), spec.channels, spec.height, spec.width],
+            data,
+        )?;
+        Ok((batch, labels))
+    }
+
+    /// Materialises the whole dataset as one batch.
+    fn full_batch(&self) -> Result<(Tensor, Vec<usize>)> {
+        let all: Vec<usize> = (0..self.len()).collect();
+        self.batch(&all)
+    }
+}
+
+/// A dataset held entirely in one contiguous buffer.
+#[derive(Debug, Clone)]
+pub struct InMemoryDataset {
+    spec: DataSpec,
+    /// `[n * feature_dim]`, row-major per sample.
+    data: Vec<f32>,
+    labels: Vec<usize>,
+}
+
+impl InMemoryDataset {
+    /// Builds a dataset from a flat buffer and labels.
+    pub fn new(spec: DataSpec, data: Vec<f32>, labels: Vec<usize>) -> Result<Self> {
+        if data.len() != labels.len() * spec.feature_dim() {
+            return Err(TensorError::ShapeDataMismatch {
+                expected: labels.len() * spec.feature_dim(),
+                actual: data.len(),
+            });
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l >= spec.classes) {
+            return Err(TensorError::InvalidArgument(format!(
+                "label {bad} out of range for {} classes",
+                spec.classes
+            )));
+        }
+        Ok(InMemoryDataset { spec, data, labels })
+    }
+
+    /// Builds an empty dataset with the given geometry.
+    pub fn empty(spec: DataSpec) -> Self {
+        InMemoryDataset {
+            spec,
+            data: Vec::new(),
+            labels: Vec::new(),
+        }
+    }
+
+    /// Appends one sample (CHW order).
+    pub fn push(&mut self, sample: &[f32], label: usize) -> Result<()> {
+        if sample.len() != self.spec.feature_dim() {
+            return Err(TensorError::ShapeDataMismatch {
+                expected: self.spec.feature_dim(),
+                actual: sample.len(),
+            });
+        }
+        if label >= self.spec.classes {
+            return Err(TensorError::InvalidArgument(format!(
+                "label {label} out of range for {} classes",
+                self.spec.classes
+            )));
+        }
+        self.data.extend_from_slice(sample);
+        self.labels.push(label);
+        Ok(())
+    }
+
+    /// The label vector.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// A new dataset containing only the given indices (a client shard).
+    pub fn subset(&self, indices: &[usize]) -> Result<InMemoryDataset> {
+        let d = self.spec.feature_dim();
+        let mut out = InMemoryDataset::empty(self.spec);
+        out.data.reserve(indices.len() * d);
+        out.labels.reserve(indices.len());
+        for &i in indices {
+            if i >= self.len() {
+                return Err(TensorError::InvalidArgument(format!(
+                    "subset index {i} out of range for {} samples",
+                    self.len()
+                )));
+            }
+            out.data.extend_from_slice(&self.data[i * d..(i + 1) * d]);
+            out.labels.push(self.labels[i]);
+        }
+        Ok(out)
+    }
+
+    /// Per-class sample counts.
+    pub fn class_histogram(&self) -> Vec<usize> {
+        let mut h = vec![0usize; self.spec.classes];
+        for &l in &self.labels {
+            h[l] += 1;
+        }
+        h
+    }
+}
+
+impl Dataset for InMemoryDataset {
+    fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    fn spec(&self) -> DataSpec {
+        self.spec
+    }
+
+    fn read_into(&self, index: usize, out: &mut [f32]) -> Result<usize> {
+        let d = self.spec.feature_dim();
+        if index >= self.len() {
+            return Err(TensorError::InvalidArgument(format!(
+                "sample index {index} out of range for {} samples",
+                self.len()
+            )));
+        }
+        out.copy_from_slice(&self.data[index * d..(index + 1) * d]);
+        Ok(self.labels[index])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: DataSpec = DataSpec {
+        channels: 1,
+        height: 2,
+        width: 2,
+        classes: 3,
+    };
+
+    fn tiny() -> InMemoryDataset {
+        let data = vec![
+            0.0, 0.1, 0.2, 0.3, // sample 0
+            1.0, 1.1, 1.2, 1.3, // sample 1
+            2.0, 2.1, 2.2, 2.3, // sample 2
+        ];
+        InMemoryDataset::new(SPEC, data, vec![0, 1, 2]).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(InMemoryDataset::new(SPEC, vec![0.0; 8], vec![0, 1]).is_ok());
+        assert!(InMemoryDataset::new(SPEC, vec![0.0; 7], vec![0, 1]).is_err());
+        assert!(InMemoryDataset::new(SPEC, vec![0.0; 4], vec![3]).is_err());
+    }
+
+    #[test]
+    fn read_and_batch() {
+        let ds = tiny();
+        let mut buf = vec![0.0; 4];
+        assert_eq!(ds.read_into(1, &mut buf).unwrap(), 1);
+        assert_eq!(buf, vec![1.0, 1.1, 1.2, 1.3]);
+        let (b, l) = ds.batch(&[2, 0]).unwrap();
+        assert_eq!(b.dims(), &[2, 1, 2, 2]);
+        assert_eq!(l, vec![2, 0]);
+        assert_eq!(b.at(&[0, 0, 0, 0]).unwrap(), 2.0);
+        assert!(ds.read_into(5, &mut buf).is_err());
+    }
+
+    #[test]
+    fn push_and_subset() {
+        let mut ds = InMemoryDataset::empty(SPEC);
+        ds.push(&[1.0; 4], 0).unwrap();
+        ds.push(&[2.0; 4], 2).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert!(ds.push(&[0.0; 3], 0).is_err());
+        assert!(ds.push(&[0.0; 4], 9).is_err());
+        let sub = ds.subset(&[1]).unwrap();
+        assert_eq!(sub.len(), 1);
+        assert_eq!(sub.labels(), &[2]);
+        assert!(ds.subset(&[7]).is_err());
+    }
+
+    #[test]
+    fn histogram_counts_classes() {
+        let ds = tiny();
+        assert_eq!(ds.class_histogram(), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn full_batch_covers_everything() {
+        let ds = tiny();
+        let (b, l) = ds.full_batch().unwrap();
+        assert_eq!(b.dims()[0], 3);
+        assert_eq!(l.len(), 3);
+    }
+
+    #[test]
+    fn spec_helpers() {
+        assert_eq!(SPEC.feature_dim(), 4);
+        assert_eq!(SPEC.sample_shape().dims(), &[1, 2, 2]);
+    }
+}

@@ -1,0 +1,168 @@
+//! Federated dataset bundles.
+
+use crate::dataset::{DataSpec, Dataset, InMemoryDataset};
+use crate::partition::split_iid;
+use crate::synth;
+use appfl_tensor::Result;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-client training shards plus a shared server-side test set.
+///
+/// The test set backs the validation routine of §II-A.5 ("When testing data
+/// is available at a server, APPFL provides a validation routine that
+/// evaluates the accuracy of the current global model").
+#[derive(Debug, Clone)]
+pub struct FederatedDataset {
+    /// One training shard per client.
+    pub clients: Vec<InMemoryDataset>,
+    /// Shared test set held by the server.
+    pub test: InMemoryDataset,
+    /// Geometry.
+    pub spec: DataSpec,
+}
+
+impl FederatedDataset {
+    /// Number of clients `P`.
+    pub fn num_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Per-client sample counts `I_p`.
+    pub fn client_sizes(&self) -> Vec<usize> {
+        self.clients.iter().map(|c| c.len()).collect()
+    }
+
+    /// Total training samples `I = Σ I_p`.
+    pub fn total_train(&self) -> usize {
+        self.clients.iter().map(|c| c.len()).sum()
+    }
+
+    /// FedAvg aggregation weights `I_p / I`.
+    pub fn client_weights(&self) -> Vec<f32> {
+        let total = self.total_train().max(1) as f32;
+        self.clients
+            .iter()
+            .map(|c| c.len() as f32 / total)
+            .collect()
+    }
+}
+
+/// Which of the paper's four benchmark corpora to synthesise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Benchmark {
+    /// MNIST substitute, 4 IID clients (paper default).
+    Mnist,
+    /// CIFAR10 substitute, 4 IID clients.
+    Cifar10,
+    /// FEMNIST substitute, 203 non-i.i.d. writers.
+    Femnist,
+    /// CoronaHack substitute, 4 IID clients.
+    CoronaHack,
+}
+
+impl Benchmark {
+    /// Human-readable name used in experiment outputs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Benchmark::Mnist => "MNIST",
+            Benchmark::Cifar10 => "CIFAR10",
+            Benchmark::Femnist => "FEMNIST",
+            Benchmark::CoronaHack => "CoronaHack",
+        }
+    }
+
+    /// All four benchmarks in the paper's Figure 2 order.
+    pub fn all() -> [Benchmark; 4] {
+        [
+            Benchmark::Mnist,
+            Benchmark::Cifar10,
+            Benchmark::Femnist,
+            Benchmark::CoronaHack,
+        ]
+    }
+}
+
+/// Builds a federated benchmark at a configurable scale.
+///
+/// `train_size`/`test_size` control corpus size (use small values in tests,
+/// paper-scale values in the figure binaries). `num_clients` is honoured for
+/// the IID benchmarks; FEMNIST always uses its writer structure with
+/// `num_clients` writers.
+pub fn build_benchmark(
+    benchmark: Benchmark,
+    num_clients: usize,
+    train_size: usize,
+    test_size: usize,
+    seed: u64,
+) -> Result<FederatedDataset> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+    match benchmark {
+        Benchmark::Mnist => {
+            let c = synth::mnist_like(train_size, test_size, seed)?;
+            Ok(FederatedDataset {
+                clients: split_iid(&c.train, num_clients, &mut rng)?,
+                test: c.test,
+                spec: c.spec,
+            })
+        }
+        Benchmark::Cifar10 => {
+            let c = synth::cifar_like(train_size, test_size, seed)?;
+            Ok(FederatedDataset {
+                clients: split_iid(&c.train, num_clients, &mut rng)?,
+                test: c.test,
+                spec: c.spec,
+            })
+        }
+        Benchmark::CoronaHack => {
+            let c = synth::corona_like(train_size, test_size, seed)?;
+            Ok(FederatedDataset {
+                clients: split_iid(&c.train, num_clients, &mut rng)?,
+                test: c.test,
+                spec: c.spec,
+            })
+        }
+        Benchmark::Femnist => {
+            let fed = synth::femnist_like(num_clients, train_size, test_size, seed)?;
+            Ok(FederatedDataset {
+                clients: fed.writers,
+                test: fed.test,
+                spec: fed.spec,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnist_benchmark_builds_four_clients() {
+        let fed = build_benchmark(Benchmark::Mnist, 4, 100, 40, 1).unwrap();
+        assert_eq!(fed.num_clients(), 4);
+        assert_eq!(fed.total_train(), 100);
+        assert_eq!(fed.test.len(), 40);
+        let w = fed.client_weights();
+        assert!((w.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn femnist_benchmark_uses_writers() {
+        let fed = build_benchmark(Benchmark::Femnist, 7, 700, 70, 2).unwrap();
+        assert_eq!(fed.num_clients(), 7);
+        assert_eq!(fed.spec.classes, 62);
+        // Writer shards are intentionally unequal.
+        let sizes = fed.client_sizes();
+        assert!(sizes.iter().max() != sizes.iter().min());
+    }
+
+    #[test]
+    fn all_benchmarks_have_names() {
+        for b in Benchmark::all() {
+            assert!(!b.name().is_empty());
+            let fed = build_benchmark(b, 3, 60, 12, 3).unwrap();
+            assert_eq!(fed.num_clients(), 3);
+        }
+    }
+}

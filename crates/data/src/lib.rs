@@ -1,0 +1,34 @@
+//! # appfl-data
+//!
+//! Data handling for appfl-rs, playing the role of `torch.utils.data` plus
+//! the paper's dataset preparation scripts.
+//!
+//! The paper evaluates on MNIST, CIFAR10, FEMNIST (LEAF) and CoronaHack.
+//! Those corpora are not redistributable here, so this crate provides
+//! **seeded synthetic generators** with matched geometry, class counts and
+//! client structure (see `DESIGN.md` for the substitution argument):
+//!
+//! * [`synth::mnist_like`] — 1×28×28, 10 classes
+//! * [`synth::cifar_like`] — 3×32×32, 10 classes
+//! * [`synth::femnist_like`] — 1×28×28, 62 classes, 203 non-i.i.d. writers
+//! * [`synth::corona_like`] — 1×64×64, 3 classes, imbalanced (chest-X-ray
+//!   style pneumonia task)
+//!
+//! On top sit the [`Dataset`] abstraction, a shuffling [`DataLoader`]
+//! (mini-batching, as in §II-A.5), client [`partition`]ers (IID, Dirichlet
+//! label-skew, by-writer), and [`federated::FederatedDataset`] which bundles
+//! per-client training shards with a shared test set.
+
+pub mod dataset;
+pub mod federated;
+pub mod loader;
+pub mod partition;
+pub mod stats;
+pub mod synth;
+pub mod transforms;
+
+pub use dataset::{DataSpec, Dataset, InMemoryDataset};
+pub use federated::FederatedDataset;
+pub use loader::DataLoader;
+
+pub use appfl_tensor::{Result, Tensor, TensorError};

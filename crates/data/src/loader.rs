@@ -1,0 +1,123 @@
+//! Shuffling mini-batch loader.
+
+use crate::dataset::Dataset;
+use appfl_tensor::{Result, Tensor};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Produces shuffled mini-batches from a [`Dataset`].
+///
+/// Mirrors PyTorch's `DataLoader` as used by APPFL (§II-A.5: "utilize the
+/// PyTorch's DataLoader that provides numerous useful functions including
+/// data shuffling and mini-batch training"). The paper caps batches at 64
+/// samples for FedAvg and IIADMM local updates.
+pub struct DataLoader<'a> {
+    dataset: &'a dyn Dataset,
+    batch_size: usize,
+    shuffle: bool,
+}
+
+impl<'a> DataLoader<'a> {
+    /// Creates a loader; `batch_size` is clamped to at least 1.
+    pub fn new(dataset: &'a dyn Dataset, batch_size: usize, shuffle: bool) -> Self {
+        DataLoader {
+            dataset,
+            batch_size: batch_size.max(1),
+            shuffle,
+        }
+    }
+
+    /// Number of batches in one epoch (`ceil(len / batch_size)`), i.e. the
+    /// `B_p` of Algorithm 1.
+    pub fn num_batches(&self) -> usize {
+        self.dataset.len().div_ceil(self.batch_size)
+    }
+
+    /// Materialises one epoch of batches in shuffled (or sequential) order.
+    pub fn epoch(&self, rng: &mut impl Rng) -> Result<Vec<(Tensor, Vec<usize>)>> {
+        let mut idx: Vec<usize> = (0..self.dataset.len()).collect();
+        if self.shuffle {
+            idx.shuffle(rng);
+        }
+        idx.chunks(self.batch_size)
+            .map(|chunk| self.dataset.batch(chunk))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{DataSpec, InMemoryDataset};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn make(n: usize) -> InMemoryDataset {
+        let spec = DataSpec {
+            channels: 1,
+            height: 1,
+            width: 1,
+            classes: 10,
+        };
+        let data: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let labels: Vec<usize> = (0..n).map(|i| i % 10).collect();
+        InMemoryDataset::new(spec, data, labels).unwrap()
+    }
+
+    #[test]
+    fn covers_every_sample_exactly_once() {
+        let ds = make(10);
+        let loader = DataLoader::new(&ds, 3, true);
+        assert_eq!(loader.num_batches(), 4);
+        let mut rng = StdRng::seed_from_u64(0);
+        let batches = loader.epoch(&mut rng).unwrap();
+        let mut seen: Vec<f32> = batches
+            .iter()
+            .flat_map(|(x, _)| x.as_slice().to_vec())
+            .collect();
+        seen.sort_by(f32::total_cmp);
+        assert_eq!(seen, (0..10).map(|i| i as f32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batch_sizes_respect_cap_with_ragged_tail() {
+        let ds = make(10);
+        let loader = DataLoader::new(&ds, 4, false);
+        let mut rng = StdRng::seed_from_u64(0);
+        let sizes: Vec<usize> = loader
+            .epoch(&mut rng)
+            .unwrap()
+            .iter()
+            .map(|(x, _)| x.dims()[0])
+            .collect();
+        assert_eq!(sizes, vec![4, 4, 2]);
+    }
+
+    #[test]
+    fn unshuffled_order_is_sequential() {
+        let ds = make(6);
+        let loader = DataLoader::new(&ds, 2, false);
+        let mut rng = StdRng::seed_from_u64(0);
+        let batches = loader.epoch(&mut rng).unwrap();
+        assert_eq!(batches[0].0.as_slice(), &[0.0, 1.0]);
+        assert_eq!(batches[2].0.as_slice(), &[4.0, 5.0]);
+    }
+
+    #[test]
+    fn shuffle_is_seed_deterministic() {
+        let ds = make(16);
+        let loader = DataLoader::new(&ds, 4, true);
+        let a = loader.epoch(&mut StdRng::seed_from_u64(1)).unwrap();
+        let b = loader.epoch(&mut StdRng::seed_from_u64(1)).unwrap();
+        for ((xa, _), (xb, _)) in a.iter().zip(b.iter()) {
+            assert_eq!(xa.as_slice(), xb.as_slice());
+        }
+    }
+
+    #[test]
+    fn zero_batch_size_is_clamped() {
+        let ds = make(3);
+        let loader = DataLoader::new(&ds, 0, false);
+        assert_eq!(loader.num_batches(), 3);
+    }
+}

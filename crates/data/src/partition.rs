@@ -1,0 +1,248 @@
+//! Client partitioners.
+//!
+//! §IV-A: "For MNIST, CIFAR10, and CoronaHack, we split the entire training
+//! datasets into four, each of which represents a client's dataset." This
+//! module provides that IID split plus a Dirichlet label-skew partitioner
+//! for controlled non-i.i.d. studies. (FEMNIST arrives pre-partitioned by
+//! writer from [`crate::synth::femnist_like`].)
+
+use crate::dataset::{Dataset, InMemoryDataset};
+use appfl_tensor::Result;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand_distr::{Distribution, Gamma};
+
+/// Splits indices uniformly at random into `num_clients` near-equal shards.
+pub fn iid_indices(n: usize, num_clients: usize, rng: &mut impl Rng) -> Vec<Vec<usize>> {
+    assert!(num_clients > 0, "iid_indices: need at least one client");
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(rng);
+    let base = n / num_clients;
+    let extra = n % num_clients;
+    let mut out = Vec::with_capacity(num_clients);
+    let mut cursor = 0;
+    for c in 0..num_clients {
+        let take = base + usize::from(c < extra);
+        out.push(idx[cursor..cursor + take].to_vec());
+        cursor += take;
+    }
+    out
+}
+
+/// Label-skewed split: for each class, client shares are drawn from a
+/// Dirichlet(α) distribution. Small `alpha` (e.g. 0.1) gives near-disjoint
+/// class ownership; large `alpha` approaches IID.
+pub fn dirichlet_indices(
+    labels: &[usize],
+    num_classes: usize,
+    num_clients: usize,
+    alpha: f64,
+    rng: &mut impl Rng,
+) -> Vec<Vec<usize>> {
+    assert!(num_clients > 0, "dirichlet_indices: need at least one client");
+    assert!(alpha > 0.0, "dirichlet_indices: alpha must be positive");
+    let gamma = Gamma::new(alpha, 1.0).expect("gamma params");
+    let mut out = vec![Vec::new(); num_clients];
+    for class in 0..num_classes {
+        let mut members: Vec<usize> = labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == class)
+            .map(|(i, _)| i)
+            .collect();
+        members.shuffle(rng);
+        // Dirichlet draw via normalised Gammas.
+        let mut shares: Vec<f64> = (0..num_clients)
+            .map(|_| gamma.sample(rng).max(1e-12))
+            .collect();
+        let sum: f64 = shares.iter().sum();
+        for s in &mut shares {
+            *s /= sum;
+        }
+        // Convert to cut points over this class's samples.
+        let mut cursor = 0usize;
+        let mut acc = 0.0f64;
+        for (c, &s) in shares.iter().enumerate() {
+            acc += s;
+            let end = if c + 1 == num_clients {
+                members.len()
+            } else {
+                ((acc * members.len() as f64).round() as usize).min(members.len())
+            };
+            out[c].extend_from_slice(&members[cursor..end.max(cursor)]);
+            cursor = end.max(cursor);
+        }
+    }
+    out
+}
+
+/// Quantity-skewed split: shard sizes follow a power law controlled by
+/// `gamma` (0 = balanced, larger = heavier skew), assignment is random.
+/// Models federations where a few silos hold most of the data.
+pub fn power_law_indices(
+    n: usize,
+    num_clients: usize,
+    gamma: f64,
+    rng: &mut impl Rng,
+) -> Vec<Vec<usize>> {
+    assert!(num_clients > 0, "power_law_indices: need at least one client");
+    assert!(gamma >= 0.0, "power_law_indices: gamma must be non-negative");
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(rng);
+    // Weights (c+1)^{-gamma}, normalised; cumulative cut points over n.
+    let weights: Vec<f64> = (0..num_clients)
+        .map(|c| ((c + 1) as f64).powf(-gamma))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut out = Vec::with_capacity(num_clients);
+    let mut cursor = 0usize;
+    let mut acc = 0.0f64;
+    for (c, &w) in weights.iter().enumerate() {
+        acc += w / total;
+        let end = if c + 1 == num_clients {
+            n
+        } else {
+            ((acc * n as f64).round() as usize).clamp(cursor, n)
+        };
+        out.push(idx[cursor..end].to_vec());
+        cursor = end;
+    }
+    out
+}
+
+/// Materialises index shards into per-client datasets.
+pub fn materialize(
+    dataset: &InMemoryDataset,
+    shards: &[Vec<usize>],
+) -> Result<Vec<InMemoryDataset>> {
+    shards.iter().map(|s| dataset.subset(s)).collect()
+}
+
+/// Splits a dataset IID into `num_clients` shards (the paper's 4-client
+/// setup for MNIST/CIFAR10/CoronaHack).
+pub fn split_iid(
+    dataset: &InMemoryDataset,
+    num_clients: usize,
+    rng: &mut impl Rng,
+) -> Result<Vec<InMemoryDataset>> {
+    materialize(dataset, &iid_indices(dataset.len(), num_clients, rng))
+}
+
+/// Splits a dataset with Dirichlet label skew.
+pub fn split_dirichlet(
+    dataset: &InMemoryDataset,
+    num_clients: usize,
+    alpha: f64,
+    rng: &mut impl Rng,
+) -> Result<Vec<InMemoryDataset>> {
+    let shards = dirichlet_indices(
+        dataset.labels(),
+        dataset.spec().classes,
+        num_clients,
+        alpha,
+        rng,
+    );
+    materialize(dataset, &shards)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DataSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn make(n: usize, classes: usize) -> InMemoryDataset {
+        let spec = DataSpec {
+            channels: 1,
+            height: 1,
+            width: 1,
+            classes,
+        };
+        let data: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let labels: Vec<usize> = (0..n).map(|i| i % classes).collect();
+        InMemoryDataset::new(spec, data, labels).unwrap()
+    }
+
+    fn assert_disjoint_cover(shards: &[Vec<usize>], n: usize) {
+        let mut all: Vec<usize> = shards.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..n).collect::<Vec<_>>(), "not a disjoint cover");
+    }
+
+    #[test]
+    fn iid_is_disjoint_cover_with_balanced_sizes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let shards = iid_indices(103, 4, &mut rng);
+        assert_disjoint_cover(&shards, 103);
+        let sizes: Vec<usize> = shards.iter().map(Vec::len).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 103);
+        assert!(sizes.iter().all(|&s| s == 25 || s == 26));
+    }
+
+    #[test]
+    fn dirichlet_is_disjoint_cover() {
+        let ds = make(200, 10);
+        let mut rng = StdRng::seed_from_u64(1);
+        let shards = dirichlet_indices(ds.labels(), 10, 5, 0.3, &mut rng);
+        assert_disjoint_cover(&shards, 200);
+    }
+
+    #[test]
+    fn small_alpha_skews_low_alpha_more_than_high() {
+        let ds = make(2000, 10);
+        let skew = |alpha: f64| {
+            let mut rng = StdRng::seed_from_u64(2);
+            let shards = split_dirichlet(&ds, 4, alpha, &mut rng).unwrap();
+            // Mean per-client max class share: 0.1 for uniform, → 1 for
+            // single-class clients.
+            shards
+                .iter()
+                .map(|s| {
+                    let h = s.class_histogram();
+                    let total: usize = h.iter().sum();
+                    *h.iter().max().unwrap() as f64 / total.max(1) as f64
+                })
+                .sum::<f64>()
+                / 4.0
+        };
+        assert!(skew(0.05) > skew(100.0) + 0.1);
+    }
+
+    #[test]
+    fn split_iid_materialises_four_clients() {
+        let ds = make(100, 5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let clients = split_iid(&ds, 4, &mut rng).unwrap();
+        assert_eq!(clients.len(), 4);
+        assert_eq!(clients.iter().map(|c| c.len()).sum::<usize>(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one client")]
+    fn zero_clients_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        iid_indices(10, 0, &mut rng);
+    }
+
+    #[test]
+    fn power_law_is_disjoint_cover_and_skewed() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let shards = power_law_indices(1000, 5, 1.5, &mut rng);
+        assert_disjoint_cover(&shards, 1000);
+        // First client dominates under heavy skew.
+        assert!(
+            shards[0].len() > 2 * shards[4].len(),
+            "sizes {:?}",
+            shards.iter().map(Vec::len).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn power_law_gamma_zero_is_balanced() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let shards = power_law_indices(100, 4, 0.0, &mut rng);
+        assert_disjoint_cover(&shards, 100);
+        assert!(shards.iter().all(|s| s.len() == 25));
+    }
+}

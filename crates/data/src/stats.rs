@@ -1,0 +1,179 @@
+//! Federation statistics — quantifying how non-i.i.d. a client split is.
+//!
+//! The paper's FEMNIST setup distributes "36,699 training … samples … over
+//! 203 clients" non-uniformly; these metrics make that structure measurable
+//! so experiments can report *how* skewed their federation is:
+//!
+//! * [`gini`] — inequality of shard sizes (0 = equal, → 1 = one client has
+//!   everything);
+//! * [`label_divergence`] — mean Jensen–Shannon divergence between each
+//!   client's label distribution and the global one (0 = IID, → ln 2 =
+//!   disjoint labels).
+
+use crate::dataset::{Dataset, InMemoryDataset};
+
+/// Gini coefficient of client shard sizes.
+pub fn gini(sizes: &[usize]) -> f64 {
+    if sizes.is_empty() {
+        return 0.0;
+    }
+    let n = sizes.len() as f64;
+    let total: f64 = sizes.iter().map(|&s| s as f64).sum();
+    if total == 0.0 {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = sizes.iter().map(|&s| s as f64).collect();
+    sorted.sort_by(f64::total_cmp);
+    // G = (2 Σ_i i·x_i) / (n Σ x) − (n+1)/n with 1-based ranks on sorted x.
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i + 1) as f64 * x)
+        .sum();
+    (2.0 * weighted) / (n * total) - (n + 1.0) / n
+}
+
+fn js_divergence(p: &[f64], q: &[f64]) -> f64 {
+    let kl = |a: &[f64], b: &[f64]| -> f64 {
+        a.iter()
+            .zip(b.iter())
+            .filter(|(&x, _)| x > 0.0)
+            .map(|(&x, &y)| x * (x / y.max(1e-12)).ln())
+            .sum()
+    };
+    let m: Vec<f64> = p.iter().zip(q.iter()).map(|(&a, &b)| 0.5 * (a + b)).collect();
+    0.5 * kl(p, &m) + 0.5 * kl(q, &m)
+}
+
+fn label_distribution(shard: &InMemoryDataset) -> Vec<f64> {
+    let hist = shard.class_histogram();
+    let total: usize = hist.iter().sum();
+    hist.iter()
+        .map(|&c| {
+            if total == 0 {
+                0.0
+            } else {
+                c as f64 / total as f64
+            }
+        })
+        .collect()
+}
+
+/// Mean Jensen–Shannon divergence (nats) between each client's label
+/// distribution and the pooled global distribution. 0 for IID splits;
+/// approaches ln 2 ≈ 0.693 when clients hold disjoint classes.
+pub fn label_divergence(clients: &[InMemoryDataset]) -> f64 {
+    if clients.is_empty() {
+        return 0.0;
+    }
+    let classes = clients[0].spec().classes;
+    let mut global = vec![0.0f64; classes];
+    let mut total = 0usize;
+    for c in clients {
+        for (g, &h) in global.iter_mut().zip(c.class_histogram().iter()) {
+            *g += h as f64;
+        }
+        total += c.len();
+    }
+    for g in &mut global {
+        *g /= total.max(1) as f64;
+    }
+    clients
+        .iter()
+        .map(|c| js_divergence(&label_distribution(c), &global))
+        .sum::<f64>()
+        / clients.len() as f64
+}
+
+/// A one-line summary of a federation's heterogeneity.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FederationStats {
+    /// Number of clients.
+    pub clients: usize,
+    /// Total training samples.
+    pub total_samples: usize,
+    /// Smallest shard.
+    pub min_shard: usize,
+    /// Largest shard.
+    pub max_shard: usize,
+    /// Gini coefficient of shard sizes.
+    pub size_gini: f64,
+    /// Mean JS divergence of client label distributions from global.
+    pub label_divergence: f64,
+}
+
+/// Computes the summary for a set of client shards.
+pub fn summarize(clients: &[InMemoryDataset]) -> FederationStats {
+    let sizes: Vec<usize> = clients.iter().map(|c| c.len()).collect();
+    FederationStats {
+        clients: clients.len(),
+        total_samples: sizes.iter().sum(),
+        min_shard: sizes.iter().copied().min().unwrap_or(0),
+        max_shard: sizes.iter().copied().max().unwrap_or(0),
+        size_gini: gini(&sizes),
+        label_divergence: label_divergence(clients),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::federated::{build_benchmark, Benchmark};
+    use crate::partition::split_dirichlet;
+    use crate::synth::mnist_like;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gini_extremes() {
+        assert_eq!(gini(&[]), 0.0);
+        assert!(gini(&[10, 10, 10, 10]).abs() < 1e-12);
+        // One client holds everything: G = (n-1)/n.
+        let g = gini(&[0, 0, 0, 100]);
+        assert!((g - 0.75).abs() < 1e-9, "g {g}");
+        // Moderate skew lands in between.
+        let g = gini(&[10, 20, 30, 40]);
+        assert!(g > 0.0 && g < 0.75);
+    }
+
+    #[test]
+    fn iid_split_has_low_divergence() {
+        let fed = build_benchmark(Benchmark::Mnist, 4, 800, 100, 3).unwrap();
+        let d = label_divergence(&fed.clients);
+        assert!(d < 0.05, "IID divergence {d}");
+    }
+
+    #[test]
+    fn dirichlet_skew_raises_divergence() {
+        let corpus = mnist_like(800, 100, 5).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let skewed = split_dirichlet(&corpus.train, 4, 0.05, &mut rng).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let iid = crate::partition::split_iid(&corpus.train, 4, &mut rng).unwrap();
+        let d_skew = label_divergence(&skewed);
+        let d_iid = label_divergence(&iid);
+        assert!(
+            d_skew > 4.0 * d_iid.max(1e-4),
+            "skewed {d_skew} vs iid {d_iid}"
+        );
+    }
+
+    #[test]
+    fn femnist_summary_shows_heterogeneity() {
+        let fed = build_benchmark(Benchmark::Femnist, 12, 1200, 60, 7).unwrap();
+        let stats = summarize(&fed.clients);
+        assert_eq!(stats.clients, 12);
+        assert_eq!(stats.total_samples, 1200);
+        assert!(stats.size_gini > 0.1, "gini {}", stats.size_gini);
+        assert!(stats.label_divergence > 0.2, "div {}", stats.label_divergence);
+        assert!(stats.max_shard > stats.min_shard);
+    }
+
+    #[test]
+    fn empty_federation_is_degenerate_but_safe() {
+        assert_eq!(label_divergence(&[]), 0.0);
+        let stats = summarize(&[]);
+        assert_eq!(stats.clients, 0);
+        assert_eq!(stats.size_gini, 0.0);
+    }
+}

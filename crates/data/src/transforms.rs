@@ -1,0 +1,234 @@
+//! Sample transforms (the `torchvision.transforms` role).
+//!
+//! Applied by wrapping a dataset in [`TransformedDataset`]: deterministic
+//! transforms (normalisation) run on every read; stochastic augmentations
+//! (random horizontal flip) draw from a per-read RNG seeded by sample index
+//! so results stay reproducible across epochs and runners.
+
+use crate::dataset::{DataSpec, Dataset};
+use appfl_tensor::Result;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A per-sample transform over the flat CHW buffer.
+pub trait Transform: Send + Sync {
+    /// Applies the transform in place. `index` identifies the sample (used
+    /// to seed stochastic transforms reproducibly).
+    fn apply(&self, spec: DataSpec, index: usize, buf: &mut [f32]);
+}
+
+/// Channel-wise normalisation: `x ← (x − mean[c]) / std[c]`.
+#[derive(Debug, Clone)]
+pub struct Normalize {
+    /// Per-channel means.
+    pub mean: Vec<f32>,
+    /// Per-channel standard deviations (must be nonzero).
+    pub std: Vec<f32>,
+}
+
+impl Transform for Normalize {
+    fn apply(&self, spec: DataSpec, _index: usize, buf: &mut [f32]) {
+        let plane = spec.height * spec.width;
+        for c in 0..spec.channels {
+            let mean = self.mean.get(c).copied().unwrap_or(0.0);
+            let std = self.std.get(c).copied().unwrap_or(1.0);
+            let inv = 1.0 / std;
+            for x in &mut buf[c * plane..(c + 1) * plane] {
+                *x = (*x - mean) * inv;
+            }
+        }
+    }
+}
+
+/// Random horizontal flip with probability `p` (CIFAR-style augmentation).
+#[derive(Debug, Clone, Copy)]
+pub struct RandomHorizontalFlip {
+    /// Flip probability.
+    pub p: f32,
+    /// Base seed mixed with the sample index.
+    pub seed: u64,
+}
+
+impl Transform for RandomHorizontalFlip {
+    fn apply(&self, spec: DataSpec, index: usize, buf: &mut [f32]) {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ (index as u64).wrapping_mul(0x9E3779B9));
+        if rng.gen::<f32>() >= self.p {
+            return;
+        }
+        let (h, w) = (spec.height, spec.width);
+        for c in 0..spec.channels {
+            let plane = &mut buf[c * h * w..(c + 1) * h * w];
+            for row in plane.chunks_mut(w) {
+                row.reverse();
+            }
+        }
+    }
+}
+
+/// A dataset with a transform pipeline applied on every read.
+pub struct TransformedDataset<D: Dataset> {
+    inner: D,
+    transforms: Vec<Box<dyn Transform>>,
+}
+
+impl<D: Dataset> TransformedDataset<D> {
+    /// Wraps a dataset with an ordered pipeline.
+    pub fn new(inner: D, transforms: Vec<Box<dyn Transform>>) -> Self {
+        TransformedDataset { inner, transforms }
+    }
+}
+
+impl<D: Dataset> Dataset for TransformedDataset<D> {
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn spec(&self) -> DataSpec {
+        self.inner.spec()
+    }
+
+    fn read_into(&self, index: usize, out: &mut [f32]) -> Result<usize> {
+        let label = self.inner.read_into(index, out)?;
+        let spec = self.spec();
+        for t in &self.transforms {
+            t.apply(spec, index, out);
+        }
+        Ok(label)
+    }
+}
+
+/// Computes per-channel mean and std over a dataset (for [`Normalize`]).
+pub fn channel_stats(dataset: &dyn Dataset) -> Result<(Vec<f32>, Vec<f32>)> {
+    let spec = dataset.spec();
+    let plane = spec.height * spec.width;
+    let mut sum = vec![0.0f64; spec.channels];
+    let mut sumsq = vec![0.0f64; spec.channels];
+    let mut buf = vec![0.0f32; spec.feature_dim()];
+    for i in 0..dataset.len() {
+        dataset.read_into(i, &mut buf)?;
+        for c in 0..spec.channels {
+            for &x in &buf[c * plane..(c + 1) * plane] {
+                sum[c] += x as f64;
+                sumsq[c] += (x as f64) * (x as f64);
+            }
+        }
+    }
+    let n = (dataset.len() * plane).max(1) as f64;
+    let mean: Vec<f32> = sum.iter().map(|&s| (s / n) as f32).collect();
+    let std: Vec<f32> = sumsq
+        .iter()
+        .zip(mean.iter())
+        .map(|(&sq, &m)| ((sq / n - (m as f64) * (m as f64)).max(1e-12)).sqrt() as f32)
+        .collect();
+    Ok((mean, std))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::InMemoryDataset;
+
+    fn tiny() -> InMemoryDataset {
+        let spec = DataSpec {
+            channels: 2,
+            height: 2,
+            width: 2,
+            classes: 2,
+        };
+        // Channel 0 all 2s, channel 1 all 6s (two samples).
+        let data = vec![
+            2.0, 2.0, 2.0, 2.0, 6.0, 6.0, 6.0, 6.0, //
+            2.0, 2.0, 2.0, 2.0, 6.0, 6.0, 6.0, 6.0,
+        ];
+        InMemoryDataset::new(spec, data, vec![0, 1]).unwrap()
+    }
+
+    #[test]
+    fn normalize_centres_channels() {
+        let ds = tiny();
+        let t = TransformedDataset::new(
+            ds,
+            vec![Box::new(Normalize {
+                mean: vec![2.0, 6.0],
+                std: vec![1.0, 2.0],
+            })],
+        );
+        let mut buf = vec![0.0; 8];
+        t.read_into(0, &mut buf).unwrap();
+        assert!(buf[..4].iter().all(|&x| x == 0.0));
+        assert!(buf[4..].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn channel_stats_recover_construction() {
+        let ds = tiny();
+        let (mean, std) = channel_stats(&ds).unwrap();
+        assert!((mean[0] - 2.0).abs() < 1e-5);
+        assert!((mean[1] - 6.0).abs() < 1e-5);
+        assert!(std[0] < 1e-3); // constant channel
+    }
+
+    #[test]
+    fn flip_reverses_rows() {
+        let spec = DataSpec {
+            channels: 1,
+            height: 1,
+            width: 3,
+            classes: 2,
+        };
+        let ds = InMemoryDataset::new(spec, vec![1.0, 2.0, 3.0], vec![0]).unwrap();
+        let t = TransformedDataset::new(
+            ds,
+            vec![Box::new(RandomHorizontalFlip { p: 1.0, seed: 1 })],
+        );
+        let mut buf = vec![0.0; 3];
+        t.read_into(0, &mut buf).unwrap();
+        assert_eq!(buf, vec![3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn flip_is_reproducible_per_index() {
+        let spec = DataSpec {
+            channels: 1,
+            height: 2,
+            width: 4,
+            classes: 2,
+        };
+        let data: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        let ds = InMemoryDataset::new(spec, data, vec![0, 1]).unwrap();
+        let t = TransformedDataset::new(
+            ds,
+            vec![Box::new(RandomHorizontalFlip { p: 0.5, seed: 9 })],
+        );
+        let mut a = vec![0.0; 8];
+        let mut b = vec![0.0; 8];
+        t.read_into(1, &mut a).unwrap();
+        t.read_into(1, &mut b).unwrap();
+        assert_eq!(a, b, "same index must always produce the same sample");
+    }
+
+    #[test]
+    fn pipeline_composes_in_order() {
+        let spec = DataSpec {
+            channels: 1,
+            height: 1,
+            width: 2,
+            classes: 2,
+        };
+        let ds = InMemoryDataset::new(spec, vec![1.0, 3.0], vec![0]).unwrap();
+        let t = TransformedDataset::new(
+            ds,
+            vec![
+                Box::new(Normalize {
+                    mean: vec![2.0],
+                    std: vec![1.0],
+                }),
+                Box::new(RandomHorizontalFlip { p: 1.0, seed: 3 }),
+            ],
+        );
+        let mut buf = vec![0.0; 2];
+        t.read_into(0, &mut buf).unwrap();
+        // Normalised to [-1, 1], then flipped to [1, -1].
+        assert_eq!(buf, vec![1.0, -1.0]);
+    }
+}

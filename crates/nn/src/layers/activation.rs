@@ -1,0 +1,66 @@
+//! Activation layers.
+
+use crate::module::Module;
+use appfl_tensor::ops::{relu, relu_backward};
+use appfl_tensor::{Result, Tensor, TensorError};
+
+/// Elementwise rectified linear unit.
+#[derive(Debug, Clone, Default)]
+pub struct ReLU {
+    cached_input: Option<Tensor>,
+}
+
+impl ReLU {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        ReLU::default()
+    }
+}
+
+impl Module for ReLU {
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        let out = relu(input);
+        self.cached_input = Some(input.clone());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let input = self.cached_input.as_ref().ok_or_else(|| {
+            TensorError::InvalidArgument("relu backward before forward".into())
+        })?;
+        relu_backward(input, grad_output)
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        Vec::new()
+    }
+
+    fn grads(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+
+    fn zero_grad(&mut self) {}
+
+    fn clone_module(&self) -> Box<dyn Module> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_forward_and_backward() {
+        let mut r = ReLU::new();
+        let x = Tensor::from_vec([3], vec![-1.0, 0.5, 2.0]).unwrap();
+        let y = r.forward(&x).unwrap();
+        assert_eq!(y.as_slice(), &[0.0, 0.5, 2.0]);
+        let gx = r.backward(&Tensor::ones([3])).unwrap();
+        assert_eq!(gx.as_slice(), &[0.0, 1.0, 1.0]);
+    }
+}

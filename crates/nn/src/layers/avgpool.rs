@@ -1,0 +1,76 @@
+//! Average-pooling layer.
+
+use crate::module::Module;
+use appfl_tensor::ops::{avgpool2d, avgpool2d_backward};
+use appfl_tensor::{Result, Tensor, TensorError};
+
+/// Non-overlapping `k × k` average pooling (window == stride).
+#[derive(Debug, Clone)]
+pub struct AvgPool2d {
+    k: usize,
+    cached_shape: Option<Vec<usize>>,
+}
+
+impl AvgPool2d {
+    /// Creates an average-pooling layer with window/stride `k`.
+    pub fn new(k: usize) -> Self {
+        AvgPool2d {
+            k,
+            cached_shape: None,
+        }
+    }
+}
+
+impl Module for AvgPool2d {
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        let out = avgpool2d(input, self.k)?;
+        self.cached_shape = Some(input.dims().to_vec());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let shape = self.cached_shape.as_ref().ok_or_else(|| {
+            TensorError::InvalidArgument("avgpool backward before forward".into())
+        })?;
+        avgpool2d_backward(shape, grad_output, self.k)
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        Vec::new()
+    }
+
+    fn grads(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+
+    fn zero_grad(&mut self) {}
+
+    fn clone_module(&self) -> Box<dyn Module> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_backward_roundtrip() {
+        let mut p = AvgPool2d::new(2);
+        let x = Tensor::from_vec([1, 1, 2, 2], vec![1.0, 2.0, 3.0, 6.0]).unwrap();
+        let y = p.forward(&x).unwrap();
+        assert_eq!(y.as_slice(), &[3.0]);
+        let g = p.backward(&Tensor::from_vec([1, 1, 1, 1], vec![8.0]).unwrap()).unwrap();
+        assert_eq!(g.as_slice(), &[2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut p = AvgPool2d::new(2);
+        assert!(p.backward(&Tensor::zeros([1, 1, 1, 1])).is_err());
+    }
+}

@@ -1,0 +1,326 @@
+//! 2-D batch normalisation.
+//!
+//! Learnable per-channel scale `γ` and shift `β` are ordinary parameters
+//! (federated like any weight); the running mean/variance are **buffers**,
+//! not parameters, so `flatten_params` excludes them and each client keeps
+//! its own — which is exactly the FedBN treatment of normalisation
+//! statistics under non-i.i.d. clients (local statistics, shared weights).
+
+use crate::module::Module;
+use appfl_tensor::{Result, Tensor, TensorError};
+
+/// Batch normalisation over the channel axis of NCHW tensors.
+#[derive(Debug, Clone)]
+pub struct BatchNorm2d {
+    gamma: Tensor,
+    beta: Tensor,
+    grad_gamma: Tensor,
+    grad_beta: Tensor,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    momentum: f32,
+    eps: f32,
+    training: bool,
+    cache: Option<BnCache>,
+}
+
+#[derive(Debug, Clone)]
+struct BnCache {
+    x_hat: Tensor,
+    inv_std: Vec<f32>,
+    dims: [usize; 4],
+}
+
+impl BatchNorm2d {
+    /// Creates a layer for `channels` feature maps.
+    pub fn new(channels: usize) -> Self {
+        BatchNorm2d {
+            gamma: Tensor::ones([channels]),
+            beta: Tensor::zeros([channels]),
+            grad_gamma: Tensor::zeros([channels]),
+            grad_beta: Tensor::zeros([channels]),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            momentum: 0.1,
+            eps: 1e-5,
+            training: true,
+        cache: None,
+        }
+    }
+
+    /// The running (buffer) statistics — local to each client replica.
+    pub fn running_stats(&self) -> (&[f32], &[f32]) {
+        (&self.running_mean, &self.running_var)
+    }
+
+    fn channels(&self) -> usize {
+        self.gamma.numel()
+    }
+}
+
+impl Module for BatchNorm2d {
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        if input.shape().rank() != 4 || input.dims()[1] != self.channels() {
+            return Err(TensorError::InvalidArgument(format!(
+                "batchnorm: expected NCHW with {} channels, got {}",
+                self.channels(),
+                input.shape()
+            )));
+        }
+        let [n, c, h, w] = [
+            input.dims()[0],
+            input.dims()[1],
+            input.dims()[2],
+            input.dims()[3],
+        ];
+        let m = (n * h * w) as f32;
+        let plane = h * w;
+        let iv = input.as_slice();
+        let mut out = vec![0.0f32; iv.len()];
+        let mut x_hat = vec![0.0f32; iv.len()];
+        let mut inv_std_v = vec![0.0f32; c];
+
+        #[allow(clippy::needless_range_loop)] // ch indexes several per-channel arrays
+        for ch in 0..c {
+            let (mean, var) = if self.training {
+                let mut sum = 0.0f64;
+                let mut sumsq = 0.0f64;
+                for s in 0..n {
+                    let base = (s * c + ch) * plane;
+                    for &x in &iv[base..base + plane] {
+                        sum += x as f64;
+                        sumsq += (x as f64) * (x as f64);
+                    }
+                }
+                let mean = (sum / m as f64) as f32;
+                let var = ((sumsq / m as f64) - (mean as f64) * (mean as f64)).max(0.0) as f32;
+                // Update running buffers (biased variance, PyTorch-style
+                // momentum blending).
+                self.running_mean[ch] =
+                    (1.0 - self.momentum) * self.running_mean[ch] + self.momentum * mean;
+                self.running_var[ch] =
+                    (1.0 - self.momentum) * self.running_var[ch] + self.momentum * var;
+                (mean, var)
+            } else {
+                (self.running_mean[ch], self.running_var[ch])
+            };
+            let inv_std = 1.0 / (var + self.eps).sqrt();
+            inv_std_v[ch] = inv_std;
+            let g = self.gamma.as_slice()[ch];
+            let b = self.beta.as_slice()[ch];
+            for s in 0..n {
+                let base = (s * c + ch) * plane;
+                for i in base..base + plane {
+                    let xh = (iv[i] - mean) * inv_std;
+                    x_hat[i] = xh;
+                    out[i] = g * xh + b;
+                }
+            }
+        }
+        let dims = [n, c, h, w];
+        self.cache = Some(BnCache {
+            x_hat: Tensor::from_vec(dims, x_hat)?,
+            inv_std: inv_std_v,
+            dims,
+        });
+        Tensor::from_vec(dims, out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let cache = self.cache.as_ref().ok_or_else(|| {
+            TensorError::InvalidArgument("batchnorm backward before forward".into())
+        })?;
+        let [n, c, h, w] = cache.dims;
+        if grad_output.dims() != cache.dims {
+            return Err(TensorError::ShapeMismatch {
+                lhs: format!("{:?}", cache.dims),
+                rhs: format!("{}", grad_output.shape()),
+                op: "batchnorm_backward",
+            });
+        }
+        let m = (n * h * w) as f32;
+        let plane = h * w;
+        let go = grad_output.as_slice();
+        let xh = cache.x_hat.as_slice();
+        let mut gi = vec![0.0f32; go.len()];
+
+        for ch in 0..c {
+            // Channel reductions: Σdy and Σdy·x̂.
+            let mut sum_dy = 0.0f64;
+            let mut sum_dy_xh = 0.0f64;
+            for s in 0..n {
+                let base = (s * c + ch) * plane;
+                for i in base..base + plane {
+                    sum_dy += go[i] as f64;
+                    sum_dy_xh += (go[i] * xh[i]) as f64;
+                }
+            }
+            self.grad_beta.as_mut_slice()[ch] += sum_dy as f32;
+            self.grad_gamma.as_mut_slice()[ch] += sum_dy_xh as f32;
+            let g = self.gamma.as_slice()[ch];
+            let inv_std = cache.inv_std[ch];
+            let mean_dy = sum_dy as f32 / m;
+            let mean_dy_xh = sum_dy_xh as f32 / m;
+            // In training mode μ and σ depend on x, giving the full formula;
+            // in eval mode they are constants and dx = γ·inv_std·dy.
+            for s in 0..n {
+                let base = (s * c + ch) * plane;
+                for i in base..base + plane {
+                    gi[i] = if self.training {
+                        g * inv_std * (go[i] - mean_dy - xh[i] * mean_dy_xh)
+                    } else {
+                        g * inv_std * go[i]
+                    };
+                }
+            }
+        }
+        Tensor::from_vec(cache.dims, gi)
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        vec![&self.gamma, &self.beta]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+
+    fn grads(&self) -> Vec<&Tensor> {
+        vec![&self.grad_gamma, &self.grad_beta]
+    }
+
+    fn zero_grad(&mut self) {
+        self.grad_gamma = self.gamma.zeros_like();
+        self.grad_beta = self.beta.zeros_like();
+    }
+
+    fn set_training(&mut self, training: bool) {
+        self.training = training;
+    }
+
+    fn clone_module(&self) -> Box<dyn Module> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normalises_each_channel_in_training() {
+        let mut bn = BatchNorm2d::new(2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        // Channel 0 ~ N(5, 4), channel 1 ~ N(-3, 0.25).
+        let mut data = Vec::new();
+        for _ in 0..4 {
+            data.extend(appfl_tensor::init::normal([16], 5.0, 2.0, &mut rng).into_vec());
+            data.extend(appfl_tensor::init::normal([16], -3.0, 0.5, &mut rng).into_vec());
+        }
+        let x = Tensor::from_vec([4, 2, 4, 4], data).unwrap();
+        let y = bn.forward(&x).unwrap();
+        // Per-channel output mean ≈ 0 (β = 0), std ≈ 1 (γ = 1).
+        for ch in 0..2 {
+            let mut vals = Vec::new();
+            for s in 0..4 {
+                for i in 0..16 {
+                    vals.push(y.as_slice()[(s * 2 + ch) * 16 + i]);
+                }
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "channel {ch} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "channel {ch} var {var}");
+        }
+    }
+
+    #[test]
+    fn running_stats_track_batch_statistics() {
+        let mut bn = BatchNorm2d::new(1);
+        let x = Tensor::full([2, 1, 2, 2], 10.0);
+        for _ in 0..50 {
+            bn.forward(&x).unwrap();
+        }
+        let (mean, var) = bn.running_stats();
+        assert!((mean[0] - 10.0).abs() < 0.1, "running mean {}", mean[0]);
+        assert!(var[0] < 0.1, "running var {}", var[0]);
+    }
+
+    #[test]
+    fn eval_mode_uses_running_stats() {
+        let mut bn = BatchNorm2d::new(1);
+        let x = Tensor::full([2, 1, 2, 2], 4.0);
+        for _ in 0..100 {
+            bn.forward(&x).unwrap();
+        }
+        bn.set_training(false);
+        // A very different batch must be normalised by the *running* stats.
+        let y = bn.forward(&Tensor::full([1, 1, 2, 2], 4.0)).unwrap();
+        assert!(y.as_slice().iter().all(|&v| v.abs() < 0.1), "{:?}", y.as_slice());
+    }
+
+    #[test]
+    fn gradient_check_gamma_beta_and_input() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let x = appfl_tensor::init::uniform([2, 2, 3, 3], -1.0, 1.0, &mut rng);
+        let mut bn = BatchNorm2d::new(2);
+        // Non-trivial γ/β so gradients are informative.
+        crate::module::set_params(&mut bn, &[1.5, 0.5, 0.2, -0.3]).unwrap();
+        let y = bn.forward(&x).unwrap();
+        bn.backward(&Tensor::ones(y.shape().clone())).unwrap();
+        let gflat = crate::module::flatten_grads(&bn);
+        let flat = crate::module::flatten_params(&bn);
+
+        let eps = 1e-3f32;
+        for idx in 0..4 {
+            let eval = |delta: f32| {
+                let mut b2 = BatchNorm2d::new(2);
+                let mut f = flat.clone();
+                f[idx] += delta;
+                crate::module::set_params(&mut b2, &f).unwrap();
+                b2.forward(&x).unwrap().sum()
+            };
+            let fd = (eval(eps) - eval(-eps)) / (2.0 * eps);
+            assert!(
+                (fd - gflat[idx]).abs() < 1e-2,
+                "param {idx}: fd={fd} an={}",
+                gflat[idx]
+            );
+        }
+        // Input gradient via sum-loss finite differences on a few coords.
+        let y = bn.forward(&x).unwrap();
+        let gx = bn.backward(&Tensor::ones(y.shape().clone())).unwrap();
+        for &idx in &[0usize, 7, 20] {
+            let eval = |delta: f32| {
+                let mut xx = x.clone();
+                xx.as_mut_slice()[idx] += delta;
+                let mut b2 = BatchNorm2d::new(2);
+                crate::module::set_params(&mut b2, &flat).unwrap();
+                b2.forward(&xx).unwrap().sum()
+            };
+            let fd = (eval(eps) - eval(-eps)) / (2.0 * eps);
+            assert!(
+                (fd - gx.as_slice()[idx]).abs() < 2e-2,
+                "input {idx}: fd={fd} an={}",
+                gx.as_slice()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn buffers_are_not_federated_parameters() {
+        let bn = BatchNorm2d::new(3);
+        // Only γ and β are parameters: 6 scalars, not 12.
+        assert_eq!(bn.num_params(), 6);
+    }
+
+    #[test]
+    fn rejects_wrong_shapes() {
+        let mut bn = BatchNorm2d::new(2);
+        assert!(bn.forward(&Tensor::zeros([2, 3, 4, 4])).is_err());
+        assert!(bn.forward(&Tensor::zeros([4, 4])).is_err());
+        assert!(bn.backward(&Tensor::zeros([1, 2, 2, 2])).is_err());
+    }
+}

@@ -1,0 +1,137 @@
+//! Convolution layer wrapping the tensor-crate kernels.
+
+use crate::module::Module;
+use appfl_tensor::ops::{conv2d, conv2d_backward, Conv2dParams};
+use appfl_tensor::{init, Result, Tensor, TensorError};
+use rand::Rng;
+
+/// 2-D convolution over NCHW batches.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    weight: Tensor, // [out, in, kh, kw]
+    bias: Tensor,   // [out]
+    grad_weight: Tensor,
+    grad_bias: Tensor,
+    params: Conv2dParams,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with a square `kernel`-sized window.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let fan_in = in_channels * kernel * kernel;
+        let weight = init::kaiming_uniform(
+            [out_channels, in_channels, kernel, kernel],
+            fan_in,
+            rng,
+        );
+        let bound = 1.0 / (fan_in.max(1) as f32).sqrt();
+        let bias = init::uniform([out_channels], -bound, bound, rng);
+        Conv2d {
+            grad_weight: weight.zeros_like(),
+            grad_bias: bias.zeros_like(),
+            weight,
+            bias,
+            params: Conv2dParams { stride, padding },
+            cached_input: None,
+        }
+    }
+}
+
+impl Module for Conv2d {
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        let out = conv2d(input, &self.weight, &self.bias, self.params)?;
+        self.cached_input = Some(input.clone());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let input = self.cached_input.as_ref().ok_or_else(|| {
+            TensorError::InvalidArgument("conv backward before forward".into())
+        })?;
+        let grads = conv2d_backward(input, &self.weight, grad_output, self.params)?;
+        self.grad_weight.axpy_in_place(1.0, &grads.grad_weight)?;
+        self.grad_bias.axpy_in_place(1.0, &grads.grad_bias)?;
+        Ok(grads.grad_input)
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn grads(&self) -> Vec<&Tensor> {
+        vec![&self.grad_weight, &self.grad_bias]
+    }
+
+    fn zero_grad(&mut self) {
+        self.grad_weight = self.weight.zeros_like();
+        self.grad_bias = self.bias.zeros_like();
+    }
+
+    fn clone_module(&self) -> Box<dyn Module> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::{flatten_grads, flatten_params, set_params};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut c = Conv2d::new(3, 8, 3, 1, 1, &mut rng);
+        let x = Tensor::zeros([2, 3, 8, 8]);
+        let y = c.forward(&x).unwrap();
+        assert_eq!(y.dims(), &[2, 8, 8, 8]);
+    }
+
+    #[test]
+    fn grad_check_spot_samples() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut c = Conv2d::new(2, 3, 3, 1, 0, &mut rng);
+        let x = appfl_tensor::init::uniform([1, 2, 5, 5], -1.0, 1.0, &mut rng);
+        let y = c.forward(&x).unwrap();
+        c.backward(&Tensor::ones(y.shape().clone())).unwrap();
+        let flat = flatten_params(&c);
+        let gflat = flatten_grads(&c);
+
+        let eps = 1e-3f32;
+        for &idx in &[0usize, 17, flat.len() - 1] {
+            let eval = |delta: f32| {
+                let mut cc = c.clone();
+                let mut f = flat.clone();
+                f[idx] += delta;
+                set_params(&mut cc, &f).unwrap();
+                cc.forward(&x).unwrap().sum()
+            };
+            let fd = (eval(eps) - eval(-eps)) / (2.0 * eps);
+            assert!(
+                (fd - gflat[idx]).abs() < 5e-2,
+                "param {idx}: fd={fd} an={}",
+                gflat[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn param_count_matches_formula() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let c = Conv2d::new(3, 8, 5, 1, 2, &mut rng);
+        assert_eq!(c.num_params(), 8 * 3 * 5 * 5 + 8);
+    }
+}

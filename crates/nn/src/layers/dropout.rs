@@ -1,0 +1,154 @@
+//! Inverted dropout.
+
+use crate::module::Module;
+use appfl_tensor::{Result, Tensor, TensorError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Inverted dropout: in training mode each activation is zeroed with
+/// probability `p` and survivors are scaled by `1/(1-p)`, so evaluation mode
+/// is a plain identity (no rescaling needed at test time).
+///
+/// The layer owns a seeded RNG so federated replicas remain reproducible;
+/// `clone_module` reseeds deterministically from the current state.
+#[derive(Debug, Clone)]
+pub struct Dropout {
+    p: f32,
+    training: bool,
+    rng: StdRng,
+    mask: Option<Tensor>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p ∈ [0, 1)`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
+        Dropout {
+            p,
+            training: true,
+            rng: StdRng::seed_from_u64(seed),
+            mask: None,
+        }
+    }
+
+    /// Whether the layer is in training mode.
+    pub fn is_training(&self) -> bool {
+        self.training
+    }
+}
+
+impl Module for Dropout {
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        if !self.training || self.p == 0.0 {
+            self.mask = None;
+            return Ok(input.clone());
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask_data: Vec<f32> = (0..input.numel())
+            .map(|_| if self.rng.gen::<f32>() < keep { scale } else { 0.0 })
+            .collect();
+        let mask = Tensor::from_vec(input.shape().clone(), mask_data)?;
+        let out = input.mul(&mask)?;
+        self.mask = Some(mask);
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        match &self.mask {
+            // Same mask as the forward pass (including the 1/keep scaling).
+            Some(mask) => grad_output.mul(mask),
+            None if !self.training || self.p == 0.0 => Ok(grad_output.clone()),
+            None => Err(TensorError::InvalidArgument(
+                "dropout backward before forward".into(),
+            )),
+        }
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        Vec::new()
+    }
+
+    fn grads(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+
+    fn zero_grad(&mut self) {}
+
+    fn set_training(&mut self, training: bool) {
+        self.training = training;
+        if !training {
+            self.mask = None;
+        }
+    }
+
+    fn clone_module(&self) -> Box<dyn Module> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut d = Dropout::new(0.5, 1);
+        d.set_training(false);
+        let x = Tensor::from_vec([4], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let y = d.forward(&x).unwrap();
+        assert_eq!(y.as_slice(), x.as_slice());
+        let g = d.backward(&Tensor::ones([4])).unwrap();
+        assert_eq!(g.as_slice(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn training_mode_zeroes_and_rescales() {
+        let mut d = Dropout::new(0.5, 2);
+        let x = Tensor::ones([10_000]);
+        let y = d.forward(&x).unwrap();
+        let zeros = y.as_slice().iter().filter(|&&v| v == 0.0).count();
+        let kept = y.as_slice().iter().filter(|&&v| v != 0.0).count();
+        // About half dropped; survivors scaled to 2.0.
+        assert!((zeros as f32 / 10_000.0 - 0.5).abs() < 0.05);
+        assert!(y.as_slice().iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+        // Expectation preserved.
+        let mean = y.sum() / 10_000.0;
+        assert!((mean - 1.0).abs() < 0.1, "mean {mean} kept {kept}");
+    }
+
+    #[test]
+    fn backward_applies_the_same_mask() {
+        let mut d = Dropout::new(0.3, 3);
+        let x = Tensor::ones([100]);
+        let y = d.forward(&x).unwrap();
+        let g = d.backward(&Tensor::ones([100])).unwrap();
+        // Gradient is zero exactly where the activation was dropped.
+        for (yv, gv) in y.as_slice().iter().zip(g.as_slice().iter()) {
+            assert_eq!(*yv == 0.0, *gv == 0.0);
+        }
+    }
+
+    #[test]
+    fn p_zero_is_identity_even_in_training() {
+        let mut d = Dropout::new(0.0, 4);
+        let x = Tensor::from_vec([3], vec![1.0, -2.0, 3.0]).unwrap();
+        assert_eq!(d.forward(&x).unwrap().as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn backward_without_forward_errors_in_training() {
+        let mut d = Dropout::new(0.5, 5);
+        assert!(d.backward(&Tensor::ones([2])).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_p_panics() {
+        Dropout::new(1.0, 0);
+    }
+}

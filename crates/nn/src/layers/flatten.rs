@@ -1,0 +1,71 @@
+//! Flatten layer: NCHW → `[n, c*h*w]`.
+
+use crate::module::Module;
+use appfl_tensor::{Result, Tensor, TensorError};
+
+/// Flattens each sample of a batch into one row (keeps axis 0).
+#[derive(Debug, Clone, Default)]
+pub struct Flatten {
+    cached_shape: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten::default()
+    }
+}
+
+impl Module for Flatten {
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        if input.shape().rank() < 1 {
+            return Err(TensorError::InvalidArgument(
+                "flatten: input must have a batch axis".into(),
+            ));
+        }
+        let n = input.dims()[0];
+        let inner: usize = input.dims()[1..].iter().product();
+        self.cached_shape = Some(input.dims().to_vec());
+        input.reshape([n, inner])
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let shape = self.cached_shape.as_ref().ok_or_else(|| {
+            TensorError::InvalidArgument("flatten backward before forward".into())
+        })?;
+        grad_output.reshape(shape.as_slice())
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        Vec::new()
+    }
+
+    fn grads(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+
+    fn zero_grad(&mut self) {}
+
+    fn clone_module(&self) -> Box<dyn Module> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flattens_and_restores() {
+        let mut f = Flatten::new();
+        let x = Tensor::zeros([2, 3, 4, 4]);
+        let y = f.forward(&x).unwrap();
+        assert_eq!(y.dims(), &[2, 48]);
+        let gx = f.backward(&Tensor::ones([2, 48])).unwrap();
+        assert_eq!(gx.dims(), &[2, 3, 4, 4]);
+    }
+}

@@ -1,0 +1,191 @@
+//! Fully-connected (affine) layer.
+
+use crate::module::Module;
+use appfl_tensor::ops::{matmul, matmul_a_bt, matmul_at_b, sum_axis0};
+use appfl_tensor::{init, Result, Tensor, TensorError};
+use rand::Rng;
+
+/// `y = x · Wᵀ + b` over a batch: input `[n, in]`, output `[n, out]`.
+///
+/// Weights are stored `[out, in]` (PyTorch convention) and initialised with
+/// Kaiming-uniform, matching the reference framework's defaults.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    weight: Tensor,
+    bias: Tensor,
+    grad_weight: Tensor,
+    grad_bias: Tensor,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a layer with `in_features` inputs and `out_features` outputs.
+    pub fn new(in_features: usize, out_features: usize, rng: &mut impl Rng) -> Self {
+        let weight = init::kaiming_uniform([out_features, in_features], in_features, rng);
+        let bound = 1.0 / (in_features.max(1) as f32).sqrt();
+        let bias = init::uniform([out_features], -bound, bound, rng);
+        Linear {
+            grad_weight: weight.zeros_like(),
+            grad_bias: bias.zeros_like(),
+            weight,
+            bias,
+            cached_input: None,
+        }
+    }
+
+    /// Input width.
+    pub fn in_features(&self) -> usize {
+        self.weight.dims()[1]
+    }
+
+    /// Output width.
+    pub fn out_features(&self) -> usize {
+        self.weight.dims()[0]
+    }
+}
+
+impl Module for Linear {
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        if input.shape().rank() != 2 || input.dims()[1] != self.in_features() {
+            return Err(TensorError::ShapeMismatch {
+                lhs: format!("{}", input.shape()),
+                rhs: format!("[n, {}]", self.in_features()),
+                op: "linear_forward",
+            });
+        }
+        let out = matmul_a_bt(input, &self.weight)?; // [n, out]
+        let out = out.add_row_broadcast(&self.bias)?;
+        self.cached_input = Some(input.clone());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let input = self.cached_input.as_ref().ok_or_else(|| {
+            TensorError::InvalidArgument("linear backward before forward".into())
+        })?;
+        // dW = dYᵀ · X  ([out, n] x [n, in] -> [out, in])
+        let gw = matmul_at_b(grad_output, input)?;
+        self.grad_weight.axpy_in_place(1.0, &gw)?;
+        self.grad_bias.axpy_in_place(1.0, &sum_axis0(grad_output)?)?;
+        // dX = dY · W  ([n, out] x [out, in] -> [n, in])
+        matmul(grad_output, &self.weight)
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn grads(&self) -> Vec<&Tensor> {
+        vec![&self.grad_weight, &self.grad_bias]
+    }
+
+    fn zero_grad(&mut self) {
+        self.grad_weight = self.weight.zeros_like();
+        self.grad_bias = self.bias.zeros_like();
+    }
+
+    fn clone_module(&self) -> Box<dyn Module> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_known_values() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut l = Linear::new(2, 2, &mut rng);
+        // Overwrite with known weights: W = [[1, 2], [3, 4]], b = [10, 20].
+        crate::module::set_params(&mut l, &[1.0, 2.0, 3.0, 4.0, 10.0, 20.0]).unwrap();
+        let x = Tensor::from_vec([1, 2], vec![1.0, 1.0]).unwrap();
+        let y = l.forward(&x).unwrap();
+        assert_eq!(y.as_slice(), &[13.0, 27.0]);
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut l = Linear::new(4, 3, &mut rng);
+        let x = appfl_tensor::init::uniform([5, 4], -1.0, 1.0, &mut rng);
+        let y = l.forward(&x).unwrap();
+        let go = Tensor::ones(y.shape().clone());
+        l.zero_grad();
+        l.forward(&x).unwrap();
+        let gx = l.backward(&go).unwrap();
+
+        let eps = 1e-3f32;
+        let flat = crate::module::flatten_params(&l);
+        let gflat = crate::module::flatten_grads(&l);
+        for &idx in &[0usize, 5, 11, flat.len() - 1] {
+            let mut lp = l.clone();
+            let mut fp = flat.clone();
+            fp[idx] += eps;
+            crate::module::set_params(&mut lp, &fp).unwrap();
+            let up = lp.forward(&x).unwrap().sum();
+            let mut lm = l.clone();
+            let mut fm = flat.clone();
+            fm[idx] -= eps;
+            crate::module::set_params(&mut lm, &fm).unwrap();
+            let um = lm.forward(&x).unwrap().sum();
+            let fd = (up - um) / (2.0 * eps);
+            assert!(
+                (fd - gflat[idx]).abs() < 1e-2,
+                "param {idx}: fd={fd} an={}",
+                gflat[idx]
+            );
+        }
+        // Input gradient: column sums of W.
+        for j in 0..4 {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[j] += eps;
+            let up = l.clone().forward(&xp).unwrap().sum();
+            let mut xm = x.clone();
+            xm.as_mut_slice()[j] -= eps;
+            let um = l.clone().forward(&xm).unwrap().sum();
+            let fd = (up - um) / (2.0 * eps);
+            assert!((fd - gx.as_slice()[j]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn gradients_accumulate_until_zeroed() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut l = Linear::new(2, 2, &mut rng);
+        let x = Tensor::ones([1, 2]);
+        let go = Tensor::ones([1, 2]);
+        l.forward(&x).unwrap();
+        l.backward(&go).unwrap();
+        let g1 = crate::module::flatten_grads(&l);
+        l.forward(&x).unwrap();
+        l.backward(&go).unwrap();
+        let g2 = crate::module::flatten_grads(&l);
+        for (a, b) in g1.iter().zip(g2.iter()) {
+            assert!((b - 2.0 * a).abs() < 1e-5);
+        }
+        l.zero_grad();
+        assert!(crate::module::flatten_grads(&l).iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn forward_rejects_wrong_width() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut l = Linear::new(3, 2, &mut rng);
+        assert!(l.forward(&Tensor::zeros([1, 4])).is_err());
+        assert!(l.forward(&Tensor::zeros([3])).is_err());
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut l = Linear::new(3, 2, &mut rng);
+        assert!(l.backward(&Tensor::zeros([1, 2])).is_err());
+    }
+}

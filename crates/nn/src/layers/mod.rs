@@ -1,0 +1,21 @@
+//! Layer implementations.
+
+pub mod activation;
+pub mod avgpool;
+pub mod batchnorm;
+pub mod conv;
+pub mod dropout;
+pub mod flatten;
+pub mod linear;
+pub mod pool;
+pub mod sequential;
+
+pub use activation::ReLU;
+pub use avgpool::AvgPool2d;
+pub use batchnorm::BatchNorm2d;
+pub use conv::Conv2d;
+pub use dropout::Dropout;
+pub use flatten::Flatten;
+pub use linear::Linear;
+pub use pool::MaxPool2d;
+pub use sequential::Sequential;

@@ -1,0 +1,81 @@
+//! Max-pooling layer.
+
+use crate::module::Module;
+use appfl_tensor::ops::{maxpool2d, maxpool2d_backward, MaxPoolOut};
+use appfl_tensor::{Result, Tensor, TensorError};
+
+/// Non-overlapping `k × k` max pooling (window == stride).
+#[derive(Debug, Clone)]
+pub struct MaxPool2d {
+    k: usize,
+    cache: Option<(Vec<usize>, MaxPoolOut)>,
+}
+
+impl MaxPool2d {
+    /// Creates a pooling layer with window/stride `k`.
+    pub fn new(k: usize) -> Self {
+        MaxPool2d { k, cache: None }
+    }
+}
+
+impl Module for MaxPool2d {
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        let pooled = maxpool2d(input, self.k)?;
+        let out = pooled.output.clone();
+        self.cache = Some((input.dims().to_vec(), pooled));
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let (in_shape, pooled) = self.cache.as_ref().ok_or_else(|| {
+            TensorError::InvalidArgument("maxpool backward before forward".into())
+        })?;
+        maxpool2d_backward(in_shape, pooled, grad_output)
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        Vec::new()
+    }
+
+    fn grads(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+
+    fn zero_grad(&mut self) {}
+
+    fn clone_module(&self) -> Box<dyn Module> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_backward_roundtrip() {
+        let mut p = MaxPool2d::new(2);
+        let x = Tensor::from_vec([1, 1, 2, 2], vec![1.0, 4.0, 2.0, 3.0]).unwrap();
+        let y = p.forward(&x).unwrap();
+        assert_eq!(y.as_slice(), &[4.0]);
+        let gx = p.backward(&Tensor::from_vec([1, 1, 1, 1], vec![7.0]).unwrap()).unwrap();
+        assert_eq!(gx.as_slice(), &[0.0, 7.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn stateless_param_surface() {
+        let p = MaxPool2d::new(2);
+        assert_eq!(p.num_params(), 0);
+        assert!(p.params().is_empty());
+    }
+
+    #[test]
+    fn backward_without_forward_errors() {
+        let mut p = MaxPool2d::new(2);
+        assert!(p.backward(&Tensor::zeros([1, 1, 1, 1])).is_err());
+    }
+}

@@ -1,0 +1,166 @@
+//! Sequential container.
+
+use crate::module::Module;
+use appfl_tensor::{Result, Tensor};
+
+/// Runs child modules in order; backward runs them in reverse.
+///
+/// This is the only container the paper's demonstration model needs (the
+/// reference CNN is a straight pipeline).
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Module>>,
+}
+
+impl Sequential {
+    /// An empty container.
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer (builder style).
+    pub fn push(mut self, layer: impl Module + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends an already-boxed layer.
+    pub fn push_boxed(mut self, layer: Box<dyn Module>) -> Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Number of child layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the container has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl Clone for Sequential {
+    fn clone(&self) -> Self {
+        Sequential {
+            layers: self.layers.iter().map(|l| l.clone_module()).collect(),
+        }
+    }
+}
+
+impl Module for Sequential {
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x)?;
+        }
+        Ok(x)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let mut g = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g)?;
+        }
+        Ok(g)
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        self.layers.iter().flat_map(|l| l.params()).collect()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+    }
+
+    fn grads(&self) -> Vec<&Tensor> {
+        self.layers.iter().flat_map(|l| l.grads()).collect()
+    }
+
+    fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grad();
+        }
+    }
+
+    fn set_training(&mut self, training: bool) {
+        for layer in &mut self.layers {
+            layer.set_training(training);
+        }
+    }
+
+    fn clone_module(&self) -> Box<dyn Module> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Linear, ReLU};
+    use crate::module::{flatten_params, set_params};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_layer() -> Sequential {
+        let mut rng = StdRng::seed_from_u64(9);
+        Sequential::new()
+            .push(Linear::new(4, 8, &mut rng))
+            .push(ReLU::new())
+            .push(Linear::new(8, 3, &mut rng))
+    }
+
+    #[test]
+    fn chains_forward_shapes() {
+        let mut net = two_layer();
+        let y = net.forward(&Tensor::zeros([5, 4])).unwrap();
+        assert_eq!(y.dims(), &[5, 3]);
+        assert_eq!(net.len(), 3);
+    }
+
+    #[test]
+    fn params_are_concatenated_in_order() {
+        let net = two_layer();
+        assert_eq!(net.num_params(), (4 * 8 + 8) + (8 * 3 + 3));
+        let flat = flatten_params(&net);
+        assert_eq!(flat.len(), net.num_params());
+    }
+
+    #[test]
+    fn grad_check_through_the_stack() {
+        let mut net = two_layer();
+        let mut rng = StdRng::seed_from_u64(10);
+        let x = appfl_tensor::init::uniform([3, 4], -1.0, 1.0, &mut rng);
+        let y = net.forward(&x).unwrap();
+        net.backward(&Tensor::ones(y.shape().clone())).unwrap();
+        let flat = flatten_params(&net);
+        let gflat = crate::module::flatten_grads(&net);
+
+        let eps = 1e-3f32;
+        for &idx in &[0usize, 20, flat.len() - 1] {
+            let eval = |delta: f32| {
+                let mut nn = net.clone();
+                let mut f = flat.clone();
+                f[idx] += delta;
+                set_params(&mut nn, &f).unwrap();
+                nn.forward(&x).unwrap().sum()
+            };
+            let fd = (eval(eps) - eval(-eps)) / (2.0 * eps);
+            assert!(
+                (fd - gflat[idx]).abs() < 5e-2,
+                "param {idx}: fd={fd} an={}",
+                gflat[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let net = two_layer();
+        let mut copy = net.clone();
+        let zeros = vec![0.0; copy.num_params()];
+        set_params(&mut copy, &zeros).unwrap();
+        assert!(flatten_params(&net).iter().any(|&x| x != 0.0));
+    }
+}

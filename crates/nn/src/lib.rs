@@ -1,0 +1,30 @@
+//! # appfl-nn
+//!
+//! Neural-network building blocks for appfl-rs, mirroring the role PyTorch's
+//! `torch.nn` plays in the reference APPFL implementation.
+//!
+//! The central abstraction is the [`Module`] trait: layers own their
+//! parameters *and* gradient buffers and implement explicit `forward` /
+//! `backward` passes (layer-local backprop with cached activations). Federated
+//! algorithms never touch layers directly — they exchange **flat parameter
+//! vectors** via [`module::flatten_params`] / [`module::set_params`], exactly
+//! the `w ∈ R^m` view used throughout the paper's Algorithm 1.
+//!
+//! Provided layers: [`Linear`], [`Conv2d`], [`MaxPool2d`], [`ReLU`],
+//! [`Flatten`], [`Sequential`]. Losses: [`CrossEntropyLoss`], [`MseLoss`].
+//! Optimiser: [`Sgd`] with momentum (the paper's FedAvg client optimiser).
+//! [`models`] builds the paper's demonstration CNN.
+
+pub mod layers;
+pub mod loss;
+pub mod metrics;
+pub mod models;
+pub mod module;
+pub mod optim;
+
+pub use layers::{AvgPool2d, Conv2d, Dropout, Flatten, Linear, MaxPool2d, ReLU, Sequential};
+pub use loss::{CrossEntropyLoss, Loss, MseLoss};
+pub use module::Module;
+pub use optim::{Adam, Sgd};
+
+pub use appfl_tensor::{Result, Tensor, TensorError};

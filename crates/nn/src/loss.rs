@@ -1,0 +1,186 @@
+//! Loss functions.
+//!
+//! A [`Loss`] consumes model outputs and targets and returns both the scalar
+//! loss and the gradient with respect to the model output, which seeds the
+//! module backward pass.
+
+use appfl_tensor::ops::{log_softmax_rows, softmax_rows};
+use appfl_tensor::{Result, Tensor, TensorError};
+
+/// A differentiable training objective.
+pub trait Loss: Send + Sync {
+    /// Returns `(loss, dloss/doutput)`; the loss is averaged over the batch
+    /// (matching PyTorch's `reduction="mean"` default used by APPFL).
+    fn forward(&self, output: &Tensor, targets: &Targets) -> Result<(f32, Tensor)>;
+}
+
+/// Supervision targets.
+#[derive(Debug, Clone)]
+pub enum Targets {
+    /// Class indices for classification, one per sample.
+    Classes(Vec<usize>),
+    /// Dense regression targets with the model-output shape.
+    Values(Tensor),
+}
+
+impl Targets {
+    /// Number of target entries (samples).
+    pub fn len(&self) -> usize {
+        match self {
+            Targets::Classes(c) => c.len(),
+            Targets::Values(t) => t.dims().first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Whether there are no targets.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Softmax cross-entropy over class logits `[n, classes]`.
+///
+/// Combines log-softmax and negative log-likelihood so the backward pass is
+/// the numerically-robust `softmax(x) - onehot(y)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CrossEntropyLoss;
+
+impl Loss for CrossEntropyLoss {
+    fn forward(&self, output: &Tensor, targets: &Targets) -> Result<(f32, Tensor)> {
+        let classes = match targets {
+            Targets::Classes(c) => c,
+            Targets::Values(_) => {
+                return Err(TensorError::InvalidArgument(
+                    "cross-entropy requires class targets".into(),
+                ))
+            }
+        };
+        if output.shape().rank() != 2 || output.dims()[0] != classes.len() {
+            return Err(TensorError::ShapeMismatch {
+                lhs: format!("{}", output.shape()),
+                rhs: format!("[{}, classes]", classes.len()),
+                op: "cross_entropy",
+            });
+        }
+        let (n, k) = (output.dims()[0], output.dims()[1]);
+        let logp = log_softmax_rows(output)?;
+        let mut loss = 0.0f64;
+        for (r, &c) in classes.iter().enumerate() {
+            if c >= k {
+                return Err(TensorError::InvalidArgument(format!(
+                    "class index {c} out of range for {k} classes"
+                )));
+            }
+            loss -= logp.as_slice()[r * k + c] as f64;
+        }
+        let loss = (loss / n as f64) as f32;
+
+        let mut grad = softmax_rows(output)?;
+        let gv = grad.as_mut_slice();
+        let inv_n = 1.0 / n as f32;
+        for (r, &c) in classes.iter().enumerate() {
+            gv[r * k + c] -= 1.0;
+        }
+        for g in gv.iter_mut() {
+            *g *= inv_n;
+        }
+        Ok((loss, grad))
+    }
+}
+
+/// Mean squared error over dense targets.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MseLoss;
+
+impl Loss for MseLoss {
+    fn forward(&self, output: &Tensor, targets: &Targets) -> Result<(f32, Tensor)> {
+        let values = match targets {
+            Targets::Values(t) => t,
+            Targets::Classes(_) => {
+                return Err(TensorError::InvalidArgument(
+                    "MSE requires dense targets".into(),
+                ))
+            }
+        };
+        let diff = output.sub(values)?;
+        let n = output.numel().max(1) as f32;
+        let loss = diff.map(|d| d * d).sum() / n;
+        let grad = diff.scale(2.0 / n);
+        Ok((loss, grad))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_entropy_of_uniform_logits_is_ln_k() {
+        let output = Tensor::zeros([2, 4]);
+        let (loss, _) = CrossEntropyLoss
+            .forward(&output, &Targets::Classes(vec![0, 3]))
+            .unwrap();
+        assert!((loss - 4.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_is_softmax_minus_onehot() {
+        let output = Tensor::from_vec([1, 3], vec![1.0, 2.0, 3.0]).unwrap();
+        let (_, grad) = CrossEntropyLoss
+            .forward(&output, &Targets::Classes(vec![1]))
+            .unwrap();
+        let p = appfl_tensor::ops::softmax_rows(&output).unwrap();
+        assert!((grad.as_slice()[0] - p.as_slice()[0]).abs() < 1e-6);
+        assert!((grad.as_slice()[1] - (p.as_slice()[1] - 1.0)).abs() < 1e-6);
+        // Gradient rows sum to zero.
+        assert!(grad.sum().abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_difference() {
+        let output = Tensor::from_vec([2, 3], vec![0.2, -0.5, 0.9, 1.5, 0.0, -1.0]).unwrap();
+        let targets = Targets::Classes(vec![2, 0]);
+        let (_, grad) = CrossEntropyLoss.forward(&output, &targets).unwrap();
+        let eps = 1e-3f32;
+        for idx in 0..6 {
+            let mut op = output.clone();
+            op.as_mut_slice()[idx] += eps;
+            let (lp, _) = CrossEntropyLoss.forward(&op, &targets).unwrap();
+            let mut om = output.clone();
+            om.as_mut_slice()[idx] -= eps;
+            let (lm, _) = CrossEntropyLoss.forward(&om, &targets).unwrap();
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!((fd - grad.as_slice()[idx]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_validates_inputs() {
+        let output = Tensor::zeros([2, 3]);
+        assert!(CrossEntropyLoss
+            .forward(&output, &Targets::Classes(vec![0]))
+            .is_err());
+        assert!(CrossEntropyLoss
+            .forward(&output, &Targets::Classes(vec![0, 5]))
+            .is_err());
+        assert!(CrossEntropyLoss
+            .forward(&output, &Targets::Values(Tensor::zeros([2, 3])))
+            .is_err());
+    }
+
+    #[test]
+    fn mse_known_value_and_gradient() {
+        let output = Tensor::from_vec([2], vec![1.0, 3.0]).unwrap();
+        let target = Targets::Values(Tensor::from_vec([2], vec![0.0, 1.0]).unwrap());
+        let (loss, grad) = MseLoss.forward(&output, &target).unwrap();
+        assert!((loss - 2.5).abs() < 1e-6); // (1 + 4) / 2
+        assert_eq!(grad.as_slice(), &[1.0, 2.0]); // 2/2 * diff
+    }
+
+    #[test]
+    fn targets_len() {
+        assert_eq!(Targets::Classes(vec![1, 2, 3]).len(), 3);
+        assert!(!Targets::Classes(vec![1]).is_empty());
+        assert_eq!(Targets::Values(Tensor::zeros([4, 2])).len(), 4);
+    }
+}

@@ -1,0 +1,87 @@
+//! Evaluation metrics.
+
+use appfl_tensor::ops::argmax_rows;
+use appfl_tensor::{Result, Tensor};
+
+/// Fraction of rows whose argmax equals the target class.
+pub fn accuracy(logits: &Tensor, targets: &[usize]) -> Result<f32> {
+    let preds = argmax_rows(logits)?;
+    if preds.len() != targets.len() {
+        return Err(appfl_tensor::TensorError::InvalidArgument(format!(
+            "accuracy: {} predictions vs {} targets",
+            preds.len(),
+            targets.len()
+        )));
+    }
+    if targets.is_empty() {
+        return Ok(0.0);
+    }
+    let correct = preds
+        .iter()
+        .zip(targets.iter())
+        .filter(|(p, t)| p == t)
+        .count();
+    Ok(correct as f32 / targets.len() as f32)
+}
+
+/// Running mean for streaming metrics (loss per epoch etc.).
+#[derive(Debug, Clone, Default)]
+pub struct RunningMean {
+    sum: f64,
+    count: usize,
+}
+
+impl RunningMean {
+    /// A fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an observation with weight `n` (e.g. batch size).
+    pub fn add(&mut self, value: f32, n: usize) {
+        self.sum += value as f64 * n as f64;
+        self.count += n;
+    }
+
+    /// The current mean (0 if no observations).
+    pub fn mean(&self) -> f32 {
+        if self.count == 0 {
+            0.0
+        } else {
+            (self.sum / self.count as f64) as f32
+        }
+    }
+
+    /// Number of observations (total weight).
+    pub fn count(&self) -> usize {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let logits = Tensor::from_vec([3, 2], vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4]).unwrap();
+        let acc = accuracy(&logits, &[0, 1, 1]).unwrap();
+        assert!((acc - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn accuracy_validates_lengths() {
+        let logits = Tensor::zeros([2, 2]);
+        assert!(accuracy(&logits, &[0]).is_err());
+    }
+
+    #[test]
+    fn running_mean_weights_batches() {
+        let mut m = RunningMean::new();
+        m.add(1.0, 2);
+        m.add(4.0, 1);
+        assert!((m.mean() - 2.0).abs() < 1e-6);
+        assert_eq!(m.count(), 3);
+        assert_eq!(RunningMean::new().mean(), 0.0);
+    }
+}

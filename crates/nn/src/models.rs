@@ -1,0 +1,173 @@
+//! Reference model builders.
+//!
+//! §IV-A of the paper: *"We use the convolutional neural network model,
+//! consisting of two 2D convolution layers, a 2D max pooling layer, the
+//! elementwise rectified linear unit function, and two layers of linear
+//! transformation."* [`cnn_classifier`] builds exactly that architecture for
+//! arbitrary input geometry; [`mlp_classifier`] and [`linear_classifier`]
+//! provide cheaper models for unit tests and the convex case mentioned in
+//! §II-A.1 ("the objective function can be convex (e.g., linear model)").
+
+use crate::layers::{Conv2d, Flatten, Linear, MaxPool2d, ReLU, Sequential};
+use rand::Rng;
+
+/// Geometry of an image-classification task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct InputSpec {
+    /// Image channels (1 for grayscale, 3 for RGB).
+    pub channels: usize,
+    /// Image height in pixels.
+    pub height: usize,
+    /// Image width in pixels.
+    pub width: usize,
+    /// Number of target classes.
+    pub classes: usize,
+}
+
+/// The paper's demonstration CNN:
+/// `Conv(c→f1, 3×3, pad 1) → ReLU → Conv(f1→f2, 3×3, pad 1) → ReLU →
+///  MaxPool(2) → Flatten → Linear(·, hidden) → ReLU → Linear(hidden, classes)`.
+///
+/// `f1`, `f2` and `hidden` are scaled knobs so the same architecture runs both
+/// the full-size experiments and fast unit tests.
+pub fn cnn_classifier(
+    spec: InputSpec,
+    f1: usize,
+    f2: usize,
+    hidden: usize,
+    rng: &mut impl Rng,
+) -> Sequential {
+    let (h2, w2) = (spec.height / 2, spec.width / 2);
+    Sequential::new()
+        .push(Conv2d::new(spec.channels, f1, 3, 1, 1, rng))
+        .push(ReLU::new())
+        .push(Conv2d::new(f1, f2, 3, 1, 1, rng))
+        .push(ReLU::new())
+        .push(MaxPool2d::new(2))
+        .push(Flatten::new())
+        .push(Linear::new(f2 * h2 * w2, hidden, rng))
+        .push(ReLU::new())
+        .push(Linear::new(hidden, spec.classes, rng))
+}
+
+/// The demonstration CNN with batch normalisation after each convolution.
+///
+/// Under federation the BatchNorm running statistics are *buffers*, not
+/// parameters: `flatten_params` excludes them, so each client keeps local
+/// normalisation statistics while sharing γ/β — the FedBN recipe for
+/// non-i.i.d. clients.
+pub fn cnn_bn_classifier(
+    spec: InputSpec,
+    f1: usize,
+    f2: usize,
+    hidden: usize,
+    rng: &mut impl Rng,
+) -> Sequential {
+    use crate::layers::BatchNorm2d;
+    let (h2, w2) = (spec.height / 2, spec.width / 2);
+    Sequential::new()
+        .push(Conv2d::new(spec.channels, f1, 3, 1, 1, rng))
+        .push(BatchNorm2d::new(f1))
+        .push(ReLU::new())
+        .push(Conv2d::new(f1, f2, 3, 1, 1, rng))
+        .push(BatchNorm2d::new(f2))
+        .push(ReLU::new())
+        .push(MaxPool2d::new(2))
+        .push(Flatten::new())
+        .push(Linear::new(f2 * h2 * w2, hidden, rng))
+        .push(ReLU::new())
+        .push(Linear::new(hidden, spec.classes, rng))
+}
+
+/// A two-layer perceptron on flattened inputs (for fast tests).
+pub fn mlp_classifier(spec: InputSpec, hidden: usize, rng: &mut impl Rng) -> Sequential {
+    let d = spec.channels * spec.height * spec.width;
+    Sequential::new()
+        .push(Flatten::new())
+        .push(Linear::new(d, hidden, rng))
+        .push(ReLU::new())
+        .push(Linear::new(hidden, spec.classes, rng))
+}
+
+/// A single linear layer on flattened inputs — the convex objective case.
+pub fn linear_classifier(spec: InputSpec, rng: &mut impl Rng) -> Sequential {
+    let d = spec.channels * spec.height * spec.width;
+    Sequential::new()
+        .push(Flatten::new())
+        .push(Linear::new(d, spec.classes, rng))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::Module;
+    use appfl_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const SPEC: InputSpec = InputSpec {
+        channels: 1,
+        height: 8,
+        width: 8,
+        classes: 10,
+    };
+
+    #[test]
+    fn cnn_forward_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = cnn_classifier(SPEC, 4, 8, 16, &mut rng);
+        let y = net.forward(&Tensor::zeros([2, 1, 8, 8])).unwrap();
+        assert_eq!(y.dims(), &[2, 10]);
+    }
+
+    #[test]
+    fn cnn_backward_runs_end_to_end() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut net = cnn_classifier(SPEC, 2, 4, 8, &mut rng);
+        let x = appfl_tensor::init::uniform([2, 1, 8, 8], -1.0, 1.0, &mut rng);
+        let y = net.forward(&x).unwrap();
+        let gx = net.backward(&Tensor::ones(y.shape().clone())).unwrap();
+        assert_eq!(gx.dims(), x.dims());
+        assert!(crate::module::flatten_grads(&net).iter().any(|&g| g != 0.0));
+    }
+
+    #[test]
+    fn mlp_and_linear_shapes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut mlp = mlp_classifier(SPEC, 32, &mut rng);
+        assert_eq!(mlp.forward(&Tensor::zeros([3, 1, 8, 8])).unwrap().dims(), &[3, 10]);
+        let mut lin = linear_classifier(SPEC, &mut rng);
+        assert_eq!(lin.forward(&Tensor::zeros([3, 1, 8, 8])).unwrap().dims(), &[3, 10]);
+        assert_eq!(lin.num_params(), 64 * 10 + 10);
+    }
+
+    #[test]
+    fn cnn_bn_trains_and_keeps_buffers_out_of_params() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut net = cnn_bn_classifier(SPEC, 2, 4, 8, &mut rng);
+        // Parameter count: conv params + BN γ/β only (no running stats).
+        let conv1 = 2 * 9 + 2; // out=2, in=1, 3x3 kernels + bias
+        let conv2 = 4 * 2 * 9 + 4;
+        let bn = (2 + 2) + (4 + 4);
+        let fc = (4 * 4 * 4) * 8 + 8 + 8 * 10 + 10;
+        assert_eq!(net.num_params(), conv1 + conv2 + bn + fc);
+        let x = appfl_tensor::init::uniform([2, 1, 8, 8], -1.0, 1.0, &mut rng);
+        let y = net.forward(&x).unwrap();
+        net.backward(&Tensor::ones(y.shape().clone())).unwrap();
+        assert!(crate::module::flatten_grads(&net).iter().any(|&g| g != 0.0));
+        // Eval mode must change behaviour (running stats kick in).
+        net.set_training(false);
+        let y_eval = net.forward(&x).unwrap();
+        assert_ne!(y.as_slice(), y_eval.as_slice());
+    }
+
+    #[test]
+    fn same_seed_same_model() {
+        let a = cnn_classifier(SPEC, 2, 4, 8, &mut StdRng::seed_from_u64(9));
+        let b = cnn_classifier(SPEC, 2, 4, 8, &mut StdRng::seed_from_u64(9));
+        assert_eq!(
+            crate::module::flatten_params(&a),
+            crate::module::flatten_params(&b)
+        );
+    }
+}

@@ -1,0 +1,138 @@
+//! The `Module` trait and flat-parameter plumbing.
+
+use appfl_tensor::{Result, Tensor, TensorError};
+
+/// A differentiable network component.
+///
+/// Semantics mirror `torch.nn.Module` as used by APPFL:
+///
+/// * `forward` caches whatever it needs for the backward pass;
+/// * `backward` consumes the gradient w.r.t. its output, **accumulates**
+///   parameter gradients into internal buffers, and returns the gradient
+///   w.r.t. its input;
+/// * parameters and gradients are exposed as ordered lists of tensors so the
+///   FL layer can flatten them into the single vector `w ∈ R^m` of the paper.
+pub trait Module: Send {
+    /// Runs the layer on `input`, caching activations for `backward`.
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor>;
+
+    /// Back-propagates `grad_output`; accumulates parameter gradients and
+    /// returns the gradient with respect to the forward input.
+    ///
+    /// Must be called after a matching `forward` (implementations return an
+    /// error otherwise).
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor>;
+
+    /// The layer's parameter tensors, in a stable order.
+    fn params(&self) -> Vec<&Tensor>;
+
+    /// Mutable access to the parameter tensors, same order as [`params`].
+    ///
+    /// [`params`]: Module::params
+    fn params_mut(&mut self) -> Vec<&mut Tensor>;
+
+    /// The accumulated gradient tensors, aligned with [`params`].
+    ///
+    /// [`params`]: Module::params
+    fn grads(&self) -> Vec<&Tensor>;
+
+    /// Clears accumulated gradients.
+    fn zero_grad(&mut self);
+
+    /// Clones the module behind a box (used to replicate a model across
+    /// federated clients).
+    fn clone_module(&self) -> Box<dyn Module>;
+
+    /// Switches between training and evaluation behaviour (Dropout and
+    /// similar stochastic layers). Default: stateless no-op. Containers
+    /// must propagate to children.
+    fn set_training(&mut self, _training: bool) {}
+
+    /// Total number of scalar parameters.
+    fn num_params(&self) -> usize {
+        self.params().iter().map(|p| p.numel()).sum()
+    }
+}
+
+impl Clone for Box<dyn Module> {
+    fn clone(&self) -> Self {
+        self.clone_module()
+    }
+}
+
+/// Flattens all parameters of a module into one `Vec<f32>` — the global
+/// model vector `w` exchanged between server and clients.
+pub fn flatten_params(module: &dyn Module) -> Vec<f32> {
+    let mut out = Vec::with_capacity(module.num_params());
+    for p in module.params() {
+        out.extend_from_slice(p.as_slice());
+    }
+    out
+}
+
+/// Flattens all accumulated gradients, aligned with [`flatten_params`].
+pub fn flatten_grads(module: &dyn Module) -> Vec<f32> {
+    let mut out = Vec::with_capacity(module.num_params());
+    for g in module.grads() {
+        out.extend_from_slice(g.as_slice());
+    }
+    out
+}
+
+/// Writes a flat vector back into a module's parameters.
+///
+/// Errors if `flat` does not have exactly `num_params` elements.
+pub fn set_params(module: &mut dyn Module, flat: &[f32]) -> Result<()> {
+    let expected = module.num_params();
+    if flat.len() != expected {
+        return Err(TensorError::ShapeDataMismatch {
+            expected,
+            actual: flat.len(),
+        });
+    }
+    let mut off = 0;
+    for p in module.params_mut() {
+        let n = p.numel();
+        p.as_mut_slice().copy_from_slice(&flat[off..off + n]);
+        off += n;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Linear;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn flatten_set_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut layer = Linear::new(3, 2, &mut rng);
+        let flat = flatten_params(&layer);
+        assert_eq!(flat.len(), 3 * 2 + 2);
+        let doubled: Vec<f32> = flat.iter().map(|x| x * 2.0).collect();
+        set_params(&mut layer, &doubled).unwrap();
+        assert_eq!(flatten_params(&layer), doubled);
+    }
+
+    #[test]
+    fn set_params_validates_length() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut layer = Linear::new(3, 2, &mut rng);
+        assert!(set_params(&mut layer, &[0.0; 5]).is_err());
+    }
+
+    #[test]
+    fn clone_module_is_independent() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let layer = Linear::new(2, 2, &mut rng);
+        let mut copy = layer.clone_module();
+        let zeros = vec![0.0f32; copy.num_params()];
+        set_params(copy.as_mut(), &zeros).unwrap();
+        // Original untouched.
+        assert!(flatten_params(&layer).iter().any(|&x| x != 0.0));
+        assert!(flatten_params(copy.as_ref()).iter().all(|&x| x == 0.0));
+    }
+}

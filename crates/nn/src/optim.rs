@@ -1,0 +1,292 @@
+//! Optimisers.
+
+use crate::module::Module;
+use appfl_tensor::Result;
+
+/// Stochastic gradient descent with classical momentum [29]:
+///
+/// ```text
+/// v ← μ·v + g
+/// θ ← θ − η·v
+/// ```
+///
+/// This is the client-side optimiser the paper uses for FedAvg local updates
+/// (§IV-B: "the SGD with momentum is utilized for FedAvg").
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate η.
+    pub lr: f32,
+    /// Momentum coefficient μ (0 disables momentum).
+    pub momentum: f32,
+    velocity: Vec<Vec<f32>>,
+}
+
+impl Sgd {
+    /// Creates an optimiser; velocity buffers are allocated lazily on the
+    /// first step so one `Sgd` can serve any model.
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Applies one update step using the module's accumulated gradients.
+    pub fn step(&mut self, module: &mut dyn Module) -> Result<()> {
+        // Snapshot gradients first (grads() borrows the module immutably).
+        let grads: Vec<Vec<f32>> = module
+            .grads()
+            .iter()
+            .map(|g| g.as_slice().to_vec())
+            .collect();
+        if self.velocity.len() != grads.len() {
+            self.velocity = grads.iter().map(|g| vec![0.0; g.len()]).collect();
+        }
+        for ((param, grad), vel) in module
+            .params_mut()
+            .into_iter()
+            .zip(grads.iter())
+            .zip(self.velocity.iter_mut())
+        {
+            let pv = param.as_mut_slice();
+            for ((p, &g), v) in pv.iter_mut().zip(grad.iter()).zip(vel.iter_mut()) {
+                *v = self.momentum * *v + g;
+                *p -= self.lr * *v;
+            }
+        }
+        Ok(())
+    }
+
+    /// Resets momentum state (used when a client receives a fresh global
+    /// model and should not carry stale velocity across rounds).
+    pub fn reset_state(&mut self) {
+        self.velocity.clear();
+    }
+}
+
+/// Adam (adaptive moment estimation):
+///
+/// ```text
+/// m ← β₁·m + (1−β₁)·g        v ← β₂·v + (1−β₂)·g²
+/// m̂ = m / (1−β₁ᵗ)           v̂ = v / (1−β₂ᵗ)
+/// θ ← θ − η·m̂ / (√v̂ + ε)
+/// ```
+///
+/// Not used by the paper's experiments (they use SGD+momentum) but a staple
+/// for user-defined clients via the plug-and-play API.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate η.
+    pub lr: f32,
+    /// First-moment decay β₁.
+    pub beta1: f32,
+    /// Second-moment decay β₂.
+    pub beta2: f32,
+    /// Numerical floor ε.
+    pub eps: f32,
+    step_count: u32,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    /// Creates an optimiser with the standard (0.9, 0.999, 1e-8) defaults.
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            step_count: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Applies one update step using the module's accumulated gradients.
+    pub fn step(&mut self, module: &mut dyn Module) -> Result<()> {
+        let grads: Vec<Vec<f32>> = module
+            .grads()
+            .iter()
+            .map(|g| g.as_slice().to_vec())
+            .collect();
+        if self.m.len() != grads.len() {
+            self.m = grads.iter().map(|g| vec![0.0; g.len()]).collect();
+            self.v = grads.iter().map(|g| vec![0.0; g.len()]).collect();
+        }
+        self.step_count += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.step_count as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.step_count as i32);
+        for (((param, grad), m), v) in module
+            .params_mut()
+            .into_iter()
+            .zip(grads.iter())
+            .zip(self.m.iter_mut())
+            .zip(self.v.iter_mut())
+        {
+            for (((p, &g), m), v) in param
+                .as_mut_slice()
+                .iter_mut()
+                .zip(grad.iter())
+                .zip(m.iter_mut())
+                .zip(v.iter_mut())
+            {
+                *m = self.beta1 * *m + (1.0 - self.beta1) * g;
+                *v = self.beta2 * *v + (1.0 - self.beta2) * g * g;
+                let m_hat = *m / bc1;
+                let v_hat = *v / bc2;
+                *p -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+        Ok(())
+    }
+
+    /// Clears moment estimates and the step counter.
+    pub fn reset_state(&mut self) {
+        self.step_count = 0;
+        self.m.clear();
+        self.v.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Linear;
+    use crate::loss::{Loss, Targets};
+    use crate::module::flatten_params;
+    use crate::CrossEntropyLoss;
+    use appfl_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn plain_sgd_matches_manual_update() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut l = Linear::new(2, 2, &mut rng);
+        let before = flatten_params(&l);
+        let x = Tensor::ones([1, 2]);
+        let y = l.forward(&x).unwrap();
+        l.backward(&Tensor::ones(y.shape().clone())).unwrap();
+        let grads = crate::module::flatten_grads(&l);
+
+        let mut opt = Sgd::new(0.1, 0.0);
+        opt.step(&mut l).unwrap();
+        let after = flatten_params(&l);
+        for ((b, g), a) in before.iter().zip(grads.iter()).zip(after.iter()) {
+            assert!((a - (b - 0.1 * g)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn momentum_accelerates_along_constant_gradient() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut l = Linear::new(1, 1, &mut rng);
+        let x = Tensor::ones([1, 1]);
+        let mut opt = Sgd::new(0.1, 0.9);
+
+        let mut deltas = Vec::new();
+        let mut prev = flatten_params(&l)[0];
+        for _ in 0..3 {
+            l.zero_grad();
+            let y = l.forward(&x).unwrap();
+            l.backward(&Tensor::ones(y.shape().clone())).unwrap();
+            opt.step(&mut l).unwrap();
+            let cur = flatten_params(&l)[0];
+            deltas.push(prev - cur);
+            prev = cur;
+        }
+        // With constant gradient 1: steps are η, η(1+μ), η(1+μ+μ²)…
+        assert!(deltas[1] > deltas[0]);
+        assert!(deltas[2] > deltas[1]);
+        assert!((deltas[0] - 0.1).abs() < 1e-5);
+        assert!((deltas[1] - 0.19).abs() < 1e-5);
+    }
+
+    #[test]
+    fn training_reduces_loss_on_separable_data() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut l = Linear::new(2, 2, &mut rng);
+        let x = Tensor::from_vec([4, 2], vec![1.0, 0.0, 1.0, 0.1, 0.0, 1.0, 0.1, 1.0]).unwrap();
+        let t = Targets::Classes(vec![0, 0, 1, 1]);
+        let mut opt = Sgd::new(0.5, 0.9);
+        let (first, _) = CrossEntropyLoss.forward(&l.forward(&x).unwrap(), &t).unwrap();
+        for _ in 0..50 {
+            l.zero_grad();
+            let y = l.forward(&x).unwrap();
+            let (_, grad) = CrossEntropyLoss.forward(&y, &t).unwrap();
+            l.backward(&grad).unwrap();
+            opt.step(&mut l).unwrap();
+        }
+        let (last, _) = CrossEntropyLoss.forward(&l.forward(&x).unwrap(), &t).unwrap();
+        assert!(last < first * 0.5, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn adam_first_step_size_is_lr() {
+        // With bias correction, |Δθ| of the very first Adam step is ≈ η for
+        // any nonzero gradient.
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut l = Linear::new(1, 1, &mut rng);
+        let before = flatten_params(&l);
+        let x = Tensor::ones([1, 1]);
+        let y = l.forward(&x).unwrap();
+        l.backward(&Tensor::ones(y.shape().clone())).unwrap();
+        let mut opt = Adam::new(0.01);
+        opt.step(&mut l).unwrap();
+        let after = flatten_params(&l);
+        for (b, a) in before.iter().zip(after.iter()) {
+            let delta = (b - a).abs();
+            assert!((delta - 0.01).abs() < 1e-4, "step {delta}");
+        }
+    }
+
+    #[test]
+    fn adam_reduces_loss_on_separable_data() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut l = Linear::new(2, 2, &mut rng);
+        let x = Tensor::from_vec([4, 2], vec![1.0, 0.0, 1.0, 0.1, 0.0, 1.0, 0.1, 1.0]).unwrap();
+        let t = Targets::Classes(vec![0, 0, 1, 1]);
+        let mut opt = Adam::new(0.05);
+        let (first, _) = CrossEntropyLoss.forward(&l.forward(&x).unwrap(), &t).unwrap();
+        for _ in 0..60 {
+            l.zero_grad();
+            let y = l.forward(&x).unwrap();
+            let (_, grad) = CrossEntropyLoss.forward(&y, &t).unwrap();
+            l.backward(&grad).unwrap();
+            opt.step(&mut l).unwrap();
+        }
+        let (last, _) = CrossEntropyLoss.forward(&l.forward(&x).unwrap(), &t).unwrap();
+        assert!(last < first * 0.5, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn adam_reset_clears_moments() {
+        let mut opt = Adam::new(0.01);
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut l = Linear::new(1, 1, &mut rng);
+        let x = Tensor::ones([1, 1]);
+        let y = l.forward(&x).unwrap();
+        l.backward(&Tensor::ones(y.shape().clone())).unwrap();
+        opt.step(&mut l).unwrap();
+        assert!(!opt.m.is_empty());
+        opt.reset_state();
+        assert!(opt.m.is_empty() && opt.v.is_empty());
+        assert_eq!(opt.step_count, 0);
+    }
+
+    #[test]
+    fn reset_state_clears_velocity() {
+        let mut opt = Sgd::new(0.1, 0.9);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut l = Linear::new(1, 1, &mut rng);
+        let x = Tensor::ones([1, 1]);
+        let y = l.forward(&x).unwrap();
+        l.backward(&Tensor::ones(y.shape().clone())).unwrap();
+        opt.step(&mut l).unwrap();
+        assert!(!opt.velocity.is_empty());
+        opt.reset_state();
+        assert!(opt.velocity.is_empty());
+    }
+}

@@ -1,0 +1,106 @@
+//! ε-budget accounting under sequential composition.
+//!
+//! §III-B applies the Laplace mechanism "for any communication round": each
+//! round spends ε̄ per client under basic sequential composition. The
+//! accountant tracks cumulative spend so experiments can report total
+//! privacy loss alongside accuracy, and so a client can refuse to exceed a
+//! lifetime budget.
+
+/// Tracks cumulative privacy loss for one client.
+#[derive(Debug, Clone)]
+pub struct PrivacyAccountant {
+    per_round_epsilon: f64,
+    lifetime_budget: f64,
+    spent: f64,
+    rounds: usize,
+}
+
+impl PrivacyAccountant {
+    /// Creates an accountant with a per-round ε̄ and an optional lifetime
+    /// cap (`f64::INFINITY` for unlimited).
+    pub fn new(per_round_epsilon: f64, lifetime_budget: f64) -> Self {
+        assert!(per_round_epsilon > 0.0, "per-round ε must be positive");
+        assert!(lifetime_budget > 0.0, "lifetime budget must be positive");
+        PrivacyAccountant {
+            per_round_epsilon,
+            lifetime_budget,
+            spent: 0.0,
+            rounds: 0,
+        }
+    }
+
+    /// Whether another round fits the lifetime budget.
+    pub fn can_spend(&self) -> bool {
+        self.per_round_epsilon.is_infinite()
+            || self.spent + self.per_round_epsilon <= self.lifetime_budget + 1e-12
+    }
+
+    /// Records one round of spending; returns the new total. Errors (returns
+    /// `None`) when the budget would be exceeded.
+    pub fn spend_round(&mut self) -> Option<f64> {
+        if !self.can_spend() {
+            return None;
+        }
+        if !self.per_round_epsilon.is_infinite() {
+            self.spent += self.per_round_epsilon;
+        }
+        self.rounds += 1;
+        Some(self.spent)
+    }
+
+    /// Total ε spent so far (sequential composition).
+    pub fn total_spent(&self) -> f64 {
+        self.spent
+    }
+
+    /// Rounds recorded.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Remaining budget.
+    pub fn remaining(&self) -> f64 {
+        (self.lifetime_budget - self.spent).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn composition_is_additive() {
+        let mut a = PrivacyAccountant::new(0.5, f64::INFINITY);
+        for _ in 0..4 {
+            a.spend_round().unwrap();
+        }
+        assert!((a.total_spent() - 2.0).abs() < 1e-12);
+        assert_eq!(a.rounds(), 4);
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let mut a = PrivacyAccountant::new(1.0, 2.5);
+        assert!(a.spend_round().is_some());
+        assert!(a.spend_round().is_some());
+        assert!(!a.can_spend());
+        assert!(a.spend_round().is_none());
+        assert!((a.remaining() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infinite_epsilon_spends_nothing() {
+        let mut a = PrivacyAccountant::new(f64::INFINITY, 1.0);
+        for _ in 0..100 {
+            assert!(a.spend_round().is_some());
+        }
+        assert_eq!(a.total_spent(), 0.0);
+        assert_eq!(a.rounds(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_epsilon() {
+        PrivacyAccountant::new(0.0, 1.0);
+    }
+}

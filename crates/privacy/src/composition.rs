@@ -1,0 +1,126 @@
+//! Composition theorems for multi-round privacy accounting.
+//!
+//! The paper applies its mechanism "for any communication round", which
+//! composes privacy loss across the T rounds of Algorithm 1. The basic
+//! theorem (used by [`crate::PrivacyAccountant`]) charges `k·ε̄`; the
+//! **advanced composition** theorem (Dwork & Roth [14], Thm 3.20) gives the
+//! tighter
+//!
+//! ```text
+//! ε_total = ε√(2k ln(1/δ')) + k·ε·(eᵉ − 1),   δ_total = k·δ + δ'
+//! ```
+//!
+//! which grows as √k instead of k for small ε — the standard tool when
+//! running many rounds under a fixed overall budget.
+
+/// Total ε after `k`-fold basic composition of an ε-DP mechanism.
+pub fn basic_composition(epsilon: f64, k: usize) -> f64 {
+    assert!(epsilon >= 0.0, "epsilon must be non-negative");
+    epsilon * k as f64
+}
+
+/// `(ε_total, δ_total)` after `k`-fold advanced composition of an
+/// (ε, δ)-DP mechanism, with slack `δ'`.
+///
+/// ```
+/// use appfl_privacy::composition::{advanced_composition, basic_composition};
+/// // 1000 rounds at ε = 0.1: basic composition charges ε_total = 100,
+/// // advanced composition stays far below it.
+/// let (eps_adv, _) = advanced_composition(0.1, 0.0, 1000, 1e-6);
+/// assert!(eps_adv < basic_composition(0.1, 1000) / 2.0);
+/// ```
+pub fn advanced_composition(epsilon: f64, delta: f64, k: usize, delta_prime: f64) -> (f64, f64) {
+    assert!(epsilon >= 0.0 && delta >= 0.0, "budgets must be non-negative");
+    assert!(delta_prime > 0.0 && delta_prime < 1.0, "δ' must be in (0, 1)");
+    let kf = k as f64;
+    let eps_total =
+        epsilon * (2.0 * kf * (1.0 / delta_prime).ln()).sqrt() + kf * epsilon * (epsilon.exp() - 1.0);
+    (eps_total, kf * delta + delta_prime)
+}
+
+/// The largest round count `k` such that advanced composition of an
+/// (ε, δ)-mechanism stays within `(eps_budget, delta_budget)` given slack
+/// `δ'`. Returns 0 when even one round exceeds the budget.
+pub fn max_rounds_advanced(
+    epsilon: f64,
+    delta: f64,
+    eps_budget: f64,
+    delta_budget: f64,
+    delta_prime: f64,
+) -> usize {
+    let mut lo = 0usize;
+    let mut hi = 1usize;
+    let fits = |k: usize| {
+        if k == 0 {
+            return true;
+        }
+        let (e, d) = advanced_composition(epsilon, delta, k, delta_prime);
+        e <= eps_budget && d <= delta_budget
+    };
+    // Exponential search for an upper bound, then bisect.
+    while fits(hi) && hi < 1 << 40 {
+        lo = hi;
+        hi *= 2;
+    }
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        if fits(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_is_linear() {
+        assert_eq!(basic_composition(0.5, 10), 5.0);
+        assert_eq!(basic_composition(1.0, 0), 0.0);
+    }
+
+    #[test]
+    fn advanced_beats_basic_for_small_epsilon_many_rounds() {
+        let eps = 0.1;
+        let k = 1000;
+        let (adv, _) = advanced_composition(eps, 0.0, k, 1e-6);
+        let basic = basic_composition(eps, k);
+        assert!(adv < basic, "advanced {adv} vs basic {basic}");
+    }
+
+    #[test]
+    fn advanced_tracks_sqrt_k_for_small_eps() {
+        let eps = 0.01;
+        let (e1, _) = advanced_composition(eps, 0.0, 100, 1e-6);
+        let (e4, _) = advanced_composition(eps, 0.0, 400, 1e-6);
+        // Linear term is negligible at this ε, so quadrupling k should
+        // roughly double ε_total.
+        let ratio = e4 / e1;
+        assert!((1.8..2.3).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn delta_accumulates() {
+        let (_, d) = advanced_composition(0.1, 1e-8, 50, 1e-6);
+        assert!((d - (50.0 * 1e-8 + 1e-6)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn max_rounds_is_consistent_with_the_bound() {
+        let k = max_rounds_advanced(0.1, 1e-8, 3.0, 1e-4, 1e-6);
+        assert!(k > 0);
+        let (e_ok, d_ok) = advanced_composition(0.1, 1e-8, k, 1e-6);
+        assert!(e_ok <= 3.0 && d_ok <= 1e-4);
+        let (e_over, _) = advanced_composition(0.1, 1e-8, k + 1, 1e-6);
+        assert!(e_over > 3.0);
+    }
+
+    #[test]
+    fn max_rounds_zero_when_budget_too_small() {
+        assert_eq!(max_rounds_advanced(5.0, 0.0, 1.0, 1.0, 1e-6), 0);
+    }
+}

@@ -1,0 +1,120 @@
+//! User-facing privacy configuration.
+
+use crate::mechanism::{GaussianMechanism, LaplaceMechanism, Mechanism, NoPrivacy};
+use crate::sensitivity::SensitivityRule;
+
+/// Which mechanism perturbs outgoing updates.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum MechanismKind {
+    /// Laplace output perturbation (the paper's implemented scheme).
+    Laplace,
+    /// Gaussian output perturbation with failure probability δ
+    /// (the "more advanced scheme" extension).
+    Gaussian {
+        /// DP failure probability δ.
+        delta: f64,
+    },
+    /// No perturbation (ε̄ = ∞ in Fig. 2).
+    None,
+}
+
+/// Privacy settings attached to a federated run.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PrivacyConfig {
+    /// Per-round privacy budget ε̄ (`f64::INFINITY` disables noise).
+    pub epsilon: f64,
+    /// Gradient clipping constant `C` (bounds sensitivity).
+    pub clip: f64,
+    /// Mechanism choice.
+    pub mechanism: MechanismKind,
+}
+
+impl PrivacyConfig {
+    /// The non-private configuration (Fig. 2's ε̄ = ∞ column).
+    pub fn none() -> Self {
+        PrivacyConfig {
+            epsilon: f64::INFINITY,
+            clip: f64::INFINITY,
+            mechanism: MechanismKind::None,
+        }
+    }
+
+    /// Laplace output perturbation with budget ε̄ and clipping constant C.
+    pub fn laplace(epsilon: f64, clip: f64) -> Self {
+        PrivacyConfig {
+            epsilon,
+            clip,
+            mechanism: MechanismKind::Laplace,
+        }
+    }
+
+    /// Whether any noise will be added.
+    pub fn is_private(&self) -> bool {
+        !matches!(self.mechanism, MechanismKind::None) && self.epsilon.is_finite()
+    }
+
+    /// Instantiates the mechanism object.
+    pub fn build_mechanism(&self) -> Box<dyn Mechanism> {
+        match self.mechanism {
+            MechanismKind::Laplace => Box::new(LaplaceMechanism),
+            MechanismKind::Gaussian { .. } => Box::new(GaussianMechanism),
+            MechanismKind::None => Box::new(NoPrivacy),
+        }
+    }
+
+    /// The noise scale for a given sensitivity rule: Laplace uses
+    /// `b = Δ̄/ε̄`; Gaussian uses the analytic σ; none gives 0.
+    pub fn noise_scale(&self, rule: &SensitivityRule) -> f64 {
+        if !self.is_private() {
+            return 0.0;
+        }
+        match self.mechanism {
+            MechanismKind::Laplace => rule.laplace_scale(self.epsilon),
+            MechanismKind::Gaussian { delta } => {
+                GaussianMechanism::sigma(rule.delta(), self.epsilon, delta)
+            }
+            MechanismKind::None => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_config_is_nonprivate() {
+        let c = PrivacyConfig::none();
+        assert!(!c.is_private());
+        assert_eq!(c.noise_scale(&SensitivityRule::Fixed(10.0)), 0.0);
+        assert_eq!(c.build_mechanism().name(), "none");
+    }
+
+    #[test]
+    fn laplace_scale_matches_rule() {
+        let c = PrivacyConfig::laplace(5.0, 1.0);
+        assert!(c.is_private());
+        let rule = SensitivityRule::Fixed(2.0);
+        assert!((c.noise_scale(&rule) - 0.4).abs() < 1e-12);
+        assert_eq!(c.build_mechanism().name(), "laplace");
+    }
+
+    #[test]
+    fn gaussian_config_builds() {
+        let c = PrivacyConfig {
+            epsilon: 1.0,
+            clip: 1.0,
+            mechanism: MechanismKind::Gaussian { delta: 1e-5 },
+        };
+        assert!(c.is_private());
+        assert!(c.noise_scale(&SensitivityRule::Fixed(1.0)) > 1.0);
+        assert_eq!(c.build_mechanism().name(), "gaussian");
+    }
+
+    #[test]
+    fn infinite_epsilon_always_noiseless() {
+        let c = PrivacyConfig::laplace(f64::INFINITY, 1.0);
+        assert!(!c.is_private());
+        assert_eq!(c.noise_scale(&SensitivityRule::Fixed(1.0)), 0.0);
+    }
+}

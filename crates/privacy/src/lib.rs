@@ -1,0 +1,34 @@
+//! # appfl-privacy
+//!
+//! Differential-privacy machinery for appfl-rs (paper §III-B).
+//!
+//! The paper protects client updates with **output perturbation**: before a
+//! client transmits its local model `z_p^{t+1}`, it adds noise drawn from a
+//! Laplace distribution with scale `b = Δ̄/ε̄`, where `Δ̄` bounds the
+//! sensitivity of the update to any single data point. Gradient clipping
+//! (`‖g‖ ≤ C`) makes the sensitivity computable in closed form:
+//!
+//! * ADMM-type clients (ICEADMM, IIADMM): `Δ̄ = 2C/(ρᵗ + ζᵗ)`
+//! * FedAvg clients: `Δ̄ = 2Cη` (the paper notes FedAvg's sensitivity
+//!   "depends on the learning rate")
+//!
+//! This crate provides the [`mechanism`]s (Laplace, plus Gaussian as the
+//! advanced-scheme extension the paper lists as future work), the
+//! per-algorithm [`sensitivity`] rules, gradient clipping re-exports, and a
+//! simple ε-budget [`accountant`] under sequential composition.
+
+pub mod accountant;
+pub mod attack;
+pub mod composition;
+pub mod config;
+pub mod mechanism;
+pub mod secure_agg;
+pub mod sensitivity;
+
+pub use accountant::PrivacyAccountant;
+pub use config::PrivacyConfig;
+pub use mechanism::{GaussianMechanism, LaplaceMechanism, Mechanism, NoPrivacy};
+pub use sensitivity::SensitivityRule;
+
+/// Gradient clipping (re-exported from the tensor crate's flat-vector ops).
+pub use appfl_tensor::vecops::clip_norm;

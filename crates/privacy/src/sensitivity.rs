@@ -1,0 +1,124 @@
+//! Per-algorithm sensitivity rules.
+//!
+//! §IV-A: "Δ̄ is a sensitivity of the local model parameters computed
+//! automatically based on the dataset and algorithm chosen in APPFL." This
+//! module encodes that automatic computation: each FL algorithm maps its
+//! hyper-parameters plus the clipping constant `C` to a closed-form bound on
+//! how much one data point can move the transmitted update.
+
+/// How a client's transmitted output responds to a single-sample change.
+///
+/// ```
+/// use appfl_privacy::SensitivityRule;
+/// // IIADMM with C = 1, ρ = 3, ζ = 1: Δ̄ = 2C/(ρ+ζ) = 0.5 (paper §III-B),
+/// // so ε̄ = 5 calls for Laplace scale b = Δ̄/ε̄ = 0.1.
+/// let rule = SensitivityRule::AdmmOutput { clip: 1.0, rho: 3.0, zeta: 1.0 };
+/// assert_eq!(rule.delta(), 0.5);
+/// assert_eq!(rule.laplace_scale(5.0), 0.1);
+/// assert_eq!(rule.laplace_scale(f64::INFINITY), 0.0); // ε̄ = ∞ → no noise
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum SensitivityRule {
+    /// ADMM-type local step `z ← z − (g − λ − ρ(w−z))/(ρ+ζ)`: swapping one
+    /// sample changes the clipped gradient by at most `2C`, so the output
+    /// moves by at most `Δ̄ = 2C/(ρ+ζ)` (paper §III-B).
+    AdmmOutput {
+        /// Gradient clipping constant `C`.
+        clip: f64,
+        /// Penalty parameter ρ.
+        rho: f64,
+        /// Proximity parameter ζ.
+        zeta: f64,
+    },
+    /// SGD local step `z ← z − η·g` with clipped gradients: one swapped
+    /// sample shifts the step by at most `Δ̄ = 2C·η` (the paper: "the
+    /// sensitivity in FedAvg depends on the learning rate").
+    SgdOutput {
+        /// Gradient clipping constant `C`.
+        clip: f64,
+        /// Learning rate η.
+        lr: f64,
+    },
+    /// A fixed, user-supplied bound (for custom algorithms).
+    Fixed(f64),
+}
+
+impl SensitivityRule {
+    /// The sensitivity bound `Δ̄`.
+    pub fn delta(&self) -> f64 {
+        match *self {
+            SensitivityRule::AdmmOutput { clip, rho, zeta } => {
+                assert!(rho + zeta > 0.0, "ADMM sensitivity needs ρ+ζ > 0");
+                2.0 * clip / (rho + zeta)
+            }
+            SensitivityRule::SgdOutput { clip, lr } => 2.0 * clip * lr,
+            SensitivityRule::Fixed(d) => d,
+        }
+    }
+
+    /// Laplace scale `b = Δ̄/ε̄` for a per-round privacy budget `ε̄`.
+    /// Returns 0 (no noise) for `ε̄ = ∞`.
+    pub fn laplace_scale(&self, epsilon: f64) -> f64 {
+        assert!(epsilon > 0.0, "privacy budget must be positive");
+        if epsilon.is_infinite() {
+            0.0
+        } else {
+            self.delta() / epsilon
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admm_rule_matches_paper_formula() {
+        let r = SensitivityRule::AdmmOutput {
+            clip: 1.0,
+            rho: 3.0,
+            zeta: 1.0,
+        };
+        assert!((r.delta() - 0.5).abs() < 1e-12); // 2·1/(3+1)
+    }
+
+    #[test]
+    fn sgd_rule_scales_with_lr() {
+        let r = SensitivityRule::SgdOutput { clip: 2.0, lr: 0.1 };
+        assert!((r.delta() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn larger_rho_means_less_noise() {
+        let lo = SensitivityRule::AdmmOutput {
+            clip: 1.0,
+            rho: 1.0,
+            zeta: 0.0,
+        };
+        let hi = SensitivityRule::AdmmOutput {
+            clip: 1.0,
+            rho: 10.0,
+            zeta: 0.0,
+        };
+        assert!(hi.laplace_scale(1.0) < lo.laplace_scale(1.0));
+    }
+
+    #[test]
+    fn infinite_epsilon_disables_noise() {
+        let r = SensitivityRule::Fixed(5.0);
+        assert_eq!(r.laplace_scale(f64::INFINITY), 0.0);
+        assert!((r.laplace_scale(2.5) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_decreases_with_epsilon() {
+        let r = SensitivityRule::Fixed(1.0);
+        assert!(r.laplace_scale(3.0) > r.laplace_scale(10.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_epsilon_panics() {
+        SensitivityRule::Fixed(1.0).laplace_scale(0.0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Error type shared by all tensor operations.
+
+use std::fmt;
+
+/// Errors produced by tensor construction and kernels.
+///
+/// All shape and argument validation in the crate funnels through this type
+/// so that callers (the NN and FL layers) can surface precise diagnostics
+/// instead of panics deep inside a kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of elements implied by a shape does not match the data.
+    ShapeDataMismatch {
+        /// Number of elements implied by the shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// Two shapes that must agree (exactly or after broadcasting) do not.
+    ShapeMismatch {
+        /// Left-hand shape, formatted.
+        lhs: String,
+        /// Right-hand shape, formatted.
+        rhs: String,
+        /// The operation that was attempted.
+        op: &'static str,
+    },
+    /// An axis argument is out of range for the tensor's rank.
+    AxisOutOfRange {
+        /// The offending axis.
+        axis: usize,
+        /// The tensor's rank.
+        rank: usize,
+    },
+    /// A kernel received arguments it cannot handle (e.g. zero-sized kernel
+    /// window, stride of zero, empty reduction).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeDataMismatch { expected, actual } => write!(
+                f,
+                "shape/data mismatch: shape implies {expected} elements, data has {actual}"
+            ),
+            TensorError::ShapeMismatch { lhs, rhs, op } => {
+                write!(f, "shape mismatch in `{op}`: {lhs} vs {rhs}")
+            }
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank-{rank} tensor")
+            }
+            TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = TensorError::ShapeDataMismatch {
+            expected: 6,
+            actual: 5,
+        };
+        assert!(e.to_string().contains("6"));
+        assert!(e.to_string().contains("5"));
+
+        let e = TensorError::ShapeMismatch {
+            lhs: "[2, 3]".into(),
+            rhs: "[4]".into(),
+            op: "add",
+        };
+        assert!(e.to_string().contains("add"));
+
+        let e = TensorError::AxisOutOfRange { axis: 3, rank: 2 };
+        assert!(e.to_string().contains("axis 3"));
+
+        let e = TensorError::InvalidArgument("stride must be nonzero".into());
+        assert!(e.to_string().contains("stride"));
+    }
+}

@@ -1,0 +1,72 @@
+//! Seeded random tensor initialisers.
+//!
+//! Every initialiser takes an explicit `Rng`, so a federated run can be made
+//! bit-reproducible by seeding one `StdRng` per client/server from a job seed.
+
+use crate::{Shape, Tensor};
+use rand::Rng;
+use rand_distr::{Distribution, Normal, Uniform};
+
+/// Uniform initialisation on `[lo, hi)`.
+pub fn uniform(shape: impl Into<Shape>, lo: f32, hi: f32, rng: &mut impl Rng) -> Tensor {
+    let shape = shape.into();
+    let dist = Uniform::new(lo, hi);
+    let data = (0..shape.numel()).map(|_| dist.sample(rng)).collect();
+    Tensor::from_vec(shape, data).expect("uniform: sizes match by construction")
+}
+
+/// Normal (Gaussian) initialisation with the given mean and standard deviation.
+pub fn normal(shape: impl Into<Shape>, mean: f32, std: f32, rng: &mut impl Rng) -> Tensor {
+    let shape = shape.into();
+    let dist = Normal::new(mean, std).expect("normal: std must be finite and non-negative");
+    let data = (0..shape.numel()).map(|_| dist.sample(rng)).collect();
+    Tensor::from_vec(shape, data).expect("normal: sizes match by construction")
+}
+
+/// Kaiming/He uniform initialisation for layers with `fan_in` inputs:
+/// `U(-sqrt(6/fan_in), sqrt(6/fan_in))`. Matches PyTorch's default for
+/// `Linear`/`Conv2d` up to the gain constant, which is what the paper's
+/// reference models use.
+pub fn kaiming_uniform(shape: impl Into<Shape>, fan_in: usize, rng: &mut impl Rng) -> Tensor {
+    let bound = (6.0f32 / fan_in.max(1) as f32).sqrt();
+    uniform(shape, -bound, bound, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = uniform([1000], -0.5, 0.5, &mut rng);
+        assert!(t.as_slice().iter().all(|&x| (-0.5..0.5).contains(&x)));
+    }
+
+    #[test]
+    fn normal_moments_are_close() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = normal([20_000], 1.0, 2.0, &mut rng);
+        let mean = t.mean();
+        let var = t.map(|x| (x - mean) * (x - mean)).mean();
+        assert!((mean - 1.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn kaiming_bound_scales_with_fan_in() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = kaiming_uniform([1000], 600, &mut rng);
+        let bound = (6.0f32 / 600.0).sqrt();
+        assert!(t.as_slice().iter().all(|&x| x.abs() <= bound));
+    }
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let a = uniform([64], 0.0, 1.0, &mut StdRng::seed_from_u64(42));
+        let b = uniform([64], 0.0, 1.0, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+}

@@ -1,0 +1,34 @@
+//! # appfl-tensor
+//!
+//! A dense, CPU-only tensor library built from scratch for the appfl-rs
+//! reproduction of the APPFL federated-learning framework.
+//!
+//! The paper's reference implementation delegates all numerical work to
+//! PyTorch. Federated-learning algorithms only require a small, well-defined
+//! surface of that functionality: contiguous `f32` tensors, a handful of
+//! elementwise and reduction kernels, dense matrix multiplication, 2-D
+//! convolution / max-pooling with gradients, and flat-vector arithmetic on
+//! parameter vectors. This crate provides exactly that surface with
+//! deterministic, seedable initialisation and data-parallel kernels (rayon).
+//!
+//! Layout conventions:
+//! * tensors are always contiguous, row-major (C order);
+//! * image batches are NCHW;
+//! * matrices are `[rows, cols]`.
+//!
+//! The crate is deliberately free of `unsafe` except where bounds checks were
+//! measured to dominate an inner loop (none so far).
+
+pub mod error;
+pub mod init;
+pub mod ops;
+pub mod shape;
+pub mod tensor;
+pub mod vecops;
+
+pub use error::TensorError;
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, TensorError>;

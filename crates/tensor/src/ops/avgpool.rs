@@ -1,0 +1,142 @@
+//! 2-D average pooling (NCHW), forward and backward.
+
+use crate::{Result, Tensor, TensorError};
+
+/// Average pooling with a `k × k` window and stride `k` (non-overlapping).
+///
+/// Returns `[n, c, h/k, w/k]`. Unlike max pooling no argmax state is needed:
+/// the backward pass distributes gradients uniformly over each window.
+pub fn avgpool2d(input: &Tensor, k: usize) -> Result<Tensor> {
+    if input.shape().rank() != 4 {
+        return Err(TensorError::InvalidArgument(format!(
+            "avgpool2d: expected NCHW input, got {}",
+            input.shape()
+        )));
+    }
+    if k == 0 {
+        return Err(TensorError::InvalidArgument(
+            "avgpool2d: window must be nonzero".into(),
+        ));
+    }
+    let [n, c, h, w] = [
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    ];
+    if h < k || w < k {
+        return Err(TensorError::InvalidArgument(format!(
+            "avgpool2d: window {k} larger than input {h}x{w}"
+        )));
+    }
+    let (h_out, w_out) = (h / k, w / k);
+    let inv = 1.0 / (k * k) as f32;
+    let iv = input.as_slice();
+    let mut out = vec![0.0f32; n * c * h_out * w_out];
+    for plane in 0..n * c {
+        let base = plane * h * w;
+        let obase = plane * h_out * w_out;
+        for oy in 0..h_out {
+            for ox in 0..w_out {
+                let mut acc = 0.0f32;
+                for dy in 0..k {
+                    let row = base + (oy * k + dy) * w + ox * k;
+                    for dx in 0..k {
+                        acc += iv[row + dx];
+                    }
+                }
+                out[obase + oy * w_out + ox] = acc * inv;
+            }
+        }
+    }
+    Tensor::from_vec([n, c, h_out, w_out], out)
+}
+
+/// Backward of [`avgpool2d`]: spreads each output gradient uniformly over
+/// its `k × k` source window.
+pub fn avgpool2d_backward(
+    input_shape: &[usize],
+    grad_output: &Tensor,
+    k: usize,
+) -> Result<Tensor> {
+    if input_shape.len() != 4 || grad_output.shape().rank() != 4 {
+        return Err(TensorError::InvalidArgument(
+            "avgpool2d_backward: expected NCHW shapes".into(),
+        ));
+    }
+    let [n, c, h, w] = [input_shape[0], input_shape[1], input_shape[2], input_shape[3]];
+    let (h_out, w_out) = (h / k, w / k);
+    if grad_output.dims() != [n, c, h_out, w_out] {
+        return Err(TensorError::ShapeMismatch {
+            lhs: format!("{:?}", [n, c, h_out, w_out]),
+            rhs: format!("{}", grad_output.shape()),
+            op: "avgpool2d_backward",
+        });
+    }
+    let inv = 1.0 / (k * k) as f32;
+    let gv = grad_output.as_slice();
+    let mut out = vec![0.0f32; n * c * h * w];
+    for plane in 0..n * c {
+        let base = plane * h * w;
+        let obase = plane * h_out * w_out;
+        for oy in 0..h_out {
+            for ox in 0..w_out {
+                let g = gv[obase + oy * w_out + ox] * inv;
+                for dy in 0..k {
+                    let row = base + (oy * k + dy) * w + ox * k;
+                    for dx in 0..k {
+                        out[row + dx] += g;
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec([n, c, h, w], out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_known_windows() {
+        let input = Tensor::from_vec(
+            [1, 1, 2, 4],
+            vec![1., 3., 5., 7., 2., 4., 6., 8.],
+        )
+        .unwrap();
+        let out = avgpool2d(&input, 2).unwrap();
+        assert_eq!(out.dims(), &[1, 1, 1, 2]);
+        assert_eq!(out.as_slice(), &[2.5, 6.5]);
+    }
+
+    #[test]
+    fn backward_distributes_uniformly() {
+        let go = Tensor::from_vec([1, 1, 1, 1], vec![4.0]).unwrap();
+        let gi = avgpool2d_backward(&[1, 1, 2, 2], &go, 2).unwrap();
+        assert_eq!(gi.as_slice(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn forward_backward_are_adjoint() {
+        // <avgpool(x), g> == <x, avgpool_backward(g)> for linear maps.
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let x = crate::init::uniform([2, 3, 4, 4], -1.0, 1.0, &mut rng);
+        let g = crate::init::uniform([2, 3, 2, 2], -1.0, 1.0, &mut rng);
+        let y = avgpool2d(&x, 2).unwrap();
+        let gx = avgpool2d_backward(&[2, 3, 4, 4], &g, 2).unwrap();
+        let lhs: f32 = y.as_slice().iter().zip(g.as_slice()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.as_slice().iter().zip(gx.as_slice()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-4, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn validates_arguments() {
+        assert!(avgpool2d(&Tensor::zeros([2, 2]), 2).is_err());
+        assert!(avgpool2d(&Tensor::zeros([1, 1, 2, 2]), 0).is_err());
+        assert!(avgpool2d(&Tensor::zeros([1, 1, 2, 2]), 3).is_err());
+        let go = Tensor::zeros([1, 1, 2, 2]);
+        assert!(avgpool2d_backward(&[1, 1, 4, 4], &go, 3).is_err());
+    }
+}

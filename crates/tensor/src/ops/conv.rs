@@ -1,0 +1,477 @@
+//! 2-D convolution (NCHW) via im2col, with full backward pass.
+//!
+//! The paper's demonstration model is a small CNN: two `Conv2d` layers, a max
+//! pool, ReLU, and two linear layers. This module supplies the convolution
+//! forward and backward kernels. The im2col formulation turns each sample's
+//! convolution into one dense matmul, so the heavy lifting reuses the tuned
+//! row-major loops from [`crate::ops::matmul`]; samples of a batch are
+//! processed in parallel with rayon.
+
+use crate::ops::matmul::{matmul, matmul_a_bt, matmul_at_b};
+use crate::{Result, Tensor, TensorError};
+use rayon::prelude::*;
+
+/// Hyper-parameters of a 2-D convolution (square stride/padding).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Conv2dParams {
+    /// Step between adjacent kernel applications.
+    pub stride: usize,
+    /// Zero-padding applied to each spatial border.
+    pub padding: usize,
+}
+
+impl Default for Conv2dParams {
+    fn default() -> Self {
+        Conv2dParams {
+            stride: 1,
+            padding: 0,
+        }
+    }
+}
+
+/// Gradients returned by [`conv2d_backward`].
+#[derive(Debug, Clone)]
+pub struct Conv2dGrads {
+    /// Gradient with respect to the input, shape `[n, c_in, h, w]`.
+    pub grad_input: Tensor,
+    /// Gradient with respect to the weights, shape `[c_out, c_in, kh, kw]`.
+    pub grad_weight: Tensor,
+    /// Gradient with respect to the bias, shape `[c_out]`.
+    pub grad_bias: Tensor,
+}
+
+/// Validated convolution geometry:
+/// `(n, c_in, h, w, c_out, kh, kw, h_out, w_out)`.
+type ConvGeometry = (usize, usize, usize, usize, usize, usize, usize, usize, usize);
+
+/// Output spatial extent for one axis.
+fn out_extent(input: usize, kernel: usize, stride: usize, padding: usize) -> Result<usize> {
+    let padded = input + 2 * padding;
+    if kernel == 0 || stride == 0 {
+        return Err(TensorError::InvalidArgument(
+            "conv2d: kernel and stride must be nonzero".into(),
+        ));
+    }
+    if padded < kernel {
+        return Err(TensorError::InvalidArgument(format!(
+            "conv2d: kernel {kernel} larger than padded input {padded}"
+        )));
+    }
+    Ok((padded - kernel) / stride + 1)
+}
+
+fn validate(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    params: Conv2dParams,
+) -> Result<ConvGeometry> {
+    if input.shape().rank() != 4 || weight.shape().rank() != 4 || bias.shape().rank() != 1 {
+        return Err(TensorError::InvalidArgument(format!(
+            "conv2d: expected input NCHW rank 4, weight rank 4, bias rank 1; got {}, {}, {}",
+            input.shape(),
+            weight.shape(),
+            bias.shape()
+        )));
+    }
+    let [n, c_in, h, w] = [input.dims()[0], input.dims()[1], input.dims()[2], input.dims()[3]];
+    let [c_out, wc_in, kh, kw] = [
+        weight.dims()[0],
+        weight.dims()[1],
+        weight.dims()[2],
+        weight.dims()[3],
+    ];
+    if wc_in != c_in || bias.dims()[0] != c_out {
+        return Err(TensorError::ShapeMismatch {
+            lhs: format!("{}", input.shape()),
+            rhs: format!("{}", weight.shape()),
+            op: "conv2d",
+        });
+    }
+    let h_out = out_extent(h, kh, params.stride, params.padding)?;
+    let w_out = out_extent(w, kw, params.stride, params.padding)?;
+    Ok((n, c_in, h, w, c_out, kh, kw, h_out, w_out))
+}
+
+/// Lowers one `[c_in, h, w]` sample into a `[c_in*kh*kw, h_out*w_out]` matrix.
+#[allow(clippy::too_many_arguments)]
+fn im2col(
+    sample: &[f32],
+    c_in: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    h_out: usize,
+    w_out: usize,
+    params: Conv2dParams,
+) -> Vec<f32> {
+    let cols_w = h_out * w_out;
+    let mut cols = vec![0.0f32; c_in * kh * kw * cols_w];
+    for c in 0..c_in {
+        let plane = &sample[c * h * w..(c + 1) * h * w];
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = ((c * kh + ki) * kw + kj) * cols_w;
+                for oy in 0..h_out {
+                    let iy = (oy * params.stride + ki) as isize - params.padding as isize;
+                    if iy < 0 || iy as usize >= h {
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    for ox in 0..w_out {
+                        let ix = (ox * params.stride + kj) as isize - params.padding as isize;
+                        if ix < 0 || ix as usize >= w {
+                            continue;
+                        }
+                        cols[row + oy * w_out + ox] = plane[iy * w + ix as usize];
+                    }
+                }
+            }
+        }
+    }
+    cols
+}
+
+/// Scatters a `[c_in*kh*kw, h_out*w_out]` gradient matrix back onto a
+/// `[c_in, h, w]` input-gradient plane (the adjoint of [`im2col`]).
+#[allow(clippy::too_many_arguments)]
+fn col2im(
+    cols: &[f32],
+    c_in: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    h_out: usize,
+    w_out: usize,
+    params: Conv2dParams,
+) -> Vec<f32> {
+    let cols_w = h_out * w_out;
+    let mut out = vec![0.0f32; c_in * h * w];
+    for c in 0..c_in {
+        let plane = &mut out[c * h * w..(c + 1) * h * w];
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = ((c * kh + ki) * kw + kj) * cols_w;
+                for oy in 0..h_out {
+                    let iy = (oy * params.stride + ki) as isize - params.padding as isize;
+                    if iy < 0 || iy as usize >= h {
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    for ox in 0..w_out {
+                        let ix = (ox * params.stride + kj) as isize - params.padding as isize;
+                        if ix < 0 || ix as usize >= w {
+                            continue;
+                        }
+                        plane[iy * w + ix as usize] += cols[row + oy * w_out + ox];
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Forward 2-D convolution.
+///
+/// * `input`:  `[n, c_in, h, w]`
+/// * `weight`: `[c_out, c_in, kh, kw]`
+/// * `bias`:   `[c_out]`
+///
+/// Returns `[n, c_out, h_out, w_out]`.
+pub fn conv2d(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    params: Conv2dParams,
+) -> Result<Tensor> {
+    let (n, c_in, h, w, c_out, kh, kw, h_out, w_out) = validate(input, weight, bias, params)?;
+    let k = c_in * kh * kw;
+    let cols_w = h_out * w_out;
+    let w_mat = weight.reshape([c_out, k])?;
+    let in_plane = c_in * h * w;
+    let out_plane = c_out * cols_w;
+    let input_v = input.as_slice();
+    let bias_v = bias.as_slice();
+
+    let mut out = vec![0.0f32; n * out_plane];
+    out.par_chunks_mut(out_plane)
+        .enumerate()
+        .try_for_each(|(s, out_s)| -> Result<()> {
+            let sample = &input_v[s * in_plane..(s + 1) * in_plane];
+            let cols = im2col(sample, c_in, h, w, kh, kw, h_out, w_out, params);
+            let cols_t = Tensor::from_vec([k, cols_w], cols)?;
+            let prod = matmul(&w_mat, &cols_t)?;
+            for (co, row) in prod.as_slice().chunks(cols_w).enumerate() {
+                let b = bias_v[co];
+                for (o, &v) in out_s[co * cols_w..(co + 1) * cols_w].iter_mut().zip(row) {
+                    *o = v + b;
+                }
+            }
+            Ok(())
+        })?;
+    Tensor::from_vec([n, c_out, h_out, w_out], out)
+}
+
+/// Backward 2-D convolution: gradients with respect to input, weight, bias.
+///
+/// `grad_output` has the forward output's shape `[n, c_out, h_out, w_out]`.
+pub fn conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_output: &Tensor,
+    params: Conv2dParams,
+) -> Result<Conv2dGrads> {
+    let bias_stub = Tensor::zeros([weight.dims()[0]]);
+    let (n, c_in, h, w, c_out, kh, kw, h_out, w_out) =
+        validate(input, weight, &bias_stub, params)?;
+    let expected = [n, c_out, h_out, w_out];
+    if grad_output.dims() != expected {
+        return Err(TensorError::ShapeMismatch {
+            lhs: format!("{:?}", expected),
+            rhs: format!("{}", grad_output.shape()),
+            op: "conv2d_backward",
+        });
+    }
+    let k = c_in * kh * kw;
+    let cols_w = h_out * w_out;
+    let w_mat = weight.reshape([c_out, k])?;
+    let in_plane = c_in * h * w;
+    let out_plane = c_out * cols_w;
+    let (input_v, go_v) = (input.as_slice(), grad_output.as_slice());
+
+    // Per-sample partials are reduced after the parallel map; weight/bias
+    // gradients are sums over the batch so the reduction is a plain add.
+    struct Partial {
+        grad_input: Vec<f32>,
+        grad_weight: Vec<f32>,
+        grad_bias: Vec<f32>,
+    }
+
+    let partials: Result<Vec<Partial>> = (0..n)
+        .into_par_iter()
+        .map(|s| -> Result<Partial> {
+            let sample = &input_v[s * in_plane..(s + 1) * in_plane];
+            let go_s = &go_v[s * out_plane..(s + 1) * out_plane];
+            let cols = im2col(sample, c_in, h, w, kh, kw, h_out, w_out, params);
+            let cols_t = Tensor::from_vec([k, cols_w], cols)?;
+            let go_mat = Tensor::from_vec([c_out, cols_w], go_s.to_vec())?;
+
+            // dW = dY · colsᵀ  ([c_out, cols_w] x [cols_w, k] -> [c_out, k])
+            let gw = matmul_a_bt(&go_mat, &cols_t)?;
+            // dcols = Wᵀ · dY ([k, c_out] x [c_out, cols_w] -> [k, cols_w])
+            let gcols = matmul_at_b(&w_mat, &go_mat)?;
+            let gin = col2im(
+                gcols.as_slice(),
+                c_in,
+                h,
+                w,
+                kh,
+                kw,
+                h_out,
+                w_out,
+                params,
+            );
+            let mut gb = vec![0.0f32; c_out];
+            for (co, gbc) in gb.iter_mut().enumerate() {
+                *gbc = go_s[co * cols_w..(co + 1) * cols_w].iter().sum();
+            }
+            Ok(Partial {
+                grad_input: gin,
+                grad_weight: gw.into_vec(),
+                grad_bias: gb,
+            })
+        })
+        .collect();
+    let partials = partials?;
+
+    let mut grad_input = vec![0.0f32; n * in_plane];
+    let mut grad_weight = vec![0.0f32; c_out * k];
+    let mut grad_bias = vec![0.0f32; c_out];
+    for (s, p) in partials.into_iter().enumerate() {
+        grad_input[s * in_plane..(s + 1) * in_plane].copy_from_slice(&p.grad_input);
+        for (a, b) in grad_weight.iter_mut().zip(p.grad_weight.iter()) {
+            *a += b;
+        }
+        for (a, b) in grad_bias.iter_mut().zip(p.grad_bias.iter()) {
+            *a += b;
+        }
+    }
+
+    Ok(Conv2dGrads {
+        grad_input: Tensor::from_vec([n, c_in, h, w], grad_input)?,
+        grad_weight: Tensor::from_vec([c_out, c_in, kh, kw], grad_weight)?,
+        grad_bias: Tensor::from_vec([c_out], grad_bias)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Direct (nested-loop) convolution used as the test oracle.
+    fn naive_conv(input: &Tensor, weight: &Tensor, bias: &Tensor, p: Conv2dParams) -> Tensor {
+        let [n, c_in, h, w] = [
+            input.dims()[0],
+            input.dims()[1],
+            input.dims()[2],
+            input.dims()[3],
+        ];
+        let [c_out, _, kh, kw] = [
+            weight.dims()[0],
+            weight.dims()[1],
+            weight.dims()[2],
+            weight.dims()[3],
+        ];
+        let h_out = (h + 2 * p.padding - kh) / p.stride + 1;
+        let w_out = (w + 2 * p.padding - kw) / p.stride + 1;
+        let mut out = Tensor::zeros([n, c_out, h_out, w_out]);
+        for s in 0..n {
+            for co in 0..c_out {
+                for oy in 0..h_out {
+                    for ox in 0..w_out {
+                        let mut acc = bias.as_slice()[co];
+                        for ci in 0..c_in {
+                            for ki in 0..kh {
+                                for kj in 0..kw {
+                                    let iy = (oy * p.stride + ki) as isize - p.padding as isize;
+                                    let ix = (ox * p.stride + kj) as isize - p.padding as isize;
+                                    if iy < 0 || ix < 0 || iy as usize >= h || ix as usize >= w {
+                                        continue;
+                                    }
+                                    acc += input.at(&[s, ci, iy as usize, ix as usize]).unwrap()
+                                        * weight.at(&[co, ci, ki, kj]).unwrap();
+                                }
+                            }
+                        }
+                        out.set(&[s, co, oy, ox], acc).unwrap();
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn rand_t(shape: &[usize], seed: u64) -> Tensor {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        crate::init::uniform(shape, -1.0, 1.0, &mut rng)
+    }
+
+    #[test]
+    fn forward_matches_naive_no_padding() {
+        let input = rand_t(&[2, 3, 6, 6], 1);
+        let weight = rand_t(&[4, 3, 3, 3], 2);
+        let bias = rand_t(&[4], 3);
+        let p = Conv2dParams::default();
+        let fast = conv2d(&input, &weight, &bias, p).unwrap();
+        let slow = naive_conv(&input, &weight, &bias, p);
+        assert_eq!(fast.dims(), &[2, 4, 4, 4]);
+        assert!(fast.max_abs_diff(&slow).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn forward_matches_naive_with_padding_and_stride() {
+        let input = rand_t(&[1, 2, 7, 5], 4);
+        let weight = rand_t(&[3, 2, 3, 3], 5);
+        let bias = rand_t(&[3], 6);
+        let p = Conv2dParams {
+            stride: 2,
+            padding: 1,
+        };
+        let fast = conv2d(&input, &weight, &bias, p).unwrap();
+        let slow = naive_conv(&input, &weight, &bias, p);
+        assert_eq!(fast.dims(), slow.dims());
+        assert!(fast.max_abs_diff(&slow).unwrap() < 1e-4);
+    }
+
+    /// Finite-difference check of all three gradients on a tiny problem.
+    #[test]
+    fn backward_matches_finite_differences() {
+        let input = rand_t(&[2, 2, 5, 5], 7);
+        let weight = rand_t(&[3, 2, 3, 3], 8);
+        let bias = rand_t(&[3], 9);
+        let p = Conv2dParams {
+            stride: 1,
+            padding: 1,
+        };
+        // Loss = sum(conv(input)) so dL/dY = 1.
+        let y = conv2d(&input, &weight, &bias, p).unwrap();
+        let go = Tensor::ones(y.shape().clone());
+        let grads = conv2d_backward(&input, &weight, &go, p).unwrap();
+
+        let eps = 1e-3f32;
+        let loss = |input: &Tensor, weight: &Tensor, bias: &Tensor| -> f32 {
+            conv2d(input, weight, bias, p).unwrap().sum()
+        };
+
+        // Sample a few coordinates of each gradient.
+        for &idx in &[0usize, 13, 49] {
+            let mut ip = input.clone();
+            ip.as_mut_slice()[idx] += eps;
+            let mut im = input.clone();
+            im.as_mut_slice()[idx] -= eps;
+            let fd = (loss(&ip, &weight, &bias) - loss(&im, &weight, &bias)) / (2.0 * eps);
+            let an = grads.grad_input.as_slice()[idx];
+            assert!((fd - an).abs() < 2e-2, "input grad {idx}: fd={fd} an={an}");
+        }
+        for &idx in &[0usize, 7, 30] {
+            let mut wp = weight.clone();
+            wp.as_mut_slice()[idx] += eps;
+            let mut wm = weight.clone();
+            wm.as_mut_slice()[idx] -= eps;
+            let fd = (loss(&input, &wp, &bias) - loss(&input, &wm, &bias)) / (2.0 * eps);
+            let an = grads.grad_weight.as_slice()[idx];
+            assert!((fd - an).abs() < 2e-1, "weight grad {idx}: fd={fd} an={an}");
+        }
+        for idx in 0..3usize {
+            let mut bp = bias.clone();
+            bp.as_mut_slice()[idx] += eps;
+            let mut bm = bias.clone();
+            bm.as_mut_slice()[idx] -= eps;
+            let fd = (loss(&input, &weight, &bp) - loss(&input, &weight, &bm)) / (2.0 * eps);
+            let an = grads.grad_bias.as_slice()[idx];
+            assert!((fd - an).abs() < 2e-1, "bias grad {idx}: fd={fd} an={an}");
+        }
+    }
+
+    #[test]
+    fn shape_validation() {
+        let input = Tensor::zeros([1, 2, 4, 4]);
+        let weight = Tensor::zeros([3, 2, 3, 3]);
+        let bias = Tensor::zeros([3]);
+        // Wrong channel count.
+        assert!(conv2d(&input, &Tensor::zeros([3, 5, 3, 3]), &bias, Conv2dParams::default()).is_err());
+        // Wrong bias length.
+        assert!(conv2d(&input, &weight, &Tensor::zeros([4]), Conv2dParams::default()).is_err());
+        // Kernel larger than padded input.
+        assert!(conv2d(
+            &input,
+            &Tensor::zeros([3, 2, 9, 9]),
+            &bias,
+            Conv2dParams::default()
+        )
+        .is_err());
+        // Zero stride.
+        assert!(conv2d(
+            &input,
+            &weight,
+            &bias,
+            Conv2dParams {
+                stride: 0,
+                padding: 0
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn backward_rejects_wrong_grad_shape() {
+        let input = Tensor::zeros([1, 2, 4, 4]);
+        let weight = Tensor::zeros([3, 2, 3, 3]);
+        let bad = Tensor::zeros([1, 3, 5, 5]);
+        assert!(conv2d_backward(&input, &weight, &bad, Conv2dParams::default()).is_err());
+    }
+}

@@ -1,0 +1,66 @@
+//! Elementwise activation kernels and their gradients.
+
+use crate::{Result, Tensor};
+
+/// Rectified linear unit, `max(x, 0)`.
+pub fn relu(input: &Tensor) -> Tensor {
+    input.map(|x| x.max(0.0))
+}
+
+/// Backward of ReLU: passes the gradient where the *input* was positive.
+pub fn relu_backward(input: &Tensor, grad_output: &Tensor) -> Result<Tensor> {
+    input.zip(grad_output, "relu_backward", |x, g| if x > 0.0 { g } else { 0.0 })
+}
+
+/// Logistic sigmoid `1 / (1 + e^{-x})`, numerically stable for large |x|.
+pub fn sigmoid(input: &Tensor) -> Tensor {
+    input.map(|x| {
+        if x >= 0.0 {
+            1.0 / (1.0 + (-x).exp())
+        } else {
+            let e = x.exp();
+            e / (1.0 + e)
+        }
+    })
+}
+
+/// Hyperbolic tangent.
+pub fn tanh(input: &Tensor) -> Tensor {
+    input.map(f32::tanh)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let t = Tensor::from_vec([4], vec![-2.0, -0.0, 0.5, 3.0]).unwrap();
+        assert_eq!(relu(&t).as_slice(), &[0.0, 0.0, 0.5, 3.0]);
+    }
+
+    #[test]
+    fn relu_backward_masks_by_input_sign() {
+        let x = Tensor::from_vec([3], vec![-1.0, 0.0, 2.0]).unwrap();
+        let g = Tensor::from_vec([3], vec![10.0, 10.0, 10.0]).unwrap();
+        let gi = relu_backward(&x, &g).unwrap();
+        assert_eq!(gi.as_slice(), &[0.0, 0.0, 10.0]);
+    }
+
+    #[test]
+    fn sigmoid_is_stable_and_bounded() {
+        let t = Tensor::from_vec([4], vec![-100.0, 0.0, 100.0, 1.0]).unwrap();
+        let s = sigmoid(&t);
+        assert!(s.all_finite());
+        assert!((s.as_slice()[0]).abs() < 1e-6);
+        assert!((s.as_slice()[1] - 0.5).abs() < 1e-6);
+        assert!((s.as_slice()[2] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tanh_matches_std() {
+        let t = Tensor::from_vec([2], vec![0.5, -0.5]).unwrap();
+        let o = tanh(&t);
+        assert!((o.as_slice()[0] - 0.5f32.tanh()).abs() < 1e-7);
+    }
+}

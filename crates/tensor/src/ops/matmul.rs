@@ -1,0 +1,233 @@
+//! Dense matrix multiplication kernels.
+//!
+//! The forward and backward passes of `Linear` and (via im2col) `Conv2d`
+//! reduce to three product forms:
+//!
+//! * `matmul`:      `C = A · B`       — forward
+//! * `matmul_at_b`: `C = Aᵀ · B`      — weight gradients
+//! * `matmul_a_bt`: `C = A · Bᵀ`      — input gradients
+//!
+//! Each kernel parallelises over output rows with rayon and walks the inner
+//! loops in row-major order so the hot loop is a contiguous `axpy`, which
+//! LLVM auto-vectorises. Accumulation is in `f32`; weights and activations in
+//! this workload are small enough that this matches the reference (PyTorch
+//! GPU f32) behaviour.
+
+use crate::{Result, Tensor, TensorError};
+use rayon::prelude::*;
+
+/// Minimum number of output elements before spawning parallel work.
+const PAR_MIN_ELEMS: usize = 64 * 64;
+
+fn check_rank2(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
+    if t.shape().rank() != 2 {
+        return Err(TensorError::InvalidArgument(format!(
+            "{op}: expected rank-2 tensor, got {}",
+            t.shape()
+        )));
+    }
+    Ok((t.dims()[0], t.dims()[1]))
+}
+
+/// `C[m,n] = A[m,k] · B[k,n]`.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, ka) = check_rank2(a, "matmul")?;
+    let (kb, n) = check_rank2(b, "matmul")?;
+    if ka != kb {
+        return Err(TensorError::ShapeMismatch {
+            lhs: format!("{}", a.shape()),
+            rhs: format!("{}", b.shape()),
+            op: "matmul",
+        });
+    }
+    let k = ka;
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    let mut out = vec![0.0f32; m * n];
+
+    let row_kernel = |i: usize, crow: &mut [f32]| {
+        let arow = &av[i * k..(i + 1) * k];
+        for (p, &aip) in arow.iter().enumerate() {
+            if aip == 0.0 {
+                continue;
+            }
+            let brow = &bv[p * n..(p + 1) * n];
+            for (c, &bpn) in crow.iter_mut().zip(brow.iter()) {
+                *c += aip * bpn;
+            }
+        }
+    };
+
+    if m * n >= PAR_MIN_ELEMS {
+        out.par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, crow)| row_kernel(i, crow));
+    } else {
+        for (i, crow) in out.chunks_mut(n).enumerate() {
+            row_kernel(i, crow);
+        }
+    }
+    Tensor::from_vec([m, n], out)
+}
+
+/// `C[k,n] = Aᵀ[k,m] · B[m,n]` computed without materialising `Aᵀ`.
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k) = check_rank2(a, "matmul_at_b")?;
+    let (mb, n) = check_rank2(b, "matmul_at_b")?;
+    if m != mb {
+        return Err(TensorError::ShapeMismatch {
+            lhs: format!("{}", a.shape()),
+            rhs: format!("{}", b.shape()),
+            op: "matmul_at_b",
+        });
+    }
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    let mut out = vec![0.0f32; k * n];
+
+    // C[p, :] += A[i, p] * B[i, :]; parallelise over rows p of C by striding
+    // the i loop inside each output row to keep writes disjoint.
+    let row_kernel = |p: usize, crow: &mut [f32]| {
+        for i in 0..m {
+            let aip = av[i * k + p];
+            if aip == 0.0 {
+                continue;
+            }
+            let brow = &bv[i * n..(i + 1) * n];
+            for (c, &bin) in crow.iter_mut().zip(brow.iter()) {
+                *c += aip * bin;
+            }
+        }
+    };
+
+    if k * n >= PAR_MIN_ELEMS {
+        out.par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(p, crow)| row_kernel(p, crow));
+    } else {
+        for (p, crow) in out.chunks_mut(n).enumerate() {
+            row_kernel(p, crow);
+        }
+    }
+    Tensor::from_vec([k, n], out)
+}
+
+/// `C[m,k] = A[m,n] · Bᵀ[n,k]` computed without materialising `Bᵀ`
+/// (`B` is `[k, n]`).
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, n) = check_rank2(a, "matmul_a_bt")?;
+    let (k, nb) = check_rank2(b, "matmul_a_bt")?;
+    if n != nb {
+        return Err(TensorError::ShapeMismatch {
+            lhs: format!("{}", a.shape()),
+            rhs: format!("{}", b.shape()),
+            op: "matmul_a_bt",
+        });
+    }
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    let mut out = vec![0.0f32; m * k];
+
+    // C[i, j] = dot(A[i, :], B[j, :]) — both operands walk contiguously.
+    let row_kernel = |i: usize, crow: &mut [f32]| {
+        let arow = &av[i * n..(i + 1) * n];
+        for (j, c) in crow.iter_mut().enumerate() {
+            let brow = &bv[j * n..(j + 1) * n];
+            let mut acc = 0.0f32;
+            for (&x, &y) in arow.iter().zip(brow.iter()) {
+                acc += x * y;
+            }
+            *c = acc;
+        }
+    };
+
+    if m * k >= PAR_MIN_ELEMS {
+        out.par_chunks_mut(k)
+            .enumerate()
+            .for_each(|(i, crow)| row_kernel(i, crow));
+    } else {
+        for (i, crow) in out.chunks_mut(k).enumerate() {
+            row_kernel(i, crow);
+        }
+    }
+    Tensor::from_vec([m, k], out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.dims()[0], a.dims()[1]);
+        let n = b.dims()[1];
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += a.as_slice()[i * k + p] * b.as_slice()[p * n + j];
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        Tensor::from_vec([m, n], out).unwrap()
+    }
+
+    #[test]
+    fn small_known_product() {
+        let a = Tensor::from_vec([2, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let b = Tensor::from_vec([3, 2], vec![7., 8., 9., 10., 11., 12.]).unwrap();
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.as_slice(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = {
+            use rand::SeedableRng;
+            rand::rngs::StdRng::seed_from_u64(3)
+        };
+        let a = crate::init::uniform([5, 5], -1.0, 1.0, &mut rng);
+        let mut eye = Tensor::zeros([5, 5]);
+        for i in 0..5 {
+            eye.set(&[i, i], 1.0).unwrap();
+        }
+        let c = matmul(&a, &eye).unwrap();
+        assert!(a.max_abs_diff(&c).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn transposed_variants_agree_with_explicit_transpose() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let a = crate::init::uniform([7, 4], -1.0, 1.0, &mut rng);
+        let b = crate::init::uniform([7, 5], -1.0, 1.0, &mut rng);
+        let c1 = matmul_at_b(&a, &b).unwrap();
+        let c2 = matmul(&a.transpose2().unwrap(), &b).unwrap();
+        assert!(c1.max_abs_diff(&c2).unwrap() < 1e-5);
+
+        let a = crate::init::uniform([6, 4], -1.0, 1.0, &mut rng);
+        let b = crate::init::uniform([3, 4], -1.0, 1.0, &mut rng);
+        let c1 = matmul_a_bt(&a, &b).unwrap();
+        let c2 = matmul(&a, &b.transpose2().unwrap()).unwrap();
+        assert!(c1.max_abs_diff(&c2).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn large_matches_naive_and_exercises_parallel_path() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let a = crate::init::uniform([65, 80], -1.0, 1.0, &mut rng);
+        let b = crate::init::uniform([80, 65], -1.0, 1.0, &mut rng);
+        let fast = matmul(&a, &b).unwrap();
+        let slow = naive_matmul(&a, &b);
+        assert!(fast.max_abs_diff(&slow).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn shape_errors() {
+        let a = Tensor::zeros([2, 3]);
+        let b = Tensor::zeros([4, 2]);
+        assert!(matmul(&a, &b).is_err());
+        assert!(matmul(&a, &Tensor::zeros([3])).is_err());
+        assert!(matmul_at_b(&a, &Tensor::zeros([3, 2])).is_err());
+        assert!(matmul_a_bt(&a, &Tensor::zeros([2, 2])).is_err());
+    }
+}

@@ -1,0 +1,174 @@
+//! 2-D max pooling (NCHW) with argmax-based backward.
+
+use crate::{Result, Tensor, TensorError};
+use rayon::prelude::*;
+
+/// Forward output of [`maxpool2d`]: pooled values plus the flat input index
+/// of each window maximum (needed by the backward pass).
+#[derive(Debug, Clone)]
+pub struct MaxPoolOut {
+    /// Pooled tensor, `[n, c, h_out, w_out]`.
+    pub output: Tensor,
+    /// For each output element, the flat index (into the input buffer) of the
+    /// element that attained the window maximum.
+    pub argmax: Vec<usize>,
+}
+
+/// Max pooling with a `k × k` window and stride `k` (the non-overlapping
+/// pooling used by the paper's CNN).
+pub fn maxpool2d(input: &Tensor, k: usize) -> Result<MaxPoolOut> {
+    if input.shape().rank() != 4 {
+        return Err(TensorError::InvalidArgument(format!(
+            "maxpool2d: expected NCHW input, got {}",
+            input.shape()
+        )));
+    }
+    if k == 0 {
+        return Err(TensorError::InvalidArgument(
+            "maxpool2d: window must be nonzero".into(),
+        ));
+    }
+    let [n, c, h, w] = [
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    ];
+    if h < k || w < k {
+        return Err(TensorError::InvalidArgument(format!(
+            "maxpool2d: window {k} larger than input {h}x{w}"
+        )));
+    }
+    let (h_out, w_out) = (h / k, w / k);
+    let in_plane = h * w;
+    let out_plane = h_out * w_out;
+    let total_planes = n * c;
+    let iv = input.as_slice();
+
+    let mut out = vec![0.0f32; total_planes * out_plane];
+    let mut arg = vec![0usize; total_planes * out_plane];
+
+    out.par_chunks_mut(out_plane)
+        .zip(arg.par_chunks_mut(out_plane))
+        .enumerate()
+        .for_each(|(plane, (ov, av))| {
+            let base = plane * in_plane;
+            for oy in 0..h_out {
+                for ox in 0..w_out {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = base + (oy * k) * w + ox * k;
+                    for dy in 0..k {
+                        let row = base + (oy * k + dy) * w + ox * k;
+                        for dx in 0..k {
+                            let v = iv[row + dx];
+                            if v > best {
+                                best = v;
+                                best_idx = row + dx;
+                            }
+                        }
+                    }
+                    ov[oy * w_out + ox] = best;
+                    av[oy * w_out + ox] = best_idx;
+                }
+            }
+        });
+
+    Ok(MaxPoolOut {
+        output: Tensor::from_vec([n, c, h_out, w_out], out)?,
+        argmax: arg,
+    })
+}
+
+/// Routes `grad_output` back to the argmax positions of the forward pass.
+pub fn maxpool2d_backward(
+    input_shape: &[usize],
+    pool: &MaxPoolOut,
+    grad_output: &Tensor,
+) -> Result<Tensor> {
+    if grad_output.numel() != pool.argmax.len() {
+        return Err(TensorError::ShapeDataMismatch {
+            expected: pool.argmax.len(),
+            actual: grad_output.numel(),
+        });
+    }
+    let mut grad_in = Tensor::zeros(input_shape);
+    let gv = grad_in.as_mut_slice();
+    for (&idx, &g) in pool.argmax.iter().zip(grad_output.as_slice().iter()) {
+        gv[idx] += g;
+    }
+    Ok(grad_in)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_known_values() {
+        // One 4x4 plane.
+        let input = Tensor::from_vec(
+            [1, 1, 4, 4],
+            vec![
+                1., 2., 5., 6., //
+                3., 4., 7., 8., //
+                9., 10., 13., 14., //
+                11., 12., 15., 16.,
+            ],
+        )
+        .unwrap();
+        let p = maxpool2d(&input, 2).unwrap();
+        assert_eq!(p.output.dims(), &[1, 1, 2, 2]);
+        assert_eq!(p.output.as_slice(), &[4., 8., 12., 16.]);
+    }
+
+    #[test]
+    fn backward_routes_to_argmax_only() {
+        let input = Tensor::from_vec(
+            [1, 1, 2, 2],
+            vec![
+                1., 9., //
+                3., 4.,
+            ],
+        )
+        .unwrap();
+        let p = maxpool2d(&input, 2).unwrap();
+        let go = Tensor::from_vec([1, 1, 1, 1], vec![5.0]).unwrap();
+        let gi = maxpool2d_backward(&[1, 1, 2, 2], &p, &go).unwrap();
+        assert_eq!(gi.as_slice(), &[0., 5., 0., 0.]);
+    }
+
+    #[test]
+    fn multichannel_batched() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let input = crate::init::uniform([3, 4, 6, 6], -1.0, 1.0, &mut rng);
+        let p = maxpool2d(&input, 3).unwrap();
+        assert_eq!(p.output.dims(), &[3, 4, 2, 2]);
+        // Every pooled value must exist in its window's source plane.
+        for (&idx, &v) in p.argmax.iter().zip(p.output.as_slice().iter()) {
+            assert_eq!(input.as_slice()[idx], v);
+        }
+    }
+
+    #[test]
+    fn odd_extents_truncate() {
+        let input = Tensor::zeros([1, 1, 5, 5]);
+        let p = maxpool2d(&input, 2).unwrap();
+        assert_eq!(p.output.dims(), &[1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn rejects_bad_arguments() {
+        assert!(maxpool2d(&Tensor::zeros([2, 2]), 2).is_err());
+        assert!(maxpool2d(&Tensor::zeros([1, 1, 4, 4]), 0).is_err());
+        assert!(maxpool2d(&Tensor::zeros([1, 1, 2, 2]), 3).is_err());
+    }
+
+    #[test]
+    fn backward_validates_grad_size() {
+        let input = Tensor::zeros([1, 1, 4, 4]);
+        let p = maxpool2d(&input, 2).unwrap();
+        let bad = Tensor::zeros([1, 1, 3, 3]);
+        assert!(maxpool2d_backward(&[1, 1, 4, 4], &p, &bad).is_err());
+    }
+}

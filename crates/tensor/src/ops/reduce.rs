@@ -1,0 +1,155 @@
+//! Row-wise reductions and softmax kernels for classifier heads.
+
+use crate::{Result, Tensor, TensorError};
+
+fn check_rank2(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
+    if t.shape().rank() != 2 {
+        return Err(TensorError::InvalidArgument(format!(
+            "{op}: expected rank-2 tensor, got {}",
+            t.shape()
+        )));
+    }
+    Ok((t.dims()[0], t.dims()[1]))
+}
+
+/// Sums a rank-2 tensor along axis 0, producing `[cols]`. This is the bias
+/// gradient reduction of `Linear`.
+pub fn sum_axis0(t: &Tensor) -> Result<Tensor> {
+    let (rows, cols) = check_rank2(t, "sum_axis0")?;
+    let mut out = vec![0.0f32; cols];
+    for r in 0..rows {
+        let row = &t.as_slice()[r * cols..(r + 1) * cols];
+        for (o, &x) in out.iter_mut().zip(row.iter()) {
+            *o += x;
+        }
+    }
+    Tensor::from_vec([cols], out)
+}
+
+/// Sums each row of a rank-2 tensor, producing `[rows]`.
+pub fn sum_rows(t: &Tensor) -> Result<Tensor> {
+    let (rows, cols) = check_rank2(t, "sum_rows")?;
+    let out = (0..rows)
+        .map(|r| t.as_slice()[r * cols..(r + 1) * cols].iter().sum())
+        .collect();
+    Tensor::from_vec([rows], out)
+}
+
+/// Row-wise softmax with the standard max-subtraction stabilisation.
+pub fn softmax_rows(logits: &Tensor) -> Result<Tensor> {
+    let (rows, cols) = check_rank2(logits, "softmax_rows")?;
+    let mut out = vec![0.0f32; rows * cols];
+    for r in 0..rows {
+        let row = &logits.as_slice()[r * cols..(r + 1) * cols];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let orow = &mut out[r * cols..(r + 1) * cols];
+        let mut z = 0.0f32;
+        for (o, &x) in orow.iter_mut().zip(row.iter()) {
+            let e = (x - m).exp();
+            *o = e;
+            z += e;
+        }
+        let inv = 1.0 / z;
+        for o in orow.iter_mut() {
+            *o *= inv;
+        }
+    }
+    Tensor::from_vec([rows, cols], out)
+}
+
+/// Row-wise log-softmax (stable): `x - m - ln Σ e^{x-m}`.
+pub fn log_softmax_rows(logits: &Tensor) -> Result<Tensor> {
+    let (rows, cols) = check_rank2(logits, "log_softmax_rows")?;
+    let mut out = vec![0.0f32; rows * cols];
+    for r in 0..rows {
+        let row = &logits.as_slice()[r * cols..(r + 1) * cols];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let logz: f32 = row.iter().map(|&x| (x - m).exp()).sum::<f32>().ln();
+        for (o, &x) in out[r * cols..(r + 1) * cols].iter_mut().zip(row.iter()) {
+            *o = x - m - logz;
+        }
+    }
+    Tensor::from_vec([rows, cols], out)
+}
+
+/// Index of the maximum of each row (the predicted class per sample).
+pub fn argmax_rows(t: &Tensor) -> Result<Vec<usize>> {
+    let (rows, cols) = check_rank2(t, "argmax_rows")?;
+    if cols == 0 {
+        return Err(TensorError::InvalidArgument(
+            "argmax_rows: zero-width rows".into(),
+        ));
+    }
+    Ok((0..rows)
+        .map(|r| {
+            let row = &t.as_slice()[r * cols..(r + 1) * cols];
+            row.iter()
+                .enumerate()
+                .fold((0usize, f32::NEG_INFINITY), |(bi, bv), (i, &v)| {
+                    if v > bv {
+                        (i, v)
+                    } else {
+                        (bi, bv)
+                    }
+                })
+                .0
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axis_sums() {
+        let t = Tensor::from_vec([2, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        assert_eq!(sum_axis0(&t).unwrap().as_slice(), &[5., 7., 9.]);
+        assert_eq!(sum_rows(&t).unwrap().as_slice(), &[6., 15.]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = Tensor::from_vec([2, 3], vec![1., 2., 3., -1., 0., 1.]).unwrap();
+        let s = softmax_rows(&t).unwrap();
+        for r in 0..2 {
+            let sum: f32 = s.as_slice()[r * 3..(r + 1) * 3].iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+        // Monotone in logits.
+        assert!(s.at(&[0, 2]).unwrap() > s.at(&[0, 0]).unwrap());
+    }
+
+    #[test]
+    fn softmax_is_stable_for_huge_logits() {
+        let t = Tensor::from_vec([1, 3], vec![1000., 1001., 1002.]).unwrap();
+        let s = softmax_rows(&t).unwrap();
+        assert!(s.all_finite());
+        let sum: f32 = s.as_slice().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn log_softmax_consistent_with_softmax() {
+        let t = Tensor::from_vec([2, 4], vec![0.5, -1.0, 2.0, 0.0, 3.0, 3.0, 3.0, 3.0]).unwrap();
+        let ls = log_softmax_rows(&t).unwrap();
+        let s = softmax_rows(&t).unwrap();
+        for (l, p) in ls.as_slice().iter().zip(s.as_slice().iter()) {
+            assert!((l.exp() - p).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn argmax_per_row() {
+        let t = Tensor::from_vec([3, 3], vec![1., 9., 2., 7., 0., 1., 0., 0., 5.]).unwrap();
+        assert_eq!(argmax_rows(&t).unwrap(), vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn reductions_reject_wrong_rank() {
+        let t = Tensor::zeros([4]);
+        assert!(sum_axis0(&t).is_err());
+        assert!(softmax_rows(&t).is_err());
+        assert!(argmax_rows(&t).is_err());
+    }
+}

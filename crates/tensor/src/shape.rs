@@ -1,0 +1,231 @@
+//! Shape algebra: dimensions, strides, broadcasting.
+
+use crate::{Result, TensorError};
+
+/// The shape of a dense, row-major tensor.
+///
+/// A `Shape` is an ordered list of dimension extents. Rank-0 (scalar) shapes
+/// are represented by an empty list and have one element.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from dimension extents.
+    pub fn new(dims: impl Into<Vec<usize>>) -> Self {
+        Shape(dims.into())
+    }
+
+    /// A scalar (rank-0) shape.
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// The dimension extents.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Extent of dimension `axis`.
+    pub fn dim(&self, axis: usize) -> Result<usize> {
+        self.0
+            .get(axis)
+            .copied()
+            .ok_or(TensorError::AxisOutOfRange {
+                axis,
+                rank: self.rank(),
+            })
+    }
+
+    /// Total number of elements (product of extents; 1 for scalars).
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Row-major (C order) strides, in elements.
+    ///
+    /// The last axis is contiguous. Zero-extent axes yield well-defined
+    /// strides (the product convention), although such tensors hold no data.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![0usize; self.rank()];
+        let mut acc = 1usize;
+        for (s, &d) in strides.iter_mut().zip(self.0.iter()).rev() {
+            *s = acc;
+            acc *= d;
+        }
+        strides
+    }
+
+    /// Linear (flat) offset of a multi-dimensional index.
+    ///
+    /// Returns an error if `index` has the wrong rank or any coordinate is
+    /// out of bounds.
+    pub fn offset(&self, index: &[usize]) -> Result<usize> {
+        if index.len() != self.rank() {
+            return Err(TensorError::InvalidArgument(format!(
+                "index rank {} does not match shape rank {}",
+                index.len(),
+                self.rank()
+            )));
+        }
+        let mut off = 0usize;
+        let strides = self.strides();
+        for (axis, (&i, (&d, &s))) in index
+            .iter()
+            .zip(self.0.iter().zip(strides.iter()))
+            .enumerate()
+        {
+            if i >= d {
+                return Err(TensorError::InvalidArgument(format!(
+                    "index {i} out of bounds for axis {axis} with extent {d}"
+                )));
+            }
+            off += i * s;
+        }
+        Ok(off)
+    }
+
+    /// Computes the broadcast shape of `self` and `other` under NumPy rules:
+    /// align trailing axes; each pair must be equal or one of them 1.
+    ///
+    /// ```
+    /// use appfl_tensor::Shape;
+    /// let a = Shape::from([4, 1, 3]);
+    /// let b = Shape::from([2, 1]);
+    /// assert_eq!(a.broadcast(&b).unwrap(), Shape::from([4, 2, 3]));
+    /// assert!(Shape::from([2, 3]).broadcast(&Shape::from([4])).is_err());
+    /// ```
+    pub fn broadcast(&self, other: &Shape) -> Result<Shape> {
+        let (a, b) = (&self.0, &other.0);
+        let rank = a.len().max(b.len());
+        let mut out = vec![0usize; rank];
+        for i in 0..rank {
+            let da = if i < rank - a.len() { 1 } else { a[i - (rank - a.len())] };
+            let db = if i < rank - b.len() { 1 } else { b[i - (rank - b.len())] };
+            out[i] = if da == db {
+                da
+            } else if da == 1 {
+                db
+            } else if db == 1 {
+                da
+            } else {
+                return Err(TensorError::ShapeMismatch {
+                    lhs: format!("{self}"),
+                    rhs: format!("{other}"),
+                    op: "broadcast",
+                });
+            };
+        }
+        Ok(Shape(out))
+    }
+
+    /// Whether `self` can be broadcast to exactly `target`.
+    pub fn broadcastable_to(&self, target: &Shape) -> bool {
+        match self.broadcast(target) {
+            Ok(b) => b == *target,
+            Err(_) => false,
+        }
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(v: Vec<usize>) -> Self {
+        Shape(v)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(v: &[usize]) -> Self {
+        Shape(v.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(v: [usize; N]) -> Self {
+        Shape(v.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_and_rank() {
+        let s = Shape::from([2, 3, 4]);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(Shape::scalar().numel(), 1);
+        assert_eq!(Shape::scalar().rank(), 0);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::from([2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::from([5]).strides(), vec![1]);
+        assert!(Shape::scalar().strides().is_empty());
+    }
+
+    #[test]
+    fn offset_roundtrip() {
+        let s = Shape::from([2, 3, 4]);
+        assert_eq!(s.offset(&[0, 0, 0]).unwrap(), 0);
+        assert_eq!(s.offset(&[1, 2, 3]).unwrap(), 23);
+        assert_eq!(s.offset(&[1, 0, 2]).unwrap(), 14);
+    }
+
+    #[test]
+    fn offset_rejects_bad_indices() {
+        let s = Shape::from([2, 3]);
+        assert!(s.offset(&[2, 0]).is_err());
+        assert!(s.offset(&[0]).is_err());
+        assert!(s.offset(&[0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn broadcast_rules() {
+        let a = Shape::from([2, 3]);
+        let b = Shape::from([3]);
+        assert_eq!(a.broadcast(&b).unwrap(), Shape::from([2, 3]));
+
+        let a = Shape::from([4, 1, 3]);
+        let b = Shape::from([2, 1]);
+        assert_eq!(a.broadcast(&b).unwrap(), Shape::from([4, 2, 3]));
+
+        let a = Shape::from([2, 3]);
+        let b = Shape::from([4]);
+        assert!(a.broadcast(&b).is_err());
+    }
+
+    #[test]
+    fn broadcastable_to_is_directional() {
+        assert!(Shape::from([3]).broadcastable_to(&Shape::from([2, 3])));
+        assert!(!Shape::from([2, 3]).broadcastable_to(&Shape::from([3])));
+        assert!(Shape::from([1]).broadcastable_to(&Shape::from([7])));
+    }
+
+    #[test]
+    fn dim_accessor() {
+        let s = Shape::from([5, 6]);
+        assert_eq!(s.dim(1).unwrap(), 6);
+        assert!(s.dim(2).is_err());
+    }
+}

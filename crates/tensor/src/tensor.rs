@@ -1,0 +1,524 @@
+//! The dense `Tensor` type.
+
+use crate::{Result, Shape, TensorError};
+
+/// A dense, contiguous, row-major `f32` tensor.
+///
+/// All kernels in this crate keep tensors contiguous: views with exotic
+/// strides are deliberately absent, which keeps every inner loop a plain
+/// slice walk (fast, auto-vectorisable, and trivially rayon-splittable).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Builds a tensor from a shape and matching data buffer.
+    pub fn from_vec(shape: impl Into<Shape>, data: Vec<f32>) -> Result<Self> {
+        let shape = shape.into();
+        if shape.numel() != data.len() {
+            return Err(TensorError::ShapeDataMismatch {
+                expected: shape.numel(),
+                actual: data.len(),
+            });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
+        let shape = shape.into();
+        let n = shape.numel();
+        Tensor {
+            shape,
+            data: vec![value; n],
+        }
+    }
+
+    /// A zero-filled tensor.
+    pub fn zeros(shape: impl Into<Shape>) -> Self {
+        Self::full(shape, 0.0)
+    }
+
+    /// A one-filled tensor.
+    pub fn ones(shape: impl Into<Shape>) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// A zero-filled tensor with the same shape as `self`.
+    pub fn zeros_like(&self) -> Self {
+        Self::zeros(self.shape.clone())
+    }
+
+    /// A rank-0 scalar tensor.
+    pub fn scalar(value: f32) -> Self {
+        Tensor {
+            shape: Shape::scalar(),
+            data: vec![value],
+        }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The dimension extents (shorthand for `shape().dims()`).
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Read-only access to the underlying buffer (row-major).
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying buffer (row-major).
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-dimensional index.
+    pub fn at(&self, index: &[usize]) -> Result<f32> {
+        Ok(self.data[self.shape.offset(index)?])
+    }
+
+    /// Sets the element at a multi-dimensional index.
+    pub fn set(&mut self, index: &[usize], value: f32) -> Result<()> {
+        let off = self.shape.offset(index)?;
+        self.data[off] = value;
+        Ok(())
+    }
+
+    /// The single value of a scalar or one-element tensor.
+    pub fn item(&self) -> Result<f32> {
+        if self.numel() != 1 {
+            return Err(TensorError::InvalidArgument(format!(
+                "item() on tensor with {} elements",
+                self.numel()
+            )));
+        }
+        Ok(self.data[0])
+    }
+
+    /// Reinterprets the buffer under a new shape with the same element count.
+    pub fn reshape(&self, shape: impl Into<Shape>) -> Result<Tensor> {
+        let shape = shape.into();
+        if shape.numel() != self.numel() {
+            return Err(TensorError::ShapeDataMismatch {
+                expected: shape.numel(),
+                actual: self.numel(),
+            });
+        }
+        Ok(Tensor {
+            shape,
+            data: self.data.clone(),
+        })
+    }
+
+    /// In-place reshape (no copy).
+    pub fn reshape_in_place(&mut self, shape: impl Into<Shape>) -> Result<()> {
+        let shape = shape.into();
+        if shape.numel() != self.numel() {
+            return Err(TensorError::ShapeDataMismatch {
+                expected: shape.numel(),
+                actual: self.numel(),
+            });
+        }
+        self.shape = shape;
+        Ok(())
+    }
+
+    /// Applies `f` elementwise, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        let data = self.data.iter().map(|&x| f(x)).collect();
+        Tensor {
+            shape: self.shape.clone(),
+            data,
+        }
+    }
+
+    /// Applies `f` elementwise in place.
+    pub fn map_in_place(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Elementwise combination of two same-shaped tensors.
+    pub fn zip(&self, other: &Tensor, op: &'static str, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                lhs: format!("{}", self.shape),
+                rhs: format!("{}", other.shape),
+                op,
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Ok(Tensor {
+            shape: self.shape.clone(),
+            data,
+        })
+    }
+
+    /// Elementwise addition (exact shapes).
+    pub fn add(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip(other, "add", |a, b| a + b)
+    }
+
+    /// Elementwise subtraction (exact shapes).
+    pub fn sub(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip(other, "sub", |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product (exact shapes).
+    pub fn mul(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip(other, "mul", |a, b| a * b)
+    }
+
+    /// Elementwise division (exact shapes).
+    pub fn div(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip(other, "div", |a, b| a / b)
+    }
+
+    /// Adds `other * alpha` into `self` in place (`self += alpha * other`).
+    pub fn axpy_in_place(&mut self, alpha: f32, other: &Tensor) -> Result<()> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                lhs: format!("{}", self.shape),
+                rhs: format!("{}", other.shape),
+                op: "axpy",
+            });
+        }
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Multiplies every element by `alpha`, returning a new tensor.
+    pub fn scale(&self, alpha: f32) -> Tensor {
+        self.map(|x| x * alpha)
+    }
+
+    /// Multiplies every element by `alpha` in place.
+    pub fn scale_in_place(&mut self, alpha: f32) {
+        for x in &mut self.data {
+            *x *= alpha;
+        }
+    }
+
+    /// Adds a scalar to every element, returning a new tensor.
+    pub fn add_scalar(&self, c: f32) -> Tensor {
+        self.map(|x| x + c)
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (`NaN` for empty tensors).
+    pub fn mean(&self) -> f32 {
+        self.sum() / self.numel() as f32
+    }
+
+    /// Euclidean (L2) norm of the flattened tensor.
+    pub fn l2_norm(&self) -> f32 {
+        self.data.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt() as f32
+    }
+
+    /// Maximum element (`None` for empty tensors).
+    pub fn max(&self) -> Option<f32> {
+        self.data.iter().copied().fold(None, |m, x| match m {
+            None => Some(x),
+            Some(m) => Some(m.max(x)),
+        })
+    }
+
+    /// Index of the maximum element in the flattened buffer.
+    pub fn argmax_flat(&self) -> Option<usize> {
+        let mut best: Option<(usize, f32)> = None;
+        for (i, &x) in self.data.iter().enumerate() {
+            match best {
+                None => best = Some((i, x)),
+                Some((_, bx)) if x > bx => best = Some((i, x)),
+                _ => {}
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Extracts row `r` of a rank-2 tensor as a new rank-1 tensor.
+    pub fn row(&self, r: usize) -> Result<Tensor> {
+        if self.shape.rank() != 2 {
+            return Err(TensorError::InvalidArgument(format!(
+                "row() requires rank-2 tensor, got rank {}",
+                self.shape.rank()
+            )));
+        }
+        let (rows, cols) = (self.dims()[0], self.dims()[1]);
+        if r >= rows {
+            return Err(TensorError::InvalidArgument(format!(
+                "row {r} out of bounds for {rows} rows"
+            )));
+        }
+        Ok(Tensor {
+            shape: Shape::from([cols]),
+            data: self.data[r * cols..(r + 1) * cols].to_vec(),
+        })
+    }
+
+    /// Extracts the `i`-th slice along axis 0 (e.g. one sample of a batch).
+    pub fn index_axis0(&self, i: usize) -> Result<Tensor> {
+        if self.shape.rank() == 0 {
+            return Err(TensorError::InvalidArgument(
+                "index_axis0() on scalar".into(),
+            ));
+        }
+        let n0 = self.dims()[0];
+        if i >= n0 {
+            return Err(TensorError::InvalidArgument(format!(
+                "index {i} out of bounds for axis 0 with extent {n0}"
+            )));
+        }
+        let inner: usize = self.dims()[1..].iter().product();
+        Ok(Tensor {
+            shape: Shape::from(&self.dims()[1..]),
+            data: self.data[i * inner..(i + 1) * inner].to_vec(),
+        })
+    }
+
+    /// Stacks rank-`k` tensors of identical shape into a rank-`k+1` tensor
+    /// along a new leading axis.
+    pub fn stack(tensors: &[Tensor]) -> Result<Tensor> {
+        let first = tensors.first().ok_or_else(|| {
+            TensorError::InvalidArgument("stack() of empty tensor list".into())
+        })?;
+        let mut data = Vec::with_capacity(first.numel() * tensors.len());
+        for t in tensors {
+            if t.shape != first.shape {
+                return Err(TensorError::ShapeMismatch {
+                    lhs: format!("{}", first.shape),
+                    rhs: format!("{}", t.shape),
+                    op: "stack",
+                });
+            }
+            data.extend_from_slice(&t.data);
+        }
+        let mut dims = vec![tensors.len()];
+        dims.extend_from_slice(first.dims());
+        Ok(Tensor {
+            shape: Shape::from(dims),
+            data,
+        })
+    }
+
+    /// Transposes a rank-2 tensor.
+    pub fn transpose2(&self) -> Result<Tensor> {
+        if self.shape.rank() != 2 {
+            return Err(TensorError::InvalidArgument(format!(
+                "transpose2() requires rank-2 tensor, got rank {}",
+                self.shape.rank()
+            )));
+        }
+        let (r, c) = (self.dims()[0], self.dims()[1]);
+        let mut out = vec![0.0f32; r * c];
+        for i in 0..r {
+            for j in 0..c {
+                out[j * r + i] = self.data[i * c + j];
+            }
+        }
+        Tensor::from_vec([c, r], out)
+    }
+
+    /// Adds a rank-1 bias of length `cols` to every row of a rank-2 tensor.
+    pub fn add_row_broadcast(&self, bias: &Tensor) -> Result<Tensor> {
+        if self.shape.rank() != 2 || bias.shape.rank() != 1 || self.dims()[1] != bias.dims()[0] {
+            return Err(TensorError::ShapeMismatch {
+                lhs: format!("{}", self.shape),
+                rhs: format!("{}", bias.shape),
+                op: "add_row_broadcast",
+            });
+        }
+        let cols = self.dims()[1];
+        let mut out = self.data.clone();
+        for row in out.chunks_mut(cols) {
+            for (x, &b) in row.iter_mut().zip(bias.data.iter()) {
+                *x += b;
+            }
+        }
+        Ok(Tensor {
+            shape: self.shape.clone(),
+            data: out,
+        })
+    }
+
+    /// Returns `true` if all elements are finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// Maximum absolute difference against another tensor of the same shape.
+    pub fn max_abs_diff(&self, other: &Tensor) -> Result<f32> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                lhs: format!("{}", self.shape),
+                rhs: format!("{}", other.shape),
+                op: "max_abs_diff",
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0f32, f32::max))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t2x3() -> Tensor {
+        Tensor::from_vec([2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_length() {
+        assert!(Tensor::from_vec([2, 3], vec![0.0; 6]).is_ok());
+        assert!(Tensor::from_vec([2, 3], vec![0.0; 5]).is_err());
+    }
+
+    #[test]
+    fn fill_constructors() {
+        assert_eq!(Tensor::zeros([2, 2]).sum(), 0.0);
+        assert_eq!(Tensor::ones([2, 2]).sum(), 4.0);
+        assert_eq!(Tensor::full([3], 2.5).sum(), 7.5);
+        assert_eq!(Tensor::scalar(9.0).item().unwrap(), 9.0);
+    }
+
+    #[test]
+    fn indexing() {
+        let t = t2x3();
+        assert_eq!(t.at(&[0, 0]).unwrap(), 1.0);
+        assert_eq!(t.at(&[1, 2]).unwrap(), 6.0);
+        let mut t = t;
+        t.set(&[1, 0], -1.0).unwrap();
+        assert_eq!(t.at(&[1, 0]).unwrap(), -1.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = t2x3();
+        let r = t.reshape([3, 2]).unwrap();
+        assert_eq!(r.as_slice(), t.as_slice());
+        assert!(t.reshape([4, 2]).is_err());
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = t2x3();
+        let b = Tensor::full([2, 3], 2.0);
+        assert_eq!(a.add(&b).unwrap().at(&[0, 0]).unwrap(), 3.0);
+        assert_eq!(a.sub(&b).unwrap().at(&[1, 2]).unwrap(), 4.0);
+        assert_eq!(a.mul(&b).unwrap().at(&[0, 1]).unwrap(), 4.0);
+        assert_eq!(a.div(&b).unwrap().at(&[0, 1]).unwrap(), 1.0);
+        assert!(a.add(&Tensor::zeros([3])).is_err());
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = Tensor::ones([4]);
+        let b = Tensor::full([4], 3.0);
+        a.axpy_in_place(2.0, &b).unwrap();
+        assert_eq!(a.as_slice(), &[7.0, 7.0, 7.0, 7.0]);
+        assert_eq!(a.scale(0.5).as_slice(), &[3.5, 3.5, 3.5, 3.5]);
+    }
+
+    #[test]
+    fn reductions() {
+        let t = t2x3();
+        assert_eq!(t.sum(), 21.0);
+        assert!((t.mean() - 3.5).abs() < 1e-6);
+        assert_eq!(t.max(), Some(6.0));
+        assert_eq!(t.argmax_flat(), Some(5));
+        let n = Tensor::from_vec([2], vec![3.0, 4.0]).unwrap();
+        assert!((n.l2_norm() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rows_and_axis_indexing() {
+        let t = t2x3();
+        assert_eq!(t.row(1).unwrap().as_slice(), &[4.0, 5.0, 6.0]);
+        assert!(t.row(2).is_err());
+        let s = t.index_axis0(0).unwrap();
+        assert_eq!(s.dims(), &[3]);
+        assert_eq!(s.as_slice(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn stack_builds_batch() {
+        let a = Tensor::full([2, 2], 1.0);
+        let b = Tensor::full([2, 2], 2.0);
+        let s = Tensor::stack(&[a, b]).unwrap();
+        assert_eq!(s.dims(), &[2, 2, 2]);
+        assert_eq!(s.at(&[1, 0, 0]).unwrap(), 2.0);
+        assert!(Tensor::stack(&[]).is_err());
+    }
+
+    #[test]
+    fn transpose_rank2() {
+        let t = t2x3();
+        let tt = t.transpose2().unwrap();
+        assert_eq!(tt.dims(), &[3, 2]);
+        assert_eq!(tt.at(&[2, 1]).unwrap(), 6.0);
+        assert_eq!(tt.at(&[0, 1]).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn row_broadcast_add() {
+        let t = t2x3();
+        let bias = Tensor::from_vec([3], vec![10.0, 20.0, 30.0]).unwrap();
+        let out = t.add_row_broadcast(&bias).unwrap();
+        assert_eq!(out.as_slice(), &[11.0, 22.0, 33.0, 14.0, 25.0, 36.0]);
+    }
+
+    #[test]
+    fn finite_check_and_diff() {
+        let a = t2x3();
+        assert!(a.all_finite());
+        let mut b = a.clone();
+        b.set(&[0, 0], f32::NAN).unwrap();
+        assert!(!b.all_finite());
+        let c = a.add_scalar(0.5);
+        assert!((a.max_abs_diff(&c).unwrap() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn map_variants() {
+        let t = t2x3();
+        let sq = t.map(|x| x * x);
+        assert_eq!(sq.at(&[1, 2]).unwrap(), 36.0);
+        let mut u = t.clone();
+        u.map_in_place(|x| -x);
+        assert_eq!(u.sum(), -21.0);
+    }
+}

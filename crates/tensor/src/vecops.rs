@@ -1,0 +1,212 @@
+//! Flat-vector arithmetic for model parameters.
+//!
+//! FL algorithms (Algorithm 1 of the paper, eqs. (3)–(4)) operate on the
+//! *flattened* model parameter vector `w ∈ R^m` and per-client primal/dual
+//! vectors `z_p, λ_p ∈ R^m`. These helpers implement that arithmetic on plain
+//! `&[f32]` slices so server/algorithm code never needs tensor shapes.
+//!
+//! Kernels switch to rayon above a size threshold: FL models here range from
+//! a few thousand to a few million parameters, and the threshold keeps tiny
+//! test vectors on the fast sequential path.
+
+use rayon::prelude::*;
+
+/// Below this length, kernels run sequentially (parallel split-up costs more
+/// than it saves for short vectors).
+const PAR_THRESHOLD: usize = 16 * 1024;
+
+/// `out[i] = a[i] + b[i]`. Panics if lengths differ (programmer error).
+pub fn add(a: &[f32], b: &[f32]) -> Vec<f32> {
+    assert_eq!(a.len(), b.len(), "vecops::add length mismatch");
+    if a.len() >= PAR_THRESHOLD {
+        a.par_iter().zip(b.par_iter()).map(|(&x, &y)| x + y).collect()
+    } else {
+        a.iter().zip(b.iter()).map(|(&x, &y)| x + y).collect()
+    }
+}
+
+/// `out[i] = a[i] - b[i]`.
+pub fn sub(a: &[f32], b: &[f32]) -> Vec<f32> {
+    assert_eq!(a.len(), b.len(), "vecops::sub length mismatch");
+    if a.len() >= PAR_THRESHOLD {
+        a.par_iter().zip(b.par_iter()).map(|(&x, &y)| x - y).collect()
+    } else {
+        a.iter().zip(b.iter()).map(|(&x, &y)| x - y).collect()
+    }
+}
+
+/// `y[i] += alpha * x[i]` in place.
+pub fn axpy(y: &mut [f32], alpha: f32, x: &[f32]) {
+    assert_eq!(y.len(), x.len(), "vecops::axpy length mismatch");
+    if y.len() >= PAR_THRESHOLD {
+        y.par_iter_mut().zip(x.par_iter()).for_each(|(y, &x)| *y += alpha * x);
+    } else {
+        for (y, &x) in y.iter_mut().zip(x.iter()) {
+            *y += alpha * x;
+        }
+    }
+}
+
+/// `y[i] *= alpha` in place.
+pub fn scale(y: &mut [f32], alpha: f32) {
+    if y.len() >= PAR_THRESHOLD {
+        y.par_iter_mut().for_each(|y| *y *= alpha);
+    } else {
+        for y in y.iter_mut() {
+            *y *= alpha;
+        }
+    }
+}
+
+/// Dot product, accumulated in `f64` for stability.
+pub fn dot(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "vecops::dot length mismatch");
+    if a.len() >= PAR_THRESHOLD {
+        a.par_iter()
+            .zip(b.par_iter())
+            .map(|(&x, &y)| x as f64 * y as f64)
+            .sum()
+    } else {
+        a.iter()
+            .zip(b.iter())
+            .map(|(&x, &y)| x as f64 * y as f64)
+            .sum()
+    }
+}
+
+/// Euclidean norm, accumulated in `f64`.
+pub fn l2_norm(a: &[f32]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Squared Euclidean distance `‖a - b‖²`.
+pub fn sq_dist(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "vecops::sq_dist length mismatch");
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| {
+            let d = x as f64 - y as f64;
+            d * d
+        })
+        .sum()
+}
+
+/// Clips `v` in place to Euclidean norm at most `max_norm` (no-op when the
+/// norm is already within bounds). Returns the pre-clip norm.
+///
+/// This is the gradient clipping step of §III-B that bounds the DP
+/// sensitivity: after clipping, `‖g‖ ≤ C`.
+///
+/// ```
+/// use appfl_tensor::vecops::{clip_norm, l2_norm};
+/// let mut g = vec![3.0_f32, 4.0];
+/// let pre = clip_norm(&mut g, 1.0);
+/// assert_eq!(pre, 5.0);
+/// assert!((l2_norm(&g) - 1.0).abs() < 1e-6);
+/// ```
+pub fn clip_norm(v: &mut [f32], max_norm: f64) -> f64 {
+    assert!(max_norm > 0.0, "clip_norm: max_norm must be positive");
+    let norm = l2_norm(v);
+    if norm > max_norm {
+        let s = (max_norm / norm) as f32;
+        scale(v, s);
+    }
+    norm
+}
+
+/// Mean of a set of equal-length vectors: `out[i] = (1/n) Σ_p v_p[i]`.
+///
+/// This is the FedAvg / IIADMM server aggregation primitive (Algorithm 1
+/// line 3 sums client vectors elementwise).
+pub fn mean_of(vectors: &[&[f32]]) -> Vec<f32> {
+    assert!(!vectors.is_empty(), "mean_of: empty input");
+    let m = vectors[0].len();
+    for v in vectors {
+        assert_eq!(v.len(), m, "mean_of: ragged input");
+    }
+    let inv = 1.0 / vectors.len() as f32;
+    let mut out = vec![0.0f32; m];
+    for v in vectors {
+        axpy(&mut out, 1.0, v);
+    }
+    scale(&mut out, inv);
+    out
+}
+
+/// Weighted sum `out[i] = Σ_p w_p · v_p[i]` (weights need not sum to 1; the
+/// FedAvg server uses `w_p = I_p / I`).
+pub fn weighted_sum(vectors: &[&[f32]], weights: &[f32]) -> Vec<f32> {
+    assert_eq!(vectors.len(), weights.len(), "weighted_sum: arity mismatch");
+    assert!(!vectors.is_empty(), "weighted_sum: empty input");
+    let m = vectors[0].len();
+    let mut out = vec![0.0f32; m];
+    for (v, &w) in vectors.iter().zip(weights.iter()) {
+        assert_eq!(v.len(), m, "weighted_sum: ragged input");
+        axpy(&mut out, w, v);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_sub_small_and_large() {
+        for n in [8usize, PAR_THRESHOLD + 1] {
+            let a = vec![1.0f32; n];
+            let b = vec![2.0f32; n];
+            assert!(add(&a, &b).iter().all(|&x| x == 3.0));
+            assert!(sub(&a, &b).iter().all(|&x| x == -1.0));
+        }
+    }
+
+    #[test]
+    fn axpy_scale_dot() {
+        let mut y = vec![1.0f32, 2.0, 3.0];
+        axpy(&mut y, 2.0, &[1.0, 1.0, 1.0]);
+        assert_eq!(y, vec![3.0, 4.0, 5.0]);
+        scale(&mut y, 0.5);
+        assert_eq!(y, vec![1.5, 2.0, 2.5]);
+        assert!((dot(&[1.0, 2.0], &[3.0, 4.0]) - 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn norms_and_distance() {
+        assert!((l2_norm(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert!((sq_dist(&[1.0, 0.0], &[0.0, 1.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clip_reduces_norm_exactly() {
+        let mut v = vec![3.0f32, 4.0];
+        let pre = clip_norm(&mut v, 1.0);
+        assert!((pre - 5.0).abs() < 1e-9);
+        assert!((l2_norm(&v) - 1.0).abs() < 1e-6);
+        // Direction preserved.
+        assert!((v[0] / v[1] - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clip_is_noop_within_bound() {
+        let mut v = vec![0.3f32, 0.4];
+        clip_norm(&mut v, 1.0);
+        assert_eq!(v, vec![0.3, 0.4]);
+    }
+
+    #[test]
+    fn mean_and_weighted_sum() {
+        let a = vec![1.0f32, 2.0];
+        let b = vec![3.0f32, 6.0];
+        let m = mean_of(&[&a, &b]);
+        assert_eq!(m, vec![2.0, 4.0]);
+        let ws = weighted_sum(&[&a, &b], &[0.25, 0.75]);
+        assert_eq!(ws, vec![2.5, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        add(&[1.0], &[1.0, 2.0]);
+    }
+}

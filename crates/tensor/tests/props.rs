@@ -1,0 +1,153 @@
+//! Property-based tests for the tensor crate: algebraic identities of the
+//! kernels on arbitrary inputs.
+
+use appfl_tensor::ops::{matmul, matmul_a_bt, matmul_at_b, softmax_rows, sum_axis0, sum_rows};
+use appfl_tensor::vecops;
+use appfl_tensor::{Shape, Tensor};
+use proptest::prelude::*;
+
+fn tensor_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |v| Tensor::from_vec([rows, cols], v).unwrap())
+}
+
+proptest! {
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in tensor_strategy(4, 3),
+        b in tensor_strategy(3, 5),
+        c in tensor_strategy(3, 5),
+    ) {
+        // A·(B + C) == A·B + A·C
+        let lhs = matmul(&a, &b.add(&c).unwrap()).unwrap();
+        let rhs = matmul(&a, &b).unwrap().add(&matmul(&a, &c).unwrap()).unwrap();
+        prop_assert!(lhs.max_abs_diff(&rhs).unwrap() < 1e-3);
+    }
+
+    #[test]
+    fn matmul_scalar_commutes(a in tensor_strategy(3, 4), b in tensor_strategy(4, 2), s in -5.0f32..5.0) {
+        // (sA)·B == s(A·B)
+        let lhs = matmul(&a.scale(s), &b).unwrap();
+        let rhs = matmul(&a, &b).unwrap().scale(s);
+        prop_assert!(lhs.max_abs_diff(&rhs).unwrap() < 1e-3);
+    }
+
+    #[test]
+    fn transposed_matmuls_agree_with_explicit_transpose(
+        a in tensor_strategy(5, 3),
+        b in tensor_strategy(5, 4),
+    ) {
+        let direct = matmul_at_b(&a, &b).unwrap();
+        let explicit = matmul(&a.transpose2().unwrap(), &b).unwrap();
+        prop_assert!(direct.max_abs_diff(&explicit).unwrap() < 1e-3);
+
+        let c = b.transpose2().unwrap(); // [4, 5]
+        let direct = matmul_a_bt(&c, &a.transpose2().unwrap()).unwrap(); // [4,5]x[5,3]ᵀ? shapes: a_t [3,5]
+        // c [4,5] · (aᵀ)ᵀ... use the definition: matmul_a_bt(x, y) = x · yᵀ.
+        let explicit = matmul(&c, &a).unwrap(); // [4,5]x[5,3]
+        let again = matmul_a_bt(&c, &a.transpose2().unwrap()).unwrap();
+        prop_assert!(direct.max_abs_diff(&again).unwrap() < 1e-6);
+        prop_assert!(direct.max_abs_diff(&explicit).unwrap() < 1e-3);
+    }
+
+    #[test]
+    fn double_transpose_is_identity(a in tensor_strategy(3, 7)) {
+        let tt = a.transpose2().unwrap().transpose2().unwrap();
+        prop_assert_eq!(tt.as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn softmax_rows_are_probability_vectors(a in tensor_strategy(4, 6)) {
+        let s = softmax_rows(&a).unwrap();
+        prop_assert!(s.as_slice().iter().all(|&p| (0.0..=1.0).contains(&p)));
+        for r in 0..4 {
+            let sum: f32 = s.as_slice()[r * 6..(r + 1) * 6].iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant(a in tensor_strategy(2, 5), shift in -50.0f32..50.0) {
+        let s1 = softmax_rows(&a).unwrap();
+        let s2 = softmax_rows(&a.add_scalar(shift)).unwrap();
+        prop_assert!(s1.max_abs_diff(&s2).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn row_and_axis_sums_total_the_same(a in tensor_strategy(5, 4)) {
+        let by_rows = sum_rows(&a).unwrap().sum();
+        let by_cols = sum_axis0(&a).unwrap().sum();
+        prop_assert!((by_rows - by_cols).abs() < 1e-3);
+        prop_assert!((by_rows - a.sum()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn axpy_matches_definition(
+        y0 in proptest::collection::vec(-10f32..10.0, 20),
+        x in proptest::collection::vec(-10f32..10.0, 20),
+        alpha in -3.0f32..3.0,
+    ) {
+        let mut y = y0.clone();
+        vecops::axpy(&mut y, alpha, &x);
+        for ((y, y0), x) in y.iter().zip(y0.iter()).zip(x.iter()) {
+            prop_assert!((y - (y0 + alpha * x)).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn weighted_sum_with_unit_weight_is_identity(
+        v in proptest::collection::vec(-10f32..10.0, 16),
+    ) {
+        let out = vecops::weighted_sum(&[&v], &[1.0]);
+        prop_assert_eq!(out, v);
+    }
+
+    #[test]
+    fn l2_norm_is_homogeneous(
+        v in proptest::collection::vec(-10f32..10.0, 1..40),
+        s in 0.0f64..10.0,
+    ) {
+        let scaled: Vec<f32> = v.iter().map(|&x| x * s as f32).collect();
+        let n1 = vecops::l2_norm(&v) * s;
+        let n2 = vecops::l2_norm(&scaled);
+        prop_assert!((n1 - n2).abs() < 1e-2 * (1.0 + n1));
+    }
+
+    #[test]
+    fn stack_then_index_recovers_parts(
+        a in proptest::collection::vec(-10f32..10.0, 6),
+        b in proptest::collection::vec(-10f32..10.0, 6),
+    ) {
+        let ta = Tensor::from_vec([2, 3], a).unwrap();
+        let tb = Tensor::from_vec([2, 3], b).unwrap();
+        let s = Tensor::stack(&[ta.clone(), tb.clone()]).unwrap();
+        let part_a = s.index_axis0(0).unwrap();
+        let part_b = s.index_axis0(1).unwrap();
+        prop_assert_eq!(part_a.as_slice(), ta.as_slice());
+        prop_assert_eq!(part_b.as_slice(), tb.as_slice());
+    }
+
+    #[test]
+    fn offsets_are_unique_and_dense(dims in proptest::collection::vec(1usize..4, 1..4)) {
+        let shape = Shape::new(dims.clone());
+        let mut seen = vec![false; shape.numel()];
+        let mut index = vec![0usize; dims.len()];
+        loop {
+            let off = shape.offset(&index).unwrap();
+            prop_assert!(!seen[off], "offset collision at {index:?}");
+            seen[off] = true;
+            // Odometer increment.
+            let mut axis = dims.len();
+            loop {
+                if axis == 0 { break; }
+                axis -= 1;
+                index[axis] += 1;
+                if index[axis] < dims[axis] { break; }
+                index[axis] = 0;
+                if axis == 0 { break; }
+            }
+            if index.iter().all(|&i| i == 0) { break; }
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+    }
+}

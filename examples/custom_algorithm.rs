@@ -1,0 +1,153 @@
+//! Plug-and-play: a user-defined FL algorithm through the `BaseServer` /
+//! `BaseClient`-style traits (§II-A.1's extension story).
+//!
+//! ```sh
+//! cargo run --release --example custom_algorithm
+//! ```
+//!
+//! Implements **coordinate-median aggregation** — a robust server that takes
+//! the elementwise median of client models instead of their mean, tolerating
+//! a Byzantine client that uploads garbage. Only `ServerAlgorithm::update()`
+//! is custom; clients, data, model, runner and privacy all come from the
+//! framework unchanged, demonstrating the plug-and-play claim.
+
+use appfl::core::algorithms::{FedAvgClient, Federation};
+use appfl::core::api::{ClientAlgorithm, ClientUpload, ServerAlgorithm};
+use appfl::core::config::{AlgorithmConfig, FedConfig};
+use appfl::core::runner::serial::SerialRunner;
+use appfl::core::trainer::LocalTrainer;
+use appfl::data::federated::{build_benchmark, Benchmark};
+use appfl::nn::models::{mlp_classifier, InputSpec};
+use appfl::nn::module::flatten_params;
+use appfl::privacy::PrivacyConfig;
+use appfl::tensor::Result;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A robust server: coordinatewise median of client primals.
+struct MedianServer {
+    global: Vec<f32>,
+}
+
+impl ServerAlgorithm for MedianServer {
+    fn global_model(&self) -> Vec<f32> {
+        self.global.clone()
+    }
+
+    // The analogue of overriding `BaseServer.update()` in APPFL.
+    fn update(&mut self, uploads: &[ClientUpload]) -> Result<()> {
+        let dim = self.global.len();
+        let mut column = Vec::with_capacity(uploads.len());
+        for d in 0..dim {
+            column.clear();
+            column.extend(uploads.iter().map(|u| u.primal[d]));
+            column.sort_by(f32::total_cmp);
+            let mid = column.len() / 2;
+            self.global[d] = if column.len() % 2 == 1 {
+                column[mid]
+            } else {
+                0.5 * (column[mid - 1] + column[mid])
+            };
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "CoordMedian"
+    }
+
+    fn dim(&self) -> usize {
+        self.global.len()
+    }
+}
+
+/// A Byzantine client: ignores its data and uploads huge garbage.
+struct ByzantineClient {
+    id: usize,
+    dim: usize,
+}
+
+impl ClientAlgorithm for ByzantineClient {
+    fn update(&mut self, _global: &[f32]) -> Result<ClientUpload> {
+        Ok(ClientUpload {
+            client_id: self.id,
+            primal: vec![1e6; self.dim],
+            dual: None,
+            num_samples: 1,
+            local_loss: 0.0,
+        })
+    }
+
+    fn id(&self) -> usize {
+        self.id
+    }
+
+    fn num_samples(&self) -> usize {
+        1
+    }
+}
+
+fn main() {
+    let data = build_benchmark(Benchmark::Mnist, 5, 1500, 400, 23).expect("dataset");
+    let spec = InputSpec {
+        channels: 1,
+        height: 28,
+        width: 28,
+        classes: 10,
+    };
+    let config = FedConfig {
+        algorithm: AlgorithmConfig::FedAvg {
+            lr: 0.05,
+            momentum: 0.9,
+        }, // only used for metadata; we assemble manually below
+        rounds: 8,
+        local_steps: 2,
+        batch_size: 64,
+        privacy: PrivacyConfig::none(),
+        seed: 23,
+    };
+
+    let mut model_rng = StdRng::seed_from_u64(config.seed);
+    let template = mlp_classifier(spec, 32, &mut model_rng);
+    let initial = flatten_params(&template);
+    let dim = initial.len();
+
+    // Four honest FedAvg clients + one Byzantine upload each round.
+    let mut clients: Vec<Box<dyn ClientAlgorithm>> = data
+        .clients
+        .iter()
+        .take(4)
+        .enumerate()
+        .map(|(id, shard)| {
+            let trainer = LocalTrainer::new(Box::new(template.clone()), shard.clone(), 64);
+            Box::new(FedAvgClient::new(
+                id,
+                trainer,
+                0.05,
+                0.9,
+                config.local_steps,
+                PrivacyConfig::none(),
+                StdRng::seed_from_u64(100 + id as u64),
+            )) as Box<dyn ClientAlgorithm>
+        })
+        .collect();
+    clients.push(Box::new(ByzantineClient { id: 4, dim }));
+
+    let federation = Federation {
+        server: Box::new(MedianServer { global: initial }),
+        clients,
+        template: Box::new(template),
+        config,
+    };
+    let mut runner = SerialRunner::new(federation, data.test.clone(), "MNIST");
+    let history = runner.run().expect("run");
+
+    println!("Coordinate-median server vs 1 Byzantine client (of 5):");
+    for r in &history.rounds {
+        println!("round {:>2}: accuracy {:.3}", r.round, r.accuracy);
+    }
+    println!(
+        "final accuracy {:.3} — the median discards the poisoned coordinates\n(a mean-based FedAvg server would diverge to ~1e6-scale weights)",
+        history.final_accuracy()
+    );
+}

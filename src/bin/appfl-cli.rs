@@ -1,0 +1,174 @@
+//! `appfl-cli` — run a federated job from a JSON config file, the way the
+//! reference framework is driven by its config + run scripts.
+//!
+//! ```sh
+//! appfl-cli init-config job.json            # write a default config
+//! appfl-cli run --config job.json --dataset mnist --clients 4 \
+//!               --train 2000 --test 500 --model mlp \
+//!               --history history.json --checkpoint final.json
+//! ```
+
+use appfl::core::algorithms::build_federation;
+use appfl::core::checkpoint::Checkpoint;
+use appfl::core::config::{AlgorithmConfig, FedConfig};
+use appfl::core::runner::serial::SerialRunner;
+use appfl::data::federated::{build_benchmark, Benchmark};
+use appfl::nn::models::{cnn_classifier, mlp_classifier, InputSpec};
+use appfl::nn::module::Module;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  appfl-cli init-config <path>\n  appfl-cli run --config <path> [--dataset mnist|cifar10|femnist|coronahack]\n                [--clients N] [--train N] [--test N] [--model mlp|cnn]\n                [--history <path>] [--checkpoint <path>] [--participation F]"
+    );
+    ExitCode::FAILURE
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("init-config") => {
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
+            let config = FedConfig::paper_defaults(
+                AlgorithmConfig::IiAdmm {
+                    rho: 10.0,
+                    zeta: 10.0,
+                },
+                10.0,
+            );
+            if let Err(e) = config.to_json_file(path) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote default config to {path}");
+            ExitCode::SUCCESS
+        }
+        Some("run") => run(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn run(args: &[String]) -> ExitCode {
+    let Some(config_path) = arg_value(args, "--config") else {
+        return usage();
+    };
+    let config = match FedConfig::from_json_file(&config_path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error loading config: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let dataset = arg_value(args, "--dataset").unwrap_or_else(|| "mnist".into());
+    let benchmark = match dataset.to_lowercase().as_str() {
+        "mnist" => Benchmark::Mnist,
+        "cifar10" => Benchmark::Cifar10,
+        "femnist" => Benchmark::Femnist,
+        "coronahack" => Benchmark::CoronaHack,
+        other => {
+            eprintln!("unknown dataset `{other}`");
+            return ExitCode::FAILURE;
+        }
+    };
+    let parse_num = |flag: &str, default: usize| -> usize {
+        arg_value(args, flag)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let clients = parse_num("--clients", if benchmark == Benchmark::Femnist { 203 } else { 4 });
+    let train = parse_num("--train", 2000);
+    let test = parse_num("--test", 500);
+    let model = arg_value(args, "--model").unwrap_or_else(|| "mlp".into());
+    let participation: f32 = arg_value(args, "--participation")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
+
+    let data = match build_benchmark(benchmark, clients, train, test, config.seed) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error building dataset: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec = InputSpec {
+        channels: data.spec.channels,
+        height: data.spec.height,
+        width: data.spec.width,
+        classes: data.spec.classes,
+    };
+    let model_kind = model.clone();
+    let test_set = data.test.clone();
+    let fed = build_federation(config, &data, move |rng| -> Box<dyn Module> {
+        match model_kind.as_str() {
+            "cnn" => Box::new(cnn_classifier(spec, 8, 16, 64, rng)),
+            _ => Box::new(mlp_classifier(spec, 64, rng)),
+        }
+    });
+
+    eprintln!(
+        "running {} on {} ({} clients, {} train samples, {} rounds, eps={}, participation={})",
+        config.algorithm.name(),
+        benchmark.name(),
+        data.num_clients(),
+        data.total_train(),
+        config.rounds,
+        if config.privacy.epsilon.is_finite() {
+            config.privacy.epsilon.to_string()
+        } else {
+            "inf".into()
+        },
+        participation,
+    );
+
+    let mut runner = SerialRunner::new(fed, test_set, benchmark.name());
+    runner.participation = participation;
+    let history = match runner.run() {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for r in &history.rounds {
+        println!(
+            "round {:>3}: accuracy {:.4}  test-loss {:.4}  train-loss {:.4}  upload {} B",
+            r.round, r.accuracy, r.test_loss, r.train_loss, r.upload_bytes
+        );
+    }
+    println!("final accuracy: {:.4}", history.final_accuracy());
+
+    if let Some(path) = arg_value(args, "--history") {
+        match serde_json::to_string_pretty(&history) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(&path, json) {
+                    eprintln!("error writing history: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("wrote history to {path}");
+            }
+            Err(e) => {
+                eprintln!("error encoding history: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(path) = arg_value(args, "--checkpoint") {
+        let rounds_done = history.rounds.len();
+        let cp = Checkpoint::new(rounds_done, runner.global_model(), history);
+        if let Err(e) = cp.save(&path) {
+            eprintln!("error writing checkpoint: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote checkpoint to {path}");
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,19 @@
+//! # appfl — Rust reproduction of the APPFL privacy-preserving FL framework
+//!
+//! Facade crate that re-exports the whole workspace under one name:
+//!
+//! * [`tensor`] — dense CPU tensors, conv/matmul kernels, flat-vector ops
+//! * [`nn`] — neural-network modules, losses, optimizers
+//! * [`data`] — datasets, synthetic generators, partitioners, loaders
+//! * [`privacy`] — differential-privacy mechanisms and accounting
+//! * [`comm`] — wire codec, transports, network simulator, cluster models
+//! * [`core`] — FL algorithms (FedAvg, ICEADMM, IIADMM), runners, metrics
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the experiment map.
+
+pub use appfl_comm as comm;
+pub use appfl_core as core;
+pub use appfl_data as data;
+pub use appfl_nn as nn;
+pub use appfl_privacy as privacy;
+pub use appfl_tensor as tensor;

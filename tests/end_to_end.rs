@@ -1,0 +1,228 @@
+//! End-to-end federated jobs through the `appfl` facade: every algorithm on
+//! every benchmark family, exercising data generation, partitioning, model
+//! construction, local training, aggregation and validation together.
+
+use appfl::core::algorithms::build_federation;
+use appfl::core::config::{AlgorithmConfig, FedConfig};
+use appfl::core::runner::serial::SerialRunner;
+use appfl::data::federated::{build_benchmark, Benchmark};
+use appfl::data::Dataset;
+use appfl::nn::models::{cnn_classifier, mlp_classifier, InputSpec};
+use appfl::nn::module::Module;
+use appfl::privacy::PrivacyConfig;
+
+fn spec_of(b: Benchmark) -> InputSpec {
+    match b {
+        Benchmark::Mnist => InputSpec {
+            channels: 1,
+            height: 28,
+            width: 28,
+            classes: 10,
+        },
+        Benchmark::Cifar10 => InputSpec {
+            channels: 3,
+            height: 32,
+            width: 32,
+            classes: 10,
+        },
+        Benchmark::Femnist => InputSpec {
+            channels: 1,
+            height: 28,
+            width: 28,
+            classes: 62,
+        },
+        Benchmark::CoronaHack => InputSpec {
+            channels: 1,
+            height: 64,
+            width: 64,
+            classes: 3,
+        },
+    }
+}
+
+fn run_job(
+    benchmark: Benchmark,
+    algorithm: AlgorithmConfig,
+    privacy: PrivacyConfig,
+    rounds: usize,
+) -> appfl::core::metrics::History {
+    let clients = if benchmark == Benchmark::Femnist { 5 } else { 3 };
+    let data = build_benchmark(benchmark, clients, 150, 60, 77).unwrap();
+    let config = FedConfig {
+        algorithm,
+        rounds,
+        local_steps: 1,
+        batch_size: 25,
+        privacy,
+        seed: 77,
+    };
+    let spec = spec_of(benchmark);
+    let test = data.test.clone();
+    let fed = build_federation(config, &data, move |rng| {
+        Box::new(mlp_classifier(spec, 12, rng)) as Box<dyn Module>
+    });
+    let mut runner = SerialRunner::new(fed, test, benchmark.name());
+    runner.run().unwrap()
+}
+
+#[test]
+fn every_algorithm_runs_on_every_benchmark() {
+    let algorithms = [
+        AlgorithmConfig::FedAvg {
+            lr: 0.05,
+            momentum: 0.9,
+        },
+        AlgorithmConfig::IceAdmm {
+            rho: 10.0,
+            zeta: 10.0,
+        },
+        AlgorithmConfig::IiAdmm {
+            rho: 10.0,
+            zeta: 10.0,
+        },
+    ];
+    for benchmark in Benchmark::all() {
+        for algorithm in algorithms {
+            let h = run_job(benchmark, algorithm, PrivacyConfig::none(), 2);
+            assert_eq!(h.rounds.len(), 2, "{benchmark:?}/{algorithm:?}");
+            assert!(h.rounds.iter().all(|r| r.accuracy.is_finite()));
+            assert!(h.rounds.iter().all(|r| r.test_loss.is_finite()));
+            assert_eq!(h.dataset, benchmark.name());
+            assert_eq!(h.algorithm, algorithm.name());
+        }
+    }
+}
+
+#[test]
+fn dp_runs_stay_finite_for_all_algorithms() {
+    for algorithm in [
+        AlgorithmConfig::FedAvg {
+            lr: 0.05,
+            momentum: 0.9,
+        },
+        AlgorithmConfig::IceAdmm {
+            rho: 10.0,
+            zeta: 10.0,
+        },
+        AlgorithmConfig::IiAdmm {
+            rho: 10.0,
+            zeta: 10.0,
+        },
+    ] {
+        let h = run_job(
+            Benchmark::Mnist,
+            algorithm,
+            PrivacyConfig::laplace(3.0, 1.0),
+            3,
+        );
+        assert!(
+            h.rounds.iter().all(|r| r.accuracy.is_finite()),
+            "{algorithm:?} produced non-finite accuracy under DP"
+        );
+    }
+}
+
+#[test]
+fn cnn_end_to_end_on_mnist() {
+    let data = build_benchmark(Benchmark::Mnist, 2, 60, 24, 5).unwrap();
+    let config = FedConfig {
+        algorithm: AlgorithmConfig::FedAvg {
+            lr: 0.05,
+            momentum: 0.9,
+        },
+        rounds: 2,
+        local_steps: 1,
+        batch_size: 16,
+        privacy: PrivacyConfig::none(),
+        seed: 5,
+    };
+    let test = data.test.clone();
+    let fed = build_federation(config, &data, move |rng| {
+        Box::new(cnn_classifier(
+            InputSpec {
+                channels: 1,
+                height: 28,
+                width: 28,
+                classes: 10,
+            },
+            2,
+            4,
+            16,
+            rng,
+        )) as Box<dyn Module>
+    });
+    let mut runner = SerialRunner::new(fed, test, "MNIST");
+    let h = runner.run().unwrap();
+    assert_eq!(h.rounds.len(), 2);
+    assert!(h.final_accuracy().is_finite());
+}
+
+#[test]
+fn batchnorm_model_federates_with_local_buffers() {
+    // FedBN semantics: γ/β federate, running statistics stay client-local.
+    use appfl::nn::models::cnn_bn_classifier;
+    let data = build_benchmark(Benchmark::Mnist, 2, 60, 24, 31).unwrap();
+    let config = FedConfig {
+        algorithm: AlgorithmConfig::FedAvg {
+            lr: 0.05,
+            momentum: 0.9,
+        },
+        rounds: 2,
+        local_steps: 1,
+        batch_size: 16,
+        privacy: PrivacyConfig::none(),
+        seed: 31,
+    };
+    let test = data.test.clone();
+    let fed = build_federation(config, &data, move |rng| {
+        Box::new(cnn_bn_classifier(
+            InputSpec {
+                channels: 1,
+                height: 28,
+                width: 28,
+                classes: 10,
+            },
+            2,
+            4,
+            16,
+            rng,
+        )) as Box<dyn Module>
+    });
+    let mut runner = SerialRunner::new(fed, test, "MNIST");
+    let h = runner.run().unwrap();
+    assert_eq!(h.rounds.len(), 2);
+    assert!(h.final_accuracy().is_finite());
+}
+
+#[test]
+fn longer_training_improves_over_round_one() {
+    let h = run_job(
+        Benchmark::Mnist,
+        AlgorithmConfig::FedAvg {
+            lr: 0.05,
+            momentum: 0.9,
+        },
+        PrivacyConfig::none(),
+        8,
+    );
+    assert!(
+        h.best_accuracy() > h.rounds[0].accuracy,
+        "no improvement over {} rounds",
+        h.rounds.len()
+    );
+}
+
+#[test]
+fn femnist_federation_has_writer_structure() {
+    let data = build_benchmark(Benchmark::Femnist, 8, 400, 40, 3).unwrap();
+    assert_eq!(data.num_clients(), 8);
+    // Non-i.i.d.: writers hold different class repertoires.
+    let nonzero_counts: Vec<usize> = data
+        .clients
+        .iter()
+        .map(|c| c.class_histogram().iter().filter(|&&n| n > 0).count())
+        .collect();
+    assert!(nonzero_counts.iter().all(|&n| n <= 15));
+    // And the shared test set is usable.
+    assert!(data.test.len() > 0);
+}

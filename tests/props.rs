@@ -1,0 +1,250 @@
+//! Cross-crate property-based tests (proptest): serialization round-trips,
+//! partitioner invariants, parameter-vector algebra and DP clipping hold for
+//! arbitrary inputs, not just the hand-picked unit-test cases.
+
+use appfl::comm::wire::{LearningResults, TensorMsg, WeightRequest};
+use appfl::data::partition::{dirichlet_indices, iid_indices};
+use appfl::nn::models::{mlp_classifier, InputSpec};
+use appfl::nn::module::{flatten_params, set_params};
+use appfl::tensor::vecops::{clip_norm, l2_norm, mean_of};
+use appfl::tensor::{Shape, Tensor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #[test]
+    fn tensor_msg_roundtrips(
+        name in "[a-z][a-z0-9_.]{0,20}",
+        data in proptest::collection::vec(-1e6f32..1e6, 0..200),
+    ) {
+        let msg = TensorMsg::flat(name, data);
+        let back = TensorMsg::decode(&msg.encode()).unwrap();
+        prop_assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn learning_results_roundtrip(
+        client in 0u32..10_000,
+        round in 0u32..1_000,
+        penalty in -1e9f64..1e9,
+        primal in proptest::collection::vec(-1e3f32..1e3, 1..100),
+        with_dual in any::<bool>(),
+    ) {
+        let msg = LearningResults {
+            client_id: client,
+            round,
+            penalty,
+            primal: vec![TensorMsg::flat("z", primal.clone())],
+            dual: if with_dual { vec![TensorMsg::flat("l", primal)] } else { vec![] },
+        };
+        let back = LearningResults::decode(&msg.encode()).unwrap();
+        prop_assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn weight_request_roundtrips(client in any::<u32>(), round in any::<u32>()) {
+        let msg = WeightRequest { client_id: client, round };
+        prop_assert_eq!(WeightRequest::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn corrupted_wire_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        // Decoding arbitrary garbage must return an error, not panic.
+        let _ = TensorMsg::decode(&bytes);
+        let _ = LearningResults::decode(&bytes);
+        let _ = WeightRequest::decode(&bytes);
+    }
+
+    #[test]
+    fn iid_partition_is_a_disjoint_cover(n in 1usize..500, clients in 1usize..20, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let shards = iid_indices(n, clients, &mut rng);
+        prop_assert_eq!(shards.len(), clients);
+        let mut all: Vec<usize> = shards.iter().flatten().copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+        // Balance: sizes differ by at most one.
+        let sizes: Vec<usize> = shards.iter().map(Vec::len).collect();
+        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        prop_assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn dirichlet_partition_is_a_disjoint_cover(
+        n in 1usize..300,
+        classes in 1usize..10,
+        clients in 1usize..8,
+        alpha in 0.05f64..50.0,
+        seed in any::<u64>(),
+    ) {
+        let labels: Vec<usize> = (0..n).map(|i| i % classes).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let shards = dirichlet_indices(&labels, classes, clients, alpha, &mut rng);
+        let mut all: Vec<usize> = shards.iter().flatten().copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clip_norm_enforces_the_bound(
+        v in proptest::collection::vec(-1e4f32..1e4, 1..100),
+        max_norm in 0.01f64..100.0,
+    ) {
+        let mut clipped = v.clone();
+        let pre = clip_norm(&mut clipped, max_norm);
+        prop_assert!((pre - l2_norm(&v)).abs() < 1e-3 * (1.0 + pre));
+        prop_assert!(l2_norm(&clipped) <= max_norm * 1.001);
+        // No-op when already within the bound.
+        if pre <= max_norm {
+            prop_assert_eq!(clipped, v);
+        }
+    }
+
+    #[test]
+    fn mean_of_stays_within_coordinate_bounds(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-100f32..100.0, 5),
+            1..6,
+        ),
+    ) {
+        let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+        let mean = mean_of(&refs);
+        for d in 0..5 {
+            let lo = rows.iter().map(|r| r[d]).fold(f32::INFINITY, f32::min);
+            let hi = rows.iter().map(|r| r[d]).fold(f32::NEG_INFINITY, f32::max);
+            prop_assert!(mean[d] >= lo - 1e-3 && mean[d] <= hi + 1e-3);
+        }
+    }
+
+    #[test]
+    fn flatten_set_params_roundtrip(seed in any::<u64>(), hidden in 1usize..12) {
+        let spec = InputSpec { channels: 1, height: 3, width: 3, classes: 2 };
+        let mut model = mlp_classifier(spec, hidden, &mut StdRng::seed_from_u64(seed));
+        let flat = flatten_params(&model);
+        let doubled: Vec<f32> = flat.iter().map(|x| x * 2.0).collect();
+        set_params(&mut model, &doubled).unwrap();
+        prop_assert_eq!(flatten_params(&model), doubled);
+    }
+
+    #[test]
+    fn shape_broadcast_is_commutative_and_respects_rank(
+        a in proptest::collection::vec(1usize..5, 0..4),
+        b in proptest::collection::vec(1usize..5, 0..4),
+    ) {
+        let sa = Shape::new(a.clone());
+        let sb = Shape::new(b.clone());
+        match (sa.broadcast(&sb), sb.broadcast(&sa)) {
+            (Ok(x), Ok(y)) => {
+                prop_assert_eq!(&x, &y);
+                prop_assert_eq!(x.rank(), a.len().max(b.len()));
+            }
+            (Err(_), Err(_)) => {}
+            _ => prop_assert!(false, "broadcast not symmetric"),
+        }
+    }
+
+    #[test]
+    fn tensor_reshape_preserves_sum(
+        data in proptest::collection::vec(-10f32..10.0, 12),
+    ) {
+        let t = Tensor::from_vec([3, 4], data).unwrap();
+        for dims in [vec![4usize, 3], vec![12], vec![2, 6], vec![2, 2, 3]] {
+            let r = t.reshape(dims.as_slice()).unwrap();
+            prop_assert!((r.sum() - t.sum()).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn chunking_roundtrips_any_message(
+        message in proptest::collection::vec(any::<u8>(), 0..5000),
+        chunk_size in 1usize..700,
+        stream in any::<u64>(),
+    ) {
+        use appfl::comm::wire::{split_message, Reassembler};
+        let chunks = split_message(stream, &message, chunk_size);
+        let mut r = Reassembler::new();
+        let mut out = None;
+        for c in chunks {
+            // Chunks also survive their own protobuf encoding.
+            let decoded = appfl::comm::wire::Chunk::decode(&c.encode()).unwrap();
+            out = r.push(decoded).unwrap();
+        }
+        prop_assert_eq!(out.unwrap(), message);
+    }
+
+    #[test]
+    fn secure_aggregation_masks_cancel(
+        clients in 2usize..7,
+        dim in 1usize..64,
+        session in any::<u64>(),
+    ) {
+        use appfl::privacy::secure_agg::SecureAggregator;
+        let agg = SecureAggregator::new(clients, dim, session);
+        let updates: Vec<Vec<f32>> = (0..clients)
+            .map(|p| (0..dim).map(|d| ((p * 31 + d) % 17) as f32 * 0.1).collect())
+            .collect();
+        let masked: Vec<Vec<f32>> = updates
+            .iter()
+            .enumerate()
+            .map(|(p, u)| {
+                let mut m = u.clone();
+                agg.apply_mask(p, &mut m);
+                m
+            })
+            .collect();
+        let sum = agg.aggregate(&masked);
+        for d in 0..dim {
+            let expected: f32 = updates.iter().map(|u| u[d]).sum();
+            prop_assert!((sum[d] - expected).abs() < 1e-2,
+                "coord {}: {} vs {}", d, sum[d], expected);
+        }
+    }
+
+    #[test]
+    fn quantization_respects_its_error_bound(
+        v in proptest::collection::vec(-1e3f32..1e3, 1..300),
+    ) {
+        use appfl::comm::compress::{dequantize_u8, quantization_error_bound, quantize_u8};
+        let q = quantize_u8(&v);
+        let back = dequantize_u8(&q);
+        let bound = quantization_error_bound(&q);
+        prop_assert_eq!(back.len(), v.len());
+        for (a, b) in v.iter().zip(back.iter()) {
+            prop_assert!((a - b).abs() <= bound * 1.01 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn sparsify_densify_preserves_kept_coordinates(
+        v in proptest::collection::vec(-100f32..100.0, 1..200),
+        k in 1usize..50,
+    ) {
+        use appfl::comm::compress::{densify, sparsify_top_k};
+        let s = sparsify_top_k(&v, k);
+        let d = densify(&s);
+        prop_assert_eq!(d.len(), v.len());
+        // Every kept coordinate matches; dropped ones are zero and no
+        // dropped coordinate has larger magnitude than a kept one.
+        let kept_min = s.values.iter().map(|x| x.abs()).fold(f32::INFINITY, f32::min);
+        for (i, (&orig, &dense)) in v.iter().zip(d.iter()).enumerate() {
+            if s.indices.contains(&(i as u32)) {
+                prop_assert_eq!(orig, dense);
+            } else {
+                prop_assert_eq!(dense, 0.0);
+                prop_assert!(orig.abs() <= kept_min + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn gini_is_scale_invariant_and_bounded(
+        sizes in proptest::collection::vec(1usize..1000, 1..30),
+    ) {
+        use appfl::data::stats::gini;
+        let g = gini(&sizes);
+        prop_assert!((0.0..1.0).contains(&g), "gini {}", g);
+        let doubled: Vec<usize> = sizes.iter().map(|&s| s * 2).collect();
+        prop_assert!((gini(&doubled) - g).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,130 @@
+//! Cross-crate transport integration: the same job must produce identical
+//! learning trajectories whether clients run in-process (serial runner), on
+//! threads over the raw transport (MPI-like), or through gRPC framing.
+
+use appfl::comm::transport::{GrpcChannel, InProcNetwork};
+use appfl::core::algorithms::build_federation;
+use appfl::core::config::{AlgorithmConfig, FedConfig};
+use appfl::core::runner::comm::CommRunner;
+use appfl::core::runner::serial::SerialRunner;
+use appfl::data::federated::{build_benchmark, Benchmark, FederatedDataset};
+use appfl::nn::models::{mlp_classifier, InputSpec};
+use appfl::privacy::PrivacyConfig;
+
+const SPEC: InputSpec = InputSpec {
+    channels: 1,
+    height: 28,
+    width: 28,
+    classes: 10,
+};
+
+fn config(algorithm: AlgorithmConfig, rounds: usize) -> FedConfig {
+    FedConfig {
+        algorithm,
+        rounds,
+        local_steps: 1,
+        batch_size: 20,
+        privacy: PrivacyConfig::none(),
+        seed: 31,
+    }
+}
+
+fn data() -> FederatedDataset {
+    build_benchmark(Benchmark::Mnist, 3, 120, 45, 31).unwrap()
+}
+
+fn run_serial(algorithm: AlgorithmConfig, rounds: usize) -> Vec<f32> {
+    let data = data();
+    let test = data.test.clone();
+    let fed = build_federation(config(algorithm, rounds), &data, |rng| {
+        Box::new(mlp_classifier(SPEC, 8, rng))
+    });
+    let mut runner = SerialRunner::new(fed, test, "MNIST");
+    runner
+        .run()
+        .unwrap()
+        .rounds
+        .iter()
+        .map(|r| r.accuracy)
+        .collect()
+}
+
+fn run_transport(algorithm: AlgorithmConfig, rounds: usize, grpc: bool) -> Vec<f32> {
+    let data = data();
+    let test = data.test.clone();
+    let mut fed = build_federation(config(algorithm, rounds), &data, |rng| {
+        Box::new(mlp_classifier(SPEC, 8, rng))
+    });
+    let endpoints = InProcNetwork::new(4);
+    let history = if grpc {
+        let endpoints: Vec<_> = endpoints.into_iter().map(GrpcChannel::new).collect();
+        CommRunner::run(
+            fed.server,
+            fed.clients,
+            fed.template.as_mut(),
+            &test,
+            endpoints,
+            rounds,
+            f64::INFINITY,
+            "MNIST",
+        )
+        .unwrap()
+    } else {
+        CommRunner::run(
+            fed.server,
+            fed.clients,
+            fed.template.as_mut(),
+            &test,
+            endpoints,
+            rounds,
+            f64::INFINITY,
+            "MNIST",
+        )
+        .unwrap()
+    };
+    history.rounds.iter().map(|r| r.accuracy).collect()
+}
+
+#[test]
+fn serial_and_mpi_style_trajectories_coincide() {
+    let algo = AlgorithmConfig::FedAvg {
+        lr: 0.05,
+        momentum: 0.9,
+    };
+    assert_eq!(run_serial(algo, 3), run_transport(algo, 3, false));
+}
+
+#[test]
+fn grpc_framing_is_numerically_transparent() {
+    let algo = AlgorithmConfig::IiAdmm {
+        rho: 10.0,
+        zeta: 10.0,
+    };
+    assert_eq!(run_transport(algo, 3, false), run_transport(algo, 3, true));
+}
+
+#[test]
+fn iceadmm_transports_duals_end_to_end() {
+    let algo = AlgorithmConfig::IceAdmm {
+        rho: 10.0,
+        zeta: 10.0,
+    };
+    // ICEADMM serialises primal + dual; a lossy transport would break the
+    // trajectory equality with the serial runner.
+    assert_eq!(run_serial(algo, 2), run_transport(algo, 2, true));
+}
+
+#[test]
+fn pubsub_broadcast_delivers_global_models() {
+    // The MQTT-style layer: a server publishes retained global models; late
+    // clients still receive the newest one.
+    use appfl::comm::pubsub::Broker;
+    let broker = Broker::new();
+    let early = broker.subscribe("global-model");
+    broker.publish_retained("global-model", vec![1]);
+    broker.publish_retained("global-model", vec![2]);
+    let late = broker.subscribe("global-model");
+    assert_eq!(early.recv().unwrap().1, vec![1]);
+    assert_eq!(early.recv().unwrap().1, vec![2]);
+    assert_eq!(late.recv().unwrap().1, vec![2]);
+}
