@@ -29,8 +29,10 @@ pub mod cluster;
 pub mod compress;
 pub mod netsim;
 pub mod pubsub;
+pub mod retry;
 pub mod rpc;
 pub mod transport;
 pub mod wire;
 
-pub use transport::{Communicator, InProcNetwork};
+pub use retry::RetryPolicy;
+pub use transport::{Communicator, FaultPlan, FaultyCommunicator, InProcNetwork};

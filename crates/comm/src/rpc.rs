@@ -10,9 +10,12 @@
 //! cross-silo deployment: clients poll whenever they are ready, which is
 //! also what makes asynchronous aggregation natural.
 
+use crate::retry::RetryPolicy;
 use crate::transport::{CommError, Communicator};
 use crate::wire::messages::GlobalWeights;
 use crate::wire::{JobDone, LearningResults, WeightRequest};
+use std::sync::atomic::AtomicUsize;
+use std::time::Duration;
 
 /// Method tags on the wire (one byte before the protobuf payload).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -132,10 +135,38 @@ pub trait FlService {
 
     /// Notes a finished client; `true` acknowledges.
     fn done(&mut self, done: &JobDone) -> bool;
+
+    /// Whether the federation has reached its natural end (all rounds
+    /// complete) regardless of how many `Done` messages arrived. Lets
+    /// [`serve_ft`] stop even when dead clients can never say goodbye.
+    fn finished(&self) -> bool {
+        false
+    }
+}
+
+fn dispatch(
+    service: &mut dyn FlService,
+    request: Request,
+    done: &mut usize,
+) -> Response {
+    match request {
+        Request::GetWeight(req) => Response::Weights(Box::new(service.get_weight(&req))),
+        Request::SendResults(res) => Response::Ack {
+            ok: service.send_results(*res),
+        },
+        Request::Done(d) => {
+            *done += 1;
+            Response::Ack {
+                ok: service.done(&d),
+            }
+        }
+    }
 }
 
 /// Serves requests over `comm` until `expected_done` clients have sent
-/// `Done`. Returns the number of requests handled.
+/// `Done`. Returns the number of requests handled. A request frame that
+/// fails to decode is nacked and skipped — one corrupted message must not
+/// abort the whole federation.
 pub fn serve<C: Communicator>(
     service: &mut dyn FlService,
     comm: &C,
@@ -145,21 +176,60 @@ pub fn serve<C: Communicator>(
     let mut handled = 0usize;
     while done < expected_done {
         let (from, payload) = comm.recv_any()?;
-        let request = Request::decode(&payload)?;
-        handled += 1;
-        let response = match request {
-            Request::GetWeight(req) => Response::Weights(Box::new(service.get_weight(&req))),
-            Request::SendResults(res) => Response::Ack {
-                ok: service.send_results(*res),
-            },
-            Request::Done(d) => {
-                done += 1;
-                Response::Ack {
-                    ok: service.done(&d),
-                }
+        let request = match Request::decode(&payload) {
+            Ok(r) => r,
+            Err(_) => {
+                comm.send(from, Response::Ack { ok: false }.encode())?;
+                continue;
             }
         };
+        handled += 1;
+        let response = dispatch(service, request, &mut done);
         comm.send(from, response.encode())?;
+    }
+    Ok(handled)
+}
+
+/// Fault-tolerant [`serve`]: waits at most `idle_timeout` per message and
+/// gives up after `max_idle` consecutive quiet periods, so clients that
+/// died without a `Done` cannot park the server forever. Also stops as
+/// soon as [`FlService::finished`] reports the federation complete, and
+/// when every peer has disconnected. Failures replying to a vanished
+/// client are ignored rather than fatal.
+pub fn serve_ft<C: Communicator>(
+    service: &mut dyn FlService,
+    comm: &C,
+    expected_done: usize,
+    idle_timeout: Duration,
+    max_idle: usize,
+) -> Result<usize, CommError> {
+    let mut done = 0usize;
+    let mut handled = 0usize;
+    let mut idle = 0usize;
+    while done < expected_done && !service.finished() {
+        let (from, payload) = match comm.recv_any_timeout(idle_timeout) {
+            Ok(msg) => msg,
+            Err(CommError::Timeout { .. }) => {
+                idle += 1;
+                if idle >= max_idle.max(1) {
+                    break;
+                }
+                continue;
+            }
+            Err(CommError::Disconnected { .. }) => break, // no live peers left
+            Err(e) => return Err(e),
+        };
+        idle = 0;
+        let request = match Request::decode(&payload) {
+            Ok(r) => r,
+            Err(_) => {
+                let _ = comm.send(from, Response::Ack { ok: false }.encode());
+                continue;
+            }
+        };
+        handled += 1;
+        let response = dispatch(service, request, &mut done);
+        let _ = comm.send(from, response.encode());
     }
     Ok(handled)
 }
@@ -169,6 +239,35 @@ pub fn call<C: Communicator>(comm: &C, request: &Request) -> Result<Response, Co
     comm.send(0, request.encode())?;
     let payload = comm.recv(0)?;
     Response::decode(&payload)
+}
+
+/// Client-side stub with fault tolerance: the request is (re)sent under
+/// `policy`, each attempt waiting at most `timeout` for the response.
+/// Before a resend any stale responses from a previous attempt are
+/// drained, keeping request/response pairing intact after a timeout. A
+/// nacked `GetWeight` (the server saw a corrupted fetch) is treated as
+/// transient and retried. Each retry bumps `retries` when provided.
+pub fn call_with_retry<C: Communicator>(
+    comm: &C,
+    request: &Request,
+    policy: &RetryPolicy,
+    timeout: Duration,
+    retries: Option<&AtomicUsize>,
+) -> Result<Response, CommError> {
+    policy.run(retries, |attempt| {
+        if attempt > 1 {
+            while comm.recv_timeout(0, Duration::from_millis(1)).is_ok() {}
+        }
+        comm.send(0, request.encode())?;
+        let payload = comm.recv_timeout(0, timeout)?;
+        let response = Response::decode(&payload)?;
+        if matches!(request, Request::GetWeight(_))
+            && matches!(response, Response::Ack { ok: false })
+        {
+            return Err(CommError::Frame("fetch nacked by server".into()));
+        }
+        Ok(response)
+    })
 }
 
 #[cfg(test)]
@@ -286,6 +385,93 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    #[test]
+    fn corrupted_request_is_nacked_not_fatal() {
+        let mut eps = InProcNetwork::new(2);
+        let server_ep = eps.remove(0);
+        let client_ep = eps.remove(0);
+        let h = thread::spawn(move || {
+            // Raw garbage first: the server must nack and keep serving.
+            client_ep.send(0, vec![0xFF, 0xEE]).unwrap();
+            let nack = Response::decode(&client_ep.recv(0).unwrap()).unwrap();
+            assert_eq!(nack, Response::Ack { ok: false });
+            call(&client_ep, &Request::Done(JobDone { client_id: 1 })).unwrap();
+        });
+        let mut service = EchoService {
+            weights: vec![],
+            uploads: 0,
+        };
+        let handled = serve(&mut service, &server_ep, 1).unwrap();
+        assert_eq!(handled, 1, "garbage frame is not counted as handled");
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn serve_ft_stops_when_clients_go_silent() {
+        use std::time::Duration;
+        let mut eps = InProcNetwork::new(3);
+        let server_ep = eps.remove(0);
+        let live = eps.remove(0);
+        let _dead = eps.remove(0); // never sends Done
+        let h = thread::spawn(move || {
+            call(&live, &Request::Done(JobDone { client_id: 1 })).unwrap();
+        });
+        let mut service = EchoService {
+            weights: vec![],
+            uploads: 0,
+        };
+        // Expecting 2 Dones but only 1 arrives: the idle cap must fire.
+        let handled = serve_ft(
+            &mut service,
+            &server_ep,
+            2,
+            Duration::from_millis(20),
+            3,
+        )
+        .unwrap();
+        assert_eq!(handled, 1);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn call_with_retry_survives_dropped_requests() {
+        use crate::transport::{FaultKind, FaultPlan, FaultyCommunicator};
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::time::Duration;
+        let mut eps = InProcNetwork::new(2);
+        let server_ep = eps.remove(0);
+        // Drop the client's first two request frames on the floor.
+        let plan = FaultPlan::new(11)
+            .fault_at(0, 1, FaultKind::Drop)
+            .fault_at(0, 2, FaultKind::Drop);
+        let client_ep = FaultyCommunicator::new(eps.remove(0), plan);
+        let h = thread::spawn(move || {
+            let retries = AtomicUsize::new(0);
+            let policy = RetryPolicy {
+                max_attempts: 5,
+                base_backoff: Duration::from_millis(1),
+                jitter: 0.0,
+                ..RetryPolicy::default()
+            };
+            let resp = call_with_retry(
+                &client_ep,
+                &Request::Done(JobDone { client_id: 1 }),
+                &policy,
+                Duration::from_millis(30),
+                Some(&retries),
+            )
+            .unwrap();
+            assert_eq!(resp, Response::Ack { ok: true });
+            assert_eq!(retries.load(Ordering::Relaxed), 2);
+        });
+        let mut service = EchoService {
+            weights: vec![],
+            uploads: 0,
+        };
+        serve(&mut service, &server_ep, 1).unwrap();
+        h.join().unwrap();
     }
 
     #[test]

@@ -149,6 +149,19 @@ impl<C: Communicator> Communicator for GrpcChannel<C> {
         Ok((from, self.decode_frames(&wire)?))
     }
 
+    fn recv_timeout(&self, from: usize, timeout: std::time::Duration) -> Result<Vec<u8>, CommError> {
+        let wire = self.inner.recv_timeout(from, timeout)?;
+        self.decode_frames(&wire)
+    }
+
+    fn recv_any_timeout(
+        &self,
+        timeout: std::time::Duration,
+    ) -> Result<(usize, Vec<u8>), CommError> {
+        let (from, wire) = self.inner.recv_any_timeout(timeout)?;
+        Ok((from, self.decode_frames(&wire)?))
+    }
+
     fn stats(&self) -> TrafficSnapshot {
         self.inner.stats()
     }
@@ -211,6 +224,22 @@ mod tests {
         // Send garbage directly on the raw transport.
         a.send(1, vec![1, 2, 3]).unwrap();
         assert!(matches!(b.recv(0), Err(CommError::Frame(_))));
+    }
+
+    #[test]
+    fn timeouts_pass_through_framing() {
+        use std::time::Duration;
+        let (a, b) = pair();
+        assert_eq!(
+            b.recv_timeout(0, Duration::from_millis(10)),
+            Err(CommError::Timeout { peer: Some(0) })
+        );
+        assert_eq!(
+            b.recv_any_timeout(Duration::from_millis(10)),
+            Err(CommError::Timeout { peer: None })
+        );
+        a.send(1, b"late".to_vec()).unwrap();
+        assert_eq!(b.recv_timeout(0, Duration::from_millis(200)).unwrap(), b"late");
     }
 
     #[test]

@@ -7,8 +7,9 @@
 //! paper instruments in §IV-C.
 
 use super::{CommError, Communicator, TrafficSnapshot, TrafficStats};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// One participant's endpoint in an [`InProcNetwork`].
 pub struct InProcEndpoint {
@@ -90,10 +91,38 @@ impl Communicator for InProcEndpoint {
     }
 
     fn recv_any(&self) -> Result<(usize, Vec<u8>), CommError> {
-        // Multiplex over all live peers (skipping loopback, which only the
-        // collectives use) with crossbeam's Select. Peers whose endpoints
-        // were dropped are excluded and the select rebuilt, so one
-        // departing client cannot wedge the server.
+        self.recv_any_deadline(None)
+    }
+
+    fn recv_timeout(&self, from: usize, timeout: Duration) -> Result<Vec<u8>, CommError> {
+        let receiver = self.receivers.get(from).ok_or(CommError::InvalidRank {
+            rank: from,
+            size: self.size,
+        })?;
+        let payload = receiver.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => CommError::Timeout { peer: Some(from) },
+            RecvTimeoutError::Disconnected => CommError::Disconnected { peer: from },
+        })?;
+        self.stats.record_recv(payload.len());
+        Ok(payload)
+    }
+
+    fn recv_any_timeout(&self, timeout: Duration) -> Result<(usize, Vec<u8>), CommError> {
+        self.recv_any_deadline(Some(Instant::now() + timeout))
+    }
+
+    fn stats(&self) -> TrafficSnapshot {
+        self.stats.snapshot()
+    }
+}
+
+impl InProcEndpoint {
+    /// Multiplexes over all live peers (skipping loopback, which only the
+    /// collectives use) with crossbeam's Select. Peers whose endpoints were
+    /// dropped are excluded and the select rebuilt, so one departing client
+    /// cannot wedge the server. With a deadline, waiting stops at the
+    /// deadline and reports [`CommError::Timeout`].
+    fn recv_any_deadline(&self, deadline: Option<Instant>) -> Result<(usize, Vec<u8>), CommError> {
         let mut dead = vec![false; self.size];
         loop {
             let mut select = crossbeam::channel::Select::new();
@@ -108,7 +137,13 @@ impl Communicator for InProcEndpoint {
             if ranks.is_empty() {
                 return Err(CommError::Disconnected { peer: self.rank });
             }
-            let op = select.select();
+            let op = match deadline {
+                Some(d) => match select.select_deadline(d) {
+                    Ok(op) => op,
+                    Err(_) => return Err(CommError::Timeout { peer: None }),
+                },
+                None => select.select(),
+            };
             let rank = ranks[op.index()];
             match op.recv(&self.receivers[rank]) {
                 Ok(payload) => {
@@ -118,10 +153,6 @@ impl Communicator for InProcEndpoint {
                 Err(_) => dead[rank] = true,
             }
         }
-    }
-
-    fn stats(&self) -> TrafficSnapshot {
-        self.stats.snapshot()
     }
 }
 
@@ -235,5 +266,47 @@ mod tests {
         let a = eps.remove(0);
         assert!(a.gather(9, vec![]).is_err());
         assert!(a.broadcast(9, vec![]).is_err());
+    }
+
+    #[test]
+    fn recv_timeout_expires_then_delivers() {
+        let mut eps = InProcNetwork::new(2);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        assert_eq!(
+            b.recv_timeout(0, Duration::from_millis(10)),
+            Err(CommError::Timeout { peer: Some(0) })
+        );
+        a.send(1, vec![5]).unwrap();
+        assert_eq!(b.recv_timeout(0, Duration::from_millis(200)).unwrap(), vec![5]);
+    }
+
+    #[test]
+    fn recv_any_timeout_expires_then_delivers() {
+        let mut eps = InProcNetwork::new(3);
+        let c = eps.pop().unwrap();
+        let _b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        assert_eq!(
+            a.recv_any_timeout(Duration::from_millis(10)),
+            Err(CommError::Timeout { peer: None })
+        );
+        c.send(0, vec![7]).unwrap();
+        assert_eq!(
+            a.recv_any_timeout(Duration::from_millis(200)).unwrap(),
+            (2, vec![7])
+        );
+    }
+
+    #[test]
+    fn recv_timeout_reports_dropped_peer() {
+        let mut eps = InProcNetwork::new(2);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        drop(b);
+        assert_eq!(
+            a.recv_timeout(1, Duration::from_millis(10)),
+            Err(CommError::Disconnected { peer: 1 })
+        );
     }
 }

@@ -1,13 +1,16 @@
 //! Message transports with MPI-style collectives.
 
+pub mod faults;
 pub mod grpc;
 pub mod inproc;
 
+pub use faults::{FaultKind, FaultPlan, FaultStats, FaultyCommunicator};
 pub use grpc::{GrpcChannel, GrpcFraming};
 pub use inproc::{InProcEndpoint, InProcNetwork};
 
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
 
 /// Transport errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,6 +29,23 @@ pub enum CommError {
     },
     /// A framed message failed to decode.
     Frame(String),
+    /// A deadline elapsed before a message arrived.
+    Timeout {
+        /// The peer waited on (`None` for `recv_any_timeout`).
+        peer: Option<usize>,
+    },
+    /// The transport does not implement the named operation.
+    Unsupported(&'static str),
+}
+
+impl CommError {
+    /// Whether retrying the operation can plausibly succeed. Timeouts and
+    /// frame corruption are transient (the next attempt may see a clean
+    /// message); a dropped endpoint, a bad rank, or a missing capability
+    /// will fail identically forever.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, CommError::Timeout { .. } | CommError::Frame(_))
+    }
 }
 
 impl fmt::Display for CommError {
@@ -36,6 +56,9 @@ impl fmt::Display for CommError {
                 write!(f, "rank {rank} out of range for size {size}")
             }
             CommError::Frame(msg) => write!(f, "frame error: {msg}"),
+            CommError::Timeout { peer: Some(p) } => write!(f, "timed out waiting for peer {p}"),
+            CommError::Timeout { peer: None } => write!(f, "timed out waiting for any peer"),
+            CommError::Unsupported(op) => write!(f, "transport does not support {op}"),
         }
     }
 }
@@ -60,12 +83,26 @@ pub trait Communicator: Send {
 
     /// Blocks until a message from *any* peer arrives, returning
     /// `(sender_rank, payload)`. Required by request/response services
-    /// (rank 0 serving many clients); transports that cannot multiplex may
-    /// return an error.
+    /// (rank 0 serving many clients); transports that cannot multiplex
+    /// report [`CommError::Unsupported`].
     fn recv_any(&self) -> Result<(usize, Vec<u8>), CommError> {
-        Err(CommError::Frame(
-            "this transport does not support recv_any".into(),
-        ))
+        Err(CommError::Unsupported("recv_any"))
+    }
+
+    /// Like [`Communicator::recv`] but gives up with
+    /// [`CommError::Timeout`] once `timeout` elapses without a message
+    /// from `from`. Transports without deadline support report
+    /// [`CommError::Unsupported`] rather than silently blocking forever.
+    fn recv_timeout(&self, from: usize, timeout: Duration) -> Result<Vec<u8>, CommError> {
+        let _ = (from, timeout);
+        Err(CommError::Unsupported("recv_timeout"))
+    }
+
+    /// Like [`Communicator::recv_any`] but gives up with
+    /// [`CommError::Timeout`] once `timeout` elapses without any message.
+    fn recv_any_timeout(&self, timeout: Duration) -> Result<(usize, Vec<u8>), CommError> {
+        let _ = timeout;
+        Err(CommError::Unsupported("recv_any_timeout"))
     }
 
     /// `MPI.gather()`: every rank contributes `payload`; the root receives

@@ -138,6 +138,41 @@ impl ServerAlgorithm for IiAdmmServer {
         Ok(())
     }
 
+    fn update_degraded(&mut self, uploads: &[ClientUpload]) -> Result<()> {
+        // Degraded round: only a quorum reported. Advance the mirrored
+        // duals and stored primals of the clients that did; absentees keep
+        // their `(z_p^t, λ_p^t)` and line 3 recomputes w over the full
+        // roster, exactly as if those clients had returned `z` unchanged.
+        if uploads.is_empty() {
+            return Err(TensorError::InvalidArgument(
+                "IIADMM degraded update needs at least one upload".into(),
+            ));
+        }
+        for u in uploads {
+            if u.dual.is_some() {
+                return Err(TensorError::InvalidArgument(
+                    "IIADMM clients must not transmit duals".into(),
+                ));
+            }
+            let p = u.client_id;
+            if p >= self.primal.len() || u.primal.len() != self.global.len() {
+                return Err(TensorError::InvalidArgument(format!(
+                    "bad IIADMM upload from client {p}"
+                )));
+            }
+            for ((l, &w), &z) in self.dual[p]
+                .iter_mut()
+                .zip(self.global.iter())
+                .zip(u.primal.iter())
+            {
+                *l += self.rho * (w - z);
+            }
+            self.primal[p] = u.primal.clone();
+        }
+        self.global = self.compute_global();
+        Ok(())
+    }
+
     fn name(&self) -> &'static str {
         "IIADMM"
     }
@@ -342,6 +377,28 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn degraded_update_accepts_partial_cohort() {
+        let mut s = IiAdmmServer::new(vec![0.0; 2], 3, 1.0);
+        let partial = [ClientUpload {
+            client_id: 1,
+            primal: vec![3.0, 3.0],
+            dual: None,
+            num_samples: 1,
+            local_loss: 0.0,
+        }];
+        // Strict update refuses 1-of-3, the degraded path accepts it…
+        assert!(s.update(&partial).is_err());
+        s.update_degraded(&partial).unwrap();
+        // …advancing only client 1's state while the absentees keep theirs.
+        assert!(s.dual_of(1).iter().any(|&l| l != 0.0));
+        assert!(s.dual_of(0).iter().all(|&l| l == 0.0));
+        assert!(s.dual_of(2).iter().all(|&l| l == 0.0));
+        // And an empty degraded round is rejected rather than dividing by
+        // nothing.
+        assert!(s.update_degraded(&[]).is_err());
     }
 
     #[test]

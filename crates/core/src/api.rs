@@ -45,6 +45,16 @@ pub trait ServerAlgorithm: Send {
     /// virtual `update()` of `BaseServer`).
     fn update(&mut self, uploads: &[ClientUpload]) -> Result<()>;
 
+    /// Aggregates a *degraded* round in which only a quorum of clients
+    /// reported (the rest timed out or dropped). Sample-weighted averagers
+    /// like FedAvg already reweight over whatever arrived, so the default
+    /// simply delegates to [`ServerAlgorithm::update`]; stateful algorithms
+    /// with strict-arity `update` contracts (IIADMM) override this to
+    /// advance only the reporting clients' state.
+    fn update_degraded(&mut self, uploads: &[ClientUpload]) -> Result<()> {
+        self.update(uploads)
+    }
+
     /// Algorithm name for logs and experiment records.
     fn name(&self) -> &'static str;
 

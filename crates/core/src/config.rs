@@ -110,6 +110,60 @@ impl FedConfig {
     }
 }
 
+/// Fault-tolerance knobs for the transport runners: when to give up on a
+/// round, how few clients still constitute a round, and how aggressively
+/// to retry / quarantine flaky participants.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultToleranceConfig {
+    /// Round deadline: the server aggregates whatever arrived once this
+    /// many milliseconds elapse.
+    pub round_timeout_ms: u64,
+    /// Minimum uploads to aggregate a round; below this the round is
+    /// skipped (global model unchanged).
+    pub min_quorum: usize,
+    /// Consecutive failures after which a client is marked suspect and
+    /// excluded from the roster.
+    pub suspect_after: usize,
+    /// Rounds an excluded client sits out before re-admission
+    /// (`0` = never re-admit).
+    pub readmit_after: usize,
+    /// Attempts per client-side transport call (1 = no retries).
+    pub max_attempts: u32,
+    /// Base backoff between retries, in milliseconds.
+    pub base_backoff_ms: u64,
+}
+
+impl Default for FaultToleranceConfig {
+    fn default() -> Self {
+        FaultToleranceConfig {
+            round_timeout_ms: 2_000,
+            min_quorum: 1,
+            suspect_after: 3,
+            readmit_after: 5,
+            max_attempts: 3,
+            base_backoff_ms: 10,
+        }
+    }
+}
+
+impl FaultToleranceConfig {
+    /// The round deadline as a [`std::time::Duration`].
+    pub fn round_timeout(&self) -> std::time::Duration {
+        std::time::Duration::from_millis(self.round_timeout_ms)
+    }
+
+    /// The client-side retry policy implied by this configuration, with
+    /// jitter seeded per-client for determinism.
+    pub fn retry_policy(&self, seed: u64) -> appfl_comm::RetryPolicy {
+        appfl_comm::RetryPolicy {
+            max_attempts: self.max_attempts,
+            base_backoff: std::time::Duration::from_millis(self.base_backoff_ms),
+            ..appfl_comm::RetryPolicy::default()
+        }
+        .with_seed(seed)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,6 +192,24 @@ mod tests {
         let json = serde_json::to_string(&c).unwrap();
         let back: FedConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back, c);
+    }
+
+    #[test]
+    fn fault_tolerance_defaults_and_roundtrip() {
+        let ft = FaultToleranceConfig::default();
+        assert!(ft.min_quorum >= 1);
+        assert!(ft.max_attempts >= 1);
+        assert_eq!(ft.round_timeout(), std::time::Duration::from_millis(2_000));
+        let json = serde_json::to_string(&ft).unwrap();
+        let back: FaultToleranceConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ft);
+        let policy = ft.retry_policy(7);
+        assert_eq!(policy.max_attempts, ft.max_attempts);
+        assert_eq!(
+            policy.base_backoff,
+            std::time::Duration::from_millis(ft.base_backoff_ms)
+        );
+        assert_eq!(policy.seed, 7);
     }
 
     #[test]

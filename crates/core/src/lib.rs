@@ -35,6 +35,6 @@ pub(crate) mod test_support;
 pub mod validation;
 
 pub use api::{ClientAlgorithm, ClientUpload, ServerAlgorithm};
-pub use config::{AlgorithmConfig, FedConfig};
+pub use config::{AlgorithmConfig, FaultToleranceConfig, FedConfig};
 pub use metrics::{History, RoundRecord};
 pub use runner::serial::SerialRunner;

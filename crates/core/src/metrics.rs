@@ -20,6 +20,17 @@ pub struct RoundRecord {
     /// Wall-clock seconds spent gathering uploads this round (real transport
     /// runs) or modelled comm time (simulated runs).
     pub comm_secs: f64,
+    /// Active clients whose upload never arrived this round (degraded-round
+    /// aggregation proceeded without them). Absent in pre-fault-tolerance
+    /// histories, hence the serde default.
+    #[serde(default)]
+    pub dropped_clients: usize,
+    /// Transport-level retries performed by clients this round.
+    #[serde(default)]
+    pub retries: usize,
+    /// Receive operations that hit the round deadline this round.
+    #[serde(default)]
+    pub timed_out: usize,
 }
 
 /// A full run's history plus identifying metadata.
@@ -66,6 +77,21 @@ impl History {
     pub fn total_comm_secs(&self) -> f64 {
         self.rounds.iter().map(|r| r.comm_secs).sum()
     }
+
+    /// Total client-rounds lost to drops/timeouts across the run.
+    pub fn total_dropped_clients(&self) -> usize {
+        self.rounds.iter().map(|r| r.dropped_clients).sum()
+    }
+
+    /// Total transport retries across the run.
+    pub fn total_retries(&self) -> usize {
+        self.rounds.iter().map(|r| r.retries).sum()
+    }
+
+    /// Rounds that aggregated a degraded (partial) cohort.
+    pub fn degraded_rounds(&self) -> usize {
+        self.rounds.iter().filter(|r| r.dropped_clients > 0).count()
+    }
 }
 
 #[cfg(test)]
@@ -81,6 +107,9 @@ mod tests {
             upload_bytes: bytes,
             compute_secs: 0.1,
             comm_secs: 0.01,
+            dropped_clients: 0,
+            retries: 0,
+            timed_out: 0,
         }
     }
 
@@ -112,5 +141,29 @@ mod tests {
         let back: History = serde_json::from_str(&s).unwrap();
         assert_eq!(back.rounds.len(), 1);
         assert_eq!(back.algorithm, "FedAvg");
+    }
+
+    #[test]
+    fn fault_counters_sum_and_old_json_still_loads() {
+        let mut h = History::new("FedAvg", "MNIST", f64::INFINITY);
+        h.rounds.push(RoundRecord {
+            dropped_clients: 2,
+            retries: 3,
+            timed_out: 1,
+            ..rec(1, 0.9, 10)
+        });
+        h.rounds.push(rec(2, 0.91, 10));
+        assert_eq!(h.total_dropped_clients(), 2);
+        assert_eq!(h.total_retries(), 3);
+        assert_eq!(h.degraded_rounds(), 1);
+        // Records written before the fault-tolerance fields existed must
+        // still deserialize, defaulting the new counters to zero.
+        let legacy = r#"{"round":1,"accuracy":0.5,"test_loss":1.0,
+            "train_loss":1.0,"upload_bytes":7,"compute_secs":0.1,
+            "comm_secs":0.01}"#;
+        let r: RoundRecord = serde_json::from_str(legacy).unwrap();
+        assert_eq!(r.dropped_clients, 0);
+        assert_eq!(r.retries, 0);
+        assert_eq!(r.timed_out, 0);
     }
 }

@@ -23,11 +23,20 @@ use serde::{Deserialize, Serialize};
 pub struct AsyncConfig {
     /// Base mixing weight α ∈ (0, 1].
     pub alpha: f32,
+    /// Reject uploads staler than this many server versions (`None` =
+    /// accept arbitrarily stale work, merely downweighted). A cap keeps a
+    /// crashed-and-recovered client from dragging the model toward an
+    /// ancient iterate.
+    #[serde(default)]
+    pub max_staleness: Option<u64>,
 }
 
 impl Default for AsyncConfig {
     fn default() -> Self {
-        AsyncConfig { alpha: 0.6 }
+        AsyncConfig {
+            alpha: 0.6,
+            max_staleness: None,
+        }
     }
 }
 
@@ -70,6 +79,13 @@ impl AsyncFedServer {
             });
         }
         let staleness = self.version.saturating_sub(base_version);
+        if let Some(cap) = self.config.max_staleness {
+            if staleness > cap {
+                return Err(TensorError::InvalidArgument(format!(
+                    "upload staleness {staleness} exceeds cap {cap}"
+                )));
+            }
+        }
         let alpha_s = self.config.alpha / (1.0 + staleness as f32);
         for (w, &z) in self.global.iter_mut().zip(upload.primal.iter()) {
             *w = (1.0 - alpha_s) * *w + alpha_s * z;
@@ -111,7 +127,7 @@ mod tests {
 
     #[test]
     fn fresh_update_mixes_with_alpha() {
-        let mut s = AsyncFedServer::new(vec![0.0; 2], AsyncConfig { alpha: 0.5 });
+        let mut s = AsyncFedServer::new(vec![0.0; 2], AsyncConfig { alpha: 0.5, ..AsyncConfig::default() });
         let st = s.apply(&upload(1.0, 2), 0).unwrap();
         assert_eq!(st, 0);
         assert!(s.global_model().iter().all(|&w| (w - 0.5).abs() < 1e-6));
@@ -120,7 +136,7 @@ mod tests {
 
     #[test]
     fn stale_updates_are_downweighted() {
-        let mut s = AsyncFedServer::new(vec![0.0; 2], AsyncConfig { alpha: 0.5 });
+        let mut s = AsyncFedServer::new(vec![0.0; 2], AsyncConfig { alpha: 0.5, ..AsyncConfig::default() });
         // Three fresh updates advance the version.
         for _ in 0..3 {
             s.apply(&upload(0.0, 2), s.version()).unwrap();
@@ -137,10 +153,31 @@ mod tests {
 
     #[test]
     fn staleness_zero_equals_plain_mixing_sequence() {
-        let mut s = AsyncFedServer::new(vec![0.0; 1], AsyncConfig { alpha: 1.0 });
+        let mut s = AsyncFedServer::new(vec![0.0; 1], AsyncConfig { alpha: 1.0, ..AsyncConfig::default() });
         s.apply(&upload(2.0, 1), 0).unwrap();
         // α=1, fresh: w snaps to the upload.
         assert_eq!(s.global_model(), &[2.0]);
+    }
+
+    #[test]
+    fn staleness_cap_rejects_ancient_uploads() {
+        let mut s = AsyncFedServer::new(
+            vec![0.0; 1],
+            AsyncConfig {
+                alpha: 0.5,
+                max_staleness: Some(2),
+            },
+        );
+        for _ in 0..3 {
+            s.apply(&upload(0.0, 1), s.version()).unwrap();
+        }
+        // Staleness 3 > cap 2: refused, model and version untouched.
+        let before = s.version();
+        assert!(s.apply(&upload(1.0, 1), 0).is_err());
+        assert_eq!(s.version(), before);
+        assert_eq!(s.global_model(), &[0.0]);
+        // Staleness exactly at the cap is still accepted.
+        assert!(s.apply(&upload(1.0, 1), before - 2).is_ok());
     }
 
     #[test]
@@ -152,6 +189,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "alpha")]
     fn invalid_alpha_panics() {
-        AsyncFedServer::new(vec![0.0; 1], AsyncConfig { alpha: 0.0 });
+        AsyncFedServer::new(vec![0.0; 1], AsyncConfig { alpha: 0.0, ..AsyncConfig::default() });
     }
 }

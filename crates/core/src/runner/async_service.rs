@@ -12,11 +12,14 @@
 use crate::api::ClientAlgorithm;
 use crate::api::ClientUpload;
 use crate::runner::r#async::{AsyncConfig, AsyncFedServer};
-use appfl_comm::rpc::{call, serve, FlService, Request, Response};
+use appfl_comm::retry::RetryPolicy;
+use appfl_comm::rpc::{call, call_with_retry, serve, FlService, Request, Response};
 use appfl_comm::transport::Communicator;
 use appfl_comm::wire::messages::GlobalWeights;
 use appfl_comm::wire::{JobDone, LearningResults, TensorMsg, WeightRequest};
 use appfl_tensor::TensorError;
+use std::sync::atomic::AtomicUsize;
+use std::time::Duration;
 
 /// FL service that aggregates asynchronously.
 pub struct AsyncRpcService {
@@ -48,10 +51,6 @@ impl AsyncRpcService {
     /// Rejected upload count.
     pub fn rejected(&self) -> usize {
         self.rejected
-    }
-
-    fn finished(&self) -> bool {
-        self.server.applied() >= self.max_updates
     }
 }
 
@@ -93,6 +92,10 @@ impl FlService for AsyncRpcService {
 
     fn done(&mut self, _done: &JobDone) -> bool {
         true
+    }
+
+    fn finished(&self) -> bool {
+        self.server.applied() >= self.max_updates
     }
 }
 
@@ -142,6 +145,74 @@ pub fn run_async_client<C: Communicator>(
     }
     call(comm, &Request::Done(JobDone { client_id: id }))
         .map_err(|e| TensorError::InvalidArgument(format!("rpc: {e}")))?;
+    Ok(accepted)
+}
+
+/// Fault-tolerant [`run_async_client`]: calls go through
+/// [`call_with_retry`], so a dropped request or response costs a retry,
+/// not a hang; once the policy is exhausted the client leaves cleanly
+/// with the uploads it managed. Each retry bumps `retries`.
+pub fn run_async_client_ft<C: Communicator>(
+    mut client: Box<dyn ClientAlgorithm>,
+    comm: &C,
+    policy: &RetryPolicy,
+    timeout: Duration,
+    retries: Option<&AtomicUsize>,
+) -> Result<usize, TensorError> {
+    let id = client.id() as u32;
+    let mut accepted = 0usize;
+    loop {
+        let weights = match call_with_retry(
+            comm,
+            &Request::GetWeight(WeightRequest {
+                client_id: id,
+                round: 0,
+            }),
+            policy,
+            timeout,
+            retries,
+        ) {
+            Ok(Response::Weights(w)) => w,
+            Ok(other) => {
+                return Err(TensorError::InvalidArgument(format!(
+                    "unexpected response {other:?}"
+                )))
+            }
+            Err(_) => break, // server unreachable: stop contributing
+        };
+        if weights.finished {
+            break;
+        }
+        let upload = match client.update(&weights.tensors[0].data) {
+            Ok(u) => u,
+            Err(_) => break, // local failure: leave the federation
+        };
+        let results = LearningResults {
+            client_id: id,
+            round: weights.round, // the version we trained against
+            penalty: f64::from(upload.local_loss),
+            primal: vec![TensorMsg::flat("primal", upload.primal)],
+            dual: vec![],
+        };
+        match call_with_retry(
+            comm,
+            &Request::SendResults(Box::new(results)),
+            policy,
+            timeout,
+            retries,
+        ) {
+            Ok(Response::Ack { ok: true }) => accepted += 1,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+    }
+    let _ = call_with_retry(
+        comm,
+        &Request::Done(JobDone { client_id: id }),
+        policy,
+        timeout,
+        retries,
+    );
     Ok(accepted)
 }
 
@@ -222,6 +293,66 @@ mod tests {
     }
 
     #[test]
+    fn async_ft_federation_survives_message_drops() {
+        use appfl_comm::rpc::serve_ft;
+        use appfl_comm::transport::{FaultPlan, FaultyCommunicator};
+        let data = build_benchmark(Benchmark::Mnist, 3, 90, 30, 66).unwrap();
+        let spec = InputSpec {
+            channels: 1,
+            height: 28,
+            width: 28,
+            classes: 10,
+        };
+        let config = FedConfig {
+            algorithm: AlgorithmConfig::FedAvg {
+                lr: 0.05,
+                momentum: 0.9,
+            },
+            rounds: 1,
+            local_steps: 1,
+            batch_size: 16,
+            privacy: PrivacyConfig::none(),
+            seed: 66,
+        };
+        let fed = build_federation(config, &data, move |rng| {
+            Box::new(mlp_classifier(spec, 8, rng))
+        });
+        let initial = flatten_params(fed.template.as_ref());
+        let mut endpoints = InProcNetwork::new(4);
+        let server_ep = endpoints.remove(0);
+        let mut service = AsyncRpcService::new(initial, AsyncConfig::default(), 6);
+        let retries = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (i, (client, ep)) in fed.clients.into_iter().zip(endpoints).enumerate() {
+                // Every client request has a 20% chance of vanishing.
+                let ep =
+                    FaultyCommunicator::new(ep, FaultPlan::new(100 + i as u64).drop_prob(0.2));
+                let retries = &retries;
+                handles.push(scope.spawn(move || {
+                    let policy = RetryPolicy {
+                        max_attempts: 8,
+                        base_backoff: Duration::from_millis(1),
+                        ..RetryPolicy::default()
+                    };
+                    run_async_client_ft(
+                        client,
+                        &ep,
+                        &policy,
+                        Duration::from_millis(200),
+                        Some(retries),
+                    )
+                }));
+            }
+            serve_ft(&mut service, &server_ep, 3, Duration::from_millis(300), 5).unwrap();
+            for h in handles {
+                h.join().unwrap().unwrap();
+            }
+        });
+        assert!(service.applied() >= 6, "applied {}", service.applied());
+    }
+
+    #[test]
     fn service_rejects_after_finish_and_empty_uploads() {
         let mut service = AsyncRpcService::new(vec![0.0; 4], AsyncConfig::default(), 1);
         let make = |round: u32| LearningResults {
@@ -248,7 +379,7 @@ mod tests {
 
     #[test]
     fn stale_uploads_move_the_model_less() {
-        let mut service = AsyncRpcService::new(vec![0.0; 1], AsyncConfig { alpha: 0.5 }, 10);
+        let mut service = AsyncRpcService::new(vec![0.0; 1], AsyncConfig { alpha: 0.5, ..AsyncConfig::default() }, 10);
         let upload = |round: u32| LearningResults {
             client_id: 0,
             round,

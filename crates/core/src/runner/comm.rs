@@ -8,13 +8,17 @@
 //! the quantity Fig. 3b tracks for `MPI.gather()`.
 
 use crate::api::{ClientAlgorithm, ClientUpload, ServerAlgorithm};
+use crate::config::FaultToleranceConfig;
 use crate::metrics::{History, RoundRecord};
+use crate::runner::ft::ClientRoster;
 use crate::validation::evaluate;
-use appfl_comm::transport::Communicator;
+use appfl_comm::retry::RetryPolicy;
+use appfl_comm::transport::{CommError, Communicator};
 use appfl_comm::wire::{LearningResults, TensorMsg};
 use appfl_data::InMemoryDataset;
 use appfl_nn::module::Module;
 use appfl_tensor::TensorError;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 /// Encodes the global model for broadcast.
@@ -33,6 +37,22 @@ fn decode_global(buf: &[u8]) -> Result<Vec<f32>, TensorError> {
         .map_err(|e| TensorError::InvalidArgument(format!("bad global broadcast: {e}")))
 }
 
+/// Like [`decode_global`] but also recovers the round tag embedded in the
+/// tensor name by [`encode_global`] — the fault-tolerant client needs it to
+/// label uploads so the server can refuse stale ones.
+fn decode_global_tagged(buf: &[u8]) -> Result<(usize, Vec<f32>), TensorError> {
+    let t = TensorMsg::decode(buf)
+        .map_err(|e| TensorError::InvalidArgument(format!("bad global broadcast: {e}")))?;
+    let round = t
+        .name
+        .strip_prefix("global/round")
+        .and_then(|r| r.parse::<usize>().ok())
+        .ok_or_else(|| {
+            TensorError::InvalidArgument(format!("broadcast without round tag: {:?}", t.name))
+        })?;
+    Ok((round, t.data))
+}
+
 fn encode_upload(round: usize, u: &ClientUpload) -> Vec<u8> {
     LearningResults {
         client_id: u.client_id as u32,
@@ -48,7 +68,8 @@ fn encode_upload(round: usize, u: &ClientUpload) -> Vec<u8> {
     .encode()
 }
 
-fn decode_upload(buf: &[u8], num_samples: usize) -> Result<ClientUpload, TensorError> {
+/// Decodes an upload, returning `(round_tag, upload)`.
+fn decode_upload(buf: &[u8], num_samples: usize) -> Result<(usize, ClientUpload), TensorError> {
     let r = LearningResults::decode(buf)
         .map_err(|e| TensorError::InvalidArgument(format!("bad upload: {e}")))?;
     let primal = r
@@ -58,13 +79,16 @@ fn decode_upload(buf: &[u8], num_samples: usize) -> Result<ClientUpload, TensorE
         .ok_or_else(|| TensorError::InvalidArgument("upload missing primal".into()))?
         .data;
     let dual = r.dual.into_iter().next().map(|t| t.data);
-    Ok(ClientUpload {
-        client_id: r.client_id as usize,
-        primal,
-        dual,
-        num_samples,
-        local_loss: r.penalty as f32,
-    })
+    Ok((
+        r.round as usize,
+        ClientUpload {
+            client_id: r.client_id as usize,
+            primal,
+            dual,
+            num_samples,
+            local_loss: r.penalty as f32,
+        },
+    ))
 }
 
 /// Drives one client over a transport endpoint for `rounds` rounds.
@@ -131,7 +155,7 @@ pub fn run_server<C: Communicator>(
                 .recv(rank)
                 .map_err(|e| TensorError::InvalidArgument(format!("server recv: {e}")))?;
             comm_secs += t0.elapsed().as_secs_f64();
-            uploads.push(decode_upload(&buf, sample_counts[rank - 1])?);
+            uploads.push(decode_upload(&buf, sample_counts[rank - 1])?.1);
         }
         let upload_bytes: usize = uploads.iter().map(ClientUpload::payload_bytes).sum();
         let train_loss =
@@ -149,7 +173,194 @@ pub fn run_server<C: Communicator>(
             upload_bytes,
             compute_secs: (total - comm_secs).max(0.0),
             comm_secs,
+            dropped_clients: 0,
+            retries: 0,
+            timed_out: 0,
         });
+    }
+    Ok(history)
+}
+
+/// Fault-tolerant client loop. The client is driven entirely by what
+/// arrives: each broadcast carries its round tag, the local update runs,
+/// and the upload is sent back labelled with that round. A zero-length
+/// payload is the server's end-of-run sentinel. Waiting for a broadcast
+/// goes through `policy` (each re-wait after a timeout bumps `retries`),
+/// so a dropped broadcast turns into retry-then-catch-up instead of a
+/// hang; once the policy is exhausted the client concludes the server is
+/// gone and leaves cleanly. Uploads are fire-and-forget — the push
+/// protocol has no ack, so a lost upload surfaces on the server side as a
+/// degraded round, not here.
+pub fn run_client_ft<C: Communicator>(
+    mut client: Box<dyn ClientAlgorithm>,
+    comm: &C,
+    policy: &RetryPolicy,
+    recv_timeout: std::time::Duration,
+    retries: &AtomicUsize,
+) -> Result<(), TensorError> {
+    loop {
+        let buf = match policy.run(Some(retries), |_| comm.recv_timeout(0, recv_timeout)) {
+            Ok(buf) => buf,
+            Err(_) => break, // prolonged silence or a dead link: run is over
+        };
+        if buf.is_empty() {
+            break; // end-of-run sentinel
+        }
+        let Ok((round, w)) = decode_global_tagged(&buf) else {
+            continue; // corrupted broadcast: skip it, catch the next round
+        };
+        let upload = match client.update(&w) {
+            Ok(u) => u,
+            Err(_) => break, // local failure: leave the federation
+        };
+        if comm.send(0, encode_upload(round, &upload)).is_err() {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Fault-tolerant server loop with degraded-round semantics.
+///
+/// Per round: broadcast to the roster's active clients (a failed send is a
+/// recorded failure), then collect uploads with [`Communicator::
+/// recv_any_timeout`] until all expected uploads arrive or the round
+/// deadline passes. Stale (wrong round tag), duplicate, unsolicited and
+/// undecodable uploads are discarded. If at least
+/// [`FaultToleranceConfig::min_quorum`] uploads arrived the round
+/// aggregates — via [`ServerAlgorithm::update`] when the cohort is
+/// complete, [`ServerAlgorithm::update_degraded`] otherwise — and below
+/// quorum the round is skipped with the global model unchanged. Clients
+/// that miss [`FaultToleranceConfig::suspect_after`] consecutive rounds
+/// are excluded, then re-admitted after
+/// [`FaultToleranceConfig::readmit_after`] rounds. Every round records
+/// `dropped_clients`, `retries` (drained from the shared client counter)
+/// and `timed_out` in its [`RoundRecord`]. After the last round an empty
+/// sentinel is sent (thrice, best-effort — it may itself be dropped) so
+/// clients stop waiting.
+#[allow(clippy::too_many_arguments)]
+pub fn run_server_ft<C: Communicator>(
+    mut server: Box<dyn ServerAlgorithm>,
+    template: &mut dyn Module,
+    test: &InMemoryDataset,
+    comm: &C,
+    rounds: usize,
+    sample_counts: &[usize],
+    epsilon: f64,
+    dataset_name: &str,
+    ft: &FaultToleranceConfig,
+    retries: &AtomicUsize,
+) -> Result<History, TensorError> {
+    let num_clients = comm.size() - 1;
+    if sample_counts.len() != num_clients {
+        return Err(TensorError::InvalidArgument(format!(
+            "{} sample counts for {} clients",
+            sample_counts.len(),
+            num_clients
+        )));
+    }
+    let mut roster = ClientRoster::new(num_clients, ft.suspect_after, ft.readmit_after);
+    let mut history = History::new(server.name(), dataset_name, epsilon);
+    let mut retries_prev = retries.load(Ordering::Relaxed);
+    for round in 1..=rounds {
+        let round_start = Instant::now();
+        let active = roster.begin_round(round);
+        let w = server.global_model();
+        let msg = encode_global(round, &w);
+        let mut expected = vec![false; num_clients];
+        let mut expected_n = 0usize;
+        for &p in &active {
+            match comm.send(p + 1, msg.clone()) {
+                Ok(()) => {
+                    expected[p] = true;
+                    expected_n += 1;
+                }
+                Err(_) => {
+                    roster.record_failure(p, round);
+                }
+            }
+        }
+
+        let deadline = round_start + ft.round_timeout();
+        let mut got = vec![false; num_clients];
+        let mut uploads = Vec::with_capacity(expected_n);
+        let mut comm_secs = 0.0f64;
+        let mut timed_out = 0usize;
+        while uploads.len() < expected_n {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let t0 = Instant::now();
+            match comm.recv_any_timeout(deadline - now) {
+                Ok((from, buf)) => {
+                    comm_secs += t0.elapsed().as_secs_f64();
+                    let p = from - 1;
+                    match decode_upload(&buf, sample_counts[p]) {
+                        Ok((r, upload))
+                            if r == round && expected[p] && !got[p] && upload.client_id == p =>
+                        {
+                            got[p] = true;
+                            uploads.push(upload);
+                        }
+                        _ => {} // stale, duplicate, unsolicited or corrupt
+                    }
+                }
+                Err(CommError::Timeout { .. }) => {
+                    comm_secs += t0.elapsed().as_secs_f64();
+                    timed_out += 1;
+                    break;
+                }
+                Err(_) => break, // every remaining peer is gone
+            }
+        }
+        for &p in &active {
+            if expected[p] {
+                if got[p] {
+                    roster.record_success(p);
+                } else {
+                    roster.record_failure(p, round);
+                }
+            }
+        }
+
+        let dropped_clients = active.len() - uploads.len();
+        if !uploads.is_empty() && uploads.len() >= ft.min_quorum.min(num_clients) {
+            if uploads.len() == num_clients {
+                server.update(&uploads)?;
+            } else {
+                server.update_degraded(&uploads)?;
+            }
+        }
+        // Below quorum the model simply carries over — a skipped round.
+
+        let upload_bytes: usize = uploads.iter().map(ClientUpload::payload_bytes).sum();
+        let train_loss =
+            uploads.iter().map(|u| u.local_loss).sum::<f32>() / uploads.len().max(1) as f32;
+        let w_next = server.global_model();
+        let e = evaluate(template, &w_next, test, 64)?;
+        let retries_now = retries.load(Ordering::Relaxed);
+        let total = round_start.elapsed().as_secs_f64();
+        history.rounds.push(RoundRecord {
+            round,
+            accuracy: e.accuracy,
+            test_loss: e.loss,
+            train_loss,
+            upload_bytes,
+            compute_secs: (total - comm_secs).max(0.0),
+            comm_secs,
+            dropped_clients,
+            retries: retries_now - retries_prev,
+            timed_out,
+        });
+        retries_prev = retries_now;
+    }
+    // End-of-run sentinel, repeated in case the fault plan eats some; a
+    // client that misses all three still exits via its retry budget.
+    for rank in 1..=num_clients {
+        for _ in 0..3 {
+            let _ = comm.send(rank, Vec::new());
+        }
     }
     Ok(history)
 }
@@ -194,6 +405,61 @@ impl CommRunner {
                 &sample_counts,
                 epsilon,
                 dataset_name,
+            );
+            for h in handles {
+                h.join().expect("client thread panicked")?;
+            }
+            history
+        })
+    }
+
+    /// Fault-tolerant [`CommRunner::run`]: the federation completes all
+    /// `rounds` even when the endpoints drop, delay or corrupt messages
+    /// (e.g. wrapped in [`appfl_comm::transport::FaultyCommunicator`]) or
+    /// a client is dead from the start — degraded rounds aggregate on
+    /// quorum, and the returned [`History`] carries per-round
+    /// `dropped_clients`/`retries`/`timed_out` counters.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_ft<C: Communicator + 'static>(
+        server: Box<dyn ServerAlgorithm>,
+        clients: Vec<Box<dyn ClientAlgorithm>>,
+        template: &mut dyn Module,
+        test: &InMemoryDataset,
+        mut endpoints: Vec<C>,
+        rounds: usize,
+        epsilon: f64,
+        dataset_name: &str,
+        ft: &FaultToleranceConfig,
+    ) -> Result<History, TensorError> {
+        assert_eq!(
+            endpoints.len(),
+            clients.len() + 1,
+            "need one endpoint per client plus the server"
+        );
+        let sample_counts: Vec<usize> = clients.iter().map(|c| c.num_samples()).collect();
+        let server_ep = endpoints.remove(0);
+        let retries = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (i, (client, ep)) in clients.into_iter().zip(endpoints).enumerate() {
+                let policy = ft.retry_policy(i as u64 + 1);
+                let retries = &retries;
+                let recv_timeout = ft.round_timeout();
+                handles.push(scope.spawn(move || {
+                    run_client_ft(client, &ep, &policy, recv_timeout, retries)
+                }));
+            }
+            let history = run_server_ft(
+                server,
+                template,
+                test,
+                &server_ep,
+                rounds,
+                &sample_counts,
+                epsilon,
+                dataset_name,
+                ft,
+                &retries,
             );
             for h in handles {
                 h.join().expect("client thread panicked")?;
@@ -321,8 +587,20 @@ mod tests {
             local_loss: 0.25,
         };
         let buf = encode_upload(3, &u);
-        let back = decode_upload(&buf, 17).unwrap();
+        let (round, back) = decode_upload(&buf, 17).unwrap();
+        assert_eq!(round, 3);
         assert_eq!(back, u);
+    }
+
+    #[test]
+    fn tagged_global_roundtrip() {
+        let w = vec![1.5f32; 8];
+        let buf = encode_global(12, &w);
+        let (round, back) = decode_global_tagged(&buf).unwrap();
+        assert_eq!(round, 12);
+        assert_eq!(back, w);
+        let untagged = TensorMsg::flat("not-a-global", vec![1.0]).encode();
+        assert!(decode_global_tagged(&untagged).is_err());
     }
 
     #[test]

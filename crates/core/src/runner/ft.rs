@@ -1,0 +1,145 @@
+//! Client roster bookkeeping for degraded-round federation.
+//!
+//! The fault-tolerant runners track, per client, how many *consecutive*
+//! rounds it failed to report. After `suspect_after` consecutive failures
+//! the client is excluded from the roster — the server stops sending it
+//! work and stops waiting for it — and after `readmit_after` rounds on the
+//! bench it is re-admitted for another chance (`readmit_after = 0` bans it
+//! for good). One successful report clears the failure streak, so a client
+//! that is merely slow on a congested round is never quarantined.
+
+/// Per-client participation state.
+#[derive(Debug, Clone, Copy, Default)]
+struct ClientState {
+    /// Consecutive rounds without a report.
+    consecutive_failures: usize,
+    /// Excluded until this round (re-admitted at `round >= excluded_until`).
+    excluded_until: Option<usize>,
+}
+
+/// Tracks which clients are in good standing round over round.
+#[derive(Debug, Clone)]
+pub struct ClientRoster {
+    state: Vec<ClientState>,
+    suspect_after: usize,
+    readmit_after: usize,
+}
+
+impl ClientRoster {
+    /// A roster of `num_clients` clients, all in good standing.
+    pub fn new(num_clients: usize, suspect_after: usize, readmit_after: usize) -> Self {
+        ClientRoster {
+            state: vec![ClientState::default(); num_clients],
+            suspect_after: suspect_after.max(1),
+            readmit_after,
+        }
+    }
+
+    /// Starts `round`: re-admits clients whose exclusion has lapsed and
+    /// returns the indices of clients to include this round, ascending.
+    pub fn begin_round(&mut self, round: usize) -> Vec<usize> {
+        let mut active = Vec::with_capacity(self.state.len());
+        for (p, s) in self.state.iter_mut().enumerate() {
+            if let Some(until) = s.excluded_until {
+                if round >= until {
+                    // Fresh start: the streak that got it benched is spent.
+                    *s = ClientState::default();
+                } else {
+                    continue;
+                }
+            }
+            active.push(p);
+        }
+        active
+    }
+
+    /// Whether client `p` is currently excluded.
+    pub fn is_excluded(&self, p: usize) -> bool {
+        self.state[p].excluded_until.is_some()
+    }
+
+    /// Currently excluded client count.
+    pub fn excluded(&self) -> usize {
+        self.state
+            .iter()
+            .filter(|s| s.excluded_until.is_some())
+            .count()
+    }
+
+    /// Records that client `p` reported this round.
+    pub fn record_success(&mut self, p: usize) {
+        self.state[p].consecutive_failures = 0;
+    }
+
+    /// Records that client `p` failed to report in `round`. Returns `true`
+    /// if this failure tipped it into exclusion.
+    pub fn record_failure(&mut self, p: usize, round: usize) -> bool {
+        let s = &mut self.state[p];
+        if s.excluded_until.is_some() {
+            return false;
+        }
+        s.consecutive_failures += 1;
+        if s.consecutive_failures >= self.suspect_after {
+            s.excluded_until = Some(if self.readmit_after == 0 {
+                usize::MAX
+            } else {
+                round + self.readmit_after
+            });
+            return true;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_active_until_failures_accumulate() {
+        let mut r = ClientRoster::new(3, 2, 3);
+        assert_eq!(r.begin_round(1), vec![0, 1, 2]);
+        assert!(!r.record_failure(1, 1), "one failure is not suspicion yet");
+        assert_eq!(r.begin_round(2), vec![0, 1, 2]);
+        assert!(r.record_failure(1, 2), "second consecutive failure excludes");
+        assert_eq!(r.begin_round(3), vec![0, 2]);
+        assert!(r.is_excluded(1));
+        assert_eq!(r.excluded(), 1);
+    }
+
+    #[test]
+    fn success_resets_the_streak() {
+        let mut r = ClientRoster::new(1, 2, 1);
+        r.record_failure(0, 1);
+        r.record_success(0);
+        assert!(!r.record_failure(0, 3), "streak restarted after success");
+        assert_eq!(r.begin_round(4), vec![0]);
+    }
+
+    #[test]
+    fn excluded_clients_are_readmitted_later() {
+        let mut r = ClientRoster::new(2, 1, 2);
+        r.record_failure(0, 1); // excluded until round 3
+        assert_eq!(r.begin_round(2), vec![1]);
+        assert_eq!(r.begin_round(3), vec![0, 1], "bench served, welcome back");
+        assert!(!r.is_excluded(0));
+        // The comeback starts with a clean slate but can fail again.
+        r.record_failure(0, 3);
+        assert_eq!(r.begin_round(4), vec![1]);
+    }
+
+    #[test]
+    fn zero_readmit_means_permanent_exclusion() {
+        let mut r = ClientRoster::new(1, 1, 0);
+        r.record_failure(0, 1);
+        assert!(r.begin_round(1_000_000).is_empty());
+    }
+
+    #[test]
+    fn failures_while_excluded_do_not_compound() {
+        let mut r = ClientRoster::new(1, 1, 2);
+        assert!(r.record_failure(0, 1));
+        assert!(!r.record_failure(0, 2), "already excluded");
+        assert_eq!(r.begin_round(3), vec![0]);
+    }
+}

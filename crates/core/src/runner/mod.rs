@@ -2,11 +2,13 @@
 
 pub mod async_service;
 pub mod comm;
+pub mod ft;
 pub mod pubsub;
 pub mod rpc;
 pub mod r#async;
 pub mod serial;
 
 pub use comm::CommRunner;
+pub use ft::ClientRoster;
 pub use r#async::{AsyncConfig, AsyncFedServer};
 pub use serial::SerialRunner;

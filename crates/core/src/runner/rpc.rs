@@ -3,11 +3,15 @@
 //! train, call `SendResults`, and poll until the round advances.
 
 use crate::api::{ClientAlgorithm, ClientUpload, ServerAlgorithm};
-use appfl_comm::rpc::{call, serve, FlService, Request, Response};
+use crate::config::FaultToleranceConfig;
+use appfl_comm::retry::RetryPolicy;
+use appfl_comm::rpc::{call, call_with_retry, serve, serve_ft, FlService, Request, Response};
 use appfl_comm::transport::Communicator;
 use appfl_comm::wire::messages::GlobalWeights;
 use appfl_comm::wire::{JobDone, LearningResults, TensorMsg, WeightRequest};
 use appfl_tensor::TensorError;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
 
 /// Synchronous-round FL service over any [`ServerAlgorithm`].
 ///
@@ -55,13 +59,15 @@ impl SyncRoundService {
     /// at the next round). Only meaningful for FedAvg-style servers; the
     /// ADMM servers require full participation and will reject partial
     /// batches.
-    pub fn with_quorum(mut self, quorum: usize) -> Self {
-        assert!(
-            quorum >= 1 && quorum <= self.num_clients,
-            "quorum must be in 1..=num_clients"
-        );
+    pub fn with_quorum(mut self, quorum: usize) -> Result<Self, TensorError> {
+        if quorum < 1 || quorum > self.num_clients {
+            return Err(TensorError::InvalidArgument(format!(
+                "quorum {quorum} outside 1..={} clients",
+                self.num_clients
+            )));
+        }
         self.quorum = quorum;
-        self
+        Ok(self)
     }
 
     /// Completed aggregations so far.
@@ -77,10 +83,6 @@ impl SyncRoundService {
     /// The served algorithm (for final-model extraction).
     pub fn into_server(self) -> Box<dyn ServerAlgorithm> {
         self.server
-    }
-
-    fn finished(&self) -> bool {
-        self.round > self.rounds
     }
 }
 
@@ -129,6 +131,10 @@ impl FlService for SyncRoundService {
 
     fn done(&mut self, _done: &JobDone) -> bool {
         true
+    }
+
+    fn finished(&self) -> bool {
+        self.round > self.rounds
     }
 }
 
@@ -216,6 +222,137 @@ pub fn run_rpc_federation<C: Communicator + 'static>(
         let completed = service.completed_rounds();
         Ok((service.into_server().global_model(), completed))
     })
+}
+
+/// Fault-tolerant variant of [`run_rpc_client`]: every call goes through
+/// [`call_with_retry`] with a per-attempt `timeout`. A client that cannot
+/// reach the server after exhausting its retries — or whose local update
+/// fails — *leaves the federation* instead of erroring the whole run; the
+/// quorum service aggregates without it. Returns the rounds contributed.
+pub fn run_rpc_client_ft<C: Communicator>(
+    mut client: Box<dyn ClientAlgorithm>,
+    comm: &C,
+    policy: &RetryPolicy,
+    timeout: Duration,
+    retries: Option<&AtomicUsize>,
+) -> Result<usize, TensorError> {
+    let id = client.id() as u32;
+    let mut contributed = 0usize;
+    let mut last_round_seen = 0u32;
+    loop {
+        let weights = match call_with_retry(
+            comm,
+            &Request::GetWeight(WeightRequest {
+                client_id: id,
+                round: last_round_seen,
+            }),
+            policy,
+            timeout,
+            retries,
+        ) {
+            Ok(Response::Weights(w)) => w,
+            Ok(other) => {
+                return Err(TensorError::InvalidArgument(format!(
+                    "unexpected response {other:?}"
+                )))
+            }
+            Err(_) => break, // server unreachable: give up, don't wedge
+        };
+        if weights.finished {
+            break;
+        }
+        if weights.round == last_round_seen {
+            std::thread::yield_now();
+            continue;
+        }
+        last_round_seen = weights.round;
+        let w = &weights.tensors[0].data;
+        let upload = match client.update(w) {
+            Ok(u) => u,
+            Err(_) => break, // local failure: leave the federation
+        };
+        let results = LearningResults {
+            client_id: id,
+            round: weights.round,
+            penalty: f64::from(upload.local_loss),
+            primal: vec![TensorMsg::flat("primal", upload.primal)],
+            dual: upload
+                .dual
+                .map(|d| vec![TensorMsg::flat("dual", d)])
+                .unwrap_or_default(),
+        };
+        if call_with_retry(
+            comm,
+            &Request::SendResults(Box::new(results)),
+            policy,
+            timeout,
+            retries,
+        )
+        .is_err()
+        {
+            break;
+        }
+        contributed += 1;
+    }
+    // Best-effort goodbye; the server's idle cap covers us if it is lost.
+    let _ = call_with_retry(
+        comm,
+        &Request::Done(JobDone { client_id: id }),
+        policy,
+        timeout,
+        retries,
+    );
+    Ok(contributed)
+}
+
+/// Fault-tolerant [`run_rpc_federation`]: aggregates on
+/// [`FaultToleranceConfig::min_quorum`], clients retry per the config's
+/// policy, and the server stops on its idle cap rather than waiting for
+/// goodbyes that will never come. Returns the final global model, the
+/// completed rounds, and the total transport retries performed.
+pub fn run_rpc_federation_ft<C: Communicator + 'static>(
+    server: Box<dyn ServerAlgorithm>,
+    clients: Vec<Box<dyn ClientAlgorithm>>,
+    mut endpoints: Vec<C>,
+    rounds: usize,
+    ft: &FaultToleranceConfig,
+) -> Result<(Vec<f32>, usize, usize), TensorError> {
+    assert_eq!(endpoints.len(), clients.len() + 1);
+    let sample_counts: Vec<usize> = clients.iter().map(|c| c.num_samples()).collect();
+    let num_clients = clients.len();
+    let server_ep = endpoints.remove(0);
+    let quorum = ft.min_quorum.clamp(1, num_clients.max(1));
+    let mut service =
+        SyncRoundService::new(server, num_clients, rounds, sample_counts).with_quorum(quorum)?;
+    let retries = AtomicUsize::new(0);
+    let completed = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (i, (client, ep)) in clients.into_iter().zip(endpoints).enumerate() {
+            let policy = ft.retry_policy(i as u64 + 1);
+            let retries = &retries;
+            let timeout = ft.round_timeout();
+            handles.push(
+                scope.spawn(move || run_rpc_client_ft(client, &ep, &policy, timeout, Some(retries))),
+            );
+        }
+        serve_ft(
+            &mut service,
+            &server_ep,
+            num_clients,
+            ft.round_timeout(),
+            ft.suspect_after.max(1),
+        )
+        .map_err(|e| TensorError::InvalidArgument(format!("serve: {e}")))?;
+        for h in handles {
+            h.join().expect("client thread panicked")?;
+        }
+        Ok::<usize, TensorError>(service.completed_rounds())
+    })?;
+    Ok((
+        service.into_server().global_model(),
+        completed,
+        retries.load(Ordering::Relaxed),
+    ))
 }
 
 #[cfg(test)]
@@ -311,7 +448,9 @@ mod tests {
         let mut endpoints = appfl_comm::transport::InProcNetwork::new(num_clients + 1);
         let server_ep = endpoints.remove(0);
         // Aggregate on any 2 of 3 uploads.
-        let mut service = SyncRoundService::new(fed.server, num_clients, 3, counts).with_quorum(2);
+        let mut service = SyncRoundService::new(fed.server, num_clients, 3, counts)
+            .with_quorum(2)
+            .unwrap();
         let completed = std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for (client, ep) in fed.clients.into_iter().zip(endpoints) {
@@ -329,6 +468,50 @@ mod tests {
         // last client reports; rejected may be 0 on a fast machine, so only
         // sanity-check the counter is consistent.)
         assert!(service.rejected() <= 3);
+    }
+
+    #[test]
+    fn bad_quorum_is_an_error_not_a_panic() {
+        let fed = federation(
+            AlgorithmConfig::FedAvg {
+                lr: 0.05,
+                momentum: 0.9,
+            },
+            1,
+        );
+        let counts: Vec<usize> = fed.clients.iter().map(|c| c.num_samples()).collect();
+        let service = SyncRoundService::new(fed.server, 3, 1, counts);
+        assert!(service.with_quorum(0).is_err());
+        let fed = federation(
+            AlgorithmConfig::FedAvg {
+                lr: 0.05,
+                momentum: 0.9,
+            },
+            1,
+        );
+        let counts: Vec<usize> = fed.clients.iter().map(|c| c.num_samples()).collect();
+        let service = SyncRoundService::new(fed.server, 3, 1, counts);
+        assert!(service.with_quorum(4).is_err());
+    }
+
+    #[test]
+    fn ft_federation_completes_without_faults() {
+        let fed = federation(
+            AlgorithmConfig::FedAvg {
+                lr: 0.05,
+                momentum: 0.9,
+            },
+            2,
+        );
+        let endpoints = InProcNetwork::new(4);
+        let ft = crate::config::FaultToleranceConfig {
+            min_quorum: 3,
+            ..Default::default()
+        };
+        let (w, completed, _retries) =
+            run_rpc_federation_ft(fed.server, fed.clients, endpoints, 2, &ft).unwrap();
+        assert_eq!(completed, 2);
+        assert!(w.iter().all(|x| x.is_finite()));
     }
 
     #[test]

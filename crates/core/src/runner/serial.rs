@@ -132,6 +132,9 @@ impl SerialRunner {
             upload_bytes,
             compute_secs,
             comm_secs: 0.0,
+            dropped_clients: 0,
+            retries: 0,
+            timed_out: 0,
         })
     }
 

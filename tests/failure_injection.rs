@@ -2,10 +2,14 @@
 //! panics or silent corruption — dropped transport peers, failing clients,
 //! malformed uploads, corrupted wire bytes.
 
-use appfl::comm::transport::{CommError, Communicator, GrpcChannel, InProcNetwork};
+use appfl::comm::transport::{
+    CommError, Communicator, FaultKind, FaultPlan, FaultyCommunicator, GrpcChannel, InProcNetwork,
+};
 use appfl::core::algorithms::{build_federation, Federation};
 use appfl::core::api::{ClientAlgorithm, ClientUpload};
-use appfl::core::config::{AlgorithmConfig, FedConfig};
+use appfl::core::config::{AlgorithmConfig, FaultToleranceConfig, FedConfig};
+use appfl::core::runner::comm::CommRunner;
+use appfl::core::runner::rpc::run_rpc_federation_ft;
 use appfl::core::runner::serial::SerialRunner;
 use appfl::data::federated::{build_benchmark, Benchmark};
 use appfl::nn::models::{mlp_classifier, InputSpec};
@@ -98,6 +102,77 @@ fn failing_client_aborts_the_round_with_an_error() {
     let mut runner = SerialRunner::new(fed, test, "MNIST");
     let err = runner.run().unwrap_err();
     assert!(err.to_string().contains("crashed"), "got: {err}");
+}
+
+#[test]
+fn quorum_rpc_federation_survives_a_flaky_client() {
+    // The serial runner (above) aborts when a client crashes; the
+    // fault-tolerant RPC runner instead lets the crashed client leave and
+    // keeps aggregating on quorum, completing every round with 2 of 3.
+    let mut fed = federation(3);
+    fed.clients[1] = Box::new(FlakyClient {
+        id: 1,
+        updates: 0,
+        fail_after: 1,
+    });
+    let ft = FaultToleranceConfig {
+        round_timeout_ms: 300,
+        min_quorum: 2,
+        suspect_after: 2,
+        readmit_after: 0,
+        max_attempts: 2,
+        base_backoff_ms: 5,
+    };
+    let (model, completed, _retries) =
+        run_rpc_federation_ft(fed.server, fed.clients, InProcNetwork::new(4), 3, &ft).unwrap();
+    assert_eq!(completed, 3, "quorum rounds must all complete");
+    assert!(!model.is_empty());
+    assert!(model.iter().all(|w| w.is_finite()));
+}
+
+#[test]
+fn scheduled_broadcast_drop_degrades_the_round_not_the_run() {
+    // The server's round-2 broadcast to rank 1 is dropped on the wire.
+    // The push runner must degrade that round (aggregate the two clients
+    // that did report, at the deadline) while the starved client retries
+    // its receive and catches up on round 3 — no hang, no abort.
+    let data = build_benchmark(Benchmark::Mnist, 3, 90, 30, 12).unwrap();
+    let test = data.test.clone();
+    let mut fed = federation(3);
+    let mut raw = InProcNetwork::new(4).into_iter();
+    let mut endpoints = vec![FaultyCommunicator::new(
+        raw.next().unwrap(),
+        FaultPlan::new(7).fault_at(1, 2, FaultKind::Drop),
+    )];
+    endpoints.extend(raw.map(|ep| FaultyCommunicator::new(ep, FaultPlan::new(0))));
+    let ft = FaultToleranceConfig {
+        round_timeout_ms: 400,
+        min_quorum: 1,
+        suspect_after: 3,
+        readmit_after: 0,
+        max_attempts: 4,
+        base_backoff_ms: 5,
+    };
+    let h = CommRunner::run_ft(
+        fed.server,
+        fed.clients,
+        fed.template.as_mut(),
+        &test,
+        endpoints,
+        3,
+        f64::INFINITY,
+        "MNIST",
+        &ft,
+    )
+    .unwrap();
+    assert_eq!(h.rounds.len(), 3);
+    // Round 2 loses exactly the starved client and hits its deadline.
+    assert_eq!(h.rounds[1].dropped_clients, 1);
+    assert!(h.rounds[1].timed_out >= 1);
+    // The starved client re-waited for the broadcast at least once.
+    assert!(h.total_retries() >= 1);
+    // By round 3 it caught up: full cohort again.
+    assert_eq!(h.rounds[2].dropped_clients, 0);
 }
 
 #[test]

@@ -1,0 +1,140 @@
+//! End-to-end fault tolerance: a FedAvg federation over a
+//! [`FaultyCommunicator`] with 25% message loss on every link plus one
+//! permanently dead client must still complete every round — degraded
+//! rounds aggregate on quorum after the round deadline — and land within
+//! five accuracy points of the fault-free run on the same seed.
+
+use appfl::comm::transport::{FaultPlan, FaultyCommunicator, InProcNetwork};
+use appfl::core::algorithms::build_federation;
+use appfl::core::config::{AlgorithmConfig, FaultToleranceConfig, FedConfig};
+use appfl::core::metrics::History;
+use appfl::core::runner::comm::CommRunner;
+use appfl::data::federated::{build_benchmark, Benchmark, FederatedDataset};
+use appfl::nn::models::{mlp_classifier, InputSpec};
+use appfl::privacy::PrivacyConfig;
+
+const SPEC: InputSpec = InputSpec {
+    channels: 1,
+    height: 28,
+    width: 28,
+    classes: 10,
+};
+const ROUNDS: usize = 5;
+
+fn config() -> FedConfig {
+    FedConfig {
+        algorithm: AlgorithmConfig::FedAvg {
+            lr: 0.05,
+            momentum: 0.9,
+        },
+        rounds: ROUNDS,
+        local_steps: 1,
+        batch_size: 16,
+        privacy: PrivacyConfig::none(),
+        seed: 4,
+    }
+}
+
+fn data() -> FederatedDataset {
+    build_benchmark(Benchmark::Mnist, 3, 90, 30, 2).unwrap()
+}
+
+fn run_clean() -> History {
+    let data = data();
+    let test = data.test.clone();
+    let mut fed = build_federation(config(), &data, |rng| Box::new(mlp_classifier(SPEC, 8, rng)));
+    CommRunner::run(
+        fed.server,
+        fed.clients,
+        fed.template.as_mut(),
+        &test,
+        InProcNetwork::new(4),
+        ROUNDS,
+        f64::INFINITY,
+        "MNIST",
+    )
+    .unwrap()
+}
+
+fn run_faulty() -> History {
+    let data = data();
+    let test = data.test.clone();
+    let mut fed = build_federation(config(), &data, |rng| Box::new(mlp_classifier(SPEC, 8, rng)));
+
+    // Every link loses 25% of its traffic, and rank 3's client is dead
+    // from the start (the server's sends to it fail like a torn-down TCP
+    // connection). The plan seeds are arbitrary but fixed: the same fault
+    // pattern replays on every run.
+    let mut raw = InProcNetwork::new(4).into_iter();
+    let mut endpoints = vec![FaultyCommunicator::new(
+        raw.next().unwrap(),
+        FaultPlan::new(40).drop_prob(0.25).disconnect_after(3, 0),
+    )];
+    for (i, ep) in raw.enumerate() {
+        endpoints.push(FaultyCommunicator::new(
+            ep,
+            FaultPlan::new([4, 11, 14][i]).drop_prob(0.25),
+        ));
+    }
+
+    let ft = FaultToleranceConfig {
+        round_timeout_ms: 600,
+        min_quorum: 1,
+        suspect_after: 2,
+        readmit_after: 0, // a dead client stays excluded
+        max_attempts: 4,
+        base_backoff_ms: 5,
+    };
+    CommRunner::run_ft(
+        fed.server,
+        fed.clients,
+        fed.template.as_mut(),
+        &test,
+        endpoints,
+        ROUNDS,
+        f64::INFINITY,
+        "MNIST",
+        &ft,
+    )
+    .unwrap()
+}
+
+#[test]
+fn federation_completes_under_heavy_faults() {
+    let faulty = run_faulty();
+
+    // Every round ran despite the dead client and the dropped broadcast.
+    assert_eq!(faulty.rounds.len(), ROUNDS);
+    // The dead client degrades every round it was still on the roster,
+    // and the dropped round-3 broadcast degrades one more.
+    assert!(
+        faulty.total_dropped_clients() > 0,
+        "expected dropped clients, got history {faulty:?}"
+    );
+    assert!(faulty.degraded_rounds() > 0);
+    // The dead client burns its whole retry budget and the live client
+    // behind the dropped broadcast re-waits once, so retries are nonzero.
+    assert!(
+        faulty.total_retries() > 0,
+        "expected client retries, got history {faulty:?}"
+    );
+    // The dropped broadcast forces the server to its round deadline.
+    assert!(faulty.rounds.iter().any(|r| r.timed_out > 0));
+    assert!(faulty.rounds.iter().all(|r| r.accuracy.is_finite()));
+}
+
+#[test]
+fn faulty_run_tracks_fault_free_accuracy() {
+    let clean = run_clean();
+    let faulty = run_faulty();
+    assert_eq!(clean.rounds.len(), faulty.rounds.len());
+    // Accuracy is on a 0..1 scale: "within 5 points" is 0.05.
+    let gap = (clean.final_accuracy() - faulty.final_accuracy()).abs();
+    assert!(
+        gap <= 0.05,
+        "faulty run drifted {gap} from the fault-free baseline \
+         (clean {}, faulty {})",
+        clean.final_accuracy(),
+        faulty.final_accuracy()
+    );
+}

@@ -238,6 +238,84 @@ proptest! {
     }
 
     #[test]
+    fn truncated_encodings_error_cleanly(
+        data in proptest::collection::vec(-1e3f32..1e3, 1..100),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        // A message cut off mid-flight (the FaultyCommunicator's Truncate
+        // fault, or a torn TCP stream) must decode to a clean error — or,
+        // when the cut lands on a field boundary, to a message that is
+        // itself well-formed. Never a panic.
+        let tensor = TensorMsg::flat("w", data.clone()).encode();
+        let cut = ((tensor.len() as f64) * cut_frac) as usize;
+        if let Ok(partial) = TensorMsg::decode(&tensor[..cut]) {
+            prop_assert_eq!(TensorMsg::decode(&partial.encode()).unwrap(), partial);
+        }
+        let results = LearningResults {
+            client_id: 3,
+            round: 9,
+            penalty: 0.5,
+            primal: vec![TensorMsg::flat("z", data)],
+            dual: vec![],
+        }
+        .encode();
+        let cut = ((results.len() as f64) * cut_frac) as usize;
+        if let Ok(partial) = LearningResults::decode(&results[..cut]) {
+            prop_assert_eq!(LearningResults::decode(&partial.encode()).unwrap(), partial);
+        }
+    }
+
+    #[test]
+    fn bit_flips_never_panic_the_decoders(
+        data in proptest::collection::vec(-1e3f32..1e3, 1..80),
+        bit in any::<u32>(),
+    ) {
+        // One flipped bit anywhere in the encoding (the BitFlip fault):
+        // the decoders must return, Ok or Err, without panicking.
+        let mut buf = TensorMsg::flat("w", data).encode();
+        let bit = bit as usize % (buf.len() * 8);
+        buf[bit / 8] ^= 1 << (bit % 8);
+        let _ = TensorMsg::decode(&buf);
+        let _ = LearningResults::decode(&buf);
+        let _ = WeightRequest::decode(&buf);
+    }
+
+    #[test]
+    fn hostile_length_prefixes_are_rejected_without_allocating(
+        claimed in 1_000u64..u64::MAX,
+        field in 1u32..16,
+    ) {
+        // A length-delimited field claiming up to 2^64 bytes with almost
+        // none attached: the reader must bound-check the claim against the
+        // buffer and error, not trust it and allocate.
+        use appfl::comm::wire::varint::encode_varint;
+        let mut buf = Vec::new();
+        encode_varint(u64::from(field) << 3 | 2, &mut buf); // length-delimited tag
+        encode_varint(claimed, &mut buf);
+        buf.extend_from_slice(&[0xAB; 8]);
+        prop_assert!(TensorMsg::decode(&buf).is_err());
+        prop_assert!(LearningResults::decode(&buf).is_err());
+        prop_assert!(appfl::comm::wire::Chunk::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn reassembler_is_not_fooled_by_hostile_chunk_totals(
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+        total in 2u32..u32::MAX,
+    ) {
+        // A chunk header may claim u32::MAX chunks are coming; the
+        // reassembler must buffer only what actually arrives and reject
+        // inconsistent follow-ups, so the claim cannot reserve memory.
+        use appfl::comm::wire::{Chunk, Reassembler};
+        let mut r = Reassembler::new();
+        let first = Chunk { stream_id: 1, seq: 0, total, payload: payload.clone() };
+        prop_assert_eq!(r.push(first).unwrap(), None);
+        // A follow-up that contradicts the total is an error, not UB.
+        let liar = Chunk { stream_id: 1, seq: 1, total: total - 1, payload };
+        prop_assert!(r.push(liar).is_err());
+    }
+
+    #[test]
     fn gini_is_scale_invariant_and_bounded(
         sizes in proptest::collection::vec(1usize..1000, 1..30),
     ) {
