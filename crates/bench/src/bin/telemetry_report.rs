@@ -1,0 +1,30 @@
+//! Renders a telemetry JSONL capture (written by `JsonlSink`) as the
+//! per-round phase table plus counter totals.
+//!
+//! ```text
+//! telemetry_report <run.jsonl>
+//! ```
+
+use appfl_bench::telemetry_report::render_phase_table;
+use appfl_core::telemetry::read_jsonl;
+
+fn main() {
+    let path = match std::env::args().nth(1) {
+        Some(p) => p,
+        None => {
+            eprintln!("usage: telemetry_report <run.jsonl>");
+            std::process::exit(2);
+        }
+    };
+    match read_jsonl(&path) {
+        Ok(events) => {
+            println!("telemetry report: {path} ({} events)", events.len());
+            println!();
+            print!("{}", render_phase_table(&events));
+        }
+        Err(e) => {
+            eprintln!("telemetry_report: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

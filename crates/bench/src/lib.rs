@@ -15,8 +15,10 @@
 //! | `ablation_comm` | IIADMM vs ICEADMM bytes/round (headline saving) |
 //! | `ablation_rho` | adaptive ρ vs fixed ρ (future-work item 2) |
 //! | `ablation_async` | sync vs async aggregation under heterogeneity (item 1) |
+//! | `telemetry_report` | per-round phase table from a telemetry JSONL capture |
 //!
 //! Criterion micro-benchmarks for the kernels live in `benches/`.
 
 pub mod experiments;
 pub mod report;
+pub mod telemetry_report;

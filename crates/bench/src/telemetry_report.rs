@@ -1,0 +1,104 @@
+//! Renders a telemetry JSONL capture into the per-round phase table the
+//! paper breaks Tables IV–V down into (local update / serialize / comm /
+//! aggregate), plus a counter summary (bytes, retries, timeouts, drops).
+
+use crate::report::{fmt_pct, fmt_secs, render_table};
+use appfl_core::telemetry::{Event, RunSummary};
+
+/// Renders the per-round phase breakdown for `events`.
+///
+/// One row per round plus a totals row; each phase column also reports its
+/// share of the round's phase-accounted time. Spans that carry no round tag
+/// (client-side retries, backoffs, rpc calls) appear in a separate
+/// "untagged" row so per-round numbers stay honest.
+pub fn render_phase_table(events: &[Event]) -> String {
+    let summary = RunSummary::from_events(events);
+    let headers = [
+        "round",
+        "local_update",
+        "serialize",
+        "comm",
+        "aggregate",
+        "total",
+        "comm_share",
+    ];
+    let mut rows = Vec::new();
+    for (round, t) in &summary.rounds {
+        let total = t.total();
+        rows.push(vec![
+            round.to_string(),
+            fmt_secs(t.local_update),
+            fmt_secs(t.serialize),
+            fmt_secs(t.comm),
+            fmt_secs(t.aggregate),
+            fmt_secs(total),
+            if total > 0.0 {
+                fmt_pct(t.comm / total)
+            } else {
+                "-".to_string()
+            },
+        ]);
+    }
+    let g = summary.totals();
+    let grand = g.total();
+    rows.push(vec![
+        "all".to_string(),
+        fmt_secs(g.local_update),
+        fmt_secs(g.serialize),
+        fmt_secs(g.comm),
+        fmt_secs(g.aggregate),
+        fmt_secs(grand),
+        if grand > 0.0 {
+            fmt_pct(g.comm / grand)
+        } else {
+            "-".to_string()
+        },
+    ]);
+    let u = &summary.untagged;
+    if u.total() > 0.0 {
+        rows.push(vec![
+            "untagged".to_string(),
+            fmt_secs(u.local_update),
+            fmt_secs(u.serialize),
+            fmt_secs(u.comm),
+            fmt_secs(u.aggregate),
+            fmt_secs(u.total()),
+            "-".to_string(),
+        ]);
+    }
+    let mut out = render_table(&headers, &rows);
+    if !summary.counters.is_empty() {
+        out.push('\n');
+        let counter_rows: Vec<Vec<String>> = summary
+            .counters
+            .iter()
+            .map(|(name, value)| vec![name.clone(), value.to_string()])
+            .collect();
+        out.push_str(&render_table(&["counter", "total"], &counter_rows));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use appfl_core::telemetry::{MemorySink, Phase, Telemetry};
+    use std::sync::Arc;
+
+    #[test]
+    fn report_covers_rounds_counters_and_untagged() {
+        let sink = Arc::new(MemorySink::default());
+        let tl = Telemetry::new(sink.clone());
+        tl.span_secs("local_update", Phase::LocalUpdate, 0.2, Some(1), None);
+        tl.span_secs("comm", Phase::Comm, 0.1, Some(1), None);
+        tl.span_secs("backoff", Phase::Comm, 0.05, None, None);
+        tl.count("upload_bytes", 1024, Some(1), None);
+        tl.mark("retry", Some(1), None, Some("recv_broadcast"));
+        let text = render_phase_table(&sink.events());
+        assert!(text.contains("round"), "missing header:\n{text}");
+        assert!(text.contains("untagged"), "missing untagged row:\n{text}");
+        assert!(text.contains("upload_bytes"), "missing counter:\n{text}");
+        assert!(text.contains("retry"), "missing retry counter:\n{text}");
+        assert!(text.contains("200.00ms"), "missing phase time:\n{text}");
+    }
+}

@@ -35,4 +35,5 @@ pub mod transport;
 pub mod wire;
 
 pub use retry::RetryPolicy;
+pub use rpc::ServeOptions;
 pub use transport::{Communicator, FaultPlan, FaultyCommunicator, InProcNetwork};

@@ -8,6 +8,7 @@
 //! a dropped endpoint or an invalid rank.
 
 use crate::transport::CommError;
+use appfl_telemetry::{Phase, Telemetry};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -93,6 +94,20 @@ impl RetryPolicy {
     pub fn run<T>(
         &self,
         retries: Option<&AtomicUsize>,
+        op: impl FnMut(u32) -> Result<T, CommError>,
+    ) -> Result<T, CommError> {
+        self.run_observed(retries, &Telemetry::disabled(), "op", op)
+    }
+
+    /// [`RetryPolicy::run`] with telemetry: every transient timeout emits
+    /// a `timeout` mark, every retry emits a `retry` mark (both tagged
+    /// with `op_name`), and each backoff sleep is recorded as a
+    /// comm-phase span so blocked-on-transport time is attributable.
+    pub fn run_observed<T>(
+        &self,
+        retries: Option<&AtomicUsize>,
+        telemetry: &Telemetry,
+        op_name: &str,
         mut op: impl FnMut(u32) -> Result<T, CommError>,
     ) -> Result<T, CommError> {
         let start = Instant::now();
@@ -102,6 +117,9 @@ impl RetryPolicy {
                 Ok(v) => return Ok(v),
                 Err(e) if !e.is_retryable() => return Err(e),
                 Err(e) => {
+                    if matches!(e, CommError::Timeout { .. }) {
+                        telemetry.mark("timeout", None, None, Some(op_name));
+                    }
                     if attempt >= self.max_attempts.max(1) {
                         return Err(e);
                     }
@@ -112,6 +130,8 @@ impl RetryPolicy {
                         }
                     }
                     std::thread::sleep(backoff);
+                    telemetry.span_secs("backoff", Phase::Comm, backoff.as_secs_f64(), None, None);
+                    telemetry.mark("retry", None, None, Some(op_name));
                     if let Some(counter) = retries {
                         counter.fetch_add(1, Ordering::Relaxed);
                     }
@@ -207,6 +227,28 @@ mod tests {
         assert_eq!(p.backoff_for(3), Duration::from_millis(4));
         assert_eq!(p.backoff_for(4), Duration::from_millis(8));
         assert_eq!(p.backoff_for(10), Duration::from_millis(8), "capped");
+    }
+
+    #[test]
+    fn run_observed_emits_retry_and_timeout_events() {
+        use appfl_telemetry::MemorySink;
+        use std::sync::Arc;
+        let sink = Arc::new(MemorySink::new());
+        let t = Telemetry::new(sink.clone());
+        let out = quick().run_observed(None, &t, "get_weight", |attempt| {
+            if attempt < 3 {
+                Err(CommError::Timeout { peer: Some(1) })
+            } else {
+                Ok(attempt)
+            }
+        });
+        assert_eq!(out.unwrap(), 3);
+        let events = sink.events();
+        assert_eq!(events.iter().filter(|e| e.name == "retry").count(), 2);
+        assert_eq!(events.iter().filter(|e| e.name == "timeout").count(), 2);
+        assert!(events
+            .iter()
+            .all(|e| e.name == "backoff" || e.detail.as_deref() == Some("get_weight")));
     }
 
     #[test]

@@ -14,6 +14,7 @@ use crate::retry::RetryPolicy;
 use crate::transport::{CommError, Communicator};
 use crate::wire::messages::GlobalWeights;
 use crate::wire::{JobDone, LearningResults, WeightRequest};
+use appfl_telemetry::{Phase, Telemetry};
 use std::sync::atomic::AtomicUsize;
 use std::time::Duration;
 
@@ -163,39 +164,102 @@ fn dispatch(
     }
 }
 
+/// Options for [`serve_with`], the single entry point behind the legacy
+/// `serve`/`serve_ft` pair.
+#[derive(Clone, Default)]
+pub struct ServeOptions {
+    /// Wait at most this long per message. `None` (the default) blocks
+    /// indefinitely and treats every transport failure as fatal — the
+    /// strict mode appropriate when clients are in-process and trusted.
+    /// `Some(t)` enables the lenient fault-tolerant mode: quiet periods
+    /// are counted against `max_idle`, a vanished peer set ends serving,
+    /// reply failures are ignored, and [`FlService::finished`] is
+    /// consulted so dead clients cannot park the server.
+    pub idle_timeout: Option<Duration>,
+    /// Consecutive quiet periods tolerated before giving up (clamped to
+    /// ≥ 1; only meaningful with an `idle_timeout`).
+    pub max_idle: usize,
+    /// Telemetry: idle timeouts emit `timeout` marks, request decode and
+    /// response encode are recorded as serialize-phase spans.
+    pub telemetry: Telemetry,
+}
+
 /// Serves requests over `comm` until `expected_done` clients have sent
-/// `Done`. Returns the number of requests handled. A request frame that
-/// fails to decode is nacked and skipped — one corrupted message must not
-/// abort the whole federation.
-pub fn serve<C: Communicator>(
+/// `Done` (or, in the fault-tolerant mode, the service reports itself
+/// finished / the idle cap fires). Returns the number of requests
+/// handled. A request frame that fails to decode is nacked and skipped —
+/// one corrupted message must not abort the whole federation. Requires a
+/// multiplexing transport: probe [`Communicator::supports_recv_any`]
+/// before choosing this serving model.
+pub fn serve_with<C: Communicator>(
     service: &mut dyn FlService,
     comm: &C,
     expected_done: usize,
+    options: &ServeOptions,
 ) -> Result<usize, CommError> {
+    let lenient = options.idle_timeout.is_some();
     let mut done = 0usize;
     let mut handled = 0usize;
-    while done < expected_done {
-        let (from, payload) = comm.recv_any()?;
-        let request = match Request::decode(&payload) {
+    let mut idle = 0usize;
+    while done < expected_done && !(lenient && service.finished()) {
+        let (from, payload) = match options.idle_timeout {
+            None => comm.recv_any()?,
+            Some(timeout) => match comm.recv_any_timeout(timeout) {
+                Ok(msg) => msg,
+                Err(CommError::Timeout { .. }) => {
+                    options.telemetry.mark("timeout", None, None, Some("serve"));
+                    idle += 1;
+                    if idle >= options.max_idle.max(1) {
+                        break;
+                    }
+                    continue;
+                }
+                Err(CommError::Disconnected { .. }) => break, // no live peers left
+                Err(e) => return Err(e),
+            },
+        };
+        idle = 0;
+        let decode_span = options.telemetry.span("rpc_decode", Phase::Serialize);
+        let request = Request::decode(&payload);
+        drop(decode_span);
+        let request = match request {
             Ok(r) => r,
             Err(_) => {
-                comm.send(from, Response::Ack { ok: false }.encode())?;
+                let nack = Response::Ack { ok: false }.encode();
+                if lenient {
+                    let _ = comm.send(from, nack);
+                } else {
+                    comm.send(from, nack)?;
+                }
                 continue;
             }
         };
         handled += 1;
         let response = dispatch(service, request, &mut done);
-        comm.send(from, response.encode())?;
+        let encode_span = options.telemetry.span("rpc_encode", Phase::Serialize);
+        let encoded = response.encode();
+        drop(encode_span);
+        if lenient {
+            let _ = comm.send(from, encoded);
+        } else {
+            comm.send(from, encoded)?;
+        }
     }
     Ok(handled)
 }
 
-/// Fault-tolerant [`serve`]: waits at most `idle_timeout` per message and
-/// gives up after `max_idle` consecutive quiet periods, so clients that
-/// died without a `Done` cannot park the server forever. Also stops as
-/// soon as [`FlService::finished`] reports the federation complete, and
-/// when every peer has disconnected. Failures replying to a vanished
-/// client are ignored rather than fatal.
+/// Strict serving loop.
+#[deprecated(note = "use `serve_with` with default `ServeOptions`")]
+pub fn serve<C: Communicator>(
+    service: &mut dyn FlService,
+    comm: &C,
+    expected_done: usize,
+) -> Result<usize, CommError> {
+    serve_with(service, comm, expected_done, &ServeOptions::default())
+}
+
+/// Fault-tolerant serving loop.
+#[deprecated(note = "use `serve_with` with `ServeOptions { idle_timeout: Some(..), .. }`")]
 pub fn serve_ft<C: Communicator>(
     service: &mut dyn FlService,
     comm: &C,
@@ -203,35 +267,16 @@ pub fn serve_ft<C: Communicator>(
     idle_timeout: Duration,
     max_idle: usize,
 ) -> Result<usize, CommError> {
-    let mut done = 0usize;
-    let mut handled = 0usize;
-    let mut idle = 0usize;
-    while done < expected_done && !service.finished() {
-        let (from, payload) = match comm.recv_any_timeout(idle_timeout) {
-            Ok(msg) => msg,
-            Err(CommError::Timeout { .. }) => {
-                idle += 1;
-                if idle >= max_idle.max(1) {
-                    break;
-                }
-                continue;
-            }
-            Err(CommError::Disconnected { .. }) => break, // no live peers left
-            Err(e) => return Err(e),
-        };
-        idle = 0;
-        let request = match Request::decode(&payload) {
-            Ok(r) => r,
-            Err(_) => {
-                let _ = comm.send(from, Response::Ack { ok: false }.encode());
-                continue;
-            }
-        };
-        handled += 1;
-        let response = dispatch(service, request, &mut done);
-        let _ = comm.send(from, response.encode());
-    }
-    Ok(handled)
+    serve_with(
+        service,
+        comm,
+        expected_done,
+        &ServeOptions {
+            idle_timeout: Some(idle_timeout),
+            max_idle,
+            telemetry: Telemetry::disabled(),
+        },
+    )
 }
 
 /// Client-side stub: one blocking unary call to the server at rank 0.
@@ -254,13 +299,37 @@ pub fn call_with_retry<C: Communicator>(
     timeout: Duration,
     retries: Option<&AtomicUsize>,
 ) -> Result<Response, CommError> {
-    policy.run(retries, |attempt| {
+    call_with_retry_observed(comm, request, policy, timeout, retries, &Telemetry::disabled())
+}
+
+/// [`call_with_retry`] with telemetry: the blocking send + response wait
+/// of each attempt is recorded as a comm-phase span named after the RPC
+/// method, and the retry policy emits `retry`/`timeout` marks.
+pub fn call_with_retry_observed<C: Communicator>(
+    comm: &C,
+    request: &Request,
+    policy: &RetryPolicy,
+    timeout: Duration,
+    retries: Option<&AtomicUsize>,
+    telemetry: &Telemetry,
+) -> Result<Response, CommError> {
+    let method = match request {
+        Request::GetWeight(_) => "get_weight",
+        Request::SendResults(_) => "send_results",
+        Request::Done(_) => "done",
+    };
+    policy.run_observed(retries, telemetry, method, |attempt| {
         if attempt > 1 {
             while comm.recv_timeout(0, Duration::from_millis(1)).is_ok() {}
         }
-        comm.send(0, request.encode())?;
-        let payload = comm.recv_timeout(0, timeout)?;
-        let response = Response::decode(&payload)?;
+        let encoded = request.encode();
+        let start = telemetry.enabled().then(std::time::Instant::now);
+        comm.send(0, encoded)?;
+        let payload = comm.recv_timeout(0, timeout);
+        if let Some(start) = start {
+            telemetry.span_secs("rpc_call", Phase::Comm, start.elapsed().as_secs_f64(), None, None);
+        }
+        let response = Response::decode(&payload?)?;
         if matches!(request, Request::GetWeight(_))
             && matches!(response, Response::Ack { ok: false })
         {
@@ -379,7 +448,7 @@ mod tests {
             weights: vec![0.5, 0.5],
             uploads: 0,
         };
-        let handled = serve(&mut service, &server_ep, 3).unwrap();
+        let handled = serve_with(&mut service, &server_ep, 3, &ServeOptions::default()).unwrap();
         assert_eq!(handled, 9); // 3 clients × 3 calls
         assert_eq!(service.uploads, 3);
         for h in handles {
@@ -403,7 +472,7 @@ mod tests {
             weights: vec![],
             uploads: 0,
         };
-        let handled = serve(&mut service, &server_ep, 1).unwrap();
+        let handled = serve_with(&mut service, &server_ep, 1, &ServeOptions::default()).unwrap();
         assert_eq!(handled, 1, "garbage frame is not counted as handled");
         h.join().unwrap();
     }
@@ -423,16 +492,75 @@ mod tests {
             uploads: 0,
         };
         // Expecting 2 Dones but only 1 arrives: the idle cap must fire.
-        let handled = serve_ft(
+        let handled = serve_with(
             &mut service,
             &server_ep,
             2,
-            Duration::from_millis(20),
-            3,
+            &ServeOptions {
+                idle_timeout: Some(Duration::from_millis(20)),
+                max_idle: 3,
+                telemetry: Telemetry::disabled(),
+            },
         )
         .unwrap();
         assert_eq!(handled, 1);
         h.join().unwrap();
+    }
+
+    #[test]
+    fn serve_with_emits_timeout_marks_when_idle() {
+        use appfl_telemetry::MemorySink;
+        use std::sync::Arc;
+        use std::time::Duration;
+        let mut eps = InProcNetwork::new(2);
+        let server_ep = eps.remove(0);
+        let _client = eps.remove(0); // silent
+        let sink = Arc::new(MemorySink::new());
+        let mut service = EchoService {
+            weights: vec![],
+            uploads: 0,
+        };
+        let handled = serve_with(
+            &mut service,
+            &server_ep,
+            1,
+            &ServeOptions {
+                idle_timeout: Some(Duration::from_millis(5)),
+                max_idle: 2,
+                telemetry: Telemetry::new(sink.clone()),
+            },
+        )
+        .unwrap();
+        assert_eq!(handled, 0);
+        let timeouts = sink
+            .events()
+            .iter()
+            .filter(|e| e.name == "timeout")
+            .count();
+        assert_eq!(timeouts, 2, "one mark per quiet period");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_serve_shims_still_work() {
+        use std::time::Duration;
+        let mut eps = InProcNetwork::new(2);
+        let server_ep = eps.remove(0);
+        let client_ep = eps.remove(0);
+        let h = thread::spawn(move || {
+            call(&client_ep, &Request::Done(JobDone { client_id: 1 })).unwrap();
+        });
+        let mut service = EchoService {
+            weights: vec![],
+            uploads: 0,
+        };
+        assert_eq!(serve(&mut service, &server_ep, 1).unwrap(), 1);
+        h.join().unwrap();
+        // serve_ft on a now-silent network stops via the idle cap.
+        assert_eq!(
+            serve_ft(&mut service, &server_ep, 1, Duration::from_millis(5), 1).unwrap(),
+            0
+        );
     }
 
     #[test]
@@ -470,7 +598,7 @@ mod tests {
             weights: vec![],
             uploads: 0,
         };
-        serve(&mut service, &server_ep, 1).unwrap();
+        serve_with(&mut service, &server_ep, 1, &ServeOptions::default()).unwrap();
         h.join().unwrap();
     }
 
@@ -498,7 +626,7 @@ mod tests {
             weights: vec![],
             uploads: 0,
         };
-        serve(&mut service, &server_ep, 1).unwrap();
+        serve_with(&mut service, &server_ep, 1, &ServeOptions::default()).unwrap();
         h.join().unwrap();
     }
 }

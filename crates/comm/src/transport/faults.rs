@@ -19,6 +19,7 @@
 //! link per federation round, so link round == federation round there.
 
 use super::{CommError, Communicator, TrafficSnapshot};
+use appfl_telemetry::Telemetry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -175,6 +176,7 @@ pub struct FaultyCommunicator<C: Communicator> {
     plan: FaultPlan,
     state: Mutex<FaultState>,
     retries_hint: AtomicUsize,
+    telemetry: Telemetry,
 }
 
 impl<C: Communicator> FaultyCommunicator<C> {
@@ -185,7 +187,15 @@ impl<C: Communicator> FaultyCommunicator<C> {
             plan,
             state: Mutex::new(FaultState::default()),
             retries_hint: AtomicUsize::new(0),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Emits a `fault` mark (detail = fault kind, peer = destination,
+    /// round = link message index) for every injected fault.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Counters of faults injected so far.
@@ -247,6 +257,17 @@ impl<C: Communicator> Communicator for FaultyCommunicator<C> {
             }
             (round, fault)
         };
+        if let Some(kind) = fault {
+            let detail = match kind {
+                FaultKind::Drop => "drop",
+                FaultKind::Delay(_) => "delay",
+                FaultKind::BitFlip => "bitflip",
+                FaultKind::Truncate => "truncate",
+                FaultKind::Disconnect => "disconnect",
+            };
+            self.telemetry
+                .mark("fault", Some(round as u64), Some(to as u64), Some(detail));
+        }
         match fault {
             None => self.inner.send(to, payload),
             Some(FaultKind::Drop) => Ok(()), // lost in flight; sender can't tell
@@ -277,6 +298,10 @@ impl<C: Communicator> Communicator for FaultyCommunicator<C> {
         self.inner.recv(from)
     }
 
+    fn supports_recv_any(&self) -> bool {
+        self.inner.supports_recv_any()
+    }
+
     fn recv_any(&self) -> Result<(usize, Vec<u8>), CommError> {
         self.inner.recv_any()
     }
@@ -294,6 +319,10 @@ impl<C: Communicator> Communicator for FaultyCommunicator<C> {
 
     fn stats(&self) -> TrafficSnapshot {
         self.inner.stats()
+    }
+
+    fn peer_stats(&self, peer: usize) -> Option<TrafficSnapshot> {
+        self.inner.peer_stats(peer)
     }
 }
 
@@ -421,6 +450,37 @@ mod tests {
         ));
         a.send(1, vec![1u8; 64]).unwrap();
         assert!(matches!(b.recv(0), Err(CommError::Frame(_))));
+    }
+
+    #[test]
+    fn injected_faults_emit_marks_with_kind_and_peer() {
+        use appfl_telemetry::MemorySink;
+        use std::sync::Arc;
+        let sink = Arc::new(MemorySink::new());
+        let plan = FaultPlan::new(9)
+            .fault_at(1, 1, FaultKind::Drop)
+            .fault_at(1, 2, FaultKind::BitFlip);
+        let mut eps = InProcNetwork::new(2);
+        let _b = eps.pop().unwrap();
+        let a = FaultyCommunicator::new(eps.pop().unwrap(), plan)
+            .with_telemetry(Telemetry::new(sink.clone()));
+        a.send(1, vec![1]).unwrap();
+        a.send(1, vec![2, 3]).unwrap();
+        a.send(1, vec![4]).unwrap(); // clean: no mark
+        let marks = sink.events();
+        assert_eq!(marks.len(), 2);
+        assert_eq!(marks[0].detail.as_deref(), Some("drop"));
+        assert_eq!(marks[0].peer, Some(1));
+        assert_eq!(marks[0].round, Some(1));
+        assert_eq!(marks[1].detail.as_deref(), Some("bitflip"));
+    }
+
+    #[test]
+    fn wrapper_delegates_capability_probe() {
+        let mut eps = InProcNetwork::new(2);
+        let a = FaultyCommunicator::new(eps.remove(0), FaultPlan::new(1));
+        assert!(a.supports_recv_any(), "inproc supports it; wrapper must too");
+        assert!(a.peer_stats(1).is_some());
     }
 
     #[test]

@@ -134,6 +134,10 @@ impl<C: Communicator> Communicator for GrpcChannel<C> {
         self.inner.size()
     }
 
+    fn supports_recv_any(&self) -> bool {
+        self.inner.supports_recv_any()
+    }
+
     fn send(&self, to: usize, payload: Vec<u8>) -> Result<(), CommError> {
         let wire = self.encode_frames(&payload);
         self.inner.send(to, wire)
@@ -164,6 +168,10 @@ impl<C: Communicator> Communicator for GrpcChannel<C> {
 
     fn stats(&self) -> TrafficSnapshot {
         self.inner.stats()
+    }
+
+    fn peer_stats(&self, peer: usize) -> Option<TrafficSnapshot> {
+        self.inner.peer_stats(peer)
     }
 }
 

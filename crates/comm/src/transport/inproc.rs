@@ -20,6 +20,8 @@ pub struct InProcEndpoint {
     /// `receivers[j]` yields messages sent by rank `j`.
     receivers: Vec<Receiver<Vec<u8>>>,
     stats: Arc<TrafficStats>,
+    /// `per_peer[j]` counts only traffic exchanged with rank `j`.
+    per_peer: Vec<TrafficStats>,
 }
 
 /// Builder for a fully-connected in-process network.
@@ -53,6 +55,7 @@ impl InProcNetwork {
                 senders: s_row.into_iter().map(|s| s.expect("filled")).collect(),
                 receivers: r_row.into_iter().map(|r| r.expect("filled")).collect(),
                 stats: Arc::new(TrafficStats::default()),
+                per_peer: (0..size).map(|_| TrafficStats::default()).collect(),
             })
             .collect()
     }
@@ -73,6 +76,7 @@ impl Communicator for InProcEndpoint {
             size: self.size,
         })?;
         self.stats.record_send(payload.len());
+        self.per_peer[to].record_send(payload.len());
         sender
             .send(payload)
             .map_err(|_| CommError::Disconnected { peer: to })
@@ -87,7 +91,12 @@ impl Communicator for InProcEndpoint {
             .recv()
             .map_err(|_| CommError::Disconnected { peer: from })?;
         self.stats.record_recv(payload.len());
+        self.per_peer[from].record_recv(payload.len());
         Ok(payload)
+    }
+
+    fn supports_recv_any(&self) -> bool {
+        true
     }
 
     fn recv_any(&self) -> Result<(usize, Vec<u8>), CommError> {
@@ -104,6 +113,7 @@ impl Communicator for InProcEndpoint {
             RecvTimeoutError::Disconnected => CommError::Disconnected { peer: from },
         })?;
         self.stats.record_recv(payload.len());
+        self.per_peer[from].record_recv(payload.len());
         Ok(payload)
     }
 
@@ -113,6 +123,10 @@ impl Communicator for InProcEndpoint {
 
     fn stats(&self) -> TrafficSnapshot {
         self.stats.snapshot()
+    }
+
+    fn peer_stats(&self, peer: usize) -> Option<TrafficSnapshot> {
+        self.per_peer.get(peer).map(TrafficStats::snapshot)
     }
 }
 
@@ -148,6 +162,7 @@ impl InProcEndpoint {
             match op.recv(&self.receivers[rank]) {
                 Ok(payload) => {
                     self.stats.record_recv(payload.len());
+                    self.per_peer[rank].record_recv(payload.len());
                     return Ok((rank, payload));
                 }
                 Err(_) => dead[rank] = true,
@@ -172,6 +187,33 @@ mod tests {
         assert_eq!(s.msgs_sent, 1);
         assert_eq!(s.bytes_sent, 3);
         assert_eq!(b.stats().bytes_recv, 3);
+    }
+
+    #[test]
+    fn per_peer_counters_split_traffic_by_rank() {
+        let mut eps = InProcNetwork::new(3);
+        let c = eps.pop().unwrap();
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        a.send(1, vec![0; 4]).unwrap();
+        a.send(2, vec![0; 9]).unwrap();
+        b.recv(0).unwrap();
+        c.recv(0).unwrap();
+        let to_b = a.peer_stats(1).unwrap();
+        let to_c = a.peer_stats(2).unwrap();
+        assert_eq!((to_b.msgs_sent, to_b.bytes_sent), (1, 4));
+        assert_eq!((to_c.msgs_sent, to_c.bytes_sent), (1, 9));
+        assert_eq!(b.peer_stats(0).unwrap().bytes_recv, 4);
+        assert_eq!(a.peer_stats(7), None, "invalid rank");
+        // Aggregate view still sums everything.
+        assert_eq!(a.stats().bytes_sent, 13);
+    }
+
+    #[test]
+    fn inproc_advertises_recv_any() {
+        let mut eps = InProcNetwork::new(2);
+        let a = eps.remove(0);
+        assert!(a.supports_recv_any());
     }
 
     #[test]

@@ -81,10 +81,25 @@ pub trait Communicator: Send {
     /// Blocks until a message from `from` arrives.
     fn recv(&self, from: usize) -> Result<Vec<u8>, CommError>;
 
+    /// Whether this transport can multiplex receives across peers
+    /// ([`Communicator::recv_any`] / [`Communicator::recv_any_timeout`]).
+    ///
+    /// This is the documented capability probe: runner selection should
+    /// branch on it up front instead of calling `recv_any` and matching
+    /// on [`CommError::Unsupported`] by trial and error. The default is
+    /// `false`, matching the default `recv_any` implementation; any
+    /// transport that overrides `recv_any` must override this too.
+    /// Wrappers (fault injectors, codecs) must delegate to their inner
+    /// transport so the probe survives composition.
+    fn supports_recv_any(&self) -> bool {
+        false
+    }
+
     /// Blocks until a message from *any* peer arrives, returning
     /// `(sender_rank, payload)`. Required by request/response services
     /// (rank 0 serving many clients); transports that cannot multiplex
-    /// report [`CommError::Unsupported`].
+    /// report [`CommError::Unsupported`]. Probe
+    /// [`Communicator::supports_recv_any`] before relying on it.
     fn recv_any(&self) -> Result<(usize, Vec<u8>), CommError> {
         Err(CommError::Unsupported("recv_any"))
     }
@@ -156,6 +171,15 @@ pub trait Communicator: Send {
 
     /// Cumulative traffic counters for this endpoint.
     fn stats(&self) -> TrafficSnapshot;
+
+    /// Traffic counters split by remote peer, when the transport tracks
+    /// them: `peer_stats(p)` covers only messages exchanged with rank
+    /// `p`. Returns `None` for an invalid rank or a transport that only
+    /// keeps aggregate counters (the default).
+    fn peer_stats(&self, peer: usize) -> Option<TrafficSnapshot> {
+        let _ = peer;
+        None
+    }
 }
 
 /// Atomic traffic counters shared by transports.

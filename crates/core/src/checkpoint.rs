@@ -79,9 +79,7 @@ mod tests {
             upload_bytes: 100,
             compute_secs: 1.0,
             comm_secs: 0.1,
-            dropped_clients: 0,
-            retries: 0,
-            timed_out: 0,
+            ..RoundRecord::default()
         });
         Checkpoint::new(1, vec![0.25, -0.5, 1.0], history)
     }

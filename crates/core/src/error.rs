@@ -1,0 +1,112 @@
+//! The crate-level error type.
+//!
+//! Historically every runner returned [`TensorError`] — including paths
+//! that never touch a tensor (quorum validation, transport failures),
+//! which forced communication errors through a lossy
+//! `TensorError::InvalidArgument(String)` shim. [`Error`] gives each failure
+//! domain its own variant; `From` impls keep `?` ergonomic across both
+//! underlying error types.
+
+use appfl_comm::transport::CommError;
+use appfl_tensor::TensorError;
+use std::fmt;
+
+/// Any failure a federation run can surface.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A tensor/model operation failed (shape mismatch, bad layout…).
+    Tensor(TensorError),
+    /// The transport failed (disconnect, timeout, frame corruption…).
+    Comm(CommError),
+    /// The run was misconfigured (bad quorum, missing evaluation setup…).
+    Config(String),
+    /// The chosen transport lacks a capability the runner requires
+    /// (e.g. `recv_any` multiplexing for pull-mode serving).
+    Unsupported(&'static str),
+}
+
+impl Error {
+    /// Convenience constructor for configuration errors.
+    pub fn config(msg: impl Into<String>) -> Self {
+        Error::Config(msg.into())
+    }
+
+    /// Lossy downgrade for the deprecated shims that still promise
+    /// `TensorError`: tensor errors pass through, everything else is
+    /// stringified into `TensorError::InvalidArgument`.
+    pub fn into_tensor(self) -> TensorError {
+        match self {
+            Error::Tensor(e) => e,
+            other => TensorError::InvalidArgument(other.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Tensor(e) => write!(f, "tensor error: {e}"),
+            Error::Comm(e) => write!(f, "communication error: {e}"),
+            Error::Config(msg) => write!(f, "configuration error: {msg}"),
+            Error::Unsupported(what) => write!(f, "transport capability missing: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Tensor(e) => Some(e),
+            Error::Comm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for Error {
+    fn from(e: TensorError) -> Self {
+        Error::Tensor(e)
+    }
+}
+
+impl From<CommError> for Error {
+    fn from(e: CommError) -> Self {
+        Error::Comm(e)
+    }
+}
+
+/// Crate-level result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_impls_wrap_both_error_domains() {
+        let t: Error = TensorError::InvalidArgument("x".into()).into();
+        assert!(matches!(t, Error::Tensor(_)));
+        let c: Error = CommError::Timeout { peer: None }.into();
+        assert!(matches!(c, Error::Comm(_)));
+    }
+
+    #[test]
+    fn display_names_the_domain() {
+        let e = Error::Comm(CommError::Disconnected { peer: 3 });
+        assert!(e.to_string().contains("communication error"));
+        assert!(e.to_string().contains("peer 3"));
+        let e = Error::config("quorum 0 is invalid");
+        assert!(e.to_string().contains("configuration error"));
+    }
+
+    #[test]
+    fn into_tensor_preserves_tensor_errors_and_stringifies_others() {
+        let t = Error::Tensor(TensorError::InvalidArgument("inner".into())).into_tensor();
+        assert_eq!(t, TensorError::InvalidArgument("inner".into()));
+        let c = Error::Comm(CommError::Timeout { peer: Some(1) }).into_tensor();
+        match c {
+            TensorError::InvalidArgument(msg) => assert!(msg.contains("timed out")),
+            other => panic!("expected InvalidArgument, got {other:?}"),
+        }
+    }
+}

@@ -25,6 +25,7 @@ pub mod algorithms;
 pub mod api;
 pub mod checkpoint;
 pub mod config;
+pub mod error;
 pub mod gossip;
 pub mod metrics;
 pub mod runner;
@@ -36,5 +37,11 @@ pub mod validation;
 
 pub use api::{ClientAlgorithm, ClientUpload, ServerAlgorithm};
 pub use config::{AlgorithmConfig, FaultToleranceConfig, FedConfig};
+pub use error::Error;
 pub use metrics::{History, RoundRecord};
+pub use runner::federation::{FederationBuilder, FederationOutcome};
 pub use runner::serial::SerialRunner;
+
+/// Re-export of the telemetry substrate so `appfl_core` users can build
+/// sinks without naming the `appfl-telemetry` crate directly.
+pub use appfl_telemetry as telemetry;

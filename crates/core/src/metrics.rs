@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 /// One communication round's measurements.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub struct RoundRecord {
     /// Round index t (1-based, as in the paper's Algorithm 1).
     pub round: usize,
@@ -15,10 +15,11 @@ pub struct RoundRecord {
     pub train_loss: f32,
     /// Upload payload this round (bytes, raw f32 accounting).
     pub upload_bytes: usize,
-    /// Wall-clock seconds spent in client updates this round.
+    /// Wall-clock seconds this round spent on anything other than blocking
+    /// transport (client updates, codec work, aggregation, evaluation).
     pub compute_secs: f64,
-    /// Wall-clock seconds spent gathering uploads this round (real transport
-    /// runs) or modelled comm time (simulated runs).
+    /// Wall-clock seconds spent blocked on the transport this round (real
+    /// transport runs) or modelled comm time (simulated runs).
     pub comm_secs: f64,
     /// Active clients whose upload never arrived this round (degraded-round
     /// aggregation proceeded without them). Absent in pre-fault-tolerance
@@ -31,6 +32,30 @@ pub struct RoundRecord {
     /// Receive operations that hit the round deadline this round.
     #[serde(default)]
     pub timed_out: usize,
+    /// Seconds of client-side local training this round (the maximum
+    /// across participating clients — the round's critical path). Absent
+    /// in pre-telemetry histories, hence the serde default.
+    #[serde(default)]
+    pub local_update_secs: f64,
+    /// Seconds encoding/decoding model payloads this round.
+    #[serde(default)]
+    pub serialize_secs: f64,
+    /// Seconds of server-side aggregation plus evaluation this round.
+    #[serde(default)]
+    pub aggregate_secs: f64,
+}
+
+impl RoundRecord {
+    /// Sum of the four phase timings (the paper's Table IV columns).
+    /// Zero for records written before phase accounting existed.
+    pub fn phase_secs(&self) -> f64 {
+        self.local_update_secs + self.serialize_secs + self.comm_secs + self.aggregate_secs
+    }
+
+    /// Total recorded wall time for the round.
+    pub fn wall_secs(&self) -> f64 {
+        self.compute_secs + self.comm_secs
+    }
 }
 
 /// A full run's history plus identifying metadata.
@@ -78,6 +103,21 @@ impl History {
         self.rounds.iter().map(|r| r.comm_secs).sum()
     }
 
+    /// Cumulative client local-training seconds (critical path per round).
+    pub fn total_local_update_secs(&self) -> f64 {
+        self.rounds.iter().map(|r| r.local_update_secs).sum()
+    }
+
+    /// Cumulative serialization seconds.
+    pub fn total_serialize_secs(&self) -> f64 {
+        self.rounds.iter().map(|r| r.serialize_secs).sum()
+    }
+
+    /// Cumulative aggregation + evaluation seconds.
+    pub fn total_aggregate_secs(&self) -> f64 {
+        self.rounds.iter().map(|r| r.aggregate_secs).sum()
+    }
+
     /// Total client-rounds lost to drops/timeouts across the run.
     pub fn total_dropped_clients(&self) -> usize {
         self.rounds.iter().map(|r| r.dropped_clients).sum()
@@ -107,9 +147,7 @@ mod tests {
             upload_bytes: bytes,
             compute_secs: 0.1,
             comm_secs: 0.01,
-            dropped_clients: 0,
-            retries: 0,
-            timed_out: 0,
+            ..RoundRecord::default()
         }
     }
 
@@ -165,5 +203,28 @@ mod tests {
         assert_eq!(r.dropped_clients, 0);
         assert_eq!(r.retries, 0);
         assert_eq!(r.timed_out, 0);
+        assert_eq!(r.local_update_secs, 0.0);
+        assert_eq!(r.serialize_secs, 0.0);
+        assert_eq!(r.aggregate_secs, 0.0);
+    }
+
+    #[test]
+    fn phase_fields_roundtrip_and_sum() {
+        let r = RoundRecord {
+            local_update_secs: 0.4,
+            serialize_secs: 0.05,
+            aggregate_secs: 0.2,
+            ..rec(1, 0.9, 10)
+        };
+        assert!((r.phase_secs() - (0.4 + 0.05 + 0.01 + 0.2)).abs() < 1e-12);
+        assert!((r.wall_secs() - 0.11).abs() < 1e-12);
+        let back: RoundRecord = serde_json::from_str(&serde_json::to_string(&r).unwrap()).unwrap();
+        assert_eq!(back, r);
+        let mut h = History::new("FedAvg", "MNIST", f64::INFINITY);
+        h.rounds.push(r);
+        h.rounds.push(rec(2, 0.9, 10));
+        assert!((h.total_local_update_secs() - 0.4).abs() < 1e-12);
+        assert!((h.total_serialize_secs() - 0.05).abs() < 1e-12);
+        assert!((h.total_aggregate_secs() - 0.2).abs() < 1e-12);
     }
 }

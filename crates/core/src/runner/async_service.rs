@@ -11,21 +11,23 @@
 
 use crate::api::ClientAlgorithm;
 use crate::api::ClientUpload;
+use crate::error::Error;
 use crate::runner::r#async::{AsyncConfig, AsyncFedServer};
 use appfl_comm::retry::RetryPolicy;
-use appfl_comm::rpc::{call, call_with_retry, serve, FlService, Request, Response};
-use appfl_comm::transport::Communicator;
+use appfl_comm::rpc::{call, call_with_retry_observed, serve_with, FlService, Request, Response, ServeOptions};
+use appfl_comm::transport::{CommError, Communicator};
 use appfl_comm::wire::messages::GlobalWeights;
 use appfl_comm::wire::{JobDone, LearningResults, TensorMsg, WeightRequest};
-use appfl_tensor::TensorError;
+use appfl_telemetry::{Phase, Telemetry};
 use std::sync::atomic::AtomicUsize;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// FL service that aggregates asynchronously.
 pub struct AsyncRpcService {
     server: AsyncFedServer,
     max_updates: usize,
     rejected: usize,
+    telemetry: Telemetry,
 }
 
 impl AsyncRpcService {
@@ -35,7 +37,15 @@ impl AsyncRpcService {
             server: AsyncFedServer::new(initial, config),
             max_updates,
             rejected: 0,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Records each applied upload as an aggregate-phase span on
+    /// `telemetry`, tagged with the model version it trained against.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// The aggregated model.
@@ -81,8 +91,18 @@ impl FlService for AsyncRpcService {
             local_loss: results.penalty as f32,
         };
         // `round` carries the model version the client trained against.
+        let t0 = Instant::now();
         match self.server.apply(&upload, u64::from(results.round)) {
-            Ok(_) => true,
+            Ok(_) => {
+                self.telemetry.span_secs(
+                    "aggregate",
+                    Phase::Aggregate,
+                    t0.elapsed().as_secs_f64(),
+                    Some(u64::from(results.round)),
+                    None,
+                );
+                true
+            }
             Err(_) => {
                 self.rejected += 1;
                 false
@@ -100,11 +120,14 @@ impl FlService for AsyncRpcService {
 }
 
 /// Drives one client against the asynchronous service until it reports
-/// `finished`. Returns the number of accepted uploads.
+/// `finished`, recording each local update as a telemetry span tagged
+/// with the model version and the client id. Returns the number of
+/// accepted uploads.
 pub fn run_async_client<C: Communicator>(
     mut client: Box<dyn ClientAlgorithm>,
     comm: &C,
-) -> Result<usize, TensorError> {
+    telemetry: &Telemetry,
+) -> Result<usize, Error> {
     let id = client.id() as u32;
     let mut accepted = 0usize;
     loop {
@@ -114,20 +137,26 @@ pub fn run_async_client<C: Communicator>(
                 client_id: id,
                 round: 0,
             }),
-        )
-        .map_err(|e| TensorError::InvalidArgument(format!("rpc: {e}")))?
-        {
+        )? {
             Response::Weights(w) => w,
             other => {
-                return Err(TensorError::InvalidArgument(format!(
+                return Err(Error::Comm(CommError::Frame(format!(
                     "unexpected response {other:?}"
-                )))
+                ))))
             }
         };
         if weights.finished {
             break;
         }
+        let t0 = Instant::now();
         let upload = client.update(&weights.tensors[0].data)?;
+        telemetry.span_secs(
+            "local_update",
+            Phase::LocalUpdate,
+            t0.elapsed().as_secs_f64(),
+            Some(u64::from(weights.round)),
+            Some(u64::from(id)),
+        );
         let results = LearningResults {
             client_id: id,
             round: weights.round, // the version we trained against
@@ -136,33 +165,33 @@ pub fn run_async_client<C: Communicator>(
             dual: vec![],
         };
         if matches!(
-            call(comm, &Request::SendResults(Box::new(results)))
-                .map_err(|e| TensorError::InvalidArgument(format!("rpc: {e}")))?,
+            call(comm, &Request::SendResults(Box::new(results)))?,
             Response::Ack { ok: true }
         ) {
             accepted += 1;
         }
     }
-    call(comm, &Request::Done(JobDone { client_id: id }))
-        .map_err(|e| TensorError::InvalidArgument(format!("rpc: {e}")))?;
+    call(comm, &Request::Done(JobDone { client_id: id }))?;
     Ok(accepted)
 }
 
-/// Fault-tolerant [`run_async_client`]: calls go through
-/// [`call_with_retry`], so a dropped request or response costs a retry,
-/// not a hang; once the policy is exhausted the client leaves cleanly
-/// with the uploads it managed. Each retry bumps `retries`.
+/// Fault-tolerant [`run_async_client`]: calls go through the observed
+/// retry path, so a dropped request or response costs a retry (surfaced
+/// as a telemetry mark), not a hang; once the policy is exhausted the
+/// client leaves cleanly with the uploads it managed. Each retry bumps
+/// `retries`.
 pub fn run_async_client_ft<C: Communicator>(
     mut client: Box<dyn ClientAlgorithm>,
     comm: &C,
     policy: &RetryPolicy,
     timeout: Duration,
     retries: Option<&AtomicUsize>,
-) -> Result<usize, TensorError> {
+    telemetry: &Telemetry,
+) -> Result<usize, Error> {
     let id = client.id() as u32;
     let mut accepted = 0usize;
     loop {
-        let weights = match call_with_retry(
+        let weights = match call_with_retry_observed(
             comm,
             &Request::GetWeight(WeightRequest {
                 client_id: id,
@@ -171,22 +200,31 @@ pub fn run_async_client_ft<C: Communicator>(
             policy,
             timeout,
             retries,
+            telemetry,
         ) {
             Ok(Response::Weights(w)) => w,
             Ok(other) => {
-                return Err(TensorError::InvalidArgument(format!(
+                return Err(Error::Comm(CommError::Frame(format!(
                     "unexpected response {other:?}"
-                )))
+                ))))
             }
             Err(_) => break, // server unreachable: stop contributing
         };
         if weights.finished {
             break;
         }
+        let t0 = Instant::now();
         let upload = match client.update(&weights.tensors[0].data) {
             Ok(u) => u,
             Err(_) => break, // local failure: leave the federation
         };
+        telemetry.span_secs(
+            "local_update",
+            Phase::LocalUpdate,
+            t0.elapsed().as_secs_f64(),
+            Some(u64::from(weights.round)),
+            Some(u64::from(id)),
+        );
         let results = LearningResults {
             client_id: id,
             round: weights.round, // the version we trained against
@@ -194,47 +232,56 @@ pub fn run_async_client_ft<C: Communicator>(
             primal: vec![TensorMsg::flat("primal", upload.primal)],
             dual: vec![],
         };
-        match call_with_retry(
+        match call_with_retry_observed(
             comm,
             &Request::SendResults(Box::new(results)),
             policy,
             timeout,
             retries,
+            telemetry,
         ) {
             Ok(Response::Ack { ok: true }) => accepted += 1,
             Ok(_) => {}
             Err(_) => break,
         }
     }
-    let _ = call_with_retry(
+    let _ = call_with_retry_observed(
         comm,
         &Request::Done(JobDone { client_id: id }),
         policy,
         timeout,
         retries,
+        telemetry,
     );
     Ok(accepted)
 }
 
 /// Runs an asynchronous federation; returns `(model, applied_updates)`.
+/// Pass [`Telemetry::disabled`] when no observation is wanted.
 pub fn run_async_federation<C: Communicator + 'static>(
     initial: Vec<f32>,
     clients: Vec<Box<dyn ClientAlgorithm>>,
     mut endpoints: Vec<C>,
     config: AsyncConfig,
     max_updates: usize,
-) -> Result<(Vec<f32>, usize), TensorError> {
+    telemetry: &Telemetry,
+) -> Result<(Vec<f32>, usize), Error> {
     assert_eq!(endpoints.len(), clients.len() + 1);
     let num_clients = clients.len();
     let server_ep = endpoints.remove(0);
-    let mut service = AsyncRpcService::new(initial, config, max_updates);
+    let mut service =
+        AsyncRpcService::new(initial, config, max_updates).with_telemetry(telemetry.clone());
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (client, ep) in clients.into_iter().zip(endpoints) {
-            handles.push(scope.spawn(move || run_async_client(client, &ep)));
+            let tl = telemetry.clone();
+            handles.push(scope.spawn(move || run_async_client(client, &ep, &tl)));
         }
-        serve(&mut service, &server_ep, num_clients)
-            .map_err(|e| TensorError::InvalidArgument(format!("serve: {e}")))?;
+        let options = ServeOptions {
+            telemetry: telemetry.clone(),
+            ..ServeOptions::default()
+        };
+        serve_with(&mut service, &server_ep, num_clients, &options)?;
         for h in handles {
             h.join().expect("client thread panicked")?;
         }
@@ -284,6 +331,7 @@ mod tests {
             endpoints,
             AsyncConfig::default(),
             9,
+            &Telemetry::disabled(),
         )
         .unwrap();
         assert!(applied >= 9, "applied {applied}");
@@ -294,7 +342,6 @@ mod tests {
 
     #[test]
     fn async_ft_federation_survives_message_drops() {
-        use appfl_comm::rpc::serve_ft;
         use appfl_comm::transport::{FaultPlan, FaultyCommunicator};
         let data = build_benchmark(Benchmark::Mnist, 3, 90, 30, 66).unwrap();
         let spec = InputSpec {
@@ -341,10 +388,21 @@ mod tests {
                         &policy,
                         Duration::from_millis(200),
                         Some(retries),
+                        &Telemetry::disabled(),
                     )
                 }));
             }
-            serve_ft(&mut service, &server_ep, 3, Duration::from_millis(300), 5).unwrap();
+            serve_with(
+                &mut service,
+                &server_ep,
+                3,
+                &ServeOptions {
+                    idle_timeout: Some(Duration::from_millis(300)),
+                    max_idle: 5,
+                    telemetry: Telemetry::disabled(),
+                },
+            )
+            .unwrap();
             for h in handles {
                 h.join().unwrap().unwrap();
             }

@@ -3,13 +3,26 @@
 //! Executes server and clients on real threads that exchange protobuf-
 //! encoded messages over a [`Communicator`] — the in-process analogue of
 //! the paper's MPI and gRPC deployments. Rank 0 is the server; rank `p`
-//! hosts client `p − 1`. Per-round communication time is measured for real
-//! (wall time the server spends gathering and decoding uploads), which is
-//! the quantity Fig. 3b tracks for `MPI.gather()`.
+//! hosts client `p − 1`.
+//!
+//! ## Phase accounting
+//!
+//! Each round's wall time is split into the four phases of the paper's
+//! Table IV: `local_update` (the slowest participating client's training
+//! time, reported through a shared [`MaxGauge`]), `serialize` (server-side
+//! encode/decode of model payloads), `comm` (transport time proper: the
+//! broadcast plus the part of the gather wait not explained by client
+//! compute) and `aggregate` (server update plus evaluation). The legacy
+//! `comm_secs` field is therefore *transport-only* now; the client-compute
+//! share of the gather wait that older versions folded into it is reported
+//! as `local_update_secs` instead, and `compute_secs + comm_secs` still
+//! equals the round's wall time.
 
 use crate::api::{ClientAlgorithm, ClientUpload, ServerAlgorithm};
 use crate::config::FaultToleranceConfig;
+use crate::error::Error;
 use crate::metrics::{History, RoundRecord};
+use crate::runner::federation::FederationBuilder;
 use crate::runner::ft::ClientRoster;
 use crate::validation::evaluate;
 use appfl_comm::retry::RetryPolicy;
@@ -18,6 +31,7 @@ use appfl_comm::wire::{LearningResults, TensorMsg};
 use appfl_data::InMemoryDataset;
 use appfl_nn::module::Module;
 use appfl_tensor::TensorError;
+use appfl_telemetry::{MaxGauge, Phase, Telemetry};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
@@ -94,20 +108,22 @@ fn decode_upload(buf: &[u8], num_samples: usize) -> Result<(usize, ClientUpload)
 /// Drives one client over a transport endpoint for `rounds` rounds.
 ///
 /// Protocol per round: receive the global broadcast from rank 0, run the
-/// local update, send the protobuf-encoded results back to rank 0.
+/// local update, send the protobuf-encoded results back to rank 0. The
+/// local-update duration is reported into `local_gauge` so the server can
+/// attribute the round's critical path to client compute.
 pub fn run_client<C: Communicator>(
     mut client: Box<dyn ClientAlgorithm>,
     comm: &C,
     rounds: usize,
-) -> Result<(), TensorError> {
+    local_gauge: &MaxGauge,
+) -> Result<(), Error> {
     for round in 1..=rounds {
-        let buf = comm
-            .recv(0)
-            .map_err(|e| TensorError::InvalidArgument(format!("client recv: {e}")))?;
+        let buf = comm.recv(0)?;
         let w = decode_global(&buf)?;
+        let t0 = Instant::now();
         let upload = client.update(&w)?;
-        comm.send(0, encode_upload(round, &upload))
-            .map_err(|e| TensorError::InvalidArgument(format!("client send: {e}")))?;
+        local_gauge.record_secs(t0.elapsed().as_secs_f64());
+        comm.send(0, encode_upload(round, &upload))?;
     }
     Ok(())
 }
@@ -115,10 +131,12 @@ pub fn run_client<C: Communicator>(
 /// Drives the server over a transport endpoint; returns the run history.
 ///
 /// `sample_counts[p]` is client `p`'s `I_p` (known to the server from job
-/// setup, as in APPFL's configuration step).
+/// setup, as in APPFL's configuration step). Per-round phase timings are
+/// recorded into the [`RoundRecord`] and emitted on `telemetry` as one
+/// span per phase, tagged with the round.
 #[allow(clippy::too_many_arguments)]
 pub fn run_server<C: Communicator>(
-    mut server: Box<dyn ServerAlgorithm>,
+    server: &mut dyn ServerAlgorithm,
     template: &mut dyn Module,
     test: &InMemoryDataset,
     comm: &C,
@@ -126,10 +144,12 @@ pub fn run_server<C: Communicator>(
     sample_counts: &[usize],
     epsilon: f64,
     dataset_name: &str,
-) -> Result<History, TensorError> {
+    telemetry: &Telemetry,
+    local_gauge: &MaxGauge,
+) -> Result<History, Error> {
     let num_clients = comm.size() - 1;
     if sample_counts.len() != num_clients {
-        return Err(TensorError::InvalidArgument(format!(
+        return Err(Error::config(format!(
             "{} sample counts for {} clients",
             sample_counts.len(),
             num_clients
@@ -139,32 +159,50 @@ pub fn run_server<C: Communicator>(
     for round in 1..=rounds {
         let round_start = Instant::now();
         let w = server.global_model();
+        let t = Instant::now();
         let msg = encode_global(round, &w);
+        let mut serialize_secs = t.elapsed().as_secs_f64();
+        let t = Instant::now();
         for rank in 1..=num_clients {
-            comm.send(rank, msg.clone())
-                .map_err(|e| TensorError::InvalidArgument(format!("server send: {e}")))?;
+            comm.send(rank, msg.clone())?;
         }
+        let send_secs = t.elapsed().as_secs_f64();
 
-        // Gather uploads; the recv wall time is the round's comm time (the
-        // MPI.gather() measurement of §IV-C).
+        // Gather uploads. The recv wall time (the MPI.gather() measurement
+        // of §IV-C) mixes client compute with transport; the client gauge
+        // separates the two below.
         let mut uploads = Vec::with_capacity(num_clients);
-        let mut comm_secs = 0.0f64;
+        let mut gather_secs = 0.0f64;
         for rank in 1..=num_clients {
             let t0 = Instant::now();
-            let buf = comm
-                .recv(rank)
-                .map_err(|e| TensorError::InvalidArgument(format!("server recv: {e}")))?;
-            comm_secs += t0.elapsed().as_secs_f64();
+            let buf = comm.recv(rank)?;
+            gather_secs += t0.elapsed().as_secs_f64();
+            let t1 = Instant::now();
             uploads.push(decode_upload(&buf, sample_counts[rank - 1])?.1);
+            serialize_secs += t1.elapsed().as_secs_f64();
         }
+        // The slowest client trained inside the gather window, so transport
+        // time proper is the wait not explained by that training.
+        let local_update_secs = local_gauge.drain_secs().min(gather_secs);
+        let comm_secs = send_secs + (gather_secs - local_update_secs).max(0.0);
+
         let upload_bytes: usize = uploads.iter().map(ClientUpload::payload_bytes).sum();
         let train_loss =
             uploads.iter().map(|u| u.local_loss).sum::<f32>() / uploads.len().max(1) as f32;
+        let t = Instant::now();
         server.update(&uploads)?;
-
         let w_next = server.global_model();
         let e = evaluate(template, &w_next, test, 64)?;
+        let aggregate_secs = t.elapsed().as_secs_f64();
         let total = round_start.elapsed().as_secs_f64();
+
+        let r = round as u64;
+        telemetry.span_secs("local_update", Phase::LocalUpdate, local_update_secs, Some(r), None);
+        telemetry.span_secs("serialize", Phase::Serialize, serialize_secs, Some(r), None);
+        telemetry.span_secs("comm", Phase::Comm, comm_secs, Some(r), None);
+        telemetry.span_secs("aggregate", Phase::Aggregate, aggregate_secs, Some(r), None);
+        telemetry.count("upload_bytes", upload_bytes as u64, Some(r), None);
+
         history.rounds.push(RoundRecord {
             round,
             accuracy: e.accuracy,
@@ -173,9 +211,10 @@ pub fn run_server<C: Communicator>(
             upload_bytes,
             compute_secs: (total - comm_secs).max(0.0),
             comm_secs,
-            dropped_clients: 0,
-            retries: 0,
-            timed_out: 0,
+            local_update_secs,
+            serialize_secs,
+            aggregate_secs,
+            ..RoundRecord::default()
         });
     }
     Ok(history)
@@ -185,21 +224,25 @@ pub fn run_server<C: Communicator>(
 /// arrives: each broadcast carries its round tag, the local update runs,
 /// and the upload is sent back labelled with that round. A zero-length
 /// payload is the server's end-of-run sentinel. Waiting for a broadcast
-/// goes through `policy` (each re-wait after a timeout bumps `retries`),
-/// so a dropped broadcast turns into retry-then-catch-up instead of a
-/// hang; once the policy is exhausted the client concludes the server is
-/// gone and leaves cleanly. Uploads are fire-and-forget — the push
-/// protocol has no ack, so a lost upload surfaces on the server side as a
-/// degraded round, not here.
+/// goes through `policy` (each re-wait after a timeout bumps `retries` and
+/// emits a `retry`/`timeout` mark on `telemetry`), so a dropped broadcast
+/// turns into retry-then-catch-up instead of a hang; once the policy is
+/// exhausted the client concludes the server is gone and leaves cleanly.
+/// Uploads are fire-and-forget — the push protocol has no ack, so a lost
+/// upload surfaces on the server side as a degraded round, not here.
 pub fn run_client_ft<C: Communicator>(
     mut client: Box<dyn ClientAlgorithm>,
     comm: &C,
     policy: &RetryPolicy,
     recv_timeout: std::time::Duration,
     retries: &AtomicUsize,
-) -> Result<(), TensorError> {
+    telemetry: &Telemetry,
+    local_gauge: &MaxGauge,
+) -> Result<(), Error> {
     loop {
-        let buf = match policy.run(Some(retries), |_| comm.recv_timeout(0, recv_timeout)) {
+        let buf = match policy.run_observed(Some(retries), telemetry, "recv_broadcast", |_| {
+            comm.recv_timeout(0, recv_timeout)
+        }) {
             Ok(buf) => buf,
             Err(_) => break, // prolonged silence or a dead link: run is over
         };
@@ -209,10 +252,12 @@ pub fn run_client_ft<C: Communicator>(
         let Ok((round, w)) = decode_global_tagged(&buf) else {
             continue; // corrupted broadcast: skip it, catch the next round
         };
+        let t0 = Instant::now();
         let upload = match client.update(&w) {
             Ok(u) => u,
             Err(_) => break, // local failure: leave the federation
         };
+        local_gauge.record_secs(t0.elapsed().as_secs_f64());
         if comm.send(0, encode_upload(round, &upload)).is_err() {
             break;
         }
@@ -234,13 +279,17 @@ pub fn run_client_ft<C: Communicator>(
 /// that miss [`FaultToleranceConfig::suspect_after`] consecutive rounds
 /// are excluded, then re-admitted after
 /// [`FaultToleranceConfig::readmit_after`] rounds. Every round records
-/// `dropped_clients`, `retries` (drained from the shared client counter)
-/// and `timed_out` in its [`RoundRecord`]. After the last round an empty
-/// sentinel is sent (thrice, best-effort — it may itself be dropped) so
-/// clients stop waiting.
+/// `dropped_clients`, `retries` (drained from the shared client counter),
+/// `timed_out` and the four phase timings in its [`RoundRecord`], and
+/// emits the phase spans plus `timeout`/`dropped_clients` events on
+/// `telemetry`. After the last round an empty sentinel is sent (thrice,
+/// best-effort — it may itself be dropped) so clients stop waiting.
+///
+/// Requires a transport whose [`Communicator::supports_recv_any`] probe
+/// reports `true`; [`FederationBuilder`] checks this up front.
 #[allow(clippy::too_many_arguments)]
 pub fn run_server_ft<C: Communicator>(
-    mut server: Box<dyn ServerAlgorithm>,
+    server: &mut dyn ServerAlgorithm,
     template: &mut dyn Module,
     test: &InMemoryDataset,
     comm: &C,
@@ -250,10 +299,12 @@ pub fn run_server_ft<C: Communicator>(
     dataset_name: &str,
     ft: &FaultToleranceConfig,
     retries: &AtomicUsize,
-) -> Result<History, TensorError> {
+    telemetry: &Telemetry,
+    local_gauge: &MaxGauge,
+) -> Result<History, Error> {
     let num_clients = comm.size() - 1;
     if sample_counts.len() != num_clients {
-        return Err(TensorError::InvalidArgument(format!(
+        return Err(Error::config(format!(
             "{} sample counts for {} clients",
             sample_counts.len(),
             num_clients
@@ -266,9 +317,12 @@ pub fn run_server_ft<C: Communicator>(
         let round_start = Instant::now();
         let active = roster.begin_round(round);
         let w = server.global_model();
+        let t = Instant::now();
         let msg = encode_global(round, &w);
+        let mut serialize_secs = t.elapsed().as_secs_f64();
         let mut expected = vec![false; num_clients];
         let mut expected_n = 0usize;
+        let t = Instant::now();
         for &p in &active {
             match comm.send(p + 1, msg.clone()) {
                 Ok(()) => {
@@ -280,11 +334,12 @@ pub fn run_server_ft<C: Communicator>(
                 }
             }
         }
+        let send_secs = t.elapsed().as_secs_f64();
 
         let deadline = round_start + ft.round_timeout();
         let mut got = vec![false; num_clients];
         let mut uploads = Vec::with_capacity(expected_n);
-        let mut comm_secs = 0.0f64;
+        let mut gather_secs = 0.0f64;
         let mut timed_out = 0usize;
         while uploads.len() < expected_n {
             let now = Instant::now();
@@ -294,9 +349,12 @@ pub fn run_server_ft<C: Communicator>(
             let t0 = Instant::now();
             match comm.recv_any_timeout(deadline - now) {
                 Ok((from, buf)) => {
-                    comm_secs += t0.elapsed().as_secs_f64();
+                    gather_secs += t0.elapsed().as_secs_f64();
                     let p = from - 1;
-                    match decode_upload(&buf, sample_counts[p]) {
+                    let t1 = Instant::now();
+                    let decoded = decode_upload(&buf, sample_counts[p]);
+                    serialize_secs += t1.elapsed().as_secs_f64();
+                    match decoded {
                         Ok((r, upload))
                             if r == round && expected[p] && !got[p] && upload.client_id == p =>
                         {
@@ -307,8 +365,9 @@ pub fn run_server_ft<C: Communicator>(
                     }
                 }
                 Err(CommError::Timeout { .. }) => {
-                    comm_secs += t0.elapsed().as_secs_f64();
+                    gather_secs += t0.elapsed().as_secs_f64();
                     timed_out += 1;
+                    telemetry.mark("timeout", Some(round as u64), None, Some("gather"));
                     break;
                 }
                 Err(_) => break, // every remaining peer is gone
@@ -323,8 +382,11 @@ pub fn run_server_ft<C: Communicator>(
                 }
             }
         }
+        let local_update_secs = local_gauge.drain_secs().min(gather_secs);
+        let comm_secs = send_secs + (gather_secs - local_update_secs).max(0.0);
 
         let dropped_clients = active.len() - uploads.len();
+        let t = Instant::now();
         if !uploads.is_empty() && uploads.len() >= ft.min_quorum.min(num_clients) {
             if uploads.len() == num_clients {
                 server.update(&uploads)?;
@@ -339,8 +401,20 @@ pub fn run_server_ft<C: Communicator>(
             uploads.iter().map(|u| u.local_loss).sum::<f32>() / uploads.len().max(1) as f32;
         let w_next = server.global_model();
         let e = evaluate(template, &w_next, test, 64)?;
+        let aggregate_secs = t.elapsed().as_secs_f64();
         let retries_now = retries.load(Ordering::Relaxed);
         let total = round_start.elapsed().as_secs_f64();
+
+        let r = round as u64;
+        telemetry.span_secs("local_update", Phase::LocalUpdate, local_update_secs, Some(r), None);
+        telemetry.span_secs("serialize", Phase::Serialize, serialize_secs, Some(r), None);
+        telemetry.span_secs("comm", Phase::Comm, comm_secs, Some(r), None);
+        telemetry.span_secs("aggregate", Phase::Aggregate, aggregate_secs, Some(r), None);
+        telemetry.count("upload_bytes", upload_bytes as u64, Some(r), None);
+        if dropped_clients > 0 {
+            telemetry.count("dropped_clients", dropped_clients as u64, Some(r), None);
+        }
+
         history.rounds.push(RoundRecord {
             round,
             accuracy: e.accuracy,
@@ -352,6 +426,9 @@ pub fn run_server_ft<C: Communicator>(
             dropped_clients,
             retries: retries_now - retries_prev,
             timed_out,
+            local_update_secs,
+            serialize_secs,
+            aggregate_secs,
         });
         retries_prev = retries_now;
     }
@@ -365,107 +442,68 @@ pub fn run_server_ft<C: Communicator>(
     Ok(history)
 }
 
-/// Convenience: runs a whole federation over a set of endpoints (rank 0 =
-/// server) using scoped threads. The endpoints may be raw
-/// [`appfl_comm::transport::InProcEndpoint`]s (MPI-style) or
-/// [`appfl_comm::transport::GrpcChannel`]-wrapped (gRPC-style).
+/// Deprecated push-mode entry points, superseded by [`FederationBuilder`].
+///
+/// The endpoints may be raw [`appfl_comm::transport::InProcEndpoint`]s
+/// (MPI-style) or [`appfl_comm::transport::GrpcChannel`]-wrapped
+/// (gRPC-style).
 pub struct CommRunner;
 
 impl CommRunner {
     /// Executes and returns the server's history.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use FederationBuilder::new(server, clients).transport(endpoints)…run()"
+    )]
     #[allow(clippy::too_many_arguments)]
     pub fn run<C: Communicator + 'static>(
         server: Box<dyn ServerAlgorithm>,
         clients: Vec<Box<dyn ClientAlgorithm>>,
         template: &mut dyn Module,
         test: &InMemoryDataset,
-        mut endpoints: Vec<C>,
+        endpoints: Vec<C>,
         rounds: usize,
         epsilon: f64,
         dataset_name: &str,
     ) -> Result<History, TensorError> {
-        assert_eq!(
-            endpoints.len(),
-            clients.len() + 1,
-            "need one endpoint per client plus the server"
-        );
-        let sample_counts: Vec<usize> = clients.iter().map(|c| c.num_samples()).collect();
-        let server_ep = endpoints.remove(0);
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for (client, ep) in clients.into_iter().zip(endpoints) {
-                handles.push(scope.spawn(move || run_client(client, &ep, rounds)));
-            }
-            let history = run_server(
-                server,
-                template,
-                test,
-                &server_ep,
-                rounds,
-                &sample_counts,
-                epsilon,
-                dataset_name,
-            );
-            for h in handles {
-                h.join().expect("client thread panicked")?;
-            }
-            history
-        })
+        FederationBuilder::new(server, clients)
+            .transport(endpoints)
+            .rounds(rounds)
+            .epsilon(epsilon)
+            .dataset(dataset_name)
+            .evaluation(template, test)
+            .run()
+            .map(|o| o.history.expect("push mode always records a history"))
+            .map_err(Error::into_tensor)
     }
 
-    /// Fault-tolerant [`CommRunner::run`]: the federation completes all
-    /// `rounds` even when the endpoints drop, delay or corrupt messages
-    /// (e.g. wrapped in [`appfl_comm::transport::FaultyCommunicator`]) or
-    /// a client is dead from the start — degraded rounds aggregate on
-    /// quorum, and the returned [`History`] carries per-round
-    /// `dropped_clients`/`retries`/`timed_out` counters.
+    /// Fault-tolerant [`CommRunner::run`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use FederationBuilder with .fault_tolerance_config(ft)"
+    )]
     #[allow(clippy::too_many_arguments)]
     pub fn run_ft<C: Communicator + 'static>(
         server: Box<dyn ServerAlgorithm>,
         clients: Vec<Box<dyn ClientAlgorithm>>,
         template: &mut dyn Module,
         test: &InMemoryDataset,
-        mut endpoints: Vec<C>,
+        endpoints: Vec<C>,
         rounds: usize,
         epsilon: f64,
         dataset_name: &str,
         ft: &FaultToleranceConfig,
     ) -> Result<History, TensorError> {
-        assert_eq!(
-            endpoints.len(),
-            clients.len() + 1,
-            "need one endpoint per client plus the server"
-        );
-        let sample_counts: Vec<usize> = clients.iter().map(|c| c.num_samples()).collect();
-        let server_ep = endpoints.remove(0);
-        let retries = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for (i, (client, ep)) in clients.into_iter().zip(endpoints).enumerate() {
-                let policy = ft.retry_policy(i as u64 + 1);
-                let retries = &retries;
-                let recv_timeout = ft.round_timeout();
-                handles.push(scope.spawn(move || {
-                    run_client_ft(client, &ep, &policy, recv_timeout, retries)
-                }));
-            }
-            let history = run_server_ft(
-                server,
-                template,
-                test,
-                &server_ep,
-                rounds,
-                &sample_counts,
-                epsilon,
-                dataset_name,
-                ft,
-                &retries,
-            );
-            for h in handles {
-                h.join().expect("client thread panicked")?;
-            }
-            history
-        })
+        FederationBuilder::new(server, clients)
+            .transport(endpoints)
+            .rounds(rounds)
+            .epsilon(epsilon)
+            .dataset(dataset_name)
+            .evaluation(template, test)
+            .fault_tolerance_config(ft.clone())
+            .run()
+            .map(|o| o.history.expect("push mode always records a history"))
+            .map_err(Error::into_tensor)
     }
 }
 
@@ -504,32 +542,25 @@ mod tests {
             Box::new(mlp_classifier(spec, 8, rng))
         });
         let endpoints = InProcNetwork::new(4);
-        if grpc {
+        let outcome = if grpc {
             let endpoints: Vec<_> = endpoints.into_iter().map(GrpcChannel::new).collect();
-            CommRunner::run(
-                fed.server,
-                fed.clients,
-                fed.template.as_mut(),
-                &test,
-                endpoints,
-                cfg.rounds,
-                f64::INFINITY,
-                "MNIST",
-            )
-            .unwrap()
+            FederationBuilder::new(fed.server, fed.clients)
+                .rounds(cfg.rounds)
+                .dataset("MNIST")
+                .evaluation(fed.template.as_mut(), &test)
+                .transport(endpoints)
+                .run()
+                .unwrap()
         } else {
-            CommRunner::run(
-                fed.server,
-                fed.clients,
-                fed.template.as_mut(),
-                &test,
-                endpoints,
-                cfg.rounds,
-                f64::INFINITY,
-                "MNIST",
-            )
-            .unwrap()
-        }
+            FederationBuilder::new(fed.server, fed.clients)
+                .rounds(cfg.rounds)
+                .dataset("MNIST")
+                .evaluation(fed.template.as_mut(), &test)
+                .transport(endpoints)
+                .run()
+                .unwrap()
+        };
+        outcome.history.unwrap()
     }
 
     #[test]
@@ -548,6 +579,25 @@ mod tests {
     }
 
     #[test]
+    fn phase_timings_fill_and_tile_the_round() {
+        let h = run_over_transport(false);
+        for r in &h.rounds {
+            assert!(r.local_update_secs > 0.0, "round {} no local time", r.round);
+            assert!(r.phase_secs() > 0.0);
+            // The four phases tile the wall time up to unmeasured slack
+            // (loss averaging, model clone): never more than the wall, and
+            // most of it.
+            assert!(
+                r.phase_secs() <= r.wall_secs() * 1.05,
+                "round {}: phases {} exceed wall {}",
+                r.round,
+                r.phase_secs(),
+                r.wall_secs()
+            );
+        }
+    }
+
+    #[test]
     fn iiadmm_runs_over_transport_with_dual_mirroring() {
         let data = build_benchmark(Benchmark::Mnist, 2, 40, 20, 3).unwrap();
         let spec = InputSpec {
@@ -557,6 +607,34 @@ mod tests {
             classes: 10,
         };
         let cfg = config(AlgorithmConfig::IiAdmm { rho: 10.0, zeta: 10.0 }, 2);
+        let test = data.test.clone();
+        let mut fed = build_federation(cfg, &data, move |rng| {
+            Box::new(mlp_classifier(spec, 8, rng))
+        });
+        let endpoints = InProcNetwork::new(3);
+        let outcome = FederationBuilder::new(fed.server, fed.clients)
+            .transport(endpoints)
+            .rounds(cfg.rounds)
+            .dataset("MNIST")
+            .evaluation(fed.template.as_mut(), &test)
+            .run()
+            .unwrap();
+        let h = outcome.history.unwrap();
+        assert_eq!(h.algorithm, "IIADMM");
+        assert_eq!(h.rounds.len(), 2);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_comm_runner_shim_still_works() {
+        let data = build_benchmark(Benchmark::Mnist, 2, 40, 20, 3).unwrap();
+        let spec = InputSpec {
+            channels: 1,
+            height: 28,
+            width: 28,
+            classes: 10,
+        };
+        let cfg = config(AlgorithmConfig::FedAvg { lr: 0.05, momentum: 0.9 }, 2);
         let test = data.test.clone();
         let mut fed = build_federation(cfg, &data, move |rng| {
             Box::new(mlp_classifier(spec, 8, rng))
@@ -573,7 +651,6 @@ mod tests {
             "MNIST",
         )
         .unwrap();
-        assert_eq!(h.algorithm, "IIADMM");
         assert_eq!(h.rounds.len(), 2);
     }
 

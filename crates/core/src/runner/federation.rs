@@ -1,0 +1,492 @@
+//! The unified federation-run API.
+//!
+//! Historically every deployment shape had its own entry point —
+//! `CommRunner::run` / `run_ft` for push mode, `run_rpc_federation` /
+//! `run_rpc_federation_ft` for pull mode, `serve` / `serve_ft` underneath —
+//! six functions whose argument lists drifted apart as fault tolerance and
+//! telemetry grew. [`FederationBuilder`] collapses them into one fluent
+//! call chain:
+//!
+//! ```no_run
+//! # use appfl_core::FederationBuilder;
+//! # use appfl_comm::transport::InProcNetwork;
+//! # use std::sync::Arc;
+//! # fn demo(server: Box<dyn appfl_core::ServerAlgorithm>,
+//! #         clients: Vec<Box<dyn appfl_core::ClientAlgorithm>>,
+//! #         template: &mut dyn appfl_nn::module::Module,
+//! #         test: &appfl_data::InMemoryDataset) {
+//! let outcome = FederationBuilder::new(server, clients)
+//!     .transport(InProcNetwork::new(4))
+//!     .rounds(10)
+//!     .dataset("MNIST")
+//!     .evaluation(template, test)
+//!     .fault_tolerance(2, std::time::Duration::from_secs(2))
+//!     .telemetry(Arc::new(appfl_telemetry::JsonlSink::create("run.jsonl").unwrap()))
+//!     .run()
+//!     .unwrap();
+//! # }
+//! ```
+//!
+//! The old entry points survive as thin `#[deprecated]` shims over this
+//! builder (keeping their historical `TensorError` signatures via
+//! [`Error::into_tensor`]).
+
+use crate::api::{ClientAlgorithm, ServerAlgorithm};
+use crate::config::FaultToleranceConfig;
+use crate::error::Error;
+use crate::metrics::History;
+use crate::runner::comm::{run_client, run_client_ft, run_server, run_server_ft};
+use crate::runner::rpc::{run_rpc_client, run_rpc_client_ft, SyncRoundService};
+use appfl_comm::rpc::{serve_with, ServeOptions};
+use appfl_comm::transport::Communicator;
+use appfl_data::InMemoryDataset;
+use appfl_nn::module::Module;
+use appfl_telemetry::{EventSink, MaxGauge, Telemetry};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What a completed federation run hands back.
+#[derive(Debug)]
+pub struct FederationOutcome {
+    /// The final global model `w`.
+    pub model: Vec<f32>,
+    /// Aggregations completed (pull mode) or rounds driven (push mode —
+    /// includes degraded and skipped rounds, which the history details).
+    pub completed_rounds: usize,
+    /// Total transport-level retries across all clients (0 without fault
+    /// tolerance).
+    pub retries: usize,
+    /// Per-round metrics. Push mode always records one; pull mode has no
+    /// server-side evaluation loop, so it is `None` there.
+    pub history: Option<History>,
+}
+
+struct Eval<'a> {
+    template: &'a mut dyn Module,
+    test: &'a InMemoryDataset,
+}
+
+/// Builder for a federation run over any [`Communicator`] — the single
+/// entry point for push (broadcast/gather) and pull (RPC polling) modes,
+/// with or without fault tolerance, with or without telemetry.
+///
+/// Required: `.transport(endpoints)` (rank 0 serves). Push mode (the
+/// default) also requires `.evaluation(template, test)`. Everything else
+/// has defaults: 1 round, ε = ∞, no fault tolerance, no telemetry.
+pub struct FederationBuilder<'a, C: Communicator + 'static> {
+    server: Box<dyn ServerAlgorithm>,
+    clients: Vec<Box<dyn ClientAlgorithm>>,
+    endpoints: Option<Vec<C>>,
+    rounds: usize,
+    epsilon: f64,
+    dataset: String,
+    eval: Option<Eval<'a>>,
+    ft: Option<FaultToleranceConfig>,
+    telemetry: Telemetry,
+    pull: bool,
+}
+
+impl<'a, C: Communicator + 'static> FederationBuilder<'a, C> {
+    /// Starts a builder for `server` and its `clients`.
+    pub fn new(server: Box<dyn ServerAlgorithm>, clients: Vec<Box<dyn ClientAlgorithm>>) -> Self {
+        FederationBuilder {
+            server,
+            clients,
+            endpoints: None,
+            rounds: 1,
+            epsilon: f64::INFINITY,
+            dataset: "unspecified".into(),
+            eval: None,
+            ft: None,
+            telemetry: Telemetry::disabled(),
+            pull: false,
+        }
+    }
+
+    /// The transport endpoints, one per rank: `endpoints[0]` is the
+    /// server, `endpoints[p]` hosts client `p − 1`.
+    pub fn transport(mut self, endpoints: Vec<C>) -> Self {
+        self.endpoints = Some(endpoints);
+        self
+    }
+
+    /// Number of communication rounds (default 1).
+    pub fn rounds(mut self, rounds: usize) -> Self {
+        self.rounds = rounds;
+        self
+    }
+
+    /// Privacy budget ε̄ recorded in the history (default ∞ = non-private).
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Dataset name recorded in the history.
+    pub fn dataset(mut self, dataset: impl Into<String>) -> Self {
+        self.dataset = dataset.into();
+        self
+    }
+
+    /// Server-side evaluation: a template module matching the global
+    /// model's parameterisation plus the test set. Required in push mode,
+    /// where every round evaluates `w^{t+1}`; ignored in pull mode.
+    pub fn evaluation(mut self, template: &'a mut dyn Module, test: &'a InMemoryDataset) -> Self {
+        self.eval = Some(Eval { template, test });
+        self
+    }
+
+    /// Enables fault tolerance with the given quorum and round deadline;
+    /// retry/backoff parameters come from [`FaultToleranceConfig`]'s
+    /// defaults. Use [`FederationBuilder::fault_tolerance_config`] for
+    /// full control.
+    pub fn fault_tolerance(mut self, min_quorum: usize, deadline: Duration) -> Self {
+        self.ft = Some(FaultToleranceConfig {
+            min_quorum,
+            round_timeout_ms: deadline.as_millis() as u64,
+            ..FaultToleranceConfig::default()
+        });
+        self
+    }
+
+    /// Enables fault tolerance with an explicit configuration.
+    pub fn fault_tolerance_config(mut self, ft: FaultToleranceConfig) -> Self {
+        self.ft = Some(ft);
+        self
+    }
+
+    /// Records structured events (per-phase spans, retry/timeout marks,
+    /// byte counters) into `sink`. The default is the zero-cost no-op.
+    pub fn telemetry(mut self, sink: Arc<dyn EventSink>) -> Self {
+        self.telemetry = Telemetry::new(sink);
+        self
+    }
+
+    /// Switches to pull mode: the server passively serves `GetWeight` /
+    /// `SendResults` RPCs and clients poll — the flow of a real APPFL gRPC
+    /// deployment. No per-round evaluation, so the outcome has no history.
+    pub fn pull(mut self) -> Self {
+        self.pull = true;
+        self
+    }
+
+    /// Executes the federation and returns the outcome.
+    ///
+    /// Errors: [`Error::Config`] for a missing/mis-sized transport, a
+    /// missing evaluation setup in push mode, or an invalid quorum;
+    /// [`Error::Unsupported`] when fault tolerance or pull mode is
+    /// requested on a transport without `recv_any` multiplexing (see
+    /// [`Communicator::supports_recv_any`]); [`Error::Tensor`] /
+    /// [`Error::Comm`] for failures during the run itself.
+    pub fn run(self) -> Result<FederationOutcome, Error> {
+        let FederationBuilder {
+            mut server,
+            clients,
+            endpoints,
+            rounds,
+            epsilon,
+            dataset,
+            eval,
+            ft,
+            telemetry,
+            pull,
+        } = self;
+        let mut endpoints = endpoints
+            .ok_or_else(|| Error::config("no transport configured: call .transport(endpoints)"))?;
+        if clients.is_empty() {
+            return Err(Error::config("a federation needs at least one client"));
+        }
+        if endpoints.len() != clients.len() + 1 {
+            return Err(Error::config(format!(
+                "{} endpoints for {} clients + 1 server",
+                endpoints.len(),
+                clients.len()
+            )));
+        }
+        let sample_counts: Vec<usize> = clients.iter().map(|c| c.num_samples()).collect();
+        let server_ep = endpoints.remove(0);
+        // Both the pull-mode serving loop and the fault-tolerant gather
+        // multiplex with recv_any; fail fast if the transport cannot.
+        if (pull || ft.is_some()) && !server_ep.supports_recv_any() {
+            return Err(Error::Unsupported(
+                "recv_any multiplexing (required by pull mode and fault-tolerant gathers)",
+            ));
+        }
+
+        let retries = AtomicUsize::new(0);
+        let outcome = if pull {
+            let num_clients = clients.len();
+            let quorum = match &ft {
+                Some(ft) => ft.min_quorum.clamp(1, num_clients),
+                None => num_clients,
+            };
+            let mut service = SyncRoundService::new(server, num_clients, rounds, sample_counts)
+                .with_quorum(quorum)?
+                .with_telemetry(telemetry.clone());
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                let options = match &ft {
+                    None => {
+                        for (client, ep) in clients.into_iter().zip(endpoints) {
+                            let tl = telemetry.clone();
+                            handles
+                                .push(scope.spawn(move || run_rpc_client(client, &ep, &tl).map(drop)));
+                        }
+                        ServeOptions {
+                            telemetry: telemetry.clone(),
+                            ..ServeOptions::default()
+                        }
+                    }
+                    Some(ft) => {
+                        for (i, (client, ep)) in
+                            clients.into_iter().zip(endpoints).enumerate()
+                        {
+                            let policy = ft.retry_policy(i as u64 + 1);
+                            let timeout = ft.round_timeout();
+                            let retries = &retries;
+                            let tl = telemetry.clone();
+                            handles.push(scope.spawn(move || {
+                                run_rpc_client_ft(client, &ep, &policy, timeout, Some(retries), &tl)
+                                    .map(drop)
+                            }));
+                        }
+                        ServeOptions {
+                            idle_timeout: Some(ft.round_timeout()),
+                            max_idle: ft.suspect_after.max(1),
+                            telemetry: telemetry.clone(),
+                        }
+                    }
+                };
+                serve_with(&mut service, &server_ep, num_clients, &options)?;
+                for h in handles {
+                    h.join().expect("client thread panicked")?;
+                }
+                Ok::<(), Error>(())
+            })?;
+            let completed_rounds = service.completed_rounds();
+            FederationOutcome {
+                model: service.into_server().global_model(),
+                completed_rounds,
+                retries: retries.load(Ordering::Relaxed),
+                history: None,
+            }
+        } else {
+            let eval = eval.ok_or_else(|| {
+                Error::config("push mode evaluates every round: call .evaluation(template, test)")
+            })?;
+            let gauge = MaxGauge::new();
+            let history = std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                let h = match &ft {
+                    None => {
+                        for (client, ep) in clients.into_iter().zip(endpoints) {
+                            let gauge = &gauge;
+                            handles
+                                .push(scope.spawn(move || run_client(client, &ep, rounds, gauge)));
+                        }
+                        run_server(
+                            &mut *server,
+                            eval.template,
+                            eval.test,
+                            &server_ep,
+                            rounds,
+                            &sample_counts,
+                            epsilon,
+                            &dataset,
+                            &telemetry,
+                            &gauge,
+                        )
+                    }
+                    Some(ft) => {
+                        for (i, (client, ep)) in
+                            clients.into_iter().zip(endpoints).enumerate()
+                        {
+                            let policy = ft.retry_policy(i as u64 + 1);
+                            let recv_timeout = ft.round_timeout();
+                            let retries = &retries;
+                            let gauge = &gauge;
+                            let tl = telemetry.clone();
+                            handles.push(scope.spawn(move || {
+                                run_client_ft(
+                                    client,
+                                    &ep,
+                                    &policy,
+                                    recv_timeout,
+                                    retries,
+                                    &tl,
+                                    gauge,
+                                )
+                            }));
+                        }
+                        run_server_ft(
+                            &mut *server,
+                            eval.template,
+                            eval.test,
+                            &server_ep,
+                            rounds,
+                            &sample_counts,
+                            epsilon,
+                            &dataset,
+                            ft,
+                            &retries,
+                            &telemetry,
+                            &gauge,
+                        )
+                    }
+                };
+                for handle in handles {
+                    handle.join().expect("client thread panicked")?;
+                }
+                h
+            })?;
+            FederationOutcome {
+                model: server.global_model(),
+                completed_rounds: history.rounds.len(),
+                retries: retries.load(Ordering::Relaxed),
+                history: Some(history),
+            }
+        };
+        telemetry.flush();
+        Ok(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::build_federation;
+    use crate::config::{AlgorithmConfig, FedConfig};
+    use appfl_comm::transport::InProcNetwork;
+    use appfl_data::federated::{build_benchmark, Benchmark};
+    use appfl_nn::models::{mlp_classifier, InputSpec};
+    use appfl_privacy::PrivacyConfig;
+    use appfl_telemetry::MemorySink;
+
+    fn federation(rounds: usize) -> (crate::algorithms::Federation, InMemoryDataset) {
+        let data = build_benchmark(Benchmark::Mnist, 3, 90, 30, 2).unwrap();
+        let spec = InputSpec {
+            channels: 1,
+            height: 28,
+            width: 28,
+            classes: 10,
+        };
+        let config = FedConfig {
+            algorithm: AlgorithmConfig::FedAvg {
+                lr: 0.05,
+                momentum: 0.9,
+            },
+            rounds,
+            local_steps: 1,
+            batch_size: 16,
+            privacy: PrivacyConfig::none(),
+            seed: 4,
+        };
+        let test = data.test.clone();
+        let fed = build_federation(config, &data, move |rng| {
+            Box::new(mlp_classifier(spec, 8, rng))
+        });
+        (fed, test)
+    }
+
+    #[test]
+    fn missing_transport_is_a_config_error() {
+        let (fed, _test) = federation(1);
+        let err = FederationBuilder::<appfl_comm::transport::InProcEndpoint>::new(
+            fed.server, fed.clients,
+        )
+        .run()
+        .unwrap_err();
+        assert!(matches!(err, Error::Config(_)), "{err}");
+    }
+
+    #[test]
+    fn push_mode_without_evaluation_is_a_config_error() {
+        let (fed, _test) = federation(1);
+        let err = FederationBuilder::new(fed.server, fed.clients)
+            .transport(InProcNetwork::new(4))
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, Error::Config(_)), "{err}");
+        assert!(err.to_string().contains("evaluation"));
+    }
+
+    #[test]
+    fn mis_sized_transport_is_a_config_error() {
+        let (mut fed, test) = federation(1);
+        let err = FederationBuilder::new(fed.server, fed.clients)
+            .transport(InProcNetwork::new(2)) // 3 clients need 4 endpoints
+            .evaluation(fed.template.as_mut(), &test)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, Error::Config(_)), "{err}");
+    }
+
+    #[test]
+    fn builder_runs_push_federation_with_telemetry() {
+        let (mut fed, test) = federation(2);
+        let sink = Arc::new(MemorySink::new());
+        let outcome = FederationBuilder::new(fed.server, fed.clients)
+            .transport(InProcNetwork::new(4))
+            .rounds(2)
+            .dataset("MNIST")
+            .evaluation(fed.template.as_mut(), &test)
+            .telemetry(sink.clone())
+            .run()
+            .unwrap();
+        assert_eq!(outcome.completed_rounds, 2);
+        assert_eq!(outcome.retries, 0);
+        let history = outcome.history.expect("push mode records a history");
+        assert_eq!(history.rounds.len(), 2);
+        assert!(outcome.model.iter().all(|x| x.is_finite()));
+        let summary = appfl_telemetry::RunSummary::from_events(&sink.events());
+        assert_eq!(summary.rounds.len(), 2, "one phase group per round");
+        for (round, phases) in &summary.rounds {
+            assert!(phases.local_update > 0.0, "round {round} no local span");
+            assert!(phases.total() > 0.0);
+        }
+        assert!(summary.counter("upload_bytes") > 0);
+    }
+
+    #[test]
+    fn builder_runs_pull_federation() {
+        let (fed, _test) = federation(2);
+        let outcome = FederationBuilder::new(fed.server, fed.clients)
+            .transport(InProcNetwork::new(4))
+            .rounds(2)
+            .pull()
+            .run()
+            .unwrap();
+        assert_eq!(outcome.completed_rounds, 2);
+        assert!(outcome.history.is_none(), "pull mode has no history");
+        assert!(outcome.model.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn builder_runs_ft_federation_without_faults() {
+        let (mut fed, test) = federation(2);
+        let outcome = FederationBuilder::new(fed.server, fed.clients)
+            .transport(InProcNetwork::new(4))
+            .rounds(2)
+            .evaluation(fed.template.as_mut(), &test)
+            .fault_tolerance(3, Duration::from_secs(5))
+            .run()
+            .unwrap();
+        assert_eq!(outcome.completed_rounds, 2);
+        let history = outcome.history.unwrap();
+        assert_eq!(history.total_dropped_clients(), 0);
+    }
+
+    #[test]
+    fn bad_quorum_surfaces_as_config_error_in_pull_mode() {
+        let (fed, _test) = federation(1);
+        let err = FederationBuilder::new(fed.server, fed.clients)
+            .transport(InProcNetwork::new(4))
+            .pull()
+            .fault_tolerance(0, Duration::from_millis(50))
+            .run();
+        // quorum is clamped to ≥ 1, so 0 is repaired rather than fatal;
+        // the run itself must still complete.
+        assert!(err.is_ok());
+    }
+}

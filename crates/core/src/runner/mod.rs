@@ -2,6 +2,7 @@
 
 pub mod async_service;
 pub mod comm;
+pub mod federation;
 pub mod ft;
 pub mod pubsub;
 pub mod rpc;
@@ -9,6 +10,7 @@ pub mod r#async;
 pub mod serial;
 
 pub use comm::CommRunner;
+pub use federation::{FederationBuilder, FederationOutcome};
 pub use ft::ClientRoster;
 pub use r#async::{AsyncConfig, AsyncFedServer};
 pub use serial::SerialRunner;

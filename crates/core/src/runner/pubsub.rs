@@ -9,10 +9,13 @@
 //! * `fl/updates` — clients publish their `LearningResults`.
 
 use crate::api::{ClientAlgorithm, ClientUpload, ServerAlgorithm};
+use crate::error::Error;
 use appfl_comm::pubsub::Broker;
+use appfl_comm::transport::CommError;
 use appfl_comm::wire::messages::GlobalWeights;
 use appfl_comm::wire::{LearningResults, TensorMsg};
-use appfl_tensor::TensorError;
+use appfl_telemetry::{Phase, Telemetry};
+use std::time::Instant;
 
 /// Global-model topic.
 pub const TOPIC_GLOBAL: &str = "fl/global";
@@ -28,14 +31,22 @@ fn encode_global(round: usize, finished: bool, w: Vec<f32>) -> Vec<u8> {
     .encode()
 }
 
+fn broker_closed() -> Error {
+    Error::Comm(CommError::Disconnected { peer: 0 })
+}
+
 /// Runs a synchronous federation over a broker; returns the final global
 /// model. Clients run on their own threads, exactly as MQTT devices would.
+/// Client local updates and the server's gather/aggregate work are
+/// recorded on `telemetry`; pass [`Telemetry::disabled`] to observe
+/// nothing at zero cost.
 pub fn run_pubsub_federation(
     mut server: Box<dyn ServerAlgorithm>,
     clients: Vec<Box<dyn ClientAlgorithm>>,
     broker: &Broker,
     rounds: usize,
-) -> Result<Vec<f32>, TensorError> {
+    telemetry: &Telemetry,
+) -> Result<Vec<f32>, Error> {
     let num_clients = clients.len();
     let sample_counts: Vec<usize> = clients.iter().map(|c| c.num_samples()).collect();
     // Server subscribes to updates *before* clients start publishing.
@@ -45,15 +56,14 @@ pub fn run_pubsub_federation(
         let mut handles = Vec::new();
         for mut client in clients {
             let broker = broker.clone();
-            handles.push(scope.spawn(move || -> Result<(), TensorError> {
+            let tl = telemetry.clone();
+            handles.push(scope.spawn(move || -> Result<(), Error> {
                 let sub = broker.subscribe(TOPIC_GLOBAL);
                 let mut last_round = 0u32;
                 loop {
-                    let (_, payload) = sub
-                        .recv()
-                        .ok_or_else(|| TensorError::InvalidArgument("broker closed".into()))?;
+                    let (_, payload) = sub.recv().ok_or_else(broker_closed)?;
                     let msg = GlobalWeights::decode(&payload)
-                        .map_err(|e| TensorError::InvalidArgument(e.to_string()))?;
+                        .map_err(|e| Error::Comm(CommError::Frame(e.to_string())))?;
                     if msg.finished {
                         return Ok(());
                     }
@@ -61,7 +71,15 @@ pub fn run_pubsub_federation(
                         continue; // retained duplicate
                     }
                     last_round = msg.round;
+                    let t0 = Instant::now();
                     let upload = client.update(&msg.tensors[0].data)?;
+                    tl.span_secs(
+                        "local_update",
+                        Phase::LocalUpdate,
+                        t0.elapsed().as_secs_f64(),
+                        Some(u64::from(msg.round)),
+                        Some(client.id() as u64),
+                    );
                     let results = LearningResults {
                         client_id: client.id() as u32,
                         round: msg.round,
@@ -81,12 +99,11 @@ pub fn run_pubsub_federation(
             let w = server.global_model();
             broker.publish_retained(TOPIC_GLOBAL, encode_global(round, false, w));
             let mut uploads: Vec<ClientUpload> = Vec::with_capacity(num_clients);
+            let t0 = Instant::now();
             while uploads.len() < num_clients {
-                let (_, payload) = updates
-                    .recv()
-                    .ok_or_else(|| TensorError::InvalidArgument("broker closed".into()))?;
+                let (_, payload) = updates.recv().ok_or_else(broker_closed)?;
                 let msg = LearningResults::decode(&payload)
-                    .map_err(|e| TensorError::InvalidArgument(e.to_string()))?;
+                    .map_err(|e| Error::Comm(CommError::Frame(e.to_string())))?;
                 if msg.round as usize != round {
                     continue;
                 }
@@ -95,7 +112,7 @@ pub fn run_pubsub_federation(
                     .primal
                     .into_iter()
                     .next()
-                    .ok_or_else(|| TensorError::InvalidArgument("missing primal".into()))?;
+                    .ok_or_else(|| Error::Comm(CommError::Frame("missing primal".into())))?;
                 uploads.push(ClientUpload {
                     client_id,
                     primal: primal.data,
@@ -104,7 +121,22 @@ pub fn run_pubsub_federation(
                     local_loss: msg.penalty as f32,
                 });
             }
+            telemetry.span_secs(
+                "comm",
+                Phase::Comm,
+                t0.elapsed().as_secs_f64(),
+                Some(round as u64),
+                None,
+            );
+            let t1 = Instant::now();
             server.update(&uploads)?;
+            telemetry.span_secs(
+                "aggregate",
+                Phase::Aggregate,
+                t1.elapsed().as_secs_f64(),
+                Some(round as u64),
+                None,
+            );
         }
         broker.publish_retained(
             TOPIC_GLOBAL,
@@ -155,8 +187,21 @@ mod tests {
         let rounds = 2;
         let fed = federation(rounds);
         let broker = Broker::new();
-        let w_mqtt =
-            run_pubsub_federation(fed.server, fed.clients, &broker, rounds).unwrap();
+        let sink = std::sync::Arc::new(appfl_telemetry::MemorySink::default());
+        let w_mqtt = run_pubsub_federation(
+            fed.server,
+            fed.clients,
+            &broker,
+            rounds,
+            &Telemetry::new(sink.clone()),
+        )
+        .unwrap();
+        let summary = appfl_telemetry::RunSummary::from_events(&sink.events());
+        assert_eq!(summary.rounds.len(), rounds);
+        for totals in summary.rounds.values() {
+            assert!(totals.local_update > 0.0);
+            assert!(totals.aggregate > 0.0);
+        }
 
         let mut fed = federation(rounds);
         for _ in 0..rounds {

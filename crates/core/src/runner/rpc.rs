@@ -4,14 +4,17 @@
 
 use crate::api::{ClientAlgorithm, ClientUpload, ServerAlgorithm};
 use crate::config::FaultToleranceConfig;
+use crate::error::Error;
+use crate::runner::federation::FederationBuilder;
 use appfl_comm::retry::RetryPolicy;
-use appfl_comm::rpc::{call, call_with_retry, serve, serve_ft, FlService, Request, Response};
-use appfl_comm::transport::Communicator;
+use appfl_comm::rpc::{call, call_with_retry_observed, FlService, Request, Response};
+use appfl_comm::transport::{CommError, Communicator};
 use appfl_comm::wire::messages::GlobalWeights;
 use appfl_comm::wire::{JobDone, LearningResults, TensorMsg, WeightRequest};
 use appfl_tensor::TensorError;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Duration;
+use appfl_telemetry::{Phase, Telemetry};
+use std::sync::atomic::AtomicUsize;
+use std::time::{Duration, Instant};
 
 /// Synchronous-round FL service over any [`ServerAlgorithm`].
 ///
@@ -28,6 +31,7 @@ pub struct SyncRoundService {
     sample_counts: Vec<usize>,
     rejected: usize,
     quorum: usize,
+    telemetry: Telemetry,
 }
 
 impl SyncRoundService {
@@ -49,6 +53,7 @@ impl SyncRoundService {
             sample_counts,
             rejected: 0,
             quorum: num_clients,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -59,15 +64,22 @@ impl SyncRoundService {
     /// at the next round). Only meaningful for FedAvg-style servers; the
     /// ADMM servers require full participation and will reject partial
     /// batches.
-    pub fn with_quorum(mut self, quorum: usize) -> Result<Self, TensorError> {
+    pub fn with_quorum(mut self, quorum: usize) -> Result<Self, Error> {
         if quorum < 1 || quorum > self.num_clients {
-            return Err(TensorError::InvalidArgument(format!(
+            return Err(Error::config(format!(
                 "quorum {quorum} outside 1..={} clients",
                 self.num_clients
             )));
         }
         self.quorum = quorum;
         Ok(self)
+    }
+
+    /// Records each round's aggregation as an aggregate-phase span on
+    /// `telemetry` (the default handle is the zero-cost disabled one).
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Completed aggregations so far.
@@ -120,10 +132,18 @@ impl FlService for SyncRoundService {
         });
         if self.pending.len() >= self.quorum {
             let uploads = std::mem::take(&mut self.pending);
+            let t0 = Instant::now();
             if self.server.update(&uploads).is_err() {
                 self.rejected += uploads.len();
                 return false;
             }
+            self.telemetry.span_secs(
+                "aggregate",
+                Phase::Aggregate,
+                t0.elapsed().as_secs_f64(),
+                Some(self.round as u64),
+                None,
+            );
             self.round += 1;
         }
         true
@@ -138,12 +158,15 @@ impl FlService for SyncRoundService {
     }
 }
 
-/// Drives one client against the service until it reports `finished`.
-/// Returns the number of rounds this client contributed to.
+/// Drives one client against the service until it reports `finished`,
+/// recording each local update as a telemetry span tagged with the round
+/// and the client id. Returns the number of rounds this client
+/// contributed to.
 pub fn run_rpc_client<C: Communicator>(
     mut client: Box<dyn ClientAlgorithm>,
     comm: &C,
-) -> Result<usize, TensorError> {
+    telemetry: &Telemetry,
+) -> Result<usize, Error> {
     let id = client.id() as u32;
     let mut contributed = 0usize;
     let mut last_round_seen = 0u32;
@@ -154,14 +177,12 @@ pub fn run_rpc_client<C: Communicator>(
                 client_id: id,
                 round: last_round_seen,
             }),
-        )
-        .map_err(|e| TensorError::InvalidArgument(format!("rpc: {e}")))?
-        {
+        )? {
             Response::Weights(w) => w,
             other => {
-                return Err(TensorError::InvalidArgument(format!(
+                return Err(Error::Comm(CommError::Frame(format!(
                     "unexpected response {other:?}"
-                )))
+                ))))
             }
         };
         if weights.finished {
@@ -176,7 +197,15 @@ pub fn run_rpc_client<C: Communicator>(
         }
         last_round_seen = weights.round;
         let w = &weights.tensors[0].data;
+        let t0 = Instant::now();
         let upload = client.update(w)?;
+        telemetry.span_secs(
+            "local_update",
+            Phase::LocalUpdate,
+            t0.elapsed().as_secs_f64(),
+            Some(u64::from(weights.round)),
+            Some(u64::from(id)),
+        );
         let results = LearningResults {
             client_id: id,
             round: weights.round,
@@ -187,45 +216,16 @@ pub fn run_rpc_client<C: Communicator>(
                 .map(|d| vec![TensorMsg::flat("dual", d)])
                 .unwrap_or_default(),
         };
-        call(comm, &Request::SendResults(Box::new(results)))
-            .map_err(|e| TensorError::InvalidArgument(format!("rpc: {e}")))?;
+        call(comm, &Request::SendResults(Box::new(results)))?;
         contributed += 1;
     }
-    call(comm, &Request::Done(JobDone { client_id: id }))
-        .map_err(|e| TensorError::InvalidArgument(format!("rpc: {e}")))?;
+    call(comm, &Request::Done(JobDone { client_id: id }))?;
     Ok(contributed)
 }
 
-/// Runs a whole federation in the pull-based mode; returns the final global
-/// model and the number of completed rounds.
-pub fn run_rpc_federation<C: Communicator + 'static>(
-    server: Box<dyn ServerAlgorithm>,
-    clients: Vec<Box<dyn ClientAlgorithm>>,
-    mut endpoints: Vec<C>,
-    rounds: usize,
-) -> Result<(Vec<f32>, usize), TensorError> {
-    assert_eq!(endpoints.len(), clients.len() + 1);
-    let sample_counts: Vec<usize> = clients.iter().map(|c| c.num_samples()).collect();
-    let num_clients = clients.len();
-    let server_ep = endpoints.remove(0);
-    let mut service = SyncRoundService::new(server, num_clients, rounds, sample_counts);
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (client, ep) in clients.into_iter().zip(endpoints) {
-            handles.push(scope.spawn(move || run_rpc_client(client, &ep)));
-        }
-        serve(&mut service, &server_ep, num_clients)
-            .map_err(|e| TensorError::InvalidArgument(format!("serve: {e}")))?;
-        for h in handles {
-            h.join().expect("client thread panicked")?;
-        }
-        let completed = service.completed_rounds();
-        Ok((service.into_server().global_model(), completed))
-    })
-}
-
 /// Fault-tolerant variant of [`run_rpc_client`]: every call goes through
-/// [`call_with_retry`] with a per-attempt `timeout`. A client that cannot
+/// the observed retry path with a per-attempt `timeout`, so transport
+/// retries and timeouts surface as telemetry marks. A client that cannot
 /// reach the server after exhausting its retries — or whose local update
 /// fails — *leaves the federation* instead of erroring the whole run; the
 /// quorum service aggregates without it. Returns the rounds contributed.
@@ -235,12 +235,13 @@ pub fn run_rpc_client_ft<C: Communicator>(
     policy: &RetryPolicy,
     timeout: Duration,
     retries: Option<&AtomicUsize>,
-) -> Result<usize, TensorError> {
+    telemetry: &Telemetry,
+) -> Result<usize, Error> {
     let id = client.id() as u32;
     let mut contributed = 0usize;
     let mut last_round_seen = 0u32;
     loop {
-        let weights = match call_with_retry(
+        let weights = match call_with_retry_observed(
             comm,
             &Request::GetWeight(WeightRequest {
                 client_id: id,
@@ -249,12 +250,13 @@ pub fn run_rpc_client_ft<C: Communicator>(
             policy,
             timeout,
             retries,
+            telemetry,
         ) {
             Ok(Response::Weights(w)) => w,
             Ok(other) => {
-                return Err(TensorError::InvalidArgument(format!(
+                return Err(Error::Comm(CommError::Frame(format!(
                     "unexpected response {other:?}"
-                )))
+                ))))
             }
             Err(_) => break, // server unreachable: give up, don't wedge
         };
@@ -267,10 +269,18 @@ pub fn run_rpc_client_ft<C: Communicator>(
         }
         last_round_seen = weights.round;
         let w = &weights.tensors[0].data;
+        let t0 = Instant::now();
         let upload = match client.update(w) {
             Ok(u) => u,
             Err(_) => break, // local failure: leave the federation
         };
+        telemetry.span_secs(
+            "local_update",
+            Phase::LocalUpdate,
+            t0.elapsed().as_secs_f64(),
+            Some(u64::from(weights.round)),
+            Some(u64::from(id)),
+        );
         let results = LearningResults {
             client_id: id,
             round: weights.round,
@@ -281,12 +291,13 @@ pub fn run_rpc_client_ft<C: Communicator>(
                 .map(|d| vec![TensorMsg::flat("dual", d)])
                 .unwrap_or_default(),
         };
-        if call_with_retry(
+        if call_with_retry_observed(
             comm,
             &Request::SendResults(Box::new(results)),
             policy,
             timeout,
             retries,
+            telemetry,
         )
         .is_err()
         {
@@ -295,14 +306,36 @@ pub fn run_rpc_client_ft<C: Communicator>(
         contributed += 1;
     }
     // Best-effort goodbye; the server's idle cap covers us if it is lost.
-    let _ = call_with_retry(
+    let _ = call_with_retry_observed(
         comm,
         &Request::Done(JobDone { client_id: id }),
         policy,
         timeout,
         retries,
+        telemetry,
     );
     Ok(contributed)
+}
+
+/// Runs a whole federation in the pull-based mode; returns the final global
+/// model and the number of completed rounds.
+#[deprecated(
+    since = "0.2.0",
+    note = "use FederationBuilder::new(server, clients).transport(endpoints).pull()…run()"
+)]
+pub fn run_rpc_federation<C: Communicator + 'static>(
+    server: Box<dyn ServerAlgorithm>,
+    clients: Vec<Box<dyn ClientAlgorithm>>,
+    endpoints: Vec<C>,
+    rounds: usize,
+) -> Result<(Vec<f32>, usize), TensorError> {
+    FederationBuilder::new(server, clients)
+        .transport(endpoints)
+        .rounds(rounds)
+        .pull()
+        .run()
+        .map(|o| (o.model, o.completed_rounds))
+        .map_err(Error::into_tensor)
 }
 
 /// Fault-tolerant [`run_rpc_federation`]: aggregates on
@@ -310,49 +343,25 @@ pub fn run_rpc_client_ft<C: Communicator>(
 /// policy, and the server stops on its idle cap rather than waiting for
 /// goodbyes that will never come. Returns the final global model, the
 /// completed rounds, and the total transport retries performed.
+#[deprecated(
+    since = "0.2.0",
+    note = "use FederationBuilder with .pull().fault_tolerance_config(ft)"
+)]
 pub fn run_rpc_federation_ft<C: Communicator + 'static>(
     server: Box<dyn ServerAlgorithm>,
     clients: Vec<Box<dyn ClientAlgorithm>>,
-    mut endpoints: Vec<C>,
+    endpoints: Vec<C>,
     rounds: usize,
     ft: &FaultToleranceConfig,
 ) -> Result<(Vec<f32>, usize, usize), TensorError> {
-    assert_eq!(endpoints.len(), clients.len() + 1);
-    let sample_counts: Vec<usize> = clients.iter().map(|c| c.num_samples()).collect();
-    let num_clients = clients.len();
-    let server_ep = endpoints.remove(0);
-    let quorum = ft.min_quorum.clamp(1, num_clients.max(1));
-    let mut service =
-        SyncRoundService::new(server, num_clients, rounds, sample_counts).with_quorum(quorum)?;
-    let retries = AtomicUsize::new(0);
-    let completed = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (i, (client, ep)) in clients.into_iter().zip(endpoints).enumerate() {
-            let policy = ft.retry_policy(i as u64 + 1);
-            let retries = &retries;
-            let timeout = ft.round_timeout();
-            handles.push(
-                scope.spawn(move || run_rpc_client_ft(client, &ep, &policy, timeout, Some(retries))),
-            );
-        }
-        serve_ft(
-            &mut service,
-            &server_ep,
-            num_clients,
-            ft.round_timeout(),
-            ft.suspect_after.max(1),
-        )
-        .map_err(|e| TensorError::InvalidArgument(format!("serve: {e}")))?;
-        for h in handles {
-            h.join().expect("client thread panicked")?;
-        }
-        Ok::<usize, TensorError>(service.completed_rounds())
-    })?;
-    Ok((
-        service.into_server().global_model(),
-        completed,
-        retries.load(Ordering::Relaxed),
-    ))
+    FederationBuilder::new(server, clients)
+        .transport(endpoints)
+        .rounds(rounds)
+        .pull()
+        .fault_tolerance_config(ft.clone())
+        .run()
+        .map(|o| (o.model, o.completed_rounds, o.retries))
+        .map_err(Error::into_tensor)
 }
 
 #[cfg(test)]
@@ -364,6 +373,8 @@ mod tests {
     use appfl_data::federated::{build_benchmark, Benchmark};
     use appfl_nn::models::{mlp_classifier, InputSpec};
     use appfl_privacy::PrivacyConfig;
+    use appfl_telemetry::MemorySink;
+    use std::sync::Arc;
 
     fn federation(algo: AlgorithmConfig, rounds: usize) -> crate::algorithms::Federation {
         let data = build_benchmark(Benchmark::Mnist, 3, 90, 30, 44).unwrap();
@@ -386,6 +397,19 @@ mod tests {
         })
     }
 
+    fn run_pull(
+        fed: crate::algorithms::Federation,
+        rounds: usize,
+    ) -> crate::runner::federation::FederationOutcome {
+        let endpoints = InProcNetwork::new(4);
+        FederationBuilder::new(fed.server, fed.clients)
+            .transport(endpoints)
+            .rounds(rounds)
+            .pull()
+            .run()
+            .unwrap()
+    }
+
     #[test]
     fn pull_based_federation_completes_all_rounds() {
         let fed = federation(
@@ -395,11 +419,10 @@ mod tests {
             },
             3,
         );
-        let endpoints = InProcNetwork::new(4);
-        let (w, completed) =
-            run_rpc_federation(fed.server, fed.clients, endpoints, 3).unwrap();
-        assert_eq!(completed, 3);
-        assert!(w.iter().all(|x| x.is_finite()));
+        let outcome = run_pull(fed, 3);
+        assert_eq!(outcome.completed_rounds, 3);
+        assert!(outcome.model.iter().all(|x| x.is_finite()));
+        assert!(outcome.history.is_none(), "pull mode has no history");
     }
 
     #[test]
@@ -411,8 +434,7 @@ mod tests {
         };
         // Pull-based.
         let fed = federation(algo, rounds);
-        let endpoints = InProcNetwork::new(4);
-        let (w_pull, _) = run_rpc_federation(fed.server, fed.clients, endpoints, rounds).unwrap();
+        let w_pull = run_pull(fed, rounds).model;
         // Push-based serial reference.
         let mut fed = federation(algo, rounds);
         for _ in 0..rounds {
@@ -434,8 +456,42 @@ mod tests {
     }
 
     #[test]
+    fn pull_mode_emits_local_update_and_aggregate_spans() {
+        use appfl_telemetry::{EventKind, Phase};
+        let fed = federation(
+            AlgorithmConfig::FedAvg {
+                lr: 0.05,
+                momentum: 0.9,
+            },
+            2,
+        );
+        let sink = Arc::new(MemorySink::new());
+        let endpoints = InProcNetwork::new(4);
+        let outcome = FederationBuilder::new(fed.server, fed.clients)
+            .transport(endpoints)
+            .rounds(2)
+            .pull()
+            .telemetry(sink.clone())
+            .run()
+            .unwrap();
+        assert_eq!(outcome.completed_rounds, 2);
+        let events = sink.events();
+        let spans_of = |phase: Phase| {
+            events
+                .iter()
+                .filter(|e| e.kind == EventKind::Span && e.phase == Some(phase))
+                .count()
+        };
+        // 3 clients × 2 rounds of local updates; 2 aggregations.
+        assert_eq!(spans_of(Phase::LocalUpdate), 6);
+        assert_eq!(spans_of(Phase::Aggregate), 2);
+        // Every RPC decode/encode pair lands in the serialize phase.
+        assert!(spans_of(Phase::Serialize) > 0);
+    }
+
+    #[test]
     fn quorum_service_tolerates_stragglers() {
-        use appfl_comm::rpc::serve;
+        use appfl_comm::rpc::{serve_with, ServeOptions};
         let fed = federation(
             AlgorithmConfig::FedAvg {
                 lr: 0.05,
@@ -454,9 +510,11 @@ mod tests {
         let completed = std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for (client, ep) in fed.clients.into_iter().zip(endpoints) {
-                handles.push(scope.spawn(move || run_rpc_client(client, &ep)));
+                handles.push(
+                    scope.spawn(move || run_rpc_client(client, &ep, &Telemetry::disabled())),
+                );
             }
-            serve(&mut service, &server_ep, num_clients).unwrap();
+            serve_with(&mut service, &server_ep, num_clients, &ServeOptions::default()).unwrap();
             for h in handles {
                 h.join().unwrap().unwrap();
             }
@@ -481,7 +539,11 @@ mod tests {
         );
         let counts: Vec<usize> = fed.clients.iter().map(|c| c.num_samples()).collect();
         let service = SyncRoundService::new(fed.server, 3, 1, counts);
-        assert!(service.with_quorum(0).is_err());
+        let err = match service.with_quorum(0) {
+            Err(e) => e,
+            Ok(_) => panic!("quorum of zero was accepted"),
+        };
+        assert!(matches!(err, Error::Config(_)), "{err}");
         let fed = federation(
             AlgorithmConfig::FedAvg {
                 lr: 0.05,
@@ -508,9 +570,44 @@ mod tests {
             min_quorum: 3,
             ..Default::default()
         };
-        let (w, completed, _retries) =
-            run_rpc_federation_ft(fed.server, fed.clients, endpoints, 2, &ft).unwrap();
+        let outcome = FederationBuilder::new(fed.server, fed.clients)
+            .transport(endpoints)
+            .rounds(2)
+            .pull()
+            .fault_tolerance_config(ft)
+            .run()
+            .unwrap();
+        assert_eq!(outcome.completed_rounds, 2);
+        assert!(outcome.model.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_rpc_shims_still_work() {
+        let fed = federation(
+            AlgorithmConfig::FedAvg {
+                lr: 0.05,
+                momentum: 0.9,
+            },
+            2,
+        );
+        let endpoints = InProcNetwork::new(4);
+        let (w, completed) = run_rpc_federation(fed.server, fed.clients, endpoints, 2).unwrap();
         assert_eq!(completed, 2);
+        assert!(w.iter().all(|x| x.is_finite()));
+
+        let fed = federation(
+            AlgorithmConfig::FedAvg {
+                lr: 0.05,
+                momentum: 0.9,
+            },
+            1,
+        );
+        let endpoints = InProcNetwork::new(4);
+        let ft = crate::config::FaultToleranceConfig::default();
+        let (w, completed, _retries) =
+            run_rpc_federation_ft(fed.server, fed.clients, endpoints, 1, &ft).unwrap();
+        assert_eq!(completed, 1);
         assert!(w.iter().all(|x| x.is_finite()));
     }
 

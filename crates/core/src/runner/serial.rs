@@ -5,7 +5,7 @@
 //! of APPFL's MPI-based "serial simulation on HPC" mode (§II). Per-round
 //! wall times for client compute are measured for real; communication is
 //! zero (clients live in-process), so `comm_secs` stays 0 here and the
-//! transport-backed [`crate::runner::CommRunner`] measures real messaging.
+//! transport-backed [`crate::FederationBuilder`] measures real messaging.
 
 use crate::algorithms::Federation;
 use crate::api::ClientUpload;
@@ -13,6 +13,7 @@ use crate::metrics::{History, RoundRecord};
 use crate::validation::evaluate;
 use appfl_data::InMemoryDataset;
 use appfl_tensor::Result;
+use appfl_telemetry::{Phase, Telemetry};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -32,6 +33,7 @@ pub struct SerialRunner {
     /// = full participation, which the ADMM servers require).
     pub participation: f32,
     sampling_rng: StdRng,
+    telemetry: Telemetry,
 }
 
 impl SerialRunner {
@@ -50,7 +52,15 @@ impl SerialRunner {
             eval_every: 1,
             participation: 1.0,
             sampling_rng: StdRng::seed_from_u64(seed ^ 0xC11E57),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Emits per-round `local_update`/`aggregate` spans to `sink`-backed
+    /// telemetry (the serial runner has no serialize/comm phases).
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Runs `config.rounds` communication rounds and returns the history.
@@ -104,11 +114,19 @@ impl SerialRunner {
             selected.into_par_iter().map(|c| c.update(&w)).collect()
         };
         let uploads = uploads?;
-        let compute_secs = t0.elapsed().as_secs_f64();
+        let local_update_secs = t0.elapsed().as_secs_f64();
+        self.telemetry.span_secs(
+            "local_update",
+            Phase::LocalUpdate,
+            local_update_secs,
+            Some(t as u64),
+            None,
+        );
 
         let upload_bytes: usize = uploads.iter().map(ClientUpload::payload_bytes).sum();
         let train_loss =
             uploads.iter().map(|u| u.local_loss).sum::<f32>() / uploads.len().max(1) as f32;
+        let t1 = Instant::now();
         self.federation.server.update(&uploads)?;
 
         let (accuracy, test_loss) = if t.is_multiple_of(self.eval_every) || t == self.federation.config.rounds {
@@ -123,6 +141,9 @@ impl SerialRunner {
         } else {
             (f32::NAN, f32::NAN)
         };
+        let aggregate_secs = t1.elapsed().as_secs_f64();
+        self.telemetry
+            .span_secs("aggregate", Phase::Aggregate, aggregate_secs, Some(t as u64), None);
 
         Ok(RoundRecord {
             round: t,
@@ -130,11 +151,10 @@ impl SerialRunner {
             test_loss,
             train_loss,
             upload_bytes,
-            compute_secs,
-            comm_secs: 0.0,
-            dropped_clients: 0,
-            retries: 0,
-            timed_out: 0,
+            compute_secs: local_update_secs + aggregate_secs,
+            local_update_secs,
+            aggregate_secs,
+            ..RoundRecord::default()
         })
     }
 
@@ -319,6 +339,32 @@ mod tests {
             r.run().unwrap().final_accuracy()
         };
         assert_eq!(run(0.5), run(0.5));
+    }
+
+    #[test]
+    fn telemetry_spans_cover_every_round() {
+        use appfl_telemetry::{MemorySink, RunSummary};
+        use std::sync::Arc;
+        let sink = Arc::new(MemorySink::default());
+        let mut r = runner(
+            AlgorithmConfig::FedAvg {
+                lr: 0.05,
+                momentum: 0.9,
+            },
+            f64::INFINITY,
+            3,
+        )
+        .with_telemetry(Telemetry::new(sink.clone()));
+        let h = r.run().unwrap();
+        let summary = RunSummary::from_events(&sink.events());
+        assert_eq!(summary.rounds.len(), 3);
+        for (round, totals) in &summary.rounds {
+            assert!(totals.local_update > 0.0, "round {round} has no local_update span");
+            assert!(totals.aggregate > 0.0, "round {round} has no aggregate span");
+        }
+        // The history's new phase fields agree with the emitted spans.
+        let recorded: f64 = h.rounds.iter().map(|r| r.local_update_secs).sum();
+        assert!((recorded - summary.totals().local_update).abs() < 1e-6);
     }
 
     #[test]

@@ -1,0 +1,388 @@
+//! The event record and its JSONL encoding.
+//!
+//! Encoding and parsing are hand-rolled (flat objects, string/number/null
+//! values only) so the crate carries zero dependencies — telemetry must be
+//! emittable from the lowest layers of the workspace (tensor kernels, the
+//! transport) without dragging serde into them.
+
+use std::fmt::Write as _;
+
+/// The four per-round phases of a federated round, matching the columns
+/// of the paper's Table IV breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Client-side local training (`ClientAlgorithm::update`).
+    LocalUpdate,
+    /// Message encode/decode on either side.
+    Serialize,
+    /// Blocking transport time (send, recv wait net of overlapped
+    /// compute, backoff sleeps).
+    Comm,
+    /// Server-side aggregation plus evaluation.
+    Aggregate,
+}
+
+impl Phase {
+    /// Stable wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Phase::LocalUpdate => "local_update",
+            Phase::Serialize => "serialize",
+            Phase::Comm => "comm",
+            Phase::Aggregate => "aggregate",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn parse(s: &str) -> Option<Phase> {
+        match s {
+            "local_update" => Some(Phase::LocalUpdate),
+            "serialize" => Some(Phase::Serialize),
+            "comm" => Some(Phase::Comm),
+            "aggregate" => Some(Phase::Aggregate),
+            _ => None,
+        }
+    }
+}
+
+/// What an [`Event`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A timed duration (`secs` is set).
+    Span,
+    /// A counter increment (`value` is set).
+    Count,
+    /// A point-in-time occurrence (retry, fault injection, timeout…).
+    Mark,
+}
+
+impl EventKind {
+    /// Stable wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::Span => "span",
+            EventKind::Count => "count",
+            EventKind::Mark => "mark",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn parse(s: &str) -> Option<EventKind> {
+        match s {
+            "span" => Some(EventKind::Span),
+            "count" => Some(EventKind::Count),
+            "mark" => Some(EventKind::Mark),
+            _ => None,
+        }
+    }
+}
+
+/// One telemetry record. Flat by design: every field is optional except
+/// the timestamp, kind and name, so the JSONL form stays greppable and
+/// the schema can grow without breaking old readers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Seconds since the owning [`crate::Telemetry`] handle's epoch.
+    pub ts: f64,
+    /// Span, counter or mark.
+    pub kind: EventKind,
+    /// What was measured (`"local_update"`, `"retry"`, `"fault"`, …).
+    pub name: String,
+    /// Phase attribution, when the event belongs to a round phase.
+    pub phase: Option<Phase>,
+    /// Federation round (1-based), when known.
+    pub round: Option<u64>,
+    /// Peer rank / client id, when the event concerns one peer.
+    pub peer: Option<u64>,
+    /// Span duration in seconds ([`EventKind::Span`] only).
+    pub secs: Option<f64>,
+    /// Counter increment ([`EventKind::Count`] only).
+    pub value: Option<u64>,
+    /// Free-form annotation (fault kind, retried operation, …).
+    pub detail: Option<String>,
+}
+
+impl Event {
+    /// A bare event of the given kind; callers fill optional fields.
+    pub fn new(ts: f64, kind: EventKind, name: impl Into<String>) -> Self {
+        Event {
+            ts,
+            kind,
+            name: name.into(),
+            phase: None,
+            round: None,
+            peer: None,
+            secs: None,
+            value: None,
+            detail: None,
+        }
+    }
+
+    /// Encodes as one JSON object (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut s = String::with_capacity(96);
+        s.push('{');
+        let _ = write!(s, "\"ts\":{}", fmt_f64(self.ts));
+        let _ = write!(s, ",\"kind\":\"{}\"", self.kind.as_str());
+        s.push_str(",\"name\":\"");
+        escape_into(&self.name, &mut s);
+        s.push('"');
+        if let Some(p) = self.phase {
+            let _ = write!(s, ",\"phase\":\"{}\"", p.as_str());
+        }
+        if let Some(r) = self.round {
+            let _ = write!(s, ",\"round\":{r}");
+        }
+        if let Some(p) = self.peer {
+            let _ = write!(s, ",\"peer\":{p}");
+        }
+        if let Some(d) = self.secs {
+            let _ = write!(s, ",\"secs\":{}", fmt_f64(d));
+        }
+        if let Some(v) = self.value {
+            let _ = write!(s, ",\"value\":{v}");
+        }
+        if let Some(d) = &self.detail {
+            s.push_str(",\"detail\":\"");
+            escape_into(d, &mut s);
+            s.push('"');
+        }
+        s.push('}');
+        s
+    }
+
+    /// Parses one JSON line produced by [`Event::to_json_line`] (or any
+    /// flat JSON object with the same keys). Returns `None` on malformed
+    /// input or a missing required field — a telemetry reader skips bad
+    /// lines rather than aborting a report.
+    pub fn from_json_line(line: &str) -> Option<Event> {
+        let fields = parse_flat_object(line)?;
+        let mut ev = Event::new(f64::NAN, EventKind::Mark, "");
+        let mut have_ts = false;
+        let mut have_kind = false;
+        let mut have_name = false;
+        for (key, value) in fields {
+            match (key.as_str(), value) {
+                ("ts", JsonValue::Num(n)) => {
+                    ev.ts = n;
+                    have_ts = true;
+                }
+                ("kind", JsonValue::Str(s)) => {
+                    ev.kind = EventKind::parse(&s)?;
+                    have_kind = true;
+                }
+                ("name", JsonValue::Str(s)) => {
+                    ev.name = s;
+                    have_name = true;
+                }
+                ("phase", JsonValue::Str(s)) => ev.phase = Some(Phase::parse(&s)?),
+                ("round", JsonValue::Num(n)) => ev.round = Some(n as u64),
+                ("peer", JsonValue::Num(n)) => ev.peer = Some(n as u64),
+                ("secs", JsonValue::Num(n)) => ev.secs = Some(n),
+                ("value", JsonValue::Num(n)) => ev.value = Some(n as u64),
+                ("detail", JsonValue::Str(s)) => ev.detail = Some(s),
+                _ => {} // unknown key or null: forward-compatible skip
+            }
+        }
+        (have_ts && have_kind && have_name).then_some(ev)
+    }
+}
+
+/// Formats a float so it round-trips and never prints as `inf`/`NaN`
+/// (JSON has neither; they encode as null-like `0`).
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        let mut s = format!("{v}");
+        if !s.contains('.') && !s.contains('e') {
+            s.push_str(".0");
+        }
+        s
+    } else {
+        "0.0".to_string()
+    }
+}
+
+fn escape_into(raw: &str, out: &mut String) {
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+enum JsonValue {
+    Str(String),
+    Num(f64),
+    Other,
+}
+
+/// Parses a single flat JSON object (string, number, bool and null
+/// values; no nesting). Sufficient for the JSONL format this crate
+/// writes; not a general JSON parser.
+fn parse_flat_object(line: &str) -> Option<Vec<(String, JsonValue)>> {
+    let mut chars = line.trim().chars().peekable();
+    if chars.next()? != '{' {
+        return None;
+    }
+    let mut out = Vec::new();
+    loop {
+        skip_ws(&mut chars);
+        match chars.peek()? {
+            '}' => {
+                chars.next();
+                break;
+            }
+            ',' => {
+                chars.next();
+                continue;
+            }
+            '"' => {}
+            _ => return None,
+        }
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        if chars.next()? != ':' {
+            return None;
+        }
+        skip_ws(&mut chars);
+        let value = match chars.peek()? {
+            '"' => JsonValue::Str(parse_string(&mut chars)?),
+            't' | 'f' | 'n' => {
+                while chars.peek().is_some_and(|c| c.is_ascii_alphabetic()) {
+                    chars.next();
+                }
+                JsonValue::Other
+            }
+            _ => {
+                let mut num = String::new();
+                while chars
+                    .peek()
+                    .is_some_and(|&c| c.is_ascii_digit() || "+-.eE".contains(c))
+                {
+                    num.push(chars.next().unwrap());
+                }
+                JsonValue::Num(num.parse().ok()?)
+            }
+        };
+        out.push((key, value));
+    }
+    Some(out)
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+    while chars.peek().is_some_and(|c| c.is_whitespace()) {
+        chars.next();
+    }
+}
+
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Option<String> {
+    if chars.next()? != '"' {
+        return None;
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next()? {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                '/' => out.push('/'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        code = code * 16 + chars.next()?.to_digit(16)?;
+                    }
+                    out.push(char::from_u32(code)?);
+                }
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_event_roundtrips_through_json() {
+        let mut ev = Event::new(1.25, EventKind::Span, "local_update");
+        ev.phase = Some(Phase::LocalUpdate);
+        ev.round = Some(3);
+        ev.peer = Some(2);
+        ev.secs = Some(0.0125);
+        let line = ev.to_json_line();
+        assert!(line.contains("\"phase\":\"local_update\""), "{line}");
+        assert_eq!(Event::from_json_line(&line).unwrap(), ev);
+    }
+
+    #[test]
+    fn count_and_mark_roundtrip() {
+        let mut count = Event::new(0.5, EventKind::Count, "retry");
+        count.value = Some(2);
+        count.detail = Some("get_weight".into());
+        assert_eq!(
+            Event::from_json_line(&count.to_json_line()).unwrap(),
+            count
+        );
+        let mut mark = Event::new(0.75, EventKind::Mark, "fault");
+        mark.peer = Some(1);
+        mark.detail = Some("drop".into());
+        assert_eq!(Event::from_json_line(&mark.to_json_line()).unwrap(), mark);
+    }
+
+    #[test]
+    fn detail_escaping_survives_roundtrip() {
+        let mut ev = Event::new(0.0, EventKind::Mark, "weird \"name\"");
+        ev.detail = Some("line\nbreak\tand \\ slash \u{1}".into());
+        let back = Event::from_json_line(&ev.to_json_line()).unwrap();
+        assert_eq!(back, ev);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_not_panicked() {
+        for bad in [
+            "",
+            "{",
+            "not json",
+            "{\"ts\":1.0}",                       // missing kind/name
+            "{\"ts\":1.0,\"kind\":\"nope\",\"name\":\"x\"}", // bad kind
+            "[1,2,3]",
+        ] {
+            assert!(Event::from_json_line(bad).is_none(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_keys_are_skipped_for_forward_compat() {
+        let line = "{\"ts\":2.0,\"kind\":\"mark\",\"name\":\"x\",\"future_field\":true,\"other\":null}";
+        let ev = Event::from_json_line(line).unwrap();
+        assert_eq!(ev.name, "x");
+        assert_eq!(ev.ts, 2.0);
+    }
+
+    #[test]
+    fn phase_names_are_stable() {
+        for p in [
+            Phase::LocalUpdate,
+            Phase::Serialize,
+            Phase::Comm,
+            Phase::Aggregate,
+        ] {
+            assert_eq!(Phase::parse(p.as_str()), Some(p));
+        }
+        assert_eq!(Phase::parse("bogus"), None);
+    }
+}

@@ -1,0 +1,87 @@
+//! # appfl-telemetry
+//!
+//! The observability substrate of appfl-rs. The APPFL paper's core
+//! evaluation is a communication-versus-computation breakdown (Tables
+//! IV–V); reproducing it requires phase-level accounting that coarse
+//! per-round wall times cannot provide. This crate supplies it:
+//!
+//! * [`Event`] — a flat, schema-stable record: a timed span, a counter
+//!   increment, or a point-in-time mark, optionally tagged with a
+//!   [`Phase`], a round and a peer rank.
+//! * [`EventSink`] — where events go. Ships with [`NoopSink`] (the
+//!   zero-cost default), [`MemorySink`] (tests) and [`JsonlSink`] (one
+//!   JSON object per line, hand-rolled so this crate stays
+//!   dependency-free and usable from the tensor and transport layers).
+//! * [`Telemetry`] — the cloneable handle the runners thread through
+//!   their call graphs. A disabled handle carries no allocation and every
+//!   operation on it is a branch on a `None`.
+//! * [`RunSummary`] — aggregates a recorded event stream back into
+//!   per-round phase totals for reporting (`appfl-bench`'s `report`
+//!   binary renders it).
+//!
+//! The four phases every round decomposes into — `local_update`,
+//! `serialize`, `comm`, `aggregate` — mirror the columns of the paper's
+//! Table IV: client computation, (de)serialization, transport wait, and
+//! server-side aggregation + evaluation.
+
+pub mod event;
+pub mod sink;
+pub mod summary;
+
+pub use event::{Event, EventKind, Phase};
+pub use sink::{read_jsonl, EventSink, JsonlSink, MemorySink, NoopSink, Span, Telemetry};
+pub use summary::{PhaseTotals, RunSummary};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A lock-free maximum gauge in integer microseconds.
+///
+/// The transport runners use one to account client compute that overlaps
+/// the server's gather wait: each client thread records its local-update
+/// duration, the server drains the round maximum and subtracts it from
+/// the blocking wait so `comm_secs` measures transport, not overlapped
+/// computation.
+#[derive(Debug, Default)]
+pub struct MaxGauge {
+    micros: AtomicU64,
+}
+
+impl MaxGauge {
+    /// A zeroed gauge.
+    pub fn new() -> Self {
+        MaxGauge::default()
+    }
+
+    /// Folds `secs` in, keeping the maximum seen since the last drain.
+    pub fn record_secs(&self, secs: f64) {
+        let micros = (secs * 1e6).max(0.0) as u64;
+        self.micros.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    /// Returns the maximum recorded since the last drain (seconds) and
+    /// resets the gauge to zero.
+    pub fn drain_secs(&self) -> f64 {
+        self.micros.swap(0, Ordering::Relaxed) as f64 / 1e6
+    }
+
+    /// Current maximum without resetting (seconds).
+    pub fn peek_secs(&self) -> f64 {
+        self.micros.load(Ordering::Relaxed) as f64 / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_gauge_keeps_maximum_and_drains() {
+        let g = MaxGauge::new();
+        g.record_secs(0.002);
+        g.record_secs(0.010);
+        g.record_secs(0.001);
+        assert!((g.peek_secs() - 0.010).abs() < 1e-9);
+        assert!((g.drain_secs() - 0.010).abs() < 1e-9);
+        assert_eq!(g.drain_secs(), 0.0, "drain resets");
+    }
+}

@@ -1,0 +1,357 @@
+//! Sinks and the [`Telemetry`] handle the runners thread around.
+
+use crate::event::{Event, EventKind, Phase};
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Where events go. Implementations must be cheap under concurrent
+/// emission — every client thread, the server loop and the transport all
+/// share one sink.
+pub trait EventSink: Send + Sync {
+    /// Whether emission is worth the caller's time. A `false` here lets
+    /// instrumented code skip timestamping and allocation entirely.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Records one event.
+    fn emit(&self, event: Event);
+
+    /// Flushes buffered events to durable storage (no-op by default).
+    fn flush(&self) {}
+}
+
+/// The zero-cost default: reports itself disabled and drops everything.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl EventSink for NoopSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn emit(&self, _event: Event) {}
+}
+
+/// In-memory sink for tests and programmatic inspection.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// A copy of everything recorded so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("memory sink poisoned").clone()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("memory sink poisoned").len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl EventSink for MemorySink {
+    fn emit(&self, event: Event) {
+        self.events.lock().expect("memory sink poisoned").push(event);
+    }
+}
+
+/// JSONL file sink: one [`Event`] per line, append-only, buffered.
+///
+/// The format is the crate's own hand-rolled flat JSON (see
+/// [`Event::to_json_line`]); `appfl-bench`'s `report` binary reads it
+/// back with [`Event::from_json_line`].
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(JsonlSink {
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+}
+
+impl EventSink for JsonlSink {
+    fn emit(&self, event: Event) {
+        let mut w = self.writer.lock().expect("jsonl sink poisoned");
+        let _ = writeln!(w, "{}", event.to_json_line());
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().expect("jsonl sink poisoned").flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// Reads every well-formed event from a JSONL file (bad lines skipped).
+pub fn read_jsonl(path: impl AsRef<Path>) -> std::io::Result<Vec<Event>> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(text.lines().filter_map(Event::from_json_line).collect())
+}
+
+struct TelemetryInner {
+    sink: Arc<dyn EventSink>,
+    epoch: Instant,
+}
+
+/// The cloneable handle instrumented code holds.
+///
+/// [`Telemetry::disabled`] is the zero-cost default: no allocation, and
+/// every operation short-circuits on an `Option` check, so threading a
+/// disabled handle through the hot path costs a well-predicted branch.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<TelemetryInner>>,
+}
+
+impl Telemetry {
+    /// A handle that records into `sink`, with the epoch set to now.
+    pub fn new(sink: Arc<dyn EventSink>) -> Self {
+        if !sink.enabled() {
+            return Telemetry::disabled();
+        }
+        Telemetry {
+            inner: Some(Arc::new(TelemetryInner {
+                sink,
+                epoch: Instant::now(),
+            })),
+        }
+    }
+
+    /// The no-op handle.
+    pub fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// Whether events are being recorded.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn now(inner: &TelemetryInner) -> f64 {
+        inner.epoch.elapsed().as_secs_f64()
+    }
+
+    /// Emits a completed span of `secs` seconds.
+    pub fn span_secs(
+        &self,
+        name: &str,
+        phase: Phase,
+        secs: f64,
+        round: Option<u64>,
+        peer: Option<u64>,
+    ) {
+        if let Some(inner) = &self.inner {
+            let mut ev = Event::new(Self::now(inner), EventKind::Span, name);
+            ev.phase = Some(phase);
+            ev.round = round;
+            ev.peer = peer;
+            ev.secs = Some(secs);
+            inner.sink.emit(ev);
+        }
+    }
+
+    /// Starts an RAII span; the duration is emitted when the guard drops
+    /// (or [`Span::finish`] is called). On a disabled handle the guard is
+    /// inert.
+    pub fn span(&self, name: &'static str, phase: Phase) -> Span {
+        Span {
+            telemetry: self.clone(),
+            name,
+            phase,
+            round: None,
+            peer: None,
+            start: self.inner.as_ref().map(|_| Instant::now()),
+        }
+    }
+
+    /// Emits a counter increment.
+    pub fn count(&self, name: &str, value: u64, round: Option<u64>, detail: Option<&str>) {
+        if let Some(inner) = &self.inner {
+            let mut ev = Event::new(Self::now(inner), EventKind::Count, name);
+            ev.round = round;
+            ev.value = Some(value);
+            ev.detail = detail.map(str::to_string);
+            inner.sink.emit(ev);
+        }
+    }
+
+    /// Emits a point-in-time mark.
+    pub fn mark(&self, name: &str, round: Option<u64>, peer: Option<u64>, detail: Option<&str>) {
+        if let Some(inner) = &self.inner {
+            let mut ev = Event::new(Self::now(inner), EventKind::Mark, name);
+            ev.round = round;
+            ev.peer = peer;
+            ev.detail = detail.map(str::to_string);
+            inner.sink.emit(ev);
+        }
+    }
+
+    /// Flushes the underlying sink.
+    pub fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            inner.sink.flush();
+        }
+    }
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+/// RAII guard returned by [`Telemetry::span`]; emits its duration on drop.
+pub struct Span {
+    telemetry: Telemetry,
+    name: &'static str,
+    phase: Phase,
+    round: Option<u64>,
+    peer: Option<u64>,
+    start: Option<Instant>,
+}
+
+impl Span {
+    /// Tags the span with a round.
+    pub fn round(mut self, round: u64) -> Self {
+        self.round = Some(round);
+        self
+    }
+
+    /// Tags the span with a peer rank.
+    pub fn peer(mut self, peer: u64) -> Self {
+        self.peer = Some(peer);
+        self
+    }
+
+    /// Ends the span now, returning the measured seconds (0 if disabled).
+    pub fn finish(mut self) -> f64 {
+        self.emit()
+    }
+
+    fn emit(&mut self) -> f64 {
+        match self.start.take() {
+            Some(start) => {
+                let secs = start.elapsed().as_secs_f64();
+                self.telemetry
+                    .span_secs(self.name, self.phase, secs, self.round, self.peer);
+                secs
+            }
+            None => 0.0,
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.emit();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert_and_cheap() {
+        let t = Telemetry::disabled();
+        assert!(!t.enabled());
+        t.span_secs("x", Phase::Comm, 1.0, None, None);
+        t.count("y", 1, None, None);
+        t.mark("z", None, None, None);
+        let span = t.span("w", Phase::Aggregate).round(1);
+        assert_eq!(span.finish(), 0.0);
+        t.flush();
+    }
+
+    #[test]
+    fn noop_sink_disables_the_handle() {
+        let t = Telemetry::new(Arc::new(NoopSink));
+        assert!(!t.enabled(), "noop sink must short-circuit to disabled");
+    }
+
+    #[test]
+    fn memory_sink_records_spans_counts_and_marks() {
+        let sink = Arc::new(MemorySink::new());
+        let t = Telemetry::new(sink.clone());
+        t.span_secs("local_update", Phase::LocalUpdate, 0.5, Some(1), Some(2));
+        t.count("retry", 3, Some(1), Some("send"));
+        t.mark("fault", None, Some(1), Some("drop"));
+        {
+            let _guard = t.span("aggregate", Phase::Aggregate).round(1);
+        }
+        let events = sink.events();
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[0].kind, EventKind::Span);
+        assert_eq!(events[0].phase, Some(Phase::LocalUpdate));
+        assert_eq!(events[0].secs, Some(0.5));
+        assert_eq!(events[1].value, Some(3));
+        assert_eq!(events[2].detail.as_deref(), Some("drop"));
+        assert_eq!(events[3].name, "aggregate");
+        assert!(events[3].secs.unwrap() >= 0.0);
+        // Timestamps are monotone within a thread.
+        assert!(events.windows(2).all(|w| w[0].ts <= w[1].ts));
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let path = std::env::temp_dir().join(format!(
+            "appfl_telemetry_test_{}.jsonl",
+            std::process::id()
+        ));
+        {
+            let sink = Arc::new(JsonlSink::create(&path).unwrap());
+            let t = Telemetry::new(sink);
+            t.span_secs("comm", Phase::Comm, 0.25, Some(2), None);
+            t.mark("timeout", Some(2), None, None);
+            t.flush();
+        }
+        let events = read_jsonl(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].phase, Some(Phase::Comm));
+        assert_eq!(events[1].name, "timeout");
+    }
+
+    #[test]
+    fn concurrent_emission_does_not_lose_events() {
+        let sink = Arc::new(MemorySink::new());
+        let t = Telemetry::new(sink.clone());
+        std::thread::scope(|scope| {
+            for p in 0..4u64 {
+                let t = t.clone();
+                scope.spawn(move || {
+                    for r in 0..50 {
+                        t.span_secs("local_update", Phase::LocalUpdate, 0.001, Some(r), Some(p));
+                    }
+                });
+            }
+        });
+        assert_eq!(sink.len(), 200);
+    }
+}

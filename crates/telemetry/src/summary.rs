@@ -1,0 +1,147 @@
+//! Aggregating a recorded event stream back into per-round phase totals.
+
+use crate::event::{Event, EventKind, Phase};
+use std::collections::BTreeMap;
+
+/// Seconds attributed to each of the four round phases.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseTotals {
+    /// Client-side local training.
+    pub local_update: f64,
+    /// Encode/decode of model payloads.
+    pub serialize: f64,
+    /// Blocking transport time.
+    pub comm: f64,
+    /// Server-side aggregation plus evaluation.
+    pub aggregate: f64,
+}
+
+impl PhaseTotals {
+    /// Sum across the four phases.
+    pub fn total(&self) -> f64 {
+        self.local_update + self.serialize + self.comm + self.aggregate
+    }
+
+    fn add(&mut self, phase: Phase, secs: f64) {
+        match phase {
+            Phase::LocalUpdate => self.local_update += secs,
+            Phase::Serialize => self.serialize += secs,
+            Phase::Comm => self.comm += secs,
+            Phase::Aggregate => self.aggregate += secs,
+        }
+    }
+}
+
+/// A run's telemetry, folded down for reporting: phase seconds per round
+/// and overall, plus every counter and mark tallied by name.
+#[derive(Debug, Clone, Default)]
+pub struct RunSummary {
+    /// Phase totals keyed by round (spans with no round tag land in
+    /// [`RunSummary::untagged`]).
+    pub rounds: BTreeMap<u64, PhaseTotals>,
+    /// Phase totals for spans carrying no round tag.
+    pub untagged: PhaseTotals,
+    /// Counter sums by event name (`count` events) and occurrence counts
+    /// by name for `mark` events.
+    pub counters: BTreeMap<String, u64>,
+    /// Number of span events that carried no phase tag (skipped).
+    pub unphased_spans: usize,
+}
+
+impl RunSummary {
+    /// Folds an event stream into a summary.
+    pub fn from_events(events: &[Event]) -> Self {
+        let mut summary = RunSummary::default();
+        for ev in events {
+            match ev.kind {
+                EventKind::Span => match (ev.phase, ev.secs) {
+                    (Some(phase), Some(secs)) => match ev.round {
+                        Some(round) => {
+                            summary.rounds.entry(round).or_default().add(phase, secs)
+                        }
+                        None => summary.untagged.add(phase, secs),
+                    },
+                    _ => summary.unphased_spans += 1,
+                },
+                EventKind::Count => {
+                    *summary.counters.entry(ev.name.clone()).or_insert(0) +=
+                        ev.value.unwrap_or(0);
+                }
+                EventKind::Mark => {
+                    *summary.counters.entry(ev.name.clone()).or_insert(0) += 1;
+                }
+            }
+        }
+        summary
+    }
+
+    /// Phase totals across every round plus untagged spans.
+    pub fn totals(&self) -> PhaseTotals {
+        let mut t = self.untagged;
+        for r in self.rounds.values() {
+            t.local_update += r.local_update;
+            t.serialize += r.serialize;
+            t.comm += r.comm;
+            t.aggregate += r.aggregate;
+        }
+        t
+    }
+
+    /// Sum of a counter (0 if never emitted).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(round: Option<u64>, phase: Phase, secs: f64) -> Event {
+        let mut ev = Event::new(0.0, EventKind::Span, phase.as_str());
+        ev.phase = Some(phase);
+        ev.round = round;
+        ev.secs = Some(secs);
+        ev
+    }
+
+    #[test]
+    fn summary_groups_phase_seconds_by_round() {
+        let events = vec![
+            span(Some(1), Phase::LocalUpdate, 0.4),
+            span(Some(1), Phase::Serialize, 0.05),
+            span(Some(1), Phase::Comm, 0.1),
+            span(Some(1), Phase::Aggregate, 0.2),
+            span(Some(2), Phase::Comm, 0.3),
+            span(None, Phase::Comm, 0.7),
+        ];
+        let s = RunSummary::from_events(&events);
+        let r1 = s.rounds[&1];
+        assert!((r1.total() - 0.75).abs() < 1e-9);
+        assert!((r1.local_update - 0.4).abs() < 1e-9);
+        assert!((s.rounds[&2].comm - 0.3).abs() < 1e-9);
+        assert!((s.untagged.comm - 0.7).abs() < 1e-9);
+        assert!((s.totals().comm - 1.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_tallies_counts_and_marks() {
+        let mut retry = Event::new(0.0, EventKind::Count, "retry");
+        retry.value = Some(2);
+        let mut retry2 = Event::new(0.1, EventKind::Count, "retry");
+        retry2.value = Some(3);
+        let timeout = Event::new(0.2, EventKind::Mark, "timeout");
+        let s = RunSummary::from_events(&[retry, retry2, timeout.clone(), timeout]);
+        assert_eq!(s.counter("retry"), 5);
+        assert_eq!(s.counter("timeout"), 2);
+        assert_eq!(s.counter("absent"), 0);
+    }
+
+    #[test]
+    fn spans_missing_a_phase_are_counted_not_crashed() {
+        let bare = Event::new(0.0, EventKind::Span, "odd");
+        let s = RunSummary::from_events(&[bare]);
+        assert_eq!(s.unphased_spans, 1);
+        assert!(s.rounds.is_empty());
+    }
+}

@@ -24,6 +24,7 @@ pub mod init;
 pub mod ops;
 pub mod shape;
 pub mod tensor;
+pub mod timers;
 pub mod vecops;
 
 pub use error::TensorError;

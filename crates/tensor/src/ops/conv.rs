@@ -197,21 +197,25 @@ pub fn conv2d(
     let bias_v = bias.as_slice();
 
     let mut out = vec![0.0f32; n * out_plane];
-    out.par_chunks_mut(out_plane)
-        .enumerate()
-        .try_for_each(|(s, out_s)| -> Result<()> {
-            let sample = &input_v[s * in_plane..(s + 1) * in_plane];
-            let cols = im2col(sample, c_in, h, w, kh, kw, h_out, w_out, params);
-            let cols_t = Tensor::from_vec([k, cols_w], cols)?;
-            let prod = matmul(&w_mat, &cols_t)?;
-            for (co, row) in prod.as_slice().chunks(cols_w).enumerate() {
-                let b = bias_v[co];
-                for (o, &v) in out_s[co * cols_w..(co + 1) * cols_w].iter_mut().zip(row) {
-                    *o = v + b;
+    // Under `kernel-timers` the conv total includes the nested matmul time
+    // (the im2col product is timed under both names).
+    crate::timers::time_kernel("conv2d", || {
+        out.par_chunks_mut(out_plane)
+            .enumerate()
+            .try_for_each(|(s, out_s)| -> Result<()> {
+                let sample = &input_v[s * in_plane..(s + 1) * in_plane];
+                let cols = im2col(sample, c_in, h, w, kh, kw, h_out, w_out, params);
+                let cols_t = Tensor::from_vec([k, cols_w], cols)?;
+                let prod = matmul(&w_mat, &cols_t)?;
+                for (co, row) in prod.as_slice().chunks(cols_w).enumerate() {
+                    let b = bias_v[co];
+                    for (o, &v) in out_s[co * cols_w..(co + 1) * cols_w].iter_mut().zip(row) {
+                        *o = v + b;
+                    }
                 }
-            }
-            Ok(())
-        })?;
+                Ok(())
+            })
+    })?;
     Tensor::from_vec([n, c_out, h_out, w_out], out)
 }
 
@@ -250,7 +254,8 @@ pub fn conv2d_backward(
         grad_bias: Vec<f32>,
     }
 
-    let partials: Result<Vec<Partial>> = (0..n)
+    let partials: Result<Vec<Partial>> = crate::timers::time_kernel("conv2d_backward", || {
+        (0..n)
         .into_par_iter()
         .map(|s| -> Result<Partial> {
             let sample = &input_v[s * in_plane..(s + 1) * in_plane];
@@ -284,7 +289,8 @@ pub fn conv2d_backward(
                 grad_bias: gb,
             })
         })
-        .collect();
+        .collect()
+    });
     let partials = partials?;
 
     let mut grad_input = vec![0.0f32; n * in_plane];

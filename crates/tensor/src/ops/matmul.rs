@@ -57,15 +57,17 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         }
     };
 
-    if m * n >= PAR_MIN_ELEMS {
-        out.par_chunks_mut(n)
-            .enumerate()
-            .for_each(|(i, crow)| row_kernel(i, crow));
-    } else {
-        for (i, crow) in out.chunks_mut(n).enumerate() {
-            row_kernel(i, crow);
+    crate::timers::time_kernel("matmul", || {
+        if m * n >= PAR_MIN_ELEMS {
+            out.par_chunks_mut(n)
+                .enumerate()
+                .for_each(|(i, crow)| row_kernel(i, crow));
+        } else {
+            for (i, crow) in out.chunks_mut(n).enumerate() {
+                row_kernel(i, crow);
+            }
         }
-    }
+    });
     Tensor::from_vec([m, n], out)
 }
 
@@ -98,15 +100,17 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         }
     };
 
-    if k * n >= PAR_MIN_ELEMS {
-        out.par_chunks_mut(n)
-            .enumerate()
-            .for_each(|(p, crow)| row_kernel(p, crow));
-    } else {
-        for (p, crow) in out.chunks_mut(n).enumerate() {
-            row_kernel(p, crow);
+    crate::timers::time_kernel("matmul_at_b", || {
+        if k * n >= PAR_MIN_ELEMS {
+            out.par_chunks_mut(n)
+                .enumerate()
+                .for_each(|(p, crow)| row_kernel(p, crow));
+        } else {
+            for (p, crow) in out.chunks_mut(n).enumerate() {
+                row_kernel(p, crow);
+            }
         }
-    }
+    });
     Tensor::from_vec([k, n], out)
 }
 
@@ -138,15 +142,17 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         }
     };
 
-    if m * k >= PAR_MIN_ELEMS {
-        out.par_chunks_mut(k)
-            .enumerate()
-            .for_each(|(i, crow)| row_kernel(i, crow));
-    } else {
-        for (i, crow) in out.chunks_mut(k).enumerate() {
-            row_kernel(i, crow);
+    crate::timers::time_kernel("matmul_a_bt", || {
+        if m * k >= PAR_MIN_ELEMS {
+            out.par_chunks_mut(k)
+                .enumerate()
+                .for_each(|(i, crow)| row_kernel(i, crow));
+        } else {
+            for (i, crow) in out.chunks_mut(k).enumerate() {
+                row_kernel(i, crow);
+            }
         }
-    }
+    });
     Tensor::from_vec([m, k], out)
 }
 

@@ -15,7 +15,7 @@ use appfl::comm::netsim::{CommSimulation, GrpcLinkModel, MpiGatherModel};
 use appfl::comm::transport::{GrpcChannel, InProcNetwork};
 use appfl::core::algorithms::build_federation;
 use appfl::core::config::{AlgorithmConfig, FedConfig};
-use appfl::core::runner::comm::CommRunner;
+use appfl::core::FederationBuilder;
 use appfl::data::federated::{build_benchmark, Benchmark};
 use appfl::nn::models::{mlp_classifier, InputSpec};
 use appfl::privacy::PrivacyConfig;
@@ -53,35 +53,38 @@ fn main() {
         let label = if grpc { "gRPC-style" } else { "MPI-style " };
         let history = if grpc {
             let wrapped: Vec<_> = endpoints.into_iter().map(GrpcChannel::new).collect();
-            CommRunner::run(
-                fed.server,
-                fed.clients,
-                fed.template.as_mut(),
-                &test,
-                wrapped,
-                rounds,
-                f64::INFINITY,
-                "MNIST",
-            )
-            .expect("run")
+            FederationBuilder::new(fed.server, fed.clients)
+                .transport(wrapped)
+                .rounds(rounds)
+                .dataset("MNIST")
+                .evaluation(fed.template.as_mut(), &test)
+                .run()
+                .expect("run")
+                .history
+                .expect("push mode records a history")
         } else {
-            CommRunner::run(
-                fed.server,
-                fed.clients,
-                fed.template.as_mut(),
-                &test,
-                endpoints,
-                rounds,
-                f64::INFINITY,
-                "MNIST",
-            )
-            .expect("run")
+            FederationBuilder::new(fed.server, fed.clients)
+                .transport(endpoints)
+                .rounds(rounds)
+                .dataset("MNIST")
+                .evaluation(fed.template.as_mut(), &test)
+                .run()
+                .expect("run")
+                .history
+                .expect("push mode records a history")
         };
         println!(
             "{label}: final accuracy {:.3}, total payload {} bytes, comm wall time {:.2}ms",
             history.final_accuracy(),
             history.total_upload_bytes(),
             history.total_comm_secs() * 1e3
+        );
+        println!(
+            "           phases: local {:.2}ms, serialize {:.2}ms, comm {:.2}ms, aggregate {:.2}ms",
+            history.total_local_update_secs() * 1e3,
+            history.total_serialize_secs() * 1e3,
+            history.total_comm_secs() * 1e3,
+            history.total_aggregate_secs() * 1e3
         );
     }
 

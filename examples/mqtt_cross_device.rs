@@ -17,6 +17,7 @@ use appfl::core::config::{AlgorithmConfig, FedConfig};
 use appfl::core::runner::pubsub::{run_pubsub_federation, TOPIC_GLOBAL, TOPIC_UPDATES};
 use appfl::core::validation::evaluate;
 use appfl::data::federated::{build_benchmark, Benchmark};
+use appfl::core::telemetry::Telemetry;
 use appfl::nn::models::{mlp_classifier, InputSpec};
 use appfl::privacy::PrivacyConfig;
 
@@ -50,7 +51,14 @@ fn main() {
     println!("{devices} devices, {rounds} rounds, DP eps=10 per round\n");
 
     let broker = Broker::new();
-    let w = run_pubsub_federation(fed.server, fed.clients, &broker, rounds).expect("run");
+    let w = run_pubsub_federation(
+        fed.server,
+        fed.clients,
+        &broker,
+        rounds,
+        &Telemetry::disabled(),
+    )
+    .expect("run");
     let eval = evaluate(fed.template.as_mut(), &w, &test, 64).expect("eval");
     println!("final global model: accuracy {:.3}, loss {:.3}", eval.accuracy, eval.loss);
 

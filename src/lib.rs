@@ -8,6 +8,7 @@
 //! * [`privacy`] — differential-privacy mechanisms and accounting
 //! * [`comm`] — wire codec, transports, network simulator, cluster models
 //! * [`core`] — FL algorithms (FedAvg, ICEADMM, IIADMM), runners, metrics
+//! * [`telemetry`] — structured tracing: event sinks, spans, phase metrics
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the experiment map.
 
@@ -16,4 +17,5 @@ pub use appfl_core as core;
 pub use appfl_data as data;
 pub use appfl_nn as nn;
 pub use appfl_privacy as privacy;
+pub use appfl_telemetry as telemetry;
 pub use appfl_tensor as tensor;

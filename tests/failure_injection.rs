@@ -8,9 +8,8 @@ use appfl::comm::transport::{
 use appfl::core::algorithms::{build_federation, Federation};
 use appfl::core::api::{ClientAlgorithm, ClientUpload};
 use appfl::core::config::{AlgorithmConfig, FaultToleranceConfig, FedConfig};
-use appfl::core::runner::comm::CommRunner;
-use appfl::core::runner::rpc::run_rpc_federation_ft;
 use appfl::core::runner::serial::SerialRunner;
+use appfl::core::FederationBuilder;
 use appfl::data::federated::{build_benchmark, Benchmark};
 use appfl::nn::models::{mlp_classifier, InputSpec};
 use appfl::privacy::PrivacyConfig;
@@ -123,11 +122,16 @@ fn quorum_rpc_federation_survives_a_flaky_client() {
         max_attempts: 2,
         base_backoff_ms: 5,
     };
-    let (model, completed, _retries) =
-        run_rpc_federation_ft(fed.server, fed.clients, InProcNetwork::new(4), 3, &ft).unwrap();
-    assert_eq!(completed, 3, "quorum rounds must all complete");
-    assert!(!model.is_empty());
-    assert!(model.iter().all(|w| w.is_finite()));
+    let outcome = FederationBuilder::new(fed.server, fed.clients)
+        .transport(InProcNetwork::new(4))
+        .rounds(3)
+        .pull()
+        .fault_tolerance_config(ft)
+        .run()
+        .unwrap();
+    assert_eq!(outcome.completed_rounds, 3, "quorum rounds must all complete");
+    assert!(!outcome.model.is_empty());
+    assert!(outcome.model.iter().all(|w| w.is_finite()));
 }
 
 #[test]
@@ -153,18 +157,16 @@ fn scheduled_broadcast_drop_degrades_the_round_not_the_run() {
         max_attempts: 4,
         base_backoff_ms: 5,
     };
-    let h = CommRunner::run_ft(
-        fed.server,
-        fed.clients,
-        fed.template.as_mut(),
-        &test,
-        endpoints,
-        3,
-        f64::INFINITY,
-        "MNIST",
-        &ft,
-    )
-    .unwrap();
+    let h = FederationBuilder::new(fed.server, fed.clients)
+        .transport(endpoints)
+        .rounds(3)
+        .dataset("MNIST")
+        .evaluation(fed.template.as_mut(), &test)
+        .fault_tolerance_config(ft)
+        .run()
+        .unwrap()
+        .history
+        .unwrap();
     assert_eq!(h.rounds.len(), 3);
     // Round 2 loses exactly the starved client and hits its deadline.
     assert_eq!(h.rounds[1].dropped_clients, 1);

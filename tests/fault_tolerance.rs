@@ -8,7 +8,7 @@ use appfl::comm::transport::{FaultPlan, FaultyCommunicator, InProcNetwork};
 use appfl::core::algorithms::build_federation;
 use appfl::core::config::{AlgorithmConfig, FaultToleranceConfig, FedConfig};
 use appfl::core::metrics::History;
-use appfl::core::runner::comm::CommRunner;
+use appfl::core::FederationBuilder;
 use appfl::data::federated::{build_benchmark, Benchmark, FederatedDataset};
 use appfl::nn::models::{mlp_classifier, InputSpec};
 use appfl::privacy::PrivacyConfig;
@@ -43,17 +43,15 @@ fn run_clean() -> History {
     let data = data();
     let test = data.test.clone();
     let mut fed = build_federation(config(), &data, |rng| Box::new(mlp_classifier(SPEC, 8, rng)));
-    CommRunner::run(
-        fed.server,
-        fed.clients,
-        fed.template.as_mut(),
-        &test,
-        InProcNetwork::new(4),
-        ROUNDS,
-        f64::INFINITY,
-        "MNIST",
-    )
-    .unwrap()
+    FederationBuilder::new(fed.server, fed.clients)
+        .transport(InProcNetwork::new(4))
+        .rounds(ROUNDS)
+        .dataset("MNIST")
+        .evaluation(fed.template.as_mut(), &test)
+        .run()
+        .unwrap()
+        .history
+        .unwrap()
 }
 
 fn run_faulty() -> History {
@@ -85,18 +83,16 @@ fn run_faulty() -> History {
         max_attempts: 4,
         base_backoff_ms: 5,
     };
-    CommRunner::run_ft(
-        fed.server,
-        fed.clients,
-        fed.template.as_mut(),
-        &test,
-        endpoints,
-        ROUNDS,
-        f64::INFINITY,
-        "MNIST",
-        &ft,
-    )
-    .unwrap()
+    FederationBuilder::new(fed.server, fed.clients)
+        .transport(endpoints)
+        .rounds(ROUNDS)
+        .dataset("MNIST")
+        .evaluation(fed.template.as_mut(), &test)
+        .fault_tolerance_config(ft)
+        .run()
+        .unwrap()
+        .history
+        .unwrap()
 }
 
 #[test]

@@ -1,0 +1,89 @@
+//! History/checkpoint serde compatibility across format generations:
+//!
+//! * seed-era JSON (no fault counters, no phase timings) still loads;
+//! * fault-tolerance-era JSON (counters, no phase timings) still loads;
+//! * current records round-trip with every telemetry field intact.
+
+use appfl::core::checkpoint::Checkpoint;
+use appfl::core::metrics::{History, RoundRecord};
+
+/// A round as the original seed serialised it: seven fields, nothing else.
+const SEED_ERA_ROUND: &str = r#"{
+    "round": 3, "accuracy": 0.81, "test_loss": 0.6, "train_loss": 0.7,
+    "upload_bytes": 4096, "compute_secs": 1.25, "comm_secs": 0.125
+}"#;
+
+/// A round as the fault-tolerance era serialised it: counters present,
+/// phase timings absent.
+const FT_ERA_ROUND: &str = r#"{
+    "round": 2, "accuracy": 0.5, "test_loss": 1.0, "train_loss": 1.1,
+    "upload_bytes": 2048, "compute_secs": 0.5, "comm_secs": 0.05,
+    "dropped_clients": 1, "retries": 4, "timed_out": 1
+}"#;
+
+#[test]
+fn seed_era_round_still_loads() {
+    let r: RoundRecord = serde_json::from_str(SEED_ERA_ROUND).unwrap();
+    assert_eq!(r.round, 3);
+    assert_eq!(r.upload_bytes, 4096);
+    // Absent fields default: fault counters and phase timings are zero.
+    assert_eq!(r.dropped_clients, 0);
+    assert_eq!(r.retries, 0);
+    assert_eq!(r.local_update_secs, 0.0);
+    assert_eq!(r.serialize_secs, 0.0);
+    assert_eq!(r.aggregate_secs, 0.0);
+    assert_eq!(r.phase_secs(), r.comm_secs);
+}
+
+#[test]
+fn ft_era_round_still_loads() {
+    let r: RoundRecord = serde_json::from_str(FT_ERA_ROUND).unwrap();
+    assert_eq!(r.retries, 4);
+    assert_eq!(r.timed_out, 1);
+    assert_eq!(r.local_update_secs, 0.0);
+}
+
+#[test]
+fn old_format_history_loads_inside_a_checkpoint() {
+    let json = format!(
+        r#"{{"round": 3, "global": [0.5, -1.0],
+            "history": {{"algorithm": "FedAvg", "dataset": "MNIST",
+                         "epsilon": 5.0, "rounds": [{SEED_ERA_ROUND}]}}}}"#
+    );
+    let cp = Checkpoint::from_json(&json).unwrap();
+    assert_eq!(cp.history.rounds.len(), 1);
+    assert_eq!(cp.history.rounds[0].round, 3);
+    assert_eq!(cp.history.rounds[0].aggregate_secs, 0.0);
+}
+
+#[test]
+fn telemetry_fields_round_trip() {
+    let mut history = History::new("FedAvg", "MNIST", 5.0);
+    history.rounds.push(RoundRecord {
+        round: 1,
+        accuracy: 0.9,
+        test_loss: 0.3,
+        train_loss: 0.4,
+        upload_bytes: 1 << 20,
+        compute_secs: 2.5,
+        comm_secs: 0.5,
+        dropped_clients: 1,
+        retries: 2,
+        timed_out: 1,
+        local_update_secs: 2.0,
+        serialize_secs: 0.25,
+        aggregate_secs: 0.25,
+    });
+    let json = serde_json::to_string(&history).unwrap();
+    let back: History = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, history);
+    let r = &back.rounds[0];
+    assert_eq!(r.local_update_secs, 2.0);
+    assert_eq!(r.serialize_secs, 0.25);
+    assert_eq!(r.aggregate_secs, 0.25);
+    assert_eq!(r.phase_secs(), 3.0);
+    assert_eq!(r.wall_secs(), 3.0);
+    assert_eq!(back.total_local_update_secs(), 2.0);
+    assert_eq!(back.total_serialize_secs(), 0.25);
+    assert_eq!(back.total_aggregate_secs(), 0.25);
+}

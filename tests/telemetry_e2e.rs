@@ -1,0 +1,131 @@
+//! End-to-end telemetry: a fault-injected push federation recording into
+//! a [`JsonlSink`] must produce an event stream that (a) covers all four
+//! round phases, (b) surfaces the injected faults as `retry`/`timeout`
+//! events, and (c) accounts per-round phase time consistent with the
+//! round wall time the history records (within 10%).
+
+use appfl::comm::transport::{FaultPlan, FaultyCommunicator, InProcNetwork};
+use appfl::core::algorithms::build_federation;
+use appfl::core::config::{AlgorithmConfig, FaultToleranceConfig, FedConfig};
+use appfl::core::telemetry::{read_jsonl, EventKind, JsonlSink, Phase, RunSummary, Telemetry};
+use appfl::core::FederationBuilder;
+use appfl::data::federated::{build_benchmark, Benchmark};
+use appfl::nn::models::{mlp_classifier, InputSpec};
+use appfl::privacy::PrivacyConfig;
+use std::sync::Arc;
+
+const SPEC: InputSpec = InputSpec {
+    channels: 1,
+    height: 28,
+    width: 28,
+    classes: 10,
+};
+const ROUNDS: usize = 5;
+
+#[test]
+fn fault_injected_run_produces_complete_phase_accounting() {
+    let data = build_benchmark(Benchmark::Mnist, 3, 90, 30, 2).unwrap();
+    let test = data.test.clone();
+    let config = FedConfig {
+        algorithm: AlgorithmConfig::FedAvg {
+            lr: 0.05,
+            momentum: 0.9,
+        },
+        rounds: ROUNDS,
+        local_steps: 1,
+        batch_size: 16,
+        privacy: PrivacyConfig::none(),
+        seed: 4,
+    };
+    let mut fed = build_federation(config, &data, |rng| Box::new(mlp_classifier(SPEC, 8, rng)));
+
+    let path = std::env::temp_dir().join("appfl_telemetry_e2e.jsonl");
+    let sink = Arc::new(JsonlSink::create(&path).unwrap());
+
+    // Same fault pattern as tests/fault_tolerance.rs: 25% loss on every
+    // link, rank 3's client dead after 3 server sends. The fault layer
+    // records each injected fault into the same sink the runner uses.
+    let mut raw = InProcNetwork::new(4).into_iter();
+    let mut endpoints = vec![FaultyCommunicator::new(
+        raw.next().unwrap(),
+        FaultPlan::new(40).drop_prob(0.25).disconnect_after(3, 0),
+    )
+    .with_telemetry(Telemetry::new(sink.clone()))];
+    for (i, ep) in raw.enumerate() {
+        endpoints.push(
+            FaultyCommunicator::new(ep, FaultPlan::new([4, 11, 14][i]).drop_prob(0.25))
+                .with_telemetry(Telemetry::new(sink.clone())),
+        );
+    }
+    let ft = FaultToleranceConfig {
+        round_timeout_ms: 600,
+        min_quorum: 1,
+        suspect_after: 2,
+        readmit_after: 0,
+        max_attempts: 4,
+        base_backoff_ms: 5,
+    };
+
+    let outcome = FederationBuilder::new(fed.server, fed.clients)
+        .transport(endpoints)
+        .rounds(ROUNDS)
+        .dataset("MNIST")
+        .evaluation(fed.template.as_mut(), &test)
+        .fault_tolerance_config(ft)
+        .telemetry(sink)
+        .run()
+        .unwrap();
+    let history = outcome.history.expect("push mode records a history");
+    assert_eq!(history.rounds.len(), ROUNDS);
+
+    let events = read_jsonl(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert!(!events.is_empty(), "JSONL sink captured nothing");
+
+    // (a) All four phases appear as spans.
+    for phase in [
+        Phase::LocalUpdate,
+        Phase::Serialize,
+        Phase::Comm,
+        Phase::Aggregate,
+    ] {
+        assert!(
+            events
+                .iter()
+                .any(|e| e.kind == EventKind::Span && e.phase == Some(phase)),
+            "no {} span in the event stream",
+            phase.as_str()
+        );
+    }
+
+    // (b) The injected faults left retry and timeout events behind.
+    let summary = RunSummary::from_events(&events);
+    assert!(
+        summary.counter("retry") > 0,
+        "faulty links produced no retry events; counters: {:?}",
+        summary.counters
+    );
+    assert!(
+        summary.counter("timeout") > 0,
+        "dropped messages produced no timeout events; counters: {:?}",
+        summary.counters
+    );
+    assert!(summary.counter("fault") > 0, "fault injection left no marks");
+    assert!(summary.counter("upload_bytes") > 0);
+
+    // (c) Per-round phase spans account the round wall time within 10%.
+    assert_eq!(summary.rounds.len(), ROUNDS, "one phase group per round");
+    for record in &history.rounds {
+        let spans = summary.rounds[&(record.round as u64)];
+        let phase_sum = spans.total();
+        let wall = record.wall_secs();
+        assert!(
+            (phase_sum - wall).abs() <= 0.10 * wall,
+            "round {}: phase sum {phase_sum:.4}s vs wall {wall:.4}s",
+            record.round
+        );
+        // The spans carry the same values the history recorded.
+        assert!((spans.local_update - record.local_update_secs).abs() < 1e-9);
+        assert!((spans.aggregate - record.aggregate_secs).abs() < 1e-9);
+    }
+}

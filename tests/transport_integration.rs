@@ -5,8 +5,8 @@
 use appfl::comm::transport::{GrpcChannel, InProcNetwork};
 use appfl::core::algorithms::build_federation;
 use appfl::core::config::{AlgorithmConfig, FedConfig};
-use appfl::core::runner::comm::CommRunner;
 use appfl::core::runner::serial::SerialRunner;
+use appfl::core::FederationBuilder;
 use appfl::data::federated::{build_benchmark, Benchmark, FederatedDataset};
 use appfl::nn::models::{mlp_classifier, InputSpec};
 use appfl::privacy::PrivacyConfig;
@@ -58,29 +58,25 @@ fn run_transport(algorithm: AlgorithmConfig, rounds: usize, grpc: bool) -> Vec<f
     let endpoints = InProcNetwork::new(4);
     let history = if grpc {
         let endpoints: Vec<_> = endpoints.into_iter().map(GrpcChannel::new).collect();
-        CommRunner::run(
-            fed.server,
-            fed.clients,
-            fed.template.as_mut(),
-            &test,
-            endpoints,
-            rounds,
-            f64::INFINITY,
-            "MNIST",
-        )
-        .unwrap()
+        FederationBuilder::new(fed.server, fed.clients)
+            .transport(endpoints)
+            .rounds(rounds)
+            .dataset("MNIST")
+            .evaluation(fed.template.as_mut(), &test)
+            .run()
+            .unwrap()
+            .history
+            .unwrap()
     } else {
-        CommRunner::run(
-            fed.server,
-            fed.clients,
-            fed.template.as_mut(),
-            &test,
-            endpoints,
-            rounds,
-            f64::INFINITY,
-            "MNIST",
-        )
-        .unwrap()
+        FederationBuilder::new(fed.server, fed.clients)
+            .transport(endpoints)
+            .rounds(rounds)
+            .dataset("MNIST")
+            .evaluation(fed.template.as_mut(), &test)
+            .run()
+            .unwrap()
+            .history
+            .unwrap()
     };
     history.rounds.iter().map(|r| r.accuracy).collect()
 }
