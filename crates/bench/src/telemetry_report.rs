@@ -1,6 +1,10 @@
 //! Renders a telemetry JSONL capture into the per-round phase table the
 //! paper breaks Tables IV–V down into (local update / serialize / comm /
-//! aggregate), plus a counter summary (bytes, retries, timeouts, drops).
+//! aggregate), plus defense columns (updates the [`UpdateGuard`] rejected or
+//! clipped per round) and a counter summary (bytes, retries, timeouts,
+//! drops).
+//!
+//! [`UpdateGuard`]: appfl_core::defense::UpdateGuard
 
 use crate::report::{fmt_pct, fmt_secs, render_table};
 use appfl_core::telemetry::{Event, RunSummary};
@@ -8,9 +12,11 @@ use appfl_core::telemetry::{Event, RunSummary};
 /// Renders the per-round phase breakdown for `events`.
 ///
 /// One row per round plus a totals row; each phase column also reports its
-/// share of the round's phase-accounted time. Spans that carry no round tag
-/// (client-side retries, backoffs, rpc calls) appear in a separate
-/// "untagged" row so per-round numbers stay honest.
+/// share of the round's phase-accounted time, and the `rejected`/`clipped`
+/// columns count the guard's `update_rejected`/`update_clipped` marks for
+/// that round. Spans that carry no round tag (client-side retries, backoffs,
+/// rpc calls) appear in a separate "untagged" row so per-round numbers stay
+/// honest.
 pub fn render_phase_table(events: &[Event]) -> String {
     let summary = RunSummary::from_events(events);
     let headers = [
@@ -21,6 +27,8 @@ pub fn render_phase_table(events: &[Event]) -> String {
         "aggregate",
         "total",
         "comm_share",
+        "rejected",
+        "clipped",
     ];
     let mut rows = Vec::new();
     for (round, t) in &summary.rounds {
@@ -37,6 +45,8 @@ pub fn render_phase_table(events: &[Event]) -> String {
             } else {
                 "-".to_string()
             },
+            summary.round_counter(*round, "update_rejected").to_string(),
+            summary.round_counter(*round, "update_clipped").to_string(),
         ]);
     }
     let g = summary.totals();
@@ -53,6 +63,18 @@ pub fn render_phase_table(events: &[Event]) -> String {
         } else {
             "-".to_string()
         },
+        summary
+            .counters
+            .get("update_rejected")
+            .copied()
+            .unwrap_or(0)
+            .to_string(),
+        summary
+            .counters
+            .get("update_clipped")
+            .copied()
+            .unwrap_or(0)
+            .to_string(),
     ]);
     let u = &summary.untagged;
     if u.total() > 0.0 {
@@ -63,6 +85,8 @@ pub fn render_phase_table(events: &[Event]) -> String {
             fmt_secs(u.comm),
             fmt_secs(u.aggregate),
             fmt_secs(u.total()),
+            "-".to_string(),
+            "-".to_string(),
             "-".to_string(),
         ]);
     }
@@ -100,5 +124,24 @@ mod tests {
         assert!(text.contains("upload_bytes"), "missing counter:\n{text}");
         assert!(text.contains("retry"), "missing retry counter:\n{text}");
         assert!(text.contains("200.00ms"), "missing phase time:\n{text}");
+    }
+
+    #[test]
+    fn report_surfaces_guard_rejections_per_round() {
+        let sink = Arc::new(MemorySink::default());
+        let tl = Telemetry::new(sink.clone());
+        tl.span_secs("aggregate", Phase::Aggregate, 0.1, Some(1), None);
+        tl.span_secs("aggregate", Phase::Aggregate, 0.1, Some(2), None);
+        tl.mark("update_rejected", Some(1), Some(3), Some("non_finite"));
+        tl.mark("update_rejected", Some(1), Some(4), Some("norm_outlier"));
+        tl.mark("update_clipped", Some(2), Some(5), None);
+        let text = render_phase_table(&sink.events());
+        assert!(text.contains("rejected"), "missing header:\n{text}");
+        assert!(text.contains("clipped"), "missing header:\n{text}");
+        // Round 1 shows 2 rejections, round 2 shows 1 clip; totals agree.
+        let round1 = text.lines().find(|l| l.trim_start().starts_with('1')).unwrap();
+        assert!(round1.contains('2'), "round 1 should report 2 rejections:\n{text}");
+        let all = text.lines().find(|l| l.contains("all")).unwrap();
+        assert!(all.contains('2') && all.contains('1'), "totals row wrong:\n{text}");
     }
 }

@@ -1,5 +1,5 @@
 //! Update compression codecs — the broader communication-efficiency toolbox
-//! the paper's introduction frames (cf. [9], "Communication-efficient
+//! the paper's introduction frames (cf. \[9\], "Communication-efficient
 //! federated learning"). IIADMM halves traffic structurally; these codecs
 //! shrink whatever is still sent:
 //!

@@ -3,7 +3,7 @@
 //! "We will enhance the learning performance of IIADMM by adaptively
 //! updating algorithm parameters such as penalty ρᵗ and proximity ζᵗ."
 //! This module implements the classical **residual-balancing** rule of Xu
-//! et al. [23] (the paper's own citation for the idea): after each round,
+//! et al. \[23\] (the paper's own citation for the idea): after each round,
 //! compare the primal residual `r = Σ_p ‖w − z_p‖` against the dual
 //! residual `s = ρ Σ_p ‖z_p^{t+1} − z_p^t‖`; whichever dominates by more
 //! than a factor μ has its penalty adjusted by τ to re-balance.

@@ -1,4 +1,4 @@
-//! Federated averaging (FedAvg) [10].
+//! Federated averaging (FedAvg) \[10\].
 //!
 //! Server: `w^{t+1} ← Σ_p (I_p/I) · z_p^t` — the sample-weighted average of
 //! client models (eq. (1)'s weighting). Client: `L` epochs of mini-batch

@@ -10,7 +10,7 @@
 //!
 //! anchored at the broadcast `w` — heterogeneity-robust local training
 //! without any dual state. Implemented through the same `ClientAlgorithm`
-//! trait as the paper's algorithms (aggregation reuses [`FedAvgServer`]),
+//! trait as the paper's algorithms (aggregation reuses [`super::FedAvgServer`]),
 //! demonstrating the plug-and-play architecture with a third point on the
 //! IADMM spectrum: FedAvg (λ=0, ζ=0) — FedProx (λ=0, ζ=μ) — IIADMM (λ≠0).
 

@@ -1,4 +1,4 @@
-//! ICEADMM — the inexact communication-efficient ADMM of Zhou & Li [8],
+//! ICEADMM — the inexact communication-efficient ADMM of Zhou & Li \[8\],
 //! as characterised in §III-A of the APPFL paper.
 //!
 //! Per the paper: "ICEADMM conducts multiple local primal and dual updates

@@ -2,10 +2,13 @@
 //!
 //! Long PPFL simulations (Fig. 2's 48-cell grid at paper scale) need to
 //! survive interruption; checkpoints also let a served model be exported
-//! for downstream evaluation.
+//! for downstream evaluation. [`Checkpoint::save`] is crash-safe: the
+//! JSON is written to a temporary file in the target's directory and
+//! atomically renamed into place, so a crash mid-write can never leave a
+//! truncated checkpoint where a good one (or none) used to be.
 
+use crate::error::{Error, Result};
 use crate::metrics::History;
-use appfl_tensor::{Result, TensorError};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 
@@ -32,16 +35,15 @@ impl Checkpoint {
 
     /// Serialises to JSON.
     pub fn to_json(&self) -> Result<String> {
-        serde_json::to_string(self)
-            .map_err(|e| TensorError::InvalidArgument(format!("checkpoint encode: {e}")))
+        serde_json::to_string(self).map_err(|e| Error::persist(format!("checkpoint encode: {e}")))
     }
 
     /// Deserialises from JSON, validating basic invariants.
     pub fn from_json(json: &str) -> Result<Self> {
         let cp: Checkpoint = serde_json::from_str(json)
-            .map_err(|e| TensorError::InvalidArgument(format!("checkpoint decode: {e}")))?;
+            .map_err(|e| Error::persist(format!("checkpoint decode: {e}")))?;
         if cp.history.rounds.len() > cp.round {
-            return Err(TensorError::InvalidArgument(format!(
+            return Err(Error::persist(format!(
                 "checkpoint claims round {} but history has {} records",
                 cp.round,
                 cp.history.rounds.len()
@@ -50,16 +52,39 @@ impl Checkpoint {
         Ok(cp)
     }
 
-    /// Writes to a file.
+    /// Writes to a file, atomically: the JSON goes to a temporary sibling
+    /// first (same directory, so the rename cannot cross filesystems) and
+    /// is renamed over `path` only once fully flushed. An interrupted save
+    /// leaves at worst a stray `.tmp` file, never a truncated checkpoint.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
-        std::fs::write(path, self.to_json()?)
-            .map_err(|e| TensorError::InvalidArgument(format!("checkpoint write: {e}")))
+        let path = path.as_ref();
+        let json = self.to_json()?;
+        let dir = path.parent().filter(|d| !d.as_os_str().is_empty());
+        let file_name = path
+            .file_name()
+            .ok_or_else(|| Error::persist(format!("checkpoint path has no file name: {path:?}")))?;
+        let mut tmp_name = std::ffi::OsString::from(".");
+        tmp_name.push(file_name);
+        tmp_name.push(format!(".tmp.{}", std::process::id()));
+        let tmp = match dir {
+            Some(d) => d.join(&tmp_name),
+            None => std::path::PathBuf::from(&tmp_name),
+        };
+        let write_and_rename = (|| {
+            std::fs::write(&tmp, json)?;
+            std::fs::rename(&tmp, path)
+        })();
+        if let Err(e) = write_and_rename {
+            std::fs::remove_file(&tmp).ok();
+            return Err(Error::persist(format!("checkpoint write {path:?}: {e}")));
+        }
+        Ok(())
     }
 
     /// Reads from a file.
     pub fn load(path: impl AsRef<Path>) -> Result<Self> {
         let json = std::fs::read_to_string(path)
-            .map_err(|e| TensorError::InvalidArgument(format!("checkpoint read: {e}")))?;
+            .map_err(|e| Error::persist(format!("checkpoint read: {e}")))?;
         Self::from_json(&json)
     }
 }
@@ -112,5 +137,41 @@ mod tests {
     #[test]
     fn missing_file_is_an_error() {
         assert!(Checkpoint::load("/nonexistent/path/cp.json").is_err());
+    }
+
+    #[test]
+    fn save_replaces_an_existing_checkpoint_atomically() {
+        let cp = sample();
+        let path = std::env::temp_dir().join("appfl_test_checkpoint_atomic.json");
+        cp.save(&path).unwrap();
+        let mut newer = cp.clone();
+        newer.round = 2;
+        newer.global = vec![9.0, 9.0, 9.0];
+        newer.save(&path).unwrap();
+        let back = Checkpoint::load(&path).unwrap();
+        assert_eq!(back.round, 2);
+        assert_eq!(back.global, newer.global);
+        // No temp-file droppings left behind.
+        let dir = path.parent().unwrap();
+        let strays = std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| {
+                e.file_name()
+                    .to_string_lossy()
+                    .starts_with(".appfl_test_checkpoint_atomic.json.tmp")
+            })
+            .count();
+        assert_eq!(strays, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_into_a_missing_directory_reports_persist_error() {
+        let cp = sample();
+        let err = cp
+            .save("/nonexistent/path/cp.json")
+            .expect_err("write into a missing directory must fail");
+        assert!(matches!(err, Error::Persist(_)));
     }
 }

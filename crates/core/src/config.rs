@@ -6,7 +6,7 @@ use serde::{Deserialize, Serialize};
 /// Algorithm selection with per-algorithm hyper-parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum AlgorithmConfig {
-    /// FedAvg [10] with SGD+momentum local updates.
+    /// FedAvg \[10\] with SGD+momentum local updates.
     FedAvg {
         /// Learning rate η.
         lr: f32,
@@ -21,7 +21,7 @@ pub enum AlgorithmConfig {
         /// Proximal coefficient μ.
         mu: f32,
     },
-    /// ICEADMM [8]: full-gradient inexact primal + dual local iterations,
+    /// ICEADMM \[8\]: full-gradient inexact primal + dual local iterations,
     /// communicates primal and dual.
     IceAdmm {
         /// Penalty parameter ρ.

@@ -1,0 +1,463 @@
+//! Update sanitization: screen every client upload before it can touch
+//! the aggregate.
+//!
+//! The guard runs three checks, cheapest first:
+//!
+//! 1. **Dimension** — a mis-sized primal (or dual) can only come from a
+//!    confused or malicious client; it is rejected outright.
+//! 2. **Finiteness** — one NaN coordinate propagates through any linear
+//!    aggregation and bricks the global model; any non-finite value
+//!    rejects the upload.
+//! 3. **Norm** — honest updates cluster around the global model's scale,
+//!    so the guard keeps a running window of accepted L2 norms and flags
+//!    uploads beyond `norm_multiplier ×` the window median. Flagged
+//!    uploads are rescaled down to the limit (`clip = true`, the default
+//!    — a gentle defense that keeps the client's direction) or rejected
+//!    (`clip = false`). Until `warmup` norms have been observed the
+//!    baseline is considered unreliable and only the optional
+//!    `absolute_max_norm` cap applies, so early-round variance never
+//!    causes spurious rejections.
+
+use crate::api::ClientUpload;
+use appfl_telemetry::Telemetry;
+use std::collections::VecDeque;
+
+/// Knobs for [`UpdateGuard`]. The defaults are deliberately permissive:
+/// a 4× median budget with clipping tames scaled attacks without touching
+/// honest heterogeneous clients.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UpdateGuardConfig {
+    /// Norm budget as a multiple of the running median of accepted norms.
+    pub norm_multiplier: f32,
+    /// `true`: rescale over-budget uploads down to the budget (keeps the
+    /// client's direction). `false`: reject them outright.
+    pub clip: bool,
+    /// Hard L2-norm cap applied regardless of the baseline (`None` = no
+    /// absolute cap). Over-cap uploads follow the same clip/reject policy.
+    pub absolute_max_norm: Option<f32>,
+    /// Accepted norms required before the median baseline activates.
+    pub warmup: usize,
+    /// Norms retained for the running median (older ones roll off).
+    pub window: usize,
+}
+
+impl Default for UpdateGuardConfig {
+    fn default() -> Self {
+        UpdateGuardConfig {
+            norm_multiplier: 4.0,
+            clip: true,
+            absolute_max_norm: None,
+            warmup: 4,
+            window: 64,
+        }
+    }
+}
+
+/// Why an upload was refused.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RejectReason {
+    /// The primal (or dual) vector length does not match the model.
+    DimMismatch {
+        /// Model dimension the server expects.
+        expected: usize,
+        /// Length the client sent.
+        actual: usize,
+    },
+    /// A NaN or ±Inf coordinate.
+    NonFinite,
+    /// L2 norm beyond the active budget, with clipping disabled.
+    NormOutlier {
+        /// The upload's L2 norm.
+        norm: f32,
+        /// The budget it exceeded.
+        limit: f32,
+    },
+}
+
+impl RejectReason {
+    /// Short stable label for telemetry `detail` fields.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RejectReason::DimMismatch { .. } => "dim_mismatch",
+            RejectReason::NonFinite => "non_finite",
+            RejectReason::NormOutlier { .. } => "norm_outlier",
+        }
+    }
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::DimMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            RejectReason::NonFinite => write!(f, "non-finite coordinate"),
+            RejectReason::NormOutlier { norm, limit } => {
+                write!(f, "norm {norm:.3} exceeds budget {limit:.3}")
+            }
+        }
+    }
+}
+
+/// Outcome of screening one upload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GuardVerdict {
+    /// Clean: aggregate as-is.
+    Accepted {
+        /// The upload's L2 norm (also recorded into the baseline window).
+        norm: f32,
+    },
+    /// Over the norm budget; the primal was rescaled down to `limit`.
+    Clipped {
+        /// The norm before rescaling.
+        norm: f32,
+        /// The budget it was rescaled to.
+        limit: f32,
+    },
+    /// Refused; the upload must not reach the aggregate.
+    Rejected(RejectReason),
+}
+
+/// Screening results for a whole round's uploads.
+#[derive(Debug, Default)]
+pub struct ScreenedRound {
+    /// Uploads cleared for aggregation (clipped ones already rescaled).
+    pub accepted: Vec<ClientUpload>,
+    /// `(client_id, reason)` per refused upload.
+    pub rejected: Vec<(usize, RejectReason)>,
+    /// Client ids whose uploads were norm-clipped.
+    pub clipped: Vec<usize>,
+    /// `(client_id, pre-screening L2 norm)` for every upload that passed
+    /// the finiteness check — the per-client norm gauge feed.
+    pub norms: Vec<(usize, f32)>,
+}
+
+/// Stateful update screen: dimension and finiteness checks plus L2-norm
+/// policing against a running median-of-norms baseline.
+#[derive(Debug, Clone)]
+pub struct UpdateGuard {
+    dim: usize,
+    config: UpdateGuardConfig,
+    norms: VecDeque<f32>,
+    rejected_total: usize,
+    clipped_total: usize,
+}
+
+impl UpdateGuard {
+    /// A guard for model dimension `dim`.
+    pub fn new(dim: usize, config: UpdateGuardConfig) -> Self {
+        UpdateGuard {
+            dim,
+            config,
+            norms: VecDeque::with_capacity(config.window.max(1)),
+            rejected_total: 0,
+            clipped_total: 0,
+        }
+    }
+
+    /// The active norm budget: `norm_multiplier ×` the window median once
+    /// warmed up, intersected with `absolute_max_norm`. `None` while no
+    /// budget applies.
+    pub fn norm_budget(&self) -> Option<f32> {
+        let from_baseline = if self.norms.len() >= self.config.warmup.max(1) {
+            let mut sorted: Vec<f32> = self.norms.iter().copied().collect();
+            sorted.sort_by(f32::total_cmp);
+            let mid = sorted.len() / 2;
+            let median = if sorted.len() % 2 == 0 {
+                (sorted[mid - 1] + sorted[mid]) / 2.0
+            } else {
+                sorted[mid]
+            };
+            Some(median * self.config.norm_multiplier)
+        } else {
+            None
+        };
+        match (from_baseline, self.config.absolute_max_norm) {
+            (Some(b), Some(a)) => Some(b.min(a)),
+            (Some(b), None) => Some(b),
+            (None, a) => a,
+        }
+    }
+
+    /// Uploads refused since construction.
+    pub fn rejected_total(&self) -> usize {
+        self.rejected_total
+    }
+
+    /// Uploads norm-clipped since construction.
+    pub fn clipped_total(&self) -> usize {
+        self.clipped_total
+    }
+
+    /// Screens one upload in place. Clipping rescales `upload.primal`
+    /// (and the dual, if present, by the same factor); acceptance records
+    /// the norm into the baseline window.
+    pub fn screen(&mut self, upload: &mut ClientUpload) -> GuardVerdict {
+        if upload.primal.len() != self.dim {
+            self.rejected_total += 1;
+            return GuardVerdict::Rejected(RejectReason::DimMismatch {
+                expected: self.dim,
+                actual: upload.primal.len(),
+            });
+        }
+        if let Some(dual) = &upload.dual {
+            if dual.len() != self.dim {
+                self.rejected_total += 1;
+                return GuardVerdict::Rejected(RejectReason::DimMismatch {
+                    expected: self.dim,
+                    actual: dual.len(),
+                });
+            }
+        }
+        let finite = upload.primal.iter().all(|x| x.is_finite())
+            && upload
+                .dual
+                .as_ref()
+                .is_none_or(|d| d.iter().all(|x| x.is_finite()));
+        if !finite {
+            self.rejected_total += 1;
+            return GuardVerdict::Rejected(RejectReason::NonFinite);
+        }
+        let norm = l2_norm(&upload.primal);
+        if let Some(limit) = self.norm_budget() {
+            if norm > limit {
+                if !self.config.clip {
+                    self.rejected_total += 1;
+                    return GuardVerdict::Rejected(RejectReason::NormOutlier { norm, limit });
+                }
+                let scale = limit / norm.max(f32::MIN_POSITIVE);
+                for x in &mut upload.primal {
+                    *x *= scale;
+                }
+                if let Some(dual) = &mut upload.dual {
+                    for x in dual {
+                        *x *= scale;
+                    }
+                }
+                self.clipped_total += 1;
+                self.record_norm(limit);
+                return GuardVerdict::Clipped { norm, limit };
+            }
+        }
+        self.record_norm(norm);
+        GuardVerdict::Accepted { norm }
+    }
+
+    /// Screens a whole round of uploads, partitioning them into accepted
+    /// (clipped in place) and rejected.
+    pub fn screen_round(&mut self, uploads: Vec<ClientUpload>) -> ScreenedRound {
+        let mut out = ScreenedRound::default();
+        for mut upload in uploads {
+            let id = upload.client_id;
+            match self.screen(&mut upload) {
+                GuardVerdict::Accepted { norm } => {
+                    out.norms.push((id, norm));
+                    out.accepted.push(upload);
+                }
+                GuardVerdict::Clipped { norm, .. } => {
+                    out.norms.push((id, norm));
+                    out.clipped.push(id);
+                    out.accepted.push(upload);
+                }
+                GuardVerdict::Rejected(reason) => out.rejected.push((id, reason)),
+            }
+        }
+        out
+    }
+
+    fn record_norm(&mut self, norm: f32) {
+        if self.norms.len() >= self.config.window.max(1) {
+            self.norms.pop_front();
+        }
+        self.norms.push_back(norm);
+    }
+}
+
+fn l2_norm(v: &[f32]) -> f32 {
+    (v.iter().map(|&x| f64::from(x) * f64::from(x)).sum::<f64>()).sqrt() as f32
+}
+
+/// Screens a round's uploads and narrates the outcome on `telemetry`:
+/// one `update_norm` gauge per finite upload (tagged with the client as
+/// peer), one `update_rejected` mark per refusal (reason in the detail)
+/// and one `update_clipped` mark per rescale. This is the helper every
+/// runner calls so the event vocabulary stays identical across entry
+/// points.
+pub fn screen_and_report(
+    guard: &mut UpdateGuard,
+    uploads: Vec<ClientUpload>,
+    round: Option<u64>,
+    telemetry: &Telemetry,
+) -> ScreenedRound {
+    let screened = guard.screen_round(uploads);
+    for &(client, norm) in &screened.norms {
+        telemetry.gauge("update_norm", f64::from(norm), round, Some(client as u64));
+    }
+    for &(client, reason) in &screened.rejected {
+        telemetry.mark(
+            "update_rejected",
+            round,
+            Some(client as u64),
+            Some(reason.as_str()),
+        );
+    }
+    for &client in &screened.clipped {
+        telemetry.mark("update_clipped", round, Some(client as u64), None);
+    }
+    screened
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn upload(id: usize, primal: Vec<f32>) -> ClientUpload {
+        ClientUpload {
+            client_id: id,
+            primal,
+            dual: None,
+            num_samples: 10,
+            local_loss: 0.1,
+        }
+    }
+
+    #[test]
+    fn clean_uploads_are_accepted_and_build_the_baseline() {
+        let mut g = UpdateGuard::new(3, UpdateGuardConfig::default());
+        for i in 0..5 {
+            let mut u = upload(i, vec![1.0, 0.0, 0.0]);
+            assert!(matches!(g.screen(&mut u), GuardVerdict::Accepted { .. }));
+        }
+        // Five accepted unit norms: budget is 4 × median(1.0) = 4.
+        let budget = g.norm_budget().expect("baseline warmed up");
+        assert!((budget - 4.0).abs() < 1e-6, "budget {budget}");
+        assert_eq!(g.rejected_total(), 0);
+    }
+
+    #[test]
+    fn nan_and_inf_are_rejected() {
+        let mut g = UpdateGuard::new(2, UpdateGuardConfig::default());
+        let mut u = upload(0, vec![f32::NAN, 1.0]);
+        assert_eq!(
+            g.screen(&mut u),
+            GuardVerdict::Rejected(RejectReason::NonFinite)
+        );
+        let mut u = upload(0, vec![1.0, f32::INFINITY]);
+        assert!(matches!(g.screen(&mut u), GuardVerdict::Rejected(_)));
+        // A NaN dual is just as fatal as a NaN primal.
+        let mut u = upload(0, vec![1.0, 1.0]);
+        u.dual = Some(vec![f32::NAN, 0.0]);
+        assert!(matches!(g.screen(&mut u), GuardVerdict::Rejected(_)));
+        assert_eq!(g.rejected_total(), 3);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected() {
+        let mut g = UpdateGuard::new(3, UpdateGuardConfig::default());
+        let mut u = upload(0, vec![1.0, 2.0]);
+        assert_eq!(
+            g.screen(&mut u),
+            GuardVerdict::Rejected(RejectReason::DimMismatch {
+                expected: 3,
+                actual: 2
+            })
+        );
+    }
+
+    #[test]
+    fn scaled_attack_is_clipped_back_to_the_budget() {
+        let mut g = UpdateGuard::new(2, UpdateGuardConfig::default());
+        for _ in 0..4 {
+            g.screen(&mut upload(0, vec![3.0, 4.0])); // norm 5
+        }
+        // A 100× blow-up: norm 500 ≫ 4 × 5 = 20 → rescaled to 20.
+        let mut evil = upload(1, vec![300.0, 400.0]);
+        match g.screen(&mut evil) {
+            GuardVerdict::Clipped { norm, limit } => {
+                assert!((norm - 500.0).abs() < 1e-3);
+                assert!((limit - 20.0).abs() < 1e-3);
+            }
+            other => panic!("expected clip, got {other:?}"),
+        }
+        let clipped_norm = l2_norm(&evil.primal);
+        assert!((clipped_norm - 20.0).abs() < 1e-3, "norm {clipped_norm}");
+        assert_eq!(g.clipped_total(), 1);
+    }
+
+    #[test]
+    fn reject_policy_refuses_instead_of_clipping() {
+        let cfg = UpdateGuardConfig {
+            clip: false,
+            ..UpdateGuardConfig::default()
+        };
+        let mut g = UpdateGuard::new(1, cfg);
+        for _ in 0..4 {
+            g.screen(&mut upload(0, vec![1.0]));
+        }
+        let mut evil = upload(1, vec![1000.0]);
+        assert!(matches!(
+            g.screen(&mut evil),
+            GuardVerdict::Rejected(RejectReason::NormOutlier { .. })
+        ));
+        // The rejected upload is untouched.
+        assert_eq!(evil.primal, vec![1000.0]);
+    }
+
+    #[test]
+    fn no_norm_policing_before_warmup() {
+        let mut g = UpdateGuard::new(1, UpdateGuardConfig::default());
+        // First upload is huge, but the baseline is cold: accepted.
+        let mut u = upload(0, vec![1e6]);
+        assert!(matches!(g.screen(&mut u), GuardVerdict::Accepted { .. }));
+    }
+
+    #[test]
+    fn absolute_cap_applies_even_during_warmup() {
+        let cfg = UpdateGuardConfig {
+            absolute_max_norm: Some(10.0),
+            ..UpdateGuardConfig::default()
+        };
+        let mut g = UpdateGuard::new(1, cfg);
+        let mut u = upload(0, vec![100.0]);
+        assert!(matches!(g.screen(&mut u), GuardVerdict::Clipped { .. }));
+        assert!((u.primal[0] - 10.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn screen_round_partitions_accept_reject_clip() {
+        let mut g = UpdateGuard::new(2, UpdateGuardConfig::default());
+        for _ in 0..4 {
+            g.screen(&mut upload(9, vec![1.0, 0.0]));
+        }
+        let round = vec![
+            upload(0, vec![0.9, 0.1]),         // accepted
+            upload(1, vec![f32::NAN, 0.0]),    // rejected
+            upload(2, vec![500.0, 0.0]),       // clipped
+        ];
+        let s = g.screen_round(round);
+        assert_eq!(s.accepted.len(), 2);
+        assert_eq!(s.rejected.len(), 1);
+        assert_eq!(s.rejected[0].0, 1);
+        assert_eq!(s.clipped, vec![2]);
+        assert_eq!(s.norms.len(), 2, "norm gauges for all finite uploads");
+    }
+
+    #[test]
+    fn window_rolls_old_norms_off() {
+        let cfg = UpdateGuardConfig {
+            window: 4,
+            warmup: 2,
+            ..UpdateGuardConfig::default()
+        };
+        let mut g = UpdateGuard::new(1, cfg);
+        for _ in 0..4 {
+            g.screen(&mut upload(0, vec![1.0]));
+        }
+        // Four larger norms push the old regime out of the window.
+        for _ in 0..4 {
+            g.screen(&mut upload(0, vec![3.0]));
+        }
+        let budget = g.norm_budget().unwrap();
+        assert!((budget - 12.0).abs() < 1e-4, "budget tracks drift: {budget}");
+    }
+}

@@ -1,0 +1,37 @@
+//! Byzantine-robust aggregation: the model-layer defense subsystem.
+//!
+//! The transport-layer fault tolerance of [`crate::runner`] defends the
+//! *delivery* of client updates — drops, timeouts, corruption on the wire.
+//! Nothing there defends their *content*: the paper's server aggregates
+//! with a plain sample-weighted average (`w ← Σ (I_p/I)·z_p`), so a single
+//! NaN-laden, scaled or sign-flipped upload silently poisons the global
+//! model. This module closes that gap with three layers, mirroring the
+//! pluggable-aggregator extension point of the follow-up "Advances in
+//! APPFL" framework paper (arXiv:2409.11585):
+//!
+//! 1. **Sanitization** — [`UpdateGuard`] screens every incoming parameter
+//!    vector before aggregation: NaN/Inf rejection, dimension checks and
+//!    L2-norm clipping/rejection against a running median-of-norms
+//!    baseline. Rejections feed the [`crate::runner::ClientRoster`]
+//!    suspect/exclude machinery and emit `update_rejected` /
+//!    `update_clipped` telemetry.
+//! 2. **Robust aggregators** — [`RobustAggregator`] implements
+//!    coordinate-wise median, trimmed mean and Krum / Multi-Krum beside
+//!    the sample-weighted mean; [`RobustServer`] carries any of them
+//!    through the [`crate::api::ServerAlgorithm`] trait so every runner
+//!    (serial, comm, rpc, async) can run defended. Select one with
+//!    [`crate::FederationBuilder::robust`].
+//! 3. **Adversary simulation** — [`PoisonedClient`] wraps an honest
+//!    [`crate::api::ClientAlgorithm`] with deterministic seeded attacks
+//!    (sign-flip, scaling, Gaussian noise, NaN injection) so end-to-end
+//!    tests can pit `f` Byzantine clients against `n − f` honest ones.
+
+pub mod guard;
+pub mod poison;
+pub mod robust;
+
+pub use guard::{
+    screen_and_report, GuardVerdict, RejectReason, ScreenedRound, UpdateGuard, UpdateGuardConfig,
+};
+pub use poison::{Attack, PoisonedClient};
+pub use robust::{RobustAggregator, RobustServer};

@@ -1,0 +1,263 @@
+//! Deterministic poisoning adversaries for end-to-end defense tests.
+//!
+//! Where [`appfl_comm::transport::FaultPlan`] attacks the *wire* (drops,
+//! delays, bit-flips), [`PoisonedClient`] attacks the *content*: it wraps
+//! an honest [`ClientAlgorithm`], lets it train normally, then mutates
+//! the resulting upload before it leaves the client. Every mutation is
+//! derived from `(seed, client id, round index)` with the same
+//! splitmix64 scheme the fault plan uses, so a given attack replays
+//! identically across runs — the property the e2e assertions
+//! ("defended run within 5 points of honest baseline") depend on.
+
+use crate::api::{ClientAlgorithm, ClientUpload};
+use appfl_tensor::Result;
+
+/// A model-poisoning strategy applied to an honest client's upload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Attack {
+    /// Reflect the update through the broadcast global model:
+    /// `p' = g − scale·(p − g)`. With `scale = 1` the client reports the
+    /// exact opposite of what it learned — the classic sign-flip attack.
+    SignFlip {
+        /// Reflection magnitude (1.0 = pure sign flip of the delta).
+        scale: f32,
+    },
+    /// Scale the update delta away from the global model:
+    /// `p' = g + factor·(p − g)`. Large factors drag a mean-based
+    /// aggregate arbitrarily far; norm clipping or trimming defeats it.
+    Scale {
+        /// Delta amplification factor λ.
+        factor: f32,
+    },
+    /// Add i.i.d. Gaussian noise `N(0, sigma²)` to every parameter.
+    GaussianNoise {
+        /// Noise standard deviation.
+        sigma: f32,
+    },
+    /// Replace a deterministic subset of parameters with NaN — the
+    /// "crashed accelerator" failure an [`super::UpdateGuard`] must stop
+    /// before it reaches any aggregator (NaN propagates through every
+    /// mean *and* through sort-based rules' comparisons).
+    NanInject,
+}
+
+impl Attack {
+    /// Stable display name for test output and telemetry detail strings.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Attack::SignFlip { .. } => "sign_flip",
+            Attack::Scale { .. } => "scale",
+            Attack::GaussianNoise { .. } => "gaussian_noise",
+            Attack::NanInject => "nan_inject",
+        }
+    }
+}
+
+/// A Byzantine client: an honest [`ClientAlgorithm`] whose uploads are
+/// deterministically poisoned on the way out.
+///
+/// The wrapper is transparent to every runner — same id, same sample
+/// count, same trait — so tests build an `n`-client federation and swap
+/// `f` clients for poisoned ones without touching runner code.
+pub struct PoisonedClient {
+    inner: Box<dyn ClientAlgorithm>,
+    attack: Attack,
+    seed: u64,
+    round: usize,
+}
+
+impl PoisonedClient {
+    /// Wraps `inner` with `attack`, seeding the noise/NaN schedules.
+    pub fn new(inner: Box<dyn ClientAlgorithm>, attack: Attack, seed: u64) -> Self {
+        PoisonedClient {
+            inner,
+            attack,
+            seed,
+            round: 0,
+        }
+    }
+
+    /// The active attack.
+    pub fn attack(&self) -> Attack {
+        self.attack
+    }
+
+    /// A uniform draw in `[0, 1)` from `(seed, client, round, index, salt)`
+    /// — splitmix64, matching the transport fault plan's determinism scheme.
+    fn draw(&self, index: usize, salt: u64) -> f64 {
+        let mut x = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((self.inner.id() as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+            .wrapping_add((self.round as u64).wrapping_mul(0x94D0_49BB_1331_11EB))
+            .wrapping_add((index as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93))
+            .wrapping_add(salt);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        (x >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A standard-normal draw via Box–Muller over two uniform draws.
+    fn normal(&self, index: usize) -> f32 {
+        let u1 = self.draw(index, 11).max(f64::MIN_POSITIVE);
+        let u2 = self.draw(index, 13);
+        ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+    }
+
+    fn poison(&self, global: &[f32], primal: &mut [f32]) {
+        match self.attack {
+            Attack::SignFlip { scale } => {
+                for (p, &g) in primal.iter_mut().zip(global.iter()) {
+                    *p = g - scale * (*p - g);
+                }
+            }
+            Attack::Scale { factor } => {
+                for (p, &g) in primal.iter_mut().zip(global.iter()) {
+                    *p = g + factor * (*p - g);
+                }
+            }
+            Attack::GaussianNoise { sigma } => {
+                for (i, p) in primal.iter_mut().enumerate() {
+                    *p += sigma * self.normal(i);
+                }
+            }
+            Attack::NanInject => {
+                // Corrupt ~1/8 of coordinates (at least one), seeded.
+                for (i, p) in primal.iter_mut().enumerate() {
+                    if i == 0 || self.draw(i, 17) < 0.125 {
+                        *p = f32::NAN;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl ClientAlgorithm for PoisonedClient {
+    fn update(&mut self, global: &[f32]) -> Result<ClientUpload> {
+        let mut upload = self.inner.update(global)?;
+        self.poison(global, &mut upload.primal);
+        if let Some(dual) = upload.dual.as_mut() {
+            // Duals have no "global" reference point; attack them relative
+            // to zero so ADMM-family uploads are poisoned too.
+            let zeros = vec![0.0f32; dual.len()];
+            self.poison(&zeros, dual);
+        }
+        self.round += 1;
+        Ok(upload)
+    }
+
+    fn id(&self) -> usize {
+        self.inner.id()
+    }
+
+    fn num_samples(&self) -> usize {
+        self.inner.num_samples()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An honest client that reports `global + 1` everywhere.
+    struct StepClient {
+        id: usize,
+    }
+
+    impl ClientAlgorithm for StepClient {
+        fn update(&mut self, global: &[f32]) -> Result<ClientUpload> {
+            Ok(ClientUpload {
+                client_id: self.id,
+                primal: global.iter().map(|&g| g + 1.0).collect(),
+                dual: None,
+                num_samples: 10,
+                local_loss: 0.1,
+            })
+        }
+        fn id(&self) -> usize {
+            self.id
+        }
+        fn num_samples(&self) -> usize {
+            10
+        }
+    }
+
+    fn poisoned(attack: Attack, seed: u64) -> PoisonedClient {
+        PoisonedClient::new(Box::new(StepClient { id: 3 }), attack, seed)
+    }
+
+    #[test]
+    fn sign_flip_reflects_the_delta() {
+        let mut c = poisoned(Attack::SignFlip { scale: 1.0 }, 1);
+        let up = c.update(&[2.0, 2.0]).unwrap();
+        // Honest delta is +1; reflected is −1.
+        assert_eq!(up.primal, vec![1.0, 1.0]);
+        assert_eq!(up.client_id, 3);
+        assert_eq!(c.num_samples(), 10);
+    }
+
+    #[test]
+    fn scale_amplifies_the_delta() {
+        let mut c = poisoned(Attack::Scale { factor: 100.0 }, 1);
+        let up = c.update(&[0.0, 5.0]).unwrap();
+        assert_eq!(up.primal, vec![100.0, 105.0]);
+    }
+
+    #[test]
+    fn gaussian_noise_is_seeded_and_replayable() {
+        let run = |seed: u64| {
+            let mut c = poisoned(Attack::GaussianNoise { sigma: 1.0 }, seed);
+            c.update(&[0.0; 16]).unwrap().primal
+        };
+        let a = run(7);
+        assert_eq!(a, run(7), "same seed must replay identically");
+        assert_ne!(a, run(8), "different seed, different noise");
+        // Noise actually perturbed the honest value.
+        assert!(a.iter().any(|&x| (x - 1.0).abs() > 1e-3));
+        assert!(a.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn nan_inject_corrupts_at_least_one_coordinate() {
+        let mut c = poisoned(Attack::NanInject, 5);
+        let up = c.update(&[0.0; 32]).unwrap();
+        assert!(up.primal.iter().any(|x| x.is_nan()));
+        // ...but not all of them (it should look plausibly partial).
+        assert!(up.primal.iter().any(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn rounds_advance_the_schedule() {
+        let mut c = poisoned(Attack::GaussianNoise { sigma: 1.0 }, 7);
+        let r0 = c.update(&[0.0; 8]).unwrap().primal;
+        let r1 = c.update(&[0.0; 8]).unwrap().primal;
+        assert_ne!(r0, r1, "per-round draws must differ");
+    }
+
+    #[test]
+    fn duals_are_poisoned_too() {
+        struct DualClient;
+        impl ClientAlgorithm for DualClient {
+            fn update(&mut self, global: &[f32]) -> Result<ClientUpload> {
+                Ok(ClientUpload {
+                    client_id: 0,
+                    primal: global.to_vec(),
+                    dual: Some(vec![1.0; global.len()]),
+                    num_samples: 1,
+                    local_loss: 0.0,
+                })
+            }
+            fn id(&self) -> usize {
+                0
+            }
+            fn num_samples(&self) -> usize {
+                1
+            }
+        }
+        let mut c = PoisonedClient::new(Box::new(DualClient), Attack::SignFlip { scale: 1.0 }, 1);
+        let up = c.update(&[0.0; 4]).unwrap();
+        assert_eq!(up.dual.unwrap(), vec![-1.0; 4]);
+    }
+}

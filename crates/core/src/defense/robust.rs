@@ -1,0 +1,428 @@
+//! Byzantine-robust aggregation rules and the server that carries them.
+//!
+//! Each rule trades accuracy or compute for resistance to a different
+//! attack class (see DESIGN.md §8 for the threat model):
+//!
+//! * [`RobustAggregator::WeightedMean`] — the paper's FedAvg rule; no
+//!   defense, the baseline the others are measured against.
+//! * [`RobustAggregator::CoordMedian`] — coordinate-wise median. Immune
+//!   to any minority of arbitrarily-scaled coordinates; O(n log n) per
+//!   coordinate; ignores sample weights.
+//! * [`RobustAggregator::TrimmedMean`] — per coordinate, drop the `trim`
+//!   largest and `trim` smallest values and average the rest. Tolerates
+//!   up to `trim` Byzantine clients; smoother than the median when most
+//!   clients are honest.
+//! * [`RobustAggregator::Krum`] / [`RobustAggregator::MultiKrum`] —
+//!   pairwise-distance scoring (Blanchard et al., NeurIPS 2017): each
+//!   update is scored by the summed squared distance to its `n − f − 2`
+//!   nearest neighbours; outliers score badly because their neighbours
+//!   are far. Krum selects the single best-scored update; Multi-Krum
+//!   averages the `m` best. O(n²·d) — the priciest rule here, but the
+//!   only one with a selection guarantee when `f < (n − 2) / 2`.
+
+use crate::api::{ClientUpload, ServerAlgorithm};
+use appfl_tensor::vecops::weighted_sum;
+use appfl_tensor::{Result, TensorError};
+
+/// A pluggable aggregation rule for one round of client primals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RobustAggregator {
+    /// Sample-weighted average — FedAvg's `w ← Σ (I_p/I)·z_p`, undefended.
+    WeightedMean,
+    /// Coordinate-wise median across clients (unweighted).
+    CoordMedian,
+    /// Coordinate-wise trimmed mean: drop the `trim` highest and lowest
+    /// values per coordinate, average the remainder (unweighted).
+    TrimmedMean {
+        /// Values trimmed from each end per coordinate; requires
+        /// `2·trim < n` clients.
+        trim: usize,
+    },
+    /// Krum: select the single update closest to its `n − f − 2` nearest
+    /// neighbours.
+    Krum {
+        /// Assumed upper bound on Byzantine clients.
+        f: usize,
+    },
+    /// Multi-Krum: average the `m` best Krum-scored updates.
+    MultiKrum {
+        /// Assumed upper bound on Byzantine clients.
+        f: usize,
+        /// Updates averaged (the `m` lowest scores); requires `m ≥ 1`.
+        m: usize,
+    },
+}
+
+impl RobustAggregator {
+    /// Stable display name (History/experiment labelling).
+    pub fn name(&self) -> &'static str {
+        match self {
+            RobustAggregator::WeightedMean => "WeightedMean",
+            RobustAggregator::CoordMedian => "CoordMedian",
+            RobustAggregator::TrimmedMean { .. } => "TrimmedMean",
+            RobustAggregator::Krum { .. } => "Krum",
+            RobustAggregator::MultiKrum { .. } => "MultiKrum",
+        }
+    }
+
+    /// Aggregates one round of uploads into a new global model.
+    ///
+    /// Errors on an empty round, mismatched dimensions across uploads, or
+    /// a rule whose arity requirement the cohort cannot meet (e.g.
+    /// `2·trim ≥ n`).
+    pub fn aggregate(&self, uploads: &[ClientUpload]) -> Result<Vec<f32>> {
+        if uploads.is_empty() {
+            return Err(TensorError::InvalidArgument(
+                "robust aggregation with no uploads".into(),
+            ));
+        }
+        let dim = uploads[0].primal.len();
+        if uploads.iter().any(|u| u.primal.len() != dim) {
+            return Err(TensorError::InvalidArgument(
+                "robust aggregation over mismatched dimensions".into(),
+            ));
+        }
+        match *self {
+            RobustAggregator::WeightedMean => weighted_mean(uploads),
+            RobustAggregator::CoordMedian => Ok(coordinate_sorted(uploads, |sorted| {
+                let mid = sorted.len() / 2;
+                if sorted.len() % 2 == 0 {
+                    (sorted[mid - 1] + sorted[mid]) / 2.0
+                } else {
+                    sorted[mid]
+                }
+            })),
+            RobustAggregator::TrimmedMean { trim } => {
+                let n = uploads.len();
+                if 2 * trim >= n {
+                    return Err(TensorError::InvalidArgument(format!(
+                        "trimmed mean needs 2·trim < n, got trim {trim} with {n} uploads"
+                    )));
+                }
+                Ok(coordinate_sorted(uploads, move |sorted| {
+                    let kept = &sorted[trim..sorted.len() - trim];
+                    kept.iter().sum::<f32>() / kept.len() as f32
+                }))
+            }
+            RobustAggregator::Krum { f } => {
+                let scores = krum_scores(uploads, f)?;
+                let best = scores
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(i, _)| i)
+                    .expect("non-empty scores");
+                Ok(uploads[best].primal.clone())
+            }
+            RobustAggregator::MultiKrum { f, m } => {
+                if m == 0 {
+                    return Err(TensorError::InvalidArgument(
+                        "Multi-Krum needs m >= 1".into(),
+                    ));
+                }
+                let scores = krum_scores(uploads, f)?;
+                let mut order: Vec<usize> = (0..uploads.len()).collect();
+                order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+                let m = m.min(uploads.len());
+                let selected: Vec<&[f32]> = order[..m]
+                    .iter()
+                    .map(|&i| uploads[i].primal.as_slice())
+                    .collect();
+                let weights = vec![1.0 / m as f32; m];
+                Ok(weighted_sum(&selected, &weights))
+            }
+        }
+    }
+}
+
+fn weighted_mean(uploads: &[ClientUpload]) -> Result<Vec<f32>> {
+    let total: usize = uploads.iter().map(|u| u.num_samples).sum();
+    if total == 0 {
+        return Err(TensorError::InvalidArgument(
+            "weighted mean with zero total samples".into(),
+        ));
+    }
+    let weights: Vec<f32> = uploads
+        .iter()
+        .map(|u| u.num_samples as f32 / total as f32)
+        .collect();
+    let vectors: Vec<&[f32]> = uploads.iter().map(|u| u.primal.as_slice()).collect();
+    Ok(weighted_sum(&vectors, &weights))
+}
+
+/// Applies `fold` to the sorted per-coordinate column of client values.
+fn coordinate_sorted(uploads: &[ClientUpload], fold: impl Fn(&[f32]) -> f32) -> Vec<f32> {
+    let dim = uploads[0].primal.len();
+    let mut out = Vec::with_capacity(dim);
+    let mut column = vec![0.0f32; uploads.len()];
+    for j in 0..dim {
+        for (slot, u) in column.iter_mut().zip(uploads.iter()) {
+            *slot = u.primal[j];
+        }
+        column.sort_by(f32::total_cmp);
+        out.push(fold(&column));
+    }
+    out
+}
+
+/// Krum scores: for each update, the summed squared distance to its
+/// `n − f − 2` nearest neighbours (clamped to at least one neighbour).
+fn krum_scores(uploads: &[ClientUpload], f: usize) -> Result<Vec<f64>> {
+    let n = uploads.len();
+    if n < 3 {
+        return Err(TensorError::InvalidArgument(format!(
+            "Krum needs at least 3 uploads, got {n}"
+        )));
+    }
+    // Pairwise squared distances.
+    let mut dist = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d: f64 = uploads[i]
+                .primal
+                .iter()
+                .zip(uploads[j].primal.iter())
+                .map(|(&a, &b)| {
+                    let diff = f64::from(a) - f64::from(b);
+                    diff * diff
+                })
+                .sum();
+            dist[i * n + j] = d;
+            dist[j * n + i] = d;
+        }
+    }
+    let neighbours = n.saturating_sub(f + 2).max(1);
+    let mut scores = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut row: Vec<f64> = (0..n).filter(|&j| j != i).map(|j| dist[i * n + j]).collect();
+        row.sort_by(f64::total_cmp);
+        scores.push(row[..neighbours.min(row.len())].iter().sum());
+    }
+    Ok(scores)
+}
+
+/// A [`ServerAlgorithm`] whose round update is a [`RobustAggregator`] —
+/// the defended drop-in for [`crate::algorithms::FedAvgServer`]. Wrap an
+/// existing server with [`RobustServer::wrap`] (inherits its current
+/// global model) or start fresh with [`RobustServer::new`].
+///
+/// Degraded rounds delegate to the same rule: every aggregator here is
+/// arity-flexible (unlike the ADMM servers), so a partial cohort merely
+/// tightens the effective Byzantine budget for that round.
+pub struct RobustServer {
+    global: Vec<f32>,
+    aggregator: RobustAggregator,
+}
+
+impl RobustServer {
+    /// Starts from an initial global model.
+    pub fn new(initial: Vec<f32>, aggregator: RobustAggregator) -> Self {
+        RobustServer {
+            global: initial,
+            aggregator,
+        }
+    }
+
+    /// Takes over an existing server's current global model. The inner
+    /// algorithm's server-side state (e.g. ADMM duals) is discarded —
+    /// robust aggregation is defined for FedAvg-style averaging servers.
+    pub fn wrap(inner: Box<dyn ServerAlgorithm>, aggregator: RobustAggregator) -> Self {
+        RobustServer::new(inner.global_model(), aggregator)
+    }
+
+    /// The active aggregation rule.
+    pub fn aggregator(&self) -> RobustAggregator {
+        self.aggregator
+    }
+}
+
+impl ServerAlgorithm for RobustServer {
+    fn global_model(&self) -> Vec<f32> {
+        self.global.clone()
+    }
+
+    fn update(&mut self, uploads: &[ClientUpload]) -> Result<()> {
+        self.global = self.aggregator.aggregate(uploads)?;
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        self.aggregator.name()
+    }
+
+    fn dim(&self) -> usize {
+        self.global.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn upload(id: usize, primal: Vec<f32>, n: usize) -> ClientUpload {
+        ClientUpload {
+            client_id: id,
+            primal,
+            dual: None,
+            num_samples: n,
+            local_loss: 0.0,
+        }
+    }
+
+    fn honest_cohort() -> Vec<ClientUpload> {
+        vec![
+            upload(0, vec![1.0, 2.0, 3.0], 10),
+            upload(1, vec![1.1, 1.9, 3.1], 10),
+            upload(2, vec![0.9, 2.1, 2.9], 10),
+            upload(3, vec![1.0, 2.0, 3.0], 10),
+            upload(4, vec![1.05, 2.05, 3.05], 10),
+        ]
+    }
+
+    #[test]
+    fn weighted_mean_matches_fedavg_rule() {
+        let uploads = vec![upload(0, vec![1.0], 30), upload(1, vec![4.0], 10)];
+        let w = RobustAggregator::WeightedMean.aggregate(&uploads).unwrap();
+        assert!((w[0] - 1.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn median_ignores_a_wild_minority() {
+        let mut uploads = honest_cohort();
+        uploads[0].primal = vec![1e9, -1e9, 1e9];
+        let w = RobustAggregator::CoordMedian.aggregate(&uploads).unwrap();
+        for (j, &x) in w.iter().enumerate() {
+            assert!(
+                (x - [1.0, 2.0, 3.0][j]).abs() < 0.2,
+                "coord {j} dragged to {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn median_is_bounded_by_coordinate_extremes() {
+        let uploads = honest_cohort();
+        let w = RobustAggregator::CoordMedian.aggregate(&uploads).unwrap();
+        for j in 0..3 {
+            let column: Vec<f32> = uploads.iter().map(|u| u.primal[j]).collect();
+            let min = column.iter().copied().fold(f32::INFINITY, f32::min);
+            let max = column.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            assert!(w[j] >= min && w[j] <= max);
+        }
+    }
+
+    #[test]
+    fn trimmed_mean_with_zero_trim_is_the_plain_mean() {
+        let uploads = honest_cohort();
+        let w = RobustAggregator::TrimmedMean { trim: 0 }
+            .aggregate(&uploads)
+            .unwrap();
+        // Equal sample counts: the weighted mean IS the plain mean.
+        let mean = RobustAggregator::WeightedMean.aggregate(&uploads).unwrap();
+        for (a, b) in w.iter().zip(mean.iter()) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn trimmed_mean_drops_the_outlier() {
+        let mut uploads = honest_cohort();
+        uploads[2].primal = vec![1e6, 1e6, 1e6];
+        let w = RobustAggregator::TrimmedMean { trim: 1 }
+            .aggregate(&uploads)
+            .unwrap();
+        assert!(w.iter().all(|&x| x < 10.0), "outlier survived: {w:?}");
+    }
+
+    #[test]
+    fn trimmed_mean_arity_is_checked() {
+        let uploads = honest_cohort();
+        assert!(RobustAggregator::TrimmedMean { trim: 3 }
+            .aggregate(&uploads)
+            .is_err());
+    }
+
+    #[test]
+    fn krum_selects_an_honest_update_under_attack() {
+        let mut uploads = honest_cohort();
+        uploads[1].primal = vec![500.0, -500.0, 500.0]; // f = 1 < (5-2)/2
+        let w = RobustAggregator::Krum { f: 1 }.aggregate(&uploads).unwrap();
+        // The winner is one of the honest primals verbatim.
+        assert!(
+            uploads
+                .iter()
+                .filter(|u| u.client_id != 1)
+                .any(|u| u.primal == w),
+            "krum picked {w:?}"
+        );
+    }
+
+    #[test]
+    fn multi_krum_averages_the_selected_set() {
+        let mut uploads = honest_cohort();
+        uploads[4].primal = vec![-400.0, 400.0, -400.0];
+        let w = RobustAggregator::MultiKrum { f: 1, m: 3 }
+            .aggregate(&uploads)
+            .unwrap();
+        for (j, &x) in w.iter().enumerate() {
+            assert!(
+                (x - [1.0, 2.0, 3.0][j]).abs() < 0.2,
+                "coord {j} dragged to {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn aggregators_are_permutation_invariant() {
+        let uploads = honest_cohort();
+        let mut reversed = uploads.clone();
+        reversed.reverse();
+        for agg in [
+            RobustAggregator::WeightedMean,
+            RobustAggregator::CoordMedian,
+            RobustAggregator::TrimmedMean { trim: 1 },
+            RobustAggregator::MultiKrum { f: 1, m: 3 },
+        ] {
+            let a = agg.aggregate(&uploads).unwrap();
+            let b = agg.aggregate(&reversed).unwrap();
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert!((x - y).abs() < 1e-5, "{agg:?} not permutation invariant");
+            }
+        }
+        // Krum returns a member vector, so invariance is exact.
+        let a = RobustAggregator::Krum { f: 1 }.aggregate(&uploads).unwrap();
+        let b = RobustAggregator::Krum { f: 1 }.aggregate(&reversed).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn degenerate_cohorts_error_cleanly() {
+        assert!(RobustAggregator::CoordMedian.aggregate(&[]).is_err());
+        let mismatched = vec![upload(0, vec![1.0], 1), upload(1, vec![1.0, 2.0], 1)];
+        assert!(RobustAggregator::CoordMedian.aggregate(&mismatched).is_err());
+        let two = vec![upload(0, vec![1.0], 1), upload(1, vec![2.0], 1)];
+        assert!(RobustAggregator::Krum { f: 0 }.aggregate(&two).is_err());
+        assert!(RobustAggregator::MultiKrum { f: 0, m: 0 }
+            .aggregate(&honest_cohort())
+            .is_err());
+    }
+
+    #[test]
+    fn robust_server_implements_server_algorithm() {
+        let mut s = RobustServer::new(vec![0.0; 3], RobustAggregator::CoordMedian);
+        assert_eq!(s.name(), "CoordMedian");
+        assert_eq!(s.dim(), 3);
+        let mut uploads = honest_cohort();
+        uploads[0].primal = vec![1e9, 1e9, 1e9];
+        s.update(&uploads).unwrap();
+        assert!(s.global_model().iter().all(|&x| x < 10.0));
+    }
+
+    #[test]
+    fn wrap_inherits_the_inner_model() {
+        let inner = crate::algorithms::FedAvgServer::new(vec![7.0, 8.0]);
+        let s = RobustServer::wrap(Box::new(inner), RobustAggregator::Krum { f: 0 });
+        assert_eq!(s.global_model(), vec![7.0, 8.0]);
+        assert_eq!(s.aggregator(), RobustAggregator::Krum { f: 0 });
+    }
+}

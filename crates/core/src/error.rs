@@ -23,12 +23,20 @@ pub enum Error {
     /// The chosen transport lacks a capability the runner requires
     /// (e.g. `recv_any` multiplexing for pull-mode serving).
     Unsupported(&'static str),
+    /// Durable state could not be written or read back (checkpoint IO,
+    /// encode/decode failures).
+    Persist(String),
 }
 
 impl Error {
     /// Convenience constructor for configuration errors.
     pub fn config(msg: impl Into<String>) -> Self {
         Error::Config(msg.into())
+    }
+
+    /// Convenience constructor for persistence errors.
+    pub fn persist(msg: impl Into<String>) -> Self {
+        Error::Persist(msg.into())
     }
 
     /// Lossy downgrade for the deprecated shims that still promise
@@ -49,6 +57,7 @@ impl fmt::Display for Error {
             Error::Comm(e) => write!(f, "communication error: {e}"),
             Error::Config(msg) => write!(f, "configuration error: {msg}"),
             Error::Unsupported(what) => write!(f, "transport capability missing: {what}"),
+            Error::Persist(msg) => write!(f, "persistence error: {msg}"),
         }
     }
 }
@@ -97,6 +106,13 @@ mod tests {
         assert!(e.to_string().contains("peer 3"));
         let e = Error::config("quorum 0 is invalid");
         assert!(e.to_string().contains("configuration error"));
+    }
+
+    #[test]
+    fn persist_variant_displays_its_domain() {
+        let e = Error::persist("checkpoint write: disk full");
+        assert!(e.to_string().contains("persistence error"));
+        assert!(e.to_string().contains("disk full"));
     }
 
     #[test]

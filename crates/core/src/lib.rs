@@ -3,7 +3,7 @@
 //! The federated-learning heart of appfl-rs: the server/client algorithm
 //! traits (mirroring APPFL's `BaseServer`/`BaseClient` with their virtual
 //! `update()` methods, §II-A.1), the three algorithms the paper implements —
-//! **FedAvg** [10], **ICEADMM** [8] and the paper's new **IIADMM**
+//! **FedAvg** \[10\], **ICEADMM** \[8\] and the paper's new **IIADMM**
 //! (Algorithm 1) — and runners that execute a federation serially, in
 //! parallel threads over a [`appfl_comm::transport::Communicator`], or
 //! asynchronously (the §V future-work extension).
@@ -25,6 +25,7 @@ pub mod algorithms;
 pub mod api;
 pub mod checkpoint;
 pub mod config;
+pub mod defense;
 pub mod error;
 pub mod gossip;
 pub mod metrics;
@@ -37,6 +38,9 @@ pub mod validation;
 
 pub use api::{ClientAlgorithm, ClientUpload, ServerAlgorithm};
 pub use config::{AlgorithmConfig, FaultToleranceConfig, FedConfig};
+pub use defense::{
+    Attack, PoisonedClient, RobustAggregator, RobustServer, UpdateGuard, UpdateGuardConfig,
+};
 pub use error::Error;
 pub use metrics::{History, RoundRecord};
 pub use runner::federation::{FederationBuilder, FederationOutcome};

@@ -43,6 +43,16 @@ pub struct RoundRecord {
     /// Seconds of server-side aggregation plus evaluation this round.
     #[serde(default)]
     pub aggregate_secs: f64,
+    /// Uploads the [`crate::defense::UpdateGuard`] rejected outright this
+    /// round (NaN/Inf payloads, dimension mismatches, norm outliers under
+    /// a reject policy). Rejected uploads never reach the aggregator.
+    /// Absent in pre-defense histories, hence the serde default.
+    #[serde(default)]
+    pub rejected_clients: usize,
+    /// Uploads whose norm the guard clipped back to budget this round
+    /// (they still reach the aggregator, rescaled).
+    #[serde(default)]
+    pub clipped_clients: usize,
 }
 
 impl RoundRecord {
@@ -132,6 +142,16 @@ impl History {
     pub fn degraded_rounds(&self) -> usize {
         self.rounds.iter().filter(|r| r.dropped_clients > 0).count()
     }
+
+    /// Total uploads rejected by the update guard across the run.
+    pub fn total_rejected_clients(&self) -> usize {
+        self.rounds.iter().map(|r| r.rejected_clients).sum()
+    }
+
+    /// Total uploads norm-clipped by the update guard across the run.
+    pub fn total_clipped_clients(&self) -> usize {
+        self.rounds.iter().map(|r| r.clipped_clients).sum()
+    }
 }
 
 #[cfg(test)]
@@ -206,6 +226,24 @@ mod tests {
         assert_eq!(r.local_update_secs, 0.0);
         assert_eq!(r.serialize_secs, 0.0);
         assert_eq!(r.aggregate_secs, 0.0);
+        assert_eq!(r.rejected_clients, 0);
+        assert_eq!(r.clipped_clients, 0);
+    }
+
+    #[test]
+    fn defense_counters_sum() {
+        let mut h = History::new("CoordMedian", "MNIST", f64::INFINITY);
+        h.rounds.push(RoundRecord {
+            rejected_clients: 2,
+            clipped_clients: 1,
+            ..rec(1, 0.9, 10)
+        });
+        h.rounds.push(RoundRecord {
+            clipped_clients: 3,
+            ..rec(2, 0.91, 10)
+        });
+        assert_eq!(h.total_rejected_clients(), 2);
+        assert_eq!(h.total_clipped_clients(), 4);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! fetched the model it trained on.
 
 use crate::api::ClientUpload;
+use crate::defense::{GuardVerdict, UpdateGuard, UpdateGuardConfig};
 use appfl_tensor::{Result, TensorError};
 use serde::{Deserialize, Serialize};
 
@@ -46,6 +47,8 @@ pub struct AsyncFedServer {
     version: u64,
     config: AsyncConfig,
     applied: usize,
+    guard: Option<UpdateGuard>,
+    guard_rejected: usize,
 }
 
 impl AsyncFedServer {
@@ -60,7 +63,25 @@ impl AsyncFedServer {
             version: 0,
             config,
             applied: 0,
+            guard: None,
+            guard_rejected: 0,
         }
+    }
+
+    /// Screens every arriving upload with an [`UpdateGuard`] before it is
+    /// mixed in. The asynchronous path is where sanitization matters most:
+    /// there is no cohort to out-vote a poisoned update — one NaN-laden
+    /// upload and the mixing rule wipes the model. Rejected uploads error
+    /// out of [`AsyncFedServer::apply`] without touching model or version;
+    /// norm outliers are clipped/rejected per `config`.
+    pub fn with_guard(mut self, config: UpdateGuardConfig) -> Self {
+        self.guard = Some(UpdateGuard::new(self.global.len(), config));
+        self
+    }
+
+    /// Uploads the guard refused since construction.
+    pub fn guard_rejected(&self) -> usize {
+        self.guard_rejected
     }
 
     /// The current model and its version; clients record the version they
@@ -86,8 +107,24 @@ impl AsyncFedServer {
                 )));
             }
         }
+        let mut screened;
+        let primal: &[f32] = match self.guard.as_mut() {
+            Some(guard) => {
+                screened = upload.clone();
+                match guard.screen(&mut screened) {
+                    GuardVerdict::Rejected(reason) => {
+                        self.guard_rejected += 1;
+                        return Err(TensorError::InvalidArgument(format!(
+                            "upload rejected by guard: {reason}"
+                        )));
+                    }
+                    _ => &screened.primal,
+                }
+            }
+            None => &upload.primal,
+        };
         let alpha_s = self.config.alpha / (1.0 + staleness as f32);
-        for (w, &z) in self.global.iter_mut().zip(upload.primal.iter()) {
+        for (w, &z) in self.global.iter_mut().zip(primal.iter()) {
             *w = (1.0 - alpha_s) * *w + alpha_s * z;
         }
         self.version += 1;
@@ -184,6 +221,40 @@ mod tests {
     fn dimension_mismatch_rejected() {
         let mut s = AsyncFedServer::new(vec![0.0; 3], AsyncConfig::default());
         assert!(s.apply(&upload(1.0, 2), 0).is_err());
+    }
+
+    #[test]
+    fn guard_blocks_nan_uploads_before_mixing() {
+        let mut s = AsyncFedServer::new(vec![1.0; 2], AsyncConfig::default())
+            .with_guard(UpdateGuardConfig::default());
+        let mut evil = upload(1.0, 2);
+        evil.primal[0] = f32::NAN;
+        let before = s.version();
+        assert!(s.apply(&evil, 0).is_err());
+        assert_eq!(s.version(), before, "rejected upload must not advance");
+        assert!(s.global_model().iter().all(|w| w.is_finite()));
+        assert_eq!(s.guard_rejected(), 1);
+        // A clean upload still goes through the same server.
+        assert!(s.apply(&upload(0.5, 2), 0).is_ok());
+    }
+
+    #[test]
+    fn guard_clips_scaled_async_uploads() {
+        let cfg = UpdateGuardConfig {
+            absolute_max_norm: Some(1.0),
+            ..UpdateGuardConfig::default()
+        };
+        let mut s = AsyncFedServer::new(
+            vec![0.0; 1],
+            AsyncConfig {
+                alpha: 1.0,
+                ..AsyncConfig::default()
+            },
+        )
+        .with_guard(cfg);
+        // α=1, fresh: w snaps to the (clipped) upload.
+        s.apply(&upload(100.0, 1), 0).unwrap();
+        assert!((s.global_model()[0] - 1.0).abs() < 1e-4);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 
 use crate::api::{ClientAlgorithm, ClientUpload, ServerAlgorithm};
 use crate::config::FaultToleranceConfig;
+use crate::defense::{screen_and_report, UpdateGuard};
 use crate::error::Error;
 use crate::metrics::{History, RoundRecord};
 use crate::runner::federation::FederationBuilder;
@@ -134,6 +135,12 @@ pub fn run_client<C: Communicator>(
 /// setup, as in APPFL's configuration step). Per-round phase timings are
 /// recorded into the [`RoundRecord`] and emitted on `telemetry` as one
 /// span per phase, tagged with the round.
+///
+/// With an [`UpdateGuard`] attached, every upload is screened before
+/// aggregation: rejected uploads are removed from the round (a partial
+/// cohort aggregates via [`ServerAlgorithm::update_degraded`]; a fully
+/// rejected round carries the model over unchanged) and the round's
+/// `rejected_clients` / `clipped_clients` counters are recorded.
 #[allow(clippy::too_many_arguments)]
 pub fn run_server<C: Communicator>(
     server: &mut dyn ServerAlgorithm,
@@ -146,6 +153,7 @@ pub fn run_server<C: Communicator>(
     dataset_name: &str,
     telemetry: &Telemetry,
     local_gauge: &MaxGauge,
+    mut guard: Option<&mut UpdateGuard>,
 ) -> Result<History, Error> {
     let num_clients = comm.size() - 1;
     if sample_counts.len() != num_clients {
@@ -186,11 +194,23 @@ pub fn run_server<C: Communicator>(
         let local_update_secs = local_gauge.drain_secs().min(gather_secs);
         let comm_secs = send_secs + (gather_secs - local_update_secs).max(0.0);
 
+        let (uploads, rejected_clients, clipped_clients) = match guard.as_deref_mut() {
+            Some(g) => {
+                let s = screen_and_report(g, uploads, Some(round as u64), telemetry);
+                (s.accepted, s.rejected.len(), s.clipped.len())
+            }
+            None => (uploads, 0, 0),
+        };
         let upload_bytes: usize = uploads.iter().map(ClientUpload::payload_bytes).sum();
         let train_loss =
             uploads.iter().map(|u| u.local_loss).sum::<f32>() / uploads.len().max(1) as f32;
         let t = Instant::now();
-        server.update(&uploads)?;
+        if rejected_clients == 0 {
+            server.update(&uploads)?;
+        } else if !uploads.is_empty() {
+            server.update_degraded(&uploads)?;
+        }
+        // Every upload rejected: the model carries over, a skipped round.
         let w_next = server.global_model();
         let e = evaluate(template, &w_next, test, 64)?;
         let aggregate_secs = t.elapsed().as_secs_f64();
@@ -214,6 +234,8 @@ pub fn run_server<C: Communicator>(
             local_update_secs,
             serialize_secs,
             aggregate_secs,
+            rejected_clients,
+            clipped_clients,
             ..RoundRecord::default()
         });
     }
@@ -287,6 +309,12 @@ pub fn run_client_ft<C: Communicator>(
 ///
 /// Requires a transport whose [`Communicator::supports_recv_any`] probe
 /// reports `true`; [`FederationBuilder`] checks this up front.
+///
+/// With an [`UpdateGuard`] attached, arrived uploads are screened before
+/// the roster bookkeeping: a guard rejection counts as a roster *failure*
+/// for that client (feeding the suspect/exclude machinery exactly like a
+/// missed round) while staying distinct from `dropped_clients` in the
+/// record, and the quorum test runs over the post-screening cohort.
 #[allow(clippy::too_many_arguments)]
 pub fn run_server_ft<C: Communicator>(
     server: &mut dyn ServerAlgorithm,
@@ -301,6 +329,7 @@ pub fn run_server_ft<C: Communicator>(
     retries: &AtomicUsize,
     telemetry: &Telemetry,
     local_gauge: &MaxGauge,
+    mut guard: Option<&mut UpdateGuard>,
 ) -> Result<History, Error> {
     let num_clients = comm.size() - 1;
     if sample_counts.len() != num_clients {
@@ -373,9 +402,22 @@ pub fn run_server_ft<C: Communicator>(
                 Err(_) => break, // every remaining peer is gone
             }
         }
+        // Content screening runs before the roster bookkeeping so a
+        // poisoned-but-delivered upload is a recorded failure, not a
+        // success: repeat offenders walk the same suspect→exclude path
+        // as silent ones.
+        let arrived = uploads.len();
+        let (uploads, rejected, clipped_clients) = match guard.as_deref_mut() {
+            Some(g) => {
+                let s = screen_and_report(g, uploads, Some(round as u64), telemetry);
+                (s.accepted, s.rejected, s.clipped.len())
+            }
+            None => (uploads, Vec::new(), 0),
+        };
+        let rejected_clients = rejected.len();
         for &p in &active {
             if expected[p] {
-                if got[p] {
+                if got[p] && !rejected.iter().any(|&(id, _)| id == p) {
                     roster.record_success(p);
                 } else {
                     roster.record_failure(p, round);
@@ -385,7 +427,7 @@ pub fn run_server_ft<C: Communicator>(
         let local_update_secs = local_gauge.drain_secs().min(gather_secs);
         let comm_secs = send_secs + (gather_secs - local_update_secs).max(0.0);
 
-        let dropped_clients = active.len() - uploads.len();
+        let dropped_clients = active.len() - arrived;
         let t = Instant::now();
         if !uploads.is_empty() && uploads.len() >= ft.min_quorum.min(num_clients) {
             if uploads.len() == num_clients {
@@ -429,6 +471,8 @@ pub fn run_server_ft<C: Communicator>(
             local_update_secs,
             serialize_secs,
             aggregate_secs,
+            rejected_clients,
+            clipped_clients,
         });
         retries_prev = retries_now;
     }

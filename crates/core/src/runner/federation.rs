@@ -33,6 +33,7 @@
 
 use crate::api::{ClientAlgorithm, ServerAlgorithm};
 use crate::config::FaultToleranceConfig;
+use crate::defense::{RobustAggregator, RobustServer, UpdateGuard, UpdateGuardConfig};
 use crate::error::Error;
 use crate::metrics::History;
 use crate::runner::comm::{run_client, run_client_ft, run_server, run_server_ft};
@@ -85,6 +86,8 @@ pub struct FederationBuilder<'a, C: Communicator + 'static> {
     ft: Option<FaultToleranceConfig>,
     telemetry: Telemetry,
     pull: bool,
+    robust: Option<RobustAggregator>,
+    guard: Option<UpdateGuardConfig>,
 }
 
 impl<'a, C: Communicator + 'static> FederationBuilder<'a, C> {
@@ -101,6 +104,8 @@ impl<'a, C: Communicator + 'static> FederationBuilder<'a, C> {
             ft: None,
             telemetry: Telemetry::disabled(),
             pull: false,
+            robust: None,
+            guard: None,
         }
     }
 
@@ -163,6 +168,28 @@ impl<'a, C: Communicator + 'static> FederationBuilder<'a, C> {
         self
     }
 
+    /// Replaces the server's aggregation rule with a Byzantine-robust one:
+    /// the configured server is wrapped in a
+    /// [`crate::defense::RobustServer`] that inherits its current global
+    /// model and aggregates each round with `aggregator` (coordinate-wise
+    /// median, trimmed mean, Krum, …) instead of the plain weighted mean.
+    pub fn robust(mut self, aggregator: RobustAggregator) -> Self {
+        self.robust = Some(aggregator);
+        self
+    }
+
+    /// Screens every incoming upload with an [`UpdateGuard`] before it can
+    /// reach the aggregator: NaN/Inf and mis-dimensioned uploads are
+    /// rejected (and, under fault tolerance, recorded as roster failures
+    /// so repeat offenders are excluded), norm outliers are clipped or
+    /// rejected per `config`. Rejections and clips surface in each
+    /// [`crate::RoundRecord`] and as `update_rejected` / `update_clipped`
+    /// telemetry events with per-client `update_norm` gauges.
+    pub fn update_guard(mut self, config: UpdateGuardConfig) -> Self {
+        self.guard = Some(config);
+        self
+    }
+
     /// Switches to pull mode: the server passively serves `GetWeight` /
     /// `SendResults` RPCs and clients poll — the flow of a real APPFL gRPC
     /// deployment. No per-round evaluation, so the outcome has no history.
@@ -191,7 +218,13 @@ impl<'a, C: Communicator + 'static> FederationBuilder<'a, C> {
             ft,
             telemetry,
             pull,
+            robust,
+            guard,
         } = self;
+        if let Some(aggregator) = robust {
+            server = Box::new(RobustServer::wrap(server, aggregator));
+        }
+        let mut guard = guard.map(|cfg| UpdateGuard::new(server.dim(), cfg));
         let mut endpoints = endpoints
             .ok_or_else(|| Error::config("no transport configured: call .transport(endpoints)"))?;
         if clients.is_empty() {
@@ -224,6 +257,9 @@ impl<'a, C: Communicator + 'static> FederationBuilder<'a, C> {
             let mut service = SyncRoundService::new(server, num_clients, rounds, sample_counts)
                 .with_quorum(quorum)?
                 .with_telemetry(telemetry.clone());
+            if let Some(guard) = guard.take() {
+                service = service.with_guard(guard);
+            }
             std::thread::scope(|scope| {
                 let mut handles = Vec::new();
                 let options = match &ft {
@@ -296,6 +332,7 @@ impl<'a, C: Communicator + 'static> FederationBuilder<'a, C> {
                             &dataset,
                             &telemetry,
                             &gauge,
+                            guard.as_mut(),
                         )
                     }
                     Some(ft) => {
@@ -332,6 +369,7 @@ impl<'a, C: Communicator + 'static> FederationBuilder<'a, C> {
                             &retries,
                             &telemetry,
                             &gauge,
+                            guard.as_mut(),
                         )
                     }
                 };

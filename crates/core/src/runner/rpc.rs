@@ -4,6 +4,7 @@
 
 use crate::api::{ClientAlgorithm, ClientUpload, ServerAlgorithm};
 use crate::config::FaultToleranceConfig;
+use crate::defense::{GuardVerdict, UpdateGuard};
 use crate::error::Error;
 use crate::runner::federation::FederationBuilder;
 use appfl_comm::retry::RetryPolicy;
@@ -32,6 +33,9 @@ pub struct SyncRoundService {
     rejected: usize,
     quorum: usize,
     telemetry: Telemetry,
+    guard: Option<UpdateGuard>,
+    guard_rejected: usize,
+    guard_clipped: usize,
 }
 
 impl SyncRoundService {
@@ -54,6 +58,9 @@ impl SyncRoundService {
             rejected: 0,
             quorum: num_clients,
             telemetry: Telemetry::disabled(),
+            guard: None,
+            guard_rejected: 0,
+            guard_clipped: 0,
         }
     }
 
@@ -80,6 +87,28 @@ impl SyncRoundService {
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = telemetry;
         self
+    }
+
+    /// Screens every `SendResults` upload with `guard` before it can join
+    /// the round: rejected uploads are refused (the client sees `false`,
+    /// exactly like a stale round) and never count toward the quorum;
+    /// clipped ones join rescaled. Outcomes surface as `update_rejected` /
+    /// `update_clipped` marks and `update_norm` gauges on the telemetry
+    /// handle.
+    pub fn with_guard(mut self, guard: UpdateGuard) -> Self {
+        self.guard = Some(guard);
+        self
+    }
+
+    /// Uploads refused by the update guard (a subset of
+    /// [`SyncRoundService::rejected`]).
+    pub fn guard_rejected(&self) -> usize {
+        self.guard_rejected
+    }
+
+    /// Uploads norm-clipped by the update guard.
+    pub fn guard_clipped(&self) -> usize {
+        self.guard_clipped
     }
 
     /// Completed aggregations so far.
@@ -123,13 +152,35 @@ impl FlService for SyncRoundService {
             self.rejected += 1;
             return false;
         }
-        self.pending.push(ClientUpload {
+        let mut upload = ClientUpload {
             client_id,
             primal: primal.data,
             dual: results.dual.into_iter().next().map(|t| t.data),
             num_samples: self.sample_counts[client_id],
             local_loss: results.penalty as f32,
-        });
+        };
+        if let Some(guard) = self.guard.as_mut() {
+            let round = Some(self.round as u64);
+            let peer = Some(client_id as u64);
+            match guard.screen(&mut upload) {
+                GuardVerdict::Rejected(reason) => {
+                    self.telemetry
+                        .mark("update_rejected", round, peer, Some(reason.as_str()));
+                    self.rejected += 1;
+                    self.guard_rejected += 1;
+                    return false;
+                }
+                GuardVerdict::Clipped { norm, .. } => {
+                    self.telemetry.gauge("update_norm", f64::from(norm), round, peer);
+                    self.telemetry.mark("update_clipped", round, peer, None);
+                    self.guard_clipped += 1;
+                }
+                GuardVerdict::Accepted { norm } => {
+                    self.telemetry.gauge("update_norm", f64::from(norm), round, peer);
+                }
+            }
+        }
+        self.pending.push(upload);
         if self.pending.len() >= self.quorum {
             let uploads = std::mem::take(&mut self.pending);
             let t0 = Instant::now();

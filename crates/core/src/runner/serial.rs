@@ -9,6 +9,7 @@
 
 use crate::algorithms::Federation;
 use crate::api::ClientUpload;
+use crate::defense::{screen_and_report, RobustAggregator, RobustServer, UpdateGuard};
 use crate::metrics::{History, RoundRecord};
 use crate::validation::evaluate;
 use appfl_data::InMemoryDataset;
@@ -34,6 +35,7 @@ pub struct SerialRunner {
     pub participation: f32,
     sampling_rng: StdRng,
     telemetry: Telemetry,
+    guard: Option<UpdateGuard>,
 }
 
 impl SerialRunner {
@@ -53,6 +55,7 @@ impl SerialRunner {
             participation: 1.0,
             sampling_rng: StdRng::seed_from_u64(seed ^ 0xC11E57),
             telemetry: Telemetry::disabled(),
+            guard: None,
         }
     }
 
@@ -60,6 +63,27 @@ impl SerialRunner {
     /// telemetry (the serial runner has no serialize/comm phases).
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Replaces the federation's server with a [`RobustServer`] running
+    /// `aggregator` (inheriting the current global model) — the serial
+    /// analogue of [`crate::FederationBuilder::robust`].
+    pub fn with_robust(mut self, aggregator: RobustAggregator) -> Self {
+        let inner = std::mem::replace(
+            &mut self.federation.server,
+            Box::new(RobustServer::new(Vec::new(), aggregator)),
+        );
+        self.federation.server = Box::new(RobustServer::wrap(inner, aggregator));
+        self
+    }
+
+    /// Screens every upload with an [`UpdateGuard`] before aggregation —
+    /// the serial analogue of [`crate::FederationBuilder::update_guard`].
+    /// Rejected uploads are dropped from the round (recorded in the
+    /// [`RoundRecord`]); a fully rejected round carries the model over.
+    pub fn with_guard(mut self, config: crate::defense::UpdateGuardConfig) -> Self {
+        self.guard = Some(UpdateGuard::new(self.federation.server.dim(), config));
         self
     }
 
@@ -123,11 +147,23 @@ impl SerialRunner {
             None,
         );
 
+        let (uploads, rejected_clients, clipped_clients) = match self.guard.as_mut() {
+            Some(g) => {
+                let s = screen_and_report(g, uploads, Some(t as u64), &self.telemetry);
+                (s.accepted, s.rejected.len(), s.clipped.len())
+            }
+            None => (uploads, 0, 0),
+        };
         let upload_bytes: usize = uploads.iter().map(ClientUpload::payload_bytes).sum();
         let train_loss =
             uploads.iter().map(|u| u.local_loss).sum::<f32>() / uploads.len().max(1) as f32;
         let t1 = Instant::now();
-        self.federation.server.update(&uploads)?;
+        if rejected_clients == 0 {
+            self.federation.server.update(&uploads)?;
+        } else if !uploads.is_empty() {
+            self.federation.server.update_degraded(&uploads)?;
+        }
+        // Every upload rejected: the model carries over, a skipped round.
 
         let (accuracy, test_loss) = if t.is_multiple_of(self.eval_every) || t == self.federation.config.rounds {
             let w_next = self.federation.server.global_model();
@@ -154,6 +190,8 @@ impl SerialRunner {
             compute_secs: local_update_secs + aggregate_secs,
             local_update_secs,
             aggregate_secs,
+            rejected_clients,
+            clipped_clients,
             ..RoundRecord::default()
         })
     }

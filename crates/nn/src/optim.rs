@@ -3,7 +3,7 @@
 use crate::module::Module;
 use appfl_tensor::Result;
 
-/// Stochastic gradient descent with classical momentum [29]:
+/// Stochastic gradient descent with classical momentum \[29\]:
 ///
 /// ```text
 /// v ← μ·v + g

@@ -1,6 +1,6 @@
 //! Gradient-inversion attack (the threat model that motivates DP).
 //!
-//! §II-A.2: "The work [13] shows that one can recover an original image
+//! §II-A.2: "The work \[13\] shows that one can recover an original image
 //! with high accuracy using only gradients sent to the server, without
 //! sharing the training data." This module implements the *analytic* form
 //! of that attack for a linear classifier with softmax cross-entropy, where

@@ -3,7 +3,7 @@
 //! The paper applies its mechanism "for any communication round", which
 //! composes privacy loss across the T rounds of Algorithm 1. The basic
 //! theorem (used by [`crate::PrivacyAccountant`]) charges `k·ε̄`; the
-//! **advanced composition** theorem (Dwork & Roth [14], Thm 3.20) gives the
+//! **advanced composition** theorem (Dwork & Roth \[14\], Thm 3.20) gives the
 //! tighter
 //!
 //! ```text

@@ -16,7 +16,7 @@ pub trait Mechanism: Send + Sync {
     fn name(&self) -> &'static str;
 }
 
-/// The Laplace mechanism of Dwork & Roth [14]: i.i.d. noise with density
+/// The Laplace mechanism of Dwork & Roth \[14\]: i.i.d. noise with density
 /// `(1/2b)·exp(−|x|/b)` added per coordinate, yielding ε̄-DP when
 /// `b = Δ̄/ε̄` with `Δ̄` an L1/L2 sensitivity bound (the paper uses the
 /// clipped-gradient bound; see §III-B).

@@ -54,6 +54,10 @@ pub enum EventKind {
     Count,
     /// A point-in-time occurrence (retry, fault injection, timeout…).
     Mark,
+    /// A sampled float measurement (`secs` carries the value — reusing
+    /// the span's float slot keeps the wire format flat and old readers
+    /// skip the unknown kind). Used for per-client update norms.
+    Gauge,
 }
 
 impl EventKind {
@@ -63,6 +67,7 @@ impl EventKind {
             EventKind::Span => "span",
             EventKind::Count => "count",
             EventKind::Mark => "mark",
+            EventKind::Gauge => "gauge",
         }
     }
 
@@ -72,6 +77,7 @@ impl EventKind {
             "span" => Some(EventKind::Span),
             "count" => Some(EventKind::Count),
             "mark" => Some(EventKind::Mark),
+            "gauge" => Some(EventKind::Gauge),
             _ => None,
         }
     }
@@ -341,6 +347,17 @@ mod tests {
         mark.peer = Some(1);
         mark.detail = Some("drop".into());
         assert_eq!(Event::from_json_line(&mark.to_json_line()).unwrap(), mark);
+    }
+
+    #[test]
+    fn gauge_roundtrips_with_float_payload() {
+        let mut gauge = Event::new(1.0, EventKind::Gauge, "update_norm");
+        gauge.round = Some(4);
+        gauge.peer = Some(7);
+        gauge.secs = Some(3.75);
+        let line = gauge.to_json_line();
+        assert!(line.contains("\"kind\":\"gauge\""), "{line}");
+        assert_eq!(Event::from_json_line(&line).unwrap(), gauge);
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod summary;
 
 pub use event::{Event, EventKind, Phase};
 pub use sink::{read_jsonl, EventSink, JsonlSink, MemorySink, NoopSink, Span, Telemetry};
-pub use summary::{PhaseTotals, RunSummary};
+pub use summary::{GaugeStats, PhaseTotals, RunSummary};
 
 use std::sync::atomic::{AtomicU64, Ordering};
 

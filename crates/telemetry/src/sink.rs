@@ -199,6 +199,17 @@ impl Telemetry {
         }
     }
 
+    /// Emits a sampled float measurement (e.g. a client's update norm).
+    pub fn gauge(&self, name: &str, value: f64, round: Option<u64>, peer: Option<u64>) {
+        if let Some(inner) = &self.inner {
+            let mut ev = Event::new(Self::now(inner), EventKind::Gauge, name);
+            ev.round = round;
+            ev.peer = peer;
+            ev.secs = Some(value);
+            inner.sink.emit(ev);
+        }
+    }
+
     /// Emits a point-in-time mark.
     pub fn mark(&self, name: &str, round: Option<u64>, peer: Option<u64>, detail: Option<&str>) {
         if let Some(inner) = &self.inner {
@@ -284,6 +295,7 @@ mod tests {
         t.span_secs("x", Phase::Comm, 1.0, None, None);
         t.count("y", 1, None, None);
         t.mark("z", None, None, None);
+        t.gauge("g", 1.0, None, None);
         let span = t.span("w", Phase::Aggregate).round(1);
         assert_eq!(span.finish(), 0.0);
         t.flush();
@@ -305,8 +317,11 @@ mod tests {
         {
             let _guard = t.span("aggregate", Phase::Aggregate).round(1);
         }
+        t.gauge("update_norm", 2.5, Some(1), Some(0));
         let events = sink.events();
-        assert_eq!(events.len(), 4);
+        assert_eq!(events.len(), 5);
+        assert_eq!(events[4].kind, EventKind::Gauge);
+        assert_eq!(events[4].secs, Some(2.5));
         assert_eq!(events[0].kind, EventKind::Span);
         assert_eq!(events[0].phase, Some(Phase::LocalUpdate));
         assert_eq!(events[0].secs, Some(0.5));

@@ -32,6 +32,48 @@ impl PhaseTotals {
     }
 }
 
+/// Running statistics over one gauge name's samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaugeStats {
+    /// Number of samples recorded.
+    pub count: u64,
+    /// Sum of samples (mean = `sum / count`).
+    pub sum: f64,
+    /// Smallest sample seen.
+    pub min: f64,
+    /// Largest sample seen.
+    pub max: f64,
+}
+
+impl GaugeStats {
+    fn observe(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Mean sample value (0 for an empty gauge).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+impl Default for GaugeStats {
+    fn default() -> Self {
+        GaugeStats {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
 /// A run's telemetry, folded down for reporting: phase seconds per round
 /// and overall, plus every counter and mark tallied by name.
 #[derive(Debug, Clone, Default)]
@@ -44,6 +86,12 @@ pub struct RunSummary {
     /// Counter sums by event name (`count` events) and occurrence counts
     /// by name for `mark` events.
     pub counters: BTreeMap<String, u64>,
+    /// The same counter sums, additionally keyed by round for events that
+    /// carried a round tag (lets the report show per-round columns like
+    /// `update_rejected` / `update_clipped`).
+    pub round_counters: BTreeMap<u64, BTreeMap<String, u64>>,
+    /// Gauge statistics by name (e.g. `update_norm`).
+    pub gauges: BTreeMap<String, GaugeStats>,
     /// Number of span events that carried no phase tag (skipped).
     pub unphased_spans: usize,
 }
@@ -63,16 +111,32 @@ impl RunSummary {
                     },
                     _ => summary.unphased_spans += 1,
                 },
-                EventKind::Count => {
-                    *summary.counters.entry(ev.name.clone()).or_insert(0) +=
-                        ev.value.unwrap_or(0);
-                }
-                EventKind::Mark => {
-                    *summary.counters.entry(ev.name.clone()).or_insert(0) += 1;
+                EventKind::Count => summary.tally(ev, ev.value.unwrap_or(0)),
+                EventKind::Mark => summary.tally(ev, 1),
+                EventKind::Gauge => {
+                    if let Some(value) = ev.secs {
+                        summary
+                            .gauges
+                            .entry(ev.name.clone())
+                            .or_default()
+                            .observe(value);
+                    }
                 }
             }
         }
         summary
+    }
+
+    fn tally(&mut self, ev: &Event, amount: u64) {
+        *self.counters.entry(ev.name.clone()).or_insert(0) += amount;
+        if let Some(round) = ev.round {
+            *self
+                .round_counters
+                .entry(round)
+                .or_default()
+                .entry(ev.name.clone())
+                .or_insert(0) += amount;
+        }
     }
 
     /// Phase totals across every round plus untagged spans.
@@ -90,6 +154,20 @@ impl RunSummary {
     /// Sum of a counter (0 if never emitted).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sum of a counter within one round (0 if never emitted there).
+    pub fn round_counter(&self, round: u64, name: &str) -> u64 {
+        self.round_counters
+            .get(&round)
+            .and_then(|m| m.get(name))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Statistics for a gauge (empty default if never sampled).
+    pub fn gauge(&self, name: &str) -> GaugeStats {
+        self.gauges.get(name).copied().unwrap_or_default()
     }
 }
 
@@ -135,6 +213,34 @@ mod tests {
         assert_eq!(s.counter("retry"), 5);
         assert_eq!(s.counter("timeout"), 2);
         assert_eq!(s.counter("absent"), 0);
+    }
+
+    #[test]
+    fn round_counters_and_gauges_are_folded() {
+        let mut rej1 = Event::new(0.0, EventKind::Count, "update_rejected");
+        rej1.value = Some(2);
+        rej1.round = Some(1);
+        let mut rej2 = Event::new(0.1, EventKind::Count, "update_rejected");
+        rej2.value = Some(1);
+        rej2.round = Some(3);
+        let mut clip = Event::new(0.2, EventKind::Mark, "update_clipped");
+        clip.round = Some(1);
+        let mut norm_a = Event::new(0.3, EventKind::Gauge, "update_norm");
+        norm_a.secs = Some(2.0);
+        let mut norm_b = Event::new(0.4, EventKind::Gauge, "update_norm");
+        norm_b.secs = Some(6.0);
+        let s = RunSummary::from_events(&[rej1, rej2, clip, norm_a, norm_b]);
+        assert_eq!(s.counter("update_rejected"), 3);
+        assert_eq!(s.round_counter(1, "update_rejected"), 2);
+        assert_eq!(s.round_counter(3, "update_rejected"), 1);
+        assert_eq!(s.round_counter(2, "update_rejected"), 0);
+        assert_eq!(s.round_counter(1, "update_clipped"), 1);
+        let g = s.gauge("update_norm");
+        assert_eq!(g.count, 2);
+        assert_eq!(g.min, 2.0);
+        assert_eq!(g.max, 6.0);
+        assert!((g.mean() - 4.0).abs() < 1e-12);
+        assert_eq!(s.gauge("absent").count, 0);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! pool, ReLU, and two linear layers. This module supplies the convolution
 //! forward and backward kernels. The im2col formulation turns each sample's
 //! convolution into one dense matmul, so the heavy lifting reuses the tuned
-//! row-major loops from [`crate::ops::matmul`]; samples of a batch are
+//! row-major loops from [`crate::ops::matmul()`]; samples of a batch are
 //! processed in parallel with rayon.
 
 use crate::ops::matmul::{matmul, matmul_a_bt, matmul_at_b};

@@ -9,9 +9,9 @@
 //! and total wall time into process-wide relaxed atomics. The totals are
 //! *not* emitted per call — a matmul can run thousands of times per
 //! round and per-call events would swamp any sink. Instead callers
-//! snapshot with [`kernel_stats`] or drain into a telemetry sink as
+//! snapshot with `kernel_stats` or drain into a telemetry sink as
 //! `kernel.<name>.calls` / `kernel.<name>.micros` counters with
-//! [`drain_kernel_stats`].
+//! `drain_kernel_stats` (both behind the `kernel-timers` feature).
 
 #[cfg(feature = "kernel-timers")]
 pub use self::enabled::{drain_kernel_stats, kernel_stats, reset_kernel_stats, KernelStat};

@@ -2,7 +2,9 @@
 //!
 //! * seed-era JSON (no fault counters, no phase timings) still loads;
 //! * fault-tolerance-era JSON (counters, no phase timings) still loads;
-//! * current records round-trip with every telemetry field intact.
+//! * telemetry-era JSON (phase timings, no defense counters) still loads;
+//! * current records round-trip with every telemetry and defense field
+//!   intact.
 
 use appfl::core::checkpoint::Checkpoint;
 use appfl::core::metrics::{History, RoundRecord};
@@ -19,6 +21,15 @@ const FT_ERA_ROUND: &str = r#"{
     "round": 2, "accuracy": 0.5, "test_loss": 1.0, "train_loss": 1.1,
     "upload_bytes": 2048, "compute_secs": 0.5, "comm_secs": 0.05,
     "dropped_clients": 1, "retries": 4, "timed_out": 1
+}"#;
+
+/// A round as the telemetry era serialised it: fault counters and phase
+/// timings present, defense counters absent.
+const TELEMETRY_ERA_ROUND: &str = r#"{
+    "round": 5, "accuracy": 0.88, "test_loss": 0.4, "train_loss": 0.45,
+    "upload_bytes": 8192, "compute_secs": 1.5, "comm_secs": 0.2,
+    "dropped_clients": 0, "retries": 1, "timed_out": 0,
+    "local_update_secs": 1.2, "serialize_secs": 0.1, "aggregate_secs": 0.2
 }"#;
 
 #[test]
@@ -41,6 +52,19 @@ fn ft_era_round_still_loads() {
     assert_eq!(r.retries, 4);
     assert_eq!(r.timed_out, 1);
     assert_eq!(r.local_update_secs, 0.0);
+    // Defense counters did not exist yet: they default to zero.
+    assert_eq!(r.rejected_clients, 0);
+    assert_eq!(r.clipped_clients, 0);
+}
+
+#[test]
+fn telemetry_era_round_still_loads() {
+    let r: RoundRecord = serde_json::from_str(TELEMETRY_ERA_ROUND).unwrap();
+    assert_eq!(r.round, 5);
+    assert_eq!(r.local_update_secs, 1.2);
+    assert_eq!(r.aggregate_secs, 0.2);
+    assert_eq!(r.rejected_clients, 0);
+    assert_eq!(r.clipped_clients, 0);
 }
 
 #[test]
@@ -73,6 +97,8 @@ fn telemetry_fields_round_trip() {
         local_update_secs: 2.0,
         serialize_secs: 0.25,
         aggregate_secs: 0.25,
+        rejected_clients: 2,
+        clipped_clients: 1,
     });
     let json = serde_json::to_string(&history).unwrap();
     let back: History = serde_json::from_str(&json).unwrap();
@@ -86,4 +112,8 @@ fn telemetry_fields_round_trip() {
     assert_eq!(back.total_local_update_secs(), 2.0);
     assert_eq!(back.total_serialize_secs(), 0.25);
     assert_eq!(back.total_aggregate_secs(), 0.25);
+    assert_eq!(r.rejected_clients, 2);
+    assert_eq!(r.clipped_clients, 1);
+    assert_eq!(back.total_rejected_clients(), 2);
+    assert_eq!(back.total_clipped_clients(), 1);
 }

@@ -325,4 +325,109 @@ proptest! {
         let doubled: Vec<usize> = sizes.iter().map(|&s| s * 2).collect();
         prop_assert!((gini(&doubled) - g).abs() < 1e-9);
     }
+
+    #[test]
+    fn robust_aggregators_are_permutation_invariant(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-100f32..100.0, 4),
+            3..8,
+        ),
+        rotate in 0usize..7,
+    ) {
+        use appfl::core::defense::RobustAggregator;
+        let uploads = defense_uploads(&rows);
+        let mut shuffled = uploads.clone();
+        shuffled.rotate_left(rotate % shuffled.len());
+        for agg in [
+            RobustAggregator::WeightedMean,
+            RobustAggregator::CoordMedian,
+            RobustAggregator::TrimmedMean { trim: 1 },
+            RobustAggregator::Krum { f: 1 },
+            RobustAggregator::MultiKrum { f: 1, m: 2 },
+        ] {
+            let a = agg.aggregate(&uploads).unwrap();
+            let b = agg.aggregate(&shuffled).unwrap();
+            for (x, y) in a.iter().zip(b.iter()) {
+                prop_assert!((x - y).abs() < 1e-4, "{}: {} vs {}", agg.name(), x, y);
+            }
+        }
+    }
+
+    #[test]
+    fn coordinate_median_is_bounded_by_coordinate_extremes(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-1e3f32..1e3, 5),
+            1..10,
+        ),
+    ) {
+        use appfl::core::defense::RobustAggregator;
+        let uploads = defense_uploads(&rows);
+        let median = RobustAggregator::CoordMedian.aggregate(&uploads).unwrap();
+        for d in 0..5 {
+            let lo = rows.iter().map(|r| r[d]).fold(f32::INFINITY, f32::min);
+            let hi = rows.iter().map(|r| r[d]).fold(f32::NEG_INFINITY, f32::max);
+            prop_assert!(median[d] >= lo - 1e-4 && median[d] <= hi + 1e-4);
+        }
+    }
+
+    #[test]
+    fn trimmed_mean_without_outliers_matches_the_weighted_mean(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-10f32..10.0, 3),
+            1..8,
+        ),
+    ) {
+        use appfl::core::defense::RobustAggregator;
+        // Equal sample counts and nothing trimmed: the trimmed mean IS the
+        // weighted mean — the estimators only diverge under outliers.
+        let uploads = defense_uploads(&rows);
+        let trimmed = RobustAggregator::TrimmedMean { trim: 0 }
+            .aggregate(&uploads)
+            .unwrap();
+        let mean = RobustAggregator::WeightedMean.aggregate(&uploads).unwrap();
+        for (t, m) in trimmed.iter().zip(mean.iter()) {
+            prop_assert!((t - m).abs() < 1e-3, "{} vs {}", t, m);
+        }
+    }
+
+    #[test]
+    fn krum_selects_an_honest_update_when_f_is_small(
+        n in 5usize..12,
+        honest_center in -5f32..5.0,
+        seed in any::<u64>(),
+    ) {
+        use appfl::core::defense::RobustAggregator;
+        // f < (n - 2) / 2 attackers at a far-away point; honest updates
+        // cluster tightly. Krum must return one of the honest vectors.
+        let f = ((n - 2) / 2).saturating_sub(1).max(1);
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|i| {
+                if i < f {
+                    vec![1e4; 4]
+                } else {
+                    let jitter = ((seed.wrapping_add(i as u64) % 100) as f32) * 1e-3;
+                    vec![honest_center + jitter; 4]
+                }
+            })
+            .collect();
+        let uploads = defense_uploads(&rows);
+        let winner = RobustAggregator::Krum { f }.aggregate(&uploads).unwrap();
+        let is_honest = rows[f..].iter().any(|r| r.as_slice() == winner.as_slice());
+        prop_assert!(is_honest, "Krum picked a poisoned vector: {:?}", winner);
+    }
+}
+
+/// Builds equal-weight uploads from raw parameter rows for the defense
+/// property tests.
+fn defense_uploads(rows: &[Vec<f32>]) -> Vec<appfl::core::api::ClientUpload> {
+    rows.iter()
+        .enumerate()
+        .map(|(i, r)| appfl::core::api::ClientUpload {
+            client_id: i,
+            primal: r.clone(),
+            dual: None,
+            num_samples: 10,
+            local_loss: 0.0,
+        })
+        .collect()
 }
