@@ -1,0 +1,116 @@
+//! Kernel and end-to-end hot-path benchmark.
+//!
+//! Usage: `bench_kernels [--reps N] [--quick] [--out PATH] [--validate PATH]`
+//!
+//! Times the packed matmul/conv kernels against in-process replicas of the
+//! pre-optimisation kernels at the paper's CNN shapes and writes
+//! `results/BENCH_kernels.json` (schema: see
+//! [`appfl_bench::experiments::kernels::BenchReport`]). `--quick` shrinks
+//! batch sizes for CI smoke runs. `--validate PATH` parses an existing
+//! report back through serde_json and checks the schema instead of
+//! benchmarking.
+
+use appfl_bench::experiments::kernels::{run, BenchReport, SCHEMA_VERSION};
+use std::process::Command;
+
+fn git_rev() -> String {
+    Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn validate(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let report: BenchReport =
+        serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"))?;
+    if report.schema_version != SCHEMA_VERSION {
+        return Err(format!(
+            "schema_version {} != expected {SCHEMA_VERSION}",
+            report.schema_version
+        ));
+    }
+    if report.results.is_empty() {
+        return Err("results array is empty".to_string());
+    }
+    for r in &report.results {
+        if r.name.is_empty() || r.reps == 0 {
+            return Err(format!("malformed entry: {r:?}"));
+        }
+        if !(r.median_secs.is_finite() && r.p10_secs.is_finite() && r.p90_secs.is_finite()) {
+            return Err(format!("non-finite timing in entry {}", r.name));
+        }
+    }
+    if !report.results.iter().any(|r| r.name == "conv2d_fwdbwd_cifar") {
+        return Err("missing headline entry conv2d_fwdbwd_cifar".to_string());
+    }
+    println!(
+        "{path}: valid (schema v{}, {} entries, git {})",
+        report.schema_version,
+        report.results.len(),
+        report.git_rev
+    );
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(path) = args
+        .iter()
+        .position(|a| a == "--validate")
+        .and_then(|i| args.get(i + 1))
+    {
+        if let Err(e) = validate(path) {
+            eprintln!("validation failed: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let reps = args
+        .iter()
+        .position(|a| a == "--reps")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7usize);
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "results/BENCH_kernels.json".to_string());
+
+    let mut features = Vec::new();
+    if cfg!(feature = "kernel-timers") {
+        features.push("kernel-timers".to_string());
+    }
+
+    eprintln!(
+        "bench_kernels: reps={reps} quick={quick} (paired naive replicas run in-process)"
+    );
+    let report = run(reps, quick, features, git_rev());
+    print!("{}", report.render());
+
+    if let Some(headline) = report
+        .results
+        .iter()
+        .find(|r| r.name == "conv2d_fwdbwd_cifar")
+    {
+        if let Some(s) = headline.speedup {
+            println!("\nheadline: conv2d fwd+bwd (CIFAR geometry) speedup {s:.2}x vs pre-PR kernels");
+        }
+    }
+
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output dir");
+        }
+    }
+    std::fs::write(&out, report.to_json()).expect("write report");
+    eprintln!("wrote {out}");
+}

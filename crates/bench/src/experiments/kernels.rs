@@ -1,0 +1,786 @@
+//! Kernel and end-to-end hot-path benchmark (`bench_kernels` bin).
+//!
+//! Times the three matmul products, conv2d forward/backward, an
+//! end-to-end local update, and one serial federated round at the paper's
+//! CNN shapes (MNIST `1×28×28` and CIFAR `3×32×32` geometry), emitting
+//! `results/BENCH_kernels.json` with a stable schema so later PRs can
+//! diff kernel performance against this baseline.
+//!
+//! Every kernel-level entry is measured **paired** against a faithful
+//! replica of the pre-optimisation kernels (row-at-a-time axpy matmul
+//! with the zero-skip branch, scalar-dot `A·Bᵀ`, per-call-allocating
+//! im2col convolution) run in the same process, so the reported
+//! `speedup` is immune to machine-load drift between runs. End-to-end
+//! entries have no replica (the old kernels are gone from the layers) and
+//! report absolute time only.
+
+use crate::report::{fmt_secs, render_table};
+use appfl_core::algorithms::build_federation;
+use appfl_core::config::{AlgorithmConfig, FedConfig};
+use appfl_core::runner::SerialRunner;
+use appfl_core::trainer::LocalTrainer;
+use appfl_data::federated::{build_benchmark, Benchmark};
+use appfl_data::{DataSpec, InMemoryDataset};
+use appfl_nn::models::{cnn_classifier, InputSpec};
+use appfl_privacy::PrivacyConfig;
+use appfl_tensor::ops::{conv2d, conv2d_backward, matmul, matmul_a_bt, matmul_at_b, Conv2dParams};
+use appfl_tensor::{init, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Schema version of [`BenchReport`]; bump on breaking field changes.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// One benchmark entry.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BenchResult {
+    /// Entry name, e.g. `conv2d_fwdbwd_cifar`.
+    pub name: String,
+    /// Human-readable problem shape.
+    pub shape: String,
+    /// Timed repetitions (after one untimed warmup).
+    pub reps: usize,
+    /// Median wall seconds per repetition.
+    pub median_secs: f64,
+    /// 10th-percentile (nearest-rank) seconds.
+    pub p10_secs: f64,
+    /// 90th-percentile (nearest-rank) seconds.
+    pub p90_secs: f64,
+    /// Median seconds of the paired pre-PR replica, when one exists.
+    pub naive_median_secs: Option<f64>,
+    /// `naive_median_secs / median_secs`, when a replica exists.
+    pub speedup: Option<f64>,
+}
+
+/// The full benchmark report (`results/BENCH_kernels.json`).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BenchReport {
+    /// Schema version ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// `git rev-parse --short HEAD` at measurement time (or `unknown`).
+    pub git_rev: String,
+    /// Cargo features compiled into this measurement.
+    pub features: Vec<String>,
+    /// Timed repetitions per entry.
+    pub reps: usize,
+    /// Whether the reduced `--quick` problem sizes were used.
+    pub quick: bool,
+    /// All entries.
+    pub results: Vec<BenchResult>,
+}
+
+impl BenchReport {
+    /// Serialises without serde_json (kept dependency-light so the bin can
+    /// emit JSON even where only serde derives are available); the output
+    /// parses back with serde_json — pinned by the schema round-trip test.
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        fn num(x: f64) -> String {
+            if x.is_finite() {
+                format!("{x:.9}")
+            } else {
+                "null".to_string()
+            }
+        }
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"schema_version\": {},\n", self.schema_version));
+        out.push_str(&format!("  \"git_rev\": \"{}\",\n", esc(&self.git_rev)));
+        let feats: Vec<String> = self.features.iter().map(|f| format!("\"{}\"", esc(f))).collect();
+        out.push_str(&format!("  \"features\": [{}],\n", feats.join(", ")));
+        out.push_str(&format!("  \"reps\": {},\n", self.reps));
+        out.push_str(&format!("  \"quick\": {},\n", self.quick));
+        out.push_str("  \"results\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            out.push_str("    {");
+            out.push_str(&format!("\"name\": \"{}\", ", esc(&r.name)));
+            out.push_str(&format!("\"shape\": \"{}\", ", esc(&r.shape)));
+            out.push_str(&format!("\"reps\": {}, ", r.reps));
+            out.push_str(&format!("\"median_secs\": {}, ", num(r.median_secs)));
+            out.push_str(&format!("\"p10_secs\": {}, ", num(r.p10_secs)));
+            out.push_str(&format!("\"p90_secs\": {}, ", num(r.p90_secs)));
+            out.push_str(&format!(
+                "\"naive_median_secs\": {}, ",
+                r.naive_median_secs.map_or("null".to_string(), num)
+            ));
+            out.push_str(&format!(
+                "\"speedup\": {}",
+                r.speedup.map_or("null".to_string(), num)
+            ));
+            out.push ('}');
+            out.push_str(if i + 1 < self.results.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Renders the entries as an aligned text table.
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .results
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    r.shape.clone(),
+                    fmt_secs(r.median_secs),
+                    fmt_secs(r.p10_secs),
+                    fmt_secs(r.p90_secs),
+                    r.naive_median_secs.map_or("-".into(), fmt_secs),
+                    r.speedup.map_or("-".into(), |s| format!("{s:.2}x")),
+                ]
+            })
+            .collect();
+        render_table(
+            &["bench", "shape", "median", "p10", "p90", "naive", "speedup"],
+            &rows,
+        )
+    }
+}
+
+/// Sorted-sample nearest-rank percentile (`p` in `[0, 1]`).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// Runs `f` once untimed, then `reps` timed repetitions; returns sorted
+/// per-rep seconds.
+fn time_reps(reps: usize, mut f: impl FnMut()) -> Vec<f64> {
+    f();
+    let mut times = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        times.push(t0.elapsed().as_secs_f64());
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN timings"));
+    times
+}
+
+fn entry(
+    name: &str,
+    shape: String,
+    reps: usize,
+    mut new: impl FnMut(),
+    naive: Option<Box<dyn FnMut() + '_>>,
+) -> BenchResult {
+    // When a replica exists the two sides are timed *interleaved*
+    // (new, naive, new, naive, …) so load drift over the run hits both
+    // medians equally and the speedup ratio stays honest on busy machines.
+    let (times, naive_median) = match naive {
+        None => (time_reps(reps, new), None),
+        Some(mut nf) => {
+            new();
+            nf();
+            let mut t_new = Vec::with_capacity(reps);
+            let mut t_naive = Vec::with_capacity(reps);
+            for _ in 0..reps {
+                let t0 = Instant::now();
+                new();
+                t_new.push(t0.elapsed().as_secs_f64());
+                let t0 = Instant::now();
+                nf();
+                t_naive.push(t0.elapsed().as_secs_f64());
+            }
+            t_new.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN timings"));
+            t_naive.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN timings"));
+            let nm = percentile(&t_naive, 0.5);
+            (t_new, Some(nm))
+        }
+    };
+    let median = percentile(&times, 0.5);
+    BenchResult {
+        name: name.to_string(),
+        shape,
+        reps,
+        median_secs: median,
+        p10_secs: percentile(&times, 0.1),
+        p90_secs: percentile(&times, 0.9),
+        naive_median_secs: naive_median,
+        speedup: naive_median.map(|n| n / median),
+    }
+}
+
+fn rand_t(shape: &[usize], rng: &mut StdRng) -> Tensor {
+    init::uniform(shape, -1.0, 1.0, rng)
+}
+
+/// Runs the full suite. `quick` shrinks batch sizes and the federated
+/// round so CI smoke finishes in seconds.
+pub fn run(reps: usize, quick: bool, features: Vec<String>, git_rev: String) -> BenchReport {
+    let reps = reps.max(1);
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    let mut results = Vec::new();
+
+    // ---- matmul kernels at the CIFAR conv2 im2col shape -----------------
+    // conv2 of the paper CNN at CIFAR geometry with (f1, f2) = (32, 64):
+    // W [64, 288] × cols [288, 1024].
+    let (m, k, n) = (64usize, 288usize, 1024usize);
+    let a = rand_t(&[m, k], &mut rng);
+    let b = rand_t(&[k, n], &mut rng);
+    results.push(entry(
+        "matmul_cifar_conv2",
+        format!("{m}x{k} . {k}x{n}"),
+        reps,
+        || {
+            let _ = matmul(&a, &b).unwrap();
+        },
+        Some(Box::new(|| {
+            let _ = prepr::matmul(a.as_slice(), b.as_slice(), m, k, n);
+        })),
+    ));
+    let go = rand_t(&[m, n], &mut rng); // dY of conv2: [c_out, cols_w]
+    let w_mat = rand_t(&[m, k], &mut rng); // W as [c_out, k]
+    results.push(entry(
+        "matmul_at_b_cifar_conv2",
+        format!("({m}x{k})^T-form: W^T dY -> {k}x{n}"),
+        reps,
+        || {
+            let _ = matmul_at_b(&w_mat, &go).unwrap();
+        },
+        Some(Box::new(|| {
+            let _ = prepr::matmul_at_b(w_mat.as_slice(), go.as_slice(), m, k, n);
+        })),
+    ));
+    let cols = rand_t(&[k, n], &mut rng);
+    results.push(entry(
+        "matmul_a_bt_cifar_conv2",
+        format!("{m}x{n} . ({k}x{n})^T"),
+        reps,
+        || {
+            let _ = matmul_a_bt(&go, &cols).unwrap();
+        },
+        Some(Box::new(|| {
+            let _ = prepr::matmul_a_bt(go.as_slice(), cols.as_slice(), m, n, k);
+        })),
+    ));
+
+    // ---- matmul at the MNIST fully-connected shape ----------------------
+    // Flattened pool output (f2 · 14·14 = 12544) into hidden 128, batch 32.
+    let (fm, fk, fn_) = (if quick { 8 } else { 32 }, 12544usize, 128usize);
+    let fa = rand_t(&[fm, fk], &mut rng);
+    let fb = rand_t(&[fk, fn_], &mut rng);
+    results.push(entry(
+        "matmul_mnist_fc1",
+        format!("{fm}x{fk} . {fk}x{fn_}"),
+        reps,
+        || {
+            let _ = matmul(&fa, &fb).unwrap();
+        },
+        Some(Box::new(|| {
+            let _ = prepr::matmul(fa.as_slice(), fb.as_slice(), fm, fk, fn_);
+        })),
+    ));
+
+    // ---- conv2d forward+backward at paper CNN geometry ------------------
+    let p = Conv2dParams { stride: 1, padding: 1 };
+    let batch = if quick { 2 } else { 8 };
+    for (tag, c_in, hw) in [("cifar", 3usize, 32usize), ("mnist", 1, 28)] {
+        let (f1, f2) = (32usize, 64usize);
+        let x = rand_t(&[batch, c_in, hw, hw], &mut rng);
+        let w1 = rand_t(&[f1, c_in, 3, 3], &mut rng);
+        let b1 = rand_t(&[f1], &mut rng);
+        let y1 = conv2d(&x, &w1, &b1, p).unwrap();
+        let g1 = Tensor::ones(y1.shape().clone());
+        let w2 = rand_t(&[f2, f1, 3, 3], &mut rng);
+        let b2 = rand_t(&[f2], &mut rng);
+        let y2 = conv2d(&y1, &w2, &b2, p).unwrap();
+        let g2 = Tensor::ones(y2.shape().clone());
+        let shape = format!("b{batch} {c_in}x{hw}x{hw} conv{c_in}->{f1}->{f2} 3x3 pad1");
+
+        results.push(entry(
+            &format!("conv2d_fwd_{tag}"),
+            shape.clone(),
+            reps,
+            || {
+                let _ = conv2d(&x, &w1, &b1, p).unwrap();
+                let _ = conv2d(&y1, &w2, &b2, p).unwrap();
+            },
+            Some(Box::new(|| {
+                let _ = prepr::conv2d(&x, &w1, &b1, p);
+                let _ = prepr::conv2d(&y1, &w2, &b2, p);
+            })),
+        ));
+        results.push(entry(
+            &format!("conv2d_bwd_{tag}"),
+            shape.clone(),
+            reps,
+            || {
+                let _ = conv2d_backward(&x, &w1, &g1, p).unwrap();
+                let _ = conv2d_backward(&y1, &w2, &g2, p).unwrap();
+            },
+            Some(Box::new(|| {
+                let _ = prepr::conv2d_backward(&x, &w1, &g1, p);
+                let _ = prepr::conv2d_backward(&y1, &w2, &g2, p);
+            })),
+        ));
+        // The headline acceptance entry: full forward+backward through both
+        // convolution layers of the paper CNN.
+        results.push(entry(
+            &format!("conv2d_fwdbwd_{tag}"),
+            shape,
+            reps,
+            || {
+                let _ = conv2d(&x, &w1, &b1, p).unwrap();
+                let _ = conv2d(&y1, &w2, &b2, p).unwrap();
+                let _ = conv2d_backward(&x, &w1, &g1, p).unwrap();
+                let _ = conv2d_backward(&y1, &w2, &g2, p).unwrap();
+            },
+            Some(Box::new(|| {
+                let _ = prepr::conv2d(&x, &w1, &b1, p);
+                let _ = prepr::conv2d(&y1, &w2, &b2, p);
+                let _ = prepr::conv2d_backward(&x, &w1, &g1, p);
+                let _ = prepr::conv2d_backward(&y1, &w2, &g2, p);
+            })),
+        ));
+    }
+
+    // ---- end-to-end local update (fwd + bwd through the whole CNN) ------
+    for (tag, c_in, hw) in [("cifar", 3usize, 32usize), ("mnist", 1, 28)] {
+        let batch = if quick { 8 } else { 32 };
+        let spec = InputSpec {
+            channels: c_in,
+            height: hw,
+            width: hw,
+            classes: 10,
+        };
+        let dspec = DataSpec {
+            channels: c_in,
+            height: hw,
+            width: hw,
+            classes: 10,
+        };
+        let nsamp = batch;
+        let data: Vec<f32> = (0..nsamp * c_in * hw * hw)
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
+        let labels: Vec<usize> = (0..nsamp).map(|i| i % 10).collect();
+        let ds = InMemoryDataset::new(dspec, data, labels).unwrap();
+        let model = cnn_classifier(spec, 32, 64, 128, &mut rng);
+        let mut trainer = LocalTrainer::new(Box::new(model), ds, batch);
+        let params = vec![0.01f32; trainer.dim()];
+        let full = trainer.full_batch().unwrap();
+        results.push(entry(
+            &format!("e2e_local_update_{tag}"),
+            format!("cnn(32,64,128) b{batch} {c_in}x{hw}x{hw}"),
+            reps,
+            || {
+                let _ = trainer.grad_at(&params, &full, f64::INFINITY).unwrap();
+            },
+            None,
+        ));
+    }
+
+    // ---- one serial federated round -------------------------------------
+    let (clients, train_n, test_n) = if quick { (2, 40, 20) } else { (4, 160, 60) };
+    let fed_data = build_benchmark(Benchmark::Mnist, clients, train_n, test_n, 11).unwrap();
+    let spec = InputSpec {
+        channels: 1,
+        height: 28,
+        width: 28,
+        classes: 10,
+    };
+    let config = FedConfig {
+        algorithm: AlgorithmConfig::FedAvg {
+            lr: 0.05,
+            momentum: 0.9,
+        },
+        rounds: 1,
+        local_steps: 2,
+        batch_size: 20,
+        privacy: PrivacyConfig::none(),
+        seed: 9,
+    };
+    let test = fed_data.test.clone();
+    // Paper CNN at Fig. 2's knobs (8, 16, 64) so the round covers conv,
+    // pool, and linear kernels end to end.
+    let fed = build_federation(config, &fed_data, move |rng| {
+        Box::new(cnn_classifier(spec, 8, 16, 64, rng))
+    });
+    let mut runner = SerialRunner::new(fed, test, "MNIST");
+    let mut round = 0usize;
+    results.push(entry(
+        "fed_round_serial_mnist",
+        format!("FedAvg {clients} clients x {train_n} samples, cnn(8,16,64)"),
+        reps,
+        || {
+            round += 1;
+            let _ = runner.run_round(round).unwrap();
+        },
+        None,
+    ));
+
+    BenchReport {
+        schema_version: SCHEMA_VERSION,
+        git_rev,
+        features,
+        reps,
+        quick,
+        results,
+    }
+}
+
+/// Faithful replicas of the pre-optimisation kernels, kept verbatim (same
+/// loop order, same zero-skip branch, same per-call allocations) so the
+/// paired speedups in the report measure exactly the change this PR made.
+/// These are benchmarks-only: the production kernels live in
+/// `appfl_tensor::ops`.
+mod prepr {
+    use appfl_tensor::ops::Conv2dParams;
+    use appfl_tensor::Tensor;
+    use rayon::prelude::*;
+
+    pub fn matmul(av: &[f32], bv: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        out.par_chunks_mut(n).enumerate().for_each(|(i, crow)| {
+            let arow = &av[i * k..(i + 1) * k];
+            for (p, &aip) in arow.iter().enumerate() {
+                if aip == 0.0 {
+                    continue;
+                }
+                let brow = &bv[p * n..(p + 1) * n];
+                for (c, &bpn) in crow.iter_mut().zip(brow.iter()) {
+                    *c += aip * bpn;
+                }
+            }
+        });
+        out
+    }
+
+    pub fn matmul_at_b(av: &[f32], bv: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; k * n];
+        out.par_chunks_mut(n).enumerate().for_each(|(p, crow)| {
+            for i in 0..m {
+                let aip = av[i * k + p];
+                if aip == 0.0 {
+                    continue;
+                }
+                let brow = &bv[i * n..(i + 1) * n];
+                for (c, &bin) in crow.iter_mut().zip(brow.iter()) {
+                    *c += aip * bin;
+                }
+            }
+        });
+        out
+    }
+
+    pub fn matmul_a_bt(av: &[f32], bv: &[f32], m: usize, n: usize, k: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * k];
+        out.par_chunks_mut(k).enumerate().for_each(|(i, crow)| {
+            let arow = &av[i * n..(i + 1) * n];
+            for (j, c) in crow.iter_mut().enumerate() {
+                let brow = &bv[j * n..(j + 1) * n];
+                let mut acc = 0.0f32;
+                for (&x, &y) in arow.iter().zip(brow.iter()) {
+                    acc += x * y;
+                }
+                *c = acc;
+            }
+        });
+        out
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn im2col(
+        sample: &[f32],
+        c_in: usize,
+        h: usize,
+        w: usize,
+        kh: usize,
+        kw: usize,
+        h_out: usize,
+        w_out: usize,
+        params: Conv2dParams,
+    ) -> Vec<f32> {
+        let cols_w = h_out * w_out;
+        let mut cols = vec![0.0f32; c_in * kh * kw * cols_w];
+        for c in 0..c_in {
+            let plane = &sample[c * h * w..(c + 1) * h * w];
+            for ki in 0..kh {
+                for kj in 0..kw {
+                    let row = ((c * kh + ki) * kw + kj) * cols_w;
+                    for oy in 0..h_out {
+                        let iy = (oy * params.stride + ki) as isize - params.padding as isize;
+                        if iy < 0 || iy as usize >= h {
+                            continue;
+                        }
+                        let iy = iy as usize;
+                        for ox in 0..w_out {
+                            let ix = (ox * params.stride + kj) as isize - params.padding as isize;
+                            if ix < 0 || ix as usize >= w {
+                                continue;
+                            }
+                            cols[row + oy * w_out + ox] = plane[iy * w + ix as usize];
+                        }
+                    }
+                }
+            }
+        }
+        cols
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn col2im(
+        cols: &[f32],
+        c_in: usize,
+        h: usize,
+        w: usize,
+        kh: usize,
+        kw: usize,
+        h_out: usize,
+        w_out: usize,
+        params: Conv2dParams,
+    ) -> Vec<f32> {
+        let cols_w = h_out * w_out;
+        let mut out = vec![0.0f32; c_in * h * w];
+        for c in 0..c_in {
+            let plane = &mut out[c * h * w..(c + 1) * h * w];
+            for ki in 0..kh {
+                for kj in 0..kw {
+                    let row = ((c * kh + ki) * kw + kj) * cols_w;
+                    for oy in 0..h_out {
+                        let iy = (oy * params.stride + ki) as isize - params.padding as isize;
+                        if iy < 0 || iy as usize >= h {
+                            continue;
+                        }
+                        let iy = iy as usize;
+                        for ox in 0..w_out {
+                            let ix = (ox * params.stride + kj) as isize - params.padding as isize;
+                            if ix < 0 || ix as usize >= w {
+                                continue;
+                            }
+                            plane[iy * w + ix as usize] += cols[row + oy * w_out + ox];
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn geom(input: &Tensor, weight: &Tensor, p: Conv2dParams) -> (usize, usize, usize, usize, usize, usize, usize) {
+        let [n, c_in, h, w] = [input.dims()[0], input.dims()[1], input.dims()[2], input.dims()[3]];
+        let (c_out, kh) = (weight.dims()[0], weight.dims()[2]);
+        let h_out = (h + 2 * p.padding - kh) / p.stride + 1;
+        let w_out = (w + 2 * p.padding - kh) / p.stride + 1;
+        (n, c_in, h, w, c_out, h_out, w_out)
+    }
+
+    pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, p: Conv2dParams) -> Vec<f32> {
+        let (n, c_in, h, w, c_out, h_out, w_out) = geom(input, weight, p);
+        let (kh, kw) = (weight.dims()[2], weight.dims()[3]);
+        let k = c_in * kh * kw;
+        let cols_w = h_out * w_out;
+        let in_plane = c_in * h * w;
+        let out_plane = c_out * cols_w;
+        let input_v = input.as_slice();
+        let bias_v = bias.as_slice();
+        let w_v = weight.as_slice();
+        let mut out = vec![0.0f32; n * out_plane];
+        out.par_chunks_mut(out_plane).enumerate().for_each(|(s, out_s)| {
+            let sample = &input_v[s * in_plane..(s + 1) * in_plane];
+            let cols = im2col(sample, c_in, h, w, kh, kw, h_out, w_out, p);
+            let prod = matmul(w_v, &cols, c_out, k, cols_w);
+            for (co, row) in prod.chunks(cols_w).enumerate() {
+                let b = bias_v[co];
+                for (o, &v) in out_s[co * cols_w..(co + 1) * cols_w].iter_mut().zip(row) {
+                    *o = v + b;
+                }
+            }
+        });
+        out
+    }
+
+    pub fn conv2d_backward(
+        input: &Tensor,
+        weight: &Tensor,
+        grad_output: &Tensor,
+        p: Conv2dParams,
+    ) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+        let (n, c_in, h, w, c_out, h_out, w_out) = geom(input, weight, p);
+        let (kh, kw) = (weight.dims()[2], weight.dims()[3]);
+        let k = c_in * kh * kw;
+        let cols_w = h_out * w_out;
+        let in_plane = c_in * h * w;
+        let out_plane = c_out * cols_w;
+        let (input_v, go_v) = (input.as_slice(), grad_output.as_slice());
+        let w_v = weight.as_slice();
+        let partials: Vec<(Vec<f32>, Vec<f32>, Vec<f32>)> = (0..n)
+            .into_par_iter()
+            .map(|s| {
+                let sample = &input_v[s * in_plane..(s + 1) * in_plane];
+                let go_s = go_v[s * out_plane..(s + 1) * out_plane].to_vec();
+                let cols = im2col(sample, c_in, h, w, kh, kw, h_out, w_out, p);
+                let gw = matmul_a_bt(&go_s, &cols, c_out, cols_w, k);
+                let gcols = matmul_at_b(w_v, &go_s, c_out, k, cols_w);
+                let gin = col2im(&gcols, c_in, h, w, kh, kw, h_out, w_out, p);
+                let mut gb = vec![0.0f32; c_out];
+                for (co, gbc) in gb.iter_mut().enumerate() {
+                    *gbc = go_s[co * cols_w..(co + 1) * cols_w].iter().sum();
+                }
+                (gin, gw, gb)
+            })
+            .collect();
+        let mut grad_input = vec![0.0f32; n * in_plane];
+        let mut grad_weight = vec![0.0f32; c_out * k];
+        let mut grad_bias = vec![0.0f32; c_out];
+        for (s, (gin, gw, gb)) in partials.into_iter().enumerate() {
+            grad_input[s * in_plane..(s + 1) * in_plane].copy_from_slice(&gin);
+            for (a, b) in grad_weight.iter_mut().zip(gw.iter()) {
+                *a += b;
+            }
+            for (a, b) in grad_bias.iter_mut().zip(gb.iter()) {
+                *a += b;
+            }
+        }
+        (grad_input, grad_weight, grad_bias)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The replica kernels must agree with the production kernels — this
+    /// pins that the benchmark's "naive" side really computes the same
+    /// products (to accumulation-order tolerance).
+    #[test]
+    fn prepr_replicas_match_production_kernels() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (m, k, n) = (5usize, 17usize, 9usize);
+        let a = rand_t(&[m, k], &mut rng);
+        let b = rand_t(&[k, n], &mut rng);
+        let fast = matmul(&a, &b).unwrap();
+        let slow = prepr::matmul(a.as_slice(), b.as_slice(), m, k, n);
+        for (x, y) in fast.as_slice().iter().zip(slow.iter()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+
+        let bt = rand_t(&[n, k], &mut rng);
+        let fast = matmul_a_bt(&a, &bt).unwrap();
+        let slow = prepr::matmul_a_bt(a.as_slice(), bt.as_slice(), m, k, n);
+        for (x, y) in fast.as_slice().iter().zip(slow.iter()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+
+        let p = Conv2dParams { stride: 1, padding: 1 };
+        let x = rand_t(&[2, 3, 8, 8], &mut rng);
+        let w = rand_t(&[4, 3, 3, 3], &mut rng);
+        let bias = rand_t(&[4], &mut rng);
+        let fast = conv2d(&x, &w, &bias, p).unwrap();
+        let slow = prepr::conv2d(&x, &w, &bias, p);
+        for (a, b) in fast.as_slice().iter().zip(slow.iter()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+        let go = Tensor::ones(fast.shape().clone());
+        let grads = conv2d_backward(&x, &w, &go, p).unwrap();
+        let (gin, gw, gb) = prepr::conv2d_backward(&x, &w, &go, p);
+        for (a, b) in grads.grad_input.as_slice().iter().zip(gin.iter()) {
+            assert!((a - b).abs() < 1e-3);
+        }
+        for (a, b) in grads.grad_weight.as_slice().iter().zip(gw.iter()) {
+            assert!((a - b).abs() < 1e-3);
+        }
+        for (a, b) in grads.grad_bias.as_slice().iter().zip(gb.iter()) {
+            assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+        assert_eq!(percentile(&v, 0.5), 6.0); // round(4.5) = 5 -> v[5]
+        assert_eq!(percentile(&v, 0.1), 2.0);
+        assert_eq!(percentile(&v, 0.9), 9.0);
+        assert_eq!(percentile(&[3.5], 0.5), 3.5);
+    }
+
+    #[test]
+    fn entry_computes_speedup_from_paired_medians() {
+        let r = entry(
+            "t",
+            "1x1".into(),
+            3,
+            || std::hint::black_box(()),
+            Some(Box::new(|| {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            })),
+        );
+        assert_eq!(r.reps, 3);
+        let s = r.speedup.unwrap();
+        assert!(s > 1.0, "sleeping naive side must be slower, got {s}");
+        assert!(r.p10_secs <= r.median_secs && r.median_secs <= r.p90_secs);
+    }
+
+    /// The hand-rolled emitter must produce JSON that serde_json parses
+    /// back into an identical report — this is the schema the CI smoke job
+    /// validates against.
+    #[test]
+    fn report_json_roundtrip() {
+        let report = BenchReport {
+            schema_version: SCHEMA_VERSION,
+            git_rev: "abc1234".into(),
+            features: vec!["kernel-timers".into()],
+            reps: 5,
+            quick: false,
+            results: vec![
+                BenchResult {
+                    name: "conv2d_fwdbwd_cifar".into(),
+                    shape: "b8 3x32x32".into(),
+                    reps: 5,
+                    median_secs: 0.0123,
+                    p10_secs: 0.0111,
+                    p90_secs: 0.0150,
+                    naive_median_secs: Some(0.0345),
+                    speedup: Some(2.804878048),
+                },
+                BenchResult {
+                    name: "e2e_local_update_cifar".into(),
+                    shape: "cnn b32".into(),
+                    reps: 5,
+                    median_secs: 0.5,
+                    p10_secs: 0.4,
+                    p90_secs: 0.6,
+                    naive_median_secs: None,
+                    speedup: None,
+                },
+            ],
+        };
+        let json = report.to_json();
+        let parsed: BenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed.schema_version, report.schema_version);
+        assert_eq!(parsed.git_rev, report.git_rev);
+        assert_eq!(parsed.results.len(), 2);
+        assert_eq!(parsed.results[0].name, "conv2d_fwdbwd_cifar");
+        assert!((parsed.results[0].median_secs - 0.0123).abs() < 1e-9);
+        assert_eq!(parsed.results[1].naive_median_secs, None);
+        assert_eq!(parsed.results[1].speedup, None);
+    }
+
+    #[test]
+    fn render_lists_every_entry() {
+        let report = BenchReport {
+            schema_version: SCHEMA_VERSION,
+            git_rev: "x".into(),
+            features: vec![],
+            reps: 1,
+            quick: true,
+            results: vec![BenchResult {
+                name: "matmul_cifar_conv2".into(),
+                shape: "64x288 . 288x1024".into(),
+                reps: 1,
+                median_secs: 0.002,
+                p10_secs: 0.002,
+                p90_secs: 0.002,
+                naive_median_secs: Some(0.004),
+                speedup: Some(2.0),
+            }],
+        };
+        let text = report.render();
+        assert!(text.contains("matmul_cifar_conv2"));
+        assert!(text.contains("2.00x"));
+    }
+}

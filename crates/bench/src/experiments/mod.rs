@@ -5,4 +5,5 @@ pub mod fig2;
 pub mod fig3;
 pub mod fig4;
 pub mod hetero;
+pub mod kernels;
 pub mod table1;

@@ -16,6 +16,7 @@
 //! | `ablation_rho` | adaptive ρ vs fixed ρ (future-work item 2) |
 //! | `ablation_async` | sync vs async aggregation under heterogeneity (item 1) |
 //! | `telemetry_report` | per-round phase table from a telemetry JSONL capture |
+//! | `bench_kernels` | kernel + e2e hot-path timings vs pre-PR replicas → `results/BENCH_kernels.json` |
 //!
 //! Criterion micro-benchmarks for the kernels live in `benches/`.
 

@@ -91,13 +91,80 @@ pub fn render_phase_table(events: &[Event]) -> String {
         ]);
     }
     let mut out = render_table(&headers, &rows);
-    if !summary.counters.is_empty() {
+
+    // Kernel timer section (present when the run was built with
+    // `--features kernel-timers`): per-round wall time inside each tensor
+    // kernel and its share of the round's phase-accounted time. The serial
+    // runner drains these as `kernel.<name>.calls` / `kernel.<name>.micros`
+    // counters tagged with the round.
+    let kernel_names: Vec<String> = summary
+        .counters
+        .keys()
+        .filter_map(|k| {
+            k.strip_prefix("kernel.")
+                .and_then(|r| r.strip_suffix(".micros"))
+                .map(str::to_string)
+        })
+        .collect();
+    if !kernel_names.is_empty() {
+        let mut krows = Vec::new();
+        for (round, counters) in &summary.round_counters {
+            let round_total = summary.rounds.get(round).map_or(0.0, |t| t.total());
+            for kn in &kernel_names {
+                let micros = counters
+                    .get(&format!("kernel.{kn}.micros"))
+                    .copied()
+                    .unwrap_or(0);
+                let calls = counters
+                    .get(&format!("kernel.{kn}.calls"))
+                    .copied()
+                    .unwrap_or(0);
+                if micros == 0 && calls == 0 {
+                    continue;
+                }
+                let secs = micros as f64 / 1e6;
+                krows.push(vec![
+                    round.to_string(),
+                    kn.clone(),
+                    calls.to_string(),
+                    fmt_secs(secs),
+                    if round_total > 0.0 {
+                        fmt_pct(secs / round_total)
+                    } else {
+                        "-".to_string()
+                    },
+                ]);
+            }
+        }
+        let grand = summary.totals().total();
+        for kn in &kernel_names {
+            let secs = summary.counter(&format!("kernel.{kn}.micros")) as f64 / 1e6;
+            krows.push(vec![
+                "all".to_string(),
+                kn.clone(),
+                summary.counter(&format!("kernel.{kn}.calls")).to_string(),
+                fmt_secs(secs),
+                if grand > 0.0 {
+                    fmt_pct(secs / grand)
+                } else {
+                    "-".to_string()
+                },
+            ]);
+        }
         out.push('\n');
-        let counter_rows: Vec<Vec<String>> = summary
-            .counters
-            .iter()
-            .map(|(name, value)| vec![name.clone(), value.to_string()])
-            .collect();
+        out.push_str("Kernel time (kernel-timers feature):\n");
+        out.push_str(&render_table(&["round", "kernel", "calls", "time", "share"], &krows));
+    }
+
+    // Generic counters last; kernel.* counters already have their own table.
+    let counter_rows: Vec<Vec<String>> = summary
+        .counters
+        .iter()
+        .filter(|(name, _)| !name.starts_with("kernel."))
+        .map(|(name, value)| vec![name.clone(), value.to_string()])
+        .collect();
+    if !counter_rows.is_empty() {
+        out.push('\n');
         out.push_str(&render_table(&["counter", "total"], &counter_rows));
     }
     out
@@ -124,6 +191,28 @@ mod tests {
         assert!(text.contains("upload_bytes"), "missing counter:\n{text}");
         assert!(text.contains("retry"), "missing retry counter:\n{text}");
         assert!(text.contains("200.00ms"), "missing phase time:\n{text}");
+    }
+
+    #[test]
+    fn kernel_counters_get_their_own_time_share_table() {
+        let sink = Arc::new(MemorySink::default());
+        let tl = Telemetry::new(sink.clone());
+        tl.span_secs("local_update", Phase::LocalUpdate, 0.4, Some(1), None);
+        // What drain_kernel_stats_round emits per round under kernel-timers.
+        tl.count("kernel.matmul.calls", 12, Some(1), None);
+        tl.count("kernel.matmul.micros", 100_000, Some(1), None);
+        tl.count("kernel.conv2d.calls", 4, Some(1), None);
+        tl.count("kernel.conv2d.micros", 200_000, Some(1), None);
+        tl.count("upload_bytes", 512, Some(1), None);
+        let text = render_phase_table(&sink.events());
+        assert!(text.contains("Kernel time"), "missing kernel section:\n{text}");
+        assert!(text.contains("matmul"), "missing kernel row:\n{text}");
+        // 0.2s of conv2d inside a 0.4s round = 50% share.
+        assert!(text.contains("50.0%"), "missing share:\n{text}");
+        assert!(text.contains("200.00ms"), "missing kernel time:\n{text}");
+        // kernel.* counters must not repeat in the generic counter table.
+        assert_eq!(text.matches("kernel.matmul.calls").count(), 0, "{text}");
+        assert!(text.contains("upload_bytes"), "generic counter lost:\n{text}");
     }
 
     #[test]

@@ -180,6 +180,11 @@ impl SerialRunner {
         let aggregate_secs = t1.elapsed().as_secs_f64();
         self.telemetry
             .span_secs("aggregate", Phase::Aggregate, aggregate_secs, Some(t as u64), None);
+        // With kernel timers compiled in, attribute this round's hot-kernel
+        // totals (matmul/conv calls and micros) to the round so reports can
+        // show per-round kernel time share.
+        #[cfg(feature = "kernel-timers")]
+        appfl_tensor::timers::drain_kernel_stats_round(&self.telemetry, Some(t as u64));
 
         Ok(RoundRecord {
             round: t,

@@ -1,13 +1,18 @@
 //! Activation layers.
 
 use crate::module::Module;
-use appfl_tensor::ops::{relu, relu_backward};
+use appfl_tensor::ops::{relu_backward_from_mask, relu_with_mask};
 use appfl_tensor::{Result, Tensor, TensorError};
 
 /// Elementwise rectified linear unit.
+///
+/// Instead of cloning the input for the backward pass, the layer records
+/// a one-byte positivity mask per element into a buffer it reuses across
+/// forward calls — a 4× smaller cache with zero steady-state allocation.
 #[derive(Debug, Clone, Default)]
 pub struct ReLU {
-    cached_input: Option<Tensor>,
+    mask: Vec<u8>,
+    seen_forward: bool,
 }
 
 impl ReLU {
@@ -19,16 +24,18 @@ impl ReLU {
 
 impl Module for ReLU {
     fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
-        let out = relu(input);
-        self.cached_input = Some(input.clone());
+        let out = relu_with_mask(input, &mut self.mask);
+        self.seen_forward = true;
         Ok(out)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
-        let input = self.cached_input.as_ref().ok_or_else(|| {
-            TensorError::InvalidArgument("relu backward before forward".into())
-        })?;
-        relu_backward(input, grad_output)
+        if !self.seen_forward {
+            return Err(TensorError::InvalidArgument(
+                "relu backward before forward".into(),
+            ));
+        }
+        relu_backward_from_mask(&self.mask, grad_output)
     }
 
     fn params(&self) -> Vec<&Tensor> {

@@ -1,36 +1,44 @@
 //! Max-pooling layer.
 
 use crate::module::Module;
-use appfl_tensor::ops::{maxpool2d, maxpool2d_backward, MaxPoolOut};
+use appfl_tensor::ops::{maxpool2d_backward_from_argmax, maxpool2d_with_argmax};
 use appfl_tensor::{Result, Tensor, TensorError};
 
 /// Non-overlapping `k × k` max pooling (window == stride).
+///
+/// The layer keeps one reusable argmax index buffer: each forward clears
+/// and refills it in place, so pooling allocates only the output tensor —
+/// no per-call index vector and no clone of the pooled output.
 #[derive(Debug, Clone)]
 pub struct MaxPool2d {
     k: usize,
-    cache: Option<(Vec<usize>, MaxPoolOut)>,
+    in_shape: Option<Vec<usize>>,
+    argmax: Vec<usize>,
 }
 
 impl MaxPool2d {
     /// Creates a pooling layer with window/stride `k`.
     pub fn new(k: usize) -> Self {
-        MaxPool2d { k, cache: None }
+        MaxPool2d {
+            k,
+            in_shape: None,
+            argmax: Vec::new(),
+        }
     }
 }
 
 impl Module for MaxPool2d {
     fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
-        let pooled = maxpool2d(input, self.k)?;
-        let out = pooled.output.clone();
-        self.cache = Some((input.dims().to_vec(), pooled));
+        let out = maxpool2d_with_argmax(input, self.k, &mut self.argmax)?;
+        self.in_shape = Some(input.dims().to_vec());
         Ok(out)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
-        let (in_shape, pooled) = self.cache.as_ref().ok_or_else(|| {
+        let in_shape = self.in_shape.as_ref().ok_or_else(|| {
             TensorError::InvalidArgument("maxpool backward before forward".into())
         })?;
-        maxpool2d_backward(in_shape, pooled, grad_output)
+        maxpool2d_backward_from_argmax(in_shape, &self.argmax, grad_output)
     }
 
     fn params(&self) -> Vec<&Tensor> {

@@ -22,6 +22,7 @@
 pub mod error;
 pub mod init;
 pub mod ops;
+pub mod scratch;
 pub mod shape;
 pub mod tensor;
 pub mod timers;

@@ -3,12 +3,20 @@
 //! The paper's demonstration model is a small CNN: two `Conv2d` layers, a max
 //! pool, ReLU, and two linear layers. This module supplies the convolution
 //! forward and backward kernels. The im2col formulation turns each sample's
-//! convolution into one dense matmul, so the heavy lifting reuses the tuned
-//! row-major loops from [`crate::ops::matmul()`]; samples of a batch are
+//! convolution into one dense matmul, so the heavy lifting reuses the packed,
+//! cache-blocked kernels from [`crate::ops::matmul`]; samples of a batch are
 //! processed in parallel with rayon.
+//!
+//! Hot-path allocation policy: every per-sample temporary (the im2col
+//! column matrix, the backward column gradients) lives in the thread-local
+//! [`crate::scratch`] arena, so steady-state forward/backward calls touch
+//! the allocator only for the returned output tensors. The im2col/col2im
+//! loops compute the valid output range per kernel offset analytically —
+//! no per-element padding branch — which turns the stride-1 inner loop
+//! into a straight `copy_from_slice`/vector add.
 
-use crate::ops::matmul::{matmul, matmul_a_bt, matmul_at_b};
-use crate::{Result, Tensor, TensorError};
+use crate::ops::matmul::{matmul_at_b_into, matmul_into};
+use crate::{scratch, Result, Tensor, TensorError};
 use rayon::prelude::*;
 
 /// Hyper-parameters of a 2-D convolution (square stride/padding).
@@ -29,6 +37,27 @@ impl Default for Conv2dParams {
     }
 }
 
+impl Conv2dParams {
+    /// Validates the hyper-parameters in isolation: the stride must be
+    /// nonzero and the padding small enough that `input + 2·padding`
+    /// cannot overflow. Called once up front by [`conv2d`] /
+    /// [`conv2d_backward`] before any buffer is allocated.
+    pub fn validate(&self) -> Result<()> {
+        if self.stride == 0 {
+            return Err(TensorError::InvalidArgument(
+                "conv2d: stride must be nonzero".into(),
+            ));
+        }
+        if self.padding > usize::MAX / 4 {
+            return Err(TensorError::InvalidArgument(format!(
+                "conv2d: padding {} is unreasonably large",
+                self.padding
+            )));
+        }
+        Ok(())
+    }
+}
+
 /// Gradients returned by [`conv2d_backward`].
 #[derive(Debug, Clone)]
 pub struct Conv2dGrads {
@@ -46,12 +75,18 @@ type ConvGeometry = (usize, usize, usize, usize, usize, usize, usize, usize, usi
 
 /// Output spatial extent for one axis.
 fn out_extent(input: usize, kernel: usize, stride: usize, padding: usize) -> Result<usize> {
-    let padded = input + 2 * padding;
-    if kernel == 0 || stride == 0 {
+    if kernel == 0 {
         return Err(TensorError::InvalidArgument(
-            "conv2d: kernel and stride must be nonzero".into(),
+            "conv2d: kernel must be nonzero".into(),
         ));
     }
+    let padded = input
+        .checked_add(padding.checked_mul(2).ok_or_else(|| {
+            TensorError::InvalidArgument(format!("conv2d: padding {padding} overflows"))
+        })?)
+        .ok_or_else(|| {
+            TensorError::InvalidArgument(format!("conv2d: padding {padding} overflows"))
+        })?;
     if padded < kernel {
         return Err(TensorError::InvalidArgument(format!(
             "conv2d: kernel {kernel} larger than padded input {padded}"
@@ -60,19 +95,30 @@ fn out_extent(input: usize, kernel: usize, stride: usize, padding: usize) -> Res
     Ok((padded - kernel) / stride + 1)
 }
 
+/// Validates shapes and hyper-parameters **before any allocation** and
+/// returns the full geometry. `bias` is optional because the backward
+/// pass has no bias operand to check.
 fn validate(
     input: &Tensor,
     weight: &Tensor,
-    bias: &Tensor,
+    bias: Option<&Tensor>,
     params: Conv2dParams,
 ) -> Result<ConvGeometry> {
-    if input.shape().rank() != 4 || weight.shape().rank() != 4 || bias.shape().rank() != 1 {
+    params.validate()?;
+    if input.shape().rank() != 4 || weight.shape().rank() != 4 {
         return Err(TensorError::InvalidArgument(format!(
-            "conv2d: expected input NCHW rank 4, weight rank 4, bias rank 1; got {}, {}, {}",
+            "conv2d: expected input NCHW rank 4 and weight rank 4; got {}, {}",
             input.shape(),
-            weight.shape(),
-            bias.shape()
+            weight.shape()
         )));
+    }
+    if let Some(b) = bias {
+        if b.shape().rank() != 1 {
+            return Err(TensorError::InvalidArgument(format!(
+                "conv2d: expected bias rank 1, got {}",
+                b.shape()
+            )));
+        }
     }
     let [n, c_in, h, w] = [input.dims()[0], input.dims()[1], input.dims()[2], input.dims()[3]];
     let [c_out, wc_in, kh, kw] = [
@@ -81,7 +127,7 @@ fn validate(
         weight.dims()[2],
         weight.dims()[3],
     ];
-    if wc_in != c_in || bias.dims()[0] != c_out {
+    if wc_in != c_in || bias.is_some_and(|b| b.dims()[0] != c_out) {
         return Err(TensorError::ShapeMismatch {
             lhs: format!("{}", input.shape()),
             rhs: format!("{}", weight.shape()),
@@ -93,10 +139,33 @@ fn validate(
     Ok((n, c_in, h, w, c_out, kh, kw, h_out, w_out))
 }
 
-/// Lowers one `[c_in, h, w]` sample into a `[c_in*kh*kw, h_out*w_out]` matrix.
+/// The inclusive-exclusive range of output positions whose input index
+/// `o·stride + koff - padding` lands inside `[0, extent)`.
+#[inline]
+fn valid_out_range(
+    out_len: usize,
+    extent: usize,
+    koff: usize,
+    stride: usize,
+    padding: usize,
+) -> (usize, usize) {
+    let lo = padding.saturating_sub(koff).div_ceil(stride).min(out_len);
+    // Largest o with o·stride + koff - padding <= extent - 1.
+    let hi = if extent + padding > koff {
+        (((extent - 1 + padding - koff) / stride) + 1).min(out_len)
+    } else {
+        0
+    };
+    (lo, hi.max(lo))
+}
+
+/// Lowers one `[c_in, h, w]` sample into the zeroed `[c_in·kh·kw, h_out·w_out]`
+/// column buffer `cols`. Padding positions are never touched (they stay
+/// zero); in-range spans are contiguous copies for stride 1.
 #[allow(clippy::too_many_arguments)]
-fn im2col(
+fn im2col_into(
     sample: &[f32],
+    cols: &mut [f32],
     c_in: usize,
     h: usize,
     w: usize,
@@ -105,39 +174,46 @@ fn im2col(
     h_out: usize,
     w_out: usize,
     params: Conv2dParams,
-) -> Vec<f32> {
+) {
+    let (s, pad) = (params.stride, params.padding);
     let cols_w = h_out * w_out;
-    let mut cols = vec![0.0f32; c_in * kh * kw * cols_w];
     for c in 0..c_in {
         let plane = &sample[c * h * w..(c + 1) * h * w];
         for ki in 0..kh {
+            let (oy_lo, oy_hi) = valid_out_range(h_out, h, ki, s, pad);
             for kj in 0..kw {
                 let row = ((c * kh + ki) * kw + kj) * cols_w;
-                for oy in 0..h_out {
-                    let iy = (oy * params.stride + ki) as isize - params.padding as isize;
-                    if iy < 0 || iy as usize >= h {
-                        continue;
-                    }
-                    let iy = iy as usize;
-                    for ox in 0..w_out {
-                        let ix = (ox * params.stride + kj) as isize - params.padding as isize;
-                        if ix < 0 || ix as usize >= w {
-                            continue;
+                let (ox_lo, ox_hi) = valid_out_range(w_out, w, kj, s, pad);
+                if ox_lo >= ox_hi {
+                    continue;
+                }
+                for oy in oy_lo..oy_hi {
+                    let iy = oy * s + ki - pad;
+                    let dst = &mut cols[row + oy * w_out + ox_lo..row + oy * w_out + ox_hi];
+                    let ix0 = ox_lo * s + kj - pad;
+                    if s == 1 {
+                        dst.copy_from_slice(&plane[iy * w + ix0..iy * w + ix0 + dst.len()]);
+                    } else {
+                        for (d, src) in dst
+                            .iter_mut()
+                            .zip(plane[iy * w + ix0..].iter().step_by(s))
+                        {
+                            *d = *src;
                         }
-                        cols[row + oy * w_out + ox] = plane[iy * w + ix as usize];
                     }
                 }
             }
         }
     }
-    cols
 }
 
-/// Scatters a `[c_in*kh*kw, h_out*w_out]` gradient matrix back onto a
-/// `[c_in, h, w]` input-gradient plane (the adjoint of [`im2col`]).
+/// Scatters a `[c_in·kh·kw, h_out·w_out]` gradient matrix back onto a
+/// `[c_in, h, w]` input-gradient plane (the adjoint of [`im2col_into`]),
+/// accumulating with `+=`.
 #[allow(clippy::too_many_arguments)]
-fn col2im(
+fn col2im_into(
     cols: &[f32],
+    out: &mut [f32],
     c_in: usize,
     h: usize,
     w: usize,
@@ -146,32 +222,40 @@ fn col2im(
     h_out: usize,
     w_out: usize,
     params: Conv2dParams,
-) -> Vec<f32> {
+) {
+    let (s, pad) = (params.stride, params.padding);
     let cols_w = h_out * w_out;
-    let mut out = vec![0.0f32; c_in * h * w];
     for c in 0..c_in {
         let plane = &mut out[c * h * w..(c + 1) * h * w];
         for ki in 0..kh {
+            let (oy_lo, oy_hi) = valid_out_range(h_out, h, ki, s, pad);
             for kj in 0..kw {
                 let row = ((c * kh + ki) * kw + kj) * cols_w;
-                for oy in 0..h_out {
-                    let iy = (oy * params.stride + ki) as isize - params.padding as isize;
-                    if iy < 0 || iy as usize >= h {
-                        continue;
-                    }
-                    let iy = iy as usize;
-                    for ox in 0..w_out {
-                        let ix = (ox * params.stride + kj) as isize - params.padding as isize;
-                        if ix < 0 || ix as usize >= w {
-                            continue;
+                let (ox_lo, ox_hi) = valid_out_range(w_out, w, kj, s, pad);
+                if ox_lo >= ox_hi {
+                    continue;
+                }
+                for oy in oy_lo..oy_hi {
+                    let iy = oy * s + ki - pad;
+                    let src = &cols[row + oy * w_out + ox_lo..row + oy * w_out + ox_hi];
+                    let ix0 = ox_lo * s + kj - pad;
+                    if s == 1 {
+                        let dst = &mut plane[iy * w + ix0..iy * w + ix0 + src.len()];
+                        for (d, &g) in dst.iter_mut().zip(src.iter()) {
+                            *d += g;
                         }
-                        plane[iy * w + ix as usize] += cols[row + oy * w_out + ox];
+                    } else {
+                        for (&g, d) in src
+                            .iter()
+                            .zip(plane[iy * w + ix0..].iter_mut().step_by(s))
+                        {
+                            *d += g;
+                        }
                     }
                 }
             }
         }
     }
-    out
 }
 
 /// Forward 2-D convolution.
@@ -187,35 +271,33 @@ pub fn conv2d(
     bias: &Tensor,
     params: Conv2dParams,
 ) -> Result<Tensor> {
-    let (n, c_in, h, w, c_out, kh, kw, h_out, w_out) = validate(input, weight, bias, params)?;
+    let (n, c_in, h, w, c_out, kh, kw, h_out, w_out) =
+        validate(input, weight, Some(bias), params)?;
     let k = c_in * kh * kw;
     let cols_w = h_out * w_out;
-    let w_mat = weight.reshape([c_out, k])?;
     let in_plane = c_in * h * w;
     let out_plane = c_out * cols_w;
+    // `[c_out, c_in, kh, kw]` row-major is already `[c_out, k]` row-major.
+    let w_mat = weight.as_slice();
     let input_v = input.as_slice();
     let bias_v = bias.as_slice();
 
     let mut out = vec![0.0f32; n * out_plane];
-    // Under `kernel-timers` the conv total includes the nested matmul time
-    // (the im2col product is timed under both names).
     crate::timers::time_kernel("conv2d", || {
-        out.par_chunks_mut(out_plane)
-            .enumerate()
-            .try_for_each(|(s, out_s)| -> Result<()> {
-                let sample = &input_v[s * in_plane..(s + 1) * in_plane];
-                let cols = im2col(sample, c_in, h, w, kh, kw, h_out, w_out, params);
-                let cols_t = Tensor::from_vec([k, cols_w], cols)?;
-                let prod = matmul(&w_mat, &cols_t)?;
-                for (co, row) in prod.as_slice().chunks(cols_w).enumerate() {
-                    let b = bias_v[co];
-                    for (o, &v) in out_s[co * cols_w..(co + 1) * cols_w].iter_mut().zip(row) {
-                        *o = v + b;
-                    }
+        out.par_chunks_mut(out_plane).enumerate().for_each(|(s, out_s)| {
+            let sample = &input_v[s * in_plane..(s + 1) * in_plane];
+            let mut cols = scratch::take_f32(k * cols_w);
+            im2col_into(sample, &mut cols, c_in, h, w, kh, kw, h_out, w_out, params);
+            // out_s starts zeroed, so += is a plain product.
+            matmul_into(w_mat, &cols, out_s, c_out, k, cols_w);
+            for (co, orow) in out_s.chunks_mut(cols_w).enumerate() {
+                let b = bias_v[co];
+                for o in orow.iter_mut() {
+                    *o += b;
                 }
-                Ok(())
-            })
-    })?;
+            }
+        });
+    });
     Tensor::from_vec([n, c_out, h_out, w_out], out)
 }
 
@@ -228,9 +310,7 @@ pub fn conv2d_backward(
     grad_output: &Tensor,
     params: Conv2dParams,
 ) -> Result<Conv2dGrads> {
-    let bias_stub = Tensor::zeros([weight.dims()[0]]);
-    let (n, c_in, h, w, c_out, kh, kw, h_out, w_out) =
-        validate(input, weight, &bias_stub, params)?;
+    let (n, c_in, h, w, c_out, kh, kw, h_out, w_out) = validate(input, weight, None, params)?;
     let expected = [n, c_out, h_out, w_out];
     if grad_output.dims() != expected {
         return Err(TensorError::ShapeMismatch {
@@ -241,69 +321,87 @@ pub fn conv2d_backward(
     }
     let k = c_in * kh * kw;
     let cols_w = h_out * w_out;
-    let w_mat = weight.reshape([c_out, k])?;
+    let w_mat = weight.as_slice();
     let in_plane = c_in * h * w;
     let out_plane = c_out * cols_w;
     let (input_v, go_v) = (input.as_slice(), grad_output.as_slice());
 
-    // Per-sample partials are reduced after the parallel map; weight/bias
-    // gradients are sums over the batch so the reduction is a plain add.
-    struct Partial {
-        grad_input: Vec<f32>,
-        grad_weight: Vec<f32>,
-        grad_bias: Vec<f32>,
-    }
-
-    let partials: Result<Vec<Partial>> = crate::timers::time_kernel("conv2d_backward", || {
-        (0..n)
-        .into_par_iter()
-        .map(|s| -> Result<Partial> {
-            let sample = &input_v[s * in_plane..(s + 1) * in_plane];
-            let go_s = &go_v[s * out_plane..(s + 1) * out_plane];
-            let cols = im2col(sample, c_in, h, w, kh, kw, h_out, w_out, params);
-            let cols_t = Tensor::from_vec([k, cols_w], cols)?;
-            let go_mat = Tensor::from_vec([c_out, cols_w], go_s.to_vec())?;
-
-            // dW = dY · colsᵀ  ([c_out, cols_w] x [cols_w, k] -> [c_out, k])
-            let gw = matmul_a_bt(&go_mat, &cols_t)?;
-            // dcols = Wᵀ · dY ([k, c_out] x [c_out, cols_w] -> [k, cols_w])
-            let gcols = matmul_at_b(&w_mat, &go_mat)?;
-            let gin = col2im(
-                gcols.as_slice(),
-                c_in,
-                h,
-                w,
-                kh,
-                kw,
-                h_out,
-                w_out,
-                params,
-            );
-            let mut gb = vec![0.0f32; c_out];
-            for (co, gbc) in gb.iter_mut().enumerate() {
-                *gbc = go_s[co * cols_w..(co + 1) * cols_w].iter().sum();
-            }
-            Ok(Partial {
-                grad_input: gin,
-                grad_weight: gw.into_vec(),
-                grad_bias: gb,
-            })
-        })
-        .collect()
-    });
-    let partials = partials?;
+    // Samples are processed in contiguous chunks, one task per worker:
+    // each task owns its slice of `grad_input` outright and accumulates a
+    // single weight/bias partial for its whole chunk, so the only
+    // per-call allocations are the ~`threads` partial vectors.
+    let workers = std::thread::available_parallelism().map_or(1, |t| t.get());
+    let chunk = n.div_ceil(workers).max(1);
 
     let mut grad_input = vec![0.0f32; n * in_plane];
-    let mut grad_weight = vec![0.0f32; c_out * k];
-    let mut grad_bias = vec![0.0f32; c_out];
-    for (s, p) in partials.into_iter().enumerate() {
-        grad_input[s * in_plane..(s + 1) * in_plane].copy_from_slice(&p.grad_input);
-        for (a, b) in grad_weight.iter_mut().zip(p.grad_weight.iter()) {
-            *a += b;
+    let (mut grad_weight, mut grad_bias) = crate::timers::time_kernel("conv2d_backward", || {
+        let partials: Vec<(Vec<f32>, Vec<f32>)> = grad_input
+            .par_chunks_mut(chunk * in_plane)
+            .enumerate()
+            .map(|(ci, gin_chunk)| {
+                // dW is accumulated transposed (`[k, c_out]`) so the
+                // per-sample product runs through the fast axpy-form
+                // kernel instead of a dot-form one; one transpose per
+                // chunk at the end undoes it.
+                let mut gwt = vec![0.0f32; k * c_out];
+                let mut gb = vec![0.0f32; c_out];
+                let s0 = ci * chunk;
+                for (si, gin_s) in gin_chunk.chunks_mut(in_plane).enumerate() {
+                    let s = s0 + si;
+                    let sample = &input_v[s * in_plane..(s + 1) * in_plane];
+                    let go_s = &go_v[s * out_plane..(s + 1) * out_plane];
+                    let mut cols = scratch::take_f32(k * cols_w);
+                    im2col_into(
+                        sample, &mut cols, c_in, h, w, kh, kw, h_out, w_out, params,
+                    );
+                    // dYᵀ, `[cols_w, c_out]`: outer loop over output
+                    // positions gives contiguous writes and keeps the
+                    // `c_out` strided read lines resident in L1.
+                    let mut got = scratch::take_f32(cols_w * c_out);
+                    for ox in 0..cols_w {
+                        let dst = &mut got[ox * c_out..(ox + 1) * c_out];
+                        for (co, d) in dst.iter_mut().enumerate() {
+                            *d = go_s[co * cols_w + ox];
+                        }
+                    }
+                    // dWᵀ += cols · dYᵀ  ([k, cols_w] × [cols_w, c_out])
+                    matmul_into(&cols, &got, &mut gwt, k, cols_w, c_out);
+                    // dcols = Wᵀ · dY    ([k, c_out] × [c_out, cols_w])
+                    let mut gcols = scratch::take_f32(k * cols_w);
+                    matmul_at_b_into(w_mat, go_s, &mut gcols, c_out, k, cols_w);
+                    col2im_into(
+                        &gcols, gin_s, c_in, h, w, kh, kw, h_out, w_out, params,
+                    );
+                    for (co, gbc) in gb.iter_mut().enumerate() {
+                        *gbc += go_s[co * cols_w..(co + 1) * cols_w].iter().sum::<f32>();
+                    }
+                }
+                // Un-transpose: gw[co, q] = gwt[q, co].
+                let mut gw = vec![0.0f32; c_out * k];
+                for q in 0..k {
+                    for co in 0..c_out {
+                        gw[co * k + q] = gwt[q * c_out + co];
+                    }
+                }
+                (gw, gb)
+            })
+            .collect();
+        let mut it = partials.into_iter();
+        let (mut gw, mut gb) = it.next().unwrap_or((vec![0.0; c_out * k], vec![0.0; c_out]));
+        for (pw, pb) in it {
+            for (a, b) in gw.iter_mut().zip(pw.iter()) {
+                *a += b;
+            }
+            for (a, b) in gb.iter_mut().zip(pb.iter()) {
+                *a += b;
+            }
         }
-        for (a, b) in grad_bias.iter_mut().zip(p.grad_bias.iter()) {
-            *a += b;
-        }
+        (gw, gb)
+    });
+    // Degenerate empty batch: keep shapes consistent.
+    if n == 0 {
+        grad_weight = vec![0.0; c_out * k];
+        grad_bias = vec![0.0; c_out];
     }
 
     Ok(Conv2dGrads {
@@ -393,6 +491,25 @@ mod tests {
         assert!(fast.max_abs_diff(&slow).unwrap() < 1e-4);
     }
 
+    #[test]
+    fn forward_matches_naive_across_strides_and_paddings() {
+        for (seed, &(s, pad)) in [(1usize, 0usize), (1, 2), (2, 0), (2, 2), (3, 1)]
+            .iter()
+            .enumerate()
+        {
+            let p = Conv2dParams { stride: s, padding: pad };
+            let input = rand_t(&[2, 2, 9, 8], 10 + seed as u64);
+            let weight = rand_t(&[3, 2, 3, 3], 20 + seed as u64);
+            let bias = rand_t(&[3], 30 + seed as u64);
+            let fast = conv2d(&input, &weight, &bias, p).unwrap();
+            let slow = naive_conv(&input, &weight, &bias, p);
+            assert!(
+                fast.max_abs_diff(&slow).unwrap() < 1e-4,
+                "mismatch at stride={s} padding={pad}"
+            );
+        }
+    }
+
     /// Finite-difference check of all three gradients on a tiny problem.
     #[test]
     fn backward_matches_finite_differences() {
@@ -443,6 +560,44 @@ mod tests {
         }
     }
 
+    /// Backward against finite differences with stride 2 — exercises the
+    /// strided (non-`copy_from_slice`) im2col/col2im paths.
+    #[test]
+    fn backward_matches_finite_differences_strided() {
+        let input = rand_t(&[1, 2, 7, 7], 17);
+        let weight = rand_t(&[2, 2, 3, 3], 18);
+        let bias = rand_t(&[2], 19);
+        let p = Conv2dParams {
+            stride: 2,
+            padding: 1,
+        };
+        let y = conv2d(&input, &weight, &bias, p).unwrap();
+        let go = Tensor::ones(y.shape().clone());
+        let grads = conv2d_backward(&input, &weight, &go, p).unwrap();
+        let eps = 1e-3f32;
+        let loss = |input: &Tensor, weight: &Tensor| -> f32 {
+            conv2d(input, weight, &bias, p).unwrap().sum()
+        };
+        for &idx in &[0usize, 31, 97] {
+            let mut ip = input.clone();
+            ip.as_mut_slice()[idx] += eps;
+            let mut im = input.clone();
+            im.as_mut_slice()[idx] -= eps;
+            let fd = (loss(&ip, &weight) - loss(&im, &weight)) / (2.0 * eps);
+            let an = grads.grad_input.as_slice()[idx];
+            assert!((fd - an).abs() < 2e-2, "input grad {idx}: fd={fd} an={an}");
+        }
+        for &idx in &[0usize, 11, 35] {
+            let mut wp = weight.clone();
+            wp.as_mut_slice()[idx] += eps;
+            let mut wm = weight.clone();
+            wm.as_mut_slice()[idx] -= eps;
+            let fd = (loss(&input, &wp) - loss(&input, &wm)) / (2.0 * eps);
+            let an = grads.grad_weight.as_slice()[idx];
+            assert!((fd - an).abs() < 2e-1, "weight grad {idx}: fd={fd} an={an}");
+        }
+    }
+
     #[test]
     fn shape_validation() {
         let input = Tensor::zeros([1, 2, 4, 4]);
@@ -471,6 +626,47 @@ mod tests {
             }
         )
         .is_err());
+    }
+
+    #[test]
+    fn zero_kernel_extent_is_rejected_before_any_work() {
+        let input = Tensor::zeros([1, 2, 4, 4]);
+        let bias = Tensor::zeros([3]);
+        // kh = 0 and kw = 0 must both fail cleanly.
+        assert!(conv2d(&input, &Tensor::zeros([3, 2, 0, 3]), &bias, Conv2dParams::default()).is_err());
+        assert!(conv2d(&input, &Tensor::zeros([3, 2, 3, 0]), &bias, Conv2dParams::default()).is_err());
+        assert!(conv2d_backward(
+            &input,
+            &Tensor::zeros([3, 2, 0, 3]),
+            &Tensor::zeros([1, 3, 4, 4]),
+            Conv2dParams::default()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn oversized_padding_is_rejected_not_overflowed() {
+        let input = Tensor::zeros([1, 2, 4, 4]);
+        let weight = Tensor::zeros([3, 2, 3, 3]);
+        let bias = Tensor::zeros([3]);
+        for padding in [usize::MAX, usize::MAX / 2, usize::MAX / 4 + 1] {
+            let p = Conv2dParams { stride: 1, padding };
+            assert!(p.validate().is_err() || out_extent(4, 3, 1, padding).is_err());
+            assert!(conv2d(&input, &weight, &bias, p).is_err());
+        }
+        // A merely large (but representable) padding still works.
+        let p = Conv2dParams {
+            stride: 1,
+            padding: 5,
+        };
+        assert!(conv2d(&input, &weight, &bias, p).is_ok());
+    }
+
+    #[test]
+    fn params_validate_is_checked_once_up_front() {
+        assert!(Conv2dParams { stride: 0, padding: 0 }.validate().is_err());
+        assert!(Conv2dParams { stride: 1, padding: usize::MAX }.validate().is_err());
+        assert!(Conv2dParams { stride: 3, padding: 2 }.validate().is_ok());
     }
 
     #[test]

@@ -12,6 +12,39 @@ pub fn relu_backward(input: &Tensor, grad_output: &Tensor) -> Result<Tensor> {
     input.zip(grad_output, "relu_backward", |x, g| if x > 0.0 { g } else { 0.0 })
 }
 
+/// ReLU that records the positivity mask into a caller-owned byte vector
+/// (cleared and refilled) so the backward pass needs neither a clone of the
+/// input nor a fresh allocation — one reusable byte per element instead of
+/// a cached 4-byte input copy.
+pub fn relu_with_mask(input: &Tensor, mask: &mut Vec<u8>) -> Tensor {
+    let iv = input.as_slice();
+    mask.clear();
+    mask.resize(iv.len(), 0);
+    let mut out = vec![0.0f32; iv.len()];
+    for ((o, m), &x) in out.iter_mut().zip(mask.iter_mut()).zip(iv.iter()) {
+        let pos = x > 0.0;
+        *m = pos as u8;
+        *o = if pos { x } else { 0.0 };
+    }
+    Tensor::from_vec(input.shape().clone(), out).expect("relu_with_mask: shape preserved")
+}
+
+/// Backward of ReLU from a recorded positivity mask (see [`relu_with_mask`]).
+pub fn relu_backward_from_mask(mask: &[u8], grad_output: &Tensor) -> Result<Tensor> {
+    let gv = grad_output.as_slice();
+    if gv.len() != mask.len() {
+        return Err(crate::TensorError::ShapeDataMismatch {
+            expected: mask.len(),
+            actual: gv.len(),
+        });
+    }
+    let mut out = vec![0.0f32; gv.len()];
+    for ((o, &m), &g) in out.iter_mut().zip(mask.iter()).zip(gv.iter()) {
+        *o = if m != 0 { g } else { 0.0 };
+    }
+    Tensor::from_vec(grad_output.shape().clone(), out)
+}
+
 /// Logistic sigmoid `1 / (1 + e^{-x})`, numerically stable for large |x|.
 pub fn sigmoid(input: &Tensor) -> Tensor {
     input.map(|x| {
@@ -45,6 +78,25 @@ mod tests {
         let g = Tensor::from_vec([3], vec![10.0, 10.0, 10.0]).unwrap();
         let gi = relu_backward(&x, &g).unwrap();
         assert_eq!(gi.as_slice(), &[0.0, 0.0, 10.0]);
+    }
+
+    #[test]
+    fn relu_with_mask_matches_plain_relu() {
+        let x = Tensor::from_vec([5], vec![-1.0, 0.0, 2.0, -3.5, 0.25]).unwrap();
+        let g = Tensor::from_vec([5], vec![1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        let mut mask = Vec::new();
+        let y = relu_with_mask(&x, &mut mask);
+        assert_eq!(y.as_slice(), relu(&x).as_slice());
+        assert_eq!(mask, vec![0, 0, 1, 0, 1]);
+        let gi = relu_backward_from_mask(&mask, &g).unwrap();
+        let gi_ref = relu_backward(&x, &g).unwrap();
+        assert_eq!(gi.as_slice(), gi_ref.as_slice());
+        // Mask-length mismatch is rejected.
+        assert!(relu_backward_from_mask(&mask[..3], &g).is_err());
+        // The mask vector is reused (cleared + refilled) on the next call.
+        let x2 = Tensor::from_vec([2], vec![1.0, -1.0]).unwrap();
+        relu_with_mask(&x2, &mut mask);
+        assert_eq!(mask, vec![1, 0]);
     }
 
     #[test]

@@ -9,7 +9,10 @@ pub mod reduce;
 
 pub use avgpool::{avgpool2d, avgpool2d_backward};
 pub use conv::{conv2d, conv2d_backward, Conv2dGrads, Conv2dParams};
-pub use elementwise::{relu, relu_backward, sigmoid, tanh};
+pub use elementwise::{relu, relu_backward, relu_backward_from_mask, relu_with_mask, sigmoid, tanh};
 pub use matmul::{matmul, matmul_at_b, matmul_a_bt};
-pub use pool::{maxpool2d, maxpool2d_backward, MaxPoolOut};
+pub use pool::{
+    maxpool2d, maxpool2d_backward, maxpool2d_backward_from_argmax, maxpool2d_with_argmax,
+    MaxPoolOut,
+};
 pub use reduce::{argmax_rows, log_softmax_rows, softmax_rows, sum_axis0, sum_rows};

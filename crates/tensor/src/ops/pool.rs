@@ -17,6 +17,19 @@ pub struct MaxPoolOut {
 /// Max pooling with a `k × k` window and stride `k` (the non-overlapping
 /// pooling used by the paper's CNN).
 pub fn maxpool2d(input: &Tensor, k: usize) -> Result<MaxPoolOut> {
+    let mut argmax = Vec::new();
+    let output = maxpool2d_with_argmax(input, k, &mut argmax)?;
+    Ok(MaxPoolOut { output, argmax })
+}
+
+/// Like [`maxpool2d`] but writes the window argmax indices into a
+/// caller-owned vector (cleared and refilled), so layers that pool every
+/// step can reuse one index buffer instead of allocating per call.
+pub fn maxpool2d_with_argmax(
+    input: &Tensor,
+    k: usize,
+    argmax: &mut Vec<usize>,
+) -> Result<Tensor> {
     if input.shape().rank() != 4 {
         return Err(TensorError::InvalidArgument(format!(
             "maxpool2d: expected NCHW input, got {}",
@@ -46,10 +59,11 @@ pub fn maxpool2d(input: &Tensor, k: usize) -> Result<MaxPoolOut> {
     let iv = input.as_slice();
 
     let mut out = vec![0.0f32; total_planes * out_plane];
-    let mut arg = vec![0usize; total_planes * out_plane];
+    argmax.clear();
+    argmax.resize(total_planes * out_plane, 0);
 
     out.par_chunks_mut(out_plane)
-        .zip(arg.par_chunks_mut(out_plane))
+        .zip(argmax.par_chunks_mut(out_plane))
         .enumerate()
         .for_each(|(plane, (ov, av))| {
             let base = plane * in_plane;
@@ -73,10 +87,7 @@ pub fn maxpool2d(input: &Tensor, k: usize) -> Result<MaxPoolOut> {
             }
         });
 
-    Ok(MaxPoolOut {
-        output: Tensor::from_vec([n, c, h_out, w_out], out)?,
-        argmax: arg,
-    })
+    Tensor::from_vec([n, c, h_out, w_out], out)
 }
 
 /// Routes `grad_output` back to the argmax positions of the forward pass.
@@ -85,15 +96,25 @@ pub fn maxpool2d_backward(
     pool: &MaxPoolOut,
     grad_output: &Tensor,
 ) -> Result<Tensor> {
-    if grad_output.numel() != pool.argmax.len() {
+    maxpool2d_backward_from_argmax(input_shape, &pool.argmax, grad_output)
+}
+
+/// Backward pass given just the forward argmax indices (for callers that
+/// keep the index buffer themselves via [`maxpool2d_with_argmax`]).
+pub fn maxpool2d_backward_from_argmax(
+    input_shape: &[usize],
+    argmax: &[usize],
+    grad_output: &Tensor,
+) -> Result<Tensor> {
+    if grad_output.numel() != argmax.len() {
         return Err(TensorError::ShapeDataMismatch {
-            expected: pool.argmax.len(),
+            expected: argmax.len(),
             actual: grad_output.numel(),
         });
     }
     let mut grad_in = Tensor::zeros(input_shape);
     let gv = grad_in.as_mut_slice();
-    for (&idx, &g) in pool.argmax.iter().zip(grad_output.as_slice().iter()) {
+    for (&idx, &g) in argmax.iter().zip(grad_output.as_slice().iter()) {
         gv[idx] += g;
     }
     Ok(grad_in)
@@ -162,6 +183,29 @@ mod tests {
         assert!(maxpool2d(&Tensor::zeros([2, 2]), 2).is_err());
         assert!(maxpool2d(&Tensor::zeros([1, 1, 4, 4]), 0).is_err());
         assert!(maxpool2d(&Tensor::zeros([1, 1, 2, 2]), 3).is_err());
+    }
+
+    #[test]
+    fn with_argmax_reuses_caller_buffer() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let a = crate::init::uniform([2, 3, 4, 4], -1.0, 1.0, &mut rng);
+        let b = crate::init::uniform([2, 3, 4, 4], -1.0, 1.0, &mut rng);
+        let mut idx = Vec::new();
+        let out_a = maxpool2d_with_argmax(&a, 2, &mut idx).unwrap();
+        let ref_a = maxpool2d(&a, 2).unwrap();
+        assert_eq!(out_a.as_slice(), ref_a.output.as_slice());
+        assert_eq!(idx, ref_a.argmax);
+        // Second call reuses (clears + refills) the same vector.
+        let out_b = maxpool2d_with_argmax(&b, 2, &mut idx).unwrap();
+        let ref_b = maxpool2d(&b, 2).unwrap();
+        assert_eq!(out_b.as_slice(), ref_b.output.as_slice());
+        assert_eq!(idx, ref_b.argmax);
+        // Backward from the bare indices matches backward from the struct.
+        let go = Tensor::ones(out_b.shape().clone());
+        let g1 = maxpool2d_backward_from_argmax(&[2, 3, 4, 4], &idx, &go).unwrap();
+        let g2 = maxpool2d_backward(&[2, 3, 4, 4], &ref_b, &go).unwrap();
+        assert_eq!(g1.as_slice(), g2.as_slice());
     }
 
     #[test]

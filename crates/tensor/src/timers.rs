@@ -14,7 +14,9 @@
 //! `drain_kernel_stats` (both behind the `kernel-timers` feature).
 
 #[cfg(feature = "kernel-timers")]
-pub use self::enabled::{drain_kernel_stats, kernel_stats, reset_kernel_stats, KernelStat};
+pub use self::enabled::{
+    drain_kernel_stats, drain_kernel_stats_round, kernel_stats, reset_kernel_stats, KernelStat,
+};
 
 #[cfg(feature = "kernel-timers")]
 pub(crate) use self::enabled::time_kernel;
@@ -98,15 +100,26 @@ mod enabled {
     /// Emits every kernel with at least one call as a pair of counters —
     /// `kernel.<name>.calls` and `kernel.<name>.micros` — then resets the
     /// totals so successive drains cover disjoint windows.
+    ///
+    /// Since the packed-kernel rewrite, `conv2d` / `conv2d_backward` call
+    /// the slice-level matmul kernels directly, so convolution time is
+    /// **not** double-counted under the matmul names: each counter is the
+    /// time spent in calls made through that kernel's public entry point.
     pub fn drain_kernel_stats(telemetry: &Telemetry) {
+        drain_kernel_stats_round(telemetry, None);
+    }
+
+    /// Like [`drain_kernel_stats`] but tags every counter with a federated
+    /// round, so per-round reports can attribute kernel time share.
+    pub fn drain_kernel_stats_round(telemetry: &Telemetry, round: Option<u64>) {
         for (&name, slot) in NAMES.iter().zip(SLOTS.iter()) {
             let calls = slot.calls.swap(0, Ordering::Relaxed);
             let nanos = slot.nanos.swap(0, Ordering::Relaxed);
             if calls == 0 {
                 continue;
             }
-            telemetry.count(&format!("kernel.{name}.calls"), calls, None, None);
-            telemetry.count(&format!("kernel.{name}.micros"), nanos / 1_000, None, None);
+            telemetry.count(&format!("kernel.{name}.calls"), calls, round, None);
+            telemetry.count(&format!("kernel.{name}.micros"), nanos / 1_000, round, None);
         }
     }
 

@@ -151,3 +151,83 @@ proptest! {
         prop_assert!(seen.into_iter().all(|s| s));
     }
 }
+
+/// Reference product with no blocking, packing, or skipping: the oracle the
+/// packed kernels must match on arbitrary (non-tile-multiple) shapes.
+fn naive_product(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for p in 0..k {
+            let aip = a[i * k + p];
+            for j in 0..n {
+                out[i * n + j] += aip * b[p * n + j];
+            }
+        }
+    }
+    out
+}
+
+/// Shapes that straddle the micro-kernel tile boundaries (MR = 8,
+/// KC = 128, NC = 256): dimensions are drawn around and across them so the
+/// remainder paths of the packed kernels get exercised, not just full tiles.
+fn dims_strategy() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..20, 1usize..140, 1usize..270)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn packed_matmul_matches_naive(
+        (m, k, n) in dims_strategy(),
+        seed in 0u64..1_000,
+    ) {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 2000) as f32 / 100.0 - 10.0
+        };
+        let av: Vec<f32> = (0..m * k).map(|_| next()).collect();
+        let bv: Vec<f32> = (0..k * n).map(|_| next()).collect();
+        let a = Tensor::from_vec([m, k], av.clone()).unwrap();
+        let b = Tensor::from_vec([k, n], bv.clone()).unwrap();
+        let want = naive_product(&av, &bv, m, k, n);
+
+        let got = matmul(&a, &b).unwrap();
+        for (x, y) in got.as_slice().iter().zip(want.iter()) {
+            prop_assert!((x - y).abs() < 1e-4 * (1.0 + y.abs()));
+        }
+
+        // Aᵀ·B with A stored transposed must give the same product.
+        let mut at = vec![0.0f32; m * k];
+        for i in 0..m {
+            for p in 0..k {
+                at[p * m + i] = av[i * k + p];
+            }
+        }
+        let at_t = Tensor::from_vec([k, m], at).unwrap();
+        let b_t = Tensor::from_vec([k, n], bv.clone()).unwrap();
+        // matmul_at_b(X[k,m], Y[k,n]) = Xᵀ·Y = [m,n]; X = Aᵀ so Xᵀ = A.
+        let got = matmul_at_b(&at_t, &b_t).unwrap();
+        prop_assert_eq!(got.dims(), &[m, n]);
+        for (x, y) in got.as_slice().iter().zip(want.iter()) {
+            prop_assert!((x - y).abs() < 1e-4 * (1.0 + y.abs()));
+        }
+
+        // A·Bᵀ with B stored transposed must give the same product.
+        let mut bt = vec![0.0f32; k * n];
+        for p in 0..k {
+            for j in 0..n {
+                bt[j * k + p] = bv[p * n + j];
+            }
+        }
+        let bt_t = Tensor::from_vec([n, k], bt).unwrap();
+        let got = matmul_a_bt(&a, &bt_t).unwrap();
+        prop_assert_eq!(got.dims(), &[m, n]);
+        for (x, y) in got.as_slice().iter().zip(want.iter()) {
+            prop_assert!((x - y).abs() < 1e-4 * (1.0 + y.abs()));
+        }
+    }
+}
