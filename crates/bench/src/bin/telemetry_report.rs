@@ -1,29 +1,124 @@
 //! Renders a telemetry JSONL capture (written by `JsonlSink`) as the
-//! per-round phase table plus counter totals.
+//! per-round phase table, counter totals, convergence diagnostics and
+//! client-health sections.
 //!
 //! ```text
-//! telemetry_report <run.jsonl>
+//! telemetry_report <run.jsonl> [--trace <out.json>] [--watch [--interval-ms N]]
 //! ```
+//!
+//! * `--trace <out.json>` additionally exports the capture's causal span
+//!   tree as Chrome trace-event JSON (load it in Perfetto or
+//!   `chrome://tracing`).
+//! * `--watch` tails the capture live: re-renders the report every
+//!   `--interval-ms` (default 1000) as the run appends events, stopping
+//!   with a final render once the file stops growing for 5 intervals.
 
-use appfl_bench::telemetry_report::render_phase_table;
-use appfl_core::telemetry::read_jsonl;
+use appfl_bench::telemetry_report::{render_phase_table, JsonlTail};
+use appfl_core::telemetry::{chrome_trace, read_jsonl, Event};
+
+struct Args {
+    path: String,
+    trace: Option<String>,
+    watch: bool,
+    interval_ms: u64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: telemetry_report <run.jsonl> [--trace <out.json>] [--watch [--interval-ms N]]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        path: String::new(),
+        trace: None,
+        watch: false,
+        interval_ms: 1000,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--trace" => match it.next() {
+                Some(p) => args.trace = Some(p),
+                None => usage(),
+            },
+            "--watch" => args.watch = true,
+            "--interval-ms" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(ms) => args.interval_ms = ms,
+                None => usage(),
+            },
+            "--help" | "-h" => usage(),
+            p if args.path.is_empty() && !p.starts_with('-') => args.path = p.to_string(),
+            _ => usage(),
+        }
+    }
+    if args.path.is_empty() {
+        usage();
+    }
+    args
+}
+
+fn render(path: &str, events: &[Event]) {
+    println!("telemetry report: {path} ({} events)", events.len());
+    println!();
+    print!("{}", render_phase_table(events));
+}
+
+fn export_trace(events: &[Event], out: &str) {
+    let json = chrome_trace(events);
+    match std::fs::write(out, &json) {
+        Ok(()) => eprintln!("trace: wrote {} bytes to {out}", json.len()),
+        Err(e) => {
+            eprintln!("telemetry_report: cannot write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn watch(args: &Args) {
+    let mut tail = JsonlTail::new(&args.path);
+    let mut events: Vec<Event> = Vec::new();
+    let mut idle = 0u32;
+    loop {
+        match tail.poll() {
+            Ok(batch) if batch.is_empty() => idle += 1,
+            Ok(batch) => {
+                idle = 0;
+                events.extend(batch);
+                // Clear-screen escape keeps the live view in place on
+                // ANSI terminals; plain pipes just see repeated tables.
+                print!("\x1b[2J\x1b[H");
+                render(&args.path, &events);
+            }
+            Err(_) => idle += 1, // capture not created yet — keep waiting
+        }
+        if idle >= 5 && !events.is_empty() {
+            break; // writer has gone quiet; leave the final render up
+        }
+        std::thread::sleep(std::time::Duration::from_millis(args.interval_ms));
+    }
+    if let Some(out) = &args.trace {
+        export_trace(&events, out);
+    }
+}
 
 fn main() {
-    let path = match std::env::args().nth(1) {
-        Some(p) => p,
-        None => {
-            eprintln!("usage: telemetry_report <run.jsonl>");
-            std::process::exit(2);
-        }
-    };
-    match read_jsonl(&path) {
+    let args = parse_args();
+    if args.watch {
+        watch(&args);
+        return;
+    }
+    match read_jsonl(&args.path) {
         Ok(events) => {
-            println!("telemetry report: {path} ({} events)", events.len());
-            println!();
-            print!("{}", render_phase_table(&events));
+            render(&args.path, &events);
+            if let Some(out) = &args.trace {
+                export_trace(&events, out);
+            }
         }
         Err(e) => {
-            eprintln!("telemetry_report: cannot read {path}: {e}");
+            eprintln!("telemetry_report: cannot read {}: {e}", args.path);
             std::process::exit(1);
         }
     }

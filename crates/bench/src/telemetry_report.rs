@@ -7,7 +7,10 @@
 //! [`UpdateGuard`]: appfl_core::defense::UpdateGuard
 
 use crate::report::{fmt_pct, fmt_secs, render_table};
-use appfl_core::telemetry::{Event, RunSummary};
+use appfl_core::telemetry::{Event, EventKind, RunSummary};
+use std::collections::BTreeMap;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
 
 /// Renders the per-round phase breakdown for `events`.
 ///
@@ -167,7 +170,161 @@ pub fn render_phase_table(events: &[Event]) -> String {
         out.push('\n');
         out.push_str(&render_table(&["counter", "total"], &counter_rows));
     }
+    let convergence = render_convergence_table(events);
+    if !convergence.is_empty() {
+        out.push('\n');
+        out.push_str(&convergence);
+    }
+    let health = render_client_health(events);
+    if !health.is_empty() {
+        out.push('\n');
+        out.push_str(&health);
+    }
     out
+}
+
+/// The per-round gauges [`RoundDiagnostics`] emits. ADMM columns show `-`
+/// for algorithms (FedAvg/FedSGD) that report no residuals.
+///
+/// [`RoundDiagnostics`]: appfl_core::diagnostics::RoundDiagnostics
+const CONVERGENCE_GAUGES: [&str; 5] = [
+    "primal_residual",
+    "dual_residual",
+    "rho",
+    "update_norm",
+    "cosine_alignment",
+];
+
+fn fmt_diag(value: f64) -> String {
+    if !value.is_finite() {
+        return "-".to_string();
+    }
+    let a = value.abs();
+    if a != 0.0 && (a >= 1e4 || a < 1e-3) {
+        format!("{value:.3e}")
+    } else {
+        format!("{value:.4}")
+    }
+}
+
+/// Renders the convergence diagnostics table: one row per round with the
+/// ADMM primal/dual residuals and penalty ρ (when the algorithm reports
+/// them) plus the global update norm and mean client-update cosine
+/// alignment every algorithm emits. Returns an empty string when the
+/// capture carries no diagnostics gauges at all (pre-0.5 captures).
+pub fn render_convergence_table(events: &[Event]) -> String {
+    let summary = RunSummary::from_events(events);
+    let mut rows = Vec::new();
+    for (round, gauges) in &summary.round_gauges {
+        if !CONVERGENCE_GAUGES.iter().any(|g| gauges.contains_key(*g)) {
+            continue;
+        }
+        let mut row = vec![round.to_string()];
+        for name in CONVERGENCE_GAUGES {
+            row.push(match gauges.get(name) {
+                // One diagnostics emission per round, so max == the value.
+                Some(stats) => fmt_diag(stats.max),
+                None => "-".to_string(),
+            });
+        }
+        rows.push(row);
+    }
+    if rows.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("Convergence diagnostics:\n");
+    out.push_str(&render_table(
+        &["round", "primal", "dual", "rho", "update_norm", "cos_align"],
+        &rows,
+    ));
+    out
+}
+
+/// Renders the per-client health table from `client_health` gauges (the
+/// [`UpdateGuard`] EWMA over accept/clip/reject outcomes; 1.0 = clean).
+/// The last emission per client wins — health is cumulative. Empty when
+/// the run had no defense layer attached.
+///
+/// [`UpdateGuard`]: appfl_core::defense::UpdateGuard
+pub fn render_client_health(events: &[Event]) -> String {
+    let mut latest: BTreeMap<u64, f64> = BTreeMap::new();
+    for ev in events {
+        if ev.kind == EventKind::Gauge && ev.name == "client_health" {
+            if let (Some(peer), Some(value)) = (ev.peer, ev.secs) {
+                latest.insert(peer, value);
+            }
+        }
+    }
+    if latest.is_empty() {
+        return String::new();
+    }
+    let rows: Vec<Vec<String>> = latest
+        .iter()
+        .map(|(client, health)| {
+            let flag = if *health < 0.5 {
+                "SUSPECT"
+            } else if *health < 0.9 {
+                "degraded"
+            } else {
+                "ok"
+            };
+            vec![client.to_string(), format!("{health:.3}"), flag.to_string()]
+        })
+        .collect();
+    let mut out = String::from("Client health (EWMA of guard verdicts):\n");
+    out.push_str(&render_table(&["client", "health", "status"], &rows));
+    out
+}
+
+/// Incremental JSONL reader for live-tailing a [`JsonlSink`] capture while
+/// the run is still writing it. Remembers its byte offset between polls and
+/// only consumes *complete* lines, so a partially flushed record is left
+/// for the next poll instead of being mis-parsed.
+///
+/// [`JsonlSink`]: appfl_core::telemetry::JsonlSink
+pub struct JsonlTail {
+    path: PathBuf,
+    offset: u64,
+}
+
+impl JsonlTail {
+    /// Tails `path` from the beginning; the first [`poll`](Self::poll)
+    /// returns everything written so far.
+    pub fn new(path: impl AsRef<Path>) -> Self {
+        JsonlTail {
+            path: path.as_ref().to_path_buf(),
+            offset: 0,
+        }
+    }
+
+    /// Reads any newly completed lines since the last poll. Returns an
+    /// empty vector when nothing new has been flushed; a missing file is
+    /// reported as an error (the caller decides whether to retry).
+    pub fn poll(&mut self) -> std::io::Result<Vec<Event>> {
+        let mut file = std::fs::File::open(&self.path)?;
+        let len = file.metadata()?.len();
+        if len <= self.offset {
+            // Truncated captures restart from the top (new run, same path).
+            if len < self.offset {
+                self.offset = 0;
+            } else {
+                return Ok(Vec::new());
+            }
+        }
+        file.seek(SeekFrom::Start(self.offset))?;
+        let mut buf = Vec::with_capacity((len - self.offset) as usize);
+        file.read_to_end(&mut buf)?;
+        // Only consume up to the last newline; a trailing partial line
+        // stays unread until the writer finishes it.
+        let complete = match buf.iter().rposition(|&b| b == b'\n') {
+            Some(pos) => pos + 1,
+            None => return Ok(Vec::new()),
+        };
+        let text = String::from_utf8_lossy(&buf[..complete]);
+        let events = text.lines().filter_map(Event::from_json_line).collect();
+        self.offset += complete as u64;
+        Ok(events)
+    }
 }
 
 #[cfg(test)]
@@ -232,5 +389,102 @@ mod tests {
         assert!(round1.contains('2'), "round 1 should report 2 rejections:\n{text}");
         let all = text.lines().find(|l| l.contains("all")).unwrap();
         assert!(all.contains('2') && all.contains('1'), "totals row wrong:\n{text}");
+    }
+
+    #[test]
+    fn convergence_table_renders_residuals_and_dashes() {
+        let sink = Arc::new(MemorySink::default());
+        let tl = Telemetry::new(sink.clone());
+        // Round 1: full ADMM diagnostics. Round 2: FedAvg-style (no ADMM).
+        tl.gauge("primal_residual", 0.25, Some(1), None);
+        tl.gauge("dual_residual", 0.125, Some(1), None);
+        tl.gauge("rho", 10.0, Some(1), None);
+        tl.gauge("update_norm", 0.5, Some(1), None);
+        tl.gauge("cosine_alignment", 0.875, Some(1), None);
+        tl.gauge("update_norm", 0.375, Some(2), None);
+        // An unrelated gauge must not create a convergence row.
+        tl.gauge("local_update", 0.01, Some(3), None);
+        let text = render_convergence_table(&sink.events());
+        assert!(text.contains("Convergence diagnostics"), "{text}");
+        assert!(text.contains("0.2500"), "primal missing:\n{text}");
+        assert!(text.contains("10.0000"), "rho missing:\n{text}");
+        assert!(text.contains("0.8750"), "alignment missing:\n{text}");
+        let round2 = text.lines().find(|l| l.trim_start().starts_with('2')).unwrap();
+        assert!(round2.contains('-'), "ADMM columns should be dashes:\n{text}");
+        assert!(
+            !text.lines().any(|l| l.trim_start().starts_with('3')),
+            "round 3 has no diagnostics:\n{text}"
+        );
+    }
+
+    #[test]
+    fn empty_capture_renders_no_convergence_or_health_sections() {
+        let sink = Arc::new(MemorySink::default());
+        let tl = Telemetry::new(sink.clone());
+        tl.span_secs("local_update", Phase::LocalUpdate, 0.1, Some(1), None);
+        assert!(render_convergence_table(&sink.events()).is_empty());
+        assert!(render_client_health(&sink.events()).is_empty());
+        let text = render_phase_table(&sink.events());
+        assert!(!text.contains("Convergence"), "{text}");
+        assert!(!text.contains("Client health"), "{text}");
+    }
+
+    #[test]
+    fn client_health_reports_latest_score_per_client() {
+        let sink = Arc::new(MemorySink::default());
+        let tl = Telemetry::new(sink.clone());
+        tl.gauge("client_health", 1.0, Some(1), Some(0));
+        tl.gauge("client_health", 0.8, Some(1), Some(1));
+        tl.gauge("client_health", 0.2, Some(2), Some(1));
+        tl.gauge("client_health", 1.0, Some(2), Some(0));
+        let text = render_client_health(&sink.events());
+        assert!(text.contains("Client health"), "{text}");
+        assert!(text.contains("1.000"), "{text}");
+        assert!(text.contains("0.200"), "latest score should win:\n{text}");
+        assert!(!text.contains("0.800"), "stale score leaked:\n{text}");
+        assert!(text.contains("SUSPECT"), "{text}");
+        assert!(text.contains("ok"), "{text}");
+    }
+
+    #[test]
+    fn jsonl_tail_matches_full_read_and_skips_partial_lines() {
+        use std::io::Write;
+        let dir = std::env::temp_dir().join(format!(
+            "appfl-tail-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.jsonl");
+
+        let sink = Arc::new(MemorySink::default());
+        let tl = Telemetry::new(sink.clone());
+        tl.span_secs("local_update", Phase::LocalUpdate, 0.2, Some(1), Some(0));
+        tl.count("upload_bytes", 1024, Some(1), None);
+        tl.gauge("update_norm", 0.5, Some(1), None);
+        tl.mark("retry", Some(1), Some(2), Some("recv_broadcast"));
+        let events = sink.events();
+        let lines: Vec<String> = events.iter().map(|e| e.to_json_line()).collect();
+
+        let mut tail = JsonlTail::new(&path);
+        assert!(tail.poll().is_err(), "missing file should error");
+
+        // Write the first two lines, the third only partially.
+        let mut f = std::fs::File::create(&path).unwrap();
+        write!(f, "{}\n{}\n{}", lines[0], lines[1], &lines[2][..10]).unwrap();
+        f.flush().unwrap();
+        let batch1 = tail.poll().unwrap();
+        assert_eq!(batch1.len(), 2, "partial line must not be consumed");
+
+        // Finish line three, add line four.
+        write!(f, "{}\n{}\n", &lines[2][10..], lines[3]).unwrap();
+        f.flush().unwrap();
+        let batch2 = tail.poll().unwrap();
+        assert_eq!(batch2.len(), 2);
+        assert!(tail.poll().unwrap().is_empty(), "no new data");
+
+        let incremental: Vec<_> = batch1.into_iter().chain(batch2).collect();
+        assert_eq!(incremental, events, "incremental read diverged from full");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -18,9 +18,10 @@
 //! (it is *not* re-anchored at `w^{t+1}`), which is what makes transmitting
 //! the dual necessary.
 
-use crate::api::{ClientAlgorithm, ClientUpload, ServerAlgorithm};
+use crate::api::{ClientAlgorithm, ClientUpload, ConvergenceDiagnostics, ServerAlgorithm};
 use crate::trainer::LocalTrainer;
 use appfl_privacy::{PrivacyConfig, SensitivityRule};
+use appfl_tensor::vecops::sq_dist;
 use appfl_tensor::{Result, TensorError};
 use rand::rngs::StdRng;
 
@@ -29,6 +30,8 @@ pub struct IceAdmmServer {
     global: Vec<f32>,
     num_clients: usize,
     rho: f32,
+    last_primal_residual: f64,
+    last_dual_residual: f64,
 }
 
 impl IceAdmmServer {
@@ -40,6 +43,8 @@ impl IceAdmmServer {
             global: initial,
             num_clients,
             rho,
+            last_primal_residual: 0.0,
+            last_dual_residual: 0.0,
         }
     }
 }
@@ -79,6 +84,11 @@ impl ServerAlgorithm for IceAdmmServer {
         for w in w.iter_mut() {
             *w *= inv;
         }
+        self.last_primal_residual = uploads
+            .iter()
+            .map(|u| sq_dist(&w, &u.primal).sqrt())
+            .sum();
+        self.last_dual_residual = self.rho as f64 * sq_dist(&w, &self.global).sqrt();
         self.global = w;
         Ok(())
     }
@@ -89,6 +99,14 @@ impl ServerAlgorithm for IceAdmmServer {
 
     fn dim(&self) -> usize {
         self.global.len()
+    }
+
+    fn diagnostics(&self) -> Option<ConvergenceDiagnostics> {
+        Some(ConvergenceDiagnostics {
+            primal_residual: self.last_primal_residual,
+            dual_residual: self.last_dual_residual,
+            rho: self.rho as f64,
+        })
     }
 }
 
@@ -273,6 +291,23 @@ mod tests {
         let dim = c.trainer.dim();
         c.update(&vec![0.0; dim]).unwrap();
         assert!(c.dual.iter().any(|&l| l != 0.0));
+    }
+
+    #[test]
+    fn diagnostics_report_residuals_and_rho() {
+        let mut clients: Vec<IceAdmmClient> = (0..2).map(client).collect();
+        let dim = clients[0].trainer.dim();
+        let mut server = IceAdmmServer::new(vec![0.0; dim], 2, 1.0);
+        let d0 = server.diagnostics().unwrap();
+        assert_eq!((d0.primal_residual, d0.dual_residual), (0.0, 0.0));
+        assert_eq!(d0.rho, 1.0);
+        let w = server.global_model();
+        let uploads: Vec<ClientUpload> =
+            clients.iter_mut().map(|c| c.update(&w).unwrap()).collect();
+        server.update(&uploads).unwrap();
+        let d = server.diagnostics().unwrap();
+        assert!(d.primal_residual > 0.0);
+        assert!(d.dual_residual > 0.0, "global model moved off the origin");
     }
 
     #[test]

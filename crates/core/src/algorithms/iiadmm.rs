@@ -20,7 +20,7 @@
 //! client's own dual update must use the *perturbed* `z` it actually
 //! transmitted, otherwise the mirrors diverge.
 
-use crate::api::{ClientAlgorithm, ClientUpload, ServerAlgorithm};
+use crate::api::{ClientAlgorithm, ClientUpload, ConvergenceDiagnostics, ServerAlgorithm};
 use crate::trainer::LocalTrainer;
 use appfl_privacy::{PrivacyConfig, SensitivityRule};
 use appfl_tensor::{Result, TensorError};
@@ -36,6 +36,8 @@ pub struct IiAdmmServer {
     rho: f32,
     /// Cached `w^{t+1}` recomputed on every `update`.
     global: Vec<f32>,
+    /// `ρ‖w^{t+1} − w^t‖` from the most recent update (0 before any).
+    last_dual_residual: f64,
 }
 
 impl IiAdmmServer {
@@ -50,6 +52,7 @@ impl IiAdmmServer {
             dual: vec![vec![0.0; dim]; num_clients],
             rho,
             global: Vec::new(),
+            last_dual_residual: 0.0,
         };
         s.global = s.compute_global();
         s
@@ -96,6 +99,14 @@ impl IiAdmmServer {
             .map(|z| appfl_tensor::vecops::sq_dist(&self.global, z).sqrt())
             .sum()
     }
+
+    /// Recomputes `w` after an update, tracking `ρ‖w^{t+1} − w^t‖`.
+    fn advance_global(&mut self) {
+        let next = self.compute_global();
+        self.last_dual_residual =
+            self.rho as f64 * appfl_tensor::vecops::sq_dist(&next, &self.global).sqrt();
+        self.global = next;
+    }
 }
 
 impl ServerAlgorithm for IiAdmmServer {
@@ -134,7 +145,7 @@ impl ServerAlgorithm for IiAdmmServer {
             }
             self.primal[p] = u.primal.clone();
         }
-        self.global = self.compute_global();
+        self.advance_global();
         Ok(())
     }
 
@@ -169,7 +180,7 @@ impl ServerAlgorithm for IiAdmmServer {
             }
             self.primal[p] = u.primal.clone();
         }
-        self.global = self.compute_global();
+        self.advance_global();
         Ok(())
     }
 
@@ -179,6 +190,14 @@ impl ServerAlgorithm for IiAdmmServer {
 
     fn dim(&self) -> usize {
         self.global.len()
+    }
+
+    fn diagnostics(&self) -> Option<ConvergenceDiagnostics> {
+        Some(ConvergenceDiagnostics {
+            primal_residual: self.primal_residual(),
+            dual_residual: self.last_dual_residual,
+            rho: self.rho as f64,
+        })
     }
 }
 
@@ -436,6 +455,25 @@ mod tests {
             last_residual < first_residual.unwrap(),
             "residual {first_residual:?} -> {last_residual}"
         );
+    }
+
+    #[test]
+    fn diagnostics_report_residuals_and_rho() {
+        let mut clients: Vec<IiAdmmClient> =
+            (0..3).map(|i| client(i, PrivacyConfig::none())).collect();
+        let dim = clients[0].trainer.dim();
+        let mut server = IiAdmmServer::new(vec![0.0; dim], 3, 1.0);
+        let d0 = server.diagnostics().unwrap();
+        assert_eq!(d0.dual_residual, 0.0, "no update yet");
+        assert_eq!(d0.rho, 1.0);
+        let w = server.global_model();
+        let uploads: Vec<ClientUpload> =
+            clients.iter_mut().map(|c| c.update(&w).unwrap()).collect();
+        server.update(&uploads).unwrap();
+        let d = server.diagnostics().unwrap();
+        assert!(d.primal_residual > 0.0, "clients moved off consensus");
+        assert!(d.dual_residual > 0.0, "global model moved");
+        assert!((d.primal_residual - server.primal_residual()).abs() < 1e-12);
     }
 
     #[test]

@@ -35,6 +35,25 @@ impl ClientUpload {
     }
 }
 
+/// Per-round convergence diagnostics an ADMM-family server can report.
+///
+/// `primal_residual` is `Σ_p ‖w^{t+1} − z_p^{t+1}‖` (how far clients are
+/// from consensus), `dual_residual` is `ρ‖w^{t+1} − w^t‖` (how much the
+/// consensus point itself still moves — the standard ADMM dual residual
+/// with the consensus constraint's identity coupling), and `rho` is the
+/// current penalty. Both residuals shrinking together is the textbook
+/// ADMM convergence signal; a large ratio between them is what adaptive-ρ
+/// schemes react to.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ConvergenceDiagnostics {
+    /// `Σ_p ‖w − z_p‖` after the round's aggregation.
+    pub primal_residual: f64,
+    /// `ρ‖w^{t+1} − w^t‖` for the round's global-model step.
+    pub dual_residual: f64,
+    /// Penalty parameter ρ in effect for the round.
+    pub rho: f64,
+}
+
 /// Server-side half of an FL algorithm (the `BaseServer` analogue).
 pub trait ServerAlgorithm: Send {
     /// The current global model `w^{t+1}`, computed from server state.
@@ -60,6 +79,13 @@ pub trait ServerAlgorithm: Send {
 
     /// Model dimension m.
     fn dim(&self) -> usize;
+
+    /// Convergence diagnostics for the most recent `update`, when the
+    /// algorithm tracks them (the ADMM family does; averaging algorithms
+    /// return `None` and the runners fall back to model-level norms).
+    fn diagnostics(&self) -> Option<ConvergenceDiagnostics> {
+        None
+    }
 }
 
 /// Client-side half of an FL algorithm (the `BaseClient` analogue).

@@ -20,7 +20,10 @@
 
 use crate::api::ClientUpload;
 use appfl_telemetry::Telemetry;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
+
+/// EWMA smoothing for client health: `h ← (1−α)·h + α·outcome`.
+const HEALTH_ALPHA: f64 = 0.2;
 
 /// Knobs for [`UpdateGuard`]. The defaults are deliberately permissive:
 /// a 4× median budget with clipping tames scaled attacks without touching
@@ -141,6 +144,7 @@ pub struct UpdateGuard {
     norms: VecDeque<f32>,
     rejected_total: usize,
     clipped_total: usize,
+    health: BTreeMap<usize, f64>,
 }
 
 impl UpdateGuard {
@@ -152,6 +156,7 @@ impl UpdateGuard {
             norms: VecDeque::with_capacity(config.window.max(1)),
             rejected_total: 0,
             clipped_total: 0,
+            health: BTreeMap::new(),
         }
     }
 
@@ -189,10 +194,40 @@ impl UpdateGuard {
         self.clipped_total
     }
 
+    /// This client's health score in `[0, 1]` — an EWMA over screening
+    /// outcomes (accepted = 1, clipped = 0.5, rejected = 0) starting at
+    /// 1. A persistently misbehaving client decays toward 0; a client
+    /// never seen scores a clean 1.
+    pub fn health_score(&self, client: usize) -> f64 {
+        self.health.get(&client).copied().unwrap_or(1.0)
+    }
+
+    /// Every screened client's health score, keyed by client id.
+    pub fn health_scores(&self) -> &BTreeMap<usize, f64> {
+        &self.health
+    }
+
+    fn note_health(&mut self, client: usize, verdict: &GuardVerdict) {
+        let outcome = match verdict {
+            GuardVerdict::Accepted { .. } => 1.0,
+            GuardVerdict::Clipped { .. } => 0.5,
+            GuardVerdict::Rejected(_) => 0.0,
+        };
+        let h = self.health.entry(client).or_insert(1.0);
+        *h = (1.0 - HEALTH_ALPHA) * *h + HEALTH_ALPHA * outcome;
+    }
+
     /// Screens one upload in place. Clipping rescales `upload.primal`
     /// (and the dual, if present, by the same factor); acceptance records
-    /// the norm into the baseline window.
+    /// the norm into the baseline window. Every verdict also feeds the
+    /// client's [`UpdateGuard::health_score`].
     pub fn screen(&mut self, upload: &mut ClientUpload) -> GuardVerdict {
+        let verdict = self.screen_inner(upload);
+        self.note_health(upload.client_id, &verdict);
+        verdict
+    }
+
+    fn screen_inner(&mut self, upload: &mut ClientUpload) -> GuardVerdict {
         if upload.primal.len() != self.dim {
             self.rejected_total += 1;
             return GuardVerdict::Rejected(RejectReason::DimMismatch {
@@ -279,16 +314,18 @@ fn l2_norm(v: &[f32]) -> f32 {
 
 /// Screens a round's uploads and narrates the outcome on `telemetry`:
 /// one `update_norm` gauge per finite upload (tagged with the client as
-/// peer), one `update_rejected` mark per refusal (reason in the detail)
-/// and one `update_clipped` mark per rescale. This is the helper every
-/// runner calls so the event vocabulary stays identical across entry
-/// points.
+/// peer), one `update_rejected` mark per refusal (reason in the detail),
+/// one `update_clipped` mark per rescale, and one `client_health` gauge
+/// per screened client (the guard's EWMA health score after this round's
+/// verdicts). This is the helper every runner calls so the event
+/// vocabulary stays identical across entry points.
 pub fn screen_and_report(
     guard: &mut UpdateGuard,
     uploads: Vec<ClientUpload>,
     round: Option<u64>,
     telemetry: &Telemetry,
 ) -> ScreenedRound {
+    let clients: Vec<usize> = uploads.iter().map(|u| u.client_id).collect();
     let screened = guard.screen_round(uploads);
     for &(client, norm) in &screened.norms {
         telemetry.gauge("update_norm", f64::from(norm), round, Some(client as u64));
@@ -303,6 +340,14 @@ pub fn screen_and_report(
     }
     for &client in &screened.clipped {
         telemetry.mark("update_clipped", round, Some(client as u64), None);
+    }
+    for client in clients {
+        telemetry.gauge(
+            "client_health",
+            guard.health_score(client),
+            round,
+            Some(client as u64),
+        );
     }
     screened
 }
@@ -440,6 +485,30 @@ mod tests {
         assert_eq!(s.rejected[0].0, 1);
         assert_eq!(s.clipped, vec![2]);
         assert_eq!(s.norms.len(), 2, "norm gauges for all finite uploads");
+    }
+
+    #[test]
+    fn health_scores_track_screening_outcomes() {
+        let mut g = UpdateGuard::new(2, UpdateGuardConfig::default());
+        assert_eq!(g.health_score(7), 1.0, "unseen clients are presumed healthy");
+        // Client 0 behaves; client 1 sends NaN every round.
+        for _ in 0..10 {
+            g.screen(&mut upload(0, vec![1.0, 0.0]));
+            g.screen(&mut upload(1, vec![f32::NAN, 0.0]));
+        }
+        assert_eq!(g.health_score(0), 1.0);
+        let bad = g.health_score(1);
+        assert!(bad < 0.2, "ten straight rejections decay health: {bad}");
+        assert!(bad > 0.0, "EWMA never quite reaches zero");
+        assert_eq!(g.health_scores().len(), 2);
+        // A clip hurts less than a reject.
+        let mut h = UpdateGuard::new(2, UpdateGuardConfig::default());
+        for _ in 0..4 {
+            h.screen(&mut upload(2, vec![1.0, 0.0]));
+        }
+        h.screen(&mut upload(3, vec![500.0, 0.0]));
+        let clipped = h.health_score(3);
+        assert!((clipped - 0.9).abs() < 1e-9, "one clip: 0.8·1 + 0.2·0.5 = 0.9");
     }
 
     #[test]

@@ -1,0 +1,208 @@
+//! Model-level convergence diagnostics shared by every runner.
+//!
+//! The ADMM servers report their own primal/dual residuals through
+//! [`crate::api::ServerAlgorithm::diagnostics`]; the quantities here are
+//! algorithm-agnostic and computed from what every round already has in
+//! hand — the broadcast model `w^t`, the aggregated model `w^{t+1}` and
+//! the client uploads:
+//!
+//! * **update norm** `‖w^{t+1} − w^t‖` — how far the global model moved.
+//!   A run that has converged shows this decaying toward zero.
+//! * **cosine alignment** — mean cosine similarity between each client's
+//!   update direction `z_p − w^t` and the cohort's mean direction. Near 1
+//!   means clients agree on where the model should go; near 0 means their
+//!   gradients are pulling in unrelated directions (heterogeneous shards,
+//!   or a poisoned cohort — the defense layer's reject counters and this
+//!   gauge tend to move together).
+//!
+//! [`RoundDiagnostics::collect`] folds both plus the server's ADMM
+//! residuals into one struct; [`RoundDiagnostics::emit`] publishes them
+//! as round-tagged telemetry gauges, and [`RoundDiagnostics::stamp`]
+//! copies them onto a [`crate::metrics::RoundRecord`].
+
+use crate::api::{ClientUpload, ConvergenceDiagnostics, ServerAlgorithm};
+use crate::metrics::RoundRecord;
+use appfl_telemetry::Telemetry;
+use appfl_tensor::vecops::{dot, l2_norm, sq_dist};
+
+/// One round's convergence diagnostics, ready to emit and record.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RoundDiagnostics {
+    /// ADMM residuals + ρ, if the algorithm reports them.
+    pub admm: Option<ConvergenceDiagnostics>,
+    /// `‖w^{t+1} − w^t‖`.
+    pub update_norm: f64,
+    /// Mean client-update cosine alignment (0 when fewer than two
+    /// clients reported or every delta is zero).
+    pub cosine_alignment: f64,
+}
+
+impl RoundDiagnostics {
+    /// Computes diagnostics for a round from the broadcast model
+    /// (`before`), the uploads that reached the aggregator, and the
+    /// server that just aggregated them.
+    pub fn collect(server: &dyn ServerAlgorithm, before: &[f32], uploads: &[ClientUpload]) -> Self {
+        let after = server.global_model();
+        RoundDiagnostics {
+            admm: server.diagnostics(),
+            update_norm: sq_dist(&after, before).sqrt(),
+            cosine_alignment: cosine_alignment(before, uploads),
+        }
+    }
+
+    /// Publishes the diagnostics as round-tagged gauges on `telemetry`.
+    pub fn emit(&self, telemetry: &Telemetry, round: u64) {
+        telemetry.gauge("update_norm", self.update_norm, Some(round), None);
+        telemetry.gauge("cosine_alignment", self.cosine_alignment, Some(round), None);
+        if let Some(d) = self.admm {
+            telemetry.gauge("primal_residual", d.primal_residual, Some(round), None);
+            telemetry.gauge("dual_residual", d.dual_residual, Some(round), None);
+            telemetry.gauge("rho", d.rho, Some(round), None);
+        }
+    }
+
+    /// Copies the diagnostics onto a round record.
+    pub fn stamp(&self, record: &mut RoundRecord) {
+        record.update_norm = self.update_norm;
+        record.cosine_alignment = self.cosine_alignment;
+        if let Some(d) = self.admm {
+            record.primal_residual = d.primal_residual;
+            record.dual_residual = d.dual_residual;
+            record.rho = d.rho;
+        }
+    }
+}
+
+/// Mean cosine similarity between each client's update direction
+/// `z_p − w` and the cohort's mean direction.
+///
+/// Returns 0 when fewer than two uploads arrived (alignment of a single
+/// client with itself is vacuous), when an upload's length mismatches
+/// `before` (defensive — the guard rejects those earlier), or when the
+/// mean delta is numerically zero.
+pub fn cosine_alignment(before: &[f32], uploads: &[ClientUpload]) -> f64 {
+    if uploads.len() < 2 {
+        return 0.0;
+    }
+    let dim = before.len();
+    if uploads.iter().any(|u| u.primal.len() != dim) {
+        return 0.0;
+    }
+    let mut mean = vec![0.0f32; dim];
+    let deltas: Vec<Vec<f32>> = uploads
+        .iter()
+        .map(|u| {
+            let d: Vec<f32> = u
+                .primal
+                .iter()
+                .zip(before.iter())
+                .map(|(&z, &w)| z - w)
+                .collect();
+            for (m, &v) in mean.iter_mut().zip(d.iter()) {
+                *m += v;
+            }
+            d
+        })
+        .collect();
+    let inv = 1.0 / deltas.len() as f32;
+    for m in mean.iter_mut() {
+        *m *= inv;
+    }
+    let mean_norm = l2_norm(&mean);
+    if mean_norm <= f64::EPSILON {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    let mut counted = 0usize;
+    for d in &deltas {
+        let n = l2_norm(d);
+        if n <= f64::EPSILON {
+            continue;
+        }
+        sum += dot(d, &mean) / (n * mean_norm);
+        counted += 1;
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        sum / counted as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn upload(id: usize, primal: Vec<f32>) -> ClientUpload {
+        ClientUpload {
+            client_id: id,
+            primal,
+            dual: None,
+            num_samples: 1,
+            local_loss: 0.0,
+        }
+    }
+
+    #[test]
+    fn aligned_clients_score_one() {
+        let before = vec![0.0; 3];
+        let ups = vec![
+            upload(0, vec![1.0, 0.0, 0.0]),
+            upload(1, vec![2.0, 0.0, 0.0]),
+        ];
+        let c = cosine_alignment(&before, &ups);
+        assert!((c - 1.0).abs() < 1e-6, "parallel deltas: {c}");
+    }
+
+    #[test]
+    fn opposed_clients_cancel_out() {
+        let before = vec![0.0; 2];
+        // Mean delta is (0.5, 0) — one client along it, one mostly against.
+        let ups = vec![upload(0, vec![2.0, 0.0]), upload(1, vec![-1.0, 0.0])];
+        let c = cosine_alignment(&before, &ups);
+        assert!((c - 0.0).abs() < 1e-6, "opposite deltas average to 0: {c}");
+    }
+
+    #[test]
+    fn degenerate_cohorts_score_zero() {
+        let before = vec![0.0; 2];
+        assert_eq!(cosine_alignment(&before, &[]), 0.0);
+        assert_eq!(
+            cosine_alignment(&before, &[upload(0, vec![1.0, 1.0])]),
+            0.0,
+            "single client is vacuous"
+        );
+        let stationary = vec![upload(0, vec![0.0, 0.0]), upload(1, vec![0.0, 0.0])];
+        assert_eq!(cosine_alignment(&before, &stationary), 0.0);
+        let ragged = vec![upload(0, vec![1.0]), upload(1, vec![1.0, 1.0])];
+        assert_eq!(cosine_alignment(&before, &ragged), 0.0);
+    }
+
+    #[test]
+    fn stamp_fills_the_record() {
+        let diag = RoundDiagnostics {
+            admm: Some(ConvergenceDiagnostics {
+                primal_residual: 3.0,
+                dual_residual: 0.5,
+                rho: 2.0,
+            }),
+            update_norm: 0.25,
+            cosine_alignment: 0.9,
+        };
+        let mut rec = RoundRecord::default();
+        diag.stamp(&mut rec);
+        assert_eq!(rec.primal_residual, 3.0);
+        assert_eq!(rec.dual_residual, 0.5);
+        assert_eq!(rec.rho, 2.0);
+        assert_eq!(rec.update_norm, 0.25);
+        assert_eq!(rec.cosine_alignment, 0.9);
+        let mut plain = RoundRecord::default();
+        RoundDiagnostics {
+            admm: None,
+            update_norm: 0.1,
+            cosine_alignment: 0.2,
+        }
+        .stamp(&mut plain);
+        assert_eq!(plain.rho, 0.0, "non-ADMM leaves residual fields zero");
+    }
+}

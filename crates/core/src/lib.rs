@@ -26,6 +26,7 @@ pub mod api;
 pub mod checkpoint;
 pub mod config;
 pub mod defense;
+pub mod diagnostics;
 pub mod error;
 pub mod gossip;
 pub mod metrics;
@@ -36,7 +37,8 @@ pub mod trainer;
 pub(crate) mod test_support;
 pub mod validation;
 
-pub use api::{ClientAlgorithm, ClientUpload, ServerAlgorithm};
+pub use api::{ClientAlgorithm, ClientUpload, ConvergenceDiagnostics, ServerAlgorithm};
+pub use diagnostics::RoundDiagnostics;
 pub use config::{AlgorithmConfig, FaultToleranceConfig, FedConfig};
 pub use defense::{
     Attack, PoisonedClient, RobustAggregator, RobustServer, UpdateGuard, UpdateGuardConfig,

@@ -53,6 +53,27 @@ pub struct RoundRecord {
     /// (they still reach the aggregator, rescaled).
     #[serde(default)]
     pub clipped_clients: usize,
+    /// ADMM primal residual `Σ_p ‖w − z_p‖` after aggregation. Zero for
+    /// non-ADMM algorithms and pre-diagnostics histories, hence the serde
+    /// default.
+    #[serde(default)]
+    pub primal_residual: f64,
+    /// ADMM dual residual `ρ‖w^{t+1} − w^t‖`. Zero for non-ADMM
+    /// algorithms and pre-diagnostics histories.
+    #[serde(default)]
+    pub dual_residual: f64,
+    /// ADMM penalty ρ in effect for the round (0 for non-ADMM).
+    #[serde(default)]
+    pub rho: f64,
+    /// `‖w^{t+1} − w^t‖` — how far the global model moved this round.
+    /// Emitted for every algorithm.
+    #[serde(default)]
+    pub update_norm: f64,
+    /// Mean cosine similarity between each client's update direction and
+    /// the mean update direction (1 = perfectly aligned cohort, near 0 =
+    /// clients pulling in unrelated directions).
+    #[serde(default)]
+    pub cosine_alignment: f64,
 }
 
 impl RoundRecord {
@@ -228,6 +249,25 @@ mod tests {
         assert_eq!(r.aggregate_secs, 0.0);
         assert_eq!(r.rejected_clients, 0);
         assert_eq!(r.clipped_clients, 0);
+        assert_eq!(r.primal_residual, 0.0);
+        assert_eq!(r.dual_residual, 0.0);
+        assert_eq!(r.rho, 0.0);
+        assert_eq!(r.update_norm, 0.0);
+        assert_eq!(r.cosine_alignment, 0.0);
+    }
+
+    #[test]
+    fn diagnostics_fields_roundtrip() {
+        let r = RoundRecord {
+            primal_residual: 1.5,
+            dual_residual: 0.25,
+            rho: 2.0,
+            update_norm: 0.125,
+            cosine_alignment: 0.875,
+            ..rec(1, 0.9, 10)
+        };
+        let back: RoundRecord = serde_json::from_str(&serde_json::to_string(&r).unwrap()).unwrap();
+        assert_eq!(back, r);
     }
 
     #[test]

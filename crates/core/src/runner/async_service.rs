@@ -91,6 +91,11 @@ impl FlService for AsyncRpcService {
             local_loss: results.penalty as f32,
         };
         // `round` carries the model version the client trained against.
+        let before = if self.telemetry.enabled() {
+            Some(self.server.global_model().to_vec())
+        } else {
+            None
+        };
         let t0 = Instant::now();
         match self.server.apply(&upload, u64::from(results.round)) {
             Ok(_) => {
@@ -101,6 +106,19 @@ impl FlService for AsyncRpcService {
                     Some(u64::from(results.round)),
                     None,
                 );
+                if let Some(before) = before {
+                    // How far this (staleness-weighted) upload actually
+                    // moved the model — the async analogue of the
+                    // synchronous runners' per-round update_norm.
+                    let moved =
+                        appfl_tensor::vecops::sq_dist(self.server.global_model(), &before).sqrt();
+                    self.telemetry.gauge(
+                        "update_norm",
+                        moved,
+                        Some(u64::from(results.round)),
+                        Some(u64::from(results.client_id)),
+                    );
+                }
                 true
             }
             Err(_) => {
@@ -213,18 +231,18 @@ pub fn run_async_client_ft<C: Communicator>(
         if weights.finished {
             break;
         }
-        let t0 = Instant::now();
+        let span = telemetry
+            .span("local_update", Phase::LocalUpdate)
+            .round(u64::from(weights.round))
+            .peer(u64::from(id));
         let upload = match client.update(&weights.tensors[0].data) {
             Ok(u) => u,
-            Err(_) => break, // local failure: leave the federation
+            Err(_) => {
+                span.fail();
+                break; // local failure: leave the federation
+            }
         };
-        telemetry.span_secs(
-            "local_update",
-            Phase::LocalUpdate,
-            t0.elapsed().as_secs_f64(),
-            Some(u64::from(weights.round)),
-            Some(u64::from(id)),
-        );
+        span.finish();
         let results = LearningResults {
             client_id: id,
             round: weights.round, // the version we trained against

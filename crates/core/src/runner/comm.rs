@@ -9,7 +9,7 @@
 //!
 //! Each round's wall time is split into the four phases of the paper's
 //! Table IV: `local_update` (the slowest participating client's training
-//! time, reported through a shared [`MaxGauge`]), `serialize` (server-side
+//! time, reported through a shared [`Gauge`]), `serialize` (server-side
 //! encode/decode of model payloads), `comm` (transport time proper: the
 //! broadcast plus the part of the gather wait not explained by client
 //! compute) and `aggregate` (server update plus evaluation). The legacy
@@ -21,6 +21,7 @@
 use crate::api::{ClientAlgorithm, ClientUpload, ServerAlgorithm};
 use crate::config::FaultToleranceConfig;
 use crate::defense::{screen_and_report, UpdateGuard};
+use crate::diagnostics::RoundDiagnostics;
 use crate::error::Error;
 use crate::metrics::{History, RoundRecord};
 use crate::runner::federation::FederationBuilder;
@@ -32,7 +33,7 @@ use appfl_comm::wire::{LearningResults, TensorMsg};
 use appfl_data::InMemoryDataset;
 use appfl_nn::module::Module;
 use appfl_tensor::TensorError;
-use appfl_telemetry::{MaxGauge, Phase, Telemetry};
+use appfl_telemetry::{Gauge, Phase, Telemetry};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
@@ -111,19 +112,27 @@ fn decode_upload(buf: &[u8], num_samples: usize) -> Result<(usize, ClientUpload)
 /// Protocol per round: receive the global broadcast from rank 0, run the
 /// local update, send the protobuf-encoded results back to rank 0. The
 /// local-update duration is reported into `local_gauge` so the server can
-/// attribute the round's critical path to client compute.
+/// attribute the round's critical path to client compute, and each round
+/// emits one structural `client` trace span (parented under the round's
+/// root in the causal span tree — it carries no phase, so phase totals
+/// stay the server's business).
 pub fn run_client<C: Communicator>(
     mut client: Box<dyn ClientAlgorithm>,
     comm: &C,
     rounds: usize,
-    local_gauge: &MaxGauge,
+    local_gauge: &Gauge,
+    telemetry: &Telemetry,
 ) -> Result<(), Error> {
+    let peer = client.id() as u64;
     for round in 1..=rounds {
         let buf = comm.recv(0)?;
         let w = decode_global(&buf)?;
         let t0 = Instant::now();
         let upload = client.update(&w)?;
-        local_gauge.record_secs(t0.elapsed().as_secs_f64());
+        let secs = t0.elapsed().as_secs_f64();
+        local_gauge.record(secs);
+        telemetry.client_span_secs(round as u64, peer, secs);
+        telemetry.trace_span_secs("local_update", secs, round as u64, peer);
         comm.send(0, encode_upload(round, &upload))?;
     }
     Ok(())
@@ -152,7 +161,7 @@ pub fn run_server<C: Communicator>(
     epsilon: f64,
     dataset_name: &str,
     telemetry: &Telemetry,
-    local_gauge: &MaxGauge,
+    local_gauge: &Gauge,
     mut guard: Option<&mut UpdateGuard>,
 ) -> Result<History, Error> {
     let num_clients = comm.size() - 1;
@@ -191,7 +200,7 @@ pub fn run_server<C: Communicator>(
         }
         // The slowest client trained inside the gather window, so transport
         // time proper is the wait not explained by that training.
-        let local_update_secs = local_gauge.drain_secs().min(gather_secs);
+        let local_update_secs = local_gauge.drain_max().min(gather_secs);
         let comm_secs = send_secs + (gather_secs - local_update_secs).max(0.0);
 
         let (uploads, rejected_clients, clipped_clients) = match guard.as_deref_mut() {
@@ -211,6 +220,7 @@ pub fn run_server<C: Communicator>(
             server.update_degraded(&uploads)?;
         }
         // Every upload rejected: the model carries over, a skipped round.
+        let diagnostics = RoundDiagnostics::collect(server, &w, &uploads);
         let w_next = server.global_model();
         let e = evaluate(template, &w_next, test, 64)?;
         let aggregate_secs = t.elapsed().as_secs_f64();
@@ -222,8 +232,10 @@ pub fn run_server<C: Communicator>(
         telemetry.span_secs("comm", Phase::Comm, comm_secs, Some(r), None);
         telemetry.span_secs("aggregate", Phase::Aggregate, aggregate_secs, Some(r), None);
         telemetry.count("upload_bytes", upload_bytes as u64, Some(r), None);
+        diagnostics.emit(telemetry, r);
+        telemetry.round_span_secs(r, total);
 
-        history.rounds.push(RoundRecord {
+        let mut record = RoundRecord {
             round,
             accuracy: e.accuracy,
             test_loss: e.loss,
@@ -237,7 +249,9 @@ pub fn run_server<C: Communicator>(
             rejected_clients,
             clipped_clients,
             ..RoundRecord::default()
-        });
+        };
+        diagnostics.stamp(&mut record);
+        history.rounds.push(record);
     }
     Ok(history)
 }
@@ -259,8 +273,9 @@ pub fn run_client_ft<C: Communicator>(
     recv_timeout: std::time::Duration,
     retries: &AtomicUsize,
     telemetry: &Telemetry,
-    local_gauge: &MaxGauge,
+    local_gauge: &Gauge,
 ) -> Result<(), Error> {
+    let peer = client.id() as u64;
     loop {
         let buf = match policy.run_observed(Some(retries), telemetry, "recv_broadcast", |_| {
             comm.recv_timeout(0, recv_timeout)
@@ -274,12 +289,30 @@ pub fn run_client_ft<C: Communicator>(
         let Ok((round, w)) = decode_global_tagged(&buf) else {
             continue; // corrupted broadcast: skip it, catch the next round
         };
+        // The guard only emits on the failure branch: a successful update
+        // is accounted by the server's round-aggregate local_update span
+        // (emitting it here too would double-count the phase), while an
+        // abandoned one would otherwise vanish from the record entirely.
+        let span = telemetry
+            .span("local_update", Phase::LocalUpdate)
+            .round(round as u64)
+            .peer(peer);
         let t0 = Instant::now();
         let upload = match client.update(&w) {
             Ok(u) => u,
-            Err(_) => break, // local failure: leave the federation
+            Err(_) => {
+                span.fail();
+                break; // local failure: leave the federation
+            }
         };
-        local_gauge.record_secs(t0.elapsed().as_secs_f64());
+        span.cancel();
+        let secs = t0.elapsed().as_secs_f64();
+        local_gauge.record(secs);
+        telemetry.client_span_secs(round as u64, peer, secs);
+        // Trace-only (phase-less) twin of the cancelled span above: keeps
+        // the client's compute visible in the causal tree without
+        // touching the phase totals.
+        telemetry.trace_span_secs("local_update", secs, round as u64, peer);
         if comm.send(0, encode_upload(round, &upload)).is_err() {
             break;
         }
@@ -328,7 +361,7 @@ pub fn run_server_ft<C: Communicator>(
     ft: &FaultToleranceConfig,
     retries: &AtomicUsize,
     telemetry: &Telemetry,
-    local_gauge: &MaxGauge,
+    local_gauge: &Gauge,
     mut guard: Option<&mut UpdateGuard>,
 ) -> Result<History, Error> {
     let num_clients = comm.size() - 1;
@@ -424,7 +457,7 @@ pub fn run_server_ft<C: Communicator>(
                 }
             }
         }
-        let local_update_secs = local_gauge.drain_secs().min(gather_secs);
+        let local_update_secs = local_gauge.drain_max().min(gather_secs);
         let comm_secs = send_secs + (gather_secs - local_update_secs).max(0.0);
 
         let dropped_clients = active.len() - arrived;
@@ -437,6 +470,7 @@ pub fn run_server_ft<C: Communicator>(
             }
         }
         // Below quorum the model simply carries over — a skipped round.
+        let diagnostics = RoundDiagnostics::collect(server, &w, &uploads);
 
         let upload_bytes: usize = uploads.iter().map(ClientUpload::payload_bytes).sum();
         let train_loss =
@@ -456,8 +490,10 @@ pub fn run_server_ft<C: Communicator>(
         if dropped_clients > 0 {
             telemetry.count("dropped_clients", dropped_clients as u64, Some(r), None);
         }
+        diagnostics.emit(telemetry, r);
+        telemetry.round_span_secs(r, total);
 
-        history.rounds.push(RoundRecord {
+        let mut record = RoundRecord {
             round,
             accuracy: e.accuracy,
             test_loss: e.loss,
@@ -473,7 +509,10 @@ pub fn run_server_ft<C: Communicator>(
             aggregate_secs,
             rejected_clients,
             clipped_clients,
-        });
+            ..RoundRecord::default()
+        };
+        diagnostics.stamp(&mut record);
+        history.rounds.push(record);
         retries_prev = retries_now;
     }
     // End-of-run sentinel, repeated in case the fault plan eats some; a

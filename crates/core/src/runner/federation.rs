@@ -42,7 +42,7 @@ use appfl_comm::rpc::{serve_with, ServeOptions};
 use appfl_comm::transport::Communicator;
 use appfl_data::InMemoryDataset;
 use appfl_nn::module::Module;
-use appfl_telemetry::{EventSink, MaxGauge, Telemetry};
+use appfl_telemetry::{EventSink, Gauge, MetricsRegistry, NoopSink, Telemetry};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -84,7 +84,8 @@ pub struct FederationBuilder<'a, C: Communicator + 'static> {
     dataset: String,
     eval: Option<Eval<'a>>,
     ft: Option<FaultToleranceConfig>,
-    telemetry: Telemetry,
+    sink: Option<Arc<dyn EventSink>>,
+    registry: Option<MetricsRegistry>,
     pull: bool,
     robust: Option<RobustAggregator>,
     guard: Option<UpdateGuardConfig>,
@@ -102,7 +103,8 @@ impl<'a, C: Communicator + 'static> FederationBuilder<'a, C> {
             dataset: "unspecified".into(),
             eval: None,
             ft: None,
-            telemetry: Telemetry::disabled(),
+            sink: None,
+            registry: None,
             pull: false,
             robust: None,
             guard: None,
@@ -164,7 +166,18 @@ impl<'a, C: Communicator + 'static> FederationBuilder<'a, C> {
     /// Records structured events (per-phase spans, retry/timeout marks,
     /// byte counters) into `sink`. The default is the zero-cost no-op.
     pub fn telemetry(mut self, sink: Arc<dyn EventSink>) -> Self {
-        self.telemetry = Telemetry::new(sink);
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Mirrors every emitted event into `registry` — spans as duration
+    /// histograms, counts/marks as counters, gauges as gauges — so a
+    /// Prometheus-text or JSON snapshot can be taken after (or during)
+    /// the run with [`MetricsRegistry::to_prometheus_text`]. Composes
+    /// with [`FederationBuilder::telemetry`]; with a registry but no
+    /// sink, events are aggregated without being recorded individually.
+    pub fn metrics(mut self, registry: MetricsRegistry) -> Self {
+        self.registry = Some(registry);
         self
     }
 
@@ -216,11 +229,18 @@ impl<'a, C: Communicator + 'static> FederationBuilder<'a, C> {
             dataset,
             eval,
             ft,
-            telemetry,
+            sink,
+            registry,
             pull,
             robust,
             guard,
         } = self;
+        let telemetry = match (sink, registry) {
+            (Some(sink), Some(registry)) => Telemetry::with_registry(sink, registry),
+            (Some(sink), None) => Telemetry::new(sink),
+            (None, Some(registry)) => Telemetry::with_registry(Arc::new(NoopSink), registry),
+            (None, None) => Telemetry::disabled(),
+        };
         if let Some(aggregator) = robust {
             server = Box::new(RobustServer::wrap(server, aggregator));
         }
@@ -311,15 +331,17 @@ impl<'a, C: Communicator + 'static> FederationBuilder<'a, C> {
             let eval = eval.ok_or_else(|| {
                 Error::config("push mode evaluates every round: call .evaluation(template, test)")
             })?;
-            let gauge = MaxGauge::new();
+            let gauge = Gauge::new();
             let history = std::thread::scope(|scope| {
                 let mut handles = Vec::new();
                 let h = match &ft {
                     None => {
                         for (client, ep) in clients.into_iter().zip(endpoints) {
                             let gauge = &gauge;
-                            handles
-                                .push(scope.spawn(move || run_client(client, &ep, rounds, gauge)));
+                            let tl = telemetry.clone();
+                            handles.push(
+                                scope.spawn(move || run_client(client, &ep, rounds, gauge, &tl)),
+                            );
                         }
                         run_server(
                             &mut *server,
@@ -484,6 +506,26 @@ mod tests {
             assert!(phases.total() > 0.0);
         }
         assert!(summary.counter("upload_bytes") > 0);
+    }
+
+    #[test]
+    fn metrics_registry_snapshots_the_run() {
+        let (mut fed, test) = federation(2);
+        let registry = MetricsRegistry::new();
+        let outcome = FederationBuilder::new(fed.server, fed.clients)
+            .transport(InProcNetwork::new(4))
+            .rounds(2)
+            .evaluation(fed.template.as_mut(), &test)
+            .metrics(registry.clone())
+            .run()
+            .unwrap();
+        assert_eq!(outcome.completed_rounds, 2);
+        let text = registry.to_prometheus_text();
+        let families = appfl_telemetry::validate_prometheus_text(&text).unwrap();
+        // Phase histograms + upload_bytes + diagnostics gauges, at least.
+        assert!(families >= 5, "only {families} families:\n{text}");
+        assert!(text.contains("appfl_local_update"), "{text}");
+        assert!(text.contains("appfl_update_norm"), "{text}");
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! * `fl/updates` — clients publish their `LearningResults`.
 
 use crate::api::{ClientAlgorithm, ClientUpload, ServerAlgorithm};
+use crate::diagnostics::RoundDiagnostics;
 use crate::error::Error;
 use appfl_comm::pubsub::Broker;
 use appfl_comm::transport::CommError;
@@ -73,13 +74,15 @@ pub fn run_pubsub_federation(
                     last_round = msg.round;
                     let t0 = Instant::now();
                     let upload = client.update(&msg.tensors[0].data)?;
+                    let secs = t0.elapsed().as_secs_f64();
                     tl.span_secs(
                         "local_update",
                         Phase::LocalUpdate,
-                        t0.elapsed().as_secs_f64(),
+                        secs,
                         Some(u64::from(msg.round)),
                         Some(client.id() as u64),
                     );
+                    tl.client_span_secs(u64::from(msg.round), client.id() as u64, secs);
                     let results = LearningResults {
                         client_id: client.id() as u32,
                         round: msg.round,
@@ -96,8 +99,9 @@ pub fn run_pubsub_federation(
         }
 
         for round in 1..=rounds {
+            let round_start = Instant::now();
             let w = server.global_model();
-            broker.publish_retained(TOPIC_GLOBAL, encode_global(round, false, w));
+            broker.publish_retained(TOPIC_GLOBAL, encode_global(round, false, w.clone()));
             let mut uploads: Vec<ClientUpload> = Vec::with_capacity(num_clients);
             let t0 = Instant::now();
             while uploads.len() < num_clients {
@@ -137,6 +141,9 @@ pub fn run_pubsub_federation(
                 Some(round as u64),
                 None,
             );
+            RoundDiagnostics::collect(server.as_ref(), &w, &uploads)
+                .emit(telemetry, round as u64);
+            telemetry.round_span_secs(round as u64, round_start.elapsed().as_secs_f64());
         }
         broker.publish_retained(
             TOPIC_GLOBAL,

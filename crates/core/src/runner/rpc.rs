@@ -5,6 +5,7 @@
 use crate::api::{ClientAlgorithm, ClientUpload, ServerAlgorithm};
 use crate::config::FaultToleranceConfig;
 use crate::defense::{GuardVerdict, UpdateGuard};
+use crate::diagnostics::RoundDiagnostics;
 use crate::error::Error;
 use crate::runner::federation::FederationBuilder;
 use appfl_comm::retry::RetryPolicy;
@@ -36,6 +37,7 @@ pub struct SyncRoundService {
     guard: Option<UpdateGuard>,
     guard_rejected: usize,
     guard_clipped: usize,
+    round_started: Instant,
 }
 
 impl SyncRoundService {
@@ -61,6 +63,7 @@ impl SyncRoundService {
             guard: None,
             guard_rejected: 0,
             guard_clipped: 0,
+            round_started: Instant::now(),
         }
     }
 
@@ -162,7 +165,10 @@ impl FlService for SyncRoundService {
         if let Some(guard) = self.guard.as_mut() {
             let round = Some(self.round as u64);
             let peer = Some(client_id as u64);
-            match guard.screen(&mut upload) {
+            let verdict = guard.screen(&mut upload);
+            self.telemetry
+                .gauge("client_health", guard.health_score(client_id), round, peer);
+            match verdict {
                 GuardVerdict::Rejected(reason) => {
                     self.telemetry
                         .mark("update_rejected", round, peer, Some(reason.as_str()));
@@ -183,18 +189,27 @@ impl FlService for SyncRoundService {
         self.pending.push(upload);
         if self.pending.len() >= self.quorum {
             let uploads = std::mem::take(&mut self.pending);
+            let before = self.server.global_model();
             let t0 = Instant::now();
             if self.server.update(&uploads).is_err() {
                 self.rejected += uploads.len();
                 return false;
             }
+            let r = self.round as u64;
             self.telemetry.span_secs(
                 "aggregate",
                 Phase::Aggregate,
                 t0.elapsed().as_secs_f64(),
-                Some(self.round as u64),
+                Some(r),
                 None,
             );
+            RoundDiagnostics::collect(self.server.as_ref(), &before, &uploads)
+                .emit(&self.telemetry, r);
+            // Structural round span: the round ran from the previous
+            // aggregation (or service start) to this one.
+            self.telemetry
+                .round_span_secs(r, self.round_started.elapsed().as_secs_f64());
+            self.round_started = Instant::now();
             self.round += 1;
         }
         true
@@ -250,13 +265,15 @@ pub fn run_rpc_client<C: Communicator>(
         let w = &weights.tensors[0].data;
         let t0 = Instant::now();
         let upload = client.update(w)?;
+        let secs = t0.elapsed().as_secs_f64();
         telemetry.span_secs(
             "local_update",
             Phase::LocalUpdate,
-            t0.elapsed().as_secs_f64(),
+            secs,
             Some(u64::from(weights.round)),
             Some(u64::from(id)),
         );
+        telemetry.client_span_secs(u64::from(weights.round), u64::from(id), secs);
         let results = LearningResults {
             client_id: id,
             round: weights.round,
@@ -320,17 +337,25 @@ pub fn run_rpc_client_ft<C: Communicator>(
         }
         last_round_seen = weights.round;
         let w = &weights.tensors[0].data;
+        let span = telemetry
+            .span("local_update", Phase::LocalUpdate)
+            .round(u64::from(weights.round))
+            .peer(u64::from(id));
         let t0 = Instant::now();
         let upload = match client.update(w) {
             Ok(u) => u,
-            Err(_) => break, // local failure: leave the federation
+            Err(_) => {
+                // The failed attempt still consumed wall time; record it
+                // so the phase totals don't silently shrink.
+                span.fail();
+                break; // local failure: leave the federation
+            }
         };
-        telemetry.span_secs(
-            "local_update",
-            Phase::LocalUpdate,
+        span.finish();
+        telemetry.client_span_secs(
+            u64::from(weights.round),
+            u64::from(id),
             t0.elapsed().as_secs_f64(),
-            Some(u64::from(weights.round)),
-            Some(u64::from(id)),
         );
         let results = LearningResults {
             client_id: id,

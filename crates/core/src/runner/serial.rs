@@ -10,6 +10,7 @@
 use crate::algorithms::Federation;
 use crate::api::ClientUpload;
 use crate::defense::{screen_and_report, RobustAggregator, RobustServer, UpdateGuard};
+use crate::diagnostics::RoundDiagnostics;
 use crate::metrics::{History, RoundRecord};
 use crate::validation::evaluate;
 use appfl_data::InMemoryDataset;
@@ -103,6 +104,7 @@ impl SerialRunner {
 
     /// Runs a single round (exposed for incremental drivers/benches).
     pub fn run_round(&mut self, t: usize) -> Result<RoundRecord> {
+        let round_start = Instant::now();
         let w = self.federation.server.global_model();
         // Client sampling (McMahan et al.'s C-fraction participation): pick
         // a random subset of clients each round. Full participation when
@@ -164,6 +166,9 @@ impl SerialRunner {
             self.federation.server.update_degraded(&uploads)?;
         }
         // Every upload rejected: the model carries over, a skipped round.
+        let diagnostics =
+            RoundDiagnostics::collect(self.federation.server.as_ref(), &w, &uploads);
+        diagnostics.emit(&self.telemetry, t as u64);
 
         let (accuracy, test_loss) = if t.is_multiple_of(self.eval_every) || t == self.federation.config.rounds {
             let w_next = self.federation.server.global_model();
@@ -185,8 +190,13 @@ impl SerialRunner {
         // show per-round kernel time share.
         #[cfg(feature = "kernel-timers")]
         appfl_tensor::timers::drain_kernel_stats_round(&self.telemetry, Some(t as u64));
+        // Structural trace span: the round's root in the causal span tree
+        // (excluded from phase totals — the phase spans above carry the
+        // accounted time).
+        self.telemetry
+            .round_span_secs(t as u64, round_start.elapsed().as_secs_f64());
 
-        Ok(RoundRecord {
+        let mut record = RoundRecord {
             round: t,
             accuracy,
             test_loss,
@@ -198,7 +208,9 @@ impl SerialRunner {
             rejected_clients,
             clipped_clients,
             ..RoundRecord::default()
-        })
+        };
+        diagnostics.stamp(&mut record);
+        Ok(record)
     }
 
     /// The final global model.
@@ -408,6 +420,39 @@ mod tests {
         // The history's new phase fields agree with the emitted spans.
         let recorded: f64 = h.rounds.iter().map(|r| r.local_update_secs).sum();
         assert!((recorded - summary.totals().local_update).abs() < 1e-6);
+    }
+
+    #[test]
+    fn diagnostics_flow_into_records_and_gauges() {
+        use appfl_telemetry::{MemorySink, RunSummary};
+        use std::sync::Arc;
+        let sink = Arc::new(MemorySink::default());
+        let mut r = runner(
+            AlgorithmConfig::IiAdmm { rho: 10.0, zeta: 10.0 },
+            f64::INFINITY,
+            2,
+        )
+        .with_telemetry(Telemetry::new(sink.clone()));
+        let h = r.run().unwrap();
+        for rec in &h.rounds {
+            assert!(rec.primal_residual > 0.0, "round {} residual", rec.round);
+            assert!(rec.dual_residual > 0.0, "round {} dual", rec.round);
+            assert_eq!(rec.rho, 10.0);
+            assert!(rec.update_norm > 0.0);
+        }
+        let summary = RunSummary::from_events(&sink.events());
+        for t in 1..=2u64 {
+            assert!(summary.round_gauge(t, "primal_residual").max > 0.0);
+            assert!(summary.round_gauge(t, "dual_residual").max > 0.0);
+            assert!(summary.round_gauge(t, "update_norm").max > 0.0);
+            assert_eq!(summary.round_gauge(t, "rho").max, 10.0);
+        }
+        assert_eq!(summary.structural_spans, 2, "one round root span per round");
+        // The record's residual matches the emitted gauge exactly.
+        assert!(
+            (h.rounds[0].primal_residual - summary.round_gauge(1, "primal_residual").max).abs()
+                < 1e-12
+        );
     }
 
     #[test]

@@ -106,6 +106,13 @@ pub struct Event {
     pub value: Option<u64>,
     /// Free-form annotation (fault kind, retried operation, …).
     pub detail: Option<String>,
+    /// Trace span id ([`EventKind::Span`] only; wire key `id`). Spans in
+    /// the causal tree carry either a deterministic key (see
+    /// [`crate::trace::round_span_id`]) or a handle-allocated unique id.
+    pub span_id: Option<u64>,
+    /// Trace parent span id (wire key `parent`), linking this span into
+    /// the round → client → phase tree.
+    pub parent: Option<u64>,
 }
 
 impl Event {
@@ -121,6 +128,8 @@ impl Event {
             secs: None,
             value: None,
             detail: None,
+            span_id: None,
+            parent: None,
         }
     }
 
@@ -152,6 +161,12 @@ impl Event {
             s.push_str(",\"detail\":\"");
             escape_into(d, &mut s);
             s.push('"');
+        }
+        if let Some(id) = self.span_id {
+            let _ = write!(s, ",\"id\":{id}");
+        }
+        if let Some(p) = self.parent {
+            let _ = write!(s, ",\"parent\":{p}");
         }
         s.push('}');
         s
@@ -187,6 +202,8 @@ impl Event {
                 ("secs", JsonValue::Num(n)) => ev.secs = Some(n),
                 ("value", JsonValue::Num(n)) => ev.value = Some(n as u64),
                 ("detail", JsonValue::Str(s)) => ev.detail = Some(s),
+                ("id", JsonValue::Num(n)) => ev.span_id = Some(n as u64),
+                ("parent", JsonValue::Num(n)) => ev.parent = Some(n as u64),
                 _ => {} // unknown key or null: forward-compatible skip
             }
         }
@@ -331,6 +348,19 @@ mod tests {
         ev.secs = Some(0.0125);
         let line = ev.to_json_line();
         assert!(line.contains("\"phase\":\"local_update\""), "{line}");
+        assert_eq!(Event::from_json_line(&line).unwrap(), ev);
+    }
+
+    #[test]
+    fn trace_ids_roundtrip_and_old_readers_skip_them() {
+        let mut ev = Event::new(2.0, EventKind::Span, "local_update");
+        ev.phase = Some(Phase::LocalUpdate);
+        ev.secs = Some(0.5);
+        ev.span_id = Some(0x1_0000_0000_0001);
+        ev.parent = Some(42);
+        let line = ev.to_json_line();
+        assert!(line.contains("\"id\":"), "{line}");
+        assert!(line.contains("\"parent\":42"), "{line}");
         assert_eq!(Event::from_json_line(&line).unwrap(), ev);
     }
 

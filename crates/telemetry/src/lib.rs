@@ -18,6 +18,13 @@
 //! * [`RunSummary`] — aggregates a recorded event stream back into
 //!   per-round phase totals for reporting (`appfl-bench`'s `report`
 //!   binary renders it).
+//! * [`MetricsRegistry`] — typed [`Counter`]/[`Gauge`]/[`Histogram`]
+//!   aggregates with Prometheus-text and JSON snapshot encoders; a
+//!   [`Telemetry`] handle carrying one mirrors every event in
+//!   automatically.
+//! * [`trace`] — the causal span tree (round → client → phase, linked
+//!   by `id`/`parent`) and its Chrome trace-event export
+//!   ([`chrome_trace`], [`TraceSink`]) for Perfetto.
 //!
 //! The four phases every round decomposes into — `local_update`,
 //! `serialize`, `comm`, `aggregate` — mirror the columns of the paper's
@@ -25,27 +32,37 @@
 //! server-side aggregation + evaluation.
 
 pub mod event;
+pub mod registry;
 pub mod sink;
 pub mod summary;
+pub mod trace;
 
 pub use event::{Event, EventKind, Phase};
-pub use sink::{read_jsonl, EventSink, JsonlSink, MemorySink, NoopSink, Span, Telemetry};
+pub use registry::{
+    validate_prometheus_text, Counter, Gauge, Histogram, MetricsRegistry,
+};
+pub use sink::{
+    read_jsonl, EventSink, JsonlSink, MemorySink, NoopSink, Span, TeeSink, Telemetry,
+};
 pub use summary::{GaugeStats, PhaseTotals, RunSummary};
+pub use trace::{
+    chrome_trace, client_span_id, is_round_key, round_span_id, TraceSink, TRACE_DYNAMIC_BASE,
+};
 
-use std::sync::atomic::{AtomicU64, Ordering};
-
-/// A lock-free maximum gauge in integer microseconds.
+/// A lock-free maximum gauge in seconds.
 ///
-/// The transport runners use one to account client compute that overlaps
-/// the server's gather wait: each client thread records its local-update
-/// duration, the server drains the round maximum and subtracts it from
-/// the blocking wait so `comm_secs` measures transport, not overlapped
-/// computation.
+/// Deprecated shim over [`registry::Gauge`], which additionally keeps
+/// last/min/max/sum statistics and can live in a [`MetricsRegistry`].
+/// The transport runners used one to account client compute that
+/// overlaps the server's gather wait; they now take a [`Gauge`] and call
+/// [`Gauge::record`] / [`Gauge::drain_max`] directly.
+#[deprecated(since = "0.5.0", note = "use registry::Gauge (record/drain_max) instead")]
 #[derive(Debug, Default)]
 pub struct MaxGauge {
-    micros: AtomicU64,
+    inner: Gauge,
 }
 
+#[allow(deprecated)]
 impl MaxGauge {
     /// A zeroed gauge.
     pub fn new() -> Self {
@@ -54,19 +71,18 @@ impl MaxGauge {
 
     /// Folds `secs` in, keeping the maximum seen since the last drain.
     pub fn record_secs(&self, secs: f64) {
-        let micros = (secs * 1e6).max(0.0) as u64;
-        self.micros.fetch_max(micros, Ordering::Relaxed);
+        self.inner.record(secs.max(0.0));
     }
 
     /// Returns the maximum recorded since the last drain (seconds) and
     /// resets the gauge to zero.
     pub fn drain_secs(&self) -> f64 {
-        self.micros.swap(0, Ordering::Relaxed) as f64 / 1e6
+        self.inner.drain_max()
     }
 
     /// Current maximum without resetting (seconds).
     pub fn peek_secs(&self) -> f64 {
-        self.micros.load(Ordering::Relaxed) as f64 / 1e6
+        self.inner.peek_max()
     }
 }
 
@@ -75,7 +91,8 @@ mod tests {
     use super::*;
 
     #[test]
-    fn max_gauge_keeps_maximum_and_drains() {
+    #[allow(deprecated)]
+    fn max_gauge_shim_keeps_maximum_and_drains() {
         let g = MaxGauge::new();
         g.record_secs(0.002);
         g.record_secs(0.010);

@@ -1,0 +1,775 @@
+//! Typed metrics: [`Counter`], [`Gauge`], log-bucketed [`Histogram`], and
+//! the [`MetricsRegistry`] that owns them by name.
+//!
+//! The registry complements the event stream: where [`crate::Event`]s
+//! record *what happened when*, the registry keeps cheap lock-free
+//! aggregates (monotone counts, last/min/max/sum samples, duration
+//! quantiles) that can be snapshotted at any point as Prometheus
+//! exposition text or a flat JSON object. A [`crate::Telemetry`] handle
+//! carrying a registry mirrors every emitted event into it, so the
+//! existing event vocabulary (`local_update` spans, `upload_bytes`
+//! counts, `update_norm` gauges, `retry` marks…) becomes metric families
+//! with no extra instrumentation at the call sites.
+//!
+//! Everything here is hand-rolled on `std::sync::atomic` — the crate
+//! stays dependency-free.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing count (retries, bytes, rejected updates).
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Atomic f64 cell (bit-cast CAS loop; NaN samples are ignored by the
+/// ordered update helpers so a poisoned sample cannot wedge min/max).
+#[derive(Debug)]
+struct AtomicF64 {
+    bits: AtomicU64,
+}
+
+impl AtomicF64 {
+    fn new(v: f64) -> Self {
+        AtomicF64 {
+            bits: AtomicU64::new(v.to_bits()),
+        }
+    }
+
+    fn load(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    fn store(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    fn swap(&self, v: f64) -> f64 {
+        f64::from_bits(self.bits.swap(v.to_bits(), Ordering::Relaxed))
+    }
+
+    fn fetch_add(&self, delta: f64) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self
+                .bits
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Keeps `v` if `better(v, current)`.
+    fn fetch_order(&self, v: f64, better: fn(f64, f64) -> bool) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            if !better(v, f64::from_bits(cur)) {
+                return;
+            }
+            match self.bits.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+/// A sampled float: keeps the last value plus running count/sum/min/max,
+/// and a drainable peak so it can stand in for the deprecated
+/// [`crate::MaxGauge`] (peak-since-last-drain accounting of overlapped
+/// client compute).
+#[derive(Debug)]
+pub struct Gauge {
+    last: AtomicF64,
+    sum: AtomicF64,
+    count: AtomicU64,
+    min: AtomicF64,
+    max: AtomicF64,
+    peak: AtomicF64,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge {
+            last: AtomicF64::new(0.0),
+            sum: AtomicF64::new(0.0),
+            count: AtomicU64::new(0),
+            min: AtomicF64::new(f64::INFINITY),
+            max: AtomicF64::new(f64::NEG_INFINITY),
+            peak: AtomicF64::new(f64::NEG_INFINITY),
+        }
+    }
+}
+
+impl Gauge {
+    /// A fresh, empty gauge.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Records one sample. Non-finite samples are dropped.
+    pub fn record(&self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        self.last.store(v);
+        self.sum.fetch_add(v);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.min.fetch_order(v, |a, b| a < b);
+        self.max.fetch_order(v, |a, b| a > b);
+        self.peak.fetch_order(v, |a, b| a > b);
+    }
+
+    /// Most recent sample (0 before any sample).
+    pub fn last(&self) -> f64 {
+        self.last.load()
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of samples.
+    pub fn sum(&self) -> f64 {
+        self.sum.load()
+    }
+
+    /// Smallest sample (0 before any sample).
+    pub fn min(&self) -> f64 {
+        let v = self.min.load();
+        if v.is_finite() {
+            v
+        } else {
+            0.0
+        }
+    }
+
+    /// Largest sample (0 before any sample).
+    pub fn max(&self) -> f64 {
+        let v = self.max.load();
+        if v.is_finite() {
+            v
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean sample (0 before any sample).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() / n as f64
+        }
+    }
+
+    /// Largest sample since the last drain, resetting the peak to empty
+    /// (returns 0 if nothing was recorded since). The cumulative
+    /// statistics are unaffected.
+    pub fn drain_max(&self) -> f64 {
+        let v = self.peak.swap(f64::NEG_INFINITY);
+        if v.is_finite() {
+            v
+        } else {
+            0.0
+        }
+    }
+
+    /// Largest sample since the last drain without resetting.
+    pub fn peek_max(&self) -> f64 {
+        let v = self.peak.load();
+        if v.is_finite() {
+            v
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Number of logarithmic buckets in a [`Histogram`].
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// Upper bound of bucket 0; each subsequent bucket doubles it, so the 64
+/// buckets cover `(0, 1e-9]` through `~9.2e9` — nanosecond spans to
+/// multi-gigabyte byte counts.
+pub const HISTOGRAM_BASE: f64 = 1e-9;
+
+/// Fixed-footprint log-bucketed histogram: p50/p90/p99 without storing
+/// samples. Bucket `i` covers `(BASE·2^(i-1), BASE·2^i]`; a quantile
+/// estimate is the upper bound of the bucket where the cumulative count
+/// crosses the target rank, so it is exact to within one bucket (a
+/// factor of 2).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicF64,
+    min: AtomicF64,
+    max: AtomicF64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicF64::new(0.0),
+            min: AtomicF64::new(f64::INFINITY),
+            max: AtomicF64::new(f64::NEG_INFINITY),
+        }
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Bucket index for a sample: smallest `i` with `v <= BASE·2^i`
+    /// (clamped to the last bucket; non-positive samples land in 0).
+    pub fn bucket_index(v: f64) -> usize {
+        if !(v > HISTOGRAM_BASE) {
+            return 0;
+        }
+        let mut i = (v / HISTOGRAM_BASE).log2().ceil() as usize;
+        if i >= HISTOGRAM_BUCKETS {
+            return HISTOGRAM_BUCKETS - 1;
+        }
+        // log2 rounding can land one bucket off in either direction at
+        // exact boundaries; one correction step each way suffices.
+        if i > 0 && v <= Self::bucket_upper(i - 1) {
+            i -= 1;
+        }
+        if v > Self::bucket_upper(i) {
+            i += 1;
+        }
+        i.min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Upper bound of bucket `i`.
+    pub fn bucket_upper(i: usize) -> f64 {
+        HISTOGRAM_BASE * (i as f64).exp2()
+    }
+
+    /// Records one sample. Non-finite samples are dropped.
+    pub fn observe(&self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v);
+        self.min.fetch_order(v, |a, b| a < b);
+        self.max.fetch_order(v, |a, b| a > b);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of samples.
+    pub fn sum(&self) -> f64 {
+        self.sum.load()
+    }
+
+    /// Smallest sample (0 before any sample).
+    pub fn min(&self) -> f64 {
+        let v = self.min.load();
+        if v.is_finite() {
+            v
+        } else {
+            0.0
+        }
+    }
+
+    /// Largest sample (0 before any sample).
+    pub fn max(&self) -> f64 {
+        let v = self.max.load();
+        if v.is_finite() {
+            v
+        } else {
+            0.0
+        }
+    }
+
+    /// Estimated `q`-quantile (`0 < q <= 1`): the upper bound of the
+    /// bucket containing the rank-`ceil(q·count)` sample, clamped to the
+    /// observed max so a sparsely filled top bucket does not over-report.
+    /// Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            return 0.0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cumulative += b.load(Ordering::Relaxed);
+            if cumulative >= target {
+                return Self::bucket_upper(i).min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Non-empty buckets as `(upper_bound, cumulative_count)` pairs, the
+    /// shape Prometheus histogram exposition wants.
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut out = Vec::new();
+        let mut cumulative = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                cumulative += n;
+                out.push((Self::bucket_upper(i), cumulative));
+            }
+        }
+        out
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+/// Cheap cloneable handle owning metrics by name.
+///
+/// `counter`/`gauge`/`histogram` lazily create and return shared
+/// instruments; callers may cache the `Arc` to skip the name lookup on
+/// hot paths. Attach one to a [`crate::Telemetry`] handle (see
+/// [`crate::Telemetry::with_registry`]) to have every event mirrored in
+/// automatically.
+#[derive(Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<RegistryInner>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.inner.counters.lock().expect("registry poisoned");
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.inner.gauges.lock().expect("registry poisoned");
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.inner.histograms.lock().expect("registry poisoned");
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Number of distinct metric families registered.
+    pub fn family_count(&self) -> usize {
+        self.inner.counters.lock().expect("registry poisoned").len()
+            + self.inner.gauges.lock().expect("registry poisoned").len()
+            + self
+                .inner
+                .histograms
+                .lock()
+                .expect("registry poisoned")
+                .len()
+    }
+
+    /// Snapshot in Prometheus text exposition format. Counter families
+    /// get the conventional `_total` suffix; histogram families emit
+    /// cumulative `_bucket{le=…}` lines plus `_sum`/`_count`. All names
+    /// are sanitized and prefixed `appfl_`.
+    pub fn to_prometheus_text(&self) -> String {
+        let mut out = String::new();
+        for (name, c) in self
+            .inner
+            .counters
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+        {
+            let fam = format!("{}_total", metric_name(name));
+            let _ = writeln!(out, "# TYPE {fam} counter");
+            let _ = writeln!(out, "{fam} {}", c.get());
+        }
+        for (name, g) in self.inner.gauges.lock().expect("registry poisoned").iter() {
+            let fam = metric_name(name);
+            let _ = writeln!(out, "# TYPE {fam} gauge");
+            let _ = writeln!(out, "{fam} {}", fmt_num(g.last()));
+        }
+        for (name, h) in self
+            .inner
+            .histograms
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+        {
+            let fam = metric_name(name);
+            let _ = writeln!(out, "# TYPE {fam} histogram");
+            for (upper, cumulative) in h.cumulative_buckets() {
+                let _ = writeln!(
+                    out,
+                    "{fam}_bucket{{le=\"{}\"}} {cumulative}",
+                    fmt_num(upper)
+                );
+            }
+            let _ = writeln!(out, "{fam}_bucket{{le=\"+Inf\"}} {}", h.count());
+            let _ = writeln!(out, "{fam}_sum {}", fmt_num(h.sum()));
+            let _ = writeln!(out, "{fam}_count {}", h.count());
+        }
+        out
+    }
+
+    /// Snapshot as one flat JSON object:
+    /// `{"counters":{…},"gauges":{…},"histograms":{…}}` with summary
+    /// statistics (count/sum/min/max/p50/p90/p99) per histogram.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        let counters = self.inner.counters.lock().expect("registry poisoned");
+        for (i, (name, c)) in counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{name}\":{}", c.get());
+        }
+        drop(counters);
+        out.push_str("},\"gauges\":{");
+        let gauges = self.inner.gauges.lock().expect("registry poisoned");
+        for (i, (name, g)) in gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{name}\":{{\"last\":{},\"min\":{},\"max\":{},\"mean\":{},\"count\":{}}}",
+                fmt_num(g.last()),
+                fmt_num(g.min()),
+                fmt_num(g.max()),
+                fmt_num(g.mean()),
+                g.count()
+            );
+        }
+        drop(gauges);
+        out.push_str("},\"histograms\":{");
+        let histograms = self.inner.histograms.lock().expect("registry poisoned");
+        for (i, (name, h)) in histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{name}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\
+                 \"p50\":{},\"p90\":{},\"p99\":{}}}",
+                h.count(),
+                fmt_num(h.sum()),
+                fmt_num(h.min()),
+                fmt_num(h.max()),
+                fmt_num(h.quantile(0.5)),
+                fmt_num(h.quantile(0.9)),
+                fmt_num(h.quantile(0.99))
+            );
+        }
+        drop(histograms);
+        out.push_str("}}");
+        out
+    }
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry")
+            .field("families", &self.family_count())
+            .finish()
+    }
+}
+
+/// Sanitizes an event name into a Prometheus metric family name:
+/// `appfl_` prefix, every non-`[a-zA-Z0-9_]` byte replaced with `_`.
+pub fn metric_name(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len() + 6);
+    out.push_str("appfl_");
+    for c in raw.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn fmt_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Minimal Prometheus text-format validator: every `# TYPE` line names a
+/// known type, every sample line is `name[{labels}] value` with a finite
+/// value belonging to the most recent family, histogram buckets are
+/// cumulative, and `_sum`/`_count` are present for histograms. Returns
+/// the number of metric families on success.
+pub fn validate_prometheus_text(text: &str) -> Result<usize, String> {
+    let mut families = 0usize;
+    let mut current: Option<(String, String)> = None; // (family, type)
+    let mut last_bucket: Option<u64> = None;
+    let mut saw_sum = true;
+    let mut saw_count = true;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: &str| format!("line {}: {msg}: {line}", lineno + 1);
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            if let Some((fam, ty)) = current.take() {
+                if ty == "histogram" && !(saw_sum && saw_count) {
+                    return Err(format!("histogram {fam} missing _sum/_count"));
+                }
+            }
+            let mut parts = rest.split_whitespace();
+            let fam = parts.next().ok_or_else(|| err("missing family"))?;
+            let ty = parts.next().ok_or_else(|| err("missing type"))?;
+            if !matches!(ty, "counter" | "gauge" | "histogram") {
+                return Err(err("unknown metric type"));
+            }
+            current = Some((fam.to_string(), ty.to_string()));
+            families += 1;
+            last_bucket = None;
+            saw_sum = ty != "histogram";
+            saw_count = ty != "histogram";
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP or comment
+        }
+        let (fam, ty) = current
+            .as_ref()
+            .ok_or_else(|| err("sample before any # TYPE"))?;
+        let (name_part, value_part) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| err("sample missing value"))?;
+        let value: f64 = value_part
+            .parse()
+            .map_err(|_| err("sample value not a number"))?;
+        if !value.is_finite() {
+            return Err(err("sample value not finite"));
+        }
+        let base = name_part.split('{').next().unwrap_or(name_part);
+        if !base.starts_with(fam.as_str()) {
+            return Err(err("sample outside its # TYPE family"));
+        }
+        if ty == "histogram" {
+            if base == format!("{fam}_bucket") {
+                let n = value as u64;
+                if last_bucket.is_some_and(|prev| n < prev) {
+                    return Err(err("histogram buckets not cumulative"));
+                }
+                last_bucket = Some(n);
+            } else if base == format!("{fam}_sum") {
+                saw_sum = true;
+            } else if base == format!("{fam}_count") {
+                saw_count = true;
+            } else {
+                return Err(err("unexpected histogram sample"));
+            }
+        }
+    }
+    if let Some((fam, ty)) = current {
+        if ty == "histogram" && !(saw_sum && saw_count) {
+            return Err(format!("histogram {fam} missing _sum/_count"));
+        }
+    }
+    Ok(families)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn gauge_tracks_last_min_max_and_drainable_peak() {
+        let g = Gauge::new();
+        assert_eq!(g.drain_max(), 0.0, "empty gauge drains 0");
+        g.record(2.0);
+        g.record(8.0);
+        g.record(4.0);
+        assert_eq!(g.last(), 4.0);
+        assert_eq!(g.min(), 2.0);
+        assert_eq!(g.max(), 8.0);
+        assert_eq!(g.count(), 3);
+        assert!((g.mean() - 14.0 / 3.0).abs() < 1e-12);
+        assert_eq!(g.peek_max(), 8.0);
+        assert_eq!(g.drain_max(), 8.0);
+        assert_eq!(g.drain_max(), 0.0, "drain resets the peak");
+        g.record(1.0);
+        assert_eq!(g.drain_max(), 1.0, "peak restarts after drain");
+        assert_eq!(g.max(), 8.0, "cumulative max survives drains");
+        g.record(f64::NAN);
+        assert_eq!(g.count(), 4, "NaN samples are dropped");
+    }
+
+    #[test]
+    fn histogram_buckets_are_log_spaced_and_boundaries_are_tight() {
+        // Exact boundary values land in the bucket they bound.
+        for i in 0..20 {
+            let upper = Histogram::bucket_upper(i);
+            assert_eq!(Histogram::bucket_index(upper), i, "upper of {i}");
+            assert_eq!(
+                Histogram::bucket_index(upper * 1.000001),
+                i + 1,
+                "just past upper of {i}"
+            );
+        }
+        assert_eq!(Histogram::bucket_index(0.0), 0);
+        assert_eq!(Histogram::bucket_index(-3.0), 0);
+        assert_eq!(Histogram::bucket_index(f64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_quantiles_without_samples() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0.0);
+        h.observe(0.001);
+        h.observe(0.002);
+        h.observe(0.1);
+        h.observe(f64::INFINITY); // dropped
+        assert_eq!(h.count(), 3);
+        let p50 = h.quantile(0.5);
+        assert!((0.002..=0.004).contains(&p50), "p50={p50}");
+        let p99 = h.quantile(0.99);
+        assert!((0.1..=0.2).contains(&p99), "p99={p99}");
+        assert!(h.quantile(1.0) <= h.max());
+    }
+
+    #[test]
+    fn registry_snapshot_roundtrips_through_the_validator() {
+        let r = MetricsRegistry::new();
+        r.counter("retry").add(3);
+        r.counter("upload_bytes").add(4096);
+        r.gauge("update_norm").record(2.5);
+        r.histogram("local_update").observe(0.25);
+        r.histogram("local_update").observe(0.5);
+        let text = r.to_prometheus_text();
+        assert!(text.contains("appfl_retry_total 3"), "{text}");
+        assert!(text.contains("# TYPE appfl_update_norm gauge"), "{text}");
+        assert!(text.contains("appfl_local_update_bucket"), "{text}");
+        assert_eq!(validate_prometheus_text(&text), Ok(4));
+        let json = r.to_json();
+        assert!(json.contains("\"retry\":3"), "{json}");
+        assert!(json.contains("\"p50\""), "{json}");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_snapshots() {
+        assert!(validate_prometheus_text("appfl_x 1").is_err(), "no TYPE");
+        assert!(
+            validate_prometheus_text("# TYPE appfl_x widget\nappfl_x 1").is_err(),
+            "bad type"
+        );
+        assert!(
+            validate_prometheus_text("# TYPE appfl_x counter\nappfl_x nope").is_err(),
+            "bad value"
+        );
+        assert!(
+            validate_prometheus_text(
+                "# TYPE appfl_h histogram\n\
+                 appfl_h_bucket{le=\"1\"} 5\n\
+                 appfl_h_bucket{le=\"2\"} 3\n\
+                 appfl_h_sum 1\nappfl_h_count 5"
+            )
+            .is_err(),
+            "non-cumulative buckets"
+        );
+        assert!(
+            validate_prometheus_text("# TYPE appfl_h histogram\nappfl_h_bucket{le=\"1\"} 1")
+                .is_err(),
+            "missing _sum/_count"
+        );
+    }
+
+    #[test]
+    fn metric_names_are_sanitized() {
+        assert_eq!(
+            metric_name("kernel.matmul.micros"),
+            "appfl_kernel_matmul_micros"
+        );
+        assert_eq!(metric_name("local_update"), "appfl_local_update");
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let r = MetricsRegistry::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let r = r.clone();
+                scope.spawn(move || {
+                    let c = r.counter("hits");
+                    let h = r.histogram("lat");
+                    for i in 0..250 {
+                        c.inc();
+                        h.observe(0.001 * (i + 1) as f64);
+                    }
+                });
+            }
+        });
+        assert_eq!(r.counter("hits").get(), 1000);
+        assert_eq!(r.histogram("lat").count(), 1000);
+        assert!((r.histogram("lat").sum() - 4.0 * 0.001 * (250.0 * 251.0 / 2.0)).abs() < 1e-6);
+    }
+}

@@ -1,9 +1,12 @@
 //! Sinks and the [`Telemetry`] handle the runners thread around.
 
 use crate::event::{Event, EventKind, Phase};
+use crate::registry::MetricsRegistry;
+use crate::trace::{client_span_id, round_span_id, TRACE_DYNAMIC_BASE};
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -112,9 +115,45 @@ pub fn read_jsonl(path: impl AsRef<Path>) -> std::io::Result<Vec<Event>> {
     Ok(text.lines().filter_map(Event::from_json_line).collect())
 }
 
+/// Fans every event out to several sinks (e.g. a [`JsonlSink`] capture
+/// plus a [`crate::trace::TraceSink`] export from the same run).
+pub struct TeeSink {
+    sinks: Vec<Arc<dyn EventSink>>,
+}
+
+impl TeeSink {
+    /// A sink forwarding to each of `sinks`.
+    pub fn new(sinks: Vec<Arc<dyn EventSink>>) -> Self {
+        TeeSink { sinks }
+    }
+}
+
+impl EventSink for TeeSink {
+    fn enabled(&self) -> bool {
+        self.sinks.iter().any(|s| s.enabled())
+    }
+
+    fn emit(&self, event: Event) {
+        for sink in &self.sinks {
+            if sink.enabled() {
+                sink.emit(event.clone());
+            }
+        }
+    }
+
+    fn flush(&self) {
+        for sink in &self.sinks {
+            sink.flush();
+        }
+    }
+}
+
 struct TelemetryInner {
     sink: Arc<dyn EventSink>,
+    sink_enabled: bool,
+    registry: Option<MetricsRegistry>,
     epoch: Instant,
+    next_span_id: AtomicU64,
 }
 
 /// The cloneable handle instrumented code holds.
@@ -136,7 +175,27 @@ impl Telemetry {
         Telemetry {
             inner: Some(Arc::new(TelemetryInner {
                 sink,
+                sink_enabled: true,
+                registry: None,
                 epoch: Instant::now(),
+                next_span_id: AtomicU64::new(TRACE_DYNAMIC_BASE),
+            })),
+        }
+    }
+
+    /// A handle that records into `sink` *and* mirrors every event into
+    /// `registry` (spans as histograms, counts and marks as counters,
+    /// gauges as gauges, keyed by event name). The handle is enabled
+    /// even over a disabled sink, so metrics can be collected without
+    /// paying for an event stream.
+    pub fn with_registry(sink: Arc<dyn EventSink>, registry: MetricsRegistry) -> Self {
+        Telemetry {
+            inner: Some(Arc::new(TelemetryInner {
+                sink_enabled: sink.enabled(),
+                sink,
+                registry: Some(registry),
+                epoch: Instant::now(),
+                next_span_id: AtomicU64::new(TRACE_DYNAMIC_BASE),
             })),
         }
     }
@@ -151,11 +210,64 @@ impl Telemetry {
         self.inner.is_some()
     }
 
+    /// The attached metrics registry, if any.
+    pub fn registry(&self) -> Option<&MetricsRegistry> {
+        self.inner.as_ref().and_then(|i| i.registry.as_ref())
+    }
+
     fn now(inner: &TelemetryInner) -> f64 {
         inner.epoch.elapsed().as_secs_f64()
     }
 
-    /// Emits a completed span of `secs` seconds.
+    /// Allocates a unique dynamic span id (`None` on a disabled handle).
+    fn alloc_span_id(&self) -> Option<u64> {
+        self.inner
+            .as_ref()
+            .map(|i| i.next_span_id.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Parent key a span links to under the round → client → phase tree:
+    /// the peer's client span when both tags are known, else the round
+    /// span, else nothing.
+    fn auto_parent(round: Option<u64>, peer: Option<u64>) -> Option<u64> {
+        match (round, peer) {
+            (Some(r), Some(p)) => Some(client_span_id(r, p)),
+            (Some(r), None) => Some(round_span_id(r)),
+            _ => None,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn emit_span_raw(
+        &self,
+        name: &str,
+        phase: Option<Phase>,
+        secs: f64,
+        round: Option<u64>,
+        peer: Option<u64>,
+        detail: Option<&str>,
+        span_id: Option<u64>,
+        parent: Option<u64>,
+    ) {
+        let Some(inner) = &self.inner else { return };
+        if let Some(registry) = &inner.registry {
+            registry.histogram(name).observe(secs);
+        }
+        if inner.sink_enabled {
+            let mut ev = Event::new(Self::now(inner), EventKind::Span, name);
+            ev.phase = phase;
+            ev.round = round;
+            ev.peer = peer;
+            ev.secs = Some(secs);
+            ev.detail = detail.map(str::to_string);
+            ev.span_id = span_id;
+            ev.parent = parent;
+            inner.sink.emit(ev);
+        }
+    }
+
+    /// Emits a completed span of `secs` seconds, linked into the trace
+    /// tree under its round/client span when those tags are present.
     pub fn span_secs(
         &self,
         name: &str,
@@ -164,14 +276,68 @@ impl Telemetry {
         round: Option<u64>,
         peer: Option<u64>,
     ) {
-        if let Some(inner) = &self.inner {
-            let mut ev = Event::new(Self::now(inner), EventKind::Span, name);
-            ev.phase = Some(phase);
-            ev.round = round;
-            ev.peer = peer;
-            ev.secs = Some(secs);
-            inner.sink.emit(ev);
-        }
+        self.emit_span_raw(
+            name,
+            Some(phase),
+            secs,
+            round,
+            peer,
+            None,
+            self.alloc_span_id(),
+            Self::auto_parent(round, peer),
+        );
+    }
+
+    /// Emits the structural span covering the whole of `round`
+    /// (`secs` of wall time). Phase spans tagged with the round (and no
+    /// peer) nest under it in the exported trace.
+    pub fn round_span_secs(&self, round: u64, secs: f64) {
+        self.emit_span_raw(
+            "round",
+            None,
+            secs,
+            Some(round),
+            None,
+            None,
+            Some(round_span_id(round)),
+            None,
+        );
+    }
+
+    /// Emits the structural span covering peer `peer`'s work inside
+    /// `round`. Phase spans tagged with both the round and the peer nest
+    /// under it.
+    pub fn client_span_secs(&self, round: u64, peer: u64, secs: f64) {
+        self.emit_span_raw(
+            "client",
+            None,
+            secs,
+            Some(round),
+            Some(peer),
+            None,
+            Some(client_span_id(round, peer)),
+            Some(round_span_id(round)),
+        );
+    }
+
+    /// Emits a named trace-only span nested under peer `peer`'s client
+    /// span in `round`. It appears in the causal tree (and the Chrome
+    /// trace) like a phase span, but carries no phase attribution, so
+    /// phase-total summaries skip it. For per-client work whose phase
+    /// time is already accounted elsewhere — e.g. client compute in push
+    /// mode, which the server reports as one round-aggregate
+    /// `local_update` span.
+    pub fn trace_span_secs(&self, name: &str, secs: f64, round: u64, peer: u64) {
+        self.emit_span_raw(
+            name,
+            None,
+            secs,
+            Some(round),
+            Some(peer),
+            None,
+            self.alloc_span_id(),
+            Self::auto_parent(Some(round), Some(peer)),
+        );
     }
 
     /// Starts an RAII span; the duration is emitted when the guard drops
@@ -184,6 +350,7 @@ impl Telemetry {
             phase,
             round: None,
             peer: None,
+            detail: None,
             start: self.inner.as_ref().map(|_| Instant::now()),
         }
     }
@@ -191,33 +358,48 @@ impl Telemetry {
     /// Emits a counter increment.
     pub fn count(&self, name: &str, value: u64, round: Option<u64>, detail: Option<&str>) {
         if let Some(inner) = &self.inner {
-            let mut ev = Event::new(Self::now(inner), EventKind::Count, name);
-            ev.round = round;
-            ev.value = Some(value);
-            ev.detail = detail.map(str::to_string);
-            inner.sink.emit(ev);
+            if let Some(registry) = &inner.registry {
+                registry.counter(name).add(value);
+            }
+            if inner.sink_enabled {
+                let mut ev = Event::new(Self::now(inner), EventKind::Count, name);
+                ev.round = round;
+                ev.value = Some(value);
+                ev.detail = detail.map(str::to_string);
+                inner.sink.emit(ev);
+            }
         }
     }
 
     /// Emits a sampled float measurement (e.g. a client's update norm).
     pub fn gauge(&self, name: &str, value: f64, round: Option<u64>, peer: Option<u64>) {
         if let Some(inner) = &self.inner {
-            let mut ev = Event::new(Self::now(inner), EventKind::Gauge, name);
-            ev.round = round;
-            ev.peer = peer;
-            ev.secs = Some(value);
-            inner.sink.emit(ev);
+            if let Some(registry) = &inner.registry {
+                registry.gauge(name).record(value);
+            }
+            if inner.sink_enabled {
+                let mut ev = Event::new(Self::now(inner), EventKind::Gauge, name);
+                ev.round = round;
+                ev.peer = peer;
+                ev.secs = Some(value);
+                inner.sink.emit(ev);
+            }
         }
     }
 
     /// Emits a point-in-time mark.
     pub fn mark(&self, name: &str, round: Option<u64>, peer: Option<u64>, detail: Option<&str>) {
         if let Some(inner) = &self.inner {
-            let mut ev = Event::new(Self::now(inner), EventKind::Mark, name);
-            ev.round = round;
-            ev.peer = peer;
-            ev.detail = detail.map(str::to_string);
-            inner.sink.emit(ev);
+            if let Some(registry) = &inner.registry {
+                registry.counter(name).inc();
+            }
+            if inner.sink_enabled {
+                let mut ev = Event::new(Self::now(inner), EventKind::Mark, name);
+                ev.round = round;
+                ev.peer = peer;
+                ev.detail = detail.map(str::to_string);
+                inner.sink.emit(ev);
+            }
         }
     }
 
@@ -244,6 +426,7 @@ pub struct Span {
     phase: Phase,
     round: Option<u64>,
     peer: Option<u64>,
+    detail: Option<&'static str>,
     start: Option<Instant>,
 }
 
@@ -265,12 +448,36 @@ impl Span {
         self.emit()
     }
 
+    /// Ends the span now, marking it as having ended in an error path
+    /// (`detail: "failed"`). The duration still lands in its phase's
+    /// totals — a timed-out or failed phase consumed real wall time, and
+    /// silently dropping it would under-report the phase.
+    pub fn fail(mut self) -> f64 {
+        self.detail = Some("failed");
+        self.emit()
+    }
+
+    /// Suppresses emission: the guard drops without recording anything.
+    /// For call sites that only emit a span on one branch (e.g. only the
+    /// failure path, when the success path is accounted elsewhere).
+    pub fn cancel(mut self) {
+        self.start = None;
+    }
+
     fn emit(&mut self) -> f64 {
         match self.start.take() {
             Some(start) => {
                 let secs = start.elapsed().as_secs_f64();
-                self.telemetry
-                    .span_secs(self.name, self.phase, secs, self.round, self.peer);
+                self.telemetry.emit_span_raw(
+                    self.name,
+                    Some(self.phase),
+                    secs,
+                    self.round,
+                    self.peer,
+                    self.detail,
+                    self.telemetry.alloc_span_id(),
+                    Telemetry::auto_parent(self.round, self.peer),
+                );
                 secs
             }
             None => 0.0,
@@ -351,6 +558,68 @@ mod tests {
         assert_eq!(events.len(), 2);
         assert_eq!(events[0].phase, Some(Phase::Comm));
         assert_eq!(events[1].name, "timeout");
+    }
+
+    #[test]
+    fn registry_mirrors_every_event_kind() {
+        let registry = MetricsRegistry::new();
+        let t = Telemetry::with_registry(Arc::new(NoopSink), registry.clone());
+        assert!(t.enabled(), "registry alone keeps the handle live");
+        t.span_secs("local_update", Phase::LocalUpdate, 0.25, Some(1), Some(0));
+        t.count("upload_bytes", 2048, Some(1), None);
+        t.mark("retry", Some(1), None, None);
+        t.gauge("update_norm", 3.5, Some(1), Some(0));
+        assert_eq!(registry.histogram("local_update").count(), 1);
+        assert_eq!(registry.counter("upload_bytes").get(), 2048);
+        assert_eq!(registry.counter("retry").get(), 1);
+        assert_eq!(registry.gauge("update_norm").last(), 3.5);
+    }
+
+    #[test]
+    fn spans_link_into_the_round_client_tree() {
+        let sink = Arc::new(MemorySink::new());
+        let t = Telemetry::new(sink.clone());
+        t.span_secs("local_update", Phase::LocalUpdate, 0.1, Some(2), Some(3));
+        t.span_secs("aggregate", Phase::Aggregate, 0.1, Some(2), None);
+        t.client_span_secs(2, 3, 0.2);
+        t.round_span_secs(2, 0.5);
+        let events = sink.events();
+        assert_eq!(
+            events[0].parent,
+            Some(crate::trace::client_span_id(2, 3)),
+            "peer-tagged phase parents to the client span"
+        );
+        assert_eq!(events[1].parent, Some(crate::trace::round_span_id(2)));
+        assert_eq!(events[2].span_id, Some(crate::trace::client_span_id(2, 3)));
+        assert_eq!(events[2].parent, Some(crate::trace::round_span_id(2)));
+        assert_eq!(events[3].span_id, Some(crate::trace::round_span_id(2)));
+        assert_eq!(events[3].parent, None, "round spans are roots");
+        assert!(events[0].span_id.unwrap() >= TRACE_DYNAMIC_BASE);
+        assert!(events[2].phase.is_none(), "structural spans carry no phase");
+    }
+
+    #[test]
+    fn failed_and_cancelled_spans() {
+        let sink = Arc::new(MemorySink::new());
+        let t = Telemetry::new(sink.clone());
+        t.span("local_update", Phase::LocalUpdate).round(1).peer(0).fail();
+        t.span("comm", Phase::Comm).round(1).cancel();
+        let events = sink.events();
+        assert_eq!(events.len(), 1, "cancelled span must not emit");
+        assert_eq!(events[0].detail.as_deref(), Some("failed"));
+        assert_eq!(events[0].phase, Some(Phase::LocalUpdate));
+    }
+
+    #[test]
+    fn tee_sink_fans_out_to_all_members() {
+        let a = Arc::new(MemorySink::new());
+        let b = Arc::new(MemorySink::new());
+        let tee = TeeSink::new(vec![a.clone(), b.clone(), Arc::new(NoopSink)]);
+        assert!(tee.enabled());
+        let t = Telemetry::new(Arc::new(tee));
+        t.mark("x", None, None, None);
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
     }
 
     #[test]

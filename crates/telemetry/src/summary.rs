@@ -92,8 +92,15 @@ pub struct RunSummary {
     pub round_counters: BTreeMap<u64, BTreeMap<String, u64>>,
     /// Gauge statistics by name (e.g. `update_norm`).
     pub gauges: BTreeMap<String, GaugeStats>,
+    /// Gauge statistics additionally keyed by round, for per-round
+    /// diagnostics columns (`primal_residual`, `update_norm`, …).
+    pub round_gauges: BTreeMap<u64, BTreeMap<String, GaugeStats>>,
     /// Number of span events that carried no phase tag (skipped).
     pub unphased_spans: usize,
+    /// Number of structural trace spans (`round`/`client` tree skeleton:
+    /// a span id but no phase). Excluded from phase totals — their time
+    /// is already accounted by the phase spans nested under them.
+    pub structural_spans: usize,
 }
 
 impl RunSummary {
@@ -109,6 +116,7 @@ impl RunSummary {
                         }
                         None => summary.untagged.add(phase, secs),
                     },
+                    _ if ev.span_id.is_some() => summary.structural_spans += 1,
                     _ => summary.unphased_spans += 1,
                 },
                 EventKind::Count => summary.tally(ev, ev.value.unwrap_or(0)),
@@ -120,6 +128,15 @@ impl RunSummary {
                             .entry(ev.name.clone())
                             .or_default()
                             .observe(value);
+                        if let Some(round) = ev.round {
+                            summary
+                                .round_gauges
+                                .entry(round)
+                                .or_default()
+                                .entry(ev.name.clone())
+                                .or_default()
+                                .observe(value);
+                        }
                     }
                 }
             }
@@ -168,6 +185,16 @@ impl RunSummary {
     /// Statistics for a gauge (empty default if never sampled).
     pub fn gauge(&self, name: &str) -> GaugeStats {
         self.gauges.get(name).copied().unwrap_or_default()
+    }
+
+    /// Statistics for a gauge within one round (empty default if never
+    /// sampled there).
+    pub fn round_gauge(&self, round: u64, name: &str) -> GaugeStats {
+        self.round_gauges
+            .get(&round)
+            .and_then(|m| m.get(name))
+            .copied()
+            .unwrap_or_default()
     }
 }
 
@@ -249,5 +276,47 @@ mod tests {
         let s = RunSummary::from_events(&[bare]);
         assert_eq!(s.unphased_spans, 1);
         assert!(s.rounds.is_empty());
+    }
+
+    #[test]
+    fn structural_trace_spans_stay_out_of_phase_totals() {
+        let mut round_span = Event::new(1.0, EventKind::Span, "round");
+        round_span.round = Some(1);
+        round_span.secs = Some(1.0);
+        round_span.span_id = Some(crate::trace::round_span_id(1));
+        let mut client_span = Event::new(0.9, EventKind::Span, "client");
+        client_span.round = Some(1);
+        client_span.peer = Some(0);
+        client_span.secs = Some(0.6);
+        client_span.span_id = Some(crate::trace::client_span_id(1, 0));
+        client_span.parent = Some(crate::trace::round_span_id(1));
+        let phase = span(Some(1), Phase::LocalUpdate, 0.5);
+        let s = RunSummary::from_events(&[round_span, client_span, phase]);
+        assert_eq!(s.structural_spans, 2);
+        assert_eq!(s.unphased_spans, 0);
+        assert!((s.rounds[&1].total() - 0.5).abs() < 1e-9, "only the phase counts");
+    }
+
+    #[test]
+    fn failed_spans_still_count_toward_their_phase() {
+        let mut failed = span(Some(2), Phase::LocalUpdate, 0.3);
+        failed.detail = Some("failed".into());
+        let s = RunSummary::from_events(&[failed]);
+        assert!((s.rounds[&2].local_update - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn round_gauges_are_folded_per_round() {
+        let mut r1 = Event::new(0.0, EventKind::Gauge, "primal_residual");
+        r1.round = Some(1);
+        r1.secs = Some(4.0);
+        let mut r2 = Event::new(0.1, EventKind::Gauge, "primal_residual");
+        r2.round = Some(2);
+        r2.secs = Some(2.0);
+        let s = RunSummary::from_events(&[r1, r2]);
+        assert_eq!(s.round_gauge(1, "primal_residual").max, 4.0);
+        assert_eq!(s.round_gauge(2, "primal_residual").max, 2.0);
+        assert_eq!(s.round_gauge(3, "primal_residual").count, 0);
+        assert_eq!(s.gauge("primal_residual").count, 2);
     }
 }

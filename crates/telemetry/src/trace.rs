@@ -1,0 +1,626 @@
+//! Causal trace export: the span tree and its Chrome trace-event encoding.
+//!
+//! Spans emitted through a [`crate::Telemetry`] handle carry an `id` and
+//! a `parent` id forming a tree per round: a structural `round` span
+//! (deterministic key from [`round_span_id`]) parents one structural
+//! `client` span per participating peer ([`client_span_id`]), which in
+//! turn parent the phase spans recorded on that peer. Phase spans the
+//! server records for the round as a whole (aggregate, gather wait)
+//! attach directly to the round span.
+//!
+//! [`chrome_trace`] renders a recorded event stream as Chrome
+//! trace-event JSON — load the file in Perfetto (`ui.perfetto.dev`) or
+//! `chrome://tracing`. Tree spans become matched `B`/`E` duration pairs
+//! (clients on their own thread tracks, per-round server phases laid out
+//! sequentially inside their round so slices always nest), marks become
+//! instants, counters become counter tracks, and spans outside the tree
+//! (transport retries/backoffs with no round context, legacy streams
+//! without ids) become standalone `X` complete events.
+
+use crate::event::{Event, EventKind};
+use crate::sink::EventSink;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Span ids at or above this value are allocated dynamically (unique per
+/// handle); below it they are deterministic tree keys.
+pub const TRACE_DYNAMIC_BASE: u64 = 1 << 48;
+
+/// Deterministic id of round `round`'s structural span.
+pub fn round_span_id(round: u64) -> u64 {
+    ((round & 0xFFFF_FFFF) << 16) | 1
+}
+
+/// Deterministic id of the structural span covering peer `peer`'s work
+/// in round `round`.
+pub fn client_span_id(round: u64, peer: u64) -> u64 {
+    ((round & 0xFFFF_FFFF) << 16) | ((peer & 0x3FFF) + 2)
+}
+
+/// Whether `id` is a [`round_span_id`] key.
+pub fn is_round_key(id: u64) -> bool {
+    id < TRACE_DYNAMIC_BASE && (id & 0xFFFF) == 1
+}
+
+/// Thread track used for spans that cannot be attributed to a peer or a
+/// round (transport backoffs, legacy events).
+const ORPHAN_TID: u64 = 999;
+
+struct Node {
+    name: String,
+    start: f64,
+    end: f64,
+    round: Option<u64>,
+    peer: Option<u64>,
+    detail: Option<String>,
+    id: Option<u64>,
+    parent: Option<u64>,
+    children: Vec<usize>,
+    // Filled by layout:
+    tid: u64,
+    depth: u64,
+    placed: bool,
+}
+
+/// Renders `events` as Chrome trace-event JSON (the
+/// `{"traceEvents":[…]}` object form; timestamps in microseconds).
+pub fn chrome_trace(events: &[Event]) -> String {
+    let mut nodes: Vec<Node> = Vec::new();
+    let mut by_id: HashMap<u64, usize> = HashMap::new();
+    for ev in events {
+        if ev.kind != EventKind::Span {
+            continue;
+        }
+        let Some(secs) = ev.secs else { continue };
+        let end = ev.ts;
+        let start = (end - secs.max(0.0)).max(0.0);
+        let idx = nodes.len();
+        nodes.push(Node {
+            name: ev.name.clone(),
+            start,
+            end,
+            round: ev.round,
+            peer: ev.peer,
+            detail: ev.detail.clone(),
+            id: ev.span_id,
+            parent: ev.parent,
+            children: Vec::new(),
+            tid: ORPHAN_TID,
+            depth: 0,
+            placed: false,
+        });
+        if let Some(id) = ev.span_id {
+            by_id.entry(id).or_insert(idx); // duplicates fall back to orphans
+        }
+    }
+    for i in 0..nodes.len() {
+        let parent_idx = nodes[i]
+            .parent
+            .and_then(|p| by_id.get(&p).copied())
+            .filter(|&p| p != i);
+        if let Some(p) = parent_idx {
+            nodes[p].children.push(i);
+        }
+    }
+
+    // Lay out the trees hanging off round spans. Children on the same
+    // thread track as their parent are placed back-to-back from the
+    // parent's start (per-round server phase totals have no individual
+    // timestamps, so a sequential layout inside the round is the honest
+    // rendering); children on another track (a peer's thread) keep their
+    // real interval.
+    let mut out: Vec<TraceRecord> = Vec::new();
+    let roots: Vec<usize> = (0..nodes.len())
+        .filter(|&i| nodes[i].id.is_some_and(is_round_key))
+        .filter(|&i| nodes[i].parent.and_then(|p| by_id.get(&p)).is_none())
+        .collect();
+    for &root in &roots {
+        nodes[root].tid = 0;
+        nodes[root].depth = 0;
+        nodes[root].placed = true;
+        layout_children(&mut nodes, root);
+    }
+    let mut stack: Vec<usize> = roots.clone();
+    while let Some(i) = stack.pop() {
+        let node = &nodes[i];
+        out.push(TraceRecord::Begin {
+            ts: node.start,
+            tid: node.tid,
+            depth: node.depth,
+            name: node.name.clone(),
+            round: node.round,
+            peer: node.peer,
+            id: node.id,
+            parent: node.parent,
+            detail: node.detail.clone(),
+        });
+        out.push(TraceRecord::End {
+            ts: node.end,
+            tid: node.tid,
+            depth: node.depth,
+        });
+        stack.extend(node.children.iter().copied());
+    }
+    // Everything not reached through a round tree renders as a
+    // standalone complete event on its peer's (or the orphan) track.
+    for node in nodes.iter().filter(|n| !n.placed) {
+        out.push(TraceRecord::Complete {
+            ts: node.start,
+            dur: node.end - node.start,
+            tid: node.peer.map_or(ORPHAN_TID, |p| p + 1),
+            name: node.name.clone(),
+            round: node.round,
+            peer: node.peer,
+            detail: node.detail.clone(),
+        });
+    }
+
+    let mut counter_totals: HashMap<String, u64> = HashMap::new();
+    for ev in events {
+        match ev.kind {
+            EventKind::Mark => out.push(TraceRecord::Instant {
+                ts: ev.ts,
+                tid: ev.peer.map_or(0, |p| p + 1),
+                name: ev.name.clone(),
+                round: ev.round,
+                peer: ev.peer,
+                detail: ev.detail.clone(),
+            }),
+            EventKind::Count => {
+                let total = counter_totals.entry(ev.name.clone()).or_insert(0);
+                *total += ev.value.unwrap_or(0);
+                out.push(TraceRecord::Counter {
+                    ts: ev.ts,
+                    name: ev.name.clone(),
+                    value: *total,
+                });
+            }
+            _ => {}
+        }
+    }
+
+    // Chrome requires per-track stack discipline in timestamp order; at
+    // ties, ends come before begins, deeper ends first, shallower begins
+    // first.
+    out.sort_by(|a, b| {
+        a.ts()
+            .total_cmp(&b.ts())
+            .then_with(|| a.order_rank().cmp(&b.order_rank()))
+    });
+
+    let mut s = String::from("{\"traceEvents\":[");
+    for (i, rec) in out.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        rec.write_json(&mut s);
+    }
+    s.push_str("],\"displayTimeUnit\":\"ms\"}");
+    s
+}
+
+fn layout_children(nodes: &mut [Node], parent: usize) {
+    let mut order: Vec<usize> = nodes[parent].children.clone();
+    order.sort_by(|&a, &b| nodes[a].start.total_cmp(&nodes[b].start));
+    let parent_tid = nodes[parent].tid;
+    let parent_depth = nodes[parent].depth;
+    let (p_start, p_end) = (nodes[parent].start, nodes[parent].end);
+    let mut cursor = p_start;
+    for i in order {
+        let child_tid = match nodes[i].peer {
+            Some(p) => p + 1,
+            None => parent_tid,
+        };
+        if child_tid == parent_tid {
+            let dur = (nodes[i].end - nodes[i].start).max(0.0);
+            let start = cursor.min(p_end);
+            let end = (start + dur).min(p_end).max(start);
+            nodes[i].start = start;
+            nodes[i].end = end;
+            cursor = end;
+        }
+        nodes[i].tid = child_tid;
+        nodes[i].depth = parent_depth + 1;
+        nodes[i].placed = true;
+        layout_children(nodes, i);
+    }
+}
+
+enum TraceRecord {
+    Begin {
+        ts: f64,
+        tid: u64,
+        depth: u64,
+        name: String,
+        round: Option<u64>,
+        peer: Option<u64>,
+        id: Option<u64>,
+        parent: Option<u64>,
+        detail: Option<String>,
+    },
+    End {
+        ts: f64,
+        tid: u64,
+        depth: u64,
+    },
+    Complete {
+        ts: f64,
+        dur: f64,
+        tid: u64,
+        name: String,
+        round: Option<u64>,
+        peer: Option<u64>,
+        detail: Option<String>,
+    },
+    Instant {
+        ts: f64,
+        tid: u64,
+        name: String,
+        round: Option<u64>,
+        peer: Option<u64>,
+        detail: Option<String>,
+    },
+    Counter {
+        ts: f64,
+        name: String,
+        value: u64,
+    },
+}
+
+impl TraceRecord {
+    fn ts(&self) -> f64 {
+        match self {
+            TraceRecord::Begin { ts, .. }
+            | TraceRecord::End { ts, .. }
+            | TraceRecord::Complete { ts, .. }
+            | TraceRecord::Instant { ts, .. }
+            | TraceRecord::Counter { ts, .. } => *ts,
+        }
+    }
+
+    /// Tie-break rank at equal timestamps: ends first (deepest first),
+    /// then begins (shallowest first), then everything else.
+    fn order_rank(&self) -> i64 {
+        match self {
+            TraceRecord::End { depth, .. } => -1_000_000 - *depth as i64,
+            TraceRecord::Begin { depth, .. } => *depth as i64,
+            _ => 1_000_000,
+        }
+    }
+
+    fn write_json(&self, s: &mut String) {
+        match self {
+            TraceRecord::Begin {
+                ts,
+                tid,
+                name,
+                round,
+                peer,
+                id,
+                parent,
+                detail,
+                ..
+            } => {
+                let _ = write!(
+                    s,
+                    "{{\"ph\":\"B\",\"pid\":1,\"tid\":{tid},\"ts\":{:.3},\"name\":\"{}\"",
+                    ts * 1e6,
+                    json_escape(name)
+                );
+                write_args(s, *round, *peer, *id, *parent, detail.as_deref());
+                s.push('}');
+            }
+            TraceRecord::End { ts, tid, .. } => {
+                let _ = write!(
+                    s,
+                    "{{\"ph\":\"E\",\"pid\":1,\"tid\":{tid},\"ts\":{:.3}}}",
+                    ts * 1e6
+                );
+            }
+            TraceRecord::Complete {
+                ts,
+                dur,
+                tid,
+                name,
+                round,
+                peer,
+                detail,
+            } => {
+                let _ = write!(
+                    s,
+                    "{{\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{:.3},\"dur\":{:.3},\
+                     \"name\":\"{}\"",
+                    ts * 1e6,
+                    dur * 1e6,
+                    json_escape(name)
+                );
+                write_args(s, *round, *peer, None, None, detail.as_deref());
+                s.push('}');
+            }
+            TraceRecord::Instant {
+                ts,
+                tid,
+                name,
+                round,
+                peer,
+                detail,
+            } => {
+                let _ = write!(
+                    s,
+                    "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{tid},\"ts\":{:.3},\
+                     \"name\":\"{}\"",
+                    ts * 1e6,
+                    json_escape(name)
+                );
+                write_args(s, *round, *peer, None, None, detail.as_deref());
+                s.push('}');
+            }
+            TraceRecord::Counter { ts, name, value } => {
+                let _ = write!(
+                    s,
+                    "{{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":{:.3},\"name\":\"{}\",\
+                     \"args\":{{\"value\":{value}}}}}",
+                    ts * 1e6,
+                    json_escape(name)
+                );
+            }
+        }
+    }
+}
+
+fn write_args(
+    s: &mut String,
+    round: Option<u64>,
+    peer: Option<u64>,
+    id: Option<u64>,
+    parent: Option<u64>,
+    detail: Option<&str>,
+) {
+    s.push_str(",\"args\":{");
+    let mut first = true;
+    let mut field = |s: &mut String, key: &str, value: String| {
+        if !first {
+            s.push(',');
+        }
+        first = false;
+        let _ = write!(s, "\"{key}\":{value}");
+    };
+    if let Some(r) = round {
+        field(s, "round", r.to_string());
+    }
+    if let Some(p) = peer {
+        field(s, "peer", p.to_string());
+    }
+    if let Some(i) = id {
+        field(s, "id", i.to_string());
+    }
+    if let Some(p) = parent {
+        field(s, "parent", p.to_string());
+    }
+    if let Some(d) = detail {
+        field(s, "detail", format!("\"{}\"", json_escape(d)));
+    }
+    s.push('}');
+}
+
+fn json_escape(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// An [`EventSink`] that buffers the run's events and writes them out as
+/// Chrome trace-event JSON (`trace.json`) on [`EventSink::flush`] — and
+/// again on drop, so a panicking run still leaves a loadable trace.
+pub struct TraceSink {
+    path: PathBuf,
+    events: Mutex<Vec<Event>>,
+}
+
+impl TraceSink {
+    /// Creates (truncating) the trace file at `path` up front, so
+    /// permission errors surface at construction rather than at the end
+    /// of a run.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        File::create(&path)?;
+        Ok(TraceSink {
+            path,
+            events: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Events buffered so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("trace sink poisoned").clone()
+    }
+}
+
+impl EventSink for TraceSink {
+    fn emit(&self, event: Event) {
+        self.events.lock().expect("trace sink poisoned").push(event);
+    }
+
+    fn flush(&self) {
+        let events = self.events.lock().expect("trace sink poisoned");
+        if let Ok(mut f) = File::create(&self.path) {
+            let _ = f.write_all(chrome_trace(&events).as_bytes());
+        }
+    }
+}
+
+impl Drop for TraceSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Phase;
+
+    fn span(
+        ts: f64,
+        secs: f64,
+        name: &str,
+        round: Option<u64>,
+        peer: Option<u64>,
+        id: Option<u64>,
+        parent: Option<u64>,
+        phase: Option<Phase>,
+    ) -> Event {
+        let mut ev = Event::new(ts, EventKind::Span, name);
+        ev.secs = Some(secs);
+        ev.round = round;
+        ev.peer = peer;
+        ev.span_id = id;
+        ev.parent = parent;
+        ev.phase = phase;
+        ev
+    }
+
+    #[test]
+    fn deterministic_keys_do_not_collide() {
+        let mut seen = std::collections::HashSet::new();
+        for round in 1..=64 {
+            assert!(seen.insert(round_span_id(round)));
+            assert!(is_round_key(round_span_id(round)));
+            for peer in 0..64 {
+                let id = client_span_id(round, peer);
+                assert!(seen.insert(id), "collision at r{round} p{peer}");
+                assert!(!is_round_key(id));
+                assert!(id < TRACE_DYNAMIC_BASE);
+            }
+        }
+    }
+
+    #[test]
+    fn chrome_trace_pairs_and_nests_spans() {
+        let r1 = round_span_id(1);
+        let c0 = client_span_id(1, 0);
+        let events = vec![
+            // Client 0's structural span and a phase under it.
+            span(
+                0.9,
+                0.6,
+                "client",
+                Some(1),
+                Some(0),
+                Some(c0),
+                Some(r1),
+                None,
+            ),
+            span(
+                0.8,
+                0.5,
+                "local_update",
+                Some(1),
+                Some(0),
+                Some(TRACE_DYNAMIC_BASE + 1),
+                Some(c0),
+                Some(Phase::LocalUpdate),
+            ),
+            // Server-side aggregate attached to the round.
+            span(
+                1.0,
+                0.1,
+                "aggregate",
+                Some(1),
+                None,
+                Some(TRACE_DYNAMIC_BASE + 2),
+                Some(r1),
+                Some(Phase::Aggregate),
+            ),
+            // The round itself, emitted last.
+            span(1.0, 1.0, "round", Some(1), None, Some(r1), None, None),
+            // An orphan backoff with no round context.
+            span(
+                0.5,
+                0.05,
+                "backoff",
+                None,
+                None,
+                None,
+                None,
+                Some(Phase::Comm),
+            ),
+        ];
+        let json = chrome_trace(&events);
+        assert_eq!(json.matches("\"ph\":\"B\"").count(), 4, "{json}");
+        assert_eq!(json.matches("\"ph\":\"E\"").count(), 4, "{json}");
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 1, "orphan:\n{json}");
+        assert!(json.contains("\"name\":\"round\""), "{json}");
+        assert!(json.contains("\"name\":\"backoff\""), "{json}");
+        // Per-tid B/E stack discipline: replay the sorted stream.
+        let mut stacks: std::collections::HashMap<u64, u64> = Default::default();
+        for chunk in json.split("{\"ph\":").skip(1) {
+            let tid: u64 = chunk
+                .split("\"tid\":")
+                .nth(1)
+                .and_then(|r| r.split([',', '}']).next())
+                .and_then(|n| n.parse().ok())
+                .unwrap_or(0);
+            if chunk.starts_with("\"B\"") {
+                *stacks.entry(tid).or_insert(0) += 1;
+            } else if chunk.starts_with("\"E\"") {
+                let depth = stacks.entry(tid).or_insert(0);
+                assert!(*depth > 0, "E without open B on tid {tid}:\n{json}");
+                *depth -= 1;
+            }
+        }
+        assert!(
+            stacks.values().all(|&d| d == 0),
+            "unclosed spans: {stacks:?}"
+        );
+    }
+
+    #[test]
+    fn marks_and_counts_become_instants_and_counters() {
+        let mut mark = Event::new(0.5, EventKind::Mark, "timeout");
+        mark.peer = Some(2);
+        let mut count = Event::new(0.6, EventKind::Count, "upload_bytes");
+        count.value = Some(100);
+        let mut count2 = Event::new(0.7, EventKind::Count, "upload_bytes");
+        count2.value = Some(50);
+        let json = chrome_trace(&[mark, count, count2]);
+        assert!(json.contains("\"ph\":\"i\""), "{json}");
+        assert!(json.contains("\"ph\":\"C\""), "{json}");
+        assert!(
+            json.contains("\"value\":150"),
+            "counters accumulate: {json}"
+        );
+    }
+
+    #[test]
+    fn trace_sink_writes_loadable_json_on_flush() {
+        let path =
+            std::env::temp_dir().join(format!("appfl_trace_sink_test_{}.json", std::process::id()));
+        {
+            let sink = TraceSink::create(&path).unwrap();
+            let r1 = round_span_id(1);
+            sink.emit(span(1.0, 1.0, "round", Some(1), None, Some(r1), None, None));
+            sink.flush();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(text.starts_with("{\"traceEvents\":["), "{text}");
+        assert!(text.trim_end().ends_with('}'), "{text}");
+    }
+}

@@ -99,6 +99,11 @@ fn telemetry_fields_round_trip() {
         aggregate_secs: 0.25,
         rejected_clients: 2,
         clipped_clients: 1,
+        primal_residual: 1.5,
+        dual_residual: 0.75,
+        rho: 10.0,
+        update_norm: 0.5,
+        cosine_alignment: 0.875,
     });
     let json = serde_json::to_string(&history).unwrap();
     let back: History = serde_json::from_str(&json).unwrap();
@@ -116,4 +121,9 @@ fn telemetry_fields_round_trip() {
     assert_eq!(r.clipped_clients, 1);
     assert_eq!(back.total_rejected_clients(), 2);
     assert_eq!(back.total_clipped_clients(), 1);
+    assert_eq!(r.primal_residual, 1.5);
+    assert_eq!(r.dual_residual, 0.75);
+    assert_eq!(r.rho, 10.0);
+    assert_eq!(r.update_norm, 0.5);
+    assert_eq!(r.cosine_alignment, 0.875);
 }

@@ -1,0 +1,212 @@
+//! End-to-end observability: a fault-injected 8-client IIADMM federation
+//! recorded through the full observatory stack (JSONL capture + Chrome
+//! trace export + metrics registry) must produce
+//!
+//! * a Prometheus-text snapshot that parses and carries ≥ 12 distinct
+//!   metric families,
+//! * a well-formed `trace.json` whose span tree nests
+//!   round → client → phase,
+//! * per-round ADMM primal/dual residuals in both the `RoundRecord`s and
+//!   the `telemetry_report` convergence table.
+
+use appfl::comm::transport::{FaultPlan, FaultyCommunicator, InProcNetwork};
+use appfl::core::algorithms::build_federation;
+use appfl::core::config::{AlgorithmConfig, FaultToleranceConfig, FedConfig};
+use appfl::core::FederationBuilder;
+use appfl::data::federated::{build_benchmark, Benchmark};
+use appfl::nn::models::{mlp_classifier, InputSpec};
+use appfl::privacy::PrivacyConfig;
+use appfl::telemetry::{
+    client_span_id, is_round_key, round_span_id, validate_prometheus_text, EventKind, EventSink,
+    JsonlSink, MetricsRegistry, Telemetry, TraceSink, TRACE_DYNAMIC_BASE,
+};
+use appfl_bench::telemetry_report::{render_convergence_table, render_phase_table};
+use std::sync::Arc;
+
+const SPEC: InputSpec = InputSpec {
+    channels: 1,
+    height: 28,
+    width: 28,
+    classes: 10,
+};
+const CLIENTS: usize = 8;
+const ROUNDS: usize = 4;
+const RHO: f32 = 10.0;
+
+#[test]
+fn fault_injected_run_feeds_registry_trace_and_convergence_table() {
+    let data = build_benchmark(Benchmark::Mnist, CLIENTS, 160, 40, 7).unwrap();
+    let test = data.test.clone();
+    let config = FedConfig {
+        algorithm: AlgorithmConfig::IiAdmm {
+            rho: RHO,
+            zeta: 1.0,
+        },
+        rounds: ROUNDS,
+        local_steps: 1,
+        batch_size: 16,
+        privacy: PrivacyConfig::none(),
+        seed: 11,
+    };
+    let mut fed = build_federation(config, &data, |rng| Box::new(mlp_classifier(SPEC, 8, rng)));
+
+    let out_dir = std::path::Path::new("target/observatory");
+    std::fs::create_dir_all(out_dir).unwrap();
+    let jsonl = Arc::new(JsonlSink::create(out_dir.join("run.jsonl")).unwrap());
+    let trace = Arc::new(TraceSink::create(out_dir.join("trace.json")).unwrap());
+    let tee: Arc<dyn EventSink> = Arc::new(appfl::telemetry::TeeSink::new(vec![
+        jsonl.clone(),
+        trace.clone(),
+    ]));
+    let registry = MetricsRegistry::new();
+
+    // Lossy links on every endpoint; seeds chosen so the run still
+    // reaches quorum each round.
+    let endpoints: Vec<_> = InProcNetwork::new(CLIENTS + 1)
+        .into_iter()
+        .enumerate()
+        .map(|(rank, ep)| {
+            FaultyCommunicator::new(ep, FaultPlan::new(100 + rank as u64).drop_prob(0.2))
+                .with_telemetry(Telemetry::new(tee.clone()))
+        })
+        .collect();
+    let ft = FaultToleranceConfig {
+        round_timeout_ms: 2_000,
+        min_quorum: 2,
+        suspect_after: 3,
+        readmit_after: 1,
+        max_attempts: 6,
+        base_backoff_ms: 5,
+    };
+
+    let outcome = FederationBuilder::new(fed.server, fed.clients)
+        .transport(endpoints)
+        .rounds(ROUNDS)
+        .dataset("MNIST")
+        .evaluation(fed.template.as_mut(), &test)
+        .fault_tolerance_config(ft)
+        .telemetry(tee.clone())
+        .metrics(registry.clone())
+        .run()
+        .unwrap();
+    let history = outcome.history.expect("push mode records a history");
+    assert_eq!(history.rounds.len(), ROUNDS);
+
+    // --- RoundRecord diagnostics -------------------------------------
+    for record in &history.rounds {
+        assert!(
+            record.primal_residual > 0.0,
+            "round {} missing primal residual",
+            record.round
+        );
+        assert!(
+            record.dual_residual > 0.0,
+            "round {} missing dual residual",
+            record.round
+        );
+        assert_eq!(record.rho, f64::from(RHO), "round {}", record.round);
+        assert!(record.update_norm > 0.0, "round {}", record.round);
+    }
+
+    // --- Prometheus snapshot -----------------------------------------
+    let text = registry.to_prometheus_text();
+    let families = validate_prometheus_text(&text)
+        .unwrap_or_else(|e| panic!("invalid Prometheus text: {e}\n{text}"));
+    assert!(
+        families >= 12,
+        "expected >= 12 metric families, got {families}:\n{text}"
+    );
+    for required in [
+        "appfl_local_update",
+        "appfl_aggregate",
+        "appfl_primal_residual",
+        "appfl_dual_residual",
+        "appfl_rho",
+        "appfl_update_norm",
+        "appfl_cosine_alignment",
+        "appfl_upload_bytes",
+    ] {
+        assert!(
+            text.contains(required),
+            "snapshot missing {required}:\n{text}"
+        );
+    }
+
+    // --- Convergence table from the JSONL capture --------------------
+    let events = trace.events();
+    let table = render_convergence_table(&events);
+    assert!(
+        table.contains("Convergence diagnostics"),
+        "no convergence section:\n{table}"
+    );
+    for round in 1..=ROUNDS {
+        assert!(
+            table
+                .lines()
+                .any(|l| l.trim_start().starts_with(&round.to_string())),
+            "round {round} missing from convergence table:\n{table}"
+        );
+    }
+    // rho column shows the configured penalty on every data row.
+    assert!(table.contains("10.0000"), "rho column wrong:\n{table}");
+    let full = render_phase_table(&events);
+    assert!(full.contains("Convergence diagnostics"), "{full}");
+
+    // --- Span tree nests round -> client -> phase ---------------------
+    let mut round_roots = 0usize;
+    let mut client_spans = 0usize;
+    let mut phase_children_of_clients = 0usize;
+    for ev in events.iter().filter(|e| e.kind == EventKind::Span) {
+        match ev.span_id {
+            // Deterministic tree keys mark the structural round/client
+            // skeleton; dynamic ids (>= TRACE_DYNAMIC_BASE) are phase spans.
+            Some(id) if id < TRACE_DYNAMIC_BASE && is_round_key(id) => {
+                assert_eq!(id, round_span_id(ev.round.unwrap()), "{ev:?}");
+                assert_eq!(ev.parent, None, "round span must be a root: {ev:?}");
+                round_roots += 1;
+            }
+            Some(id) if id < TRACE_DYNAMIC_BASE => {
+                let (r, p) = (ev.round.unwrap(), ev.peer.unwrap());
+                assert_eq!(id, client_span_id(r, p), "{ev:?}");
+                assert_eq!(ev.parent, Some(round_span_id(r)), "{ev:?}");
+                client_spans += 1;
+            }
+            _ => {
+                // Phase spans: parented by the auto-parent rule.
+                match (ev.round, ev.peer) {
+                    (Some(r), Some(p)) => {
+                        assert_eq!(ev.parent, Some(client_span_id(r, p)), "{ev:?}");
+                        phase_children_of_clients += 1;
+                    }
+                    (Some(r), None) => {
+                        assert_eq!(ev.parent, Some(round_span_id(r)), "{ev:?}");
+                    }
+                    _ => assert_eq!(ev.parent, None, "untagged span has no parent: {ev:?}"),
+                }
+            }
+        }
+    }
+    assert_eq!(round_roots, ROUNDS, "one structural span per round");
+    assert!(
+        client_spans >= ROUNDS * 2,
+        "at least quorum client spans per round, got {client_spans}"
+    );
+    assert!(
+        phase_children_of_clients > 0,
+        "no phase spans nested under client spans"
+    );
+
+    // --- Chrome trace JSON on disk ------------------------------------
+    trace.flush();
+    let json = std::fs::read_to_string(out_dir.join("trace.json")).unwrap();
+    assert!(json.starts_with("{\"traceEvents\":["), "not a trace object");
+    assert!(json.ends_with("}"), "truncated trace file");
+    let begins = json.matches("\"ph\":\"B\"").count();
+    let ends = json.matches("\"ph\":\"E\"").count();
+    assert_eq!(begins, ends, "unbalanced B/E records");
+    assert!(begins > 0, "empty span tree");
+    assert!(json.matches("\"name\":\"round\"").count() >= ROUNDS);
+    assert!(json.contains("\"name\":\"client\""), "no client tracks");
+    // Counters and instants ride along for Perfetto's counter tracks.
+    assert!(json.contains("\"ph\":\"C\"") || json.contains("\"ph\":\"i\""));
+}

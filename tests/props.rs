@@ -431,3 +431,68 @@ fn defense_uploads(rows: &[Vec<f32>]) -> Vec<appfl::core::api::ClientUpload> {
         })
         .collect()
 }
+
+proptest! {
+    // Histogram bucket boundaries: every finite positive sample lands in
+    // the unique bucket whose (upper(i-1), upper(i)] interval contains it,
+    // and the index is monotone in the sample value.
+    #[test]
+    fn histogram_buckets_partition_the_positive_axis(v in 1e-12f64..1e12) {
+        use appfl::telemetry::registry::HISTOGRAM_BUCKETS;
+        use appfl::telemetry::Histogram;
+        let i = Histogram::bucket_index(v);
+        prop_assert!(i < HISTOGRAM_BUCKETS);
+        if i < HISTOGRAM_BUCKETS - 1 {
+            prop_assert!(
+                v <= Histogram::bucket_upper(i),
+                "sample {v} above its bucket bound {}",
+                Histogram::bucket_upper(i)
+            );
+        }
+        if i > 0 {
+            prop_assert!(
+                v > Histogram::bucket_upper(i - 1),
+                "sample {v} belongs in an earlier bucket than {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_bucket_index_is_monotone(a in 1e-9f64..1e9, b in 1e-9f64..1e9) {
+        use appfl::telemetry::Histogram;
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(Histogram::bucket_index(lo) <= Histogram::bucket_index(hi));
+    }
+
+    // Quantile estimation: the log-bucketed estimate brackets the exact
+    // order statistic from above, within the exact sample's own bucket —
+    // "within one bucket of exact" for any sample distribution.
+    #[test]
+    fn histogram_quantiles_within_one_bucket_of_exact(
+        samples in proptest::collection::vec(1e-6f64..1e4, 1..300),
+    ) {
+        use appfl::telemetry::Histogram;
+        let h = Histogram::new();
+        for &s in &samples {
+            h.observe(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        for q in [0.5, 0.9, 0.99] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+            let exact = sorted[rank - 1];
+            let est = h.quantile(q);
+            prop_assert!(
+                est >= exact,
+                "p{q}: estimate {est} below exact order statistic {exact}"
+            );
+            prop_assert!(
+                est <= Histogram::bucket_upper(Histogram::bucket_index(exact)),
+                "p{q}: estimate {est} beyond the exact sample's bucket ({exact})"
+            );
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        let sum: f64 = samples.iter().sum();
+        prop_assert!((h.sum() - sum).abs() <= 1e-9 * sum.abs().max(1.0));
+    }
+}
