@@ -69,11 +69,16 @@ impl RetryPolicy {
     }
 
     /// Backoff before retry number `retry` (1-based), jittered
-    /// deterministically by the seed.
+    /// deterministically by the seed. Saturates at `max_backoff` for
+    /// arbitrarily large retry counts: the exponent is clamped before the
+    /// `i32` cast (a bare `as i32` wraps negative past `i32::MAX`, turning
+    /// the largest retry counts into the *smallest* backoffs) and a
+    /// non-finite intermediate (`powi` overflow) lands on the cap.
     pub fn backoff_for(&self, retry: u32) -> Duration {
-        let exp = self.multiplier.powi(retry.saturating_sub(1) as i32);
-        let raw = self.base_backoff.as_secs_f64() * exp;
-        let capped = raw.min(self.max_backoff.as_secs_f64());
+        let exp = retry.saturating_sub(1).min(i32::MAX as u32) as i32;
+        let raw = self.base_backoff.as_secs_f64() * self.multiplier.powi(exp);
+        let max = self.max_backoff.as_secs_f64();
+        let capped = if raw.is_finite() { raw.min(max) } else { max };
         // splitmix64 on (seed, retry) → uniform in [-jitter, +jitter].
         let mut x = self
             .seed
@@ -227,6 +232,27 @@ mod tests {
         assert_eq!(p.backoff_for(3), Duration::from_millis(4));
         assert_eq!(p.backoff_for(4), Duration::from_millis(8));
         assert_eq!(p.backoff_for(10), Duration::from_millis(8), "capped");
+    }
+
+    #[test]
+    fn backoff_saturates_for_huge_retry_counts() {
+        // Pins the capped schedule far past any sane attempt count. Before
+        // the exponent clamp, `retry as i32` wrapped negative for retries
+        // beyond i32::MAX and `powi` returned a fraction — the backoff
+        // *shrank* toward zero exactly when a pathological caller had been
+        // retrying longest. Every entry here must sit exactly on the cap.
+        let p = quick(); // jitter = 0.0: schedule is exact
+        let cap = Duration::from_millis(8);
+        for retry in [64, 1_000, i32::MAX as u32, i32::MAX as u32 + 1, u32::MAX] {
+            assert_eq!(p.backoff_for(retry), cap, "retry {retry} must cap");
+        }
+        // powi overflow to +inf (1000^2e9) also saturates instead of
+        // poisoning Duration::from_secs_f64.
+        let explosive = RetryPolicy {
+            multiplier: 1000.0,
+            ..quick()
+        };
+        assert_eq!(explosive.backoff_for(u32::MAX), cap);
     }
 
     #[test]

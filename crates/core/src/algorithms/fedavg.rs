@@ -74,6 +74,19 @@ impl ServerAlgorithm for FedAvgServer {
     fn dim(&self) -> usize {
         self.global.len()
     }
+
+    /// FedAvg's entire server state *is* the global model, so resuming
+    /// from a persisted `w` is exact.
+    fn restore(&mut self, w: &[f32]) -> Result<()> {
+        if w.len() != self.global.len() {
+            return Err(TensorError::ShapeDataMismatch {
+                expected: self.global.len(),
+                actual: w.len(),
+            });
+        }
+        self.global.copy_from_slice(w);
+        Ok(())
+    }
 }
 
 /// FedAvg client: stateless between rounds except for its data and RNG.
@@ -197,6 +210,14 @@ mod tests {
         let mut s = FedAvgServer::new(vec![0.0; 3]);
         assert!(s.update(&[]).is_err());
         assert!(s.update(&[upload(0, 1.0, 0)]).is_err());
+    }
+
+    #[test]
+    fn restore_is_exact_and_dim_checked() {
+        let mut s = FedAvgServer::new(vec![0.0; 3]);
+        s.restore(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(s.global_model(), vec![1.0, 2.0, 3.0]);
+        assert!(s.restore(&[1.0]).is_err(), "dimension mismatch rejected");
     }
 
     #[test]

@@ -9,9 +9,13 @@
 //! is generic over them.
 
 use appfl_tensor::Result;
+use serde::{Deserialize, Serialize};
 
 /// What a client transmits to the server each round.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Serializable so the durable coordinator ([`crate::store`]) can persist
+/// accepted uploads as part of a round's partial state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClientUpload {
     /// Client identifier `p ∈ [P]`.
     pub client_id: usize,
@@ -85,6 +89,22 @@ pub trait ServerAlgorithm: Send {
     /// return `None` and the runners fall back to model-level norms).
     fn diagnostics(&self) -> Option<ConvergenceDiagnostics> {
         None
+    }
+
+    /// Restores server state from a persisted global model `w`, used by
+    /// the durable coordinator when resuming a crashed run. Algorithms
+    /// whose server state *is* the global model (the averaging family)
+    /// implement this; algorithms with additional server-side state not
+    /// derivable from `w` alone (the ADMM family's mirrored duals) keep
+    /// the rejecting default, making an unsound resume a hard error
+    /// instead of a silent divergence.
+    fn restore(&mut self, w: &[f32]) -> Result<()> {
+        let _ = w;
+        Err(appfl_tensor::TensorError::InvalidArgument(format!(
+            "{} cannot restore from a bare global model: server-side \
+             state (e.g. ADMM duals) is not derivable from w",
+            self.name()
+        )))
     }
 }
 

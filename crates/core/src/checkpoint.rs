@@ -6,9 +6,17 @@
 //! JSON is written to a temporary file in the target's directory and
 //! atomically renamed into place, so a crash mid-write can never leave a
 //! truncated checkpoint where a good one (or none) used to be.
+//!
+//! Since the durable coordinator landed (see [`crate::store`]), the
+//! checkpoint is a thin *consumer* of its recovered state:
+//! [`Checkpoint::from_state`] derives an exportable round/model/history
+//! snapshot from a [`crate::store::CoordinatorState`], so a run driven
+//! through a [`crate::store::CoordinatorStore`] gets checkpoint export
+//! for free instead of maintaining a parallel persistence path.
 
 use crate::error::{Error, Result};
 use crate::metrics::History;
+use crate::store::CoordinatorState;
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 
@@ -31,6 +39,23 @@ impl Checkpoint {
             global,
             history,
         }
+    }
+
+    /// Derives a checkpoint from a recovered coordinator state: the last
+    /// *published* round, the durable model at that point, and the
+    /// replayed history. A pending (unpublished) round is deliberately
+    /// excluded — its aggregate is not yet a run-level fact — so the
+    /// checkpoint always satisfies the `rounds ≥ history` invariant that
+    /// [`Checkpoint::from_json`] enforces. Returns `None` for a state
+    /// with no model at all (an empty or just-started store).
+    pub fn from_state(state: &CoordinatorState) -> Option<Self> {
+        let round = state.history.rounds.len();
+        let global = state.models.get(round).or_else(|| state.models.last())?;
+        Some(Checkpoint::new(
+            round,
+            global.clone(),
+            state.history.clone(),
+        ))
     }
 
     /// Serialises to JSON.
@@ -107,6 +132,65 @@ mod tests {
             ..RoundRecord::default()
         });
         Checkpoint::new(1, vec![0.25, -0.5, 1.0], history)
+    }
+
+    #[test]
+    fn from_state_takes_the_last_published_round() {
+        use crate::api::ClientUpload;
+        use crate::store::{CoordinatorState, StoreEvent};
+        let upload = ClientUpload {
+            client_id: 0,
+            primal: vec![1.0; 3],
+            dual: None,
+            num_samples: 1,
+            local_loss: 0.0,
+        };
+        let record = RoundRecord {
+            round: 1,
+            accuracy: 0.7,
+            ..RoundRecord::default()
+        };
+        let state = CoordinatorState::replay(&[
+            StoreEvent::RunStarted {
+                algorithm: "FedAvg".into(),
+                dataset: "MNIST".into(),
+                epsilon: f64::INFINITY,
+                num_clients: 1,
+                rounds: 2,
+            },
+            StoreEvent::RoundStarted {
+                round: 1,
+                broadcast: vec![0.0; 3],
+                active: vec![0],
+            },
+            StoreEvent::UpdateReceived { round: 1, upload },
+            StoreEvent::RoundAggregated {
+                round: 1,
+                model: vec![1.0; 3],
+            },
+            StoreEvent::RoundPublished {
+                round: 1,
+                record,
+                roster: vec![],
+                participants: vec![0],
+            },
+            // A second round is in flight but unpublished: the checkpoint
+            // must stop at round 1.
+            StoreEvent::RoundStarted {
+                round: 2,
+                broadcast: vec![1.0; 3],
+                active: vec![0],
+            },
+        ]);
+        let cp = Checkpoint::from_state(&state).expect("published round");
+        assert_eq!(cp.round, 1);
+        assert_eq!(cp.global, vec![1.0; 3]);
+        assert_eq!(cp.history.rounds.len(), 1);
+        // The derived checkpoint passes its own decode invariants.
+        let back = Checkpoint::from_json(&cp.to_json().unwrap()).unwrap();
+        assert_eq!(back, cp);
+        // An empty state has nothing to export.
+        assert!(Checkpoint::from_state(&CoordinatorState::default()).is_none());
     }
 
     #[test]

@@ -253,6 +253,19 @@ impl ServerAlgorithm for RobustServer {
     fn dim(&self) -> usize {
         self.global.len()
     }
+
+    /// Like FedAvg, a robust averaging server's state is exactly its
+    /// global model, so crash-recovery restore is exact.
+    fn restore(&mut self, w: &[f32]) -> Result<()> {
+        if w.len() != self.global.len() {
+            return Err(appfl_tensor::TensorError::ShapeDataMismatch {
+                expected: self.global.len(),
+                actual: w.len(),
+            });
+        }
+        self.global.copy_from_slice(w);
+        Ok(())
+    }
 }
 
 #[cfg(test)]

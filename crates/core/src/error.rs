@@ -26,6 +26,12 @@ pub enum Error {
     /// Durable state could not be written or read back (checkpoint IO,
     /// encode/decode failures).
     Persist(String),
+    /// The coordinator was killed by an injected [`CrashPoint`] — only
+    /// ever produced by the crash-recovery test harness, after the named
+    /// phase's store write committed.
+    ///
+    /// [`CrashPoint`]: crate::store::CrashPoint
+    Crashed(&'static str),
 }
 
 impl Error {
@@ -58,6 +64,9 @@ impl fmt::Display for Error {
             Error::Config(msg) => write!(f, "configuration error: {msg}"),
             Error::Unsupported(what) => write!(f, "transport capability missing: {what}"),
             Error::Persist(msg) => write!(f, "persistence error: {msg}"),
+            Error::Crashed(phase) => {
+                write!(f, "coordinator crashed (injected) after {phase} phase")
+            }
         }
     }
 }

@@ -32,6 +32,7 @@ pub mod gossip;
 pub mod metrics;
 pub mod runner;
 pub mod schedule;
+pub mod store;
 pub mod trainer;
 #[cfg(test)]
 pub(crate) mod test_support;
@@ -47,6 +48,10 @@ pub use error::Error;
 pub use metrics::{History, RoundRecord};
 pub use runner::federation::{FederationBuilder, FederationOutcome};
 pub use runner::serial::SerialRunner;
+pub use store::{
+    AsyncState, CoordinatorState, CoordinatorStore, CrashPhase, CrashPoint, DurableCoordinator,
+    MemoryStore, PendingRound, RosterState, SnapshotWalStore, StoreEvent, WalStore,
+};
 
 /// Re-export of the telemetry substrate so `appfl_core` users can build
 /// sinks without naming the `appfl-telemetry` crate directly.

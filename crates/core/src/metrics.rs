@@ -89,6 +89,30 @@ impl RoundRecord {
     }
 }
 
+/// Serde adapter for the privacy budget ε̄: `f64::INFINITY` encodes the
+/// non-private run, and JSON has no number for it — a bare `f64` field
+/// would *serialise* it as `null` and then fail to deserialise its own
+/// output. This adapter round-trips every non-finite ε̄ as `null` and
+/// decodes `null` (or an absent field, via `#[serde(default)]`) back to
+/// `f64::INFINITY`.
+pub mod epsilon_serde {
+    use serde::{Deserialize, Deserializer, Serializer};
+
+    /// `null` for non-finite ε̄, the number otherwise.
+    pub fn serialize<S: Serializer>(v: &f64, s: S) -> Result<S::Ok, S::Error> {
+        if v.is_finite() {
+            s.serialize_f64(*v)
+        } else {
+            s.serialize_none()
+        }
+    }
+
+    /// `null` (and absent, with `default`) decode to `f64::INFINITY`.
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<f64, D::Error> {
+        Ok(Option::<f64>::deserialize(d)?.unwrap_or(f64::INFINITY))
+    }
+}
+
 /// A full run's history plus identifying metadata.
 #[derive(Debug, Clone, Serialize, Deserialize, Default, PartialEq)]
 pub struct History {
@@ -97,7 +121,8 @@ pub struct History {
     /// Dataset name.
     pub dataset: String,
     /// Privacy budget ε̄ (`f64::INFINITY` encodes the non-private run; it
-    /// serialises as `null` in JSON).
+    /// round-trips as `null` in JSON via [`epsilon_serde`]).
+    #[serde(with = "epsilon_serde")]
     pub epsilon: f64,
     /// Per-round records.
     pub rounds: Vec<RoundRecord>,

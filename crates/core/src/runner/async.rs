@@ -16,6 +16,7 @@
 
 use crate::api::ClientUpload;
 use crate::defense::{GuardVerdict, UpdateGuard, UpdateGuardConfig};
+use crate::store::AsyncState;
 use appfl_tensor::{Result, TensorError};
 use serde::{Deserialize, Serialize};
 
@@ -130,6 +131,22 @@ impl AsyncFedServer {
         self.version += 1;
         self.applied += 1;
         Ok(staleness)
+    }
+
+    /// Restores the server from a persisted [`AsyncState`] (crash
+    /// recovery): the global model plus the version and applied counters
+    /// that staleness weighting and the stop condition depend on.
+    pub fn restore(&mut self, state: &AsyncState) -> Result<()> {
+        if state.model.len() != self.global.len() {
+            return Err(TensorError::ShapeDataMismatch {
+                expected: self.global.len(),
+                actual: state.model.len(),
+            });
+        }
+        self.global.copy_from_slice(&state.model);
+        self.version = state.version;
+        self.applied = state.applied;
+        Ok(())
     }
 
     /// Current global model.
@@ -261,5 +278,31 @@ mod tests {
     #[should_panic(expected = "alpha")]
     fn invalid_alpha_panics() {
         AsyncFedServer::new(vec![0.0; 1], AsyncConfig { alpha: 0.0, ..AsyncConfig::default() });
+    }
+
+    #[test]
+    fn restore_resumes_version_and_staleness_math() {
+        let mut s = AsyncFedServer::new(vec![0.0; 2], AsyncConfig { alpha: 0.5, ..AsyncConfig::default() });
+        s.restore(&AsyncState {
+            applied: 4,
+            version: 4,
+            model: vec![1.0, 2.0],
+        })
+        .unwrap();
+        assert_eq!(s.version(), 4);
+        assert_eq!(s.applied(), 4);
+        assert_eq!(s.global_model(), &[1.0, 2.0]);
+        // An upload trained against version 0 is now 4 versions stale.
+        let st = s.apply(&upload(1.0, 2), 0).unwrap();
+        assert_eq!(st, 4);
+        // Dimension mismatch is refused without touching state.
+        assert!(s
+            .restore(&AsyncState {
+                applied: 0,
+                version: 0,
+                model: vec![0.0; 3],
+            })
+            .is_err());
+        assert_eq!(s.version(), 5);
     }
 }

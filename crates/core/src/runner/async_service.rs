@@ -13,6 +13,7 @@ use crate::api::ClientAlgorithm;
 use crate::api::ClientUpload;
 use crate::error::Error;
 use crate::runner::r#async::{AsyncConfig, AsyncFedServer};
+use crate::store::DurableCoordinator;
 use appfl_comm::retry::RetryPolicy;
 use appfl_comm::rpc::{call, call_with_retry_observed, serve_with, FlService, Request, Response, ServeOptions};
 use appfl_comm::transport::{CommError, Communicator};
@@ -28,6 +29,8 @@ pub struct AsyncRpcService {
     max_updates: usize,
     rejected: usize,
     telemetry: Telemetry,
+    durable: Option<DurableCoordinator>,
+    durable_error: Option<Error>,
 }
 
 impl AsyncRpcService {
@@ -38,6 +41,8 @@ impl AsyncRpcService {
             max_updates,
             rejected: 0,
             telemetry: Telemetry::disabled(),
+            durable: None,
+            durable_error: None,
         }
     }
 
@@ -46,6 +51,38 @@ impl AsyncRpcService {
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = telemetry;
         self
+    }
+
+    /// Attaches a durable coordinator (already recovered by the caller):
+    /// every applied upload commits an `AsyncApplied` event — model,
+    /// version, applied count — before the accept is acknowledged, and a
+    /// recovered coordinator restores the server to the persisted state
+    /// so a restarted service resumes exactly where the crash left it
+    /// (same version, so staleness weighting is unchanged).
+    ///
+    /// As in the synchronous service, a durable failure mid-serve parks
+    /// the error in [`AsyncRpcService::durable_error`] and reports the
+    /// service `finished` to wind the federation down.
+    pub fn with_durable(mut self, mut durable: DurableCoordinator) -> Result<Self, Error> {
+        if durable.was_recovered() {
+            if let Some(st) = durable.state().async_state.clone() {
+                self.server.restore(&st)?;
+            }
+        } else {
+            durable.run_started("async", "async", f64::INFINITY, 0, self.max_updates)?;
+        }
+        self.durable = Some(durable);
+        Ok(self)
+    }
+
+    /// The durable-coordination failure that aborted the service, if any.
+    pub fn durable_error(&self) -> Option<&Error> {
+        self.durable_error.as_ref()
+    }
+
+    /// Detaches the durable coordinator for post-run inspection.
+    pub fn take_durable(&mut self) -> Option<DurableCoordinator> {
+        self.durable.take()
     }
 
     /// The aggregated model.
@@ -99,6 +136,20 @@ impl FlService for AsyncRpcService {
         let t0 = Instant::now();
         match self.server.apply(&upload, u64::from(results.round)) {
             Ok(_) => {
+                if let Some(d) = self.durable.as_mut() {
+                    if let Err(e) = d.async_applied(
+                        self.server.applied(),
+                        self.server.version(),
+                        self.server.global_model(),
+                    ) {
+                        // The apply already happened in memory but is not
+                        // durable: refuse the ack so the client re-sends
+                        // after recovery, and wind the service down.
+                        self.durable_error = Some(e);
+                        self.rejected += 1;
+                        return false;
+                    }
+                }
                 self.telemetry.span_secs(
                     "aggregate",
                     Phase::Aggregate,
@@ -133,7 +184,7 @@ impl FlService for AsyncRpcService {
     }
 
     fn finished(&self) -> bool {
-        self.server.applied() >= self.max_updates
+        self.server.applied() >= self.max_updates || self.durable_error.is_some()
     }
 }
 
@@ -451,6 +502,45 @@ mod tests {
         assert!(!service.send_results(make(1)));
         assert_eq!(service.applied(), 1);
         assert_eq!(service.rejected(), 2);
+    }
+
+    #[test]
+    fn durable_async_service_persists_and_resumes() {
+        use crate::store::{DurableCoordinator, MemoryStore};
+        let make = |round: u32| LearningResults {
+            client_id: 0,
+            round,
+            penalty: 0.0,
+            primal: vec![TensorMsg::flat("z", vec![1.0; 2])],
+            dual: vec![],
+        };
+        let cfg = AsyncConfig {
+            alpha: 0.5,
+            ..AsyncConfig::default()
+        };
+        let mut durable = DurableCoordinator::new(Box::new(MemoryStore::new()));
+        durable.recover(&Telemetry::disabled()).unwrap();
+        assert!(!durable.was_recovered());
+        let mut service = AsyncRpcService::new(vec![0.0; 2], cfg, 3)
+            .with_durable(durable)
+            .unwrap();
+        assert!(service.send_results(make(0)));
+        assert!(service.send_results(make(1)));
+        let w_before = service.global_model();
+        // "Crash": drop the service, keep the store, rebuild from scratch.
+        let mut d = service.take_durable().unwrap();
+        d.recover(&Telemetry::disabled()).unwrap();
+        assert!(d.was_recovered());
+        let mut resumed = AsyncRpcService::new(vec![0.0; 2], cfg, 3)
+            .with_durable(d)
+            .unwrap();
+        assert_eq!(resumed.global_model(), w_before, "model restored");
+        assert_eq!(resumed.applied(), 2, "applied counter restored");
+        assert!(!resumed.finished());
+        // The third accepted upload finishes the resumed run, with
+        // staleness computed against the restored version counter.
+        assert!(resumed.send_results(make(2)));
+        assert!(resumed.finished());
     }
 
     #[test]

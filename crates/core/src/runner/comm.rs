@@ -24,8 +24,8 @@ use crate::defense::{screen_and_report, UpdateGuard};
 use crate::diagnostics::RoundDiagnostics;
 use crate::error::Error;
 use crate::metrics::{History, RoundRecord};
-use crate::runner::federation::FederationBuilder;
 use crate::runner::ft::ClientRoster;
+use crate::store::{DurableCoordinator, PendingRound};
 use crate::validation::evaluate;
 use appfl_comm::retry::RetryPolicy;
 use appfl_comm::transport::{CommError, Communicator};
@@ -150,6 +150,12 @@ pub fn run_client<C: Communicator>(
 /// cohort aggregates via [`ServerAlgorithm::update_degraded`]; a fully
 /// rejected round carries the model over unchanged) and the round's
 /// `rejected_clients` / `clipped_clients` counters are recorded.
+///
+/// With a [`DurableCoordinator`] attached, every phase transition is
+/// persisted write-ahead. The plain protocol's clients count rounds from 1,
+/// so *resuming* a recovered run here would desynchronise them — recovery
+/// requires the fault-tolerant path, and a recovered non-empty store is
+/// rejected up front.
 #[allow(clippy::too_many_arguments)]
 pub fn run_server<C: Communicator>(
     server: &mut dyn ServerAlgorithm,
@@ -163,6 +169,7 @@ pub fn run_server<C: Communicator>(
     telemetry: &Telemetry,
     local_gauge: &Gauge,
     mut guard: Option<&mut UpdateGuard>,
+    mut durable: Option<&mut DurableCoordinator>,
 ) -> Result<History, Error> {
     let num_clients = comm.size() - 1;
     if sample_counts.len() != num_clients {
@@ -172,10 +179,23 @@ pub fn run_server<C: Communicator>(
             num_clients
         )));
     }
+    if let Some(d) = durable.as_deref_mut() {
+        if d.was_recovered() {
+            return Err(Error::config(
+                "resuming a recovered run requires fault-tolerant mode \
+                 (the plain protocol's clients count rounds from 1)",
+            ));
+        }
+        d.run_started(server.name(), dataset_name, epsilon, num_clients, rounds)?;
+    }
     let mut history = History::new(server.name(), dataset_name, epsilon);
     for round in 1..=rounds {
         let round_start = Instant::now();
         let w = server.global_model();
+        if let Some(d) = durable.as_deref_mut() {
+            let active: Vec<usize> = (0..num_clients).collect();
+            d.round_started(round, &w, &active)?;
+        }
         let t = Instant::now();
         let msg = encode_global(round, &w);
         let mut serialize_secs = t.elapsed().as_secs_f64();
@@ -195,8 +215,12 @@ pub fn run_server<C: Communicator>(
             let buf = comm.recv(rank)?;
             gather_secs += t0.elapsed().as_secs_f64();
             let t1 = Instant::now();
-            uploads.push(decode_upload(&buf, sample_counts[rank - 1])?.1);
+            let upload = decode_upload(&buf, sample_counts[rank - 1])?.1;
             serialize_secs += t1.elapsed().as_secs_f64();
+            if let Some(d) = durable.as_deref_mut() {
+                d.update_received(round, &upload)?;
+            }
+            uploads.push(upload);
         }
         // The slowest client trained inside the gather window, so transport
         // time proper is the wait not explained by that training.
@@ -220,6 +244,11 @@ pub fn run_server<C: Communicator>(
             server.update_degraded(&uploads)?;
         }
         // Every upload rejected: the model carries over, a skipped round.
+        if !uploads.is_empty() {
+            if let Some(d) = durable.as_deref_mut() {
+                d.round_aggregated(round, &server.global_model())?;
+            }
+        }
         let diagnostics = RoundDiagnostics::collect(server, &w, &uploads);
         let w_next = server.global_model();
         let e = evaluate(template, &w_next, test, 64)?;
@@ -251,7 +280,14 @@ pub fn run_server<C: Communicator>(
             ..RoundRecord::default()
         };
         diagnostics.stamp(&mut record);
+        if let Some(d) = durable.as_deref_mut() {
+            let participants: Vec<usize> = uploads.iter().map(|u| u.client_id).collect();
+            d.round_published(round, &record, &[], &participants)?;
+        }
         history.rounds.push(record);
+    }
+    if let Some(d) = durable.as_deref_mut() {
+        d.run_completed()?;
     }
     Ok(history)
 }
@@ -348,6 +384,18 @@ pub fn run_client_ft<C: Communicator>(
 /// for that client (feeding the suspect/exclude machinery exactly like a
 /// missed round) while staying distinct from `dropped_clients` in the
 /// record, and the quorum test runs over the post-screening cohort.
+///
+/// With a [`DurableCoordinator`] attached (already recovered by the
+/// caller), every phase transition is persisted write-ahead and a
+/// recovered run *resumes*: completed rounds are skipped (their records
+/// rejoin the history from the store), the roster is rebuilt from its
+/// persisted health, the server restores the last durable model, and an
+/// in-progress round restarts from its partial state — the broadcast goes
+/// only to clients whose uploads are not already persisted, and re-sent
+/// uploads for a persisted `(round, client)` key are deduplicated (with a
+/// `duplicate_upload` telemetry mark). Uploads are aggregated in
+/// client-id order so a resumed round folds the same floating-point sum
+/// as an uninterrupted one.
 #[allow(clippy::too_many_arguments)]
 pub fn run_server_ft<C: Communicator>(
     server: &mut dyn ServerAlgorithm,
@@ -363,6 +411,7 @@ pub fn run_server_ft<C: Communicator>(
     telemetry: &Telemetry,
     local_gauge: &Gauge,
     mut guard: Option<&mut UpdateGuard>,
+    mut durable: Option<&mut DurableCoordinator>,
 ) -> Result<History, Error> {
     let num_clients = comm.size() - 1;
     if sample_counts.len() != num_clients {
@@ -374,18 +423,81 @@ pub fn run_server_ft<C: Communicator>(
     }
     let mut roster = ClientRoster::new(num_clients, ft.suspect_after, ft.readmit_after);
     let mut history = History::new(server.name(), dataset_name, epsilon);
+    let mut start_round = 1usize;
+    let mut resume_pending: Option<PendingRound> = None;
+    if let Some(d) = durable.as_deref_mut() {
+        d.run_started(server.name(), dataset_name, epsilon, num_clients, rounds)?;
+        if d.was_recovered() {
+            let state = d.state().clone();
+            history = state.history.clone();
+            if !state.roster.is_empty() {
+                roster = ClientRoster::from_states(
+                    &state.roster,
+                    num_clients,
+                    ft.suspect_after,
+                    ft.readmit_after,
+                );
+            }
+            start_round = state.next_round();
+            resume_pending = state.round_in_progress.clone();
+            // The server restarts from the resumed round's broadcast (the
+            // model after the last *published* round): a persisted partial
+            // aggregate is re-derived from the persisted uploads, which is
+            // deterministic, rather than resumed mid-update.
+            let w = resume_pending
+                .as_ref()
+                .map(|p| p.broadcast.clone())
+                .or_else(|| state.models.last().cloned());
+            if let Some(w) = w {
+                server.restore(&w)?;
+            }
+            if state.completed {
+                // The previous process died between its last publish and
+                // exit: nothing to re-run, just release the clients.
+                send_end_sentinels(comm, num_clients);
+                return Ok(history);
+            }
+        }
+    }
     let mut retries_prev = retries.load(Ordering::Relaxed);
-    for round in 1..=rounds {
+    for round in start_round..=rounds {
         let round_start = Instant::now();
+        // The resumed round's select phase is already durable: re-running
+        // `round_started` would wipe its persisted partial uploads from
+        // the fold, so the pending record substitutes for the commit.
+        let pending = resume_pending.take().filter(|p| p.round == round);
         let active = roster.begin_round(round);
         let w = server.global_model();
+        if pending.is_none() {
+            if let Some(d) = durable.as_deref_mut() {
+                d.round_started(round, &w, &active)?;
+            }
+        }
         let t = Instant::now();
         let msg = encode_global(round, &w);
         let mut serialize_secs = t.elapsed().as_secs_f64();
         let mut expected = vec![false; num_clients];
         let mut expected_n = 0usize;
+        let mut got = vec![false; num_clients];
+        let mut uploads = Vec::with_capacity(num_clients);
+        // Pre-seed the round from persisted partial state: these clients
+        // already reported durably, so they are neither re-broadcast to
+        // nor waited for.
+        if let Some(p) = &pending {
+            for u in &p.uploads {
+                if u.client_id < num_clients && !got[u.client_id] {
+                    got[u.client_id] = true;
+                    expected[u.client_id] = true;
+                    uploads.push(u.clone());
+                }
+            }
+        }
+        let preseeded = uploads.len();
         let t = Instant::now();
         for &p in &active {
+            if got[p] {
+                continue;
+            }
             match comm.send(p + 1, msg.clone()) {
                 Ok(()) => {
                     expected[p] = true;
@@ -399,11 +511,9 @@ pub fn run_server_ft<C: Communicator>(
         let send_secs = t.elapsed().as_secs_f64();
 
         let deadline = round_start + ft.round_timeout();
-        let mut got = vec![false; num_clients];
-        let mut uploads = Vec::with_capacity(expected_n);
         let mut gather_secs = 0.0f64;
         let mut timed_out = 0usize;
-        while uploads.len() < expected_n {
+        while uploads.len() < preseeded + expected_n {
             let now = Instant::now();
             if now >= deadline {
                 break;
@@ -417,11 +527,29 @@ pub fn run_server_ft<C: Communicator>(
                     let decoded = decode_upload(&buf, sample_counts[p]);
                     serialize_secs += t1.elapsed().as_secs_f64();
                     match decoded {
-                        Ok((r, upload))
-                            if r == round && expected[p] && !got[p] && upload.client_id == p =>
-                        {
-                            got[p] = true;
-                            uploads.push(upload);
+                        Ok((r, upload)) if r == round && expected[p] && upload.client_id == p => {
+                            // The durable dedup key is (round, client):
+                            // a resubmission of a persisted upload is
+                            // dropped exactly once, not re-persisted.
+                            let fresh = match durable.as_deref_mut() {
+                                Some(d) => {
+                                    let fresh = d.update_received(round, &upload)?;
+                                    if !fresh {
+                                        telemetry.mark(
+                                            "duplicate_upload",
+                                            Some(round as u64),
+                                            Some(p as u64),
+                                            None,
+                                        );
+                                    }
+                                    fresh
+                                }
+                                None => !got[p],
+                            };
+                            if fresh && !got[p] {
+                                got[p] = true;
+                                uploads.push(upload);
+                            }
                         }
                         _ => {} // stale, duplicate, unsolicited or corrupt
                     }
@@ -435,6 +563,10 @@ pub fn run_server_ft<C: Communicator>(
                 Err(_) => break, // every remaining peer is gone
             }
         }
+        // Aggregation order must not depend on arrival order (or on the
+        // persisted/re-gathered split of a resumed round): fold uploads in
+        // client-id order so the floating-point sum is reproducible.
+        uploads.sort_by_key(|u| u.client_id);
         // Content screening runs before the roster bookkeeping so a
         // poisoned-but-delivered upload is a recorded failure, not a
         // success: repeat offenders walk the same suspect→exclude path
@@ -460,13 +592,16 @@ pub fn run_server_ft<C: Communicator>(
         let local_update_secs = local_gauge.drain_max().min(gather_secs);
         let comm_secs = send_secs + (gather_secs - local_update_secs).max(0.0);
 
-        let dropped_clients = active.len() - arrived;
+        let dropped_clients = active.len().saturating_sub(arrived);
         let t = Instant::now();
         if !uploads.is_empty() && uploads.len() >= ft.min_quorum.min(num_clients) {
             if uploads.len() == num_clients {
                 server.update(&uploads)?;
             } else {
                 server.update_degraded(&uploads)?;
+            }
+            if let Some(d) = durable.as_deref_mut() {
+                d.round_aggregated(round, &server.global_model())?;
             }
         }
         // Below quorum the model simply carries over — a skipped round.
@@ -512,81 +647,27 @@ pub fn run_server_ft<C: Communicator>(
             ..RoundRecord::default()
         };
         diagnostics.stamp(&mut record);
+        if let Some(d) = durable.as_deref_mut() {
+            let participants: Vec<usize> = uploads.iter().map(|u| u.client_id).collect();
+            d.round_published(round, &record, &roster.states(), &participants)?;
+        }
         history.rounds.push(record);
         retries_prev = retries_now;
     }
-    // End-of-run sentinel, repeated in case the fault plan eats some; a
-    // client that misses all three still exits via its retry budget.
+    if let Some(d) = durable.as_deref_mut() {
+        d.run_completed()?;
+    }
+    send_end_sentinels(comm, num_clients);
+    Ok(history)
+}
+
+/// End-of-run sentinel, repeated in case the fault plan eats some; a
+/// client that misses all three still exits via its retry budget.
+fn send_end_sentinels<C: Communicator>(comm: &C, num_clients: usize) {
     for rank in 1..=num_clients {
         for _ in 0..3 {
             let _ = comm.send(rank, Vec::new());
         }
-    }
-    Ok(history)
-}
-
-/// Deprecated push-mode entry points, superseded by [`FederationBuilder`].
-///
-/// The endpoints may be raw [`appfl_comm::transport::InProcEndpoint`]s
-/// (MPI-style) or [`appfl_comm::transport::GrpcChannel`]-wrapped
-/// (gRPC-style).
-pub struct CommRunner;
-
-impl CommRunner {
-    /// Executes and returns the server's history.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use FederationBuilder::new(server, clients).transport(endpoints)…run()"
-    )]
-    #[allow(clippy::too_many_arguments)]
-    pub fn run<C: Communicator + 'static>(
-        server: Box<dyn ServerAlgorithm>,
-        clients: Vec<Box<dyn ClientAlgorithm>>,
-        template: &mut dyn Module,
-        test: &InMemoryDataset,
-        endpoints: Vec<C>,
-        rounds: usize,
-        epsilon: f64,
-        dataset_name: &str,
-    ) -> Result<History, TensorError> {
-        FederationBuilder::new(server, clients)
-            .transport(endpoints)
-            .rounds(rounds)
-            .epsilon(epsilon)
-            .dataset(dataset_name)
-            .evaluation(template, test)
-            .run()
-            .map(|o| o.history.expect("push mode always records a history"))
-            .map_err(Error::into_tensor)
-    }
-
-    /// Fault-tolerant [`CommRunner::run`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "use FederationBuilder with .fault_tolerance_config(ft)"
-    )]
-    #[allow(clippy::too_many_arguments)]
-    pub fn run_ft<C: Communicator + 'static>(
-        server: Box<dyn ServerAlgorithm>,
-        clients: Vec<Box<dyn ClientAlgorithm>>,
-        template: &mut dyn Module,
-        test: &InMemoryDataset,
-        endpoints: Vec<C>,
-        rounds: usize,
-        epsilon: f64,
-        dataset_name: &str,
-        ft: &FaultToleranceConfig,
-    ) -> Result<History, TensorError> {
-        FederationBuilder::new(server, clients)
-            .transport(endpoints)
-            .rounds(rounds)
-            .epsilon(epsilon)
-            .dataset(dataset_name)
-            .evaluation(template, test)
-            .fault_tolerance_config(ft.clone())
-            .run()
-            .map(|o| o.history.expect("push mode always records a history"))
-            .map_err(Error::into_tensor)
     }
 }
 
@@ -595,6 +676,7 @@ mod tests {
     use super::*;
     use crate::algorithms::build_federation;
     use crate::config::{AlgorithmConfig, FedConfig};
+    use crate::runner::federation::FederationBuilder;
     use appfl_comm::transport::{GrpcChannel, InProcNetwork};
     use appfl_data::federated::{build_benchmark, Benchmark};
     use appfl_nn::models::{mlp_classifier, InputSpec};
@@ -704,36 +786,6 @@ mod tests {
             .unwrap();
         let h = outcome.history.unwrap();
         assert_eq!(h.algorithm, "IIADMM");
-        assert_eq!(h.rounds.len(), 2);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_comm_runner_shim_still_works() {
-        let data = build_benchmark(Benchmark::Mnist, 2, 40, 20, 3).unwrap();
-        let spec = InputSpec {
-            channels: 1,
-            height: 28,
-            width: 28,
-            classes: 10,
-        };
-        let cfg = config(AlgorithmConfig::FedAvg { lr: 0.05, momentum: 0.9 }, 2);
-        let test = data.test.clone();
-        let mut fed = build_federation(cfg, &data, move |rng| {
-            Box::new(mlp_classifier(spec, 8, rng))
-        });
-        let endpoints = InProcNetwork::new(3);
-        let h = CommRunner::run(
-            fed.server,
-            fed.clients,
-            fed.template.as_mut(),
-            &test,
-            endpoints,
-            cfg.rounds,
-            f64::INFINITY,
-            "MNIST",
-        )
-        .unwrap();
         assert_eq!(h.rounds.len(), 2);
     }
 

@@ -27,15 +27,20 @@
 //! # }
 //! ```
 //!
-//! The old entry points survive as thin `#[deprecated]` shims over this
-//! builder (keeping their historical `TensorError` signatures via
-//! [`Error::into_tensor`]).
+//! The historical entry points were removed once every call site had
+//! migrated; the builder is the single way to run a federation.
+//!
+//! With [`FederationBuilder::durable`] the coordinator persists every
+//! phase transition into a [`crate::store::CoordinatorStore`] and a
+//! restarted run *resumes* where the store left off — see the
+//! [`crate::store`] module docs for the recovery semantics.
 
 use crate::api::{ClientAlgorithm, ServerAlgorithm};
 use crate::config::FaultToleranceConfig;
 use crate::defense::{RobustAggregator, RobustServer, UpdateGuard, UpdateGuardConfig};
 use crate::error::Error;
 use crate::metrics::History;
+use crate::store::DurableCoordinator;
 use crate::runner::comm::{run_client, run_client_ft, run_server, run_server_ft};
 use crate::runner::rpc::{run_rpc_client, run_rpc_client_ft, SyncRoundService};
 use appfl_comm::rpc::{serve_with, ServeOptions};
@@ -61,6 +66,11 @@ pub struct FederationOutcome {
     /// Per-round metrics. Push mode always records one; pull mode has no
     /// server-side evaluation loop, so it is `None` there.
     pub history: Option<History>,
+    /// Whether the run resumed from a recovered durable store.
+    pub recovered: bool,
+    /// Re-sent uploads the durable coordinator deduplicated (0 without
+    /// a durable store).
+    pub duplicates: usize,
 }
 
 struct Eval<'a> {
@@ -89,6 +99,7 @@ pub struct FederationBuilder<'a, C: Communicator + 'static> {
     pull: bool,
     robust: Option<RobustAggregator>,
     guard: Option<UpdateGuardConfig>,
+    durable: Option<DurableCoordinator>,
 }
 
 impl<'a, C: Communicator + 'static> FederationBuilder<'a, C> {
@@ -108,6 +119,7 @@ impl<'a, C: Communicator + 'static> FederationBuilder<'a, C> {
             pull: false,
             robust: None,
             guard: None,
+            durable: None,
         }
     }
 
@@ -211,6 +223,21 @@ impl<'a, C: Communicator + 'static> FederationBuilder<'a, C> {
         self
     }
 
+    /// Attaches a durable coordinator: every phase transition is appended
+    /// to its [`crate::store::CoordinatorStore`] before the run proceeds,
+    /// and a builder handed a coordinator whose store already holds a
+    /// prior run *resumes* it — mid-round if one was in flight — instead
+    /// of starting over. Re-sent uploads are deduplicated by
+    /// `(round, client_id)` and counted in
+    /// [`FederationOutcome::duplicates`]. Resuming requires fault
+    /// tolerance or pull mode; see [`crate::store`] for semantics and
+    /// [`crate::store::DurableCoordinator::crash_after`] for fault
+    /// injection.
+    pub fn durable(mut self, durable: DurableCoordinator) -> Self {
+        self.durable = Some(durable);
+        self
+    }
+
     /// Executes the federation and returns the outcome.
     ///
     /// Errors: [`Error::Config`] for a missing/mis-sized transport, a
@@ -222,7 +249,7 @@ impl<'a, C: Communicator + 'static> FederationBuilder<'a, C> {
     pub fn run(self) -> Result<FederationOutcome, Error> {
         let FederationBuilder {
             mut server,
-            clients,
+            mut clients,
             endpoints,
             rounds,
             epsilon,
@@ -234,6 +261,7 @@ impl<'a, C: Communicator + 'static> FederationBuilder<'a, C> {
             pull,
             robust,
             guard,
+            mut durable,
         } = self;
         let telemetry = match (sink, registry) {
             (Some(sink), Some(registry)) => Telemetry::with_registry(sink, registry),
@@ -266,6 +294,22 @@ impl<'a, C: Communicator + 'static> FederationBuilder<'a, C> {
                 "recv_any multiplexing (required by pull mode and fault-tolerant gathers)",
             ));
         }
+        let recovered = if let Some(d) = durable.as_mut() {
+            let state = d.recover(&telemetry)?;
+            // Clients are rebuilt from scratch on restart, so each one
+            // re-derives its RNG/momentum state by replaying its local
+            // update over the exact broadcast sequence it trained on.
+            // Their uploads are discarded: persisted (or re-gathered)
+            // uploads are the aggregation inputs, not these replays.
+            for client in clients.iter_mut() {
+                for w in state.replay_models_for(client.id()) {
+                    client.update(w)?;
+                }
+            }
+            d.was_recovered()
+        } else {
+            false
+        };
 
         let retries = AtomicUsize::new(0);
         let outcome = if pull {
@@ -279,6 +323,9 @@ impl<'a, C: Communicator + 'static> FederationBuilder<'a, C> {
                 .with_telemetry(telemetry.clone());
             if let Some(guard) = guard.take() {
                 service = service.with_guard(guard);
+            }
+            if let Some(d) = durable.take() {
+                service = service.with_durable(d)?;
             }
             std::thread::scope(|scope| {
                 let mut handles = Vec::new();
@@ -320,12 +367,21 @@ impl<'a, C: Communicator + 'static> FederationBuilder<'a, C> {
                 }
                 Ok::<(), Error>(())
             })?;
+            if let Some(e) = service.take_durable_error() {
+                return Err(e);
+            }
             let completed_rounds = service.completed_rounds();
+            let duplicates = service
+                .take_durable()
+                .map(|d| d.duplicates())
+                .unwrap_or(0);
             FederationOutcome {
                 model: service.into_server().global_model(),
                 completed_rounds,
                 retries: retries.load(Ordering::Relaxed),
                 history: None,
+                recovered,
+                duplicates,
             }
         } else {
             let eval = eval.ok_or_else(|| {
@@ -355,6 +411,7 @@ impl<'a, C: Communicator + 'static> FederationBuilder<'a, C> {
                             &telemetry,
                             &gauge,
                             guard.as_mut(),
+                            durable.as_mut(),
                         )
                     }
                     Some(ft) => {
@@ -392,6 +449,7 @@ impl<'a, C: Communicator + 'static> FederationBuilder<'a, C> {
                             &telemetry,
                             &gauge,
                             guard.as_mut(),
+                            durable.as_mut(),
                         )
                     }
                 };
@@ -405,6 +463,8 @@ impl<'a, C: Communicator + 'static> FederationBuilder<'a, C> {
                 completed_rounds: history.rounds.len(),
                 retries: retries.load(Ordering::Relaxed),
                 history: Some(history),
+                recovered,
+                duplicates: durable.as_ref().map(|d| d.duplicates()).unwrap_or(0),
             }
         };
         telemetry.flush();

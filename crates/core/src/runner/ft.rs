@@ -7,6 +7,14 @@
 //! bench it is re-admitted for another chance (`readmit_after = 0` bans it
 //! for good). One successful report clears the failure streak, so a client
 //! that is merely slow on a congested round is never quarantined.
+//!
+//! Roster health is part of the durable coordinator's persisted state:
+//! [`ClientRoster::states`] exports it as [`RosterState`] records for the
+//! publish-phase store event and [`ClientRoster::from_states`] rebuilds
+//! the roster on crash recovery, so a resumed run benches and re-admits
+//! exactly the clients the interrupted run would have.
+
+use crate::store::RosterState;
 
 /// Per-client participation state.
 #[derive(Debug, Clone, Copy, Default)]
@@ -71,6 +79,33 @@ impl ClientRoster {
         self.state[p].consecutive_failures = 0;
     }
 
+    /// Exports per-client health as persistable [`RosterState`] records.
+    pub fn states(&self) -> Vec<RosterState> {
+        self.state
+            .iter()
+            .map(|s| RosterState {
+                consecutive_failures: s.consecutive_failures,
+                excluded_until: s.excluded_until,
+            })
+            .collect()
+    }
+
+    /// Rebuilds a roster from persisted [`RosterState`] records (crash
+    /// recovery). Clients beyond the persisted set start in good standing.
+    pub fn from_states(
+        states: &[RosterState],
+        num_clients: usize,
+        suspect_after: usize,
+        readmit_after: usize,
+    ) -> Self {
+        let mut roster = ClientRoster::new(num_clients, suspect_after, readmit_after);
+        for (s, persisted) in roster.state.iter_mut().zip(states.iter()) {
+            s.consecutive_failures = persisted.consecutive_failures;
+            s.excluded_until = persisted.excluded_until;
+        }
+        roster
+    }
+
     /// Records that client `p` failed to report in `round`. Returns `true`
     /// if this failure tipped it into exclusion.
     pub fn record_failure(&mut self, p: usize, round: usize) -> bool {
@@ -133,6 +168,23 @@ mod tests {
         let mut r = ClientRoster::new(1, 1, 0);
         r.record_failure(0, 1);
         assert!(r.begin_round(1_000_000).is_empty());
+    }
+
+    #[test]
+    fn states_roundtrip_through_persistence() {
+        let mut r = ClientRoster::new(3, 2, 3);
+        r.record_failure(0, 1);
+        r.record_failure(1, 1);
+        r.record_failure(1, 2); // excluded until round 5
+        let states = r.states();
+        assert_eq!(states[0].consecutive_failures, 1);
+        assert_eq!(states[1].excluded_until, Some(5));
+        let mut rebuilt = ClientRoster::from_states(&states, 3, 2, 3);
+        assert_eq!(rebuilt.begin_round(3), vec![0, 2]);
+        assert_eq!(rebuilt.begin_round(5), vec![0, 1, 2], "exclusion lapses");
+        // A shorter persisted set leaves the extra clients healthy.
+        let grown = ClientRoster::from_states(&states[..1], 4, 2, 3);
+        assert!(!grown.is_excluded(3));
     }
 
     #[test]

@@ -9,7 +9,6 @@ pub mod rpc;
 pub mod r#async;
 pub mod serial;
 
-pub use comm::CommRunner;
 pub use federation::{FederationBuilder, FederationOutcome};
 pub use ft::ClientRoster;
 pub use r#async::{AsyncConfig, AsyncFedServer};

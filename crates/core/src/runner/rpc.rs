@@ -3,17 +3,16 @@
 //! train, call `SendResults`, and poll until the round advances.
 
 use crate::api::{ClientAlgorithm, ClientUpload, ServerAlgorithm};
-use crate::config::FaultToleranceConfig;
 use crate::defense::{GuardVerdict, UpdateGuard};
 use crate::diagnostics::RoundDiagnostics;
 use crate::error::Error;
-use crate::runner::federation::FederationBuilder;
+use crate::metrics::RoundRecord;
+use crate::store::DurableCoordinator;
 use appfl_comm::retry::RetryPolicy;
 use appfl_comm::rpc::{call, call_with_retry_observed, FlService, Request, Response};
 use appfl_comm::transport::{CommError, Communicator};
 use appfl_comm::wire::messages::GlobalWeights;
 use appfl_comm::wire::{JobDone, LearningResults, TensorMsg, WeightRequest};
-use appfl_tensor::TensorError;
 use appfl_telemetry::{Phase, Telemetry};
 use std::sync::atomic::AtomicUsize;
 use std::time::{Duration, Instant};
@@ -38,6 +37,8 @@ pub struct SyncRoundService {
     guard_rejected: usize,
     guard_clipped: usize,
     round_started: Instant,
+    durable: Option<DurableCoordinator>,
+    durable_error: Option<Error>,
 }
 
 impl SyncRoundService {
@@ -64,6 +65,8 @@ impl SyncRoundService {
             guard_rejected: 0,
             guard_clipped: 0,
             round_started: Instant::now(),
+            durable: None,
+            durable_error: None,
         }
     }
 
@@ -103,6 +106,76 @@ impl SyncRoundService {
         self
     }
 
+    /// Attaches a durable coordinator (already recovered by the caller):
+    /// every phase transition is persisted write-ahead, and a recovered
+    /// run *resumes* — the server restores the resumed round's broadcast
+    /// model, completed rounds are skipped, and a partial round's
+    /// persisted uploads rejoin the pending buffer (so resubmissions are
+    /// refused exactly like same-session duplicates). Pull mode has no
+    /// broadcast moment, so the select-phase commit is lazy: a round's
+    /// cohort and model become durable with its first accepted upload.
+    ///
+    /// Because [`FlService::send_results`] cannot return an error, a
+    /// durable failure mid-service (including an injected
+    /// [`crate::store::CrashPoint`]) parks the error in
+    /// [`SyncRoundService::durable_error`] and reports the service
+    /// `finished`, winding the federation down.
+    pub fn with_durable(mut self, mut durable: DurableCoordinator) -> Result<Self, Error> {
+        if durable.was_recovered() {
+            let state = durable.state().clone();
+            self.round = if state.completed {
+                self.rounds + 1
+            } else {
+                state.next_round()
+            };
+            // Restore the resumed round's *broadcast*: a persisted partial
+            // aggregate is re-derived deterministically from the persisted
+            // uploads rather than resumed mid-update.
+            let w = state
+                .round_in_progress
+                .as_ref()
+                .map(|p| p.broadcast.clone())
+                .or_else(|| state.models.last().cloned());
+            if let Some(w) = w {
+                self.server.restore(&w)?;
+            }
+            if let Some(p) = &state.round_in_progress {
+                self.pending = p.uploads.clone();
+            }
+        } else {
+            durable.run_started(
+                self.server.name(),
+                "pull",
+                f64::INFINITY,
+                self.num_clients,
+                self.rounds,
+            )?;
+        }
+        self.durable = Some(durable);
+        // A recovered partial round may already hold a quorum (a crash
+        // right after the deciding upload's collect commit): close it now
+        // instead of waiting for an upload that will never come.
+        self.try_close_round()?;
+        Ok(self)
+    }
+
+    /// The durable-coordination failure that aborted the service, if any.
+    pub fn durable_error(&self) -> Option<&Error> {
+        self.durable_error.as_ref()
+    }
+
+    /// Takes the durable-coordination failure that aborted the service,
+    /// if any, so the caller can propagate it as the run's error.
+    pub fn take_durable_error(&mut self) -> Option<Error> {
+        self.durable_error.take()
+    }
+
+    /// Detaches the durable coordinator for post-run inspection
+    /// (deduplicated resubmissions, recovered state).
+    pub fn take_durable(&mut self) -> Option<DurableCoordinator> {
+        self.durable.take()
+    }
+
     /// Uploads refused by the update guard (a subset of
     /// [`SyncRoundService::rejected`]).
     pub fn guard_rejected(&self) -> usize {
@@ -128,6 +201,89 @@ impl SyncRoundService {
     pub fn into_server(self) -> Box<dyn ServerAlgorithm> {
         self.server
     }
+
+    /// Write-ahead commit of one accepted upload. Returns `false` when the
+    /// store already holds this `(round, client)` key — the caller must
+    /// refuse the upload as a duplicate resubmission.
+    fn commit_upload(&mut self, upload: &ClientUpload) -> Result<bool, Error> {
+        let Some(d) = self.durable.as_mut() else {
+            return Ok(true);
+        };
+        let needs_start = d
+            .state()
+            .round_in_progress
+            .as_ref()
+            .is_none_or(|p| p.round != self.round);
+        if needs_start {
+            let active: Vec<usize> = (0..self.num_clients).collect();
+            d.round_started(self.round, &self.server.global_model(), &active)?;
+        }
+        let fresh = d.update_received(self.round, upload)?;
+        if !fresh {
+            self.telemetry.mark(
+                "duplicate_upload",
+                Some(self.round as u64),
+                Some(upload.client_id as u64),
+                None,
+            );
+        }
+        Ok(fresh)
+    }
+
+    /// Closes the round if a quorum of uploads is pending: aggregates,
+    /// commits the durable aggregate/publish events, and advances the
+    /// round. Returns `false` when the server refused the batch (the
+    /// pending uploads are consumed and counted rejected, as before).
+    fn try_close_round(&mut self) -> Result<bool, Error> {
+        if self.finished() || self.pending.len() < self.quorum {
+            return Ok(true);
+        }
+        let mut uploads = std::mem::take(&mut self.pending);
+        // Fold in client-id order so a resumed round's persisted/live
+        // split — or plain arrival-order jitter — cannot change the
+        // floating-point sum.
+        uploads.sort_by_key(|u| u.client_id);
+        let before = self.server.global_model();
+        let t0 = Instant::now();
+        if self.server.update(&uploads).is_err() {
+            self.rejected += uploads.len();
+            return Ok(false);
+        }
+        let r = self.round as u64;
+        self.telemetry.span_secs(
+            "aggregate",
+            Phase::Aggregate,
+            t0.elapsed().as_secs_f64(),
+            Some(r),
+            None,
+        );
+        RoundDiagnostics::collect(self.server.as_ref(), &before, &uploads)
+            .emit(&self.telemetry, r);
+        // Structural round span: the round ran from the previous
+        // aggregation (or service start) to this one.
+        self.telemetry
+            .round_span_secs(r, self.round_started.elapsed().as_secs_f64());
+        if let Some(d) = self.durable.as_mut() {
+            d.round_aggregated(self.round, &self.server.global_model())?;
+            let record = RoundRecord {
+                round: self.round,
+                train_loss: uploads.iter().map(|u| u.local_loss).sum::<f32>()
+                    / uploads.len().max(1) as f32,
+                upload_bytes: uploads.iter().map(ClientUpload::payload_bytes).sum(),
+                ..RoundRecord::default()
+            };
+            let participants: Vec<usize> = uploads.iter().map(|u| u.client_id).collect();
+            d.round_published(self.round, &record, &[], &participants)?;
+        }
+        self.round_started = Instant::now();
+        self.round += 1;
+        if self.round > self.rounds {
+            if let Some(d) = self.durable.as_mut() {
+                d.run_completed()?;
+            }
+        }
+        Ok(true)
+    }
 }
 
 impl FlService for SyncRoundService {
@@ -149,9 +305,14 @@ impl FlService for SyncRoundService {
             return false;
         };
         let client_id = results.client_id as usize;
-        if client_id >= self.num_clients
-            || self.pending.iter().any(|u| u.client_id == client_id)
-        {
+        if client_id >= self.num_clients {
+            self.rejected += 1;
+            return false;
+        }
+        // With a durable coordinator the store is the dedup authority
+        // (its `(round, client)` key also covers uploads persisted by a
+        // previous incarnation); without one the pending buffer is.
+        if self.durable.is_none() && self.pending.iter().any(|u| u.client_id == client_id) {
             self.rejected += 1;
             return false;
         }
@@ -186,33 +347,28 @@ impl FlService for SyncRoundService {
                 }
             }
         }
-        self.pending.push(upload);
-        if self.pending.len() >= self.quorum {
-            let uploads = std::mem::take(&mut self.pending);
-            let before = self.server.global_model();
-            let t0 = Instant::now();
-            if self.server.update(&uploads).is_err() {
-                self.rejected += uploads.len();
+        match self.commit_upload(&upload) {
+            Ok(true) => {}
+            Ok(false) => {
+                // Persisted duplicate (a resubmission across the crash):
+                // refused exactly like a same-session duplicate.
+                self.rejected += 1;
                 return false;
             }
-            let r = self.round as u64;
-            self.telemetry.span_secs(
-                "aggregate",
-                Phase::Aggregate,
-                t0.elapsed().as_secs_f64(),
-                Some(r),
-                None,
-            );
-            RoundDiagnostics::collect(self.server.as_ref(), &before, &uploads)
-                .emit(&self.telemetry, r);
-            // Structural round span: the round ran from the previous
-            // aggregation (or service start) to this one.
-            self.telemetry
-                .round_span_secs(r, self.round_started.elapsed().as_secs_f64());
-            self.round_started = Instant::now();
-            self.round += 1;
+            Err(e) => {
+                self.durable_error = Some(e);
+                self.rejected += 1;
+                return false;
+            }
         }
-        true
+        self.pending.push(upload);
+        match self.try_close_round() {
+            Ok(ok) => ok,
+            Err(e) => {
+                self.durable_error = Some(e);
+                false
+            }
+        }
     }
 
     fn done(&mut self, _done: &JobDone) -> bool {
@@ -220,7 +376,7 @@ impl FlService for SyncRoundService {
     }
 
     fn finished(&self) -> bool {
-        self.round > self.rounds
+        self.round > self.rounds || self.durable_error.is_some()
     }
 }
 
@@ -393,58 +549,12 @@ pub fn run_rpc_client_ft<C: Communicator>(
     Ok(contributed)
 }
 
-/// Runs a whole federation in the pull-based mode; returns the final global
-/// model and the number of completed rounds.
-#[deprecated(
-    since = "0.2.0",
-    note = "use FederationBuilder::new(server, clients).transport(endpoints).pull()…run()"
-)]
-pub fn run_rpc_federation<C: Communicator + 'static>(
-    server: Box<dyn ServerAlgorithm>,
-    clients: Vec<Box<dyn ClientAlgorithm>>,
-    endpoints: Vec<C>,
-    rounds: usize,
-) -> Result<(Vec<f32>, usize), TensorError> {
-    FederationBuilder::new(server, clients)
-        .transport(endpoints)
-        .rounds(rounds)
-        .pull()
-        .run()
-        .map(|o| (o.model, o.completed_rounds))
-        .map_err(Error::into_tensor)
-}
-
-/// Fault-tolerant [`run_rpc_federation`]: aggregates on
-/// [`FaultToleranceConfig::min_quorum`], clients retry per the config's
-/// policy, and the server stops on its idle cap rather than waiting for
-/// goodbyes that will never come. Returns the final global model, the
-/// completed rounds, and the total transport retries performed.
-#[deprecated(
-    since = "0.2.0",
-    note = "use FederationBuilder with .pull().fault_tolerance_config(ft)"
-)]
-pub fn run_rpc_federation_ft<C: Communicator + 'static>(
-    server: Box<dyn ServerAlgorithm>,
-    clients: Vec<Box<dyn ClientAlgorithm>>,
-    endpoints: Vec<C>,
-    rounds: usize,
-    ft: &FaultToleranceConfig,
-) -> Result<(Vec<f32>, usize, usize), TensorError> {
-    FederationBuilder::new(server, clients)
-        .transport(endpoints)
-        .rounds(rounds)
-        .pull()
-        .fault_tolerance_config(ft.clone())
-        .run()
-        .map(|o| (o.model, o.completed_rounds, o.retries))
-        .map_err(Error::into_tensor)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::algorithms::build_federation;
     use crate::config::{AlgorithmConfig, FedConfig};
+    use crate::runner::federation::FederationBuilder;
     use appfl_comm::transport::InProcNetwork;
     use appfl_data::federated::{build_benchmark, Benchmark};
     use appfl_nn::models::{mlp_classifier, InputSpec};
@@ -658,33 +768,71 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_rpc_shims_still_work() {
-        let fed = federation(
-            AlgorithmConfig::FedAvg {
-                lr: 0.05,
-                momentum: 0.9,
-            },
-            2,
-        );
-        let endpoints = InProcNetwork::new(4);
-        let (w, completed) = run_rpc_federation(fed.server, fed.clients, endpoints, 2).unwrap();
-        assert_eq!(completed, 2);
-        assert!(w.iter().all(|x| x.is_finite()));
-
-        let fed = federation(
-            AlgorithmConfig::FedAvg {
-                lr: 0.05,
-                momentum: 0.9,
-            },
-            1,
-        );
-        let endpoints = InProcNetwork::new(4);
-        let ft = crate::config::FaultToleranceConfig::default();
-        let (w, completed, _retries) =
-            run_rpc_federation_ft(fed.server, fed.clients, endpoints, 1, &ft).unwrap();
-        assert_eq!(completed, 1);
-        assert!(w.iter().all(|x| x.is_finite()));
+    fn durable_pull_service_persists_and_resumes() {
+        use crate::store::{CoordinatorStore, DurableCoordinator, MemoryStore, StoreEvent};
+        let make_fed = || {
+            federation(
+                AlgorithmConfig::FedAvg {
+                    lr: 0.05,
+                    momentum: 0.9,
+                },
+                1,
+            )
+        };
+        let fed = make_fed();
+        let dim = fed.server.dim();
+        let counts: Vec<usize> = fed.clients.iter().map(|c| c.num_samples()).collect();
+        let make = |id: u32| LearningResults {
+            client_id: id,
+            round: 1,
+            penalty: 0.0,
+            primal: vec![TensorMsg::flat("z", vec![id as f32; dim])],
+            dual: vec![],
+        };
+        // First life: two of three uploads arrive, then the coordinator
+        // "dies" mid-round.
+        let mut durable = DurableCoordinator::new(Box::new(MemoryStore::new()));
+        durable.recover(&Telemetry::disabled()).unwrap();
+        let mut service = SyncRoundService::new(fed.server, 3, 1, counts.clone())
+            .with_durable(durable)
+            .unwrap();
+        assert!(service.send_results(make(0)));
+        assert!(service.send_results(make(1)));
+        let state = service.take_durable().unwrap().state().clone();
+        let p = state.round_in_progress.as_ref().unwrap();
+        assert_eq!(p.round, 1);
+        assert!(p.has_upload(0) && p.has_upload(1) && !p.has_upload(2));
+        // Second life: a store holding the first life's surviving events.
+        let mut replayed = MemoryStore::new();
+        replayed
+            .append(&StoreEvent::RoundStarted {
+                round: 1,
+                broadcast: p.broadcast.clone(),
+                active: vec![0, 1, 2],
+            })
+            .unwrap();
+        for u in &p.uploads {
+            replayed
+                .append(&StoreEvent::UpdateReceived {
+                    round: 1,
+                    upload: u.clone(),
+                })
+                .unwrap();
+        }
+        let mut durable = DurableCoordinator::new(Box::new(replayed));
+        durable.recover(&Telemetry::disabled()).unwrap();
+        assert!(durable.was_recovered());
+        let fed = make_fed();
+        let mut service = SyncRoundService::new(fed.server, 3, 1, counts)
+            .with_durable(durable)
+            .unwrap();
+        assert!(!service.send_results(make(0)), "resubmission refused");
+        assert!(service.send_results(make(2)), "missing client accepted");
+        assert!(service.finished(), "round closed on the last upload");
+        assert!(service.durable_error().is_none());
+        let d = service.take_durable().unwrap();
+        assert_eq!(d.duplicates(), 1, "deduplicated exactly once");
+        assert!(d.state().completed);
     }
 
     #[test]

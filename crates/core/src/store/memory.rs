@@ -1,0 +1,65 @@
+//! In-memory coordinator store.
+
+use super::{CoordinatorState, CoordinatorStore, StoreEvent};
+use crate::error::Result;
+
+/// Process-lifetime event store: survives a *logical* coordinator restart
+/// (dropping and rebuilding the server object) but not the process. The
+/// recovery-logic tests run on it, and it is the zero-IO default for
+/// deployments that only want the dedup/resume semantics.
+#[derive(Debug, Default)]
+pub struct MemoryStore {
+    events: Vec<StoreEvent>,
+}
+
+impl MemoryStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        MemoryStore::default()
+    }
+
+    /// Events appended so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events were appended.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The raw event log (tests).
+    pub fn events(&self) -> &[StoreEvent] {
+        &self.events
+    }
+}
+
+impl CoordinatorStore for MemoryStore {
+    fn append(&mut self, event: &StoreEvent) -> Result<()> {
+        self.events.push(event.clone());
+        Ok(())
+    }
+
+    fn recover(&mut self) -> Result<CoordinatorState> {
+        Ok(CoordinatorState::replay(&self.events))
+    }
+
+    fn name(&self) -> &'static str {
+        "memory"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_then_recover_roundtrips() {
+        let mut s = MemoryStore::new();
+        assert!(s.is_empty());
+        s.append(&StoreEvent::RunCompleted).unwrap();
+        assert_eq!(s.len(), 1);
+        let state = s.recover().unwrap();
+        assert!(state.completed);
+    }
+}

@@ -1,0 +1,836 @@
+//! Durable coordinator state: pluggable round stores and crash recovery.
+//!
+//! PRs 1 and 3 hardened the *edges* of the federation (fault-injecting
+//! transport, retry/backoff, quorum degraded rounds, Byzantine defense),
+//! but the coordinator itself was a single in-memory process: kill it
+//! mid-round and every cohort roster, partial aggregate and roster health
+//! state was gone except for manual checkpoints. This module makes the
+//! coordinator restartable:
+//!
+//! * [`StoreEvent`] — the append-only record of every coordinator phase
+//!   transition: run start, round start (select), each received upload
+//!   (collect), the aggregated model (aggregate) and the published
+//!   [`RoundRecord`] (publish).
+//! * [`CoordinatorState`] — the deterministic fold of an event sequence:
+//!   run history, per-round models, roster health and the in-progress
+//!   round's partial state. Any *prefix* of a valid event log folds to a
+//!   consistent state — the invariant the WAL property tests pin.
+//! * [`CoordinatorStore`] — where events go. Three implementations:
+//!   [`MemoryStore`] (process-lifetime, tests and opt-out),
+//!   [`WalStore`] (append-only length-delimited + checksummed log with
+//!   torn-tail truncation on open) and [`SnapshotWalStore`] (snapshot +
+//!   log hybrid that compacts at round boundaries).
+//! * [`DurableCoordinator`] — the handle the runners thread through:
+//!   appends events at each phase transition, mirrors them into a live
+//!   [`CoordinatorState`], requests compaction at round boundaries, and
+//!   hosts the [`CrashPoint`] fault-injection hook the crash-recovery
+//!   e2e drives.
+//!
+//! ## Replay semantics
+//!
+//! On restart the coordinator folds the store back into a
+//! [`CoordinatorState`] and resumes: completed rounds are skipped, an
+//! in-progress round restarts from its persisted partial state
+//! (re-requesting only the clients whose uploads are missing), and
+//! re-sent uploads for a round/client key the store already holds are
+//! deduplicated idempotently. Client-side state is re-derived by
+//! *deterministic replay*: [`CoordinatorState::replay_models_for`] hands
+//! back the exact broadcast sequence a client trained on, so a rebuilt
+//! client re-runs its local updates against it and arrives at the same
+//! RNG/momentum state as the uninterrupted run. (This assumes a client
+//! trained exactly the rounds whose uploads the store recorded — true
+//! under delay/retry faults; under message *loss* a real deployment
+//! persists client-side state instead.)
+
+mod memory;
+mod snapshot;
+mod wal;
+
+pub use memory::MemoryStore;
+pub use snapshot::SnapshotWalStore;
+pub use wal::WalStore;
+
+use crate::api::ClientUpload;
+use crate::error::{Error, Result};
+use crate::metrics::{History, RoundRecord};
+use appfl_telemetry::Telemetry;
+use serde::{Deserialize, Serialize};
+
+/// One durable coordinator phase transition.
+///
+/// Serialized as tagged JSON inside the store's framing, so records
+/// written by older eras (missing newer fields) still decode — the same
+/// serde-default era compatibility the [`RoundRecord`] history relies on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type")]
+pub enum StoreEvent {
+    /// A fresh run began: identifying metadata, written once.
+    RunStarted {
+        /// Algorithm name (e.g. `FedAvg`).
+        algorithm: String,
+        /// Dataset name.
+        dataset: String,
+        /// Privacy budget ε̄ (∞ encodes non-private; round-trips as
+        /// `null` via [`crate::metrics::epsilon_serde`]).
+        #[serde(with = "crate::metrics::epsilon_serde")]
+        epsilon: f64,
+        /// Federation size.
+        num_clients: usize,
+        /// Configured rounds.
+        rounds: usize,
+    },
+    /// Select phase: a round began with this cohort and broadcast model.
+    RoundStarted {
+        /// 1-based round index.
+        round: usize,
+        /// The global model broadcast this round (`w^t`).
+        broadcast: Vec<f32>,
+        /// Client indices in the round's cohort.
+        active: Vec<usize>,
+    },
+    /// Collect phase: one client upload arrived and was accepted.
+    UpdateReceived {
+        /// The round the upload belongs to.
+        round: usize,
+        /// The upload itself (the partial aggregate's raw material).
+        upload: ClientUpload,
+    },
+    /// Aggregate phase: the server folded the round's uploads into `w`.
+    RoundAggregated {
+        /// The aggregated round.
+        round: usize,
+        /// The post-aggregation global model (`w^{t+1}`).
+        model: Vec<f32>,
+    },
+    /// Publish phase: the round's record entered the history and the
+    /// roster advanced.
+    RoundPublished {
+        /// The published round.
+        round: usize,
+        /// The round's metrics record.
+        record: RoundRecord,
+        /// Post-round roster health, one entry per client.
+        #[serde(default)]
+        roster: Vec<RosterState>,
+        /// Clients whose uploads contributed to the round (the set that
+        /// provably trained it — drives client replay on recovery).
+        #[serde(default)]
+        participants: Vec<usize>,
+    },
+    /// Async mode: one staleness-weighted upload was applied.
+    AsyncApplied {
+        /// Total applied uploads after this one.
+        applied: usize,
+        /// Server model version after this application.
+        version: u64,
+        /// The resulting global model.
+        model: Vec<f32>,
+    },
+    /// The run finished all its rounds.
+    RunCompleted,
+}
+
+impl StoreEvent {
+    /// A short label for telemetry and diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            StoreEvent::RunStarted { .. } => "run_started",
+            StoreEvent::RoundStarted { .. } => "round_started",
+            StoreEvent::UpdateReceived { .. } => "update_received",
+            StoreEvent::RoundAggregated { .. } => "round_aggregated",
+            StoreEvent::RoundPublished { .. } => "round_published",
+            StoreEvent::AsyncApplied { .. } => "async_applied",
+            StoreEvent::RunCompleted => "run_completed",
+        }
+    }
+}
+
+/// Persisted per-client roster health (mirrors the fault-tolerant
+/// runner's `ClientRoster` bookkeeping).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RosterState {
+    /// Consecutive rounds without an accepted report.
+    #[serde(default)]
+    pub consecutive_failures: usize,
+    /// Excluded until this round, if benched.
+    #[serde(default)]
+    pub excluded_until: Option<usize>,
+}
+
+/// The in-progress round's persisted partial state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PendingRound {
+    /// 1-based round index.
+    pub round: usize,
+    /// The model broadcast for this round.
+    pub broadcast: Vec<f32>,
+    /// The cohort selected for this round.
+    pub active: Vec<usize>,
+    /// Uploads received so far (each client at most once).
+    pub uploads: Vec<ClientUpload>,
+    /// The aggregated model, once the aggregate phase committed.
+    #[serde(default)]
+    pub aggregated: Option<Vec<f32>>,
+}
+
+impl PendingRound {
+    /// Whether `client`'s upload for this round is already persisted.
+    pub fn has_upload(&self, client: usize) -> bool {
+        self.uploads.iter().any(|u| u.client_id == client)
+    }
+}
+
+/// Async-mode persisted state.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AsyncState {
+    /// Applied upload count.
+    pub applied: usize,
+    /// Server model version.
+    pub version: u64,
+    /// Current global model.
+    pub model: Vec<f32>,
+}
+
+/// The deterministic fold of a [`StoreEvent`] sequence — everything a
+/// restarted coordinator needs to resume.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CoordinatorState {
+    /// Run metadata + per-round records, as of the last published round.
+    pub history: History,
+    /// Federation size recorded at run start.
+    #[serde(default)]
+    pub num_clients: usize,
+    /// Configured rounds recorded at run start.
+    #[serde(default)]
+    pub rounds: usize,
+    /// `models[0]` is the initial broadcast; `models[r]` is the global
+    /// model after round `r` — i.e. the broadcast of round `r + 1`.
+    #[serde(default)]
+    pub models: Vec<Vec<f32>>,
+    /// Per completed round, the clients whose uploads contributed.
+    #[serde(default)]
+    pub participants: Vec<Vec<usize>>,
+    /// Roster health after the last published round.
+    #[serde(default)]
+    pub roster: Vec<RosterState>,
+    /// The round in flight when the log ends, if any.
+    #[serde(default)]
+    pub round_in_progress: Option<PendingRound>,
+    /// Async-mode state, if the run is asynchronous.
+    #[serde(default)]
+    pub async_state: Option<AsyncState>,
+    /// Whether the run completed all its rounds.
+    #[serde(default)]
+    pub completed: bool,
+    /// Events folded so far (diagnostics; not persisted by snapshots
+    /// beyond the fold itself).
+    #[serde(default)]
+    pub applied_events: usize,
+}
+
+impl CoordinatorState {
+    /// Whether the state carries no recovered run at all.
+    pub fn is_empty(&self) -> bool {
+        self.applied_events == 0
+            && self.models.is_empty()
+            && self.round_in_progress.is_none()
+            && self.async_state.is_none()
+            && self.history.rounds.is_empty()
+    }
+
+    /// The round a resumed coordinator should execute next: the pending
+    /// round if one is in flight, otherwise one past the last published.
+    pub fn next_round(&self) -> usize {
+        match &self.round_in_progress {
+            Some(p) => p.round,
+            None => self.history.rounds.len() + 1,
+        }
+    }
+
+    /// The most recent durable global model: the pending round's
+    /// aggregate if the aggregate phase committed, else the model after
+    /// the last published round (which is the pending broadcast).
+    pub fn current_model(&self) -> Option<&[f32]> {
+        if let Some(p) = &self.round_in_progress {
+            if let Some(m) = &p.aggregated {
+                return Some(m);
+            }
+        }
+        self.models.last().map(Vec::as_slice)
+    }
+
+    /// The broadcast sequence client `p` provably trained on — one model
+    /// per completed round it participated in, plus the pending round's
+    /// broadcast if its upload is already persisted. A rebuilt client
+    /// replays its local update over exactly this sequence to re-derive
+    /// its RNG/momentum state.
+    pub fn replay_models_for(&self, client: usize) -> Vec<&[f32]> {
+        let mut models = Vec::new();
+        for (i, parts) in self.participants.iter().enumerate() {
+            if parts.contains(&client) {
+                if let Some(m) = self.models.get(i) {
+                    models.push(m.as_slice());
+                }
+            }
+        }
+        if let Some(p) = &self.round_in_progress {
+            if p.has_upload(client) {
+                models.push(p.broadcast.as_slice());
+            }
+        }
+        models
+    }
+
+    /// Folds one event into the state. Events are tolerated
+    /// out-of-context (e.g. an `UpdateReceived` with no pending round
+    /// opens one implicitly) so that *any prefix* of a valid log — the
+    /// aftermath of a torn tail — still folds to a consistent state.
+    pub fn apply(&mut self, event: &StoreEvent) {
+        self.applied_events += 1;
+        match event {
+            StoreEvent::RunStarted {
+                algorithm,
+                dataset,
+                epsilon,
+                num_clients,
+                rounds,
+            } => {
+                self.history = History::new(algorithm.clone(), dataset.clone(), *epsilon);
+                self.num_clients = *num_clients;
+                self.rounds = *rounds;
+                self.roster = vec![RosterState::default(); *num_clients];
+            }
+            StoreEvent::RoundStarted {
+                round,
+                broadcast,
+                active,
+            } => {
+                if self.models.is_empty() {
+                    // The first round's broadcast is the initial model.
+                    self.models.push(broadcast.clone());
+                }
+                self.round_in_progress = Some(PendingRound {
+                    round: *round,
+                    broadcast: broadcast.clone(),
+                    active: active.clone(),
+                    uploads: Vec::new(),
+                    aggregated: None,
+                });
+            }
+            StoreEvent::UpdateReceived { round, upload } => {
+                let pending = self.round_in_progress.get_or_insert_with(|| PendingRound {
+                    round: *round,
+                    broadcast: self.models.last().cloned().unwrap_or_default(),
+                    active: (0..self.num_clients).collect(),
+                    uploads: Vec::new(),
+                    aggregated: None,
+                });
+                // Replay-time idempotence: the same (round, client) key
+                // folds in at most once.
+                if pending.round == *round && !pending.has_upload(upload.client_id) {
+                    pending.uploads.push(upload.clone());
+                }
+            }
+            StoreEvent::RoundAggregated { round, model } => {
+                if let Some(p) = &mut self.round_in_progress {
+                    if p.round == *round {
+                        p.aggregated = Some(model.clone());
+                    }
+                }
+            }
+            StoreEvent::RoundPublished {
+                round,
+                record,
+                roster,
+                participants,
+            } => {
+                let aggregated = self
+                    .round_in_progress
+                    .take()
+                    .and_then(|p| if p.round == *round { p.aggregated } else { None });
+                // A skipped round (below quorum) has no aggregate: the
+                // model carries over unchanged.
+                let model = aggregated
+                    .or_else(|| self.models.last().cloned())
+                    .unwrap_or_default();
+                self.models.push(model);
+                self.participants.push(participants.clone());
+                self.history.rounds.push(*record);
+                if !roster.is_empty() {
+                    self.roster = roster.clone();
+                }
+            }
+            StoreEvent::AsyncApplied {
+                applied,
+                version,
+                model,
+            } => {
+                self.async_state = Some(AsyncState {
+                    applied: *applied,
+                    version: *version,
+                    model: model.clone(),
+                });
+            }
+            StoreEvent::RunCompleted => {
+                self.completed = true;
+            }
+        }
+    }
+
+    /// Folds a whole event sequence from scratch.
+    pub fn replay<'a>(events: impl IntoIterator<Item = &'a StoreEvent>) -> Self {
+        let mut state = CoordinatorState::default();
+        for e in events {
+            state.apply(e);
+        }
+        state
+    }
+}
+
+/// Where coordinator events go — the pluggable persistence backend.
+///
+/// Implementations must make [`CoordinatorStore::append`] atomic at the
+/// record level (a torn write may lose the tail record but never corrupt
+/// earlier ones) and [`CoordinatorStore::recover`] must fold whatever
+/// survived into a consistent [`CoordinatorState`].
+pub trait CoordinatorStore: Send {
+    /// Durably appends one event.
+    fn append(&mut self, event: &StoreEvent) -> Result<()>;
+
+    /// Folds the persisted log (and snapshot, if any) back into a state.
+    fn recover(&mut self) -> Result<CoordinatorState>;
+
+    /// Invited at round boundaries with the full current state; stores
+    /// that snapshot may compact their log here. The default keeps the
+    /// log as-is.
+    fn compact(&mut self, _state: &CoordinatorState) -> Result<()> {
+        Ok(())
+    }
+
+    /// Backend name for telemetry and diagnostics.
+    fn name(&self) -> &'static str;
+}
+
+/// The coordinator phase a [`CrashPoint`] fires after.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPhase {
+    /// After the round's `RoundStarted` record is durable.
+    Select,
+    /// After the round's *first* `UpdateReceived` record is durable.
+    Collect,
+    /// After the round's `RoundAggregated` record is durable.
+    Aggregate,
+    /// After the round's `RoundPublished` record is durable.
+    Publish,
+}
+
+impl CrashPhase {
+    /// Phase label for error messages and telemetry.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CrashPhase::Select => "select",
+            CrashPhase::Collect => "collect",
+            CrashPhase::Aggregate => "aggregate",
+            CrashPhase::Publish => "publish",
+        }
+    }
+}
+
+/// Coordinator fault injection: kill the coordinator immediately *after*
+/// the given phase of the given round commits to the store — the
+/// server-side sibling of the transport's `FaultyCommunicator`, driven by
+/// the crash-recovery e2e to prove every phase transition is a safe
+/// restart point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPoint {
+    /// 1-based round to crash in.
+    pub round: usize,
+    /// Phase whose commit triggers the crash.
+    pub phase: CrashPhase,
+}
+
+/// The durable-coordination handle the runners thread through their
+/// phase transitions.
+///
+/// Wraps a [`CoordinatorStore`], mirrors every appended event into a live
+/// [`CoordinatorState`] (so compaction never re-reads the log), counts
+/// deduplicated resubmissions, and hosts the [`CrashPoint`] hook. All
+/// appends are write-ahead: the runner persists the transition *before*
+/// acting on it.
+pub struct DurableCoordinator {
+    store: Box<dyn CoordinatorStore>,
+    state: CoordinatorState,
+    crash: Option<CrashPoint>,
+    recovered: bool,
+    duplicates: usize,
+}
+
+impl DurableCoordinator {
+    /// Wraps a store. Call [`DurableCoordinator::recover`] before use.
+    pub fn new(store: Box<dyn CoordinatorStore>) -> Self {
+        DurableCoordinator {
+            store,
+            state: CoordinatorState::default(),
+            crash: None,
+            recovered: false,
+            duplicates: 0,
+        }
+    }
+
+    /// Arms the crash-injection hook: the coordinator dies (with
+    /// [`Error::Crashed`]) right after the matching phase commits.
+    pub fn crash_after(mut self, point: CrashPoint) -> Self {
+        self.crash = Some(point);
+        self
+    }
+
+    /// Folds the store into the live state and returns a clone of it.
+    /// A non-empty recovery emits a `coordinator_recovery` mark and bumps
+    /// the `coordinator_recoveries` counter on `telemetry`.
+    pub fn recover(&mut self, telemetry: &Telemetry) -> Result<CoordinatorState> {
+        self.state = self.store.recover()?;
+        self.recovered = !self.state.is_empty();
+        if self.recovered {
+            let round = self.state.next_round() as u64;
+            telemetry.count("coordinator_recoveries", 1, Some(round), None);
+            telemetry.mark(
+                "coordinator_recovery",
+                Some(round),
+                None,
+                Some(self.store.name()),
+            );
+        }
+        Ok(self.state.clone())
+    }
+
+    /// Whether the last [`DurableCoordinator::recover`] found prior state.
+    pub fn was_recovered(&self) -> bool {
+        self.recovered
+    }
+
+    /// The live state mirror.
+    pub fn state(&self) -> &CoordinatorState {
+        &self.state
+    }
+
+    /// Re-sent uploads dropped by the dedup check so far.
+    pub fn duplicates(&self) -> usize {
+        self.duplicates
+    }
+
+    /// The underlying store's name.
+    pub fn store_name(&self) -> &'static str {
+        self.store.name()
+    }
+
+    fn append(&mut self, event: StoreEvent) -> Result<()> {
+        self.store.append(&event)?;
+        self.state.apply(&event);
+        Ok(())
+    }
+
+    fn maybe_crash(&self, round: usize, phase: CrashPhase) -> Result<()> {
+        if self.crash == Some(CrashPoint { round, phase }) {
+            return Err(Error::Crashed(phase.as_str()));
+        }
+        Ok(())
+    }
+
+    /// Persists run metadata. Skipped when resuming a recovered run.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_started(
+        &mut self,
+        algorithm: &str,
+        dataset: &str,
+        epsilon: f64,
+        num_clients: usize,
+        rounds: usize,
+    ) -> Result<()> {
+        if self.recovered {
+            return Ok(());
+        }
+        self.append(StoreEvent::RunStarted {
+            algorithm: algorithm.to_string(),
+            dataset: dataset.to_string(),
+            epsilon,
+            num_clients,
+            rounds,
+        })
+    }
+
+    /// Select phase commit: the round's cohort and broadcast are durable
+    /// before the first byte goes out.
+    pub fn round_started(&mut self, round: usize, broadcast: &[f32], active: &[usize]) -> Result<()> {
+        self.append(StoreEvent::RoundStarted {
+            round,
+            broadcast: broadcast.to_vec(),
+            active: active.to_vec(),
+        })?;
+        self.maybe_crash(round, CrashPhase::Select)
+    }
+
+    /// Collect phase commit: persists `upload` under its
+    /// `(round, client_id)` key. Returns `false` — without persisting —
+    /// when the key is already present: the caller must drop the upload
+    /// as a duplicate resubmission.
+    pub fn update_received(&mut self, round: usize, upload: &ClientUpload) -> Result<bool> {
+        if let Some(p) = &self.state.round_in_progress {
+            if p.round == round && p.has_upload(upload.client_id) {
+                self.duplicates += 1;
+                return Ok(false);
+            }
+        }
+        self.append(StoreEvent::UpdateReceived {
+            round,
+            upload: upload.clone(),
+        })?;
+        let first = self
+            .state
+            .round_in_progress
+            .as_ref()
+            .is_some_and(|p| p.round == round && p.uploads.len() == 1);
+        if first {
+            self.maybe_crash(round, CrashPhase::Collect)?;
+        }
+        Ok(true)
+    }
+
+    /// Aggregate phase commit: the post-aggregation model is durable.
+    pub fn round_aggregated(&mut self, round: usize, model: &[f32]) -> Result<()> {
+        self.append(StoreEvent::RoundAggregated {
+            round,
+            model: model.to_vec(),
+        })?;
+        self.maybe_crash(round, CrashPhase::Aggregate)
+    }
+
+    /// Publish phase commit: the round's record, roster and participant
+    /// set are durable; the store is then invited to compact.
+    pub fn round_published(
+        &mut self,
+        round: usize,
+        record: &RoundRecord,
+        roster: &[RosterState],
+        participants: &[usize],
+    ) -> Result<()> {
+        self.append(StoreEvent::RoundPublished {
+            round,
+            record: *record,
+            roster: roster.to_vec(),
+            participants: participants.to_vec(),
+        })?;
+        self.store.compact(&self.state)?;
+        self.maybe_crash(round, CrashPhase::Publish)
+    }
+
+    /// Async-mode commit: one applied upload's resulting model.
+    pub fn async_applied(&mut self, applied: usize, version: u64, model: &[f32]) -> Result<()> {
+        self.append(StoreEvent::AsyncApplied {
+            applied,
+            version,
+            model: model.to_vec(),
+        })
+    }
+
+    /// Marks the run complete.
+    pub fn run_completed(&mut self) -> Result<()> {
+        self.append(StoreEvent::RunCompleted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn upload(client_id: usize) -> ClientUpload {
+        ClientUpload {
+            client_id,
+            primal: vec![client_id as f32; 3],
+            dual: None,
+            num_samples: 10,
+            local_loss: 0.5,
+        }
+    }
+
+    fn record(round: usize) -> RoundRecord {
+        RoundRecord {
+            round,
+            accuracy: 0.5 + round as f32 * 0.1,
+            ..RoundRecord::default()
+        }
+    }
+
+    fn full_round_events(round: usize, w: Vec<f32>, model: Vec<f32>) -> Vec<StoreEvent> {
+        vec![
+            StoreEvent::RoundStarted {
+                round,
+                broadcast: w,
+                active: vec![0, 1],
+            },
+            StoreEvent::UpdateReceived {
+                round,
+                upload: upload(0),
+            },
+            StoreEvent::UpdateReceived {
+                round,
+                upload: upload(1),
+            },
+            StoreEvent::RoundAggregated {
+                round,
+                model: model.clone(),
+            },
+            StoreEvent::RoundPublished {
+                round,
+                record: record(round),
+                roster: vec![RosterState::default(); 2],
+                participants: vec![0, 1],
+            },
+        ]
+    }
+
+    #[test]
+    fn replay_folds_completed_rounds_into_history_and_models() {
+        let mut events = vec![StoreEvent::RunStarted {
+            algorithm: "FedAvg".into(),
+            dataset: "MNIST".into(),
+            epsilon: f64::INFINITY,
+            num_clients: 2,
+            rounds: 3,
+        }];
+        events.extend(full_round_events(1, vec![0.0; 3], vec![1.0; 3]));
+        events.extend(full_round_events(2, vec![1.0; 3], vec![2.0; 3]));
+        let state = CoordinatorState::replay(&events);
+        assert!(!state.is_empty());
+        assert_eq!(state.history.rounds.len(), 2);
+        assert_eq!(state.next_round(), 3);
+        // models: initial + one per round.
+        assert_eq!(state.models.len(), 3);
+        assert_eq!(state.current_model(), Some(&[2.0f32; 3][..]));
+        assert!(state.round_in_progress.is_none());
+        assert_eq!(state.participants, vec![vec![0, 1], vec![0, 1]]);
+    }
+
+    #[test]
+    fn every_prefix_is_consistent() {
+        let mut events = vec![StoreEvent::RunStarted {
+            algorithm: "FedAvg".into(),
+            dataset: "MNIST".into(),
+            epsilon: f64::INFINITY,
+            num_clients: 2,
+            rounds: 2,
+        }];
+        events.extend(full_round_events(1, vec![0.0; 3], vec![1.0; 3]));
+        events.extend(full_round_events(2, vec![1.0; 3], vec![2.0; 3]));
+        events.push(StoreEvent::RunCompleted);
+        for cut in 0..=events.len() {
+            let state = CoordinatorState::replay(&events[..cut]);
+            // The fold never loses published rounds and never invents
+            // rounds beyond the configured count.
+            assert!(state.history.rounds.len() <= 2);
+            assert!(state.next_round() >= state.history.rounds.len());
+            if let Some(p) = &state.round_in_progress {
+                assert!(p.uploads.len() <= 2);
+                assert_eq!(p.round, state.next_round());
+            }
+        }
+    }
+
+    #[test]
+    fn mid_round_state_resumes_with_missing_clients_only() {
+        let events = vec![
+            StoreEvent::RoundStarted {
+                round: 1,
+                broadcast: vec![0.5; 3],
+                active: vec![0, 1, 2],
+            },
+            StoreEvent::UpdateReceived {
+                round: 1,
+                upload: upload(1),
+            },
+        ];
+        let state = CoordinatorState::replay(&events);
+        assert_eq!(state.next_round(), 1);
+        let p = state.round_in_progress.as_ref().unwrap();
+        assert!(p.has_upload(1));
+        assert!(!p.has_upload(0));
+        assert_eq!(state.current_model(), Some(&[0.5f32; 3][..]));
+        // Client 1 replays the pending broadcast; client 0 replays nothing.
+        assert_eq!(state.replay_models_for(1), vec![&[0.5f32; 3][..]]);
+        assert!(state.replay_models_for(0).is_empty());
+    }
+
+    #[test]
+    fn duplicate_updates_fold_in_once() {
+        let events = vec![
+            StoreEvent::RoundStarted {
+                round: 1,
+                broadcast: vec![0.0; 3],
+                active: vec![0, 1],
+            },
+            StoreEvent::UpdateReceived {
+                round: 1,
+                upload: upload(0),
+            },
+            StoreEvent::UpdateReceived {
+                round: 1,
+                upload: upload(0),
+            },
+        ];
+        let state = CoordinatorState::replay(&events);
+        assert_eq!(state.round_in_progress.unwrap().uploads.len(), 1);
+    }
+
+    #[test]
+    fn durable_coordinator_dedups_and_counts() {
+        let mut d = DurableCoordinator::new(Box::new(MemoryStore::new()));
+        d.recover(&Telemetry::disabled()).unwrap();
+        d.round_started(1, &[0.0; 3], &[0, 1]).unwrap();
+        assert!(d.update_received(1, &upload(0)).unwrap());
+        assert!(!d.update_received(1, &upload(0)).unwrap(), "dup dropped");
+        assert!(d.update_received(1, &upload(1)).unwrap());
+        assert_eq!(d.duplicates(), 1);
+    }
+
+    #[test]
+    fn crash_point_fires_after_the_matching_phase() {
+        let mut d = DurableCoordinator::new(Box::new(MemoryStore::new())).crash_after(CrashPoint {
+            round: 2,
+            phase: CrashPhase::Collect,
+        });
+        d.recover(&Telemetry::disabled()).unwrap();
+        d.round_started(1, &[0.0; 3], &[0]).unwrap();
+        assert!(d.update_received(1, &upload(0)).is_ok(), "round 1 unaffected");
+        d.round_aggregated(1, &[1.0; 3]).unwrap();
+        d.round_published(1, &record(1), &[], &[0]).unwrap();
+        d.round_started(2, &[1.0; 3], &[0]).unwrap();
+        let err = d.update_received(2, &upload(0)).unwrap_err();
+        assert!(matches!(err, Error::Crashed("collect")), "{err}");
+        // The event itself is durable: the crash models death *after*
+        // the write, so recovery sees the upload.
+        let state = d.store.recover().unwrap();
+        assert!(state.round_in_progress.unwrap().has_upload(0));
+    }
+
+    #[test]
+    fn recovery_emits_telemetry() {
+        use appfl_telemetry::MemorySink;
+        use std::sync::Arc;
+        let mut store = MemoryStore::new();
+        store
+            .append(&StoreEvent::RoundStarted {
+                round: 1,
+                broadcast: vec![0.0; 2],
+                active: vec![0],
+            })
+            .unwrap();
+        let mut d = DurableCoordinator::new(Box::new(store));
+        let sink = Arc::new(MemorySink::new());
+        let telemetry = Telemetry::new(sink.clone());
+        let state = d.recover(&telemetry).unwrap();
+        assert!(d.was_recovered());
+        assert_eq!(state.next_round(), 1);
+        let events = sink.events();
+        assert!(events.iter().any(|e| e.name == "coordinator_recoveries"));
+        assert!(events.iter().any(|e| e.name == "coordinator_recovery"));
+    }
+}

@@ -1,0 +1,294 @@
+//! Snapshot + WAL hybrid store.
+//!
+//! A bare [`WalStore`] grows without bound: every broadcast and upload of
+//! every round stays in the log forever, and recovery re-folds the full
+//! run. `SnapshotWalStore` bounds both. It keeps a directory with two
+//! files:
+//!
+//! ```text
+//! <dir>/snapshot.json   the full CoordinatorState as of the last compaction
+//! <dir>/wal.log         WAL of events appended since that snapshot
+//! ```
+//!
+//! [`CoordinatorStore::compact`] — invited by the [`DurableCoordinator`]
+//! after every publish — writes the live state mirror to `snapshot.json`
+//! (atomically: temp sibling + rename, the `checkpoint.rs` idiom) and
+//! truncates the WAL, so the log never holds more than one round of
+//! events and recovery folds at most one round's tail over the snapshot.
+//! The write order makes every crash window safe: snapshot-then-truncate
+//! means a crash between the two replays WAL events that are already
+//! *inside* the snapshot, and the [`CoordinatorState::apply`] fold
+//! tolerates those (duplicate uploads fold once; a `RoundPublished` for
+//! an already-published round would require the matching `RoundStarted`
+//! to re-open a pending round first, which the truncated log no longer
+//! holds).
+//!
+//! [`DurableCoordinator`]: super::DurableCoordinator
+
+use super::wal::WalStore;
+use super::{CoordinatorState, CoordinatorStore, StoreEvent};
+use crate::error::{Error, Result};
+use std::path::{Path, PathBuf};
+
+/// Snapshot file name inside the store directory.
+const SNAPSHOT: &str = "snapshot.json";
+/// WAL file name inside the store directory.
+const WAL: &str = "wal.log";
+
+/// Hybrid store: a JSON state snapshot compacted at round boundaries plus
+/// a WAL of the events since.
+pub struct SnapshotWalStore {
+    dir: PathBuf,
+    wal: WalStore,
+    compactions: usize,
+}
+
+impl SnapshotWalStore {
+    /// Opens (or creates) the store directory.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| Error::persist(format!("snapshot dir {dir:?}: {e}")))?;
+        let wal = WalStore::open(dir.join(WAL))?;
+        Ok(SnapshotWalStore {
+            dir,
+            wal,
+            compactions: 0,
+        })
+    }
+
+    fn snapshot_path(&self) -> PathBuf {
+        self.dir.join(SNAPSHOT)
+    }
+
+    /// Loads the snapshot state, if one exists.
+    fn load_snapshot(&self) -> Result<Option<CoordinatorState>> {
+        let path = self.snapshot_path();
+        let json = match std::fs::read_to_string(&path) {
+            Ok(json) => json,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(Error::persist(format!("snapshot read {path:?}: {e}"))),
+        };
+        let state = serde_json::from_str(&json)
+            .map_err(|e| Error::persist(format!("snapshot decode {path:?}: {e}")))?;
+        Ok(Some(state))
+    }
+
+    /// Atomic write via a temp sibling + rename (a crash mid-write leaves
+    /// the previous snapshot intact).
+    fn write_snapshot(&self, state: &CoordinatorState) -> Result<()> {
+        let path = self.snapshot_path();
+        let json = serde_json::to_string(state)
+            .map_err(|e| Error::persist(format!("snapshot encode: {e}")))?;
+        let tmp = self
+            .dir
+            .join(format!(".{SNAPSHOT}.tmp.{}", std::process::id()));
+        let write_and_rename = (|| {
+            std::fs::write(&tmp, json)?;
+            std::fs::rename(&tmp, &path)
+        })();
+        if let Err(e) = write_and_rename {
+            std::fs::remove_file(&tmp).ok();
+            return Err(Error::persist(format!("snapshot write {path:?}: {e}")));
+        }
+        Ok(())
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Compactions performed since open.
+    pub fn compactions(&self) -> usize {
+        self.compactions
+    }
+
+    /// WAL records appended since the last compaction.
+    pub fn wal_records(&self) -> usize {
+        self.wal.records()
+    }
+}
+
+impl CoordinatorStore for SnapshotWalStore {
+    fn append(&mut self, event: &StoreEvent) -> Result<()> {
+        self.wal.append(event)
+    }
+
+    fn recover(&mut self) -> Result<CoordinatorState> {
+        let mut state = self.load_snapshot()?.unwrap_or_default();
+        for event in self.wal.read_events()? {
+            state.apply(&event);
+        }
+        Ok(state)
+    }
+
+    fn compact(&mut self, state: &CoordinatorState) -> Result<()> {
+        self.write_snapshot(state)?;
+        self.wal.reset()?;
+        self.compactions += 1;
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "snapshot-wal"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::ClientUpload;
+    use crate::metrics::RoundRecord;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    static UNIQ: AtomicUsize = AtomicUsize::new(0);
+
+    fn temp_dir() -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "appfl_snapshot_test_{}_{}",
+            std::process::id(),
+            UNIQ.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    fn upload(client_id: usize) -> ClientUpload {
+        ClientUpload {
+            client_id,
+            primal: vec![1.0; 3],
+            dual: None,
+            num_samples: 4,
+            local_loss: 0.2,
+        }
+    }
+
+    fn run_round(store: &mut SnapshotWalStore, state: &mut CoordinatorState, round: usize) {
+        let events = vec![
+            StoreEvent::RoundStarted {
+                round,
+                broadcast: vec![round as f32; 3],
+                active: vec![0, 1],
+            },
+            StoreEvent::UpdateReceived {
+                round,
+                upload: upload(0),
+            },
+            StoreEvent::UpdateReceived {
+                round,
+                upload: upload(1),
+            },
+            StoreEvent::RoundAggregated {
+                round,
+                model: vec![round as f32 + 0.5; 3],
+            },
+            StoreEvent::RoundPublished {
+                round,
+                record: RoundRecord {
+                    round,
+                    accuracy: 0.7,
+                    ..RoundRecord::default()
+                },
+                roster: Vec::new(),
+                participants: vec![0, 1],
+            },
+        ];
+        for e in events {
+            store.append(&e).unwrap();
+            state.apply(&e);
+        }
+    }
+
+    #[test]
+    fn compaction_truncates_the_wal_and_recovery_matches() {
+        let dir = temp_dir();
+        let mut state = CoordinatorState::default();
+        {
+            let mut store = SnapshotWalStore::open(&dir).unwrap();
+            run_round(&mut store, &mut state, 1);
+            assert!(store.wal_records() > 0);
+            store.compact(&state).unwrap();
+            assert_eq!(store.wal_records(), 0, "compaction truncates the log");
+            assert_eq!(store.compactions(), 1);
+            run_round(&mut store, &mut state, 2);
+        }
+        // Reopen: snapshot (round 1) + WAL tail (round 2).
+        let mut store = SnapshotWalStore::open(&dir).unwrap();
+        let recovered = store.recover().unwrap();
+        assert_eq!(recovered.history.rounds.len(), 2);
+        assert_eq!(recovered.models, state.models);
+        assert_eq!(recovered.participants, state.participants);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crash_between_snapshot_and_truncate_is_harmless() {
+        let dir = temp_dir();
+        let mut state = CoordinatorState::default();
+        {
+            let mut store = SnapshotWalStore::open(&dir).unwrap();
+            run_round(&mut store, &mut state, 1);
+            // Simulate the crash window: snapshot written, WAL NOT yet
+            // truncated — recovery replays round-1 events over a snapshot
+            // that already contains round 1.
+            store.write_snapshot(&state).unwrap();
+        }
+        let mut store = SnapshotWalStore::open(&dir).unwrap();
+        assert!(store.wal_records() > 0, "wal kept its records");
+        let recovered = store.recover().unwrap();
+        // The re-folded tail must not double-publish round 1.
+        assert_eq!(recovered.history.rounds.len(), 1);
+        assert_eq!(recovered.models.len(), state.models.len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mid_round_tail_folds_over_snapshot() {
+        let dir = temp_dir();
+        let mut state = CoordinatorState::default();
+        {
+            let mut store = SnapshotWalStore::open(&dir).unwrap();
+            run_round(&mut store, &mut state, 1);
+            store.compact(&state).unwrap();
+            store
+                .append(&StoreEvent::RoundStarted {
+                    round: 2,
+                    broadcast: vec![1.5; 3],
+                    active: vec![0, 1],
+                })
+                .unwrap();
+            store
+                .append(&StoreEvent::UpdateReceived {
+                    round: 2,
+                    upload: upload(1),
+                })
+                .unwrap();
+        }
+        let mut store = SnapshotWalStore::open(&dir).unwrap();
+        let recovered = store.recover().unwrap();
+        assert_eq!(recovered.history.rounds.len(), 1);
+        let p = recovered.round_in_progress.as_ref().unwrap();
+        assert_eq!(p.round, 2);
+        assert!(p.has_upload(1));
+        assert!(!p.has_upload(0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_directory_recovers_to_empty_state() {
+        let dir = temp_dir();
+        let mut store = SnapshotWalStore::open(&dir).unwrap();
+        assert!(store.recover().unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_an_error_not_silent_data_loss() {
+        let dir = temp_dir();
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(SNAPSHOT), b"{ not json").unwrap();
+        let mut store = SnapshotWalStore::open(&dir).unwrap();
+        let err = store.recover().unwrap_err();
+        assert!(matches!(err, Error::Persist(_)), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

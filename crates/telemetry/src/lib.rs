@@ -48,57 +48,3 @@ pub use summary::{GaugeStats, PhaseTotals, RunSummary};
 pub use trace::{
     chrome_trace, client_span_id, is_round_key, round_span_id, TraceSink, TRACE_DYNAMIC_BASE,
 };
-
-/// A lock-free maximum gauge in seconds.
-///
-/// Deprecated shim over [`registry::Gauge`], which additionally keeps
-/// last/min/max/sum statistics and can live in a [`MetricsRegistry`].
-/// The transport runners used one to account client compute that
-/// overlaps the server's gather wait; they now take a [`Gauge`] and call
-/// [`Gauge::record`] / [`Gauge::drain_max`] directly.
-#[deprecated(since = "0.5.0", note = "use registry::Gauge (record/drain_max) instead")]
-#[derive(Debug, Default)]
-pub struct MaxGauge {
-    inner: Gauge,
-}
-
-#[allow(deprecated)]
-impl MaxGauge {
-    /// A zeroed gauge.
-    pub fn new() -> Self {
-        MaxGauge::default()
-    }
-
-    /// Folds `secs` in, keeping the maximum seen since the last drain.
-    pub fn record_secs(&self, secs: f64) {
-        self.inner.record(secs.max(0.0));
-    }
-
-    /// Returns the maximum recorded since the last drain (seconds) and
-    /// resets the gauge to zero.
-    pub fn drain_secs(&self) -> f64 {
-        self.inner.drain_max()
-    }
-
-    /// Current maximum without resetting (seconds).
-    pub fn peek_secs(&self) -> f64 {
-        self.inner.peek_max()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    #[allow(deprecated)]
-    fn max_gauge_shim_keeps_maximum_and_drains() {
-        let g = MaxGauge::new();
-        g.record_secs(0.002);
-        g.record_secs(0.010);
-        g.record_secs(0.001);
-        assert!((g.peek_secs() - 0.010).abs() < 1e-9);
-        assert!((g.drain_secs() - 0.010).abs() < 1e-9);
-        assert_eq!(g.drain_secs(), 0.0, "drain resets");
-    }
-}

@@ -108,9 +108,9 @@ impl AtomicF64 {
 }
 
 /// A sampled float: keeps the last value plus running count/sum/min/max,
-/// and a drainable peak so it can stand in for the deprecated
-/// [`crate::MaxGauge`] (peak-since-last-drain accounting of overlapped
-/// client compute).
+/// and a drainable peak (peak-since-last-drain accounting, used by the
+/// transport runners to attribute client compute that overlaps the
+/// server's gather wait).
 #[derive(Debug)]
 pub struct Gauge {
     last: AtomicF64,

@@ -1,13 +1,18 @@
-//! History/checkpoint serde compatibility across format generations:
+//! History/checkpoint/store serde compatibility across format
+//! generations:
 //!
 //! * seed-era JSON (no fault counters, no phase timings) still loads;
 //! * fault-tolerance-era JSON (counters, no phase timings) still loads;
 //! * telemetry-era JSON (phase timings, no defense counters) still loads;
 //! * current records round-trip with every telemetry and defense field
-//!   intact.
+//!   intact;
+//! * first-generation durable-store records (`StoreEvent`,
+//!   `PendingRound`, `CoordinatorState`) missing later defaulted fields
+//!   still load, and a non-private run's ε̄ = ∞ round-trips as `null`.
 
 use appfl::core::checkpoint::Checkpoint;
 use appfl::core::metrics::{History, RoundRecord};
+use appfl::core::{CoordinatorState, PendingRound, StoreEvent};
 
 /// A round as the original seed serialised it: seven fields, nothing else.
 const SEED_ERA_ROUND: &str = r#"{
@@ -78,6 +83,116 @@ fn old_format_history_loads_inside_a_checkpoint() {
     assert_eq!(cp.history.rounds.len(), 1);
     assert_eq!(cp.history.rounds[0].round, 3);
     assert_eq!(cp.history.rounds[0].aggregate_secs, 0.0);
+}
+
+#[test]
+fn non_private_epsilon_round_trips_as_null() {
+    let history = History::new("FedAvg", "MNIST", f64::INFINITY);
+    let json = serde_json::to_string(&history).unwrap();
+    assert!(json.contains("\"epsilon\":null"), "{json}");
+    let back: History = serde_json::from_str(&json).unwrap();
+    assert!(back.epsilon.is_infinite());
+    // A checkpoint of a non-private run survives its own save format.
+    let cp = Checkpoint::new(0, vec![1.0], history);
+    let back = Checkpoint::from_json(&cp.to_json().unwrap()).unwrap();
+    assert!(back.history.epsilon.is_infinite());
+}
+
+/// A `RoundPublished` as the first durable-coordinator generation wrote
+/// it: no `roster`, no `participants`.
+const FIRST_GEN_PUBLISH: &str = r#"{
+    "type": "RoundPublished", "round": 1,
+    "record": {"round": 1, "accuracy": 0.5, "test_loss": 1.0,
+               "train_loss": 1.1, "upload_bytes": 64,
+               "compute_secs": 0.1, "comm_secs": 0.05}
+}"#;
+
+#[test]
+fn first_generation_store_events_still_load() {
+    let e: StoreEvent = serde_json::from_str(FIRST_GEN_PUBLISH).unwrap();
+    match &e {
+        StoreEvent::RoundPublished {
+            round,
+            record,
+            roster,
+            participants,
+        } => {
+            assert_eq!(*round, 1);
+            assert_eq!(record.upload_bytes, 64);
+            assert!(roster.is_empty(), "absent roster defaults to empty");
+            assert!(participants.is_empty());
+        }
+        other => panic!("decoded as {other:?}"),
+    }
+    // A non-private RunStarted round-trips its ε̄ = ∞ through null.
+    let run = StoreEvent::RunStarted {
+        algorithm: "FedAvg".into(),
+        dataset: "MNIST".into(),
+        epsilon: f64::INFINITY,
+        num_clients: 3,
+        rounds: 5,
+    };
+    let json = serde_json::to_string(&run).unwrap();
+    let back: StoreEvent = serde_json::from_str(&json).unwrap();
+    match back {
+        StoreEvent::RunStarted { epsilon, .. } => assert!(epsilon.is_infinite()),
+        other => panic!("decoded as {other:?}"),
+    }
+}
+
+#[test]
+fn pending_round_without_aggregate_field_still_loads() {
+    // The `aggregated` field arrived after the first pending-round
+    // format; its absence means the aggregate phase never committed.
+    let json = r#"{
+        "round": 2, "broadcast": [0.5, 0.5], "active": [0, 1],
+        "uploads": [{"client_id": 0, "primal": [1.0, 1.0], "dual": null,
+                     "num_samples": 4, "local_loss": 0.25}]
+    }"#;
+    let p: PendingRound = serde_json::from_str(json).unwrap();
+    assert_eq!(p.round, 2);
+    assert!(p.aggregated.is_none());
+    assert!(p.has_upload(0));
+    assert!(!p.has_upload(1));
+}
+
+#[test]
+fn minimal_coordinator_state_still_loads() {
+    // Everything beyond the history and client count is serde-defaulted,
+    // so a state snapshot from the smallest possible writer still folds.
+    let json = r#"{
+        "history": {"algorithm": "FedAvg", "dataset": "MNIST",
+                    "epsilon": null, "rounds": []},
+        "num_clients": 3
+    }"#;
+    let s: CoordinatorState = serde_json::from_str(json).unwrap();
+    assert_eq!(s.num_clients, 3);
+    assert!(s.history.epsilon.is_infinite());
+    assert!(s.round_in_progress.is_none());
+    assert!(!s.completed);
+    assert_eq!(s.next_round(), 1);
+}
+
+#[test]
+fn coordinator_state_round_trips_with_pending_round() {
+    let events = vec![
+        StoreEvent::RunStarted {
+            algorithm: "FedAvg".into(),
+            dataset: "MNIST".into(),
+            epsilon: f64::INFINITY,
+            num_clients: 2,
+            rounds: 3,
+        },
+        StoreEvent::RoundStarted {
+            round: 1,
+            broadcast: vec![0.0, 0.0],
+            active: vec![0, 1],
+        },
+    ];
+    let state = CoordinatorState::replay(&events);
+    let json = serde_json::to_string(&state).unwrap();
+    let back: CoordinatorState = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, state);
 }
 
 #[test]

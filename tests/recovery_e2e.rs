@@ -1,0 +1,311 @@
+//! Crash-recovery end-to-end: kill the coordinator at every phase
+//! transition (select / collect / aggregate / publish) of a
+//! fault-injected federation, restart it against the same on-disk store,
+//! and require the resumed run's history to converge *identically* to an
+//! uninterrupted run — same per-round accuracy, losses and byte counts,
+//! with re-sent uploads deduplicated exactly once.
+//!
+//! The runs go over a [`FaultyCommunicator`] that randomly delays
+//! messages (delay-only: the recovery determinism contract assumes no
+//! message loss — see the `appfl::core::store` module docs), and the WAL
+//! plus both histories are written under `target/recovery/` so CI can
+//! upload them as artifacts.
+
+use appfl::comm::transport::{FaultPlan, FaultyCommunicator, InProcEndpoint, InProcNetwork};
+use appfl::core::algorithms::build_federation;
+use appfl::core::config::{AlgorithmConfig, FaultToleranceConfig, FedConfig};
+use appfl::core::metrics::History;
+use appfl::core::{
+    ClientUpload, CoordinatorStore, CrashPhase, CrashPoint, DurableCoordinator, Error,
+    FederationBuilder, FederationOutcome, SnapshotWalStore, WalStore,
+};
+use appfl::data::federated::{build_benchmark, Benchmark, FederatedDataset};
+use appfl::nn::models::{mlp_classifier, InputSpec};
+use appfl::privacy::PrivacyConfig;
+use appfl::telemetry::{MemorySink, Telemetry};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+const SPEC: InputSpec = InputSpec {
+    channels: 1,
+    height: 28,
+    width: 28,
+    classes: 10,
+};
+const ROUNDS: usize = 3;
+const CRASH_ROUND: usize = 2;
+
+fn config() -> FedConfig {
+    FedConfig {
+        algorithm: AlgorithmConfig::FedAvg {
+            lr: 0.05,
+            momentum: 0.9,
+        },
+        rounds: ROUNDS,
+        local_steps: 1,
+        batch_size: 16,
+        privacy: PrivacyConfig::none(),
+        seed: 7,
+    }
+}
+
+fn data() -> FederatedDataset {
+    build_benchmark(Benchmark::Mnist, 3, 90, 30, 5).unwrap()
+}
+
+fn ft() -> FaultToleranceConfig {
+    FaultToleranceConfig {
+        // Generous next to the ~ms local updates and 2 ms delays: nothing
+        // is ever lost to the deadline, so the crash is the only fault.
+        round_timeout_ms: 1500,
+        min_quorum: 1,
+        suspect_after: 3,
+        readmit_after: 2,
+        max_attempts: 2,
+        base_backoff_ms: 1,
+    }
+}
+
+/// Fresh transport per life: 30% of messages on every link are delayed
+/// by 2 ms. Same plan seeds every time, so the fault pattern is fixed.
+fn endpoints() -> Vec<FaultyCommunicator<InProcEndpoint>> {
+    InProcNetwork::new(4)
+        .into_iter()
+        .enumerate()
+        .map(|(i, ep)| {
+            FaultyCommunicator::new(
+                ep,
+                FaultPlan::new(90 + i as u64).delay(0.3, Duration::from_millis(2)),
+            )
+        })
+        .collect()
+}
+
+/// One coordinator life: a freshly built federation (same seeds) over a
+/// fresh transport, optionally carrying a durable coordinator.
+fn run_life(durable: Option<DurableCoordinator>) -> Result<FederationOutcome, Error> {
+    let data = data();
+    let test = data.test.clone();
+    let mut fed = build_federation(config(), &data, |rng| Box::new(mlp_classifier(SPEC, 8, rng)));
+    let mut builder = FederationBuilder::new(fed.server, fed.clients)
+        .transport(endpoints())
+        .rounds(ROUNDS)
+        .dataset("MNIST")
+        .evaluation(fed.template.as_mut(), &test)
+        .fault_tolerance_config(ft());
+    if let Some(d) = durable {
+        builder = builder.durable(d);
+    }
+    builder.run()
+}
+
+fn artifacts_dir(name: &str) -> PathBuf {
+    let dir = Path::new("target").join("recovery").join(name);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The semantic (timing-free) comparison the headline test runs: a
+/// resumed run must reproduce every round of the uninterrupted run
+/// bit-for-bit — accuracy, losses, traffic and cohort accounting.
+/// Wall-clock fields (`*_secs`, `retries`, `timed_out`) are excluded:
+/// they measure the machine, not the federation.
+fn assert_same_convergence(baseline: &History, resumed: &History, label: &str) {
+    assert_eq!(
+        baseline.rounds.len(),
+        resumed.rounds.len(),
+        "{label}: round count"
+    );
+    for (b, r) in baseline.rounds.iter().zip(&resumed.rounds) {
+        let round = b.round;
+        assert_eq!(b.round, r.round, "{label} round {round}");
+        assert_eq!(b.accuracy, r.accuracy, "{label} round {round}: accuracy");
+        assert_eq!(b.test_loss, r.test_loss, "{label} round {round}: test loss");
+        assert_eq!(
+            b.train_loss, r.train_loss,
+            "{label} round {round}: train loss"
+        );
+        assert_eq!(
+            b.upload_bytes, r.upload_bytes,
+            "{label} round {round}: upload bytes"
+        );
+        assert_eq!(
+            b.dropped_clients, r.dropped_clients,
+            "{label} round {round}: dropped clients"
+        );
+        assert_eq!(
+            b.rejected_clients, r.rejected_clients,
+            "{label} round {round}: rejected clients"
+        );
+        assert_eq!(
+            b.clipped_clients, r.clipped_clients,
+            "{label} round {round}: clipped clients"
+        );
+    }
+}
+
+fn dump_artifacts(dir: &Path, baseline: &History, resumed: &History) {
+    std::fs::write(
+        dir.join("baseline_history.json"),
+        serde_json::to_string_pretty(baseline).unwrap(),
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("resumed_history.json"),
+        serde_json::to_string_pretty(resumed).unwrap(),
+    )
+    .unwrap();
+}
+
+#[test]
+fn wal_crash_at_every_phase_resumes_identically() {
+    let baseline = run_life(None).unwrap().history.unwrap();
+    assert_eq!(baseline.rounds.len(), ROUNDS);
+    for phase in [
+        CrashPhase::Select,
+        CrashPhase::Collect,
+        CrashPhase::Aggregate,
+        CrashPhase::Publish,
+    ] {
+        let dir = artifacts_dir(phase.as_str());
+        let wal_path = dir.join("coordinator.wal");
+        std::fs::remove_file(&wal_path).ok();
+
+        // Life 1: dies right after the phase's store write commits.
+        let durable = DurableCoordinator::new(Box::new(WalStore::open(&wal_path).unwrap()))
+            .crash_after(CrashPoint {
+                round: CRASH_ROUND,
+                phase,
+            });
+        let err = run_life(Some(durable)).expect_err("armed crash point must abort the run");
+        assert!(matches!(err, Error::Crashed(_)), "{phase:?}: {err}");
+
+        // Life 2: reopen the same log and resume. The builder replays the
+        // store, rebuilds client state, and re-runs only what is missing.
+        let durable = DurableCoordinator::new(Box::new(WalStore::open(&wal_path).unwrap()));
+        let outcome = run_life(Some(durable)).unwrap();
+        assert!(outcome.recovered, "{phase:?}: resume must report recovery");
+        // The crashed transport died with the clients' in-flight uploads,
+        // and resumed clients are only asked for what the store lacks —
+        // so nothing is re-sent here (dedup is pinned by the
+        // resubmission test below and the runner unit tests).
+        assert_eq!(outcome.duplicates, 0, "{phase:?}");
+        let resumed = outcome.history.unwrap();
+        assert_same_convergence(&baseline, &resumed, phase.as_str());
+        dump_artifacts(&dir, &baseline, &resumed);
+    }
+}
+
+#[test]
+fn snapshot_store_resumes_after_mid_round_crash() {
+    let baseline = run_life(None).unwrap().history.unwrap();
+    let dir = artifacts_dir("snapshot");
+    let store_dir = dir.join("store");
+    std::fs::remove_dir_all(&store_dir).ok();
+
+    let durable = DurableCoordinator::new(Box::new(SnapshotWalStore::open(&store_dir).unwrap()))
+        .crash_after(CrashPoint {
+            round: CRASH_ROUND,
+            phase: CrashPhase::Collect,
+        });
+    run_life(Some(durable)).expect_err("armed crash point must abort the run");
+
+    // The mid-round crash happened after a round-boundary compaction, so
+    // this recovery exercises snapshot + log-tail replay together.
+    let durable = DurableCoordinator::new(Box::new(SnapshotWalStore::open(&store_dir).unwrap()));
+    let outcome = run_life(Some(durable)).unwrap();
+    assert!(outcome.recovered);
+    let resumed = outcome.history.unwrap();
+    assert_same_convergence(&baseline, &resumed, "snapshot");
+    dump_artifacts(&dir, &baseline, &resumed);
+}
+
+#[test]
+fn resumed_run_emits_recovery_telemetry() {
+    let dir = artifacts_dir("telemetry");
+    let wal_path = dir.join("coordinator.wal");
+    std::fs::remove_file(&wal_path).ok();
+
+    let durable = DurableCoordinator::new(Box::new(WalStore::open(&wal_path).unwrap()))
+        .crash_after(CrashPoint {
+            round: CRASH_ROUND,
+            phase: CrashPhase::Select,
+        });
+    run_life(Some(durable)).expect_err("armed crash point must abort the run");
+
+    let data = data();
+    let test = data.test.clone();
+    let mut fed = build_federation(config(), &data, |rng| Box::new(mlp_classifier(SPEC, 8, rng)));
+    let sink = Arc::new(MemorySink::new());
+    let durable = DurableCoordinator::new(Box::new(WalStore::open(&wal_path).unwrap()));
+    FederationBuilder::new(fed.server, fed.clients)
+        .transport(endpoints())
+        .rounds(ROUNDS)
+        .dataset("MNIST")
+        .evaluation(fed.template.as_mut(), &test)
+        .fault_tolerance_config(ft())
+        .telemetry(sink.clone())
+        .durable(durable)
+        .run()
+        .unwrap();
+    let events = sink.events();
+    assert!(
+        events
+            .iter()
+            .any(|e| e.name == "coordinator_recovery"),
+        "resume must emit a recovery mark"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| e.name == "coordinator_recoveries"),
+        "resume must bump the recovery counter"
+    );
+}
+
+#[test]
+fn wal_resubmission_is_deduplicated_exactly_once() {
+    let dir = artifacts_dir("dedup");
+    let wal_path = dir.join("dedup.wal");
+    std::fs::remove_file(&wal_path).ok();
+    let upload = ClientUpload {
+        client_id: 1,
+        primal: vec![1.0; 4],
+        dual: None,
+        num_samples: 8,
+        local_loss: 0.5,
+    };
+
+    // Life 1: accept one upload, refuse its same-life resubmission.
+    {
+        let mut d = DurableCoordinator::new(Box::new(WalStore::open(&wal_path).unwrap()));
+        d.recover(&Telemetry::disabled()).unwrap();
+        d.run_started("FedAvg", "MNIST", f64::INFINITY, 2, 3).unwrap();
+        d.round_started(1, &[0.0; 4], &[0, 1]).unwrap();
+        assert!(d.update_received(1, &upload).unwrap());
+        assert!(
+            !d.update_received(1, &upload).unwrap(),
+            "same-life resubmission must be refused"
+        );
+        assert_eq!(d.duplicates(), 1);
+    }
+
+    // Life 2: the key survives the restart; the upload was persisted
+    // exactly once and a post-recovery resubmission is still refused.
+    let mut wal = WalStore::open(&wal_path).unwrap();
+    let state = wal.recover().unwrap();
+    let pending = state.round_in_progress.as_ref().expect("round 1 pending");
+    assert_eq!(pending.uploads.len(), 1, "persisted exactly once");
+    let mut d = DurableCoordinator::new(Box::new(wal));
+    d.recover(&Telemetry::disabled()).unwrap();
+    assert!(d.was_recovered());
+    assert!(!d.update_received(1, &upload).unwrap());
+    assert_eq!(d.duplicates(), 1);
+    // A different client's first upload is not a duplicate.
+    let other = ClientUpload {
+        client_id: 0,
+        ..upload.clone()
+    };
+    assert!(d.update_received(1, &other).unwrap());
+}
