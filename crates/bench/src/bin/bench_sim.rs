@@ -1,0 +1,105 @@
+//! Event-driven simulation benchmark.
+//!
+//! Usage: `bench_sim [--reps N] [--quick] [--out PATH] [--validate PATH]`
+//!
+//! Drives the virtual-clock `SimEngine` at increasing population scales —
+//! up to 1M clients × 100 rounds — and writes `results/BENCH_sim.json`
+//! (schema: see [`appfl_bench::experiments::sim::SimBenchReport`]).
+//! `--quick` keeps only the 100k-client, 10-round scale for CI smoke runs.
+//! `--validate PATH` parses an existing report back through serde_json and
+//! checks the schema instead of benchmarking.
+
+use appfl_bench::experiments::sim::{run, SimBenchReport, SCHEMA_VERSION};
+use std::process::Command;
+
+fn git_rev() -> String {
+    Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn validate(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let report: SimBenchReport =
+        serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"))?;
+    if report.schema_version != SCHEMA_VERSION {
+        return Err(format!(
+            "schema_version {} != expected {SCHEMA_VERSION}",
+            report.schema_version
+        ));
+    }
+    if report.results.is_empty() {
+        return Err("results array is empty".to_string());
+    }
+    for r in &report.results {
+        if r.name.is_empty() || r.population == 0 || r.rounds == 0 {
+            return Err(format!("malformed entry: {r:?}"));
+        }
+        if !(r.wall_secs.is_finite() && r.events_per_sec.is_finite()) {
+            return Err(format!("non-finite timing in entry {}", r.name));
+        }
+        if r.events_processed == 0 {
+            return Err(format!("entry {} processed no events", r.name));
+        }
+    }
+    println!(
+        "{path}: valid (schema v{}, {} entries, git {})",
+        report.schema_version,
+        report.results.len(),
+        report.git_rev
+    );
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(path) = args
+        .iter()
+        .position(|a| a == "--validate")
+        .and_then(|i| args.get(i + 1))
+    {
+        if let Err(e) = validate(path) {
+            eprintln!("validation failed: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let reps = args
+        .iter()
+        .position(|a| a == "--reps")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3usize);
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "results/BENCH_sim.json".to_string());
+
+    eprintln!("bench_sim: reps={reps} quick={quick}");
+    let report = run(reps, quick, git_rev());
+    print!("{}", report.render());
+
+    if let Some(headline) = report.results.iter().find(|r| r.name == "sim_1m_100r") {
+        println!(
+            "\nheadline: 1M clients × 100 rounds in {:.2}s wall ({:.0} events/sec)",
+            headline.wall_secs, headline.events_per_sec
+        );
+    }
+
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output dir");
+        }
+    }
+    std::fs::write(&out, report.to_json()).expect("write report");
+    eprintln!("wrote {out}");
+}

@@ -6,4 +6,5 @@ pub mod fig3;
 pub mod fig4;
 pub mod hetero;
 pub mod kernels;
+pub mod sim;
 pub mod table1;

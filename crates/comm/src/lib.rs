@@ -24,16 +24,20 @@
 //! * [`cluster`] — device throughput models (A100 vs V100, §IV-E) and the
 //!   worker-process layout used for the Summit strong-scaling study.
 //! * [`pubsub`] — an in-process MQTT-like broker (future-work extension).
+//! * [`policy`] — the shared fault/retry vocabulary: [`RetryPolicy`],
+//!   coordinator [`CrashPoint`] injection, and the deterministic
+//!   splitmix64 jitter primitive every resilience layer draws from.
 
 pub mod cluster;
 pub mod compress;
 pub mod netsim;
+pub mod policy;
 pub mod pubsub;
 pub mod retry;
 pub mod rpc;
 pub mod transport;
 pub mod wire;
 
-pub use retry::RetryPolicy;
+pub use policy::{CrashPhase, CrashPoint, RetryPolicy};
 pub use rpc::ServeOptions;
 pub use transport::{Communicator, FaultPlan, FaultyCommunicator, InProcNetwork};

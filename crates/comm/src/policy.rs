@@ -1,0 +1,406 @@
+//! Shared fault/retry policy vocabulary.
+//!
+//! Every resilience layer in the workspace needs the same two things: a
+//! description of *when to keep trying* ([`RetryPolicy`]) and a
+//! description of *where to give up on purpose* ([`CrashPoint`], the
+//! coordinator-side fault injection the crash-recovery e2e drives). They
+//! grew up in different crates with near-identical builder idioms and
+//! three private copies of the same splitmix64 jitter helper; this module
+//! is the single boundary both live behind now. The deterministic-draw
+//! helpers ([`splitmix64`], [`seeded_unit`]) are public so fault plans,
+//! retry jitter, poisoned-client adversaries and the virtual-clock
+//! simulator all replay bit-identically from the same primitive.
+//!
+//! Everything here is a *plan*, not a mechanism: `RetryPolicy` says how a
+//! transport call backs off, `CrashPoint` says which durable commit kills
+//! the coordinator, and neither owns a thread or a socket.
+
+use crate::transport::CommError;
+use appfl_telemetry::{Phase, Telemetry};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Weyl-sequence increment splitmix64 seeds advance by.
+pub const SPLITMIX64_GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+/// First multiplier of the splitmix64 finalizer.
+pub const SPLITMIX64_MIX1: u64 = 0xBF58_476D_1CE4_E5B9;
+/// Second multiplier of the splitmix64 finalizer.
+pub const SPLITMIX64_MIX2: u64 = 0x94D0_49BB_1331_11EB;
+
+/// The splitmix64 finalizer: a cheap, high-quality bijective mix.
+///
+/// This is the one deterministic-jitter primitive in the workspace —
+/// retry backoff, fault-plan draws, poisoned-client triggers and the
+/// simulator's per-client traits all derive from it, so a seed replays
+/// the same decisions everywhere regardless of thread scheduling.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(SPLITMIX64_MIX1);
+    x = (x ^ (x >> 27)).wrapping_mul(SPLITMIX64_MIX2);
+    x ^ (x >> 31)
+}
+
+/// Maps a mixed 64-bit word onto `[0, 1)` using its top 53 bits.
+#[inline]
+pub fn unit_f64(x: u64) -> f64 {
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A uniform draw in `[0, 1)` from `(seed, lane)` — a pure function, so
+/// the same pair always yields the same value. Compose multi-part lanes
+/// with [`lane2`]/[`lane3`] to keep distinct decision streams decorrelated.
+#[inline]
+pub fn seeded_unit(seed: u64, lane: u64) -> f64 {
+    unit_f64(splitmix64(seed.wrapping_mul(SPLITMIX64_GOLDEN).wrapping_add(lane)))
+}
+
+/// Folds two indices into one decorrelated lane.
+#[inline]
+pub fn lane2(a: u64, b: u64) -> u64 {
+    a.wrapping_mul(SPLITMIX64_MIX1)
+        .wrapping_add(b.wrapping_mul(SPLITMIX64_MIX2))
+}
+
+/// Folds three indices into one decorrelated lane.
+#[inline]
+pub fn lane3(a: u64, b: u64, c: u64) -> u64 {
+    lane2(a, b).wrapping_add(c)
+}
+
+/// Bounded exponential backoff with deterministic jitter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (`1` = no retries).
+    pub max_attempts: u32,
+    /// Sleep before the first retry.
+    pub base_backoff: Duration,
+    /// Growth factor per retry.
+    pub multiplier: f64,
+    /// Ceiling on any single backoff.
+    pub max_backoff: Duration,
+    /// Fraction of the backoff added/removed as jitter (`0.0..=1.0`),
+    /// derived deterministically from `seed` so runs replay identically.
+    pub jitter: f64,
+    /// Give up once this much wall-clock time has elapsed since the first
+    /// attempt, even if attempts remain.
+    pub budget: Option<Duration>,
+    /// Seed for the jitter sequence.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(10),
+            multiplier: 2.0,
+            max_backoff: Duration::from_secs(1),
+            jitter: 0.2,
+            budget: None,
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Sets the wall-clock budget.
+    pub fn with_budget(mut self, budget: Duration) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Sets the jitter seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Backoff before retry number `retry` (1-based), jittered
+    /// deterministically by the seed. Saturates at `max_backoff` for
+    /// arbitrarily large retry counts: the exponent is clamped before the
+    /// `i32` cast (a bare `as i32` wraps negative past `i32::MAX`, turning
+    /// the largest retry counts into the *smallest* backoffs) and a
+    /// non-finite intermediate (`powi` overflow) lands on the cap.
+    pub fn backoff_for(&self, retry: u32) -> Duration {
+        let exp = retry.saturating_sub(1).min(i32::MAX as u32) as i32;
+        let raw = self.base_backoff.as_secs_f64() * self.multiplier.powi(exp);
+        let max = self.max_backoff.as_secs_f64();
+        let capped = if raw.is_finite() { raw.min(max) } else { max };
+        // splitmix64 on (seed, retry) → uniform in [-jitter, +jitter].
+        let unit = seeded_unit(self.seed, retry as u64);
+        let jittered = capped * (1.0 + self.jitter * (2.0 * unit - 1.0));
+        Duration::from_secs_f64(jittered.max(0.0))
+    }
+
+    /// Runs `op` until it succeeds, fails fatally, or the policy is
+    /// exhausted. `op` receives the 1-based attempt number. Each retry
+    /// (not the first attempt) bumps `retries`, letting callers surface a
+    /// shared counter in run metrics.
+    pub fn run<T>(
+        &self,
+        retries: Option<&AtomicUsize>,
+        op: impl FnMut(u32) -> Result<T, CommError>,
+    ) -> Result<T, CommError> {
+        self.run_observed(retries, &Telemetry::disabled(), "op", op)
+    }
+
+    /// [`RetryPolicy::run`] with telemetry: every transient timeout emits
+    /// a `timeout` mark, every retry emits a `retry` mark (both tagged
+    /// with `op_name`), and each backoff sleep is recorded as a
+    /// comm-phase span so blocked-on-transport time is attributable.
+    pub fn run_observed<T>(
+        &self,
+        retries: Option<&AtomicUsize>,
+        telemetry: &Telemetry,
+        op_name: &str,
+        mut op: impl FnMut(u32) -> Result<T, CommError>,
+    ) -> Result<T, CommError> {
+        let start = Instant::now();
+        let mut attempt = 1u32;
+        loop {
+            match op(attempt) {
+                Ok(v) => return Ok(v),
+                Err(e) if !e.is_retryable() => return Err(e),
+                Err(e) => {
+                    if matches!(e, CommError::Timeout { .. }) {
+                        telemetry.mark("timeout", None, None, Some(op_name));
+                    }
+                    if attempt >= self.max_attempts.max(1) {
+                        return Err(e);
+                    }
+                    let backoff = self.backoff_for(attempt);
+                    if let Some(budget) = self.budget {
+                        if start.elapsed() + backoff >= budget {
+                            return Err(e);
+                        }
+                    }
+                    std::thread::sleep(backoff);
+                    telemetry.span_secs("backoff", Phase::Comm, backoff.as_secs_f64(), None, None);
+                    telemetry.mark("retry", None, None, Some(op_name));
+                    if let Some(counter) = retries {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    }
+                    attempt += 1;
+                }
+            }
+        }
+    }
+}
+
+/// The coordinator phase a [`CrashPoint`] fires after.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPhase {
+    /// After the round's `RoundStarted` record is durable.
+    Select,
+    /// After the round's *first* `UpdateReceived` record is durable.
+    Collect,
+    /// After the round's `RoundAggregated` record is durable.
+    Aggregate,
+    /// After the round's `RoundPublished` record is durable.
+    Publish,
+}
+
+impl CrashPhase {
+    /// Phase label for error messages and telemetry.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CrashPhase::Select => "select",
+            CrashPhase::Collect => "collect",
+            CrashPhase::Aggregate => "aggregate",
+            CrashPhase::Publish => "publish",
+        }
+    }
+}
+
+/// Coordinator fault injection: kill the coordinator immediately *after*
+/// the given phase of the given round commits to the store — the
+/// server-side sibling of the transport's `FaultyCommunicator`, driven by
+/// the crash-recovery e2e to prove every phase transition is a safe
+/// restart point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPoint {
+    /// 1-based round to crash in.
+    pub round: usize,
+    /// Phase whose commit triggers the crash.
+    pub phase: CrashPhase,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(1),
+            multiplier: 2.0,
+            max_backoff: Duration::from_millis(8),
+            jitter: 0.0,
+            budget: None,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn first_success_needs_no_retry() {
+        let counter = AtomicUsize::new(0);
+        let out = quick().run(Some(&counter), |_| Ok::<_, CommError>(7));
+        assert_eq!(out.unwrap(), 7);
+        assert_eq!(counter.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn retries_transient_errors_until_success() {
+        let counter = AtomicUsize::new(0);
+        let out = quick().run(Some(&counter), |attempt| {
+            if attempt < 3 {
+                Err(CommError::Timeout { peer: Some(1) })
+            } else {
+                Ok(attempt)
+            }
+        });
+        assert_eq!(out.unwrap(), 3);
+        assert_eq!(counter.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn fatal_errors_fail_fast() {
+        let counter = AtomicUsize::new(0);
+        let mut calls = 0;
+        let out: Result<(), _> = quick().run(Some(&counter), |_| {
+            calls += 1;
+            Err(CommError::Disconnected { peer: 2 })
+        });
+        assert_eq!(out.unwrap_err(), CommError::Disconnected { peer: 2 });
+        assert_eq!(calls, 1);
+        assert_eq!(counter.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn exhaustion_returns_last_error() {
+        let mut calls = 0;
+        let out: Result<(), _> = quick().run(None, |_| {
+            calls += 1;
+            Err(CommError::Frame("garbled".into()))
+        });
+        assert!(matches!(out.unwrap_err(), CommError::Frame(_)));
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn budget_caps_total_wait() {
+        let policy = RetryPolicy {
+            max_attempts: 100,
+            base_backoff: Duration::from_millis(20),
+            budget: Some(Duration::from_millis(30)),
+            jitter: 0.0,
+            ..quick()
+        };
+        let start = Instant::now();
+        let out: Result<(), _> = policy.run(None, |_| Err(CommError::Timeout { peer: None }));
+        assert!(out.is_err());
+        assert!(start.elapsed() < Duration::from_millis(500));
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let p = quick();
+        assert_eq!(p.backoff_for(1), Duration::from_millis(1));
+        assert_eq!(p.backoff_for(2), Duration::from_millis(2));
+        assert_eq!(p.backoff_for(3), Duration::from_millis(4));
+        assert_eq!(p.backoff_for(4), Duration::from_millis(8));
+        assert_eq!(p.backoff_for(10), Duration::from_millis(8), "capped");
+    }
+
+    #[test]
+    fn backoff_saturates_for_huge_retry_counts() {
+        // Pins the capped schedule far past any sane attempt count. Before
+        // the exponent clamp, `retry as i32` wrapped negative for retries
+        // beyond i32::MAX and `powi` returned a fraction — the backoff
+        // *shrank* toward zero exactly when a pathological caller had been
+        // retrying longest. Every entry here must sit exactly on the cap.
+        let p = quick(); // jitter = 0.0: schedule is exact
+        let cap = Duration::from_millis(8);
+        for retry in [64, 1_000, i32::MAX as u32, i32::MAX as u32 + 1, u32::MAX] {
+            assert_eq!(p.backoff_for(retry), cap, "retry {retry} must cap");
+        }
+        // powi overflow to +inf (1000^2e9) also saturates instead of
+        // poisoning Duration::from_secs_f64.
+        let explosive = RetryPolicy {
+            multiplier: 1000.0,
+            ..quick()
+        };
+        assert_eq!(explosive.backoff_for(u32::MAX), cap);
+    }
+
+    #[test]
+    fn run_observed_emits_retry_and_timeout_events() {
+        use appfl_telemetry::MemorySink;
+        use std::sync::Arc;
+        let sink = Arc::new(MemorySink::new());
+        let t = Telemetry::new(sink.clone());
+        let out = quick().run_observed(None, &t, "get_weight", |attempt| {
+            if attempt < 3 {
+                Err(CommError::Timeout { peer: Some(1) })
+            } else {
+                Ok(attempt)
+            }
+        });
+        assert_eq!(out.unwrap(), 3);
+        let events = sink.events();
+        assert_eq!(events.iter().filter(|e| e.name == "retry").count(), 2);
+        assert_eq!(events.iter().filter(|e| e.name == "timeout").count(), 2);
+        assert!(events
+            .iter()
+            .all(|e| e.name == "backoff" || e.detail.as_deref() == Some("get_weight")));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let p = RetryPolicy {
+            jitter: 0.5,
+            seed: 9,
+            ..quick()
+        };
+        let a = p.backoff_for(2);
+        let b = p.backoff_for(2);
+        assert_eq!(a, b, "same seed, same jitter");
+        let nominal = Duration::from_millis(2).as_secs_f64();
+        let got = a.as_secs_f64();
+        assert!(got >= nominal * 0.5 && got <= nominal * 1.5);
+        let other = RetryPolicy { seed: 10, ..p }.backoff_for(2);
+        assert_ne!(a, other, "different seed, different jitter");
+    }
+
+    #[test]
+    fn seeded_unit_is_deterministic_and_uniform_ish() {
+        assert_eq!(seeded_unit(7, 3), seeded_unit(7, 3));
+        assert_ne!(seeded_unit(7, 3), seeded_unit(8, 3));
+        assert_ne!(seeded_unit(7, 3), seeded_unit(7, 4));
+        let mean: f64 = (0..1000).map(|i| seeded_unit(42, i)).sum::<f64>() / 1000.0;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean} far from uniform");
+        for i in 0..1000 {
+            let u = seeded_unit(42, i);
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn crash_phase_labels_are_stable() {
+        assert_eq!(CrashPhase::Select.as_str(), "select");
+        assert_eq!(CrashPhase::Publish.as_str(), "publish");
+        let p = CrashPoint {
+            round: 2,
+            phase: CrashPhase::Collect,
+        };
+        assert_eq!(p, p);
+    }
+}

@@ -4,293 +4,14 @@
 //! bounded number of attempts, exponential backoff with deterministic
 //! jitter, and an optional wall-clock budget. Only errors that can
 //! plausibly clear on their own are retried (see
-//! [`CommError::is_retryable`]): timeouts and frame corruption, but never
-//! a dropped endpoint or an invalid rank.
+//! [`CommError::is_retryable`](crate::transport::CommError::is_retryable)):
+//! timeouts and frame corruption, but never a dropped endpoint or an
+//! invalid rank.
+//!
+//! The policy itself lives in [`crate::policy`] alongside the rest of the
+//! shared fault/retry vocabulary ([`CrashPoint`](crate::policy::CrashPoint)
+//! and the deterministic splitmix64 draw helpers); this module re-exports
+//! it so the long-standing `appfl_comm::retry::RetryPolicy` path keeps
+//! resolving.
 
-use crate::transport::CommError;
-use appfl_telemetry::{Phase, Telemetry};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::{Duration, Instant};
-
-/// Bounded exponential backoff with deterministic jitter.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct RetryPolicy {
-    /// Total attempts, including the first (`1` = no retries).
-    pub max_attempts: u32,
-    /// Sleep before the first retry.
-    pub base_backoff: Duration,
-    /// Growth factor per retry.
-    pub multiplier: f64,
-    /// Ceiling on any single backoff.
-    pub max_backoff: Duration,
-    /// Fraction of the backoff added/removed as jitter (`0.0..=1.0`),
-    /// derived deterministically from `seed` so runs replay identically.
-    pub jitter: f64,
-    /// Give up once this much wall-clock time has elapsed since the first
-    /// attempt, even if attempts remain.
-    pub budget: Option<Duration>,
-    /// Seed for the jitter sequence.
-    pub seed: u64,
-}
-
-impl Default for RetryPolicy {
-    fn default() -> Self {
-        RetryPolicy {
-            max_attempts: 3,
-            base_backoff: Duration::from_millis(10),
-            multiplier: 2.0,
-            max_backoff: Duration::from_secs(1),
-            jitter: 0.2,
-            budget: None,
-            seed: 0,
-        }
-    }
-}
-
-impl RetryPolicy {
-    /// A policy that never retries.
-    pub fn none() -> Self {
-        RetryPolicy {
-            max_attempts: 1,
-            ..RetryPolicy::default()
-        }
-    }
-
-    /// Sets the wall-clock budget.
-    pub fn with_budget(mut self, budget: Duration) -> Self {
-        self.budget = Some(budget);
-        self
-    }
-
-    /// Sets the jitter seed.
-    pub fn with_seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
-        self
-    }
-
-    /// Backoff before retry number `retry` (1-based), jittered
-    /// deterministically by the seed. Saturates at `max_backoff` for
-    /// arbitrarily large retry counts: the exponent is clamped before the
-    /// `i32` cast (a bare `as i32` wraps negative past `i32::MAX`, turning
-    /// the largest retry counts into the *smallest* backoffs) and a
-    /// non-finite intermediate (`powi` overflow) lands on the cap.
-    pub fn backoff_for(&self, retry: u32) -> Duration {
-        let exp = retry.saturating_sub(1).min(i32::MAX as u32) as i32;
-        let raw = self.base_backoff.as_secs_f64() * self.multiplier.powi(exp);
-        let max = self.max_backoff.as_secs_f64();
-        let capped = if raw.is_finite() { raw.min(max) } else { max };
-        // splitmix64 on (seed, retry) → uniform in [-jitter, +jitter].
-        let mut x = self
-            .seed
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(retry as u64);
-        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        x ^= x >> 31;
-        let unit = (x >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
-        let jittered = capped * (1.0 + self.jitter * (2.0 * unit - 1.0));
-        Duration::from_secs_f64(jittered.max(0.0))
-    }
-
-    /// Runs `op` until it succeeds, fails fatally, or the policy is
-    /// exhausted. `op` receives the 1-based attempt number. Each retry
-    /// (not the first attempt) bumps `retries`, letting callers surface a
-    /// shared counter in run metrics.
-    pub fn run<T>(
-        &self,
-        retries: Option<&AtomicUsize>,
-        op: impl FnMut(u32) -> Result<T, CommError>,
-    ) -> Result<T, CommError> {
-        self.run_observed(retries, &Telemetry::disabled(), "op", op)
-    }
-
-    /// [`RetryPolicy::run`] with telemetry: every transient timeout emits
-    /// a `timeout` mark, every retry emits a `retry` mark (both tagged
-    /// with `op_name`), and each backoff sleep is recorded as a
-    /// comm-phase span so blocked-on-transport time is attributable.
-    pub fn run_observed<T>(
-        &self,
-        retries: Option<&AtomicUsize>,
-        telemetry: &Telemetry,
-        op_name: &str,
-        mut op: impl FnMut(u32) -> Result<T, CommError>,
-    ) -> Result<T, CommError> {
-        let start = Instant::now();
-        let mut attempt = 1u32;
-        loop {
-            match op(attempt) {
-                Ok(v) => return Ok(v),
-                Err(e) if !e.is_retryable() => return Err(e),
-                Err(e) => {
-                    if matches!(e, CommError::Timeout { .. }) {
-                        telemetry.mark("timeout", None, None, Some(op_name));
-                    }
-                    if attempt >= self.max_attempts.max(1) {
-                        return Err(e);
-                    }
-                    let backoff = self.backoff_for(attempt);
-                    if let Some(budget) = self.budget {
-                        if start.elapsed() + backoff >= budget {
-                            return Err(e);
-                        }
-                    }
-                    std::thread::sleep(backoff);
-                    telemetry.span_secs("backoff", Phase::Comm, backoff.as_secs_f64(), None, None);
-                    telemetry.mark("retry", None, None, Some(op_name));
-                    if let Some(counter) = retries {
-                        counter.fetch_add(1, Ordering::Relaxed);
-                    }
-                    attempt += 1;
-                }
-            }
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn quick() -> RetryPolicy {
-        RetryPolicy {
-            max_attempts: 4,
-            base_backoff: Duration::from_millis(1),
-            multiplier: 2.0,
-            max_backoff: Duration::from_millis(8),
-            jitter: 0.0,
-            budget: None,
-            seed: 1,
-        }
-    }
-
-    #[test]
-    fn first_success_needs_no_retry() {
-        let counter = AtomicUsize::new(0);
-        let out = quick().run(Some(&counter), |_| Ok::<_, CommError>(7));
-        assert_eq!(out.unwrap(), 7);
-        assert_eq!(counter.load(Ordering::Relaxed), 0);
-    }
-
-    #[test]
-    fn retries_transient_errors_until_success() {
-        let counter = AtomicUsize::new(0);
-        let out = quick().run(Some(&counter), |attempt| {
-            if attempt < 3 {
-                Err(CommError::Timeout { peer: Some(1) })
-            } else {
-                Ok(attempt)
-            }
-        });
-        assert_eq!(out.unwrap(), 3);
-        assert_eq!(counter.load(Ordering::Relaxed), 2);
-    }
-
-    #[test]
-    fn fatal_errors_fail_fast() {
-        let counter = AtomicUsize::new(0);
-        let mut calls = 0;
-        let out: Result<(), _> = quick().run(Some(&counter), |_| {
-            calls += 1;
-            Err(CommError::Disconnected { peer: 2 })
-        });
-        assert_eq!(out.unwrap_err(), CommError::Disconnected { peer: 2 });
-        assert_eq!(calls, 1);
-        assert_eq!(counter.load(Ordering::Relaxed), 0);
-    }
-
-    #[test]
-    fn exhaustion_returns_last_error() {
-        let mut calls = 0;
-        let out: Result<(), _> = quick().run(None, |_| {
-            calls += 1;
-            Err(CommError::Frame("garbled".into()))
-        });
-        assert!(matches!(out.unwrap_err(), CommError::Frame(_)));
-        assert_eq!(calls, 4);
-    }
-
-    #[test]
-    fn budget_caps_total_wait() {
-        let policy = RetryPolicy {
-            max_attempts: 100,
-            base_backoff: Duration::from_millis(20),
-            budget: Some(Duration::from_millis(30)),
-            jitter: 0.0,
-            ..quick()
-        };
-        let start = Instant::now();
-        let out: Result<(), _> = policy.run(None, |_| Err(CommError::Timeout { peer: None }));
-        assert!(out.is_err());
-        assert!(start.elapsed() < Duration::from_millis(500));
-    }
-
-    #[test]
-    fn backoff_grows_and_caps() {
-        let p = quick();
-        assert_eq!(p.backoff_for(1), Duration::from_millis(1));
-        assert_eq!(p.backoff_for(2), Duration::from_millis(2));
-        assert_eq!(p.backoff_for(3), Duration::from_millis(4));
-        assert_eq!(p.backoff_for(4), Duration::from_millis(8));
-        assert_eq!(p.backoff_for(10), Duration::from_millis(8), "capped");
-    }
-
-    #[test]
-    fn backoff_saturates_for_huge_retry_counts() {
-        // Pins the capped schedule far past any sane attempt count. Before
-        // the exponent clamp, `retry as i32` wrapped negative for retries
-        // beyond i32::MAX and `powi` returned a fraction — the backoff
-        // *shrank* toward zero exactly when a pathological caller had been
-        // retrying longest. Every entry here must sit exactly on the cap.
-        let p = quick(); // jitter = 0.0: schedule is exact
-        let cap = Duration::from_millis(8);
-        for retry in [64, 1_000, i32::MAX as u32, i32::MAX as u32 + 1, u32::MAX] {
-            assert_eq!(p.backoff_for(retry), cap, "retry {retry} must cap");
-        }
-        // powi overflow to +inf (1000^2e9) also saturates instead of
-        // poisoning Duration::from_secs_f64.
-        let explosive = RetryPolicy {
-            multiplier: 1000.0,
-            ..quick()
-        };
-        assert_eq!(explosive.backoff_for(u32::MAX), cap);
-    }
-
-    #[test]
-    fn run_observed_emits_retry_and_timeout_events() {
-        use appfl_telemetry::MemorySink;
-        use std::sync::Arc;
-        let sink = Arc::new(MemorySink::new());
-        let t = Telemetry::new(sink.clone());
-        let out = quick().run_observed(None, &t, "get_weight", |attempt| {
-            if attempt < 3 {
-                Err(CommError::Timeout { peer: Some(1) })
-            } else {
-                Ok(attempt)
-            }
-        });
-        assert_eq!(out.unwrap(), 3);
-        let events = sink.events();
-        assert_eq!(events.iter().filter(|e| e.name == "retry").count(), 2);
-        assert_eq!(events.iter().filter(|e| e.name == "timeout").count(), 2);
-        assert!(events
-            .iter()
-            .all(|e| e.name == "backoff" || e.detail.as_deref() == Some("get_weight")));
-    }
-
-    #[test]
-    fn jitter_is_deterministic_and_bounded() {
-        let p = RetryPolicy {
-            jitter: 0.5,
-            seed: 9,
-            ..quick()
-        };
-        let a = p.backoff_for(2);
-        let b = p.backoff_for(2);
-        assert_eq!(a, b, "same seed, same jitter");
-        let nominal = Duration::from_millis(2).as_secs_f64();
-        let got = a.as_secs_f64();
-        assert!(got >= nominal * 0.5 && got <= nominal * 1.5);
-        let other = RetryPolicy { seed: 10, ..p }.backoff_for(2);
-        assert_ne!(a, other, "different seed, different jitter");
-    }
-}
+pub use crate::policy::RetryPolicy;

@@ -108,19 +108,11 @@ impl FaultPlan {
     }
 
     /// A uniform draw in `[0, 1)` that depends only on the plan seed, the
-    /// link, the message index and a salt — deterministic across runs.
+    /// link, the message index and a salt — deterministic across runs
+    /// (the shared splitmix64 primitive from [`crate::policy`]).
     fn draw(&self, peer: usize, round: usize, salt: u64) -> f64 {
-        let mut x = self
-            .seed
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add((peer as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
-            .wrapping_add((round as u64).wrapping_mul(0x94D0_49BB_1331_11EB))
-            .wrapping_add(salt);
-        // splitmix64 finalizer.
-        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        x ^= x >> 31;
-        (x >> 11) as f64 / (1u64 << 53) as f64
+        let lane = crate::policy::lane3(peer as u64, round as u64, salt);
+        crate::policy::seeded_unit(self.seed, lane)
     }
 
     /// The fault (if any) for the `round`-th message to `peer`.

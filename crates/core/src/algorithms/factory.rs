@@ -15,7 +15,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// An assembled federation ready to run.
-pub struct Federation {
+pub struct FederationSetup {
     /// The server-side algorithm.
     pub server: Box<dyn ServerAlgorithm>,
     /// One client per data shard.
@@ -26,6 +26,11 @@ pub struct Federation {
     pub config: FedConfig,
 }
 
+/// Former name of [`FederationSetup`]; the bare name now belongs to the
+/// [`Federation`](crate::federation::Federation) run API.
+#[deprecated(since = "0.7.0", note = "renamed to FederationSetup")]
+pub type Federation = FederationSetup;
+
 /// Builds a federation. `model_builder` is invoked once per replica with a
 /// seeded RNG; all replicas share the same initial weights (seeded from
 /// `config.seed`), matching the paper's shared initialisation.
@@ -33,7 +38,7 @@ pub fn build_federation(
     config: FedConfig,
     data: &FederatedDataset,
     model_builder: impl Fn(&mut StdRng) -> Box<dyn Module>,
-) -> Federation {
+) -> FederationSetup {
     let mut model_rng = StdRng::seed_from_u64(config.seed);
     let template = model_builder(&mut model_rng);
     let initial = flatten_params(template.as_ref());
@@ -101,7 +106,7 @@ pub fn build_federation(
         })
         .collect();
 
-    Federation {
+    FederationSetup {
         server,
         clients,
         template,
@@ -120,7 +125,7 @@ mod tests {
         build_benchmark(Benchmark::Mnist, 3, 48, 24, 5).unwrap()
     }
 
-    fn build(algo: AlgorithmConfig) -> Federation {
+    fn build(algo: AlgorithmConfig) -> FederationSetup {
         let data = tiny_fed();
         let spec = InputSpec {
             channels: 1,

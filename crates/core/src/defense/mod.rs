@@ -20,7 +20,7 @@
 //!    the sample-weighted mean; [`RobustServer`] carries any of them
 //!    through the [`crate::api::ServerAlgorithm`] trait so every runner
 //!    (serial, comm, rpc, async) can run defended. Select one with
-//!    [`crate::FederationBuilder::robust`].
+//!    [`crate::federation::Resilience::robust`].
 //! 3. **Adversary simulation** — [`PoisonedClient`] wraps an honest
 //!    [`crate::api::ClientAlgorithm`] with deterministic seeded attacks
 //!    (sign-flip, scaling, Gaussian noise, NaN injection) so end-to-end

@@ -32,6 +32,16 @@ pub enum Error {
     ///
     /// [`CrashPoint`]: crate::store::CrashPoint
     Crashed(&'static str),
+    /// The coordinator phase machine was driven with an event its current
+    /// phase does not accept (e.g. an upload while `Idle`). Every
+    /// `(phase, event)` pair is either handled or rejected with this —
+    /// never silently ignored.
+    InvalidTransition {
+        /// Phase the machine was in.
+        phase: &'static str,
+        /// Event that arrived.
+        event: &'static str,
+    },
 }
 
 impl Error {
@@ -66,6 +76,9 @@ impl fmt::Display for Error {
             Error::Persist(msg) => write!(f, "persistence error: {msg}"),
             Error::Crashed(phase) => {
                 write!(f, "coordinator crashed (injected) after {phase} phase")
+            }
+            Error::InvalidTransition { phase, event } => {
+                write!(f, "invalid phase transition: {event} while {phase}")
             }
         }
     }

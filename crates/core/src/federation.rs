@@ -1,0 +1,946 @@
+//! The redesigned federation-run API: one typed entry point for every
+//! deployment shape.
+//!
+//! A federation is described in four orthogonal pieces — **topology**
+//! (how bytes move), **population** (who participates), **resilience**
+//! (what may fail and what to do about it) and **observability** (what
+//! to record) — then validated as a whole by [`FederationConfig::build`],
+//! which rejects every invalid combination with a single
+//! [`ConfigError`] enum *before* any thread spawns:
+//!
+//! ```no_run
+//! # use appfl_core::federation::{Federation, Participants, Resilience, Observe, Topology};
+//! # use appfl_comm::transport::InProcNetwork;
+//! # use std::time::Duration;
+//! # fn demo(server: Box<dyn appfl_core::ServerAlgorithm>,
+//! #         clients: Vec<Box<dyn appfl_core::ClientAlgorithm>>,
+//! #         template: &mut dyn appfl_nn::module::Module,
+//! #         test: &appfl_data::InMemoryDataset) -> Result<(), appfl_core::Error> {
+//! let outcome = Federation::builder()
+//!     .topology(Topology::Comm)
+//!     .transport(InProcNetwork::new(4))
+//!     .population(
+//!         Participants::new(server, clients)
+//!             .rounds(10)
+//!             .dataset("MNIST")
+//!             .evaluation(template, test),
+//!     )
+//!     .resilience(Resilience::none().fault_tolerance(2, Duration::from_secs(2)))
+//!     .observe(Observe::none())
+//!     .build()?
+//!     .run()?;
+//! # let _ = outcome; Ok(()) }
+//! ```
+//!
+//! The five topologies map onto the runners that existed as separate
+//! entry points before this API:
+//!
+//! | [`Topology`] | engine | transport |
+//! |---|---|---|
+//! | `Serial`  | [`SerialRunner`] | none (in-process loop) |
+//! | `Comm`    | push broadcast/gather | any [`Communicator`] |
+//! | `Rpc`     | pull `GetWeight`/`SendResults` polling | any [`Communicator`] |
+//! | `Async`   | ServerFedAsynchronous staleness weighting | any [`Communicator`] |
+//! | `PubSub`  | MQTT-style broker topics | a [`Broker`] |
+//!
+//! The old [`FederationBuilder`](crate::runner::federation::FederationBuilder)
+//! remains as a thin deprecated shim; see `DESIGN.md` §12 for the
+//! old→new migration table.
+
+use crate::algorithms::FederationSetup;
+use crate::api::{ClientAlgorithm, ServerAlgorithm};
+use crate::config::FaultToleranceConfig;
+use crate::defense::{RobustAggregator, UpdateGuardConfig};
+use crate::error::Error;
+use crate::runner::async_service::run_async_federation;
+use crate::runner::pubsub::run_pubsub_federation;
+use crate::runner::r#async::AsyncConfig;
+#[allow(deprecated)]
+use crate::runner::federation::FederationBuilder;
+use crate::runner::federation::FederationOutcome;
+use crate::runner::SerialRunner;
+use crate::store::DurableCoordinator;
+use appfl_comm::pubsub::Broker;
+use appfl_comm::transport::{Communicator, InProcEndpoint};
+use appfl_data::InMemoryDataset;
+use appfl_nn::module::Module;
+use appfl_telemetry::{EventSink, MetricsRegistry, NoopSink, Telemetry};
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How bytes move between the coordinator and its clients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// No transport: clients run in-process, one after another, on the
+    /// [`SerialRunner`]. Population comes from [`Participants::serial`].
+    Serial,
+    /// Push mode: the server broadcasts and gathers over a
+    /// [`Communicator`], one thread per client, evaluating every round.
+    Comm,
+    /// Pull mode: the server passively serves RPCs and clients poll —
+    /// the flow of a real APPFL gRPC deployment. No per-round history.
+    Rpc,
+    /// Asynchronous aggregation: uploads apply immediately with
+    /// staleness-weighted mixing; see [`AsyncConfig`].
+    Async,
+    /// MQTT-style publish/subscribe over a [`Broker`].
+    PubSub,
+}
+
+impl Topology {
+    /// Stable lowercase label (errors, telemetry, reports).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Topology::Serial => "serial",
+            Topology::Comm => "comm",
+            Topology::Rpc => "rpc",
+            Topology::Async => "async",
+            Topology::PubSub => "pubsub",
+        }
+    }
+}
+
+/// Everything [`FederationConfig::build`] can reject — each invalid
+/// combination of topology and options is one variant, so callers can
+/// match on the precise mistake instead of parsing a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// No [`Participants`] were supplied at all.
+    MissingPopulation,
+    /// The population has zero clients.
+    NoClients,
+    /// The topology moves bytes but no transport endpoints were given.
+    MissingTransport {
+        /// Topology that needed the transport.
+        topology: &'static str,
+    },
+    /// Endpoint count must be client count + 1 (rank 0 serves).
+    EndpointMismatch {
+        /// Endpoints supplied.
+        endpoints: usize,
+        /// Clients in the population.
+        clients: usize,
+    },
+    /// `Topology::Comm` evaluates every round and needs
+    /// [`Participants::evaluation`].
+    MissingEvaluation,
+    /// `Topology::PubSub` needs [`FederationConfig::broker`].
+    MissingBroker,
+    /// `Topology::Serial` needs a population built with
+    /// [`Participants::serial`].
+    MissingSerialSetup,
+    /// A federation must run at least one round.
+    ZeroRounds,
+    /// An option was set that this topology cannot honour.
+    Unsupported {
+        /// Topology that rejected the option.
+        topology: &'static str,
+        /// The offending option.
+        option: &'static str,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::MissingPopulation => {
+                write!(f, "no population configured: call .population(Participants::…)")
+            }
+            ConfigError::NoClients => write!(f, "a federation needs at least one client"),
+            ConfigError::MissingTransport { topology } => {
+                write!(f, "{topology} topology moves bytes: call .transport(endpoints)")
+            }
+            ConfigError::EndpointMismatch { endpoints, clients } => {
+                write!(f, "{endpoints} endpoints for {clients} clients + 1 server")
+            }
+            ConfigError::MissingEvaluation => write!(
+                f,
+                "comm topology evaluates every round: call .evaluation(template, test) on the participants"
+            ),
+            ConfigError::MissingBroker => {
+                write!(f, "pubsub topology needs a broker: call .broker(&broker)")
+            }
+            ConfigError::MissingSerialSetup => write!(
+                f,
+                "serial topology runs a FederationSetup: build the population with Participants::serial(setup, test)"
+            ),
+            ConfigError::ZeroRounds => write!(f, "a federation must run at least one round"),
+            ConfigError::Unsupported { topology, option } => {
+                write!(f, "{topology} topology does not support {option}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<ConfigError> for Error {
+    fn from(e: ConfigError) -> Self {
+        Error::config(e.to_string())
+    }
+}
+
+struct Eval<'a> {
+    template: &'a mut dyn Module,
+    test: &'a InMemoryDataset,
+}
+
+/// Who participates: the server algorithm, its clients, and the run's
+/// descriptive knobs (rounds, dataset label, privacy budget ε̄,
+/// server-side evaluation). For [`Topology::Serial`], build it from a
+/// [`FederationSetup`] with [`Participants::serial`] instead.
+pub struct Participants<'a> {
+    server: Option<Box<dyn ServerAlgorithm>>,
+    clients: Vec<Box<dyn ClientAlgorithm>>,
+    setup: Option<(FederationSetup, InMemoryDataset)>,
+    eval: Option<Eval<'a>>,
+    rounds: usize,
+    epsilon: f64,
+    dataset: String,
+}
+
+impl<'a> Participants<'a> {
+    /// A population for the transport topologies: `server` coordinates
+    /// `clients`, one transport rank each.
+    pub fn new(server: Box<dyn ServerAlgorithm>, clients: Vec<Box<dyn ClientAlgorithm>>) -> Self {
+        Participants {
+            server: Some(server),
+            clients,
+            setup: None,
+            eval: None,
+            rounds: 1,
+            epsilon: f64::INFINITY,
+            dataset: "unspecified".into(),
+        }
+    }
+
+    /// A population for [`Topology::Serial`]: a fully assembled
+    /// [`FederationSetup`] (server, clients, template, config) plus the
+    /// test set. Rounds and ε default to the setup's own config.
+    pub fn serial(setup: FederationSetup, test: InMemoryDataset) -> Self {
+        let rounds = setup.config.rounds;
+        let epsilon = setup.config.privacy.epsilon;
+        Participants {
+            server: None,
+            clients: Vec::new(),
+            setup: Some((setup, test)),
+            eval: None,
+            rounds,
+            epsilon,
+            dataset: "unspecified".into(),
+        }
+    }
+
+    /// Communication rounds to run (default 1; for serial populations,
+    /// the setup's configured rounds).
+    pub fn rounds(mut self, rounds: usize) -> Self {
+        self.rounds = rounds;
+        self
+    }
+
+    /// Privacy budget ε̄ recorded in the history (default ∞).
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Dataset name recorded in the history.
+    pub fn dataset(mut self, dataset: impl Into<String>) -> Self {
+        self.dataset = dataset.into();
+        self
+    }
+
+    /// Server-side evaluation for [`Topology::Comm`]: a template module
+    /// matching the global model's parameterisation plus the test set.
+    pub fn evaluation(mut self, template: &'a mut dyn Module, test: &'a InMemoryDataset) -> Self {
+        self.eval = Some(Eval { template, test });
+        self
+    }
+
+    fn client_count(&self) -> usize {
+        match &self.setup {
+            Some((setup, _)) => setup.clients.len(),
+            None => self.clients.len(),
+        }
+    }
+}
+
+/// What may fail and what to do about it: retry/quorum fault tolerance,
+/// Byzantine-robust aggregation, upload screening, durable write-ahead
+/// coordination. [`Resilience::none`] is the explicit "nothing" value.
+#[derive(Default)]
+pub struct Resilience {
+    ft: Option<FaultToleranceConfig>,
+    robust: Option<RobustAggregator>,
+    guard: Option<UpdateGuardConfig>,
+    durable: Option<DurableCoordinator>,
+}
+
+impl Resilience {
+    /// No resilience machinery at all.
+    pub fn none() -> Self {
+        Resilience::default()
+    }
+
+    /// Fault tolerance with the given quorum and round deadline;
+    /// retry/backoff parameters come from [`FaultToleranceConfig`]'s
+    /// defaults (use [`Resilience::fault_tolerance_config`] for full
+    /// control).
+    pub fn fault_tolerance(mut self, min_quorum: usize, deadline: Duration) -> Self {
+        self.ft = Some(FaultToleranceConfig {
+            min_quorum,
+            round_timeout_ms: deadline.as_millis() as u64,
+            ..FaultToleranceConfig::default()
+        });
+        self
+    }
+
+    /// Fault tolerance with an explicit configuration.
+    pub fn fault_tolerance_config(mut self, ft: FaultToleranceConfig) -> Self {
+        self.ft = Some(ft);
+        self
+    }
+
+    /// Replaces plain weighted-mean aggregation with a Byzantine-robust
+    /// rule (coordinate-wise median, trimmed mean, Krum, …).
+    pub fn robust(mut self, aggregator: RobustAggregator) -> Self {
+        self.robust = Some(aggregator);
+        self
+    }
+
+    /// Screens every upload through an
+    /// [`UpdateGuard`](crate::defense::UpdateGuard) before aggregation.
+    pub fn update_guard(mut self, config: UpdateGuardConfig) -> Self {
+        self.guard = Some(config);
+        self
+    }
+
+    /// Commits every coordinator phase transition write-ahead; a
+    /// coordinator whose store already holds a prior run *resumes* it.
+    /// See [`crate::store`] for the recovery semantics.
+    pub fn durable(mut self, durable: DurableCoordinator) -> Self {
+        self.durable = Some(durable);
+        self
+    }
+}
+
+/// What to record: an [`EventSink`] for structured events and/or a
+/// [`MetricsRegistry`] aggregating them into Prometheus-style families.
+/// [`Observe::none`] observes nothing at zero cost.
+#[derive(Default)]
+pub struct Observe {
+    sink: Option<Arc<dyn EventSink>>,
+    registry: Option<MetricsRegistry>,
+}
+
+impl Observe {
+    /// No observability at all (the zero-cost disabled telemetry).
+    pub fn none() -> Self {
+        Observe::default()
+    }
+
+    /// Records structured events (per-phase spans, retry/timeout marks,
+    /// byte counters) into `sink`.
+    pub fn telemetry(mut self, sink: Arc<dyn EventSink>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Mirrors every emitted event into `registry` for
+    /// [`MetricsRegistry::to_prometheus_text`] snapshots. Composes with
+    /// [`Observe::telemetry`].
+    pub fn metrics(mut self, registry: MetricsRegistry) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    fn into_telemetry(self) -> Telemetry {
+        match (self.sink, self.registry) {
+            (Some(sink), Some(registry)) => Telemetry::with_registry(sink, registry),
+            (Some(sink), None) => Telemetry::new(sink),
+            (None, Some(registry)) => Telemetry::with_registry(Arc::new(NoopSink), registry),
+            (None, None) => Telemetry::disabled(),
+        }
+    }
+}
+
+/// The federation-run API's entry point: [`Federation::builder`].
+pub struct Federation;
+
+impl Federation {
+    /// Starts an empty config (topology defaults to [`Topology::Comm`]).
+    /// The transport type parameter is pinned by the first
+    /// [`FederationConfig::transport`] call; topologies that move no
+    /// bytes (`Serial`, `PubSub`) never need one.
+    pub fn builder<'a>() -> FederationConfig<'a, InProcEndpoint> {
+        FederationConfig {
+            topology: Topology::Comm,
+            population: None,
+            resilience: Resilience::default(),
+            observe: Observe::default(),
+            endpoints: None,
+            broker: None,
+            async_config: AsyncConfig::default(),
+            max_updates: None,
+        }
+    }
+}
+
+/// The staged builder: set the four pieces, then [`build`] validates the
+/// whole combination into a runnable [`ConfiguredFederation`].
+///
+/// [`build`]: FederationConfig::build
+pub struct FederationConfig<'a, C: Communicator + 'static> {
+    topology: Topology,
+    population: Option<Participants<'a>>,
+    resilience: Resilience,
+    observe: Observe,
+    endpoints: Option<Vec<C>>,
+    broker: Option<&'a Broker>,
+    async_config: AsyncConfig,
+    max_updates: Option<usize>,
+}
+
+impl<'a, C: Communicator + 'static> FederationConfig<'a, C> {
+    /// Selects how bytes move (default [`Topology::Comm`]).
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Sets who participates.
+    pub fn population(mut self, population: Participants<'a>) -> Self {
+        self.population = Some(population);
+        self
+    }
+
+    /// Sets the failure model (default [`Resilience::none`]).
+    pub fn resilience(mut self, resilience: Resilience) -> Self {
+        self.resilience = resilience;
+        self
+    }
+
+    /// Sets the observability surface (default [`Observe::none`]).
+    pub fn observe(mut self, observe: Observe) -> Self {
+        self.observe = observe;
+        self
+    }
+
+    /// Supplies the transport endpoints, one per rank (`endpoints[0]`
+    /// serves; `endpoints[p]` hosts client `p − 1`) — and pins the
+    /// config's transport type to `D`.
+    pub fn transport<D: Communicator + 'static>(self, endpoints: Vec<D>) -> FederationConfig<'a, D> {
+        FederationConfig {
+            topology: self.topology,
+            population: self.population,
+            resilience: self.resilience,
+            observe: self.observe,
+            endpoints: Some(endpoints),
+            broker: self.broker,
+            async_config: self.async_config,
+            max_updates: self.max_updates,
+        }
+    }
+
+    /// Supplies the broker for [`Topology::PubSub`].
+    pub fn broker(mut self, broker: &'a Broker) -> Self {
+        self.broker = Some(broker);
+        self
+    }
+
+    /// Mixing configuration for [`Topology::Async`] (default
+    /// [`AsyncConfig::default`]).
+    pub fn async_config(mut self, config: AsyncConfig) -> Self {
+        self.async_config = config;
+        self
+    }
+
+    /// Total uploads to apply in [`Topology::Async`] before finishing
+    /// (default `rounds × clients`).
+    pub fn max_updates(mut self, max_updates: usize) -> Self {
+        self.max_updates = Some(max_updates);
+        self
+    }
+
+    /// Validates the combination and returns the runnable federation.
+    /// Every invalid combo maps to one [`ConfigError`] variant; nothing
+    /// is spawned or mutated on failure.
+    pub fn build(self) -> Result<ConfiguredFederation<'a, C>, ConfigError> {
+        let topology = self.topology;
+        let t = topology.as_str();
+        let population = self.population.ok_or(ConfigError::MissingPopulation)?;
+        if population.client_count() == 0 {
+            return Err(ConfigError::NoClients);
+        }
+        if population.rounds == 0 {
+            return Err(ConfigError::ZeroRounds);
+        }
+        let needs_transport = matches!(topology, Topology::Comm | Topology::Rpc | Topology::Async);
+        match (&self.endpoints, needs_transport) {
+            (None, true) => return Err(ConfigError::MissingTransport { topology: t }),
+            (Some(_), false) => {
+                return Err(ConfigError::Unsupported { topology: t, option: "a transport" })
+            }
+            (Some(eps), true) if eps.len() != population.client_count() + 1 => {
+                return Err(ConfigError::EndpointMismatch {
+                    endpoints: eps.len(),
+                    clients: population.client_count(),
+                })
+            }
+            _ => {}
+        }
+        if self.broker.is_some() && topology != Topology::PubSub {
+            return Err(ConfigError::Unsupported { topology: t, option: "a broker" });
+        }
+        match topology {
+            Topology::Serial => {
+                if population.setup.is_none() {
+                    return Err(ConfigError::MissingSerialSetup);
+                }
+                if population.eval.is_some() {
+                    return Err(ConfigError::Unsupported {
+                        topology: t,
+                        option: "external evaluation (the setup carries its own template)",
+                    });
+                }
+                if self.resilience.ft.is_some() {
+                    return Err(ConfigError::Unsupported {
+                        topology: t,
+                        option: "fault tolerance (no transport to fail)",
+                    });
+                }
+                if self.resilience.durable.is_some() {
+                    return Err(ConfigError::Unsupported { topology: t, option: "a durable store" });
+                }
+            }
+            Topology::Comm | Topology::Rpc => {
+                if population.setup.is_some() {
+                    return Err(ConfigError::Unsupported {
+                        topology: t,
+                        option: "a serial setup (use Participants::new)",
+                    });
+                }
+                match topology {
+                    Topology::Comm if population.eval.is_none() => {
+                        return Err(ConfigError::MissingEvaluation)
+                    }
+                    Topology::Rpc if population.eval.is_some() => {
+                        return Err(ConfigError::Unsupported {
+                            topology: t,
+                            option: "evaluation (pull mode has no server-side eval loop)",
+                        })
+                    }
+                    _ => {}
+                }
+            }
+            Topology::Async | Topology::PubSub => {
+                if population.setup.is_some() {
+                    return Err(ConfigError::Unsupported {
+                        topology: t,
+                        option: "a serial setup (use Participants::new)",
+                    });
+                }
+                if population.eval.is_some() {
+                    return Err(ConfigError::Unsupported { topology: t, option: "evaluation" });
+                }
+                if self.resilience.ft.is_some() {
+                    return Err(ConfigError::Unsupported { topology: t, option: "fault tolerance" });
+                }
+                if self.resilience.robust.is_some() {
+                    return Err(ConfigError::Unsupported {
+                        topology: t,
+                        option: "robust aggregation",
+                    });
+                }
+                if self.resilience.guard.is_some() {
+                    return Err(ConfigError::Unsupported { topology: t, option: "an update guard" });
+                }
+                if self.resilience.durable.is_some() {
+                    return Err(ConfigError::Unsupported { topology: t, option: "a durable store" });
+                }
+                if topology == Topology::PubSub && self.broker.is_none() {
+                    return Err(ConfigError::MissingBroker);
+                }
+            }
+        }
+        if self.max_updates.is_some() && topology != Topology::Async {
+            return Err(ConfigError::Unsupported { topology: t, option: "max_updates" });
+        }
+        Ok(ConfiguredFederation {
+            topology,
+            population,
+            resilience: self.resilience,
+            observe: self.observe,
+            endpoints: self.endpoints,
+            broker: self.broker,
+            async_config: self.async_config,
+            max_updates: self.max_updates,
+        })
+    }
+}
+
+/// A validated federation, ready to [`run`](ConfiguredFederation::run).
+pub struct ConfiguredFederation<'a, C: Communicator + 'static> {
+    topology: Topology,
+    population: Participants<'a>,
+    resilience: Resilience,
+    observe: Observe,
+    endpoints: Option<Vec<C>>,
+    broker: Option<&'a Broker>,
+    async_config: AsyncConfig,
+    max_updates: Option<usize>,
+}
+
+impl<'a, C: Communicator + 'static> ConfiguredFederation<'a, C> {
+    /// Executes the federation and returns the outcome. Configuration
+    /// errors were already ruled out by [`FederationConfig::build`];
+    /// errors here are runtime ones ([`Error::Comm`], [`Error::Tensor`],
+    /// [`Error::Unsupported`] for a transport without `recv_any`
+    /// multiplexing, …).
+    pub fn run(self) -> Result<FederationOutcome, Error> {
+        let ConfiguredFederation {
+            topology,
+            population,
+            resilience,
+            observe,
+            endpoints,
+            broker,
+            async_config,
+            max_updates,
+        } = self;
+        match topology {
+            Topology::Serial => {
+                let (mut setup, test) = population.setup.expect("validated by build()");
+                setup.config.rounds = population.rounds;
+                let mut runner = SerialRunner::new(setup, test, population.dataset)
+                    .with_telemetry(observe.into_telemetry());
+                if let Some(aggregator) = resilience.robust {
+                    runner = runner.with_robust(aggregator);
+                }
+                if let Some(config) = resilience.guard {
+                    runner = runner.with_guard(config);
+                }
+                let history = runner.run()?;
+                Ok(FederationOutcome {
+                    model: runner.global_model(),
+                    completed_rounds: history.rounds.len(),
+                    retries: 0,
+                    history: Some(history),
+                    recovered: false,
+                    duplicates: 0,
+                })
+            }
+            Topology::Comm | Topology::Rpc => {
+                // The deprecated builder stays on as this API's engine
+                // for the two synchronous transport topologies.
+                #[allow(deprecated)]
+                let mut b = FederationBuilder::new(
+                    population.server.expect("validated by build()"),
+                    population.clients,
+                )
+                .transport(endpoints.expect("validated by build()"))
+                .rounds(population.rounds)
+                .epsilon(population.epsilon)
+                .dataset(population.dataset);
+                if let Some(eval) = population.eval {
+                    b = b.evaluation(eval.template, eval.test);
+                }
+                if topology == Topology::Rpc {
+                    b = b.pull();
+                }
+                if let Some(ft) = resilience.ft {
+                    b = b.fault_tolerance_config(ft);
+                }
+                if let Some(aggregator) = resilience.robust {
+                    b = b.robust(aggregator);
+                }
+                if let Some(config) = resilience.guard {
+                    b = b.update_guard(config);
+                }
+                if let Some(durable) = resilience.durable {
+                    b = b.durable(durable);
+                }
+                if let Some(sink) = observe.sink {
+                    b = b.telemetry(sink);
+                }
+                if let Some(registry) = observe.registry {
+                    b = b.metrics(registry);
+                }
+                b.run()
+            }
+            Topology::Async => {
+                let telemetry = observe.into_telemetry();
+                let server = population.server.expect("validated by build()");
+                let initial = server.global_model();
+                let clients = population.clients;
+                let max = max_updates.unwrap_or(population.rounds * clients.len());
+                let (model, applied) = run_async_federation(
+                    initial,
+                    clients,
+                    endpoints.expect("validated by build()"),
+                    async_config,
+                    max,
+                    &telemetry,
+                )?;
+                telemetry.flush();
+                Ok(FederationOutcome {
+                    model,
+                    completed_rounds: applied,
+                    retries: 0,
+                    history: None,
+                    recovered: false,
+                    duplicates: 0,
+                })
+            }
+            Topology::PubSub => {
+                let telemetry = observe.into_telemetry();
+                let model = run_pubsub_federation(
+                    population.server.expect("validated by build()"),
+                    population.clients,
+                    broker.expect("validated by build()"),
+                    population.rounds,
+                    &telemetry,
+                )?;
+                telemetry.flush();
+                Ok(FederationOutcome {
+                    model,
+                    completed_rounds: population.rounds,
+                    retries: 0,
+                    history: None,
+                    recovered: false,
+                    duplicates: 0,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::build_federation;
+    use crate::config::{AlgorithmConfig, FedConfig};
+    use appfl_comm::pubsub::Broker;
+    use appfl_comm::transport::InProcNetwork;
+    use appfl_data::federated::{build_benchmark, Benchmark};
+    use appfl_nn::models::{mlp_classifier, InputSpec};
+    use appfl_privacy::PrivacyConfig;
+    use appfl_telemetry::MemorySink;
+
+    fn setup(rounds: usize) -> (FederationSetup, InMemoryDataset) {
+        let data = build_benchmark(Benchmark::Mnist, 3, 90, 30, 2).unwrap();
+        let spec = InputSpec {
+            channels: 1,
+            height: 28,
+            width: 28,
+            classes: 10,
+        };
+        let config = FedConfig {
+            algorithm: AlgorithmConfig::FedAvg {
+                lr: 0.05,
+                momentum: 0.9,
+            },
+            rounds,
+            local_steps: 1,
+            batch_size: 16,
+            privacy: PrivacyConfig::none(),
+            seed: 4,
+        };
+        let test = data.test.clone();
+        let fed = build_federation(config, &data, move |rng| {
+            Box::new(mlp_classifier(spec, 8, rng))
+        });
+        (fed, test)
+    }
+
+    #[test]
+    fn missing_population_and_transport_are_distinct_errors() {
+        let err = Federation::builder().build().map(|_| ()).unwrap_err();
+        assert_eq!(err, ConfigError::MissingPopulation);
+
+        let (fed, _test) = setup(1);
+        let err = Federation::builder()
+            .population(Participants::new(fed.server, fed.clients))
+            .build()
+            .map(|_| ())
+            .unwrap_err();
+        assert_eq!(err, ConfigError::MissingTransport { topology: "comm" });
+    }
+
+    #[test]
+    fn endpoint_mismatch_and_missing_evaluation_are_rejected() {
+        let (fed, _test) = setup(1);
+        let err = Federation::builder()
+            .transport(InProcNetwork::new(2)) // 3 clients need 4
+            .population(Participants::new(fed.server, fed.clients))
+            .build()
+            .map(|_| ())
+            .unwrap_err();
+        assert_eq!(err, ConfigError::EndpointMismatch { endpoints: 2, clients: 3 });
+
+        let (fed, _test) = setup(1);
+        let err = Federation::builder()
+            .transport(InProcNetwork::new(4))
+            .population(Participants::new(fed.server, fed.clients))
+            .build()
+            .map(|_| ())
+            .unwrap_err();
+        assert_eq!(err, ConfigError::MissingEvaluation);
+    }
+
+    #[test]
+    fn invalid_combos_map_to_unsupported() {
+        // Serial with a transport.
+        let (fed, test) = setup(1);
+        let err = Federation::builder()
+            .topology(Topology::Serial)
+            .transport(InProcNetwork::new(4))
+            .population(Participants::serial(fed, test))
+            .build()
+            .map(|_| ())
+            .unwrap_err();
+        assert_eq!(err, ConfigError::Unsupported { topology: "serial", option: "a transport" });
+
+        // Async with fault tolerance.
+        let (fed, _test) = setup(1);
+        let err = Federation::builder()
+            .topology(Topology::Async)
+            .transport(InProcNetwork::new(4))
+            .population(Participants::new(fed.server, fed.clients))
+            .resilience(Resilience::none().fault_tolerance(2, Duration::from_secs(1)))
+            .build()
+            .map(|_| ())
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::Unsupported { topology: "async", option: "fault tolerance" }
+        );
+
+        // PubSub without a broker.
+        let (fed, _test) = setup(1);
+        let err = Federation::builder()
+            .topology(Topology::PubSub)
+            .population(Participants::new(fed.server, fed.clients))
+            .build()
+            .map(|_| ())
+            .unwrap_err();
+        assert_eq!(err, ConfigError::MissingBroker);
+
+        // max_updates outside async.
+        let (fed, test) = setup(1);
+        let err = Federation::builder()
+            .topology(Topology::Serial)
+            .population(Participants::serial(fed, test))
+            .max_updates(10)
+            .build()
+            .map(|_| ())
+            .unwrap_err();
+        assert_eq!(err, ConfigError::Unsupported { topology: "serial", option: "max_updates" });
+    }
+
+    #[test]
+    fn config_errors_convert_into_the_crate_error() {
+        let e: Error = ConfigError::NoClients.into();
+        assert!(matches!(e, Error::Config(_)));
+        assert!(e.to_string().contains("at least one client"));
+    }
+
+    #[test]
+    fn serial_topology_runs_a_setup() {
+        let (fed, test) = setup(2);
+        let outcome = Federation::builder()
+            .topology(Topology::Serial)
+            .population(Participants::serial(fed, test).dataset("MNIST"))
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(outcome.completed_rounds, 2);
+        let history = outcome.history.expect("serial records a history");
+        assert_eq!(history.rounds.len(), 2);
+        assert!(outcome.model.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn comm_topology_runs_with_telemetry_and_ft() {
+        let (mut fed, test) = setup(2);
+        let sink = Arc::new(MemorySink::new());
+        let outcome = Federation::builder()
+            .topology(Topology::Comm)
+            .transport(InProcNetwork::new(4))
+            .population(
+                Participants::new(fed.server, fed.clients)
+                    .rounds(2)
+                    .dataset("MNIST")
+                    .evaluation(fed.template.as_mut(), &test),
+            )
+            .resilience(Resilience::none().fault_tolerance(3, Duration::from_secs(5)))
+            .observe(Observe::none().telemetry(sink.clone()))
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(outcome.completed_rounds, 2);
+        let history = outcome.history.expect("comm records a history");
+        assert_eq!(history.rounds.len(), 2);
+        assert_eq!(history.rounds[0].cohort_size, 3, "full participation cohort");
+        // The phase machine's spans ride along for every round.
+        let events = sink.events();
+        for name in ["phase/select", "phase/collect", "phase/aggregate", "phase/publish"] {
+            assert_eq!(
+                events.iter().filter(|e| e.name == name).count(),
+                2,
+                "{name}: one per round"
+            );
+        }
+    }
+
+    #[test]
+    fn rpc_topology_runs_pull_mode() {
+        let (fed, _test) = setup(2);
+        let outcome = Federation::builder()
+            .topology(Topology::Rpc)
+            .transport(InProcNetwork::new(4))
+            .population(Participants::new(fed.server, fed.clients).rounds(2))
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(outcome.completed_rounds, 2);
+        assert!(outcome.history.is_none(), "pull mode has no history");
+    }
+
+    #[test]
+    fn pubsub_topology_runs_over_a_broker() {
+        let (fed, _test) = setup(1);
+        let broker = Broker::new();
+        let outcome = Federation::builder()
+            .topology(Topology::PubSub)
+            .population(Participants::new(fed.server, fed.clients).rounds(2))
+            .broker(&broker)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(outcome.completed_rounds, 2);
+        assert!(outcome.model.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn async_topology_applies_max_updates() {
+        let (fed, _test) = setup(1);
+        let clients = fed.clients.len();
+        let outcome = Federation::builder()
+            .topology(Topology::Async)
+            .transport(InProcNetwork::new(4))
+            .population(Participants::new(fed.server, fed.clients).rounds(2))
+            .max_updates(2 * clients)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(outcome.completed_rounds, 2 * clients);
+        assert!(outcome.history.is_none());
+    }
+}

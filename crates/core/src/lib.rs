@@ -28,8 +28,10 @@ pub mod config;
 pub mod defense;
 pub mod diagnostics;
 pub mod error;
+pub mod federation;
 pub mod gossip;
 pub mod metrics;
+pub mod prelude;
 pub mod runner;
 pub mod schedule;
 pub mod store;
@@ -38,16 +40,25 @@ pub mod trainer;
 pub(crate) mod test_support;
 pub mod validation;
 
+pub use algorithms::{build_federation, FederationSetup};
 pub use api::{ClientAlgorithm, ClientUpload, ConvergenceDiagnostics, ServerAlgorithm};
-pub use diagnostics::RoundDiagnostics;
 pub use config::{AlgorithmConfig, FaultToleranceConfig, FedConfig};
 pub use defense::{
     Attack, PoisonedClient, RobustAggregator, RobustServer, UpdateGuard, UpdateGuardConfig,
 };
+pub use diagnostics::RoundDiagnostics;
 pub use error::Error;
+pub use federation::{
+    ConfigError, ConfiguredFederation, Federation, FederationConfig, Observe, Participants,
+    Resilience, Topology,
+};
 pub use metrics::{History, RoundRecord};
-pub use runner::federation::{FederationBuilder, FederationOutcome};
+#[allow(deprecated)]
+pub use runner::federation::FederationBuilder;
+pub use runner::federation::FederationOutcome;
+pub use runner::phases::{CohortReport, PhaseEvent, PhaseKind, PhaseMachine, UploadVerdict};
 pub use runner::serial::SerialRunner;
+pub use runner::simulate::{SimConfig, SimEngine, SimReport};
 pub use store::{
     AsyncState, CoordinatorState, CoordinatorStore, CrashPhase, CrashPoint, DurableCoordinator,
     MemoryStore, PendingRound, RosterState, SnapshotWalStore, StoreEvent, WalStore,

@@ -74,6 +74,20 @@ pub struct RoundRecord {
     /// clients pulling in unrelated directions).
     #[serde(default)]
     pub cosine_alignment: f64,
+    /// Clients selected into this round's cohort: the partial-participation
+    /// sample in simulated runs, the active broadcast set in transport
+    /// runs. Absent in pre-cohort histories, hence the serde default.
+    #[serde(default)]
+    pub cohort_size: usize,
+    /// Selection draws rejected because the candidate was offline at round
+    /// start (cohort-sampling accounting; zero for transport runs, which
+    /// have no availability traces).
+    #[serde(default)]
+    pub cohort_offline: usize,
+    /// Selection draws rejected by the eligibility predicate (for
+    /// simulated runs, the min-battery check).
+    #[serde(default)]
+    pub cohort_ineligible: usize,
 }
 
 impl RoundRecord {

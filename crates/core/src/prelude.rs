@@ -1,0 +1,37 @@
+//! One-line import for the common surface: `use appfl_core::prelude::*;`.
+//!
+//! Pulls in the types that virtually every federation — serial,
+//! transport-backed or simulated — touches: the [`Federation`] run API
+//! and its four stage types, the assembly layer
+//! ([`build_federation`]/[`FederationSetup`] + [`FedConfig`]), the
+//! algorithm traits, the result types, and the million-client simulation
+//! engine. Specialised surfaces (defense, store, gossip, adaptive
+//! schedules) stay behind their modules.
+
+pub use crate::algorithms::{build_federation, FederationSetup};
+pub use crate::api::{ClientAlgorithm, ClientUpload, ServerAlgorithm};
+pub use crate::config::{AlgorithmConfig, FaultToleranceConfig, FedConfig};
+pub use crate::error::Error;
+pub use crate::federation::{
+    ConfigError, Federation, Observe, Participants, Resilience, Topology,
+};
+pub use crate::metrics::{History, RoundRecord};
+pub use crate::runner::federation::FederationOutcome;
+pub use crate::runner::serial::SerialRunner;
+pub use crate::runner::simulate::{SimConfig, SimEngine, SimReport};
+pub use appfl_telemetry::Telemetry;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn the_prelude_glob_resolves_the_common_surface() {
+        #[allow(unused_imports)]
+        use crate::prelude::*;
+        // Names from every layer must resolve through the glob.
+        let _ = Topology::Serial;
+        let _ = SimConfig::default();
+        let _ = Resilience::none();
+        let _ = Observe::none();
+        let _: fn() -> Telemetry = Telemetry::disabled;
+    }
+}

@@ -20,11 +20,12 @@
 
 use crate::api::{ClientAlgorithm, ClientUpload, ServerAlgorithm};
 use crate::config::FaultToleranceConfig;
-use crate::defense::{screen_and_report, UpdateGuard};
+use crate::defense::UpdateGuard;
 use crate::diagnostics::RoundDiagnostics;
 use crate::error::Error;
 use crate::metrics::{History, RoundRecord};
 use crate::runner::ft::ClientRoster;
+use crate::runner::phases::PhaseMachine;
 use crate::store::{DurableCoordinator, PendingRound};
 use crate::validation::evaluate;
 use appfl_comm::retry::RetryPolicy;
@@ -186,54 +187,48 @@ pub fn run_server<C: Communicator>(
                  (the plain protocol's clients count rounds from 1)",
             ));
         }
-        d.run_started(server.name(), dataset_name, epsilon, num_clients, rounds)?;
     }
+    let mut machine = PhaseMachine::new(num_clients, telemetry, durable);
+    machine.run_started(server.name(), dataset_name, epsilon, rounds)?;
     let mut history = History::new(server.name(), dataset_name, epsilon);
     for round in 1..=rounds {
         let round_start = Instant::now();
         let w = server.global_model();
-        if let Some(d) = durable.as_deref_mut() {
-            let active: Vec<usize> = (0..num_clients).collect();
-            d.round_started(round, &w, &active)?;
-        }
+        let active: Vec<usize> = (0..num_clients).collect();
+        machine.begin_round(round, &active, &w, None)?;
         let t = Instant::now();
         let msg = encode_global(round, &w);
         let mut serialize_secs = t.elapsed().as_secs_f64();
         let t = Instant::now();
         for rank in 1..=num_clients {
             comm.send(rank, msg.clone())?;
+            machine.expect_upload(rank - 1)?;
         }
         let send_secs = t.elapsed().as_secs_f64();
+        machine.begin_collect()?;
 
         // Gather uploads. The recv wall time (the MPI.gather() measurement
         // of §IV-C) mixes client compute with transport; the client gauge
         // separates the two below.
-        let mut uploads = Vec::with_capacity(num_clients);
         let mut gather_secs = 0.0f64;
         for rank in 1..=num_clients {
             let t0 = Instant::now();
             let buf = comm.recv(rank)?;
             gather_secs += t0.elapsed().as_secs_f64();
             let t1 = Instant::now();
-            let upload = decode_upload(&buf, sample_counts[rank - 1])?.1;
+            let (r, upload) = decode_upload(&buf, sample_counts[rank - 1])?;
             serialize_secs += t1.elapsed().as_secs_f64();
-            if let Some(d) = durable.as_deref_mut() {
-                d.update_received(round, &upload)?;
-            }
-            uploads.push(upload);
+            machine.offer_upload(rank - 1, r, upload)?;
         }
         // The slowest client trained inside the gather window, so transport
         // time proper is the wait not explained by that training.
         let local_update_secs = local_gauge.drain_max().min(gather_secs);
         let comm_secs = send_secs + (gather_secs - local_update_secs).max(0.0);
 
-        let (uploads, rejected_clients, clipped_clients) = match guard.as_deref_mut() {
-            Some(g) => {
-                let s = screen_and_report(g, uploads, Some(round as u64), telemetry);
-                (s.accepted, s.rejected.len(), s.clipped.len())
-            }
-            None => (uploads, 0, 0),
-        };
+        let report = machine.close_collection(guard.as_deref_mut())?;
+        let uploads = report.uploads;
+        let rejected_clients = report.rejected.len();
+        let clipped_clients = report.clipped;
         let upload_bytes: usize = uploads.iter().map(ClientUpload::payload_bytes).sum();
         let train_loss =
             uploads.iter().map(|u| u.local_loss).sum::<f32>() / uploads.len().max(1) as f32;
@@ -244,11 +239,8 @@ pub fn run_server<C: Communicator>(
             server.update_degraded(&uploads)?;
         }
         // Every upload rejected: the model carries over, a skipped round.
-        if !uploads.is_empty() {
-            if let Some(d) = durable.as_deref_mut() {
-                d.round_aggregated(round, &server.global_model())?;
-            }
-        }
+        let committed = (!uploads.is_empty()).then(|| server.global_model());
+        machine.aggregated(committed.as_deref())?;
         let diagnostics = RoundDiagnostics::collect(server, &w, &uploads);
         let w_next = server.global_model();
         let e = evaluate(template, &w_next, test, 64)?;
@@ -277,18 +269,15 @@ pub fn run_server<C: Communicator>(
             aggregate_secs,
             rejected_clients,
             clipped_clients,
+            cohort_size: active.len(),
             ..RoundRecord::default()
         };
         diagnostics.stamp(&mut record);
-        if let Some(d) = durable.as_deref_mut() {
-            let participants: Vec<usize> = uploads.iter().map(|u| u.client_id).collect();
-            d.round_published(round, &record, &[], &participants)?;
-        }
+        let participants: Vec<usize> = uploads.iter().map(|u| u.client_id).collect();
+        machine.published(&record, &[], &participants)?;
         history.rounds.push(record);
     }
-    if let Some(d) = durable.as_deref_mut() {
-        d.run_completed()?;
-    }
+    machine.finish_run()?;
     Ok(history)
 }
 
@@ -377,7 +366,7 @@ pub fn run_client_ft<C: Communicator>(
 /// best-effort — it may itself be dropped) so clients stop waiting.
 ///
 /// Requires a transport whose [`Communicator::supports_recv_any`] probe
-/// reports `true`; [`FederationBuilder`] checks this up front.
+/// reports `true`; the federation API checks this up front.
 ///
 /// With an [`UpdateGuard`] attached, arrived uploads are screened before
 /// the roster bookkeeping: a guard rejection counts as a roster *failure*
@@ -426,7 +415,6 @@ pub fn run_server_ft<C: Communicator>(
     let mut start_round = 1usize;
     let mut resume_pending: Option<PendingRound> = None;
     if let Some(d) = durable.as_deref_mut() {
-        d.run_started(server.name(), dataset_name, epsilon, num_clients, rounds)?;
         if d.was_recovered() {
             let state = d.state().clone();
             history = state.history.clone();
@@ -459,61 +447,42 @@ pub fn run_server_ft<C: Communicator>(
             }
         }
     }
+    let mut machine = PhaseMachine::new(num_clients, telemetry, durable);
+    machine.run_started(server.name(), dataset_name, epsilon, rounds)?;
     let mut retries_prev = retries.load(Ordering::Relaxed);
     for round in start_round..=rounds {
         let round_start = Instant::now();
-        // The resumed round's select phase is already durable: re-running
-        // `round_started` would wipe its persisted partial uploads from
-        // the fold, so the pending record substitutes for the commit.
+        // The resumed round's select phase is already durable: the
+        // machine substitutes the pending record for the `round_started`
+        // commit (re-committing would wipe its persisted partial uploads
+        // from the fold) and preseeds the cohort from it — preseeded
+        // clients are neither re-broadcast to nor waited for.
         let pending = resume_pending.take().filter(|p| p.round == round);
         let active = roster.begin_round(round);
         let w = server.global_model();
-        if pending.is_none() {
-            if let Some(d) = durable.as_deref_mut() {
-                d.round_started(round, &w, &active)?;
-            }
-        }
+        machine.begin_round(round, &active, &w, pending.as_ref())?;
         let t = Instant::now();
         let msg = encode_global(round, &w);
         let mut serialize_secs = t.elapsed().as_secs_f64();
-        let mut expected = vec![false; num_clients];
-        let mut expected_n = 0usize;
-        let mut got = vec![false; num_clients];
-        let mut uploads = Vec::with_capacity(num_clients);
-        // Pre-seed the round from persisted partial state: these clients
-        // already reported durably, so they are neither re-broadcast to
-        // nor waited for.
-        if let Some(p) = &pending {
-            for u in &p.uploads {
-                if u.client_id < num_clients && !got[u.client_id] {
-                    got[u.client_id] = true;
-                    expected[u.client_id] = true;
-                    uploads.push(u.clone());
-                }
-            }
-        }
-        let preseeded = uploads.len();
         let t = Instant::now();
         for &p in &active {
-            if got[p] {
+            if machine.already_received(p) {
                 continue;
             }
             match comm.send(p + 1, msg.clone()) {
-                Ok(()) => {
-                    expected[p] = true;
-                    expected_n += 1;
-                }
+                Ok(()) => machine.expect_upload(p)?,
                 Err(_) => {
                     roster.record_failure(p, round);
                 }
             }
         }
         let send_secs = t.elapsed().as_secs_f64();
+        machine.begin_collect()?;
 
         let deadline = round_start + ft.round_timeout();
         let mut gather_secs = 0.0f64;
         let mut timed_out = 0usize;
-        while uploads.len() < preseeded + expected_n {
+        while !machine.collect_complete() {
             let now = Instant::now();
             if now >= deadline {
                 break;
@@ -526,33 +495,13 @@ pub fn run_server_ft<C: Communicator>(
                     let t1 = Instant::now();
                     let decoded = decode_upload(&buf, sample_counts[p]);
                     serialize_secs += t1.elapsed().as_secs_f64();
-                    match decoded {
-                        Ok((r, upload)) if r == round && expected[p] && upload.client_id == p => {
-                            // The durable dedup key is (round, client):
-                            // a resubmission of a persisted upload is
-                            // dropped exactly once, not re-persisted.
-                            let fresh = match durable.as_deref_mut() {
-                                Some(d) => {
-                                    let fresh = d.update_received(round, &upload)?;
-                                    if !fresh {
-                                        telemetry.mark(
-                                            "duplicate_upload",
-                                            Some(round as u64),
-                                            Some(p as u64),
-                                            None,
-                                        );
-                                    }
-                                    fresh
-                                }
-                                None => !got[p],
-                            };
-                            if fresh && !got[p] {
-                                got[p] = true;
-                                uploads.push(upload);
-                            }
-                        }
-                        _ => {} // stale, duplicate, unsolicited or corrupt
+                    if let Ok((r, upload)) = decoded {
+                        // The machine discards stale, unsolicited and
+                        // forged uploads, and dedups resubmissions of a
+                        // persisted (round, client) key exactly once.
+                        machine.offer_upload(p, r, upload)?;
                     }
+                    // Undecodable payloads are dropped on the floor.
                 }
                 Err(CommError::Timeout { .. }) => {
                     gather_secs += t0.elapsed().as_secs_f64();
@@ -563,26 +512,20 @@ pub fn run_server_ft<C: Communicator>(
                 Err(_) => break, // every remaining peer is gone
             }
         }
-        // Aggregation order must not depend on arrival order (or on the
-        // persisted/re-gathered split of a resumed round): fold uploads in
-        // client-id order so the floating-point sum is reproducible.
-        uploads.sort_by_key(|u| u.client_id);
-        // Content screening runs before the roster bookkeeping so a
-        // poisoned-but-delivered upload is a recorded failure, not a
-        // success: repeat offenders walk the same suspect→exclude path
-        // as silent ones.
-        let arrived = uploads.len();
-        let (uploads, rejected, clipped_clients) = match guard.as_deref_mut() {
-            Some(g) => {
-                let s = screen_and_report(g, uploads, Some(round as u64), telemetry);
-                (s.accepted, s.rejected, s.clipped.len())
-            }
-            None => (uploads, Vec::new(), 0),
-        };
+        // Collect closes: uploads are sorted by client id (reproducible
+        // fold) and content-screened at the machine's defense seam before
+        // the roster bookkeeping, so a poisoned-but-delivered upload is a
+        // recorded failure, not a success: repeat offenders walk the same
+        // suspect→exclude path as silent ones.
+        let report = machine.close_collection(guard.as_deref_mut())?;
+        let arrived = report.arrived;
+        let uploads = report.uploads;
+        let rejected = report.rejected;
+        let clipped_clients = report.clipped;
         let rejected_clients = rejected.len();
         for &p in &active {
-            if expected[p] {
-                if got[p] && !rejected.iter().any(|&(id, _)| id == p) {
+            if machine.was_expected(p) {
+                if machine.already_received(p) && !rejected.iter().any(|&(id, _)| id == p) {
                     roster.record_success(p);
                 } else {
                     roster.record_failure(p, round);
@@ -600,11 +543,12 @@ pub fn run_server_ft<C: Communicator>(
             } else {
                 server.update_degraded(&uploads)?;
             }
-            if let Some(d) = durable.as_deref_mut() {
-                d.round_aggregated(round, &server.global_model())?;
-            }
+            let committed = server.global_model();
+            machine.aggregated(Some(&committed))?;
+        } else {
+            // Below quorum the model simply carries over — a skipped round.
+            machine.aggregated(None)?;
         }
-        // Below quorum the model simply carries over — a skipped round.
         let diagnostics = RoundDiagnostics::collect(server, &w, &uploads);
 
         let upload_bytes: usize = uploads.iter().map(ClientUpload::payload_bytes).sum();
@@ -644,19 +588,16 @@ pub fn run_server_ft<C: Communicator>(
             aggregate_secs,
             rejected_clients,
             clipped_clients,
+            cohort_size: active.len(),
             ..RoundRecord::default()
         };
         diagnostics.stamp(&mut record);
-        if let Some(d) = durable.as_deref_mut() {
-            let participants: Vec<usize> = uploads.iter().map(|u| u.client_id).collect();
-            d.round_published(round, &record, &roster.states(), &participants)?;
-        }
+        let participants: Vec<usize> = uploads.iter().map(|u| u.client_id).collect();
+        machine.published(&record, &roster.states(), &participants)?;
         history.rounds.push(record);
         retries_prev = retries_now;
     }
-    if let Some(d) = durable.as_deref_mut() {
-        d.run_completed()?;
-    }
+    machine.finish_run()?;
     send_end_sentinels(comm, num_clients);
     Ok(history)
 }
@@ -676,7 +617,7 @@ mod tests {
     use super::*;
     use crate::algorithms::build_federation;
     use crate::config::{AlgorithmConfig, FedConfig};
-    use crate::runner::federation::FederationBuilder;
+    use crate::federation::{Federation, Participants, Topology};
     use appfl_comm::transport::{GrpcChannel, InProcNetwork};
     use appfl_data::federated::{build_benchmark, Benchmark};
     use appfl_nn::models::{mlp_classifier, InputSpec};
@@ -707,21 +648,27 @@ mod tests {
             Box::new(mlp_classifier(spec, 8, rng))
         });
         let endpoints = InProcNetwork::new(4);
+        let population = Participants::new(fed.server, fed.clients)
+            .rounds(cfg.rounds)
+            .dataset("MNIST")
+            .evaluation(fed.template.as_mut(), &test);
         let outcome = if grpc {
             let endpoints: Vec<_> = endpoints.into_iter().map(GrpcChannel::new).collect();
-            FederationBuilder::new(fed.server, fed.clients)
-                .rounds(cfg.rounds)
-                .dataset("MNIST")
-                .evaluation(fed.template.as_mut(), &test)
+            Federation::builder()
+                .topology(Topology::Comm)
                 .transport(endpoints)
+                .population(population)
+                .build()
+                .unwrap()
                 .run()
                 .unwrap()
         } else {
-            FederationBuilder::new(fed.server, fed.clients)
-                .rounds(cfg.rounds)
-                .dataset("MNIST")
-                .evaluation(fed.template.as_mut(), &test)
+            Federation::builder()
+                .topology(Topology::Comm)
                 .transport(endpoints)
+                .population(population)
+                .build()
+                .unwrap()
                 .run()
                 .unwrap()
         };
@@ -777,11 +724,16 @@ mod tests {
             Box::new(mlp_classifier(spec, 8, rng))
         });
         let endpoints = InProcNetwork::new(3);
-        let outcome = FederationBuilder::new(fed.server, fed.clients)
+        let outcome = Federation::builder()
             .transport(endpoints)
-            .rounds(cfg.rounds)
-            .dataset("MNIST")
-            .evaluation(fed.template.as_mut(), &test)
+            .population(
+                Participants::new(fed.server, fed.clients)
+                    .rounds(cfg.rounds)
+                    .dataset("MNIST")
+                    .evaluation(fed.template.as_mut(), &test),
+            )
+            .build()
+            .unwrap()
             .run()
             .unwrap();
         let h = outcome.history.unwrap();

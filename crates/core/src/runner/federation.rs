@@ -1,4 +1,4 @@
-//! The unified federation-run API.
+//! The legacy unified federation-run API (deprecated shim).
 //!
 //! Historically every deployment shape had its own entry point —
 //! `CommRunner::run` / `run_ft` for push mode, `run_rpc_federation` /
@@ -28,7 +28,11 @@
 //! ```
 //!
 //! The historical entry points were removed once every call site had
-//! migrated; the builder is the single way to run a federation.
+//! migrated. The builder itself has since been superseded by the typed
+//! [`Federation`](crate::federation::Federation) API, which separates
+//! topology / population / resilience / observability and validates the
+//! combination up front; [`FederationBuilder`] stays on as a deprecated
+//! shim (and as the engine behind the `Comm`/`Rpc` topologies).
 //!
 //! With [`FederationBuilder::durable`] the coordinator persists every
 //! phase transition into a [`crate::store::CoordinatorStore`] and a
@@ -85,6 +89,10 @@ struct Eval<'a> {
 /// Required: `.transport(endpoints)` (rank 0 serves). Push mode (the
 /// default) also requires `.evaluation(template, test)`. Everything else
 /// has defaults: 1 round, ε = ∞, no fault tolerance, no telemetry.
+#[deprecated(
+    since = "0.7.0",
+    note = "use Federation::builder() — .topology(..).population(..).resilience(..).observe(..)"
+)]
 pub struct FederationBuilder<'a, C: Communicator + 'static> {
     server: Box<dyn ServerAlgorithm>,
     clients: Vec<Box<dyn ClientAlgorithm>>,
@@ -102,6 +110,7 @@ pub struct FederationBuilder<'a, C: Communicator + 'static> {
     durable: Option<DurableCoordinator>,
 }
 
+#[allow(deprecated)]
 impl<'a, C: Communicator + 'static> FederationBuilder<'a, C> {
     /// Starts a builder for `server` and its `clients`.
     pub fn new(server: Box<dyn ServerAlgorithm>, clients: Vec<Box<dyn ClientAlgorithm>>) -> Self {
@@ -473,6 +482,7 @@ impl<'a, C: Communicator + 'static> FederationBuilder<'a, C> {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // these are the shim tests for the deprecated builder
 mod tests {
     use super::*;
     use crate::algorithms::build_federation;
@@ -483,7 +493,7 @@ mod tests {
     use appfl_privacy::PrivacyConfig;
     use appfl_telemetry::MemorySink;
 
-    fn federation(rounds: usize) -> (crate::algorithms::Federation, InMemoryDataset) {
+    fn federation(rounds: usize) -> (crate::algorithms::FederationSetup, InMemoryDataset) {
         let data = build_benchmark(Benchmark::Mnist, 3, 90, 30, 2).unwrap();
         let spec = InputSpec {
             channels: 1,

@@ -4,12 +4,17 @@ pub mod async_service;
 pub mod comm;
 pub mod federation;
 pub mod ft;
+pub mod phases;
 pub mod pubsub;
 pub mod rpc;
 pub mod r#async;
 pub mod serial;
+pub mod simulate;
 
+#[allow(deprecated)]
 pub use federation::{FederationBuilder, FederationOutcome};
 pub use ft::ClientRoster;
+pub use phases::{CohortReport, PhaseEvent, PhaseKind, PhaseMachine, UploadVerdict};
 pub use r#async::{AsyncConfig, AsyncFedServer};
 pub use serial::SerialRunner;
+pub use simulate::{SimConfig, SimEngine, SimReport};

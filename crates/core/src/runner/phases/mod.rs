@@ -1,0 +1,723 @@
+//! The coordinator phase state machine.
+//!
+//! Every synchronous server loop in this crate walks the same circuit —
+//! pick a cohort, broadcast, collect uploads, screen and aggregate,
+//! publish the round — but before this module the circuit existed only
+//! implicitly, as the control flow of `run_server`/`run_server_ft`.
+//! [`PhaseMachine`] makes it explicit, in the shape of xaynet's
+//! `state_machine/phases/`:
+//!
+//! ```text
+//! Idle ──BeginRound──▶ Select ──BeginCollect──▶ Collect ─┐ Upload (self)
+//!  ▲                                               ▲─────┘
+//!  │                                          CloseCollection
+//!  │                                               ▼
+//!  └──Published── Publish ◀──Aggregated── Aggregate
+//!  Idle ──FinishRun──▶ Done
+//! ```
+//!
+//! Each transition is a typed method that (a) rejects out-of-phase events
+//! with [`Error::InvalidTransition`] — the full `(phase, event)` table is
+//! pinned by a test, no silent fallthrough — (b) commits the transition
+//! write-ahead through an attached [`DurableCoordinator`] (so the crash /
+//! recovery points of the store are exactly the machine's edges), (c)
+//! emits a `phase/…` telemetry span covering the segment just closed, and
+//! (d) hands off to the defense layer at one seam
+//! ([`PhaseMachine::close_collection`] screens through the
+//! [`UpdateGuard`]) so quorum and Byzantine filtering are per-cohort
+//! concerns of the Collect→Aggregate edge.
+//!
+//! The machine is clock-agnostic: real runners leave it on the wall
+//! clock, while the event-driven simulator ([`crate::runner::simulate`])
+//! switches it to a virtual clock and drives a million-client federation
+//! through the *same* transitions in simulated time.
+
+use crate::api::ClientUpload;
+use crate::defense::{screen_and_report, RejectReason, UpdateGuard};
+use crate::error::{Error, Result};
+use crate::metrics::RoundRecord;
+use crate::store::{DurableCoordinator, PendingRound, RosterState};
+use appfl_telemetry::Telemetry;
+use std::time::Instant;
+
+/// The coordinator's current position in the round circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhaseKind {
+    /// Between rounds (and before the first one).
+    Idle,
+    /// A cohort is being selected and broadcast to.
+    Select,
+    /// Uploads are being gathered.
+    Collect,
+    /// The screened cohort is being folded into the global model.
+    Aggregate,
+    /// The round result is being recorded and committed.
+    Publish,
+    /// The run is over; no further event is accepted.
+    Done,
+}
+
+impl PhaseKind {
+    /// Phase label for error messages, telemetry spans and reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PhaseKind::Idle => "idle",
+            PhaseKind::Select => "select",
+            PhaseKind::Collect => "collect",
+            PhaseKind::Aggregate => "aggregate",
+            PhaseKind::Publish => "publish",
+            PhaseKind::Done => "done",
+        }
+    }
+
+    /// The transition table: whether this phase accepts `event`. This is
+    /// the single source of truth every typed method guards through, and
+    /// the property the transition-table test enumerates exhaustively.
+    pub fn accepts(self, event: PhaseEvent) -> bool {
+        matches!(
+            (self, event),
+            (PhaseKind::Idle, PhaseEvent::RunStarted)
+                | (PhaseKind::Idle, PhaseEvent::BeginRound)
+                | (PhaseKind::Idle, PhaseEvent::FinishRun)
+                | (PhaseKind::Select, PhaseEvent::ExpectUpload)
+                | (PhaseKind::Select, PhaseEvent::BeginCollect)
+                | (PhaseKind::Collect, PhaseEvent::Upload)
+                | (PhaseKind::Collect, PhaseEvent::CloseCollection)
+                | (PhaseKind::Aggregate, PhaseEvent::Aggregated)
+                | (PhaseKind::Publish, PhaseEvent::Published)
+        )
+    }
+
+    /// Every phase, for exhaustive table enumeration.
+    pub const ALL: [PhaseKind; 6] = [
+        PhaseKind::Idle,
+        PhaseKind::Select,
+        PhaseKind::Collect,
+        PhaseKind::Aggregate,
+        PhaseKind::Publish,
+        PhaseKind::Done,
+    ];
+}
+
+/// An event offered to the machine (the column axis of the transition
+/// table; each typed method fires exactly one of these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhaseEvent {
+    /// The run's header is being committed ([`PhaseMachine::run_started`]).
+    RunStarted,
+    /// A round opens ([`PhaseMachine::begin_round`]).
+    BeginRound,
+    /// A broadcast reached a client ([`PhaseMachine::expect_upload`]).
+    ExpectUpload,
+    /// Broadcasting is over; gathering starts
+    /// ([`PhaseMachine::begin_collect`]).
+    BeginCollect,
+    /// An upload arrived ([`PhaseMachine::offer_upload`]).
+    Upload,
+    /// Gathering is over — deadline or full cohort
+    /// ([`PhaseMachine::close_collection`]).
+    CloseCollection,
+    /// The global model was (or could not be) updated
+    /// ([`PhaseMachine::aggregated`]).
+    Aggregated,
+    /// The round record is final ([`PhaseMachine::published`]).
+    Published,
+    /// The run is over ([`PhaseMachine::finish_run`]).
+    FinishRun,
+}
+
+impl PhaseEvent {
+    /// Event label for error messages.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PhaseEvent::RunStarted => "run_started",
+            PhaseEvent::BeginRound => "begin_round",
+            PhaseEvent::ExpectUpload => "expect_upload",
+            PhaseEvent::BeginCollect => "begin_collect",
+            PhaseEvent::Upload => "upload",
+            PhaseEvent::CloseCollection => "close_collection",
+            PhaseEvent::Aggregated => "aggregated",
+            PhaseEvent::Published => "published",
+            PhaseEvent::FinishRun => "finish_run",
+        }
+    }
+
+    /// Every event, for exhaustive table enumeration.
+    pub const ALL: [PhaseEvent; 9] = [
+        PhaseEvent::RunStarted,
+        PhaseEvent::BeginRound,
+        PhaseEvent::ExpectUpload,
+        PhaseEvent::BeginCollect,
+        PhaseEvent::Upload,
+        PhaseEvent::CloseCollection,
+        PhaseEvent::Aggregated,
+        PhaseEvent::Published,
+        PhaseEvent::FinishRun,
+    ];
+}
+
+/// What became of an upload offered during Collect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UploadVerdict {
+    /// Fresh and counted toward the cohort.
+    Accepted,
+    /// A resubmission of an already-counted `(round, client)` key —
+    /// deduplicated (and, with a durable store, refused write-ahead).
+    Duplicate,
+    /// Stale round tag, unsolicited sender, or a client-id forgery:
+    /// discarded without touching round state.
+    Discarded,
+}
+
+/// The Collect→Aggregate handoff: the screened cohort plus its accounting.
+#[derive(Debug)]
+pub struct CohortReport {
+    /// Accepted uploads, sorted by client id (so the aggregation fold is
+    /// reproducible regardless of arrival order).
+    pub uploads: Vec<ClientUpload>,
+    /// Uploads that arrived before screening.
+    pub arrived: usize,
+    /// Guard rejections, `(client, reason)`.
+    pub rejected: Vec<(usize, RejectReason)>,
+    /// Clients whose uploads were norm-clipped (accepted, flagged).
+    pub clipped: usize,
+}
+
+/// Wall or virtual time — the machine only ever needs "seconds since the
+/// last transition".
+enum PhaseClock {
+    Wall { mark: Instant },
+    Virtual { now: f64, mark: f64 },
+}
+
+impl PhaseClock {
+    fn lap(&mut self) -> f64 {
+        match self {
+            PhaseClock::Wall { mark } => {
+                let secs = mark.elapsed().as_secs_f64();
+                *mark = Instant::now();
+                secs
+            }
+            PhaseClock::Virtual { now, mark } => {
+                let secs = (*now - *mark).max(0.0);
+                *mark = *now;
+                secs
+            }
+        }
+    }
+}
+
+/// The coordinator phase state machine (see the module docs for the
+/// transition diagram and the guarantees each edge carries).
+pub struct PhaseMachine<'d> {
+    phase: PhaseKind,
+    num_clients: usize,
+    telemetry: Telemetry,
+    durable: Option<&'d mut DurableCoordinator>,
+    clock: PhaseClock,
+    round: usize,
+    expected: Vec<bool>,
+    got: Vec<bool>,
+    uploads: Vec<ClientUpload>,
+    preseeded: usize,
+    expected_new: usize,
+}
+
+impl<'d> PhaseMachine<'d> {
+    /// A machine in `Idle`, on the wall clock, coordinating `num_clients`
+    /// clients. `durable` (if any) must already be recovered by the
+    /// caller; the machine then commits every transition through it.
+    pub fn new(
+        num_clients: usize,
+        telemetry: &Telemetry,
+        durable: Option<&'d mut DurableCoordinator>,
+    ) -> Self {
+        PhaseMachine {
+            phase: PhaseKind::Idle,
+            num_clients,
+            telemetry: telemetry.clone(),
+            durable,
+            clock: PhaseClock::Wall {
+                mark: Instant::now(),
+            },
+            round: 0,
+            expected: vec![false; num_clients],
+            got: vec![false; num_clients],
+            uploads: Vec::new(),
+            preseeded: 0,
+            expected_new: 0,
+        }
+    }
+
+    /// Switches the machine to a virtual clock starting at `now` seconds.
+    /// The simulator advances it with [`PhaseMachine::advance_to`]; phase
+    /// spans then carry simulated durations.
+    pub fn virtual_clock(mut self, now: f64) -> Self {
+        self.clock = PhaseClock::Virtual { now, mark: now };
+        self
+    }
+
+    /// Moves the virtual clock forward (no-op on the wall clock: real
+    /// time advances itself).
+    pub fn advance_to(&mut self, t: f64) {
+        if let PhaseClock::Virtual { now, .. } = &mut self.clock {
+            *now = now.max(t);
+        }
+    }
+
+    /// The current phase.
+    pub fn phase(&self) -> PhaseKind {
+        self.phase
+    }
+
+    /// The round the machine is inside (0 while `Idle` before round 1).
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// Rejects `event` unless the current phase accepts it.
+    fn guard(&self, event: PhaseEvent) -> Result<()> {
+        if self.phase.accepts(event) {
+            Ok(())
+        } else {
+            Err(Error::InvalidTransition {
+                phase: self.phase.as_str(),
+                event: event.as_str(),
+            })
+        }
+    }
+
+    /// Closes the current phase's span segment and moves to `next`.
+    fn transition(&mut self, next: PhaseKind) {
+        let secs = self.clock.lap();
+        // Idle and Done gaps are not a round's work; only the four round
+        // phases are worth a span.
+        if !matches!(self.phase, PhaseKind::Idle | PhaseKind::Done) {
+            let name = match self.phase {
+                PhaseKind::Select => "phase/select",
+                PhaseKind::Collect => "phase/collect",
+                PhaseKind::Aggregate => "phase/aggregate",
+                PhaseKind::Publish => "phase/publish",
+                _ => unreachable!(),
+            };
+            self.telemetry.phase_span_secs(name, secs, self.round as u64);
+        }
+        self.phase = next;
+    }
+
+    /// `Idle`: commits the run header. Stays `Idle` — the first
+    /// `BeginRound` is what opens the circuit.
+    pub fn run_started(
+        &mut self,
+        algorithm: &str,
+        dataset: &str,
+        epsilon: f64,
+        rounds: usize,
+    ) -> Result<()> {
+        self.guard(PhaseEvent::RunStarted)?;
+        if let Some(d) = self.durable.as_deref_mut() {
+            d.run_started(algorithm, dataset, epsilon, self.num_clients, rounds)?;
+        }
+        Ok(())
+    }
+
+    /// `Idle → Select`: opens `round` with cohort `active` and broadcast
+    /// model `model`. With a durable store the round-start commits
+    /// write-ahead — unless `pending` resumes this exact round, in which
+    /// case the already-persisted partial state substitutes for the
+    /// commit (re-committing would wipe the persisted uploads from the
+    /// fold) and the machine preseeds its cohort from it: preseeded
+    /// clients are already `got` and will be neither re-broadcast to nor
+    /// waited for.
+    pub fn begin_round(
+        &mut self,
+        round: usize,
+        active: &[usize],
+        model: &[f32],
+        pending: Option<&PendingRound>,
+    ) -> Result<()> {
+        self.guard(PhaseEvent::BeginRound)?;
+        let pending = pending.filter(|p| p.round == round);
+        self.round = round;
+        self.expected.iter_mut().for_each(|e| *e = false);
+        self.got.iter_mut().for_each(|g| *g = false);
+        self.uploads.clear();
+        self.expected_new = 0;
+        if pending.is_none() {
+            if let Some(d) = self.durable.as_deref_mut() {
+                d.round_started(round, model, active)?;
+            }
+        }
+        if let Some(p) = pending {
+            for u in &p.uploads {
+                if u.client_id < self.num_clients && !self.got[u.client_id] {
+                    self.got[u.client_id] = true;
+                    self.expected[u.client_id] = true;
+                    self.uploads.push(u.clone());
+                }
+            }
+        }
+        self.preseeded = self.uploads.len();
+        self.clock.lap(); // the Select span starts here
+        self.transition(PhaseKind::Select);
+        Ok(())
+    }
+
+    /// `Select`: records that the broadcast reached client `p`, whose
+    /// upload the Collect phase will wait for.
+    pub fn expect_upload(&mut self, p: usize) -> Result<()> {
+        self.guard(PhaseEvent::ExpectUpload)?;
+        if p < self.num_clients && !self.expected[p] {
+            self.expected[p] = true;
+            self.expected_new += 1;
+        }
+        Ok(())
+    }
+
+    /// Whether client `p`'s upload is already counted (preseeded from a
+    /// resumed round, or gathered this life). Callers skip broadcasting
+    /// to these.
+    pub fn already_received(&self, p: usize) -> bool {
+        p < self.num_clients && self.got[p]
+    }
+
+    /// Whether client `p` was expected to report this round (preseeded or
+    /// reached by the broadcast). Valid until the next `begin_round`, so
+    /// post-collection roster bookkeeping can still consult it.
+    pub fn was_expected(&self, p: usize) -> bool {
+        p < self.num_clients && self.expected[p]
+    }
+
+    /// `Select → Collect`: broadcasting is over, gathering starts.
+    pub fn begin_collect(&mut self) -> Result<()> {
+        self.guard(PhaseEvent::BeginCollect)?;
+        self.transition(PhaseKind::Collect);
+        Ok(())
+    }
+
+    /// `Collect` (self-loop): offers the upload claimed to come from
+    /// `from_client` carrying `round_tag`. Stale, unsolicited and forged
+    /// uploads are [`UploadVerdict::Discarded`]; resubmissions of an
+    /// already-counted key are [`UploadVerdict::Duplicate`] (refused
+    /// write-ahead by the durable store, with a `duplicate_upload` mark).
+    pub fn offer_upload(
+        &mut self,
+        from_client: usize,
+        round_tag: usize,
+        upload: ClientUpload,
+    ) -> Result<UploadVerdict> {
+        self.guard(PhaseEvent::Upload)?;
+        if round_tag != self.round
+            || from_client >= self.num_clients
+            || !self.expected[from_client]
+            || upload.client_id != from_client
+        {
+            return Ok(UploadVerdict::Discarded);
+        }
+        // The durable dedup key is (round, client): a resubmission of a
+        // persisted upload is dropped exactly once, not re-persisted.
+        let fresh = match self.durable.as_deref_mut() {
+            Some(d) => {
+                let fresh = d.update_received(self.round, &upload)?;
+                if !fresh {
+                    self.telemetry.mark(
+                        "duplicate_upload",
+                        Some(self.round as u64),
+                        Some(from_client as u64),
+                        None,
+                    );
+                }
+                fresh
+            }
+            None => !self.got[from_client],
+        };
+        if fresh && !self.got[from_client] {
+            self.got[from_client] = true;
+            self.uploads.push(upload);
+            Ok(UploadVerdict::Accepted)
+        } else {
+            Ok(UploadVerdict::Duplicate)
+        }
+    }
+
+    /// Whether every expected upload (preseeded + broadcast-reached) has
+    /// arrived — the Collect phase's "stop waiting early" signal.
+    pub fn collect_complete(&self) -> bool {
+        self.uploads.len() >= self.preseeded + self.expected_new
+    }
+
+    /// Uploads counted so far this round.
+    pub fn arrived(&self) -> usize {
+        self.uploads.len()
+    }
+
+    /// `Collect → Aggregate`: the gather window is over. Uploads are
+    /// sorted by client id (reproducible floating-point fold regardless
+    /// of arrival order or the persisted/re-gathered split of a resumed
+    /// round), screened through `guard` if one is attached — the defense
+    /// seam — and handed to the caller as a [`CohortReport`].
+    pub fn close_collection(&mut self, guard: Option<&mut UpdateGuard>) -> Result<CohortReport> {
+        self.guard(PhaseEvent::CloseCollection)?;
+        let mut uploads = std::mem::take(&mut self.uploads);
+        uploads.sort_by_key(|u| u.client_id);
+        let arrived = uploads.len();
+        let (uploads, rejected, clipped) = match guard {
+            Some(g) => {
+                let s = screen_and_report(g, uploads, Some(self.round as u64), &self.telemetry);
+                (s.accepted, s.rejected, s.clipped.len())
+            }
+            None => (uploads, Vec::new(), 0),
+        };
+        self.transition(PhaseKind::Aggregate);
+        Ok(CohortReport {
+            uploads,
+            arrived,
+            rejected,
+            clipped,
+        })
+    }
+
+    /// `Aggregate → Publish`: the aggregation outcome. `Some(model)`
+    /// commits the new global model write-ahead; `None` records that the
+    /// round was skipped (below quorum, or a fully rejected cohort) and
+    /// the model carries over uncommitted.
+    pub fn aggregated(&mut self, model: Option<&[f32]>) -> Result<()> {
+        self.guard(PhaseEvent::Aggregated)?;
+        if let (Some(d), Some(model)) = (self.durable.as_deref_mut(), model) {
+            d.round_aggregated(self.round, model)?;
+        }
+        self.transition(PhaseKind::Publish);
+        Ok(())
+    }
+
+    /// `Publish → Idle`: the round's record is final. With a durable
+    /// store this is the round's last commit; after it the round is
+    /// replayed as history, never re-run.
+    pub fn published(
+        &mut self,
+        record: &RoundRecord,
+        roster: &[RosterState],
+        participants: &[usize],
+    ) -> Result<()> {
+        self.guard(PhaseEvent::Published)?;
+        if let Some(d) = self.durable.as_deref_mut() {
+            d.round_published(self.round, record, roster, participants)?;
+        }
+        self.transition(PhaseKind::Idle);
+        Ok(())
+    }
+
+    /// `Idle → Done`: commits run completion; no further event is
+    /// accepted.
+    pub fn finish_run(&mut self) -> Result<()> {
+        self.guard(PhaseEvent::FinishRun)?;
+        if let Some(d) = self.durable.as_deref_mut() {
+            d.run_completed()?;
+        }
+        self.transition(PhaseKind::Done);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use appfl_telemetry::MemorySink;
+    use std::sync::Arc;
+
+    fn upload(id: usize) -> ClientUpload {
+        ClientUpload {
+            client_id: id,
+            primal: vec![1.0, 2.0],
+            dual: None,
+            num_samples: 4,
+            local_loss: 0.5,
+        }
+    }
+
+    /// Drives a fresh machine to `phase` through the only legal path.
+    fn machine_in(phase: PhaseKind, telemetry: &Telemetry) -> PhaseMachine<'static> {
+        let mut m = PhaseMachine::new(2, telemetry, None);
+        let steps: &[PhaseEvent] = match phase {
+            PhaseKind::Idle => &[],
+            PhaseKind::Select => &[PhaseEvent::BeginRound],
+            PhaseKind::Collect => &[PhaseEvent::BeginRound, PhaseEvent::BeginCollect],
+            PhaseKind::Aggregate => &[
+                PhaseEvent::BeginRound,
+                PhaseEvent::BeginCollect,
+                PhaseEvent::CloseCollection,
+            ],
+            PhaseKind::Publish => &[
+                PhaseEvent::BeginRound,
+                PhaseEvent::BeginCollect,
+                PhaseEvent::CloseCollection,
+                PhaseEvent::Aggregated,
+            ],
+            PhaseKind::Done => &[PhaseEvent::FinishRun],
+        };
+        for &e in steps {
+            apply(&mut m, e).unwrap();
+        }
+        assert_eq!(m.phase(), phase, "setup must land in {phase:?}");
+        m
+    }
+
+    /// Fires `event` on the machine with placeholder payloads.
+    fn apply(m: &mut PhaseMachine<'_>, event: PhaseEvent) -> Result<()> {
+        match event {
+            PhaseEvent::RunStarted => m.run_started("FedAvg", "MNIST", f64::INFINITY, 3),
+            PhaseEvent::BeginRound => m.begin_round(1, &[0, 1], &[0.0, 0.0], None),
+            PhaseEvent::ExpectUpload => m.expect_upload(0),
+            PhaseEvent::BeginCollect => m.begin_collect(),
+            PhaseEvent::Upload => m.offer_upload(0, 1, upload(0)).map(|_| ()),
+            PhaseEvent::CloseCollection => m.close_collection(None).map(|_| ()),
+            PhaseEvent::Aggregated => m.aggregated(Some(&[0.0, 0.0])),
+            PhaseEvent::Published => m.published(&RoundRecord::default(), &[], &[]),
+            PhaseEvent::FinishRun => m.finish_run(),
+        }
+    }
+
+    #[test]
+    fn transition_table_is_total_no_silent_fallthrough() {
+        // Every (phase, event) pair is either handled or rejected with
+        // InvalidTransition — exhaustively, 6 × 9 pairs.
+        let telemetry = Telemetry::disabled();
+        for phase in PhaseKind::ALL {
+            for event in PhaseEvent::ALL {
+                let mut m = machine_in(phase, &telemetry);
+                let outcome = apply(&mut m, event);
+                if phase.accepts(event) {
+                    assert!(outcome.is_ok(), "{phase:?} must accept {event:?}");
+                } else {
+                    match outcome {
+                        Err(Error::InvalidTransition { phase: p, event: e }) => {
+                            assert_eq!(p, phase.as_str());
+                            assert_eq!(e, event.as_str());
+                        }
+                        other => {
+                            panic!("{phase:?} + {event:?}: expected rejection, got {other:?}")
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn accepted_event_count_matches_the_diagram() {
+        // 9 legal edges total: 3 from Idle, 2 from Select, 2 from
+        // Collect, 1 each from Aggregate and Publish, 0 from Done.
+        let legal: usize = PhaseKind::ALL
+            .iter()
+            .flat_map(|&p| PhaseEvent::ALL.iter().map(move |&e| p.accepts(e)))
+            .filter(|&ok| ok)
+            .count();
+        assert_eq!(legal, 9);
+        assert!(PhaseEvent::ALL.iter().all(|&e| !PhaseKind::Done.accepts(e)));
+    }
+
+    #[test]
+    fn full_round_walks_the_circuit_and_counts_uploads() {
+        let telemetry = Telemetry::disabled();
+        let mut m = PhaseMachine::new(3, &telemetry, None);
+        m.run_started("FedAvg", "MNIST", f64::INFINITY, 1).unwrap();
+        m.begin_round(1, &[0, 1, 2], &[0.0; 2], None).unwrap();
+        for p in 0..3 {
+            m.expect_upload(p).unwrap();
+        }
+        m.begin_collect().unwrap();
+        assert!(!m.collect_complete());
+        assert_eq!(m.offer_upload(0, 1, upload(0)).unwrap(), UploadVerdict::Accepted);
+        // Wrong round tag, unsolicited sender and forged id are discarded.
+        assert_eq!(m.offer_upload(1, 2, upload(1)).unwrap(), UploadVerdict::Discarded);
+        assert_eq!(m.offer_upload(9, 1, upload(9)).unwrap(), UploadVerdict::Discarded);
+        assert_eq!(m.offer_upload(1, 1, upload(2)).unwrap(), UploadVerdict::Discarded);
+        // A resubmission is a duplicate, counted once.
+        assert_eq!(m.offer_upload(0, 1, upload(0)).unwrap(), UploadVerdict::Duplicate);
+        assert_eq!(m.offer_upload(2, 1, upload(2)).unwrap(), UploadVerdict::Accepted);
+        assert_eq!(m.offer_upload(1, 1, upload(1)).unwrap(), UploadVerdict::Accepted);
+        assert!(m.collect_complete());
+        let report = m.close_collection(None).unwrap();
+        assert_eq!(report.arrived, 3);
+        // Arrival order was 0, 2, 1; the fold order must be 0, 1, 2.
+        let ids: Vec<usize> = report.uploads.iter().map(|u| u.client_id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        m.aggregated(Some(&[1.0, 1.0])).unwrap();
+        m.published(&RoundRecord::default(), &[], &[]).unwrap();
+        assert_eq!(m.phase(), PhaseKind::Idle);
+        m.finish_run().unwrap();
+        assert_eq!(m.phase(), PhaseKind::Done);
+    }
+
+    #[test]
+    fn virtual_clock_spans_carry_simulated_durations() {
+        let sink = Arc::new(MemorySink::new());
+        let telemetry = Telemetry::new(sink.clone());
+        let mut m = PhaseMachine::new(1, &telemetry, None).virtual_clock(0.0);
+        m.begin_round(1, &[0], &[0.0], None).unwrap();
+        m.expect_upload(0).unwrap();
+        m.advance_to(2.0);
+        m.begin_collect().unwrap();
+        m.offer_upload(0, 1, upload(0)).unwrap();
+        m.advance_to(7.0);
+        m.close_collection(None).unwrap();
+        m.advance_to(7.5);
+        m.aggregated(None).unwrap();
+        m.advance_to(8.0);
+        m.published(&RoundRecord::default(), &[], &[]).unwrap();
+        let events = sink.events();
+        let span = |name: &str| {
+            events
+                .iter()
+                .find(|e| e.name == name)
+                .unwrap_or_else(|| panic!("missing {name}"))
+                .secs
+                .unwrap()
+        };
+        assert_eq!(span("phase/select"), 2.0);
+        assert_eq!(span("phase/collect"), 5.0);
+        assert_eq!(span("phase/aggregate"), 0.5);
+        assert_eq!(span("phase/publish"), 0.5);
+    }
+
+    #[test]
+    fn resumed_round_preseeds_without_recommitting() {
+        let pending = PendingRound {
+            round: 2,
+            broadcast: vec![0.5, 0.5],
+            active: vec![0, 1, 2],
+            uploads: vec![upload(1)],
+            aggregated: None,
+        };
+        let telemetry = Telemetry::disabled();
+        let mut m = PhaseMachine::new(3, &telemetry, None);
+        m.begin_round(2, &[0, 1, 2], &[0.5, 0.5], Some(&pending)).unwrap();
+        assert!(m.already_received(1), "preseeded client is already counted");
+        assert!(!m.already_received(0));
+        m.expect_upload(0).unwrap();
+        m.expect_upload(2).unwrap();
+        m.begin_collect().unwrap();
+        assert_eq!(m.arrived(), 1);
+        assert!(!m.collect_complete(), "still waiting on 0 and 2");
+        m.offer_upload(0, 2, upload(0)).unwrap();
+        m.offer_upload(2, 2, upload(2)).unwrap();
+        assert!(m.collect_complete());
+        let report = m.close_collection(None).unwrap();
+        assert_eq!(report.arrived, 3);
+    }
+
+    #[test]
+    fn pending_for_a_different_round_is_ignored() {
+        let pending = PendingRound {
+            round: 5,
+            broadcast: vec![],
+            active: vec![0],
+            uploads: vec![upload(0)],
+            aggregated: None,
+        };
+        let telemetry = Telemetry::disabled();
+        let mut m = PhaseMachine::new(2, &telemetry, None);
+        m.begin_round(1, &[0, 1], &[0.0], Some(&pending)).unwrap();
+        assert!(!m.already_received(0), "stale pending must not preseed");
+    }
+}

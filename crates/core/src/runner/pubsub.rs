@@ -165,7 +165,7 @@ mod tests {
     use appfl_nn::models::{mlp_classifier, InputSpec};
     use appfl_privacy::PrivacyConfig;
 
-    fn federation(rounds: usize) -> crate::algorithms::Federation {
+    fn federation(rounds: usize) -> crate::algorithms::FederationSetup {
         let data = build_benchmark(Benchmark::Mnist, 3, 90, 30, 55).unwrap();
         let spec = InputSpec {
             channels: 1,

@@ -554,7 +554,7 @@ mod tests {
     use super::*;
     use crate::algorithms::build_federation;
     use crate::config::{AlgorithmConfig, FedConfig};
-    use crate::runner::federation::FederationBuilder;
+    use crate::federation::{Federation, Participants, Resilience, Topology};
     use appfl_comm::transport::InProcNetwork;
     use appfl_data::federated::{build_benchmark, Benchmark};
     use appfl_nn::models::{mlp_classifier, InputSpec};
@@ -562,7 +562,7 @@ mod tests {
     use appfl_telemetry::MemorySink;
     use std::sync::Arc;
 
-    fn federation(algo: AlgorithmConfig, rounds: usize) -> crate::algorithms::Federation {
+    fn federation(algo: AlgorithmConfig, rounds: usize) -> crate::algorithms::FederationSetup {
         let data = build_benchmark(Benchmark::Mnist, 3, 90, 30, 44).unwrap();
         let spec = InputSpec {
             channels: 1,
@@ -584,14 +584,15 @@ mod tests {
     }
 
     fn run_pull(
-        fed: crate::algorithms::Federation,
+        fed: crate::algorithms::FederationSetup,
         rounds: usize,
     ) -> crate::runner::federation::FederationOutcome {
-        let endpoints = InProcNetwork::new(4);
-        FederationBuilder::new(fed.server, fed.clients)
-            .transport(endpoints)
-            .rounds(rounds)
-            .pull()
+        Federation::builder()
+            .topology(Topology::Rpc)
+            .transport(InProcNetwork::new(4))
+            .population(Participants::new(fed.server, fed.clients).rounds(rounds))
+            .build()
+            .unwrap()
             .run()
             .unwrap()
     }
@@ -652,12 +653,13 @@ mod tests {
             2,
         );
         let sink = Arc::new(MemorySink::new());
-        let endpoints = InProcNetwork::new(4);
-        let outcome = FederationBuilder::new(fed.server, fed.clients)
-            .transport(endpoints)
-            .rounds(2)
-            .pull()
-            .telemetry(sink.clone())
+        let outcome = Federation::builder()
+            .topology(Topology::Rpc)
+            .transport(InProcNetwork::new(4))
+            .population(Participants::new(fed.server, fed.clients).rounds(2))
+            .observe(crate::federation::Observe::none().telemetry(sink.clone()))
+            .build()
+            .unwrap()
             .run()
             .unwrap();
         assert_eq!(outcome.completed_rounds, 2);
@@ -751,16 +753,17 @@ mod tests {
             },
             2,
         );
-        let endpoints = InProcNetwork::new(4);
         let ft = crate::config::FaultToleranceConfig {
             min_quorum: 3,
             ..Default::default()
         };
-        let outcome = FederationBuilder::new(fed.server, fed.clients)
-            .transport(endpoints)
-            .rounds(2)
-            .pull()
-            .fault_tolerance_config(ft)
+        let outcome = Federation::builder()
+            .topology(Topology::Rpc)
+            .transport(InProcNetwork::new(4))
+            .population(Participants::new(fed.server, fed.clients).rounds(2))
+            .resilience(Resilience::none().fault_tolerance_config(ft))
+            .build()
+            .unwrap()
             .run()
             .unwrap();
         assert_eq!(outcome.completed_rounds, 2);

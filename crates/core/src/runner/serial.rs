@@ -5,9 +5,9 @@
 //! of APPFL's MPI-based "serial simulation on HPC" mode (§II). Per-round
 //! wall times for client compute are measured for real; communication is
 //! zero (clients live in-process), so `comm_secs` stays 0 here and the
-//! transport-backed [`crate::FederationBuilder`] measures real messaging.
+//! transport-backed [`crate::federation::Federation`] API measures real messaging.
 
-use crate::algorithms::Federation;
+use crate::algorithms::FederationSetup;
 use crate::api::ClientUpload;
 use crate::defense::{screen_and_report, RobustAggregator, RobustServer, UpdateGuard};
 use crate::diagnostics::RoundDiagnostics;
@@ -22,9 +22,9 @@ use rand::SeedableRng;
 use rayon::prelude::*;
 use std::time::Instant;
 
-/// Runs a [`Federation`] against a server-side test set.
+/// Runs a [`FederationSetup`] against a server-side test set.
 pub struct SerialRunner {
-    federation: Federation,
+    federation: FederationSetup,
     test: InMemoryDataset,
     dataset_name: String,
     /// Batch size for server-side validation.
@@ -42,7 +42,7 @@ pub struct SerialRunner {
 impl SerialRunner {
     /// Creates a runner.
     pub fn new(
-        federation: Federation,
+        federation: FederationSetup,
         test: InMemoryDataset,
         dataset_name: impl Into<String>,
     ) -> Self {
@@ -69,7 +69,7 @@ impl SerialRunner {
 
     /// Replaces the federation's server with a [`RobustServer`] running
     /// `aggregator` (inheriting the current global model) — the serial
-    /// analogue of [`crate::FederationBuilder::robust`].
+    /// analogue of [`crate::federation::Resilience::robust`].
     pub fn with_robust(mut self, aggregator: RobustAggregator) -> Self {
         let inner = std::mem::replace(
             &mut self.federation.server,
@@ -80,7 +80,7 @@ impl SerialRunner {
     }
 
     /// Screens every upload with an [`UpdateGuard`] before aggregation —
-    /// the serial analogue of [`crate::FederationBuilder::update_guard`].
+    /// the serial analogue of [`crate::federation::Resilience::update_guard`].
     /// Rejected uploads are dropped from the round (recorded in the
     /// [`RoundRecord`]); a fully rejected round carries the model over.
     pub fn with_guard(mut self, config: crate::defense::UpdateGuardConfig) -> Self {

@@ -1,0 +1,511 @@
+//! The event-driven virtual-clock federation engine.
+//!
+//! One thread, one binary heap, zero threads-per-client: each round the
+//! engine samples a cohort out of the [`Population`], schedules broadcast
+//! and upload *events* on a virtual clock — latencies come from the
+//! calibrated [`GrpcLinkModel`] scaled by each descriptor's link and
+//! speed multipliers — and drives the same [`PhaseMachine`] the real
+//! transport runners use through `Select → Collect → Aggregate →
+//! Publish` in simulated time. A million-client, hundred-round
+//! federation is just a few hundred thousand heap operations, so it
+//! simulates in seconds while producing the full observability surface:
+//! per-phase spans (with *virtual* durations), per-round
+//! [`RoundRecord`]s with cohort accounting, and a [`SimReport`] summary
+//! for `results/BENCH_sim.json`.
+//!
+//! Everything is derived from `SimConfig::seed` through the shared
+//! splitmix64 stream, so a run is a pure function of its config:
+//! same config → same cohorts, same event timeline, same final model,
+//! bit for bit.
+
+use super::population::Population;
+use super::sampler::CohortSampler;
+use crate::api::ClientUpload;
+use crate::error::Result;
+use crate::metrics::{History, RoundRecord};
+use crate::runner::phases::{PhaseMachine, UploadVerdict};
+use appfl_comm::netsim::GrpcLinkModel;
+use appfl_comm::policy::{lane2, lane3, seeded_unit};
+use appfl_telemetry::Telemetry;
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+/// Knobs of one simulated federation. A run is a pure function of this
+/// struct: every trait, latency and cohort derives from `seed`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Registered clients (the registry holds descriptors, not threads —
+    /// 100k–1M is the intended range).
+    pub population: usize,
+    /// Rounds to simulate.
+    pub rounds: usize,
+    /// Cohort target per round (partial participation).
+    pub cohort: usize,
+    /// Master seed: population traits, cohort sampling, latency jitter
+    /// and synthetic updates all derive from it.
+    pub seed: u64,
+    /// Synthetic model dimension (kept small — the engine measures
+    /// coordination, not floating-point throughput).
+    pub model_dim: usize,
+    /// Wire payload per model transfer, in bytes (drives the link model;
+    /// the paper's CNN update is ~2.4 MB).
+    pub payload_bytes: usize,
+    /// Collect-phase deadline in virtual seconds from round start;
+    /// uploads landing later are dropped (the straggler model).
+    pub round_timeout_secs: f64,
+    /// Minimum arrived uploads for the round to aggregate; below it the
+    /// model carries over unchanged.
+    pub min_quorum: usize,
+    /// Eligibility threshold fed to the cohort sampler.
+    pub min_battery: f32,
+    /// Reference-device local-update seconds (scaled per client by its
+    /// speed multiplier); defaults to the paper's V100 calibration.
+    pub base_local_secs: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            population: 100_000,
+            rounds: 10,
+            cohort: 128,
+            seed: 42,
+            model_dim: 32,
+            payload_bytes: 2_400_000,
+            round_timeout_secs: 45.0,
+            min_quorum: 1,
+            min_battery: 0.2,
+            base_local_secs: appfl_comm::cluster::V100.secs_per_client_update,
+        }
+    }
+}
+
+/// What a finished simulation measured — the `BENCH_sim.json` payload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Registered clients.
+    pub population: usize,
+    /// Rounds requested (all complete; a below-quorum round completes
+    /// without aggregating).
+    pub rounds: usize,
+    /// Rounds that met quorum and updated the global model.
+    pub rounds_aggregated: usize,
+    /// Heap events processed (broadcast + upload arrivals).
+    pub events_processed: u64,
+    /// Uploads accepted into aggregation across all rounds.
+    pub uploads_accepted: usize,
+    /// Events discarded for landing past their round's deadline.
+    pub events_late: u64,
+    /// Virtual seconds the federation spanned.
+    pub virtual_secs: f64,
+    /// Wall seconds the event loop took (excludes registry synthesis).
+    pub wall_secs: f64,
+    /// `events_processed / wall_secs` — the headline throughput.
+    pub events_per_sec: f64,
+    /// L2 norm of the final global model — the determinism fingerprint
+    /// (same config ⇒ same norm, bit for bit).
+    pub final_model_norm: f64,
+}
+
+/// One scheduled arrival on the virtual clock.
+#[derive(Debug, Clone, Copy)]
+enum SimEventKind {
+    /// The round's broadcast reaches the client; local training starts.
+    BroadcastArrives { client: u64 },
+    /// The client's upload reaches the coordinator.
+    UploadArrives { client: u64 },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SimEvent {
+    time: f64,
+    /// Schedule order — the total-order tiebreak for identical times.
+    seq: u64,
+    kind: SimEventKind,
+}
+
+impl PartialEq for SimEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.time.total_cmp(&other.time).is_eq() && self.seq == other.seq
+    }
+}
+impl Eq for SimEvent {}
+impl PartialOrd for SimEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for SimEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// The engine: a materialised [`Population`], a [`CohortSampler`], the
+/// calibrated link model, and the event loop that walks a
+/// [`PhaseMachine`] through every round on the virtual clock.
+pub struct SimEngine {
+    cfg: SimConfig,
+    population: Population,
+    sampler: CohortSampler,
+    link: GrpcLinkModel,
+    telemetry: Telemetry,
+    history: History,
+}
+
+/// Deterministic per-message traffic multiplier in `[0.8, 1.2)`.
+fn jitter(seed: u64, client: u64, round: u64, salt: u64) -> f64 {
+    0.8 + 0.4 * seeded_unit(seed, lane3(client, round, salt))
+}
+
+impl SimEngine {
+    /// Builds the engine, synthesising the client registry (the only
+    /// population-sized cost; the event loop is cohort-sized).
+    pub fn new(cfg: SimConfig, telemetry: &Telemetry) -> Self {
+        let population = Population::synthesize(cfg.seed, cfg.population);
+        let sampler = CohortSampler {
+            seed: cfg.seed ^ 0x5A5A_5A5A,
+            min_battery: cfg.min_battery,
+            ..CohortSampler::default()
+        };
+        SimEngine {
+            cfg,
+            population,
+            sampler,
+            link: GrpcLinkModel::default(),
+            telemetry: telemetry.clone(),
+            history: History {
+                algorithm: "SimFedAvg".into(),
+                dataset: "synthetic".into(),
+                epsilon: f64::INFINITY,
+                rounds: Vec::new(),
+            },
+        }
+    }
+
+    /// Per-round records of the last [`SimEngine::run`].
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// The registry the engine simulates over.
+    pub fn population(&self) -> &Population {
+        &self.population
+    }
+
+    /// The client's synthetic local update: a half-step from the global
+    /// model toward the client's private optimum — a shared population
+    /// centre plus a per-client offset, so the federation visibly
+    /// converges from the zero model toward the centre — with a
+    /// per-client sample count for the weighted fold.
+    fn synthesize_upload(&self, client: u64, model: &[f32]) -> ClientUpload {
+        let seed = self.cfg.seed ^ 0x5EED_F00D;
+        let mut primal = Vec::with_capacity(model.len());
+        let mut loss = 0.0f32;
+        for (j, &w) in model.iter().enumerate() {
+            let centre = seeded_unit(seed, lane2(j as u64, 0xC3)) as f32 - 0.5;
+            let private = seeded_unit(seed, lane3(client, j as u64, 0xA7)) as f32 - 0.5;
+            let opt = centre + private;
+            loss += (w - opt) * (w - opt);
+            primal.push(w + 0.5 * (opt - w));
+        }
+        let num_samples = 20 + (seeded_unit(seed, lane2(client, 0xB2)) * 480.0) as usize;
+        ClientUpload {
+            client_id: client as usize,
+            primal,
+            dual: None,
+            num_samples,
+            local_loss: loss / model.len().max(1) as f32,
+        }
+    }
+
+    /// Runs the federation: `cfg.rounds` rounds of sample → broadcast →
+    /// collect → aggregate → publish, entirely on the virtual clock.
+    /// Phase spans, round records and the summary all come back with
+    /// *simulated* durations; only the report's `wall_secs` /
+    /// `events_per_sec` measure the engine itself.
+    pub fn run(&mut self) -> Result<SimReport> {
+        let cfg = self.cfg;
+        let wall0 = Instant::now();
+        let mut machine =
+            PhaseMachine::new(cfg.population, &self.telemetry, None).virtual_clock(0.0);
+        machine.run_started("SimFedAvg", "synthetic", f64::INFINITY, cfg.rounds)?;
+        self.history.rounds.clear();
+        let mut model = vec![0.0f32; cfg.model_dim];
+        let mut now = 0.0f64;
+        let mut events: u64 = 0;
+        let mut late: u64 = 0;
+        let mut uploads_accepted = 0usize;
+        let mut rounds_aggregated = 0usize;
+
+        for round in 1..=cfg.rounds {
+            let (cohort, stats) = self.sampler.sample(&self.population, round, now, cfg.cohort);
+            let active: Vec<usize> = cohort.iter().map(|&id| id as usize).collect();
+            machine.begin_round(round, &active, &model, None)?;
+
+            // Select: the coordinator streams one broadcast per member
+            // (per-message overhead each); arrival is the send instant
+            // plus the client's downlink time.
+            let mut heap: BinaryHeap<Reverse<SimEvent>> = BinaryHeap::with_capacity(cohort.len() * 2);
+            let mut seq = 0u64;
+            let base_wire = self.link.base_message_time(cfg.payload_bytes);
+            for (i, &id) in cohort.iter().enumerate() {
+                machine.expect_upload(id as usize)?;
+                let sent = now + (i as f64 + 1.0) * self.link.per_message_overhead;
+                let d = self.population.get(id);
+                let down = base_wire * d.link as f64 * jitter(cfg.seed, id, round as u64, 0xD0);
+                heap.push(Reverse(SimEvent {
+                    time: sent + down,
+                    seq,
+                    kind: SimEventKind::BroadcastArrives { client: id },
+                }));
+                seq += 1;
+            }
+            let select_end = now + cohort.len() as f64 * self.link.per_message_overhead;
+            machine.advance_to(select_end);
+            machine.begin_collect()?;
+
+            // Collect: drain arrivals until the cohort is complete or
+            // the deadline passes. Every pop is one simulated event.
+            let deadline = now + cfg.round_timeout_secs;
+            let mut last_accept = select_end;
+            let mut local_max = 0.0f64;
+            while let Some(Reverse(ev)) = heap.pop() {
+                events += 1;
+                if ev.time > deadline {
+                    late += 1;
+                    continue;
+                }
+                match ev.kind {
+                    SimEventKind::BroadcastArrives { client } => {
+                        let d = self.population.get(client);
+                        let compute = cfg.base_local_secs * d.speed as f64;
+                        let up =
+                            base_wire * d.link as f64 * jitter(cfg.seed, client, round as u64, 0x01);
+                        heap.push(Reverse(SimEvent {
+                            time: ev.time + compute + up,
+                            seq,
+                            kind: SimEventKind::UploadArrives { client },
+                        }));
+                        seq += 1;
+                    }
+                    SimEventKind::UploadArrives { client } => {
+                        machine.advance_to(ev.time);
+                        let upload = self.synthesize_upload(client, &model);
+                        if machine.offer_upload(client as usize, round, upload)?
+                            == UploadVerdict::Accepted
+                        {
+                            last_accept = ev.time;
+                            let d = self.population.get(client);
+                            local_max = local_max.max(cfg.base_local_secs * d.speed as f64);
+                        }
+                        if machine.collect_complete() {
+                            break;
+                        }
+                    }
+                }
+            }
+            let collect_end = if machine.collect_complete() {
+                last_accept
+            } else {
+                deadline
+            };
+            machine.advance_to(collect_end);
+            let report = machine.close_collection(None)?;
+            let arrived = report.arrived;
+
+            // Aggregate: sample-weighted mean of the (already id-sorted)
+            // cohort, with a nominal per-upload fold cost.
+            let agg_secs = 1.0e-4 * arrived as f64;
+            machine.advance_to(collect_end + agg_secs);
+            let quorum_met = arrived >= cfg.min_quorum.max(1);
+            let mut train_loss = 0.0f32;
+            if quorum_met {
+                let total: f32 = report.uploads.iter().map(|u| u.num_samples as f32).sum();
+                let mut next = vec![0.0f32; cfg.model_dim];
+                for u in &report.uploads {
+                    let wgt = u.num_samples as f32 / total;
+                    for (n, &p) in next.iter_mut().zip(&u.primal) {
+                        *n += wgt * p;
+                    }
+                    train_loss += u.local_loss;
+                }
+                train_loss /= arrived.max(1) as f32;
+                model = next;
+                machine.aggregated(Some(&model))?;
+                rounds_aggregated += 1;
+            } else {
+                machine.aggregated(None)?;
+            }
+            let publish_end = collect_end + agg_secs + 1.0e-3;
+            machine.advance_to(publish_end);
+
+            let record = RoundRecord {
+                round,
+                train_loss,
+                upload_bytes: arrived * cfg.payload_bytes,
+                compute_secs: local_max + agg_secs,
+                comm_secs: (collect_end - select_end - local_max).max(0.0)
+                    + (select_end - now),
+                dropped_clients: cohort.len() - arrived,
+                local_update_secs: local_max,
+                aggregate_secs: agg_secs,
+                cohort_size: cohort.len(),
+                cohort_offline: stats.offline,
+                cohort_ineligible: stats.ineligible,
+                ..RoundRecord::default()
+            };
+            let participants: Vec<usize> =
+                report.uploads.iter().map(|u| u.client_id).collect();
+            machine.published(&record, &[], &participants)?;
+            self.history.rounds.push(record);
+            uploads_accepted += arrived;
+            now = publish_end;
+        }
+        machine.finish_run()?;
+
+        let wall = wall0.elapsed().as_secs_f64();
+        let final_model_norm = model.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt();
+        Ok(SimReport {
+            population: cfg.population,
+            rounds: cfg.rounds,
+            rounds_aggregated,
+            events_processed: events,
+            uploads_accepted,
+            events_late: late,
+            virtual_secs: now,
+            wall_secs: wall,
+            events_per_sec: events as f64 / wall.max(1.0e-9),
+            final_model_norm,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use appfl_telemetry::MemorySink;
+    use std::sync::Arc;
+
+    fn quick_cfg() -> SimConfig {
+        SimConfig {
+            population: 5_000,
+            rounds: 5,
+            cohort: 32,
+            seed: 7,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn simulation_is_a_pure_function_of_its_config() {
+        let telemetry = Telemetry::disabled();
+        let mut a = SimEngine::new(quick_cfg(), &telemetry);
+        let mut b = SimEngine::new(quick_cfg(), &telemetry);
+        let ra = a.run().unwrap();
+        let rb = b.run().unwrap();
+        assert_eq!(ra.events_processed, rb.events_processed);
+        assert_eq!(ra.uploads_accepted, rb.uploads_accepted);
+        assert_eq!(ra.final_model_norm, rb.final_model_norm, "bit-identical fold");
+        assert_eq!(a.history().rounds, b.history().rounds);
+        let mut c = SimEngine::new(SimConfig { seed: 8, ..quick_cfg() }, &telemetry);
+        let rc = c.run().unwrap();
+        assert_ne!(ra.final_model_norm, rc.final_model_norm, "seed matters");
+    }
+
+    #[test]
+    fn rounds_complete_with_cohort_accounting_and_convergence() {
+        let telemetry = Telemetry::disabled();
+        let mut e = SimEngine::new(quick_cfg(), &telemetry);
+        let report = e.run().unwrap();
+        assert_eq!(e.history().rounds.len(), 5);
+        assert!(report.rounds_aggregated >= 1, "some round must aggregate");
+        assert!(report.uploads_accepted > 0);
+        assert!(report.virtual_secs > 0.0);
+        assert!(report.events_per_sec > 0.0);
+        for r in &e.history().rounds {
+            assert!(r.cohort_size <= 32);
+            assert_eq!(
+                r.cohort_size,
+                r.dropped_clients + r.upload_bytes / quick_cfg().payload_bytes
+            );
+        }
+        // The synthetic objective contracts toward the population mean:
+        // late-round train loss sits below the first aggregated round's.
+        let losses: Vec<f32> = e
+            .history()
+            .rounds
+            .iter()
+            .filter(|r| r.train_loss > 0.0)
+            .map(|r| r.train_loss)
+            .collect();
+        if losses.len() >= 2 {
+            assert!(
+                losses.last().unwrap() < losses.first().unwrap(),
+                "loss should fall: {losses:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn a_tight_deadline_drops_stragglers_not_the_round() {
+        let telemetry = Telemetry::disabled();
+        let cfg = SimConfig {
+            // Reference device takes ~7s; a 10s deadline cuts the slow tail.
+            round_timeout_secs: 10.0,
+            ..quick_cfg()
+        };
+        let mut e = SimEngine::new(cfg, &telemetry);
+        let report = e.run().unwrap();
+        assert!(report.events_late > 0, "tight deadline must drop someone");
+        let dropped: usize = e.history().rounds.iter().map(|r| r.dropped_clients).sum();
+        assert!(dropped > 0);
+        assert!(report.uploads_accepted > 0, "fast clients still make it");
+    }
+
+    #[test]
+    fn phase_spans_carry_virtual_durations() {
+        let sink = Arc::new(MemorySink::new());
+        let telemetry = Telemetry::new(sink.clone());
+        let cfg = SimConfig {
+            rounds: 2,
+            ..quick_cfg()
+        };
+        SimEngine::new(cfg, &telemetry).run().unwrap();
+        let events = sink.events();
+        for name in ["phase/select", "phase/collect", "phase/aggregate", "phase/publish"] {
+            let spans: Vec<f64> = events
+                .iter()
+                .filter(|e| e.name == name)
+                .map(|e| e.secs.expect("span has secs"))
+                .collect();
+            assert_eq!(spans.len(), 2, "{name}: one span per round");
+            assert!(spans.iter().all(|&s| s >= 0.0));
+        }
+        // Collect dominates: local training is seconds, folding is µs.
+        let collect = events
+            .iter()
+            .find(|e| e.name == "phase/collect")
+            .and_then(|e| e.secs)
+            .unwrap();
+        assert!(collect > 1.0, "virtual collect spans simulated seconds, got {collect}");
+    }
+
+    #[test]
+    fn an_impossible_quorum_skips_aggregation_but_finishes() {
+        let telemetry = Telemetry::disabled();
+        let cfg = SimConfig {
+            min_quorum: 10_000, // larger than any cohort
+            ..quick_cfg()
+        };
+        let mut e = SimEngine::new(cfg, &telemetry);
+        let report = e.run().unwrap();
+        assert_eq!(report.rounds_aggregated, 0);
+        assert_eq!(report.final_model_norm, 0.0, "model never moves");
+        assert_eq!(e.history().rounds.len(), 5, "rounds still publish");
+    }
+}

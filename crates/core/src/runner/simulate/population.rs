@@ -1,0 +1,200 @@
+//! The cross-device population: a sharded registry of lightweight client
+//! descriptors.
+//!
+//! A real deployment's coordinator never holds a million live client
+//! objects — it holds a directory of *descriptions* and talks to the few
+//! thousand devices that check in per round. [`ClientDescriptor`] is that
+//! description: ~32 bytes of device traits (speed and link multipliers,
+//! an availability duty cycle, a battery level), derived *procedurally*
+//! from `(population seed, client id)` through the shared splitmix64
+//! primitive — so a billion-device population costs nothing to describe
+//! and any subset replays bit-identically. [`Population`] materialises
+//! the descriptors into fixed-size shards (built in parallel) for cache
+//! friendly scans, the way a sharded registry service would partition
+//! the id space.
+
+use appfl_comm::policy::{lane2, seeded_unit};
+use rayon::prelude::*;
+
+/// Shard width of the registry: descriptors for ids `[k·8192, (k+1)·8192)`
+/// live in shard `k`.
+pub const SHARD_SIZE: usize = 8192;
+
+/// One device's traits — everything the coordinator needs to select it,
+/// predict its round timing, and check its eligibility. Copy, ~32 bytes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClientDescriptor {
+    /// Registry id (stable across runs for a given population seed).
+    pub id: u64,
+    /// Local-update duration multiplier: 1.0 is the reference device,
+    /// the long tail stretches past 4× (cheap phones).
+    pub speed: f32,
+    /// Network latency multiplier over the baseline link model.
+    pub link: f32,
+    /// Availability cycle length in seconds (daily-ish rhythms for some
+    /// devices, short charger-visit cycles for others).
+    pub period_secs: f32,
+    /// Fraction of the cycle the device is online, in `[0.05, 0.95]`.
+    pub duty: f32,
+    /// Phase offset of the cycle, in `[0, 1)`.
+    pub phase: f32,
+    /// Battery level in `[0, 1]` — the eligibility predicate's input.
+    pub battery: f32,
+}
+
+impl ClientDescriptor {
+    /// Derives client `id`'s traits from the population seed — a pure
+    /// function, so descriptors never need to be stored to be replayed.
+    pub fn synthesize(pop_seed: u64, id: u64) -> Self {
+        let draw = |lane: u64| seeded_unit(pop_seed, lane2(id, lane)) as f32;
+        // Long-tailed speed: most devices near 1×, a tail out to ~4.5×.
+        let u = draw(1).min(0.999_9);
+        let speed = 0.5 + 4.0 * u * u * u;
+        let link = 0.5 + 2.5 * draw(2);
+        // Two availability regimes: day-scale cycles and charger visits.
+        let period_secs = if draw(3) < 0.5 {
+            3_600.0 + 82_800.0 * draw(4) // 1h .. 24h
+        } else {
+            600.0 + 6_600.0 * draw(4) // 10min .. 2h
+        };
+        let duty = 0.05 + 0.9 * draw(5);
+        let phase = draw(6);
+        let battery = draw(7);
+        ClientDescriptor {
+            id,
+            speed,
+            link,
+            period_secs,
+            duty,
+            phase,
+            battery,
+        }
+    }
+
+    /// Whether the device is online at virtual time `t` (seconds): inside
+    /// the first `duty` fraction of its shifted availability cycle.
+    pub fn available_at(&self, t: f64) -> bool {
+        let cycle = (t / self.period_secs as f64 + self.phase as f64).fract();
+        cycle < self.duty as f64
+    }
+
+    /// The min-battery style eligibility predicate: whether the device
+    /// may be asked to train at all.
+    pub fn eligible(&self, min_battery: f32) -> bool {
+        self.battery >= min_battery
+    }
+}
+
+/// The sharded client registry: `size` descriptors in `SHARD_SIZE`-wide
+/// shards, synthesized in parallel from one seed.
+pub struct Population {
+    seed: u64,
+    size: usize,
+    shards: Vec<Vec<ClientDescriptor>>,
+}
+
+impl Population {
+    /// Materialises the registry for ids `0..size`.
+    pub fn synthesize(seed: u64, size: usize) -> Self {
+        let num_shards = size.div_ceil(SHARD_SIZE).max(1);
+        let shards: Vec<Vec<ClientDescriptor>> = (0..num_shards)
+            .into_par_iter()
+            .map(|s| {
+                let lo = s * SHARD_SIZE;
+                let hi = ((s + 1) * SHARD_SIZE).min(size);
+                (lo..hi)
+                    .map(|id| ClientDescriptor::synthesize(seed, id as u64))
+                    .collect()
+            })
+            .collect();
+        Population { seed, size, shards }
+    }
+
+    /// The population seed descriptors derive from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of registered clients.
+    pub fn len(&self) -> usize {
+        self.size
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.size == 0
+    }
+
+    /// Number of shards backing the registry.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Client `id`'s descriptor. Panics if `id >= len()`.
+    pub fn get(&self, id: u64) -> &ClientDescriptor {
+        let id = id as usize;
+        &self.shards[id / SHARD_SIZE][id % SHARD_SIZE]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthesis_is_deterministic_and_shard_transparent() {
+        let pop = Population::synthesize(42, 3 * SHARD_SIZE + 17);
+        assert_eq!(pop.len(), 3 * SHARD_SIZE + 17);
+        assert_eq!(pop.shard_count(), 4);
+        for id in [0u64, 8191, 8192, 20_000] {
+            assert_eq!(*pop.get(id), ClientDescriptor::synthesize(42, id));
+            assert_eq!(pop.get(id).id, id);
+        }
+        let other = Population::synthesize(43, 100);
+        assert_ne!(*other.get(7), *pop.get(7), "seed changes the traits");
+    }
+
+    #[test]
+    fn traits_land_in_their_documented_ranges() {
+        for id in 0..2000u64 {
+            let d = ClientDescriptor::synthesize(9, id);
+            assert!((0.5..=4.5).contains(&d.speed), "speed {}", d.speed);
+            assert!((0.5..=3.0).contains(&d.link));
+            assert!((600.0..=86_400.0).contains(&d.period_secs));
+            assert!((0.05..=0.95).contains(&d.duty));
+            assert!((0.0..1.0).contains(&d.phase));
+            assert!((0.0..1.0).contains(&d.battery));
+        }
+    }
+
+    #[test]
+    fn availability_follows_the_duty_cycle() {
+        let d = ClientDescriptor {
+            id: 0,
+            speed: 1.0,
+            link: 1.0,
+            period_secs: 100.0,
+            duty: 0.25,
+            phase: 0.0,
+            battery: 1.0,
+        };
+        assert!(d.available_at(0.0));
+        assert!(d.available_at(24.9));
+        assert!(!d.available_at(25.1));
+        assert!(!d.available_at(99.0));
+        assert!(d.available_at(100.5), "cycle repeats");
+        // Online fraction over a dense sweep tracks the duty factor.
+        let online = (0..10_000)
+            .filter(|i| d.available_at(*i as f64 * 0.01))
+            .count();
+        assert!((2_400..=2_600).contains(&online), "online {online}");
+    }
+
+    #[test]
+    fn eligibility_is_a_battery_threshold() {
+        let mut d = ClientDescriptor::synthesize(1, 1);
+        d.battery = 0.3;
+        assert!(d.eligible(0.2));
+        assert!(!d.eligible(0.5));
+    }
+}

@@ -1,0 +1,172 @@
+//! Per-round partial-participation cohort sampling.
+//!
+//! Each round the coordinator asks for a small cohort out of the
+//! registry: clients that are *online* at the round's start (their
+//! availability trace says so) and *eligible* (battery above threshold).
+//! [`CohortSampler`] does seeded rejection sampling — uniform id draws
+//! from the shared splitmix64 stream, screened against the predicates,
+//! deduplicated, with a bounded attempt budget so a mostly-offline
+//! population terminates instead of spinning. Same `(seed, round, time)`
+//! → same cohort, bit-for-bit, which is what makes a million-client
+//! simulation replayable.
+
+use super::population::Population;
+use appfl_comm::policy::{lane3, seeded_unit};
+
+/// Seeded rejection sampler over a [`Population`].
+#[derive(Debug, Clone, Copy)]
+pub struct CohortSampler {
+    /// Sampling seed (independent of the population seed: the same fleet
+    /// can be sampled many different ways).
+    pub seed: u64,
+    /// Eligibility threshold: clients below this battery level are never
+    /// selected.
+    pub min_battery: f32,
+    /// Attempt budget per requested slot: sampling gives up after
+    /// `attempts_per_slot × target + 64` draws, returning a short cohort
+    /// (mostly-offline fleets are the normal case, not an error).
+    pub attempts_per_slot: usize,
+}
+
+impl Default for CohortSampler {
+    fn default() -> Self {
+        CohortSampler {
+            seed: 0,
+            min_battery: 0.2,
+            attempts_per_slot: 32,
+        }
+    }
+}
+
+/// What one round's sampling pass saw — the per-cohort accounting the
+/// round record carries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SampleStats {
+    /// Uniform draws made (including rejected and duplicate ones).
+    pub drawn: usize,
+    /// Draws rejected because the client was offline at round start.
+    pub offline: usize,
+    /// Draws rejected by the eligibility predicate.
+    pub ineligible: usize,
+    /// Draws rejected as already-selected duplicates.
+    pub duplicates: usize,
+}
+
+impl CohortSampler {
+    /// Samples up to `target` distinct, online, eligible clients for
+    /// `round` starting at virtual time `now`. The cohort comes back
+    /// sorted by id (the coordinator's reproducible-fold order) along
+    /// with the pass's [`SampleStats`].
+    pub fn sample(
+        &self,
+        population: &Population,
+        round: usize,
+        now: f64,
+        target: usize,
+    ) -> (Vec<u64>, SampleStats) {
+        let mut stats = SampleStats::default();
+        let n = population.len() as u64;
+        if n == 0 || target == 0 {
+            return (Vec::new(), stats);
+        }
+        let budget = self.attempts_per_slot.saturating_mul(target) + 64;
+        let mut cohort: Vec<u64> = Vec::with_capacity(target);
+        let mut picked = std::collections::HashSet::with_capacity(target * 2);
+        for attempt in 0..budget {
+            if cohort.len() >= target {
+                break;
+            }
+            stats.drawn += 1;
+            let u = seeded_unit(self.seed, lane3(round as u64, attempt as u64, 0x5A));
+            let id = ((u * n as f64) as u64).min(n - 1);
+            if !picked.insert(id) {
+                stats.duplicates += 1;
+                continue;
+            }
+            let d = population.get(id);
+            if !d.eligible(self.min_battery) {
+                stats.ineligible += 1;
+                continue;
+            }
+            if !d.available_at(now) {
+                stats.offline += 1;
+                continue;
+            }
+            cohort.push(id);
+        }
+        cohort.sort_unstable();
+        (cohort, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pop() -> Population {
+        Population::synthesize(7, 10_000)
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed_round_and_time() {
+        let pop = pop();
+        let s = CohortSampler {
+            seed: 11,
+            ..CohortSampler::default()
+        };
+        let (a, sa) = s.sample(&pop, 3, 1000.0, 64);
+        let (b, sb) = s.sample(&pop, 3, 1000.0, 64);
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
+        let (c, _) = s.sample(&pop, 4, 1000.0, 64);
+        assert_ne!(a, c, "round is part of the stream");
+        let other = CohortSampler { seed: 12, ..s };
+        assert_ne!(a, other.sample(&pop, 3, 1000.0, 64).0);
+    }
+
+    #[test]
+    fn cohort_is_sorted_distinct_online_and_eligible() {
+        let pop = pop();
+        let s = CohortSampler {
+            seed: 5,
+            min_battery: 0.4,
+            ..CohortSampler::default()
+        };
+        let now = 5_000.0;
+        let (cohort, stats) = s.sample(&pop, 1, now, 128);
+        assert!(!cohort.is_empty());
+        assert!(cohort.len() <= 128);
+        assert!(cohort.windows(2).all(|w| w[0] < w[1]), "sorted, distinct");
+        for &id in &cohort {
+            let d = pop.get(id);
+            assert!(d.eligible(0.4), "client {id} ineligible");
+            assert!(d.available_at(now), "client {id} offline");
+        }
+        assert_eq!(
+            stats.drawn,
+            cohort.len() + stats.offline + stats.ineligible + stats.duplicates,
+            "every draw is accounted for"
+        );
+    }
+
+    #[test]
+    fn impossible_predicates_terminate_with_a_short_cohort() {
+        let pop = pop();
+        let s = CohortSampler {
+            seed: 1,
+            min_battery: 2.0, // nobody qualifies
+            attempts_per_slot: 4,
+        };
+        let (cohort, stats) = s.sample(&pop, 1, 0.0, 32);
+        assert!(cohort.is_empty());
+        assert_eq!(stats.drawn, 4 * 32 + 64, "bounded budget, then give up");
+    }
+
+    #[test]
+    fn empty_population_or_target_yields_empty_cohort() {
+        let empty = Population::synthesize(1, 0);
+        let s = CohortSampler::default();
+        assert!(s.sample(&empty, 1, 0.0, 8).0.is_empty());
+        assert!(s.sample(&pop(), 1, 0.0, 0).0.is_empty());
+    }
+}

@@ -411,43 +411,10 @@ pub trait CoordinatorStore: Send {
     fn name(&self) -> &'static str;
 }
 
-/// The coordinator phase a [`CrashPoint`] fires after.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum CrashPhase {
-    /// After the round's `RoundStarted` record is durable.
-    Select,
-    /// After the round's *first* `UpdateReceived` record is durable.
-    Collect,
-    /// After the round's `RoundAggregated` record is durable.
-    Aggregate,
-    /// After the round's `RoundPublished` record is durable.
-    Publish,
-}
-
-impl CrashPhase {
-    /// Phase label for error messages and telemetry.
-    pub fn as_str(self) -> &'static str {
-        match self {
-            CrashPhase::Select => "select",
-            CrashPhase::Collect => "collect",
-            CrashPhase::Aggregate => "aggregate",
-            CrashPhase::Publish => "publish",
-        }
-    }
-}
-
-/// Coordinator fault injection: kill the coordinator immediately *after*
-/// the given phase of the given round commits to the store — the
-/// server-side sibling of the transport's `FaultyCommunicator`, driven by
-/// the crash-recovery e2e to prove every phase transition is a safe
-/// restart point.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct CrashPoint {
-    /// 1-based round to crash in.
-    pub round: usize,
-    /// Phase whose commit triggers the crash.
-    pub phase: CrashPhase,
-}
+// The crash-injection vocabulary ([`CrashPhase`], [`CrashPoint`]) moved to
+// the shared fault/retry policy module in appfl-comm; re-exported here so
+// the long-standing `store::{CrashPhase, CrashPoint}` paths keep resolving.
+pub use appfl_comm::policy::{CrashPhase, CrashPoint};
 
 /// The durable-coordination handle the runners thread through their
 /// phase transitions.

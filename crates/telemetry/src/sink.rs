@@ -340,6 +340,25 @@ impl Telemetry {
         );
     }
 
+    /// Emits a coordinator-side phase span nested directly under
+    /// `round`'s root span: the select/collect/aggregate/publish segments
+    /// of the coordinator state machine. Like [`Telemetry::trace_span_secs`]
+    /// it carries no [`Phase`] attribution — the paper's four phase totals
+    /// stay the round-accounting spans' business — but it shows up in the
+    /// causal tree and the Chrome trace as a labelled child of the round.
+    pub fn phase_span_secs(&self, name: &str, secs: f64, round: u64) {
+        self.emit_span_raw(
+            name,
+            None,
+            secs,
+            Some(round),
+            None,
+            None,
+            self.alloc_span_id(),
+            Some(round_span_id(round)),
+        );
+    }
+
     /// Starts an RAII span; the duration is emitted when the guard drops
     /// (or [`Span::finish`] is called). On a disabled handle the guard is
     /// inert.

@@ -15,7 +15,7 @@ use appfl::comm::netsim::{CommSimulation, GrpcLinkModel, MpiGatherModel};
 use appfl::comm::transport::{GrpcChannel, InProcNetwork};
 use appfl::core::algorithms::build_federation;
 use appfl::core::config::{AlgorithmConfig, FedConfig};
-use appfl::core::FederationBuilder;
+use appfl::core::{Federation, Participants, Topology};
 use appfl::data::federated::{build_benchmark, Benchmark};
 use appfl::nn::models::{mlp_classifier, InputSpec};
 use appfl::privacy::PrivacyConfig;
@@ -51,23 +51,29 @@ fn main() {
         });
         let endpoints = InProcNetwork::new(clients + 1);
         let label = if grpc { "gRPC-style" } else { "MPI-style " };
+        let population = Participants::new(fed.server, fed.clients)
+            .rounds(rounds)
+            .dataset("MNIST")
+            .evaluation(fed.template.as_mut(), &test);
         let history = if grpc {
             let wrapped: Vec<_> = endpoints.into_iter().map(GrpcChannel::new).collect();
-            FederationBuilder::new(fed.server, fed.clients)
+            Federation::builder()
+                .topology(Topology::Comm)
                 .transport(wrapped)
-                .rounds(rounds)
-                .dataset("MNIST")
-                .evaluation(fed.template.as_mut(), &test)
+                .population(population)
+                .build()
+                .expect("config")
                 .run()
                 .expect("run")
                 .history
                 .expect("push mode records a history")
         } else {
-            FederationBuilder::new(fed.server, fed.clients)
+            Federation::builder()
+                .topology(Topology::Comm)
                 .transport(endpoints)
-                .rounds(rounds)
-                .dataset("MNIST")
-                .evaluation(fed.template.as_mut(), &test)
+                .population(population)
+                .build()
+                .expect("config")
                 .run()
                 .expect("run")
                 .history

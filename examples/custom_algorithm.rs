@@ -11,7 +11,7 @@
 //! is custom; clients, data, model, runner and privacy all come from the
 //! framework unchanged, demonstrating the plug-and-play claim.
 
-use appfl::core::algorithms::{FedAvgClient, Federation};
+use appfl::core::algorithms::{FedAvgClient, FederationSetup};
 use appfl::core::api::{ClientAlgorithm, ClientUpload, ServerAlgorithm};
 use appfl::core::config::{AlgorithmConfig, FedConfig};
 use appfl::core::runner::serial::SerialRunner;
@@ -133,7 +133,7 @@ fn main() {
         .collect();
     clients.push(Box::new(ByzantineClient { id: 4, dim }));
 
-    let federation = Federation {
+    let federation = FederationSetup {
         server: Box::new(MedianServer { global: initial }),
         clients,
         template: Box::new(template),

@@ -11,7 +11,10 @@ use appfl::core::api::ClientAlgorithm;
 use appfl::core::config::{AlgorithmConfig, FaultToleranceConfig, FedConfig};
 use appfl::core::metrics::History;
 use appfl::core::runner::serial::SerialRunner;
-use appfl::core::{Attack, FederationBuilder, PoisonedClient, RobustAggregator, UpdateGuardConfig};
+use appfl::core::{
+    Attack, Federation, Participants, PoisonedClient, Resilience, RobustAggregator, Topology,
+    UpdateGuardConfig,
+};
 use appfl::comm::transport::InProcNetwork;
 use appfl::data::federated::{build_benchmark, Benchmark, FederatedDataset};
 use appfl::nn::models::{mlp_classifier, InputSpec};
@@ -152,13 +155,22 @@ fn nan_injectors_are_rejected_and_excluded_by_the_roster() {
         max_attempts: 3,
         base_backoff_ms: 5,
     };
-    let outcome = FederationBuilder::new(fed.server, fed.clients)
+    let outcome = Federation::builder()
+        .topology(Topology::Comm)
         .transport(InProcNetwork::new(CLIENTS + 1))
-        .rounds(ROUNDS)
-        .dataset("MNIST")
-        .evaluation(fed.template.as_mut(), &test)
-        .fault_tolerance_config(ft)
-        .update_guard(UpdateGuardConfig::default())
+        .population(
+            Participants::new(fed.server, fed.clients)
+                .rounds(ROUNDS)
+                .dataset("MNIST")
+                .evaluation(fed.template.as_mut(), &test),
+        )
+        .resilience(
+            Resilience::none()
+                .fault_tolerance_config(ft)
+                .update_guard(UpdateGuardConfig::default()),
+        )
+        .build()
+        .unwrap()
         .run()
         .unwrap();
 

@@ -5,11 +5,11 @@
 use appfl::comm::transport::{
     CommError, Communicator, FaultKind, FaultPlan, FaultyCommunicator, GrpcChannel, InProcNetwork,
 };
-use appfl::core::algorithms::{build_federation, Federation};
+use appfl::core::algorithms::{build_federation, FederationSetup};
 use appfl::core::api::{ClientAlgorithm, ClientUpload};
 use appfl::core::config::{AlgorithmConfig, FaultToleranceConfig, FedConfig};
 use appfl::core::runner::serial::SerialRunner;
-use appfl::core::FederationBuilder;
+use appfl::core::{Federation, Participants, Resilience, Topology};
 use appfl::data::federated::{build_benchmark, Benchmark};
 use appfl::nn::models::{mlp_classifier, InputSpec};
 use appfl::privacy::PrivacyConfig;
@@ -22,7 +22,7 @@ const SPEC: InputSpec = InputSpec {
     classes: 10,
 };
 
-fn federation(rounds: usize) -> Federation {
+fn federation(rounds: usize) -> FederationSetup {
     let data = build_benchmark(Benchmark::Mnist, 3, 90, 30, 12).unwrap();
     let config = FedConfig {
         algorithm: AlgorithmConfig::FedAvg {
@@ -122,11 +122,13 @@ fn quorum_rpc_federation_survives_a_flaky_client() {
         max_attempts: 2,
         base_backoff_ms: 5,
     };
-    let outcome = FederationBuilder::new(fed.server, fed.clients)
+    let outcome = Federation::builder()
+        .topology(Topology::Rpc)
         .transport(InProcNetwork::new(4))
-        .rounds(3)
-        .pull()
-        .fault_tolerance_config(ft)
+        .population(Participants::new(fed.server, fed.clients).rounds(3))
+        .resilience(Resilience::none().fault_tolerance_config(ft))
+        .build()
+        .unwrap()
         .run()
         .unwrap();
     assert_eq!(outcome.completed_rounds, 3, "quorum rounds must all complete");
@@ -157,12 +159,18 @@ fn scheduled_broadcast_drop_degrades_the_round_not_the_run() {
         max_attempts: 4,
         base_backoff_ms: 5,
     };
-    let h = FederationBuilder::new(fed.server, fed.clients)
+    let h = Federation::builder()
+        .topology(Topology::Comm)
         .transport(endpoints)
-        .rounds(3)
-        .dataset("MNIST")
-        .evaluation(fed.template.as_mut(), &test)
-        .fault_tolerance_config(ft)
+        .population(
+            Participants::new(fed.server, fed.clients)
+                .rounds(3)
+                .dataset("MNIST")
+                .evaluation(fed.template.as_mut(), &test),
+        )
+        .resilience(Resilience::none().fault_tolerance_config(ft))
+        .build()
+        .unwrap()
         .run()
         .unwrap()
         .history

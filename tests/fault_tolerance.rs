@@ -8,7 +8,7 @@ use appfl::comm::transport::{FaultPlan, FaultyCommunicator, InProcNetwork};
 use appfl::core::algorithms::build_federation;
 use appfl::core::config::{AlgorithmConfig, FaultToleranceConfig, FedConfig};
 use appfl::core::metrics::History;
-use appfl::core::FederationBuilder;
+use appfl::core::{Federation, Participants, Resilience, Topology};
 use appfl::data::federated::{build_benchmark, Benchmark, FederatedDataset};
 use appfl::nn::models::{mlp_classifier, InputSpec};
 use appfl::privacy::PrivacyConfig;
@@ -43,11 +43,17 @@ fn run_clean() -> History {
     let data = data();
     let test = data.test.clone();
     let mut fed = build_federation(config(), &data, |rng| Box::new(mlp_classifier(SPEC, 8, rng)));
-    FederationBuilder::new(fed.server, fed.clients)
+    Federation::builder()
+        .topology(Topology::Comm)
         .transport(InProcNetwork::new(4))
-        .rounds(ROUNDS)
-        .dataset("MNIST")
-        .evaluation(fed.template.as_mut(), &test)
+        .population(
+            Participants::new(fed.server, fed.clients)
+                .rounds(ROUNDS)
+                .dataset("MNIST")
+                .evaluation(fed.template.as_mut(), &test),
+        )
+        .build()
+        .unwrap()
         .run()
         .unwrap()
         .history
@@ -83,12 +89,18 @@ fn run_faulty() -> History {
         max_attempts: 4,
         base_backoff_ms: 5,
     };
-    FederationBuilder::new(fed.server, fed.clients)
+    Federation::builder()
+        .topology(Topology::Comm)
         .transport(endpoints)
-        .rounds(ROUNDS)
-        .dataset("MNIST")
-        .evaluation(fed.template.as_mut(), &test)
-        .fault_tolerance_config(ft)
+        .population(
+            Participants::new(fed.server, fed.clients)
+                .rounds(ROUNDS)
+                .dataset("MNIST")
+                .evaluation(fed.template.as_mut(), &test),
+        )
+        .resilience(Resilience::none().fault_tolerance_config(ft))
+        .build()
+        .unwrap()
         .run()
         .unwrap()
         .history

@@ -219,6 +219,9 @@ fn telemetry_fields_round_trip() {
         rho: 10.0,
         update_norm: 0.5,
         cosine_alignment: 0.875,
+        cohort_size: 2,
+        cohort_offline: 3,
+        cohort_ineligible: 1,
     });
     let json = serde_json::to_string(&history).unwrap();
     let back: History = serde_json::from_str(&json).unwrap();
@@ -241,4 +244,7 @@ fn telemetry_fields_round_trip() {
     assert_eq!(r.rho, 10.0);
     assert_eq!(r.update_norm, 0.5);
     assert_eq!(r.cosine_alignment, 0.875);
+    assert_eq!(r.cohort_size, 2);
+    assert_eq!(r.cohort_offline, 3);
+    assert_eq!(r.cohort_ineligible, 1);
 }

@@ -12,7 +12,7 @@
 use appfl::comm::transport::{FaultPlan, FaultyCommunicator, InProcNetwork};
 use appfl::core::algorithms::build_federation;
 use appfl::core::config::{AlgorithmConfig, FaultToleranceConfig, FedConfig};
-use appfl::core::FederationBuilder;
+use appfl::core::{Federation, Observe, Participants, Resilience, Topology};
 use appfl::data::federated::{build_benchmark, Benchmark};
 use appfl::nn::models::{mlp_classifier, InputSpec};
 use appfl::privacy::PrivacyConfig;
@@ -79,14 +79,19 @@ fn fault_injected_run_feeds_registry_trace_and_convergence_table() {
         base_backoff_ms: 5,
     };
 
-    let outcome = FederationBuilder::new(fed.server, fed.clients)
+    let outcome = Federation::builder()
+        .topology(Topology::Comm)
         .transport(endpoints)
-        .rounds(ROUNDS)
-        .dataset("MNIST")
-        .evaluation(fed.template.as_mut(), &test)
-        .fault_tolerance_config(ft)
-        .telemetry(tee.clone())
-        .metrics(registry.clone())
+        .population(
+            Participants::new(fed.server, fed.clients)
+                .rounds(ROUNDS)
+                .dataset("MNIST")
+                .evaluation(fed.template.as_mut(), &test),
+        )
+        .resilience(Resilience::none().fault_tolerance_config(ft))
+        .observe(Observe::none().telemetry(tee.clone()).metrics(registry.clone()))
+        .build()
+        .unwrap()
         .run()
         .unwrap();
     let history = outcome.history.expect("push mode records a history");

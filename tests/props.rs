@@ -578,4 +578,96 @@ proptest! {
         let sum: f64 = samples.iter().sum();
         prop_assert!((h.sum() - sum).abs() <= 1e-9 * sum.abs().max(1.0));
     }
+
+    // --- Cohort sampling (the simulation engine's selection layer) -----
+
+    // Seeded determinism: the same sampler over the same population must
+    // produce the identical cohort, member for member, stat for stat.
+    #[test]
+    fn cohort_sampling_is_deterministic(
+        seed in any::<u64>(),
+        pop_seed in any::<u64>(),
+        n in 100usize..2_000,
+        round in 0usize..1_000,
+        now in 0f64..1e6,
+        target in 1usize..64,
+    ) {
+        use appfl::core::runner::simulate::{CohortSampler, Population};
+        let pop = Population::synthesize(pop_seed, n);
+        let sampler = CohortSampler { seed, ..CohortSampler::default() };
+        let (a, stats_a) = sampler.sample(&pop, round, now, target);
+        let (b, stats_b) = sampler.sample(&pop, round, now, target);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(stats_a, stats_b);
+    }
+
+    // No ineligible client is ever selected: every cohort member must be
+    // available at the sampling instant and above the battery floor.
+    #[test]
+    fn cohort_never_contains_ineligible_clients(
+        seed in any::<u64>(),
+        pop_seed in any::<u64>(),
+        n in 100usize..2_000,
+        round in 0usize..1_000,
+        now in 0f64..1e6,
+        target in 1usize..64,
+    ) {
+        use appfl::core::runner::simulate::{CohortSampler, Population};
+        let pop = Population::synthesize(pop_seed, n);
+        let sampler = CohortSampler { seed, ..CohortSampler::default() };
+        let (cohort, _) = sampler.sample(&pop, round, now, target);
+        for &id in &cohort {
+            let c = pop.get(id);
+            prop_assert!(c.available_at(now), "client {id} sampled while offline");
+            prop_assert!(c.eligible(sampler.min_battery), "client {id} below battery floor");
+        }
+    }
+
+    // Sample-rate bounds: never more than the target, never a duplicate,
+    // always sorted, and the rejection accounting is consistent with the
+    // number of draws made.
+    #[test]
+    fn cohort_size_and_accounting_are_bounded(
+        seed in any::<u64>(),
+        pop_seed in any::<u64>(),
+        n in 100usize..2_000,
+        round in 0usize..1_000,
+        now in 0f64..1e6,
+        target in 1usize..64,
+    ) {
+        use appfl::core::runner::simulate::{CohortSampler, Population};
+        let pop = Population::synthesize(pop_seed, n);
+        let sampler = CohortSampler { seed, ..CohortSampler::default() };
+        let (cohort, stats) = sampler.sample(&pop, round, now, target);
+        prop_assert!(cohort.len() <= target);
+        prop_assert!(cohort.windows(2).all(|w| w[0] < w[1]), "sorted + unique");
+        prop_assert!(cohort.iter().all(|&id| (id as usize) < n));
+        prop_assert_eq!(
+            stats.drawn as usize,
+            cohort.len() + stats.offline as usize
+                + stats.ineligible as usize + stats.duplicates as usize,
+            "every draw is selected, offline, ineligible or a duplicate"
+        );
+    }
+
+    // Different rounds decorrelate: over many rounds the union of cohorts
+    // must cover far more clients than one round's target (the sampler
+    // must not get stuck on one subset).
+    #[test]
+    fn cohorts_rotate_across_rounds(seed in any::<u64>(), pop_seed in any::<u64>()) {
+        use appfl::core::runner::simulate::{CohortSampler, Population};
+        use std::collections::HashSet;
+        let pop = Population::synthesize(pop_seed, 2_000);
+        let sampler = CohortSampler { seed, ..CohortSampler::default() };
+        let mut seen = HashSet::new();
+        for round in 0..50usize {
+            let (cohort, _) = sampler.sample(&pop, round, 0.0, 16);
+            seen.extend(cohort);
+        }
+        prop_assert!(
+            seen.len() >= 64,
+            "50 rounds × 16 targets covered only {} distinct clients",
+            seen.len()
+        );
+    }
 }

@@ -16,8 +16,8 @@ use appfl::core::algorithms::build_federation;
 use appfl::core::config::{AlgorithmConfig, FaultToleranceConfig, FedConfig};
 use appfl::core::metrics::History;
 use appfl::core::{
-    ClientUpload, CoordinatorStore, CrashPhase, CrashPoint, DurableCoordinator, Error,
-    FederationBuilder, FederationOutcome, SnapshotWalStore, WalStore,
+    ClientUpload, CoordinatorStore, CrashPhase, CrashPoint, DurableCoordinator, Error, Federation,
+    FederationOutcome, Observe, Participants, Resilience, SnapshotWalStore, Topology, WalStore,
 };
 use appfl::data::federated::{build_benchmark, Benchmark, FederatedDataset};
 use appfl::nn::models::{mlp_classifier, InputSpec};
@@ -88,16 +88,22 @@ fn run_life(durable: Option<DurableCoordinator>) -> Result<FederationOutcome, Er
     let data = data();
     let test = data.test.clone();
     let mut fed = build_federation(config(), &data, |rng| Box::new(mlp_classifier(SPEC, 8, rng)));
-    let mut builder = FederationBuilder::new(fed.server, fed.clients)
-        .transport(endpoints())
-        .rounds(ROUNDS)
-        .dataset("MNIST")
-        .evaluation(fed.template.as_mut(), &test)
-        .fault_tolerance_config(ft());
+    let mut resilience = Resilience::none().fault_tolerance_config(ft());
     if let Some(d) = durable {
-        builder = builder.durable(d);
+        resilience = resilience.durable(d);
     }
-    builder.run()
+    Federation::builder()
+        .topology(Topology::Comm)
+        .transport(endpoints())
+        .population(
+            Participants::new(fed.server, fed.clients)
+                .rounds(ROUNDS)
+                .dataset("MNIST")
+                .evaluation(fed.template.as_mut(), &test),
+        )
+        .resilience(resilience)
+        .build()?
+        .run()
 }
 
 fn artifacts_dir(name: &str) -> PathBuf {
@@ -239,14 +245,19 @@ fn resumed_run_emits_recovery_telemetry() {
     let mut fed = build_federation(config(), &data, |rng| Box::new(mlp_classifier(SPEC, 8, rng)));
     let sink = Arc::new(MemorySink::new());
     let durable = DurableCoordinator::new(Box::new(WalStore::open(&wal_path).unwrap()));
-    FederationBuilder::new(fed.server, fed.clients)
+    Federation::builder()
+        .topology(Topology::Comm)
         .transport(endpoints())
-        .rounds(ROUNDS)
-        .dataset("MNIST")
-        .evaluation(fed.template.as_mut(), &test)
-        .fault_tolerance_config(ft())
-        .telemetry(sink.clone())
-        .durable(durable)
+        .population(
+            Participants::new(fed.server, fed.clients)
+                .rounds(ROUNDS)
+                .dataset("MNIST")
+                .evaluation(fed.template.as_mut(), &test),
+        )
+        .resilience(Resilience::none().fault_tolerance_config(ft()).durable(durable))
+        .observe(Observe::none().telemetry(sink.clone()))
+        .build()
+        .unwrap()
         .run()
         .unwrap();
     let events = sink.events();

@@ -8,7 +8,7 @@ use appfl::comm::transport::{FaultPlan, FaultyCommunicator, InProcNetwork};
 use appfl::core::algorithms::build_federation;
 use appfl::core::config::{AlgorithmConfig, FaultToleranceConfig, FedConfig};
 use appfl::core::telemetry::{read_jsonl, EventKind, JsonlSink, Phase, RunSummary, Telemetry};
-use appfl::core::FederationBuilder;
+use appfl::core::{Federation, Observe, Participants, Resilience, Topology};
 use appfl::data::federated::{build_benchmark, Benchmark};
 use appfl::nn::models::{mlp_classifier, InputSpec};
 use appfl::privacy::PrivacyConfig;
@@ -66,13 +66,19 @@ fn fault_injected_run_produces_complete_phase_accounting() {
         base_backoff_ms: 5,
     };
 
-    let outcome = FederationBuilder::new(fed.server, fed.clients)
+    let outcome = Federation::builder()
+        .topology(Topology::Comm)
         .transport(endpoints)
-        .rounds(ROUNDS)
-        .dataset("MNIST")
-        .evaluation(fed.template.as_mut(), &test)
-        .fault_tolerance_config(ft)
-        .telemetry(sink)
+        .population(
+            Participants::new(fed.server, fed.clients)
+                .rounds(ROUNDS)
+                .dataset("MNIST")
+                .evaluation(fed.template.as_mut(), &test),
+        )
+        .resilience(Resilience::none().fault_tolerance_config(ft))
+        .observe(Observe::none().telemetry(sink))
+        .build()
+        .unwrap()
         .run()
         .unwrap();
     let history = outcome.history.expect("push mode records a history");

@@ -6,7 +6,7 @@ use appfl::comm::transport::{GrpcChannel, InProcNetwork};
 use appfl::core::algorithms::build_federation;
 use appfl::core::config::{AlgorithmConfig, FedConfig};
 use appfl::core::runner::serial::SerialRunner;
-use appfl::core::FederationBuilder;
+use appfl::core::{Federation, Participants, Topology};
 use appfl::data::federated::{build_benchmark, Benchmark, FederatedDataset};
 use appfl::nn::models::{mlp_classifier, InputSpec};
 use appfl::privacy::PrivacyConfig;
@@ -56,23 +56,29 @@ fn run_transport(algorithm: AlgorithmConfig, rounds: usize, grpc: bool) -> Vec<f
         Box::new(mlp_classifier(SPEC, 8, rng))
     });
     let endpoints = InProcNetwork::new(4);
+    let population = Participants::new(fed.server, fed.clients)
+        .rounds(rounds)
+        .dataset("MNIST")
+        .evaluation(fed.template.as_mut(), &test);
     let history = if grpc {
         let endpoints: Vec<_> = endpoints.into_iter().map(GrpcChannel::new).collect();
-        FederationBuilder::new(fed.server, fed.clients)
+        Federation::builder()
+            .topology(Topology::Comm)
             .transport(endpoints)
-            .rounds(rounds)
-            .dataset("MNIST")
-            .evaluation(fed.template.as_mut(), &test)
+            .population(population)
+            .build()
+            .unwrap()
             .run()
             .unwrap()
             .history
             .unwrap()
     } else {
-        FederationBuilder::new(fed.server, fed.clients)
+        Federation::builder()
+            .topology(Topology::Comm)
             .transport(endpoints)
-            .rounds(rounds)
-            .dataset("MNIST")
-            .evaluation(fed.template.as_mut(), &test)
+            .population(population)
+            .build()
+            .unwrap()
             .run()
             .unwrap()
             .history
