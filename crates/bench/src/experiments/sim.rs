@@ -13,7 +13,10 @@ use appfl_core::runner::simulate::{SimConfig, SimEngine, SimReport};
 use appfl_telemetry::Telemetry;
 
 /// Schema version of [`SimBenchReport`]; bump on breaking field changes.
-pub const SCHEMA_VERSION: u32 = 1;
+/// v2: per-entry `adaptive` flag plus the round-control counters
+/// (`events_late`, `hedges_sent`, `overselect_waste`) and the
+/// adaptive-vs-fixed scenario pair.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// One simulated scale.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -26,12 +29,25 @@ pub struct SimBenchResult {
     pub rounds: usize,
     /// Cohort target per round.
     pub cohort: usize,
+    /// Whether adaptive round control drove the deadlines.
+    #[serde(default)]
+    pub adaptive: bool,
     /// Rounds that met quorum and aggregated.
     pub rounds_aggregated: usize,
     /// Heap events processed.
     pub events_processed: u64,
     /// Uploads accepted into aggregation.
     pub uploads_accepted: usize,
+    /// Uploads dropped for landing past their round's deadline.
+    #[serde(default)]
+    pub events_late: u64,
+    /// Hedged re-dispatches sent (0 without round control).
+    #[serde(default)]
+    pub hedges_sent: u64,
+    /// On-time over-selected uploads cut off by the early close
+    /// (0 without round control).
+    #[serde(default)]
+    pub overselect_waste: u64,
     /// Virtual seconds the federation spanned.
     pub virtual_secs: f64,
     /// Median wall seconds of the event loop across reps.
@@ -84,15 +100,26 @@ impl SimBenchReport {
             out.push_str(&format!("\"population\": {}, ", r.population));
             out.push_str(&format!("\"rounds\": {}, ", r.rounds));
             out.push_str(&format!("\"cohort\": {}, ", r.cohort));
+            out.push_str(&format!("\"adaptive\": {}, ", r.adaptive));
             out.push_str(&format!("\"rounds_aggregated\": {}, ", r.rounds_aggregated));
             out.push_str(&format!("\"events_processed\": {}, ", r.events_processed));
             out.push_str(&format!("\"uploads_accepted\": {}, ", r.uploads_accepted));
+            out.push_str(&format!("\"events_late\": {}, ", r.events_late));
+            out.push_str(&format!("\"hedges_sent\": {}, ", r.hedges_sent));
+            out.push_str(&format!("\"overselect_waste\": {}, ", r.overselect_waste));
             out.push_str(&format!("\"virtual_secs\": {}, ", num(r.virtual_secs)));
             out.push_str(&format!("\"wall_secs\": {}, ", num(r.wall_secs)));
             out.push_str(&format!("\"events_per_sec\": {}, ", num(r.events_per_sec)));
-            out.push_str(&format!("\"final_model_norm\": {}", num(r.final_model_norm)));
+            out.push_str(&format!(
+                "\"final_model_norm\": {}",
+                num(r.final_model_norm)
+            ));
             out.push('}');
-            out.push_str(if i + 1 < self.results.len() { ",\n" } else { "\n" });
+            out.push_str(if i + 1 < self.results.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
         }
         out.push_str("  ]\n}\n");
         out
@@ -110,6 +137,8 @@ impl SimBenchReport {
                     format!("{}", r.rounds),
                     format!("{}/{}", r.rounds_aggregated, r.rounds),
                     format!("{}", r.events_processed),
+                    format!("{}", r.events_late),
+                    format!("{}", r.hedges_sent),
                     fmt_secs(r.wall_secs),
                     format!("{:.0}", r.events_per_sec),
                     format!("{:.1}h", r.virtual_secs / 3600.0),
@@ -117,25 +146,66 @@ impl SimBenchReport {
             })
             .collect();
         render_table(
-            &["scale", "clients", "rounds", "agg", "events", "wall", "ev/s", "virtual"],
+            &[
+                "scale", "clients", "rounds", "agg", "events", "late", "hedges", "wall", "ev/s",
+                "virtual",
+            ],
             &rows,
         )
     }
 }
 
-/// The scales a full run measures: 10k and 100k warm-ups, then the
-/// headline 1M-client, 100-round federation. `--quick` keeps only the
-/// first (CI smoke: 100k clients, 10 rounds, < 60 s bound).
+/// The scales a full run measures: the 100k warm-up plus the
+/// adaptive-vs-fixed round-control trio, then the headline 1M-client,
+/// 100-round federation. `--quick` keeps only the smaller entries
+/// (CI smoke: 100k clients, 10 rounds, < 60 s bound).
+///
+/// The trio shares one population and seed and varies only the deadline
+/// regime: a tight fixed deadline (drops stragglers), a generous one
+/// (waits them out), and the adaptive controller (over-selects, closes
+/// at the target, hedges). The report pins the adaptive entry at fewer
+/// late drops than the tight regime at equal-or-better virtual time
+/// than the generous one — the claim `assert_adaptive_wins` enforces.
 fn scales(quick: bool) -> Vec<(&'static str, SimConfig)> {
-    let mut v = vec![(
-        "sim_100k_10r",
-        SimConfig {
-            population: 100_000,
-            rounds: 10,
-            cohort: 256,
-            ..SimConfig::default()
-        },
-    )];
+    let trio_base = SimConfig {
+        population: 20_000,
+        rounds: 10,
+        cohort: 128,
+        seed: 7,
+        ..SimConfig::default()
+    };
+    let mut v = vec![
+        (
+            "sim_100k_10r",
+            SimConfig {
+                population: 100_000,
+                rounds: 10,
+                cohort: 256,
+                ..SimConfig::default()
+            },
+        ),
+        (
+            "sim_20k_fixed_tight",
+            SimConfig {
+                round_timeout_secs: 10.0,
+                ..trio_base
+            },
+        ),
+        (
+            "sim_20k_fixed_generous",
+            SimConfig {
+                round_timeout_secs: 45.0,
+                ..trio_base
+            },
+        ),
+        (
+            "sim_20k_adaptive",
+            SimConfig {
+                round_control: Some(appfl_core::RoundControlConfig::default()),
+                ..trio_base
+            },
+        ),
+    ];
     if !quick {
         v.push((
             "sim_100k_100r",
@@ -182,22 +252,62 @@ pub fn run(reps: usize, quick: bool, git_rev: String) -> SimBenchReport {
             population: cfg.population,
             rounds: cfg.rounds,
             cohort: cfg.cohort,
+            adaptive: cfg.round_control.is_some(),
             rounds_aggregated: r.rounds_aggregated,
             events_processed: r.events_processed,
             uploads_accepted: r.uploads_accepted,
+            events_late: r.events_late,
+            hedges_sent: r.hedges_sent,
+            overselect_waste: r.overselect_waste,
             virtual_secs: r.virtual_secs,
             wall_secs: median_wall,
             events_per_sec: r.events_processed as f64 / median_wall.max(1e-9),
             final_model_norm: r.final_model_norm,
         });
     }
-    SimBenchReport {
+    let report = SimBenchReport {
         schema_version: SCHEMA_VERSION,
         git_rev,
         reps,
         quick,
         results,
-    }
+    };
+    assert_adaptive_wins(&report);
+    report
+}
+
+/// The headline round-control claim, enforced at measurement time so a
+/// regression can never be silently pinned into `BENCH_sim.json`: the
+/// adaptive entry drops fewer late uploads than the tight fixed deadline
+/// while losing no accepted uploads, and spans less virtual time than
+/// the generous fixed deadline.
+fn assert_adaptive_wins(report: &SimBenchReport) {
+    let get = |name: &str| report.results.iter().find(|r| r.name == name);
+    let (Some(tight), Some(generous), Some(adaptive)) = (
+        get("sim_20k_fixed_tight"),
+        get("sim_20k_fixed_generous"),
+        get("sim_20k_adaptive"),
+    ) else {
+        return;
+    };
+    assert!(
+        adaptive.events_late < tight.events_late,
+        "adaptive late drops {} must undercut the tight deadline's {}",
+        adaptive.events_late,
+        tight.events_late
+    );
+    assert!(
+        adaptive.uploads_accepted >= tight.uploads_accepted,
+        "over-selection must not lose uploads: {} vs {}",
+        adaptive.uploads_accepted,
+        tight.uploads_accepted
+    );
+    assert!(
+        adaptive.virtual_secs < generous.virtual_secs,
+        "closing at the target must beat waiting out stragglers: {} vs {}",
+        adaptive.virtual_secs,
+        generous.virtual_secs
+    );
 }
 
 #[cfg(test)]
@@ -223,9 +333,13 @@ mod tests {
                 population: cfg.population,
                 rounds: cfg.rounds,
                 cohort: cfg.cohort,
+                adaptive: cfg.round_control.is_some(),
                 rounds_aggregated: r.rounds_aggregated,
                 events_processed: r.events_processed,
                 uploads_accepted: r.uploads_accepted,
+                events_late: r.events_late,
+                hedges_sent: r.hedges_sent,
+                overselect_waste: r.overselect_waste,
                 virtual_secs: r.virtual_secs,
                 wall_secs: r.wall_secs,
                 events_per_sec: r.events_per_sec,
@@ -241,8 +355,30 @@ mod tests {
         assert!(table.contains("tiny"));
         let json = report.to_json();
         assert!(json.starts_with("{\n"));
-        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("\"schema_version\": 2"));
+        assert!(json.contains("\"adaptive\": false"));
+        assert!(json.contains("\"events_late\": "));
+        assert!(json.contains("\"hedges_sent\": "));
+        assert!(json.contains("\"overselect_waste\": "));
         assert!(json.contains("\"final_model_norm\": "));
+    }
+
+    #[test]
+    fn the_quick_scales_carry_the_adaptive_vs_fixed_trio() {
+        let names: Vec<&str> = scales(true).iter().map(|(n, _)| *n).collect();
+        for expected in [
+            "sim_20k_fixed_tight",
+            "sim_20k_fixed_generous",
+            "sim_20k_adaptive",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+        let adaptive = &scales(true)
+            .into_iter()
+            .find(|(n, _)| *n == "sim_20k_adaptive")
+            .unwrap()
+            .1;
+        assert!(adaptive.round_control.is_some());
     }
 
     #[test]

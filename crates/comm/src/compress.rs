@@ -60,7 +60,12 @@ pub fn quantize_u8(v: &[f32]) -> QuantizedVec {
         .iter()
         .map(|&x| (((x - lo) * scale).round().clamp(0.0, 255.0)) as u8)
         .collect();
-    QuantizedVec { lo, hi, len: v.len(), codes }
+    QuantizedVec {
+        lo,
+        hi,
+        len: v.len(),
+        codes,
+    }
 }
 
 /// Reconstructs the vector from its quantised form.

@@ -40,4 +40,6 @@ pub mod wire;
 
 pub use policy::{CrashPhase, CrashPoint, RetryPolicy};
 pub use rpc::ServeOptions;
-pub use transport::{Communicator, FaultPlan, FaultyCommunicator, InProcNetwork};
+pub use transport::{
+    ChaosKind, ChaosSchedule, Communicator, FaultPlan, FaultyCommunicator, InProcNetwork,
+};

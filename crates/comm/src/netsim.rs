@@ -275,7 +275,10 @@ mod tests {
         );
         let data_ratio = s5.per_process_bytes() as f64 / s203.per_process_bytes() as f64;
         assert!(data_ratio > 35.0, "data ratio {data_ratio}");
-        assert!(speedup < data_ratio / 2.0, "comm must scale worse than data");
+        assert!(
+            speedup < data_ratio / 2.0,
+            "comm must scale worse than data"
+        );
     }
 
     #[test]

@@ -51,7 +51,9 @@ pub fn unit_f64(x: u64) -> f64 {
 /// with [`lane2`]/[`lane3`] to keep distinct decision streams decorrelated.
 #[inline]
 pub fn seeded_unit(seed: u64, lane: u64) -> f64 {
-    unit_f64(splitmix64(seed.wrapping_mul(SPLITMIX64_GOLDEN).wrapping_add(lane)))
+    unit_f64(splitmix64(
+        seed.wrapping_mul(SPLITMIX64_GOLDEN).wrapping_add(lane),
+    ))
 }
 
 /// Folds two indices into one decorrelated lane.

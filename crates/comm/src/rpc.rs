@@ -86,8 +86,8 @@ impl Request {
         let (&tag, body) = buf
             .split_first()
             .ok_or_else(|| CommError::Frame("empty RPC frame".into()))?;
-        let method =
-            Method::from_u8(tag).ok_or_else(|| CommError::Frame(format!("bad method tag {tag}")))?;
+        let method = Method::from_u8(tag)
+            .ok_or_else(|| CommError::Frame(format!("bad method tag {tag}")))?;
         let err = |e: crate::wire::WireError| CommError::Frame(e.to_string());
         Ok(match method {
             Method::GetWeight => Request::GetWeight(WeightRequest::decode(body).map_err(err)?),
@@ -145,11 +145,7 @@ pub trait FlService {
     }
 }
 
-fn dispatch(
-    service: &mut dyn FlService,
-    request: Request,
-    done: &mut usize,
-) -> Response {
+fn dispatch(service: &mut dyn FlService, request: Request, done: &mut usize) -> Response {
     match request {
         Request::GetWeight(req) => Response::Weights(Box::new(service.get_weight(&req))),
         Request::SendResults(res) => Response::Ack {
@@ -299,7 +295,14 @@ pub fn call_with_retry<C: Communicator>(
     timeout: Duration,
     retries: Option<&AtomicUsize>,
 ) -> Result<Response, CommError> {
-    call_with_retry_observed(comm, request, policy, timeout, retries, &Telemetry::disabled())
+    call_with_retry_observed(
+        comm,
+        request,
+        policy,
+        timeout,
+        retries,
+        &Telemetry::disabled(),
+    )
 }
 
 /// [`call_with_retry`] with telemetry: the blocking send + response wait
@@ -327,7 +330,13 @@ pub fn call_with_retry_observed<C: Communicator>(
         comm.send(0, encoded)?;
         let payload = comm.recv_timeout(0, timeout);
         if let Some(start) = start {
-            telemetry.span_secs("rpc_call", Phase::Comm, start.elapsed().as_secs_f64(), None, None);
+            telemetry.span_secs(
+                "rpc_call",
+                Phase::Comm,
+                start.elapsed().as_secs_f64(),
+                None,
+                None,
+            );
         }
         let response = Response::decode(&payload?)?;
         if matches!(request, Request::GetWeight(_))
@@ -419,10 +428,13 @@ mod tests {
             handles.push(thread::spawn(move || {
                 let id = ep.rank() as u32;
                 // Fetch, upload, finish.
-                let w = match call(&ep, &Request::GetWeight(WeightRequest {
-                    client_id: id,
-                    round: 0,
-                }))
+                let w = match call(
+                    &ep,
+                    &Request::GetWeight(WeightRequest {
+                        client_id: id,
+                        round: 0,
+                    }),
+                )
                 .unwrap()
                 {
                     Response::Weights(w) => w,
@@ -430,13 +442,16 @@ mod tests {
                 };
                 assert_eq!(w.tensors[0].data, vec![0.5, 0.5]);
                 let ok = matches!(
-                    call(&ep, &Request::SendResults(Box::new(LearningResults {
-                        client_id: id,
-                        round: 0,
-                        penalty: 0.0,
-                        primal: vec![TensorMsg::flat("z", vec![id as f32])],
-                        dual: vec![],
-                    })))
+                    call(
+                        &ep,
+                        &Request::SendResults(Box::new(LearningResults {
+                            client_id: id,
+                            round: 0,
+                            penalty: 0.0,
+                            primal: vec![TensorMsg::flat("z", vec![id as f32])],
+                            dual: vec![],
+                        }))
+                    )
                     .unwrap(),
                     Response::Ack { ok: true }
                 );
@@ -532,11 +547,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(handled, 0);
-        let timeouts = sink
-            .events()
-            .iter()
-            .filter(|e| e.name == "timeout")
-            .count();
+        let timeouts = sink.events().iter().filter(|e| e.name == "timeout").count();
         assert_eq!(timeouts, 2, "one mark per quiet period");
     }
 
@@ -571,9 +582,10 @@ mod tests {
         let mut eps = InProcNetwork::new(2);
         let server_ep = eps.remove(0);
         // Drop the client's first two request frames on the floor.
-        let plan = FaultPlan::new(11)
-            .fault_at(0, 1, FaultKind::Drop)
-            .fault_at(0, 2, FaultKind::Drop);
+        let plan =
+            FaultPlan::new(11)
+                .fault_at(0, 1, FaultKind::Drop)
+                .fault_at(0, 2, FaultKind::Drop);
         let client_ep = FaultyCommunicator::new(eps.remove(0), plan);
         let h = thread::spawn(move || {
             let retries = AtomicUsize::new(0);

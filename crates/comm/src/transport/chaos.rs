@@ -1,0 +1,343 @@
+//! A composable, seeded chaos timeline over [`FaultyCommunicator`].
+//!
+//! A [`FaultPlan`] answers "what happens to the `round`-th message on
+//! this link"; a [`ChaosSchedule`] answers the operator's question one
+//! level up: *"rounds 3–5 ride through a latency spike, rounds 6–7 a
+//! drop storm, and the coordinator dies after round 4's aggregate"*. It
+//! is a list of [`ChaosSegment`]s — round windows, each carrying one
+//! [`ChaosKind`] — plus the coordinator-side [`CrashPoint`]s, and it
+//! *compiles* down to the explicit per-`(peer, round)` entries of a
+//! [`FaultPlan`]. Compilation is a pure function of the schedule (every
+//! probabilistic decision derives from the schedule seed through the
+//! shared splitmix64 stream), so a chaos run replays bit for bit and a
+//! failing combination can be re-run from its exported JSON description.
+//!
+//! Because the FL runners exchange exactly one message per link per
+//! federation round, segment windows line up with federation rounds.
+
+use super::faults::{FaultKind, FaultPlan};
+use crate::policy::{lane3, seeded_unit, CrashPoint};
+use std::time::Duration;
+
+/// One kind of scheduled chaos, active across a segment's round window.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChaosKind {
+    /// Each message in the window is independently delayed by
+    /// `delay_ms` with probability `prob`.
+    LatencySpike {
+        /// Per-message delay probability in `[0, 1]`.
+        prob: f64,
+        /// Injected delay, in milliseconds.
+        delay_ms: u64,
+    },
+    /// Each message in the window is independently dropped with
+    /// probability `prob`.
+    DropStorm {
+        /// Per-message drop probability in `[0, 1]`.
+        prob: f64,
+    },
+    /// The listed peers are unreachable for the whole window: every
+    /// message to them is dropped (they rejoin when the window ends —
+    /// unlike [`FaultKind::Disconnect`], which is permanent).
+    Partition {
+        /// Ranks cut off for the window.
+        peers: Vec<usize>,
+    },
+    /// Each peer independently churns out for the *whole* window with
+    /// probability `prob` (one draw per peer per segment, not per
+    /// message): a churned peer's messages all drop until the window
+    /// ends, modelling devices leaving and rejoining the fleet.
+    ChurnBurst {
+        /// Per-peer churn probability in `[0, 1]`.
+        prob: f64,
+    },
+}
+
+impl ChaosKind {
+    /// Stable label for telemetry, JSON export and test matrices.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ChaosKind::LatencySpike { .. } => "latency_spike",
+            ChaosKind::DropStorm { .. } => "drop_storm",
+            ChaosKind::Partition { .. } => "partition",
+            ChaosKind::ChurnBurst { .. } => "churn_burst",
+        }
+    }
+}
+
+/// One chaos window: `kind` is active for rounds
+/// `from_round..=to_round` (1-based, inclusive).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosSegment {
+    /// First affected round (1-based).
+    pub from_round: usize,
+    /// Last affected round (inclusive).
+    pub to_round: usize,
+    /// The fault mode active in the window.
+    pub kind: ChaosKind,
+}
+
+/// A seeded timeline of chaos segments plus coordinator crash points —
+/// the full description of one resilience scenario. Build it fluently,
+/// export it with [`ChaosSchedule::to_json`], and hand
+/// [`ChaosSchedule::compile`]'s plan to a [`FaultyCommunicator`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ChaosSchedule {
+    /// Determinism seed for every probabilistic decision.
+    pub seed: u64,
+    /// The fault timeline, in declaration order. Overlapping windows
+    /// are legal; for a `(peer, round)` claimed by several segments the
+    /// *last-declared* segment wins (compilation inserts in order).
+    pub segments: Vec<ChaosSegment>,
+    /// Coordinator crashes to inject alongside the transport faults
+    /// (consumed by the durable coordinator, not the [`FaultPlan`]).
+    pub crashes: Vec<CrashPoint>,
+}
+
+impl ChaosSchedule {
+    /// An empty schedule with the given determinism seed.
+    pub fn new(seed: u64) -> Self {
+        ChaosSchedule {
+            seed,
+            ..ChaosSchedule::default()
+        }
+    }
+
+    /// Appends a chaos window for rounds `from..=to` (1-based).
+    pub fn segment(mut self, from: usize, to: usize, kind: ChaosKind) -> Self {
+        assert!(from >= 1, "rounds are 1-based");
+        assert!(from <= to, "empty window {from}..={to}");
+        self.segments.push(ChaosSegment {
+            from_round: from,
+            to_round: to,
+            kind,
+        });
+        self
+    }
+
+    /// Appends a coordinator crash point.
+    pub fn crash(mut self, crash: CrashPoint) -> Self {
+        self.crashes.push(crash);
+        self
+    }
+
+    /// Crash points for the durable-coordinator side of the scenario.
+    pub fn crash_points(&self) -> &[CrashPoint] {
+        &self.crashes
+    }
+
+    /// Compiles the timeline into a concrete [`FaultPlan`] for a
+    /// transport with ranks `0..num_ranks` (rank 0 is the coordinator;
+    /// faults target its links to peers `1..num_ranks`). Pure function
+    /// of `(self, num_ranks)`: same schedule, same plan.
+    pub fn compile(&self, num_ranks: usize) -> FaultPlan {
+        let mut plan = FaultPlan::new(self.seed);
+        for (si, seg) in self.segments.iter().enumerate() {
+            let salt = 0xC4A0 ^ si as u64;
+            for peer in 1..num_ranks {
+                // ChurnBurst decides once per (peer, segment); the
+                // per-message kinds decide per (peer, round).
+                let churned = match &seg.kind {
+                    ChaosKind::ChurnBurst { prob } => {
+                        seeded_unit(self.seed, lane3(peer as u64, salt, 0xB0)) < *prob
+                    }
+                    _ => false,
+                };
+                for round in seg.from_round..=seg.to_round {
+                    let draw = seeded_unit(self.seed, lane3(peer as u64, round as u64, salt));
+                    let fault = match &seg.kind {
+                        ChaosKind::LatencySpike { prob, delay_ms } if draw < *prob => {
+                            Some(FaultKind::Delay(Duration::from_millis(*delay_ms)))
+                        }
+                        ChaosKind::DropStorm { prob } if draw < *prob => Some(FaultKind::Drop),
+                        ChaosKind::Partition { peers } if peers.contains(&peer) => {
+                            Some(FaultKind::Drop)
+                        }
+                        ChaosKind::ChurnBurst { .. } if churned => Some(FaultKind::Drop),
+                        _ => None,
+                    };
+                    if let Some(kind) = fault {
+                        plan = plan.fault_at(peer, round, kind);
+                    }
+                }
+            }
+        }
+        plan
+    }
+
+    /// The schedule as a self-contained JSON document (hand-rolled so it
+    /// works without a JSON dependency) — the artifact a failing chaos
+    /// run exports so the exact scenario can be replayed.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"seed\": {}, \"segments\": [", self.seed));
+        for (i, seg) in self.segments.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"from_round\": {}, \"to_round\": {}, \"kind\": \"{}\"",
+                seg.from_round,
+                seg.to_round,
+                seg.kind.as_str()
+            ));
+            match &seg.kind {
+                ChaosKind::LatencySpike { prob, delay_ms } => {
+                    out.push_str(&format!(", \"prob\": {prob}, \"delay_ms\": {delay_ms}"));
+                }
+                ChaosKind::DropStorm { prob } | ChaosKind::ChurnBurst { prob } => {
+                    out.push_str(&format!(", \"prob\": {prob}"));
+                }
+                ChaosKind::Partition { peers } => {
+                    let list: Vec<String> = peers.iter().map(usize::to_string).collect();
+                    out.push_str(&format!(", \"peers\": [{}]", list.join(", ")));
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("], \"crashes\": [");
+        for (i, c) in self.crashes.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"round\": {}, \"phase\": \"{}\"}}",
+                c.round,
+                c.phase.as_str()
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::CrashPhase;
+    use crate::transport::{Communicator, FaultyCommunicator, InProcNetwork};
+    use std::time::Duration as StdDuration;
+
+    #[test]
+    fn partition_drops_every_windowed_message_and_releases_after() {
+        let schedule =
+            ChaosSchedule::new(11).segment(2, 3, ChaosKind::Partition { peers: vec![1] });
+        let mut eps = InProcNetwork::new(2);
+        let b = eps.pop().unwrap();
+        let a = FaultyCommunicator::new(eps.pop().unwrap(), schedule.compile(2));
+        for round in 1..=4u8 {
+            a.send(1, vec![round]).unwrap();
+        }
+        let mut got = Vec::new();
+        while let Ok(m) = b.recv_timeout(0, StdDuration::from_millis(10)) {
+            got.push(m[0]);
+        }
+        assert_eq!(got, vec![1, 4], "rounds 2 and 3 fall in the partition");
+        assert_eq!(a.fault_stats().dropped, 2);
+    }
+
+    #[test]
+    fn compilation_is_a_pure_function_of_the_schedule() {
+        let make = || {
+            ChaosSchedule::new(7)
+                .segment(1, 4, ChaosKind::DropStorm { prob: 0.5 })
+                .segment(
+                    5,
+                    8,
+                    ChaosKind::LatencySpike {
+                        prob: 0.5,
+                        delay_ms: 5,
+                    },
+                )
+                .segment(2, 6, ChaosKind::ChurnBurst { prob: 0.4 })
+        };
+        let survived = |schedule: &ChaosSchedule| -> Vec<u8> {
+            let mut eps = InProcNetwork::new(3);
+            let b = eps.remove(1);
+            let a = FaultyCommunicator::new(eps.remove(0), schedule.compile(3));
+            for round in 1..=8u8 {
+                a.send(1, vec![round]).unwrap();
+            }
+            let mut got = Vec::new();
+            while let Ok(m) = b.recv_timeout(0, StdDuration::from_millis(10)) {
+                got.push(m[0]);
+            }
+            got
+        };
+        let s = make();
+        let first = survived(&s);
+        assert_eq!(
+            first,
+            survived(&make()),
+            "same schedule must replay identically"
+        );
+        assert!(
+            first.len() < 8,
+            "half-probability storms must claim someone"
+        );
+        let other = ChaosSchedule::new(8)
+            .segment(1, 4, ChaosKind::DropStorm { prob: 0.5 })
+            .segment(
+                5,
+                8,
+                ChaosKind::LatencySpike {
+                    prob: 0.5,
+                    delay_ms: 5,
+                },
+            )
+            .segment(2, 6, ChaosKind::ChurnBurst { prob: 0.4 });
+        assert_ne!(
+            first,
+            survived(&other),
+            "different seed, different timeline"
+        );
+    }
+
+    #[test]
+    fn churn_decides_once_per_peer_per_segment() {
+        // With prob 1.0 every peer churns for the whole window.
+        let schedule = ChaosSchedule::new(3).segment(1, 5, ChaosKind::ChurnBurst { prob: 1.0 });
+        let plan = schedule.compile(3);
+        let mut eps = InProcNetwork::new(3);
+        let _b = eps.remove(1);
+        let a = FaultyCommunicator::new(eps.remove(0), plan);
+        for round in 1..=5u8 {
+            a.send(1, vec![round]).unwrap();
+            a.send(2, vec![round]).unwrap();
+        }
+        assert_eq!(a.fault_stats().dropped, 10, "all windowed messages drop");
+    }
+
+    #[test]
+    fn json_export_describes_the_whole_scenario() {
+        let schedule = ChaosSchedule::new(42)
+            .segment(
+                1,
+                2,
+                ChaosKind::LatencySpike {
+                    prob: 0.3,
+                    delay_ms: 20,
+                },
+            )
+            .segment(3, 4, ChaosKind::Partition { peers: vec![1, 3] })
+            .crash(CrashPoint {
+                round: 2,
+                phase: CrashPhase::Aggregate,
+            });
+        let json = schedule.to_json();
+        assert!(json.contains("\"seed\": 42"), "{json}");
+        assert!(json.contains("\"kind\": \"latency_spike\""), "{json}");
+        assert!(json.contains("\"delay_ms\": 20"), "{json}");
+        assert!(json.contains("\"peers\": [1, 3]"), "{json}");
+        assert!(json.contains("\"phase\": \"aggregate\""), "{json}");
+        // Balanced braces/brackets — cheap shape check without a parser.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty window")]
+    fn inverted_windows_are_rejected() {
+        let _ = ChaosSchedule::new(1).segment(3, 2, ChaosKind::DropStorm { prob: 0.1 });
+    }
+}

@@ -336,7 +336,12 @@ mod tests {
     use super::*;
     use crate::transport::InProcNetwork;
 
-    fn faulty_pair(plan: FaultPlan) -> (FaultyCommunicator<crate::transport::InProcEndpoint>, crate::transport::InProcEndpoint) {
+    fn faulty_pair(
+        plan: FaultPlan,
+    ) -> (
+        FaultyCommunicator<crate::transport::InProcEndpoint>,
+        crate::transport::InProcEndpoint,
+    ) {
         let mut eps = InProcNetwork::new(2);
         let b = eps.pop().unwrap();
         let a = FaultyCommunicator::new(eps.pop().unwrap(), plan);
@@ -449,9 +454,10 @@ mod tests {
         use appfl_telemetry::MemorySink;
         use std::sync::Arc;
         let sink = Arc::new(MemorySink::new());
-        let plan = FaultPlan::new(9)
-            .fault_at(1, 1, FaultKind::Drop)
-            .fault_at(1, 2, FaultKind::BitFlip);
+        let plan =
+            FaultPlan::new(9)
+                .fault_at(1, 1, FaultKind::Drop)
+                .fault_at(1, 2, FaultKind::BitFlip);
         let mut eps = InProcNetwork::new(2);
         let _b = eps.pop().unwrap();
         let a = FaultyCommunicator::new(eps.pop().unwrap(), plan)
@@ -471,7 +477,10 @@ mod tests {
     fn wrapper_delegates_capability_probe() {
         let mut eps = InProcNetwork::new(2);
         let a = FaultyCommunicator::new(eps.remove(0), FaultPlan::new(1));
-        assert!(a.supports_recv_any(), "inproc supports it; wrapper must too");
+        assert!(
+            a.supports_recv_any(),
+            "inproc supports it; wrapper must too"
+        );
         assert!(a.peer_stats(1).is_some());
     }
 

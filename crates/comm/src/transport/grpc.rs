@@ -94,8 +94,8 @@ impl<C: Communicator> GrpcChannel<C> {
             if wire.len() - cursor < self.framing.http2_header {
                 return Err(CommError::Frame("truncated HTTP/2 header".into()));
             }
-            let len = u32::from_be_bytes([0, wire[cursor], wire[cursor + 1], wire[cursor + 2]])
-                as usize;
+            let len =
+                u32::from_be_bytes([0, wire[cursor], wire[cursor + 1], wire[cursor + 2]]) as usize;
             if wire[cursor + 3] != 0x0 {
                 return Err(CommError::Frame(format!(
                     "unexpected frame type {}",
@@ -153,7 +153,11 @@ impl<C: Communicator> Communicator for GrpcChannel<C> {
         Ok((from, self.decode_frames(&wire)?))
     }
 
-    fn recv_timeout(&self, from: usize, timeout: std::time::Duration) -> Result<Vec<u8>, CommError> {
+    fn recv_timeout(
+        &self,
+        from: usize,
+        timeout: std::time::Duration,
+    ) -> Result<Vec<u8>, CommError> {
         let wire = self.inner.recv_timeout(from, timeout)?;
         self.decode_frames(&wire)
     }
@@ -180,7 +184,10 @@ mod tests {
     use super::*;
     use crate::transport::inproc::InProcNetwork;
 
-    fn pair() -> (GrpcChannel<crate::transport::InProcEndpoint>, GrpcChannel<crate::transport::InProcEndpoint>) {
+    fn pair() -> (
+        GrpcChannel<crate::transport::InProcEndpoint>,
+        GrpcChannel<crate::transport::InProcEndpoint>,
+    ) {
         let mut eps = InProcNetwork::new(2);
         let b = GrpcChannel::new(eps.pop().unwrap());
         let a = GrpcChannel::new(eps.pop().unwrap());
@@ -247,7 +254,10 @@ mod tests {
             Err(CommError::Timeout { peer: None })
         );
         a.send(1, b"late".to_vec()).unwrap();
-        assert_eq!(b.recv_timeout(0, Duration::from_millis(200)).unwrap(), b"late");
+        assert_eq!(
+            b.recv_timeout(0, Duration::from_millis(200)).unwrap(),
+            b"late"
+        );
     }
 
     #[test]

@@ -34,10 +34,12 @@ impl InProcNetwork {
     pub fn new(size: usize) -> Vec<InProcEndpoint> {
         assert!(size > 0, "network needs at least one rank");
         // matrix[i][j] = (sender into, receiver out of) the i→j channel.
-        let mut senders: Vec<Vec<Option<Sender<Vec<u8>>>>> =
-            (0..size).map(|_| (0..size).map(|_| None).collect()).collect();
-        let mut receivers: Vec<Vec<Option<Receiver<Vec<u8>>>>> =
-            (0..size).map(|_| (0..size).map(|_| None).collect()).collect();
+        let mut senders: Vec<Vec<Option<Sender<Vec<u8>>>>> = (0..size)
+            .map(|_| (0..size).map(|_| None).collect())
+            .collect();
+        let mut receivers: Vec<Vec<Option<Receiver<Vec<u8>>>>> = (0..size)
+            .map(|_| (0..size).map(|_| None).collect())
+            .collect();
         for i in 0..size {
             for j in 0..size {
                 let (tx, rx) = unbounded();
@@ -320,7 +322,10 @@ mod tests {
             Err(CommError::Timeout { peer: Some(0) })
         );
         a.send(1, vec![5]).unwrap();
-        assert_eq!(b.recv_timeout(0, Duration::from_millis(200)).unwrap(), vec![5]);
+        assert_eq!(
+            b.recv_timeout(0, Duration::from_millis(200)).unwrap(),
+            vec![5]
+        );
     }
 
     #[test]

@@ -1,9 +1,11 @@
 //! Message transports with MPI-style collectives.
 
+pub mod chaos;
 pub mod faults;
 pub mod grpc;
 pub mod inproc;
 
+pub use chaos::{ChaosKind, ChaosSchedule, ChaosSegment};
 pub use faults::{FaultKind, FaultPlan, FaultStats, FaultyCommunicator};
 pub use grpc::{GrpcChannel, GrpcFraming};
 pub use inproc::{InProcEndpoint, InProcNetwork};

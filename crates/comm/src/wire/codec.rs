@@ -310,7 +310,8 @@ impl<'a> WireReader<'a> {
         if field == 0 {
             return Err(WireError::ZeroField);
         }
-        let wt = WireType::from_u8((tag & 7) as u8).ok_or(WireError::BadWireType((tag & 7) as u8))?;
+        let wt =
+            WireType::from_u8((tag & 7) as u8).ok_or(WireError::BadWireType((tag & 7) as u8))?;
         let value = match wt {
             WireType::Varint => {
                 let (v, n) = decode_varint(self.buf).ok_or(WireError::Truncated)?;

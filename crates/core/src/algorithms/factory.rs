@@ -74,7 +74,8 @@ pub fn build_federation(
                     config.local_steps,
                     config.privacy,
                     rng,
-                )) as Box<dyn ClientAlgorithm>,
+                ))
+                    as Box<dyn ClientAlgorithm>,
                 AlgorithmConfig::FedProx { lr, mu } => Box::new(FedProxClient::new(
                     id,
                     trainer,
@@ -149,10 +150,19 @@ mod tests {
     #[test]
     fn builds_every_algorithm() {
         for algo in [
-            AlgorithmConfig::FedAvg { lr: 0.01, momentum: 0.9 },
+            AlgorithmConfig::FedAvg {
+                lr: 0.01,
+                momentum: 0.9,
+            },
             AlgorithmConfig::FedProx { lr: 0.01, mu: 0.1 },
-            AlgorithmConfig::IceAdmm { rho: 1.0, zeta: 1.0 },
-            AlgorithmConfig::IiAdmm { rho: 1.0, zeta: 1.0 },
+            AlgorithmConfig::IceAdmm {
+                rho: 1.0,
+                zeta: 1.0,
+            },
+            AlgorithmConfig::IiAdmm {
+                rho: 1.0,
+                zeta: 1.0,
+            },
         ] {
             let fed = build(algo);
             assert_eq!(fed.clients.len(), 3);
@@ -163,7 +173,10 @@ mod tests {
 
     #[test]
     fn initial_global_model_matches_template() {
-        let fed = build(AlgorithmConfig::FedAvg { lr: 0.01, momentum: 0.9 });
+        let fed = build(AlgorithmConfig::FedAvg {
+            lr: 0.01,
+            momentum: 0.9,
+        });
         assert_eq!(
             fed.server.global_model(),
             flatten_params(fed.template.as_ref())
@@ -172,8 +185,14 @@ mod tests {
 
     #[test]
     fn same_seed_same_initialisation() {
-        let a = build(AlgorithmConfig::IiAdmm { rho: 1.0, zeta: 1.0 });
-        let b = build(AlgorithmConfig::IiAdmm { rho: 1.0, zeta: 1.0 });
+        let a = build(AlgorithmConfig::IiAdmm {
+            rho: 1.0,
+            zeta: 1.0,
+        });
+        let b = build(AlgorithmConfig::IiAdmm {
+            rho: 1.0,
+            zeta: 1.0,
+        });
         assert_eq!(a.server.global_model(), b.server.global_model());
     }
 }

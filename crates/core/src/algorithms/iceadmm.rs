@@ -84,10 +84,7 @@ impl ServerAlgorithm for IceAdmmServer {
         for w in w.iter_mut() {
             *w *= inv;
         }
-        self.last_primal_residual = uploads
-            .iter()
-            .map(|u| sq_dist(&w, &u.primal).sqrt())
-            .sum();
+        self.last_primal_residual = uploads.iter().map(|u| sq_dist(&w, &u.primal).sqrt()).sum();
         self.last_dual_residual = self.rho as f64 * sq_dist(&w, &self.global).sqrt();
         self.global = w;
         Ok(())
@@ -183,7 +180,12 @@ impl ClientAlgorithm for IceAdmmClient {
             }
             // Dual step (3c) inside the local loop — the defining ICEADMM
             // behaviour that forces dual communication.
-            for ((l, &w), &z) in self.dual.iter_mut().zip(global.iter()).zip(self.primal.iter()) {
+            for ((l, &w), &z) in self
+                .dual
+                .iter_mut()
+                .zip(global.iter())
+                .zip(self.primal.iter())
+            {
                 *l += self.rho * (w - z);
             }
         }
@@ -320,9 +322,7 @@ mod tests {
             let w = server.global_model();
             let uploads: Vec<ClientUpload> =
                 clients.iter_mut().map(|c| c.update(&w).unwrap()).collect();
-            losses.push(
-                uploads.iter().map(|u| u.local_loss).sum::<f32>() / uploads.len() as f32,
-            );
+            losses.push(uploads.iter().map(|u| u.local_loss).sum::<f32>() / uploads.len() as f32);
             server.update(&uploads).unwrap();
         }
         assert!(

@@ -369,16 +369,13 @@ mod tests {
         // The paper's central claim for IIADMM: line 6 ≡ line 21, so
         // mirrored duals never diverge — including under DP noise.
         for privacy in [PrivacyConfig::none(), PrivacyConfig::laplace(5.0, 1.0)] {
-            let mut clients: Vec<IiAdmmClient> =
-                (0..3).map(|i| client(i, privacy)).collect();
+            let mut clients: Vec<IiAdmmClient> = (0..3).map(|i| client(i, privacy)).collect();
             let dim = clients[0].trainer.dim();
             let mut server = IiAdmmServer::new(vec![0.0; dim], 3, 1.0);
             for _round in 0..3 {
                 let w = server.global_model();
-                let uploads: Vec<ClientUpload> = clients
-                    .iter_mut()
-                    .map(|c| c.update(&w).unwrap())
-                    .collect();
+                let uploads: Vec<ClientUpload> =
+                    clients.iter_mut().map(|c| c.update(&w).unwrap()).collect();
                 server.update(&uploads).unwrap();
                 for (i, c) in clients.iter().enumerate() {
                     let sd = server.dual_of(i);
@@ -480,7 +477,9 @@ mod tests {
     fn dp_noise_perturbs_the_upload() {
         let w = vec![0.0; client(0, PrivacyConfig::none()).trainer.dim()];
         let clean = client(0, PrivacyConfig::none()).update(&w).unwrap();
-        let noisy = client(0, PrivacyConfig::laplace(1.0, 1.0)).update(&w).unwrap();
+        let noisy = client(0, PrivacyConfig::laplace(1.0, 1.0))
+            .update(&w)
+            .unwrap();
         let diff: f32 = clean
             .primal
             .iter()

@@ -6,9 +6,9 @@ pub mod fedprox;
 pub mod iceadmm;
 pub mod iiadmm;
 
-pub use factory::{build_federation, FederationSetup};
 #[allow(deprecated)]
 pub use factory::Federation;
+pub use factory::{build_federation, FederationSetup};
 pub use fedavg::{FedAvgClient, FedAvgServer};
 pub use fedprox::FedProxClient;
 pub use iceadmm::{IceAdmmClient, IceAdmmServer};

@@ -74,12 +74,10 @@ impl FedConfig {
     /// config files; JSON instead of YAML to stay within the workspace's
     /// dependency budget).
     pub fn from_json_file(path: impl AsRef<std::path::Path>) -> appfl_tensor::Result<Self> {
-        let text = std::fs::read_to_string(path).map_err(|e| {
-            appfl_tensor::TensorError::InvalidArgument(format!("config read: {e}"))
-        })?;
-        serde_json::from_str(&text).map_err(|e| {
-            appfl_tensor::TensorError::InvalidArgument(format!("config parse: {e}"))
-        })
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| appfl_tensor::TensorError::InvalidArgument(format!("config read: {e}")))?;
+        serde_json::from_str(&text)
+            .map_err(|e| appfl_tensor::TensorError::InvalidArgument(format!("config parse: {e}")))
     }
 
     /// Writes the configuration to a JSON file.
@@ -87,9 +85,8 @@ impl FedConfig {
         let text = serde_json::to_string_pretty(self).map_err(|e| {
             appfl_tensor::TensorError::InvalidArgument(format!("config encode: {e}"))
         })?;
-        std::fs::write(path, text).map_err(|e| {
-            appfl_tensor::TensorError::InvalidArgument(format!("config write: {e}"))
-        })
+        std::fs::write(path, text)
+            .map_err(|e| appfl_tensor::TensorError::InvalidArgument(format!("config write: {e}")))
     }
 
     /// The paper's Fig. 2 defaults for a given algorithm and ε̄.
@@ -170,25 +167,64 @@ mod tests {
 
     #[test]
     fn names_match_paper() {
-        assert_eq!(AlgorithmConfig::FedAvg { lr: 0.01, momentum: 0.9 }.name(), "FedAvg");
-        assert_eq!(AlgorithmConfig::IceAdmm { rho: 1.0, zeta: 1.0 }.name(), "ICEADMM");
-        assert_eq!(AlgorithmConfig::IiAdmm { rho: 1.0, zeta: 1.0 }.name(), "IIADMM");
+        assert_eq!(
+            AlgorithmConfig::FedAvg {
+                lr: 0.01,
+                momentum: 0.9
+            }
+            .name(),
+            "FedAvg"
+        );
+        assert_eq!(
+            AlgorithmConfig::IceAdmm {
+                rho: 1.0,
+                zeta: 1.0
+            }
+            .name(),
+            "ICEADMM"
+        );
+        assert_eq!(
+            AlgorithmConfig::IiAdmm {
+                rho: 1.0,
+                zeta: 1.0
+            }
+            .name(),
+            "IIADMM"
+        );
     }
 
     #[test]
     fn paper_defaults_follow_section_iv() {
-        let c = FedConfig::paper_defaults(AlgorithmConfig::FedAvg { lr: 0.01, momentum: 0.9 }, 5.0);
+        let c = FedConfig::paper_defaults(
+            AlgorithmConfig::FedAvg {
+                lr: 0.01,
+                momentum: 0.9,
+            },
+            5.0,
+        );
         assert_eq!(c.rounds, 50);
         assert_eq!(c.local_steps, 10);
         assert_eq!(c.batch_size, 64);
         assert!(c.privacy.is_private());
-        let inf = FedConfig::paper_defaults(AlgorithmConfig::FedAvg { lr: 0.01, momentum: 0.9 }, f64::INFINITY);
+        let inf = FedConfig::paper_defaults(
+            AlgorithmConfig::FedAvg {
+                lr: 0.01,
+                momentum: 0.9,
+            },
+            f64::INFINITY,
+        );
         assert!(!inf.privacy.is_private());
     }
 
     #[test]
     fn config_serializes() {
-        let c = FedConfig::paper_defaults(AlgorithmConfig::IiAdmm { rho: 2.0, zeta: 0.5 }, 10.0);
+        let c = FedConfig::paper_defaults(
+            AlgorithmConfig::IiAdmm {
+                rho: 2.0,
+                zeta: 0.5,
+            },
+            10.0,
+        );
         let json = serde_json::to_string(&c).unwrap();
         let back: FedConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back, c);
@@ -214,7 +250,13 @@ mod tests {
 
     #[test]
     fn config_file_roundtrip() {
-        let c = FedConfig::paper_defaults(AlgorithmConfig::FedAvg { lr: 0.01, momentum: 0.9 }, 3.0);
+        let c = FedConfig::paper_defaults(
+            AlgorithmConfig::FedAvg {
+                lr: 0.01,
+                momentum: 0.9,
+            },
+            3.0,
+        );
         let path = std::env::temp_dir().join("appfl_test_config.json");
         c.to_json_file(&path).unwrap();
         let back = FedConfig::from_json_file(&path).unwrap();

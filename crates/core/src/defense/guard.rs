@@ -475,9 +475,9 @@ mod tests {
             g.screen(&mut upload(9, vec![1.0, 0.0]));
         }
         let round = vec![
-            upload(0, vec![0.9, 0.1]),         // accepted
-            upload(1, vec![f32::NAN, 0.0]),    // rejected
-            upload(2, vec![500.0, 0.0]),       // clipped
+            upload(0, vec![0.9, 0.1]),      // accepted
+            upload(1, vec![f32::NAN, 0.0]), // rejected
+            upload(2, vec![500.0, 0.0]),    // clipped
         ];
         let s = g.screen_round(round);
         assert_eq!(s.accepted.len(), 2);
@@ -490,7 +490,11 @@ mod tests {
     #[test]
     fn health_scores_track_screening_outcomes() {
         let mut g = UpdateGuard::new(2, UpdateGuardConfig::default());
-        assert_eq!(g.health_score(7), 1.0, "unseen clients are presumed healthy");
+        assert_eq!(
+            g.health_score(7),
+            1.0,
+            "unseen clients are presumed healthy"
+        );
         // Client 0 behaves; client 1 sends NaN every round.
         for _ in 0..10 {
             g.screen(&mut upload(0, vec![1.0, 0.0]));
@@ -508,7 +512,10 @@ mod tests {
         }
         h.screen(&mut upload(3, vec![500.0, 0.0]));
         let clipped = h.health_score(3);
-        assert!((clipped - 0.9).abs() < 1e-9, "one clip: 0.8·1 + 0.2·0.5 = 0.9");
+        assert!(
+            (clipped - 0.9).abs() < 1e-9,
+            "one clip: 0.8·1 + 0.2·0.5 = 0.9"
+        );
     }
 
     #[test]
@@ -527,6 +534,9 @@ mod tests {
             g.screen(&mut upload(0, vec![3.0]));
         }
         let budget = g.norm_budget().unwrap();
-        assert!((budget - 12.0).abs() < 1e-4, "budget tracks drift: {budget}");
+        assert!(
+            (budget - 12.0).abs() < 1e-4,
+            "budget tracks drift: {budget}"
+        );
     }
 }

@@ -194,7 +194,10 @@ fn krum_scores(uploads: &[ClientUpload], f: usize) -> Result<Vec<f64>> {
     let neighbours = n.saturating_sub(f + 2).max(1);
     let mut scores = Vec::with_capacity(n);
     for i in 0..n {
-        let mut row: Vec<f64> = (0..n).filter(|&j| j != i).map(|j| dist[i * n + j]).collect();
+        let mut row: Vec<f64> = (0..n)
+            .filter(|&j| j != i)
+            .map(|j| dist[i * n + j])
+            .collect();
         row.sort_by(f64::total_cmp);
         scores.push(row[..neighbours.min(row.len())].iter().sum());
     }
@@ -404,7 +407,9 @@ mod tests {
         }
         // Krum returns a member vector, so invariance is exact.
         let a = RobustAggregator::Krum { f: 1 }.aggregate(&uploads).unwrap();
-        let b = RobustAggregator::Krum { f: 1 }.aggregate(&reversed).unwrap();
+        let b = RobustAggregator::Krum { f: 1 }
+            .aggregate(&reversed)
+            .unwrap();
         assert_eq!(a, b);
     }
 
@@ -412,7 +417,9 @@ mod tests {
     fn degenerate_cohorts_error_cleanly() {
         assert!(RobustAggregator::CoordMedian.aggregate(&[]).is_err());
         let mismatched = vec![upload(0, vec![1.0], 1), upload(1, vec![1.0, 2.0], 1)];
-        assert!(RobustAggregator::CoordMedian.aggregate(&mismatched).is_err());
+        assert!(RobustAggregator::CoordMedian
+            .aggregate(&mismatched)
+            .is_err());
         let two = vec![upload(0, vec![1.0], 1), upload(1, vec![2.0], 1)];
         assert!(RobustAggregator::Krum { f: 0 }.aggregate(&two).is_err());
         assert!(RobustAggregator::MultiKrum { f: 0, m: 0 }

@@ -43,9 +43,10 @@
 //! | `Async`   | ServerFedAsynchronous staleness weighting | any [`Communicator`] |
 //! | `PubSub`  | MQTT-style broker topics | a [`Broker`] |
 //!
-//! The old [`FederationBuilder`](crate::runner::federation::FederationBuilder)
-//! remains as a thin deprecated shim; see `DESIGN.md` §12 for the
-//! old→new migration table.
+//! The `Comm` and `Rpc` arms execute on the crate-internal
+//! `TransportRun` engine in [`crate::runner::federation`]; see
+//! `DESIGN.md` §12 for the migration table from the pre-0.8 builder
+//! and §13 for adaptive round control.
 
 use crate::algorithms::FederationSetup;
 use crate::api::{ClientAlgorithm, ServerAlgorithm};
@@ -53,11 +54,10 @@ use crate::config::FaultToleranceConfig;
 use crate::defense::{RobustAggregator, UpdateGuardConfig};
 use crate::error::Error;
 use crate::runner::async_service::run_async_federation;
+use crate::runner::control::RoundControlConfig;
+use crate::runner::federation::{Eval, FederationOutcome, TransportRun};
 use crate::runner::pubsub::run_pubsub_federation;
 use crate::runner::r#async::AsyncConfig;
-#[allow(deprecated)]
-use crate::runner::federation::FederationBuilder;
-use crate::runner::federation::FederationOutcome;
 use crate::runner::SerialRunner;
 use crate::store::DurableCoordinator;
 use appfl_comm::pubsub::Broker;
@@ -181,11 +181,6 @@ impl From<ConfigError> for Error {
     }
 }
 
-struct Eval<'a> {
-    template: &'a mut dyn Module,
-    test: &'a InMemoryDataset,
-}
-
 /// Who participates: the server algorithm, its clients, and the run's
 /// descriptive knobs (rounds, dataset label, privacy budget ε̄,
 /// server-side evaluation). For [`Topology::Serial`], build it from a
@@ -275,6 +270,7 @@ pub struct Resilience {
     robust: Option<RobustAggregator>,
     guard: Option<UpdateGuardConfig>,
     durable: Option<DurableCoordinator>,
+    round_control: Option<RoundControlConfig>,
 }
 
 impl Resilience {
@@ -290,7 +286,9 @@ impl Resilience {
     pub fn fault_tolerance(mut self, min_quorum: usize, deadline: Duration) -> Self {
         self.ft = Some(FaultToleranceConfig {
             min_quorum,
-            round_timeout_ms: deadline.as_millis() as u64,
+            // A Duration holds up to u128 milliseconds; saturate rather
+            // than silently truncate a deadline past u64::MAX ms.
+            round_timeout_ms: u64::try_from(deadline.as_millis()).unwrap_or(u64::MAX),
             ..FaultToleranceConfig::default()
         });
         self
@@ -321,6 +319,21 @@ impl Resilience {
     /// See [`crate::store`] for the recovery semantics.
     pub fn durable(mut self, durable: DurableCoordinator) -> Self {
         self.durable = Some(durable);
+        self
+    }
+
+    /// Adaptive round control: over-selects the dispatch cohort, closes
+    /// Collect at the first `target` accepted uploads, tracks a latency
+    /// quantile into an adaptive per-round deadline and hedges
+    /// re-dispatch to standby clients when arrival projections fall
+    /// short. Only the transport topologies honour it: `Comm` (where it
+    /// replaces the static round deadline — fault tolerance is enabled
+    /// with defaults if not already configured) and `Rpc` (where the
+    /// quorum close is already over-selection-shaped, so the controller
+    /// only tracks latencies into the `adaptive_deadline` gauge). See
+    /// `DESIGN.md` §13.
+    pub fn round_control(mut self, config: RoundControlConfig) -> Self {
+        self.round_control = Some(config);
         self
     }
 }
@@ -430,7 +443,10 @@ impl<'a, C: Communicator + 'static> FederationConfig<'a, C> {
     /// Supplies the transport endpoints, one per rank (`endpoints[0]`
     /// serves; `endpoints[p]` hosts client `p − 1`) — and pins the
     /// config's transport type to `D`.
-    pub fn transport<D: Communicator + 'static>(self, endpoints: Vec<D>) -> FederationConfig<'a, D> {
+    pub fn transport<D: Communicator + 'static>(
+        self,
+        endpoints: Vec<D>,
+    ) -> FederationConfig<'a, D> {
         FederationConfig {
             topology: self.topology,
             population: self.population,
@@ -469,6 +485,7 @@ impl<'a, C: Communicator + 'static> FederationConfig<'a, C> {
     pub fn build(self) -> Result<ConfiguredFederation<'a, C>, ConfigError> {
         let topology = self.topology;
         let t = topology.as_str();
+        let mut resilience = self.resilience;
         let population = self.population.ok_or(ConfigError::MissingPopulation)?;
         if population.client_count() == 0 {
             return Err(ConfigError::NoClients);
@@ -480,7 +497,10 @@ impl<'a, C: Communicator + 'static> FederationConfig<'a, C> {
         match (&self.endpoints, needs_transport) {
             (None, true) => return Err(ConfigError::MissingTransport { topology: t }),
             (Some(_), false) => {
-                return Err(ConfigError::Unsupported { topology: t, option: "a transport" })
+                return Err(ConfigError::Unsupported {
+                    topology: t,
+                    option: "a transport",
+                })
             }
             (Some(eps), true) if eps.len() != population.client_count() + 1 => {
                 return Err(ConfigError::EndpointMismatch {
@@ -491,7 +511,10 @@ impl<'a, C: Communicator + 'static> FederationConfig<'a, C> {
             _ => {}
         }
         if self.broker.is_some() && topology != Topology::PubSub {
-            return Err(ConfigError::Unsupported { topology: t, option: "a broker" });
+            return Err(ConfigError::Unsupported {
+                topology: t,
+                option: "a broker",
+            });
         }
         match topology {
             Topology::Serial => {
@@ -504,14 +527,23 @@ impl<'a, C: Communicator + 'static> FederationConfig<'a, C> {
                         option: "external evaluation (the setup carries its own template)",
                     });
                 }
-                if self.resilience.ft.is_some() {
+                if resilience.ft.is_some() {
                     return Err(ConfigError::Unsupported {
                         topology: t,
                         option: "fault tolerance (no transport to fail)",
                     });
                 }
-                if self.resilience.durable.is_some() {
-                    return Err(ConfigError::Unsupported { topology: t, option: "a durable store" });
+                if resilience.durable.is_some() {
+                    return Err(ConfigError::Unsupported {
+                        topology: t,
+                        option: "a durable store",
+                    });
+                }
+                if resilience.round_control.is_some() {
+                    return Err(ConfigError::Unsupported {
+                        topology: t,
+                        option: "round control (no cohort to over-select)",
+                    });
                 }
             }
             Topology::Comm | Topology::Rpc => {
@@ -542,22 +574,40 @@ impl<'a, C: Communicator + 'static> FederationConfig<'a, C> {
                     });
                 }
                 if population.eval.is_some() {
-                    return Err(ConfigError::Unsupported { topology: t, option: "evaluation" });
+                    return Err(ConfigError::Unsupported {
+                        topology: t,
+                        option: "evaluation",
+                    });
                 }
-                if self.resilience.ft.is_some() {
-                    return Err(ConfigError::Unsupported { topology: t, option: "fault tolerance" });
+                if resilience.ft.is_some() {
+                    return Err(ConfigError::Unsupported {
+                        topology: t,
+                        option: "fault tolerance",
+                    });
                 }
-                if self.resilience.robust.is_some() {
+                if resilience.robust.is_some() {
                     return Err(ConfigError::Unsupported {
                         topology: t,
                         option: "robust aggregation",
                     });
                 }
-                if self.resilience.guard.is_some() {
-                    return Err(ConfigError::Unsupported { topology: t, option: "an update guard" });
+                if resilience.guard.is_some() {
+                    return Err(ConfigError::Unsupported {
+                        topology: t,
+                        option: "an update guard",
+                    });
                 }
-                if self.resilience.durable.is_some() {
-                    return Err(ConfigError::Unsupported { topology: t, option: "a durable store" });
+                if resilience.durable.is_some() {
+                    return Err(ConfigError::Unsupported {
+                        topology: t,
+                        option: "a durable store",
+                    });
+                }
+                if resilience.round_control.is_some() {
+                    return Err(ConfigError::Unsupported {
+                        topology: t,
+                        option: "round control",
+                    });
                 }
                 if topology == Topology::PubSub && self.broker.is_none() {
                     return Err(ConfigError::MissingBroker);
@@ -565,12 +615,24 @@ impl<'a, C: Communicator + 'static> FederationConfig<'a, C> {
             }
         }
         if self.max_updates.is_some() && topology != Topology::Async {
-            return Err(ConfigError::Unsupported { topology: t, option: "max_updates" });
+            return Err(ConfigError::Unsupported {
+                topology: t,
+                option: "max_updates",
+            });
+        }
+        // Adaptive round control rides on the fault-tolerant push
+        // server; enable its machinery with defaults when the caller
+        // asked for control but not explicitly for fault tolerance.
+        if topology == Topology::Comm
+            && resilience.round_control.is_some()
+            && resilience.ft.is_none()
+        {
+            resilience.ft = Some(FaultToleranceConfig::default());
         }
         Ok(ConfiguredFederation {
             topology,
             population,
-            resilience: self.resilience,
+            resilience,
             observe: self.observe,
             endpoints: self.endpoints,
             broker: self.broker,
@@ -631,44 +693,23 @@ impl<'a, C: Communicator + 'static> ConfiguredFederation<'a, C> {
                     duplicates: 0,
                 })
             }
-            Topology::Comm | Topology::Rpc => {
-                // The deprecated builder stays on as this API's engine
-                // for the two synchronous transport topologies.
-                #[allow(deprecated)]
-                let mut b = FederationBuilder::new(
-                    population.server.expect("validated by build()"),
-                    population.clients,
-                )
-                .transport(endpoints.expect("validated by build()"))
-                .rounds(population.rounds)
-                .epsilon(population.epsilon)
-                .dataset(population.dataset);
-                if let Some(eval) = population.eval {
-                    b = b.evaluation(eval.template, eval.test);
-                }
-                if topology == Topology::Rpc {
-                    b = b.pull();
-                }
-                if let Some(ft) = resilience.ft {
-                    b = b.fault_tolerance_config(ft);
-                }
-                if let Some(aggregator) = resilience.robust {
-                    b = b.robust(aggregator);
-                }
-                if let Some(config) = resilience.guard {
-                    b = b.update_guard(config);
-                }
-                if let Some(durable) = resilience.durable {
-                    b = b.durable(durable);
-                }
-                if let Some(sink) = observe.sink {
-                    b = b.telemetry(sink);
-                }
-                if let Some(registry) = observe.registry {
-                    b = b.metrics(registry);
-                }
-                b.run()
+            Topology::Comm | Topology::Rpc => TransportRun {
+                server: population.server.expect("validated by build()"),
+                clients: population.clients,
+                endpoints: endpoints.expect("validated by build()"),
+                rounds: population.rounds,
+                epsilon: population.epsilon,
+                dataset: population.dataset,
+                eval: population.eval,
+                ft: resilience.ft,
+                telemetry: observe.into_telemetry(),
+                pull: topology == Topology::Rpc,
+                robust: resilience.robust,
+                guard: resilience.guard,
+                durable: resilience.durable,
+                round_control: resilience.round_control,
             }
+            .run(),
             Topology::Async => {
                 let telemetry = observe.into_telemetry();
                 let server = population.server.expect("validated by build()");
@@ -726,7 +767,7 @@ mod tests {
     use appfl_data::federated::{build_benchmark, Benchmark};
     use appfl_nn::models::{mlp_classifier, InputSpec};
     use appfl_privacy::PrivacyConfig;
-    use appfl_telemetry::MemorySink;
+    use appfl_telemetry::{MemorySink, MetricsRegistry};
 
     fn setup(rounds: usize) -> (FederationSetup, InMemoryDataset) {
         let data = build_benchmark(Benchmark::Mnist, 3, 90, 30, 2).unwrap();
@@ -777,7 +818,13 @@ mod tests {
             .build()
             .map(|_| ())
             .unwrap_err();
-        assert_eq!(err, ConfigError::EndpointMismatch { endpoints: 2, clients: 3 });
+        assert_eq!(
+            err,
+            ConfigError::EndpointMismatch {
+                endpoints: 2,
+                clients: 3
+            }
+        );
 
         let (fed, _test) = setup(1);
         let err = Federation::builder()
@@ -800,7 +847,13 @@ mod tests {
             .build()
             .map(|_| ())
             .unwrap_err();
-        assert_eq!(err, ConfigError::Unsupported { topology: "serial", option: "a transport" });
+        assert_eq!(
+            err,
+            ConfigError::Unsupported {
+                topology: "serial",
+                option: "a transport"
+            }
+        );
 
         // Async with fault tolerance.
         let (fed, _test) = setup(1);
@@ -814,7 +867,10 @@ mod tests {
             .unwrap_err();
         assert_eq!(
             err,
-            ConfigError::Unsupported { topology: "async", option: "fault tolerance" }
+            ConfigError::Unsupported {
+                topology: "async",
+                option: "fault tolerance"
+            }
         );
 
         // PubSub without a broker.
@@ -836,7 +892,64 @@ mod tests {
             .build()
             .map(|_| ())
             .unwrap_err();
-        assert_eq!(err, ConfigError::Unsupported { topology: "serial", option: "max_updates" });
+        assert_eq!(
+            err,
+            ConfigError::Unsupported {
+                topology: "serial",
+                option: "max_updates"
+            }
+        );
+    }
+
+    #[test]
+    fn fault_tolerance_deadline_saturates_instead_of_truncating() {
+        // u64::MAX seconds is ~2^73 ms — far past what round_timeout_ms
+        // can hold. The old `as u64` cast wrapped this to a tiny value.
+        let r = Resilience::none().fault_tolerance(2, Duration::from_secs(u64::MAX));
+        assert_eq!(r.ft.unwrap().round_timeout_ms, u64::MAX);
+
+        let r = Resilience::none().fault_tolerance(2, Duration::from_millis(1500));
+        assert_eq!(r.ft.unwrap().round_timeout_ms, 1500);
+    }
+
+    #[test]
+    fn round_control_is_rejected_off_the_transport_topologies() {
+        for topology in [Topology::Serial, Topology::Async, Topology::PubSub] {
+            let (fed, test) = setup(1);
+            let builder = Federation::builder().topology(topology);
+            let builder = match topology {
+                Topology::Serial => builder.population(Participants::serial(fed, test)),
+                Topology::Async => builder
+                    .transport(InProcNetwork::new(4))
+                    .population(Participants::new(fed.server, fed.clients)),
+                _ => builder.population(Participants::new(fed.server, fed.clients)),
+            };
+            let err = builder
+                .resilience(Resilience::none().round_control(RoundControlConfig::default()))
+                .build()
+                .map(|_| ())
+                .unwrap_err();
+            assert!(
+                matches!(err, ConfigError::Unsupported { option, .. } if option.starts_with("round control")),
+                "{topology:?}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn round_control_on_comm_enables_default_fault_tolerance() {
+        let (mut fed, test) = setup(1);
+        let configured = Federation::builder()
+            .transport(InProcNetwork::new(4))
+            .population(
+                Participants::new(fed.server, fed.clients).evaluation(fed.template.as_mut(), &test),
+            )
+            .resilience(Resilience::none().round_control(RoundControlConfig::default()))
+            .build()
+            .unwrap();
+        let ft = configured.resilience.ft.as_ref().expect("ft auto-enabled");
+        assert_eq!(ft.min_quorum, FaultToleranceConfig::default().min_quorum);
+        assert!(configured.resilience.round_control.is_some());
     }
 
     #[test]
@@ -884,16 +997,81 @@ mod tests {
         assert_eq!(outcome.completed_rounds, 2);
         let history = outcome.history.expect("comm records a history");
         assert_eq!(history.rounds.len(), 2);
-        assert_eq!(history.rounds[0].cohort_size, 3, "full participation cohort");
+        assert_eq!(
+            history.rounds[0].cohort_size, 3,
+            "full participation cohort"
+        );
         // The phase machine's spans ride along for every round.
         let events = sink.events();
-        for name in ["phase/select", "phase/collect", "phase/aggregate", "phase/publish"] {
+        for name in [
+            "phase/select",
+            "phase/collect",
+            "phase/aggregate",
+            "phase/publish",
+        ] {
             assert_eq!(
                 events.iter().filter(|e| e.name == name).count(),
                 2,
                 "{name}: one per round"
             );
         }
+    }
+
+    #[test]
+    fn metrics_registry_snapshots_the_run() {
+        let (mut fed, test) = setup(2);
+        let registry = MetricsRegistry::new();
+        let outcome = Federation::builder()
+            .transport(InProcNetwork::new(4))
+            .population(
+                Participants::new(fed.server, fed.clients)
+                    .rounds(2)
+                    .evaluation(fed.template.as_mut(), &test),
+            )
+            .observe(Observe::none().metrics(registry.clone()))
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(outcome.completed_rounds, 2);
+        let text = registry.to_prometheus_text();
+        let families = appfl_telemetry::validate_prometheus_text(&text).unwrap();
+        // Phase histograms + upload_bytes + diagnostics gauges, at least.
+        assert!(families >= 5, "only {families} families:\n{text}");
+        assert!(text.contains("appfl_local_update"), "{text}");
+        assert!(text.contains("appfl_update_norm"), "{text}");
+    }
+
+    #[test]
+    fn comm_topology_runs_with_round_control() {
+        let (mut fed, test) = setup(2);
+        let sink = Arc::new(MemorySink::new());
+        let outcome = Federation::builder()
+            .transport(InProcNetwork::new(4))
+            .population(
+                Participants::new(fed.server, fed.clients)
+                    .rounds(2)
+                    .dataset("MNIST")
+                    .evaluation(fed.template.as_mut(), &test),
+            )
+            .resilience(Resilience::none().round_control(RoundControlConfig::default()))
+            .observe(Observe::none().telemetry(sink.clone()))
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(outcome.completed_rounds, 2);
+        assert!(outcome.model.iter().all(|x| x.is_finite()));
+        // The controller publishes its working deadline every round.
+        let events = sink.events();
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| e.name == "adaptive_deadline")
+                .count(),
+            2,
+            "one adaptive_deadline gauge per round"
+        );
     }
 
     #[test]

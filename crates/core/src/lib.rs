@@ -35,9 +35,9 @@ pub mod prelude;
 pub mod runner;
 pub mod schedule;
 pub mod store;
-pub mod trainer;
 #[cfg(test)]
 pub(crate) mod test_support;
+pub mod trainer;
 pub mod validation;
 
 pub use algorithms::{build_federation, FederationSetup};
@@ -53,8 +53,7 @@ pub use federation::{
     Resilience, Topology,
 };
 pub use metrics::{History, RoundRecord};
-#[allow(deprecated)]
-pub use runner::federation::FederationBuilder;
+pub use runner::control::{RoundControlConfig, RoundController, RoundPlan};
 pub use runner::federation::FederationOutcome;
 pub use runner::phases::{CohortReport, PhaseEvent, PhaseKind, PhaseMachine, UploadVerdict};
 pub use runner::serial::SerialRunner;

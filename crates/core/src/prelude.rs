@@ -12,10 +12,9 @@ pub use crate::algorithms::{build_federation, FederationSetup};
 pub use crate::api::{ClientAlgorithm, ClientUpload, ServerAlgorithm};
 pub use crate::config::{AlgorithmConfig, FaultToleranceConfig, FedConfig};
 pub use crate::error::Error;
-pub use crate::federation::{
-    ConfigError, Federation, Observe, Participants, Resilience, Topology,
-};
+pub use crate::federation::{ConfigError, Federation, Observe, Participants, Resilience, Topology};
 pub use crate::metrics::{History, RoundRecord};
+pub use crate::runner::control::RoundControlConfig;
 pub use crate::runner::federation::FederationOutcome;
 pub use crate::runner::serial::SerialRunner;
 pub use crate::runner::simulate::{SimConfig, SimEngine, SimReport};

@@ -181,7 +181,13 @@ mod tests {
 
     #[test]
     fn fresh_update_mixes_with_alpha() {
-        let mut s = AsyncFedServer::new(vec![0.0; 2], AsyncConfig { alpha: 0.5, ..AsyncConfig::default() });
+        let mut s = AsyncFedServer::new(
+            vec![0.0; 2],
+            AsyncConfig {
+                alpha: 0.5,
+                ..AsyncConfig::default()
+            },
+        );
         let st = s.apply(&upload(1.0, 2), 0).unwrap();
         assert_eq!(st, 0);
         assert!(s.global_model().iter().all(|&w| (w - 0.5).abs() < 1e-6));
@@ -190,7 +196,13 @@ mod tests {
 
     #[test]
     fn stale_updates_are_downweighted() {
-        let mut s = AsyncFedServer::new(vec![0.0; 2], AsyncConfig { alpha: 0.5, ..AsyncConfig::default() });
+        let mut s = AsyncFedServer::new(
+            vec![0.0; 2],
+            AsyncConfig {
+                alpha: 0.5,
+                ..AsyncConfig::default()
+            },
+        );
         // Three fresh updates advance the version.
         for _ in 0..3 {
             s.apply(&upload(0.0, 2), s.version()).unwrap();
@@ -207,7 +219,13 @@ mod tests {
 
     #[test]
     fn staleness_zero_equals_plain_mixing_sequence() {
-        let mut s = AsyncFedServer::new(vec![0.0; 1], AsyncConfig { alpha: 1.0, ..AsyncConfig::default() });
+        let mut s = AsyncFedServer::new(
+            vec![0.0; 1],
+            AsyncConfig {
+                alpha: 1.0,
+                ..AsyncConfig::default()
+            },
+        );
         s.apply(&upload(2.0, 1), 0).unwrap();
         // α=1, fresh: w snaps to the upload.
         assert_eq!(s.global_model(), &[2.0]);
@@ -277,12 +295,24 @@ mod tests {
     #[test]
     #[should_panic(expected = "alpha")]
     fn invalid_alpha_panics() {
-        AsyncFedServer::new(vec![0.0; 1], AsyncConfig { alpha: 0.0, ..AsyncConfig::default() });
+        AsyncFedServer::new(
+            vec![0.0; 1],
+            AsyncConfig {
+                alpha: 0.0,
+                ..AsyncConfig::default()
+            },
+        );
     }
 
     #[test]
     fn restore_resumes_version_and_staleness_math() {
-        let mut s = AsyncFedServer::new(vec![0.0; 2], AsyncConfig { alpha: 0.5, ..AsyncConfig::default() });
+        let mut s = AsyncFedServer::new(
+            vec![0.0; 2],
+            AsyncConfig {
+                alpha: 0.5,
+                ..AsyncConfig::default()
+            },
+        );
         s.restore(&AsyncState {
             applied: 4,
             version: 4,

@@ -15,7 +15,9 @@ use crate::error::Error;
 use crate::runner::r#async::{AsyncConfig, AsyncFedServer};
 use crate::store::DurableCoordinator;
 use appfl_comm::retry::RetryPolicy;
-use appfl_comm::rpc::{call, call_with_retry_observed, serve_with, FlService, Request, Response, ServeOptions};
+use appfl_comm::rpc::{
+    call, call_with_retry_observed, serve_with, FlService, Request, Response, ServeOptions,
+};
 use appfl_comm::transport::{CommError, Communicator};
 use appfl_comm::wire::messages::GlobalWeights;
 use appfl_comm::wire::{JobDone, LearningResults, TensorMsg, WeightRequest};
@@ -442,8 +444,7 @@ mod tests {
             let mut handles = Vec::new();
             for (i, (client, ep)) in fed.clients.into_iter().zip(endpoints).enumerate() {
                 // Every client request has a 20% chance of vanishing.
-                let ep =
-                    FaultyCommunicator::new(ep, FaultPlan::new(100 + i as u64).drop_prob(0.2));
+                let ep = FaultyCommunicator::new(ep, FaultPlan::new(100 + i as u64).drop_prob(0.2));
                 let retries = &retries;
                 handles.push(scope.spawn(move || {
                     let policy = RetryPolicy {
@@ -545,7 +546,14 @@ mod tests {
 
     #[test]
     fn stale_uploads_move_the_model_less() {
-        let mut service = AsyncRpcService::new(vec![0.0; 1], AsyncConfig { alpha: 0.5, ..AsyncConfig::default() }, 10);
+        let mut service = AsyncRpcService::new(
+            vec![0.0; 1],
+            AsyncConfig {
+                alpha: 0.5,
+                ..AsyncConfig::default()
+            },
+            10,
+        );
         let upload = |round: u32| LearningResults {
             client_id: 0,
             round,

@@ -24,8 +24,9 @@ use crate::defense::UpdateGuard;
 use crate::diagnostics::RoundDiagnostics;
 use crate::error::Error;
 use crate::metrics::{History, RoundRecord};
+use crate::runner::control::RoundController;
 use crate::runner::ft::ClientRoster;
-use crate::runner::phases::PhaseMachine;
+use crate::runner::phases::{PhaseMachine, UploadVerdict};
 use crate::store::{DurableCoordinator, PendingRound};
 use crate::validation::evaluate;
 use appfl_comm::retry::RetryPolicy;
@@ -33,8 +34,8 @@ use appfl_comm::transport::{CommError, Communicator};
 use appfl_comm::wire::{LearningResults, TensorMsg};
 use appfl_data::InMemoryDataset;
 use appfl_nn::module::Module;
-use appfl_tensor::TensorError;
 use appfl_telemetry::{Gauge, Phase, Telemetry};
+use appfl_tensor::TensorError;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
@@ -248,7 +249,13 @@ pub fn run_server<C: Communicator>(
         let total = round_start.elapsed().as_secs_f64();
 
         let r = round as u64;
-        telemetry.span_secs("local_update", Phase::LocalUpdate, local_update_secs, Some(r), None);
+        telemetry.span_secs(
+            "local_update",
+            Phase::LocalUpdate,
+            local_update_secs,
+            Some(r),
+            None,
+        );
         telemetry.span_secs("serialize", Phase::Serialize, serialize_secs, Some(r), None);
         telemetry.span_secs("comm", Phase::Comm, comm_secs, Some(r), None);
         telemetry.span_secs("aggregate", Phase::Aggregate, aggregate_secs, Some(r), None);
@@ -385,6 +392,19 @@ pub fn run_client_ft<C: Communicator>(
 /// `duplicate_upload` telemetry mark). Uploads are aggregated in
 /// client-id order so a resumed round folds the same floating-point sum
 /// as an uninterrupted one.
+///
+/// With a [`RoundController`] attached, the static round deadline gives
+/// way to adaptive round control: the broadcast goes to an over-selected
+/// ⌈(1+α)·C⌉ slice of the active pool (the rest stand by), Collect
+/// closes at the first C accepted uploads, the deadline is the
+/// controller's tracked latency quantile × slack (clamped to its
+/// configured bounds — these *replace* the static
+/// [`FaultToleranceConfig::round_timeout_ms`]), and mid-Collect the
+/// arrival projection is checked once: a shortfall triggers a hedged
+/// re-dispatch to standby clients. Stragglers arriving after the target
+/// are turned away as [`UploadVerdict::Late`] — counted as
+/// `overselect_waste`, left out of the fold, and *not* marked as roster
+/// failures (they responded; they were just slow).
 #[allow(clippy::too_many_arguments)]
 pub fn run_server_ft<C: Communicator>(
     server: &mut dyn ServerAlgorithm,
@@ -401,6 +421,7 @@ pub fn run_server_ft<C: Communicator>(
     local_gauge: &Gauge,
     mut guard: Option<&mut UpdateGuard>,
     mut durable: Option<&mut DurableCoordinator>,
+    mut controller: Option<&mut RoundController>,
 ) -> Result<History, Error> {
     let num_clients = comm.size() - 1;
     if sample_counts.len() != num_clients {
@@ -461,11 +482,23 @@ pub fn run_server_ft<C: Communicator>(
         let active = roster.begin_round(round);
         let w = server.global_model();
         machine.begin_round(round, &active, &w, pending.as_ref())?;
+        // Adaptive plan: dispatch the over-selected slice of the pool
+        // now, hold the rest as hedge capacity, close Collect at the
+        // first `target` uploads. Without a controller everyone is
+        // dispatched and Collect waits for all of them (legacy shape).
+        let (dispatch, mut standby, target) = match controller.as_deref() {
+            Some(c) => {
+                let t = c.config().push_target(active.len(), ft.min_quorum);
+                let plan = c.plan(&active, t);
+                (plan.dispatch, plan.standby, Some(plan.target))
+            }
+            None => (active.clone(), Vec::new(), None),
+        };
         let t = Instant::now();
         let msg = encode_global(round, &w);
         let mut serialize_secs = t.elapsed().as_secs_f64();
         let t = Instant::now();
-        for &p in &active {
+        for &p in &dispatch {
             if machine.already_received(p) {
                 continue;
             }
@@ -478,38 +511,117 @@ pub fn run_server_ft<C: Communicator>(
         }
         let send_secs = t.elapsed().as_secs_f64();
         machine.begin_collect()?;
+        if let Some(t) = target {
+            machine.set_collect_target(t);
+        }
 
-        let deadline = round_start + ft.round_timeout();
+        let deadline_secs = match controller.as_deref() {
+            Some(c) => c.deadline_secs(),
+            None => ft.round_timeout().as_secs_f64(),
+        };
+        let collect_start = Instant::now();
+        let deadline = round_start + std::time::Duration::from_secs_f64(deadline_secs);
+        if let Some(c) = controller.as_deref() {
+            telemetry.gauge(
+                "adaptive_deadline",
+                c.deadline_secs(),
+                Some(round as u64),
+                None,
+            );
+        }
         let mut gather_secs = 0.0f64;
         let mut timed_out = 0usize;
+        let mut hedged = false;
+        let mut hedges_sent = 0usize;
+        let mut late_clients: Vec<usize> = Vec::new();
         while !machine.collect_complete() {
             let now = Instant::now();
             if now >= deadline {
                 break;
             }
+            // With a pending hedge check, wake up at the check instant
+            // even if nothing arrives before it.
+            let hedge_at = controller.as_deref().filter(|_| !hedged).map(|c| {
+                collect_start + std::time::Duration::from_secs_f64(c.hedge_check_at(deadline_secs))
+            });
+            let wait_until = match hedge_at {
+                Some(h) if h > now => deadline.min(h),
+                _ => deadline,
+            };
             let t0 = Instant::now();
-            match comm.recv_any_timeout(deadline - now) {
-                Ok((from, buf)) => {
-                    gather_secs += t0.elapsed().as_secs_f64();
-                    let p = from - 1;
-                    let t1 = Instant::now();
-                    let decoded = decode_upload(&buf, sample_counts[p]);
-                    serialize_secs += t1.elapsed().as_secs_f64();
-                    if let Ok((r, upload)) = decoded {
-                        // The machine discards stale, unsolicited and
-                        // forged uploads, and dedups resubmissions of a
-                        // persisted (round, client) key exactly once.
-                        machine.offer_upload(p, r, upload)?;
-                    }
-                    // Undecodable payloads are dropped on the floor.
-                }
+            let received = match comm.recv_any_timeout(wait_until - now) {
+                Ok(ok) => Some(ok),
                 Err(CommError::Timeout { .. }) => {
                     gather_secs += t0.elapsed().as_secs_f64();
-                    timed_out += 1;
-                    telemetry.mark("timeout", Some(round as u64), None, Some("gather"));
-                    break;
+                    if Instant::now() >= deadline {
+                        timed_out += 1;
+                        telemetry.mark("timeout", Some(round as u64), None, Some("gather"));
+                        break;
+                    }
+                    None // woke up for the hedge check, not the deadline
                 }
                 Err(_) => break, // every remaining peer is gone
+            };
+            if let Some((from, buf)) = received {
+                gather_secs += t0.elapsed().as_secs_f64();
+                let p = from - 1;
+                let t1 = Instant::now();
+                let decoded = decode_upload(&buf, sample_counts[p]);
+                serialize_secs += t1.elapsed().as_secs_f64();
+                if let Ok((r, upload)) = decoded {
+                    // The machine discards stale, unsolicited and
+                    // forged uploads, dedups resubmissions of a
+                    // persisted (round, client) key exactly once, and
+                    // turns post-target stragglers away as Late.
+                    match machine.offer_upload(p, r, upload)? {
+                        UploadVerdict::Accepted => {
+                            if let Some(c) = controller.as_deref_mut() {
+                                c.observe_latency(collect_start.elapsed().as_secs_f64());
+                            }
+                        }
+                        UploadVerdict::Late => {
+                            late_clients.push(p);
+                            telemetry.phase_span_secs(
+                                "late_arrival",
+                                collect_start.elapsed().as_secs_f64(),
+                                round as u64,
+                            );
+                        }
+                        UploadVerdict::Duplicate | UploadVerdict::Discarded => {}
+                    }
+                }
+                // Undecodable payloads are dropped on the floor.
+            }
+            // One mid-Collect hedge check: if the linear arrival
+            // projection falls short of the target, re-dispatch the
+            // round's broadcast to (1+α)× the shortfall in standbys.
+            if let (Some(c), Some(t), false) = (controller.as_deref(), target, hedged) {
+                let elapsed = collect_start.elapsed().as_secs_f64();
+                if elapsed >= c.hedge_check_at(deadline_secs) {
+                    hedged = true;
+                    let short = c.hedge_shortfall(elapsed, deadline_secs, machine.arrived(), t);
+                    let wave = (((1.0 + c.config().overselect.max(0.0)) * short as f64).ceil()
+                        as usize)
+                        .min(standby.len());
+                    for &p in standby.iter().take(wave) {
+                        if machine.already_received(p) {
+                            continue;
+                        }
+                        if comm.send(p + 1, msg.clone()).is_ok() {
+                            machine.expect_upload(p)?;
+                            hedges_sent += 1;
+                        }
+                    }
+                    standby.drain(..wave);
+                    if hedges_sent > 0 {
+                        telemetry.count(
+                            "hedges_sent",
+                            hedges_sent as u64,
+                            Some(round as u64),
+                            None,
+                        );
+                    }
+                }
             }
         }
         // Collect closes: uploads are sorted by client id (reproducible
@@ -527,15 +639,39 @@ pub fn run_server_ft<C: Communicator>(
             if machine.was_expected(p) {
                 if machine.already_received(p) && !rejected.iter().any(|&(id, _)| id == p) {
                     roster.record_success(p);
+                } else if late_clients.contains(&p) {
+                    // Over-selection waste, not a fault: the client did
+                    // respond — do not walk it toward suspect/exclude.
                 } else {
                     roster.record_failure(p, round);
                 }
             }
         }
+        if let Some(c) = controller.as_deref_mut() {
+            c.finish_round();
+            if machine.late_count() > 0 {
+                telemetry.count(
+                    "overselect_waste",
+                    machine.late_count() as u64,
+                    Some(round as u64),
+                    None,
+                );
+            }
+        }
         let local_update_secs = local_gauge.drain_max().min(gather_secs);
         let comm_secs = send_secs + (gather_secs - local_update_secs).max(0.0);
 
-        let dropped_clients = active.len().saturating_sub(arrived);
+        // With a controller only the dispatched (and hedged) slice was
+        // ever expected; standbys that stayed idle are not "dropped".
+        let dropped_clients = if controller.is_some() {
+            active
+                .iter()
+                .filter(|&&p| machine.was_expected(p) && !machine.already_received(p))
+                .count()
+                .saturating_sub(late_clients.len())
+        } else {
+            active.len().saturating_sub(arrived)
+        };
         let t = Instant::now();
         if !uploads.is_empty() && uploads.len() >= ft.min_quorum.min(num_clients) {
             if uploads.len() == num_clients {
@@ -561,7 +697,13 @@ pub fn run_server_ft<C: Communicator>(
         let total = round_start.elapsed().as_secs_f64();
 
         let r = round as u64;
-        telemetry.span_secs("local_update", Phase::LocalUpdate, local_update_secs, Some(r), None);
+        telemetry.span_secs(
+            "local_update",
+            Phase::LocalUpdate,
+            local_update_secs,
+            Some(r),
+            None,
+        );
         telemetry.span_secs("serialize", Phase::Serialize, serialize_secs, Some(r), None);
         telemetry.span_secs("comm", Phase::Comm, comm_secs, Some(r), None);
         telemetry.span_secs("aggregate", Phase::Aggregate, aggregate_secs, Some(r), None);
@@ -642,7 +784,13 @@ mod tests {
             width: 28,
             classes: 10,
         };
-        let cfg = config(AlgorithmConfig::FedAvg { lr: 0.05, momentum: 0.9 }, 3);
+        let cfg = config(
+            AlgorithmConfig::FedAvg {
+                lr: 0.05,
+                momentum: 0.9,
+            },
+            3,
+        );
         let test = data.test.clone();
         let mut fed = build_federation(cfg, &data, move |rng| {
             Box::new(mlp_classifier(spec, 8, rng))
@@ -718,7 +866,13 @@ mod tests {
             width: 28,
             classes: 10,
         };
-        let cfg = config(AlgorithmConfig::IiAdmm { rho: 10.0, zeta: 10.0 }, 2);
+        let cfg = config(
+            AlgorithmConfig::IiAdmm {
+                rho: 10.0,
+                zeta: 10.0,
+            },
+            2,
+        );
         let test = data.test.clone();
         let mut fed = build_federation(cfg, &data, move |rng| {
             Box::new(mlp_classifier(spec, 8, rng))

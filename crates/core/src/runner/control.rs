@@ -1,0 +1,365 @@
+//! Adaptive round control: over-selection, quantile deadlines, hedging.
+//!
+//! The static quorum/deadline pair in [`FaultToleranceConfig`] treats
+//! every round identically: broadcast to everyone, wait a fixed wall-time
+//! window, aggregate whatever arrived. At fleet scale that clock is wrong
+//! in both directions — too long on a healthy fleet (the round idles
+//! waiting for stragglers it does not need) and too short under churn
+//! (the deadline guillotines uploads that were seconds away). This module
+//! is the adaptive replacement, three composable policies in one
+//! deterministic controller:
+//!
+//! * **Over-selection** — dispatch ⌈(1+α)·C⌉ clients for a target cohort
+//!   of C and close Collect at the first C accepted uploads. The extra
+//!   α·C dispatches are straggler insurance; whatever they compute past
+//!   the close is counted as `overselect_waste`.
+//! * **Quantile-tracked adaptive deadlines** — the Collect deadline for
+//!   round *t+1* is the EWMA-smoothed p-quantile (default p90) of the
+//!   upload latencies observed in rounds ≤ *t*, times a slack factor,
+//!   clamped to configured bounds. Fast fleets shrink the round clock;
+//!   slow or spiking fleets stretch it instead of mass-dropping.
+//! * **Hedged dispatch** — partway into Collect the controller projects
+//!   the final arrival count from the arrivals so far; if the projection
+//!   falls below the target it re-dispatches the round's broadcast to
+//!   standby clients (the pool members not in the initial dispatch), the
+//!   tail-latency hedge of Dean & Barroso's "The Tail at Scale" applied
+//!   to FL cohorts.
+//!
+//! The controller works in plain `f64` seconds and is a pure function of
+//! its observation sequence, so the *same* policy instance drives the
+//! wall-clock transport runners and the virtual-clock million-client
+//! [`SimEngine`](crate::runner::simulate::SimEngine) — determinism there
+//! stays bit-for-bit.
+//!
+//! [`FaultToleranceConfig`]: crate::config::FaultToleranceConfig
+
+use serde::{Deserialize, Serialize};
+
+/// Knobs of the adaptive round controller. `Copy` + serde so it can ride
+/// inside simulation configs and chaos-run manifests.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoundControlConfig {
+    /// Over-selection factor α: dispatch ⌈(1+α)·C⌉ clients for a target
+    /// cohort of C (0.0 = no over-selection).
+    pub overselect: f64,
+    /// Latency quantile tracked for the adaptive deadline (e.g. 0.9 for
+    /// p90), in `(0, 1]`.
+    pub quantile: f64,
+    /// Slack multiplier applied to the tracked quantile when deriving
+    /// the next deadline (≥ 1.0 leaves headroom above the quantile).
+    pub slack: f64,
+    /// EWMA smoothing factor in `(0, 1]` for folding each round's
+    /// quantile into the running estimate (1.0 = latest round only).
+    pub ewma: f64,
+    /// Lower clamp on the adaptive deadline, in seconds.
+    pub min_deadline_secs: f64,
+    /// Upper clamp on the adaptive deadline, in seconds — also the
+    /// deadline used before any latency has been observed.
+    pub max_deadline_secs: f64,
+    /// When to evaluate the hedge: at `hedge_fraction × deadline`
+    /// elapsed. `1.0` (or anything ≥ 1.0) disables hedging.
+    pub hedge_fraction: f64,
+    /// Push-mode target fraction: the comm runner's target cohort C is
+    /// `⌈target_fraction × active⌉` (clamped to the quorum). Ignored by
+    /// the simulator, whose `SimConfig::cohort` *is* C.
+    pub target_fraction: f64,
+}
+
+impl Default for RoundControlConfig {
+    fn default() -> Self {
+        RoundControlConfig {
+            overselect: 0.25,
+            quantile: 0.9,
+            slack: 1.5,
+            ewma: 0.5,
+            min_deadline_secs: 0.05,
+            max_deadline_secs: 60.0,
+            hedge_fraction: 0.5,
+            target_fraction: 0.8,
+        }
+    }
+}
+
+impl RoundControlConfig {
+    /// The push-mode target cohort C for a pool of `active` clients with
+    /// aggregation quorum `quorum`: `⌈target_fraction × active⌉`, never
+    /// below the (pool-clamped) quorum, never above the pool.
+    pub fn push_target(&self, active: usize, quorum: usize) -> usize {
+        let c = (self.target_fraction * active as f64).ceil() as usize;
+        c.clamp(quorum.clamp(1, active.max(1)), active.max(1))
+    }
+}
+
+/// The dispatch split [`RoundController::plan`] produces: who the
+/// broadcast goes to now, who is held back as hedge capacity, and how
+/// many accepted uploads close the Collect phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundPlan {
+    /// Clients the round's broadcast goes to immediately
+    /// (⌈(1+α)·target⌉, capped by the pool).
+    pub dispatch: Vec<usize>,
+    /// Pool members held back; hedged re-dispatch draws from here.
+    pub standby: Vec<usize>,
+    /// Accepted uploads that close Collect (≤ `dispatch.len()`).
+    pub target: usize,
+}
+
+/// The adaptive round controller: owns the cross-round latency quantile
+/// estimate and answers the three per-round questions — who to dispatch,
+/// how long to wait, and when to hedge. Deterministic: its outputs are a
+/// pure function of the config and the observed latency sequence.
+#[derive(Debug, Clone)]
+pub struct RoundController {
+    cfg: RoundControlConfig,
+    /// EWMA-smoothed latency quantile across finished rounds (seconds).
+    smoothed: Option<f64>,
+    /// Upload latencies observed in the round currently collecting.
+    window: Vec<f64>,
+}
+
+impl RoundController {
+    /// A controller with no latency history (the first deadline is the
+    /// configured maximum).
+    pub fn new(cfg: RoundControlConfig) -> Self {
+        RoundController {
+            cfg,
+            smoothed: None,
+            window: Vec::new(),
+        }
+    }
+
+    /// The configuration the controller runs.
+    pub fn config(&self) -> &RoundControlConfig {
+        &self.cfg
+    }
+
+    /// Splits `available` into dispatch and standby for a target cohort
+    /// of `target`: the first ⌈(1+α)·target⌉ members are dispatched, the
+    /// rest held back for hedging. `available` arrives in the caller's
+    /// order (roster order, sampler order) so the split is deterministic.
+    pub fn plan(&self, available: &[usize], target: usize) -> RoundPlan {
+        let target = target.min(available.len());
+        let dispatch_n = (((1.0 + self.cfg.overselect.max(0.0)) * target as f64).ceil() as usize)
+            .clamp(target, available.len());
+        RoundPlan {
+            dispatch: available[..dispatch_n].to_vec(),
+            standby: available[dispatch_n..].to_vec(),
+            target,
+        }
+    }
+
+    /// The Collect deadline for the next round, in seconds from the
+    /// start of Collect: smoothed quantile × slack, clamped to the
+    /// configured bounds. Before any observation: the maximum bound.
+    pub fn deadline_secs(&self) -> f64 {
+        let raw = match self.smoothed {
+            Some(q) => q * self.cfg.slack,
+            None => self.cfg.max_deadline_secs,
+        };
+        raw.clamp(self.cfg.min_deadline_secs, self.cfg.max_deadline_secs)
+    }
+
+    /// Records one accepted upload's latency (seconds from the start of
+    /// Collect to its arrival).
+    pub fn observe_latency(&mut self, secs: f64) {
+        if secs.is_finite() && secs >= 0.0 {
+            self.window.push(secs);
+        }
+    }
+
+    /// Latencies observed in the current round so far.
+    pub fn observed(&self) -> usize {
+        self.window.len()
+    }
+
+    /// The instant (seconds into Collect) at which the hedge decision is
+    /// evaluated, for the given round deadline.
+    pub fn hedge_check_at(&self, deadline: f64) -> f64 {
+        deadline * self.cfg.hedge_fraction.max(0.0)
+    }
+
+    /// The hedge decision at `elapsed` seconds into Collect: linearly
+    /// project the arrival rate so far to the deadline; if the projected
+    /// total falls short of `target`, return the shortfall — the number
+    /// of standby clients to re-dispatch to. Returns 0 when the
+    /// projection meets the target, when hedging is disabled
+    /// (`hedge_fraction ≥ 1`), or before the check instant.
+    pub fn hedge_shortfall(
+        &self,
+        elapsed: f64,
+        deadline: f64,
+        accepted: usize,
+        target: usize,
+    ) -> usize {
+        if self.cfg.hedge_fraction >= 1.0 || elapsed < self.hedge_check_at(deadline) {
+            return 0;
+        }
+        if elapsed <= 0.0 || deadline <= 0.0 {
+            return target.saturating_sub(accepted);
+        }
+        let projected = (accepted as f64 * (deadline / elapsed)).floor() as usize;
+        target.saturating_sub(projected.max(accepted))
+    }
+
+    /// Closes the round's observation window: folds its p-quantile into
+    /// the EWMA estimate and clears the window. A round with no accepted
+    /// uploads leaves the estimate untouched (there is nothing to learn
+    /// from silence except that the deadline was too short — the clamp
+    /// ceiling already bounds how far the controller can be wrong).
+    pub fn finish_round(&mut self) {
+        if self.window.is_empty() {
+            return;
+        }
+        let mut w = std::mem::take(&mut self.window);
+        w.sort_by(|a, b| a.total_cmp(b));
+        let q = self.cfg.quantile.clamp(0.0, 1.0);
+        let idx = ((w.len() as f64 * q).ceil() as usize).clamp(1, w.len()) - 1;
+        let round_q = w[idx];
+        let a = self.cfg.ewma.clamp(0.0, 1.0);
+        self.smoothed = Some(match self.smoothed {
+            Some(prev) => (1.0 - a) * prev + a * round_q,
+            None => round_q,
+        });
+    }
+
+    /// The current smoothed latency-quantile estimate, if any round has
+    /// contributed observations yet.
+    pub fn smoothed_quantile(&self) -> Option<f64> {
+        self.smoothed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> RoundControlConfig {
+        RoundControlConfig {
+            overselect: 0.5,
+            quantile: 0.9,
+            slack: 1.2,
+            ewma: 0.5,
+            min_deadline_secs: 1.0,
+            max_deadline_secs: 100.0,
+            hedge_fraction: 0.5,
+            target_fraction: 0.8,
+        }
+    }
+
+    #[test]
+    fn plan_splits_dispatch_and_standby_at_the_overselect_boundary() {
+        let c = RoundController::new(cfg());
+        let pool: Vec<usize> = (0..10).collect();
+        let plan = c.plan(&pool, 4);
+        // ⌈1.5 × 4⌉ = 6 dispatched, 4 standby, close at 4.
+        assert_eq!(plan.dispatch, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(plan.standby, vec![6, 7, 8, 9]);
+        assert_eq!(plan.target, 4);
+    }
+
+    #[test]
+    fn plan_saturates_on_a_small_pool() {
+        let c = RoundController::new(cfg());
+        let pool: Vec<usize> = (0..3).collect();
+        let plan = c.plan(&pool, 8);
+        assert_eq!(plan.dispatch.len(), 3, "cannot dispatch beyond the pool");
+        assert!(plan.standby.is_empty());
+        assert_eq!(plan.target, 3, "target clamps to the pool");
+    }
+
+    #[test]
+    fn deadline_starts_at_the_ceiling_then_tracks_the_quantile() {
+        let mut c = RoundController::new(cfg());
+        assert_eq!(c.deadline_secs(), 100.0, "no history → max bound");
+        for i in 1..=10 {
+            c.observe_latency(i as f64); // p90 of 1..=10 is 9
+        }
+        c.finish_round();
+        assert_eq!(c.smoothed_quantile(), Some(9.0));
+        assert!((c.deadline_secs() - 9.0 * 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ewma_smooths_across_rounds_and_clamps_apply() {
+        let mut c = RoundController::new(cfg());
+        c.observe_latency(10.0);
+        c.finish_round();
+        c.observe_latency(20.0);
+        c.finish_round();
+        // 0.5 × 10 + 0.5 × 20 = 15.
+        assert_eq!(c.smoothed_quantile(), Some(15.0));
+
+        let mut fast = RoundController::new(cfg());
+        fast.observe_latency(0.01);
+        fast.finish_round();
+        assert_eq!(fast.deadline_secs(), 1.0, "floor clamp");
+        let mut slow = RoundController::new(cfg());
+        slow.observe_latency(1.0e6);
+        slow.finish_round();
+        assert_eq!(slow.deadline_secs(), 100.0, "ceiling clamp");
+    }
+
+    #[test]
+    fn empty_round_leaves_the_estimate_untouched() {
+        let mut c = RoundController::new(cfg());
+        c.observe_latency(5.0);
+        c.finish_round();
+        let before = c.smoothed_quantile();
+        c.finish_round(); // nothing observed
+        assert_eq!(c.smoothed_quantile(), before);
+    }
+
+    #[test]
+    fn hedge_projects_arrivals_linearly() {
+        let c = RoundController::new(cfg());
+        // Before the check instant (0.5 × 10 = 5s): never hedge.
+        assert_eq!(c.hedge_shortfall(2.0, 10.0, 1, 8), 0);
+        // At 5s with 2 accepted, projection = 2 × (10/5) = 4 < 8: short 4.
+        assert_eq!(c.hedge_shortfall(5.0, 10.0, 2, 8), 4);
+        // On track: 4 accepted at half time projects to 8.
+        assert_eq!(c.hedge_shortfall(5.0, 10.0, 4, 8), 0);
+        // Already at target.
+        assert_eq!(c.hedge_shortfall(5.0, 10.0, 8, 8), 0);
+    }
+
+    #[test]
+    fn hedging_disabled_at_fraction_one() {
+        let c = RoundController::new(RoundControlConfig {
+            hedge_fraction: 1.0,
+            ..cfg()
+        });
+        assert_eq!(c.hedge_shortfall(9.9, 10.0, 0, 8), 0);
+    }
+
+    #[test]
+    fn push_target_respects_quorum_and_pool() {
+        let rc = cfg();
+        assert_eq!(rc.push_target(10, 2), 8, "⌈0.8 × 10⌉");
+        assert_eq!(rc.push_target(10, 9), 9, "quorum lifts the target");
+        assert_eq!(rc.push_target(3, 1), 3, "⌈0.8 × 3⌉ = 3 = pool");
+        assert_eq!(rc.push_target(0, 1), 1.min(1), "degenerate pool");
+    }
+
+    #[test]
+    fn controller_is_deterministic_for_a_latency_sequence() {
+        let run = || {
+            let mut c = RoundController::new(cfg());
+            for r in 0..5 {
+                for i in 0..20 {
+                    c.observe_latency(0.5 + 0.1 * ((r * 7 + i * 3) % 13) as f64);
+                }
+                c.finish_round();
+            }
+            c.deadline_secs()
+        };
+        assert_eq!(run(), run(), "pure function of the observation sequence");
+    }
+
+    #[test]
+    fn config_serde_roundtrip() {
+        let rc = cfg();
+        let json = serde_json::to_string(&rc).unwrap();
+        let back: RoundControlConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rc);
+    }
+}

@@ -1,60 +1,34 @@
-//! The legacy unified federation-run API (deprecated shim).
+//! The transport federation engine behind the typed run API.
 //!
-//! Historically every deployment shape had its own entry point —
-//! `CommRunner::run` / `run_ft` for push mode, `run_rpc_federation` /
-//! `run_rpc_federation_ft` for pull mode, `serve` / `serve_ft` underneath —
-//! six functions whose argument lists drifted apart as fault tolerance and
-//! telemetry grew. [`FederationBuilder`] collapses them into one fluent
-//! call chain:
-//!
-//! ```no_run
-//! # use appfl_core::FederationBuilder;
-//! # use appfl_comm::transport::InProcNetwork;
-//! # use std::sync::Arc;
-//! # fn demo(server: Box<dyn appfl_core::ServerAlgorithm>,
-//! #         clients: Vec<Box<dyn appfl_core::ClientAlgorithm>>,
-//! #         template: &mut dyn appfl_nn::module::Module,
-//! #         test: &appfl_data::InMemoryDataset) {
-//! let outcome = FederationBuilder::new(server, clients)
-//!     .transport(InProcNetwork::new(4))
-//!     .rounds(10)
-//!     .dataset("MNIST")
-//!     .evaluation(template, test)
-//!     .fault_tolerance(2, std::time::Duration::from_secs(2))
-//!     .telemetry(Arc::new(appfl_telemetry::JsonlSink::create("run.jsonl").unwrap()))
-//!     .run()
-//!     .unwrap();
-//! # }
-//! ```
-//!
-//! The historical entry points were removed once every call site had
-//! migrated. The builder itself has since been superseded by the typed
-//! [`Federation`](crate::federation::Federation) API, which separates
-//! topology / population / resilience / observability and validates the
-//! combination up front; [`FederationBuilder`] stays on as a deprecated
-//! shim (and as the engine behind the `Comm`/`Rpc` topologies).
-//!
-//! With [`FederationBuilder::durable`] the coordinator persists every
-//! phase transition into a [`crate::store::CoordinatorStore`] and a
-//! restarted run *resumes* where the store left off — see the
-//! [`crate::store`] module docs for the recovery semantics.
+//! Historically every deployment shape had its own entry point — six
+//! functions whose argument lists drifted apart — then one fluent
+//! `FederationBuilder`, deprecated in 0.7.0 and removed in 0.8.0. What
+//! remains here is the *engine*: [`TransportRun`] executes a validated
+//! push (broadcast/gather) or pull (RPC polling) federation over any
+//! [`Communicator`], spawning one thread per client and the server loop
+//! on the calling thread. It is constructed exclusively by
+//! [`ConfiguredFederation::run`](crate::federation::ConfiguredFederation)
+//! — user code goes through
+//! [`Federation::builder()`](crate::federation::Federation), which
+//! validates the topology/population/resilience/observe combination up
+//! front — plus [`FederationOutcome`], the public result type both
+//! share.
 
 use crate::api::{ClientAlgorithm, ServerAlgorithm};
 use crate::config::FaultToleranceConfig;
 use crate::defense::{RobustAggregator, RobustServer, UpdateGuard, UpdateGuardConfig};
 use crate::error::Error;
 use crate::metrics::History;
-use crate::store::DurableCoordinator;
 use crate::runner::comm::{run_client, run_client_ft, run_server, run_server_ft};
+use crate::runner::control::{RoundControlConfig, RoundController};
 use crate::runner::rpc::{run_rpc_client, run_rpc_client_ft, SyncRoundService};
+use crate::store::DurableCoordinator;
 use appfl_comm::rpc::{serve_with, ServeOptions};
 use appfl_comm::transport::Communicator;
 use appfl_data::InMemoryDataset;
 use appfl_nn::module::Module;
-use appfl_telemetry::{EventSink, Gauge, MetricsRegistry, NoopSink, Telemetry};
+use appfl_telemetry::{Gauge, Telemetry};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
 
 /// What a completed federation run hands back.
 #[derive(Debug)]
@@ -77,213 +51,64 @@ pub struct FederationOutcome {
     pub duplicates: usize,
 }
 
-struct Eval<'a> {
-    template: &'a mut dyn Module,
-    test: &'a InMemoryDataset,
+/// Server-side evaluation setup: a template module matching the global
+/// model's parameterisation plus the test set.
+pub(crate) struct Eval<'a> {
+    pub(crate) template: &'a mut dyn Module,
+    pub(crate) test: &'a InMemoryDataset,
 }
 
-/// Builder for a federation run over any [`Communicator`] — the single
-/// entry point for push (broadcast/gather) and pull (RPC polling) modes,
-/// with or without fault tolerance, with or without telemetry.
-///
-/// Required: `.transport(endpoints)` (rank 0 serves). Push mode (the
-/// default) also requires `.evaluation(template, test)`. Everything else
-/// has defaults: 1 round, ε = ∞, no fault tolerance, no telemetry.
-#[deprecated(
-    since = "0.7.0",
-    note = "use Federation::builder() — .topology(..).population(..).resilience(..).observe(..)"
-)]
-pub struct FederationBuilder<'a, C: Communicator + 'static> {
-    server: Box<dyn ServerAlgorithm>,
-    clients: Vec<Box<dyn ClientAlgorithm>>,
-    endpoints: Option<Vec<C>>,
-    rounds: usize,
-    epsilon: f64,
-    dataset: String,
-    eval: Option<Eval<'a>>,
-    ft: Option<FaultToleranceConfig>,
-    sink: Option<Arc<dyn EventSink>>,
-    registry: Option<MetricsRegistry>,
-    pull: bool,
-    robust: Option<RobustAggregator>,
-    guard: Option<UpdateGuardConfig>,
-    durable: Option<DurableCoordinator>,
+/// A fully assembled transport federation, ready to execute. All
+/// combination validation already happened in
+/// [`FederationConfig::build`](crate::federation::FederationConfig::build);
+/// the checks left here are runtime ones (endpoint shape against the
+/// actual client list, transport capabilities).
+pub(crate) struct TransportRun<'a, C: Communicator + 'static> {
+    pub(crate) server: Box<dyn ServerAlgorithm>,
+    pub(crate) clients: Vec<Box<dyn ClientAlgorithm>>,
+    pub(crate) endpoints: Vec<C>,
+    pub(crate) rounds: usize,
+    pub(crate) epsilon: f64,
+    pub(crate) dataset: String,
+    pub(crate) eval: Option<Eval<'a>>,
+    pub(crate) ft: Option<FaultToleranceConfig>,
+    pub(crate) telemetry: Telemetry,
+    pub(crate) pull: bool,
+    pub(crate) robust: Option<RobustAggregator>,
+    pub(crate) guard: Option<UpdateGuardConfig>,
+    pub(crate) durable: Option<DurableCoordinator>,
+    pub(crate) round_control: Option<RoundControlConfig>,
 }
 
-#[allow(deprecated)]
-impl<'a, C: Communicator + 'static> FederationBuilder<'a, C> {
-    /// Starts a builder for `server` and its `clients`.
-    pub fn new(server: Box<dyn ServerAlgorithm>, clients: Vec<Box<dyn ClientAlgorithm>>) -> Self {
-        FederationBuilder {
-            server,
-            clients,
-            endpoints: None,
-            rounds: 1,
-            epsilon: f64::INFINITY,
-            dataset: "unspecified".into(),
-            eval: None,
-            ft: None,
-            sink: None,
-            registry: None,
-            pull: false,
-            robust: None,
-            guard: None,
-            durable: None,
-        }
-    }
-
-    /// The transport endpoints, one per rank: `endpoints[0]` is the
-    /// server, `endpoints[p]` hosts client `p − 1`.
-    pub fn transport(mut self, endpoints: Vec<C>) -> Self {
-        self.endpoints = Some(endpoints);
-        self
-    }
-
-    /// Number of communication rounds (default 1).
-    pub fn rounds(mut self, rounds: usize) -> Self {
-        self.rounds = rounds;
-        self
-    }
-
-    /// Privacy budget ε̄ recorded in the history (default ∞ = non-private).
-    pub fn epsilon(mut self, epsilon: f64) -> Self {
-        self.epsilon = epsilon;
-        self
-    }
-
-    /// Dataset name recorded in the history.
-    pub fn dataset(mut self, dataset: impl Into<String>) -> Self {
-        self.dataset = dataset.into();
-        self
-    }
-
-    /// Server-side evaluation: a template module matching the global
-    /// model's parameterisation plus the test set. Required in push mode,
-    /// where every round evaluates `w^{t+1}`; ignored in pull mode.
-    pub fn evaluation(mut self, template: &'a mut dyn Module, test: &'a InMemoryDataset) -> Self {
-        self.eval = Some(Eval { template, test });
-        self
-    }
-
-    /// Enables fault tolerance with the given quorum and round deadline;
-    /// retry/backoff parameters come from [`FaultToleranceConfig`]'s
-    /// defaults. Use [`FederationBuilder::fault_tolerance_config`] for
-    /// full control.
-    pub fn fault_tolerance(mut self, min_quorum: usize, deadline: Duration) -> Self {
-        self.ft = Some(FaultToleranceConfig {
-            min_quorum,
-            round_timeout_ms: deadline.as_millis() as u64,
-            ..FaultToleranceConfig::default()
-        });
-        self
-    }
-
-    /// Enables fault tolerance with an explicit configuration.
-    pub fn fault_tolerance_config(mut self, ft: FaultToleranceConfig) -> Self {
-        self.ft = Some(ft);
-        self
-    }
-
-    /// Records structured events (per-phase spans, retry/timeout marks,
-    /// byte counters) into `sink`. The default is the zero-cost no-op.
-    pub fn telemetry(mut self, sink: Arc<dyn EventSink>) -> Self {
-        self.sink = Some(sink);
-        self
-    }
-
-    /// Mirrors every emitted event into `registry` — spans as duration
-    /// histograms, counts/marks as counters, gauges as gauges — so a
-    /// Prometheus-text or JSON snapshot can be taken after (or during)
-    /// the run with [`MetricsRegistry::to_prometheus_text`]. Composes
-    /// with [`FederationBuilder::telemetry`]; with a registry but no
-    /// sink, events are aggregated without being recorded individually.
-    pub fn metrics(mut self, registry: MetricsRegistry) -> Self {
-        self.registry = Some(registry);
-        self
-    }
-
-    /// Replaces the server's aggregation rule with a Byzantine-robust one:
-    /// the configured server is wrapped in a
-    /// [`crate::defense::RobustServer`] that inherits its current global
-    /// model and aggregates each round with `aggregator` (coordinate-wise
-    /// median, trimmed mean, Krum, …) instead of the plain weighted mean.
-    pub fn robust(mut self, aggregator: RobustAggregator) -> Self {
-        self.robust = Some(aggregator);
-        self
-    }
-
-    /// Screens every incoming upload with an [`UpdateGuard`] before it can
-    /// reach the aggregator: NaN/Inf and mis-dimensioned uploads are
-    /// rejected (and, under fault tolerance, recorded as roster failures
-    /// so repeat offenders are excluded), norm outliers are clipped or
-    /// rejected per `config`. Rejections and clips surface in each
-    /// [`crate::RoundRecord`] and as `update_rejected` / `update_clipped`
-    /// telemetry events with per-client `update_norm` gauges.
-    pub fn update_guard(mut self, config: UpdateGuardConfig) -> Self {
-        self.guard = Some(config);
-        self
-    }
-
-    /// Switches to pull mode: the server passively serves `GetWeight` /
-    /// `SendResults` RPCs and clients poll — the flow of a real APPFL gRPC
-    /// deployment. No per-round evaluation, so the outcome has no history.
-    pub fn pull(mut self) -> Self {
-        self.pull = true;
-        self
-    }
-
-    /// Attaches a durable coordinator: every phase transition is appended
-    /// to its [`crate::store::CoordinatorStore`] before the run proceeds,
-    /// and a builder handed a coordinator whose store already holds a
-    /// prior run *resumes* it — mid-round if one was in flight — instead
-    /// of starting over. Re-sent uploads are deduplicated by
-    /// `(round, client_id)` and counted in
-    /// [`FederationOutcome::duplicates`]. Resuming requires fault
-    /// tolerance or pull mode; see [`crate::store`] for semantics and
-    /// [`crate::store::DurableCoordinator::crash_after`] for fault
-    /// injection.
-    pub fn durable(mut self, durable: DurableCoordinator) -> Self {
-        self.durable = Some(durable);
-        self
-    }
-
+impl<'a, C: Communicator + 'static> TransportRun<'a, C> {
     /// Executes the federation and returns the outcome.
     ///
-    /// Errors: [`Error::Config`] for a missing/mis-sized transport, a
-    /// missing evaluation setup in push mode, or an invalid quorum;
+    /// Errors: [`Error::Config`] for a mis-sized transport;
     /// [`Error::Unsupported`] when fault tolerance or pull mode is
     /// requested on a transport without `recv_any` multiplexing (see
     /// [`Communicator::supports_recv_any`]); [`Error::Tensor`] /
     /// [`Error::Comm`] for failures during the run itself.
-    pub fn run(self) -> Result<FederationOutcome, Error> {
-        let FederationBuilder {
+    pub(crate) fn run(self) -> Result<FederationOutcome, Error> {
+        let TransportRun {
             mut server,
             mut clients,
-            endpoints,
+            mut endpoints,
             rounds,
             epsilon,
             dataset,
             eval,
             ft,
-            sink,
-            registry,
+            telemetry,
             pull,
             robust,
             guard,
             mut durable,
+            round_control,
         } = self;
-        let telemetry = match (sink, registry) {
-            (Some(sink), Some(registry)) => Telemetry::with_registry(sink, registry),
-            (Some(sink), None) => Telemetry::new(sink),
-            (None, Some(registry)) => Telemetry::with_registry(Arc::new(NoopSink), registry),
-            (None, None) => Telemetry::disabled(),
-        };
         if let Some(aggregator) = robust {
             server = Box::new(RobustServer::wrap(server, aggregator));
         }
         let mut guard = guard.map(|cfg| UpdateGuard::new(server.dim(), cfg));
-        let mut endpoints = endpoints
-            .ok_or_else(|| Error::config("no transport configured: call .transport(endpoints)"))?;
         if clients.is_empty() {
             return Err(Error::config("a federation needs at least one client"));
         }
@@ -330,6 +155,9 @@ impl<'a, C: Communicator + 'static> FederationBuilder<'a, C> {
             let mut service = SyncRoundService::new(server, num_clients, rounds, sample_counts)
                 .with_quorum(quorum)?
                 .with_telemetry(telemetry.clone());
+            if let Some(rc) = round_control {
+                service = service.with_round_control(rc);
+            }
             if let Some(guard) = guard.take() {
                 service = service.with_guard(guard);
             }
@@ -342,8 +170,9 @@ impl<'a, C: Communicator + 'static> FederationBuilder<'a, C> {
                     None => {
                         for (client, ep) in clients.into_iter().zip(endpoints) {
                             let tl = telemetry.clone();
-                            handles
-                                .push(scope.spawn(move || run_rpc_client(client, &ep, &tl).map(drop)));
+                            handles.push(
+                                scope.spawn(move || run_rpc_client(client, &ep, &tl).map(drop)),
+                            );
                         }
                         ServeOptions {
                             telemetry: telemetry.clone(),
@@ -351,9 +180,7 @@ impl<'a, C: Communicator + 'static> FederationBuilder<'a, C> {
                         }
                     }
                     Some(ft) => {
-                        for (i, (client, ep)) in
-                            clients.into_iter().zip(endpoints).enumerate()
-                        {
+                        for (i, (client, ep)) in clients.into_iter().zip(endpoints).enumerate() {
                             let policy = ft.retry_policy(i as u64 + 1);
                             let timeout = ft.round_timeout();
                             let retries = &retries;
@@ -380,10 +207,7 @@ impl<'a, C: Communicator + 'static> FederationBuilder<'a, C> {
                 return Err(e);
             }
             let completed_rounds = service.completed_rounds();
-            let duplicates = service
-                .take_durable()
-                .map(|d| d.duplicates())
-                .unwrap_or(0);
+            let duplicates = service.take_durable().map(|d| d.duplicates()).unwrap_or(0);
             FederationOutcome {
                 model: service.into_server().global_model(),
                 completed_rounds,
@@ -397,6 +221,7 @@ impl<'a, C: Communicator + 'static> FederationBuilder<'a, C> {
                 Error::config("push mode evaluates every round: call .evaluation(template, test)")
             })?;
             let gauge = Gauge::new();
+            let mut controller = round_control.map(RoundController::new);
             let history = std::thread::scope(|scope| {
                 let mut handles = Vec::new();
                 let h = match &ft {
@@ -424,9 +249,7 @@ impl<'a, C: Communicator + 'static> FederationBuilder<'a, C> {
                         )
                     }
                     Some(ft) => {
-                        for (i, (client, ep)) in
-                            clients.into_iter().zip(endpoints).enumerate()
-                        {
+                        for (i, (client, ep)) in clients.into_iter().zip(endpoints).enumerate() {
                             let policy = ft.retry_policy(i as u64 + 1);
                             let recv_timeout = ft.round_timeout();
                             let retries = &retries;
@@ -459,6 +282,7 @@ impl<'a, C: Communicator + 'static> FederationBuilder<'a, C> {
                             &gauge,
                             guard.as_mut(),
                             durable.as_mut(),
+                            controller.as_mut(),
                         )
                     }
                 };
@@ -478,165 +302,5 @@ impl<'a, C: Communicator + 'static> FederationBuilder<'a, C> {
         };
         telemetry.flush();
         Ok(outcome)
-    }
-}
-
-#[cfg(test)]
-#[allow(deprecated)] // these are the shim tests for the deprecated builder
-mod tests {
-    use super::*;
-    use crate::algorithms::build_federation;
-    use crate::config::{AlgorithmConfig, FedConfig};
-    use appfl_comm::transport::InProcNetwork;
-    use appfl_data::federated::{build_benchmark, Benchmark};
-    use appfl_nn::models::{mlp_classifier, InputSpec};
-    use appfl_privacy::PrivacyConfig;
-    use appfl_telemetry::MemorySink;
-
-    fn federation(rounds: usize) -> (crate::algorithms::FederationSetup, InMemoryDataset) {
-        let data = build_benchmark(Benchmark::Mnist, 3, 90, 30, 2).unwrap();
-        let spec = InputSpec {
-            channels: 1,
-            height: 28,
-            width: 28,
-            classes: 10,
-        };
-        let config = FedConfig {
-            algorithm: AlgorithmConfig::FedAvg {
-                lr: 0.05,
-                momentum: 0.9,
-            },
-            rounds,
-            local_steps: 1,
-            batch_size: 16,
-            privacy: PrivacyConfig::none(),
-            seed: 4,
-        };
-        let test = data.test.clone();
-        let fed = build_federation(config, &data, move |rng| {
-            Box::new(mlp_classifier(spec, 8, rng))
-        });
-        (fed, test)
-    }
-
-    #[test]
-    fn missing_transport_is_a_config_error() {
-        let (fed, _test) = federation(1);
-        let err = FederationBuilder::<appfl_comm::transport::InProcEndpoint>::new(
-            fed.server, fed.clients,
-        )
-        .run()
-        .unwrap_err();
-        assert!(matches!(err, Error::Config(_)), "{err}");
-    }
-
-    #[test]
-    fn push_mode_without_evaluation_is_a_config_error() {
-        let (fed, _test) = federation(1);
-        let err = FederationBuilder::new(fed.server, fed.clients)
-            .transport(InProcNetwork::new(4))
-            .run()
-            .unwrap_err();
-        assert!(matches!(err, Error::Config(_)), "{err}");
-        assert!(err.to_string().contains("evaluation"));
-    }
-
-    #[test]
-    fn mis_sized_transport_is_a_config_error() {
-        let (mut fed, test) = federation(1);
-        let err = FederationBuilder::new(fed.server, fed.clients)
-            .transport(InProcNetwork::new(2)) // 3 clients need 4 endpoints
-            .evaluation(fed.template.as_mut(), &test)
-            .run()
-            .unwrap_err();
-        assert!(matches!(err, Error::Config(_)), "{err}");
-    }
-
-    #[test]
-    fn builder_runs_push_federation_with_telemetry() {
-        let (mut fed, test) = federation(2);
-        let sink = Arc::new(MemorySink::new());
-        let outcome = FederationBuilder::new(fed.server, fed.clients)
-            .transport(InProcNetwork::new(4))
-            .rounds(2)
-            .dataset("MNIST")
-            .evaluation(fed.template.as_mut(), &test)
-            .telemetry(sink.clone())
-            .run()
-            .unwrap();
-        assert_eq!(outcome.completed_rounds, 2);
-        assert_eq!(outcome.retries, 0);
-        let history = outcome.history.expect("push mode records a history");
-        assert_eq!(history.rounds.len(), 2);
-        assert!(outcome.model.iter().all(|x| x.is_finite()));
-        let summary = appfl_telemetry::RunSummary::from_events(&sink.events());
-        assert_eq!(summary.rounds.len(), 2, "one phase group per round");
-        for (round, phases) in &summary.rounds {
-            assert!(phases.local_update > 0.0, "round {round} no local span");
-            assert!(phases.total() > 0.0);
-        }
-        assert!(summary.counter("upload_bytes") > 0);
-    }
-
-    #[test]
-    fn metrics_registry_snapshots_the_run() {
-        let (mut fed, test) = federation(2);
-        let registry = MetricsRegistry::new();
-        let outcome = FederationBuilder::new(fed.server, fed.clients)
-            .transport(InProcNetwork::new(4))
-            .rounds(2)
-            .evaluation(fed.template.as_mut(), &test)
-            .metrics(registry.clone())
-            .run()
-            .unwrap();
-        assert_eq!(outcome.completed_rounds, 2);
-        let text = registry.to_prometheus_text();
-        let families = appfl_telemetry::validate_prometheus_text(&text).unwrap();
-        // Phase histograms + upload_bytes + diagnostics gauges, at least.
-        assert!(families >= 5, "only {families} families:\n{text}");
-        assert!(text.contains("appfl_local_update"), "{text}");
-        assert!(text.contains("appfl_update_norm"), "{text}");
-    }
-
-    #[test]
-    fn builder_runs_pull_federation() {
-        let (fed, _test) = federation(2);
-        let outcome = FederationBuilder::new(fed.server, fed.clients)
-            .transport(InProcNetwork::new(4))
-            .rounds(2)
-            .pull()
-            .run()
-            .unwrap();
-        assert_eq!(outcome.completed_rounds, 2);
-        assert!(outcome.history.is_none(), "pull mode has no history");
-        assert!(outcome.model.iter().all(|x| x.is_finite()));
-    }
-
-    #[test]
-    fn builder_runs_ft_federation_without_faults() {
-        let (mut fed, test) = federation(2);
-        let outcome = FederationBuilder::new(fed.server, fed.clients)
-            .transport(InProcNetwork::new(4))
-            .rounds(2)
-            .evaluation(fed.template.as_mut(), &test)
-            .fault_tolerance(3, Duration::from_secs(5))
-            .run()
-            .unwrap();
-        assert_eq!(outcome.completed_rounds, 2);
-        let history = outcome.history.unwrap();
-        assert_eq!(history.total_dropped_clients(), 0);
-    }
-
-    #[test]
-    fn bad_quorum_surfaces_as_config_error_in_pull_mode() {
-        let (fed, _test) = federation(1);
-        let err = FederationBuilder::new(fed.server, fed.clients)
-            .transport(InProcNetwork::new(4))
-            .pull()
-            .fault_tolerance(0, Duration::from_millis(50))
-            .run();
-        // quorum is clamped to ≥ 1, so 0 is repaired rather than fatal;
-        // the run itself must still complete.
-        assert!(err.is_ok());
     }
 }

@@ -136,7 +136,10 @@ mod tests {
         assert_eq!(r.begin_round(1), vec![0, 1, 2]);
         assert!(!r.record_failure(1, 1), "one failure is not suspicion yet");
         assert_eq!(r.begin_round(2), vec![0, 1, 2]);
-        assert!(r.record_failure(1, 2), "second consecutive failure excludes");
+        assert!(
+            r.record_failure(1, 2),
+            "second consecutive failure excludes"
+        );
         assert_eq!(r.begin_round(3), vec![0, 2]);
         assert!(r.is_excluded(1));
         assert_eq!(r.excluded(), 1);

@@ -1,18 +1,19 @@
 //! Federation runners: serial/rayon, transport-threaded, and asynchronous.
 
+pub mod r#async;
 pub mod async_service;
 pub mod comm;
+pub mod control;
 pub mod federation;
 pub mod ft;
 pub mod phases;
 pub mod pubsub;
 pub mod rpc;
-pub mod r#async;
 pub mod serial;
 pub mod simulate;
 
-#[allow(deprecated)]
-pub use federation::{FederationBuilder, FederationOutcome};
+pub use control::{RoundControlConfig, RoundController, RoundPlan};
+pub use federation::FederationOutcome;
 pub use ft::ClientRoster;
 pub use phases::{CohortReport, PhaseEvent, PhaseKind, PhaseMachine, UploadVerdict};
 pub use r#async::{AsyncConfig, AsyncFedServer};

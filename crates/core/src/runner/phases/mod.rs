@@ -8,13 +8,21 @@
 //! `state_machine/phases/`:
 //!
 //! ```text
-//! Idle ──BeginRound──▶ Select ──BeginCollect──▶ Collect ─┐ Upload (self)
-//!  ▲                                               ▲─────┘
+//! Idle ──BeginRound──▶ Select ──BeginCollect──▶ Collect ─┐ Upload,
+//!  ▲                                               ▲─────┘ ExpectUpload (self)
 //!  │                                          CloseCollection
 //!  │                                               ▼
 //!  └──Published── Publish ◀──Aggregated── Aggregate
 //!  Idle ──FinishRun──▶ Done
 //! ```
+//!
+//! `ExpectUpload` self-loops on Collect as well as Select: hedged
+//! re-dispatch ([`crate::runner::control`]) widens the cohort mid-gather
+//! when the arrival projection falls short, and the machine must account
+//! for the extra broadcasts without leaving the phase. Over-selection
+//! enters through [`PhaseMachine::set_collect_target`]: once the target
+//! count of uploads is in, surplus arrivals are [`UploadVerdict::Late`] —
+//! counted as over-selection waste, never folded, never persisted.
 //!
 //! Each transition is a typed method that (a) rejects out-of-phase events
 //! with [`Error::InvalidTransition`] — the full `(phase, event)` table is
@@ -81,6 +89,7 @@ impl PhaseKind {
                 | (PhaseKind::Idle, PhaseEvent::FinishRun)
                 | (PhaseKind::Select, PhaseEvent::ExpectUpload)
                 | (PhaseKind::Select, PhaseEvent::BeginCollect)
+                | (PhaseKind::Collect, PhaseEvent::ExpectUpload)
                 | (PhaseKind::Collect, PhaseEvent::Upload)
                 | (PhaseKind::Collect, PhaseEvent::CloseCollection)
                 | (PhaseKind::Aggregate, PhaseEvent::Aggregated)
@@ -164,6 +173,10 @@ pub enum UploadVerdict {
     /// A resubmission of an already-counted `(round, client)` key —
     /// deduplicated (and, with a durable store, refused write-ahead).
     Duplicate,
+    /// A fresh upload arriving after the over-selection collect target
+    /// was already met: surplus straggler work, dropped before the
+    /// durable write-ahead so it is never persisted or folded.
+    Late,
     /// Stale round tag, unsolicited sender, or a client-id forgery:
     /// discarded without touching round state.
     Discarded,
@@ -221,6 +234,11 @@ pub struct PhaseMachine<'d> {
     uploads: Vec<ClientUpload>,
     preseeded: usize,
     expected_new: usize,
+    /// Over-selection close target: Collect completes at this many
+    /// uploads even while more are expected. `None` = wait for everyone.
+    collect_target: Option<usize>,
+    /// Fresh uploads turned away with [`UploadVerdict::Late`] this round.
+    late: usize,
 }
 
 impl<'d> PhaseMachine<'d> {
@@ -246,6 +264,8 @@ impl<'d> PhaseMachine<'d> {
             uploads: Vec::new(),
             preseeded: 0,
             expected_new: 0,
+            collect_target: None,
+            late: 0,
         }
     }
 
@@ -300,7 +320,8 @@ impl<'d> PhaseMachine<'d> {
                 PhaseKind::Publish => "phase/publish",
                 _ => unreachable!(),
             };
-            self.telemetry.phase_span_secs(name, secs, self.round as u64);
+            self.telemetry
+                .phase_span_secs(name, secs, self.round as u64);
         }
         self.phase = next;
     }
@@ -343,6 +364,8 @@ impl<'d> PhaseMachine<'d> {
         self.got.iter_mut().for_each(|g| *g = false);
         self.uploads.clear();
         self.expected_new = 0;
+        self.collect_target = None;
+        self.late = 0;
         if pending.is_none() {
             if let Some(d) = self.durable.as_deref_mut() {
                 d.round_started(round, model, active)?;
@@ -363,8 +386,10 @@ impl<'d> PhaseMachine<'d> {
         Ok(())
     }
 
-    /// `Select`: records that the broadcast reached client `p`, whose
-    /// upload the Collect phase will wait for.
+    /// `Select` or `Collect` (self-loop): records that the broadcast
+    /// reached client `p`, whose upload the Collect phase will wait for.
+    /// Legal mid-Collect so hedged re-dispatch can widen the cohort
+    /// without leaving the phase.
     pub fn expect_upload(&mut self, p: usize) -> Result<()> {
         self.guard(PhaseEvent::ExpectUpload)?;
         if p < self.num_clients && !self.expected[p] {
@@ -395,6 +420,19 @@ impl<'d> PhaseMachine<'d> {
         Ok(())
     }
 
+    /// Sets the over-selection close target: Collect completes at
+    /// `target` counted uploads (preseeded included) even while more are
+    /// expected, and fresh arrivals beyond it are [`UploadVerdict::Late`].
+    /// Cleared by the next `begin_round`.
+    pub fn set_collect_target(&mut self, target: usize) {
+        self.collect_target = Some(target.max(1));
+    }
+
+    /// Whether the over-selection target (if any) has been met.
+    fn target_reached(&self) -> bool {
+        self.collect_target.is_some_and(|t| self.uploads.len() >= t)
+    }
+
     /// `Collect` (self-loop): offers the upload claimed to come from
     /// `from_client` carrying `round_tag`. Stale, unsolicited and forged
     /// uploads are [`UploadVerdict::Discarded`]; resubmissions of an
@@ -413,6 +451,14 @@ impl<'d> PhaseMachine<'d> {
             || upload.client_id != from_client
         {
             return Ok(UploadVerdict::Discarded);
+        }
+        // Over-selection: once the target is met, fresh stragglers are
+        // turned away *before* the durable write-ahead, so surplus
+        // uploads are never persisted (a crash-resume would otherwise
+        // fold more than the target).
+        if self.target_reached() && !self.got[from_client] {
+            self.late += 1;
+            return Ok(UploadVerdict::Late);
         }
         // The durable dedup key is (round, client): a resubmission of a
         // persisted upload is dropped exactly once, not re-persisted.
@@ -440,15 +486,27 @@ impl<'d> PhaseMachine<'d> {
         }
     }
 
-    /// Whether every expected upload (preseeded + broadcast-reached) has
-    /// arrived — the Collect phase's "stop waiting early" signal.
+    /// Whether Collect can stop waiting: every expected upload
+    /// (preseeded + broadcast-reached) has arrived, or the over-selection
+    /// target — whichever is smaller — has been met.
     pub fn collect_complete(&self) -> bool {
-        self.uploads.len() >= self.preseeded + self.expected_new
+        let everyone = self.preseeded + self.expected_new;
+        let goal = match self.collect_target {
+            Some(t) => t.min(everyone),
+            None => everyone,
+        };
+        self.uploads.len() >= goal
     }
 
     /// Uploads counted so far this round.
     pub fn arrived(&self) -> usize {
         self.uploads.len()
+    }
+
+    /// Fresh uploads turned away as [`UploadVerdict::Late`] this round —
+    /// the round's over-selection waste.
+    pub fn late_count(&self) -> usize {
+        self.late
     }
 
     /// `Collect → Aggregate`: the gather window is over. Uploads are
@@ -605,15 +663,81 @@ mod tests {
 
     #[test]
     fn accepted_event_count_matches_the_diagram() {
-        // 9 legal edges total: 3 from Idle, 2 from Select, 2 from
-        // Collect, 1 each from Aggregate and Publish, 0 from Done.
+        // 10 legal edges total: 3 from Idle, 2 from Select, 3 from
+        // Collect (Upload, hedged ExpectUpload, CloseCollection), 1 each
+        // from Aggregate and Publish, 0 from Done.
         let legal: usize = PhaseKind::ALL
             .iter()
             .flat_map(|&p| PhaseEvent::ALL.iter().map(move |&e| p.accepts(e)))
             .filter(|&ok| ok)
             .count();
-        assert_eq!(legal, 9);
+        assert_eq!(legal, 10);
         assert!(PhaseEvent::ALL.iter().all(|&e| !PhaseKind::Done.accepts(e)));
+    }
+
+    #[test]
+    fn collect_target_closes_early_and_marks_stragglers_late() {
+        let telemetry = Telemetry::disabled();
+        let mut m = PhaseMachine::new(4, &telemetry, None);
+        m.begin_round(1, &[0, 1, 2, 3], &[0.0; 2], None).unwrap();
+        for p in 0..4 {
+            m.expect_upload(p).unwrap(); // over-selected: 4 dispatched...
+        }
+        m.begin_collect().unwrap();
+        m.set_collect_target(2); // ...but 2 close the round
+        assert_eq!(
+            m.offer_upload(3, 1, upload(3)).unwrap(),
+            UploadVerdict::Accepted
+        );
+        assert!(!m.collect_complete());
+        assert_eq!(
+            m.offer_upload(1, 1, upload(1)).unwrap(),
+            UploadVerdict::Accepted
+        );
+        assert!(m.collect_complete(), "target met while 2 still expected");
+        // Surplus stragglers are Late, not folded; a resubmission of a
+        // counted client is still Duplicate, not Late.
+        assert_eq!(
+            m.offer_upload(0, 1, upload(0)).unwrap(),
+            UploadVerdict::Late
+        );
+        assert_eq!(
+            m.offer_upload(1, 1, upload(1)).unwrap(),
+            UploadVerdict::Duplicate
+        );
+        assert_eq!(m.late_count(), 1);
+        let report = m.close_collection(None).unwrap();
+        assert_eq!(report.arrived, 2);
+        let ids: Vec<usize> = report.uploads.iter().map(|u| u.client_id).collect();
+        assert_eq!(ids, vec![1, 3], "only the first-to-target pair folds");
+    }
+
+    #[test]
+    fn hedged_expect_widens_the_cohort_mid_collect() {
+        let telemetry = Telemetry::disabled();
+        let mut m = PhaseMachine::new(3, &telemetry, None);
+        m.begin_round(1, &[0, 1, 2], &[0.0; 2], None).unwrap();
+        m.expect_upload(0).unwrap();
+        m.begin_collect().unwrap();
+        // Client 2 is unsolicited until the hedge dispatches to it.
+        assert_eq!(
+            m.offer_upload(2, 1, upload(2)).unwrap(),
+            UploadVerdict::Discarded
+        );
+        m.expect_upload(2).unwrap(); // hedge: ExpectUpload inside Collect
+        assert_eq!(
+            m.offer_upload(2, 1, upload(2)).unwrap(),
+            UploadVerdict::Accepted
+        );
+        assert!(!m.collect_complete(), "client 0 is still owed");
+        m.offer_upload(0, 1, upload(0)).unwrap();
+        assert!(m.collect_complete());
+        // The target resets with the round.
+        m.close_collection(None).unwrap();
+        m.aggregated(None).unwrap();
+        m.published(&RoundRecord::default(), &[], &[]).unwrap();
+        m.begin_round(2, &[0], &[0.0; 2], None).unwrap();
+        assert_eq!(m.late_count(), 0);
     }
 
     #[test]
@@ -627,15 +751,36 @@ mod tests {
         }
         m.begin_collect().unwrap();
         assert!(!m.collect_complete());
-        assert_eq!(m.offer_upload(0, 1, upload(0)).unwrap(), UploadVerdict::Accepted);
+        assert_eq!(
+            m.offer_upload(0, 1, upload(0)).unwrap(),
+            UploadVerdict::Accepted
+        );
         // Wrong round tag, unsolicited sender and forged id are discarded.
-        assert_eq!(m.offer_upload(1, 2, upload(1)).unwrap(), UploadVerdict::Discarded);
-        assert_eq!(m.offer_upload(9, 1, upload(9)).unwrap(), UploadVerdict::Discarded);
-        assert_eq!(m.offer_upload(1, 1, upload(2)).unwrap(), UploadVerdict::Discarded);
+        assert_eq!(
+            m.offer_upload(1, 2, upload(1)).unwrap(),
+            UploadVerdict::Discarded
+        );
+        assert_eq!(
+            m.offer_upload(9, 1, upload(9)).unwrap(),
+            UploadVerdict::Discarded
+        );
+        assert_eq!(
+            m.offer_upload(1, 1, upload(2)).unwrap(),
+            UploadVerdict::Discarded
+        );
         // A resubmission is a duplicate, counted once.
-        assert_eq!(m.offer_upload(0, 1, upload(0)).unwrap(), UploadVerdict::Duplicate);
-        assert_eq!(m.offer_upload(2, 1, upload(2)).unwrap(), UploadVerdict::Accepted);
-        assert_eq!(m.offer_upload(1, 1, upload(1)).unwrap(), UploadVerdict::Accepted);
+        assert_eq!(
+            m.offer_upload(0, 1, upload(0)).unwrap(),
+            UploadVerdict::Duplicate
+        );
+        assert_eq!(
+            m.offer_upload(2, 1, upload(2)).unwrap(),
+            UploadVerdict::Accepted
+        );
+        assert_eq!(
+            m.offer_upload(1, 1, upload(1)).unwrap(),
+            UploadVerdict::Accepted
+        );
         assert!(m.collect_complete());
         let report = m.close_collection(None).unwrap();
         assert_eq!(report.arrived, 3);
@@ -691,7 +836,8 @@ mod tests {
         };
         let telemetry = Telemetry::disabled();
         let mut m = PhaseMachine::new(3, &telemetry, None);
-        m.begin_round(2, &[0, 1, 2], &[0.5, 0.5], Some(&pending)).unwrap();
+        m.begin_round(2, &[0, 1, 2], &[0.5, 0.5], Some(&pending))
+            .unwrap();
         assert!(m.already_received(1), "preseeded client is already counted");
         assert!(!m.already_received(0));
         m.expect_upload(0).unwrap();

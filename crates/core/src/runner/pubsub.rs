@@ -141,8 +141,7 @@ pub fn run_pubsub_federation(
                 Some(round as u64),
                 None,
             );
-            RoundDiagnostics::collect(server.as_ref(), &w, &uploads)
-                .emit(telemetry, round as u64);
+            RoundDiagnostics::collect(server.as_ref(), &w, &uploads).emit(telemetry, round as u64);
             telemetry.round_span_secs(round as u64, round_start.elapsed().as_secs_f64());
         }
         broker.publish_retained(

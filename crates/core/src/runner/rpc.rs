@@ -7,6 +7,7 @@ use crate::defense::{GuardVerdict, UpdateGuard};
 use crate::diagnostics::RoundDiagnostics;
 use crate::error::Error;
 use crate::metrics::RoundRecord;
+use crate::runner::control::{RoundControlConfig, RoundController};
 use crate::store::DurableCoordinator;
 use appfl_comm::retry::RetryPolicy;
 use appfl_comm::rpc::{call, call_with_retry_observed, FlService, Request, Response};
@@ -39,6 +40,7 @@ pub struct SyncRoundService {
     round_started: Instant,
     durable: Option<DurableCoordinator>,
     durable_error: Option<Error>,
+    controller: Option<RoundController>,
 }
 
 impl SyncRoundService {
@@ -67,6 +69,7 @@ impl SyncRoundService {
             round_started: Instant::now(),
             durable: None,
             durable_error: None,
+            controller: None,
         }
     }
 
@@ -92,6 +95,18 @@ impl SyncRoundService {
     /// `telemetry` (the default handle is the zero-cost disabled one).
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Tracks upload latencies through a [`RoundController`]. Pull mode's
+    /// quorum close is already over-selection-shaped — every client polls
+    /// and the first `quorum` accepted uploads end the round — so the
+    /// controller does not gate the close here; it observes each accepted
+    /// upload's latency and publishes its smoothed quantile deadline as
+    /// the `adaptive_deadline` gauge after every aggregation, keeping the
+    /// pull and push topologies comparable on the same telemetry.
+    pub fn with_round_control(mut self, config: RoundControlConfig) -> Self {
+        self.controller = Some(RoundController::new(config));
         self
     }
 
@@ -257,8 +272,7 @@ impl SyncRoundService {
             Some(r),
             None,
         );
-        RoundDiagnostics::collect(self.server.as_ref(), &before, &uploads)
-            .emit(&self.telemetry, r);
+        RoundDiagnostics::collect(self.server.as_ref(), &before, &uploads).emit(&self.telemetry, r);
         // Structural round span: the round ran from the previous
         // aggregation (or service start) to this one.
         self.telemetry
@@ -274,6 +288,11 @@ impl SyncRoundService {
             };
             let participants: Vec<usize> = uploads.iter().map(|u| u.client_id).collect();
             d.round_published(self.round, &record, &[], &participants)?;
+        }
+        if let Some(c) = self.controller.as_mut() {
+            c.finish_round();
+            self.telemetry
+                .gauge("adaptive_deadline", c.deadline_secs(), Some(r), None);
         }
         self.round_started = Instant::now();
         self.round += 1;
@@ -338,12 +357,14 @@ impl FlService for SyncRoundService {
                     return false;
                 }
                 GuardVerdict::Clipped { norm, .. } => {
-                    self.telemetry.gauge("update_norm", f64::from(norm), round, peer);
+                    self.telemetry
+                        .gauge("update_norm", f64::from(norm), round, peer);
                     self.telemetry.mark("update_clipped", round, peer, None);
                     self.guard_clipped += 1;
                 }
                 GuardVerdict::Accepted { norm } => {
-                    self.telemetry.gauge("update_norm", f64::from(norm), round, peer);
+                    self.telemetry
+                        .gauge("update_norm", f64::from(norm), round, peer);
                 }
             }
         }
@@ -360,6 +381,9 @@ impl FlService for SyncRoundService {
                 self.rejected += 1;
                 return false;
             }
+        }
+        if let Some(c) = self.controller.as_mut() {
+            c.observe_latency(self.round_started.elapsed().as_secs_f64());
         }
         self.pending.push(upload);
         match self.try_close_round() {
@@ -698,11 +722,16 @@ mod tests {
         let completed = std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for (client, ep) in fed.clients.into_iter().zip(endpoints) {
-                handles.push(
-                    scope.spawn(move || run_rpc_client(client, &ep, &Telemetry::disabled())),
-                );
+                handles
+                    .push(scope.spawn(move || run_rpc_client(client, &ep, &Telemetry::disabled())));
             }
-            serve_with(&mut service, &server_ep, num_clients, &ServeOptions::default()).unwrap();
+            serve_with(
+                &mut service,
+                &server_ep,
+                num_clients,
+                &ServeOptions::default(),
+            )
+            .unwrap();
             for h in handles {
                 h.join().unwrap().unwrap();
             }

@@ -14,8 +14,8 @@ use crate::diagnostics::RoundDiagnostics;
 use crate::metrics::{History, RoundRecord};
 use crate::validation::evaluate;
 use appfl_data::InMemoryDataset;
-use appfl_tensor::Result;
 use appfl_telemetry::{Phase, Telemetry};
+use appfl_tensor::Result;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -166,25 +166,30 @@ impl SerialRunner {
             self.federation.server.update_degraded(&uploads)?;
         }
         // Every upload rejected: the model carries over, a skipped round.
-        let diagnostics =
-            RoundDiagnostics::collect(self.federation.server.as_ref(), &w, &uploads);
+        let diagnostics = RoundDiagnostics::collect(self.federation.server.as_ref(), &w, &uploads);
         diagnostics.emit(&self.telemetry, t as u64);
 
-        let (accuracy, test_loss) = if t.is_multiple_of(self.eval_every) || t == self.federation.config.rounds {
-            let w_next = self.federation.server.global_model();
-            let e = evaluate(
-                self.federation.template.as_mut(),
-                &w_next,
-                &self.test,
-                self.eval_batch,
-            )?;
-            (e.accuracy, e.loss)
-        } else {
-            (f32::NAN, f32::NAN)
-        };
+        let (accuracy, test_loss) =
+            if t.is_multiple_of(self.eval_every) || t == self.federation.config.rounds {
+                let w_next = self.federation.server.global_model();
+                let e = evaluate(
+                    self.federation.template.as_mut(),
+                    &w_next,
+                    &self.test,
+                    self.eval_batch,
+                )?;
+                (e.accuracy, e.loss)
+            } else {
+                (f32::NAN, f32::NAN)
+            };
         let aggregate_secs = t1.elapsed().as_secs_f64();
-        self.telemetry
-            .span_secs("aggregate", Phase::Aggregate, aggregate_secs, Some(t as u64), None);
+        self.telemetry.span_secs(
+            "aggregate",
+            Phase::Aggregate,
+            aggregate_secs,
+            Some(t as u64),
+            None,
+        );
         // With kernel timers compiled in, attribute this round's hot-kernel
         // totals (matmul/conv calls and micros) to the round so reports can
         // show per-round kernel time share.
@@ -306,8 +311,22 @@ mod tests {
 
     #[test]
     fn iiadmm_uploads_half_of_iceadmm() {
-        let mut ii = runner(AlgorithmConfig::IiAdmm { rho: 5.0, zeta: 5.0 }, f64::INFINITY, 1);
-        let mut ice = runner(AlgorithmConfig::IceAdmm { rho: 5.0, zeta: 5.0 }, f64::INFINITY, 1);
+        let mut ii = runner(
+            AlgorithmConfig::IiAdmm {
+                rho: 5.0,
+                zeta: 5.0,
+            },
+            f64::INFINITY,
+            1,
+        );
+        let mut ice = runner(
+            AlgorithmConfig::IceAdmm {
+                rho: 5.0,
+                zeta: 5.0,
+            },
+            f64::INFINITY,
+            1,
+        );
         let hii = ii.run().unwrap();
         let hice = ice.run().unwrap();
         assert_eq!(hice.total_upload_bytes(), 2 * hii.total_upload_bytes());
@@ -317,12 +336,18 @@ mod tests {
     fn privacy_noise_degrades_accuracy() {
         // Fig. 2's qualitative claim: ε̄=3 (strong privacy) trails ε̄=∞.
         let mut noisy = runner(
-            AlgorithmConfig::IiAdmm { rho: 10.0, zeta: 10.0 },
+            AlgorithmConfig::IiAdmm {
+                rho: 10.0,
+                zeta: 10.0,
+            },
             0.05, // extreme noise to make the tiny run's gap deterministic
             6,
         );
         let mut clean = runner(
-            AlgorithmConfig::IiAdmm { rho: 10.0, zeta: 10.0 },
+            AlgorithmConfig::IiAdmm {
+                rho: 10.0,
+                zeta: 10.0,
+            },
             f64::INFINITY,
             6,
         );
@@ -340,7 +365,10 @@ mod tests {
     fn deterministic_given_seed() {
         let run = || {
             runner(
-                AlgorithmConfig::FedAvg { lr: 0.05, momentum: 0.9 },
+                AlgorithmConfig::FedAvg {
+                    lr: 0.05,
+                    momentum: 0.9,
+                },
                 f64::INFINITY,
                 3,
             )
@@ -414,8 +442,14 @@ mod tests {
         let summary = RunSummary::from_events(&sink.events());
         assert_eq!(summary.rounds.len(), 3);
         for (round, totals) in &summary.rounds {
-            assert!(totals.local_update > 0.0, "round {round} has no local_update span");
-            assert!(totals.aggregate > 0.0, "round {round} has no aggregate span");
+            assert!(
+                totals.local_update > 0.0,
+                "round {round} has no local_update span"
+            );
+            assert!(
+                totals.aggregate > 0.0,
+                "round {round} has no aggregate span"
+            );
         }
         // The history's new phase fields agree with the emitted spans.
         let recorded: f64 = h.rounds.iter().map(|r| r.local_update_secs).sum();
@@ -428,7 +462,10 @@ mod tests {
         use std::sync::Arc;
         let sink = Arc::new(MemorySink::default());
         let mut r = runner(
-            AlgorithmConfig::IiAdmm { rho: 10.0, zeta: 10.0 },
+            AlgorithmConfig::IiAdmm {
+                rho: 10.0,
+                zeta: 10.0,
+            },
             f64::INFINITY,
             2,
         )
@@ -469,7 +506,10 @@ mod tests {
         };
         let eta = 0.1f32;
         let base = FedConfig {
-            algorithm: AlgorithmConfig::FedAvg { lr: eta, momentum: 0.0 },
+            algorithm: AlgorithmConfig::FedAvg {
+                lr: eta,
+                momentum: 0.0,
+            },
             rounds: 1,
             local_steps: 1,
             batch_size: 1000, // full batch
@@ -482,7 +522,9 @@ mod tests {
             zeta: 0.0,
         };
         let build = |cfg: FedConfig| {
-            build_federation(cfg, &data, move |rng| Box::new(mlp_classifier(spec, 8, rng)))
+            build_federation(cfg, &data, move |rng| {
+                Box::new(mlp_classifier(spec, 8, rng))
+            })
         };
         let mut fa = build(base);
         let mut ii = build(cfg_ii);
@@ -490,8 +532,16 @@ mod tests {
         // because there is exactly one batch).
         let w0 = fa.server.global_model();
         assert_eq!(w0, ii.server.global_model());
-        let ua: Vec<_> = fa.clients.iter_mut().map(|c| c.update(&w0).unwrap()).collect();
-        let ub: Vec<_> = ii.clients.iter_mut().map(|c| c.update(&w0).unwrap()).collect();
+        let ua: Vec<_> = fa
+            .clients
+            .iter_mut()
+            .map(|c| c.update(&w0).unwrap())
+            .collect();
+        let ub: Vec<_> = ii
+            .clients
+            .iter_mut()
+            .map(|c| c.update(&w0).unwrap())
+            .collect();
         for (a, b) in ua.iter().zip(ub.iter()) {
             let max_diff = a
                 .primal

@@ -23,6 +23,7 @@ use super::sampler::CohortSampler;
 use crate::api::ClientUpload;
 use crate::error::Result;
 use crate::metrics::{History, RoundRecord};
+use crate::runner::control::{RoundControlConfig, RoundController};
 use crate::runner::phases::{PhaseMachine, UploadVerdict};
 use appfl_comm::netsim::GrpcLinkModel;
 use appfl_comm::policy::{lane2, lane3, seeded_unit};
@@ -63,6 +64,13 @@ pub struct SimConfig {
     /// Reference-device local-update seconds (scaled per client by its
     /// speed multiplier); defaults to the paper's V100 calibration.
     pub base_local_secs: f64,
+    /// Adaptive round control: over-selected dispatch, a collect target
+    /// of `cohort` accepted uploads, quantile-tracked deadlines (whose
+    /// min/max clamp *replaces* `round_timeout_secs`) and hedged
+    /// re-dispatch to standby clients. `None` reproduces the fixed-
+    /// deadline engine bit for bit.
+    #[serde(default)]
+    pub round_control: Option<RoundControlConfig>,
 }
 
 impl Default for SimConfig {
@@ -78,6 +86,7 @@ impl Default for SimConfig {
             min_quorum: 1,
             min_battery: 0.2,
             base_local_secs: appfl_comm::cluster::V100.secs_per_client_update,
+            round_control: None,
         }
     }
 }
@@ -107,6 +116,15 @@ pub struct SimReport {
     /// L2 norm of the final global model — the determinism fingerprint
     /// (same config ⇒ same norm, bit for bit).
     pub final_model_norm: f64,
+    /// Hedged re-dispatches sent across all rounds (0 without round
+    /// control).
+    #[serde(default)]
+    pub hedges_sent: u64,
+    /// Over-selected uploads that were in flight and on time when their
+    /// round's collect target closed — the redundancy paid for the early
+    /// close (0 without round control).
+    #[serde(default)]
+    pub overselect_waste: u64,
 }
 
 /// One scheduled arrival on the virtual clock.
@@ -241,16 +259,45 @@ impl SimEngine {
         let mut late: u64 = 0;
         let mut uploads_accepted = 0usize;
         let mut rounds_aggregated = 0usize;
+        let mut controller = cfg.round_control.map(RoundController::new);
+        let mut hedges_sent = 0u64;
+        let mut overselect_waste = 0u64;
 
         for round in 1..=cfg.rounds {
-            let (cohort, stats) = self.sampler.sample(&self.population, round, now, cfg.cohort);
-            let active: Vec<usize> = cohort.iter().map(|&id| id as usize).collect();
+            // With round control the sampler draws one larger pool —
+            // the over-selected dispatch plus a standby reserve for
+            // hedging — and the controller splits it; without it the
+            // draw is exactly the legacy cohort (bit-identical stream).
+            let mut standby: Vec<u64> = Vec::new();
+            let mut target: Option<usize> = None;
+            let (cohort, stats) = match controller.as_ref() {
+                Some(c) => {
+                    let t = cfg.cohort.max(1);
+                    let dispatch_want = (((1.0 + c.config().overselect.max(0.0)) * t as f64).ceil()
+                        as usize)
+                        .max(t);
+                    let (pool, stats) =
+                        self.sampler
+                            .sample(&self.population, round, now, dispatch_want + t);
+                    let ids: Vec<usize> = pool.iter().map(|&id| id as usize).collect();
+                    let plan = c.plan(&ids, t);
+                    standby = plan.standby.iter().map(|&p| p as u64).collect();
+                    target = Some(plan.target);
+                    (plan.dispatch.iter().map(|&p| p as u64).collect(), stats)
+                }
+                None => self
+                    .sampler
+                    .sample(&self.population, round, now, cfg.cohort),
+            };
+            let mut active: Vec<usize> = cohort.iter().map(|&id| id as usize).collect();
+            active.extend(standby.iter().map(|&id| id as usize));
             machine.begin_round(round, &active, &model, None)?;
 
             // Select: the coordinator streams one broadcast per member
             // (per-message overhead each); arrival is the send instant
             // plus the client's downlink time.
-            let mut heap: BinaryHeap<Reverse<SimEvent>> = BinaryHeap::with_capacity(cohort.len() * 2);
+            let mut heap: BinaryHeap<Reverse<SimEvent>> =
+                BinaryHeap::with_capacity(cohort.len() * 2);
             let mut seq = 0u64;
             let base_wire = self.link.base_message_time(cfg.payload_bytes);
             for (i, &id) in cohort.iter().enumerate() {
@@ -268,14 +315,76 @@ impl SimEngine {
             let select_end = now + cohort.len() as f64 * self.link.per_message_overhead;
             machine.advance_to(select_end);
             machine.begin_collect()?;
+            if let Some(t) = target {
+                machine.set_collect_target(t);
+            }
 
             // Collect: drain arrivals until the cohort is complete or
             // the deadline passes. Every pop is one simulated event.
-            let deadline = now + cfg.round_timeout_secs;
+            // The controller's adaptive deadline (min/max-clamped
+            // smoothed quantile) replaces the fixed timeout when set.
+            let deadline_secs = controller
+                .as_ref()
+                .map_or(cfg.round_timeout_secs, RoundController::deadline_secs);
+            if controller.is_some() {
+                self.telemetry
+                    .gauge("adaptive_deadline", deadline_secs, Some(round as u64), None);
+            }
+            let deadline = now + deadline_secs;
+            let hedge_at = controller.as_ref().map_or(f64::INFINITY, |c| {
+                select_end + c.hedge_check_at(deadline_secs)
+            });
+            let mut hedged = standby.is_empty();
+            let mut hedged_this_round = 0usize;
+            let mut accepted = 0usize;
             let mut last_accept = select_end;
             let mut local_max = 0.0f64;
             while let Some(Reverse(ev)) = heap.pop() {
                 events += 1;
+                // One hedge decision per round, at the first arrival past
+                // the check instant: project the accept rate forward and
+                // widen the cohort from the standby reserve if it falls
+                // short of the target.
+                if !hedged && ev.time >= hedge_at {
+                    hedged = true;
+                    if let Some(c) = controller.as_ref() {
+                        let elapsed = (ev.time - select_end).max(1.0e-9);
+                        let short = c.hedge_shortfall(
+                            elapsed,
+                            deadline_secs,
+                            accepted,
+                            target.unwrap_or(0),
+                        );
+                        let wave = (((1.0 + c.config().overselect.max(0.0)) * short as f64).ceil()
+                            as usize)
+                            .min(standby.len());
+                        for (k, &id) in standby[..wave].iter().enumerate() {
+                            machine.expect_upload(id as usize)?;
+                            let sent = ev.time + (k as f64 + 1.0) * self.link.per_message_overhead;
+                            let d = self.population.get(id);
+                            let down = base_wire
+                                * d.link as f64
+                                * jitter(cfg.seed, id, round as u64, 0xD1);
+                            heap.push(Reverse(SimEvent {
+                                time: sent + down,
+                                seq,
+                                kind: SimEventKind::BroadcastArrives { client: id },
+                            }));
+                            seq += 1;
+                        }
+                        standby.drain(..wave);
+                        if wave > 0 {
+                            hedged_this_round = wave;
+                            hedges_sent += wave as u64;
+                            self.telemetry.count(
+                                "hedges_sent",
+                                wave as u64,
+                                Some(round as u64),
+                                None,
+                            );
+                        }
+                    }
+                }
                 if ev.time > deadline {
                     late += 1;
                     continue;
@@ -284,8 +393,9 @@ impl SimEngine {
                     SimEventKind::BroadcastArrives { client } => {
                         let d = self.population.get(client);
                         let compute = cfg.base_local_secs * d.speed as f64;
-                        let up =
-                            base_wire * d.link as f64 * jitter(cfg.seed, client, round as u64, 0x01);
+                        let up = base_wire
+                            * d.link as f64
+                            * jitter(cfg.seed, client, round as u64, 0x01);
                         heap.push(Reverse(SimEvent {
                             time: ev.time + compute + up,
                             seq,
@@ -300,6 +410,10 @@ impl SimEngine {
                             == UploadVerdict::Accepted
                         {
                             last_accept = ev.time;
+                            accepted += 1;
+                            if let Some(c) = controller.as_mut() {
+                                c.observe_latency(ev.time - select_end);
+                            }
                             let d = self.population.get(client);
                             local_max = local_max.max(cfg.base_local_secs * d.speed as f64);
                         }
@@ -307,6 +421,27 @@ impl SimEngine {
                             break;
                         }
                     }
+                }
+            }
+            // Uploads still in flight — and on time — when the target
+            // closed the phase are the price of over-selection.
+            let mut waste_this_round = 0u64;
+            if controller.is_some() {
+                while let Some(Reverse(ev)) = heap.pop() {
+                    if matches!(ev.kind, SimEventKind::UploadArrives { .. }) && ev.time <= deadline
+                    {
+                        waste_this_round += 1;
+                    }
+                }
+                waste_this_round += machine.late_count() as u64;
+                if waste_this_round > 0 {
+                    overselect_waste += waste_this_round;
+                    self.telemetry.count(
+                        "overselect_waste",
+                        waste_this_round,
+                        Some(round as u64),
+                        None,
+                    );
                 }
             }
             let collect_end = if machine.collect_complete() {
@@ -317,6 +452,10 @@ impl SimEngine {
             machine.advance_to(collect_end);
             let report = machine.close_collection(None)?;
             let arrived = report.arrived;
+            if let Some(c) = controller.as_mut() {
+                c.finish_round();
+            }
+            let dispatched = cohort.len() + hedged_this_round;
 
             // Aggregate: sample-weighted mean of the (already id-sorted)
             // cohort, with a nominal per-upload fold cost.
@@ -349,18 +488,16 @@ impl SimEngine {
                 train_loss,
                 upload_bytes: arrived * cfg.payload_bytes,
                 compute_secs: local_max + agg_secs,
-                comm_secs: (collect_end - select_end - local_max).max(0.0)
-                    + (select_end - now),
-                dropped_clients: cohort.len() - arrived,
+                comm_secs: (collect_end - select_end - local_max).max(0.0) + (select_end - now),
+                dropped_clients: dispatched.saturating_sub(arrived),
                 local_update_secs: local_max,
                 aggregate_secs: agg_secs,
-                cohort_size: cohort.len(),
+                cohort_size: dispatched,
                 cohort_offline: stats.offline,
                 cohort_ineligible: stats.ineligible,
                 ..RoundRecord::default()
             };
-            let participants: Vec<usize> =
-                report.uploads.iter().map(|u| u.client_id).collect();
+            let participants: Vec<usize> = report.uploads.iter().map(|u| u.client_id).collect();
             machine.published(&record, &[], &participants)?;
             self.history.rounds.push(record);
             uploads_accepted += arrived;
@@ -369,7 +506,11 @@ impl SimEngine {
         machine.finish_run()?;
 
         let wall = wall0.elapsed().as_secs_f64();
-        let final_model_norm = model.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt();
+        let final_model_norm = model
+            .iter()
+            .map(|&x| (x as f64) * (x as f64))
+            .sum::<f64>()
+            .sqrt();
         Ok(SimReport {
             population: cfg.population,
             rounds: cfg.rounds,
@@ -381,6 +522,8 @@ impl SimEngine {
             wall_secs: wall,
             events_per_sec: events as f64 / wall.max(1.0e-9),
             final_model_norm,
+            hedges_sent,
+            overselect_waste,
         })
     }
 }
@@ -410,9 +553,18 @@ mod tests {
         let rb = b.run().unwrap();
         assert_eq!(ra.events_processed, rb.events_processed);
         assert_eq!(ra.uploads_accepted, rb.uploads_accepted);
-        assert_eq!(ra.final_model_norm, rb.final_model_norm, "bit-identical fold");
+        assert_eq!(
+            ra.final_model_norm, rb.final_model_norm,
+            "bit-identical fold"
+        );
         assert_eq!(a.history().rounds, b.history().rounds);
-        let mut c = SimEngine::new(SimConfig { seed: 8, ..quick_cfg() }, &telemetry);
+        let mut c = SimEngine::new(
+            SimConfig {
+                seed: 8,
+                ..quick_cfg()
+            },
+            &telemetry,
+        );
         let rc = c.run().unwrap();
         assert_ne!(ra.final_model_norm, rc.final_model_norm, "seed matters");
     }
@@ -477,7 +629,12 @@ mod tests {
         };
         SimEngine::new(cfg, &telemetry).run().unwrap();
         let events = sink.events();
-        for name in ["phase/select", "phase/collect", "phase/aggregate", "phase/publish"] {
+        for name in [
+            "phase/select",
+            "phase/collect",
+            "phase/aggregate",
+            "phase/publish",
+        ] {
             let spans: Vec<f64> = events
                 .iter()
                 .filter(|e| e.name == name)
@@ -492,7 +649,87 @@ mod tests {
             .find(|e| e.name == "phase/collect")
             .and_then(|e| e.secs)
             .unwrap();
-        assert!(collect > 1.0, "virtual collect spans simulated seconds, got {collect}");
+        assert!(
+            collect > 1.0,
+            "virtual collect spans simulated seconds, got {collect}"
+        );
+    }
+
+    #[test]
+    fn round_control_beats_both_fixed_deadline_regimes() {
+        // A fixed deadline forces a bad trade: tight drops stragglers,
+        // generous waits for the slowest upload. The controller closes
+        // Collect at the first `cohort` accepted uploads out of an
+        // over-selected dispatch, so it takes neither penalty.
+        let telemetry = Telemetry::disabled();
+        let tight = SimConfig {
+            round_timeout_secs: 10.0,
+            ..quick_cfg()
+        };
+        let generous = SimConfig {
+            round_timeout_secs: 45.0,
+            ..quick_cfg()
+        };
+        let adaptive = SimConfig {
+            round_control: Some(RoundControlConfig::default()),
+            ..quick_cfg()
+        };
+        let rt = SimEngine::new(tight, &telemetry).run().unwrap();
+        let rg = SimEngine::new(generous, &telemetry).run().unwrap();
+        let ra = SimEngine::new(adaptive, &telemetry).run().unwrap();
+        assert!(rt.events_late > 0, "the tight deadline must drop someone");
+        assert!(
+            ra.events_late < rt.events_late,
+            "adaptive late drops {} must undercut the tight deadline's {}",
+            ra.events_late,
+            rt.events_late
+        );
+        assert!(
+            ra.uploads_accepted >= rt.uploads_accepted,
+            "over-selection must not lose uploads: {} vs {}",
+            ra.uploads_accepted,
+            rt.uploads_accepted
+        );
+        assert!(
+            ra.virtual_secs < rg.virtual_secs,
+            "closing at the target must beat waiting out stragglers: {} vs {}",
+            ra.virtual_secs,
+            rg.virtual_secs
+        );
+        // Determinism holds on the adaptive path too.
+        let rb = SimEngine::new(adaptive, &telemetry).run().unwrap();
+        assert_eq!(ra.final_model_norm, rb.final_model_norm);
+        assert_eq!(ra.hedges_sent, rb.hedges_sent);
+        assert_eq!(ra.overselect_waste, rb.overselect_waste);
+    }
+
+    #[test]
+    fn an_early_hedge_check_re_dispatches_to_standby_clients() {
+        let telemetry = Telemetry::disabled();
+        let cfg = SimConfig {
+            round_timeout_secs: 10.0,
+            round_control: Some(RoundControlConfig {
+                max_deadline_secs: 10.0,
+                // Check at 2.5s — before any ~7s local update can land,
+                // so the projection is zero and the hedge must fire.
+                hedge_fraction: 0.25,
+                ..RoundControlConfig::default()
+            }),
+            ..quick_cfg()
+        };
+        let report = SimEngine::new(cfg, &telemetry).run().unwrap();
+        assert!(
+            report.hedges_sent > 0,
+            "projection of zero accepts must hedge"
+        );
+    }
+
+    #[test]
+    fn disabled_round_control_serializes_as_none_and_stays_copy() {
+        let a = SimConfig::default();
+        let b = a; // Copy
+        assert_eq!(a, b);
+        assert!(a.round_control.is_none());
     }
 
     #[test]

@@ -344,10 +344,13 @@ impl CoordinatorState {
                 roster,
                 participants,
             } => {
-                let aggregated = self
-                    .round_in_progress
-                    .take()
-                    .and_then(|p| if p.round == *round { p.aggregated } else { None });
+                let aggregated = self.round_in_progress.take().and_then(|p| {
+                    if p.round == *round {
+                        p.aggregated
+                    } else {
+                        None
+                    }
+                });
                 // A skipped round (below quorum) has no aggregate: the
                 // model carries over unchanged.
                 let model = aggregated
@@ -527,7 +530,12 @@ impl DurableCoordinator {
 
     /// Select phase commit: the round's cohort and broadcast are durable
     /// before the first byte goes out.
-    pub fn round_started(&mut self, round: usize, broadcast: &[f32], active: &[usize]) -> Result<()> {
+    pub fn round_started(
+        &mut self,
+        round: usize,
+        broadcast: &[f32],
+        active: &[usize],
+    ) -> Result<()> {
         self.append(StoreEvent::RoundStarted {
             round,
             broadcast: broadcast.to_vec(),
@@ -766,7 +774,10 @@ mod tests {
         });
         d.recover(&Telemetry::disabled()).unwrap();
         d.round_started(1, &[0.0; 3], &[0]).unwrap();
-        assert!(d.update_received(1, &upload(0)).is_ok(), "round 1 unaffected");
+        assert!(
+            d.update_received(1, &upload(0)).is_ok(),
+            "round 1 unaffected"
+        );
         d.round_aggregated(1, &[1.0; 3]).unwrap();
         d.round_published(1, &record(1), &[], &[0]).unwrap();
         d.round_started(2, &[1.0; 3], &[0]).unwrap();

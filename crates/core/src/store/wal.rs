@@ -362,7 +362,11 @@ mod tests {
     #[test]
     fn non_wal_file_is_rejected_not_clobbered() {
         let path = temp_wal();
-        std::fs::write(&path, b"definitely not a wal file, much longer than a header").unwrap();
+        std::fs::write(
+            &path,
+            b"definitely not a wal file, much longer than a header",
+        )
+        .unwrap();
         let err = WalStore::open(&path).unwrap_err();
         assert!(matches!(err, Error::Persist(_)), "{err}");
         assert!(std::fs::read(&path).unwrap().starts_with(b"definitely"));

@@ -32,7 +32,10 @@ pub fn tiny_shard(seed: u64) -> (usize, InMemoryDataset) {
         ]);
         labels.push(label);
     }
-    (n, InMemoryDataset::new(spec, data, labels).expect("valid fixture"))
+    (
+        n,
+        InMemoryDataset::new(spec, data, labels).expect("valid fixture"),
+    )
 }
 
 /// A [`LocalTrainer`] over [`tiny_shard`] with a linear model (22 params).

@@ -147,7 +147,11 @@ mod tests {
         let params = vec![0.1; t.dim()];
         let batch = t.full_batch().unwrap();
         let (g, loss0) = t.grad_at(&params, &batch, f64::INFINITY).unwrap();
-        let stepped: Vec<f32> = params.iter().zip(g.iter()).map(|(p, g)| p - 0.1 * g).collect();
+        let stepped: Vec<f32> = params
+            .iter()
+            .zip(g.iter())
+            .map(|(p, g)| p - 0.1 * g)
+            .collect();
         let (_, loss1) = t.grad_at(&stepped, &batch, f64::INFINITY).unwrap();
         assert!(loss1 < loss0, "{loss0} -> {loss1}");
     }

@@ -208,7 +208,10 @@ mod tests {
         assert!((cm.accuracy() - eval.accuracy).abs() < 1e-6);
         // Perfect classifier: off-diagonal is empty.
         assert_eq!(cm.at(0, 1) + cm.at(1, 0), 0);
-        assert!(cm.per_class_recall().iter().all(|&r| (r - 1.0).abs() < 1e-6));
+        assert!(cm
+            .per_class_recall()
+            .iter()
+            .all(|&r| (r - 1.0).abs() < 1e-6));
         assert!((cm.balanced_accuracy() - 1.0).abs() < 1e-6);
     }
 

@@ -1,0 +1,306 @@
+//! Chaos-matrix end-to-end: a FedAvg federation with adaptive round
+//! control rides through every scheduled chaos combination — latency
+//! spikes, drop storms, partition windows, churn bursts, and their
+//! layered composition — and each scenario must either converge within
+//! tolerance of the fault-free baseline or fail with a *typed*
+//! [`Error`]: never a panic, never a hang. A coordinator [`CrashPoint`]
+//! fired mid-storm against a WAL-backed durable coordinator must resume
+//! and still finish every round.
+//!
+//! Each scenario's [`ChaosSchedule`] JSON and a run summary land under
+//! `target/chaos/` so CI uploads the exact replayable timeline of any
+//! failure.
+
+use appfl::comm::transport::{
+    ChaosKind, ChaosSchedule, FaultPlan, FaultyCommunicator, InProcEndpoint, InProcNetwork,
+};
+use appfl::core::algorithms::build_federation;
+use appfl::core::config::{AlgorithmConfig, FaultToleranceConfig, FedConfig};
+use appfl::core::metrics::History;
+use appfl::core::{
+    CrashPhase, CrashPoint, DurableCoordinator, Error, Federation, Participants, Resilience,
+    RoundControlConfig, Topology, WalStore,
+};
+use appfl::data::federated::{build_benchmark, Benchmark, FederatedDataset};
+use appfl::nn::models::{mlp_classifier, InputSpec};
+use appfl::privacy::PrivacyConfig;
+use std::path::{Path, PathBuf};
+
+const SPEC: InputSpec = InputSpec {
+    channels: 1,
+    height: 28,
+    width: 28,
+    classes: 10,
+};
+const ROUNDS: usize = 4;
+const RANKS: usize = 4; // coordinator + 3 clients
+
+fn config() -> FedConfig {
+    FedConfig {
+        algorithm: AlgorithmConfig::FedAvg {
+            lr: 0.05,
+            momentum: 0.9,
+        },
+        rounds: ROUNDS,
+        local_steps: 1,
+        batch_size: 16,
+        privacy: PrivacyConfig::none(),
+        seed: 4,
+    }
+}
+
+fn data() -> FederatedDataset {
+    build_benchmark(Benchmark::Mnist, 3, 90, 30, 2).unwrap()
+}
+
+fn ft() -> FaultToleranceConfig {
+    FaultToleranceConfig {
+        round_timeout_ms: 600,
+        min_quorum: 1,
+        suspect_after: 2,
+        readmit_after: 1,
+        max_attempts: 4,
+        base_backoff_ms: 5,
+    }
+}
+
+/// The chaos plan rides on the coordinator's endpoint (its broadcasts
+/// are what the storms claim); client endpoints wrap clean plans so the
+/// transport type stays homogeneous.
+fn endpoints(schedule: &ChaosSchedule) -> Vec<FaultyCommunicator<InProcEndpoint>> {
+    InProcNetwork::new(RANKS)
+        .into_iter()
+        .enumerate()
+        .map(|(rank, ep)| {
+            let plan = if rank == 0 {
+                schedule.compile(RANKS)
+            } else {
+                FaultPlan::new(schedule.seed ^ rank as u64)
+            };
+            FaultyCommunicator::new(ep, plan)
+        })
+        .collect()
+}
+
+fn run_scenario(
+    schedule: &ChaosSchedule,
+    durable: Option<DurableCoordinator>,
+) -> Result<History, Error> {
+    let data = data();
+    let test = data.test.clone();
+    let mut fed = build_federation(config(), &data, |rng| {
+        Box::new(mlp_classifier(SPEC, 8, rng))
+    });
+    let mut resilience = Resilience::none()
+        .fault_tolerance_config(ft())
+        .round_control(RoundControlConfig::default());
+    if let Some(d) = durable {
+        resilience = resilience.durable(d);
+    }
+    Federation::builder()
+        .topology(Topology::Comm)
+        .transport(endpoints(schedule))
+        .population(
+            Participants::new(fed.server, fed.clients)
+                .rounds(ROUNDS)
+                .dataset("MNIST")
+                .evaluation(fed.template.as_mut(), &test),
+        )
+        .resilience(resilience)
+        .build()?
+        .run()
+        .map(|o| o.history.expect("comm topology records a history"))
+}
+
+fn baseline() -> History {
+    // An empty schedule compiles to a no-fault plan: the same harness,
+    // faults off.
+    run_scenario(&ChaosSchedule::new(0), None).expect("fault-free baseline must run")
+}
+
+fn chaos_dir() -> PathBuf {
+    let dir = Path::new("target").join("chaos");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn export(name: &str, schedule: &ChaosSchedule, outcome: &str) {
+    let dir = chaos_dir();
+    std::fs::write(
+        dir.join(format!("{name}_schedule.json")),
+        schedule.to_json(),
+    )
+    .unwrap();
+    std::fs::write(dir.join(format!("{name}_summary.json")), outcome).unwrap();
+}
+
+fn summary_json(name: &str, history: &History, baseline: &History) -> String {
+    format!(
+        "{{\"scenario\": \"{name}\", \"rounds\": {}, \"final_accuracy\": {}, \
+         \"baseline_accuracy\": {}, \"dropped_clients\": {}, \"degraded_rounds\": {}}}",
+        history.rounds.len(),
+        history.final_accuracy(),
+        baseline.final_accuracy(),
+        history.total_dropped_clients(),
+        history.degraded_rounds(),
+    )
+}
+
+/// The matrix itself: every scheduled combination, one assertion
+/// discipline. Accuracy tolerance is generous (the storms legitimately
+/// starve rounds down to quorum) but the structural contract is strict:
+/// a scenario either completes all rounds with finite metrics or
+/// surfaces a typed error.
+#[test]
+fn chaos_matrix_converges_or_fails_typed() {
+    let scenarios: Vec<(&str, ChaosSchedule)> = vec![
+        (
+            "latency_spike",
+            ChaosSchedule::new(21).segment(
+                1,
+                ROUNDS,
+                ChaosKind::LatencySpike {
+                    prob: 0.4,
+                    delay_ms: 25,
+                },
+            ),
+        ),
+        (
+            "drop_storm",
+            ChaosSchedule::new(22).segment(2, 3, ChaosKind::DropStorm { prob: 0.5 }),
+        ),
+        (
+            "partition",
+            ChaosSchedule::new(23).segment(2, 2, ChaosKind::Partition { peers: vec![2] }),
+        ),
+        (
+            "churn_burst",
+            ChaosSchedule::new(24).segment(2, 2, ChaosKind::ChurnBurst { prob: 0.5 }),
+        ),
+        (
+            "layered",
+            // Storm through the middle rounds, then clear skies: the
+            // federation must *recover*, not merely survive.
+            ChaosSchedule::new(25)
+                .segment(
+                    1,
+                    2,
+                    ChaosKind::LatencySpike {
+                        prob: 0.5,
+                        delay_ms: 20,
+                    },
+                )
+                .segment(2, 3, ChaosKind::DropStorm { prob: 0.4 })
+                .segment(2, 2, ChaosKind::Partition { peers: vec![1] })
+                .segment(3, 3, ChaosKind::ChurnBurst { prob: 0.3 }),
+        ),
+    ];
+    let clean = baseline();
+    assert_eq!(clean.rounds.len(), ROUNDS);
+
+    for (name, schedule) in &scenarios {
+        match run_scenario(schedule, None) {
+            Ok(history) => {
+                assert_eq!(
+                    history.rounds.len(),
+                    ROUNDS,
+                    "{name}: every round must complete (degraded or skipped, never lost)"
+                );
+                assert!(
+                    history.rounds.iter().all(|r| r.accuracy.is_finite()),
+                    "{name}: accuracies must stay finite"
+                );
+                let gap = (clean.final_accuracy() - history.final_accuracy()).abs();
+                assert!(
+                    gap <= 0.25,
+                    "{name}: drifted {gap} from the fault-free baseline \
+                     (clean {}, chaos {})",
+                    clean.final_accuracy(),
+                    history.final_accuracy()
+                );
+                export(name, schedule, &summary_json(name, &history, &clean));
+            }
+            Err(e) => {
+                // A typed failure is an acceptable outcome; a panic or a
+                // hang is not (a panic would abort this test, a hang
+                // would trip the CI timeout).
+                let msg = e.to_string();
+                assert!(!msg.is_empty(), "{name}: error must describe itself");
+                export(
+                    name,
+                    schedule,
+                    &format!("{{\"scenario\": \"{name}\", \"error\": \"{msg}\"}}"),
+                );
+            }
+        }
+    }
+}
+
+/// Deterministic replay: the same chaos schedule must produce the same
+/// federation, round for round — chaos runs are debuggable because they
+/// are pure functions of their schedule.
+#[test]
+fn a_chaos_run_replays_bit_identically() {
+    let schedule = ChaosSchedule::new(31)
+        .segment(1, 2, ChaosKind::DropStorm { prob: 0.4 })
+        .segment(
+            3,
+            ROUNDS,
+            ChaosKind::LatencySpike {
+                prob: 0.5,
+                delay_ms: 10,
+            },
+        );
+    let a = run_scenario(&schedule, None).expect("scenario must run");
+    let b = run_scenario(&schedule, None).expect("scenario must run");
+    assert_eq!(a.rounds.len(), b.rounds.len());
+    for (ra, rb) in a.rounds.iter().zip(&b.rounds) {
+        assert_eq!(ra.accuracy, rb.accuracy, "round {}", ra.round);
+        assert_eq!(ra.train_loss, rb.train_loss, "round {}", ra.round);
+        assert_eq!(ra.upload_bytes, rb.upload_bytes, "round {}", ra.round);
+    }
+}
+
+/// The coordinator dies right after round 2's aggregate commits, in the
+/// middle of a drop storm, and restarts against the same WAL: the
+/// resumed run must finish all rounds with the recovery flag set.
+#[test]
+fn coordinator_crash_mid_storm_recovers_and_finishes() {
+    let dir = chaos_dir().join("crash");
+    std::fs::create_dir_all(&dir).unwrap();
+    let wal_path = dir.join("coordinator.wal");
+    let _ = std::fs::remove_file(&wal_path);
+    let schedule = ChaosSchedule::new(33)
+        .segment(1, ROUNDS, ChaosKind::DropStorm { prob: 0.3 })
+        .crash(CrashPoint {
+            round: 2,
+            phase: CrashPhase::Aggregate,
+        });
+
+    // Life 1: armed with the schedule's crash point — must die typed.
+    let mut durable = DurableCoordinator::new(Box::new(WalStore::open(&wal_path).unwrap()));
+    for &point in schedule.crash_points() {
+        durable = durable.crash_after(point);
+    }
+    let err = run_scenario(&schedule, Some(durable)).expect_err("the crash point must fire");
+    assert!(matches!(err, Error::Crashed(_)), "typed crash, got {err}");
+
+    // Life 2: same WAL, crash disarmed — must resume and finish.
+    let durable = DurableCoordinator::new(Box::new(WalStore::open(&wal_path).unwrap()));
+    let history = run_scenario(&schedule, Some(durable)).expect("the restart must finish");
+    assert_eq!(
+        history.rounds.len(),
+        ROUNDS,
+        "resume completes the full run"
+    );
+    assert!(history.rounds.iter().all(|r| r.accuracy.is_finite()));
+    export(
+        "crash_mid_storm",
+        &schedule,
+        &format!(
+            "{{\"scenario\": \"crash_mid_storm\", \"rounds\": {}, \"final_accuracy\": {}}}",
+            history.rounds.len(),
+            history.final_accuracy()
+        ),
+    );
+}

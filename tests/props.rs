@@ -650,6 +650,89 @@ proptest! {
         );
     }
 
+    // --- Collect-phase deadline races (over-selection close) ----------
+
+    // Race the Collect close from both sides. Side A: the over-selection
+    // target is met but the phase has not transitioned — every further
+    // offer (fresh straggler, resubmission, stale round tag, unsolicited
+    // sender) yields a *rejecting* verdict, never grows the cohort, and
+    // never completes a second time. Side B: after `close_collection`
+    // the same offers are `InvalidTransition` errors and the machine
+    // stays in Aggregate — a late upload can never re-open the phase.
+    #[test]
+    fn collect_close_races_reject_uploads_and_never_reopen(
+        num_clients in 2usize..8,
+        target_pick in any::<u64>(),
+        dispatch_extra in 0usize..4,
+        offers in proptest::collection::vec((0usize..12, 0usize..4), 1..24),
+    ) {
+        use appfl::core::runner::{PhaseKind, PhaseMachine, UploadVerdict};
+        use appfl::core::Error;
+        use appfl::telemetry::Telemetry;
+
+        let upload = |p: usize| appfl::core::api::ClientUpload {
+            client_id: p,
+            primal: vec![p as f32; 4],
+            dual: None,
+            num_samples: 5,
+            local_loss: 0.1,
+        };
+        let telemetry = Telemetry::disabled();
+        let mut m = PhaseMachine::new(num_clients, &telemetry, None);
+        m.run_started("fedavg", "prop", 0.0, 1).unwrap();
+        let active: Vec<usize> = (0..num_clients).collect();
+        m.begin_round(1, &active, &[0.0; 4], None).unwrap();
+        let target = 1 + (target_pick as usize) % num_clients;
+        let dispatch = (target + dispatch_extra).min(num_clients);
+        for p in 0..dispatch {
+            m.expect_upload(p).unwrap();
+        }
+        m.begin_collect().unwrap();
+        m.set_collect_target(target);
+
+        // Exactly `target` accepted uploads complete the phase.
+        for p in 0..target {
+            prop_assert_eq!(
+                m.offer_upload(p, 1, upload(p)).unwrap(),
+                UploadVerdict::Accepted
+            );
+        }
+        prop_assert!(m.collect_complete());
+
+        // Side A: target met, phase still open.
+        let mut expect_late = 0;
+        for &(c, r) in &offers {
+            let client = c % num_clients;
+            let v = m.offer_upload(client, r, upload(client)).unwrap();
+            let expected = if r != 1 || client >= dispatch {
+                UploadVerdict::Discarded
+            } else if client < target {
+                UploadVerdict::Duplicate
+            } else {
+                expect_late += 1;
+                UploadVerdict::Late
+            };
+            prop_assert_eq!(v, expected);
+            prop_assert_eq!(m.arrived(), target, "a rejected offer grew the cohort");
+            prop_assert_eq!(m.phase(), PhaseKind::Collect);
+            prop_assert!(m.collect_complete(), "a rejected offer un-completed Collect");
+        }
+        prop_assert_eq!(m.late_count(), expect_late);
+
+        // Side B: the phase has closed.
+        let report = m.close_collection(None).unwrap();
+        prop_assert_eq!(report.uploads.len(), target);
+        prop_assert_eq!(m.phase(), PhaseKind::Aggregate);
+        for &(c, r) in &offers {
+            let client = c % num_clients;
+            match m.offer_upload(client, r, upload(client)) {
+                Err(Error::InvalidTransition { .. }) => {}
+                other => prop_assert!(false, "post-close offer was not rejected: {:?}", other),
+            }
+            prop_assert_eq!(m.phase(), PhaseKind::Aggregate, "an upload re-opened the phase");
+        }
+    }
+
     // Different rounds decorrelate: over many rounds the union of cohorts
     // must cover far more clients than one round's target (the sampler
     // must not get stuck on one subset).
