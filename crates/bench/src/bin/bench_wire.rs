@@ -1,0 +1,114 @@
+//! Wire-codec benchmark.
+//!
+//! Usage: `bench_wire [--reps N] [--quick] [--out PATH] [--validate PATH]`
+//!
+//! Trains the same FedAvg federation once per codec arm (uncompressed,
+//! int8, int4, error-feedback top-k, and the full top-k+q8+RLE stack),
+//! pushing every upload through the real encoder/decoder pipeline, and
+//! writes `results/BENCH_wire.json` (schema: see
+//! [`appfl_bench::experiments::wire::WireBenchReport`]). `--quick` runs a
+//! reduced workload for CI smoke runs. `--validate PATH` parses an
+//! existing report back through serde_json and checks the schema instead
+//! of benchmarking.
+
+use appfl_bench::experiments::wire::{run, WireBenchReport, SCHEMA_VERSION};
+use std::process::Command;
+
+fn git_rev() -> String {
+    Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn validate(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let report: WireBenchReport =
+        serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"))?;
+    if report.schema_version != SCHEMA_VERSION {
+        return Err(format!(
+            "schema_version {} != expected {SCHEMA_VERSION}",
+            report.schema_version
+        ));
+    }
+    if report.results.len() < 4 {
+        return Err(format!(
+            "expected at least 4 codec arms, found {}",
+            report.results.len()
+        ));
+    }
+    for r in &report.results {
+        if r.name.is_empty() || r.rounds == 0 || r.upload_bytes == 0 {
+            return Err(format!("malformed entry: {r:?}"));
+        }
+        if !(r.compression_ratio.is_finite()
+            && r.encode_secs.is_finite()
+            && r.decode_secs.is_finite()
+            && r.final_accuracy.is_finite())
+        {
+            return Err(format!("non-finite measurement in entry {}", r.name));
+        }
+    }
+    println!(
+        "{path}: valid (schema v{}, {} arms, git {})",
+        report.schema_version,
+        report.results.len(),
+        report.git_rev
+    );
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(path) = args
+        .iter()
+        .position(|a| a == "--validate")
+        .and_then(|i| args.get(i + 1))
+    {
+        if let Err(e) = validate(path) {
+            eprintln!("validation failed: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let reps = args
+        .iter()
+        .position(|a| a == "--reps")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3usize);
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "results/BENCH_wire.json".to_string());
+
+    eprintln!("bench_wire: reps={reps} quick={quick}");
+    let report = run(reps, quick, git_rev()).expect("benchmark runs");
+    print!("{}", report.render());
+
+    if let (Some(none), Some(q8)) = (
+        report.results.iter().find(|r| r.name == "none"),
+        report.results.iter().find(|r| r.name == "int8"),
+    ) {
+        println!(
+            "\nheadline: int8 moves {} instead of {} per round ({:.2}x)",
+            q8.bytes_per_round, none.bytes_per_round, q8.compression_ratio
+        );
+    }
+
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output dir");
+        }
+    }
+    std::fs::write(&out, report.to_json()).expect("write report");
+    eprintln!("wrote {out}");
+}

@@ -345,7 +345,7 @@ pub fn compression(rounds: usize) -> Result<Vec<CompressArm>> {
                         let k = delta.len() / 10;
                         let s = sparsify_top_k(&delta, k.max(1));
                         bytes += s.wire_bytes();
-                        let dense = densify(&s);
+                        let dense = densify(&s).expect("sparsify output is always consistent");
                         w.iter().zip(dense.iter()).map(|(w, d)| w + d).collect()
                     }
                 };

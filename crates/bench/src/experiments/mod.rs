@@ -8,3 +8,4 @@ pub mod hetero;
 pub mod kernels;
 pub mod sim;
 pub mod table1;
+pub mod wire;

@@ -17,6 +17,7 @@
 //! | `ablation_async` | sync vs async aggregation under heterogeneity (item 1) |
 //! | `telemetry_report` | per-round phase table from a telemetry JSONL capture |
 //! | `bench_kernels` | kernel + e2e hot-path timings vs pre-PR replicas → `results/BENCH_kernels.json` |
+//! | `bench_wire` | wire-codec arms (none/int8/int4/top-k+EF/stacked) bytes + ser/de time + accuracy delta → `results/BENCH_wire.json` |
 //!
 //! Criterion micro-benchmarks for the kernels live in `benches/`.
 

@@ -159,11 +159,18 @@ pub fn render_phase_table(events: &[Event]) -> String {
         out.push_str(&render_table(&["round", "kernel", "calls", "time", "share"], &krows));
     }
 
-    // Generic counters last; kernel.* counters already have their own table.
+    let wire = render_wire_table(events);
+    if !wire.is_empty() {
+        out.push('\n');
+        out.push_str(&wire);
+    }
+
+    // Generic counters last; kernel.* and wire_bytes_* counters already
+    // have their own tables.
     let counter_rows: Vec<Vec<String>> = summary
         .counters
         .iter()
-        .filter(|(name, _)| !name.starts_with("kernel."))
+        .filter(|(name, _)| !name.starts_with("kernel.") && !name.starts_with("wire_bytes_"))
         .map(|(name, value)| vec![name.clone(), value.to_string()])
         .collect();
     if !counter_rows.is_empty() {
@@ -180,6 +187,69 @@ pub fn render_phase_table(events: &[Event]) -> String {
         out.push('\n');
         out.push_str(&health);
     }
+    out
+}
+
+/// Renders the wire-compression traffic table: one row per (round, codec
+/// stack) with the framed bytes actually moved (`wire_bytes_sent`), the
+/// bytes the codec saved against uncompressed uploads
+/// (`wire_bytes_saved`), and the round's `compression_ratio` gauge. The
+/// codec column is the count events' detail tag — the negotiated stack
+/// label — so a mid-run renegotiation shows up as separate rows. Empty
+/// when the run had no wire codec configured.
+pub fn render_wire_table(events: &[Event]) -> String {
+    let summary = RunSummary::from_events(events);
+    // (round, codec label) -> (sent, saved)
+    let mut per: BTreeMap<(u64, String), (u64, u64)> = BTreeMap::new();
+    for ev in events {
+        if ev.kind != EventKind::Count {
+            continue;
+        }
+        let (Some(round), Some(value)) = (ev.round, ev.value) else {
+            continue;
+        };
+        let codec = ev.detail.clone().unwrap_or_else(|| "?".to_string());
+        let slot = per.entry((round, codec)).or_insert((0, 0));
+        match ev.name.as_str() {
+            "wire_bytes_sent" => slot.0 += value,
+            "wire_bytes_saved" => slot.1 += value,
+            _ => {}
+        }
+    }
+    per.retain(|_, (sent, saved)| *sent > 0 || *saved > 0);
+    if per.is_empty() {
+        return String::new();
+    }
+    let mut rows = Vec::new();
+    let (mut total_sent, mut total_saved) = (0u64, 0u64);
+    for ((round, codec), (sent, saved)) in &per {
+        total_sent += sent;
+        total_saved += saved;
+        let ratio = summary.round_gauge(*round, "compression_ratio");
+        rows.push(vec![
+            round.to_string(),
+            codec.clone(),
+            crate::report::fmt_bytes(*sent as usize),
+            crate::report::fmt_bytes(*saved as usize),
+            if ratio.count > 0 {
+                format!("{:.2}x", ratio.max)
+            } else {
+                "-".to_string()
+            },
+        ]);
+    }
+    rows.push(vec![
+        "all".to_string(),
+        "-".to_string(),
+        crate::report::fmt_bytes(total_sent as usize),
+        crate::report::fmt_bytes(total_saved as usize),
+        "-".to_string(),
+    ]);
+    let mut out = String::from("Wire compression (negotiated codec stacks):\n");
+    out.push_str(&render_table(
+        &["round", "codec", "sent", "saved", "ratio"],
+        &rows,
+    ));
     out
 }
 
@@ -369,6 +439,25 @@ mod tests {
         assert!(text.contains("200.00ms"), "missing kernel time:\n{text}");
         // kernel.* counters must not repeat in the generic counter table.
         assert_eq!(text.matches("kernel.matmul.calls").count(), 0, "{text}");
+        assert!(text.contains("upload_bytes"), "generic counter lost:\n{text}");
+    }
+
+    #[test]
+    fn wire_counters_get_their_own_codec_table() {
+        let sink = Arc::new(MemorySink::default());
+        let tl = Telemetry::new(sink.clone());
+        tl.span_secs("comm", Phase::Comm, 0.1, Some(1), None);
+        // What ServerLink::emit_round emits per round with a codec armed.
+        tl.count("wire_bytes_sent", 1_000, Some(1), Some("topk100+q8+rle"));
+        tl.count("wire_bytes_saved", 3_000, Some(1), Some("topk100+q8+rle"));
+        tl.gauge("compression_ratio", 4.0, Some(1), None);
+        tl.count("upload_bytes", 512, Some(1), None);
+        let text = render_phase_table(&sink.events());
+        assert!(text.contains("Wire compression"), "missing section:\n{text}");
+        assert!(text.contains("topk100+q8+rle"), "missing codec row:\n{text}");
+        assert!(text.contains("4.00x"), "missing ratio:\n{text}");
+        // wire_bytes_* counters must not repeat in the generic table.
+        assert_eq!(text.matches("wire_bytes_sent").count(), 0, "{text}");
         assert!(text.contains("upload_bytes"), "generic counter lost:\n{text}");
     }
 

@@ -11,6 +11,43 @@
 //! Both are lossy; the A7 ablation measures the bytes/accuracy trade-off.
 
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Typed errors for malformed compressed representations (a decoded
+/// [`SparseVec`] arrives from the wire, so its invariants cannot be
+/// trusted — rebuilding the dense vector must fail cleanly, never panic).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompressError {
+    /// A sparse index points outside the original vector.
+    IndexOutOfRange {
+        /// The offending index.
+        index: u32,
+        /// The claimed original length.
+        len: usize,
+    },
+    /// `indices` and `values` disagree in length.
+    LengthMismatch {
+        /// Number of indices present.
+        indices: usize,
+        /// Number of values present.
+        values: usize,
+    },
+}
+
+impl fmt::Display for CompressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompressError::IndexOutOfRange { index, len } => {
+                write!(f, "sparse index {index} out of range for length {len}")
+            }
+            CompressError::LengthMismatch { indices, values } => {
+                write!(f, "{indices} indices but {values} values")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompressError {}
 
 /// An 8-bit linearly quantised vector.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -110,8 +147,12 @@ pub fn sparsify_top_k(v: &[f32], k: usize) -> SparseVec {
         };
     }
     let mut order: Vec<usize> = (0..v.len()).collect();
-    // Partial selection of the top-k by |value|.
-    order.select_nth_unstable_by(k, |&a, &b| v[b].abs().total_cmp(&v[a].abs()));
+    // Partial selection of the top-k by |value|, ties broken by index so
+    // the kept set is a pure function of the values (an unstable select
+    // on equal magnitudes would make it depend on input order).
+    order.select_nth_unstable_by(k, |&a, &b| {
+        v[b].abs().total_cmp(&v[a].abs()).then(a.cmp(&b))
+    });
     let mut kept: Vec<usize> = order[..k].to_vec();
     kept.sort_unstable();
     SparseVec {
@@ -122,12 +163,27 @@ pub fn sparsify_top_k(v: &[f32], k: usize) -> SparseVec {
 }
 
 /// Expands a sparse vector back to dense form (zeros elsewhere).
-pub fn densify(s: &SparseVec) -> Vec<f32> {
+///
+/// The input may come off the wire, so both invariants are checked:
+/// `indices` and `values` must agree in length, and every index must fall
+/// inside the original vector.
+pub fn densify(s: &SparseVec) -> Result<Vec<f32>, CompressError> {
+    if s.indices.len() != s.values.len() {
+        return Err(CompressError::LengthMismatch {
+            indices: s.indices.len(),
+            values: s.values.len(),
+        });
+    }
     let mut out = vec![0.0f32; s.len];
     for (&i, &x) in s.indices.iter().zip(s.values.iter()) {
-        out[i as usize] = x;
+        *out
+            .get_mut(i as usize)
+            .ok_or(CompressError::IndexOutOfRange {
+                index: i,
+                len: s.len,
+            })? = x;
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -161,7 +217,7 @@ mod tests {
         let s = sparsify_top_k(&v, 2);
         assert_eq!(s.indices, vec![1, 3]);
         assert_eq!(s.values, vec![-5.0, 3.0]);
-        let d = densify(&s);
+        let d = densify(&s).unwrap();
         assert_eq!(d, vec![0.0, -5.0, 0.0, 3.0, 0.0]);
     }
 
@@ -169,7 +225,45 @@ mod tests {
     fn top_k_with_large_k_is_lossless() {
         let v = vec![1.0f32, 2.0, 3.0];
         let s = sparsify_top_k(&v, 10);
-        assert_eq!(densify(&s), v);
+        assert_eq!(densify(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn top_k_ties_break_by_index_deterministically() {
+        // All-equal magnitudes: the kept set must be the lowest indices,
+        // whatever the sign pattern or input permutation.
+        let v = vec![2.0f32, -2.0, 2.0, -2.0, 2.0, -2.0];
+        let s = sparsify_top_k(&v, 3);
+        assert_eq!(s.indices, vec![0, 1, 2]);
+        // A mixed vector where the boundary magnitude is tied.
+        let v = vec![1.0f32, 5.0, -1.0, 1.0, -5.0, 1.0];
+        let s = sparsify_top_k(&v, 3);
+        assert_eq!(s.indices, vec![0, 1, 4], "boundary tie goes to index 0");
+    }
+
+    #[test]
+    fn densify_rejects_malformed_sparse_vectors() {
+        let oob = SparseVec {
+            len: 4,
+            indices: vec![0, 9],
+            values: vec![1.0, 2.0],
+        };
+        assert_eq!(
+            densify(&oob),
+            Err(CompressError::IndexOutOfRange { index: 9, len: 4 })
+        );
+        let skew = SparseVec {
+            len: 4,
+            indices: vec![0, 1],
+            values: vec![1.0],
+        };
+        assert_eq!(
+            densify(&skew),
+            Err(CompressError::LengthMismatch {
+                indices: 2,
+                values: 1
+            })
+        );
     }
 
     #[test]
@@ -183,7 +277,7 @@ mod tests {
     fn top_k_error_is_bounded_by_dropped_mass() {
         let v: Vec<f32> = (0..100).map(|i| if i < 5 { 10.0 } else { 0.001 }).collect();
         let s = sparsify_top_k(&v, 5);
-        let d = densify(&s);
+        let d = densify(&s).unwrap();
         let err: f32 = v.iter().zip(d.iter()).map(|(a, b)| (a - b).abs()).sum();
         assert!(err < 0.1); // only the tiny tail is dropped
     }

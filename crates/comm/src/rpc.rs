@@ -13,7 +13,7 @@
 use crate::retry::RetryPolicy;
 use crate::transport::{CommError, Communicator};
 use crate::wire::messages::GlobalWeights;
-use crate::wire::{JobDone, LearningResults, WeightRequest};
+use crate::wire::{JobDone, LearningResults, WeightRequest, WireWriter};
 use appfl_telemetry::{Phase, Telemetry};
 use std::sync::atomic::AtomicUsize;
 use std::time::Duration;
@@ -64,21 +64,25 @@ pub enum Response {
     },
 }
 
-fn frame(tag: u8, body: Vec<u8>) -> Vec<u8> {
-    let mut out = Vec::with_capacity(body.len() + 1);
-    out.push(tag);
-    out.extend_from_slice(&body);
-    out
-}
-
 impl Request {
-    /// Encodes with the method tag.
+    /// Encodes with the method tag. The protobuf body serialises straight
+    /// into the tagged buffer — for `SendResults` that means the tensor
+    /// payload is written once, directly from the parameter vectors, with
+    /// no intermediate body buffer copied behind the tag.
     pub fn encode(&self) -> Vec<u8> {
+        let mut w = match self {
+            Request::GetWeight(_) => WireWriter::tagged(Method::GetWeight as u8, 16),
+            Request::SendResults(m) => {
+                WireWriter::tagged(Method::SendResults as u8, m.encoded_len())
+            }
+            Request::Done(_) => WireWriter::tagged(Method::Done as u8, 8),
+        };
         match self {
-            Request::GetWeight(m) => frame(Method::GetWeight as u8, m.encode()),
-            Request::SendResults(m) => frame(Method::SendResults as u8, m.encode()),
-            Request::Done(m) => frame(Method::Done as u8, m.encode()),
+            Request::GetWeight(m) => m.write_into(&mut w),
+            Request::SendResults(m) => m.write_into(&mut w),
+            Request::Done(m) => m.write_into(&mut w),
         }
+        w.finish()
     }
 
     /// Decodes a tagged request.
@@ -101,10 +105,15 @@ impl Request {
 
 /// Response tags: 1 = weights, 2 = ack-ok, 3 = ack-fail.
 impl Response {
-    /// Encodes with a response tag.
+    /// Encodes with a response tag. A weights reply serialises the model
+    /// tensors once, straight into the tagged buffer.
     pub fn encode(&self) -> Vec<u8> {
         match self {
-            Response::Weights(w) => frame(1, w.encode()),
+            Response::Weights(weights) => {
+                let mut w = WireWriter::tagged(1, weights.encoded_len());
+                weights.write_into(&mut w);
+                w.finish()
+            }
             Response::Ack { ok: true } => vec![2],
             Response::Ack { ok: false } => vec![3],
         }

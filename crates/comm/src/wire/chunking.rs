@@ -6,12 +6,20 @@
 //! carries `(stream_id, seq, total, payload)`; the reassembler validates
 //! ordering, duplication, stream mixing and total-size consistency so a
 //! faulty peer cannot corrupt a model silently.
+//!
+//! The payload path is zero-copy: a [`Chunk`] *borrows* its payload, so
+//! splitting a message yields views into the original buffer and decoding
+//! a chunk yields a view into the received bytes. The only copies left are
+//! the unavoidable ones — serialising onto the wire and accumulating the
+//! reassembly buffer.
 
 use super::codec::{WireError, WireReader, WireWriter};
+use super::varint::varint_len;
 
-/// One chunk of a larger message.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Chunk {
+/// One chunk of a larger message. Borrows its payload from the message
+/// being split (sender side) or the receive buffer (receiver side).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Chunk<'a> {
     /// Identifies the logical message the chunk belongs to.
     pub stream_id: u64,
     /// Zero-based sequence number.
@@ -19,31 +27,42 @@ pub struct Chunk {
     /// Total chunks in the stream.
     pub total: u32,
     /// Payload slice.
-    pub payload: Vec<u8>,
+    pub payload: &'a [u8],
 }
 
-impl Chunk {
-    /// Encodes to protobuf bytes.
+impl<'a> Chunk<'a> {
+    /// Encodes to protobuf bytes. The output buffer is sized exactly: the
+    /// payload is copied once, straight into its wire position.
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = WireWriter::with_capacity(self.payload.len() + 24);
+        let cap = 1
+            + varint_len(self.stream_id)
+            + 1
+            + varint_len(u64::from(self.seq))
+            + 1
+            + varint_len(u64::from(self.total))
+            + 1
+            + varint_len(self.payload.len() as u64)
+            + self.payload.len();
+        let mut w = WireWriter::with_capacity(cap);
         w.uint(1, self.stream_id);
         w.uint(2, u64::from(self.seq));
         w.uint(3, u64::from(self.total));
-        w.bytes(4, &self.payload);
+        w.bytes(4, self.payload);
+        debug_assert_eq!(w.len(), cap);
         w.finish()
     }
 
-    /// Decodes from protobuf bytes.
-    pub fn decode(buf: &[u8]) -> Result<Self, WireError> {
+    /// Decodes from protobuf bytes, borrowing the payload from `buf`.
+    pub fn decode(buf: &'a [u8]) -> Result<Self, WireError> {
         let (mut stream_id, mut seq, mut total) = (None, None, None);
-        let mut payload = Vec::new();
+        let mut payload: &[u8] = &[];
         let mut r = WireReader::new(buf);
         while let Some((f, v)) = r.next_field()? {
             match f {
                 1 => stream_id = Some(v.as_uint(f)?),
                 2 => seq = Some(v.as_uint(f)? as u32),
                 3 => total = Some(v.as_uint(f)? as u32),
-                4 => payload = v.as_bytes(f)?.to_vec(),
+                4 => payload = v.as_bytes(f)?,
                 _ => {}
             }
         }
@@ -57,16 +76,17 @@ impl Chunk {
 }
 
 /// Splits `message` into chunks of at most `chunk_size` payload bytes.
-/// Empty messages become a single empty chunk so the receiver still gets a
+/// Each chunk borrows its slice of `message` — nothing is copied. Empty
+/// messages become a single empty chunk so the receiver still gets a
 /// completion signal.
-pub fn split_message(stream_id: u64, message: &[u8], chunk_size: usize) -> Vec<Chunk> {
+pub fn split_message(stream_id: u64, message: &[u8], chunk_size: usize) -> Vec<Chunk<'_>> {
     assert!(chunk_size > 0, "chunk size must be positive");
     if message.is_empty() {
         return vec![Chunk {
             stream_id,
             seq: 0,
             total: 1,
-            payload: Vec::new(),
+            payload: &[],
         }];
     }
     let total = message.len().div_ceil(chunk_size) as u32;
@@ -77,7 +97,7 @@ pub fn split_message(stream_id: u64, message: &[u8], chunk_size: usize) -> Vec<C
             stream_id,
             seq: i as u32,
             total,
-            payload: part.to_vec(),
+            payload: part,
         })
         .collect()
 }
@@ -96,8 +116,21 @@ impl Reassembler {
         Reassembler::default()
     }
 
+    /// Whether a stream is partially assembled.
+    pub fn in_progress(&self) -> bool {
+        self.current.is_some()
+    }
+
+    /// Drops any partially assembled stream (used to resynchronise after
+    /// a lost chunk: the stream is unrecoverable, the next one is not).
+    pub fn reset(&mut self) {
+        self.current = None;
+        self.next_seq = 0;
+        self.buffer.clear();
+    }
+
     /// Feeds one chunk. Returns `Some(message)` when the stream completes.
-    pub fn push(&mut self, chunk: Chunk) -> Result<Option<Vec<u8>>, WireError> {
+    pub fn push(&mut self, chunk: Chunk<'_>) -> Result<Option<Vec<u8>>, WireError> {
         match self.current {
             None => {
                 if chunk.seq != 0 {
@@ -131,7 +164,7 @@ impl Reassembler {
                 self.next_seq, chunk.seq
             )));
         }
-        self.buffer.extend_from_slice(&chunk.payload);
+        self.buffer.extend_from_slice(chunk.payload);
         self.next_seq += 1;
         let (_, total) = self.current.expect("set above");
         if self.next_seq == total {
@@ -150,13 +183,31 @@ mod tests {
 
     #[test]
     fn chunk_roundtrip() {
+        let payload = vec![1u8, 2, 3];
         let c = Chunk {
             stream_id: 7,
             seq: 3,
             total: 9,
-            payload: vec![1, 2, 3],
+            payload: &payload,
         };
-        assert_eq!(Chunk::decode(&c.encode()).unwrap(), c);
+        let buf = c.encode();
+        assert_eq!(Chunk::decode(&buf).unwrap(), c);
+    }
+
+    #[test]
+    fn decode_borrows_from_the_input_buffer() {
+        let payload = vec![9u8; 64];
+        let buf = Chunk {
+            stream_id: 1,
+            seq: 0,
+            total: 1,
+            payload: &payload,
+        }
+        .encode();
+        let decoded = Chunk::decode(&buf).unwrap();
+        // The payload is a view into `buf`, not a copy.
+        let buf_range = buf.as_ptr() as usize..buf.as_ptr() as usize + buf.len();
+        assert!(buf_range.contains(&(decoded.payload.as_ptr() as usize)));
     }
 
     #[test]
@@ -177,39 +228,62 @@ mod tests {
         let chunks = split_message(1, &[], 1024);
         assert_eq!(chunks.len(), 1);
         let mut r = Reassembler::new();
-        assert_eq!(r.push(chunks[0].clone()).unwrap(), Some(Vec::new()));
+        assert_eq!(r.push(chunks[0]).unwrap(), Some(Vec::new()));
     }
 
     #[test]
     fn out_of_order_chunks_are_rejected() {
-        let chunks = split_message(1, &[0u8; 10], 4);
+        let msg = [0u8; 10];
+        let chunks = split_message(1, &msg, 4);
         let mut r = Reassembler::new();
-        r.push(chunks[0].clone()).unwrap();
-        assert!(r.push(chunks[2].clone()).is_err());
+        r.push(chunks[0]).unwrap();
+        assert!(r.push(chunks[2]).is_err());
     }
 
     #[test]
     fn interleaved_streams_are_rejected() {
-        let a = split_message(1, &[0u8; 10], 4);
-        let b = split_message(2, &[0u8; 10], 4);
+        let msg = [0u8; 10];
+        let a = split_message(1, &msg, 4);
+        let b = split_message(2, &msg, 4);
         let mut r = Reassembler::new();
-        r.push(a[0].clone()).unwrap();
-        assert!(r.push(b[1].clone()).is_err());
+        r.push(a[0]).unwrap();
+        assert!(r.push(b[1]).is_err());
     }
 
     #[test]
     fn duplicate_chunk_is_rejected() {
-        let chunks = split_message(1, &[0u8; 10], 4);
+        let msg = [0u8; 10];
+        let chunks = split_message(1, &msg, 4);
         let mut r = Reassembler::new();
-        r.push(chunks[0].clone()).unwrap();
-        assert!(r.push(chunks[0].clone()).is_err());
+        r.push(chunks[0]).unwrap();
+        assert!(r.push(chunks[0]).is_err());
     }
 
     #[test]
     fn stream_must_start_at_zero() {
-        let chunks = split_message(1, &[0u8; 10], 4);
+        let msg = [0u8; 10];
+        let chunks = split_message(1, &msg, 4);
         let mut r = Reassembler::new();
-        assert!(r.push(chunks[1].clone()).is_err());
+        assert!(r.push(chunks[1]).is_err());
+    }
+
+    #[test]
+    fn reset_resynchronises_after_a_lost_chunk() {
+        let msg = [7u8; 12];
+        let chunks = split_message(5, &msg, 4);
+        let mut r = Reassembler::new();
+        r.push(chunks[0]).unwrap();
+        assert!(r.in_progress());
+        // chunks[1] is lost; chunks[2] errors, reset recovers the slot.
+        assert!(r.push(chunks[2]).is_err());
+        r.reset();
+        assert!(!r.in_progress());
+        let next = split_message(6, &msg, 4);
+        let mut out = None;
+        for c in next {
+            out = r.push(c).unwrap();
+        }
+        assert_eq!(out.unwrap(), msg);
     }
 
     #[test]

@@ -90,6 +90,17 @@ impl WireWriter {
         }
     }
 
+    /// A writer whose buffer starts with one raw envelope byte. The RPC
+    /// layer prefixes every protobuf payload with a method/response tag;
+    /// seeding the writer with that byte lets the message body serialise
+    /// straight into its final position instead of being encoded to a
+    /// temporary buffer and copied behind the tag.
+    pub fn tagged(tag: u8, cap: usize) -> Self {
+        let mut buf = Vec::with_capacity(cap + 1);
+        buf.push(tag);
+        WireWriter { buf }
+    }
+
     fn tag(&mut self, field: u32, wt: WireType) {
         debug_assert!(field != 0, "field number 0 is reserved");
         encode_varint(u64::from(field) << 3 | wt as u64, &mut self.buf);
@@ -160,6 +171,29 @@ impl WireWriter {
     /// Writes an embedded message field from its encoded bytes.
     pub fn message(&mut self, field: u32, encoded: &[u8]) -> &mut Self {
         self.bytes(field, encoded)
+    }
+
+    /// Writes an embedded message field *in place*: the caller declares the
+    /// exact body length up front and then writes it directly into this
+    /// writer, so nested messages with precomputable sizes (fixed-width
+    /// tensor payloads) serialise without an intermediate buffer.
+    pub fn message_with(
+        &mut self,
+        field: u32,
+        len: usize,
+        body: impl FnOnce(&mut WireWriter),
+    ) -> &mut Self {
+        self.tag(field, WireType::LengthDelimited);
+        encode_varint(len as u64, &mut self.buf);
+        self.buf.reserve(len);
+        let before = self.buf.len();
+        body(self);
+        debug_assert_eq!(
+            self.buf.len() - before,
+            len,
+            "message_with body wrote a different length than declared"
+        );
+        self
     }
 
     /// Finishes, returning the encoded buffer.

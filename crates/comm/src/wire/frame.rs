@@ -1,0 +1,157 @@
+//! Versioned, self-describing frames for the negotiated wire protocol.
+//!
+//! Every logical message on a codec-enabled link is wrapped in a 4-byte
+//! header — magic `b"AW"`, a protocol version, and a [`FrameKind`] — before
+//! being chunked onto the transport. Self-describing frames are what make
+//! the codec negotiation loss-tolerant: a peer never has to *know* whether
+//! the other side compressed, it reads the kind byte. A client whose
+//! [`super::pipeline::CodecHello`] was dropped simply keeps sending
+//! [`FrameKind::Plain`] uploads and the server keeps decoding them.
+//!
+//! The body is borrowed on decode ([`Frame`] holds `&[u8]`), so unwrapping
+//! a frame costs four bytes of header inspection and no copy.
+
+use super::codec::WireError;
+
+/// Two-byte frame magic (`b"AW"`, "APPFL wire").
+pub const FRAME_MAGIC: [u8; 2] = *b"AW";
+
+/// Current frame protocol version.
+pub const FRAME_VERSION: u8 = 1;
+
+/// What a frame carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Server → client codec offer ([`super::pipeline::CodecHello`]).
+    Hello = 1,
+    /// Client → server codec acceptance ([`super::pipeline::CodecAck`]).
+    Ack = 2,
+    /// An uncompressed protobuf message (the pre-codec wire format).
+    Plain = 3,
+    /// A codec-pipeline blob ([`super::pipeline::CodedUpload`]).
+    Coded = 4,
+}
+
+impl FrameKind {
+    fn from_u8(v: u8) -> Option<FrameKind> {
+        match v {
+            1 => Some(FrameKind::Hello),
+            2 => Some(FrameKind::Ack),
+            3 => Some(FrameKind::Plain),
+            4 => Some(FrameKind::Coded),
+            _ => None,
+        }
+    }
+}
+
+/// A decoded frame: kind plus a borrowed view of the body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Frame<'a> {
+    /// What the body contains.
+    pub kind: FrameKind,
+    /// Protocol version from the header.
+    pub version: u8,
+    /// The framed payload (borrowed from the receive buffer).
+    pub body: &'a [u8],
+}
+
+impl<'a> Frame<'a> {
+    /// Wraps `body` in a frame header.
+    pub fn encode(kind: FrameKind, body: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + body.len());
+        out.extend_from_slice(&FRAME_MAGIC);
+        out.push(FRAME_VERSION);
+        out.push(kind as u8);
+        out.extend_from_slice(body);
+        out
+    }
+
+    /// Parses a frame header, borrowing the body from `buf`.
+    pub fn decode(buf: &'a [u8]) -> Result<Frame<'a>, WireError> {
+        if buf.len() < 4 {
+            return Err(WireError::Truncated);
+        }
+        if buf[..2] != FRAME_MAGIC {
+            return Err(WireError::Invalid("bad frame magic".into()));
+        }
+        let version = buf[2];
+        if version == 0 || version > FRAME_VERSION {
+            return Err(WireError::Invalid(format!(
+                "unsupported frame version {version}"
+            )));
+        }
+        let kind = FrameKind::from_u8(buf[3])
+            .ok_or_else(|| WireError::Invalid(format!("unknown frame kind {}", buf[3])))?;
+        Ok(Frame {
+            kind,
+            version,
+            body: &buf[4..],
+        })
+    }
+
+    /// Whether `buf` even looks like a frame (magic check only) — used to
+    /// tell framed traffic apart from legacy raw protobuf on mixed links.
+    pub fn looks_framed(buf: &[u8]) -> bool {
+        buf.len() >= 4 && buf[..2] == FRAME_MAGIC
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_kinds() {
+        for kind in [
+            FrameKind::Hello,
+            FrameKind::Ack,
+            FrameKind::Plain,
+            FrameKind::Coded,
+        ] {
+            let buf = Frame::encode(kind, b"payload");
+            let f = Frame::decode(&buf).unwrap();
+            assert_eq!(f.kind, kind);
+            assert_eq!(f.version, FRAME_VERSION);
+            assert_eq!(f.body, b"payload");
+        }
+    }
+
+    #[test]
+    fn body_is_borrowed_not_copied() {
+        let buf = Frame::encode(FrameKind::Plain, &[5u8; 32]);
+        let f = Frame::decode(&buf).unwrap();
+        let range = buf.as_ptr() as usize..buf.as_ptr() as usize + buf.len();
+        assert!(range.contains(&(f.body.as_ptr() as usize)));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(Frame::decode(&[]), Err(WireError::Truncated));
+        assert_eq!(Frame::decode(b"AW"), Err(WireError::Truncated));
+        assert!(matches!(
+            Frame::decode(b"XXxxxx"),
+            Err(WireError::Invalid(_))
+        ));
+        // Version 0 and future versions are refused.
+        assert!(matches!(
+            Frame::decode(&[b'A', b'W', 0, 3]),
+            Err(WireError::Invalid(_))
+        ));
+        assert!(matches!(
+            Frame::decode(&[b'A', b'W', 9, 3]),
+            Err(WireError::Invalid(_))
+        ));
+        // Unknown kind byte.
+        assert!(matches!(
+            Frame::decode(&[b'A', b'W', 1, 99]),
+            Err(WireError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn empty_body_is_fine() {
+        let buf = Frame::encode(FrameKind::Ack, &[]);
+        let f = Frame::decode(&buf).unwrap();
+        assert!(f.body.is_empty());
+    }
+}

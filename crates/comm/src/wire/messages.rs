@@ -9,6 +9,7 @@
 //! a second tensor list.
 
 use super::codec::{WireError, WireReader, WireWriter};
+use super::varint::varint_len;
 
 /// A named tensor on the wire: shape as packed varints, data as packed
 /// little-endian floats (proto3 `repeated float` packing).
@@ -32,12 +33,30 @@ impl TensorMsg {
         }
     }
 
-    /// Encodes to protobuf bytes.
-    pub fn encode(&self) -> Vec<u8> {
-        let mut w = WireWriter::with_capacity(self.data.len() * 4 + self.name.len() + 16);
+    /// Exact encoded size in bytes (every field is fixed-width or
+    /// varint-over-known-value), so containing messages can embed this
+    /// tensor with a length prefix in a single pass.
+    pub fn encoded_len(&self) -> usize {
+        let name_len = self.name.len();
+        let shape_body: usize = self.shape.iter().map(|&d| varint_len(d)).sum();
+        let data_body = self.data.len() * 4;
+        1 + varint_len(name_len as u64) + name_len
+            + 1 + varint_len(shape_body as u64) + shape_body
+            + 1 + varint_len(data_body as u64) + data_body
+    }
+
+    /// Writes the tensor's fields into `w` (no intermediate buffer).
+    pub fn write_into(&self, w: &mut WireWriter) {
         w.string(1, &self.name);
         w.packed_uints(2, &self.shape);
         w.packed_floats(3, &self.data);
+    }
+
+    /// Encodes to protobuf bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::with_capacity(self.encoded_len());
+        self.write_into(&mut w);
+        debug_assert_eq!(w.len(), self.encoded_len());
         w.finish()
     }
 
@@ -72,6 +91,139 @@ impl TensorMsg {
     }
 }
 
+/// Zero-copy encoder for a flat (rank-1) tensor: borrows the name and the
+/// parameter slice, and serialises the floats straight from the borrowed
+/// data into their wire position. Produces bytes identical to
+/// `TensorMsg::flat(name, data.to_vec()).encode()` — without cloning the
+/// parameter vector first, which is the hot-path cost on every broadcast
+/// and upload.
+#[derive(Debug, Clone, Copy)]
+pub struct TensorMsgRef<'a> {
+    name: &'a str,
+    shape: [u64; 1],
+    data: &'a [f32],
+}
+
+impl<'a> TensorMsgRef<'a> {
+    /// A flat tensor view over a parameter slice.
+    pub fn flat(name: &'a str, data: &'a [f32]) -> Self {
+        TensorMsgRef {
+            name,
+            shape: [data.len() as u64],
+            data,
+        }
+    }
+
+    /// Exact encoded size in bytes. Every field is either fixed-width
+    /// (floats) or varint-over-known-value, so the length is computable
+    /// without serialising — that is what lets containing messages embed
+    /// this tensor with a length prefix in a single pass.
+    pub fn encoded_len(&self) -> usize {
+        let name_len = self.name.len();
+        let shape_body: usize = self.shape.iter().map(|&d| varint_len(d)).sum();
+        let data_body = self.data.len() * 4;
+        1 + varint_len(name_len as u64) + name_len
+            + 1 + varint_len(shape_body as u64) + shape_body
+            + 1 + varint_len(data_body as u64) + data_body
+    }
+
+    /// Writes the tensor's fields into `w` (no intermediate buffer).
+    pub fn write_into(&self, w: &mut WireWriter) {
+        w.string(1, self.name);
+        w.packed_uints(2, &self.shape);
+        w.packed_floats(3, self.data);
+    }
+
+    /// Encodes to a standalone buffer, sized exactly.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::with_capacity(self.encoded_len());
+        self.write_into(&mut w);
+        debug_assert_eq!(w.len(), self.encoded_len());
+        w.finish()
+    }
+}
+
+/// Zero-copy encoder for a client upload: borrows the primal (and
+/// optional dual) parameter slices and serialises them directly, with the
+/// nested tensor lengths precomputed so no per-tensor buffer is built.
+/// Byte-identical to the equivalent [`LearningResults`] encoding.
+#[derive(Debug, Clone, Copy)]
+pub struct LearningResultsRef<'a> {
+    /// Reporting client id.
+    pub client_id: u32,
+    /// Communication round.
+    pub round: u32,
+    /// Penalty parameter ρ (or the local loss, per the runner's contract).
+    pub penalty: f64,
+    /// The primal parameter slice.
+    pub primal: TensorMsgRef<'a>,
+    /// The dual parameter slice (ICEADMM only).
+    pub dual: Option<TensorMsgRef<'a>>,
+}
+
+impl LearningResultsRef<'_> {
+    /// Encodes to protobuf bytes in one pass.
+    pub fn encode(&self) -> Vec<u8> {
+        let primal_len = self.primal.encoded_len();
+        let dual_len = self.dual.map(|d| d.encoded_len());
+        let mut cap = 1
+            + varint_len(u64::from(self.client_id))
+            + 1
+            + varint_len(u64::from(self.round))
+            + 9
+            + 1
+            + varint_len(primal_len as u64)
+            + primal_len;
+        if let Some(dl) = dual_len {
+            cap += 1 + varint_len(dl as u64) + dl;
+        }
+        let mut w = WireWriter::with_capacity(cap);
+        w.uint(1, u64::from(self.client_id));
+        w.uint(2, u64::from(self.round));
+        w.double(3, self.penalty);
+        let primal = self.primal;
+        w.message_with(4, primal_len, |w| primal.write_into(w));
+        if let (Some(dual), Some(dl)) = (self.dual, dual_len) {
+            w.message_with(5, dl, |w| dual.write_into(w));
+        }
+        debug_assert_eq!(w.len(), cap);
+        w.finish()
+    }
+}
+
+/// Zero-copy encoder for a global-model broadcast carrying one flat
+/// tensor, serialised straight from the server's parameter vector.
+/// Byte-identical to the equivalent [`GlobalWeights`] encoding.
+#[derive(Debug, Clone, Copy)]
+pub struct GlobalWeightsRef<'a> {
+    /// Round the weights belong to.
+    pub round: u32,
+    /// Whether the job has finished.
+    pub finished: bool,
+    /// The model parameter slice.
+    pub tensor: TensorMsgRef<'a>,
+}
+
+impl GlobalWeightsRef<'_> {
+    /// Encodes to protobuf bytes in one pass.
+    pub fn encode(&self) -> Vec<u8> {
+        let tensor_len = self.tensor.encoded_len();
+        let cap = 1
+            + varint_len(u64::from(self.round))
+            + 2
+            + 1
+            + varint_len(tensor_len as u64)
+            + tensor_len;
+        let mut w = WireWriter::with_capacity(cap);
+        w.uint(1, u64::from(self.round));
+        w.uint(2, u64::from(self.finished));
+        let tensor = self.tensor;
+        w.message_with(3, tensor_len, |w| tensor.write_into(w));
+        debug_assert_eq!(w.len(), cap);
+        w.finish()
+    }
+}
+
 /// Client → server request for the round-`round` global model.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WeightRequest {
@@ -82,11 +234,16 @@ pub struct WeightRequest {
 }
 
 impl WeightRequest {
+    /// Writes the request's fields into `w`.
+    pub fn write_into(&self, w: &mut WireWriter) {
+        w.uint(1, u64::from(self.client_id));
+        w.uint(2, u64::from(self.round));
+    }
+
     /// Encodes to protobuf bytes.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = WireWriter::new();
-        w.uint(1, u64::from(self.client_id));
-        w.uint(2, u64::from(self.round));
+        self.write_into(&mut w);
         w.finish()
     }
 
@@ -128,24 +285,40 @@ pub struct LearningResults {
 }
 
 impl LearningResults {
-    /// Encodes to protobuf bytes.
-    pub fn encode(&self) -> Vec<u8> {
-        let payload: usize = self
+    /// Exact encoded size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        let tensors: usize = self
             .primal
             .iter()
             .chain(self.dual.iter())
-            .map(|t| t.data.len() * 4 + 32)
+            .map(|t| {
+                let tl = t.encoded_len();
+                1 + varint_len(tl as u64) + tl
+            })
             .sum();
-        let mut w = WireWriter::with_capacity(payload + 32);
+        1 + varint_len(u64::from(self.client_id)) + 1 + varint_len(u64::from(self.round)) + 9
+            + tensors
+    }
+
+    /// Writes the upload's fields into `w`, serialising each tensor
+    /// directly into its wire position (no per-tensor buffer).
+    pub fn write_into(&self, w: &mut WireWriter) {
         w.uint(1, u64::from(self.client_id));
         w.uint(2, u64::from(self.round));
         w.double(3, self.penalty);
         for t in &self.primal {
-            w.message(4, &t.encode());
+            w.message_with(4, t.encoded_len(), |w| t.write_into(w));
         }
         for t in &self.dual {
-            w.message(5, &t.encode());
+            w.message_with(5, t.encoded_len(), |w| t.write_into(w));
         }
+    }
+
+    /// Encodes to protobuf bytes in one pass.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::with_capacity(self.encoded_len());
+        self.write_into(&mut w);
+        debug_assert_eq!(w.len(), self.encoded_len());
         w.finish()
     }
 
@@ -196,15 +369,34 @@ pub struct GlobalWeights {
 }
 
 impl GlobalWeights {
-    /// Encodes to protobuf bytes.
-    pub fn encode(&self) -> Vec<u8> {
-        let payload: usize = self.tensors.iter().map(|t| t.data.len() * 4 + 32).sum();
-        let mut w = WireWriter::with_capacity(payload + 16);
+    /// Exact encoded size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        let tensors: usize = self
+            .tensors
+            .iter()
+            .map(|t| {
+                let tl = t.encoded_len();
+                1 + varint_len(tl as u64) + tl
+            })
+            .sum();
+        1 + varint_len(u64::from(self.round)) + 2 + tensors
+    }
+
+    /// Writes the broadcast's fields into `w`, serialising each tensor
+    /// directly into its wire position (no per-tensor buffer).
+    pub fn write_into(&self, w: &mut WireWriter) {
         w.uint(1, u64::from(self.round));
         w.uint(2, u64::from(self.finished));
         for t in &self.tensors {
-            w.message(3, &t.encode());
+            w.message_with(3, t.encoded_len(), |w| t.write_into(w));
         }
+    }
+
+    /// Encodes to protobuf bytes in one pass.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::with_capacity(self.encoded_len());
+        self.write_into(&mut w);
+        debug_assert_eq!(w.len(), self.encoded_len());
         w.finish()
     }
 
@@ -238,10 +430,15 @@ pub struct JobDone {
 }
 
 impl JobDone {
+    /// Writes the notification's fields into `w`.
+    pub fn write_into(&self, w: &mut WireWriter) {
+        w.uint(1, u64::from(self.client_id));
+    }
+
     /// Encodes to protobuf bytes.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = WireWriter::new();
-        w.uint(1, u64::from(self.client_id));
+        self.write_into(&mut w);
         w.finish()
     }
 
@@ -347,6 +544,66 @@ mod tests {
     fn job_done_roundtrip() {
         let m = JobDone { client_id: 202 };
         assert_eq!(JobDone::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn tensor_ref_encoding_is_byte_identical_to_owned() {
+        for n in [0usize, 1, 100, 5000] {
+            let data: Vec<f32> = (0..n).map(|i| i as f32 * 0.3 - 1.0).collect();
+            let owned = TensorMsg::flat("global/round7", data.clone()).encode();
+            let zero_copy = TensorMsgRef::flat("global/round7", &data);
+            assert_eq!(zero_copy.encoded_len(), owned.len(), "n = {n}");
+            assert_eq!(zero_copy.encode(), owned, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn learning_results_ref_is_byte_identical_to_owned() {
+        let primal: Vec<f32> = (0..777).map(|i| i as f32).collect();
+        let dual: Vec<f32> = (0..777).map(|i| -(i as f32)).collect();
+        for with_dual in [false, true] {
+            let owned = LearningResults {
+                client_id: 42,
+                round: 260,
+                penalty: 0.75,
+                primal: vec![TensorMsg::flat("primal", primal.clone())],
+                dual: if with_dual {
+                    vec![TensorMsg::flat("dual", dual.clone())]
+                } else {
+                    vec![]
+                },
+            }
+            .encode();
+            let zero_copy = LearningResultsRef {
+                client_id: 42,
+                round: 260,
+                penalty: 0.75,
+                primal: TensorMsgRef::flat("primal", &primal),
+                dual: with_dual.then(|| TensorMsgRef::flat("dual", &dual)),
+            }
+            .encode();
+            assert_eq!(zero_copy, owned, "with_dual = {with_dual}");
+        }
+    }
+
+    #[test]
+    fn global_weights_ref_is_byte_identical_to_owned() {
+        let w: Vec<f32> = (0..6362).map(|i| (i as f32).sin()).collect();
+        for (round, finished) in [(1u32, false), (300, true)] {
+            let owned = GlobalWeights {
+                round,
+                finished,
+                tensors: vec![TensorMsg::flat("global", w.clone())],
+            }
+            .encode();
+            let zero_copy = GlobalWeightsRef {
+                round,
+                finished,
+                tensor: TensorMsgRef::flat("global", &w),
+            }
+            .encode();
+            assert_eq!(zero_copy, owned, "round {round}");
+        }
     }
 
     #[test]

@@ -1,16 +1,34 @@
-//! Protocol Buffers wire format, from scratch.
+//! Protocol Buffers wire format, from scratch — plus the negotiated
+//! codec pipeline layered on top of it.
 //!
 //! Only the wire layer is implemented (no descriptor/IDL machinery): varint
 //! and zigzag integer encodings, the four wire types used by proto3, and a
 //! reader/writer pair that the [`messages`] schema builds on. This is enough
 //! to byte-serialise everything APPFL's gRPC service exchanges and therefore
 //! to charge realistic serialisation costs in the communication experiments.
+//!
+//! On top of that sit the wire-efficiency layers: [`frame`] (versioned
+//! self-describing frames), [`pipeline`] (the negotiated compression codec
+//! stacks with error feedback), and [`stream`] (chunked streaming with
+//! loss resynchronisation over any transport).
 
 pub mod chunking;
 pub mod codec;
+pub mod frame;
 pub mod messages;
+pub mod pipeline;
+pub mod stream;
 pub mod varint;
 
 pub use chunking::{split_message, Chunk, Reassembler};
 pub use codec::{WireError, WireReader, WireType, WireWriter};
-pub use messages::{GlobalWeights, JobDone, LearningResults, TensorMsg, WeightRequest};
+pub use frame::{Frame, FrameKind, FRAME_MAGIC, FRAME_VERSION};
+pub use messages::{
+    GlobalWeights, GlobalWeightsRef, JobDone, LearningResults, LearningResultsRef, TensorMsg,
+    TensorMsgRef, WeightRequest,
+};
+pub use pipeline::{
+    CodecAck, CodecHello, CodecStack, CodecStage, CodedUpload, StackDecoder, StackEncoder,
+    WireConfig, CODEC_VERSION, QUANT_BLOCK,
+};
+pub use stream::{recv_chunked, recv_chunked_timeout, send_chunked, ChunkDemux};

@@ -1,0 +1,1191 @@
+//! The negotiated wire-codec pipeline: composable, versioned, lossy-but-
+//! convergence-preserving update compression.
+//!
+//! "Advances in APPFL" ships a compressor menu — quantisation,
+//! sparsification, residual coding — for exactly one reason: at deployment
+//! scale the dominant cost is bytes on the wire. This module turns that
+//! menu into a [`CodecStack`]: an ordered list of [`CodecStage`]s applied
+//! to the client's update *residual* (update − reference model), where the
+//! reference is the round's broadcast that both ends already hold.
+//!
+//! Stages:
+//!
+//! * [`CodecStage::TopK`] — magnitude sparsification keeping `permille`/1000
+//!   of the coordinates. Paired with **error feedback** in
+//!   [`StackEncoder`]: the dropped (and quantisation-rounded) mass is
+//!   carried into the next round's residual, so the information is delayed,
+//!   never destroyed — the standard fix that preserves convergence.
+//! * [`CodecStage::QuantQ8`] / [`CodecStage::QuantQ4`] — per-block (1024
+//!   coordinates) symmetric linear quantisation to 8 or 4 bits. Per-block
+//!   scaling bounds the pointwise error by `block_max/levels/2` instead of
+//!   letting one outlier coordinate flatten the whole tensor's resolution.
+//! * [`CodecStage::RunLength`] — PackBits-style run-length coding of the
+//!   quantised code bytes (residuals cluster hard around the zero code).
+//!
+//! A stack is negotiated once per connection: the server offers its
+//! supported stacks in a [`CodecHello`], the client picks one and replies
+//! with a [`CodecAck`]. Every blob is also *self-describing* (it embeds its
+//! own stack descriptor and a version), so a decoder never has to guess —
+//! and a lost hello degrades to uncompressed traffic, never to corruption.
+
+use super::codec::{WireError, WireReader, WireWriter};
+use crate::compress::sparsify_top_k;
+use serde::{Deserialize, Serialize};
+
+/// Version stamped into every [`CodecHello`] and coded blob.
+pub const CODEC_VERSION: u8 = 1;
+
+/// Coordinates per quantisation block: each block carries its own scale.
+pub const QUANT_BLOCK: usize = 1024;
+
+/// One composable stage of the codec pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CodecStage {
+    /// 8-bit per-block symmetric quantisation (~4× on dense residuals).
+    QuantQ8,
+    /// 4-bit per-block symmetric quantisation (~8× on dense residuals).
+    QuantQ4,
+    /// Keep the `permille`/1000 largest-magnitude residual coordinates.
+    TopK {
+        /// Kept fraction in thousandths (1..=1000).
+        permille: u16,
+    },
+    /// PackBits run-length coding over the quantised code bytes.
+    RunLength,
+}
+
+impl CodecStage {
+    /// Quantisation levels per side of zero, if this is a quant stage.
+    pub fn levels(&self) -> Option<f32> {
+        match self {
+            CodecStage::QuantQ8 => Some(127.0),
+            CodecStage::QuantQ4 => Some(7.0),
+            _ => None,
+        }
+    }
+
+    fn descriptor_pair(&self) -> (u64, u64) {
+        match self {
+            CodecStage::QuantQ8 => (1, 0),
+            CodecStage::QuantQ4 => (2, 0),
+            CodecStage::TopK { permille } => (3, u64::from(*permille)),
+            CodecStage::RunLength => (4, 0),
+        }
+    }
+
+    fn from_descriptor_pair(op: u64, param: u64) -> Result<CodecStage, WireError> {
+        match op {
+            1 => Ok(CodecStage::QuantQ8),
+            2 => Ok(CodecStage::QuantQ4),
+            3 => {
+                let permille = u16::try_from(param)
+                    .ok()
+                    .filter(|p| (1..=1000).contains(p))
+                    .ok_or_else(|| {
+                        WireError::Invalid(format!("top-k permille {param} out of range"))
+                    })?;
+                Ok(CodecStage::TopK { permille })
+            }
+            4 => Ok(CodecStage::RunLength),
+            other => Err(WireError::Invalid(format!("unknown codec op {other}"))),
+        }
+    }
+
+    fn label_fragment(&self) -> String {
+        match self {
+            CodecStage::QuantQ8 => "q8".into(),
+            CodecStage::QuantQ4 => "q4".into(),
+            CodecStage::TopK { permille } => format!("topk{permille}"),
+            CodecStage::RunLength => "rle".into(),
+        }
+    }
+}
+
+/// An ordered, validated stack of codec stages. The empty stack is the
+/// identity codec ("none").
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CodecStack {
+    /// Stages in application order (sparsify → quantise → entropy-code).
+    pub stages: Vec<CodecStage>,
+}
+
+impl CodecStack {
+    /// The identity stack: no compression.
+    pub fn none() -> Self {
+        CodecStack::default()
+    }
+
+    /// 8-bit quantisation only.
+    pub fn int8() -> Self {
+        CodecStack {
+            stages: vec![CodecStage::QuantQ8],
+        }
+    }
+
+    /// 4-bit quantisation only.
+    pub fn int4() -> Self {
+        CodecStack {
+            stages: vec![CodecStage::QuantQ4],
+        }
+    }
+
+    /// Top-k sparsification only (pair with error feedback).
+    pub fn top_k(permille: u16) -> Self {
+        CodecStack {
+            stages: vec![CodecStage::TopK { permille }],
+        }
+    }
+
+    /// The full pipeline: sparsify, quantise to 8 bits, run-length code.
+    pub fn top_k_int8_rle(permille: u16) -> Self {
+        CodecStack {
+            stages: vec![
+                CodecStage::TopK { permille },
+                CodecStage::QuantQ8,
+                CodecStage::RunLength,
+            ],
+        }
+    }
+
+    /// Whether this is the identity codec.
+    pub fn is_identity(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Human label for telemetry and reports (`"none"`, `"topk200+q8+rle"`).
+    pub fn label(&self) -> String {
+        if self.stages.is_empty() {
+            return "none".into();
+        }
+        self.stages
+            .iter()
+            .map(CodecStage::label_fragment)
+            .collect::<Vec<_>>()
+            .join("+")
+    }
+
+    /// The quant stage, if any.
+    fn quant(&self) -> Option<CodecStage> {
+        self.stages
+            .iter()
+            .copied()
+            .find(|s| matches!(s, CodecStage::QuantQ8 | CodecStage::QuantQ4))
+    }
+
+    /// The top-k stage's permille, if any.
+    fn top_k_permille(&self) -> Option<u16> {
+        self.stages.iter().find_map(|s| match s {
+            CodecStage::TopK { permille } => Some(*permille),
+            _ => None,
+        })
+    }
+
+    fn has_rle(&self) -> bool {
+        self.stages.contains(&CodecStage::RunLength)
+    }
+
+    /// Checks stage composition rules. Returns a human-readable reason on
+    /// rejection (surfaced as a typed config error by the federation
+    /// builder).
+    pub fn validate(&self) -> Result<(), String> {
+        let quants = self
+            .stages
+            .iter()
+            .filter(|s| matches!(s, CodecStage::QuantQ8 | CodecStage::QuantQ4))
+            .count();
+        if quants > 1 {
+            return Err("at most one quantisation stage is allowed".into());
+        }
+        let topks: Vec<usize> = self
+            .stages
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| matches!(s, CodecStage::TopK { .. }).then_some(i))
+            .collect();
+        if topks.len() > 1 {
+            return Err("at most one top-k stage is allowed".into());
+        }
+        if let Some(&ti) = topks.first() {
+            if let Some(permille) = self.top_k_permille() {
+                if !(1..=1000).contains(&permille) {
+                    return Err(format!("top-k permille {permille} outside 1..=1000"));
+                }
+            }
+            if let Some(qi) = self
+                .stages
+                .iter()
+                .position(|s| matches!(s, CodecStage::QuantQ8 | CodecStage::QuantQ4))
+            {
+                if qi < ti {
+                    return Err("top-k must precede quantisation".into());
+                }
+            }
+        }
+        if let Some(ri) = self
+            .stages
+            .iter()
+            .position(|s| matches!(s, CodecStage::RunLength))
+        {
+            if ri != self.stages.len() - 1 {
+                return Err("run-length coding must be the last stage".into());
+            }
+            if self.quant().is_none() {
+                return Err("run-length coding requires a quantisation stage".into());
+            }
+        }
+        Ok(())
+    }
+
+    /// Flat `(op, param)` descriptor pairs for the wire.
+    pub fn descriptor(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.stages.len() * 2);
+        for s in &self.stages {
+            let (op, param) = s.descriptor_pair();
+            out.push(op);
+            out.push(param);
+        }
+        out
+    }
+
+    /// Rebuilds a stack from its wire descriptor, re-validating it (the
+    /// descriptor may come from an untrusted peer).
+    pub fn from_descriptor(pairs: &[u64]) -> Result<CodecStack, WireError> {
+        if pairs.len() % 2 != 0 {
+            return Err(WireError::Invalid("odd-length codec descriptor".into()));
+        }
+        let stages = pairs
+            .chunks_exact(2)
+            .map(|p| CodecStage::from_descriptor_pair(p[0], p[1]))
+            .collect::<Result<Vec<_>, _>>()?;
+        let stack = CodecStack { stages };
+        stack.validate().map_err(WireError::Invalid)?;
+        Ok(stack)
+    }
+}
+
+/// Per-connection wire configuration, negotiated through the typed
+/// federation builder.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireConfig {
+    /// The codec stack to offer (uplink compression).
+    pub stack: CodecStack,
+    /// Chunk payload size for streaming large messages.
+    #[serde(default = "default_chunk_bytes")]
+    pub chunk_bytes: usize,
+    /// Whether clients carry dropped/rounded residual mass into the next
+    /// round (keep on for lossy stacks — this is what preserves
+    /// convergence).
+    #[serde(default = "default_error_feedback")]
+    pub error_feedback: bool,
+}
+
+fn default_chunk_bytes() -> usize {
+    256 * 1024
+}
+
+fn default_error_feedback() -> bool {
+    true
+}
+
+impl Default for WireConfig {
+    fn default() -> Self {
+        WireConfig {
+            stack: CodecStack::none(),
+            chunk_bytes: default_chunk_bytes(),
+            error_feedback: default_error_feedback(),
+        }
+    }
+}
+
+impl WireConfig {
+    /// A config for the given stack with default chunking and error
+    /// feedback on.
+    pub fn new(stack: CodecStack) -> Self {
+        WireConfig {
+            stack,
+            ..WireConfig::default()
+        }
+    }
+
+    /// Overrides the streaming chunk size.
+    pub fn chunk_bytes(mut self, bytes: usize) -> Self {
+        self.chunk_bytes = bytes;
+        self
+    }
+
+    /// Enables or disables error feedback.
+    pub fn error_feedback(mut self, on: bool) -> Self {
+        self.error_feedback = on;
+        self
+    }
+}
+
+// ---------------------------------------------------------------------
+// PackBits run-length coding
+// ---------------------------------------------------------------------
+
+/// PackBits-style RLE: control byte `n < 128` ⇒ the next `n + 1` bytes are
+/// literal; `n >= 128` ⇒ the next byte repeats `n - 126` times (runs of
+/// 2..=129). Worst-case expansion is 1/128; best case is 64× on the long
+/// zero-code runs a sparsified residual produces.
+fn rle_encode(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 4 + 8);
+    let mut i = 0;
+    while i < data.len() {
+        // Measure the run at i.
+        let b = data[i];
+        let mut run = 1;
+        while run < 129 && i + run < data.len() && data[i + run] == b {
+            run += 1;
+        }
+        if run >= 2 {
+            out.push((run + 126) as u8);
+            out.push(b);
+            i += run;
+        } else {
+            // Collect a literal span up to the next run of ≥ 3 (a run of 2
+            // inside literals is cheaper left literal than split).
+            let start = i;
+            i += 1;
+            while i < data.len() && i - start < 128 {
+                let b = data[i];
+                let mut run = 1;
+                while run < 3 && i + run < data.len() && data[i + run] == b {
+                    run += 1;
+                }
+                if run >= 3 {
+                    break;
+                }
+                i += 1;
+            }
+            out.push((i - start - 1) as u8);
+            out.extend_from_slice(&data[start..i]);
+        }
+    }
+    out
+}
+
+/// Inverse of [`rle_encode`], bounded by `expected` output bytes so a
+/// hostile blob cannot balloon memory.
+fn rle_decode(data: &[u8], expected: usize) -> Result<Vec<u8>, WireError> {
+    let mut out = Vec::with_capacity(expected);
+    let mut i = 0;
+    while i < data.len() {
+        let ctl = data[i];
+        i += 1;
+        if ctl < 128 {
+            let n = ctl as usize + 1;
+            if i + n > data.len() {
+                return Err(WireError::Truncated);
+            }
+            if out.len() + n > expected {
+                return Err(WireError::Invalid("rle output exceeds declared size".into()));
+            }
+            out.extend_from_slice(&data[i..i + n]);
+            i += n;
+        } else {
+            let n = ctl as usize - 126;
+            if i >= data.len() {
+                return Err(WireError::Truncated);
+            }
+            if out.len() + n > expected {
+                return Err(WireError::Invalid("rle output exceeds declared size".into()));
+            }
+            let b = data[i];
+            i += 1;
+            out.resize(out.len() + n, b);
+        }
+    }
+    if out.len() != expected {
+        return Err(WireError::Invalid(format!(
+            "rle produced {} bytes, expected {expected}",
+            out.len()
+        )));
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Per-block symmetric quantisation
+// ---------------------------------------------------------------------
+
+/// Quantises `values` per block: returns `(scales, codes)`. `levels` is
+/// 127 for q8, 7 for q4; codes are stored biased by `levels` so they fit
+/// an unsigned byte/nibble.
+fn quantize_blocks(values: &[f32], levels: f32) -> (Vec<f32>, Vec<u8>) {
+    let mut scales = Vec::with_capacity(values.len().div_ceil(QUANT_BLOCK));
+    let mut codes = Vec::with_capacity(values.len());
+    for block in values.chunks(QUANT_BLOCK) {
+        let max_abs = block.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        let scale = if max_abs.is_finite() && max_abs > 0.0 {
+            max_abs / levels
+        } else {
+            0.0
+        };
+        scales.push(scale);
+        for &v in block {
+            let q = if scale > 0.0 {
+                (v / scale).round().clamp(-levels, levels)
+            } else {
+                0.0
+            };
+            codes.push((q + levels) as u8);
+        }
+    }
+    (scales, codes)
+}
+
+/// Inverse of [`quantize_blocks`].
+fn dequantize_blocks(scales: &[f32], codes: &[u8], levels: f32) -> Vec<f32> {
+    let mut out = Vec::with_capacity(codes.len());
+    for (bi, block) in codes.chunks(QUANT_BLOCK).enumerate() {
+        let scale = scales.get(bi).copied().unwrap_or(0.0);
+        for &c in block {
+            out.push((f32::from(c) - levels) * scale);
+        }
+    }
+    out
+}
+
+/// Packs q4 codes (values 0..=14) two per byte, low nibble first. A
+/// trailing odd code is padded with the zero code (7).
+fn pack_nibbles(codes: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(codes.len().div_ceil(2));
+    for pair in codes.chunks(2) {
+        let lo = pair[0] & 0x0F;
+        let hi = pair.get(1).copied().unwrap_or(7) & 0x0F;
+        out.push(lo | (hi << 4));
+    }
+    out
+}
+
+/// Inverse of [`pack_nibbles`], producing exactly `count` codes.
+fn unpack_nibbles(packed: &[u8], count: usize) -> Result<Vec<u8>, WireError> {
+    if packed.len() != count.div_ceil(2) {
+        return Err(WireError::Invalid(format!(
+            "{} nibble bytes cannot hold {count} codes",
+            packed.len()
+        )));
+    }
+    let mut out = Vec::with_capacity(count);
+    for &b in packed {
+        out.push(b & 0x0F);
+        if out.len() < count {
+            out.push(b >> 4);
+        }
+    }
+    out.truncate(count);
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// The coded blob
+// ---------------------------------------------------------------------
+
+/// Intermediate kept-coordinate form shared by encode and decode.
+struct Kept {
+    indices: Option<Vec<u32>>,
+    values: Vec<f32>,
+}
+
+fn apply_stack_front(stack: &CodecStack, residual: &[f32]) -> Kept {
+    if let Some(permille) = stack.top_k_permille() {
+        let k = (residual.len() * usize::from(permille)).div_ceil(1000).max(1);
+        let s = sparsify_top_k(residual, k);
+        Kept {
+            indices: Some(s.indices),
+            values: s.values,
+        }
+    } else {
+        Kept {
+            indices: None,
+            values: residual.to_vec(),
+        }
+    }
+}
+
+/// Serialises the kept coordinates through the quant/RLE tail of the
+/// stack into a self-describing blob.
+fn encode_blob(stack: &CodecStack, n: usize, kept: &Kept) -> Vec<u8> {
+    let mut w = WireWriter::with_capacity(kept.values.len() * 2 + 64);
+    w.uint(1, u64::from(CODEC_VERSION));
+    w.packed_uints(2, &stack.descriptor());
+    w.uint(3, n as u64);
+    if let Some(indices) = &kept.indices {
+        // Delta gaps: first index, then strictly positive differences —
+        // small varints instead of 4 bytes each.
+        let mut gaps = Vec::with_capacity(indices.len());
+        let mut prev = 0u64;
+        for (i, &idx) in indices.iter().enumerate() {
+            let idx = u64::from(idx);
+            gaps.push(if i == 0 { idx } else { idx - prev });
+            prev = idx;
+        }
+        w.packed_uints(4, &gaps);
+    }
+    match stack.quant() {
+        Some(q) => {
+            let levels = q.levels().expect("quant stage has levels");
+            let (scales, codes) = quantize_blocks(&kept.values, levels);
+            let packed = if matches!(q, CodecStage::QuantQ4) {
+                pack_nibbles(&codes)
+            } else {
+                codes
+            };
+            let coded = if stack.has_rle() {
+                rle_encode(&packed)
+            } else {
+                packed
+            };
+            w.packed_floats(5, &scales);
+            w.bytes(6, &coded);
+            w.uint(7, QUANT_BLOCK as u64);
+        }
+        None => {
+            // No quant stage: kept values travel as raw little-endian f32.
+            let mut raw = Vec::with_capacity(kept.values.len() * 4);
+            for v in &kept.values {
+                raw.extend_from_slice(&v.to_le_bytes());
+            }
+            w.bytes(6, &raw);
+        }
+    }
+    w.finish()
+}
+
+/// Reconstructs the dense residual a blob encodes, along with the stack
+/// that produced it. Shared by the decoder and the encoder's
+/// error-feedback self-reconstruction (both sides must see the *same*
+/// lossy reconstruction for the carry algebra to hold).
+fn decode_blob(blob: &[u8], expected_len: usize) -> Result<(CodecStack, Vec<f32>), WireError> {
+    let mut version = None;
+    let mut descriptor = Vec::new();
+    let mut n = None;
+    let mut gaps: Option<Vec<u64>> = None;
+    let mut scales: Vec<f32> = Vec::new();
+    let mut codes: &[u8] = &[];
+    let mut block = QUANT_BLOCK as u64;
+    let mut r = WireReader::new(blob);
+    while let Some((f, v)) = r.next_field()? {
+        match f {
+            1 => version = Some(v.as_uint(f)?),
+            2 => descriptor = v.as_packed_uints(f)?,
+            3 => n = Some(v.as_uint(f)?),
+            4 => gaps = Some(v.as_packed_uints(f)?),
+            5 => scales = v.as_packed_floats(f)?,
+            6 => codes = v.as_bytes(f)?,
+            7 => block = v.as_uint(f)?,
+            _ => {}
+        }
+    }
+    let version = version.ok_or(WireError::MissingField("codec version"))?;
+    if version != u64::from(CODEC_VERSION) {
+        return Err(WireError::Invalid(format!(
+            "unsupported codec version {version}"
+        )));
+    }
+    if block != QUANT_BLOCK as u64 {
+        return Err(WireError::Invalid(format!(
+            "unsupported quant block size {block}"
+        )));
+    }
+    let stack = CodecStack::from_descriptor(&descriptor)?;
+    let n = n.ok_or(WireError::MissingField("original length"))? as usize;
+    if n != expected_len {
+        return Err(WireError::Invalid(format!(
+            "blob encodes {n} coordinates, reference has {expected_len}"
+        )));
+    }
+
+    // Rebuild absolute indices (and the kept count) from the gaps.
+    let indices: Option<Vec<usize>> = match (&gaps, stack.top_k_permille()) {
+        (Some(gaps), Some(_)) => {
+            let mut out = Vec::with_capacity(gaps.len());
+            let mut pos = 0u64;
+            for (i, &g) in gaps.iter().enumerate() {
+                if i > 0 && g == 0 {
+                    return Err(WireError::Invalid("non-increasing sparse index".into()));
+                }
+                pos = pos
+                    .checked_add(g)
+                    .ok_or_else(|| WireError::Invalid("sparse index overflow".into()))?;
+                if pos >= n as u64 {
+                    return Err(WireError::Invalid(format!(
+                        "sparse index {pos} out of range for length {n}"
+                    )));
+                }
+                out.push(pos as usize);
+            }
+            Some(out)
+        }
+        (None, None) => None,
+        (Some(_), None) => {
+            return Err(WireError::Invalid("indices present without a top-k stage".into()));
+        }
+        (None, Some(_)) => {
+            return Err(WireError::MissingField("sparse indices"));
+        }
+    };
+    let kept_count = indices.as_ref().map_or(n, Vec::len);
+
+    // Undo the quant/RLE tail.
+    let values: Vec<f32> = match stack.quant() {
+        Some(q) => {
+            let levels = q.levels().expect("quant stage has levels");
+            let packed_len = if matches!(q, CodecStage::QuantQ4) {
+                kept_count.div_ceil(2)
+            } else {
+                kept_count
+            };
+            let packed: Vec<u8> = if stack.has_rle() {
+                rle_decode(codes, packed_len)?
+            } else {
+                if codes.len() != packed_len {
+                    return Err(WireError::Invalid(format!(
+                        "{} code bytes for {kept_count} coordinates",
+                        codes.len()
+                    )));
+                }
+                codes.to_vec()
+            };
+            let raw_codes = if matches!(q, CodecStage::QuantQ4) {
+                unpack_nibbles(&packed, kept_count)?
+            } else {
+                packed
+            };
+            if scales.len() != kept_count.div_ceil(QUANT_BLOCK) {
+                return Err(WireError::Invalid(format!(
+                    "{} block scales for {kept_count} coordinates",
+                    scales.len()
+                )));
+            }
+            dequantize_blocks(&scales, &raw_codes, levels)
+        }
+        None => {
+            if codes.len() != kept_count * 4 {
+                return Err(WireError::Invalid(format!(
+                    "{} raw bytes for {kept_count} float coordinates",
+                    codes.len()
+                )));
+            }
+            codes
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                .collect()
+        }
+    };
+
+    // Scatter back to dense.
+    match indices {
+        Some(indices) => {
+            let mut out = vec![0.0f32; n];
+            for (&i, &v) in indices.iter().zip(values.iter()) {
+                out[i] = v;
+            }
+            Ok((stack, out))
+        }
+        None => Ok((stack, values)),
+    }
+}
+
+/// Stateful per-connection encoder: applies the stack to each update's
+/// residual against the round's reference model, carrying the lossy
+/// remainder forward when error feedback is on.
+#[derive(Debug)]
+pub struct StackEncoder {
+    stack: CodecStack,
+    error_feedback: bool,
+    carry: Vec<f32>,
+}
+
+impl StackEncoder {
+    /// A fresh encoder for one connection.
+    pub fn new(stack: CodecStack, error_feedback: bool) -> Self {
+        StackEncoder {
+            stack,
+            error_feedback,
+            carry: Vec::new(),
+        }
+    }
+
+    /// The stack this encoder applies.
+    pub fn stack(&self) -> &CodecStack {
+        &self.stack
+    }
+
+    /// Encodes `x` against `reference` (what the receiver already holds).
+    /// Returns the self-describing blob.
+    pub fn encode(&mut self, x: &[f32], reference: &[f32]) -> Result<Vec<u8>, WireError> {
+        if x.len() != reference.len() {
+            return Err(WireError::Invalid(format!(
+                "update has {} coordinates, reference {}",
+                x.len(),
+                reference.len()
+            )));
+        }
+        if self.stack.is_identity() {
+            // Identity stacks carry the value itself, bit-exactly: raw
+            // f32 coordinates with no reference delta, so `(x − r) + r`
+            // float rounding can never perturb an uncompressed transfer.
+            let kept = apply_stack_front(&self.stack, x);
+            return Ok(encode_blob(&self.stack, x.len(), &kept));
+        }
+        if self.carry.len() != x.len() {
+            self.carry = vec![0.0; x.len()];
+        }
+        let residual: Vec<f32> = x
+            .iter()
+            .zip(reference.iter())
+            .zip(self.carry.iter())
+            .map(|((&xi, &ri), &ci)| xi - ri + if self.error_feedback { ci } else { 0.0 })
+            .collect();
+        let kept = apply_stack_front(&self.stack, &residual);
+        let blob = encode_blob(&self.stack, residual.len(), &kept);
+        if self.error_feedback {
+            // carry = residual − what the receiver will reconstruct.
+            let (_, reconstructed) = decode_blob(&blob, residual.len())
+                .expect("an encoder-produced blob must decode");
+            for ((c, &r), &d) in self
+                .carry
+                .iter_mut()
+                .zip(residual.iter())
+                .zip(reconstructed.iter())
+            {
+                *c = r - d;
+            }
+        }
+        Ok(blob)
+    }
+
+    /// Total absolute mass currently parked in the error-feedback carry —
+    /// update signal that has been measured but not yet delivered. Useful
+    /// for diagnostics and for asserting the EF conservation invariant
+    /// (delivered + carried = injected).
+    pub fn carry_l1(&self) -> f32 {
+        self.carry.iter().map(|c| c.abs()).sum()
+    }
+}
+
+/// Stateless decoder: reconstructs the update from a blob plus the same
+/// reference the encoder used.
+#[derive(Debug, Default)]
+pub struct StackDecoder;
+
+impl StackDecoder {
+    /// Decodes a blob produced by [`StackEncoder::encode`] with the same
+    /// `reference`, returning the (lossily) reconstructed update.
+    pub fn decode(blob: &[u8], reference: &[f32]) -> Result<Vec<f32>, WireError> {
+        let (stack, residual) = decode_blob(blob, reference.len())?;
+        if stack.is_identity() {
+            // Identity blobs carry the value itself (see the encoder) —
+            // adding the reference back would double it.
+            return Ok(residual);
+        }
+        Ok(residual
+            .iter()
+            .zip(reference.iter())
+            .map(|(&d, &r)| d + r)
+            .collect())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Negotiation messages
+// ---------------------------------------------------------------------
+
+/// Server → client codec offer: the stacks the server can decode, in
+/// preference order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecHello {
+    /// Protocol version.
+    pub version: u8,
+    /// Supported stacks, most preferred first.
+    pub stacks: Vec<CodecStack>,
+}
+
+impl CodecHello {
+    /// Encodes to protobuf bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.uint(1, u64::from(self.version));
+        for s in &self.stacks {
+            w.packed_uints(2, &s.descriptor());
+        }
+        w.finish()
+    }
+
+    /// Decodes from protobuf bytes, validating every offered stack.
+    pub fn decode(buf: &[u8]) -> Result<Self, WireError> {
+        let mut version = None;
+        let mut stacks = Vec::new();
+        let mut r = WireReader::new(buf);
+        while let Some((f, v)) = r.next_field()? {
+            match f {
+                1 => version = Some(v.as_uint(f)? as u8),
+                2 => stacks.push(CodecStack::from_descriptor(&v.as_packed_uints(f)?)?),
+                _ => {}
+            }
+        }
+        Ok(CodecHello {
+            version: version.ok_or(WireError::MissingField("version"))?,
+            stacks,
+        })
+    }
+}
+
+/// Client → server codec acceptance: the stack the client will use for
+/// its uploads (possibly the identity).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecAck {
+    /// Protocol version.
+    pub version: u8,
+    /// The accepted stack.
+    pub stack: CodecStack,
+}
+
+impl CodecAck {
+    /// Encodes to protobuf bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.uint(1, u64::from(self.version));
+        w.packed_uints(2, &self.stack.descriptor());
+        w.finish()
+    }
+
+    /// Decodes from protobuf bytes, validating the accepted stack.
+    pub fn decode(buf: &[u8]) -> Result<Self, WireError> {
+        let mut version = None;
+        let mut stack = CodecStack::none();
+        let mut r = WireReader::new(buf);
+        while let Some((f, v)) = r.next_field()? {
+            match f {
+                1 => version = Some(v.as_uint(f)? as u8),
+                2 => stack = CodecStack::from_descriptor(&v.as_packed_uints(f)?)?,
+                _ => {}
+            }
+        }
+        Ok(CodecAck {
+            version: version.ok_or(WireError::MissingField("version"))?,
+            stack,
+        })
+    }
+}
+
+/// A compressed client upload: routing metadata in cleartext (the server
+/// must gate decoding on the round tag — a stale blob references an old
+/// broadcast), the residual blob opaque.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CodedUpload {
+    /// Reporting client id.
+    pub client_id: u32,
+    /// Round whose broadcast the blob is coded against.
+    pub round: u32,
+    /// The client's local training loss.
+    pub loss: f64,
+    /// The [`StackEncoder`] blob for the primal update.
+    pub blob: Vec<u8>,
+}
+
+impl CodedUpload {
+    /// Encodes to protobuf bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::with_capacity(self.blob.len() + 32);
+        w.uint(1, u64::from(self.client_id));
+        w.uint(2, u64::from(self.round));
+        w.double(3, self.loss);
+        w.bytes(4, &self.blob);
+        w.finish()
+    }
+
+    /// Decodes from protobuf bytes.
+    pub fn decode(buf: &[u8]) -> Result<Self, WireError> {
+        let (mut client_id, mut round, mut loss) = (None, None, 0.0f64);
+        let mut blob = Vec::new();
+        let mut r = WireReader::new(buf);
+        while let Some((f, v)) = r.next_field()? {
+            match f {
+                1 => client_id = Some(v.as_uint(f)? as u32),
+                2 => round = Some(v.as_uint(f)? as u32),
+                3 => loss = v.as_double(f)?,
+                4 => blob = v.as_bytes(f)?.to_vec(),
+                _ => {}
+            }
+        }
+        Ok(CodedUpload {
+            client_id: client_id.ok_or(WireError::MissingField("client_id"))?,
+            round: round.ok_or(WireError::MissingField("round"))?,
+            loss,
+            blob,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wave(n: usize) -> Vec<f32> {
+        (0..n).map(|i| (i as f32 * 0.37).sin() * 2.0).collect()
+    }
+
+    #[test]
+    fn labels_and_ctors() {
+        assert_eq!(CodecStack::none().label(), "none");
+        assert_eq!(CodecStack::int8().label(), "q8");
+        assert_eq!(CodecStack::int4().label(), "q4");
+        assert_eq!(CodecStack::top_k(200).label(), "topk200");
+        assert_eq!(CodecStack::top_k_int8_rle(100).label(), "topk100+q8+rle");
+    }
+
+    #[test]
+    fn validate_rejects_bad_compositions() {
+        for stack in [
+            CodecStack {
+                stages: vec![CodecStage::QuantQ8, CodecStage::QuantQ4],
+            },
+            CodecStack {
+                stages: vec![CodecStage::QuantQ8, CodecStage::TopK { permille: 10 }],
+            },
+            CodecStack {
+                stages: vec![CodecStage::RunLength],
+            },
+            CodecStack {
+                stages: vec![CodecStage::RunLength, CodecStage::QuantQ8],
+            },
+            CodecStack {
+                stages: vec![
+                    CodecStage::TopK { permille: 10 },
+                    CodecStage::TopK { permille: 20 },
+                ],
+            },
+        ] {
+            assert!(stack.validate().is_err(), "{stack:?} should be rejected");
+        }
+        for stack in [
+            CodecStack::none(),
+            CodecStack::int8(),
+            CodecStack::int4(),
+            CodecStack::top_k(50),
+            CodecStack::top_k_int8_rle(100),
+        ] {
+            assert!(stack.validate().is_ok(), "{stack:?} should pass");
+        }
+    }
+
+    #[test]
+    fn descriptor_roundtrips() {
+        for stack in [
+            CodecStack::none(),
+            CodecStack::int8(),
+            CodecStack::int4(),
+            CodecStack::top_k(333),
+            CodecStack::top_k_int8_rle(50),
+        ] {
+            let back = CodecStack::from_descriptor(&stack.descriptor()).unwrap();
+            assert_eq!(back, stack);
+        }
+        // A hostile descriptor is rejected, not trusted.
+        assert!(CodecStack::from_descriptor(&[99, 0]).is_err());
+        assert!(CodecStack::from_descriptor(&[3, 0]).is_err()); // permille 0
+        assert!(CodecStack::from_descriptor(&[3, 2000]).is_err());
+        assert!(CodecStack::from_descriptor(&[1]).is_err()); // odd length
+    }
+
+    #[test]
+    fn rle_roundtrips_and_compresses_runs() {
+        let mut data = vec![127u8; 1000];
+        data[3] = 9;
+        data[500] = 200;
+        let coded = rle_encode(&data);
+        assert!(coded.len() < 40, "runs must collapse, got {}", coded.len());
+        assert_eq!(rle_decode(&coded, data.len()).unwrap(), data);
+        // Worst case: no runs at all — bounded overhead.
+        let noisy: Vec<u8> = (0..1000).map(|i| (i % 251) as u8).collect();
+        let coded = rle_encode(&noisy);
+        assert!(coded.len() <= noisy.len() + noisy.len() / 128 + 2);
+        assert_eq!(rle_decode(&coded, noisy.len()).unwrap(), noisy);
+        // Hostile: declared size mismatch errors cleanly.
+        assert!(rle_decode(&coded, 10).is_err());
+        assert!(rle_decode(&[130], 4).is_err());
+    }
+
+    #[test]
+    fn q8_roundtrip_within_block_bound() {
+        let v = wave(3000);
+        let (scales, codes) = quantize_blocks(&v, 127.0);
+        let back = dequantize_blocks(&scales, &codes, 127.0);
+        for (bi, block) in v.chunks(QUANT_BLOCK).enumerate() {
+            let bound = scales[bi] / 2.0 + 1e-7;
+            for (a, b) in block
+                .iter()
+                .zip(back[bi * QUANT_BLOCK..].iter())
+            {
+                assert!((a - b).abs() <= bound, "{a} vs {b} (bound {bound})");
+            }
+        }
+    }
+
+    #[test]
+    fn q4_nibble_packing_roundtrips() {
+        for n in [0usize, 1, 2, 7, 8, 2049] {
+            let codes: Vec<u8> = (0..n).map(|i| (i % 15) as u8).collect();
+            let packed = pack_nibbles(&codes);
+            assert_eq!(packed.len(), n.div_ceil(2));
+            assert_eq!(unpack_nibbles(&packed, n).unwrap(), codes);
+        }
+        assert!(unpack_nibbles(&[0, 0], 5).is_err());
+    }
+
+    #[test]
+    fn every_stack_roundtrips_through_encoder_and_decoder() {
+        let reference = wave(2500);
+        let x: Vec<f32> = reference.iter().map(|r| r + 0.01 * r.cos()).collect();
+        for stack in [
+            CodecStack::none(),
+            CodecStack::int8(),
+            CodecStack::int4(),
+            CodecStack::top_k(100),
+            CodecStack::top_k_int8_rle(100),
+        ] {
+            let mut enc = StackEncoder::new(stack.clone(), true);
+            let blob = enc.encode(&x, &reference).unwrap();
+            let back = StackDecoder::decode(&blob, &reference).unwrap();
+            assert_eq!(back.len(), x.len());
+            // The residual is tiny, so even a lossy stack lands close.
+            let err: f32 = x
+                .iter()
+                .zip(back.iter())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f32::max);
+            assert!(err < 0.05, "{}: max err {err}", stack.label());
+        }
+    }
+
+    #[test]
+    fn identity_stack_is_lossless() {
+        let reference = wave(100);
+        let x: Vec<f32> = reference.iter().map(|r| r * 1.5 - 0.3).collect();
+        let mut enc = StackEncoder::new(CodecStack::none(), true);
+        let blob = enc.encode(&x, &reference).unwrap();
+        assert_eq!(StackDecoder::decode(&blob, &reference).unwrap(), x);
+    }
+
+    #[test]
+    fn error_feedback_carries_dropped_mass_into_the_next_round() {
+        // A tiny constant drift that top-k alone would silently delete
+        // forever: with error feedback the carry accumulates until it
+        // crosses the keep threshold, so the mean reconstruction tracks.
+        let n = 400;
+        let reference = vec![0.0f32; n];
+        let drift = 0.01f32;
+        let x: Vec<f32> = vec![drift; n];
+        let mut with_ef = StackEncoder::new(CodecStack::top_k(50), true);
+        let mut without_ef = StackEncoder::new(CodecStack::top_k(50), false);
+        let mut recon_ef = 0.0f32;
+        let mut recon_no = 0.0f32;
+        for _ in 0..20 {
+            let blob = with_ef.encode(&x, &reference).unwrap();
+            let d = StackDecoder::decode(&blob, &reference).unwrap();
+            recon_ef += d.iter().sum::<f32>();
+            let blob = without_ef.encode(&x, &reference).unwrap();
+            let d = StackDecoder::decode(&blob, &reference).unwrap();
+            recon_no += d.iter().sum::<f32>();
+        }
+        let target = drift * n as f32 * 20.0;
+        // EF conservation: every unit of update mass is either delivered
+        // or parked in the carry — none is silently deleted.
+        let accounted = recon_ef + with_ef.carry_l1();
+        assert!(
+            (accounted - target).abs() / target < 0.01,
+            "EF delivered ({recon_ef}) + carried ({}) should equal {target}",
+            with_ef.carry_l1()
+        );
+        // And EF must actually deliver far more than plain top-k, which
+        // re-drops the same small coordinates every round.
+        assert!(
+            recon_no < recon_ef * 0.5,
+            "without EF ({recon_no}) must lose mass vs EF ({recon_ef})"
+        );
+    }
+
+    #[test]
+    fn q8_compresses_about_four_x_and_q4_about_eight_x() {
+        let n = 6362; // the e2e MLP's parameter count
+        let reference = vec![0.0f32; n];
+        let x = wave(n);
+        let raw = n * 4;
+        let mut q8 = StackEncoder::new(CodecStack::int8(), true);
+        let blob8 = q8.encode(&x, &reference).unwrap();
+        assert!(
+            raw as f64 / blob8.len() as f64 >= 3.9,
+            "q8 ratio {}",
+            raw as f64 / blob8.len() as f64
+        );
+        let mut q4 = StackEncoder::new(CodecStack::int4(), true);
+        let blob4 = q4.encode(&x, &reference).unwrap();
+        assert!(
+            raw as f64 / blob4.len() as f64 >= 7.0,
+            "q4 ratio {}",
+            raw as f64 / blob4.len() as f64
+        );
+    }
+
+    #[test]
+    fn length_mismatch_and_garbage_blobs_error_cleanly() {
+        let reference = wave(100);
+        let mut enc = StackEncoder::new(CodecStack::int8(), true);
+        assert!(enc.encode(&[1.0; 5], &reference).is_err());
+        let blob = enc.encode(&reference.clone(), &reference).unwrap();
+        // Wrong reference length at decode.
+        assert!(StackDecoder::decode(&blob, &[0.0; 5]).is_err());
+        // Arbitrary garbage.
+        assert!(StackDecoder::decode(&[1, 2, 3, 4], &reference).is_err());
+        assert!(StackDecoder::decode(&[], &reference).is_err());
+    }
+
+    #[test]
+    fn hello_and_ack_roundtrip() {
+        let hello = CodecHello {
+            version: CODEC_VERSION,
+            stacks: vec![
+                CodecStack::top_k_int8_rle(100),
+                CodecStack::int8(),
+                CodecStack::none(),
+            ],
+        };
+        assert_eq!(CodecHello::decode(&hello.encode()).unwrap(), hello);
+        let ack = CodecAck {
+            version: CODEC_VERSION,
+            stack: CodecStack::int8(),
+        };
+        assert_eq!(CodecAck::decode(&ack.encode()).unwrap(), ack);
+        // Identity ack survives too.
+        let ack = CodecAck {
+            version: CODEC_VERSION,
+            stack: CodecStack::none(),
+        };
+        assert_eq!(CodecAck::decode(&ack.encode()).unwrap(), ack);
+    }
+
+    #[test]
+    fn coded_upload_roundtrips() {
+        let u = CodedUpload {
+            client_id: 3,
+            round: 9,
+            loss: 0.125,
+            blob: vec![1, 2, 3, 4, 5],
+        };
+        assert_eq!(CodedUpload::decode(&u.encode()).unwrap(), u);
+        assert!(CodedUpload::decode(&[0xFF, 0xFF]).is_err());
+    }
+
+    #[test]
+    fn wire_config_serde_defaults_are_era_compatible() {
+        // A config written before chunk_bytes/error_feedback existed.
+        let old = r#"{"stack":{"stages":["QuantQ8"]}}"#;
+        let cfg: WireConfig = serde_json::from_str(old).unwrap();
+        assert_eq!(cfg.stack, CodecStack::int8());
+        assert_eq!(cfg.chunk_bytes, 256 * 1024);
+        assert!(cfg.error_feedback);
+    }
+}

@@ -1,0 +1,215 @@
+//! Chunked message streaming over any [`Communicator`].
+//!
+//! Every logical message on a wire-configured link travels as a sequence
+//! of [`Chunk`]s (one `send` per chunk), so large models never hit a
+//! transport's unary-size cap and the fault injector's per-message faults
+//! hit individual chunks, exactly as a lossy network would. The helpers
+//! here do the splitting, the strict reassembly, and the *resynchronise*
+//! step a lossy link needs: when a chunk goes missing the current stream
+//! is unrecoverable, but the next stream must still be receivable — the
+//! reassembler is reset, and a chunk that starts a new stream (`seq == 0`)
+//! is re-fed so the fresh stream is not lost with the old one.
+
+use super::chunking::{split_message, Chunk, Reassembler};
+use crate::transport::{CommError, Communicator};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Sends `message` to `to` as chunks of at most `chunk_bytes` payload.
+/// Returns the total bytes actually put on the wire (chunk framing
+/// included) for telemetry.
+pub fn send_chunked<C: Communicator + ?Sized>(
+    comm: &C,
+    to: usize,
+    message: &[u8],
+    chunk_bytes: usize,
+    stream_id: u64,
+) -> Result<usize, CommError> {
+    let mut sent = 0;
+    for chunk in split_message(stream_id, message, chunk_bytes) {
+        let buf = chunk.encode();
+        sent += buf.len();
+        comm.send(to, buf)?;
+    }
+    Ok(sent)
+}
+
+/// Feeds one received buffer into a reassembler with loss resync: a chunk
+/// that cannot extend the current stream resets it, and if that chunk
+/// *starts* a new stream it is re-fed so the new stream survives the old
+/// one's loss. Returns the completed message, if any.
+fn push_with_resync(
+    r: &mut Reassembler,
+    buf: &[u8],
+) -> Result<Option<Vec<u8>>, CommError> {
+    let chunk = Chunk::decode(buf).map_err(|e| {
+        r.reset();
+        CommError::Frame(e.to_string())
+    })?;
+    match r.push(chunk) {
+        Ok(done) => Ok(done),
+        Err(_) if chunk.seq == 0 => {
+            // The in-flight stream lost a chunk; this one opens the next.
+            r.reset();
+            r.push(chunk).map_err(|e| CommError::Frame(e.to_string()))
+        }
+        Err(e) => {
+            r.reset();
+            Err(CommError::Frame(e.to_string()))
+        }
+    }
+}
+
+/// Receives one complete chunked message from `from`, blocking.
+pub fn recv_chunked<C: Communicator + ?Sized>(
+    comm: &C,
+    from: usize,
+    r: &mut Reassembler,
+) -> Result<Vec<u8>, CommError> {
+    loop {
+        let buf = comm.recv(from)?;
+        if let Some(message) = push_with_resync(r, &buf)? {
+            return Ok(message);
+        }
+    }
+}
+
+/// Receives one complete chunked message from `from` within `timeout`
+/// (the deadline covers the whole message, not each chunk).
+pub fn recv_chunked_timeout<C: Communicator + ?Sized>(
+    comm: &C,
+    from: usize,
+    r: &mut Reassembler,
+    timeout: Duration,
+) -> Result<Vec<u8>, CommError> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let remaining = deadline
+            .checked_duration_since(Instant::now())
+            .ok_or(CommError::Timeout { peer: Some(from) })?;
+        let buf = comm.recv_timeout(from, remaining)?;
+        if let Some(message) = push_with_resync(r, &buf)? {
+            return Ok(message);
+        }
+    }
+}
+
+/// Per-peer reassembly for a server multiplexing `recv_any`: one
+/// [`Reassembler`] slot per peer, with the same loss-resync policy.
+#[derive(Debug, Default)]
+pub struct ChunkDemux {
+    slots: HashMap<usize, Reassembler>,
+}
+
+impl ChunkDemux {
+    /// An empty demultiplexer.
+    pub fn new() -> Self {
+        ChunkDemux::default()
+    }
+
+    /// Feeds one raw buffer received from `peer`. Returns the completed
+    /// message once that peer's stream closes.
+    pub fn push(&mut self, peer: usize, buf: &[u8]) -> Result<Option<Vec<u8>>, CommError> {
+        push_with_resync(self.slots.entry(peer).or_default(), buf)
+    }
+
+    /// Drops any partial stream from `peer` (e.g. when the roster evicts
+    /// it mid-round).
+    pub fn reset_peer(&mut self, peer: usize) {
+        if let Some(r) = self.slots.get_mut(&peer) {
+            r.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::InProcNetwork;
+
+    #[test]
+    fn chunked_send_recv_roundtrip() {
+        let mut net = InProcNetwork::new(2);
+        let b = net.pop().unwrap();
+        let a = net.pop().unwrap();
+        let message: Vec<u8> = (0..10_000).map(|i| (i % 255) as u8).collect();
+        let sent = send_chunked(&a, 1, &message, 512, 7).unwrap();
+        assert!(sent > message.len(), "chunk framing adds overhead");
+        let mut r = Reassembler::new();
+        assert_eq!(recv_chunked(&b, 0, &mut r).unwrap(), message);
+    }
+
+    #[test]
+    fn lost_chunk_resyncs_on_the_next_stream() {
+        let mut r = Reassembler::new();
+        let msg_a = vec![1u8; 100];
+        let msg_b = vec![2u8; 100];
+        let chunks_a = split_message(1, &msg_a, 40);
+        // First chunk of stream 1 arrives, the rest are lost.
+        let buf = chunks_a[0].encode();
+        assert_eq!(push_with_resync(&mut r, &buf).unwrap(), None);
+        // Stream 2 arrives complete: its first chunk collides with the
+        // half-open stream, resync recovers it, and the message lands.
+        let mut out = None;
+        for c in split_message(2, &msg_b, 40) {
+            let buf = c.encode();
+            out = push_with_resync(&mut r, &buf).unwrap();
+        }
+        assert_eq!(out.unwrap(), msg_b);
+    }
+
+    #[test]
+    fn mid_stream_garbage_is_a_clean_frame_error() {
+        let mut r = Reassembler::new();
+        assert!(matches!(
+            push_with_resync(&mut r, &[0xFF, 0xFF, 0xFF]),
+            Err(CommError::Frame(_))
+        ));
+        // And the slot is usable again afterwards.
+        let msg = vec![9u8; 30];
+        let mut out = None;
+        for c in split_message(3, &msg, 16) {
+            let buf = c.encode();
+            out = push_with_resync(&mut r, &buf).unwrap();
+        }
+        assert_eq!(out.unwrap(), msg);
+    }
+
+    #[test]
+    fn demux_keeps_per_peer_streams_apart() {
+        let mut d = ChunkDemux::new();
+        let msg_a = vec![7u8; 50];
+        let msg_b = vec![8u8; 70];
+        let chunks_a: Vec<Vec<u8>> = split_message(1, &msg_a, 16).iter().map(Chunk::encode).collect();
+        let chunks_b: Vec<Vec<u8>> = split_message(1, &msg_b, 16).iter().map(Chunk::encode).collect();
+        // Interleave peers 1 and 2 — per-peer slots keep them apart even
+        // with the same stream id.
+        let mut done_a = None;
+        let mut done_b = None;
+        for i in 0..chunks_a.len().max(chunks_b.len()) {
+            if let Some(c) = chunks_a.get(i) {
+                done_a = d.push(1, c).unwrap().or(done_a);
+            }
+            if let Some(c) = chunks_b.get(i) {
+                done_b = d.push(2, c).unwrap().or(done_b);
+            }
+        }
+        assert_eq!(done_a.unwrap(), msg_a);
+        assert_eq!(done_b.unwrap(), msg_b);
+    }
+
+    #[test]
+    fn timeout_covers_the_whole_message() {
+        let mut net = InProcNetwork::new(2);
+        let b = net.pop().unwrap();
+        let a = net.pop().unwrap();
+        let msg = vec![1u8; 100];
+        // Send only the first chunk: the receiver must time out rather
+        // than block forever waiting for the rest.
+        let chunks = split_message(9, &msg, 40);
+        a.send(1, chunks[0].encode()).unwrap();
+        let mut r = Reassembler::new();
+        let err = recv_chunked_timeout(&b, 0, &mut r, Duration::from_millis(50)).unwrap_err();
+        assert!(matches!(err, CommError::Timeout { .. }), "{err:?}");
+    }
+}

@@ -16,6 +16,14 @@ pub fn encode_varint(mut value: u64, out: &mut Vec<u8>) {
     }
 }
 
+/// Exact encoded length of `value` as a varint, without encoding it —
+/// lets writers precompute length prefixes and serialise nested messages
+/// in one pass, with no intermediate buffer.
+pub const fn varint_len(value: u64) -> usize {
+    // 1 byte per 7 significant bits; zero still takes one byte.
+    (64 - (value | 1).leading_zeros() as usize).div_ceil(7)
+}
+
 /// Decodes a varint from the front of `buf`, returning `(value, bytes_read)`.
 pub fn decode_varint(buf: &[u8]) -> Option<(u64, usize)> {
     let mut value = 0u64;
@@ -86,6 +94,25 @@ mod tests {
         // 11 continuation bytes can't be a valid u64 varint.
         let bad = vec![0xFFu8; 11];
         assert_eq!(decode_varint(&bad), None);
+    }
+
+    #[test]
+    fn varint_len_matches_encoding() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
+            let mut out = Vec::new();
+            encode_varint(v, &mut out);
+            assert_eq!(varint_len(v), out.len(), "value {v}");
+        }
     }
 
     #[test]

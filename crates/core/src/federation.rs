@@ -62,6 +62,7 @@ use crate::runner::SerialRunner;
 use crate::store::DurableCoordinator;
 use appfl_comm::pubsub::Broker;
 use appfl_comm::transport::{Communicator, InProcEndpoint};
+use appfl_comm::wire::WireConfig;
 use appfl_data::InMemoryDataset;
 use appfl_nn::module::Module;
 use appfl_telemetry::{EventSink, MetricsRegistry, NoopSink, Telemetry};
@@ -139,6 +140,12 @@ pub enum ConfigError {
         /// The offending option.
         option: &'static str,
     },
+    /// The wire codec stack is malformed (stage ordering, duplicate
+    /// stages, out-of-range parameters, a zero chunk size, …).
+    InvalidCodec {
+        /// What the stack validation rejected.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -168,6 +175,9 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroRounds => write!(f, "a federation must run at least one round"),
             ConfigError::Unsupported { topology, option } => {
                 write!(f, "{topology} topology does not support {option}")
+            }
+            ConfigError::InvalidCodec { reason } => {
+                write!(f, "invalid wire codec configuration: {reason}")
             }
         }
     }
@@ -396,6 +406,7 @@ impl Federation {
             broker: None,
             async_config: AsyncConfig::default(),
             max_updates: None,
+            wire: None,
         }
     }
 }
@@ -413,6 +424,7 @@ pub struct FederationConfig<'a, C: Communicator + 'static> {
     broker: Option<&'a Broker>,
     async_config: AsyncConfig,
     max_updates: Option<usize>,
+    wire: Option<WireConfig>,
 }
 
 impl<'a, C: Communicator + 'static> FederationConfig<'a, C> {
@@ -456,7 +468,20 @@ impl<'a, C: Communicator + 'static> FederationConfig<'a, C> {
             broker: self.broker,
             async_config: self.async_config,
             max_updates: self.max_updates,
+            wire: self.wire,
         }
+    }
+
+    /// Enables the negotiated wire-codec pipeline on the transport: every
+    /// logical message is framed and chunk-streamed, and uploads travel
+    /// as compressed residual blobs once the codec handshake completes.
+    /// Only [`Topology::Comm`] moves bytes through the push runner this
+    /// rides on; [`build`](FederationConfig::build) rejects every other
+    /// topology with [`ConfigError::Unsupported`], and a malformed codec
+    /// stack with [`ConfigError::InvalidCodec`].
+    pub fn wire(mut self, wire: WireConfig) -> Self {
+        self.wire = Some(wire);
+        self
     }
 
     /// Supplies the broker for [`Topology::PubSub`].
@@ -620,6 +645,22 @@ impl<'a, C: Communicator + 'static> FederationConfig<'a, C> {
                 option: "max_updates",
             });
         }
+        if let Some(w) = &self.wire {
+            if topology != Topology::Comm {
+                return Err(ConfigError::Unsupported {
+                    topology: t,
+                    option: "a wire codec pipeline (push transport only)",
+                });
+            }
+            if let Err(reason) = w.stack.validate() {
+                return Err(ConfigError::InvalidCodec { reason });
+            }
+            if w.chunk_bytes == 0 {
+                return Err(ConfigError::InvalidCodec {
+                    reason: "chunk_bytes must be positive".into(),
+                });
+            }
+        }
         // Adaptive round control rides on the fault-tolerant push
         // server; enable its machinery with defaults when the caller
         // asked for control but not explicitly for fault tolerance.
@@ -638,6 +679,7 @@ impl<'a, C: Communicator + 'static> FederationConfig<'a, C> {
             broker: self.broker,
             async_config: self.async_config,
             max_updates: self.max_updates,
+            wire: self.wire,
         })
     }
 }
@@ -652,6 +694,7 @@ pub struct ConfiguredFederation<'a, C: Communicator + 'static> {
     broker: Option<&'a Broker>,
     async_config: AsyncConfig,
     max_updates: Option<usize>,
+    wire: Option<WireConfig>,
 }
 
 impl<'a, C: Communicator + 'static> ConfiguredFederation<'a, C> {
@@ -670,6 +713,7 @@ impl<'a, C: Communicator + 'static> ConfiguredFederation<'a, C> {
             broker,
             async_config,
             max_updates,
+            wire,
         } = self;
         match topology {
             Topology::Serial => {
@@ -708,6 +752,7 @@ impl<'a, C: Communicator + 'static> ConfiguredFederation<'a, C> {
                 guard: resilience.guard,
                 durable: resilience.durable,
                 round_control: resilience.round_control,
+                wire,
             }
             .run(),
             Topology::Async => {

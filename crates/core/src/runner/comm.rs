@@ -29,9 +29,12 @@ use crate::runner::ft::ClientRoster;
 use crate::runner::phases::{PhaseMachine, UploadVerdict};
 use crate::store::{DurableCoordinator, PendingRound};
 use crate::validation::evaluate;
+use crate::runner::wire::{ClientLink, Incoming, ServerLink};
 use appfl_comm::retry::RetryPolicy;
 use appfl_comm::transport::{CommError, Communicator};
-use appfl_comm::wire::{LearningResults, TensorMsg};
+use appfl_comm::wire::{
+    LearningResults, LearningResultsRef, TensorMsg, TensorMsgRef, WireConfig,
+};
 use appfl_data::InMemoryDataset;
 use appfl_nn::module::Module;
 use appfl_telemetry::{Gauge, Phase, Telemetry};
@@ -39,14 +42,13 @@ use appfl_tensor::TensorError;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
-/// Encodes the global model for broadcast.
+/// Encodes the global model for broadcast, serialising straight from the
+/// flat parameter slice — no intermediate `Vec` clone. Byte-identical to
+/// the owned [`TensorMsg`] encoding (the `*Ref` encoders are tested for
+/// exactly that), so existing decoders and transcripts are unaffected.
 fn encode_global(round: usize, w: &[f32]) -> Vec<u8> {
-    TensorMsg {
-        name: format!("global/round{round}"),
-        shape: vec![w.len() as u64],
-        data: w.to_vec(),
-    }
-    .encode()
+    let name = format!("global/round{round}");
+    TensorMsgRef::flat(&name, w).encode()
 }
 
 fn decode_global(buf: &[u8]) -> Result<Vec<f32>, TensorError> {
@@ -71,23 +73,24 @@ fn decode_global_tagged(buf: &[u8]) -> Result<(usize, Vec<f32>), TensorError> {
     Ok((round, t.data))
 }
 
-fn encode_upload(round: usize, u: &ClientUpload) -> Vec<u8> {
-    LearningResults {
+/// Encodes an upload, serialising the primal (and dual) tensors straight
+/// from the upload's flat vectors — no intermediate clones.
+pub(crate) fn encode_upload(round: usize, u: &ClientUpload) -> Vec<u8> {
+    LearningResultsRef {
         client_id: u.client_id as u32,
         round: round as u32,
         penalty: f64::from(u.local_loss),
-        primal: vec![TensorMsg::flat("primal", u.primal.clone())],
-        dual: u
-            .dual
-            .as_ref()
-            .map(|d| vec![TensorMsg::flat("dual", d.clone())])
-            .unwrap_or_default(),
+        primal: TensorMsgRef::flat("primal", &u.primal),
+        dual: u.dual.as_deref().map(|d| TensorMsgRef::flat("dual", d)),
     }
     .encode()
 }
 
 /// Decodes an upload, returning `(round_tag, upload)`.
-fn decode_upload(buf: &[u8], num_samples: usize) -> Result<(usize, ClientUpload), TensorError> {
+pub(crate) fn decode_upload(
+    buf: &[u8],
+    num_samples: usize,
+) -> Result<(usize, ClientUpload), TensorError> {
     let r = LearningResults::decode(buf)
         .map_err(|e| TensorError::InvalidArgument(format!("bad upload: {e}")))?;
     let primal = r
@@ -124,10 +127,13 @@ pub fn run_client<C: Communicator>(
     rounds: usize,
     local_gauge: &Gauge,
     telemetry: &Telemetry,
+    wire: Option<WireConfig>,
 ) -> Result<(), Error> {
     let peer = client.id() as u64;
+    let mut link = ClientLink::new(wire);
+    link.handshake(comm)?;
     for round in 1..=rounds {
-        let buf = comm.recv(0)?;
+        let buf = link.recv_broadcast(comm)?;
         let w = decode_global(&buf)?;
         let t0 = Instant::now();
         let upload = client.update(&w)?;
@@ -135,7 +141,7 @@ pub fn run_client<C: Communicator>(
         local_gauge.record(secs);
         telemetry.client_span_secs(round as u64, peer, secs);
         telemetry.trace_span_secs("local_update", secs, round as u64, peer);
-        comm.send(0, encode_upload(round, &upload))?;
+        link.send_upload(comm, round, &upload, &w)?;
     }
     Ok(())
 }
@@ -172,6 +178,7 @@ pub fn run_server<C: Communicator>(
     local_gauge: &Gauge,
     mut guard: Option<&mut UpdateGuard>,
     mut durable: Option<&mut DurableCoordinator>,
+    wire: Option<WireConfig>,
 ) -> Result<History, Error> {
     let num_clients = comm.size() - 1;
     if sample_counts.len() != num_clients {
@@ -189,6 +196,8 @@ pub fn run_server<C: Communicator>(
             ));
         }
     }
+    let mut link = ServerLink::new(wire);
+    link.greet(comm, num_clients, true)?;
     let mut machine = PhaseMachine::new(num_clients, telemetry, durable);
     machine.run_started(server.name(), dataset_name, epsilon, rounds)?;
     let mut history = History::new(server.name(), dataset_name, epsilon);
@@ -202,7 +211,7 @@ pub fn run_server<C: Communicator>(
         let mut serialize_secs = t.elapsed().as_secs_f64();
         let t = Instant::now();
         for rank in 1..=num_clients {
-            comm.send(rank, msg.clone())?;
+            link.send_payload(comm, rank, &msg)?;
             machine.expect_upload(rank - 1)?;
         }
         let send_secs = t.elapsed().as_secs_f64();
@@ -214,11 +223,10 @@ pub fn run_server<C: Communicator>(
         let mut gather_secs = 0.0f64;
         for rank in 1..=num_clients {
             let t0 = Instant::now();
-            let buf = comm.recv(rank)?;
-            gather_secs += t0.elapsed().as_secs_f64();
-            let t1 = Instant::now();
-            let (r, upload) = decode_upload(&buf, sample_counts[rank - 1])?;
-            serialize_secs += t1.elapsed().as_secs_f64();
+            let (r, upload, decode_secs) =
+                link.recv_upload(comm, rank, round, &w, sample_counts[rank - 1])?;
+            gather_secs += (t0.elapsed().as_secs_f64() - decode_secs).max(0.0);
+            serialize_secs += decode_secs;
             machine.offer_upload(rank - 1, r, upload)?;
         }
         // The slowest client trained inside the gather window, so transport
@@ -260,6 +268,7 @@ pub fn run_server<C: Communicator>(
         telemetry.span_secs("comm", Phase::Comm, comm_secs, Some(r), None);
         telemetry.span_secs("aggregate", Phase::Aggregate, aggregate_secs, Some(r), None);
         telemetry.count("upload_bytes", upload_bytes as u64, Some(r), None);
+        link.emit_round(telemetry, round);
         diagnostics.emit(telemetry, r);
         telemetry.round_span_secs(r, total);
 
@@ -306,8 +315,10 @@ pub fn run_client_ft<C: Communicator>(
     retries: &AtomicUsize,
     telemetry: &Telemetry,
     local_gauge: &Gauge,
+    wire: Option<WireConfig>,
 ) -> Result<(), Error> {
     let peer = client.id() as u64;
+    let mut link = ClientLink::new(wire);
     loop {
         let buf = match policy.run_observed(Some(retries), telemetry, "recv_broadcast", |_| {
             comm.recv_timeout(0, recv_timeout)
@@ -318,6 +329,12 @@ pub fn run_client_ft<C: Communicator>(
         if buf.is_empty() {
             break; // end-of-run sentinel
         }
+        // The wire link reassembles chunked frames (negotiating inline
+        // when the buffer completes a codec hello) and yields complete
+        // broadcast bodies; without wire this is the buffer itself.
+        let Some(buf) = link.accept(comm, buf) else {
+            continue;
+        };
         let Ok((round, w)) = decode_global_tagged(&buf) else {
             continue; // corrupted broadcast: skip it, catch the next round
         };
@@ -345,7 +362,7 @@ pub fn run_client_ft<C: Communicator>(
         // the client's compute visible in the causal tree without
         // touching the phase totals.
         telemetry.trace_span_secs("local_update", secs, round as u64, peer);
-        if comm.send(0, encode_upload(round, &upload)).is_err() {
+        if link.send_upload(comm, round, &upload, &w).is_err() {
             break;
         }
     }
@@ -422,6 +439,7 @@ pub fn run_server_ft<C: Communicator>(
     mut guard: Option<&mut UpdateGuard>,
     mut durable: Option<&mut DurableCoordinator>,
     mut controller: Option<&mut RoundController>,
+    wire: Option<WireConfig>,
 ) -> Result<History, Error> {
     let num_clients = comm.size() - 1;
     if sample_counts.len() != num_clients {
@@ -431,6 +449,10 @@ pub fn run_server_ft<C: Communicator>(
             num_clients
         )));
     }
+    // Fire-and-forget codec offer: on a lossy link a client that never
+    // hears it simply keeps sending Plain frames.
+    let mut link = ServerLink::new(wire);
+    link.greet(comm, num_clients, false)?;
     let mut roster = ClientRoster::new(num_clients, ft.suspect_after, ft.readmit_after);
     let mut history = History::new(server.name(), dataset_name, epsilon);
     let mut start_round = 1usize;
@@ -502,7 +524,7 @@ pub fn run_server_ft<C: Communicator>(
             if machine.already_received(p) {
                 continue;
             }
-            match comm.send(p + 1, msg.clone()) {
+            match link.send_payload(comm, p + 1, &msg) {
                 Ok(()) => machine.expect_upload(p)?,
                 Err(_) => {
                     roster.record_failure(p, round);
@@ -566,9 +588,9 @@ pub fn run_server_ft<C: Communicator>(
                 gather_secs += t0.elapsed().as_secs_f64();
                 let p = from - 1;
                 let t1 = Instant::now();
-                let decoded = decode_upload(&buf, sample_counts[p]);
+                let decoded = link.process(p, &buf, round, &w, sample_counts[p]);
                 serialize_secs += t1.elapsed().as_secs_f64();
-                if let Ok((r, upload)) = decoded {
+                if let Incoming::Upload(r, upload) = decoded {
                     // The machine discards stale, unsolicited and
                     // forged uploads, dedups resubmissions of a
                     // persisted (round, client) key exactly once, and
@@ -607,7 +629,7 @@ pub fn run_server_ft<C: Communicator>(
                         if machine.already_received(p) {
                             continue;
                         }
-                        if comm.send(p + 1, msg.clone()).is_ok() {
+                        if link.send_payload(comm, p + 1, &msg).is_ok() {
                             machine.expect_upload(p)?;
                             hedges_sent += 1;
                         }
@@ -708,6 +730,7 @@ pub fn run_server_ft<C: Communicator>(
         telemetry.span_secs("comm", Phase::Comm, comm_secs, Some(r), None);
         telemetry.span_secs("aggregate", Phase::Aggregate, aggregate_secs, Some(r), None);
         telemetry.count("upload_bytes", upload_bytes as u64, Some(r), None);
+        link.emit_round(telemetry, round);
         if dropped_clients > 0 {
             telemetry.count("dropped_clients", dropped_clients as u64, Some(r), None);
         }

@@ -25,6 +25,7 @@ use crate::runner::rpc::{run_rpc_client, run_rpc_client_ft, SyncRoundService};
 use crate::store::DurableCoordinator;
 use appfl_comm::rpc::{serve_with, ServeOptions};
 use appfl_comm::transport::Communicator;
+use appfl_comm::wire::WireConfig;
 use appfl_data::InMemoryDataset;
 use appfl_nn::module::Module;
 use appfl_telemetry::{Gauge, Telemetry};
@@ -78,6 +79,7 @@ pub(crate) struct TransportRun<'a, C: Communicator + 'static> {
     pub(crate) guard: Option<UpdateGuardConfig>,
     pub(crate) durable: Option<DurableCoordinator>,
     pub(crate) round_control: Option<RoundControlConfig>,
+    pub(crate) wire: Option<WireConfig>,
 }
 
 impl<'a, C: Communicator + 'static> TransportRun<'a, C> {
@@ -104,6 +106,7 @@ impl<'a, C: Communicator + 'static> TransportRun<'a, C> {
             guard,
             mut durable,
             round_control,
+            wire,
         } = self;
         if let Some(aggregator) = robust {
             server = Box::new(RobustServer::wrap(server, aggregator));
@@ -229,9 +232,10 @@ impl<'a, C: Communicator + 'static> TransportRun<'a, C> {
                         for (client, ep) in clients.into_iter().zip(endpoints) {
                             let gauge = &gauge;
                             let tl = telemetry.clone();
-                            handles.push(
-                                scope.spawn(move || run_client(client, &ep, rounds, gauge, &tl)),
-                            );
+                            let cw = wire.clone();
+                            handles.push(scope.spawn(move || {
+                                run_client(client, &ep, rounds, gauge, &tl, cw)
+                            }));
                         }
                         run_server(
                             &mut *server,
@@ -246,6 +250,7 @@ impl<'a, C: Communicator + 'static> TransportRun<'a, C> {
                             &gauge,
                             guard.as_mut(),
                             durable.as_mut(),
+                            wire.clone(),
                         )
                     }
                     Some(ft) => {
@@ -255,6 +260,7 @@ impl<'a, C: Communicator + 'static> TransportRun<'a, C> {
                             let retries = &retries;
                             let gauge = &gauge;
                             let tl = telemetry.clone();
+                            let cw = wire.clone();
                             handles.push(scope.spawn(move || {
                                 run_client_ft(
                                     client,
@@ -264,6 +270,7 @@ impl<'a, C: Communicator + 'static> TransportRun<'a, C> {
                                     retries,
                                     &tl,
                                     gauge,
+                                    cw,
                                 )
                             }));
                         }
@@ -283,6 +290,7 @@ impl<'a, C: Communicator + 'static> TransportRun<'a, C> {
                             guard.as_mut(),
                             durable.as_mut(),
                             controller.as_mut(),
+                            wire.clone(),
                         )
                     }
                 };

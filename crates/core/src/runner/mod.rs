@@ -11,6 +11,7 @@ pub mod pubsub;
 pub mod rpc;
 pub mod serial;
 pub mod simulate;
+pub(crate) mod wire;
 
 pub use control::{RoundControlConfig, RoundController, RoundPlan};
 pub use federation::FederationOutcome;

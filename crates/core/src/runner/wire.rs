@@ -1,0 +1,500 @@
+//! Wire-codec link layer for the transport runners.
+//!
+//! Wraps a [`Communicator`] pair with the negotiated codec pipeline from
+//! [`appfl_comm::wire`]: every logical message is framed
+//! ([`Frame`]) and chunk-streamed, the server opens each connection with
+//! a [`CodecHello`] offer, and clients answer with a [`CodecAck`] before
+//! (optionally) switching their uploads to coded residual blobs. All of
+//! it is strictly additive — a runner built without a [`WireConfig`]
+//! sends exactly the bytes it always did, which is what keeps the
+//! gRPC-vs-MPI transparency tests byte-identical.
+//!
+//! ## Negotiation is loss-tolerant
+//!
+//! Frames are self-describing, so negotiation state can never wedge a
+//! link: a client that missed the hello simply keeps uploading `Plain`
+//! frames (which the server accepts forever), and the server sniffs the
+//! frame kind of every upload instead of trusting per-client negotiation
+//! state. On a reliable (non-fault-tolerant) run the handshake is
+//! strict; under fault injection it is fire-and-forget.
+//!
+//! ## Reference-delta uploads
+//!
+//! Coded uploads carry the residual `update − broadcast` (plus the
+//! error-feedback carry) against the round's broadcast, which both ends
+//! already hold. That makes a stale coded upload undecodable against the
+//! current round's reference — so it is dropped *before* aggregation,
+//! which is exactly what the phase machine would do with a stale plain
+//! upload anyway. A lost coded upload also loses the carry mass it
+//! drained; error feedback guards against *compression* loss, not
+//! transport loss.
+
+use crate::api::ClientUpload;
+use crate::error::Error;
+use crate::runner::comm::{decode_upload, encode_upload};
+use appfl_comm::transport::{CommError, Communicator};
+use appfl_comm::wire::{
+    recv_chunked, send_chunked, ChunkDemux, CodecAck, CodecHello, CodedUpload, Frame, FrameKind,
+    Reassembler, StackDecoder, StackEncoder, WireConfig, CODEC_VERSION,
+};
+use appfl_telemetry::Telemetry;
+use std::time::Instant;
+
+/// What one raw transport buffer produced once the wire layer chewed on
+/// it: a complete, decoded upload — or nothing foldable (an ack, a
+/// mid-stream chunk, garbage that was dropped on the floor).
+pub(crate) enum Incoming {
+    /// A decoded upload with its round tag.
+    Upload(usize, ClientUpload),
+    /// Nothing to fold yet.
+    None,
+}
+
+// ---------------------------------------------------------------------
+// Server side
+// ---------------------------------------------------------------------
+
+/// Server half of the link: plain passthrough, or the codec pipeline.
+pub(crate) enum ServerLink {
+    /// No wire config: bytes move exactly as before.
+    Plain,
+    /// Framed + chunked + codec-negotiated.
+    Wire(ServerWire),
+}
+
+/// Server-side wire state: the chunk demultiplexer, stream ids, and the
+/// per-round byte accounting behind the `wire_bytes_*` counters.
+pub(crate) struct ServerWire {
+    config: WireConfig,
+    demux: ChunkDemux,
+    stream: u64,
+    /// Framed bytes sent (broadcasts + hellos) this round.
+    sent: u64,
+    /// Framed bytes received (uploads + acks) this round.
+    received: u64,
+    /// What the received uploads would have cost uncompressed (their raw
+    /// f32 payload), for the savings counter.
+    baseline: u64,
+}
+
+impl ServerLink {
+    pub(crate) fn new(wire: Option<WireConfig>) -> Self {
+        match wire {
+            None => ServerLink::Plain,
+            Some(config) => ServerLink::Wire(ServerWire {
+                config,
+                demux: ChunkDemux::new(),
+                stream: 0,
+                sent: 0,
+                received: 0,
+                baseline: 0,
+            }),
+        }
+    }
+
+    /// Opens every connection with the codec offer. `strict` (reliable
+    /// transports) also waits for each client's ack; otherwise the hello
+    /// is fire-and-forget and the ack — if it ever arrives — is consumed
+    /// opportunistically during the gather.
+    pub(crate) fn greet<C: Communicator>(
+        &mut self,
+        comm: &C,
+        num_clients: usize,
+        strict: bool,
+    ) -> Result<(), Error> {
+        let ServerLink::Wire(w) = self else {
+            return Ok(());
+        };
+        let hello = CodecHello {
+            version: CODEC_VERSION,
+            stacks: vec![w.config.stack.clone()],
+        }
+        .encode();
+        let framed = Frame::encode(FrameKind::Hello, &hello);
+        for rank in 1..=num_clients {
+            w.stream += 1;
+            let sent = send_chunked(comm, rank, &framed, w.config.chunk_bytes, w.stream);
+            match sent {
+                Ok(n) => w.sent += n as u64,
+                Err(e) if strict => return Err(e.into()),
+                Err(_) => {} // lossy link: the client stays on Plain frames
+            }
+        }
+        if strict {
+            for rank in 1..=num_clients {
+                loop {
+                    let buf = comm.recv(rank)?;
+                    w.received += buf.len() as u64;
+                    if let Some(msg) = w.demux.push(rank, &buf)? {
+                        let frame = Frame::decode(&msg).map_err(frame_err)?;
+                        if frame.kind != FrameKind::Ack {
+                            return Err(CommError::Frame(format!(
+                                "expected codec ack from rank {rank}, got {:?}",
+                                frame.kind
+                            ))
+                            .into());
+                        }
+                        CodecAck::decode(frame.body).map_err(frame_err)?;
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Sends one logical payload (a broadcast) to `rank`.
+    pub(crate) fn send_payload<C: Communicator>(
+        &mut self,
+        comm: &C,
+        rank: usize,
+        body: &[u8],
+    ) -> Result<(), CommError> {
+        match self {
+            ServerLink::Plain => comm.send(rank, body.to_vec()),
+            ServerLink::Wire(w) => {
+                let framed = Frame::encode(FrameKind::Plain, body);
+                w.stream += 1;
+                let sent = send_chunked(comm, rank, &framed, w.config.chunk_bytes, w.stream)?;
+                w.sent += sent as u64;
+                Ok(())
+            }
+        }
+    }
+
+    /// Receives one complete upload from `rank`, blocking — the reliable
+    /// (non-fault-tolerant) gather. Acks are consumed silently; anything
+    /// undecodable is an error, exactly like a corrupt plain upload.
+    /// The third element is the time spent *decoding* (as opposed to
+    /// waiting), so the caller can keep its serialize/comm phase split.
+    pub(crate) fn recv_upload<C: Communicator>(
+        &mut self,
+        comm: &C,
+        rank: usize,
+        round: usize,
+        reference: &[f32],
+        num_samples: usize,
+    ) -> Result<(usize, ClientUpload, f64), Error> {
+        match self {
+            ServerLink::Plain => {
+                let buf = comm.recv(rank)?;
+                let t = Instant::now();
+                let (r, upload) = decode_upload(&buf, num_samples)?;
+                Ok((r, upload, t.elapsed().as_secs_f64()))
+            }
+            ServerLink::Wire(w) => loop {
+                let buf = comm.recv(rank)?;
+                w.received += buf.len() as u64;
+                let t = Instant::now();
+                let Some(msg) = w.demux.push(rank, &buf)? else {
+                    continue;
+                };
+                let frame = Frame::decode(&msg).map_err(frame_err)?;
+                match frame.kind {
+                    FrameKind::Ack | FrameKind::Hello => continue,
+                    FrameKind::Plain => {
+                        let (r, upload) = decode_upload(frame.body, num_samples)?;
+                        w.baseline += upload.payload_bytes() as u64;
+                        return Ok((r, upload, t.elapsed().as_secs_f64()));
+                    }
+                    FrameKind::Coded => {
+                        let coded = CodedUpload::decode(frame.body).map_err(frame_err)?;
+                        if coded.round as usize != round {
+                            return Err(CommError::Frame(format!(
+                                "coded upload for round {} against round {round}'s reference",
+                                coded.round
+                            ))
+                            .into());
+                        }
+                        let primal =
+                            StackDecoder::decode(&coded.blob, reference).map_err(frame_err)?;
+                        let upload = ClientUpload {
+                            client_id: coded.client_id as usize,
+                            primal,
+                            dual: None,
+                            num_samples,
+                            local_loss: coded.loss as f32,
+                        };
+                        w.baseline += upload.payload_bytes() as u64;
+                        return Ok((round, upload, t.elapsed().as_secs_f64()));
+                    }
+                }
+            },
+        }
+    }
+
+    /// Feeds one raw buffer that `recv_any` attributed to `peer` (a
+    /// 0-based client index) — the fault-tolerant gather. Never errors:
+    /// garbage, acks and stale coded uploads are dropped on the floor,
+    /// exactly like an undecodable plain upload.
+    pub(crate) fn process(
+        &mut self,
+        peer: usize,
+        buf: &[u8],
+        round: usize,
+        reference: &[f32],
+        num_samples: usize,
+    ) -> Incoming {
+        match self {
+            ServerLink::Plain => match decode_upload(buf, num_samples) {
+                Ok((r, upload)) => Incoming::Upload(r, upload),
+                Err(_) => Incoming::None,
+            },
+            ServerLink::Wire(w) => {
+                w.received += buf.len() as u64;
+                let Ok(Some(msg)) = w.demux.push(peer, buf) else {
+                    return Incoming::None;
+                };
+                let Ok(frame) = Frame::decode(&msg) else {
+                    return Incoming::None;
+                };
+                match frame.kind {
+                    FrameKind::Ack | FrameKind::Hello => Incoming::None,
+                    FrameKind::Plain => match decode_upload(frame.body, num_samples) {
+                        Ok((r, upload)) => {
+                            w.baseline += upload.payload_bytes() as u64;
+                            Incoming::Upload(r, upload)
+                        }
+                        Err(_) => Incoming::None,
+                    },
+                    FrameKind::Coded => {
+                        let Ok(coded) = CodedUpload::decode(frame.body) else {
+                            return Incoming::None;
+                        };
+                        // A stale coded upload was encoded against an
+                        // older broadcast: undecodable here, and the
+                        // machine would discard it anyway.
+                        if coded.round as usize != round {
+                            return Incoming::None;
+                        }
+                        let Ok(primal) = StackDecoder::decode(&coded.blob, reference) else {
+                            return Incoming::None;
+                        };
+                        let upload = ClientUpload {
+                            client_id: coded.client_id as usize,
+                            primal,
+                            dual: None,
+                            num_samples,
+                            local_loss: coded.loss as f32,
+                        };
+                        w.baseline += upload.payload_bytes() as u64;
+                        Incoming::Upload(round, upload)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Emits the round's wire counters (`wire_bytes_sent`,
+    /// `wire_bytes_saved`, `compression_ratio`) tagged with the codec
+    /// stack label, and resets the accounting for the next round.
+    pub(crate) fn emit_round(&mut self, telemetry: &Telemetry, round: usize) {
+        let ServerLink::Wire(w) = self else { return };
+        let r = Some(round as u64);
+        let label = w.config.stack.label();
+        telemetry.count("wire_bytes_sent", w.sent + w.received, r, Some(&label));
+        telemetry.count(
+            "wire_bytes_saved",
+            w.baseline.saturating_sub(w.received),
+            r,
+            Some(&label),
+        );
+        if w.received > 0 {
+            telemetry.gauge(
+                "compression_ratio",
+                w.baseline as f64 / w.received as f64,
+                r,
+                None,
+            );
+        }
+        w.sent = 0;
+        w.received = 0;
+        w.baseline = 0;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Client side
+// ---------------------------------------------------------------------
+
+/// Client half of the link.
+pub(crate) enum ClientLink {
+    /// No wire config: bytes move exactly as before.
+    Plain,
+    /// Framed + chunked, coding uploads once negotiated.
+    Wire(ClientWire),
+}
+
+/// Client-side wire state: the negotiated encoder (absent until a hello
+/// arrives — un-negotiated clients upload `Plain` frames) and the
+/// reassembler for inbound broadcasts.
+pub(crate) struct ClientWire {
+    config: WireConfig,
+    encoder: Option<StackEncoder>,
+    reassembler: Reassembler,
+    stream: u64,
+}
+
+impl ClientLink {
+    pub(crate) fn new(wire: Option<WireConfig>) -> Self {
+        match wire {
+            None => ClientLink::Plain,
+            Some(config) => ClientLink::Wire(ClientWire {
+                config,
+                encoder: None,
+                reassembler: Reassembler::new(),
+                stream: 0,
+            }),
+        }
+    }
+
+    /// Strict handshake for reliable transports: the first inbound
+    /// message must be the server's codec offer, answered before any
+    /// round traffic.
+    pub(crate) fn handshake<C: Communicator>(&mut self, comm: &C) -> Result<(), Error> {
+        let ClientLink::Wire(w) = self else {
+            return Ok(());
+        };
+        let msg = recv_chunked(comm, 0, &mut w.reassembler)?;
+        let frame = Frame::decode(&msg).map_err(frame_err)?;
+        if frame.kind != FrameKind::Hello {
+            return Err(CommError::Frame(format!(
+                "expected codec hello, got {:?}",
+                frame.kind
+            ))
+            .into());
+        }
+        w.negotiate(comm, frame.body).map_err(Error::from)
+    }
+
+    /// Receives one complete broadcast body, blocking (reliable mode).
+    pub(crate) fn recv_broadcast<C: Communicator>(
+        &mut self,
+        comm: &C,
+    ) -> Result<Vec<u8>, CommError> {
+        match self {
+            ClientLink::Plain => comm.recv(0),
+            ClientLink::Wire(w) => loop {
+                let msg = recv_chunked(comm, 0, &mut w.reassembler)?;
+                let frame = Frame::decode(&msg).map_err(frame_err)?;
+                match frame.kind {
+                    FrameKind::Hello => w.negotiate(comm, frame.body)?,
+                    FrameKind::Plain => return Ok(frame.body.to_vec()),
+                    kind => {
+                        return Err(CommError::Frame(format!(
+                            "unexpected {kind:?} frame on the broadcast path"
+                        )))
+                    }
+                }
+            },
+        }
+    }
+
+    /// Feeds one raw inbound buffer (fault-tolerant mode, where the
+    /// retry policy owns the actual `recv`). Returns a complete
+    /// broadcast body once one reassembles; hellos are negotiated and
+    /// acked inline; garbage resynchronises and yields nothing.
+    pub(crate) fn accept<C: Communicator>(&mut self, comm: &C, buf: Vec<u8>) -> Option<Vec<u8>> {
+        match self {
+            ClientLink::Plain => Some(buf),
+            ClientLink::Wire(w) => {
+                let chunk = appfl_comm::wire::Chunk::decode(&buf).ok().or_else(|| {
+                    w.reassembler.reset();
+                    None
+                })?;
+                let pushed = match w.reassembler.push(chunk) {
+                    Ok(done) => done,
+                    Err(_) if chunk.seq == 0 => {
+                        // The in-flight stream lost a chunk; this one
+                        // opens the next.
+                        w.reassembler.reset();
+                        w.reassembler.push(chunk).ok().flatten()
+                    }
+                    Err(_) => {
+                        w.reassembler.reset();
+                        None
+                    }
+                };
+                let msg = pushed?;
+                let frame = Frame::decode(&msg).ok()?;
+                match frame.kind {
+                    FrameKind::Hello => {
+                        // Best-effort ack: on a lossy link the server
+                        // never waits for it anyway.
+                        let _ = w.negotiate(comm, frame.body);
+                        None
+                    }
+                    FrameKind::Plain => Some(frame.body.to_vec()),
+                    _ => None,
+                }
+            }
+        }
+    }
+
+    /// Sends one upload to the server: a coded residual blob when a
+    /// lossy stack is negotiated and the upload is primal-only, a plain
+    /// frame otherwise. Dual-carrying uploads (IIADMM) always go plain —
+    /// the residual transform is defined on the primal vector.
+    pub(crate) fn send_upload<C: Communicator>(
+        &mut self,
+        comm: &C,
+        round: usize,
+        upload: &ClientUpload,
+        reference: &[f32],
+    ) -> Result<(), CommError> {
+        match self {
+            ClientLink::Plain => comm.send(0, encode_upload(round, upload)),
+            ClientLink::Wire(w) => {
+                let codable = upload.dual.is_none() && upload.primal.len() == reference.len();
+                let framed = match (w.encoder.as_mut(), codable) {
+                    (Some(enc), true) if !enc.stack().is_identity() => {
+                        let blob = enc
+                            .encode(&upload.primal, reference)
+                            .map_err(|e| CommError::Frame(e.to_string()))?;
+                        let body = CodedUpload {
+                            client_id: upload.client_id as u32,
+                            round: round as u32,
+                            loss: f64::from(upload.local_loss),
+                            blob,
+                        }
+                        .encode();
+                        Frame::encode(FrameKind::Coded, &body)
+                    }
+                    _ => Frame::encode(FrameKind::Plain, &encode_upload(round, upload)),
+                };
+                w.stream += 1;
+                send_chunked(comm, 0, &framed, w.config.chunk_bytes, w.stream)?;
+                Ok(())
+            }
+        }
+    }
+}
+
+impl ClientWire {
+    /// Handles a [`CodecHello`]: picks the first offered stack this
+    /// build supports, arms the encoder, and acks.
+    fn negotiate<C: Communicator>(&mut self, comm: &C, body: &[u8]) -> Result<(), CommError> {
+        let hello = CodecHello::decode(body).map_err(frame_err)?;
+        if hello.version != CODEC_VERSION {
+            // Future server: stay on Plain frames, which it must accept.
+            return Ok(());
+        }
+        let Some(stack) = hello.stacks.into_iter().find(|s| s.validate().is_ok()) else {
+            return Ok(()); // nothing we support: stay plain
+        };
+        let ack = CodecAck {
+            version: CODEC_VERSION,
+            stack: stack.clone(),
+        }
+        .encode();
+        let framed = Frame::encode(FrameKind::Ack, &ack);
+        self.stream += 1;
+        send_chunked(comm, 0, &framed, self.config.chunk_bytes, self.stream)?;
+        self.encoder = Some(StackEncoder::new(stack, self.config.error_feedback));
+        Ok(())
+    }
+}
+
+fn frame_err(e: appfl_comm::wire::WireError) -> CommError {
+    CommError::Frame(e.to_string())
+}

@@ -8,7 +8,10 @@
 //!   intact;
 //! * first-generation durable-store records (`StoreEvent`,
 //!   `PendingRound`, `CoordinatorState`) missing later defaulted fields
-//!   still load, and a non-private run's ε̄ = ∞ round-trips as `null`.
+//!   still load, and a non-private run's ε̄ = ∞ round-trips as `null`;
+//! * first-generation negotiated wire-codec headers (`WireConfig` with
+//!   only a `stack`, numeric stage descriptors) still load, round-trip,
+//!   and reject unknown stages with a typed error.
 
 use appfl::core::checkpoint::Checkpoint;
 use appfl::core::metrics::{History, RoundRecord};
@@ -247,4 +250,61 @@ fn telemetry_fields_round_trip() {
     assert_eq!(r.cohort_size, 2);
     assert_eq!(r.cohort_offline, 3);
     assert_eq!(r.cohort_ineligible, 1);
+}
+
+/// A `WireConfig` as the first codec-negotiation generation wrote it:
+/// just the stack — `chunk_bytes` and `error_feedback` did not exist yet
+/// and must take their defaults (256 KiB chunks, error feedback ON, the
+/// convergence-preserving choice for lossy stacks).
+const FIRST_GEN_WIRE_CONFIG: &str = r#"{
+    "stack": {"stages": [{"TopK": {"permille": 100}}, "QuantQ8", "RunLength"]}
+}"#;
+
+#[test]
+fn first_generation_wire_config_still_loads_with_safe_defaults() {
+    use appfl::comm::wire::WireConfig;
+    let w: WireConfig = serde_json::from_str(FIRST_GEN_WIRE_CONFIG).unwrap();
+    assert_eq!(w.stack.label(), "topk100+q8+rle");
+    assert_eq!(w.chunk_bytes, 256 * 1024);
+    assert!(w.error_feedback, "EF must default ON for era-compat loads");
+    assert!(w.stack.validate().is_ok());
+}
+
+#[test]
+fn wire_config_round_trips_every_negotiated_field() {
+    use appfl::comm::wire::{CodecStack, WireConfig};
+    let w = WireConfig::new(CodecStack::top_k_int8_rle(250))
+        .chunk_bytes(4096)
+        .error_feedback(false);
+    let json = serde_json::to_string(&w).unwrap();
+    let back: WireConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, w);
+}
+
+#[test]
+fn codec_stack_json_and_wire_descriptor_agree() {
+    use appfl::comm::wire::CodecStack;
+    for stack in [
+        CodecStack::none(),
+        CodecStack::int8(),
+        CodecStack::int4(),
+        CodecStack::top_k(500),
+        CodecStack::top_k_int8_rle(100),
+    ] {
+        // JSON round-trip (checkpoint/config files)...
+        let back: CodecStack = serde_json::from_str(&serde_json::to_string(&stack).unwrap()).unwrap();
+        assert_eq!(back, stack);
+        // ...and the numeric descriptor (the negotiation handshake) agree.
+        assert_eq!(CodecStack::from_descriptor(&stack.descriptor()).unwrap(), stack);
+    }
+}
+
+#[test]
+fn unknown_codec_stages_are_rejected_not_defaulted() {
+    use appfl::comm::wire::CodecStack;
+    // A future stage op in the handshake descriptor: typed error.
+    assert!(CodecStack::from_descriptor(&[99, 0]).is_err());
+    // A future stage name in JSON: parse error, never a silent skip.
+    let json = r#"{"stages": ["QuantQ8", "Zstd"]}"#;
+    assert!(serde_json::from_str::<CodecStack>(json).is_err());
 }

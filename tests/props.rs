@@ -166,8 +166,11 @@ proptest! {
         let mut r = Reassembler::new();
         let mut out = None;
         for c in chunks {
-            // Chunks also survive their own protobuf encoding.
-            let decoded = appfl::comm::wire::Chunk::decode(&c.encode()).unwrap();
+            // Chunks also survive their own protobuf encoding. The decoded
+            // chunk borrows its payload from the encoded buffer, so the
+            // buffer needs a binding that outlives the push.
+            let buf = c.encode();
+            let decoded = appfl::comm::wire::Chunk::decode(&buf).unwrap();
             out = r.push(decoded).unwrap();
         }
         prop_assert_eq!(out.unwrap(), message);
@@ -222,7 +225,7 @@ proptest! {
     ) {
         use appfl::comm::compress::{densify, sparsify_top_k};
         let s = sparsify_top_k(&v, k);
-        let d = densify(&s);
+        let d = densify(&s).unwrap();
         prop_assert_eq!(d.len(), v.len());
         // Every kept coordinate matches; dropped ones are zero and no
         // dropped coordinate has larger magnitude than a kept one.
@@ -308,11 +311,197 @@ proptest! {
         // inconsistent follow-ups, so the claim cannot reserve memory.
         use appfl::comm::wire::{Chunk, Reassembler};
         let mut r = Reassembler::new();
-        let first = Chunk { stream_id: 1, seq: 0, total, payload: payload.clone() };
+        let first = Chunk { stream_id: 1, seq: 0, total, payload: &payload };
         prop_assert_eq!(r.push(first).unwrap(), None);
         // A follow-up that contradicts the total is an error, not UB.
-        let liar = Chunk { stream_id: 1, seq: 1, total: total - 1, payload };
+        let liar = Chunk { stream_id: 1, seq: 1, total: total - 1, payload: &payload };
         prop_assert!(r.push(liar).is_err());
+    }
+
+    // --- Wire-codec pipeline (negotiated codec stacks) ----------------
+
+    // The identity stack is lossless: the blob carries raw values, so the
+    // decoder reproduces the input bit for bit regardless of reference.
+    #[test]
+    fn identity_stack_roundtrips_exactly(
+        x in proptest::collection::vec(-1e6f32..1e6, 1..400),
+        r in proptest::collection::vec(-1e6f32..1e6, 1..400),
+    ) {
+        use appfl::comm::wire::{CodecStack, StackDecoder, StackEncoder};
+        let n = x.len().min(r.len());
+        let (x, reference) = (&x[..n], &r[..n]);
+        let mut enc = StackEncoder::new(CodecStack::none(), false);
+        let blob = enc.encode(x, reference).unwrap();
+        let back = StackDecoder::decode(&blob, reference).unwrap();
+        prop_assert_eq!(back, x.to_vec());
+    }
+
+    // Quantisation stacks respect a per-block error bound: with scale
+    // max|residual| / levels per QUANT_BLOCK block, each reconstructed
+    // coordinate is within one scale step of the original (round-to-nearest
+    // guarantees half a step; one full step absorbs f32 noise).
+    #[test]
+    fn quant_stacks_roundtrip_within_their_error_bound(
+        x in proptest::collection::vec(-1e3f32..1e3, 1..3000),
+        q4 in any::<bool>(),
+    ) {
+        use appfl::comm::wire::{CodecStack, StackDecoder, StackEncoder, QUANT_BLOCK};
+        let (stack, levels) = if q4 {
+            (CodecStack::int4(), 7.0f32)
+        } else {
+            (CodecStack::int8(), 127.0f32)
+        };
+        let reference = vec![0.0f32; x.len()];
+        let mut enc = StackEncoder::new(stack, false);
+        let blob = enc.encode(&x, &reference).unwrap();
+        let back = StackDecoder::decode(&blob, &reference).unwrap();
+        prop_assert_eq!(back.len(), x.len());
+        for (bi, block) in x.chunks(QUANT_BLOCK).enumerate() {
+            let max_abs = block.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+            let bound = max_abs / levels + 1e-6;
+            for (j, (&a, &b)) in block.iter().zip(&back[bi * QUANT_BLOCK..]).enumerate() {
+                prop_assert!(
+                    (a - b).abs() <= bound,
+                    "block {bi} coord {j}: |{a} - {b}| > {bound}"
+                );
+            }
+        }
+    }
+
+    // Every valid stacked pipeline decodes to a finite vector of the
+    // original length (never panics, never changes dimensionality), and
+    // with error feedback on, the encoder's carried residual mass is
+    // bounded by the mass it was asked to move.
+    #[test]
+    fn stacked_pipelines_preserve_length_and_bound_the_carry(
+        x in proptest::collection::vec(-100f32..100.0, 1..2000),
+        permille in 1u16..1000,
+        which in 0usize..4,
+    ) {
+        use appfl::comm::wire::{CodecStack, StackDecoder, StackEncoder};
+        let stack = match which {
+            0 => CodecStack::top_k(permille),
+            1 => CodecStack::top_k_int8_rle(permille),
+            2 => CodecStack::int8(),
+            _ => CodecStack::int4(),
+        };
+        prop_assert!(stack.validate().is_ok());
+        let reference = vec![0.5f32; x.len()];
+        let mut enc = StackEncoder::new(stack, true);
+        let blob = enc.encode(&x, &reference).unwrap();
+        let back = StackDecoder::decode(&blob, &reference).unwrap();
+        prop_assert_eq!(back.len(), x.len());
+        prop_assert!(back.iter().all(|v| v.is_finite()));
+        let injected: f32 = x.iter().zip(&reference).map(|(a, b)| (a - b).abs()).sum();
+        prop_assert!(
+            enc.carry_l1() <= injected + 1e-3 * (1.0 + injected),
+            "carry {} exceeds injected residual mass {}",
+            enc.carry_l1(),
+            injected
+        );
+    }
+
+    // A corrupted codec blob (arbitrary bytes, or a valid blob with one
+    // flipped bit) must decode to a clean error or a same-length vector —
+    // never a panic, never a silently wrong dimensionality.
+    #[test]
+    fn corrupted_codec_blobs_never_panic(
+        x in proptest::collection::vec(-10f32..10.0, 1..500),
+        bit in any::<u32>(),
+        garbage in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        use appfl::comm::wire::{CodecStack, StackDecoder, StackEncoder};
+        let reference = vec![0.0f32; x.len()];
+        let mut enc = StackEncoder::new(CodecStack::top_k_int8_rle(200), true);
+        let mut blob = enc.encode(&x, &reference).unwrap();
+        let bit = bit as usize % (blob.len() * 8);
+        blob[bit / 8] ^= 1 << (bit % 8);
+        if let Ok(out) = StackDecoder::decode(&blob, &reference) {
+            prop_assert_eq!(out.len(), x.len());
+        }
+        let _ = StackDecoder::decode(&garbage, &reference);
+    }
+
+    // --- Chunked-stream reassembly fuzz -------------------------------
+
+    // The reassembler is strictly in-order: any permutation of a stream's
+    // chunks other than the sorted one must fail with a clean error on the
+    // first out-of-place chunk, and after reset() the same stream replayed
+    // in order still lands intact — loss never poisons the next stream.
+    #[test]
+    fn out_of_order_replay_errors_cleanly_and_reset_resyncs(
+        message in proptest::collection::vec(any::<u8>(), 64..2000),
+        chunk_size in 1usize..256,
+        swap in any::<(u16, u16)>(),
+    ) {
+        use appfl::comm::wire::{split_message, Reassembler};
+        let chunks = split_message(9, &message, chunk_size);
+        prop_assume!(chunks.len() >= 2);
+        let (a, b) = (
+            swap.0 as usize % chunks.len(),
+            swap.1 as usize % chunks.len(),
+        );
+        prop_assume!(a != b);
+        let mut order: Vec<usize> = (0..chunks.len()).collect();
+        order.swap(a, b);
+
+        let mut r = Reassembler::new();
+        let mut failed = false;
+        let mut out = None;
+        for &i in &order {
+            match r.push(chunks[i]) {
+                Ok(done) => out = done.or(out),
+                Err(_) => {
+                    failed = true;
+                    break;
+                }
+            }
+        }
+        prop_assert!(failed, "a swapped-chunk replay completed");
+        prop_assert!(out.is_none());
+
+        // reset() recovers the slot: the in-order replay reassembles.
+        r.reset();
+        let mut out = None;
+        for c in &chunks {
+            out = r.push(*c).unwrap().or(out);
+        }
+        prop_assert_eq!(out.unwrap(), message);
+    }
+
+    // Duplicated chunks and interleaved streams are rejected, not merged:
+    // replaying any chunk twice, or splicing a chunk of a different stream
+    // into the middle, errors before the stream can complete wrong.
+    #[test]
+    fn duplicate_and_mixed_stream_chunks_are_rejected(
+        message in proptest::collection::vec(any::<u8>(), 32..1000),
+        chunk_size in 1usize..128,
+        dup_at in any::<u16>(),
+    ) {
+        use appfl::comm::wire::{split_message, Chunk, Reassembler};
+        let chunks = split_message(3, &message, chunk_size);
+        prop_assume!(chunks.len() >= 2);
+        let dup = dup_at as usize % (chunks.len() - 1);
+
+        // Duplicate: replay chunk `dup` immediately after itself.
+        let mut r = Reassembler::new();
+        for c in chunks.iter().take(dup + 1) {
+            r.push(*c).unwrap();
+        }
+        prop_assert!(r.push(chunks[dup]).is_err(), "duplicate accepted");
+
+        // Interleave: a same-seq chunk from another stream mid-flight.
+        let mut r = Reassembler::new();
+        r.push(chunks[0]).unwrap();
+        let foreign_payload = chunks[1].payload.to_vec();
+        let foreign = Chunk {
+            stream_id: 4,
+            seq: 1,
+            total: chunks[0].total,
+            payload: &foreign_payload,
+        };
+        prop_assert!(r.push(foreign).is_err(), "foreign stream spliced in");
+        prop_assert!(r.in_progress(), "probe survives the rejection");
     }
 
     #[test]

@@ -1,0 +1,199 @@
+//! Wire-codec end-to-end: a FedAvg federation on the comm push runner
+//! with a *negotiated* codec stack rides a fault-injecting transport —
+//! dropped chunks plus delayed (cross-peer reordered) messages — and must
+//! converge within tolerance of the uncompressed fault-free baseline.
+//! Every unsupported topology/codec combination must come back as a
+//! typed [`ConfigError`] from the builder, never a panic.
+
+use appfl::comm::transport::{FaultPlan, FaultyCommunicator, InProcEndpoint, InProcNetwork};
+use appfl::comm::wire::{CodecStack, CodecStage, WireConfig};
+use appfl::core::algorithms::build_federation;
+use appfl::core::config::{AlgorithmConfig, FaultToleranceConfig, FedConfig};
+use appfl::core::metrics::History;
+use appfl::core::{ConfigError, Federation, Participants, Resilience, Topology};
+use appfl::data::federated::{build_benchmark, Benchmark, FederatedDataset};
+use appfl::nn::models::{mlp_classifier, InputSpec};
+use appfl::privacy::PrivacyConfig;
+use std::time::Duration;
+
+const SPEC: InputSpec = InputSpec {
+    channels: 1,
+    height: 28,
+    width: 28,
+    classes: 10,
+};
+const ROUNDS: usize = 4;
+const RANKS: usize = 4; // coordinator + 3 clients
+
+fn config() -> FedConfig {
+    FedConfig {
+        algorithm: AlgorithmConfig::FedAvg {
+            lr: 0.05,
+            momentum: 0.9,
+        },
+        rounds: ROUNDS,
+        local_steps: 1,
+        batch_size: 16,
+        privacy: PrivacyConfig::none(),
+        seed: 4,
+    }
+}
+
+fn data() -> FederatedDataset {
+    build_benchmark(Benchmark::Mnist, 3, 90, 30, 2).unwrap()
+}
+
+fn ft() -> FaultToleranceConfig {
+    FaultToleranceConfig {
+        round_timeout_ms: 600,
+        min_quorum: 1,
+        suspect_after: 2,
+        readmit_after: 1,
+        max_attempts: 4,
+        base_backoff_ms: 5,
+    }
+}
+
+/// Endpoints with the fault plan on the coordinator: its broadcasts and
+/// receives are what drops and delays claim. Chunked streaming means a
+/// single lost *chunk* costs a whole message — exactly the failure mode
+/// the resync path must absorb.
+fn endpoints(drop_prob: f64, delay_prob: f64) -> Vec<FaultyCommunicator<InProcEndpoint>> {
+    InProcNetwork::new(RANKS)
+        .into_iter()
+        .enumerate()
+        .map(|(rank, ep)| {
+            let plan = if rank == 0 {
+                FaultPlan::new(33)
+                    .drop_prob(drop_prob)
+                    .delay(delay_prob, Duration::from_millis(10))
+            } else {
+                FaultPlan::new(33 ^ rank as u64)
+            };
+            FaultyCommunicator::new(ep, plan)
+        })
+        .collect()
+}
+
+fn run_wire(wire: Option<WireConfig>, drop_prob: f64, delay_prob: f64) -> History {
+    let data = data();
+    let test = data.test.clone();
+    let mut fed = build_federation(config(), &data, |rng| {
+        Box::new(mlp_classifier(SPEC, 8, rng))
+    });
+    let mut builder = Federation::builder()
+        .topology(Topology::Comm)
+        .transport(endpoints(drop_prob, delay_prob))
+        .population(
+            Participants::new(fed.server, fed.clients)
+                .rounds(ROUNDS)
+                .dataset("MNIST")
+                .evaluation(fed.template.as_mut(), &test),
+        )
+        .resilience(Resilience::none().fault_tolerance_config(ft()));
+    if let Some(w) = wire {
+        builder = builder.wire(w);
+    }
+    builder
+        .build()
+        .expect("valid wire combination")
+        .run()
+        .expect("wire run must converge, not fail")
+        .history
+        .expect("comm topology records a history")
+}
+
+#[test]
+fn negotiated_codec_converges_through_drops_and_reorder() {
+    // Uncompressed, fault-free: the reference accuracy.
+    let baseline = run_wire(None, 0.0, 0.0);
+    let reference = baseline.rounds.last().unwrap().accuracy;
+
+    // The full stacked pipeline (top-k + q8 + RLE, error feedback ON)
+    // negotiated over a transport that drops 5% of messages and delays
+    // 10% by 10 ms (reordering them relative to other peers' traffic).
+    let wire = WireConfig::new(CodecStack::top_k_int8_rle(200)).chunk_bytes(4 * 1024);
+    let compressed = run_wire(Some(wire), 0.05, 0.10);
+    assert_eq!(compressed.rounds.len(), ROUNDS, "every round must publish");
+    let got = compressed.rounds.last().unwrap().accuracy;
+    assert!(
+        (reference - got).abs() <= 0.25,
+        "compressed+faulty accuracy {got} strayed from baseline {reference}"
+    );
+}
+
+#[test]
+fn int4_quantisation_survives_a_clean_link() {
+    let baseline = run_wire(None, 0.0, 0.0);
+    let reference = baseline.rounds.last().unwrap().accuracy;
+    let compressed = run_wire(Some(WireConfig::new(CodecStack::int4())), 0.0, 0.0);
+    let got = compressed.rounds.last().unwrap().accuracy;
+    assert!(
+        (reference - got).abs() <= 0.25,
+        "int4 accuracy {got} strayed from baseline {reference}"
+    );
+}
+
+#[test]
+fn wire_on_a_pull_topology_is_a_typed_unsupported_error() {
+    let data = data();
+    let fed = build_federation(config(), &data, |rng| {
+        Box::new(mlp_classifier(SPEC, 8, rng))
+    });
+    let err = Federation::builder()
+        .topology(Topology::Rpc)
+        .transport(InProcNetwork::new(RANKS).into_iter().collect())
+        .population(
+            Participants::new(fed.server, fed.clients)
+                .rounds(ROUNDS)
+                .dataset("MNIST"),
+        )
+        .wire(WireConfig::new(CodecStack::int8()))
+        .build()
+        .err()
+        .expect("wire on Rpc must be rejected");
+    assert!(
+        matches!(err, ConfigError::Unsupported { topology: "rpc", .. }),
+        "wrong error: {err}"
+    );
+}
+
+#[test]
+fn malformed_codec_stacks_are_typed_invalid_codec_errors() {
+    // RLE with no quant stage to code, and a zero chunk size: both must
+    // surface as InvalidCodec from build(), never panic later.
+    let bad_stacks = [
+        WireConfig::new(CodecStack {
+            stages: vec![CodecStage::RunLength],
+        }),
+        WireConfig::new(CodecStack {
+            stages: vec![CodecStage::QuantQ8, CodecStage::QuantQ4],
+        }),
+        WireConfig::new(CodecStack::int8()).chunk_bytes(0),
+    ];
+    for wire in bad_stacks {
+        let data = data();
+        let test = data.test.clone();
+        let mut fed = build_federation(config(), &data, |rng| {
+            Box::new(mlp_classifier(SPEC, 8, rng))
+        });
+        let err = Federation::builder()
+            .topology(Topology::Comm)
+            .transport(InProcNetwork::new(RANKS).into_iter().collect())
+            .population(
+                Participants::new(fed.server, fed.clients)
+                    .rounds(ROUNDS)
+                    .dataset("MNIST")
+                    .evaluation(fed.template.as_mut(), &test),
+            )
+            .wire(wire.clone())
+            .build()
+            .err()
+            .expect("malformed codec must be rejected");
+        assert!(
+            matches!(err, ConfigError::InvalidCodec { .. }),
+            "{:?} produced the wrong error: {err}",
+            wire.stack.label()
+        );
+    }
+}
