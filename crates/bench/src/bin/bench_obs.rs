@@ -1,0 +1,119 @@
+//! Observability overhead benchmark.
+//!
+//! Usage: `bench_obs [--reps N] [--quick] [--out PATH] [--validate PATH]`
+//!
+//! Runs the virtual-clock `SimEngine` with live telemetry (sink +
+//! metrics registry) and again with the flight recorder + `RunObserver`
+//! added, writes `results/BENCH_obs.json` (schema: see
+//! [`appfl_bench::experiments::obs::ObsBenchReport`]), and fails the
+//! process if the recorder's marginal wall-clock overhead blows the 5%
+//! budget. `--quick` keeps only the 100k-client scale for CI smoke
+//! runs. `--validate PATH` parses an existing report back through
+//! serde_json and checks the schema instead of benchmarking.
+
+use appfl_bench::experiments::obs::{run, ObsBenchReport, OVERHEAD_BUDGET_PCT, SCHEMA_VERSION};
+use std::process::Command;
+
+fn git_rev() -> String {
+    Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn validate(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let report: ObsBenchReport =
+        serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"))?;
+    if report.schema_version != SCHEMA_VERSION {
+        return Err(format!(
+            "schema_version {} != expected {SCHEMA_VERSION}",
+            report.schema_version
+        ));
+    }
+    if report.results.is_empty() {
+        return Err("results array is empty".to_string());
+    }
+    for r in &report.results {
+        if r.name.is_empty() || r.population == 0 || r.rounds == 0 {
+            return Err(format!("malformed entry: {r:?}"));
+        }
+        if !(r.wall_secs_baseline.is_finite() && r.wall_secs_observed.is_finite()) {
+            return Err(format!("non-finite timing in entry {}", r.name));
+        }
+        if r.events_captured == 0 {
+            return Err(format!("entry {} captured no events", r.name));
+        }
+        if r.overhead_pct > OVERHEAD_BUDGET_PCT {
+            return Err(format!(
+                "entry {} overhead {:.2}% exceeds the {:.0}% budget",
+                r.name, r.overhead_pct, OVERHEAD_BUDGET_PCT
+            ));
+        }
+    }
+    println!(
+        "{path}: valid (schema v{}, {} entries, git {})",
+        report.schema_version,
+        report.results.len(),
+        report.git_rev
+    );
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(path) = args
+        .iter()
+        .position(|a| a == "--validate")
+        .and_then(|i| args.get(i + 1))
+    {
+        if let Err(e) = validate(path) {
+            eprintln!("validation failed: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let reps = args
+        .iter()
+        .position(|a| a == "--reps")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3usize);
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "results/BENCH_obs.json".to_string());
+
+    eprintln!("bench_obs: reps={reps} quick={quick}");
+    let report = run(reps, quick, git_rev());
+    print!("{}", report.render());
+    for r in &report.results {
+        println!(
+            "\n{}: recorder overhead {:.2}% of {} wall (budget {:.0}%)",
+            r.name,
+            r.overhead_pct,
+            if r.wall_secs_baseline >= 1.0 {
+                format!("{:.2}s", r.wall_secs_baseline)
+            } else {
+                format!("{:.0}ms", r.wall_secs_baseline * 1e3)
+            },
+            OVERHEAD_BUDGET_PCT
+        );
+    }
+
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output dir");
+        }
+    }
+    std::fs::write(&out, report.to_json()).expect("write report");
+    eprintln!("wrote {out}");
+}

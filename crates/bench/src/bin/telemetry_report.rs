@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! telemetry_report <run.jsonl> [--trace <out.json>] [--watch [--interval-ms N]]
+//! telemetry_report --postmortem <dump.json> [--validate]
 //! ```
 //!
 //! * `--trace <out.json>` additionally exports the capture's causal span
@@ -12,8 +13,14 @@
 //! * `--watch` tails the capture live: re-renders the report every
 //!   `--interval-ms` (default 1000) as the run appends events, stopping
 //!   with a final render once the file stops growing for 5 intervals.
+//! * `--postmortem <dump.json>` renders a flight-recorder dump
+//!   (`appfl.flight.v1`) as the correlated post-mortem report;
+//!   `--validate` checks the dump's structure instead of rendering it
+//!   (exit 1 on a malformed or wrong-schema document).
 
-use appfl_bench::telemetry_report::{render_phase_table, JsonlTail};
+use appfl_bench::telemetry_report::{
+    render_phase_table, render_postmortem, validate_postmortem, JsonlTail,
+};
 use appfl_core::telemetry::{chrome_trace, read_jsonl, Event};
 
 struct Args {
@@ -21,11 +28,13 @@ struct Args {
     trace: Option<String>,
     watch: bool,
     interval_ms: u64,
+    postmortem: Option<String>,
+    validate: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: telemetry_report <run.jsonl> [--trace <out.json>] [--watch [--interval-ms N]]"
+        "usage: telemetry_report <run.jsonl> [--trace <out.json>] [--watch [--interval-ms N]]\n       telemetry_report --postmortem <dump.json> [--validate]"
     );
     std::process::exit(2);
 }
@@ -36,6 +45,8 @@ fn parse_args() -> Args {
         trace: None,
         watch: false,
         interval_ms: 1000,
+        postmortem: None,
+        validate: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -49,15 +60,43 @@ fn parse_args() -> Args {
                 Some(ms) => args.interval_ms = ms,
                 None => usage(),
             },
+            "--postmortem" => match it.next() {
+                Some(p) => args.postmortem = Some(p),
+                None => usage(),
+            },
+            "--validate" => args.validate = true,
             "--help" | "-h" => usage(),
             p if args.path.is_empty() && !p.starts_with('-') => args.path = p.to_string(),
             _ => usage(),
         }
     }
-    if args.path.is_empty() {
+    if args.path.is_empty() && args.postmortem.is_none() {
         usage();
     }
     args
+}
+
+fn postmortem(path: &str, validate_only: bool) {
+    let dump = match std::fs::read_to_string(path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("telemetry_report: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match validate_postmortem(&dump) {
+        Ok(entries) => {
+            if validate_only {
+                println!("{path}: valid appfl.flight.v1 dump ({entries} timeline entries)");
+                return;
+            }
+        }
+        Err(e) => {
+            eprintln!("telemetry_report: {path}: invalid flight dump: {e}");
+            std::process::exit(1);
+        }
+    }
+    print!("{}", render_postmortem(&dump));
 }
 
 fn render(path: &str, events: &[Event]) {
@@ -106,6 +145,10 @@ fn watch(args: &Args) {
 
 fn main() {
     let args = parse_args();
+    if let Some(dump) = &args.postmortem {
+        postmortem(dump, args.validate);
+        return;
+    }
     if args.watch {
         watch(&args);
         return;

@@ -6,6 +6,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod hetero;
 pub mod kernels;
+pub mod obs;
 pub mod sim;
 pub mod table1;
 pub mod wire;

@@ -346,6 +346,294 @@ pub fn render_client_health(events: &[Event]) -> String {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Flight-recorder post-mortem rendering.
+//
+// The dump is the hand-rolled JSON document `FlightRecorder::dump` emits
+// (`"schema": "appfl.flight.v1"`). The helpers below are a minimal
+// structural scanner — enough to split the top-level sections and pull
+// flat string/number fields out of the timeline and series entries —
+// so the report binary stays free of a runtime JSON dependency, exactly
+// like the dump writer itself.
+
+/// Extracts the balanced `{...}` or `[...]` value of a top-level `key`.
+fn json_section<'a>(text: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let mut from = 0;
+    while let Some(rel) = text[from..].find(&pat) {
+        let start = from + rel + pat.len();
+        let open = text.as_bytes().get(start)?;
+        if *open != b'{' && *open != b'[' {
+            from = start;
+            continue;
+        }
+        let mut depth = 0i64;
+        let mut in_str = false;
+        let mut escape = false;
+        for (i, b) in text.as_bytes()[start..].iter().enumerate() {
+            if escape {
+                escape = false;
+                continue;
+            }
+            match b {
+                b'\\' if in_str => escape = true,
+                b'"' => in_str = !in_str,
+                b'{' | b'[' if !in_str => depth += 1,
+                b'}' | b']' if !in_str => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(&text[start..=start + i]);
+                    }
+                }
+                _ => {}
+            }
+        }
+        return None; // unbalanced
+    }
+    None
+}
+
+/// Splits a `[...]` section into its top-level `{...}` elements.
+fn json_objects(array: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let bytes = array.as_bytes();
+    let mut depth = 0i64;
+    let mut in_str = false;
+    let mut escape = false;
+    let mut start = None;
+    for (i, b) in bytes.iter().enumerate() {
+        if escape {
+            escape = false;
+            continue;
+        }
+        match b {
+            b'\\' if in_str => escape = true,
+            b'"' => in_str = !in_str,
+            b'{' if !in_str => {
+                if depth == 1 {
+                    start = Some(i);
+                }
+                depth += 1;
+            }
+            b'}' if !in_str => {
+                depth -= 1;
+                if depth == 1 {
+                    if let Some(s) = start.take() {
+                        out.push(&array[s..=i]);
+                    }
+                }
+            }
+            b'[' if !in_str => depth += 1,
+            b']' if !in_str => depth -= 1,
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Pulls a flat string field (`"key":"value"`) out of a JSON object,
+/// unescaping the writer's `\\`, `\"` and `\n`.
+fn json_str(obj: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let start = obj.find(&pat)? + pat.len();
+    let mut out = String::new();
+    let mut escape = false;
+    for c in obj[start..].chars() {
+        if escape {
+            out.push(match c {
+                'n' => '\n',
+                't' => '\t',
+                other => other,
+            });
+            escape = false;
+        } else if c == '\\' {
+            escape = true;
+        } else if c == '"' {
+            return Some(out);
+        } else {
+            out.push(c);
+        }
+    }
+    None
+}
+
+/// Pulls a flat numeric field (`"key":123` / `"key":1.5`) out of a JSON
+/// object.
+fn json_num(obj: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = obj.find(&pat)? + pat.len();
+    let rest = &obj[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Structural validation of a flight-recorder dump: the declared schema
+/// must be `appfl.flight.v1`, every section the schema promises must be
+/// present, braces must balance, and every timeline entry must carry the
+/// spliced `category` plus a `round` tag (the correlation key the whole
+/// post-mortem format exists for). Returns the timeline length.
+pub fn validate_postmortem(dump: &str) -> Result<usize, String> {
+    let schema = json_str(dump, "schema").ok_or("missing \"schema\" field")?;
+    if schema != "appfl.flight.v1" {
+        return Err(format!("unsupported schema {schema:?}"));
+    }
+    // Whole-document balance check.
+    let (mut depth, mut in_str, mut escape) = (0i64, false, false);
+    for b in dump.bytes() {
+        if escape {
+            escape = false;
+            continue;
+        }
+        match b {
+            b'\\' if in_str => escape = true,
+            b'"' => in_str = !in_str,
+            b'{' | b'[' if !in_str => depth += 1,
+            b'}' | b']' if !in_str => depth -= 1,
+            _ => {}
+        }
+    }
+    if depth != 0 || in_str {
+        return Err("unbalanced JSON document".into());
+    }
+    json_str(dump, "trigger").ok_or("missing \"trigger\"")?;
+    for key in ["captured", "dropped", "context", "timeline", "series", "events"] {
+        json_section(dump, key).ok_or_else(|| format!("missing \"{key}\" section"))?;
+    }
+    let timeline = json_section(dump, "timeline").unwrap_or("[]");
+    let entries = json_objects(timeline);
+    for (i, entry) in entries.iter().enumerate() {
+        if json_str(entry, "category").is_none() {
+            return Err(format!("timeline[{i}] has no category"));
+        }
+        if json_num(entry, "round").is_none() {
+            return Err(format!("timeline[{i}] has no round tag"));
+        }
+    }
+    for (i, row) in json_objects(json_section(dump, "series").unwrap_or("[]"))
+        .iter()
+        .enumerate()
+    {
+        if json_num(row, "round").is_none() {
+            return Err(format!("series[{i}] has no round"));
+        }
+    }
+    Ok(entries.len())
+}
+
+/// Renders a flight-recorder dump as the post-mortem report: the trigger
+/// header, the capture/drop budget per category, the attached context
+/// blobs, the round-indexed correlated timeline (most recent 40 entries)
+/// and the sampled per-round series.
+pub fn render_postmortem(dump: &str) -> String {
+    let mut out = String::new();
+    let trigger = json_str(dump, "trigger").unwrap_or_else(|| "?".into());
+    let detail = json_str(dump, "detail").unwrap_or_default();
+    out.push_str(&format!(
+        "Flight recorder post-mortem ({})\ntrigger: {trigger}",
+        json_str(dump, "schema").unwrap_or_else(|| "?".into())
+    ));
+    if !detail.is_empty() {
+        out.push_str(&format!(" ({detail})"));
+    }
+    if let Some(dumps) = json_num(dump, "dumps") {
+        out.push_str(&format!("  dump #{dumps}"));
+    }
+    out.push('\n');
+
+    let captured = json_section(dump, "captured").unwrap_or("{}");
+    let dropped = json_section(dump, "dropped").unwrap_or("{}");
+    let rows: Vec<Vec<String>> = ["span", "count", "mark", "gauge", "row"]
+        .iter()
+        .map(|kind| {
+            vec![
+                kind.to_string(),
+                json_num(captured, kind).map_or("-".into(), |v| format!("{v}")),
+                json_num(dropped, kind).map_or("-".into(), |v| format!("{v}")),
+            ]
+        })
+        .collect();
+    out.push('\n');
+    out.push_str(&render_table(&["kind", "captured", "dropped"], &rows));
+
+    if let Some(context) = json_section(dump, "context") {
+        // Context is `{"key":<blob>,...}`: a key is any string that sits
+        // at nesting depth 1 and is immediately followed by a colon.
+        let mut names = Vec::new();
+        let bytes = context.as_bytes();
+        let (mut depth, mut in_str, mut escape) = (0i64, false, false);
+        let mut str_start = 0usize;
+        for (i, b) in bytes.iter().enumerate() {
+            if escape {
+                escape = false;
+                continue;
+            }
+            match b {
+                b'\\' if in_str => escape = true,
+                b'"' => {
+                    if !in_str {
+                        str_start = i + 1;
+                    } else if depth == 1 && bytes.get(i + 1) == Some(&b':') {
+                        names.push(context[str_start..i].to_string());
+                    }
+                    in_str = !in_str;
+                }
+                b'{' | b'[' if !in_str => depth += 1,
+                b'}' | b']' if !in_str => depth -= 1,
+                _ => {}
+            }
+        }
+        if !names.is_empty() {
+            out.push_str(&format!("\ncontext: {}\n", names.join(", ")));
+        }
+    }
+
+    let timeline = json_objects(json_section(dump, "timeline").unwrap_or("[]"))
+        .iter()
+        .map(|e| {
+            vec![
+                json_num(e, "round").map_or("-".into(), |r| format!("{r}")),
+                json_str(e, "category").unwrap_or_else(|| "?".into()),
+                json_str(e, "name").unwrap_or_else(|| "?".into()),
+                json_str(e, "detail").unwrap_or_default(),
+            ]
+        })
+        .collect::<Vec<_>>();
+    if !timeline.is_empty() {
+        let total = timeline.len();
+        let shown = &timeline[total.saturating_sub(40)..];
+        out.push_str(&format!("\nCorrelated timeline ({total} entries"));
+        if shown.len() < total {
+            out.push_str(&format!(", last {} shown", shown.len()));
+        }
+        out.push_str("):\n");
+        out.push_str(&render_table(&["round", "category", "event", "detail"], shown));
+    }
+
+    let series: Vec<Vec<String>> = json_objects(json_section(dump, "series").unwrap_or("[]"))
+        .iter()
+        .map(|row| {
+            vec![
+                json_num(row, "round").map_or("-".into(), |r| format!("{r}")),
+                json_num(row, "wall_secs").map_or("-".into(), |v| fmt_secs(v)),
+                json_num(row, "accepted").map_or("-".into(), |v| format!("{v}")),
+                json_num(row, "late").map_or("-".into(), |v| format!("{v}")),
+                json_num(row, "rejected").map_or("-".into(), |v| format!("{v}")),
+                json_num(row, "train_loss").map_or("-".into(), |v| format!("{v:.4}")),
+            ]
+        })
+        .collect();
+    if !series.is_empty() {
+        out.push_str("\nRound series (sampled rows):\n");
+        out.push_str(&render_table(
+            &["round", "wall", "accepted", "late", "rejected", "loss"],
+            &series,
+        ));
+    }
+    out
+}
+
 /// Incremental JSONL reader for live-tailing a [`JsonlSink`] capture while
 /// the run is still writing it. Remembers its byte offset between polls and
 /// only consumes *complete* lines, so a partially flushed record is left
@@ -575,5 +863,102 @@ mod tests {
         let incremental: Vec<_> = batch1.into_iter().chain(batch2).collect();
         assert_eq!(incremental, events, "incremental read diverged from full");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn jsonl_tail_detects_truncation_and_retails_from_the_start() {
+        use std::io::Write;
+        let dir = std::env::temp_dir().join(format!(
+            "appfl-tail-rot-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.jsonl");
+
+        let sink = Arc::new(MemorySink::default());
+        let tl = Telemetry::new(sink.clone());
+        tl.span_secs("local_update", Phase::LocalUpdate, 0.2, Some(1), Some(0));
+        tl.count("upload_bytes", 1024, Some(1), None);
+        tl.gauge("update_norm", 0.5, Some(1), None);
+        let lines: Vec<String> = sink.events().iter().map(|e| e.to_json_line()).collect();
+
+        // First run writes three events; the tail consumes them all.
+        let mut f = std::fs::File::create(&path).unwrap();
+        write!(f, "{}\n{}\n{}\n", lines[0], lines[1], lines[2]).unwrap();
+        f.flush().unwrap();
+        let mut tail = JsonlTail::new(&path);
+        assert_eq!(tail.poll().unwrap().len(), 3);
+
+        // Rotation: a new run truncates the capture and starts shorter.
+        // The tail must notice the shrink and re-read from offset zero —
+        // not sit forever waiting for the file to outgrow the old offset.
+        let mut f = std::fs::File::create(&path).unwrap();
+        write!(f, "{}\n", lines[0]).unwrap();
+        f.flush().unwrap();
+        let after = tail.poll().unwrap();
+        assert_eq!(after.len(), 1, "truncated capture must re-tail from start");
+        assert_eq!(after[0].name, "local_update");
+
+        // And the offset is sane afterwards: appends keep flowing.
+        let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+        write!(f, "{}\n", lines[1]).unwrap();
+        f.flush().unwrap();
+        assert_eq!(tail.poll().unwrap().len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn postmortem_renders_and_validates_a_recorder_dump() {
+        use appfl_core::telemetry::{FlightRecorder, RecorderConfig, RoundSnapshot, Telemetry};
+        let recorder = Arc::new(FlightRecorder::new(RecorderConfig::default()));
+        let sink = Arc::new(MemorySink::default());
+        let tl = Telemetry::with_observability(sink, None, Some(recorder.clone()));
+        tl.mark("chaos_segment", Some(2), None, Some("drop_storm"));
+        tl.mark("coordinator_recovery", Some(3), None, Some("wal"));
+        tl.gauge("wal_position", 17.0, Some(3), None);
+        tl.mark("anomaly", Some(4), None, Some("ewma_z:round_wall"));
+        let snap = RoundSnapshot {
+            round: 4,
+            wall_secs: 1.5,
+            accepted: 8,
+            rejected: 2,
+            train_loss: 0.25,
+            ..RoundSnapshot::default()
+        };
+        recorder.record_row(snap.to_json());
+        recorder.set_context("chaos_schedule", "{\"seed\": 7, \"segments\": []}".into());
+        let dump = recorder.dump("slo_breach", "breach:accept_ratio");
+
+        let entries = validate_postmortem(&dump).unwrap();
+        assert!(entries >= 4, "timeline too short: {entries}");
+
+        let text = render_postmortem(&dump);
+        assert!(text.contains("trigger: slo_breach"), "{text}");
+        assert!(text.contains("breach:accept_ratio"), "{text}");
+        assert!(text.contains("chaos"), "chaos category missing:\n{text}");
+        assert!(text.contains("recovery"), "recovery category missing:\n{text}");
+        assert!(text.contains("anomaly"), "anomaly category missing:\n{text}");
+        assert!(text.contains("context: chaos_schedule"), "{text}");
+        assert!(text.contains("Round series"), "{text}");
+        assert!(text.contains("1.50s"), "series wall time missing:\n{text}");
+    }
+
+    #[test]
+    fn postmortem_validator_rejects_malformed_dumps() {
+        assert!(validate_postmortem("{}").is_err(), "no schema");
+        assert!(
+            validate_postmortem("{\"schema\":\"appfl.flight.v2\"}").is_err(),
+            "future schema must be refused, not misread"
+        );
+        use appfl_core::telemetry::{FlightRecorder, RecorderConfig};
+        let recorder = FlightRecorder::new(RecorderConfig::default());
+        let dump = recorder.dump("test", "");
+        assert!(validate_postmortem(&dump).is_ok());
+        let truncated = &dump[..dump.len() - 2];
+        assert!(
+            validate_postmortem(truncated).is_err(),
+            "unbalanced document must fail validation"
+        );
     }
 }

@@ -165,6 +165,33 @@ impl ChaosSchedule {
         plan
     }
 
+    /// Emits the schedule onto `telemetry` as round-tagged marks — one
+    /// `chaos_segment` mark per `(segment, round)` with the kind as the
+    /// detail, plus one `chaos_crash_point` mark per scheduled crash.
+    /// With a flight recorder attached these land in the `chaos`
+    /// category, so a post-mortem dump's timeline interleaves *scheduled*
+    /// chaos with the round-control and recovery events it provoked.
+    pub fn emit_timeline(&self, telemetry: &appfl_telemetry::Telemetry) {
+        for seg in &self.segments {
+            for round in seg.from_round..=seg.to_round {
+                telemetry.mark(
+                    "chaos_segment",
+                    Some(round as u64),
+                    None,
+                    Some(seg.kind.as_str()),
+                );
+            }
+        }
+        for c in &self.crashes {
+            telemetry.mark(
+                "chaos_crash_point",
+                Some(c.round as u64),
+                None,
+                Some(c.phase.as_str()),
+            );
+        }
+    }
+
     /// The schedule as a self-contained JSON document (hand-rolled so it
     /// works without a JSON dependency) — the artifact a failing chaos
     /// run exports so the exact scenario can be replayed.

@@ -65,7 +65,9 @@ use appfl_comm::transport::{Communicator, InProcEndpoint};
 use appfl_comm::wire::WireConfig;
 use appfl_data::InMemoryDataset;
 use appfl_nn::module::Module;
-use appfl_telemetry::{EventSink, MetricsRegistry, NoopSink, Telemetry};
+use appfl_telemetry::{
+    EventSink, FlightRecorder, MetricsRegistry, NoopSink, RunObserver, SloPolicy, Telemetry,
+};
 use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
@@ -348,13 +350,19 @@ impl Resilience {
     }
 }
 
-/// What to record: an [`EventSink`] for structured events and/or a
-/// [`MetricsRegistry`] aggregating them into Prometheus-style families.
+/// What to record: an [`EventSink`] for structured events, a
+/// [`MetricsRegistry`] aggregating them into Prometheus-style families,
+/// a [`FlightRecorder`] for bounded post-mortem capture and/or an
+/// [`SloPolicy`] evaluated at every published round.
 /// [`Observe::none`] observes nothing at zero cost.
 #[derive(Default)]
 pub struct Observe {
     sink: Option<Arc<dyn EventSink>>,
     registry: Option<MetricsRegistry>,
+    recorder: Option<Arc<FlightRecorder>>,
+    slo: Option<SloPolicy>,
+    detectors: bool,
+    series_stride: usize,
 }
 
 impl Observe {
@@ -378,13 +386,61 @@ impl Observe {
         self
     }
 
+    /// Attaches a [`FlightRecorder`]: the last N events are kept in
+    /// bounded rings and dumped as a versioned post-mortem snapshot on
+    /// coordinator recovery, run failure, chaos scenario end or SLO
+    /// breach ([`FlightRecorder::arm`] sets the dump path). Also enables
+    /// the per-round series and the default anomaly detectors on the
+    /// transport runners.
+    pub fn flight_recorder(mut self, recorder: Arc<FlightRecorder>) -> Self {
+        self.recorder = Some(recorder);
+        self.detectors = true;
+        self
+    }
+
+    /// Attaches an [`SloPolicy`], evaluated at every Publish transition:
+    /// each round gets a `health_verdict` event, every rule a
+    /// `slo_burn_rate{rule="…"}` gauge (when a registry is attached),
+    /// and the first breach triggers a flight-recorder dump.
+    pub fn slo(mut self, policy: SloPolicy) -> Self {
+        self.slo = Some(policy);
+        self.detectors = true;
+        self
+    }
+
+    /// Stores only every `stride`-th per-round series row (detectors and
+    /// streaming quantiles still see every round). For very long runs.
+    pub fn series_stride(mut self, stride: usize) -> Self {
+        self.series_stride = stride;
+        self
+    }
+
+    fn into_parts(self) -> (Telemetry, Option<RunObserver>) {
+        let observer = if self.slo.is_some() || self.detectors {
+            let mut obs = RunObserver::standard();
+            if self.series_stride > 1 {
+                obs = obs.with_stride(self.series_stride);
+            }
+            if let Some(slo) = self.slo {
+                obs = obs.with_slo(slo);
+            }
+            Some(obs)
+        } else {
+            None
+        };
+        let telemetry = match (self.sink, self.registry, self.recorder) {
+            (None, None, None) => Telemetry::disabled(),
+            (sink, registry, recorder) => Telemetry::with_observability(
+                sink.unwrap_or_else(|| Arc::new(NoopSink)),
+                registry,
+                recorder,
+            ),
+        };
+        (telemetry, observer)
+    }
+
     fn into_telemetry(self) -> Telemetry {
-        match (self.sink, self.registry) {
-            (Some(sink), Some(registry)) => Telemetry::with_registry(sink, registry),
-            (Some(sink), None) => Telemetry::new(sink),
-            (None, Some(registry)) => Telemetry::with_registry(Arc::new(NoopSink), registry),
-            (None, None) => Telemetry::disabled(),
-        }
+        self.into_parts().0
     }
 }
 
@@ -737,24 +793,28 @@ impl<'a, C: Communicator + 'static> ConfiguredFederation<'a, C> {
                     duplicates: 0,
                 })
             }
-            Topology::Comm | Topology::Rpc => TransportRun {
-                server: population.server.expect("validated by build()"),
-                clients: population.clients,
-                endpoints: endpoints.expect("validated by build()"),
-                rounds: population.rounds,
-                epsilon: population.epsilon,
-                dataset: population.dataset,
-                eval: population.eval,
-                ft: resilience.ft,
-                telemetry: observe.into_telemetry(),
-                pull: topology == Topology::Rpc,
-                robust: resilience.robust,
-                guard: resilience.guard,
-                durable: resilience.durable,
-                round_control: resilience.round_control,
-                wire,
+            Topology::Comm | Topology::Rpc => {
+                let (telemetry, observer) = observe.into_parts();
+                TransportRun {
+                    server: population.server.expect("validated by build()"),
+                    clients: population.clients,
+                    endpoints: endpoints.expect("validated by build()"),
+                    rounds: population.rounds,
+                    epsilon: population.epsilon,
+                    dataset: population.dataset,
+                    eval: population.eval,
+                    ft: resilience.ft,
+                    telemetry,
+                    pull: topology == Topology::Rpc,
+                    robust: resilience.robust,
+                    guard: resilience.guard,
+                    durable: resilience.durable,
+                    round_control: resilience.round_control,
+                    wire,
+                    observer,
+                }
+                .run()
             }
-            .run(),
             Topology::Async => {
                 let telemetry = observe.into_telemetry();
                 let server = population.server.expect("validated by build()");

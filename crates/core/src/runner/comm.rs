@@ -37,7 +37,7 @@ use appfl_comm::wire::{
 };
 use appfl_data::InMemoryDataset;
 use appfl_nn::module::Module;
-use appfl_telemetry::{Gauge, Phase, Telemetry};
+use appfl_telemetry::{Gauge, Phase, RunObserver, Telemetry};
 use appfl_tensor::TensorError;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
@@ -179,6 +179,7 @@ pub fn run_server<C: Communicator>(
     mut guard: Option<&mut UpdateGuard>,
     mut durable: Option<&mut DurableCoordinator>,
     wire: Option<WireConfig>,
+    observer: Option<RunObserver>,
 ) -> Result<History, Error> {
     let num_clients = comm.size() - 1;
     if sample_counts.len() != num_clients {
@@ -199,6 +200,9 @@ pub fn run_server<C: Communicator>(
     let mut link = ServerLink::new(wire);
     link.greet(comm, num_clients, true)?;
     let mut machine = PhaseMachine::new(num_clients, telemetry, durable);
+    if let Some(obs) = observer {
+        machine = machine.with_observer(obs);
+    }
     machine.run_started(server.name(), dataset_name, epsilon, rounds)?;
     let mut history = History::new(server.name(), dataset_name, epsilon);
     for round in 1..=rounds {
@@ -440,6 +444,7 @@ pub fn run_server_ft<C: Communicator>(
     mut durable: Option<&mut DurableCoordinator>,
     mut controller: Option<&mut RoundController>,
     wire: Option<WireConfig>,
+    observer: Option<RunObserver>,
 ) -> Result<History, Error> {
     let num_clients = comm.size() - 1;
     if sample_counts.len() != num_clients {
@@ -491,6 +496,9 @@ pub fn run_server_ft<C: Communicator>(
         }
     }
     let mut machine = PhaseMachine::new(num_clients, telemetry, durable);
+    if let Some(obs) = observer {
+        machine = machine.with_observer(obs);
+    }
     machine.run_started(server.name(), dataset_name, epsilon, rounds)?;
     let mut retries_prev = retries.load(Ordering::Relaxed);
     for round in start_round..=rounds {

@@ -28,7 +28,7 @@ use appfl_comm::transport::Communicator;
 use appfl_comm::wire::WireConfig;
 use appfl_data::InMemoryDataset;
 use appfl_nn::module::Module;
-use appfl_telemetry::{Gauge, Telemetry};
+use appfl_telemetry::{Gauge, RunObserver, Telemetry};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// What a completed federation run hands back.
@@ -80,6 +80,7 @@ pub(crate) struct TransportRun<'a, C: Communicator + 'static> {
     pub(crate) durable: Option<DurableCoordinator>,
     pub(crate) round_control: Option<RoundControlConfig>,
     pub(crate) wire: Option<WireConfig>,
+    pub(crate) observer: Option<RunObserver>,
 }
 
 impl<'a, C: Communicator + 'static> TransportRun<'a, C> {
@@ -89,8 +90,20 @@ impl<'a, C: Communicator + 'static> TransportRun<'a, C> {
     /// [`Error::Unsupported`] when fault tolerance or pull mode is
     /// requested on a transport without `recv_any` multiplexing (see
     /// [`Communicator::supports_recv_any`]); [`Error::Tensor`] /
-    /// [`Error::Comm`] for failures during the run itself.
+    /// [`Error::Comm`] for failures during the run itself. A typed
+    /// failure triggers a flight-recorder dump (when one is attached)
+    /// before the error propagates.
     pub(crate) fn run(self) -> Result<FederationOutcome, Error> {
+        let telemetry = self.telemetry.clone();
+        let result = self.run_inner();
+        if let Err(e) = &result {
+            telemetry.flight_dump("run_failure", &e.to_string());
+            telemetry.flush();
+        }
+        result
+    }
+
+    fn run_inner(self) -> Result<FederationOutcome, Error> {
         let TransportRun {
             mut server,
             mut clients,
@@ -107,6 +120,7 @@ impl<'a, C: Communicator + 'static> TransportRun<'a, C> {
             mut durable,
             round_control,
             wire,
+            observer,
         } = self;
         if let Some(aggregator) = robust {
             server = Box::new(RobustServer::wrap(server, aggregator));
@@ -167,6 +181,9 @@ impl<'a, C: Communicator + 'static> TransportRun<'a, C> {
             if let Some(d) = durable.take() {
                 service = service.with_durable(d)?;
             }
+            if let Some(obs) = observer {
+                service = service.with_observer(obs);
+            }
             std::thread::scope(|scope| {
                 let mut handles = Vec::new();
                 let options = match &ft {
@@ -225,6 +242,7 @@ impl<'a, C: Communicator + 'static> TransportRun<'a, C> {
             })?;
             let gauge = Gauge::new();
             let mut controller = round_control.map(RoundController::new);
+            let mut observer = observer;
             let history = std::thread::scope(|scope| {
                 let mut handles = Vec::new();
                 let h = match &ft {
@@ -251,6 +269,7 @@ impl<'a, C: Communicator + 'static> TransportRun<'a, C> {
                             guard.as_mut(),
                             durable.as_mut(),
                             wire.clone(),
+                            observer.take(),
                         )
                     }
                     Some(ft) => {
@@ -291,6 +310,7 @@ impl<'a, C: Communicator + 'static> TransportRun<'a, C> {
                             durable.as_mut(),
                             controller.as_mut(),
                             wire.clone(),
+                            observer.take(),
                         )
                     }
                 };

@@ -45,7 +45,7 @@ use crate::defense::{screen_and_report, RejectReason, UpdateGuard};
 use crate::error::{Error, Result};
 use crate::metrics::RoundRecord;
 use crate::store::{DurableCoordinator, PendingRound, RosterState};
-use appfl_telemetry::Telemetry;
+use appfl_telemetry::{RoundSnapshot, RunObserver, Telemetry};
 use std::time::Instant;
 
 /// The coordinator's current position in the round circuit.
@@ -239,6 +239,7 @@ pub struct PhaseMachine<'d> {
     collect_target: Option<usize>,
     /// Fresh uploads turned away with [`UploadVerdict::Late`] this round.
     late: usize,
+    observer: Option<RunObserver>,
 }
 
 impl<'d> PhaseMachine<'d> {
@@ -266,7 +267,26 @@ impl<'d> PhaseMachine<'d> {
             expected_new: 0,
             collect_target: None,
             late: 0,
+            observer: None,
         }
+    }
+
+    /// Attaches a [`RunObserver`]: every `published` transition streams
+    /// that round's [`RoundSnapshot`] through it (series capture, anomaly
+    /// detection, SLO evaluation).
+    pub fn with_observer(mut self, observer: RunObserver) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// The attached observer, if any.
+    pub fn observer(&self) -> Option<&RunObserver> {
+        self.observer.as_ref()
+    }
+
+    /// Detaches and returns the observer (end-of-run inspection).
+    pub fn take_observer(&mut self) -> Option<RunObserver> {
+        self.observer.take()
     }
 
     /// Switches the machine to a virtual clock starting at `now` seconds.
@@ -560,6 +580,46 @@ impl<'d> PhaseMachine<'d> {
         self.guard(PhaseEvent::Published)?;
         if let Some(d) = self.durable.as_deref_mut() {
             d.round_published(self.round, record, roster, participants)?;
+        }
+        if let Some(d) = self.durable.as_deref() {
+            // The WAL position lands on the round-indexed timeline so a
+            // post-mortem can correlate "how far had the log advanced"
+            // with the round-control decisions around a crash.
+            self.telemetry.gauge(
+                "wal_position",
+                d.state().applied_events as f64,
+                Some(self.round as u64),
+                None,
+            );
+        }
+        if let Some(obs) = self.observer.as_mut() {
+            let snap = RoundSnapshot {
+                round: self.round as u64,
+                wall_secs: record.wall_secs(),
+                local_update_secs: record.local_update_secs,
+                serialize_secs: record.serialize_secs,
+                comm_secs: record.comm_secs,
+                aggregate_secs: record.aggregate_secs,
+                accepted: participants.len() as u64,
+                late: self.late as u64,
+                rejected: record.rejected_clients as u64,
+                dropped: record.dropped_clients as u64,
+                compression_ratio: self
+                    .telemetry
+                    .registry()
+                    .map(|r| r.gauge("compression_ratio").last())
+                    .unwrap_or(0.0),
+                primal_residual: record.primal_residual,
+                dual_residual: record.dual_residual,
+                update_norm: record.update_norm,
+                train_loss: record.train_loss as f64,
+            };
+            let recoveries = self
+                .telemetry
+                .registry()
+                .map(|r| r.counter("coordinator_recoveries").get())
+                .unwrap_or(0);
+            obs.observe_round(snap, recoveries, &self.telemetry);
         }
         self.transition(PhaseKind::Idle);
         Ok(())

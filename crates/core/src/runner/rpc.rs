@@ -14,7 +14,7 @@ use appfl_comm::rpc::{call, call_with_retry_observed, FlService, Request, Respon
 use appfl_comm::transport::{CommError, Communicator};
 use appfl_comm::wire::messages::GlobalWeights;
 use appfl_comm::wire::{JobDone, LearningResults, TensorMsg, WeightRequest};
-use appfl_telemetry::{Phase, Telemetry};
+use appfl_telemetry::{Phase, RoundSnapshot, RunObserver, Telemetry};
 use std::sync::atomic::AtomicUsize;
 use std::time::{Duration, Instant};
 
@@ -41,6 +41,8 @@ pub struct SyncRoundService {
     durable: Option<DurableCoordinator>,
     durable_error: Option<Error>,
     controller: Option<RoundController>,
+    observer: Option<RunObserver>,
+    rejected_at_close: usize,
 }
 
 impl SyncRoundService {
@@ -70,6 +72,8 @@ impl SyncRoundService {
             durable: None,
             durable_error: None,
             controller: None,
+            observer: None,
+            rejected_at_close: 0,
         }
     }
 
@@ -108,6 +112,23 @@ impl SyncRoundService {
     pub fn with_round_control(mut self, config: RoundControlConfig) -> Self {
         self.controller = Some(RoundController::new(config));
         self
+    }
+
+    /// Feeds one [`RoundSnapshot`] per closed round into `observer` — the
+    /// pull-mode twin of the push runner's per-publish hook. The observer
+    /// runs its anomaly detectors and SLO policy against the same
+    /// telemetry handle the service already records spans on, so pull
+    /// runs get health verdicts and flight-recorder rows without a
+    /// [`crate::runner::phases::PhaseMachine`] in the loop.
+    pub fn with_observer(mut self, observer: RunObserver) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Detaches the run observer for post-run inspection (collected
+    /// anomalies, SLO burn rates).
+    pub fn take_observer(&mut self) -> Option<RunObserver> {
+        self.observer.take()
     }
 
     /// Screens every `SendResults` upload with `guard` before it can join
@@ -265,18 +286,15 @@ impl SyncRoundService {
             return Ok(false);
         }
         let r = self.round as u64;
-        self.telemetry.span_secs(
-            "aggregate",
-            Phase::Aggregate,
-            t0.elapsed().as_secs_f64(),
-            Some(r),
-            None,
-        );
-        RoundDiagnostics::collect(self.server.as_ref(), &before, &uploads).emit(&self.telemetry, r);
+        let aggregate_secs = t0.elapsed().as_secs_f64();
+        self.telemetry
+            .span_secs("aggregate", Phase::Aggregate, aggregate_secs, Some(r), None);
+        let diag = RoundDiagnostics::collect(self.server.as_ref(), &before, &uploads);
+        diag.emit(&self.telemetry, r);
         // Structural round span: the round ran from the previous
         // aggregation (or service start) to this one.
-        self.telemetry
-            .round_span_secs(r, self.round_started.elapsed().as_secs_f64());
+        let wall_secs = self.round_started.elapsed().as_secs_f64();
+        self.telemetry.round_span_secs(r, wall_secs);
         if let Some(d) = self.durable.as_mut() {
             d.round_aggregated(self.round, &self.server.global_model())?;
             let record = RoundRecord {
@@ -294,6 +312,33 @@ impl SyncRoundService {
             self.telemetry
                 .gauge("adaptive_deadline", c.deadline_secs(), Some(r), None);
         }
+        if let Some(obs) = self.observer.as_mut() {
+            let snap = RoundSnapshot {
+                round: r,
+                wall_secs,
+                aggregate_secs,
+                accepted: uploads.len() as u64,
+                rejected: (self.rejected - self.rejected_at_close) as u64,
+                compression_ratio: self
+                    .telemetry
+                    .registry()
+                    .map(|reg| reg.gauge("compression_ratio").last())
+                    .unwrap_or(0.0),
+                primal_residual: diag.admm.map(|d| d.primal_residual).unwrap_or(0.0),
+                dual_residual: diag.admm.map(|d| d.dual_residual).unwrap_or(0.0),
+                update_norm: diag.update_norm,
+                train_loss: uploads.iter().map(|u| f64::from(u.local_loss)).sum::<f64>()
+                    / uploads.len().max(1) as f64,
+                ..RoundSnapshot::default()
+            };
+            let recoveries = self
+                .telemetry
+                .registry()
+                .map(|reg| reg.counter("coordinator_recoveries").get())
+                .unwrap_or(0);
+            obs.observe_round(snap, recoveries, &self.telemetry);
+        }
+        self.rejected_at_close = self.rejected;
         self.round_started = Instant::now();
         self.round += 1;
         if self.round > self.rounds {

@@ -27,7 +27,7 @@ use crate::runner::control::{RoundControlConfig, RoundController};
 use crate::runner::phases::{PhaseMachine, UploadVerdict};
 use appfl_comm::netsim::GrpcLinkModel;
 use appfl_comm::policy::{lane2, lane3, seeded_unit};
-use appfl_telemetry::Telemetry;
+use appfl_telemetry::{RunObserver, Telemetry};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -173,6 +173,7 @@ pub struct SimEngine {
     link: GrpcLinkModel,
     telemetry: Telemetry,
     history: History,
+    observer: Option<RunObserver>,
 }
 
 /// Deterministic per-message traffic multiplier in `[0.8, 1.2)`.
@@ -202,7 +203,25 @@ impl SimEngine {
                 epsilon: f64::INFINITY,
                 rounds: Vec::new(),
             },
+            observer: None,
         }
+    }
+
+    /// Attaches a [`RunObserver`] to the simulated federation: every
+    /// published round feeds a [`appfl_telemetry::RoundSnapshot`] through
+    /// the observer's series, detectors and SLO policy — at million-client
+    /// scale, pair this with a sampling stride
+    /// ([`RunObserver::with_stride`]) so the series stays bounded while
+    /// the streaming wall-time histogram still sees every round.
+    pub fn with_observer(mut self, observer: RunObserver) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Detaches the observer after a run for inspection (anomalies,
+    /// SLO burn rates, sampled series rows).
+    pub fn take_observer(&mut self) -> Option<RunObserver> {
+        self.observer.take()
     }
 
     /// Per-round records of the last [`SimEngine::run`].
@@ -251,6 +270,9 @@ impl SimEngine {
         let wall0 = Instant::now();
         let mut machine =
             PhaseMachine::new(cfg.population, &self.telemetry, None).virtual_clock(0.0);
+        if let Some(obs) = self.observer.take() {
+            machine = machine.with_observer(obs);
+        }
         machine.run_started("SimFedAvg", "synthetic", f64::INFINITY, cfg.rounds)?;
         self.history.rounds.clear();
         let mut model = vec![0.0f32; cfg.model_dim];
@@ -504,6 +526,7 @@ impl SimEngine {
             now = publish_end;
         }
         machine.finish_run()?;
+        self.observer = machine.take_observer();
 
         let wall = wall0.elapsed().as_secs_f64();
         let final_model_norm = model

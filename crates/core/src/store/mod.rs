@@ -469,6 +469,10 @@ impl DurableCoordinator {
                 None,
                 Some(self.store.name()),
             );
+            telemetry.gauge("wal_position", self.state.applied_events as f64, Some(round), None);
+            // Crash recovery is a flight-recorder trigger: capture the
+            // pre-crash tail before the resumed run overwrites it.
+            telemetry.flight_dump("coordinator_recovery", self.store.name());
         }
         Ok(self.state.clone())
     }

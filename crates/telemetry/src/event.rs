@@ -225,7 +225,7 @@ fn fmt_f64(v: f64) -> String {
     }
 }
 
-fn escape_into(raw: &str, out: &mut String) {
+pub(crate) fn escape_into(raw: &str, out: &mut String) {
     for c in raw.chars() {
         match c {
             '"' => out.push_str("\\\""),

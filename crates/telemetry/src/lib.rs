@@ -25,6 +25,19 @@
 //! * [`trace`] — the causal span tree (round → client → phase, linked
 //!   by `id`/`parent`) and its Chrome trace-event export
 //!   ([`chrome_trace`], [`TraceSink`]) for Perfetto.
+//! * [`FlightRecorder`] — bounded, passive post-mortem capture: the last
+//!   N events per category in lock-light rings, dumped as one versioned
+//!   JSON snapshot (`appfl.flight.v1`) on coordinator recovery, run
+//!   failure, chaos scenario end or SLO breach.
+//! * [`RoundSeries`] + [`AnomalyDetector`]s ([`EwmaZScore`],
+//!   [`QuantileShift`]) — one compact [`RoundSnapshot`] row per published
+//!   round with streaming wall-time quantiles, and pluggable detectors
+//!   flagging regressing rounds as typed [`Anomaly`] events.
+//! * [`SloPolicy`] — declarative health rules (`round_wall_p90 <
+//!   2×baseline`, `accept_ratio ≥ 0.8`, `recoveries ≤ k`) evaluated at
+//!   each Publish, emitting [`HealthVerdict`]s and burn-rate gauges.
+//! * [`RunObserver`] — the Publish-time hook runners hold, gluing the
+//!   series, the detectors and the policy onto one call.
 //!
 //! The four phases every round decomposes into — `local_update`,
 //! `serialize`, `comm`, `aggregate` — mirror the columns of the paper's
@@ -32,18 +45,28 @@
 //! server-side aggregation + evaluation.
 
 pub mod event;
+pub mod observer;
+pub mod recorder;
 pub mod registry;
+pub mod series;
 pub mod sink;
+pub mod slo;
 pub mod summary;
 pub mod trace;
 
 pub use event::{Event, EventKind, Phase};
+pub use observer::RunObserver;
+pub use recorder::{categorize, FlightRecorder, RecorderConfig, FLIGHT_DUMP_SCHEMA};
 pub use registry::{
-    validate_prometheus_text, Counter, Gauge, Histogram, MetricsRegistry,
+    escape_label_value, validate_prometheus_text, Counter, Gauge, Histogram, MetricsRegistry,
+};
+pub use series::{
+    Anomaly, AnomalyDetector, EwmaZScore, QuantileShift, RoundSeries, RoundSnapshot,
 };
 pub use sink::{
     read_jsonl, EventSink, JsonlSink, MemorySink, NoopSink, Span, TeeSink, Telemetry,
 };
+pub use slo::{Breach, HealthVerdict, SloInputs, SloPolicy, SloRule};
 pub use summary::{GaugeStats, PhaseTotals, RunSummary};
 pub use trace::{
     chrome_trace, client_span_id, is_round_key, round_span_id, TraceSink, TRACE_DYNAMIC_BASE,

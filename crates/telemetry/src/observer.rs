@@ -1,0 +1,251 @@
+//! The per-run observer: series capture, anomaly detection and SLO
+//! evaluation glued onto one Publish-time hook.
+//!
+//! Runners own a [`RunObserver`] and call [`RunObserver::observe_round`]
+//! once per published round with that round's [`RoundSnapshot`]. The
+//! observer then:
+//!
+//! 1. streams the snapshot into its [`RoundSeries`] (and, when the
+//!    handle carries a [`crate::FlightRecorder`], appends the stored
+//!    rows to the recorder's bounded row buffer);
+//! 2. runs every [`AnomalyDetector`], re-emitting each flagged
+//!    regression as an `anomaly` mark plus an `anomaly_score` gauge;
+//! 3. evaluates the [`SloPolicy`] (if any), emitting a `health_verdict`
+//!    mark per round, per-rule `slo_burn_rate{rule="…"}` registry
+//!    gauges, and — on the run's first breach — an `slo_breach`
+//!    flight-recorder dump.
+
+use crate::series::{Anomaly, AnomalyDetector, EwmaZScore, QuantileShift, RoundSeries, RoundSnapshot};
+use crate::sink::Telemetry;
+use crate::slo::{HealthVerdict, SloInputs, SloPolicy};
+
+/// Observes each published round: time-series, anomaly detectors and the
+/// SLO policy behind one call.
+#[derive(Default)]
+pub struct RunObserver {
+    series: RoundSeries,
+    detectors: Vec<Box<dyn AnomalyDetector>>,
+    slo: Option<SloPolicy>,
+    anomalies: Vec<Anomaly>,
+    slo_dumped: bool,
+}
+
+impl RunObserver {
+    /// An observer with no detectors and no policy (pure series capture).
+    pub fn new() -> Self {
+        RunObserver::default()
+    }
+
+    /// The default observer: both shipped detectors with their default
+    /// tuning ([`EwmaZScore`] and [`QuantileShift`]).
+    pub fn standard() -> Self {
+        RunObserver::new()
+            .with_detector(Box::new(EwmaZScore::default()))
+            .with_detector(Box::new(QuantileShift::default()))
+    }
+
+    /// Stores only every `stride`-th series row (detectors and quantiles
+    /// still see every round) — see [`RoundSeries::with_stride`].
+    pub fn with_stride(mut self, stride: usize) -> Self {
+        self.series = std::mem::take(&mut self.series).with_stride(stride);
+        self
+    }
+
+    /// Adds an anomaly detector.
+    pub fn with_detector(mut self, detector: Box<dyn AnomalyDetector>) -> Self {
+        self.detectors.push(detector);
+        self
+    }
+
+    /// Attaches an SLO policy, evaluated at every observed round.
+    pub fn with_slo(mut self, slo: SloPolicy) -> Self {
+        self.slo = Some(slo);
+        self
+    }
+
+    /// Feeds one published round through the series, the detectors and
+    /// the SLO policy, emitting `anomaly` / `health_verdict` events on
+    /// `telemetry`. Returns the health verdict when a policy is attached.
+    pub fn observe_round(
+        &mut self,
+        snap: RoundSnapshot,
+        recoveries: u64,
+        telemetry: &Telemetry,
+    ) -> Option<HealthVerdict> {
+        let stored = self.series.push(snap);
+        if stored {
+            if let Some(recorder) = telemetry.flight_recorder() {
+                recorder.record_row(snap.to_json());
+            }
+        }
+
+        for detector in &mut self.detectors {
+            for anomaly in detector.observe(&snap) {
+                telemetry.mark(
+                    "anomaly",
+                    Some(anomaly.round),
+                    None,
+                    Some(&format!("{}:{}", anomaly.detector, anomaly.metric)),
+                );
+                telemetry.gauge("anomaly_score", anomaly.score, Some(anomaly.round), None);
+                self.anomalies.push(anomaly);
+            }
+        }
+
+        let slo = self.slo.as_mut()?;
+        let verdict = slo.evaluate(
+            &snap,
+            SloInputs {
+                wall_p90: self.series.wall_quantile(0.9),
+                recoveries,
+            },
+        );
+        let detail = if verdict.healthy {
+            "healthy".to_string()
+        } else {
+            let rules: Vec<&str> = verdict.breaches.iter().map(|b| b.rule).collect();
+            format!("breach:{}", rules.join(","))
+        };
+        telemetry.mark("health_verdict", Some(snap.round), None, Some(&detail));
+        if let Some(registry) = telemetry.registry() {
+            for (rule, rate) in slo.burn_rates() {
+                registry.labeled_gauge("slo_burn_rate", "rule", rule).record(rate);
+            }
+        }
+        if !verdict.healthy && !self.slo_dumped {
+            // One dump per run: the first breach is the interesting
+            // state; later breaches are visible in the verdict stream.
+            self.slo_dumped = true;
+            telemetry.flight_dump("slo_breach", &detail);
+        }
+        Some(verdict)
+    }
+
+    /// The captured per-round series.
+    pub fn series(&self) -> &RoundSeries {
+        &self.series
+    }
+
+    /// Every anomaly flagged so far, oldest first.
+    pub fn anomalies(&self) -> &[Anomaly] {
+        &self.anomalies
+    }
+
+    /// The SLO policy (with its burn rates and offending rounds), if any.
+    pub fn slo(&self) -> Option<&SloPolicy> {
+        self.slo.as_ref()
+    }
+}
+
+impl std::fmt::Debug for RunObserver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunObserver")
+            .field("observed", &self.series.observed())
+            .field("detectors", &self.detectors.len())
+            .field("slo", &self.slo.is_some())
+            .field("anomalies", &self.anomalies.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{FlightRecorder, RecorderConfig};
+    use crate::registry::MetricsRegistry;
+    use crate::sink::{MemorySink, NoopSink};
+    use crate::slo::SloRule;
+    use std::sync::Arc;
+
+    fn snap(round: u64, wall: f64, accepted: u64, dropped: u64) -> RoundSnapshot {
+        RoundSnapshot {
+            round,
+            wall_secs: wall,
+            accepted,
+            dropped,
+            train_loss: 1.0,
+            update_norm: 0.5,
+            ..RoundSnapshot::default()
+        }
+    }
+
+    #[test]
+    fn anomalies_become_marks_and_score_gauges() {
+        let sink = Arc::new(MemorySink::new());
+        let t = Telemetry::new(sink.clone());
+        let mut obs = RunObserver::new().with_detector(Box::new(QuantileShift::new(3, 2.0)));
+        for r in 1..=6u64 {
+            obs.observe_round(snap(r, 1.0, 8, 0), 0, &t);
+        }
+        obs.observe_round(snap(7, 5.0, 8, 0), 0, &t);
+        assert!(!obs.anomalies().is_empty(), "5x spike flagged");
+        let events = sink.events();
+        let mark = events
+            .iter()
+            .find(|e| e.name == "anomaly")
+            .expect("anomaly mark emitted");
+        assert_eq!(mark.round, Some(7));
+        assert_eq!(mark.detail.as_deref(), Some("quantile_shift:round_wall"));
+        assert!(events.iter().any(|e| e.name == "anomaly_score"));
+    }
+
+    #[test]
+    fn slo_verdicts_burn_rates_and_first_breach_dump() {
+        let rec = Arc::new(FlightRecorder::new(RecorderConfig::compact()));
+        let registry = MetricsRegistry::new();
+        let sink = Arc::new(MemorySink::new());
+        let t = Telemetry::with_observability(
+            sink.clone(),
+            Some(registry.clone()),
+            Some(rec.clone()),
+        );
+        let mut obs =
+            RunObserver::new().with_slo(SloPolicy::new().rule(SloRule::AcceptRatioAtLeast { min: 0.8 }));
+        let healthy = obs.observe_round(snap(1, 1.0, 9, 1), 0, &t).unwrap();
+        assert!(healthy.healthy);
+        let breach = obs.observe_round(snap(2, 1.0, 2, 8), 0, &t).unwrap();
+        assert!(!breach.healthy);
+        obs.observe_round(snap(3, 1.0, 1, 9), 0, &t);
+
+        let verdicts: Vec<_> = sink
+            .events()
+            .into_iter()
+            .filter(|e| e.name == "health_verdict")
+            .collect();
+        assert_eq!(verdicts.len(), 3, "one verdict per round");
+        assert_eq!(verdicts[0].detail.as_deref(), Some("healthy"));
+        assert_eq!(verdicts[1].detail.as_deref(), Some("breach:accept_ratio"));
+        assert_eq!(rec.dump_count(), 1, "only the first breach dumps");
+        let rate = registry.labeled_gauge("slo_burn_rate", "rule", "accept_ratio").last();
+        assert!((rate - 2.0 / 3.0).abs() < 1e-12, "burn rate 2/3: {rate}");
+        assert_eq!(obs.slo().unwrap().offending_rounds("accept_ratio"), vec![2, 3]);
+    }
+
+    #[test]
+    fn stored_rows_reach_the_recorder_and_stride_samples() {
+        let rec = Arc::new(FlightRecorder::new(RecorderConfig::compact()));
+        let t = Telemetry::with_observability(Arc::new(NoopSink), None, Some(rec.clone()));
+        let mut obs = RunObserver::new().with_stride(5);
+        for r in 1..=20u64 {
+            obs.observe_round(snap(r, 1.0, 8, 0), 0, &t);
+        }
+        assert_eq!(obs.series().observed(), 20);
+        assert_eq!(obs.series().rows().len(), 4, "1 in 5 stored");
+        let dump = rec.dump("manual", "");
+        assert_eq!(dump.matches("\"wall_secs\":1.0").count(), 4, "stored rows in dump");
+    }
+
+    #[test]
+    fn standard_observer_runs_both_detectors() {
+        let t = Telemetry::disabled();
+        let mut obs = RunObserver::standard();
+        for r in 1..=10u64 {
+            obs.observe_round(snap(r, 1.0 + 0.01 * (r % 3) as f64, 8, 0), 0, &t);
+        }
+        obs.observe_round(snap(11, 20.0, 8, 0), 0, &t);
+        let detectors: std::collections::BTreeSet<&str> =
+            obs.anomalies().iter().map(|a| a.detector).collect();
+        assert!(detectors.contains("ewma_zscore"), "{detectors:?}");
+        assert!(detectors.contains("quantile_shift"), "{detectors:?}");
+    }
+}

@@ -1,0 +1,460 @@
+//! The flight recorder: bounded, passive post-mortem capture.
+//!
+//! A [`FlightRecorder`] rides inside a [`crate::Telemetry`] handle and
+//! keeps the *last N* events per category (spans, counts, marks, gauges)
+//! in lock-light ring buffers — four mutexes whose critical sections are
+//! a `VecDeque` push/pop each, so capture stays cheap even with every
+//! client thread emitting. Nothing is written anywhere until a trigger
+//! fires: coordinator recovery, a typed run failure, the end of a chaos
+//! scenario, or an SLO breach all call [`FlightRecorder::dump`] (via
+//! [`crate::Telemetry::flight_dump`]) and get back one versioned JSON
+//! snapshot correlating everything the recorder saw — chaos segments,
+//! round-control decisions, wire-codec stats and the coordinator's WAL
+//! position — on a single round-indexed timeline.
+//!
+//! The dump is self-describing (`"schema": "appfl.flight.v1"`) and the
+//! `telemetry_report --postmortem` renderer in `appfl-bench` knows how to
+//! lay it out; CI validates the schema on every chaos and recovery run.
+
+use crate::event::{Event, EventKind};
+use std::collections::{BTreeMap, VecDeque};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Schema identifier stamped into every dump.
+pub const FLIGHT_DUMP_SCHEMA: &str = "appfl.flight.v1";
+
+/// Per-category ring-buffer quotas. The defaults keep a dump around a
+/// few hundred KiB for a busy run; a million-client simulation should
+/// shrink them (or rely on the sampled series rows instead).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecorderConfig {
+    /// Most recent timed spans kept.
+    pub span_quota: usize,
+    /// Most recent counter increments kept.
+    pub count_quota: usize,
+    /// Most recent point-in-time marks kept.
+    pub mark_quota: usize,
+    /// Most recent gauge samples kept.
+    pub gauge_quota: usize,
+    /// Most recent per-round series rows kept (see
+    /// [`FlightRecorder::record_row`]).
+    pub row_quota: usize,
+}
+
+impl Default for RecorderConfig {
+    fn default() -> Self {
+        RecorderConfig {
+            span_quota: 4096,
+            count_quota: 2048,
+            mark_quota: 2048,
+            gauge_quota: 4096,
+            row_quota: 1024,
+        }
+    }
+}
+
+impl RecorderConfig {
+    /// A small configuration for tests and high-rate simulations.
+    pub fn compact() -> Self {
+        RecorderConfig {
+            span_quota: 512,
+            count_quota: 256,
+            mark_quota: 256,
+            gauge_quota: 512,
+            row_quota: 256,
+        }
+    }
+}
+
+struct Ring {
+    buf: Mutex<VecDeque<Event>>,
+    quota: usize,
+    dropped: AtomicU64,
+}
+
+impl Ring {
+    fn new(quota: usize) -> Self {
+        Ring {
+            buf: Mutex::new(VecDeque::with_capacity(quota.min(1024))),
+            quota,
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    fn push(&self, ev: &Event) {
+        if self.quota == 0 {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let mut buf = self.buf.lock().expect("recorder ring poisoned");
+        if buf.len() == self.quota {
+            buf.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        buf.push_back(ev.clone());
+    }
+
+    fn snapshot(&self) -> Vec<Event> {
+        self.buf
+            .lock()
+            .expect("recorder ring poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    fn len(&self) -> usize {
+        self.buf.lock().expect("recorder ring poisoned").len()
+    }
+
+    fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+/// Bounded passive capture of the most recent telemetry, dumped as one
+/// versioned post-mortem JSON snapshot when a trigger fires.
+pub struct FlightRecorder {
+    spans: Ring,
+    counts: Ring,
+    marks: Ring,
+    gauges: Ring,
+    rows: Mutex<VecDeque<String>>,
+    row_quota: usize,
+    rows_dropped: AtomicU64,
+    context: Mutex<BTreeMap<String, String>>,
+    armed: Mutex<Option<PathBuf>>,
+    dumps: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// A recorder with the given quotas.
+    pub fn new(cfg: RecorderConfig) -> Self {
+        FlightRecorder {
+            spans: Ring::new(cfg.span_quota),
+            counts: Ring::new(cfg.count_quota),
+            marks: Ring::new(cfg.mark_quota),
+            gauges: Ring::new(cfg.gauge_quota),
+            rows: Mutex::new(VecDeque::new()),
+            row_quota: cfg.row_quota,
+            rows_dropped: AtomicU64::new(0),
+            context: Mutex::new(BTreeMap::new()),
+            armed: Mutex::new(None),
+            dumps: AtomicU64::new(0),
+        }
+    }
+
+    /// Captures one event into its category's ring.
+    pub fn capture(&self, ev: &Event) {
+        match ev.kind {
+            EventKind::Span => self.spans.push(ev),
+            EventKind::Count => self.counts.push(ev),
+            EventKind::Mark => self.marks.push(ev),
+            EventKind::Gauge => self.gauges.push(ev),
+        }
+    }
+
+    /// Appends one pre-encoded JSON object (a per-round series row) to
+    /// the bounded row buffer. Callers are responsible for handing in
+    /// valid JSON — the dump embeds the string verbatim.
+    pub fn record_row(&self, raw_json: String) {
+        if self.row_quota == 0 {
+            self.rows_dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let mut rows = self.rows.lock().expect("recorder rows poisoned");
+        if rows.len() == self.row_quota {
+            rows.pop_front();
+            self.rows_dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        rows.push_back(raw_json);
+    }
+
+    /// Attaches one named context blob (e.g. the chaos schedule's JSON
+    /// export) embedded verbatim under `"context"` in every dump. The
+    /// value must be valid JSON.
+    pub fn set_context(&self, key: impl Into<String>, raw_json: String) {
+        self.context
+            .lock()
+            .expect("recorder context poisoned")
+            .insert(key.into(), raw_json);
+    }
+
+    /// Arms the recorder with a dump destination: every subsequent
+    /// trigger (see [`crate::Telemetry::flight_dump`]) writes its
+    /// snapshot there in addition to returning it.
+    pub fn arm(&self, path: impl AsRef<Path>) {
+        *self.armed.lock().expect("recorder armed poisoned") = Some(path.as_ref().to_path_buf());
+    }
+
+    /// Number of dumps taken so far.
+    pub fn dump_count(&self) -> u64 {
+        self.dumps.load(Ordering::Relaxed)
+    }
+
+    /// Events currently buffered across all categories.
+    pub fn len(&self) -> usize {
+        self.spans.len() + self.counts.len() + self.marks.len() + self.gauges.len()
+    }
+
+    /// Whether nothing has been captured yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Takes a post-mortem snapshot: every buffered event, the
+    /// round-indexed timeline, the series rows and the context blobs,
+    /// as one versioned JSON object. Purely observational — the buffers
+    /// are left intact so later triggers see the same (and newer) data.
+    pub fn dump(&self, trigger: &str, detail: &str) -> String {
+        self.dumps.fetch_add(1, Ordering::Relaxed);
+        let mut events: Vec<Event> = Vec::new();
+        events.extend(self.spans.snapshot());
+        events.extend(self.counts.snapshot());
+        events.extend(self.marks.snapshot());
+        events.extend(self.gauges.snapshot());
+        events.sort_by(|a, b| a.ts.total_cmp(&b.ts));
+
+        // The correlated timeline: every round-tagged event, ordered by
+        // (round, ts) and labelled with its subsystem category.
+        let mut timeline: Vec<&Event> = events.iter().filter(|e| e.round.is_some()).collect();
+        timeline.sort_by(|a, b| a.round.cmp(&b.round).then(a.ts.total_cmp(&b.ts)));
+
+        let mut s = String::with_capacity(4096);
+        s.push('{');
+        push_str_field(&mut s, "schema", FLIGHT_DUMP_SCHEMA, true);
+        push_str_field(&mut s, "trigger", trigger, false);
+        push_str_field(&mut s, "detail", detail, false);
+        s.push_str(&format!(
+            ",\"captured\":{{\"span\":{},\"count\":{},\"mark\":{},\"gauge\":{}}}",
+            self.spans.len(),
+            self.counts.len(),
+            self.marks.len(),
+            self.gauges.len()
+        ));
+        s.push_str(&format!(
+            ",\"dropped\":{{\"span\":{},\"count\":{},\"mark\":{},\"gauge\":{},\"row\":{}}}",
+            self.spans.dropped(),
+            self.counts.dropped(),
+            self.marks.dropped(),
+            self.gauges.dropped(),
+            self.rows_dropped.load(Ordering::Relaxed)
+        ));
+        s.push_str(&format!(",\"dumps\":{}", self.dumps.load(Ordering::Relaxed)));
+
+        s.push_str(",\"context\":{");
+        {
+            let ctx = self.context.lock().expect("recorder context poisoned");
+            for (i, (k, v)) in ctx.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push('"');
+                crate::event::escape_into(k, &mut s);
+                s.push_str("\":");
+                s.push_str(v);
+            }
+        }
+        s.push('}');
+
+        s.push_str(",\"timeline\":[");
+        for (i, ev) in timeline.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            // Splice the category in front of the event's own flat JSON.
+            let line = ev.to_json_line();
+            s.push_str(&format!(
+                "{{\"category\":\"{}\",{}",
+                categorize(&ev.name),
+                &line[1..]
+            ));
+        }
+        s.push(']');
+
+        s.push_str(",\"series\":[");
+        {
+            let rows = self.rows.lock().expect("recorder rows poisoned");
+            for (i, row) in rows.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(row);
+            }
+        }
+        s.push(']');
+
+        s.push_str(",\"events\":[");
+        for (i, ev) in events.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&ev.to_json_line());
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Takes a dump and, if the recorder is armed, writes it to the
+    /// armed path (creating parent directories). Returns the JSON.
+    pub fn dump_triggered(&self, trigger: &str, detail: &str) -> String {
+        let json = self.dump(trigger, detail);
+        if let Some(path) = self.armed.lock().expect("recorder armed poisoned").clone() {
+            if let Some(dir) = path.parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            let _ = std::fs::write(&path, &json);
+        }
+        json
+    }
+}
+
+/// Maps an event name onto the subsystem category the post-mortem
+/// timeline groups by. Unknown names land in `"other"` rather than being
+/// dropped — the timeline must stay complete as new event names appear.
+pub fn categorize(name: &str) -> &'static str {
+    match name {
+        _ if name.starts_with("chaos") => "chaos",
+        "adaptive_deadline" | "hedges_sent" | "late_arrival" | "overselect_waste"
+        | "duplicate_upload" | "dropped_clients" | "timeout" | "retry" | "fault" => {
+            "round_control"
+        }
+        _ if name.starts_with("wire_") => "wire",
+        "compression_ratio" | "upload_bytes" => "wire",
+        _ if name.starts_with("coordinator_recover") => "recovery",
+        "wal_position" => "recovery",
+        _ if name.starts_with("anomaly") => "anomaly",
+        _ if name.starts_with("slo_") => "slo",
+        "health_verdict" => "slo",
+        _ if name.starts_with("phase/") => "phase",
+        "round" | "client" => "phase",
+        _ => "other",
+    }
+}
+
+fn push_str_field(s: &mut String, key: &str, value: &str, first: bool) {
+    if !first {
+        s.push(',');
+    }
+    s.push('"');
+    s.push_str(key);
+    s.push_str("\":\"");
+    crate::event::escape_into(value, s);
+    s.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: EventKind, name: &str, round: Option<u64>, ts: f64) -> Event {
+        let mut e = Event::new(ts, kind, name);
+        e.round = round;
+        if kind == EventKind::Span || kind == EventKind::Gauge {
+            e.secs = Some(0.5);
+        }
+        if kind == EventKind::Count {
+            e.value = Some(1);
+        }
+        e
+    }
+
+    #[test]
+    fn rings_evict_oldest_and_count_drops() {
+        let rec = FlightRecorder::new(RecorderConfig {
+            span_quota: 2,
+            count_quota: 1,
+            mark_quota: 1,
+            gauge_quota: 1,
+            row_quota: 2,
+        });
+        for i in 0..5 {
+            rec.capture(&ev(EventKind::Span, "s", Some(i), i as f64));
+        }
+        assert_eq!(rec.spans.len(), 2);
+        assert_eq!(rec.spans.dropped(), 3);
+        let kept = rec.spans.snapshot();
+        assert_eq!(kept[0].round, Some(3), "oldest evicted first");
+        assert_eq!(kept[1].round, Some(4));
+        for i in 0..3 {
+            rec.record_row(format!("{{\"round\":{i}}}"));
+        }
+        assert_eq!(rec.rows_dropped.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn dump_is_versioned_and_round_ordered() {
+        let rec = FlightRecorder::new(RecorderConfig::compact());
+        rec.capture(&ev(EventKind::Mark, "chaos_segment", Some(2), 0.1));
+        rec.capture(&ev(EventKind::Gauge, "adaptive_deadline", Some(1), 0.2));
+        rec.capture(&ev(EventKind::Count, "wire_bytes_sent", Some(1), 0.3));
+        rec.capture(&ev(EventKind::Span, "untagged", None, 0.4));
+        rec.set_context("note", "{\"k\":1}".to_string());
+        rec.record_row("{\"round\":1,\"wall_secs\":1.0}".to_string());
+        let json = rec.dump("chaos_scenario_end", "storm");
+        assert!(json.contains("\"schema\":\"appfl.flight.v1\""), "{json}");
+        assert!(json.contains("\"trigger\":\"chaos_scenario_end\""));
+        assert!(json.contains("\"category\":\"chaos\""));
+        assert!(json.contains("\"category\":\"round_control\""));
+        assert!(json.contains("\"category\":\"wire\""));
+        assert!(json.contains("\"note\":{\"k\":1}"));
+        assert!(json.contains("\"wall_secs\":1.0"));
+        // Round 1 entries precede round 2 on the timeline even though
+        // the round-2 event was captured first.
+        let tl = json.split("\"timeline\":[").nth(1).unwrap();
+        let r1 = tl.find("\"round\":1").unwrap();
+        let r2 = tl.find("\"round\":2").unwrap();
+        assert!(r1 < r2, "timeline must be round-ordered");
+        // Untagged events stay out of the timeline but appear in events.
+        let tl_end = tl.find(']').unwrap();
+        assert!(!tl[..tl_end].contains("untagged"));
+        assert!(json.split("\"events\":[").nth(1).unwrap().contains("untagged"));
+    }
+
+    #[test]
+    fn armed_recorder_writes_the_dump_file() {
+        let dir = std::env::temp_dir().join(format!("appfl_flight_{}", std::process::id()));
+        let path = dir.join("dump.json");
+        let rec = FlightRecorder::new(RecorderConfig::compact());
+        rec.arm(&path);
+        rec.capture(&ev(EventKind::Mark, "x", Some(1), 0.0));
+        let json = rec.dump_triggered("run_failure", "boom");
+        let on_disk = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(json, on_disk);
+        assert_eq!(rec.dump_count(), 1);
+    }
+
+    #[test]
+    fn categories_cover_every_correlated_subsystem() {
+        assert_eq!(categorize("chaos_segment"), "chaos");
+        assert_eq!(categorize("hedges_sent"), "round_control");
+        assert_eq!(categorize("late_arrival"), "round_control");
+        assert_eq!(categorize("wire_bytes_saved"), "wire");
+        assert_eq!(categorize("compression_ratio"), "wire");
+        assert_eq!(categorize("coordinator_recovery"), "recovery");
+        assert_eq!(categorize("wal_position"), "recovery");
+        assert_eq!(categorize("anomaly"), "anomaly");
+        assert_eq!(categorize("health_verdict"), "slo");
+        assert_eq!(categorize("slo_burn_rate"), "slo");
+        assert_eq!(categorize("phase/collect"), "phase");
+        assert_eq!(categorize("something_else"), "other");
+    }
+
+    #[test]
+    fn dump_parses_back_as_flat_event_lines() {
+        let rec = FlightRecorder::new(RecorderConfig::compact());
+        let mut e = ev(EventKind::Mark, "weird \"name\"", Some(1), 0.0);
+        e.detail = Some("line\nbreak".into());
+        rec.capture(&e);
+        let json = rec.dump("manual", "");
+        // Each embedded event must still parse with the crate's own
+        // flat-object reader.
+        let events_part = json.split("\"events\":[").nth(1).unwrap();
+        let line = &events_part[..events_part.rfind("]}").unwrap()];
+        let back = Event::from_json_line(line).expect("embedded event parses");
+        assert_eq!(back.name, "weird \"name\"");
+    }
+}

@@ -369,6 +369,7 @@ impl Histogram {
 struct RegistryInner {
     counters: Mutex<BTreeMap<String, Arc<Counter>>>,
     gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    labeled_gauges: Mutex<BTreeMap<(String, String, String), Arc<Gauge>>>,
     histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
 }
 
@@ -408,10 +409,28 @@ impl MetricsRegistry {
         map.entry(name.to_string()).or_default().clone()
     }
 
+    /// The gauge named `name` carrying the label `key="value"`, created
+    /// on first use. One family, one sample line per distinct label
+    /// value — e.g. `slo_burn_rate{rule="accept_ratio"}`. Label values
+    /// may contain arbitrary text; the Prometheus encoder escapes them.
+    pub fn labeled_gauge(&self, name: &str, key: &str, value: &str) -> Arc<Gauge> {
+        let mut map = self.inner.labeled_gauges.lock().expect("registry poisoned");
+        map.entry((name.to_string(), key.to_string(), value.to_string()))
+            .or_default()
+            .clone()
+    }
+
     /// Number of distinct metric families registered.
     pub fn family_count(&self) -> usize {
+        let labeled_families = {
+            let map = self.inner.labeled_gauges.lock().expect("registry poisoned");
+            let mut names: Vec<&str> = map.keys().map(|(n, _, _)| n.as_str()).collect();
+            names.dedup();
+            names.len()
+        };
         self.inner.counters.lock().expect("registry poisoned").len()
             + self.inner.gauges.lock().expect("registry poisoned").len()
+            + labeled_families
             + self
                 .inner
                 .histograms
@@ -441,6 +460,33 @@ impl MetricsRegistry {
             let fam = metric_name(name);
             let _ = writeln!(out, "# TYPE {fam} gauge");
             let _ = writeln!(out, "{fam} {}", fmt_num(g.last()));
+        }
+        {
+            let labeled = self.inner.labeled_gauges.lock().expect("registry poisoned");
+            let mut last_fam: Option<String> = None;
+            for ((name, key, value), g) in labeled.iter() {
+                let fam = metric_name(name);
+                if last_fam.as_deref() != Some(fam.as_str()) {
+                    let _ = writeln!(out, "# TYPE {fam} gauge");
+                    last_fam = Some(fam.clone());
+                }
+                let key: String = key
+                    .chars()
+                    .map(|c| {
+                        if c.is_ascii_alphanumeric() || c == '_' {
+                            c
+                        } else {
+                            '_'
+                        }
+                    })
+                    .collect();
+                let _ = writeln!(
+                    out,
+                    "{fam}{{{key}=\"{}\"}} {}",
+                    escape_label_value(value),
+                    fmt_num(g.last())
+                );
+            }
         }
         for (name, h) in self
             .inner
@@ -551,11 +597,68 @@ fn fmt_num(v: f64) -> String {
     }
 }
 
+/// Escapes a Prometheus label value per the text exposition format:
+/// backslash → `\\`, double-quote → `\"`, newline → `\n`.
+pub fn escape_label_value(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Validates one `key="value",…` label section (the text between `{`
+/// and `}`): label names are `[a-zA-Z0-9_]+`, values are quoted with
+/// every backslash escaping one of `\`, `"` or `n`, and nothing trails
+/// the final pair.
+fn validate_label_section(section: &str) -> Result<(), &'static str> {
+    let mut rest = section;
+    while !rest.is_empty() {
+        let eq = rest.find("=\"").ok_or("label pair missing =\"")?;
+        let key = &rest[..eq];
+        if key.is_empty() || !key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+            return Err("invalid label name");
+        }
+        let value = &rest[eq + 2..];
+        let mut chars = value.char_indices();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => {
+                    if !matches!(chars.next(), Some((_, '\\' | '"' | 'n'))) {
+                        return Err("unescaped backslash in label value");
+                    }
+                }
+                '"' => {
+                    end = Some(i);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let end = end.ok_or("unterminated label value")?;
+        rest = &value[end + 1..];
+        match rest.strip_prefix(',') {
+            Some(r) => rest = r,
+            None if rest.is_empty() => {}
+            None => return Err("unescaped quote in label value"),
+        }
+    }
+    Ok(())
+}
+
 /// Minimal Prometheus text-format validator: every `# TYPE` line names a
 /// known type, every sample line is `name[{labels}] value` with a finite
-/// value belonging to the most recent family, histogram buckets are
-/// cumulative, and `_sum`/`_count` are present for histograms. Returns
-/// the number of metric families on success.
+/// value belonging to the most recent family, label sections are
+/// well-formed with fully escaped values (unescaped `"`, `\` or a
+/// malformed pair is rejected), histogram buckets are cumulative, and
+/// `_sum`/`_count` are present for histograms. Returns the number of
+/// metric families on success.
 pub fn validate_prometheus_text(text: &str) -> Result<usize, String> {
     let mut families = 0usize;
     let mut current: Option<(String, String)> = None; // (family, type)
@@ -602,7 +705,16 @@ pub fn validate_prometheus_text(text: &str) -> Result<usize, String> {
         if !value.is_finite() {
             return Err(err("sample value not finite"));
         }
-        let base = name_part.split('{').next().unwrap_or(name_part);
+        let base = match name_part.split_once('{') {
+            Some((base, labels)) => {
+                let section = labels
+                    .strip_suffix('}')
+                    .ok_or_else(|| err("label section not closed"))?;
+                validate_label_section(section).map_err(|m| err(m))?;
+                base
+            }
+            None => name_part,
+        };
         if !base.starts_with(fam.as_str()) {
             return Err(err("sample outside its # TYPE family"));
         }
@@ -740,6 +852,65 @@ mod tests {
             validate_prometheus_text("# TYPE appfl_h histogram\nappfl_h_bucket{le=\"1\"} 1")
                 .is_err(),
             "missing _sum/_count"
+        );
+    }
+
+    #[test]
+    fn labeled_gauges_escape_values_and_validate() {
+        let r = MetricsRegistry::new();
+        r.labeled_gauge("slo_burn_rate", "rule", "accept_ratio").record(0.25);
+        r.labeled_gauge("slo_burn_rate", "rule", "round_wall_p90").record(0.0);
+        r.labeled_gauge("slo_burn_rate", "rule", "evil\"\\\nvalue").record(1.0);
+        let text = r.to_prometheus_text();
+        assert!(
+            text.contains("appfl_slo_burn_rate{rule=\"accept_ratio\"} 0.25"),
+            "{text}"
+        );
+        assert!(
+            text.contains("{rule=\"evil\\\"\\\\\\nvalue\"} 1"),
+            "escaped quote, backslash and newline: {text}"
+        );
+        assert_eq!(
+            text.matches("# TYPE appfl_slo_burn_rate gauge").count(),
+            1,
+            "one TYPE line per labeled family: {text}"
+        );
+        assert_eq!(validate_prometheus_text(&text), Ok(1));
+        assert_eq!(r.family_count(), 1);
+    }
+
+    #[test]
+    fn validator_rejects_unescaped_label_values() {
+        assert!(
+            validate_prometheus_text("# TYPE appfl_g gauge\nappfl_g{rule=\"a\"b\"} 1").is_err(),
+            "unescaped inner quote"
+        );
+        assert!(
+            validate_prometheus_text("# TYPE appfl_g gauge\nappfl_g{rule=\"a\\x\"} 1").is_err(),
+            "backslash escaping nothing valid"
+        );
+        assert!(
+            validate_prometheus_text("# TYPE appfl_g gauge\nappfl_g{rule=\"a} 1").is_err(),
+            "unterminated value"
+        );
+        assert!(
+            validate_prometheus_text("# TYPE appfl_g gauge\nappfl_g{rule=a\"} 1").is_err(),
+            "unquoted value"
+        );
+        assert!(
+            validate_prometheus_text("# TYPE appfl_g gauge\nappfl_g{bad-name=\"a\"} 1").is_err(),
+            "invalid label name"
+        );
+        assert!(
+            validate_prometheus_text("# TYPE appfl_g gauge\nappfl_g{rule=\"a\" 1").is_err(),
+            "label section not closed"
+        );
+        assert!(
+            validate_prometheus_text(
+                "# TYPE appfl_g gauge\nappfl_g{rule=\"a\\\\b\",x=\"c\\\"d\"} 1"
+            )
+            .is_ok(),
+            "properly escaped values pass"
         );
     }
 

@@ -1,0 +1,460 @@
+//! Per-round time-series capture and streaming anomaly detection.
+//!
+//! A [`RoundSeries`] stores one compact [`RoundSnapshot`] row per
+//! published round — phase timings, accept/late/reject counts,
+//! compression ratio, convergence residuals — and keeps streaming
+//! p50/p90/p99 of the round wall time through the registry's log2-bucket
+//! [`Histogram`]. At million-client simulation scale the stored rows can
+//! be sampled (`with_stride`) while the quantiles and the detectors
+//! still see every round.
+//!
+//! [`AnomalyDetector`]s are pluggable: each round's snapshot streams
+//! through every detector, and regressing rounds come back as typed
+//! [`Anomaly`] values which the run observer re-emits as `anomaly` events
+//! (so they land in the flight recorder, the event stream and the
+//! post-mortem timeline). Two detectors ship: [`EwmaZScore`]
+//! (exponentially-weighted mean/variance z-score) and [`QuantileShift`]
+//! (current value against a windowed median).
+
+use crate::registry::Histogram;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::Write as _;
+
+/// One round's compact telemetry row.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RoundSnapshot {
+    /// Round index (1-based).
+    pub round: u64,
+    /// Total wall seconds the round spanned.
+    pub wall_secs: f64,
+    /// Client local-training seconds (critical path).
+    pub local_update_secs: f64,
+    /// Encode/decode seconds.
+    pub serialize_secs: f64,
+    /// Blocking transport seconds.
+    pub comm_secs: f64,
+    /// Server aggregation + evaluation seconds.
+    pub aggregate_secs: f64,
+    /// Uploads accepted into the aggregate.
+    pub accepted: u64,
+    /// Uploads that arrived after the round closed.
+    pub late: u64,
+    /// Uploads rejected (guard, duplicates, malformed).
+    pub rejected: u64,
+    /// Cohort members whose upload never arrived.
+    pub dropped: u64,
+    /// Wire-codec compression ratio in effect (0 when no codec ran).
+    pub compression_ratio: f64,
+    /// ADMM primal residual after aggregation (0 for non-ADMM).
+    pub primal_residual: f64,
+    /// ADMM dual residual (0 for non-ADMM).
+    pub dual_residual: f64,
+    /// `‖w^{t+1} − w^t‖` — global model movement.
+    pub update_norm: f64,
+    /// Mean client-reported training loss.
+    pub train_loss: f64,
+}
+
+impl RoundSnapshot {
+    /// Fraction of cohort outcomes that were accepted uploads
+    /// (1.0 for an empty round, so an idle federation reads healthy).
+    pub fn accept_ratio(&self) -> f64 {
+        let total = self.accepted + self.late + self.rejected + self.dropped;
+        if total == 0 {
+            1.0
+        } else {
+            self.accepted as f64 / total as f64
+        }
+    }
+
+    /// Encodes the row as one flat JSON object (the dump's `series`
+    /// entries and the recorder's row buffer use this form).
+    pub fn to_json(&self) -> String {
+        fn num(x: f64) -> String {
+            if x.is_finite() {
+                let mut s = format!("{x}");
+                if !s.contains('.') && !s.contains('e') {
+                    s.push_str(".0");
+                }
+                s
+            } else {
+                "0.0".to_string()
+            }
+        }
+        let mut s = String::with_capacity(256);
+        let _ = write!(
+            s,
+            "{{\"round\":{},\"wall_secs\":{},\"local_update_secs\":{},\"serialize_secs\":{},\
+             \"comm_secs\":{},\"aggregate_secs\":{},\"accepted\":{},\"late\":{},\"rejected\":{},\
+             \"dropped\":{},\"accept_ratio\":{},\"compression_ratio\":{},\"primal_residual\":{},\
+             \"dual_residual\":{},\"update_norm\":{},\"train_loss\":{}}}",
+            self.round,
+            num(self.wall_secs),
+            num(self.local_update_secs),
+            num(self.serialize_secs),
+            num(self.comm_secs),
+            num(self.aggregate_secs),
+            self.accepted,
+            self.late,
+            self.rejected,
+            self.dropped,
+            num(self.accept_ratio()),
+            num(self.compression_ratio),
+            num(self.primal_residual),
+            num(self.dual_residual),
+            num(self.update_norm),
+            num(self.train_loss),
+        );
+        s
+    }
+}
+
+/// The per-round time-series store: sampled rows plus streaming
+/// round-wall quantiles over *every* observed round.
+pub struct RoundSeries {
+    rows: Vec<RoundSnapshot>,
+    stride: usize,
+    observed: u64,
+    wall_hist: Histogram,
+}
+
+impl Default for RoundSeries {
+    fn default() -> Self {
+        RoundSeries::new()
+    }
+}
+
+impl RoundSeries {
+    /// A series storing every row.
+    pub fn new() -> Self {
+        RoundSeries {
+            rows: Vec::new(),
+            stride: 1,
+            observed: 0,
+            wall_hist: Histogram::new(),
+        }
+    }
+
+    /// Stores only every `stride`-th row (quantiles and detectors still
+    /// see every round). A 1M-client, 10k-round simulation with stride
+    /// 16 keeps the stored series bounded without losing the streaming
+    /// statistics.
+    pub fn with_stride(mut self, stride: usize) -> Self {
+        self.stride = stride.max(1);
+        self
+    }
+
+    /// Observes one round. Returns whether the row was *stored* (vs
+    /// only streamed into the quantiles).
+    pub fn push(&mut self, snap: RoundSnapshot) -> bool {
+        self.wall_hist.observe(snap.wall_secs);
+        let store = self.observed % self.stride as u64 == 0;
+        self.observed += 1;
+        if store {
+            self.rows.push(snap);
+        }
+        store
+    }
+
+    /// The stored rows, oldest first.
+    pub fn rows(&self) -> &[RoundSnapshot] {
+        &self.rows
+    }
+
+    /// Rounds observed (stored or not).
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Streaming round-wall quantile (p in [0,1]) across every observed
+    /// round, via the log2-bucket histogram.
+    pub fn wall_quantile(&self, q: f64) -> f64 {
+        self.wall_hist.quantile(q)
+    }
+}
+
+/// One flagged regression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Anomaly {
+    /// Round that regressed.
+    pub round: u64,
+    /// Which snapshot metric regressed (`round_wall`, `train_loss`, …).
+    pub metric: &'static str,
+    /// Which detector flagged it.
+    pub detector: &'static str,
+    /// The observed value.
+    pub value: f64,
+    /// The detector's reference (EWMA mean, windowed median).
+    pub baseline: f64,
+    /// Severity: the z-score ([`EwmaZScore`]) or the shift factor
+    /// ([`QuantileShift`]).
+    pub score: f64,
+}
+
+/// A streaming per-round regression detector.
+pub trait AnomalyDetector: Send {
+    /// Stable detector name (lands in the `anomaly` event's detail).
+    fn name(&self) -> &'static str;
+
+    /// Streams one round's snapshot; returns any anomalies it flags.
+    fn observe(&mut self, snap: &RoundSnapshot) -> Vec<Anomaly>;
+}
+
+/// The snapshot metrics the shipped detectors watch.
+fn watched(snap: &RoundSnapshot) -> [(&'static str, f64); 3] {
+    [
+        ("round_wall", snap.wall_secs),
+        ("train_loss", snap.train_loss),
+        ("update_norm", snap.update_norm),
+    ]
+}
+
+#[derive(Default)]
+struct EwmaState {
+    mean: f64,
+    var: f64,
+    n: u64,
+}
+
+/// EWMA z-score detector: tracks an exponentially-weighted mean and
+/// variance per metric and flags rounds whose value sits more than
+/// `threshold` standard deviations above the mean. One-sided by design:
+/// a round getting *faster* or a loss *dropping* is not a regression.
+pub struct EwmaZScore {
+    alpha: f64,
+    threshold: f64,
+    warmup: u64,
+    state: BTreeMap<&'static str, EwmaState>,
+}
+
+impl EwmaZScore {
+    /// `alpha` is the EWMA smoothing (0..1, higher = faster to adapt),
+    /// `threshold` the flagging z-score, `warmup` the rounds observed
+    /// before any flagging starts.
+    pub fn new(alpha: f64, threshold: f64, warmup: u64) -> Self {
+        EwmaZScore {
+            alpha: alpha.clamp(1e-3, 1.0),
+            threshold: threshold.max(0.1),
+            warmup: warmup.max(1),
+            state: BTreeMap::new(),
+        }
+    }
+}
+
+impl Default for EwmaZScore {
+    fn default() -> Self {
+        EwmaZScore::new(0.3, 3.0, 3)
+    }
+}
+
+impl AnomalyDetector for EwmaZScore {
+    fn name(&self) -> &'static str {
+        "ewma_zscore"
+    }
+
+    fn observe(&mut self, snap: &RoundSnapshot) -> Vec<Anomaly> {
+        let detector = self.name();
+        let mut out = Vec::new();
+        for (metric, value) in watched(snap) {
+            let st = self.state.entry(metric).or_default();
+            if st.n >= self.warmup {
+                let sd = st.var.sqrt().max(1e-12);
+                let z = (value - st.mean) / sd;
+                if z > self.threshold {
+                    out.push(Anomaly {
+                        round: snap.round,
+                        metric,
+                        detector,
+                        value,
+                        baseline: st.mean,
+                        score: z,
+                    });
+                }
+            }
+            // Update after scoring so the anomaly itself does not mask
+            // an immediately following one.
+            if st.n == 0 {
+                st.mean = value;
+                st.var = 0.0;
+            } else {
+                let d = value - st.mean;
+                st.mean += self.alpha * d;
+                st.var = (1.0 - self.alpha) * (st.var + self.alpha * d * d);
+            }
+            st.n += 1;
+        }
+        out
+    }
+}
+
+/// Windowed-quantile shift detector: flags a round whose value exceeds
+/// `factor ×` the median of the preceding `window` rounds. Robust to the
+/// slow drift that fools a z-score (the window slides) and to single
+/// outliers in the reference (median, not mean).
+pub struct QuantileShift {
+    window: usize,
+    factor: f64,
+    history: BTreeMap<&'static str, VecDeque<f64>>,
+}
+
+impl QuantileShift {
+    /// `window` preceding rounds form the reference median; a value
+    /// above `factor ×` that median is flagged.
+    pub fn new(window: usize, factor: f64) -> Self {
+        QuantileShift {
+            window: window.max(2),
+            factor: factor.max(1.0),
+            history: BTreeMap::new(),
+        }
+    }
+}
+
+impl Default for QuantileShift {
+    fn default() -> Self {
+        QuantileShift::new(5, 2.0)
+    }
+}
+
+impl AnomalyDetector for QuantileShift {
+    fn name(&self) -> &'static str {
+        "quantile_shift"
+    }
+
+    fn observe(&mut self, snap: &RoundSnapshot) -> Vec<Anomaly> {
+        let detector = self.name();
+        let mut out = Vec::new();
+        for (metric, value) in watched(snap) {
+            let hist = self.history.entry(metric).or_default();
+            if hist.len() == self.window {
+                let mut sorted: Vec<f64> = hist.iter().copied().collect();
+                sorted.sort_by(|a, b| a.total_cmp(b));
+                let median = sorted[sorted.len() / 2];
+                if median > 1e-12 && value > self.factor * median {
+                    out.push(Anomaly {
+                        round: snap.round,
+                        metric,
+                        detector,
+                        value,
+                        baseline: median,
+                        score: value / median,
+                    });
+                }
+                hist.pop_front();
+            }
+            hist.push_back(value);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(round: u64, wall: f64) -> RoundSnapshot {
+        RoundSnapshot {
+            round,
+            wall_secs: wall,
+            accepted: 8,
+            train_loss: 1.0,
+            update_norm: 0.5,
+            ..RoundSnapshot::default()
+        }
+    }
+
+    #[test]
+    fn series_stores_rows_and_streams_quantiles() {
+        let mut s = RoundSeries::new();
+        for r in 1..=100u64 {
+            s.push(snap(r, 1.0));
+        }
+        assert_eq!(s.rows().len(), 100);
+        assert_eq!(s.observed(), 100);
+        let p90 = s.wall_quantile(0.9);
+        assert!(p90 >= 1.0 && p90 < 2.1, "log2 bucket around 1s: {p90}");
+    }
+
+    #[test]
+    fn stride_samples_storage_but_not_statistics() {
+        let mut s = RoundSeries::new().with_stride(10);
+        for r in 1..=100u64 {
+            s.push(snap(r, 1.0));
+        }
+        assert_eq!(s.rows().len(), 10, "1 in 10 rows stored");
+        assert_eq!(s.observed(), 100, "every round streamed");
+        assert!(s.wall_quantile(0.5) > 0.0);
+    }
+
+    #[test]
+    fn snapshot_json_is_flat_and_carries_accept_ratio() {
+        let mut sn = snap(3, 2.0);
+        sn.late = 2;
+        sn.dropped = 0;
+        let json = sn.to_json();
+        assert!(json.starts_with("{\"round\":3,"), "{json}");
+        assert!(json.contains("\"accept_ratio\":0.8"), "{json}");
+        assert!(json.contains("\"wall_secs\":2.0"), "{json}");
+    }
+
+    #[test]
+    fn accept_ratio_of_empty_round_reads_healthy() {
+        assert_eq!(RoundSnapshot::default().accept_ratio(), 1.0);
+    }
+
+    #[test]
+    fn ewma_flags_an_injected_wall_regression() {
+        let mut d = EwmaZScore::new(0.3, 3.0, 3);
+        for r in 1..=10u64 {
+            assert!(d.observe(&snap(r, 1.0)).is_empty(), "steady state clean");
+        }
+        // Mild noise to give the variance a floor, then a 10x spike.
+        for r in 11..=20u64 {
+            d.observe(&snap(r, 1.0 + 0.01 * (r % 3) as f64));
+        }
+        let anomalies = d.observe(&snap(21, 10.0));
+        assert!(
+            anomalies.iter().any(|a| a.metric == "round_wall"),
+            "10x wall spike must flag: {anomalies:?}"
+        );
+        let a = anomalies.iter().find(|a| a.metric == "round_wall").unwrap();
+        assert_eq!(a.round, 21);
+        assert_eq!(a.detector, "ewma_zscore");
+        assert!(a.score > 3.0);
+    }
+
+    #[test]
+    fn ewma_is_one_sided() {
+        let mut d = EwmaZScore::new(0.3, 3.0, 3);
+        for r in 1..=10u64 {
+            d.observe(&snap(r, 1.0 + 0.01 * (r % 3) as f64));
+        }
+        assert!(
+            d.observe(&snap(11, 0.01)).is_empty(),
+            "a faster round is not a regression"
+        );
+    }
+
+    #[test]
+    fn quantile_shift_flags_against_windowed_median() {
+        let mut d = QuantileShift::new(5, 2.0);
+        for r in 1..=8u64 {
+            assert!(d.observe(&snap(r, 1.0)).is_empty());
+        }
+        let anomalies = d.observe(&snap(9, 3.0));
+        let a = anomalies.iter().find(|a| a.metric == "round_wall").unwrap();
+        assert_eq!(a.detector, "quantile_shift");
+        assert!((a.baseline - 1.0).abs() < 1e-12);
+        assert!((a.score - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_shift_needs_a_full_window() {
+        let mut d = QuantileShift::new(5, 2.0);
+        for r in 1..=4u64 {
+            assert!(
+                d.observe(&snap(r, 100.0 * r as f64)).is_empty(),
+                "no flagging before the window fills"
+            );
+        }
+    }
+}

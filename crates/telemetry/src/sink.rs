@@ -1,6 +1,7 @@
 //! Sinks and the [`Telemetry`] handle the runners thread around.
 
 use crate::event::{Event, EventKind, Phase};
+use crate::recorder::FlightRecorder;
 use crate::registry::MetricsRegistry;
 use crate::trace::{client_span_id, round_span_id, TRACE_DYNAMIC_BASE};
 use std::fs::File;
@@ -152,6 +153,7 @@ struct TelemetryInner {
     sink: Arc<dyn EventSink>,
     sink_enabled: bool,
     registry: Option<MetricsRegistry>,
+    recorder: Option<Arc<FlightRecorder>>,
     epoch: Instant,
     next_span_id: AtomicU64,
 }
@@ -169,18 +171,7 @@ pub struct Telemetry {
 impl Telemetry {
     /// A handle that records into `sink`, with the epoch set to now.
     pub fn new(sink: Arc<dyn EventSink>) -> Self {
-        if !sink.enabled() {
-            return Telemetry::disabled();
-        }
-        Telemetry {
-            inner: Some(Arc::new(TelemetryInner {
-                sink,
-                sink_enabled: true,
-                registry: None,
-                epoch: Instant::now(),
-                next_span_id: AtomicU64::new(TRACE_DYNAMIC_BASE),
-            })),
-        }
+        Telemetry::with_observability(sink, None, None)
     }
 
     /// A handle that records into `sink` *and* mirrors every event into
@@ -189,11 +180,29 @@ impl Telemetry {
     /// even over a disabled sink, so metrics can be collected without
     /// paying for an event stream.
     pub fn with_registry(sink: Arc<dyn EventSink>, registry: MetricsRegistry) -> Self {
+        Telemetry::with_observability(sink, Some(registry), None)
+    }
+
+    /// The fully-equipped constructor: event stream (`sink`), live
+    /// metrics (`registry`) and post-mortem capture (`recorder`) are each
+    /// optional; the handle stays enabled as long as *any* of them is
+    /// live. The recorder sees every event the sink would — including
+    /// when the sink is disabled, so post-mortem capture costs no event
+    /// stream.
+    pub fn with_observability(
+        sink: Arc<dyn EventSink>,
+        registry: Option<MetricsRegistry>,
+        recorder: Option<Arc<FlightRecorder>>,
+    ) -> Self {
+        if !sink.enabled() && registry.is_none() && recorder.is_none() {
+            return Telemetry::disabled();
+        }
         Telemetry {
             inner: Some(Arc::new(TelemetryInner {
                 sink_enabled: sink.enabled(),
                 sink,
-                registry: Some(registry),
+                registry,
+                recorder,
                 epoch: Instant::now(),
                 next_span_id: AtomicU64::new(TRACE_DYNAMIC_BASE),
             })),
@@ -213,6 +222,20 @@ impl Telemetry {
     /// The attached metrics registry, if any.
     pub fn registry(&self) -> Option<&MetricsRegistry> {
         self.inner.as_ref().and_then(|i| i.registry.as_ref())
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn flight_recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.inner.as_ref().and_then(|i| i.recorder.as_ref())
+    }
+
+    /// Takes a flight-recorder dump for `trigger` (writing it to the
+    /// armed path if the recorder is armed) and returns the JSON.
+    /// `None` when no recorder is attached — triggers are free to fire
+    /// unconditionally.
+    pub fn flight_dump(&self, trigger: &str, detail: &str) -> Option<String> {
+        self.flight_recorder()
+            .map(|r| r.dump_triggered(trigger, detail))
     }
 
     fn now(inner: &TelemetryInner) -> f64 {
@@ -253,7 +276,7 @@ impl Telemetry {
         if let Some(registry) = &inner.registry {
             registry.histogram(name).observe(secs);
         }
-        if inner.sink_enabled {
+        if inner.sink_enabled || inner.recorder.is_some() {
             let mut ev = Event::new(Self::now(inner), EventKind::Span, name);
             ev.phase = phase;
             ev.round = round;
@@ -262,7 +285,12 @@ impl Telemetry {
             ev.detail = detail.map(str::to_string);
             ev.span_id = span_id;
             ev.parent = parent;
-            inner.sink.emit(ev);
+            if let Some(recorder) = &inner.recorder {
+                recorder.capture(&ev);
+            }
+            if inner.sink_enabled {
+                inner.sink.emit(ev);
+            }
         }
     }
 
@@ -380,12 +408,17 @@ impl Telemetry {
             if let Some(registry) = &inner.registry {
                 registry.counter(name).add(value);
             }
-            if inner.sink_enabled {
+            if inner.sink_enabled || inner.recorder.is_some() {
                 let mut ev = Event::new(Self::now(inner), EventKind::Count, name);
                 ev.round = round;
                 ev.value = Some(value);
                 ev.detail = detail.map(str::to_string);
-                inner.sink.emit(ev);
+                if let Some(recorder) = &inner.recorder {
+                    recorder.capture(&ev);
+                }
+                if inner.sink_enabled {
+                    inner.sink.emit(ev);
+                }
             }
         }
     }
@@ -396,12 +429,17 @@ impl Telemetry {
             if let Some(registry) = &inner.registry {
                 registry.gauge(name).record(value);
             }
-            if inner.sink_enabled {
+            if inner.sink_enabled || inner.recorder.is_some() {
                 let mut ev = Event::new(Self::now(inner), EventKind::Gauge, name);
                 ev.round = round;
                 ev.peer = peer;
                 ev.secs = Some(value);
-                inner.sink.emit(ev);
+                if let Some(recorder) = &inner.recorder {
+                    recorder.capture(&ev);
+                }
+                if inner.sink_enabled {
+                    inner.sink.emit(ev);
+                }
             }
         }
     }
@@ -412,12 +450,17 @@ impl Telemetry {
             if let Some(registry) = &inner.registry {
                 registry.counter(name).inc();
             }
-            if inner.sink_enabled {
+            if inner.sink_enabled || inner.recorder.is_some() {
                 let mut ev = Event::new(Self::now(inner), EventKind::Mark, name);
                 ev.round = round;
                 ev.peer = peer;
                 ev.detail = detail.map(str::to_string);
-                inner.sink.emit(ev);
+                if let Some(recorder) = &inner.recorder {
+                    recorder.capture(&ev);
+                }
+                if inner.sink_enabled {
+                    inner.sink.emit(ev);
+                }
             }
         }
     }
@@ -592,6 +635,25 @@ mod tests {
         assert_eq!(registry.counter("upload_bytes").get(), 2048);
         assert_eq!(registry.counter("retry").get(), 1);
         assert_eq!(registry.gauge("update_norm").last(), 3.5);
+    }
+
+    #[test]
+    fn recorder_captures_over_a_disabled_sink() {
+        use crate::recorder::{FlightRecorder, RecorderConfig};
+        let rec = Arc::new(FlightRecorder::new(RecorderConfig::compact()));
+        let t = Telemetry::with_observability(Arc::new(NoopSink), None, Some(rec.clone()));
+        assert!(t.enabled(), "recorder alone keeps the handle live");
+        t.span_secs("local_update", Phase::LocalUpdate, 0.25, Some(1), Some(0));
+        t.count("upload_bytes", 100, Some(1), None);
+        t.mark("fault", Some(1), None, None);
+        t.gauge("update_norm", 1.5, Some(1), None);
+        assert_eq!(rec.len(), 4, "every kind captured");
+        let dump = t.flight_dump("run_failure", "test").expect("recorder attached");
+        assert!(dump.contains("\"trigger\":\"run_failure\""));
+        assert!(
+            Telemetry::new(Arc::new(NoopSink)).flight_dump("x", "").is_none(),
+            "no recorder, no dump"
+        );
     }
 
     #[test]

@@ -1,0 +1,324 @@
+//! The declarative SLO health engine.
+//!
+//! An [`SloPolicy`] is a list of [`SloRule`]s — machine-checkable
+//! definitions of "this run is healthy" — evaluated once per Publish
+//! transition against the round's [`RoundSnapshot`]. Each evaluation
+//! yields a [`HealthVerdict`]; the run observer re-emits verdicts as
+//! `health_verdict` events, publishes per-rule burn-rate gauges
+//! (`slo_burn_rate{rule="…"}`), and triggers a flight-recorder dump on
+//! the first breach of each rule so the offending rounds can be audited
+//! post-mortem.
+
+use crate::series::RoundSnapshot;
+
+/// One declarative health rule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SloRule {
+    /// The streaming p90 of round wall time must stay below
+    /// `factor ×` a baseline p90 frozen after the first
+    /// `baseline_rounds` rounds (e.g. `round_wall_p90 < 2×baseline`).
+    RoundWallP90Below {
+        /// Multiplier over the frozen baseline.
+        factor: f64,
+        /// Rounds used to establish the baseline (no flagging during).
+        baseline_rounds: u64,
+    },
+    /// Each round's accept ratio (accepted / cohort outcomes) must be at
+    /// least `min`.
+    AcceptRatioAtLeast {
+        /// Minimum acceptable ratio in [0, 1].
+        min: f64,
+    },
+    /// Coordinator recoveries across the run must not exceed `max`.
+    RecoveriesAtMost {
+        /// Maximum tolerated recoveries.
+        max: u64,
+    },
+}
+
+impl SloRule {
+    /// Stable rule name (labels the burn-rate gauge and the breach
+    /// entries).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SloRule::RoundWallP90Below { .. } => "round_wall_p90",
+            SloRule::AcceptRatioAtLeast { .. } => "accept_ratio",
+            SloRule::RecoveriesAtMost { .. } => "recoveries",
+        }
+    }
+}
+
+/// One rule's failure at one evaluation point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Breach {
+    /// Which rule failed ([`SloRule::name`]).
+    pub rule: &'static str,
+    /// The measured value.
+    pub value: f64,
+    /// The limit it crossed.
+    pub limit: f64,
+}
+
+/// The health decision for one Publish transition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthVerdict {
+    /// Round evaluated.
+    pub round: u64,
+    /// Whether every rule held.
+    pub healthy: bool,
+    /// The rules that failed, with measured value and limit.
+    pub breaches: Vec<Breach>,
+}
+
+struct RuleState {
+    rule: SloRule,
+    evaluations: u64,
+    breaches: u64,
+    offending_rounds: Vec<u64>,
+}
+
+/// Inputs a rule evaluation needs beyond the snapshot itself.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SloInputs {
+    /// Streaming p90 of round wall seconds across the run so far.
+    pub wall_p90: f64,
+    /// Coordinator recoveries observed so far.
+    pub recoveries: u64,
+}
+
+/// A declarative set of health rules evaluated at each Publish.
+#[derive(Default)]
+pub struct SloPolicy {
+    rules: Vec<RuleState>,
+    evaluated_rounds: u64,
+    baseline_p90: Option<f64>,
+}
+
+impl SloPolicy {
+    /// An empty policy (always healthy).
+    pub fn new() -> Self {
+        SloPolicy::default()
+    }
+
+    /// Adds a rule.
+    pub fn rule(mut self, rule: SloRule) -> Self {
+        self.rules.push(RuleState {
+            rule,
+            evaluations: 0,
+            breaches: 0,
+            offending_rounds: Vec::new(),
+        });
+        self
+    }
+
+    /// The default operator policy: round wall p90 under 2× baseline
+    /// (baseline = first 3 rounds), accept ratio ≥ 0.8, at most one
+    /// coordinator recovery.
+    pub fn standard() -> Self {
+        SloPolicy::new()
+            .rule(SloRule::RoundWallP90Below {
+                factor: 2.0,
+                baseline_rounds: 3,
+            })
+            .rule(SloRule::AcceptRatioAtLeast { min: 0.8 })
+            .rule(SloRule::RecoveriesAtMost { max: 1 })
+    }
+
+    /// Whether the policy carries any rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Evaluates every rule against this round. Call once per Publish.
+    pub fn evaluate(&mut self, snap: &RoundSnapshot, inputs: SloInputs) -> HealthVerdict {
+        self.evaluated_rounds += 1;
+        if self
+            .rules
+            .iter()
+            .any(|r| matches!(r.rule, SloRule::RoundWallP90Below { baseline_rounds, .. } if self.evaluated_rounds == baseline_rounds))
+            && self.baseline_p90.is_none()
+        {
+            self.baseline_p90 = Some(inputs.wall_p90);
+        }
+        let baseline = self.baseline_p90;
+        let mut breaches = Vec::new();
+        for state in &mut self.rules {
+            let outcome: Option<(f64, f64)> = match state.rule {
+                SloRule::RoundWallP90Below {
+                    factor,
+                    baseline_rounds,
+                } => {
+                    if self.evaluated_rounds <= baseline_rounds {
+                        None // still establishing the baseline
+                    } else {
+                        let base = baseline.unwrap_or(inputs.wall_p90);
+                        let limit = factor * base.max(1e-12);
+                        Some((inputs.wall_p90, limit))
+                            .filter(|(v, l)| v >= l)
+                    }
+                }
+                SloRule::AcceptRatioAtLeast { min } => {
+                    // Breach when the measured ratio falls below min.
+                    Some((snap.accept_ratio(), min)).filter(|(v, l)| v < l)
+                }
+                SloRule::RecoveriesAtMost { max } => Some((inputs.recoveries as f64, max as f64))
+                    .filter(|(v, l)| v > l),
+            };
+            state.evaluations += 1;
+            if let Some((value, limit)) = outcome {
+                state.breaches += 1;
+                state.offending_rounds.push(snap.round);
+                breaches.push(Breach {
+                    rule: state.rule.name(),
+                    value,
+                    limit,
+                });
+            }
+        }
+        HealthVerdict {
+            round: snap.round,
+            healthy: breaches.is_empty(),
+            breaches,
+        }
+    }
+
+    /// Per-rule burn rates: `breached evaluations / total evaluations`
+    /// (0 when never evaluated).
+    pub fn burn_rates(&self) -> Vec<(&'static str, f64)> {
+        self.rules
+            .iter()
+            .map(|s| {
+                let rate = if s.evaluations == 0 {
+                    0.0
+                } else {
+                    s.breaches as f64 / s.evaluations as f64
+                };
+                (s.rule.name(), rate)
+            })
+            .collect()
+    }
+
+    /// Rounds on which `rule` breached, oldest first.
+    pub fn offending_rounds(&self, rule: &str) -> Vec<u64> {
+        self.rules
+            .iter()
+            .find(|s| s.rule.name() == rule)
+            .map(|s| s.offending_rounds.clone())
+            .unwrap_or_default()
+    }
+
+    /// Total breaches across all rules.
+    pub fn total_breaches(&self) -> u64 {
+        self.rules.iter().map(|s| s.breaches).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(round: u64, accepted: u64, dropped: u64) -> RoundSnapshot {
+        RoundSnapshot {
+            round,
+            wall_secs: 1.0,
+            accepted,
+            dropped,
+            ..RoundSnapshot::default()
+        }
+    }
+
+    #[test]
+    fn empty_policy_is_always_healthy() {
+        let mut p = SloPolicy::new();
+        let v = p.evaluate(&snap(1, 0, 10), SloInputs::default());
+        assert!(v.healthy);
+        assert!(p.burn_rates().is_empty());
+    }
+
+    #[test]
+    fn accept_ratio_rule_flags_offending_rounds() {
+        let mut p = SloPolicy::new().rule(SloRule::AcceptRatioAtLeast { min: 0.8 });
+        assert!(p.evaluate(&snap(1, 8, 2), SloInputs::default()).healthy);
+        let v = p.evaluate(&snap(2, 5, 5), SloInputs::default());
+        assert!(!v.healthy);
+        assert_eq!(v.breaches[0].rule, "accept_ratio");
+        assert!((v.breaches[0].value - 0.5).abs() < 1e-12);
+        assert!(p.evaluate(&snap(3, 9, 1), SloInputs::default()).healthy);
+        assert_eq!(p.offending_rounds("accept_ratio"), vec![2]);
+        let rates = p.burn_rates();
+        assert_eq!(rates[0].0, "accept_ratio");
+        assert!((rates[0].1 - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wall_p90_rule_freezes_a_baseline_then_compares() {
+        let mut p = SloPolicy::new().rule(SloRule::RoundWallP90Below {
+            factor: 2.0,
+            baseline_rounds: 3,
+        });
+        // Baseline rounds: p90 ~1s, never flagged.
+        for r in 1..=3u64 {
+            let v = p.evaluate(
+                &snap(r, 8, 0),
+                SloInputs {
+                    wall_p90: 1.0,
+                    recoveries: 0,
+                },
+            );
+            assert!(v.healthy, "baseline rounds never breach");
+        }
+        // Healthy post-baseline round.
+        assert!(p
+            .evaluate(
+                &snap(4, 8, 0),
+                SloInputs {
+                    wall_p90: 1.5,
+                    recoveries: 0
+                }
+            )
+            .healthy);
+        // p90 doubles past 2× baseline.
+        let v = p.evaluate(
+            &snap(5, 8, 0),
+            SloInputs {
+                wall_p90: 2.5,
+                recoveries: 0,
+            },
+        );
+        assert!(!v.healthy);
+        assert_eq!(v.breaches[0].rule, "round_wall_p90");
+        assert!((v.breaches[0].limit - 2.0).abs() < 1e-12);
+        assert_eq!(p.offending_rounds("round_wall_p90"), vec![5]);
+    }
+
+    #[test]
+    fn recoveries_rule_tolerates_up_to_the_budget() {
+        let mut p = SloPolicy::new().rule(SloRule::RecoveriesAtMost { max: 1 });
+        assert!(p
+            .evaluate(
+                &snap(1, 8, 0),
+                SloInputs {
+                    wall_p90: 0.0,
+                    recoveries: 1
+                }
+            )
+            .healthy);
+        let v = p.evaluate(
+            &snap(2, 8, 0),
+            SloInputs {
+                wall_p90: 0.0,
+                recoveries: 2,
+            },
+        );
+        assert!(!v.healthy);
+        assert_eq!(v.breaches[0].rule, "recoveries");
+        assert_eq!(p.total_breaches(), 1);
+    }
+
+    #[test]
+    fn standard_policy_carries_the_three_headline_rules() {
+        let p = SloPolicy::standard();
+        let names: Vec<&str> = p.rules.iter().map(|s| s.rule.name()).collect();
+        assert_eq!(names, vec!["round_wall_p90", "accept_ratio", "recoveries"]);
+    }
+}

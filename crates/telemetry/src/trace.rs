@@ -591,6 +591,76 @@ mod tests {
         );
     }
 
+    /// First chunk of the trace JSON (split at record starts) that
+    /// contains `needle` — i.e. the record carrying that field, plus
+    /// whatever trails it up to the next record.
+    fn record_with<'a>(json: &'a str, needle: &str) -> &'a str {
+        json.split("{\"ph\":")
+            .find(|chunk| chunk.contains(needle))
+            .unwrap_or_else(|| panic!("no record containing {needle}:\n{json}"))
+    }
+
+    #[test]
+    fn hedged_redispatch_spans_nest_under_their_round() {
+        use crate::{MemorySink, Telemetry};
+        use std::sync::Arc;
+
+        let sink = Arc::new(MemorySink::new());
+        let t = Telemetry::new(sink.clone());
+        // Round 2: an ordinary round, present to prove hedged spans from
+        // round 3 do not leak into a neighbouring round's subtree.
+        t.client_span_secs(2, 5, 0.2);
+        t.round_span_secs(2, 0.4);
+        // Round 3, hedged: cohort peers 0 and 1 upload, peer 1's upload
+        // lands after the hedge deadline (the server emits a
+        // `late_arrival` phase span, as `run_server_ft` does on
+        // `UploadVerdict::Late`), and standby peer 7 is re-dispatched
+        // mid-collect and runs a full client loop of its own.
+        t.client_span_secs(3, 0, 0.3);
+        t.client_span_secs(3, 1, 0.6);
+        t.phase_span_secs("late_arrival", 0.15, 3);
+        t.client_span_secs(3, 7, 0.25);
+        t.round_span_secs(3, 0.9);
+
+        let json = chrome_trace(&sink.events());
+        let r2 = round_span_id(2);
+        let r3 = round_span_id(3);
+
+        // Every span found a place in the causal tree: nothing fell out
+        // as an unplaced "ph":"X" Complete record.
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 0, "{json}");
+        assert_eq!(json.matches("\"ph\":\"B\"").count(), 7, "{json}");
+        assert_eq!(json.matches("\"ph\":\"E\"").count(), 7, "{json}");
+
+        // The late-upload span parents to round 3's structural span.
+        let late = record_with(&json, "\"name\":\"late_arrival\"");
+        assert!(late.starts_with("\"B\""), "late_arrival must open a B/E pair: {late}");
+        assert!(
+            late.contains(&format!("\"parent\":{r3}")),
+            "late_arrival must nest under round 3: {late}"
+        );
+
+        // The hedged standby client keeps its deterministic span id and
+        // parents to round 3 — not to the neighbouring round 2.
+        let standby = record_with(&json, &format!("\"id\":{}", client_span_id(3, 7)));
+        assert!(standby.starts_with("\"B\""), "standby client must open a B/E pair: {standby}");
+        assert!(
+            standby.contains(&format!("\"parent\":{r3}")),
+            "standby client must nest under round 3: {standby}"
+        );
+        assert!(
+            !standby.contains(&format!("\"parent\":{r2}")),
+            "standby client leaked into round 2: {standby}"
+        );
+
+        // The slow cohort client whose upload arrived late still nests
+        // under round 3, and round 2's client stays under round 2.
+        let slow = record_with(&json, &format!("\"id\":{}", client_span_id(3, 1)));
+        assert!(slow.contains(&format!("\"parent\":{r3}")), "{slow}");
+        let other = record_with(&json, &format!("\"id\":{}", client_span_id(2, 5)));
+        assert!(other.contains(&format!("\"parent\":{r2}")), "{other}");
+    }
+
     #[test]
     fn marks_and_counts_become_instants_and_counters() {
         let mut mark = Event::new(0.5, EventKind::Mark, "timeout");

@@ -18,13 +18,15 @@ use appfl::core::algorithms::build_federation;
 use appfl::core::config::{AlgorithmConfig, FaultToleranceConfig, FedConfig};
 use appfl::core::metrics::History;
 use appfl::core::{
-    CrashPhase, CrashPoint, DurableCoordinator, Error, Federation, Participants, Resilience,
-    RoundControlConfig, Topology, WalStore,
+    CrashPhase, CrashPoint, DurableCoordinator, Error, Federation, Observe, Participants,
+    Resilience, RoundControlConfig, Topology, WalStore,
 };
 use appfl::data::federated::{build_benchmark, Benchmark, FederatedDataset};
 use appfl::nn::models::{mlp_classifier, InputSpec};
 use appfl::privacy::PrivacyConfig;
+use appfl::telemetry::{FlightRecorder, NoopSink, RecorderConfig, SloPolicy, Telemetry};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 const SPEC: InputSpec = InputSpec {
     channels: 1,
@@ -86,6 +88,14 @@ fn run_scenario(
     schedule: &ChaosSchedule,
     durable: Option<DurableCoordinator>,
 ) -> Result<History, Error> {
+    run_observed_scenario(schedule, durable, Observe::none())
+}
+
+fn run_observed_scenario(
+    schedule: &ChaosSchedule,
+    durable: Option<DurableCoordinator>,
+    observe: Observe,
+) -> Result<History, Error> {
     let data = data();
     let test = data.test.clone();
     let mut fed = build_federation(config(), &data, |rng| {
@@ -107,6 +117,7 @@ fn run_scenario(
                 .evaluation(fed.template.as_mut(), &test),
         )
         .resilience(resilience)
+        .observe(observe)
         .build()?
         .run()
         .map(|o| o.history.expect("comm topology records a history"))
@@ -261,6 +272,66 @@ fn a_chaos_run_replays_bit_identically() {
     }
 }
 
+/// A storm blows through the middle rounds and then clears, with the
+/// flight recorder armed the whole way: the post-mortem dump must put
+/// the chaos segments, the adaptive round-control decisions and the
+/// per-round series on one correlated, round-indexed timeline, and the
+/// armed path must hold the same document the trigger returned.
+#[test]
+fn storm_then_recover_produces_a_correlated_flight_dump() {
+    let schedule = ChaosSchedule::new(44)
+        .segment(2, 3, ChaosKind::DropStorm { prob: 0.5 })
+        .segment(
+            2,
+            2,
+            ChaosKind::LatencySpike {
+                prob: 0.5,
+                delay_ms: 15,
+            },
+        );
+    let dump_path = chaos_dir().join("storm_recover_flight.json");
+    let _ = std::fs::remove_file(&dump_path);
+
+    let recorder = Arc::new(FlightRecorder::new(RecorderConfig::default()));
+    recorder.arm(&dump_path);
+    recorder.set_context("chaos_schedule", schedule.to_json());
+    // A side handle onto the same recorder: the schedule's timeline
+    // marks land in the capture the federation writes into.
+    let side = Telemetry::with_observability(Arc::new(NoopSink), None, Some(recorder.clone()));
+    schedule.emit_timeline(&side);
+
+    let observe = Observe::none()
+        .flight_recorder(recorder.clone())
+        .slo(SloPolicy::standard());
+    let history = run_observed_scenario(&schedule, None, observe)
+        .expect("the storm-then-recover scenario must finish");
+    assert_eq!(history.rounds.len(), ROUNDS);
+
+    let dump = side
+        .flight_dump("chaos_scenario_end", "storm_then_recover")
+        .expect("an armed recorder dumps at scenario end");
+    assert!(dump.contains("\"schema\":\"appfl.flight.v1\""), "{dump}");
+    assert!(dump.contains("\"trigger\":\"chaos_scenario_end\""), "{dump}");
+    assert!(
+        dump.contains("\"category\":\"chaos\""),
+        "chaos segments missing from the timeline:\n{dump}"
+    );
+    assert!(
+        dump.contains("\"category\":\"round_control\""),
+        "round-control decisions missing from the timeline:\n{dump}"
+    );
+    assert!(
+        dump.contains("\"chaos_schedule\":{"),
+        "schedule context blob missing:\n{dump}"
+    );
+    assert!(
+        dump.contains("\"series\":[{"),
+        "per-round series rows missing:\n{dump}"
+    );
+    let on_disk = std::fs::read_to_string(&dump_path).expect("armed dump written to disk");
+    assert_eq!(on_disk, dump, "armed path must hold the triggering dump");
+}
+
 /// The coordinator dies right after round 2's aggregate commits, in the
 /// middle of a drop storm, and restarts against the same WAL: the
 /// resumed run must finish all rounds with the recovery flag set.
@@ -285,9 +356,27 @@ fn coordinator_crash_mid_storm_recovers_and_finishes() {
     let err = run_scenario(&schedule, Some(durable)).expect_err("the crash point must fire");
     assert!(matches!(err, Error::Crashed(_)), "typed crash, got {err}");
 
-    // Life 2: same WAL, crash disarmed — must resume and finish.
+    // Life 2: same WAL, crash disarmed — must resume and finish, and the
+    // recovery itself must trigger a flight dump capturing the pre-crash
+    // tail (WAL position included) before the resumed run overwrites it.
+    let dump_path = dir.join("recovery_flight.json");
+    let _ = std::fs::remove_file(&dump_path);
+    let recorder = Arc::new(FlightRecorder::new(RecorderConfig::default()));
+    recorder.arm(&dump_path);
     let durable = DurableCoordinator::new(Box::new(WalStore::open(&wal_path).unwrap()));
-    let history = run_scenario(&schedule, Some(durable)).expect("the restart must finish");
+    let history = run_observed_scenario(
+        &schedule,
+        Some(durable),
+        Observe::none().flight_recorder(recorder.clone()),
+    )
+    .expect("the restart must finish");
+    assert!(recorder.dump_count() >= 1, "recovery must trigger a dump");
+    let dump = std::fs::read_to_string(&dump_path).expect("recovery dump written");
+    assert!(
+        dump.contains("\"trigger\":\"coordinator_recovery\"")
+            || dump.contains("\"category\":\"recovery\""),
+        "recovery entries missing from the dump:\n{dump}"
+    );
     assert_eq!(
         history.rounds.len(),
         ROUNDS,

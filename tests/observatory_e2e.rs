@@ -215,3 +215,91 @@ fn fault_injected_run_feeds_registry_trace_and_convergence_table() {
     // Counters and instants ride along for Perfetto's counter tracks.
     assert!(json.contains("\"ph\":\"C\"") || json.contains("\"ph\":\"i\""));
 }
+
+/// An injected regression — round wall time quadruples and the cohort
+/// collapses — must be flagged by the anomaly detectors, named round by
+/// round in the SLO breach ledger, and land in an armed flight dump
+/// that the post-mortem tooling validates and renders.
+#[test]
+fn injected_regression_is_flagged_and_the_slo_names_offending_rounds() {
+    use appfl::telemetry::{
+        FlightRecorder, NoopSink, RecorderConfig, RoundSnapshot, RunObserver, SloPolicy,
+    };
+    use appfl_bench::telemetry_report::{render_postmortem, validate_postmortem};
+
+    let out_dir = std::path::Path::new("target/observatory");
+    std::fs::create_dir_all(out_dir).unwrap();
+    let dump_path = out_dir.join("regression_flight.json");
+    let _ = std::fs::remove_file(&dump_path);
+
+    let recorder = Arc::new(FlightRecorder::new(RecorderConfig::default()));
+    recorder.arm(&dump_path);
+    let registry = MetricsRegistry::new();
+    let t = Telemetry::with_observability(
+        Arc::new(NoopSink),
+        Some(registry.clone()),
+        Some(recorder.clone()),
+    );
+
+    let mut obs = RunObserver::standard().with_slo(SloPolicy::standard());
+    // Twelve steady rounds establish the detectors' and the SLO
+    // baseline...
+    for r in 1..=12u64 {
+        let snap = RoundSnapshot {
+            round: r,
+            wall_secs: 1.0 + 0.02 * (r % 3) as f64,
+            accepted: 9,
+            rejected: 1,
+            train_loss: 1.0 / r as f64,
+            ..RoundSnapshot::default()
+        };
+        let verdict = obs.observe_round(snap, 0, &t).expect("policy attached");
+        assert!(verdict.healthy, "round {r} must be healthy");
+    }
+    // ...then the injected regression: wall time quadruples and the
+    // accept ratio collapses below the 0.8 floor.
+    for r in 13..=15u64 {
+        let snap = RoundSnapshot {
+            round: r,
+            wall_secs: 4.5,
+            accepted: 2,
+            rejected: 8,
+            train_loss: 0.1,
+            ..RoundSnapshot::default()
+        };
+        obs.observe_round(snap, 0, &t);
+    }
+
+    assert!(
+        obs.anomalies().iter().any(|a| a.round >= 13),
+        "the regression must be flagged: {:?}",
+        obs.anomalies()
+    );
+    let offending = obs
+        .slo()
+        .expect("policy attached")
+        .offending_rounds("accept_ratio");
+    assert_eq!(
+        offending,
+        vec![13, 14, 15],
+        "the breach ledger must name the offending rounds"
+    );
+    let burn = registry
+        .labeled_gauge("slo_burn_rate", "rule", "accept_ratio")
+        .last();
+    assert!(burn > 0.0, "burn-rate gauge must reflect the breach: {burn}");
+
+    // The first breach wrote the armed dump; the post-mortem tooling
+    // must accept and render it.
+    let dump = std::fs::read_to_string(&dump_path).expect("slo breach writes the armed dump");
+    let entries = validate_postmortem(&dump)
+        .unwrap_or_else(|e| panic!("invalid flight dump: {e}\n{dump}"));
+    assert!(entries > 0, "empty post-mortem timeline:\n{dump}");
+    assert!(dump.contains("\"trigger\":\"slo_breach\""), "{dump}");
+    assert!(
+        dump.contains("\"category\":\"anomaly\"") || dump.contains("\"category\":\"slo\""),
+        "anomaly/slo entries missing from the timeline:\n{dump}"
+    );
+    let report = render_postmortem(&dump);
+    assert!(report.contains("slo_breach"), "{report}");
+}
